@@ -1,0 +1,31 @@
+# Convenience targets for the Amnesia reproduction.
+# The environment is offline; editable installs need --no-build-isolation.
+
+PYTHON ?= python3
+
+.PHONY: install test bench report examples serve clean
+
+install:
+	pip install -e . --no-build-isolation
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+report:
+	$(PYTHON) -m repro.cli --seed 2016 report --trials 100 --output REPORT.md
+
+examples:
+	@for script in examples/*.py; do \
+		echo "== $$script =="; \
+		$(PYTHON) $$script || exit 1; \
+	done
+
+serve:
+	$(PYTHON) -m repro.cli serve --port 8080 --with-phone
+
+clean:
+	find . -type d -name __pycache__ -prune -exec rm -rf {} +
+	rm -rf .pytest_cache .benchmarks

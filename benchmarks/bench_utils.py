@@ -1,0 +1,21 @@
+"""Shared helpers for the reproduction benchmarks (imported by each bench).
+
+Every benchmark regenerates one of the paper's tables or figures and
+prints it (run with ``-s`` to see the artefacts inline; the printed
+rows also land in the captured-output section of failing runs). The
+``benchmark`` fixture times the computational core of each experiment.
+"""
+
+from __future__ import annotations
+
+
+def banner(title: str) -> None:
+    print()
+    print("=" * 72)
+    print(title)
+    print("=" * 72)
+
+
+def row(label: str, *values: object) -> None:
+    rendered = "  ".join(f"{v}" for v in values)
+    print(f"  {label:<44s} {rendered}")

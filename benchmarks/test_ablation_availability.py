@@ -1,0 +1,67 @@
+"""A8 (ablation) — phone availability vs access to accounts (§VIII).
+
+Sweeps the handset's duty cycle and the server's generation timeout,
+measuring the fraction of password requests that succeed. Quantifies
+the limitation the paper states qualitatively, and shows how much of it
+GCM's store-and-forward plus server patience buys back.
+"""
+
+from bench_utils import banner
+
+from repro.eval.availability import DutyCycle, run_availability_experiment
+
+SCENARIOS = [
+    # (label, duty cycle, generation timeout)
+    ("always online", DutyCycle(1.0, 0.0), 10_000.0),
+    ("90% / patient", DutyCycle(54_000.0, 6_000.0), 15_000.0),
+    ("67% / patient", DutyCycle(8_000.0, 4_000.0), 15_000.0),
+    ("67% / impatient", DutyCycle(8_000.0, 4_000.0), 2_000.0),
+    ("40% / patient", DutyCycle(8_000.0, 12_000.0), 15_000.0),
+    ("8% / patient", DutyCycle(5_000.0, 60_000.0), 15_000.0),
+]
+
+
+def run_all():
+    results = []
+    for label, duty_cycle, timeout in SCENARIOS:
+        report = run_availability_experiment(
+            duty_cycle,
+            attempts=25,
+            attempt_interval_ms=9_000.0,
+            generation_timeout_ms=timeout,
+            seed=f"a8|{label}",
+        )
+        results.append((label, report))
+    return results
+
+
+def test_ablation_availability(benchmark):
+    results = benchmark(run_all)
+
+    banner("ABLATION A8 — Phone Availability vs Generation Success (§VIII)")
+    print(f"  {'scenario':<18s} {'phone avail':>12s} {'server wait':>12s} "
+          f"{'success':>9s}")
+    for label, report in results:
+        print(
+            f"  {label:<18s} {100 * report.duty_cycle.availability:>11.0f}% "
+            f"{report.generation_timeout_ms / 1000:>10.0f}s "
+            f"{100 * report.success_rate:>8.0f}%"
+        )
+
+    by_label = dict(results)
+    assert by_label["always online"].success_rate == 1.0
+    # Patience + store-and-forward masks moderate gaps entirely...
+    assert by_label["67% / patient"].success_rate == 1.0
+    # ...but not an impatient server...
+    assert by_label["67% / impatient"].success_rate < 1.0
+    # ...and nothing masks a mostly-dead phone: §VIII's limitation.
+    assert by_label["8% / patient"].success_rate < 0.6
+    # Success degrades monotonically with availability (patient column).
+    patient = [
+        by_label["always online"].success_rate,
+        by_label["90% / patient"].success_rate,
+        by_label["67% / patient"].success_rate,
+        by_label["40% / patient"].success_rate,
+        by_label["8% / patient"].success_rate,
+    ]
+    assert all(a >= b for a, b in zip(patient, patient[1:]))

@@ -1,0 +1,70 @@
+"""A6 (ablation) — multi-user load vs the blocking thread pool.
+
+The prototype was never load-tested ("at most used for latency tests
+and our user study"); this ablation does it. A population of users
+issues generations as a Poisson process while every in-flight
+generation *holds* a server thread until its phone answers (§V-A's
+CherryPy semantics). Sweeping the offered rate against pool sizes
+locates the degradation point the paper's 10-thread default implies.
+"""
+
+from bench_utils import banner
+
+from repro.eval.workload import WorkloadSpec, run_workload
+from repro.net.profiles import WIFI_PROFILE
+
+SCENARIOS = [
+    # (label, users, mean interarrival ms, pool size)
+    ("light / pool 10", 3, 6_000.0, 10),
+    ("busy / pool 10", 6, 2_000.0, 10),
+    ("busy / pool 4", 6, 2_000.0, 4),
+    ("busy / pool 2", 6, 2_000.0, 2),
+]
+
+
+def run_all():
+    results = []
+    for label, users, interarrival, pool_size in SCENARIOS:
+        spec = WorkloadSpec(
+            users=users,
+            accounts_per_user=2,
+            duration_ms=60_000.0,
+            mean_interarrival_ms=interarrival,
+            seed=f"load|{label}",
+        )
+        result = run_workload(
+            spec,
+            profile=WIFI_PROFILE,
+            thread_pool_size=pool_size,
+            generation_timeout_ms=10_000.0,
+        )
+        results.append((label, result))
+    return results
+
+
+def test_ablation_load(benchmark):
+    results = benchmark(run_all)
+
+    banner("ABLATION A6 — Offered Load vs Blocking Thread Pool (Wi-Fi, 60 s)")
+    print(f"  {'scenario':<18s} {'rate/s':>7s} {'issued':>7s} {'ok%':>6s} "
+          f"{'mean':>8s} {'p95':>8s} {'peak busy':>10s} {'peak q':>7s}")
+    for label, result in results:
+        print(
+            f"  {label:<18s} {result.spec.offered_rate_per_s:>7.2f} "
+            f"{result.issued:>7d} {100 * result.completion_rate:>5.1f}% "
+            f"{result.latency_mean_ms():>6.0f}ms {result.latency_p95_ms():>6.0f}ms "
+            f"{result.pool_peak_busy:>10d} {result.pool_peak_queue:>7d}"
+        )
+
+    by_label = dict(results)
+    # The paper's 10 threads absorb both the light and busy loads...
+    assert by_label["light / pool 10"].completion_rate == 1.0
+    assert by_label["busy / pool 10"].completion_rate == 1.0
+    # ...while shrinking the pool under the same busy load degrades —
+    # blocking generations starve the /token ingress (see A4).
+    assert (
+        by_label["busy / pool 2"].completion_rate
+        < by_label["busy / pool 10"].completion_rate
+    )
+    # The 2-thread pool visibly saturates.
+    assert by_label["busy / pool 2"].pool_peak_busy == 2

@@ -1,0 +1,71 @@
+"""A5 (ablation) — the §VIII session mechanism.
+
+§VIII: "Users would also need to interact with the phone each time they
+request a password ... We plan to address these two issues in the
+future by including a vault and a session mechanism." This ablation
+quantifies what the (implemented) session mechanism buys: phone
+interactions and end-to-end latency across a burst of generations for
+one account, as a function of the token-session TTL.
+"""
+
+from bench_utils import banner
+
+from repro.net.profiles import WIFI_PROFILE
+from repro.testbed import AmnesiaTestbed
+
+BURST = 8  # generations for one account within one sitting
+TTLS_MS = [0.0, 30_000.0, 300_000.0, 600_000.0]
+GAP_MS = 45_000.0  # think-time between generations
+
+
+def run_burst(ttl_ms: float) -> dict:
+    bed = AmnesiaTestbed(
+        seed=f"session-ablation-{ttl_ms}",
+        profile=WIFI_PROFILE,
+        token_session_ttl_ms=ttl_ms,
+    )
+    browser = bed.enroll("alice", "master-password-1")
+    account_id = browser.add_account("alice", "x.com")
+    latencies = []
+    for __ in range(BURST):
+        result = browser.generate_password(account_id)
+        latencies.append(float(result["latency_ms"]))
+        bed.run(GAP_MS)
+    return {
+        "ttl_ms": ttl_ms,
+        "phone_interactions": bed.phone.answered_requests,
+        "session_hits": bed.server.metrics.generations_from_session,
+        "mean_latency_ms": sum(latencies) / len(latencies),
+    }
+
+
+def test_ablation_session(benchmark):
+    results = benchmark(lambda: [run_burst(ttl) for ttl in TTLS_MS])
+
+    banner("ABLATION A5 — Session Mechanism (8 generations, 45 s apart)")
+    print(f"  {'token TTL':>12s} {'phone asks':>11s} {'session hits':>13s} "
+          f"{'mean latency':>13s}")
+    for entry in results:
+        label = "off (paper)" if entry["ttl_ms"] == 0 else f"{entry['ttl_ms']/1000:.0f}s"
+        print(
+            f"  {label:>12s} {entry['phone_interactions']:>11d} "
+            f"{entry['session_hits']:>13d} {entry['mean_latency_ms']:>10.1f}ms"
+        )
+
+    by_ttl = {entry["ttl_ms"]: entry for entry in results}
+    # Paper behaviour: one phone interaction per generation.
+    assert by_ttl[0.0]["phone_interactions"] == BURST
+    assert by_ttl[0.0]["session_hits"] == 0
+    # 30 s TTL < 45 s gap: every generation still needs the phone.
+    assert by_ttl[30_000.0]["phone_interactions"] == BURST
+    # 300 s TTL covers ~6 of the 45 s gaps, then expires once mid-burst.
+    assert by_ttl[300_000.0]["phone_interactions"] == 2
+    assert by_ttl[300_000.0]["session_hits"] == BURST - 2
+    # 600 s TTL: a single phone interaction serves the whole burst, and
+    # mean latency collapses (7 of 8 generations are ~0 ms).
+    assert by_ttl[600_000.0]["phone_interactions"] == 1
+    assert by_ttl[600_000.0]["session_hits"] == BURST - 1
+    assert (
+        by_ttl[600_000.0]["mean_latency_ms"]
+        < by_ttl[0.0]["mean_latency_ms"] / 4
+    )

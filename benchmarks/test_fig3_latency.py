@@ -1,0 +1,43 @@
+"""F3 — Figure 3: password-generation latency over Wi-Fi and 4G.
+
+Runs the paper's experiment verbatim: user verification disabled, 100
+trials per transport, latency measured from R-handed-to-GCM (t_start)
+to password-computed (t_end). Prints mean/σ beside the published
+numbers. The timed core is one full simulated generation round trip on
+the Wi-Fi profile (simulator wall-time, not the simulated latency).
+"""
+
+from bench_utils import banner, row
+
+from repro.eval.latency import PAPER_FIGURE_3, LatencyExperiment
+from repro.net.profiles import CELLULAR_4G_PROFILE, WIFI_PROFILE
+from repro.testbed import AmnesiaTestbed
+
+
+def test_fig3_latency(benchmark):
+    bed = AmnesiaTestbed(seed="fig3-bench", profile=WIFI_PROFILE)
+    browser = bed.enroll("bench", "master-password-1")
+    account_id = browser.add_account("bench", "dummy.example.com")
+
+    def one_generation():
+        return browser.generate_password(account_id)
+
+    result = benchmark(one_generation)
+    assert len(result["password"]) == 32
+
+    banner("FIGURE 3 (reproduced) — Amnesia Latency, 100 trials per transport")
+    print(f"  {'transport':<10s} {'paper mean':>12s} {'ours':>9s} "
+          f"{'paper std':>11s} {'ours':>9s} {'p5':>8s} {'p95':>8s}")
+    for name, profile in (("wifi", WIFI_PROFILE), ("4g", CELLULAR_4G_PROFILE)):
+        stats = LatencyExperiment(profile, trials=100, seed=2016).run()
+        paper = PAPER_FIGURE_3[name]
+        print(
+            f"  {name:<10s} {paper['mean_ms']:>10.1f}ms {stats.mean_ms:>7.1f}ms "
+            f"{paper['std_ms']:>9.1f}ms {stats.std_ms:>7.1f}ms "
+            f"{stats.percentile(5):>6.0f}ms {stats.percentile(95):>6.0f}ms"
+        )
+        assert abs(stats.mean_ms - paper["mean_ms"]) / paper["mean_ms"] < 0.08
+    wifi = LatencyExperiment(WIFI_PROFILE, trials=100, seed=2016).run()
+    cellular = LatencyExperiment(CELLULAR_4G_PROFILE, trials=100, seed=2016).run()
+    row("shape check: wifi < 4g", wifi.mean_ms < cellular.mean_ms)
+    assert wifi.mean_ms < cellular.mean_ms

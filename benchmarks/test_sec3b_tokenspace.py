@@ -1,0 +1,29 @@
+"""S3B — §III-B3: the token space.
+
+"Since N = 5000 and each request R yields 16 e_i, there are 5000^16 or
+1.53 × 10^59 unique T." Verifies the count and times Algorithm 1 — the
+phone-side token computation whose cost the latency model embeds.
+"""
+
+from bench_utils import banner, row
+
+from repro.core.params import DEFAULT_PARAMS
+from repro.core.protocol import generate_request, generate_token
+from repro.core.secrets import PhoneSecret
+from repro.crypto.randomness import SeededRandomSource
+
+
+def test_sec3b_tokenspace(benchmark):
+    secret = PhoneSecret.generate(SeededRandomSource(b"tokenspace"))
+    request = generate_request("alice", "mail.google.com", b"\x05" * 32)
+
+    token = benchmark(generate_token, request, secret.entry_table)
+    assert len(token) == 64
+
+    banner("§III-B3 (reproduced) — Token Space")
+    row("entry table size N", DEFAULT_PARAMS.entry_table_size)
+    row("segments per request", DEFAULT_PARAMS.token_segments)
+    row("token space N^16", f"{float(DEFAULT_PARAMS.token_space):.3e}")
+    row("paper's figure", "1.53e+59")
+    assert DEFAULT_PARAMS.token_space == 5000**16
+    assert abs(float(DEFAULT_PARAMS.token_space) - 1.53e59) / 1.53e59 < 0.01

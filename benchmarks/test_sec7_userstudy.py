@@ -1,0 +1,48 @@
+"""S7 — §VII: user-study aggregates beyond Figure 4.
+
+Demographics, hours online, account counts, usability percentages and
+the Amnesia-preference split — every number the prose quotes, printed
+beside the encoded dataset. The timed core is a 20k-respondent
+Monte-Carlo of the preference rate (the sensitivity analysis the small
+n = 31 pilot study motivates).
+"""
+
+from bench_utils import banner, row
+
+from repro.eval.survey import PAPER_SURVEY, RespondentModel
+
+
+def test_sec7_userstudy(benchmark):
+    model = RespondentModel(seed=7)
+    rate = benchmark(model.preference_rate, 20_000)
+
+    banner("§VII (reproduced) — User Study Aggregates, n = 31")
+    row("participants", PAPER_SURVEY.n)
+    row("male / female", f"{PAPER_SURVEY.male} / {PAPER_SURVEY.n - PAPER_SURVEY.male}")
+    row("age mean ± std (range)",
+        f"{PAPER_SURVEY.age_mean} ± {PAPER_SURVEY.age_std} "
+        f"({PAPER_SURVEY.age_min}-{PAPER_SURVEY.age_max})")
+    row("hours online/day", PAPER_SURVEY.hours_online)
+    row("<=10 accounts / 11-20", f"{PAPER_SURVEY.accounts_10_or_less} / "
+        f"{PAPER_SURVEY.accounts_11_to_20}")
+    row("believe Amnesia increases security",
+        f"{PAPER_SURVEY.believe_amnesia_increases_security}/31")
+    row("registration convenient",
+        f"{PAPER_SURVEY.registering_convenient_pct():.1f}% (paper: 77.4%)")
+    row("adding an account easy",
+        f"{PAPER_SURVEY.adding_easy_pct():.1f}% (paper: 83.8%)")
+    row("generating a password easy",
+        f"{PAPER_SURVEY.generating_easy_pct():.1f}% (paper: 83.8%)")
+    row("prefer Amnesia overall",
+        f"{PAPER_SURVEY.prefer_amnesia_pct():.1f}% (paper: 70.9%)")
+    row("non-PM users preferring Amnesia",
+        f"{PAPER_SURVEY.non_pm_prefer_amnesia}/{PAPER_SURVEY.non_pm_users}")
+    row("PM users preferring Amnesia",
+        f"{PAPER_SURVEY.pm_prefer_amnesia}/{PAPER_SURVEY.pm_users}")
+    row("Monte-Carlo preference at n=20k", f"{100 * rate:.1f}%")
+
+    PAPER_SURVEY.validate()
+    assert abs(PAPER_SURVEY.prefer_amnesia_pct() - 70.9) < 0.1
+    assert abs(PAPER_SURVEY.registering_convenient_pct() - 77.4) < 0.1
+    expected_rate = (24 / 31) * (14 / 24) + (7 / 31) * (6 / 7)
+    assert abs(rate - expected_rate) < 0.02

@@ -1,0 +1,34 @@
+"""T2 — Table II: application-side data layout.
+
+Recreates the phone's ``Kp`` store — the 512-bit ``P_id`` plus the
+N = 5000 table of 256-bit entries — and prints it in the paper's shape.
+The timed core is a fresh application install (generating and persisting
+the full entry table), the dominant phone-side setup cost.
+"""
+
+from bench_utils import banner, row
+
+from repro.eval.tables import render_table_ii
+from repro.phone.app import AmnesiaApp
+from repro.phone.device import PhoneDevice
+from repro.testbed import AmnesiaTestbed
+
+
+def test_table2_app_data(benchmark):
+    bed = AmnesiaTestbed(seed="table-2")
+
+    def install_fresh() -> AmnesiaApp:
+        bed.phone.install()
+        return bed.phone
+
+    app = benchmark(install_fresh)
+
+    banner("TABLE II (reproduced) — Application Side Data")
+    print(render_table_ii(app.database))
+    row("entry count N", app.database.entry_count())
+    row("entry size (bits)", len(app.database.entry(0)) * 8)
+    row("P_id size (bits)", len(app.database.pid()) * 8)
+
+    assert app.database.entry_count() == 5000
+    assert len(app.database.pid()) == 64
+    assert len(app.database.entry(4999)) == 32

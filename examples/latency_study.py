@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Reproduce Figure 3: password-generation latency over Wi-Fi and 4G.
+
+Runs the paper's experiment — approval notification disabled, 100
+trials per transport, latency = t_end - t_start — and prints the
+distribution next to the published numbers, plus an ASCII histogram.
+
+Run:  python examples/latency_study.py
+"""
+
+from repro.eval.latency import PAPER_FIGURE_3, LatencyExperiment
+from repro.net.profiles import CELLULAR_4G_PROFILE, WIFI_PROFILE
+
+
+def histogram(samples: tuple[float, ...], bins: int = 12, width: int = 40) -> str:
+    low, high = min(samples), max(samples)
+    step = (high - low) / bins or 1.0
+    counts = [0] * bins
+    for sample in samples:
+        index = min(bins - 1, int((sample - low) / step))
+        counts[index] += 1
+    peak = max(counts)
+    lines = []
+    for i, count in enumerate(counts):
+        label = f"{low + i * step:7.0f}-{low + (i + 1) * step:<6.0f}ms"
+        bar = "#" * int(round(width * count / peak))
+        lines.append(f"  {label} {bar} {count}")
+    return "\n".join(lines)
+
+
+def main() -> None:
+    print("Figure 3 reproduction: 100 password generations per transport\n")
+    for name, profile in (("wifi", WIFI_PROFILE), ("4g", CELLULAR_4G_PROFILE)):
+        stats = LatencyExperiment(profile, trials=100, seed=2016).run()
+        paper = PAPER_FIGURE_3[name]
+        print(f"[{name}]")
+        print(f"  mean   {stats.mean_ms:7.1f} ms   (paper: {paper['mean_ms']} ms)")
+        print(f"  std    {stats.std_ms:7.1f} ms   (paper: {paper['std_ms']} ms)")
+        print(f"  median {stats.percentile(50):7.1f} ms")
+        print(f"  p5/p95 {stats.percentile(5):7.1f} / "
+              f"{stats.percentile(95):7.1f} ms")
+        print(histogram(stats.samples_ms))
+        print()
+    print("Conclusion (paper, §VI-B): Wi-Fi beats 4G by ~200 ms and both")
+    print("stay under ~1 s — 'latency is not a big issue'.")
+
+
+if __name__ == "__main__":
+    main()

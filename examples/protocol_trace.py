@@ -1,0 +1,43 @@
+#!/usr/bin/env python3
+"""Trace one password generation as a message sequence chart.
+
+Figure 1 of the paper draws six arrows; this example records the real
+(simulated) wire traffic of one generation and renders them — including
+the TLS records you'd see on each hop, with sizes and timing.
+
+Run:  python examples/protocol_trace.py
+"""
+
+from repro.sim.trace import TraceRecorder, render_sequence_chart
+from repro.net.profiles import WIFI_PROFILE
+from repro.testbed import AmnesiaTestbed
+
+
+def main() -> None:
+    bed = AmnesiaTestbed(seed="trace-example", profile=WIFI_PROFILE)
+    browser = bed.enroll("alice", "master-password-1")
+    account_id = browser.add_account("alice", "mail.google.com")
+    # Warm up once so the chart shows a steady-state generation (no TLS
+    # handshake noise).
+    browser.generate_password(account_id)
+
+    with TraceRecorder(bed.network) as recorder:
+        result = browser.generate_password(account_id)
+
+    print("One Amnesia password generation (Figure 1, steps 2-6):\n")
+    print(
+        render_sequence_chart(
+            recorder.events,
+            participants=["laptop", "amnesia-server", "gcm", "phone"],
+            width=17,
+        )
+    )
+    print(f"\nmeasured latency (t_start->t_end): {result['latency_ms']:.1f} ms")
+    print("arrows: browser request; R to the rendezvous server; forwarded")
+    print("push; the phone's token (direct, the server has a static IP);")
+    print("the password back to the browser. Payload bytes are TLS records")
+    print("except on the gcm/push hops — exactly the §IV-B exposure.")
+
+
+if __name__ == "__main__":
+    main()

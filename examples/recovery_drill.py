@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Recovery drill: both §III-C protocols against a real (dummy) website.
+
+Act 1 — phone compromise: backup Kp to the cloud, "lose" the phone,
+recover the old passwords via the server, re-pair a new handset, and
+rotate the website password old -> new.
+
+Act 2 — master-password compromise: an attacker knows the MP and holds
+a session; the user changes the MP with phone verification, and the
+attacker's session and knowledge both die.
+
+Run:  python examples/recovery_drill.py
+"""
+
+import base64
+
+from repro.client.website import DummyWebsite
+from repro.crypto.randomness import SeededRandomSource
+from repro.testbed import AmnesiaTestbed
+from repro.util.errors import AuthenticationError
+from repro.web.http import HttpRequest
+
+
+def act_one_phone_compromise() -> None:
+    print("=== Act 1: phone compromise recovery (§III-C1) ===")
+    bed = AmnesiaTestbed(seed="drill-phone")
+    browser = bed.enroll("alice", "master-password-1")
+    site = DummyWebsite("bank.example", rng=SeededRandomSource(b"bank"))
+
+    account_id = browser.add_account("alice", site.domain)
+    old_password = browser.generate_password(account_id)["password"]
+    site.register("alice", old_password)
+    print(f"  registered at {site.domain} with {old_password[:8]}…")
+
+    # One-time backup, as the app prompts at install.
+    cloud = bed.cloud_client_for_phone()
+    bed.phone.backup_to_cloud(cloud)
+    print("  Kp backed up to the third-party cloud")
+
+    # The phone is stolen. The thief has Kp but — per §IV-D — no Ks, so
+    # no passwords. The user fetches the backup on the laptop and
+    # uploads it to the Amnesia server.
+    blob = bed.fetch_backup_via_browser()
+    recovered = browser.recover_phone(base64.b64encode(blob).decode("ascii"))
+    print(f"  server verified H(P_id) and regenerated "
+          f"{len(recovered)} old password(s); old phone purged")
+    assert recovered[0]["password"] == old_password
+
+    # New handset: fresh install => fresh P_id and entry table.
+    bed.replace_phone()
+    bed.pair_phone(browser, "alice")
+    new_password = browser.generate_password(account_id)["password"]
+    assert new_password != old_password
+    print(f"  new phone paired; passwords re-keyed: {new_password[:8]}…")
+
+    # Reset the site password using the recovered old one.
+    site.change_password("alice", old_password, new_password)
+    site.login("alice", new_password)
+    print("  website rotated to the new password — 2-factor security restored\n")
+
+
+def act_two_master_password_compromise() -> None:
+    print("=== Act 2: master-password compromise recovery (§III-C2) ===")
+    bed = AmnesiaTestbed(seed="drill-mp")
+    browser = bed.enroll("alice", "stolen-master-pw")
+
+    # The attacker knows the MP and logs in from their own machine.
+    attacker = bed.new_browser()
+    attacker.login("alice", "stolen-master-pw")
+    print("  attacker holds a live session with the stolen MP")
+
+    # The user initiates the change; the phone must confirm with P_id.
+    outcome = {}
+    browser.http.send(
+        HttpRequest.json_request("POST", "/recover/master/start", {}),
+        lambda response: outcome.update(response=response),
+    )
+    bed.run(500)
+    pending = bed.phone.pending_approvals()
+    print(f"  phone shows confirmation prompt (origin: "
+          f"{pending[0].get('origin')})")
+    bed.phone.confirm_master_change(pending[0]["pending_id"])
+    bed.drive_until(lambda: "response" in outcome)
+    browser.complete_master_change("fresh-master-pw-1")
+    print("  master password changed after P_id verification")
+
+    # The attacker's session was revoked; the stolen MP is dead.
+    try:
+        attacker.accounts()
+        raise AssertionError("attacker session should be dead")
+    except AuthenticationError:
+        print("  attacker's session revoked")
+    try:
+        attacker.login("alice", "stolen-master-pw")
+        raise AssertionError("stolen MP should no longer work")
+    except AuthenticationError:
+        print("  stolen master password no longer authenticates")
+    browser.logout()
+    browser.login("alice", "fresh-master-pw-1")
+    print("  user logs in with the new master password — recovered\n")
+
+
+if __name__ == "__main__":
+    act_one_phone_compromise()
+    act_two_master_password_compromise()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The execution environment has no ``wheel`` package, so PEP 660 editable
+installs (which require ``bdist_wheel``) fail. Providing a ``setup.py``
+and omitting ``[build-system]`` from pyproject.toml lets pip fall back
+to the legacy ``setup.py develop`` editable path, which works offline.
+"""
+
+from setuptools import setup
+
+setup()

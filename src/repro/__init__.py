@@ -1,0 +1,55 @@
+"""Amnesia: a bilateral generative password manager — full reproduction.
+
+This library reproduces Wang, Li & Sun, *"Amnesia: A Bilateral
+Generative Password Manager"* (ICDCS 2016): the core bilateral
+derivation protocol, the Amnesia web server and mobile application, the
+rendezvous (GCM-like) push service, a simulated network with calibrated
+Wi-Fi/4G latency, the baseline password managers the paper compares
+against, executable attack experiments, and the evaluation harnesses
+that regenerate every table and figure.
+
+Quick start::
+
+    from repro.testbed import AmnesiaTestbed
+
+    bed = AmnesiaTestbed(seed=1)
+    browser = bed.enroll("alice", "a strong master password")
+    account_id = browser.add_account("alice", "mail.example.com")
+    print(browser.generate_password(account_id)["password"])
+
+Package map (see DESIGN.md for the full inventory):
+
+- :mod:`repro.core` — the paper's protocol (R, T, p, P derivations)
+- :mod:`repro.server` / :mod:`repro.phone` — the two Amnesia components
+- :mod:`repro.sim` / :mod:`repro.net` — simulation and network substrate
+- :mod:`repro.crypto` — from-scratch crypto toolkit
+- :mod:`repro.baselines` / :mod:`repro.attacks` — comparators + attacks
+- :mod:`repro.eval` — Tables I-III, Figures 3-4, §IV-E analyses
+- :mod:`repro.testbed` — a full deployment in one object
+"""
+
+__version__ = "1.0.0"
+
+from repro.core.protocol import (
+    generate_request,
+    generate_token,
+    intermediate_value,
+    render_password,
+    generate_password,
+)
+from repro.core.templates import PasswordPolicy
+from repro.core.params import ProtocolParams, DEFAULT_PARAMS
+from repro.testbed import AmnesiaTestbed
+
+__all__ = [
+    "__version__",
+    "generate_request",
+    "generate_token",
+    "intermediate_value",
+    "render_password",
+    "generate_password",
+    "PasswordPolicy",
+    "ProtocolParams",
+    "DEFAULT_PARAMS",
+    "AmnesiaTestbed",
+]

@@ -1,0 +1,38 @@
+"""Password analysis: Markov strength modelling and corpus statistics.
+
+The related-work section grounds Amnesia in the password-cracking
+literature — dictionary attacks accelerated by Markov models [4] and
+semantic patterns [16]. This package implements the modelling side so
+the reproduction's attacks and evaluations can *measure* guessability
+instead of asserting it:
+
+- :class:`~repro.analysis.markov.CharMarkovModel` — an order-k
+  character model trained on a password corpus, giving per-password
+  log-probabilities and guess-number estimates;
+- :func:`~repro.analysis.markov.rank_candidates` — orders a candidate
+  list by model probability, the optimisation Narayanan & Shmatikov's
+  attack applies to dictionaries;
+- :mod:`~repro.analysis.corpus` — corpus statistics (length, class
+  composition) used for survey-vs-model comparisons.
+"""
+
+from repro.analysis.markov import (
+    CharMarkovModel,
+    rank_candidates,
+)
+from repro.analysis.pcfg import (
+    PcfgModel,
+    segment_structure,
+    structure_signature,
+)
+from repro.analysis.corpus import CorpusStats, corpus_stats
+
+__all__ = [
+    "CharMarkovModel",
+    "rank_candidates",
+    "PcfgModel",
+    "segment_structure",
+    "structure_signature",
+    "CorpusStats",
+    "corpus_stats",
+]

@@ -1,0 +1,77 @@
+"""Corpus statistics for password sets.
+
+Summarises a collection of passwords on the axes the survey (§VII-C)
+asks about — length buckets and character-class usage — so simulated
+populations can be compared against Figure 4's marginals and against
+generated-password corpora.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+from repro.util.errors import ValidationError
+
+LENGTH_BUCKETS = ("<=5", "6~8", "9~11", "12~14", "14+")
+
+
+def _length_bucket(password: str) -> str:
+    size = len(password)
+    if size <= 5:
+        return "<=5"
+    if size <= 8:
+        return "6~8"
+    if size <= 11:
+        return "9~11"
+    if size <= 14:
+        return "12~14"
+    return "14+"
+
+
+@dataclass(frozen=True)
+class CorpusStats:
+    """Aggregate statistics of one password corpus."""
+
+    count: int
+    mean_length: float
+    length_buckets: Dict[str, int]
+    with_lowercase: float
+    with_uppercase: float
+    with_digit: float
+    with_special: float
+    distinct_fraction: float
+
+    def dominant_length_bucket(self) -> str:
+        return max(self.length_buckets, key=self.length_buckets.get)
+
+
+def corpus_stats(passwords: Sequence[str]) -> CorpusStats:
+    """Compute :class:`CorpusStats` for *passwords*."""
+    if not passwords:
+        raise ValidationError("corpus must be non-empty")
+    buckets = {bucket: 0 for bucket in LENGTH_BUCKETS}
+    lower = upper = digit = special = 0
+    total_length = 0
+    for password in passwords:
+        buckets[_length_bucket(password)] += 1
+        total_length += len(password)
+        if any(c.islower() for c in password):
+            lower += 1
+        if any(c.isupper() for c in password):
+            upper += 1
+        if any(c.isdigit() for c in password):
+            digit += 1
+        if any(not c.isalnum() for c in password):
+            special += 1
+    count = len(passwords)
+    return CorpusStats(
+        count=count,
+        mean_length=total_length / count,
+        length_buckets=buckets,
+        with_lowercase=lower / count,
+        with_uppercase=upper / count,
+        with_digit=digit / count,
+        with_special=special / count,
+        distinct_fraction=len(set(passwords)) / count,
+    )

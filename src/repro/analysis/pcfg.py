@@ -1,0 +1,212 @@
+"""Probabilistic context-free grammar password modelling (Weir et al. [3]).
+
+The paper cites "Password cracking using probabilistic context-free
+grammars" as a modern cracking technique its generated passwords
+resist. This is that technique: passwords are segmented into maximal
+runs of letters (L), digits (D) and symbols (S); the *structure* (e.g.
+``L6 D2`` for "dragon12") and the terminals filling each slot are
+learned with their empirical probabilities; guesses are produced in
+decreasing probability order by filling learned structures with learned
+terminals.
+
+Against human corpora the PCFG finds typical passwords within a few
+hundred guesses. Against Amnesia's template output it is helpless:
+a 32-character draw from a 94-symbol alphabet virtually never matches
+any learned structure+terminal combination, which is the precise form
+of §IV-E's "attackers are unable to employ dictionary-based attacks".
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Tuple
+
+from repro.util.errors import ValidationError
+
+
+def _char_class(character: str) -> str:
+    if character.isalpha():
+        return "L"
+    if character.isdigit():
+        return "D"
+    return "S"
+
+
+def segment_structure(password: str) -> List[Tuple[str, str]]:
+    """Split *password* into (class, run) pieces, e.g.
+    ``"dragon12!" -> [("L", "dragon"), ("D", "12"), ("S", "!")]``."""
+    if not password:
+        raise ValidationError("cannot segment an empty password")
+    pieces: List[Tuple[str, str]] = []
+    run = password[0]
+    run_class = _char_class(password[0])
+    for character in password[1:]:
+        cls = _char_class(character)
+        if cls == run_class:
+            run += character
+        else:
+            pieces.append((run_class, run))
+            run, run_class = character, cls
+    pieces.append((run_class, run))
+    return pieces
+
+
+def structure_signature(password: str) -> str:
+    """The structural template, e.g. ``"dragon12!" -> "L6 D2 S1"``."""
+    return " ".join(
+        f"{cls}{len(run)}" for cls, run in segment_structure(password)
+    )
+
+
+@dataclass(frozen=True)
+class _Slot:
+    """One nonterminal: a character class at a specific length."""
+
+    cls: str
+    length: int
+
+    def label(self) -> str:
+        return f"{self.cls}{self.length}"
+
+
+class PcfgModel:
+    """A trained PCFG: structure distribution + per-slot terminals."""
+
+    def __init__(self) -> None:
+        self._structure_counts: Dict[Tuple[_Slot, ...], int] = defaultdict(int)
+        self._terminal_counts: Dict[_Slot, Dict[str, int]] = defaultdict(
+            lambda: defaultdict(int)
+        )
+        self.trained_on = 0
+
+    # -- training ---------------------------------------------------------------
+
+    def train(self, corpus: Iterable[str]) -> "PcfgModel":
+        for password in corpus:
+            if not password:
+                continue
+            slots = []
+            for cls, run in segment_structure(password):
+                slot = _Slot(cls, len(run))
+                slots.append(slot)
+                self._terminal_counts[slot][run] += 1
+            self._structure_counts[tuple(slots)] += 1
+            self.trained_on += 1
+        if self.trained_on == 0:
+            raise ValidationError("training corpus was empty")
+        return self
+
+    # -- probabilities -------------------------------------------------------------
+
+    def structure_probability(self, slots: Tuple[_Slot, ...]) -> float:
+        count = self._structure_counts.get(slots, 0)
+        return count / self.trained_on if self.trained_on else 0.0
+
+    def terminal_probability(self, slot: _Slot, run: str) -> float:
+        counts = self._terminal_counts.get(slot)
+        if not counts:
+            return 0.0
+        return counts.get(run, 0) / sum(counts.values())
+
+    def probability(self, password: str) -> float:
+        """Model probability of *password* (0 if any piece is unseen)."""
+        slots = []
+        probability = 1.0
+        for cls, run in segment_structure(password):
+            slot = _Slot(cls, len(run))
+            slots.append(slot)
+            probability *= self.terminal_probability(slot, run)
+            if probability == 0.0:
+                return 0.0
+        return probability * self.structure_probability(tuple(slots))
+
+    def strength_bits(self, password: str) -> float:
+        """-log2 p; infinity when the password is outside the grammar."""
+        probability = self.probability(password)
+        return math.inf if probability == 0.0 else -math.log2(probability)
+
+    # -- guessing ---------------------------------------------------------------------
+
+    def guesses(self, limit: int) -> Iterator[str]:
+        """Yield up to *limit* guesses in decreasing probability order.
+
+        Implements the 'next' function of Weir et al. with a max-heap of
+        partially-incremented terminal assignments per structure.
+        """
+        if limit < 0:
+            raise ValidationError(f"limit must be >= 0, got {limit}")
+        # Pre-sort each slot's terminals by probability.
+        sorted_terminals: Dict[_Slot, List[Tuple[float, str]]] = {}
+        for slot, counts in self._terminal_counts.items():
+            total = sum(counts.values())
+            sorted_terminals[slot] = sorted(
+                ((count / total, run) for run, count in counts.items()),
+                reverse=True,
+            )
+        # Heap entries: (-probability, tiebreak, structure, index-vector).
+        tiebreak = itertools.count()
+        heap: List[Tuple[float, int, Tuple[_Slot, ...], Tuple[int, ...]]] = []
+        seen: set[Tuple[Tuple[_Slot, ...], Tuple[int, ...]]] = set()
+
+        def assignment_probability(
+            slots: Tuple[_Slot, ...], indices: Tuple[int, ...]
+        ) -> float:
+            probability = self.structure_probability(slots)
+            for slot, index in zip(slots, indices):
+                probability *= sorted_terminals[slot][index][0]
+            return probability
+
+        for slots in self._structure_counts:
+            indices = tuple(0 for __ in slots)
+            heapq.heappush(
+                heap,
+                (
+                    -assignment_probability(slots, indices),
+                    next(tiebreak),
+                    slots,
+                    indices,
+                ),
+            )
+            seen.add((slots, indices))
+
+        produced = 0
+        while heap and produced < limit:
+            negative_probability, __, slots, indices = heapq.heappop(heap)
+            yield "".join(
+                sorted_terminals[slot][index][1]
+                for slot, index in zip(slots, indices)
+            )
+            produced += 1
+            # Children: increment one slot index at a time.
+            for position in range(len(slots)):
+                slot = slots[position]
+                next_index = indices[position] + 1
+                if next_index >= len(sorted_terminals[slot]):
+                    continue
+                child = (
+                    indices[:position] + (next_index,) + indices[position + 1 :]
+                )
+                if (slots, child) in seen:
+                    continue
+                seen.add((slots, child))
+                heapq.heappush(
+                    heap,
+                    (
+                        -assignment_probability(slots, child),
+                        next(tiebreak),
+                        slots,
+                        child,
+                    ),
+                )
+
+    def guess_number(self, password: str, limit: int = 100_000) -> int | None:
+        """Position of *password* in the guess stream, or None if it is
+        not produced within *limit* guesses."""
+        for position, guess in enumerate(self.guesses(limit), start=1):
+            if guess == password:
+                return position
+        return None

@@ -1,0 +1,58 @@
+"""Executable attack experiments (§IV, Security Analysis).
+
+The paper walks five attack vectors: broken HTTPS (§IV-A), rendezvous
+eavesdropping (§IV-B), server breach (§IV-C), phone compromise (§IV-D)
+— plus the guessing-resistance argument for generated passwords
+(§IV-E). Each vector here is a function that takes a scheme's
+*artifacts* (:class:`repro.baselines.base.SchemeArtifacts`) and
+actually runs the attack — dictionary attacks really decrypt vaults,
+eavesdroppers really compare hashes — producing an
+:class:`~repro.attacks.report.AttackOutcome`.
+
+Running the full matrix (every vector × every scheme) reproduces the
+security half of Table III mechanically; see
+``benchmarks/test_ablation_attacks.py``.
+"""
+
+from repro.attacks.dictionary import (
+    candidate_dictionary,
+    OfflineDictionaryAttack,
+    DictionaryResult,
+)
+from repro.attacks.report import AttackOutcome, attack_matrix
+from repro.attacks.breach import server_breach_attack
+from repro.attacks.theft import phone_theft_attack, client_compromise_attack
+from repro.attacks.eavesdrop import (
+    https_break_attack,
+    rendezvous_eavesdrop_attack,
+    confirm_account_from_request,
+)
+from repro.attacks.guessing import (
+    online_guessing_attack,
+    unthrottled_guessing_estimate,
+)
+from repro.attacks.composed import (
+    phone_plus_server_attack,
+    phone_plus_master_attack,
+)
+from repro.attacks.rogue_push import run_rogue_push, RoguePushOutcome
+
+__all__ = [
+    "candidate_dictionary",
+    "OfflineDictionaryAttack",
+    "DictionaryResult",
+    "AttackOutcome",
+    "attack_matrix",
+    "server_breach_attack",
+    "phone_theft_attack",
+    "client_compromise_attack",
+    "https_break_attack",
+    "rendezvous_eavesdrop_attack",
+    "confirm_account_from_request",
+    "online_guessing_attack",
+    "unthrottled_guessing_estimate",
+    "phone_plus_server_attack",
+    "phone_plus_master_attack",
+    "run_rogue_push",
+    "RoguePushOutcome",
+]

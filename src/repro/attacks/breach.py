@@ -1,0 +1,155 @@
+"""Server/cloud breach (§IV-C).
+
+The attacker exfiltrates everything the scheme's server holds at rest
+and works offline: decrypt vaults by guessing master passwords, derive
+generative passwords if the server-side state suffices, and inventory
+the metadata that leaks regardless.
+
+For Amnesia the paper's claim is specific: ``Ks`` (O_id, seeds, account
+list) plus the MP/P_id verifiers yield *no* site password because every
+password also needs the 256-bit token ``T``, and the (µ, d) metadata is
+the only actual leak. The attack code verifies this by attempting both
+the dictionary attack on the MP verifier (finding MP still yields no
+passwords) and a bounded brute force over tokens.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.attacks.dictionary import OfflineDictionaryAttack
+from repro.attacks.report import AttackOutcome
+from repro.baselines.amnesia_adapter import AmnesiaScheme
+from repro.baselines.base import PasswordManagerScheme
+from repro.baselines.lastpass import LastPassLikeScheme
+from repro.baselines.vault import derive_vault_key, open_vault
+from repro.core.protocol import intermediate_value, render_password
+from repro.crypto.hashing import salted_hash
+from repro.util.errors import CryptoError
+
+VECTOR = "server-breach"
+
+_TOKEN_BRUTE_FORCE_BUDGET = 2_000  # hopeless by construction; bounded to run
+
+
+def server_breach_attack(scheme: PasswordManagerScheme) -> AttackOutcome:
+    """Steal the server-side artifacts and attack offline."""
+    artifacts = scheme.artifacts()
+    total = len(scheme.accounts())
+    server = artifacts.server_side
+    if not server:
+        return AttackOutcome(
+            vector=VECTOR,
+            scheme=scheme.name,
+            passwords_recovered=0,
+            total_passwords=total,
+            notes="nothing stored server-side",
+        )
+    if isinstance(scheme, LastPassLikeScheme):
+        return _breach_lastpass(scheme, server, total)
+    if isinstance(scheme, AmnesiaScheme):
+        return _breach_amnesia(scheme, server, total)
+    return AttackOutcome(
+        vector=VECTOR,
+        scheme=scheme.name,
+        passwords_recovered=0,
+        total_passwords=total,
+        secrets_learned=tuple(sorted(server)),
+        notes="server-side data present but no modelled offline attack",
+    )
+
+
+def _breach_lastpass(
+    scheme: LastPassLikeScheme, server: dict[str, bytes], total: int
+) -> AttackOutcome:
+    """Guess the MP against the stolen verifier, then decrypt the vault."""
+    attack = OfflineDictionaryAttack()
+
+    def oracle(candidate: str) -> bool:
+        return salted_hash(
+            candidate.encode("utf-8"), server["auth_salt"]
+        ) == server["auth_hash"]
+
+    result = attack.run(oracle)
+    if not result.succeeded:
+        return AttackOutcome(
+            vector=VECTOR,
+            scheme=scheme.name,
+            passwords_recovered=0,
+            total_passwords=total,
+            secrets_learned=("vault-ciphertext", "auth-verifier"),
+            attempts=result.attempts,
+            notes="master password not in dictionary",
+        )
+    key = derive_vault_key(result.found, server["vault_salt"])
+    try:
+        entries = open_vault(key, server["vault"])
+    except CryptoError:
+        entries = {}
+    return AttackOutcome(
+        vector=VECTOR,
+        scheme=scheme.name,
+        passwords_recovered=len(entries),
+        total_passwords=total,
+        secrets_learned=("master-password", "vault-plaintext"),
+        master_password_recovered=True,
+        attempts=result.attempts,
+        notes=f"MP {result.found!r} guessed; vault decrypted",
+    )
+
+
+def _breach_amnesia(
+    scheme: AmnesiaScheme, server: dict[str, bytes], total: int
+) -> AttackOutcome:
+    """Full ``Ks`` in hand: try the MP verifier, then brute-force tokens."""
+    attack = OfflineDictionaryAttack()
+
+    def oracle(candidate: str) -> bool:
+        return salted_hash(
+            candidate.encode("utf-8"), server["mp_salt"]
+        ) == server["mp_hash"]
+
+    mp_result = attack.run(oracle)
+
+    # Even knowing O_id and every seed, a password needs T. Brute-force a
+    # bounded slice of the 2^256 token space and verify nothing lands.
+    entries = json.loads(server["entries"].decode("utf-8"))
+    recovered = 0
+    attempts = 0
+    real_passwords = {
+        (username, domain): scheme.retrieve(username, domain)
+        for username, domain, __ in entries
+    }
+    for username, domain, seed_hex in entries:
+        seed = bytes.fromhex(seed_hex)
+        for guess in range(_TOKEN_BRUTE_FORCE_BUDGET // max(1, len(entries))):
+            attempts += 1
+            token_hex = guess.to_bytes(32, "big").hex()
+            candidate = render_password(
+                intermediate_value(token_hex, server["oid"], seed),
+                scheme.policy,
+            )
+            # The attacker has no verification oracle for candidates (the
+            # paper's point); we, the experimenters, compare against truth
+            # to confirm the brute force found nothing.
+            if candidate == real_passwords[(username, domain)]:
+                recovered += 1
+                break
+    learned = ["account-usernames", "account-domains", "oid", "seeds",
+               "registration-id"]
+    if mp_result.succeeded:
+        learned.append("master-password")
+    return AttackOutcome(
+        vector=VECTOR,
+        scheme=scheme.name,
+        passwords_recovered=recovered,
+        total_passwords=total,
+        secrets_learned=tuple(learned),
+        master_password_recovered=mp_result.succeeded,
+        attempts=attempts + mp_result.attempts,
+        notes=(
+            "Ks alone yields no site passwords; token space is 2^256. "
+            "Metadata (u, d) and reg-id leak; reg-id enables the rogue-push "
+            "social attack of §IV-C."
+        ),
+    )

@@ -1,0 +1,43 @@
+"""Attack outcomes and the full vector × scheme matrix."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.baselines.base import PasswordManagerScheme
+
+
+@dataclass(frozen=True)
+class AttackOutcome:
+    """What one attack against one scheme actually achieved."""
+
+    vector: str
+    scheme: str
+    passwords_recovered: int
+    total_passwords: int
+    secrets_learned: tuple[str, ...] = ()
+    master_password_recovered: bool = False
+    attempts: int = 0
+    notes: str = ""
+
+    @property
+    def compromised(self) -> bool:
+        return self.passwords_recovered > 0 or self.master_password_recovered
+
+    def summary_row(self) -> tuple[str, str, str, str]:
+        status = "BROKEN" if self.compromised else "safe"
+        return (
+            self.vector,
+            self.scheme,
+            f"{self.passwords_recovered}/{self.total_passwords}",
+            status,
+        )
+
+
+def attack_matrix(
+    schemes: Sequence[PasswordManagerScheme],
+    attacks: Sequence[Callable[[PasswordManagerScheme], AttackOutcome]],
+) -> list[AttackOutcome]:
+    """Run every attack against every scheme (ablation A3)."""
+    return [attack(scheme) for scheme in schemes for attack in attacks]

@@ -1,0 +1,186 @@
+"""The §IV-C rogue-push social attack, executable.
+
+"The attacker may abscond with the victim's Ks and then send a request
+R from his own malicious server using the victim's registration id.
+Although it would appear suspicious to the victim that a request R came
+in despite the victim never requesting anything, nevertheless the
+possibility is there that a naive user may simply press accept and give
+away their password."
+
+The experiment runs the scenario on a live testbed: an attacker who
+breached the server (so he holds `Ks`: O_id, seeds, account list, and
+the registration id) pushes a crafted request through the rendezvous
+service. Outcomes, mechanically:
+
+- a *vigilant* user denies the unexpected prompt → nothing leaks;
+- a *naive* user accepts → the phone computes the token T — but sends
+  it to the *pinned* Amnesia server, whose pending registry has no such
+  exchange; the token dies there. The attacker only profits if he can
+  ALSO read the phone→server leg (broken TLS), in which case T plus his
+  stolen `Ks` yields the password.
+
+So the rogue push alone never suffices; it composes with a second
+compromise — which is the two-factor boundary of §II again.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.protocol import generate_request, intermediate_value, render_password
+from repro.core.templates import PasswordPolicy
+from repro.server.pending import KIND_PASSWORD
+from repro.testbed import RENDEZVOUS, SERVER, AmnesiaTestbed
+from repro.util.errors import ValidationError
+
+
+@dataclass(frozen=True)
+class RoguePushOutcome:
+    """What the §IV-C attacker achieved."""
+
+    user_accepted: bool
+    token_observed: bool
+    password_recovered: str | None
+    notification_origin: str
+
+    @property
+    def succeeded(self) -> bool:
+        return self.password_recovered is not None
+
+
+def run_rogue_push(
+    bed: AmnesiaTestbed,
+    victim_login: str,
+    account_id: int,
+    naive_user: bool,
+    broken_phone_tls: bool,
+    attacker_host: str = "mallory",
+) -> RoguePushOutcome:
+    """Execute the rogue push against an enrolled victim.
+
+    The attacker is assumed to have breached the server (Ks + reg id in
+    hand). *naive_user* decides whether the unexpected prompt is
+    accepted; *broken_phone_tls* grants the attacker the phone→server
+    plaintext (the §IV-A composition).
+    """
+    user = bed.server.database.user_by_login(victim_login)
+    account = bed.server.database.account_by_id(account_id)
+    if user.reg_id is None:
+        raise ValidationError("victim has no paired phone")
+
+    # The attacker's own infrastructure: a host with a route to the
+    # rendezvous server.
+    from repro.net.link import Link
+    from repro.sim.latency import Constant
+    from repro.util.errors import NetworkError
+
+    try:
+        bed.network.host(attacker_host)
+    except NetworkError:
+        bed.network.add_host(attacker_host)
+        bed.network.add_link(Link(attacker_host, RENDEZVOUS, Constant(20.0)))
+
+    # With Ks he can craft the *correct* R for the victim's account.
+    crafted_request = generate_request(
+        account.username, account.domain, account.seed
+    )
+    rogue_pending_id = "f00d" * 8  # his own correlation id
+    from repro.rendezvous.service import RENDEZVOUS_PORT
+
+    import json
+
+    bed.network.send(
+        attacker_host,
+        RENDEZVOUS,
+        RENDEZVOUS_PORT,
+        json.dumps(
+            {
+                "type": "push",
+                "reg_id": user.reg_id,
+                "data": {
+                    "kind": KIND_PASSWORD,
+                    "pending_id": rogue_pending_id,
+                    "request": crafted_request,
+                    "origin": attacker_host,
+                },
+            },
+            sort_keys=True,
+        ).encode("utf-8"),
+    )
+
+    # If TLS on the phone->server leg is broken, the attacker reads every
+    # record; we model the §IV-A grant directly: export the phone
+    # channel's keys once it exists and watch the wire.
+    observed_tokens: list[str] = []
+    if broken_phone_tls:
+        import struct
+
+        from repro.crypto.aead import aead_decrypt
+        from repro.util.errors import CryptoError
+
+        def tap(datagram):
+            if datagram.src != "phone" or datagram.dst != SERVER:
+                return
+            http_client = bed.phone._http
+            if http_client is None:
+                return
+            session = http_client._channel.session
+            if session is None:
+                return
+            header_size = struct.calcsize(">B16sBQQ")
+            payload = datagram.payload
+            if len(payload) <= header_size or payload[0] != 4:
+                return
+            __, __, direction, seq, __ = struct.unpack(
+                ">B16sBQQ", payload[:header_size]
+            )
+            if direction != 0:
+                return
+            key_c2s, __ = session.export_keys()
+            try:
+                plaintext = aead_decrypt(
+                    key_c2s,
+                    struct.pack(">IQ", direction, seq),
+                    payload[header_size:],
+                    aad=payload[:header_size],
+                )
+            except CryptoError:
+                return
+            marker = b'"token": "'
+            index = plaintext.find(marker)
+            if index >= 0:
+                start = index + len(marker)
+                observed_tokens.append(
+                    plaintext[start : start + 64].decode("ascii")
+                )
+
+        bed.network.add_tap(tap)
+
+    # Deliver the push and let the user react.
+    bed.run(5_000)
+    pending = bed.phone.pending_approvals()
+    origin = pending[0].get("origin", "?") if pending else "?"
+    accepted = False
+    if pending and naive_user:
+        bed.phone.approve(pending[0]["pending_id"])
+        accepted = True
+    elif pending:
+        bed.phone.deny(pending[0]["pending_id"])
+    bed.run(10_000)
+
+    password = None
+    if observed_tokens:
+        # Ks (stolen) + T (observed) = the password, offline.
+        intermediate = intermediate_value(
+            observed_tokens[-1], user.oid, account.seed
+        )
+        password = render_password(
+            intermediate,
+            PasswordPolicy(charset=account.charset, length=account.length),
+        )
+    return RoguePushOutcome(
+        user_accepted=accepted,
+        token_observed=bool(observed_tokens),
+        password_recovered=password,
+        notification_origin=origin,
+    )

@@ -1,0 +1,185 @@
+"""Device theft/compromise attacks (§IV-D and the client-side analogue).
+
+Phone theft yields the scheme's phone-side artifacts; client compromise
+yields the computer's disk. Both attacks then try everything the stolen
+half permits: decrypt what's decryptable, dictionary-attack what's
+guessable, and report what remains out of reach.
+"""
+
+from __future__ import annotations
+
+from repro.attacks.dictionary import OfflineDictionaryAttack
+from repro.attacks.report import AttackOutcome
+from repro.baselines.amnesia_adapter import AmnesiaScheme
+from repro.baselines.base import PasswordManagerScheme
+from repro.baselines.firefox import FirefoxLikeScheme
+from repro.baselines.tapas import TapasLikeScheme
+from repro.baselines.vault import derive_vault_key, open_vault
+from repro.core.protocol import generate_token, intermediate_value, render_password
+from repro.core.secrets import EntryTable
+from repro.util.errors import CryptoError
+
+PHONE_VECTOR = "phone-theft"
+CLIENT_VECTOR = "client-compromise"
+
+_OID_BRUTE_FORCE_BUDGET = 1_000
+
+
+def phone_theft_attack(scheme: PasswordManagerScheme) -> AttackOutcome:
+    """Steal the phone; attack its data at rest."""
+    artifacts = scheme.artifacts()
+    total = len(scheme.accounts())
+    phone = artifacts.phone_side
+    if not phone:
+        return AttackOutcome(
+            vector=PHONE_VECTOR,
+            scheme=scheme.name,
+            passwords_recovered=0,
+            total_passwords=total,
+            notes="scheme stores nothing on a phone",
+        )
+    if isinstance(scheme, TapasLikeScheme):
+        # Ciphertext wallet without the computer-held key.
+        try:
+            open_vault(b"\x00" * 32, phone["wallet"])
+            recovered = total  # unreachable: wrong key must fail
+        except CryptoError:
+            recovered = 0
+        return AttackOutcome(
+            vector=PHONE_VECTOR,
+            scheme=scheme.name,
+            passwords_recovered=recovered,
+            total_passwords=total,
+            secrets_learned=("wallet-ciphertext",),
+            notes="wallet is ciphertext; key lives on the computer",
+        )
+    if isinstance(scheme, AmnesiaScheme):
+        return _phone_theft_amnesia(scheme, phone, total)
+    return AttackOutcome(
+        vector=PHONE_VECTOR,
+        scheme=scheme.name,
+        passwords_recovered=0,
+        total_passwords=total,
+        secrets_learned=tuple(sorted(phone)),
+        notes="phone-side data present but no modelled offline attack",
+    )
+
+
+def _phone_theft_amnesia(
+    scheme: AmnesiaScheme, phone: dict[str, bytes], total: int
+) -> AttackOutcome:
+    """Full ``Kp`` (P_id + entry table) in hand — but no ``Ks``.
+
+    The thief can compute T for any R he invents, but a password needs
+    O_id and σ, and he does not even know which (u, d) an observed R
+    was for (σ blinds it). Verify by brute-forcing a bounded slice of
+    the O_id space for one account.
+    """
+    entry_bytes = phone["entry_table"]
+    entry_size = scheme.params.entry_bytes
+    table = EntryTable(
+        [
+            entry_bytes[i : i + entry_size]
+            for i in range(0, len(entry_bytes), entry_size)
+        ],
+        scheme.params,
+    )
+    recovered = 0
+    attempts = 0
+    accounts = scheme.accounts()
+    if accounts:
+        target = accounts[0]
+        truth = scheme.retrieve(target.username, target.domain)
+        # The thief can compute T for any R he invents — but without σ he
+        # cannot form the *right* R, and he lacks O_id and σ regardless.
+        token_from_guessed_request = generate_token("0" * 64, table, scheme.params)
+        for guess in range(_OID_BRUTE_FORCE_BUDGET):
+            attempts += 1
+            fake_oid = guess.to_bytes(scheme.params.oid_bytes, "big")
+            fake_seed = guess.to_bytes(scheme.params.seed_bytes, "big")
+            candidate = render_password(
+                intermediate_value(token_from_guessed_request, fake_oid, fake_seed),
+                scheme.policy,
+            )
+            if candidate == truth:
+                recovered = 1
+                break
+    return AttackOutcome(
+        vector=PHONE_VECTOR,
+        scheme=scheme.name,
+        passwords_recovered=recovered,
+        total_passwords=total,
+        secrets_learned=("pid", "entry-table"),
+        attempts=attempts,
+        notes=(
+            "Kp alone yields no passwords: missing O_id and σ, and R values "
+            "are blinded by σ. Recovery protocol (§III-C1) rotates Kp."
+        ),
+    )
+
+
+def client_compromise_attack(scheme: PasswordManagerScheme) -> AttackOutcome:
+    """Read the user computer's disk; attack what's there."""
+    artifacts = scheme.artifacts()
+    total = len(scheme.accounts())
+    client = artifacts.client_side
+    if not client:
+        return AttackOutcome(
+            vector=CLIENT_VECTOR,
+            scheme=scheme.name,
+            passwords_recovered=0,
+            total_passwords=total,
+            notes="nothing stored client-side",
+        )
+    if isinstance(scheme, FirefoxLikeScheme):
+        attack = OfflineDictionaryAttack()
+
+        def oracle(candidate: str) -> bool:
+            key = derive_vault_key(candidate, client["vault_salt"])
+            try:
+                open_vault(key, client["vault"])
+                return True
+            except CryptoError:
+                return False
+
+        result = attack.run(oracle)
+        if result.succeeded:
+            key = derive_vault_key(result.found, client["vault_salt"])
+            entries = open_vault(key, client["vault"])
+            return AttackOutcome(
+                vector=CLIENT_VECTOR,
+                scheme=scheme.name,
+                passwords_recovered=len(entries),
+                total_passwords=total,
+                secrets_learned=("master-password", "vault-plaintext"),
+                master_password_recovered=True,
+                attempts=result.attempts,
+                notes=f"local vault cracked with MP {result.found!r}",
+            )
+        return AttackOutcome(
+            vector=CLIENT_VECTOR,
+            scheme=scheme.name,
+            passwords_recovered=0,
+            total_passwords=total,
+            secrets_learned=("vault-ciphertext",),
+            attempts=result.attempts,
+            notes="master password not in dictionary",
+        )
+    if isinstance(scheme, TapasLikeScheme):
+        # The key without the phone's ciphertext decrypts nothing.
+        return AttackOutcome(
+            vector=CLIENT_VECTOR,
+            scheme=scheme.name,
+            passwords_recovered=0,
+            total_passwords=total,
+            secrets_learned=("wallet-key",),
+            notes="wallet key useless without the phone's ciphertext",
+        )
+    return AttackOutcome(
+        vector=CLIENT_VECTOR,
+        scheme=scheme.name,
+        passwords_recovered=0,
+        total_passwords=total,
+        secrets_learned=tuple(sorted(client)),
+        notes="client-side data present but no modelled offline attack",
+    )

@@ -1,0 +1,51 @@
+"""Working implementations of the comparison password managers.
+
+Table III compares Amnesia against plain passwords, Firefox's built-in
+manager (with master password), LastPass, and Tapas; the related-work
+section additionally motivates generative managers (PwdHash [22]) and
+counter-based generative managers (Master Password [8]). Each is
+implemented here as a real manager behind one interface so that the
+attack experiments (:mod:`repro.attacks`) and the Bonneau scoring
+(:mod:`repro.eval.bonneau`) run against actual code, not judgments.
+
+The implementations capture each design's *architecture* — where
+secrets live, what protects them, what an eavesdropper sees — which is
+the level the paper's comparisons operate at.
+"""
+
+from repro.baselines.base import (
+    ManagedAccount,
+    PasswordManagerScheme,
+    SchemeArtifacts,
+)
+from repro.baselines.plain import PlainPasswordScheme
+from repro.baselines.firefox import FirefoxLikeScheme
+from repro.baselines.lastpass import LastPassLikeScheme
+from repro.baselines.tapas import TapasLikeScheme
+from repro.baselines.pwdhash import PwdHashLikeScheme
+from repro.baselines.masterpassword import MasterPasswordLikeScheme
+from repro.baselines.amnesia_adapter import AmnesiaScheme
+
+ALL_SCHEMES = [
+    PlainPasswordScheme,
+    FirefoxLikeScheme,
+    LastPassLikeScheme,
+    TapasLikeScheme,
+    PwdHashLikeScheme,
+    MasterPasswordLikeScheme,
+    AmnesiaScheme,
+]
+
+__all__ = [
+    "ManagedAccount",
+    "PasswordManagerScheme",
+    "SchemeArtifacts",
+    "PlainPasswordScheme",
+    "FirefoxLikeScheme",
+    "LastPassLikeScheme",
+    "TapasLikeScheme",
+    "PwdHashLikeScheme",
+    "MasterPasswordLikeScheme",
+    "AmnesiaScheme",
+    "ALL_SCHEMES",
+]

@@ -1,0 +1,101 @@
+"""Amnesia behind the common scheme interface.
+
+Uses the pure core pipeline (the same functions the distributed system
+runs) with in-memory ``Ks``/``Kp``, so the attack experiments can probe
+Amnesia's artifact surface side-by-side with the baselines without
+standing up the full network.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.baselines.base import PasswordManagerScheme, SchemeArtifacts
+from repro.core.params import DEFAULT_PARAMS, ProtocolParams
+from repro.core.protocol import generate_password, generate_request
+from repro.core.secrets import PhoneSecret, generate_oid, generate_seed
+from repro.core.templates import PasswordPolicy
+from repro.crypto.hashing import salted_hash
+from repro.crypto.randomness import RandomSource, SeededRandomSource
+
+
+class AmnesiaScheme(PasswordManagerScheme):
+    """The paper's design: ``Ks`` server-side, ``Kp`` phone-side."""
+
+    name = "Amnesia"
+    has_master_password = True
+    requires_phone = True
+
+    def __init__(
+        self,
+        master_password: str = "amnesia-master",
+        rng: RandomSource | None = None,
+        params: ProtocolParams = DEFAULT_PARAMS,
+        policy: PasswordPolicy | None = None,
+    ) -> None:
+        super().__init__()
+        self.master_password = master_password
+        self.params = params
+        self.policy = policy if policy is not None else PasswordPolicy()
+        self._rng = rng if rng is not None else SeededRandomSource(b"amnesia-scheme")
+        self.oid = generate_oid(self._rng, params)
+        self.phone_secret = PhoneSecret.generate(self._rng, params)
+        self._seeds: dict[tuple[str, str], bytes] = {}
+        self._mp_salt = self._rng.token_bytes(params.salt_bytes)
+        self._pid_salt = self._rng.token_bytes(params.salt_bytes)
+
+    def _provision(self, username: str, domain: str) -> str:
+        self._seeds[(username, domain)] = generate_seed(self._rng, self.params)
+        return self._derive(username, domain)
+
+    def _retrieve(self, username: str, domain: str) -> str:
+        return self._derive(username, domain)
+
+    def _derive(self, username: str, domain: str) -> str:
+        return generate_password(
+            username,
+            domain,
+            self._seeds[(username, domain)],
+            self.oid,
+            self.phone_secret.entry_table,
+            self.policy,
+        )
+
+    def seed_for(self, username: str, domain: str) -> bytes:
+        return self._seeds[(username, domain)]
+
+    def request_for(self, username: str, domain: str) -> str:
+        """The R that crosses the rendezvous hop for this account."""
+        return generate_request(username, domain, self._seeds[(username, domain)])
+
+    def artifacts(self) -> SchemeArtifacts:
+        wire = {
+            f"login:{account.domain}": self.retrieve(
+                account.username, account.domain
+            ).encode("utf-8")
+            for account in self.accounts()
+        }
+        # Ks exactly as Table I stores it.
+        server_entries = json.dumps(
+            [
+                [username, domain, self._seeds[(username, domain)].hex()]
+                for (username, domain) in sorted(self._seeds)
+            ]
+        ).encode("utf-8")
+        return SchemeArtifacts(
+            server_side={
+                "oid": self.oid,
+                "entries": server_entries,
+                "mp_hash": salted_hash(
+                    self.master_password.encode("utf-8"), self._mp_salt
+                ),
+                "mp_salt": self._mp_salt,
+                "pid_hash": salted_hash(self.phone_secret.pid, self._pid_salt),
+                "pid_salt": self._pid_salt,
+            },
+            phone_side={
+                "pid": self.phone_secret.pid,
+                "entry_table": b"".join(self.phone_secret.entry_table.entries()),
+            },
+            wire_retrieval=wire,
+        )

@@ -1,0 +1,95 @@
+"""The common password-manager interface and attack-surface model.
+
+A scheme manages accounts and can produce each account's site password.
+For the security experiments it additionally exposes *artifacts*: the
+data at rest in each location (client device, server/cloud, phone) and
+what crosses the network during a retrieval. Attacks operate purely on
+artifacts — a scheme cannot accidentally "hide" a secret from the
+attacker by not declaring it, because the artifact methods are the
+scheme's storage, not a copy.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from repro.util.errors import ConflictError, NotFoundError
+
+AccountKey = Tuple[str, str]  # (username, domain)
+
+
+@dataclass(frozen=True)
+class ManagedAccount:
+    """One site account under management."""
+
+    username: str
+    domain: str
+
+
+@dataclass
+class SchemeArtifacts:
+    """Data at rest per location, plus per-retrieval wire exposure.
+
+    ``server_side`` — what a breach of the scheme's server/cloud yields
+    (encrypted vault blobs, verifier hashes, metadata).
+    ``client_side`` — what malware on the user's computer finds on disk
+    (NOT in memory; memory capture is the keylogger case).
+    ``phone_side``  — what a stolen phone yields.
+    ``wire_retrieval`` — plaintext visible to an attacker who breaks the
+    scheme's transport encryption during one retrieval.
+    """
+
+    server_side: Dict[str, bytes] = field(default_factory=dict)
+    client_side: Dict[str, bytes] = field(default_factory=dict)
+    phone_side: Dict[str, bytes] = field(default_factory=dict)
+    wire_retrieval: Dict[str, bytes] = field(default_factory=dict)
+
+
+class PasswordManagerScheme(ABC):
+    """A password manager under evaluation."""
+
+    #: Human-readable scheme name (Table III row label).
+    name: str = "abstract"
+    #: Whether the user must remember a master password.
+    has_master_password: bool = True
+    #: Whether retrieval requires possessing a second device.
+    requires_phone: bool = False
+
+    def __init__(self) -> None:
+        self._accounts: Dict[AccountKey, ManagedAccount] = {}
+
+    # -- account management -----------------------------------------------------
+
+    def add_account(self, username: str, domain: str) -> str:
+        """Bring an account under management; returns its site password."""
+        key = (username, domain)
+        if key in self._accounts:
+            raise ConflictError(f"account {key} already managed")
+        password = self._provision(username, domain)
+        self._accounts[key] = ManagedAccount(username, domain)
+        return password
+
+    def retrieve(self, username: str, domain: str) -> str:
+        """Produce the site password for a managed account."""
+        if (username, domain) not in self._accounts:
+            raise NotFoundError(f"account ({username!r}, {domain!r}) not managed")
+        return self._retrieve(username, domain)
+
+    def accounts(self) -> list[ManagedAccount]:
+        return list(self._accounts.values())
+
+    # -- scheme internals ---------------------------------------------------------
+
+    @abstractmethod
+    def _provision(self, username: str, domain: str) -> str:
+        """Create/derive the password for a new account."""
+
+    @abstractmethod
+    def _retrieve(self, username: str, domain: str) -> str:
+        """Recover the password for an existing account."""
+
+    @abstractmethod
+    def artifacts(self) -> SchemeArtifacts:
+        """The scheme's attack surface (see :class:`SchemeArtifacts`)."""

@@ -1,0 +1,65 @@
+"""A Firefox-style built-in browser manager with a master password.
+
+The vault lives on the user's computer, encrypted under the (often
+weak) master password. Stored site passwords are whatever the user
+chose — typically human passwords, which is what makes a local-disk
+compromise plus offline guessing effective against this design.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import PasswordManagerScheme, SchemeArtifacts
+from repro.baselines.vault import derive_vault_key, open_vault, seal_vault
+from repro.client.user import UserModel
+from repro.crypto.randomness import RandomSource, SeededRandomSource
+
+
+class FirefoxLikeScheme(PasswordManagerScheme):
+    """Local encrypted vault; site passwords are user-chosen."""
+
+    name = "Firefox (MP)"
+    has_master_password = True
+    requires_phone = False
+
+    def __init__(
+        self,
+        master_password: str = "firefox-master",
+        user: UserModel | None = None,
+        rng: RandomSource | None = None,
+    ) -> None:
+        super().__init__()
+        self.master_password = master_password
+        self.user = user if user is not None else UserModel(
+            name="firefox-user", master_password=master_password
+        )
+        self._rng = rng if rng is not None else SeededRandomSource(b"firefox")
+        self._salt = self._rng.token_bytes(16)
+        self._entries: dict[tuple[str, str], str] = {}
+
+    def _provision(self, username: str, domain: str) -> str:
+        password = self.user.password_for(domain)
+        self._entries[(username, domain)] = password
+        return password
+
+    def _retrieve(self, username: str, domain: str) -> str:
+        key = derive_vault_key(self.master_password, self._salt)
+        return open_vault(key, self._vault_blob())[(username, domain)]
+
+    def _vault_blob(self) -> bytes:
+        key = derive_vault_key(self.master_password, self._salt)
+        return seal_vault(key, self._entries, self._rng)
+
+    def artifacts(self) -> SchemeArtifacts:
+        wire = {
+            f"login:{account.domain}": self.retrieve(
+                account.username, account.domain
+            ).encode("utf-8")
+            for account in self.accounts()
+        }
+        return SchemeArtifacts(
+            client_side={
+                "vault": self._vault_blob(),
+                "vault_salt": self._salt,
+            },
+            wire_retrieval=wire,
+        )

@@ -1,0 +1,79 @@
+"""A LastPass-style cloud retrieval manager.
+
+The vault is encrypted client-side under a PBKDF2-stretched master
+password and synced to the provider's servers, which also hold an
+authentication verifier. A server breach therefore yields the
+ciphertext vault plus the verifier — the congregated, attractive target
+the paper's introduction warns about ("LastPass suffers data breach
+again" [7]). Site passwords are generated (random), as LastPass's
+generator encourages.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import PasswordManagerScheme, SchemeArtifacts
+from repro.baselines.vault import derive_vault_key, open_vault, seal_vault
+from repro.crypto.hashing import salted_hash
+from repro.crypto.randomness import RandomSource, SeededRandomSource
+
+_GENERATED_LENGTH = 16
+_GENERATED_ALPHABET = (
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789!@#$%^&*"
+)
+
+
+class LastPassLikeScheme(PasswordManagerScheme):
+    """Cloud-synced encrypted vault of generated passwords."""
+
+    name = "LastPass"
+    has_master_password = True
+    requires_phone = False
+
+    def __init__(
+        self,
+        master_password: str = "lastpass-master",
+        rng: RandomSource | None = None,
+    ) -> None:
+        super().__init__()
+        self.master_password = master_password
+        self._rng = rng if rng is not None else SeededRandomSource(b"lastpass")
+        self._salt = self._rng.token_bytes(16)
+        self._auth_salt = self._rng.token_bytes(16)
+        self._entries: dict[tuple[str, str], str] = {}
+
+    def _provision(self, username: str, domain: str) -> str:
+        password = "".join(
+            _GENERATED_ALPHABET[self._rng.randbelow(len(_GENERATED_ALPHABET))]
+            for __ in range(_GENERATED_LENGTH)
+        )
+        self._entries[(username, domain)] = password
+        return password
+
+    def _retrieve(self, username: str, domain: str) -> str:
+        key = derive_vault_key(self.master_password, self._salt)
+        return open_vault(key, self._cloud_vault())[(username, domain)]
+
+    def _cloud_vault(self) -> bytes:
+        key = derive_vault_key(self.master_password, self._salt)
+        return seal_vault(key, self._entries, self._rng)
+
+    def artifacts(self) -> SchemeArtifacts:
+        wire = {
+            f"login:{account.domain}": self.retrieve(
+                account.username, account.domain
+            ).encode("utf-8")
+            for account in self.accounts()
+        }
+        return SchemeArtifacts(
+            server_side={
+                # Everything the provider holds: the encrypted vault, the
+                # KDF salt, and the login verifier.
+                "vault": self._cloud_vault(),
+                "vault_salt": self._salt,
+                "auth_hash": salted_hash(
+                    self.master_password.encode("utf-8"), self._auth_salt
+                ),
+                "auth_salt": self._auth_salt,
+            },
+            wire_retrieval=wire,
+        )

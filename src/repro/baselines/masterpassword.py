@@ -1,0 +1,91 @@
+"""A Master Password-style counter-based generative manager [8].
+
+Like PwdHash but with a per-site counter so passwords can be rotated.
+The paper's introduction singles out exactly this design's usability
+flaw: "some generative password managers force the user to set and
+memorize a counter that specifies how many times they have changed a
+password". The counter state is modelled explicitly so that flaw is
+visible (lose the counters, lose the rotations).
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import PasswordManagerScheme, SchemeArtifacts
+from repro.core.templates import PasswordPolicy
+from repro.crypto.hashing import sha512_hex
+from repro.util.errors import NotFoundError
+
+
+def derive_counter_password(
+    master_password: str,
+    username: str,
+    domain: str,
+    counter: int,
+    policy: PasswordPolicy,
+) -> str:
+    """The counter-based derivation, exposed for the attack experiments."""
+    digest = sha512_hex(
+        master_password.encode("utf-8"),
+        b"|",
+        username.encode("utf-8"),
+        b"|",
+        domain.encode("utf-8"),
+        b"|",
+        str(counter).encode("ascii"),
+    )
+    return policy.render(digest)
+
+
+class MasterPasswordLikeScheme(PasswordManagerScheme):
+    """Generative with a per-site rotation counter the user must keep."""
+
+    name = "MasterPassword"
+    has_master_password = True
+    requires_phone = False
+
+    def __init__(
+        self,
+        master_password: str = "masterpw-master",
+        policy: PasswordPolicy | None = None,
+    ) -> None:
+        super().__init__()
+        self.master_password = master_password
+        self.policy = policy if policy is not None else PasswordPolicy(length=16)
+        self._counters: dict[tuple[str, str], int] = {}
+
+    def _provision(self, username: str, domain: str) -> str:
+        self._counters[(username, domain)] = 1
+        return self._retrieve_with_counter(username, domain)
+
+    def _retrieve(self, username: str, domain: str) -> str:
+        return self._retrieve_with_counter(username, domain)
+
+    def _retrieve_with_counter(self, username: str, domain: str) -> str:
+        counter = self._counters.get((username, domain))
+        if counter is None:
+            raise NotFoundError(f"no counter for ({username!r}, {domain!r})")
+        return derive_counter_password(
+            self.master_password, username, domain, counter, self.policy
+        )
+
+    def rotate(self, username: str, domain: str) -> str:
+        """Change a site password by bumping its counter."""
+        counter = self._counters.get((username, domain))
+        if counter is None:
+            raise NotFoundError(f"account ({username!r}, {domain!r}) not managed")
+        self._counters[(username, domain)] = counter + 1
+        return self._retrieve_with_counter(username, domain)
+
+    def forget_counters(self) -> None:
+        """The user forgets the counters (the paper's usability gripe):
+        rotations are lost and retrieval falls back to counter 1."""
+        self._counters = {key: 1 for key in self._counters}
+
+    def artifacts(self) -> SchemeArtifacts:
+        wire = {
+            f"login:{account.domain}": self.retrieve(
+                account.username, account.domain
+            ).encode("utf-8")
+            for account in self.accounts()
+        }
+        return SchemeArtifacts(wire_retrieval=wire)

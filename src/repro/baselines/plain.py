@@ -1,0 +1,43 @@
+"""The no-manager baseline: human-chosen, human-remembered passwords.
+
+Table III's first row. Passwords come from a
+:class:`~repro.client.user.UserModel`, so they exhibit realistic reuse
+and weakness — which is what the guessing attacks exploit.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.baselines.base import PasswordManagerScheme, SchemeArtifacts
+from repro.client.user import UserModel
+
+
+class PlainPasswordScheme(PasswordManagerScheme):
+    """Memory only: nothing at rest anywhere except in the user's head."""
+
+    name = "Password"
+    has_master_password = False  # every password is a "master" password
+    requires_phone = False
+
+    def __init__(self, user: UserModel | None = None) -> None:
+        super().__init__()
+        self.user = user if user is not None else UserModel(
+            name="plain-user", master_password=""
+        )
+
+    def _provision(self, username: str, domain: str) -> str:
+        return self.user.password_for(domain)
+
+    def _retrieve(self, username: str, domain: str) -> str:
+        return self.user.password_for(domain)
+
+    def artifacts(self) -> SchemeArtifacts:
+        # The site password itself crosses the wire at login; nothing at rest.
+        wire = {
+            f"login:{account.domain}": self.retrieve(
+                account.username, account.domain
+            ).encode("utf-8")
+            for account in self.accounts()
+        }
+        return SchemeArtifacts(wire_retrieval=wire)

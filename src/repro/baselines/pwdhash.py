@@ -1,0 +1,66 @@
+"""A PwdHash-style stateless generative manager [22].
+
+``P = template(H(MP || domain || username))`` — no state anywhere, so
+there is nothing to breach; but the master password is the *only*
+secret, so anyone who captures one generated password can mount an
+offline dictionary attack on MP and then derive every other password.
+This is precisely the single-point-of-failure Amnesia's bilateral
+design removes.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import PasswordManagerScheme, SchemeArtifacts
+from repro.core.templates import PasswordPolicy
+from repro.crypto.hashing import sha512_hex
+
+
+def derive_pwdhash_password(
+    master_password: str, username: str, domain: str, policy: PasswordPolicy
+) -> str:
+    """The (deterministic) PwdHash-style derivation, exposed for attacks."""
+    digest = sha512_hex(
+        master_password.encode("utf-8"),
+        b"|",
+        username.encode("utf-8"),
+        b"|",
+        domain.encode("utf-8"),
+    )
+    return policy.render(digest)
+
+
+class PwdHashLikeScheme(PasswordManagerScheme):
+    """Stateless derivation from the master password alone."""
+
+    name = "PwdHash"
+    has_master_password = True
+    requires_phone = False
+
+    def __init__(
+        self,
+        master_password: str = "pwdhash-master",
+        policy: PasswordPolicy | None = None,
+    ) -> None:
+        super().__init__()
+        self.master_password = master_password
+        self.policy = policy if policy is not None else PasswordPolicy(length=16)
+
+    def _provision(self, username: str, domain: str) -> str:
+        return derive_pwdhash_password(
+            self.master_password, username, domain, self.policy
+        )
+
+    def _retrieve(self, username: str, domain: str) -> str:
+        return derive_pwdhash_password(
+            self.master_password, username, domain, self.policy
+        )
+
+    def artifacts(self) -> SchemeArtifacts:
+        wire = {
+            f"login:{account.domain}": self.retrieve(
+                account.username, account.domain
+            ).encode("utf-8")
+            for account in self.accounts()
+        }
+        # Stateless: nothing at rest anywhere.
+        return SchemeArtifacts(wire_retrieval=wire)

@@ -1,0 +1,62 @@
+"""A Tapas-style bilateral *retrieval* manager [13].
+
+Tapas splits a retrieval design across two devices: the encrypted
+password wallet lives on the phone, the wallet key on the computer —
+no master password at all. Stealing either half alone yields nothing
+(ciphertext without key, or key without ciphertext); this is the
+closest prior design to Amnesia and shares its usability profile in
+Table III.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import PasswordManagerScheme, SchemeArtifacts
+from repro.baselines.vault import open_vault, seal_vault
+from repro.crypto.randomness import RandomSource, SeededRandomSource
+
+_GENERATED_LENGTH = 14
+_GENERATED_ALPHABET = (
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789"
+)
+
+
+class TapasLikeScheme(PasswordManagerScheme):
+    """Wallet ciphertext on the phone, wallet key on the computer."""
+
+    name = "Tapas"
+    has_master_password = False
+    requires_phone = True
+
+    def __init__(self, rng: RandomSource | None = None) -> None:
+        super().__init__()
+        self._rng = rng if rng is not None else SeededRandomSource(b"tapas")
+        self._wallet_key = self._rng.token_bytes(32)  # stays on the computer
+        self._entries: dict[tuple[str, str], str] = {}
+
+    def _provision(self, username: str, domain: str) -> str:
+        password = "".join(
+            _GENERATED_ALPHABET[self._rng.randbelow(len(_GENERATED_ALPHABET))]
+            for __ in range(_GENERATED_LENGTH)
+        )
+        self._entries[(username, domain)] = password
+        return password
+
+    def _retrieve(self, username: str, domain: str) -> str:
+        # The phone ships the wallet entry; the computer decrypts it.
+        return open_vault(self._wallet_key, self._phone_wallet())[(username, domain)]
+
+    def _phone_wallet(self) -> bytes:
+        return seal_vault(self._wallet_key, self._entries, self._rng)
+
+    def artifacts(self) -> SchemeArtifacts:
+        wire = {
+            f"login:{account.domain}": self.retrieve(
+                account.username, account.domain
+            ).encode("utf-8")
+            for account in self.accounts()
+        }
+        return SchemeArtifacts(
+            client_side={"wallet_key": self._wallet_key},
+            phone_side={"wallet": self._phone_wallet()},
+            wire_retrieval=wire,
+        )

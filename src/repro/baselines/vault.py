@@ -1,0 +1,50 @@
+"""Shared vault encryption for the retrieval-manager baselines.
+
+Firefox, LastPass and Tapas all keep an encrypted bag of passwords
+somewhere; this module is that bag: a JSON map sealed with
+ChaCha20-Poly1305 under either a PBKDF2-stretched master password
+(Firefox/LastPass) or a random device key (Tapas).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Tuple
+
+from repro.crypto.aead import aead_decrypt, aead_encrypt
+from repro.crypto.pbkdf2 import pbkdf2_hmac_sha256
+from repro.crypto.randomness import RandomSource
+from repro.util.errors import CryptoError
+
+VAULT_KDF_ITERATIONS = 5_000  # LastPass-era client-side stretching
+_NONCE_SIZE = 12
+_AAD = b"repro-vault-v1"
+
+VaultEntries = Dict[Tuple[str, str], str]
+
+
+def derive_vault_key(master_password: str, salt: bytes) -> bytes:
+    """Stretch a master password into a vault key."""
+    return pbkdf2_hmac_sha256(
+        master_password.encode("utf-8"), salt, VAULT_KDF_ITERATIONS, 32
+    )
+
+
+def seal_vault(key: bytes, entries: VaultEntries, rng: RandomSource) -> bytes:
+    """Serialise and encrypt the vault; returns ``nonce || ciphertext``."""
+    payload = json.dumps(
+        [[username, domain, password] for (username, domain), password in
+         sorted(entries.items())]
+    ).encode("utf-8")
+    nonce = rng.token_bytes(_NONCE_SIZE)
+    return nonce + aead_encrypt(key, nonce, payload, aad=_AAD)
+
+
+def open_vault(key: bytes, blob: bytes) -> VaultEntries:
+    """Decrypt and parse; raises :class:`CryptoError` on a wrong key."""
+    if len(blob) < _NONCE_SIZE:
+        raise CryptoError("vault blob too short")
+    nonce, sealed = blob[:_NONCE_SIZE], blob[_NONCE_SIZE:]
+    payload = aead_decrypt(key, nonce, sealed, aad=_AAD)
+    rows = json.loads(payload.decode("utf-8"))
+    return {(username, domain): password for username, domain, password in rows}

@@ -1,0 +1,328 @@
+"""Command-line interface: regenerate any of the paper's artefacts.
+
+Installed as ``amnesia-repro``; also runnable as
+``python -m repro.cli``. Each subcommand reproduces one table, figure
+or analysis:
+
+    amnesia-repro quickstart          # Figure 1's flow, end to end
+    amnesia-repro fig3 [--trials N]   # latency experiment
+    amnesia-repro fig4                # survey panels
+    amnesia-repro table1|table2|table3
+    amnesia-repro strength            # §IV-E composition & spaces
+    amnesia-repro attacks             # §IV attack matrix
+    amnesia-repro userstudy           # §VII aggregates
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict
+
+
+def _cmd_quickstart(args: argparse.Namespace) -> int:
+    from repro.testbed import AmnesiaTestbed
+
+    bed = AmnesiaTestbed(seed=args.seed)
+    browser = bed.enroll("alice", "cli-master-password")
+    account_id = browser.add_account("alice", "mail.example.com")
+    result = browser.generate_password(account_id)
+    print("account    : alice @ mail.example.com")
+    print(f"password   : {result['password']}")
+    print(f"latency    : {result['latency_ms']:.1f} ms (simulated pipeline)")
+    return 0
+
+
+def _cmd_fig3(args: argparse.Namespace) -> int:
+    from repro.eval.figures import histogram
+    from repro.eval.latency import PAPER_FIGURE_3, LatencyExperiment
+    from repro.net.profiles import CELLULAR_4G_PROFILE, WIFI_PROFILE
+
+    for name, profile in (("wifi", WIFI_PROFILE), ("4g", CELLULAR_4G_PROFILE)):
+        stats = LatencyExperiment(profile, trials=args.trials, seed=args.seed).run()
+        paper = PAPER_FIGURE_3[name]
+        print(f"[{name}]  mean {stats.mean_ms:.1f} ms (paper {paper['mean_ms']}), "
+              f"std {stats.std_ms:.1f} ms (paper {paper['std_ms']}), n={stats.n}")
+        print(histogram(stats.samples_ms))
+        print()
+    return 0
+
+
+def _cmd_fig4(args: argparse.Namespace) -> int:
+    from repro.eval.figures import bar_panel
+    from repro.eval.survey import PAPER_SURVEY
+
+    PAPER_SURVEY.validate()
+    print(bar_panel("(a) Password Reuse", PAPER_SURVEY.reuse))
+    print(bar_panel("(b) Password Length", PAPER_SURVEY.length))
+    print(bar_panel("(c) Password Creation Techniques", PAPER_SURVEY.technique))
+    print(bar_panel("(d) Password Change Frequency", PAPER_SURVEY.change))
+    return 0
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    from repro.eval.tables import render_table_i
+    from repro.testbed import AmnesiaTestbed
+
+    bed = AmnesiaTestbed(seed=args.seed)
+    browser = bed.enroll("paper-user", "cli-master-password")
+    browser.add_account("Alice", "mail.google.com")
+    browser.add_account("Alice2", "www.facebook.com")
+    browser.add_account("Bob", "www.yahoo.com")
+    print(render_table_i(bed.server.database, "paper-user"))
+    return 0
+
+
+def _cmd_table2(args: argparse.Namespace) -> int:
+    from repro.eval.tables import render_table_ii
+    from repro.testbed import AmnesiaTestbed
+
+    bed = AmnesiaTestbed(seed=args.seed)
+    bed.phone.install()
+    print(render_table_ii(bed.phone.database))
+    return 0
+
+
+def _cmd_table3(args: argparse.Namespace) -> int:
+    from repro.eval.bonneau import mechanical_checks, render_table_iii
+
+    print(render_table_iii())
+    print()
+    print("Mechanical checks against the implementation:")
+    failures = 0
+    for check in mechanical_checks():
+        status = "ok" if check.consistent else "FAIL"
+        print(f"  [{status}] {check.scheme}: {check.property_name} "
+              f"({check.evidence})")
+        failures += 0 if check.consistent else 1
+    return 1 if failures else 0
+
+
+def _cmd_strength(args: argparse.Namespace) -> int:
+    from repro.core.params import DEFAULT_PARAMS
+    from repro.core.templates import PasswordPolicy
+    from repro.eval.strength import composition_expectation, index_bias
+
+    policy = PasswordPolicy()
+    composition = composition_expectation(policy)
+    print("expected composition (paper: 9 lower / 9 upper / 3 digit / 11 special):")
+    print(f"  {composition.lowercase:.2f} / {composition.uppercase:.2f} / "
+          f"{composition.digits:.2f} / {composition.special:.2f}")
+    print(f"password space : {float(policy.password_space()):.3e} "
+          f"(paper: 1.38e63)")
+    print(f"entropy        : {policy.entropy_bits():.1f} bits")
+    print(f"token space    : {float(DEFAULT_PARAMS.token_space):.3e} "
+          f"(paper: 1.53e59)")
+    bias = index_bias(DEFAULT_PARAMS.entry_table_size)
+    print(f"index mod-bias : TVD {bias.total_variation_distance:.6f}, "
+          f"{bias.effective_entropy_bits:.3f}/{12.288:.3f} bits")
+    return 0
+
+
+def _cmd_attacks(args: argparse.Namespace) -> int:
+    from repro.attacks import (
+        attack_matrix,
+        client_compromise_attack,
+        https_break_attack,
+        phone_theft_attack,
+        rendezvous_eavesdrop_attack,
+        server_breach_attack,
+    )
+    from repro.baselines import (
+        AmnesiaScheme,
+        FirefoxLikeScheme,
+        LastPassLikeScheme,
+        PwdHashLikeScheme,
+        TapasLikeScheme,
+    )
+
+    schemes = [
+        FirefoxLikeScheme(master_password="monkey123"),
+        LastPassLikeScheme(master_password="Dragon1!"),
+        TapasLikeScheme(),
+        PwdHashLikeScheme(master_password="sunshine12"),
+        AmnesiaScheme(master_password="charlie123"),
+    ]
+    for scheme in schemes:
+        for username, domain in (
+            ("alice", "mail.google.com"),
+            ("alice2", "www.facebook.com"),
+            ("bob", "www.yahoo.com"),
+        ):
+            scheme.add_account(username, domain)
+    outcomes = attack_matrix(
+        schemes,
+        [
+            server_breach_attack,
+            phone_theft_attack,
+            client_compromise_attack,
+            https_break_attack,
+            rendezvous_eavesdrop_attack,
+        ],
+    )
+    print(f"{'vector':<22s} {'scheme':<16s} {'recovered':>10s}  verdict")
+    for outcome in outcomes:
+        verdict = "BROKEN" if outcome.compromised else "safe"
+        print(f"{outcome.vector:<22s} {outcome.scheme:<16s} "
+              f"{outcome.passwords_recovered:>6d}/{outcome.total_passwords}  "
+              f"{verdict}")
+    return 0
+
+
+def _cmd_userstudy(args: argparse.Namespace) -> int:
+    from repro.eval.survey import PAPER_SURVEY
+
+    data = PAPER_SURVEY
+    data.validate()
+    print(f"participants    : {data.n} ({data.male} male)")
+    print(f"ages            : {data.age_min}-{data.age_max} "
+          f"(mean {data.age_mean}, std {data.age_std})")
+    print(f"registration convenient : {data.registering_convenient_pct():.1f}%")
+    print(f"adding account easy     : {data.adding_easy_pct():.1f}%")
+    print(f"generating easy         : {data.generating_easy_pct():.1f}%")
+    print(f"prefer Amnesia          : {data.prefer_amnesia_pct():.1f}% "
+          f"({data.prefer_amnesia}/{data.n})")
+    print(f"  non-PM users          : {data.non_pm_prefer_amnesia}/"
+          f"{data.non_pm_users}")
+    print(f"  PM users              : {data.pm_prefer_amnesia}/{data.pm_users}")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """Render one generation's wire traffic as a sequence chart."""
+    from repro.net.profiles import WIFI_PROFILE
+    from repro.sim.trace import TraceRecorder, render_sequence_chart
+    from repro.testbed import AmnesiaTestbed
+
+    bed = AmnesiaTestbed(seed=args.seed, profile=WIFI_PROFILE)
+    browser = bed.enroll("alice", "cli-master-password")
+    account_id = browser.add_account("alice", "mail.example.com")
+    browser.generate_password(account_id)  # warm-up: no handshake noise
+    with TraceRecorder(bed.network) as recorder:
+        result = browser.generate_password(account_id)
+    print("One password generation (Figure 1, steps 2-6):\n")
+    print(
+        render_sequence_chart(
+            recorder.events,
+            participants=["laptop", "amnesia-server", "gcm", "phone"],
+            width=17,
+        )
+    )
+    print(f"\nlatency (t_start -> t_end): {result['latency_ms']:.1f} ms")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    """Generate the full markdown reproduction report."""
+    from repro.eval.report import generate_report
+
+    report = generate_report(trials=args.trials, seed=args.seed)
+    if args.output == "-":
+        print(report)
+    else:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(report)
+        print(f"wrote {args.output} ({len(report)} chars)")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run a real Amnesia server on localhost (curl-able)."""
+    from repro.deploy import RealAmnesiaDeployment
+
+    deployment = RealAmnesiaDeployment(
+        port=args.port,
+        token_session_ttl_ms=args.session_ttl * 1000.0,
+        verbose=True,
+    ).start()
+    agent = deployment.new_phone_agent() if args.with_phone else None
+    print(f"Amnesia server listening on http://{deployment.address}")
+    if agent is not None:
+        print(f"in-process phone agent ready (reg id {agent.reg_id}); "
+              f"pair it via POST /pair/start + /pair/complete")
+    print("endpoints: /signup /login /accounts /accounts/{id}/generate "
+          "/pair/start /token /recover/... — Ctrl-C to stop")
+    try:
+        while True:
+            import time
+
+            time.sleep(3600)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        deployment.stop()
+    return 0
+
+
+_COMMANDS: Dict[str, Callable[[argparse.Namespace], int]] = {
+    "quickstart": _cmd_quickstart,
+    "fig3": _cmd_fig3,
+    "fig4": _cmd_fig4,
+    "table1": _cmd_table1,
+    "table2": _cmd_table2,
+    "table3": _cmd_table3,
+    "strength": _cmd_strength,
+    "attacks": _cmd_attacks,
+    "userstudy": _cmd_userstudy,
+    "serve": _cmd_serve,
+    "report": _cmd_report,
+    "trace": _cmd_trace,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="amnesia-repro",
+        description="Reproduce artefacts from 'Amnesia: A Bilateral "
+        "Generative Password Manager' (ICDCS 2016).",
+    )
+    parser.add_argument("--seed", default="cli", help="simulation seed")
+    parser.add_argument(
+        "--log-level",
+        default=None,
+        choices=["DEBUG", "INFO", "WARNING"],
+        help="enable component logging to stderr",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    for name in _COMMANDS:
+        command = sub.add_parser(name, help=f"reproduce {name}")
+        if name == "fig3":
+            command.add_argument(
+                "--trials", type=int, default=100,
+                help="trials per transport (paper: 100)",
+            )
+        elif name == "report":
+            command.add_argument(
+                "--trials", type=int, default=100,
+                help="Figure 3 trials per transport",
+            )
+            command.add_argument(
+                "--output", default="REPORT.md",
+                help="output path ('-' for stdout)",
+            )
+        elif name == "serve":
+            command.add_argument(
+                "--port", type=int, default=8080, help="listen port"
+            )
+            command.add_argument(
+                "--session-ttl", type=float, default=0.0,
+                help="token-session TTL in seconds (0 = paper behaviour)",
+            )
+            command.add_argument(
+                "--with-phone", action="store_true",
+                help="start an in-process phone agent",
+            )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.log_level:
+        from repro.util.logs import enable_console_logging
+
+        enable_console_logging(args.log_level)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,22 @@
+"""The user's computer: browser, user model, and a dummy website.
+
+The user computer "does not store any variables necessary to generate
+particular passwords" (§III-A1) — it is a browser that authenticates to
+the Amnesia server with the master password. The dummy website mirrors
+the one built for the user study (§VII-A): a site the user registers on
+with a generated password, so end-to-end flows can be verified against
+a real consumer of the passwords.
+"""
+
+from repro.client.browser import AmnesiaBrowser
+from repro.client.user import UserModel
+from repro.client.website import DummyWebsite
+from repro.client.autofill import AutoFiller, FillEvent
+
+__all__ = [
+    "AmnesiaBrowser",
+    "UserModel",
+    "DummyWebsite",
+    "AutoFiller",
+    "FillEvent",
+]

@@ -1,0 +1,89 @@
+"""Browser auto-filler (the §VI-A hardening).
+
+Table III marks Amnesia unfulfilled on *Resilient-to-Physical-
+Observation* "because the generated password is displayed to the user
+in text form. However, this issue can be solved with the implementation
+of an auto-filler." This module is that auto-filler: it moves the
+generated password from the Amnesia response directly into a website's
+login/registration form without ever rendering it on screen.
+
+The filler records what was *displayed* versus *filled*, so tests (and
+the Bonneau mechanical checks) can verify the shoulder-surfing surface
+is actually gone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.client.browser import AmnesiaBrowser
+from repro.client.website import DummyWebsite
+from repro.util.errors import NotFoundError, ValidationError
+
+
+@dataclass
+class FillEvent:
+    """One autofill action (no password material retained)."""
+
+    domain: str
+    username: str
+    action: str  # "register" | "login" | "change"
+    password_displayed: bool
+
+
+@dataclass
+class AutoFiller:
+    """Drives websites with generated passwords, never displaying them."""
+
+    browser: AmnesiaBrowser
+    events: list[FillEvent] = field(default_factory=list)
+
+    def _account_for(self, domain: str) -> dict:
+        """Domain binding is the phishing defence: the filler only ever
+        derives a password for the *exact* domain the site presents, so a
+        look-alike (paypa1.example for paypal.example) gets nothing —
+        there is no managed account to fill from, and the derived
+        password for the phish's own domain would be a different string
+        anyway (R binds d)."""
+        for account in self.browser.accounts():
+            if account["domain"] == domain:
+                return account
+        raise NotFoundError(f"no managed account for {domain!r}")
+
+    def _generate(self, domain: str) -> tuple[str, str]:
+        account = self._account_for(domain)
+        result = self.browser.generate_password(account["account_id"])
+        return account["username"], result["password"]
+
+    def register(self, site: DummyWebsite) -> None:
+        """Create the site account with a generated password, unseen."""
+        username, password = self._generate(site.domain)
+        site.register(username, password)
+        self.events.append(
+            FillEvent(site.domain, username, "register", password_displayed=False)
+        )
+
+    def login(self, site: DummyWebsite) -> None:
+        """Log into the site with a freshly regenerated password, unseen."""
+        username, password = self._generate(site.domain)
+        site.login(username, password)
+        self.events.append(
+            FillEvent(site.domain, username, "login", password_displayed=False)
+        )
+
+    def rotate_and_change(self, site: DummyWebsite) -> None:
+        """Rotate the seed and update the site, end to end, unseen."""
+        account = self._account_for(site.domain)
+        username, old_password = self._generate(site.domain)
+        self.browser.rotate_password(account["account_id"])
+        __, new_password = self._generate(site.domain)
+        if old_password == new_password:
+            raise ValidationError("seed rotation produced an identical password")
+        site.change_password(username, old_password, new_password)
+        self.events.append(
+            FillEvent(site.domain, username, "change", password_displayed=False)
+        )
+
+    def shoulder_surfing_surface(self) -> int:
+        """How many actions exposed a password on screen (target: 0)."""
+        return sum(1 for event in self.events if event.password_displayed)

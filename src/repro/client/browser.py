@@ -1,0 +1,182 @@
+"""A browser talking to the Amnesia server.
+
+Wraps the generic HTTP client with the Amnesia API so examples, tests
+and benchmarks read like user actions: ``signup``, ``login``,
+``add_account``, ``generate_password``. The synchronous methods drive
+the simulation kernel until the server responds — including the
+blocking password generation, which internally spans the whole
+server → GCM → phone → server pipeline.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.net.certificates import Certificate, CertificateStore
+from repro.net.tls import SecureStack
+from repro.server.service import AMNESIA_SERVICE
+from repro.sim.kernel import Simulator
+from repro.util.errors import (
+    AuthenticationError,
+    ConflictError,
+    NotFoundError,
+    ReproError,
+    ValidationError,
+)
+from repro.web.client import SimHttpClient
+from repro.web.http import HttpResponse
+
+
+def _raise_for(response: HttpResponse) -> None:
+    if response.ok:
+        return
+    try:
+        message = response.json().get("error", "")
+    except ReproError:
+        message = response.body.decode("utf-8", errors="replace")
+    if response.status == 401:
+        raise AuthenticationError(message)
+    if response.status == 404:
+        raise NotFoundError(message)
+    if response.status == 409:
+        raise ConflictError(message)
+    raise ValidationError(f"HTTP {response.status}: {message}")
+
+
+class AmnesiaBrowser:
+    """One browser profile (cookie jar included) pointed at a server."""
+
+    def __init__(
+        self,
+        stack: SecureStack,
+        kernel: Simulator,
+        server_host: str,
+        certificate: Certificate,
+        pins: CertificateStore | None = None,
+    ) -> None:
+        self.http = SimHttpClient(
+            stack, kernel, server_host, certificate,
+            service=AMNESIA_SERVICE, pins=pins,
+        )
+
+    # -- account lifecycle -----------------------------------------------------
+
+    def signup(self, login: str, master_password: str) -> None:
+        response = self.http.post(
+            "/signup", {"login": login, "master_password": master_password}
+        )
+        _raise_for(response)
+
+    def login(self, login: str, master_password: str) -> None:
+        response = self.http.post(
+            "/login", {"login": login, "master_password": master_password}
+        )
+        _raise_for(response)
+
+    def logout(self) -> None:
+        _raise_for(self.http.post("/logout", {}))
+
+    def me(self) -> Dict[str, Any]:
+        response = self.http.get("/me")
+        _raise_for(response)
+        return response.json()
+
+    # -- website accounts --------------------------------------------------------
+
+    def add_account(
+        self,
+        username: str,
+        domain: str,
+        length: int | None = None,
+        charset: str | None = None,
+        classes: Dict[str, bool] | None = None,
+    ) -> int:
+        payload: Dict[str, Any] = {"username": username, "domain": domain}
+        if length is not None:
+            payload["length"] = length
+        if charset is not None:
+            payload["charset"] = charset
+        if classes is not None:
+            payload["classes"] = classes
+        response = self.http.post("/accounts", payload)
+        _raise_for(response)
+        return int(response.json()["account_id"])
+
+    def accounts(self) -> list[Dict[str, Any]]:
+        response = self.http.get("/accounts")
+        _raise_for(response)
+        return response.json()["accounts"]
+
+    def rotate_password(self, account_id: int) -> None:
+        _raise_for(self.http.post(f"/accounts/{account_id}/rotate", {}))
+
+    def update_policy(
+        self,
+        account_id: int,
+        length: int | None = None,
+        charset: str | None = None,
+        classes: Dict[str, bool] | None = None,
+    ) -> None:
+        payload: Dict[str, Any] = {}
+        if length is not None:
+            payload["length"] = length
+        if charset is not None:
+            payload["charset"] = charset
+        if classes is not None:
+            payload["classes"] = classes
+        _raise_for(self.http.put(f"/accounts/{account_id}/policy", payload))
+
+    def delete_account(self, account_id: int) -> None:
+        _raise_for(self.http.delete(f"/accounts/{account_id}"))
+
+    # -- pairing and generation ----------------------------------------------------
+
+    def start_pairing(self) -> str:
+        """Ask the server for a pairing code (displayed on the webpage)."""
+        response = self.http.post("/pair/start", {})
+        _raise_for(response)
+        return response.json()["code"]
+
+    def generate_password(self, account_id: int) -> Dict[str, Any]:
+        """Request a password; blocks (in simulated time) for the phone."""
+        response = self.http.post(f"/accounts/{account_id}/generate", {})
+        _raise_for(response)
+        return response.json()
+
+    # -- vault (§VIII extension) -------------------------------------------------
+
+    def vault_store(self, account_id: int, password: str) -> None:
+        """Store a chosen password; blocks for the phone's token."""
+        response = self.http.put(
+            f"/accounts/{account_id}/vault", {"password": password}
+        )
+        _raise_for(response)
+
+    def vault_retrieve(self, account_id: int) -> str:
+        """Retrieve a chosen password; blocks for the phone's token."""
+        response = self.http.post(f"/accounts/{account_id}/vault/retrieve", {})
+        _raise_for(response)
+        return response.json()["password"]
+
+    def vault_delete(self, account_id: int) -> None:
+        _raise_for(self.http.delete(f"/accounts/{account_id}/vault"))
+
+    # -- recovery -------------------------------------------------------------------
+
+    def start_master_change(self) -> Dict[str, Any]:
+        """Blocks until the phone confirms (or the server times out)."""
+        response = self.http.post("/recover/master/start", {})
+        _raise_for(response)
+        return response.json()
+
+    def complete_master_change(self, new_master_password: str) -> None:
+        response = self.http.post(
+            "/recover/master/complete",
+            {"new_master_password": new_master_password},
+        )
+        _raise_for(response)
+
+    def recover_phone(self, backup_b64: str) -> list[Dict[str, Any]]:
+        response = self.http.post("/recover/phone", {"backup": backup_b64})
+        _raise_for(response)
+        return response.json()["passwords"]

@@ -1,0 +1,94 @@
+"""A dummy website, as built for the user study (§VII-A).
+
+"We created a dummy site so users can practice adding accounts to
+Amnesia" — ours accepts registrations, verifies logins (with salted
+hashes like a competent site), and enforces a configurable password
+policy so the per-account policy adjustment in Amnesia has something
+real to satisfy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.crypto.hashing import salted_hash, verify_salted_hash
+from repro.crypto.randomness import RandomSource, SystemRandomSource
+from repro.util.errors import AuthenticationError, ConflictError, ValidationError
+
+
+@dataclass(frozen=True)
+class SitePolicy:
+    """What the site demands of passwords."""
+
+    min_length: int = 8
+    max_length: int = 64
+    allow_special: bool = True
+    require_digit: bool = False
+
+    def check(self, password: str) -> None:
+        if not (self.min_length <= len(password) <= self.max_length):
+            raise ValidationError(
+                f"password length must be in "
+                f"[{self.min_length}, {self.max_length}]"
+            )
+        if not self.allow_special and any(not c.isalnum() for c in password):
+            raise ValidationError("special characters not allowed on this site")
+        if self.require_digit and not any(c.isdigit() for c in password):
+            raise ValidationError("at least one digit required")
+
+
+class DummyWebsite:
+    """A site with accounts, logins, and (optionally) a password policy."""
+
+    def __init__(
+        self,
+        domain: str,
+        policy: SitePolicy | None = None,
+        rng: RandomSource | None = None,
+    ) -> None:
+        self.domain = domain
+        self.policy = policy if policy is not None else SitePolicy()
+        self._rng = rng if rng is not None else SystemRandomSource()
+        self._accounts: Dict[str, tuple[bytes, bytes]] = {}
+        self._comments: list[tuple[str, str]] = []
+        self.login_attempts = 0
+        self.successful_logins = 0
+
+    def register(self, username: str, password: str) -> None:
+        if username in self._accounts:
+            raise ConflictError(f"username {username!r} taken on {self.domain}")
+        self.policy.check(password)
+        salt = self._rng.token_bytes(16)
+        self._accounts[username] = (salted_hash(password.encode("utf-8"), salt), salt)
+
+    def login(self, username: str, password: str) -> None:
+        """Raises :class:`AuthenticationError` on bad credentials."""
+        self.login_attempts += 1
+        record = self._accounts.get(username)
+        if record is None:
+            raise AuthenticationError(f"no such user {username!r}")
+        digest, salt = record
+        if not verify_salted_hash(password.encode("utf-8"), salt, digest):
+            raise AuthenticationError("wrong password")
+        self.successful_logins += 1
+
+    def change_password(self, username: str, old: str, new: str) -> None:
+        """Reset a password, as the phone-recovery protocol requires the
+        user to do on every site (§III-C1)."""
+        self.login(username, old)
+        self.policy.check(new)
+        salt = self._rng.token_bytes(16)
+        self._accounts[username] = (salted_hash(new.encode("utf-8"), salt), salt)
+
+    def has_user(self, username: str) -> bool:
+        return username in self._accounts
+
+    def post_comment(self, username: str, password: str, text: str) -> None:
+        """Post a comment as a logged-in user (user-study task 6 has the
+        tester post a comment to prove the generated password works)."""
+        self.login(username, password)
+        self._comments.append((username, text))
+
+    def comments(self) -> list[tuple[str, str]]:
+        return list(self._comments)

@@ -1,0 +1,12 @@
+"""Third-party cloud storage (the Google Drive / Dropbox stand-in).
+
+Phone-compromise recovery depends on a one-time backup of ``Kp`` to "a
+third-party cloud provider such as Google Drive or Dropbox" (§III-C1).
+The paper trusts both the provider and its channel; we reproduce that
+trust shape with a small authenticated blob store served over the same
+secure-channel infrastructure as everything else.
+"""
+
+from repro.cloud.provider import CloudProvider, CloudClient
+
+__all__ = ["CloudProvider", "CloudClient"]

@@ -1,0 +1,128 @@
+"""A minimal authenticated blob store and its client.
+
+Accounts are created out of band (the user "has Dropbox"); each account
+holds named blobs. The API is deliberately tiny — put/get/delete/list —
+because that is all the backup protocol needs.
+"""
+
+from __future__ import annotations
+
+import base64
+from typing import Dict
+
+from repro.crypto.randomness import RandomSource
+from repro.net.certificates import Certificate
+from repro.net.tls import SecureServer, SecureStack
+from repro.sim.kernel import Simulator
+from repro.util.errors import AuthenticationError, NotFoundError, ValidationError
+from repro.web.app import Application, error_response, json_response
+from repro.web.http import HttpRequest
+from repro.web.server import SimHttpServer
+from repro.web.client import SimHttpClient
+
+CLOUD_SERVICE = "cloud-storage"
+
+
+class CloudProvider:
+    """The provider: accounts of named blobs behind bearer tokens."""
+
+    def __init__(
+        self,
+        stack: SecureStack,
+        secure_server: SecureServer,
+        kernel: Simulator,
+        rng: RandomSource,
+    ) -> None:
+        self._rng = rng
+        self._tokens: Dict[str, str] = {}  # token -> account
+        self._blobs: Dict[str, Dict[str, bytes]] = {}  # account -> name -> blob
+        self.application = self._build_app()
+        self.server = SimHttpServer(
+            self.application, stack, secure_server, kernel, service=CLOUD_SERVICE
+        )
+        self.certificate: Certificate = secure_server.certificate
+
+    def create_account(self, account: str) -> str:
+        """Provision an account out of band; returns its bearer token."""
+        if account in self._blobs:
+            raise ValidationError(f"cloud account {account!r} already exists")
+        token = self._rng.token_hex(24)
+        self._tokens[token] = account
+        self._blobs[account] = {}
+        return token
+
+    def _account_for(self, request: HttpRequest) -> str:
+        header = request.headers.get("authorization", "")
+        if not header.startswith("Bearer "):
+            raise AuthenticationError("missing bearer token")
+        account = self._tokens.get(header[len("Bearer ") :])
+        if account is None:
+            raise AuthenticationError("invalid bearer token")
+        return account
+
+    def _build_app(self) -> Application:
+        app = Application("cloud")
+        router = app.router
+
+        @router.put("/blobs/{name}")
+        def put_blob(request: HttpRequest, name: str):
+            account = self._account_for(request)
+            self._blobs[account][name] = request.body
+            return json_response({"stored": name, "size": len(request.body)})
+
+        @router.get("/blobs/{name}")
+        def get_blob(request: HttpRequest, name: str):
+            account = self._account_for(request)
+            blob = self._blobs[account].get(name)
+            if blob is None:
+                raise NotFoundError(f"no blob {name!r}")
+            return json_response(
+                {"name": name, "data": base64.b64encode(blob).decode("ascii")}
+            )
+
+        @router.delete("/blobs/{name}")
+        def delete_blob(request: HttpRequest, name: str):
+            account = self._account_for(request)
+            if name not in self._blobs[account]:
+                raise NotFoundError(f"no blob {name!r}")
+            del self._blobs[account][name]
+            return json_response({"deleted": name})
+
+        @router.get("/blobs")
+        def list_blobs(request: HttpRequest):
+            account = self._account_for(request)
+            return json_response({"names": sorted(self._blobs[account])})
+
+        return app
+
+
+class CloudClient:
+    """Device-side convenience wrapper over the blob-store API."""
+
+    def __init__(self, http: SimHttpClient, token: str) -> None:
+        self._http = http
+        self._auth = {"authorization": f"Bearer {token}"}
+
+    def put(self, name: str, blob: bytes) -> None:
+        response = self._http.put(f"/blobs/{name}", body=blob, headers=self._auth)
+        if not response.ok:
+            raise ValidationError(f"cloud put failed: {response.json()}")
+
+    def get(self, name: str) -> bytes:
+        response = self._http.get(f"/blobs/{name}", headers=self._auth)
+        if response.status == 404:
+            raise NotFoundError(f"no blob {name!r} in cloud storage")
+        if not response.ok:
+            raise ValidationError(f"cloud get failed: {response.json()}")
+        return base64.b64decode(response.json()["data"])
+
+    def delete(self, name: str) -> None:
+        response = self._http.delete(f"/blobs/{name}", headers=self._auth)
+        if not response.ok:
+            raise ValidationError(f"cloud delete failed: {response.json()}")
+
+    def list(self) -> list[str]:
+        response = self._http.get("/blobs", headers=self._auth)
+        if not response.ok:
+            raise ValidationError(f"cloud list failed: {response.json()}")
+        return list(response.json()["names"])

@@ -1,0 +1,81 @@
+"""Amnesia's core protocol: bilateral generative password derivation.
+
+This package is the paper's primary contribution in executable form.
+It is *pure* — no network, no storage, no clocks — so every function is
+deterministic and directly testable:
+
+- :mod:`repro.core.params` — protocol constants (N = 5000 entries,
+  4-hex-digit segments, 512-bit ids, 256-bit seeds) and their
+  consistency rules (``16^l >= N``).
+- :mod:`repro.core.secrets` — ``Ks``/``Kp`` material: the entry table,
+  id and seed generation.
+- :mod:`repro.core.templates` — the template function mapping the
+  intermediate hash to a real password under a per-account policy.
+- :mod:`repro.core.protocol` — the four derivations of §III-B:
+  request ``R``, token ``T`` (Algorithm 1), intermediate ``p``, and
+  password ``P``.
+- :mod:`repro.core.registration` — the CAPTCHA pairing flow (§III-B1).
+- :mod:`repro.core.recovery` — backup payload and the two recovery
+  protocols' pure verification steps (§III-C).
+
+The distributed components (:mod:`repro.server`, :mod:`repro.phone`)
+are thin shells orchestrating these functions over the network.
+"""
+
+from repro.core.params import ProtocolParams, DEFAULT_PARAMS
+from repro.core.templates import (
+    CharacterTable,
+    PasswordPolicy,
+    DEFAULT_CHARACTER_TABLE,
+    LOWERCASE,
+    UPPERCASE,
+    DIGITS,
+    SPECIAL,
+)
+from repro.core.secrets import (
+    EntryTable,
+    PhoneSecret,
+    generate_oid,
+    generate_pid,
+    generate_seed,
+    generate_entry_table,
+)
+from repro.core.protocol import (
+    generate_request,
+    token_indices,
+    generate_token,
+    intermediate_value,
+    render_password,
+    generate_password,
+)
+from repro.core.registration import CaptchaChallenge, CaptchaRegistrar
+from repro.core.recovery import BackupPayload, encode_backup, decode_backup
+
+__all__ = [
+    "ProtocolParams",
+    "DEFAULT_PARAMS",
+    "CharacterTable",
+    "PasswordPolicy",
+    "DEFAULT_CHARACTER_TABLE",
+    "LOWERCASE",
+    "UPPERCASE",
+    "DIGITS",
+    "SPECIAL",
+    "EntryTable",
+    "PhoneSecret",
+    "generate_oid",
+    "generate_pid",
+    "generate_seed",
+    "generate_entry_table",
+    "generate_request",
+    "token_indices",
+    "generate_token",
+    "intermediate_value",
+    "render_password",
+    "generate_password",
+    "CaptchaChallenge",
+    "CaptchaRegistrar",
+    "BackupPayload",
+    "encode_backup",
+    "decode_backup",
+]

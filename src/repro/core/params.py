@@ -1,0 +1,83 @@
+"""Protocol parameters (§III-A, §III-B).
+
+The paper fixes: N = 5000 entries of 256 bits, 512-bit ``O_id`` and
+``P_id``, 256-bit seeds σ, 4-hex-digit segments (so SHA-256's 64 hex
+digits give 16 token segments and SHA-512's 128 hex digits give 32
+password segments), and requires ``16^l >= N`` so one segment can
+address the whole entry table.
+
+The parameters are a dataclass rather than module constants so the
+ablation benchmarks (entry-table-size sweep, segment-length sweep) can
+instantiate variants; ``DEFAULT_PARAMS`` is the paper's configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.errors import ValidationError
+
+SHA256_HEX_LENGTH = 64
+SHA512_HEX_LENGTH = 128
+
+
+@dataclass(frozen=True)
+class ProtocolParams:
+    """All tunable constants of the Amnesia derivations."""
+
+    entry_table_size: int = 5000  # N
+    entry_bytes: int = 32  # 256-bit entry values
+    segment_hex_length: int = 4  # l: hex digits per segment
+    oid_bytes: int = 64  # 512-bit online id
+    pid_bytes: int = 64  # 512-bit phone id
+    seed_bytes: int = 32  # 256-bit per-account seed σ
+    salt_bytes: int = 16
+
+    def __post_init__(self) -> None:
+        if self.entry_table_size < 1:
+            raise ValidationError(
+                f"entry table size must be >= 1, got {self.entry_table_size}"
+            )
+        if self.segment_hex_length < 1:
+            raise ValidationError(
+                f"segment length must be >= 1, got {self.segment_hex_length}"
+            )
+        if 16**self.segment_hex_length < self.entry_table_size:
+            # The paper's constraint 16^l >= N: a segment must be able to
+            # address every entry.
+            raise ValidationError(
+                f"16^{self.segment_hex_length} < N={self.entry_table_size}; "
+                "segments cannot cover the entry table"
+            )
+        if SHA256_HEX_LENGTH % self.segment_hex_length != 0:
+            raise ValidationError(
+                f"segment length {self.segment_hex_length} must divide "
+                f"{SHA256_HEX_LENGTH} (SHA-256 hex digits)"
+            )
+        for name, value in (
+            ("entry_bytes", self.entry_bytes),
+            ("oid_bytes", self.oid_bytes),
+            ("pid_bytes", self.pid_bytes),
+            ("seed_bytes", self.seed_bytes),
+            ("salt_bytes", self.salt_bytes),
+        ):
+            if value < 8:
+                raise ValidationError(f"{name} must be >= 8, got {value}")
+
+    @property
+    def token_segments(self) -> int:
+        """Segments cut from R: 64 / l (16 in the paper)."""
+        return SHA256_HEX_LENGTH // self.segment_hex_length
+
+    @property
+    def password_segments(self) -> int:
+        """Segments cut from p: 128 / l (32 in the paper)."""
+        return SHA512_HEX_LENGTH // self.segment_hex_length
+
+    @property
+    def token_space(self) -> int:
+        """Distinct entry-index combinations: N^segments (5000^16 ≈ 1.53e59)."""
+        return self.entry_table_size**self.token_segments
+
+
+DEFAULT_PARAMS = ProtocolParams()

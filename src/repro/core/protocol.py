@@ -1,0 +1,120 @@
+"""The four derivations of §III-B, implemented exactly as published.
+
+1. ``R = H(µ_A || d_A || σ_A)`` — the password request (SHA-256, hex).
+2. ``T = H(e_{i0} || … || e_{i15})`` — Algorithm 1: split R into
+   16 four-hex-digit segments, index the entry table with
+   ``int(s_i, 16) mod N``, hash the concatenated entries (SHA-256).
+3. ``p = H(T || O_id || σ_A)`` — the intermediate value (SHA-512, hex).
+4. ``P = template(p)`` — 32 segments of 4 hex digits mapped through the
+   94-character table and truncated to the policy length.
+
+All functions are pure; byte-vs-hex conventions are explicit in each
+signature. `R` travels as hex (it is a "64 hex-digit" value in the
+paper); entries, ids, and seeds are raw bytes.
+"""
+
+from __future__ import annotations
+
+from repro.core.params import DEFAULT_PARAMS, ProtocolParams, SHA256_HEX_LENGTH
+from repro.core.secrets import EntryTable
+from repro.core.templates import PasswordPolicy
+from repro.crypto.hashing import sha256, sha256_hex, sha512_hex
+from repro.util.encoding import chunk, int_from_hex, require_hex
+from repro.util.errors import ValidationError
+
+
+def generate_request(username: str, domain: str, seed: bytes) -> str:
+    """Compute the password request ``R = H(µ || d || σ)`` (hex).
+
+    σ's presence prevents a rendezvous eavesdropper from confirming
+    which account a request targets by computing ``H(µ || d)`` over
+    predictable usernames and domains (§III-B2, §IV-B).
+    """
+    if not username:
+        raise ValidationError("username must be non-empty")
+    if not domain:
+        raise ValidationError("domain must be non-empty")
+    if not isinstance(seed, (bytes, bytearray)) or len(seed) == 0:
+        raise ValidationError("seed must be non-empty bytes")
+    return sha256_hex(username.encode("utf-8"), domain.encode("utf-8"), bytes(seed))
+
+
+def token_indices(request_hex: str, params: ProtocolParams = DEFAULT_PARAMS) -> list[int]:
+    """The entry-table indices selected by request *R*.
+
+    Algorithm 1's segmentation: consecutive ``l``-hex-digit segments,
+    each reduced modulo the table size N. Exposed separately so the
+    ablation benchmarks can study index distribution and bias.
+    """
+    require_hex(request_hex)
+    if len(request_hex) != SHA256_HEX_LENGTH:
+        raise ValidationError(
+            f"request must be {SHA256_HEX_LENGTH} hex digits, got {len(request_hex)}"
+        )
+    segments = chunk(request_hex, params.segment_hex_length)
+    return [int_from_hex(segment) % params.entry_table_size for segment in segments]
+
+
+def generate_token(
+    request_hex: str,
+    entry_table: EntryTable,
+    params: ProtocolParams | None = None,
+) -> str:
+    """Algorithm 1: compute the token ``T`` from request *R* (hex out).
+
+    The phone-side computation: select one entry per segment, then
+    ``T = SHA-256(e_0 || e_1 || … || e_15)``.
+    """
+    effective = params if params is not None else entry_table.params
+    indices = token_indices(request_hex, effective)
+    concatenated = b"".join(entry_table[index] for index in indices)
+    return sha256_hex(concatenated)
+
+
+def intermediate_value(token_hex: str, oid: bytes, seed: bytes) -> str:
+    """Server-side ``p = H(T || O_id || σ)`` (SHA-512, 128 hex digits).
+
+    ``T`` is transported in hex but enters the hash as its raw 32-byte
+    digest value.
+    """
+    require_hex(token_hex)
+    if len(token_hex) != SHA256_HEX_LENGTH:
+        raise ValidationError(
+            f"token must be {SHA256_HEX_LENGTH} hex digits, got {len(token_hex)}"
+        )
+    if len(oid) == 0:
+        raise ValidationError("O_id must be non-empty")
+    if len(seed) == 0:
+        raise ValidationError("seed must be non-empty")
+    return sha512_hex(bytes.fromhex(token_hex), bytes(oid), bytes(seed))
+
+
+def render_password(
+    intermediate_hex: str,
+    policy: PasswordPolicy | None = None,
+    params: ProtocolParams = DEFAULT_PARAMS,
+) -> str:
+    """Apply the template function to *p*, yielding the final password."""
+    effective_policy = policy if policy is not None else PasswordPolicy()
+    return effective_policy.render(intermediate_hex, params.segment_hex_length)
+
+
+def generate_password(
+    username: str,
+    domain: str,
+    seed: bytes,
+    oid: bytes,
+    entry_table: EntryTable,
+    policy: PasswordPolicy | None = None,
+) -> str:
+    """The full bilateral pipeline in one call (for tests and baselines).
+
+    In the deployed system the steps run on different machines — R on
+    the server, T on the phone, p and P back on the server — but their
+    composition is this function, which makes the end-to-end stack
+    verifiable against the pure pipeline.
+    """
+    request = generate_request(username, domain, seed)
+    token = generate_token(request, entry_table)
+    intermediate = intermediate_value(token, oid, seed)
+    return render_password(intermediate, policy, entry_table.params)

@@ -1,0 +1,121 @@
+"""Backup payloads for the recovery protocols (§III-C).
+
+On install the app performs a one-time backup of ``Kp`` — ``P_id`` and
+the entry table — to a third-party cloud provider. Phone-compromise
+recovery later uploads this payload to the server, which verifies the
+user by hashing the uploaded ``P_id`` against its stored
+``H(P_id + salt)``, regenerates every password from the *old* table so
+the user can log in and rotate site passwords, and finally purges the
+old phone's data.
+
+The payload format is a small length-prefixed binary encoding, with an
+optional passphrase-encrypted variant (PBKDF2 → ChaCha20-Poly1305).
+The paper assumes the cloud store and its channel are trusted; the
+encrypted variant is the hardening an implementation would ship, and
+the plaintext one is the paper-faithful default.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.core.params import DEFAULT_PARAMS, ProtocolParams
+from repro.core.secrets import EntryTable, PhoneSecret
+from repro.crypto.aead import aead_encrypt, aead_decrypt
+from repro.crypto.pbkdf2 import pbkdf2_hmac_sha256
+from repro.crypto.randomness import RandomSource
+from repro.util.errors import CryptoError, RecoveryError
+
+_MAGIC = b"AMNB"
+_VERSION_PLAIN = 1
+_VERSION_ENCRYPTED = 2
+_PBKDF2_ITERATIONS = 10_000
+_NONCE = b"\x00" * 12  # safe: each payload uses a fresh random salt/key
+
+
+@dataclass(frozen=True)
+class BackupPayload:
+    """Decoded backup contents: the phone-side secret ``Kp``."""
+
+    pid: bytes
+    entries: list[bytes]
+
+    def to_phone_secret(self, params: ProtocolParams = DEFAULT_PARAMS) -> PhoneSecret:
+        return PhoneSecret(pid=self.pid, entry_table=EntryTable(self.entries, params))
+
+
+def _encode_body(secret: PhoneSecret) -> bytes:
+    entries = secret.entry_table.entries()
+    entry_size = len(entries[0])
+    header = struct.pack(
+        ">H I H", len(secret.pid), len(entries), entry_size
+    )
+    return header + secret.pid + b"".join(entries)
+
+
+def _decode_body(body: bytes) -> BackupPayload:
+    fixed = struct.calcsize(">H I H")
+    if len(body) < fixed:
+        raise RecoveryError("backup body truncated")
+    pid_size, count, entry_size = struct.unpack(">H I H", body[:fixed])
+    expected = fixed + pid_size + count * entry_size
+    if len(body) != expected:
+        raise RecoveryError(
+            f"backup body has {len(body)} bytes, expected {expected}"
+        )
+    pid = body[fixed : fixed + pid_size]
+    entries = [
+        body[fixed + pid_size + i * entry_size : fixed + pid_size + (i + 1) * entry_size]
+        for i in range(count)
+    ]
+    return BackupPayload(pid=pid, entries=entries)
+
+
+def encode_backup(
+    secret: PhoneSecret,
+    passphrase: str | None = None,
+    rng: RandomSource | None = None,
+) -> bytes:
+    """Serialise ``Kp`` for cloud storage.
+
+    Without *passphrase* the payload is plaintext (the paper's model:
+    the cloud provider is trusted). With a passphrase the body is
+    sealed under a PBKDF2-derived key with a random salt.
+    """
+    body = _encode_body(secret)
+    if passphrase is None:
+        return _MAGIC + struct.pack(">B", _VERSION_PLAIN) + body
+    if rng is None:
+        raise RecoveryError("encrypted backup requires a random source for the salt")
+    salt = rng.token_bytes(16)
+    key = pbkdf2_hmac_sha256(
+        passphrase.encode("utf-8"), salt, _PBKDF2_ITERATIONS, 32
+    )
+    sealed = aead_encrypt(key, _NONCE, body, aad=_MAGIC)
+    return _MAGIC + struct.pack(">B", _VERSION_ENCRYPTED) + salt + sealed
+
+
+def decode_backup(blob: bytes, passphrase: str | None = None) -> BackupPayload:
+    """Parse (and, if needed, decrypt) a backup payload."""
+    if len(blob) < len(_MAGIC) + 1 or blob[: len(_MAGIC)] != _MAGIC:
+        raise RecoveryError("not an Amnesia backup payload")
+    version = blob[len(_MAGIC)]
+    body = blob[len(_MAGIC) + 1 :]
+    if version == _VERSION_PLAIN:
+        return _decode_body(body)
+    if version == _VERSION_ENCRYPTED:
+        if passphrase is None:
+            raise RecoveryError("backup is encrypted; passphrase required")
+        if len(body) < 16:
+            raise RecoveryError("encrypted backup truncated")
+        salt, sealed = body[:16], body[16:]
+        key = pbkdf2_hmac_sha256(
+            passphrase.encode("utf-8"), salt, _PBKDF2_ITERATIONS, 32
+        )
+        try:
+            plain = aead_decrypt(key, _NONCE, sealed, aad=_MAGIC)
+        except CryptoError as error:
+            raise RecoveryError(f"backup decryption failed: {error}") from error
+        return _decode_body(plain)
+    raise RecoveryError(f"unsupported backup version {version}")

@@ -1,0 +1,94 @@
+"""Application registration via CAPTCHA pairing (§III-B1).
+
+Each installed application instance is identified by a fresh ``P_id``
+plus the rendezvous registration id. To pair an app with a web account,
+the Amnesia webpage displays a short code; the user types it into the
+app, whose registration message carries the code together with
+``P_id`` and the registration id. If the codes match, the server
+accepts the pairing, stores the registration id in plaintext and the
+``P_id`` hashed and salted.
+
+This module holds the pairing-code book-keeping; it is time-aware but
+pure — callers pass ``now`` (milliseconds) explicitly so the same code
+runs under the simulator or a wall clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.crypto.ct import ct_equal
+from repro.crypto.randomness import RandomSource
+from repro.util.errors import AuthenticationError, ValidationError
+
+_CODE_ALPHABET = "ABCDEFGHJKLMNPQRSTUVWXYZ23456789"  # no 0/O/1/I lookalikes
+DEFAULT_CODE_LENGTH = 6
+DEFAULT_TTL_MS = 5 * 60 * 1000.0  # codes are short-lived by design
+
+
+@dataclass(frozen=True)
+class CaptchaChallenge:
+    """An issued pairing code, bound to one web account login."""
+
+    login: str
+    code: str
+    issued_at_ms: float
+    expires_at_ms: float
+
+    def expired(self, now_ms: float) -> bool:
+        return now_ms >= self.expires_at_ms
+
+
+class CaptchaRegistrar:
+    """Issues and verifies one-time pairing codes, one live code per login."""
+
+    def __init__(
+        self,
+        rng: RandomSource,
+        code_length: int = DEFAULT_CODE_LENGTH,
+        ttl_ms: float = DEFAULT_TTL_MS,
+    ) -> None:
+        if code_length < 4:
+            raise ValidationError(f"code length must be >= 4, got {code_length}")
+        if ttl_ms <= 0:
+            raise ValidationError(f"ttl must be positive, got {ttl_ms}")
+        self._rng = rng
+        self._code_length = code_length
+        self._ttl_ms = ttl_ms
+        self._live: Dict[str, CaptchaChallenge] = {}
+
+    def issue(self, login: str, now_ms: float) -> CaptchaChallenge:
+        """Issue a fresh code for *login*, replacing any earlier one."""
+        if not login:
+            raise ValidationError("login must be non-empty")
+        code = "".join(
+            _CODE_ALPHABET[self._rng.randbelow(len(_CODE_ALPHABET))]
+            for __ in range(self._code_length)
+        )
+        challenge = CaptchaChallenge(
+            login=login,
+            code=code,
+            issued_at_ms=now_ms,
+            expires_at_ms=now_ms + self._ttl_ms,
+        )
+        self._live[login] = challenge
+        return challenge
+
+    def verify(self, login: str, code: str, now_ms: float) -> None:
+        """Consume the live code for *login*; raise on any mismatch.
+
+        Codes are single-use: success removes the challenge, and a
+        failed attempt also invalidates it so an attacker cannot brute
+        force the short code through repeated guesses.
+        """
+        challenge = self._live.pop(login, None)
+        if challenge is None:
+            raise AuthenticationError(f"no pairing code outstanding for {login!r}")
+        if challenge.expired(now_ms):
+            raise AuthenticationError("pairing code expired")
+        if not ct_equal(code.encode("utf-8"), challenge.code.encode("utf-8")):
+            raise AuthenticationError("pairing code mismatch")
+
+    def outstanding(self, login: str) -> CaptchaChallenge | None:
+        return self._live.get(login)

@@ -1,0 +1,103 @@
+"""Secret material: the entry table, ids and seeds (§III-A).
+
+``Ks = (O_id, {(µ, d, σ)})`` lives on the server;
+``Kp = (P_id, T_E)`` lives on the phone. This module generates and
+models that material; persistence is :mod:`repro.storage`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.params import DEFAULT_PARAMS, ProtocolParams
+from repro.crypto.randomness import RandomSource
+from repro.util.errors import ValidationError
+
+
+class EntryTable:
+    """The phone's table ``T_E`` of N random entry values (Table II)."""
+
+    def __init__(self, entries: list[bytes], params: ProtocolParams = DEFAULT_PARAMS):
+        if len(entries) != params.entry_table_size:
+            raise ValidationError(
+                f"entry table must have {params.entry_table_size} entries, "
+                f"got {len(entries)}"
+            )
+        bad = [i for i, e in enumerate(entries) if len(e) != params.entry_bytes]
+        if bad:
+            raise ValidationError(
+                f"entries must be {params.entry_bytes} bytes; bad indices {bad[:5]}"
+            )
+        self._entries = list(entries)
+        self.params = params
+
+    @classmethod
+    def generate(
+        cls, rng: RandomSource, params: ProtocolParams = DEFAULT_PARAMS
+    ) -> "EntryTable":
+        entries = [
+            rng.token_bytes(params.entry_bytes)
+            for __ in range(params.entry_table_size)
+        ]
+        return cls(entries, params)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __getitem__(self, index: int) -> bytes:
+        return self._entries[index]
+
+    def entries(self) -> list[bytes]:
+        """A defensive copy of the table contents."""
+        return list(self._entries)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, EntryTable):
+            return NotImplemented
+        return self._entries == other._entries
+
+
+@dataclass(frozen=True)
+class PhoneSecret:
+    """``Kp = (P_id, T_E)`` — everything the phone must keep secret."""
+
+    pid: bytes
+    entry_table: EntryTable
+
+    def __post_init__(self) -> None:
+        expected = self.entry_table.params.pid_bytes
+        if len(self.pid) != expected:
+            raise ValidationError(
+                f"P_id must be {expected} bytes, got {len(self.pid)}"
+            )
+
+    @classmethod
+    def generate(
+        cls, rng: RandomSource, params: ProtocolParams = DEFAULT_PARAMS
+    ) -> "PhoneSecret":
+        return cls(
+            pid=rng.token_bytes(params.pid_bytes),
+            entry_table=EntryTable.generate(rng, params),
+        )
+
+
+def generate_oid(rng: RandomSource, params: ProtocolParams = DEFAULT_PARAMS) -> bytes:
+    """A fresh 512-bit online id, assigned at signup and never rotated."""
+    return rng.token_bytes(params.oid_bytes)
+
+
+def generate_pid(rng: RandomSource, params: ProtocolParams = DEFAULT_PARAMS) -> bytes:
+    """A fresh 512-bit phone id, regenerated on every app install."""
+    return rng.token_bytes(params.pid_bytes)
+
+
+def generate_seed(rng: RandomSource, params: ProtocolParams = DEFAULT_PARAMS) -> bytes:
+    """A fresh 256-bit per-account seed σ."""
+    return rng.token_bytes(params.seed_bytes)
+
+
+def generate_entry_table(
+    rng: RandomSource, params: ProtocolParams = DEFAULT_PARAMS
+) -> EntryTable:
+    """A fresh N-entry table of random values."""
+    return EntryTable.generate(rng, params)

@@ -1,0 +1,125 @@
+"""The template function and per-account password policies (§III-B4).
+
+The server holds a character table of size ``N_c = 94`` — "lowercase
+letters, uppercase letters, numbers, and special characters" — i.e. the
+94 printable ASCII characters excluding space. The user may shrink the
+character set or the length per account to satisfy a site's password
+policy; truncation simply discards trailing characters.
+"""
+
+from __future__ import annotations
+
+import math
+import string
+from dataclasses import dataclass, field
+
+from repro.util.encoding import chunk, int_from_hex
+from repro.util.errors import ValidationError
+
+LOWERCASE = string.ascii_lowercase  # 26
+UPPERCASE = string.ascii_uppercase  # 26
+DIGITS = string.digits  # 10
+SPECIAL = "".join(
+    chr(code)
+    for code in range(33, 127)
+    if chr(code) not in string.ascii_letters + string.digits
+)  # 32 printable specials
+
+# ASCII order: '!' .. '~'. 26+26+10+32 = 94 = the paper's N_c.
+DEFAULT_CHARACTER_TABLE = "".join(chr(code) for code in range(33, 127))
+
+MAX_PASSWORD_LENGTH = 32  # 128 hex digits of SHA-512 / 4 per segment
+
+
+@dataclass(frozen=True)
+class CharacterTable:
+    """An indexed table of candidate password characters ``T_c``."""
+
+    characters: str = DEFAULT_CHARACTER_TABLE
+
+    def __post_init__(self) -> None:
+        if not self.characters:
+            raise ValidationError("character table cannot be empty")
+        if len(set(self.characters)) != len(self.characters):
+            raise ValidationError("character table must not contain duplicates")
+
+    @property
+    def size(self) -> int:
+        return len(self.characters)
+
+    def lookup(self, segment_value: int) -> str:
+        """``c_i = T_c[g_i mod N_c]`` — the paper's index rule."""
+        if segment_value < 0:
+            raise ValidationError(f"segment value must be >= 0, got {segment_value}")
+        return self.characters[segment_value % self.size]
+
+
+@dataclass(frozen=True)
+class PasswordPolicy:
+    """Per-account rendering policy: which characters, how many.
+
+    ``charset`` is an ordered string of unique characters (the adjusted
+    ``T_c``); ``length`` truncates the default 32-character output.
+    """
+
+    charset: str = DEFAULT_CHARACTER_TABLE
+    length: int = MAX_PASSWORD_LENGTH
+    table: CharacterTable = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if not (1 <= self.length <= MAX_PASSWORD_LENGTH):
+            raise ValidationError(
+                f"length must be in [1, {MAX_PASSWORD_LENGTH}], got {self.length}"
+            )
+        object.__setattr__(self, "table", CharacterTable(self.charset))
+
+    @classmethod
+    def from_classes(
+        cls,
+        length: int = MAX_PASSWORD_LENGTH,
+        lowercase: bool = True,
+        uppercase: bool = True,
+        digits: bool = True,
+        special: bool = True,
+    ) -> "PasswordPolicy":
+        """Build a policy from character-class toggles, as the paper's UI
+        exposes ("the user can exclude special characters")."""
+        charset = ""
+        if lowercase:
+            charset += LOWERCASE
+        if uppercase:
+            charset += UPPERCASE
+        if digits:
+            charset += DIGITS
+        if special:
+            charset += SPECIAL
+        if not charset:
+            raise ValidationError("at least one character class must be enabled")
+        return cls(charset=charset, length=length)
+
+    def password_space(self) -> int:
+        """Number of renderable passwords: ``N_c ^ length`` (§IV-E)."""
+        return self.table.size**self.length
+
+    def entropy_bits(self) -> float:
+        """log2 of the password space."""
+        return self.length * math.log2(self.table.size)
+
+    def render(self, intermediate_hex: str, segment_hex_length: int = 4) -> str:
+        """Apply the template function to the intermediate value *p*.
+
+        Splits *intermediate_hex* into segments of *segment_hex_length*
+        digits, maps each through the character table, truncates to
+        ``length``.
+        """
+        segments = chunk(intermediate_hex, segment_hex_length)
+        if len(segments) < self.length:
+            raise ValidationError(
+                f"intermediate value yields {len(segments)} segments; "
+                f"policy needs {self.length}"
+            )
+        characters = [
+            self.table.lookup(int_from_hex(segment))
+            for segment in segments[: self.length]
+        ]
+        return "".join(characters)

@@ -1,0 +1,67 @@
+"""Cryptographic toolkit (the reproduction's PyCrypto substitute).
+
+The paper's prototype uses PyCrypto on the server and ``java.security``
+on the phone for hashing, and HTTPS for channel protection. We rebuild
+the needed primitives from scratch so the whole stack is self-contained:
+
+- SHA-256 / SHA-512 digest helpers and salted hashing
+  (:mod:`repro.crypto.hashing`) — these implement the paper's
+  ``H(...)`` everywhere it appears.
+- ChaCha20 stream cipher, Poly1305 one-time MAC and the combined
+  ChaCha20-Poly1305 AEAD (RFC 8439) for the TLS-like secure channel.
+- HKDF and PBKDF2 key derivation.
+- X25519 Diffie-Hellman (RFC 7748) for the channel handshake.
+- Constant-time comparison and a pluggable randomness source so tests
+  and simulations are deterministic.
+"""
+
+from repro.crypto.hashing import (
+    sha256,
+    sha512,
+    sha256_hex,
+    sha512_hex,
+    salted_hash,
+    verify_salted_hash,
+)
+from repro.crypto.ct import ct_equal
+from repro.crypto.chacha20 import chacha20_block, chacha20_xor
+from repro.crypto.poly1305 import poly1305_mac
+from repro.crypto.aead import aead_encrypt, aead_decrypt
+from repro.crypto.hkdf import hkdf_extract, hkdf_expand, hkdf
+from repro.crypto.pbkdf2 import pbkdf2_hmac_sha256
+from repro.crypto.x25519 import (
+    x25519,
+    x25519_base,
+    generate_keypair,
+    X25519_KEY_SIZE,
+)
+from repro.crypto.randomness import RandomSource, SystemRandomSource, SeededRandomSource
+from repro.crypto.sha2 import sha256_pure, sha512_pure
+
+__all__ = [
+    "sha256",
+    "sha512",
+    "sha256_hex",
+    "sha512_hex",
+    "salted_hash",
+    "verify_salted_hash",
+    "ct_equal",
+    "chacha20_block",
+    "chacha20_xor",
+    "poly1305_mac",
+    "aead_encrypt",
+    "aead_decrypt",
+    "hkdf_extract",
+    "hkdf_expand",
+    "hkdf",
+    "pbkdf2_hmac_sha256",
+    "x25519",
+    "x25519_base",
+    "generate_keypair",
+    "X25519_KEY_SIZE",
+    "RandomSource",
+    "SystemRandomSource",
+    "SeededRandomSource",
+    "sha256_pure",
+    "sha512_pure",
+]

@@ -1,0 +1,64 @@
+"""ChaCha20-Poly1305 AEAD (RFC 8439 §2.8), pure Python.
+
+This is the record protection used by the TLS-like channel: every
+record is encrypted and authenticated (with the record header as
+associated data), so the MITM experiments in :mod:`repro.attacks` can
+only succeed by obtaining keys, never by splicing ciphertext.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.crypto.chacha20 import chacha20_block, chacha20_xor, KEY_SIZE, NONCE_SIZE
+from repro.crypto.ct import ct_equal
+from repro.crypto.poly1305 import poly1305_mac, TAG_SIZE
+from repro.util.errors import CryptoError
+
+
+def _pad16(data: bytes) -> bytes:
+    remainder = len(data) % 16
+    return b"" if remainder == 0 else b"\x00" * (16 - remainder)
+
+
+def _auth_input(aad: bytes, ciphertext: bytes) -> bytes:
+    return b"".join(
+        (
+            aad,
+            _pad16(aad),
+            ciphertext,
+            _pad16(ciphertext),
+            struct.pack("<Q", len(aad)),
+            struct.pack("<Q", len(ciphertext)),
+        )
+    )
+
+
+def _one_time_key(key: bytes, nonce: bytes) -> bytes:
+    return chacha20_block(key, 0, nonce)[:32]
+
+
+def aead_encrypt(key: bytes, nonce: bytes, plaintext: bytes, aad: bytes = b"") -> bytes:
+    """Encrypt and authenticate; returns ``ciphertext || 16-byte tag``."""
+    if len(key) != KEY_SIZE:
+        raise CryptoError(f"AEAD key must be {KEY_SIZE} bytes, got {len(key)}")
+    if len(nonce) != NONCE_SIZE:
+        raise CryptoError(f"AEAD nonce must be {NONCE_SIZE} bytes, got {len(nonce)}")
+    ciphertext = chacha20_xor(key, 1, nonce, plaintext)
+    tag = poly1305_mac(_one_time_key(key, nonce), _auth_input(aad, ciphertext))
+    return ciphertext + tag
+
+
+def aead_decrypt(key: bytes, nonce: bytes, sealed: bytes, aad: bytes = b"") -> bytes:
+    """Verify the tag and decrypt; raises :class:`CryptoError` on forgery."""
+    if len(key) != KEY_SIZE:
+        raise CryptoError(f"AEAD key must be {KEY_SIZE} bytes, got {len(key)}")
+    if len(nonce) != NONCE_SIZE:
+        raise CryptoError(f"AEAD nonce must be {NONCE_SIZE} bytes, got {len(nonce)}")
+    if len(sealed) < TAG_SIZE:
+        raise CryptoError("sealed message shorter than the tag")
+    ciphertext, tag = sealed[:-TAG_SIZE], sealed[-TAG_SIZE:]
+    expected = poly1305_mac(_one_time_key(key, nonce), _auth_input(aad, ciphertext))
+    if not ct_equal(tag, expected):
+        raise CryptoError("AEAD tag verification failed")
+    return chacha20_xor(key, 1, nonce, ciphertext)

@@ -1,0 +1,21 @@
+"""Constant-time comparison.
+
+Comparing secrets with ``==`` leaks the position of the first mismatch
+through timing; every credential check in the library routes through
+:func:`ct_equal` instead.
+"""
+
+from __future__ import annotations
+
+import hmac
+
+from repro.util.errors import ValidationError
+
+
+def ct_equal(left: bytes, right: bytes) -> bool:
+    """Compare two byte strings in time independent of their contents."""
+    if not isinstance(left, (bytes, bytearray)) or not isinstance(
+        right, (bytes, bytearray)
+    ):
+        raise ValidationError("ct_equal expects bytes")
+    return hmac.compare_digest(bytes(left), bytes(right))

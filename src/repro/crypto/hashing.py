@@ -1,0 +1,68 @@
+"""Hash helpers implementing the paper's ``H(...)`` notation.
+
+The protocol hashes byte concatenations (``H(u || d || σ)`` etc.) and
+stores salted hashes of the master password and ``P_id`` (Table I). The
+helpers here are thin, explicit wrappers over :mod:`hashlib` primitives
+— the wrapping exists so every hash in the codebase states its purpose
+and so salted hashing has a single, tested implementation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.crypto.ct import ct_equal
+from repro.util.errors import ValidationError
+
+SALT_SIZE = 16
+
+
+def sha256(*parts: bytes) -> bytes:
+    """SHA-256 of the concatenation of *parts* (the paper's ``H`` for R/T)."""
+    digest = hashlib.sha256()
+    for part in parts:
+        if not isinstance(part, (bytes, bytearray, memoryview)):
+            raise ValidationError(
+                f"sha256 expects bytes parts, got {type(part).__name__}"
+            )
+        digest.update(part)
+    return digest.digest()
+
+
+def sha512(*parts: bytes) -> bytes:
+    """SHA-512 of the concatenation of *parts* (the paper's ``H`` for p)."""
+    digest = hashlib.sha512()
+    for part in parts:
+        if not isinstance(part, (bytes, bytearray, memoryview)):
+            raise ValidationError(
+                f"sha512 expects bytes parts, got {type(part).__name__}"
+            )
+        digest.update(part)
+    return digest.digest()
+
+
+def sha256_hex(*parts: bytes) -> str:
+    """Lowercase hex of :func:`sha256` — R and T are handled as hex strings."""
+    return sha256(*parts).hex()
+
+
+def sha512_hex(*parts: bytes) -> str:
+    """Lowercase hex of :func:`sha512` — the intermediate value p."""
+    return sha512(*parts).hex()
+
+
+def salted_hash(secret: bytes, salt: bytes) -> bytes:
+    """``H(secret + salt)`` as stored in Table I for MP and P_id.
+
+    The paper stores ``H(MP + salt)`` and ``H(P_id + salt)``; we keep the
+    same construction (concatenate then SHA-256) for fidelity. Password
+    *stretching* is handled separately by PBKDF2 at the account layer.
+    """
+    if len(salt) < 8:
+        raise ValidationError(f"salt must be >= 8 bytes, got {len(salt)}")
+    return sha256(secret, salt)
+
+
+def verify_salted_hash(secret: bytes, salt: bytes, expected: bytes) -> bool:
+    """Constant-time check of a stored salted hash."""
+    return ct_equal(salted_hash(secret, salt), expected)

@@ -1,0 +1,47 @@
+"""HKDF key derivation (RFC 5869) over HMAC-SHA256.
+
+The secure channel derives its record keys from the X25519 shared
+secrets with HKDF; the phone's backup encryption key is likewise
+derived from ``P_id`` material.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+
+from repro.util.errors import CryptoError
+
+_HASH_LEN = 32
+
+
+def _hmac_sha256(key: bytes, data: bytes) -> bytes:
+    return hmac.new(key, data, hashlib.sha256).digest()
+
+
+def hkdf_extract(salt: bytes, ikm: bytes) -> bytes:
+    """Extract a pseudorandom key from input keying material."""
+    if not salt:
+        salt = b"\x00" * _HASH_LEN
+    return _hmac_sha256(salt, ikm)
+
+
+def hkdf_expand(prk: bytes, info: bytes, length: int) -> bytes:
+    """Expand *prk* into *length* bytes of output keying material."""
+    if length <= 0:
+        raise CryptoError(f"HKDF length must be positive, got {length}")
+    if length > 255 * _HASH_LEN:
+        raise CryptoError(f"HKDF cannot produce {length} bytes (max {255 * _HASH_LEN})")
+    blocks = []
+    previous = b""
+    counter = 1
+    while sum(len(b) for b in blocks) < length:
+        previous = _hmac_sha256(prk, previous + info + bytes([counter]))
+        blocks.append(previous)
+        counter += 1
+    return b"".join(blocks)[:length]
+
+
+def hkdf(ikm: bytes, salt: bytes, info: bytes, length: int) -> bytes:
+    """Extract-then-expand in one call."""
+    return hkdf_expand(hkdf_extract(salt, ikm), info, length)

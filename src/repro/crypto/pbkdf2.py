@@ -1,0 +1,37 @@
+"""PBKDF2-HMAC-SHA256 (RFC 8018), implemented from the spec.
+
+The Amnesia server stores ``H(MP + salt)`` exactly as Table I shows (see
+:func:`repro.crypto.hashing.salted_hash`), but session cookies and the
+backup encryption key need *stretched* keys, which is what PBKDF2
+provides. The inner loop XOR-accumulates HMAC iterations per the RFC.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import struct
+
+from repro.util.errors import CryptoError
+
+_HASH_LEN = 32
+
+
+def pbkdf2_hmac_sha256(
+    password: bytes, salt: bytes, iterations: int, length: int
+) -> bytes:
+    """Derive *length* bytes from *password* with *iterations* rounds."""
+    if iterations < 1:
+        raise CryptoError(f"iterations must be >= 1, got {iterations}")
+    if length <= 0:
+        raise CryptoError(f"length must be positive, got {length}")
+    blocks = []
+    block_count = (length + _HASH_LEN - 1) // _HASH_LEN
+    for index in range(1, block_count + 1):
+        u = hmac.new(password, salt + struct.pack(">I", index), hashlib.sha256).digest()
+        accum = int.from_bytes(u, "big")
+        for _ in range(iterations - 1):
+            u = hmac.new(password, u, hashlib.sha256).digest()
+            accum ^= int.from_bytes(u, "big")
+        blocks.append(accum.to_bytes(_HASH_LEN, "big"))
+    return b"".join(blocks)[:length]

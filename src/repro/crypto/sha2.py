@@ -1,0 +1,159 @@
+"""SHA-256 and SHA-512, implemented from FIPS 180-4.
+
+The paper's entire derivation chain is hashing (R, T, p are SHA-256/512
+outputs), so the reproduction carries its own implementation of the
+primitive: validated against the NIST example vectors and cross-checked
+against :mod:`hashlib` property-style in the tests. The production code
+paths (:mod:`repro.crypto.hashing`) use :mod:`hashlib` for speed; this
+module exists so that nothing in the protocol rests on an unexamined
+black box — and as the reference for anyone porting Amnesia to an
+environment without a crypto library.
+"""
+
+from __future__ import annotations
+
+from repro.util.errors import ValidationError
+
+# -- SHA-256 ---------------------------------------------------------------------
+
+_K256 = [
+    0x428A2F98, 0x71374491, 0xB5C0FBCF, 0xE9B5DBA5, 0x3956C25B, 0x59F111F1,
+    0x923F82A4, 0xAB1C5ED5, 0xD807AA98, 0x12835B01, 0x243185BE, 0x550C7DC3,
+    0x72BE5D74, 0x80DEB1FE, 0x9BDC06A7, 0xC19BF174, 0xE49B69C1, 0xEFBE4786,
+    0x0FC19DC6, 0x240CA1CC, 0x2DE92C6F, 0x4A7484AA, 0x5CB0A9DC, 0x76F988DA,
+    0x983E5152, 0xA831C66D, 0xB00327C8, 0xBF597FC7, 0xC6E00BF3, 0xD5A79147,
+    0x06CA6351, 0x14292967, 0x27B70A85, 0x2E1B2138, 0x4D2C6DFC, 0x53380D13,
+    0x650A7354, 0x766A0ABB, 0x81C2C92E, 0x92722C85, 0xA2BFE8A1, 0xA81A664B,
+    0xC24B8B70, 0xC76C51A3, 0xD192E819, 0xD6990624, 0xF40E3585, 0x106AA070,
+    0x19A4C116, 0x1E376C08, 0x2748774C, 0x34B0BCB5, 0x391C0CB3, 0x4ED8AA4A,
+    0x5B9CCA4F, 0x682E6FF3, 0x748F82EE, 0x78A5636F, 0x84C87814, 0x8CC70208,
+    0x90BEFFFA, 0xA4506CEB, 0xBEF9A3F7, 0xC67178F2,
+]
+
+_H256 = [
+    0x6A09E667, 0xBB67AE85, 0x3C6EF372, 0xA54FF53A,
+    0x510E527F, 0x9B05688C, 0x1F83D9AB, 0x5BE0CD19,
+]
+
+_MASK32 = 0xFFFFFFFF
+
+
+def _rotr32(value: int, count: int) -> int:
+    return ((value >> count) | (value << (32 - count))) & _MASK32
+
+
+def sha256_pure(message: bytes) -> bytes:
+    """SHA-256 digest of *message*, pure Python."""
+    if not isinstance(message, (bytes, bytearray, memoryview)):
+        raise ValidationError("sha256_pure expects bytes")
+    message = bytes(message)
+    bit_length = len(message) * 8
+    message += b"\x80"
+    while len(message) % 64 != 56:
+        message += b"\x00"
+    message += bit_length.to_bytes(8, "big")
+
+    h = list(_H256)
+    for block_start in range(0, len(message), 64):
+        block = message[block_start : block_start + 64]
+        w = [int.from_bytes(block[i : i + 4], "big") for i in range(0, 64, 4)]
+        for t in range(16, 64):
+            s0 = _rotr32(w[t - 15], 7) ^ _rotr32(w[t - 15], 18) ^ (w[t - 15] >> 3)
+            s1 = _rotr32(w[t - 2], 17) ^ _rotr32(w[t - 2], 19) ^ (w[t - 2] >> 10)
+            w.append((w[t - 16] + s0 + w[t - 7] + s1) & _MASK32)
+        a, b, c, d, e, f, g, hh = h
+        for t in range(64):
+            big_s1 = _rotr32(e, 6) ^ _rotr32(e, 11) ^ _rotr32(e, 25)
+            ch = (e & f) ^ (~e & g)
+            temp1 = (hh + big_s1 + ch + _K256[t] + w[t]) & _MASK32
+            big_s0 = _rotr32(a, 2) ^ _rotr32(a, 13) ^ _rotr32(a, 22)
+            maj = (a & b) ^ (a & c) ^ (b & c)
+            temp2 = (big_s0 + maj) & _MASK32
+            hh, g, f, e = g, f, e, (d + temp1) & _MASK32
+            d, c, b, a = c, b, a, (temp1 + temp2) & _MASK32
+        h = [
+            (x + y) & _MASK32
+            for x, y in zip(h, (a, b, c, d, e, f, g, hh))
+        ]
+    return b"".join(x.to_bytes(4, "big") for x in h)
+
+
+# -- SHA-512 ---------------------------------------------------------------------
+
+_K512 = [
+    0x428A2F98D728AE22, 0x7137449123EF65CD, 0xB5C0FBCFEC4D3B2F,
+    0xE9B5DBA58189DBBC, 0x3956C25BF348B538, 0x59F111F1B605D019,
+    0x923F82A4AF194F9B, 0xAB1C5ED5DA6D8118, 0xD807AA98A3030242,
+    0x12835B0145706FBE, 0x243185BE4EE4B28C, 0x550C7DC3D5FFB4E2,
+    0x72BE5D74F27B896F, 0x80DEB1FE3B1696B1, 0x9BDC06A725C71235,
+    0xC19BF174CF692694, 0xE49B69C19EF14AD2, 0xEFBE4786384F25E3,
+    0x0FC19DC68B8CD5B5, 0x240CA1CC77AC9C65, 0x2DE92C6F592B0275,
+    0x4A7484AA6EA6E483, 0x5CB0A9DCBD41FBD4, 0x76F988DA831153B5,
+    0x983E5152EE66DFAB, 0xA831C66D2DB43210, 0xB00327C898FB213F,
+    0xBF597FC7BEEF0EE4, 0xC6E00BF33DA88FC2, 0xD5A79147930AA725,
+    0x06CA6351E003826F, 0x142929670A0E6E70, 0x27B70A8546D22FFC,
+    0x2E1B21385C26C926, 0x4D2C6DFC5AC42AED, 0x53380D139D95B3DF,
+    0x650A73548BAF63DE, 0x766A0ABB3C77B2A8, 0x81C2C92E47EDAEE6,
+    0x92722C851482353B, 0xA2BFE8A14CF10364, 0xA81A664BBC423001,
+    0xC24B8B70D0F89791, 0xC76C51A30654BE30, 0xD192E819D6EF5218,
+    0xD69906245565A910, 0xF40E35855771202A, 0x106AA07032BBD1B8,
+    0x19A4C116B8D2D0C8, 0x1E376C085141AB53, 0x2748774CDF8EEB99,
+    0x34B0BCB5E19B48A8, 0x391C0CB3C5C95A63, 0x4ED8AA4AE3418ACB,
+    0x5B9CCA4F7763E373, 0x682E6FF3D6B2B8A3, 0x748F82EE5DEFB2FC,
+    0x78A5636F43172F60, 0x84C87814A1F0AB72, 0x8CC702081A6439EC,
+    0x90BEFFFA23631E28, 0xA4506CEBDE82BDE9, 0xBEF9A3F7B2C67915,
+    0xC67178F2E372532B, 0xCA273ECEEA26619C, 0xD186B8C721C0C207,
+    0xEADA7DD6CDE0EB1E, 0xF57D4F7FEE6ED178, 0x06F067AA72176FBA,
+    0x0A637DC5A2C898A6, 0x113F9804BEF90DAE, 0x1B710B35131C471B,
+    0x28DB77F523047D84, 0x32CAAB7B40C72493, 0x3C9EBE0A15C9BEBC,
+    0x431D67C49C100D4C, 0x4CC5D4BECB3E42B6, 0x597F299CFC657E2A,
+    0x5FCB6FAB3AD6FAEC, 0x6C44198C4A475817,
+]
+
+_H512 = [
+    0x6A09E667F3BCC908, 0xBB67AE8584CAA73B, 0x3C6EF372FE94F82B,
+    0xA54FF53A5F1D36F1, 0x510E527FADE682D1, 0x9B05688C2B3E6C1F,
+    0x1F83D9ABFB41BD6B, 0x5BE0CD19137E2179,
+]
+
+_MASK64 = 0xFFFFFFFFFFFFFFFF
+
+
+def _rotr64(value: int, count: int) -> int:
+    return ((value >> count) | (value << (64 - count))) & _MASK64
+
+
+def sha512_pure(message: bytes) -> bytes:
+    """SHA-512 digest of *message*, pure Python."""
+    if not isinstance(message, (bytes, bytearray, memoryview)):
+        raise ValidationError("sha512_pure expects bytes")
+    message = bytes(message)
+    bit_length = len(message) * 8
+    message += b"\x80"
+    while len(message) % 128 != 112:
+        message += b"\x00"
+    message += bit_length.to_bytes(16, "big")
+
+    h = list(_H512)
+    for block_start in range(0, len(message), 128):
+        block = message[block_start : block_start + 128]
+        w = [int.from_bytes(block[i : i + 8], "big") for i in range(0, 128, 8)]
+        for t in range(16, 80):
+            s0 = _rotr64(w[t - 15], 1) ^ _rotr64(w[t - 15], 8) ^ (w[t - 15] >> 7)
+            s1 = _rotr64(w[t - 2], 19) ^ _rotr64(w[t - 2], 61) ^ (w[t - 2] >> 6)
+            w.append((w[t - 16] + s0 + w[t - 7] + s1) & _MASK64)
+        a, b, c, d, e, f, g, hh = h
+        for t in range(80):
+            big_s1 = _rotr64(e, 14) ^ _rotr64(e, 18) ^ _rotr64(e, 41)
+            ch = (e & f) ^ (~e & g)
+            temp1 = (hh + big_s1 + ch + _K512[t] + w[t]) & _MASK64
+            big_s0 = _rotr64(a, 28) ^ _rotr64(a, 34) ^ _rotr64(a, 39)
+            maj = (a & b) ^ (a & c) ^ (b & c)
+            temp2 = (big_s0 + maj) & _MASK64
+            hh, g, f, e = g, f, e, (d + temp1) & _MASK64
+            d, c, b, a = c, b, a, (temp1 + temp2) & _MASK64
+        h = [
+            (x + y) & _MASK64
+            for x, y in zip(h, (a, b, c, d, e, f, g, hh))
+        ]
+    return b"".join(x.to_bytes(8, "big") for x in h)

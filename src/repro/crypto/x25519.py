@@ -1,0 +1,94 @@
+"""X25519 Diffie-Hellman (RFC 7748), pure Python.
+
+Provides the key agreement for the TLS-like channel handshake. The
+Montgomery ladder follows the RFC's pseudocode; the implementation is
+validated against RFC 7748 §5.2 and §6.1 test vectors.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.randomness import RandomSource, SystemRandomSource
+from repro.util.errors import CryptoError
+
+X25519_KEY_SIZE = 32
+
+_P = 2**255 - 19
+_A24 = 121665
+
+
+def _decode_scalar(scalar: bytes) -> int:
+    if len(scalar) != X25519_KEY_SIZE:
+        raise CryptoError(f"scalar must be {X25519_KEY_SIZE} bytes, got {len(scalar)}")
+    clamped = bytearray(scalar)
+    clamped[0] &= 248
+    clamped[31] &= 127
+    clamped[31] |= 64
+    return int.from_bytes(clamped, "little")
+
+
+def _decode_u(u: bytes) -> int:
+    if len(u) != X25519_KEY_SIZE:
+        raise CryptoError(f"u-coordinate must be {X25519_KEY_SIZE} bytes, got {len(u)}")
+    masked = bytearray(u)
+    masked[31] &= 127  # RFC 7748: ignore the top bit of the u-coordinate
+    return int.from_bytes(masked, "little") % _P
+
+
+def _encode_u(u: int) -> bytes:
+    return (u % _P).to_bytes(X25519_KEY_SIZE, "little")
+
+
+def _ladder(k: int, u: int) -> int:
+    """Constant-structure Montgomery ladder computing k * (u : 1)."""
+    x1 = u
+    x2, z2 = 1, 0
+    x3, z3 = u, 1
+    swap = 0
+    for t in range(254, -1, -1):
+        k_t = (k >> t) & 1
+        swap ^= k_t
+        if swap:
+            x2, x3 = x3, x2
+            z2, z3 = z3, z2
+        swap = k_t
+        a = (x2 + z2) % _P
+        aa = (a * a) % _P
+        b = (x2 - z2) % _P
+        bb = (b * b) % _P
+        e = (aa - bb) % _P
+        c = (x3 + z3) % _P
+        d = (x3 - z3) % _P
+        da = (d * a) % _P
+        cb = (c * b) % _P
+        x3 = (da + cb) % _P
+        x3 = (x3 * x3) % _P
+        z3 = (da - cb) % _P
+        z3 = (z3 * z3 * x1) % _P
+        x2 = (aa * bb) % _P
+        z2 = (e * (aa + _A24 * e)) % _P
+    if swap:
+        x2, x3 = x3, x2
+        z2, z3 = z3, z2
+    return (x2 * pow(z2, _P - 2, _P)) % _P
+
+
+def x25519(scalar: bytes, u: bytes) -> bytes:
+    """Scalar multiplication on Curve25519; returns the shared u-coordinate."""
+    result = _ladder(_decode_scalar(scalar), _decode_u(u))
+    if result == 0:
+        # All-zero output means a low-order point was supplied; reject to
+        # prevent key-compromise via contributory-behaviour attacks.
+        raise CryptoError("X25519 produced the all-zero shared secret")
+    return _encode_u(result)
+
+
+def x25519_base(scalar: bytes) -> bytes:
+    """Public key for *scalar* (scalar multiplication by the base point 9)."""
+    return _encode_u(_ladder(_decode_scalar(scalar), 9))
+
+
+def generate_keypair(rng: RandomSource | None = None) -> tuple[bytes, bytes]:
+    """Generate ``(private, public)`` X25519 keys from *rng* (system default)."""
+    source = rng if rng is not None else SystemRandomSource()
+    private = source.token_bytes(X25519_KEY_SIZE)
+    return private, x25519_base(private)

@@ -1,0 +1,36 @@
+"""Real-socket deployment of the Amnesia server.
+
+The simulation (:mod:`repro.testbed`) is where experiments run; this
+package is where the reproduction becomes an artifact you can actually
+*use*: the same :class:`repro.server.service.AmnesiaCore` served over a
+real localhost HTTP socket (like the original CherryPy prototype), with
+an in-process phone agent standing in for the Android app and a direct
+dispatcher standing in for GCM.
+
+    from repro.deploy import RealAmnesiaDeployment
+
+    with RealAmnesiaDeployment() as deployment:
+        client = deployment.client()
+        client.signup("alice", "a master password")
+        agent = deployment.new_phone_agent()
+        deployment.pair(client, agent, "alice")
+        account_id = client.add_account("alice", "example.com")
+        print(client.generate_password(account_id)["password"])
+
+Or from a shell: ``amnesia-repro serve --port 8080`` and talk to it
+with ``curl``.
+"""
+
+from repro.deploy.clock import WallClock
+from repro.deploy.real import (
+    LocalPhoneAgent,
+    RealAmnesiaClient,
+    RealAmnesiaDeployment,
+)
+
+__all__ = [
+    "WallClock",
+    "LocalPhoneAgent",
+    "RealAmnesiaClient",
+    "RealAmnesiaDeployment",
+]

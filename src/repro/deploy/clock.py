@@ -1,0 +1,63 @@
+"""A wall clock with the simulator's scheduling interface.
+
+:class:`repro.server.service.AmnesiaCore` needs ``.now`` (milliseconds)
+and ``.schedule(delay_ms, action, label)`` returning a cancellable
+handle. The simulator provides both in virtual time; this class
+provides them in real time via :class:`threading.Timer`, so the same
+core runs unmodified behind real sockets.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable
+
+
+class _TimerHandle:
+    """Cancellable handle compatible with the simulator's Event."""
+
+    def __init__(self, timer: threading.Timer) -> None:
+        self._timer = timer
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        self.cancelled = True
+        self._timer.cancel()
+
+
+class WallClock:
+    """Real time in milliseconds, with guarded timer scheduling.
+
+    *guard* (optional) is a lock/context-manager acquired around every
+    scheduled action — deployments pass their request lock so timer
+    callbacks never race HTTP handler threads over shared state.
+    """
+
+    def __init__(self, guard=None) -> None:
+        self._origin = time.monotonic()
+        self._guard = guard
+
+    @property
+    def now(self) -> float:
+        return (time.monotonic() - self._origin) * 1000.0
+
+    def schedule(
+        self, delay_ms: float, action: Callable[[], None], label: str = ""
+    ) -> _TimerHandle:
+        handle: _TimerHandle
+
+        def run() -> None:
+            if handle.cancelled:
+                return
+            if self._guard is not None:
+                with self._guard:
+                    action()
+            else:
+                action()
+
+        timer = threading.Timer(max(0.0, delay_ms) / 1000.0, run)
+        timer.daemon = True
+        handle = _TimerHandle(timer)
+        timer.start()
+        return handle

@@ -1,0 +1,471 @@
+"""The real-socket deployment: AmnesiaCore over localhost HTTP.
+
+Pieces:
+
+- :class:`RealAmnesiaDeployment` — owns the core, a
+  ``ThreadingHTTPServer`` bound to 127.0.0.1, and the in-process push
+  dispatcher that stands in for GCM;
+- :class:`LocalPhoneAgent` — the phone: generates and stores ``Kp``,
+  receives pushes on a worker thread, computes Algorithm 1 and POSTs
+  the token back over real HTTP;
+- :class:`RealAmnesiaClient` — an ``http.client`` based client with a
+  cookie jar, mirroring :class:`repro.client.browser.AmnesiaBrowser`.
+
+Concurrency model: HTTP handler threads call ``application.handle``
+under one deployment-wide lock (SQLite and the in-memory registries are
+not thread-safe); a handler whose response is deferred waits on a
+:class:`threading.Event` *outside* the lock — exactly a blocking
+CherryPy handler — until the phone's token request (another thread)
+resolves it.
+
+Transport security note: the simulation carries HTTP inside the
+TLS-like channel; this deployment is plain HTTP on 127.0.0.1, standing
+in for the prototype's self-signed-certificate HTTPS. Do not bind it to
+a public interface.
+"""
+
+from __future__ import annotations
+
+import http.client
+import itertools
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Callable, Dict
+from urllib.parse import parse_qsl, unquote, urlencode
+
+from repro.core.params import DEFAULT_PARAMS, ProtocolParams
+from repro.core.protocol import generate_token
+from repro.core.secrets import EntryTable, PhoneSecret
+from repro.crypto.randomness import RandomSource, SystemRandomSource
+from repro.deploy.clock import WallClock
+from repro.server.service import AmnesiaCore
+from repro.storage.phone_db import PhoneDatabase
+from repro.util.errors import (
+    AuthenticationError,
+    ConflictError,
+    NetworkError,
+    NotFoundError,
+    ValidationError,
+)
+from repro.web.app import Deferred
+from repro.web.http import HttpRequest, HttpResponse
+
+DEFAULT_DEFERRED_WAIT_S = 60.0
+
+
+def _make_handler_class(deployment: "RealAmnesiaDeployment"):
+    class _Handler(BaseHTTPRequestHandler):
+        protocol_version = "HTTP/1.1"
+
+        def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+            if deployment.verbose:
+                super().log_message(format, *args)
+
+        def _dispatch(self, method: str) -> None:
+            length = int(self.headers.get("content-length", "0") or 0)
+            body = self.rfile.read(length) if length else b""
+            path, __, query_string = self.path.partition("?")
+            cookies: Dict[str, str] = {}
+            cookie_header = self.headers.get("cookie", "")
+            for piece in cookie_header.split(";"):
+                if "=" in piece:
+                    name, __, value = piece.strip().partition("=")
+                    cookies[unquote(name)] = unquote(value)
+            try:
+                request = HttpRequest(
+                    method=method,
+                    path=unquote(path),
+                    query=dict(parse_qsl(query_string, keep_blank_values=True)),
+                    headers={
+                        key.lower(): value for key, value in self.headers.items()
+                    },
+                    body=body,
+                    cookies=cookies,
+                )
+            except ValidationError as error:
+                self._send(HttpResponse(status=400, body=str(error).encode()))
+                return
+            request.headers["x-peer-host"] = self.client_address[0]
+            response = deployment.handle(request)
+            self._send(response)
+
+        def _send(self, response: HttpResponse) -> None:
+            try:
+                self.send_response(response.status)
+                for name, value in response.headers.items():
+                    self.send_header(name, value)
+                for name, value in response.set_cookies.items():
+                    self.send_header(
+                        "set-cookie", f"{name}={value}; Path=/; HttpOnly"
+                    )
+                self.send_header("content-length", str(len(response.body)))
+                self.end_headers()
+                self.wfile.write(response.body)
+            except (BrokenPipeError, ConnectionResetError):
+                pass  # client went away; nothing to do
+
+        def do_GET(self) -> None:  # noqa: N802
+            self._dispatch("GET")
+
+        def do_POST(self) -> None:  # noqa: N802
+            self._dispatch("POST")
+
+        def do_PUT(self) -> None:  # noqa: N802
+            self._dispatch("PUT")
+
+        def do_DELETE(self) -> None:  # noqa: N802
+            self._dispatch("DELETE")
+
+    return _Handler
+
+
+class RealAmnesiaDeployment:
+    """AmnesiaCore served on a real localhost socket."""
+
+    def __init__(
+        self,
+        port: int = 0,
+        db_path: str = ":memory:",
+        params: ProtocolParams = DEFAULT_PARAMS,
+        generation_timeout_ms: float = 15_000.0,
+        token_session_ttl_ms: float = 0.0,
+        rng: RandomSource | None = None,
+        deferred_wait_s: float = DEFAULT_DEFERRED_WAIT_S,
+        verbose: bool = False,
+    ) -> None:
+        self.verbose = verbose
+        self._lock = threading.RLock()
+        self.clock = WallClock(guard=self._lock)
+        self._rng = rng if rng is not None else SystemRandomSource()
+        self._agents: Dict[str, LocalPhoneAgent] = {}
+        self._reg_ids = itertools.count(1)
+        self._deferred_wait_s = deferred_wait_s
+        self.core = AmnesiaCore(
+            clock=self.clock,
+            rng=self._rng,
+            push=self._push,
+            db_path=db_path,
+            params=params,
+            generation_timeout_ms=generation_timeout_ms,
+            token_session_ttl_ms=token_session_ttl_ms,
+        )
+        self._httpd = ThreadingHTTPServer(
+            ("127.0.0.1", port), _make_handler_class(self)
+        )
+        self._httpd.daemon_threads = True
+        self._thread: threading.Thread | None = None
+
+    # -- lifecycle -------------------------------------------------------------
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    @property
+    def address(self) -> str:
+        return f"127.0.0.1:{self.port}"
+
+    def start(self) -> "RealAmnesiaDeployment":
+        if self._thread is not None:
+            raise ValidationError("deployment already started")
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, daemon=True, name="amnesia-httpd"
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        if self._thread is None:
+            return
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        self._thread.join(timeout=5)
+        self._thread = None
+
+    def __enter__(self) -> "RealAmnesiaDeployment":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    # -- request handling --------------------------------------------------------
+
+    def handle(self, request: HttpRequest) -> HttpResponse:
+        """Dispatch under the deployment lock; block on deferreds outside."""
+        with self._lock:
+            result = self.core.application.handle(request)
+        if isinstance(result, HttpResponse):
+            return result
+        assert isinstance(result, Deferred)
+        done = threading.Event()
+        box: Dict[str, HttpResponse] = {}
+
+        def resolved(response: HttpResponse) -> None:
+            box["response"] = response
+            done.set()
+
+        result.on_resolve(resolved)
+        if not done.wait(timeout=self._deferred_wait_s):
+            return HttpResponse(
+                status=504, body=b'{"error": "deferred response never resolved"}'
+            )
+        return box["response"]
+
+    # -- the GCM stand-in ----------------------------------------------------------
+
+    def _push(self, reg_id: str, data: Dict[str, Any]) -> None:
+        agent = self._agents.get(reg_id)
+        if agent is None:
+            return  # unknown registration id: dropped, like GCM
+        # Deliver on a fresh thread: the pushing request may hold the lock.
+        threading.Thread(
+            target=agent.on_push, args=(dict(data),), daemon=True,
+            name="gcm-delivery",
+        ).start()
+
+    def assign_registration_id(self, agent: "LocalPhoneAgent") -> str:
+        reg_id = f"local:{next(self._reg_ids)}"
+        self._agents[reg_id] = agent
+        return reg_id
+
+    # -- conveniences ----------------------------------------------------------------
+
+    def client(self) -> "RealAmnesiaClient":
+        return RealAmnesiaClient(self.address)
+
+    def new_phone_agent(
+        self, compute_delay_s: float = 0.02, rng: RandomSource | None = None
+    ) -> "LocalPhoneAgent":
+        agent = LocalPhoneAgent(
+            deployment=self,
+            rng=rng if rng is not None else SystemRandomSource(),
+            params=self.core.params,
+            compute_delay_s=compute_delay_s,
+        )
+        return agent
+
+    def pair(
+        self, client: "RealAmnesiaClient", agent: "LocalPhoneAgent", login: str
+    ) -> None:
+        """Run the CAPTCHA pairing for *login* end to end."""
+        code = client.start_pairing()
+        agent.pair(login, code)
+
+
+class LocalPhoneAgent:
+    """The Android app's stand-in for real deployments."""
+
+    def __init__(
+        self,
+        deployment: RealAmnesiaDeployment,
+        rng: RandomSource,
+        params: ProtocolParams,
+        compute_delay_s: float = 0.02,
+    ) -> None:
+        self.params = params
+        self.compute_delay_s = compute_delay_s
+        self.database = PhoneDatabase()
+        secret = PhoneSecret.generate(rng, params)
+        self.database.set_pid(secret.pid)
+        self.database.store_entry_table(secret.entry_table.entries())
+        self.reg_id = deployment.assign_registration_id(self)
+        self.database.set_registration_id(self.reg_id)
+        self._address = deployment.address
+        self.answered = 0
+
+    def pair(self, login: str, code: str) -> None:
+        response = _http_json(
+            self._address,
+            "POST",
+            "/pair/complete",
+            {
+                "login": login,
+                "code": code,
+                "pid": self.database.pid().hex(),
+                "reg_id": self.reg_id,
+            },
+        )
+        if response["status"] != 201:
+            raise AuthenticationError(f"pairing failed: {response['body']}")
+
+    def on_push(self, data: Dict[str, Any]) -> None:
+        """GCM delivery: act on the push after the device delay."""
+        kind = data.get("kind")
+        if kind == "password_request":
+            self._answer_password_request(data)
+        elif kind == "master_change_request":
+            self._confirm_master_change(data)
+
+    def _answer_password_request(self, data: Dict[str, Any]) -> None:
+        pending_id = str(data.get("pending_id", ""))
+        request_hex = str(data.get("request", ""))
+        if not pending_id or not request_hex:
+            return
+        time.sleep(self.compute_delay_s)
+        table = EntryTable(self.database.entry_table(), self.params)
+        token_hex = generate_token(request_hex, table, self.params)
+        self.answered += 1
+        _http_json(
+            self._address,
+            "POST",
+            "/token",
+            {
+                "pending_id": pending_id,
+                "token": token_hex,
+                "pid": self.database.pid().hex(),
+            },
+        )
+
+    def _confirm_master_change(self, data: Dict[str, Any]) -> None:
+        """Auto-confirm master-password changes (the user's tap)."""
+        pending_id = str(data.get("pending_id", ""))
+        if not pending_id:
+            return
+        time.sleep(self.compute_delay_s)
+        _http_json(
+            self._address,
+            "POST",
+            "/recover/master/confirm",
+            {"pending_id": pending_id, "pid": self.database.pid().hex()},
+        )
+
+    def backup_blob(self) -> bytes:
+        """The one-time Kp backup payload (§III-C1), as the app exports it."""
+        from repro.core.recovery import encode_backup
+        from repro.core.secrets import PhoneSecret
+
+        secret = PhoneSecret(
+            pid=self.database.pid(),
+            entry_table=EntryTable(self.database.entry_table(), self.params),
+        )
+        return encode_backup(secret)
+
+
+def _http_json(
+    address: str, method: str, path: str, payload: Any, cookies: str = ""
+) -> Dict[str, Any]:
+    """One JSON request over a fresh connection; returns status+body."""
+    connection = http.client.HTTPConnection(address, timeout=90)
+    try:
+        body = json.dumps(payload).encode("utf-8") if payload is not None else b""
+        headers = {"content-type": "application/json"}
+        if cookies:
+            headers["cookie"] = cookies
+        connection.request(method, path, body=body, headers=headers)
+        raw = connection.getresponse()
+        data = raw.read()
+        return {
+            "status": raw.status,
+            "body": data,
+            "headers": raw.getheaders(),
+        }
+    except OSError as error:
+        raise NetworkError(f"request to {address} failed: {error}") from error
+    finally:
+        connection.close()
+
+
+class RealAmnesiaClient:
+    """A browser-equivalent over real HTTP, with a cookie jar."""
+
+    def __init__(self, address: str) -> None:
+        self.address = address
+        self._cookies: Dict[str, str] = {}
+
+    # -- plumbing ---------------------------------------------------------------
+
+    def _request(self, method: str, path: str, payload: Any = None) -> Any:
+        cookie_header = "; ".join(
+            f"{name}={value}" for name, value in self._cookies.items()
+        )
+        response = _http_json(
+            self.address, method, path, payload, cookies=cookie_header
+        )
+        for name, value in response["headers"]:
+            if name.lower() == "set-cookie":
+                cookie = value.split(";")[0]
+                if "=" in cookie:
+                    cookie_name, __, cookie_value = cookie.partition("=")
+                    self._cookies[cookie_name] = cookie_value
+        body = response["body"]
+        parsed = json.loads(body.decode("utf-8")) if body else {}
+        status = response["status"]
+        if status >= 400:
+            message = parsed.get("error", "") if isinstance(parsed, dict) else ""
+            if status == 401:
+                raise AuthenticationError(message)
+            if status == 404:
+                raise NotFoundError(message)
+            if status == 409:
+                raise ConflictError(message)
+            raise ValidationError(f"HTTP {status}: {message}")
+        return parsed
+
+    # -- the browser API -----------------------------------------------------------
+
+    def signup(self, login: str, master_password: str) -> None:
+        self._request(
+            "POST", "/signup", {"login": login, "master_password": master_password}
+        )
+
+    def login(self, login: str, master_password: str) -> None:
+        self._request(
+            "POST", "/login", {"login": login, "master_password": master_password}
+        )
+
+    def logout(self) -> None:
+        self._request("POST", "/logout", {})
+
+    def me(self) -> Dict[str, Any]:
+        return self._request("GET", "/me")
+
+    def start_pairing(self) -> str:
+        return self._request("POST", "/pair/start", {})["code"]
+
+    def add_account(self, username: str, domain: str, **policy: Any) -> int:
+        payload: Dict[str, Any] = {"username": username, "domain": domain}
+        payload.update(policy)
+        return int(self._request("POST", "/accounts", payload)["account_id"])
+
+    def accounts(self) -> list:
+        return self._request("GET", "/accounts")["accounts"]
+
+    def generate_password(self, account_id: int) -> Dict[str, Any]:
+        return self._request("POST", f"/accounts/{account_id}/generate", {})
+
+    def rotate_password(self, account_id: int) -> None:
+        self._request("POST", f"/accounts/{account_id}/rotate", {})
+
+    def vault_store(self, account_id: int, password: str) -> None:
+        self._request(
+            "PUT", f"/accounts/{account_id}/vault", {"password": password}
+        )
+
+    def vault_retrieve(self, account_id: int) -> str:
+        return self._request(
+            "POST", f"/accounts/{account_id}/vault/retrieve", {}
+        )["password"]
+
+    # -- recovery (§III-C) over real sockets -----------------------------------
+
+    def start_master_change(self) -> Dict[str, Any]:
+        """Blocks (a real thread) until the phone agent confirms."""
+        return self._request("POST", "/recover/master/start", {})
+
+    def complete_master_change(self, new_master_password: str) -> None:
+        self._request(
+            "POST",
+            "/recover/master/complete",
+            {"new_master_password": new_master_password},
+        )
+
+    def recover_phone(self, backup_blob: bytes) -> list:
+        import base64
+
+        return self._request(
+            "POST",
+            "/recover/phone",
+            {"backup": base64.b64encode(backup_blob).decode("ascii")},
+        )["passwords"]

@@ -1,0 +1,56 @@
+"""Evaluation: every table and figure of the paper's §VI and §VII.
+
+- :mod:`repro.eval.bonneau` — the Bonneau et al. UDS comparative
+  framework [11] and Table III's ratings, with mechanical consistency
+  checks against the implemented schemes and attacks.
+- :mod:`repro.eval.latency` — the Figure 3 experiment: 100 password
+  generations over the Wi-Fi and 4G profiles, mean and σ.
+- :mod:`repro.eval.survey` — the §VII user study: the published counts
+  behind Figure 4a-d, demographics, usability and preference numbers,
+  plus a generative respondent model for sensitivity sweeps.
+- :mod:`repro.eval.strength` — §IV-E's generated-password strength:
+  composition expectations, password space, and the modulo-bias
+  analysis for the entry-table ablation.
+"""
+
+from repro.eval.bonneau import (
+    Rating,
+    Property,
+    ALL_PROPERTIES,
+    TABLE_III,
+    render_table_iii,
+    mechanical_checks,
+)
+from repro.eval.latency import LatencyExperiment, LatencyStats, PAPER_FIGURE_3
+from repro.eval.survey import (
+    SurveyDataset,
+    PAPER_SURVEY,
+    RespondentModel,
+)
+from repro.eval.strength import (
+    composition_expectation,
+    composition_of,
+    empirical_composition,
+    index_bias,
+    PAPER_COMPOSITION,
+)
+
+__all__ = [
+    "Rating",
+    "Property",
+    "ALL_PROPERTIES",
+    "TABLE_III",
+    "render_table_iii",
+    "mechanical_checks",
+    "LatencyExperiment",
+    "LatencyStats",
+    "PAPER_FIGURE_3",
+    "SurveyDataset",
+    "PAPER_SURVEY",
+    "RespondentModel",
+    "composition_expectation",
+    "composition_of",
+    "empirical_composition",
+    "index_bias",
+    "PAPER_COMPOSITION",
+]

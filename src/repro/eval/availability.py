@@ -1,0 +1,122 @@
+"""Quantifying §VIII's availability limitation.
+
+"Access to the user's accounts thus becomes dependent on the
+availability of their mobile phone. If the smartphone is powered off or
+offline, then the user would lose access to their accounts."
+
+This module models a handset's duty cycle — alternating online/offline
+periods (radio dead zones, battery death, aeroplane mode) — and measures
+what fraction of password-generation attempts fail as a function of the
+phone's availability and the server's willingness to wait (the
+generation timeout plus GCM's store-and-forward buys back short gaps).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.net.profiles import FAST_PROFILE, NetworkProfile
+from repro.testbed import AmnesiaTestbed
+from repro.util.errors import ValidationError
+from repro.web.http import HttpRequest
+
+
+@dataclass(frozen=True)
+class DutyCycle:
+    """The phone's connectivity pattern: online/offline alternation."""
+
+    online_ms: float
+    offline_ms: float
+
+    def __post_init__(self) -> None:
+        if self.online_ms < 0 or self.offline_ms < 0:
+            raise ValidationError("durations must be >= 0")
+        if self.online_ms + self.offline_ms <= 0:
+            raise ValidationError("duty cycle must have positive period")
+
+    @property
+    def availability(self) -> float:
+        return self.online_ms / (self.online_ms + self.offline_ms)
+
+
+@dataclass(frozen=True)
+class AvailabilityReport:
+    """Outcome of one duty-cycle experiment."""
+
+    duty_cycle: DutyCycle
+    attempts: int
+    succeeded: int
+    timed_out: int
+    generation_timeout_ms: float
+
+    @property
+    def success_rate(self) -> float:
+        return self.succeeded / self.attempts if self.attempts else 0.0
+
+
+def run_availability_experiment(
+    duty_cycle: DutyCycle,
+    attempts: int = 40,
+    attempt_interval_ms: float = 20_000.0,
+    generation_timeout_ms: float = 10_000.0,
+    profile: NetworkProfile = FAST_PROFILE,
+    seed: str = "availability",
+) -> AvailabilityReport:
+    """Drive generations while the phone flaps per *duty_cycle*.
+
+    The phone reconnects (flushing GCM's queue) at the start of every
+    online period, so requests pushed during a short gap can still
+    complete if the server's timeout outlasts the gap.
+    """
+    if attempts < 1:
+        raise ValidationError("attempts must be >= 1")
+    bed = AmnesiaTestbed(
+        seed=f"{seed}|{duty_cycle.online_ms}|{duty_cycle.offline_ms}",
+        profile=profile,
+        generation_timeout_ms=generation_timeout_ms,
+    )
+    # The browser must outwait the server's own timeout.
+    bed._laptop_stack.retry_timeout_ms = generation_timeout_ms + 60_000
+    browser = bed.enroll("alice", "master-password-1")
+    account_id = browser.add_account("alice", "x.com")
+
+    # Phone duty cycle as kernel events.
+    def go_offline() -> None:
+        bed.device.power_off()
+        bed.kernel.schedule(duty_cycle.offline_ms, go_online, "duty-online")
+
+    def go_online() -> None:
+        bed.device.power_on()
+        bed.phone.reconnect()  # flush queued pushes (store-and-forward)
+        bed.kernel.schedule(duty_cycle.online_ms, go_offline, "duty-offline")
+
+    if duty_cycle.offline_ms > 0:
+        bed.kernel.schedule(duty_cycle.online_ms, go_offline, "duty-offline")
+
+    outcomes = {"ok": 0, "timeout": 0}
+
+    def attempt() -> None:
+        def on_response(response) -> None:
+            outcomes["ok" if response.ok else "timeout"] += 1
+
+        browser.http.send(
+            HttpRequest.json_request(
+                "POST", f"/accounts/{account_id}/generate", {}
+            ),
+            on_response,
+            lambda error: outcomes.__setitem__(
+                "timeout", outcomes["timeout"] + 1
+            ),
+        )
+
+    for index in range(attempts):
+        bed.kernel.schedule(index * attempt_interval_ms, attempt, "attempt")
+    bed.run_until_idle()
+
+    return AvailabilityReport(
+        duty_cycle=duty_cycle,
+        attempts=attempts,
+        succeeded=outcomes["ok"],
+        timed_out=outcomes["timeout"],
+        generation_timeout_ms=generation_timeout_ms,
+    )

@@ -1,0 +1,342 @@
+"""Bonneau et al.'s comparative framework [11] and Table III.
+
+The framework scores authentication schemes on 25 properties across
+usability (8), deployability (6) and security (11); each property is
+fulfilled (●), quasi-fulfilled (◐) or unfulfilled (blank).
+
+Ratings are *judgments*, so Table III is encoded as data — but the
+paper's prose makes several explicit claims which the encoding must
+honour and which :func:`mechanical_checks` validates against the
+*implemented* schemes and attacks:
+
+- Amnesia fulfils every deployability property except Mature (§VI-A);
+- Amnesia is NOT resilient to physical observation (password shown as
+  text) nor to internal observation (broken TLS exposes passwords);
+- Amnesia and Tapas score similarly on usability (both bilateral);
+- generative high-entropy passwords ⇒ resilient to unthrottled
+  guessing; the login throttle ⇒ resilient to throttled guessing;
+- per-site independent passwords ⇒ resilient to leaks from other
+  verifiers.
+
+Note on fidelity: the source PDF's table glyphs do not survive text
+extraction cleanly, so cells not pinned by prose are reconstructed from
+Bonneau's canonical ratings (for Password/Firefox/LastPass) and the
+Tapas paper's self-evaluation; EXPERIMENTS.md lists which cells are
+prose-pinned versus reconstructed.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.util.errors import ValidationError
+
+
+class Rating(enum.Enum):
+    """One cell of the framework table."""
+
+    FULL = "●"
+    QUASI = "◐"
+    NO = " "
+
+    def __str__(self) -> str:
+        return self.value
+
+
+class Category(enum.Enum):
+    USABILITY = "Usability"
+    DEPLOYABILITY = "Deployability"
+    SECURITY = "Security"
+
+
+@dataclass(frozen=True)
+class Property:
+    """One of the 25 UDS properties."""
+
+    name: str
+    category: Category
+
+
+USABILITY = [
+    Property("Memorywise-Effortless", Category.USABILITY),
+    Property("Scalable-for-Users", Category.USABILITY),
+    Property("Nothing-to-Carry", Category.USABILITY),
+    Property("Physically-Effortless", Category.USABILITY),
+    Property("Easy-to-Learn", Category.USABILITY),
+    Property("Efficient-to-Use", Category.USABILITY),
+    Property("Infrequent-Errors", Category.USABILITY),
+    Property("Easy-Recovery-from-Loss", Category.USABILITY),
+]
+DEPLOYABILITY = [
+    Property("Accessible", Category.DEPLOYABILITY),
+    Property("Negligible-Cost-per-User", Category.DEPLOYABILITY),
+    Property("Server-Compatible", Category.DEPLOYABILITY),
+    Property("Browser-Compatible", Category.DEPLOYABILITY),
+    Property("Mature", Category.DEPLOYABILITY),
+    Property("Non-Proprietary", Category.DEPLOYABILITY),
+]
+SECURITY = [
+    Property("Resilient-to-Physical-Observation", Category.SECURITY),
+    Property("Resilient-to-Targeted-Impersonation", Category.SECURITY),
+    Property("Resilient-to-Throttled-Guessing", Category.SECURITY),
+    Property("Resilient-to-Unthrottled-Guessing", Category.SECURITY),
+    Property("Resilient-to-Internal-Observation", Category.SECURITY),
+    Property("Resilient-to-Leaks-from-Other-Verifiers", Category.SECURITY),
+    Property("Resilient-to-Phishing", Category.SECURITY),
+    Property("Resilient-to-Theft", Category.SECURITY),
+    Property("No-Trusted-Third-Party", Category.SECURITY),
+    Property("Requiring-Explicit-Consent", Category.SECURITY),
+    Property("Unlinkable", Category.SECURITY),
+]
+ALL_PROPERTIES: List[Property] = USABILITY + DEPLOYABILITY + SECURITY
+
+_F, _Q, _N = Rating.FULL, Rating.QUASI, Rating.NO
+
+# Ratings per scheme, in ALL_PROPERTIES order.
+TABLE_III: Dict[str, List[Rating]] = {
+    # Bonneau's canonical "Web passwords" row.
+    "Password": [
+        _N, _N, _F, _N, _F, _F, _Q, _F,          # usability
+        _F, _F, _F, _F, _F, _F,                  # deployability
+        _N, _Q, _N, _N, _N, _N, _N, _F, _F, _F, _F,  # security
+    ],
+    # Built-in browser manager with a master password.
+    "Firefox (MP)": [
+        _Q, _F, _N, _N, _F, _F, _Q, _N,          # vault tied to one machine
+        _F, _F, _F, _F, _F, _F,
+        _N, _Q, _Q, _Q, _N, _N, _Q, _N, _F, _Q, _F,
+    ],
+    # Cloud vault manager.
+    "LastPass": [
+        _Q, _F, _F, _Q, _F, _F, _Q, _F,
+        _F, _F, _F, _Q, _F, _N,                  # proprietary
+        _N, _Q, _Q, _Q, _N, _Q, _Q, _Q, _N, _Q, _F,
+    ],
+    # Bilateral retrieval manager (McCarney et al. [13]).
+    "Tapas": [
+        _F, _F, _N, _N, _F, _Q, _Q, _N,          # bilateral: phone required
+        _F, _F, _F, _F, _N, _F,
+        _N, _F, _F, _F, _N, _Q, _F, _Q, _F, _F, _F,
+    ],
+    # This paper.
+    "Amnesia": [
+        _Q, _F, _N, _N, _F, _Q, _Q, _Q,          # one MP; carry the phone
+        _F, _F, _F, _F, _N, _F,                  # all but Mature (§VI-A)
+        _N, _F, _F, _F, _N, _F, _Q, _F, _N, _F, _F,
+    ],
+}
+
+SCHEME_ORDER = ["Password", "Firefox (MP)", "LastPass", "Tapas", "Amnesia"]
+
+
+def rating_for(scheme: str, property_name: str) -> Rating:
+    """Look up one Table III cell."""
+    try:
+        ratings = TABLE_III[scheme]
+    except KeyError:
+        raise ValidationError(f"unknown scheme {scheme!r}") from None
+    for prop, rating in zip(ALL_PROPERTIES, ratings):
+        if prop.name == property_name:
+            return rating
+    raise ValidationError(f"unknown property {property_name!r}")
+
+
+def render_table_iii() -> str:
+    """Render Table III in the paper's orientation (schemes × properties)."""
+    lines = []
+    header = f"{'Scheme':14s} " + " ".join(
+        f"{i:>2d}" for i in range(1, len(ALL_PROPERTIES) + 1)
+    )
+    lines.append(header)
+    for scheme in SCHEME_ORDER:
+        cells = " ".join(f"{str(r):>2s}" for r in TABLE_III[scheme])
+        lines.append(f"{scheme:14s} {cells}")
+    lines.append("")
+    lines.append("Legend: ● fulfilled, ◐ quasi-fulfilled, (blank) unfulfilled")
+    for index, prop in enumerate(ALL_PROPERTIES, start=1):
+        lines.append(f"  {index:2d}. [{prop.category.value[:1]}] {prop.name}")
+    return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class ConsistencyCheck:
+    """One mechanical validation of an encoded rating."""
+
+    scheme: str
+    property_name: str
+    encoded: Rating
+    observed: bool  # True = behaviour supports at least QUASI
+    consistent: bool
+    evidence: str
+
+
+def mechanical_checks() -> list[ConsistencyCheck]:
+    """Validate prose-pinned Table III cells against the implementation.
+
+    Each check derives the *behavioural* truth from the implemented
+    schemes/attacks and compares it with the encoded rating.
+    """
+    from repro.attacks.breach import server_breach_attack
+    from repro.attacks.eavesdrop import https_break_attack
+    from repro.attacks.theft import phone_theft_attack
+    from repro.baselines.amnesia_adapter import AmnesiaScheme
+    from repro.core.templates import PasswordPolicy
+
+    checks: list[ConsistencyCheck] = []
+    scheme = AmnesiaScheme()
+    scheme.add_account("alice", "mail.example.com")
+    scheme.add_account("alice", "shop.example.com")
+
+    # Unthrottled guessing: entropy of a default generated password.
+    entropy = PasswordPolicy().entropy_bits()
+    encoded = rating_for("Amnesia", "Resilient-to-Unthrottled-Guessing")
+    checks.append(
+        ConsistencyCheck(
+            "Amnesia",
+            "Resilient-to-Unthrottled-Guessing",
+            encoded,
+            entropy >= 128,
+            (entropy >= 128) == (encoded is Rating.FULL),
+            f"default policy entropy = {entropy:.1f} bits",
+        )
+    )
+
+    # Leaks from other verifiers: per-site passwords must be independent.
+    p1 = scheme.retrieve("alice", "mail.example.com")
+    p2 = scheme.retrieve("alice", "shop.example.com")
+    encoded = rating_for("Amnesia", "Resilient-to-Leaks-from-Other-Verifiers")
+    checks.append(
+        ConsistencyCheck(
+            "Amnesia",
+            "Resilient-to-Leaks-from-Other-Verifiers",
+            encoded,
+            p1 != p2,
+            (p1 != p2) == (encoded is Rating.FULL),
+            "distinct passwords per site",
+        )
+    )
+
+    # Theft: the phone-theft attack must recover nothing.
+    outcome = phone_theft_attack(scheme)
+    encoded = rating_for("Amnesia", "Resilient-to-Theft")
+    checks.append(
+        ConsistencyCheck(
+            "Amnesia",
+            "Resilient-to-Theft",
+            encoded,
+            not outcome.compromised,
+            (not outcome.compromised) == (encoded is Rating.FULL),
+            outcome.notes,
+        )
+    )
+
+    # Internal observation: broken TLS exposes retrieved passwords, so the
+    # encoded rating must be NO.
+    wire = https_break_attack(scheme)
+    encoded = rating_for("Amnesia", "Resilient-to-Internal-Observation")
+    checks.append(
+        ConsistencyCheck(
+            "Amnesia",
+            "Resilient-to-Internal-Observation",
+            encoded,
+            not wire.compromised,
+            wire.compromised == (encoded is Rating.NO),
+            "broken TLS exposes generated passwords (§VI-A)",
+        )
+    )
+
+    # Server breach must not break Amnesia (supports the security column
+    # generally and the paper's central claim).
+    breach = server_breach_attack(scheme)
+    checks.append(
+        ConsistencyCheck(
+            "Amnesia",
+            "Resilient-to-Leaks-from-Other-Verifiers",
+            rating_for("Amnesia", "Resilient-to-Leaks-from-Other-Verifiers"),
+            not breach.compromised,
+            not breach.compromised,
+            "server breach recovers 0 passwords",
+        )
+    )
+
+    # Requiring-Explicit-Consent: the phone's manual-approval mode makes
+    # every generation wait for a user tap.
+    from repro.phone.app import ApprovalPolicy
+    from repro.testbed import AmnesiaTestbed
+    from repro.web.http import HttpRequest
+
+    bed = AmnesiaTestbed(seed="bonneau-consent", approval=ApprovalPolicy.MANUAL)
+    browser = bed.enroll("checker", "bonneau-master-pw")
+    account_id = browser.add_account("checker", "consent.example")
+    outcome: dict = {}
+    browser.http.send(
+        HttpRequest.json_request("POST", f"/accounts/{account_id}/generate", {}),
+        lambda response: outcome.update(response=response),
+    )
+    bed.run(1_000)
+    waits_for_tap = "response" not in outcome and bool(
+        bed.phone.pending_approvals()
+    )
+    if waits_for_tap:
+        bed.phone.approve(bed.phone.pending_approvals()[0]["pending_id"])
+        bed.drive_until(lambda: "response" in outcome)
+    encoded = rating_for("Amnesia", "Requiring-Explicit-Consent")
+    checks.append(
+        ConsistencyCheck(
+            "Amnesia",
+            "Requiring-Explicit-Consent",
+            encoded,
+            waits_for_tap,
+            waits_for_tap == (encoded is Rating.FULL),
+            "generation blocks until the user's phone tap",
+        )
+    )
+
+    # Resilient-to-Throttled-Guessing: the live login endpoint must
+    # actually throttle a dictionary run.
+    from repro.attacks.guessing import online_guessing_attack
+
+    bed2 = AmnesiaTestbed(seed="bonneau-throttle")
+    victim = bed2.new_browser()
+    victim.signup("victim", "monkey123")  # in-dictionary on purpose
+    report = online_guessing_attack(bed2, "victim", budget=60)
+    throttled = (
+        not report.master_password_found
+        and report.attempts_rejected_by_throttle > 0
+    )
+    encoded = rating_for("Amnesia", "Resilient-to-Throttled-Guessing")
+    checks.append(
+        ConsistencyCheck(
+            "Amnesia",
+            "Resilient-to-Throttled-Guessing",
+            encoded,
+            throttled,
+            throttled == (encoded is Rating.FULL),
+            f"throttle rejected {report.attempts_rejected_by_throttle} of 60 "
+            "guesses at an in-dictionary MP",
+        )
+    )
+
+    # Resilient-to-Phishing (quasi): the derivation binds the domain, so
+    # a password generated "for" a look-alike domain differs from the
+    # real one — but a user pasting the *real* password into a phish
+    # still loses it, hence QUASI rather than FULL.
+    real = scheme.retrieve("alice", "mail.example.com")
+    scheme.add_account("alice", "mail.examp1e.com")  # the look-alike
+    phished = scheme.retrieve("alice", "mail.examp1e.com")
+    domain_bound = real != phished
+    encoded = rating_for("Amnesia", "Resilient-to-Phishing")
+    checks.append(
+        ConsistencyCheck(
+            "Amnesia",
+            "Resilient-to-Phishing",
+            encoded,
+            domain_bound,
+            domain_bound == (encoded in (Rating.FULL, Rating.QUASI)),
+            "R = H(u||d||sigma) binds the domain; look-alike derives a "
+            "different password",
+        )
+    )
+    return checks

@@ -1,0 +1,40 @@
+"""ASCII rendering of the paper's figures (shared by CLI and examples)."""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from repro.util.errors import ValidationError
+
+
+def histogram(
+    samples: Sequence[float], bins: int = 12, width: int = 40
+) -> str:
+    """A left-to-right ASCII histogram of *samples*."""
+    if not samples:
+        raise ValidationError("histogram needs at least one sample")
+    low, high = min(samples), max(samples)
+    step = (high - low) / bins or 1.0
+    counts = [0] * bins
+    for sample in samples:
+        index = min(bins - 1, int((sample - low) / step))
+        counts[index] += 1
+    peak = max(counts)
+    lines = []
+    for i, count in enumerate(counts):
+        label = f"{low + i * step:7.0f}-{low + (i + 1) * step:<6.0f}"
+        bar = "#" * int(round(width * count / peak))
+        lines.append(f"  {label} {bar} {count}")
+    return "\n".join(lines)
+
+
+def bar_panel(title: str, distribution: Dict[str, int], width: int = 24) -> str:
+    """One Figure 4 panel: labelled horizontal bars."""
+    if not distribution:
+        raise ValidationError("panel needs at least one category")
+    peak = max(distribution.values()) or 1
+    lines = [title]
+    for label, count in distribution.items():
+        bar = "#" * int(round(width * count / peak))
+        lines.append(f"  {label:<14s} {count:>3d}  {bar}")
+    return "\n".join(lines)

@@ -1,0 +1,147 @@
+"""Generated-password strength (§IV-E) and entry-index bias (ablation A1).
+
+§IV-E: with the default 94-character table and length 32, "the average
+generated password would comprise of roughly 9 lowercase characters,
+9 uppercase characters, 3 numerals, and 11 special characters", and the
+password space is 94^32 ≈ 1.38 × 10^63.
+
+The ablation extends the analysis the paper skips: reducing a 16-bit
+segment modulo N is slightly non-uniform whenever 65536 mod N ≠ 0;
+:func:`index_bias` quantifies the deviation for any table size.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.core.protocol import token_indices
+from repro.core.params import ProtocolParams
+from repro.core.templates import DIGITS, LOWERCASE, SPECIAL, UPPERCASE, PasswordPolicy
+from repro.crypto.hashing import sha256_hex
+from repro.util.errors import ValidationError
+
+
+@dataclass(frozen=True)
+class Composition:
+    """Character-class counts of one or many passwords (averaged)."""
+
+    lowercase: float
+    uppercase: float
+    digits: float
+    special: float
+
+    @property
+    def total(self) -> float:
+        return self.lowercase + self.uppercase + self.digits + self.special
+
+    def rounded(self) -> tuple[int, int, int, int]:
+        return (
+            round(self.lowercase),
+            round(self.uppercase),
+            round(self.digits),
+            round(self.special),
+        )
+
+
+# The paper's §IV-E expectation for the default policy.
+PAPER_COMPOSITION = (9, 9, 3, 11)
+
+
+def composition_expectation(policy: PasswordPolicy | None = None) -> Composition:
+    """Analytic expected composition under a uniform template output."""
+    effective = policy if policy is not None else PasswordPolicy()
+    charset = effective.charset
+    size = len(charset)
+    length = effective.length
+
+    def expected(cls: str) -> float:
+        return length * sum(1 for c in charset if c in cls) / size
+
+    return Composition(
+        lowercase=expected(LOWERCASE),
+        uppercase=expected(UPPERCASE),
+        digits=expected(DIGITS),
+        special=expected(SPECIAL),
+    )
+
+
+def composition_of(password: str) -> Composition:
+    """Exact composition of one password."""
+    return Composition(
+        lowercase=sum(1 for c in password if c in LOWERCASE),
+        uppercase=sum(1 for c in password if c in UPPERCASE),
+        digits=sum(1 for c in password if c in DIGITS),
+        special=sum(1 for c in password if c in SPECIAL),
+    )
+
+
+def empirical_composition(passwords: list[str]) -> Composition:
+    """Mean composition over a sample of generated passwords."""
+    if not passwords:
+        raise ValidationError("need at least one password")
+    parts = [composition_of(p) for p in passwords]
+    n = len(parts)
+    return Composition(
+        lowercase=sum(p.lowercase for p in parts) / n,
+        uppercase=sum(p.uppercase for p in parts) / n,
+        digits=sum(p.digits for p in parts) / n,
+        special=sum(p.special for p in parts) / n,
+    )
+
+
+@dataclass(frozen=True)
+class IndexBias:
+    """Non-uniformity of ``int(segment, 16) mod N`` over 16-bit segments."""
+
+    table_size: int
+    max_probability: float
+    min_probability: float
+    uniform_probability: float
+    total_variation_distance: float
+    effective_entropy_bits: float
+
+
+def index_bias(table_size: int, segment_space: int = 65_536) -> IndexBias:
+    """Analytic modulo-bias for one segment.
+
+    ``segment_space mod table_size`` indices receive one extra preimage
+    each; the rest receive ``floor(segment_space / table_size)``.
+    """
+    if table_size < 1 or table_size > segment_space:
+        raise ValidationError(
+            f"table size must be in [1, {segment_space}], got {table_size}"
+        )
+    base = segment_space // table_size
+    heavy = segment_space % table_size  # indices with base+1 preimages
+    p_heavy = (base + 1) / segment_space
+    p_light = base / segment_space
+    uniform = 1 / table_size
+    tvd = 0.5 * (
+        heavy * abs(p_heavy - uniform) + (table_size - heavy) * abs(p_light - uniform)
+    )
+    entropy = 0.0
+    if heavy:
+        entropy -= heavy * p_heavy * math.log2(p_heavy)
+    if table_size - heavy and p_light > 0:
+        entropy -= (table_size - heavy) * p_light * math.log2(p_light)
+    return IndexBias(
+        table_size=table_size,
+        max_probability=p_heavy if heavy else p_light,
+        min_probability=p_light if heavy < table_size else p_heavy,
+        uniform_probability=uniform,
+        total_variation_distance=tvd,
+        effective_entropy_bits=entropy,
+    )
+
+
+def empirical_index_distribution(
+    params: ProtocolParams, samples: int = 2_000
+) -> Counter:
+    """Histogram of entry-table indices over random requests."""
+    counts: Counter = Counter()
+    for i in range(samples):
+        request_hex = sha256_hex(b"bias-probe|", str(i).encode("ascii"))
+        counts.update(token_indices(request_hex, params))
+    return counts

@@ -1,0 +1,197 @@
+"""The §VII user study: published counts plus a respondent model.
+
+A human study cannot be re-run offline, so the reproduction encodes the
+paper's published responses as a dataset (Figure 4a-d, demographics,
+usability and preference numbers) and validates every aggregate the
+text reports against it. A generative :class:`RespondentModel` can then
+synthesise larger populations with the same marginal distributions for
+sensitivity analyses.
+
+One reconciliation (documented in EXPERIMENTS.md): Figure 4d's printed
+bars (1, 14, 10, 6) sum to 31 only if the fifth category (Frequently)
+is 0, which is how we encode it.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.util.errors import ValidationError
+
+N_PARTICIPANTS = 31
+
+
+@dataclass(frozen=True)
+class SurveyDataset:
+    """Aggregated responses, exactly as the paper reports them."""
+
+    n: int
+    male: int
+    age_mean: float
+    age_std: float
+    age_min: int
+    age_max: int
+
+    # Hours online per day (§VII-B)
+    hours_online: Dict[str, int]
+
+    # Figure 4a: "how often do you reuse passwords?"
+    reuse: Dict[str, int]
+    # Figure 4b: typical password length
+    length: Dict[str, int]
+    # Figure 4c: creation technique
+    technique: Dict[str, int]
+    # Figure 4d: change frequency
+    change: Dict[str, int]
+
+    # Accounts under management (§VII-C)
+    accounts_10_or_less: int
+    accounts_11_to_20: int
+    believe_amnesia_increases_security: int
+
+    # Usability (§VII-D)
+    registering_convenient: int
+    adding_easy: int
+    generating_easy: int
+
+    # Preference (§VII-E)
+    prefer_amnesia: int
+    non_pm_users: int
+    non_pm_prefer_amnesia: int
+    pm_users: int
+    pm_prefer_amnesia: int
+
+    def validate(self) -> None:
+        """Check every published aggregate for internal consistency."""
+        for name, distribution in (
+            ("reuse", self.reuse),
+            ("length", self.length),
+            ("technique", self.technique),
+            ("change", self.change),
+            ("hours_online", self.hours_online),
+        ):
+            total = sum(distribution.values())
+            if total != self.n:
+                raise ValidationError(
+                    f"{name} counts sum to {total}, expected n={self.n}"
+                )
+        if self.accounts_10_or_less + self.accounts_11_to_20 != self.n:
+            raise ValidationError("account-count split does not cover n")
+        if self.non_pm_users + self.pm_users != self.n:
+            raise ValidationError("PM-user split does not cover n")
+        if self.prefer_amnesia > self.n:
+            raise ValidationError("preference count exceeds n")
+
+    # -- the percentages the text quotes ------------------------------------------
+
+    def registering_convenient_pct(self) -> float:
+        return 100.0 * self.registering_convenient / self.n  # 77.4 %
+
+    def adding_easy_pct(self) -> float:
+        return 100.0 * self.adding_easy / self.n  # 83.8 % (26/31)
+
+    def generating_easy_pct(self) -> float:
+        return 100.0 * self.generating_easy / self.n
+
+    def prefer_amnesia_pct(self) -> float:
+        return 100.0 * self.prefer_amnesia / self.n  # 70.9 % (22/31)
+
+
+PAPER_SURVEY = SurveyDataset(
+    n=N_PARTICIPANTS,
+    male=21,
+    age_mean=33.32,
+    age_std=9.92,
+    age_min=20,
+    age_max=61,
+    hours_online={"1-4h": 4, "4-8h": 13, "8-12h": 8, "12h+": 6},
+    reuse={"Never": 2, "Rarely": 5, "Sometimes": 8, "Mostly": 10, "Always": 6},
+    length={"6~8": 12, "9~11": 16, "12~14": 2, "14+": 1},
+    technique={"Personal Info": 20, "Mnemonic": 6, "Other": 5},
+    change={"Never": 1, "Rarely": 14, "Yearly": 10, "Monthly": 6, "Frequently": 0},
+    accounts_10_or_less=17,
+    accounts_11_to_20=14,
+    believe_amnesia_increases_security=27,
+    registering_convenient=24,
+    adding_easy=26,
+    generating_easy=26,
+    prefer_amnesia=22,
+    non_pm_users=24,
+    non_pm_prefer_amnesia=14,
+    pm_users=7,
+    pm_prefer_amnesia=6,
+)
+
+
+@dataclass
+class Respondent:
+    """One synthesised participant."""
+
+    age: int
+    male: bool
+    reuse: str
+    length: str
+    technique: str
+    change: str
+    uses_password_manager: bool
+    prefers_amnesia: bool
+
+
+class RespondentModel:
+    """Synthesise populations matching the published marginals.
+
+    Useful for sensitivity sweeps (e.g. "would the preference result
+    survive at n = 500 with the same rates?"). Draws each attribute
+    independently from the dataset's marginal distribution.
+    """
+
+    def __init__(self, dataset: SurveyDataset = PAPER_SURVEY, seed: int = 0) -> None:
+        dataset.validate()
+        self.dataset = dataset
+        self._rng = random.Random(seed)
+
+    def _draw(self, distribution: Dict[str, int]) -> str:
+        choices = list(distribution)
+        weights = [distribution[c] for c in choices]
+        return self._rng.choices(choices, weights=weights, k=1)[0]
+
+    def sample(self) -> Respondent:
+        data = self.dataset
+        uses_pm = self._rng.random() < data.pm_users / data.n
+        if uses_pm:
+            prefers = self._rng.random() < data.pm_prefer_amnesia / max(
+                1, data.pm_users
+            )
+        else:
+            prefers = self._rng.random() < data.non_pm_prefer_amnesia / max(
+                1, data.non_pm_users
+            )
+        # Clamped normal ages reproduce the published mean/std envelope.
+        age = int(
+            min(
+                data.age_max,
+                max(data.age_min, self._rng.gauss(data.age_mean, data.age_std)),
+            )
+        )
+        return Respondent(
+            age=age,
+            male=self._rng.random() < data.male / data.n,
+            reuse=self._draw(data.reuse),
+            length=self._draw(data.length),
+            technique=self._draw(data.technique),
+            change=self._draw(data.change),
+            uses_password_manager=uses_pm,
+            prefers_amnesia=prefers,
+        )
+
+    def population(self, size: int) -> List[Respondent]:
+        if size < 1:
+            raise ValidationError(f"population size must be >= 1, got {size}")
+        return [self.sample() for __ in range(size)]
+
+    def preference_rate(self, size: int = 10_000) -> float:
+        """Monte-Carlo preference share at a larger n."""
+        population = self.population(size)
+        return sum(1 for r in population if r.prefers_amnesia) / size

@@ -1,0 +1,66 @@
+"""Render Tables I and II: the concrete data layouts.
+
+Table I shows one user's server-side rows (O_id, registration id,
+hashed MP and P_id, salt, and the (µ, d, σ) entries); Table II shows
+the application side (P_id and the 5000-entry table). These renderers
+read a *live* server database / phone database and print the same
+shape, abbreviating hex values the way the paper does.
+"""
+
+from __future__ import annotations
+
+from repro.storage.phone_db import PhoneDatabase
+from repro.storage.server_db import ServerDatabase
+from repro.util.errors import NotFoundError
+
+
+def _abbrev(data: bytes | str | None, keep: int = 7) -> str:
+    if data is None:
+        return "(none)"
+    text = data.hex() if isinstance(data, (bytes, bytearray)) else str(data)
+    return f"0x{text[:keep]}..." if len(text) > keep else f"0x{text}"
+
+
+def render_table_i(database: ServerDatabase, login: str) -> str:
+    """Table I — Server Side Data for one user."""
+    user = database.user_by_login(login)
+    lines = [
+        "TABLE I: Server Side Data",
+        f"{'Data':{24}s} Value",
+        f"{'Oid':{24}s} {_abbrev(user.oid)}",
+        f"{'Registration ID':{24}s} "
+        + (user.reg_id[:16] + "..." if user.reg_id else "(none)"),
+        f"{'H(MP + salt)':{24}s} {_abbrev(user.mp_hash)}",
+        f"{'H(Pid + salt)':{24}s} {_abbrev(user.pid_hash)}",
+        f"{'Salt':{24}s} {_abbrev(user.mp_salt)}",
+    ]
+    for index, account in enumerate(
+        database.accounts_for_user(user.user_id), start=1
+    ):
+        lines.append(
+            f"{f'(u, d, sigma)_{index}':{24}s} "
+            f"({account.username}, {account.domain}, {_abbrev(account.seed)})"
+        )
+    return "\n".join(lines)
+
+
+def render_table_ii(database: PhoneDatabase, sample_entries: int = 3) -> str:
+    """Table II — Application Side Data (abbreviated to a few entries)."""
+    try:
+        pid = database.pid()
+    except NotFoundError:
+        raise NotFoundError("phone application not initialised") from None
+    entries = database.entry_table()
+    lines = [
+        "TABLE II: Application Side Data",
+        f"{'Data':{10}s} Value",
+        f"{'Pid':{10}s} {_abbrev(pid)}",
+    ]
+    for index in range(min(sample_entries, len(entries))):
+        lines.append(f"{f'e{index + 1}':{10}s} {_abbrev(entries[index])}")
+    if len(entries) > sample_entries:
+        lines.append(f"{'...':{10}s} ...")
+        lines.append(
+            f"{f'e{len(entries) - 1}':{10}s} {_abbrev(entries[-1])}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,148 @@
+"""Multi-user workload generation against a full deployment.
+
+The paper's prototype was only ever exercised by one tester at a time
+("the prototype is at most used for latency tests and our user study").
+This module drives a population: N users, each with a phone and a set
+of accounts, issuing password generations as a Poisson process. It is
+the load side of the §VIII bottleneck question — at what request rate
+does the 10-thread blocking server degrade?
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.net.profiles import FAST_PROFILE, NetworkProfile
+from repro.testbed import AmnesiaTestbed
+from repro.util.errors import ValidationError
+from repro.web.http import HttpRequest
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """One workload configuration."""
+
+    users: int = 3
+    accounts_per_user: int = 3
+    duration_ms: float = 60_000.0
+    mean_interarrival_ms: float = 5_000.0  # per user
+    seed: str = "workload"
+
+    def __post_init__(self) -> None:
+        if self.users < 1 or self.accounts_per_user < 1:
+            raise ValidationError("users and accounts_per_user must be >= 1")
+        if self.duration_ms <= 0 or self.mean_interarrival_ms <= 0:
+            raise ValidationError("durations must be positive")
+
+    @property
+    def offered_rate_per_s(self) -> float:
+        """Aggregate offered generation rate (requests/second)."""
+        return self.users * 1000.0 / self.mean_interarrival_ms
+
+
+@dataclass
+class WorkloadResult:
+    """What happened when the workload ran."""
+
+    spec: WorkloadSpec
+    issued: int = 0
+    completed: int = 0
+    failed: int = 0
+    latencies_ms: list[float] = field(default_factory=list)
+    pool_peak_busy: int = 0
+    pool_peak_queue: int = 0
+
+    @property
+    def completion_rate(self) -> float:
+        return self.completed / self.issued if self.issued else 0.0
+
+    def latency_mean_ms(self) -> float:
+        if not self.latencies_ms:
+            return math.nan
+        return sum(self.latencies_ms) / len(self.latencies_ms)
+
+    def latency_p95_ms(self) -> float:
+        if not self.latencies_ms:
+            return math.nan
+        ordered = sorted(self.latencies_ms)
+        index = min(len(ordered) - 1, int(0.95 * (len(ordered) - 1)))
+        return ordered[index]
+
+
+def run_workload(
+    spec: WorkloadSpec,
+    profile: NetworkProfile = FAST_PROFILE,
+    thread_pool_size: int = 10,
+    generation_timeout_ms: float = 30_000.0,
+    client_patience_ms: float = 60_000.0,
+) -> WorkloadResult:
+    """Execute *spec* on a fresh testbed and collect the outcome."""
+    bed = AmnesiaTestbed(
+        seed=spec.seed,
+        profile=profile,
+        thread_pool_size=thread_pool_size,
+        generation_timeout_ms=generation_timeout_ms,
+    )
+    bed._laptop_stack.retry_timeout_ms = client_patience_ms
+
+    population = []
+    for index in range(spec.users):
+        login = f"user{index}"
+        if index == 0:
+            browser = bed.enroll(login, f"master-{login}-password")
+            phone = bed.phone
+        else:
+            phone = bed.add_device(f"phone-{login}")
+            browser = bed.enroll(login, f"master-{login}-password", phone=phone)
+        phone.stack.retry_timeout_ms = client_patience_ms
+        accounts = [
+            browser.add_account(login, f"site{a}.example")
+            for a in range(spec.accounts_per_user)
+        ]
+        population.append((browser, accounts))
+
+    result = WorkloadResult(spec=spec)
+    rng = bed.rngs.stream("workload-arrivals")
+    start = bed.kernel.now
+
+    def issue(browser, accounts) -> None:
+        account_id = accounts[rng.randrange(len(accounts))]
+        result.issued += 1
+
+        def on_response(response) -> None:
+            if response.ok:
+                result.completed += 1
+                result.latencies_ms.append(
+                    float(response.json().get("latency_ms", 0.0))
+                )
+            else:
+                result.failed += 1
+
+        browser.http.send(
+            HttpRequest.json_request(
+                "POST", f"/accounts/{account_id}/generate", {}
+            ),
+            on_response,
+            lambda error: result.__setattr__("failed", result.failed + 1),
+        )
+
+    def schedule_user(browser, accounts) -> None:
+        def next_arrival() -> None:
+            if bed.kernel.now - start >= spec.duration_ms:
+                return
+            issue(browser, accounts)
+            gap = rng.expovariate(1.0 / spec.mean_interarrival_ms)
+            bed.kernel.schedule(gap, next_arrival, label="workload-arrival")
+
+        initial_gap = rng.expovariate(1.0 / spec.mean_interarrival_ms)
+        bed.kernel.schedule(initial_gap, next_arrival, label="workload-arrival")
+
+    for browser, accounts in population:
+        schedule_user(browser, accounts)
+    bed.run_until_idle()
+
+    pool = bed.server.http_server.pool
+    result.pool_peak_busy = pool.peak_busy
+    result.pool_peak_queue = pool.queued_peak
+    return result

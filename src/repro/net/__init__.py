@@ -1,0 +1,40 @@
+"""Simulated network substrate.
+
+Models the three transports the paper's architecture uses:
+
+1. computer ↔ Amnesia server ("HTTPS"),
+2. Amnesia server → rendezvous → phone (GCM push), and
+3. phone → Amnesia server (direct, because the server has a static IP).
+
+Hosts attach to a :class:`~repro.net.network.Network`; links between
+hosts carry a latency model and a loss probability; taps let the attack
+experiments observe ciphertext exactly like a wire eavesdropper. The
+TLS-like secure channel (:mod:`repro.net.tls`) provides authenticated
+encryption with certificate pinning over the datagram layer.
+"""
+
+from repro.net.message import Datagram
+from repro.net.network import Network, Host
+from repro.net.link import Link
+from repro.net.certificates import Certificate, CertificateStore
+from repro.net.tls import (
+    SecureServer,
+    SecureClient,
+    SecureSession,
+    SecureStack,
+    SECURE_PORT,
+)
+
+__all__ = [
+    "Datagram",
+    "Network",
+    "Host",
+    "Link",
+    "Certificate",
+    "CertificateStore",
+    "SecureServer",
+    "SecureClient",
+    "SecureSession",
+    "SecureStack",
+    "SECURE_PORT",
+]

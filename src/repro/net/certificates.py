@@ -1,0 +1,59 @@
+"""Self-signed certificates and pin stores.
+
+The paper's prototype protects traffic with a *self-signed* HTTPS
+certificate that the phone app stores (§V-B). We model the same trust
+shape: a certificate binds an identity string to a static X25519 public
+key, and verifiers *pin* certificates they have decided to trust. There
+is no CA hierarchy — exactly like the prototype.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.crypto.hashing import sha256
+from repro.util.errors import ValidationError
+
+
+@dataclass(frozen=True)
+class Certificate:
+    """Binds *identity* (a hostname) to a static public key."""
+
+    identity: str
+    public_key: bytes
+
+    def __post_init__(self) -> None:
+        if len(self.public_key) != 32:
+            raise ValidationError(
+                f"certificate public key must be 32 bytes, got {len(self.public_key)}"
+            )
+
+    def fingerprint(self) -> str:
+        """SHA-256 fingerprint over identity and key (pinning handle)."""
+        return sha256(self.identity.encode("utf-8"), self.public_key).hex()
+
+
+class CertificateStore:
+    """A pin store: identity -> trusted certificate."""
+
+    def __init__(self) -> None:
+        self._pins: Dict[str, Certificate] = {}
+
+    def pin(self, certificate: Certificate) -> None:
+        """Trust *certificate* for its identity (overwrites any prior pin)."""
+        self._pins[certificate.identity] = certificate
+
+    def unpin(self, identity: str) -> None:
+        self._pins.pop(identity, None)
+
+    def trusted(self, certificate: Certificate) -> bool:
+        """True iff *certificate* matches the pin for its identity."""
+        pinned = self._pins.get(certificate.identity)
+        return pinned is not None and pinned.fingerprint() == certificate.fingerprint()
+
+    def certificate_for(self, identity: str) -> Certificate | None:
+        return self._pins.get(identity)
+
+    def __len__(self) -> int:
+        return len(self._pins)

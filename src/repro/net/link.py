@@ -1,0 +1,41 @@
+"""Directed links between hosts: latency model + loss probability."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.latency import LatencyModel
+from repro.util.errors import ValidationError
+
+
+@dataclass
+class Link:
+    """A directed path from one host to another.
+
+    ``bandwidth_kbps`` adds a size-proportional serialisation delay on
+    top of the sampled propagation latency; zero disables it (the
+    paper's payloads are tiny, so the default models latency only).
+    """
+
+    src: str
+    dst: str
+    latency: LatencyModel
+    loss_probability: float = 0.0
+    bandwidth_kbps: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not (0.0 <= self.loss_probability < 1.0):
+            raise ValidationError(
+                f"loss probability must be in [0, 1), got {self.loss_probability}"
+            )
+        if self.bandwidth_kbps < 0:
+            raise ValidationError(
+                f"bandwidth must be >= 0, got {self.bandwidth_kbps}"
+            )
+
+    def transfer_delay_ms(self, size_bytes: int, rng) -> float:
+        """Total one-way delay for a payload of *size_bytes*."""
+        delay = self.latency.sample(rng)
+        if self.bandwidth_kbps > 0:
+            delay += (size_bytes * 8) / self.bandwidth_kbps  # kbit/s -> ms
+        return delay

@@ -1,0 +1,34 @@
+"""Datagram: the unit of transfer on the simulated network."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+_datagram_ids = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class Datagram:
+    """An addressed payload in flight.
+
+    ``payload`` is opaque bytes — for protected traffic it is TLS record
+    ciphertext, which is what a network tap (eavesdropper) observes.
+    """
+
+    src: str
+    dst: str
+    port: int
+    payload: bytes
+    id: int = field(default_factory=lambda: next(_datagram_ids))
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.payload, (bytes, bytearray)):
+            raise TypeError(
+                f"Datagram payload must be bytes, got {type(self.payload).__name__}"
+            )
+
+    @property
+    def size(self) -> int:
+        """Payload size in bytes (used by bandwidth-aware latency models)."""
+        return len(self.payload)

@@ -1,0 +1,164 @@
+"""The network fabric: hosts, links, delivery, and wire taps.
+
+Delivery semantics are datagram-like: a send samples the link's latency
+and schedules the receiving handler on the simulation kernel. Loss and
+offline hosts silently drop (like UDP); reliability, where needed, is
+built above (the secure channel and the rendezvous service both retry).
+
+Wire taps receive a copy of every datagram crossing the fabric — this
+is the substrate for the paper's eavesdropping attack vectors (§IV-A,
+§IV-B): a tap on protected traffic sees only ciphertext and metadata.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.net.link import Link
+from repro.net.message import Datagram
+from repro.sim.kernel import Simulator
+from repro.sim.random import RngRegistry
+from repro.util.errors import ConflictError, NetworkError, ValidationError
+
+# A port handler receives the inbound datagram and the network (to reply).
+PortHandler = Callable[[Datagram], None]
+Tap = Callable[[Datagram], None]
+DropHook = Callable[[Datagram, str], None]
+
+
+class Host:
+    """A named endpoint on the network with bound ports and an online flag."""
+
+    def __init__(self, name: str, network: "Network") -> None:
+        self.name = name
+        self.network = network
+        self.online = True
+        self._ports: Dict[int, PortHandler] = {}
+
+    def bind(self, port: int, handler: PortHandler) -> None:
+        """Attach *handler* to *port*; one handler per port."""
+        if port in self._ports:
+            raise ConflictError(f"{self.name}: port {port} already bound")
+        self._ports[port] = handler
+
+    def unbind(self, port: int) -> None:
+        self._ports.pop(port, None)
+
+    def handler_for(self, port: int) -> Optional[PortHandler]:
+        return self._ports.get(port)
+
+    def send(self, dst: str, port: int, payload: bytes) -> Datagram:
+        """Convenience: send from this host."""
+        return self.network.send(self.name, dst, port, payload)
+
+
+class Network:
+    """A fabric of hosts and directed links on a simulation kernel."""
+
+    def __init__(self, kernel: Simulator, rngs: RngRegistry) -> None:
+        self.kernel = kernel
+        self._rngs = rngs
+        self._hosts: Dict[str, Host] = {}
+        self._links: Dict[tuple[str, str], Link] = {}
+        self._taps: list[Tap] = []
+        self._drop_hooks: list[DropHook] = []
+        self.sent_count = 0
+        self.delivered_count = 0
+        self.dropped_count = 0
+
+    # -- topology ------------------------------------------------------------
+
+    def add_host(self, name: str) -> Host:
+        if name in self._hosts:
+            raise ConflictError(f"host {name!r} already exists")
+        host = Host(name, self)
+        self._hosts[name] = host
+        return host
+
+    def host(self, name: str) -> Host:
+        try:
+            return self._hosts[name]
+        except KeyError:
+            raise NetworkError(f"unknown host {name!r}") from None
+
+    def add_link(self, link: Link, bidirectional: bool = True) -> None:
+        """Install *link*; by default also the mirrored reverse direction."""
+        for name in (link.src, link.dst):
+            if name not in self._hosts:
+                raise NetworkError(f"link references unknown host {name!r}")
+        self._links[(link.src, link.dst)] = link
+        if bidirectional:
+            mirrored = Link(
+                src=link.dst,
+                dst=link.src,
+                latency=link.latency,
+                loss_probability=link.loss_probability,
+                bandwidth_kbps=link.bandwidth_kbps,
+            )
+            self._links[(mirrored.src, mirrored.dst)] = mirrored
+
+    def link_between(self, src: str, dst: str) -> Link:
+        try:
+            return self._links[(src, dst)]
+        except KeyError:
+            raise NetworkError(f"no link {src!r} -> {dst!r}") from None
+
+    # -- observation ---------------------------------------------------------
+
+    def add_tap(self, tap: Tap) -> None:
+        """Register a wire tap seeing a copy of every datagram sent."""
+        self._taps.append(tap)
+
+    def remove_tap(self, tap: Tap) -> None:
+        self._taps.remove(tap)
+
+    def add_drop_hook(self, hook: DropHook) -> None:
+        """Register a callback invoked as ``hook(datagram, reason)`` on drops."""
+        self._drop_hooks.append(hook)
+
+    # -- transfer ------------------------------------------------------------
+
+    def send(self, src: str, dst: str, port: int, payload: bytes) -> Datagram:
+        """Send a datagram; returns it (delivery is asynchronous).
+
+        Raises :class:`NetworkError` for topology errors (unknown hosts
+        or missing link). Loss and offline receivers drop silently, as
+        on a real network.
+        """
+        if not isinstance(payload, (bytes, bytearray)):
+            raise ValidationError("payload must be bytes")
+        if src not in self._hosts:
+            raise NetworkError(f"unknown source host {src!r}")
+        link = self.link_between(src, dst)
+        datagram = Datagram(src=src, dst=dst, port=port, payload=bytes(payload))
+        self.sent_count += 1
+        for tap in self._taps:
+            tap(datagram)
+        rng = self._rngs.stream(f"link:{src}->{dst}")
+        if link.loss_probability > 0 and rng.random() < link.loss_probability:
+            self._drop(datagram, "loss")
+            return datagram
+        delay = link.transfer_delay_ms(datagram.size, rng)
+        self.kernel.schedule(
+            delay,
+            lambda: self._deliver(datagram),
+            label=f"deliver {src}->{dst}:{port}",
+        )
+        return datagram
+
+    def _deliver(self, datagram: Datagram) -> None:
+        host = self._hosts.get(datagram.dst)
+        if host is None or not host.online:
+            self._drop(datagram, "offline")
+            return
+        handler = host.handler_for(datagram.port)
+        if handler is None:
+            self._drop(datagram, "no-handler")
+            return
+        self.delivered_count += 1
+        handler(datagram)
+
+    def _drop(self, datagram: Datagram, reason: str) -> None:
+        self.dropped_count += 1
+        for hook in self._drop_hooks:
+            hook(datagram, reason)

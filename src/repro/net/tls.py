@@ -1,0 +1,512 @@
+"""A TLS-like secure channel over the datagram fabric.
+
+The paper protects computer↔server and phone↔server traffic with HTTPS
+under a self-signed certificate. We reproduce the same guarantees with
+a compact Noise-NK-style protocol:
+
+- the server holds a static X25519 key pair; its certificate
+  (:class:`repro.net.certificates.Certificate`) carries the public half
+  and clients *pin* it (the phone stores the server cert, §V-B);
+- the client sends an ephemeral public key (HELLO), the server answers
+  with its own ephemeral key and a key-confirmation MAC (ACCEPT);
+- both sides derive directional ChaCha20-Poly1305 keys from
+  ``HKDF(es || ee)`` where ``es`` mixes in the server's *static* key —
+  only the true server can compute it, which is what authenticates the
+  server to the client;
+- records are sequenced, AEAD-protected, and carry request/response
+  correlation so HTTP exchanges map 1:1 onto records.
+
+Passive taps on the fabric observe only ciphertext and sizes. The
+"broken HTTPS" attack of §IV-A is modelled by exporting a session's
+keys to the attacker (:meth:`SecureSession.export_keys`).
+"""
+
+from __future__ import annotations
+
+import hmac as _hmac
+import hashlib
+import itertools
+import struct
+from typing import Callable, Dict, Optional
+
+from repro.crypto.aead import aead_encrypt, aead_decrypt
+from repro.crypto.hkdf import hkdf
+from repro.crypto.randomness import RandomSource, SystemRandomSource
+from repro.crypto.x25519 import x25519, x25519_base, generate_keypair
+from repro.net.certificates import Certificate, CertificateStore
+from repro.net.message import Datagram
+from repro.net.network import Host, Network
+from repro.util.errors import CryptoError, NetworkError, ProtocolError, ValidationError
+
+SECURE_PORT = 443
+
+_TYPE_HELLO = 1
+_TYPE_ACCEPT = 2
+_TYPE_REJECT = 3
+_TYPE_DATA = 4
+
+_DIR_CLIENT_TO_SERVER = 0
+_DIR_SERVER_TO_CLIENT = 1
+
+_CHANNEL_ID_SIZE = 16
+_KEY_SIZE = 32
+_HKDF_INFO = b"repro-secure-channel-v1"
+
+
+def _derive_keys(channel_id: bytes, es: bytes, ee: bytes) -> tuple[bytes, bytes]:
+    """Derive (client->server, server->client) record keys."""
+    okm = hkdf(ikm=es + ee, salt=channel_id, info=_HKDF_INFO, length=64)
+    return okm[:32], okm[32:]
+
+
+def _confirmation(key_s2c: bytes, channel_id: bytes) -> bytes:
+    """Server key-confirmation MAC carried in ACCEPT."""
+    return _hmac.new(key_s2c, b"confirm|" + channel_id, hashlib.sha256).digest()
+
+
+def _record_nonce(direction: int, seq: int) -> bytes:
+    return struct.pack(">IQ", direction, seq)
+
+
+class SecureSession:
+    """Keys and sequencing state shared by both ends of a channel."""
+
+    def __init__(
+        self,
+        channel_id: bytes,
+        key_c2s: bytes,
+        key_s2c: bytes,
+        peer: str,
+        service: str,
+    ) -> None:
+        self.channel_id = channel_id
+        self.key_c2s = key_c2s
+        self.key_s2c = key_s2c
+        self.peer = peer
+        self.service = service
+        self._processed: Dict[int, bytes] = {}  # request seq -> cached response
+
+    def export_keys(self) -> tuple[bytes, bytes]:
+        """Expose record keys — used only by attack simulations that model
+        a compromised endpoint or broken TLS (§IV-A)."""
+        return self.key_c2s, self.key_s2c
+
+    def seal(self, direction: int, seq: int, in_reply_to: int, payload: bytes) -> bytes:
+        key = self.key_c2s if direction == _DIR_CLIENT_TO_SERVER else self.key_s2c
+        header = struct.pack(
+            ">B16sBQQ", _TYPE_DATA, self.channel_id, direction, seq, in_reply_to
+        )
+        sealed = aead_encrypt(key, _record_nonce(direction, seq), payload, aad=header)
+        return header + sealed
+
+    def open(self, direction: int, seq: int, in_reply_to: int, sealed: bytes) -> bytes:
+        key = self.key_c2s if direction == _DIR_CLIENT_TO_SERVER else self.key_s2c
+        header = struct.pack(
+            ">B16sBQQ", _TYPE_DATA, self.channel_id, direction, seq, in_reply_to
+        )
+        return aead_decrypt(key, _record_nonce(direction, seq), sealed, aad=header)
+
+
+# Handler invoked by the server stack: (session, request_seq, plaintext).
+ServiceHandler = Callable[[SecureSession, int, bytes], None]
+
+
+class SecureServer:
+    """The server side: a static identity key plus registered services."""
+
+    def __init__(
+        self,
+        identity: str,
+        rng: RandomSource | None = None,
+        static_private: bytes | None = None,
+    ) -> None:
+        self.identity = identity
+        self._rng = rng if rng is not None else SystemRandomSource()
+        if static_private is not None:
+            # A persisted identity key (so the self-signed certificate —
+            # and therefore client pins — survive server restarts).
+            self.static_private = static_private
+            self.static_public = x25519_base(static_private)
+        else:
+            self.static_private, self.static_public = generate_keypair(self._rng)
+        self.certificate = Certificate(identity=identity, public_key=self.static_public)
+        self._services: Dict[str, ServiceHandler] = {}
+        self.sessions: Dict[bytes, SecureSession] = {}
+
+    def register_service(self, name: str, handler: ServiceHandler) -> None:
+        if name in self._services:
+            raise ValidationError(f"service {name!r} already registered")
+        self._services[name] = handler
+
+    def service(self, name: str) -> Optional[ServiceHandler]:
+        return self._services.get(name)
+
+    def accept(
+        self, channel_id: bytes, service: str, client_ephemeral_pub: bytes
+    ) -> tuple[SecureSession, bytes, bytes]:
+        """Process a HELLO; returns (session, server_eph_pub, confirmation)."""
+        if service not in self._services:
+            raise ProtocolError(f"unknown service {service!r}")
+        eph_private, eph_public = generate_keypair(self._rng)
+        es = x25519(self.static_private, client_ephemeral_pub)
+        ee = x25519(eph_private, client_ephemeral_pub)
+        key_c2s, key_s2c = _derive_keys(channel_id, es, ee)
+        session = SecureSession(channel_id, key_c2s, key_s2c, peer="", service=service)
+        self.sessions[channel_id] = session
+        return session, eph_public, _confirmation(key_s2c, channel_id)
+
+
+class _PendingRequest:
+    def __init__(self, payload: bytes, on_response, on_error) -> None:
+        self.payload = payload
+        self.on_response = on_response
+        self.on_error = on_error
+        self.timer = None
+        self.attempts = 0
+
+
+class SecureClientChannel:
+    """The client end of one established (or establishing) channel."""
+
+    def __init__(
+        self,
+        stack: "SecureStack",
+        server_host: str,
+        certificate: Certificate,
+        service: str,
+        rng: RandomSource,
+    ) -> None:
+        self.stack = stack
+        self.server_host = server_host
+        self.certificate = certificate
+        self.service = service
+        self.channel_id = rng.token_bytes(_CHANNEL_ID_SIZE)
+        self._eph_private, self._eph_public = generate_keypair(rng)
+        self.session: Optional[SecureSession] = None
+        self._seq = itertools.count(1)
+        self._pending: Dict[int, _PendingRequest] = {}
+        self._queued: list[tuple[int, _PendingRequest]] = []
+        self._hello_timer = None
+        self._hello_attempts = 0
+        self._on_ready: list[Callable[[], None]] = []
+        self._failed = False
+
+    # -- handshake -----------------------------------------------------------
+
+    def start(self, on_ready: Callable[[], None] | None = None) -> None:
+        if on_ready is not None:
+            self._on_ready.append(on_ready)
+        self._send_hello()
+
+    def _send_hello(self) -> None:
+        hello = struct.pack(
+            ">B16s32sB", _TYPE_HELLO, self.channel_id, self._eph_public,
+            len(self.service.encode("utf-8")),
+        ) + self.service.encode("utf-8")
+        self.stack.transmit(self.server_host, hello)
+        self._hello_attempts += 1
+        # Every attempt gets a timer — the last one arms the failure path,
+        # so a lost final ACCEPT cannot hang the channel silently.
+        self._hello_timer = self.stack.kernel.schedule(
+            self.stack.retry_timeout_ms, self._hello_timeout, "hello-retry"
+        )
+
+    def _hello_timeout(self) -> None:
+        if self.session is not None or self._failed:
+            return
+        if self._hello_attempts > self.stack.max_retries:
+            self._fail(NetworkError(f"handshake to {self.server_host} timed out"))
+            return
+        self._send_hello()
+
+    def handle_accept(self, server_eph_pub: bytes, confirmation: bytes) -> None:
+        if self.session is not None:
+            return  # duplicate ACCEPT from a retransmitted HELLO
+        es = x25519(self._eph_private, self.certificate.public_key)
+        ee = x25519(self._eph_private, server_eph_pub)
+        key_c2s, key_s2c = _derive_keys(self.channel_id, es, ee)
+        if not _hmac.compare_digest(
+            confirmation, _confirmation(key_s2c, self.channel_id)
+        ):
+            # Whoever answered does not hold the pinned static key.
+            self._fail(CryptoError("server key confirmation failed"))
+            return
+        if self._hello_timer is not None:
+            self._hello_timer.cancel()
+        self.session = SecureSession(
+            self.channel_id, key_c2s, key_s2c,
+            peer=self.server_host, service=self.service,
+        )
+        for seq, pending in self._queued:
+            self._pending[seq] = pending
+            self._transmit_request(seq, pending)
+        self._queued.clear()
+        callbacks, self._on_ready = self._on_ready, []
+        for callback in callbacks:
+            callback()
+
+    def handle_reject(self, reason: str) -> None:
+        self._fail(ProtocolError(f"server rejected channel: {reason}"))
+
+    def _fail(self, error: Exception) -> None:
+        if self._failed:
+            return
+        self._failed = True
+        for __, pending in self._queued:
+            pending.on_error(error)
+        self._queued.clear()
+        for pending in list(self._pending.values()):
+            if pending.timer is not None:
+                pending.timer.cancel()
+            pending.on_error(error)
+        self._pending.clear()
+
+    # -- requests ------------------------------------------------------------
+
+    def request(
+        self,
+        payload: bytes,
+        on_response: Callable[[bytes], None],
+        on_error: Callable[[Exception], None] | None = None,
+    ) -> int:
+        """Send *payload* once the channel is ready; returns the sequence id."""
+        if self._failed:
+            raise NetworkError("channel already failed")
+        seq = next(self._seq)
+        pending = _PendingRequest(
+            payload, on_response, on_error if on_error is not None else (lambda e: None)
+        )
+        if self.session is None:
+            self._queued.append((seq, pending))
+        else:
+            self._pending[seq] = pending
+            self._transmit_request(seq, pending)
+        return seq
+
+    def _transmit_request(self, seq: int, pending: _PendingRequest) -> None:
+        assert self.session is not None
+        record = self.session.seal(_DIR_CLIENT_TO_SERVER, seq, 0, pending.payload)
+        self.stack.transmit(self.server_host, record)
+        pending.attempts += 1
+        if pending.attempts <= self.stack.max_retries:
+            pending.timer = self.stack.kernel.schedule(
+                self.stack.retry_timeout_ms,
+                lambda: self._request_timeout(seq),
+                "request-retry",
+            )
+        else:
+            pending.timer = self.stack.kernel.schedule(
+                self.stack.retry_timeout_ms,
+                lambda: self._request_abort(seq),
+                "request-abort",
+            )
+
+    def _request_timeout(self, seq: int) -> None:
+        pending = self._pending.get(seq)
+        if pending is None:
+            return
+        self._transmit_request(seq, pending)
+
+    def _request_abort(self, seq: int) -> None:
+        pending = self._pending.pop(seq, None)
+        if pending is None:
+            return
+        pending.on_error(NetworkError(f"request {seq} to {self.server_host} timed out"))
+
+    def handle_response(self, seq: int, in_reply_to: int, sealed: bytes) -> None:
+        if self.session is None:
+            return
+        pending = self._pending.pop(in_reply_to, None)
+        if pending is None:
+            return  # duplicate response
+        if pending.timer is not None:
+            pending.timer.cancel()
+        try:
+            plaintext = self.session.open(_DIR_SERVER_TO_CLIENT, seq, in_reply_to, sealed)
+        except CryptoError as error:
+            pending.on_error(error)
+            return
+        pending.on_response(plaintext)
+
+
+class SecureStack:
+    """Per-host endpoint multiplexing secure channels over one port.
+
+    A stack can act as a client (outbound channels) and, when a
+    :class:`SecureServer` is attached, as a server. Channel routing is
+    by channel id, so one port carries any number of conversations.
+    """
+
+    def __init__(
+        self,
+        host: Host,
+        network: Network,
+        rng: RandomSource | None = None,
+        port: int = SECURE_PORT,
+        retry_timeout_ms: float = 2_000.0,
+        max_retries: int = 5,
+    ) -> None:
+        self.host = host
+        self.network = network
+        self.kernel = network.kernel
+        self.port = port
+        self.retry_timeout_ms = retry_timeout_ms
+        self.max_retries = max_retries
+        self._rng = rng if rng is not None else SystemRandomSource()
+        self.server: Optional[SecureServer] = None
+        self._client_channels: Dict[bytes, SecureClientChannel] = {}
+        self._server_seq = itertools.count(1)
+        self._accept_cache: Dict[bytes, bytes] = {}  # channel_id -> ACCEPT record
+        host.bind(port, self._on_datagram)
+
+    def attach_server(self, server: SecureServer) -> None:
+        if self.server is not None:
+            raise ValidationError("stack already has a server attached")
+        self.server = server
+
+    def transmit(self, dst: str, payload: bytes) -> None:
+        self.network.send(self.host.name, dst, self.port, payload)
+
+    # -- client API ----------------------------------------------------------
+
+    def connect(
+        self,
+        server_host: str,
+        certificate: Certificate,
+        service: str,
+        pins: CertificateStore | None = None,
+        on_ready: Callable[[], None] | None = None,
+    ) -> SecureClientChannel:
+        """Open a channel to *service* at *server_host*.
+
+        If *pins* is given, the certificate must match the pinned one —
+        this is how the phone app enforces its stored server cert.
+        """
+        if pins is not None and not pins.trusted(certificate):
+            raise CryptoError(
+                f"certificate for {certificate.identity!r} does not match pin"
+            )
+        channel = SecureClientChannel(self, server_host, certificate, service, self._rng)
+        self._client_channels[channel.channel_id] = channel
+        channel.start(on_ready)
+        return channel
+
+    # -- server side ---------------------------------------------------------
+
+    def respond(self, session: SecureSession, request_seq: int, payload: bytes) -> None:
+        """Send a response record on *session* for request *request_seq*."""
+        seq = next(self._server_seq)
+        record = session.seal(_DIR_SERVER_TO_CLIENT, seq, request_seq, payload)
+        session._processed[request_seq] = record
+        self.transmit(session.peer, record)
+
+    # -- wire handling -------------------------------------------------------
+
+    def _on_datagram(self, datagram: Datagram) -> None:
+        payload = datagram.payload
+        if not payload:
+            return
+        kind = payload[0]
+        try:
+            if kind == _TYPE_HELLO:
+                self._handle_hello(datagram)
+            elif kind == _TYPE_ACCEPT:
+                self._handle_accept(payload)
+            elif kind == _TYPE_REJECT:
+                self._handle_reject(payload)
+            elif kind == _TYPE_DATA:
+                self._handle_data(datagram)
+            # unknown types are dropped silently, like junk on a real port
+        except (ProtocolError, CryptoError, struct.error):
+            # Malformed or forged traffic must never crash the endpoint.
+            return
+
+    def _handle_hello(self, datagram: Datagram) -> None:
+        if self.server is None:
+            return
+        payload = datagram.payload
+        header_size = struct.calcsize(">B16s32sB")
+        if len(payload) < header_size:
+            raise ProtocolError("short HELLO")
+        __, channel_id, client_eph, name_len = struct.unpack(
+            ">B16s32sB", payload[:header_size]
+        )
+        service = payload[header_size : header_size + name_len].decode("utf-8")
+        existing = self.server.sessions.get(channel_id)
+        if existing is not None:
+            # Retransmitted HELLO: the previous ACCEPT may have been lost,
+            # so resend it (deriving fresh keys here would desynchronise).
+            cached = self._accept_cache.get(channel_id)
+            if cached is not None:
+                self.transmit(datagram.src, cached)
+            return
+        try:
+            session, server_eph, confirm = self.server.accept(
+                channel_id, service, client_eph
+            )
+        except ProtocolError as error:
+            reject = struct.pack(">B16s", _TYPE_REJECT, channel_id) + str(
+                error
+            ).encode("utf-8")
+            self.transmit(datagram.src, reject)
+            return
+        session.peer = datagram.src
+        accept = struct.pack(
+            ">B16s32s32s", _TYPE_ACCEPT, channel_id, server_eph, confirm
+        )
+        self._accept_cache[channel_id] = accept
+        self.transmit(datagram.src, accept)
+
+    def _handle_accept(self, payload: bytes) -> None:
+        size = struct.calcsize(">B16s32s32s")
+        if len(payload) < size:
+            raise ProtocolError("short ACCEPT")
+        __, channel_id, server_eph, confirm = struct.unpack(">B16s32s32s", payload[:size])
+        channel = self._client_channels.get(channel_id)
+        if channel is not None:
+            channel.handle_accept(server_eph, confirm)
+
+    def _handle_reject(self, payload: bytes) -> None:
+        size = struct.calcsize(">B16s")
+        __, channel_id = struct.unpack(">B16s", payload[:size])
+        reason = payload[size:].decode("utf-8", errors="replace")
+        channel = self._client_channels.get(channel_id)
+        if channel is not None:
+            channel.handle_reject(reason)
+
+    def _handle_data(self, datagram: Datagram) -> None:
+        payload = datagram.payload
+        header_size = struct.calcsize(">B16sBQQ")
+        if len(payload) < header_size:
+            raise ProtocolError("short DATA record")
+        __, channel_id, direction, seq, in_reply_to = struct.unpack(
+            ">B16sBQQ", payload[:header_size]
+        )
+        sealed = payload[header_size:]
+        if direction == _DIR_SERVER_TO_CLIENT:
+            channel = self._client_channels.get(channel_id)
+            if channel is not None:
+                channel.handle_response(seq, in_reply_to, sealed)
+            return
+        if self.server is None:
+            return
+        session = self.server.sessions.get(channel_id)
+        if session is None:
+            return
+        if seq in session._processed:
+            cached = session._processed[seq]
+            if cached is not None:
+                # Already answered: resend the response.
+                self.transmit(session.peer, cached)
+            # None = still being handled (e.g. a deferred response):
+            # drop the duplicate rather than re-executing the handler.
+            return
+        plaintext = session.open(_DIR_CLIENT_TO_SERVER, seq, in_reply_to, sealed)
+        handler = self.server.service(session.service)
+        if handler is not None:
+            session._processed[seq] = None  # mark in flight
+            handler(session, seq, plaintext)
+
+
+# Re-export a client-facing alias used by the package __init__.
+SecureClient = SecureClientChannel

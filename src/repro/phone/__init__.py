@@ -1,0 +1,30 @@
+"""The Amnesia mobile application, simulated (§III-A3, §V-B).
+
+The Android prototype has three components — a GCM service listener, a
+cryptography service, and a database handler — plus the pinned server
+certificate. :class:`~repro.phone.app.AmnesiaApp` reproduces all three
+on a simulated device:
+
+- the listener is a :class:`~repro.rendezvous.service.RendezvousListener`
+  that surfaces pushes as notifications;
+- the cryptography service runs Algorithm 1 (token generation) after a
+  device compute-latency delay;
+- ``Kp`` persists in a :class:`~repro.storage.phone_db.PhoneDatabase`.
+
+User interaction (the notification tap that authorizes a request) is a
+pluggable approval policy: automatic (as in the paper's latency rig,
+which "removed the user verification notification"), manual (queue +
+explicit approve), or a custom callback.
+"""
+
+from repro.phone.device import PhoneDevice
+from repro.phone.notification import Notification, NotificationCenter
+from repro.phone.app import AmnesiaApp, ApprovalPolicy
+
+__all__ = [
+    "PhoneDevice",
+    "Notification",
+    "NotificationCenter",
+    "AmnesiaApp",
+    "ApprovalPolicy",
+]

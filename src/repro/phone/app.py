@@ -1,0 +1,323 @@
+"""The Amnesia mobile application.
+
+Lifecycle: ``install()`` (fresh ``P_id`` + entry table, §III-B1) →
+``register()`` (obtain a GCM registration id, then complete the CAPTCHA
+pairing with the server) → steady state (answer password requests) —
+with ``backup_to_cloud`` / master-change confirmation on the side.
+
+All server communication goes over the secure channel with the pinned
+certificate; the GCM listener is plain rendezvous traffic, exactly as
+in the paper's architecture.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Callable, Dict, Optional
+
+from repro.cloud.provider import CLOUD_SERVICE, CloudClient
+from repro.core.protocol import generate_token
+from repro.core.recovery import encode_backup
+from repro.core.params import DEFAULT_PARAMS, ProtocolParams
+from repro.core.secrets import EntryTable, PhoneSecret
+from repro.crypto.randomness import RandomSource
+from repro.net.certificates import Certificate, CertificateStore
+from repro.net.tls import SecureStack
+from repro.phone.device import PhoneDevice
+from repro.phone.notification import Notification, NotificationCenter
+from repro.rendezvous.service import RendezvousListener
+from repro.server.pending import KIND_MASTER_CHANGE, KIND_PASSWORD
+from repro.server.service import AMNESIA_SERVICE
+from repro.sim.kernel import Simulator
+from repro.sim.random import RngRegistry
+from repro.storage.phone_db import PhoneDatabase
+from repro.util.errors import NotFoundError, ValidationError
+from repro.util.logs import component_logger
+from repro.web.client import SimHttpClient
+from repro.web.http import HttpRequest, HttpResponse
+
+
+_log = component_logger("phone")
+
+
+class ApprovalPolicy(enum.Enum):
+    """How the user responds to a password-request notification."""
+
+    AUTO = "auto"  # the paper's latency rig: compute immediately
+    MANUAL = "manual"  # wait for an explicit approve()/deny()
+
+
+class AmnesiaApp:
+    """One installed instance of the Amnesia application."""
+
+    def __init__(
+        self,
+        kernel: Simulator,
+        device: PhoneDevice,
+        rng: RandomSource,
+        rendezvous_host: str,
+        server_host: str,
+        server_certificate: Certificate,
+        params: ProtocolParams = DEFAULT_PARAMS,
+        db_path: str = ":memory:",
+        approval: ApprovalPolicy = ApprovalPolicy.AUTO,
+    ) -> None:
+        self.kernel = kernel
+        self.device = device
+        self.params = params
+        self._rng = rng
+        self.server_host = server_host
+        self.approval = approval
+        self.notifications = NotificationCenter()
+        self.database = PhoneDatabase(db_path)
+        self.pins = CertificateStore()
+        self._compute_rng = RngRegistry(f"phone:{device.name}").stream("compute")
+        self._pending_approvals: Dict[str, Dict[str, Any]] = {}
+        self.answered_requests = 0
+        self.denied_requests = 0
+
+        self.stack = SecureStack(device.host, device.network, rng)
+        self.listener = RendezvousListener(
+            device.host, device.network, rendezvous_host, self._on_push
+        )
+        # Pin the server's self-signed certificate (stored app-side, §V-B).
+        self.pins.pin(server_certificate)
+        self.database.set_server_certificate(
+            server_certificate.identity, server_certificate.public_key
+        )
+        self._server_certificate = server_certificate
+        self._http: Optional[SimHttpClient] = None
+        self._installed = False
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def install(self) -> None:
+        """First-run initialisation: fresh ``P_id`` and entry table.
+
+        "A new P_id is generated each time the application is
+        installed" (§III-B1).
+        """
+        secret = PhoneSecret.generate(self._rng, self.params)
+        self.database.set_pid(secret.pid)
+        self.database.store_entry_table(secret.entry_table.entries())
+        self._installed = True
+
+    @property
+    def installed(self) -> bool:
+        return self._installed
+
+    def resume(self) -> None:
+        """Adopt existing on-disk state (app restart on the same device).
+
+        Raises :class:`~repro.util.errors.StorageError`/`NotFoundError`
+        if the database holds no installed state.
+        """
+        self.database.pid()  # raises if never installed
+        self.database.entry_table()
+        self._installed = True
+
+    def refresh_registration(
+        self, login: str, on_done: Callable[[bool], None] | None = None
+    ) -> None:
+        """Obtain a fresh rendezvous registration id and update the server
+        (GCM token rotation / restart recovery). Requires installed state."""
+        if not self._installed:
+            raise ValidationError("install() or resume() first")
+
+        def registered(reg_id: str) -> None:
+            self.database.set_registration_id(reg_id)
+            payload = {
+                "login": login,
+                "pid": self.database.pid().hex(),
+                "reg_id": reg_id,
+            }
+
+            def on_response(response: HttpResponse) -> None:
+                if on_done is not None:
+                    on_done(response.ok)
+
+            self._http_client().send(
+                HttpRequest.json_request("POST", "/phone/reregister", payload),
+                on_response,
+                lambda error: on_done(False) if on_done is not None else None,
+            )
+
+        self.listener.register(registered)
+
+    def phone_secret(self) -> PhoneSecret:
+        """``Kp`` as currently stored (what a phone-compromise attacker gets)."""
+        return PhoneSecret(
+            pid=self.database.pid(),
+            entry_table=EntryTable(self.database.entry_table(), self.params),
+        )
+
+    def register(
+        self,
+        login: str,
+        pairing_code: str,
+        on_done: Callable[[bool], None] | None = None,
+    ) -> None:
+        """Obtain a registration id, then complete the CAPTCHA pairing.
+
+        Asynchronous: *on_done* fires with True on success.
+        """
+        if not self._installed:
+            raise ValidationError("install() the application first")
+
+        def registered(reg_id: str) -> None:
+            self.database.set_registration_id(reg_id)
+            payload = {
+                "login": login,
+                "code": pairing_code,
+                "pid": self.database.pid().hex(),
+                "reg_id": reg_id,
+            }
+
+            def on_response(response: HttpResponse) -> None:
+                if on_done is not None:
+                    on_done(response.status == 201)
+
+            def on_error(error: Exception) -> None:
+                if on_done is not None:
+                    on_done(False)
+
+            self._http_client().send(
+                HttpRequest.json_request("POST", "/pair/complete", payload),
+                on_response,
+                on_error,
+            )
+
+        self.listener.register(registered)
+
+    def _http_client(self) -> SimHttpClient:
+        if self._http is None:
+            self._http = SimHttpClient(
+                self.stack,
+                self.kernel,
+                self.server_host,
+                self._server_certificate,
+                service=AMNESIA_SERVICE,
+                pins=self.pins,
+            )
+        return self._http
+
+    # -- push handling (the GCM service listener) -------------------------------
+
+    def _on_push(self, data: Dict[str, Any]) -> None:
+        kind = data.get("kind")
+        if kind == KIND_PASSWORD:
+            self._on_password_request(data)
+        elif kind == KIND_MASTER_CHANGE:
+            self.notifications.post(KIND_MASTER_CHANGE, data, self.kernel.now)
+            self._pending_approvals[str(data.get("pending_id"))] = data
+        # unknown kinds are ignored, as a robust listener must
+
+    def _on_password_request(self, data: Dict[str, Any]) -> None:
+        pending_id = str(data.get("pending_id", ""))
+        request_hex = str(data.get("request", ""))
+        if not pending_id or not request_hex:
+            return
+        self.notifications.post(KIND_PASSWORD, data, self.kernel.now)
+        _log.debug(
+            "password request %s from origin=%s (%s)",
+            pending_id[:8], data.get("origin", "?"), self.approval.value,
+        )
+        if self.approval is ApprovalPolicy.AUTO:
+            self._answer_request(pending_id, request_hex, data)
+        else:
+            self._pending_approvals[pending_id] = data
+
+    def pending_approvals(self) -> list[Dict[str, Any]]:
+        """Requests awaiting the user's tap (manual approval mode)."""
+        return list(self._pending_approvals.values())
+
+    def approve(self, pending_id: str) -> None:
+        """The user taps "accept" on a password-request notification."""
+        data = self._pending_approvals.pop(pending_id, None)
+        if data is None:
+            raise NotFoundError(f"no pending request {pending_id!r}")
+        if data.get("kind") != KIND_PASSWORD:
+            raise ValidationError("approve() is only for password requests")
+        self._answer_request(pending_id, str(data.get("request", "")), data)
+
+    def deny(self, pending_id: str) -> None:
+        """The user dismisses the request (e.g. one they never initiated —
+        the rogue-push scenario of §IV-C)."""
+        if self._pending_approvals.pop(pending_id, None) is None:
+            raise NotFoundError(f"no pending request {pending_id!r}")
+        self.denied_requests += 1
+
+    def _answer_request(
+        self, pending_id: str, request_hex: str, data: Dict[str, Any]
+    ) -> None:
+        """Run the cryptography service after the device compute delay."""
+        delay = self.device.compute_latency.sample(self._compute_rng)
+
+        def compute_and_send() -> None:
+            table = EntryTable(self.database.entry_table(), self.params)
+            token_hex = generate_token(request_hex, table, self.params)
+            payload = {
+                "pending_id": pending_id,
+                "token": token_hex,
+                "pid": self.database.pid().hex(),
+            }
+            if "tstart_ms" in data:
+                payload["tstart_ms"] = data["tstart_ms"]
+            self.answered_requests += 1
+            self._http_client().send(
+                HttpRequest.json_request("POST", "/token", payload),
+                lambda response: None,
+                lambda error: None,
+            )
+
+        self.kernel.schedule(delay, compute_and_send, label="phone-compute")
+
+    # -- master-password change confirmation ------------------------------------
+
+    def confirm_master_change(self, pending_id: str) -> None:
+        """The user confirms a master-password change on the phone; the app
+        presents ``P_id`` to the server for verification (§III-C2)."""
+        data = self._pending_approvals.pop(pending_id, None)
+        if data is None or data.get("kind") != KIND_MASTER_CHANGE:
+            raise NotFoundError(f"no pending master change {pending_id!r}")
+        payload = {"pending_id": pending_id, "pid": self.database.pid().hex()}
+        self._http_client().send(
+            HttpRequest.json_request("POST", "/recover/master/confirm", payload),
+            lambda response: None,
+            lambda error: None,
+        )
+
+    # -- backup (§III-C1) ---------------------------------------------------------
+
+    def backup_blob(self, passphrase: str | None = None) -> bytes:
+        """Serialise ``Kp`` for the one-time cloud backup."""
+        return encode_backup(self.phone_secret(), passphrase=passphrase, rng=self._rng)
+
+    def backup_to_cloud(
+        self,
+        cloud: CloudClient,
+        name: str = "amnesia-backup",
+        passphrase: str | None = None,
+    ) -> None:
+        """Store the backup payload with the third-party provider."""
+        cloud.put(name, self.backup_blob(passphrase))
+
+    def cloud_client(
+        self, cloud_host: str, cloud_certificate: Certificate, token: str
+    ) -> CloudClient:
+        """Build a client for the third-party cloud provider."""
+        http = SimHttpClient(
+            self.stack,
+            self.kernel,
+            cloud_host,
+            cloud_certificate,
+            service=CLOUD_SERVICE,
+        )
+        return CloudClient(http, token)
+
+    # -- connectivity -------------------------------------------------------------
+
+    def reconnect(self) -> None:
+        """Announce presence to the rendezvous service after coming back
+        online, flushing any queued pushes."""
+        self.listener.connect()

@@ -1,0 +1,49 @@
+"""The simulated smartphone hardware/OS envelope.
+
+Carries what the experiments need from a device: its network identity,
+an online/offline switch (phones sleep, lose signal, get powered off —
+§VIII notes Amnesia is unavailable when the phone is), and a compute
+latency model for hashing on the handset (the prototype measured on a
+Samsung Galaxy Note 4).
+"""
+
+from __future__ import annotations
+
+from repro.net.network import Host, Network
+from repro.sim.latency import LatencyModel, TruncatedNormal
+
+# Token generation is 16 table lookups + one SHA-256 over 512 bytes; on
+# 2015-era hardware this lands in the low tens of milliseconds once JVM
+# and scheduler overheads are included.
+DEFAULT_COMPUTE_LATENCY = TruncatedNormal(mean_ms=24.0, std_ms=6.0)
+
+
+class PhoneDevice:
+    """A handset attached to the simulated network."""
+
+    def __init__(
+        self,
+        network: Network,
+        host_name: str,
+        compute_latency: LatencyModel | None = None,
+    ) -> None:
+        self.network = network
+        self.host: Host = network.host(host_name)
+        self.compute_latency = (
+            compute_latency if compute_latency is not None else DEFAULT_COMPUTE_LATENCY
+        )
+
+    @property
+    def name(self) -> str:
+        return self.host.name
+
+    @property
+    def online(self) -> bool:
+        return self.host.online
+
+    def power_off(self) -> None:
+        """Take the device off the network (push deliveries will queue)."""
+        self.host.online = False
+
+    def power_on(self) -> None:
+        self.host.online = True

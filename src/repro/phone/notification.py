@@ -1,0 +1,52 @@
+"""Android-style notifications surfaced to the (simulated) user.
+
+The GCM listener "will notify the user via Android's notification
+action" including the IP address of the originating request (§V-B).
+Experiments and the user-study simulation inspect this stream; the
+§IV-C discussion of a breached server pushing rogue requests is
+observable here as a notification whose origin the user never asked
+for.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+_notification_ids = itertools.count(1)
+
+
+@dataclass
+class Notification:
+    """One entry in the device's notification shade."""
+
+    kind: str
+    body: Dict[str, Any]
+    posted_at_ms: float
+    id: int = field(default_factory=lambda: next(_notification_ids))
+    acted_on: bool = False
+
+
+class NotificationCenter:
+    """The device's notification shade."""
+
+    def __init__(self) -> None:
+        self._notifications: list[Notification] = []
+
+    def post(self, kind: str, body: Dict[str, Any], now_ms: float) -> Notification:
+        notification = Notification(kind=kind, body=dict(body), posted_at_ms=now_ms)
+        self._notifications.append(notification)
+        return notification
+
+    def pending(self) -> list[Notification]:
+        return [n for n in self._notifications if not n.acted_on]
+
+    def all(self) -> list[Notification]:
+        return list(self._notifications)
+
+    def mark_acted(self, notification_id: int) -> None:
+        for notification in self._notifications:
+            if notification.id == notification_id:
+                notification.acted_on = True
+                return

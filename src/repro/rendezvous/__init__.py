@@ -1,0 +1,35 @@
+"""Rendezvous push service (the Google Cloud Messaging substitute).
+
+The Amnesia server cannot address the phone directly, so password
+requests are forwarded through a rendezvous server (§III, [9]). This
+package models that hop:
+
+- :class:`~repro.rendezvous.service.RendezvousService` — assigns
+  registration ids to devices, forwards pushes, and stores-and-forwards
+  for offline devices;
+- :class:`~repro.rendezvous.service.RendezvousListener` — the
+  device-side "GCM service listener" of §V-B;
+- :class:`~repro.rendezvous.service.RendezvousPublisher` — the
+  app-server side that pushes to a registration id.
+
+Rendezvous payloads travel as plaintext JSON datagrams on the fabric.
+That makes the §IV-B experiment (eavesdropping the rendezvous hop sees
+``R`` but cannot exploit it thanks to σ) directly observable through a
+network tap, which is exactly the paper's threat model for this hop.
+"""
+
+from repro.rendezvous.service import (
+    RendezvousService,
+    RendezvousListener,
+    RendezvousPublisher,
+    RENDEZVOUS_PORT,
+    DEVICE_PUSH_PORT,
+)
+
+__all__ = [
+    "RendezvousService",
+    "RendezvousListener",
+    "RendezvousPublisher",
+    "RENDEZVOUS_PORT",
+    "DEVICE_PUSH_PORT",
+]

@@ -1,0 +1,284 @@
+"""The rendezvous service, listener and publisher.
+
+Wire protocol (JSON datagrams):
+
+- device -> service  : ``{"type": "register", "device": <host>}``
+- service -> device  : ``{"type": "registered", "reg_id": <id>}``
+- device -> service  : ``{"type": "connect", "reg_id": <id>}`` (flush)
+- server -> service  : ``{"type": "push", "reg_id": <id>, "data": {...}}``
+- service -> device  : ``{"type": "deliver", "msg_id": <n>, "data": {...}}``
+- device -> service  : ``{"type": "ack", "msg_id": <n>}``
+
+Deliveries are at-least-once: the service retransmits until the device
+acks (GCM rides a reliable TCP connection; on our lossy datagram fabric
+the ack/retransmit loop models that). The listener deduplicates by
+message id, so the application sees each push exactly once. Pushes to
+offline devices queue and flush on the next ``connect`` — GCM's
+store-and-forward behaviour, which the phone-loss scenarios rely on.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+from collections import deque
+from typing import Any, Callable, Deque, Dict
+
+from repro.crypto.randomness import RandomSource
+from repro.net.message import Datagram
+from repro.net.network import Host, Network
+from repro.util.errors import NotFoundError, ValidationError
+from repro.util.logs import component_logger
+
+RENDEZVOUS_PORT = 5228  # GCM's actual port number
+DEVICE_PUSH_PORT = 5229
+
+_log = component_logger("rendezvous")
+
+_MAX_QUEUED_PER_DEVICE = 100
+_DELIVERY_RETRY_MS = 1_000.0
+_DELIVERY_MAX_ATTEMPTS = 8
+_REGISTER_RETRY_MS = 1_000.0
+_REGISTER_MAX_ATTEMPTS = 8
+
+
+def _encode(message: Dict[str, Any]) -> bytes:
+    return json.dumps(message, sort_keys=True).encode("utf-8")
+
+
+def _decode(payload: bytes) -> Dict[str, Any] | None:
+    try:
+        message = json.loads(payload.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError):
+        return None
+    return message if isinstance(message, dict) else None
+
+
+class RendezvousService:
+    """The rendezvous server: registration ids and push forwarding."""
+
+    def __init__(self, host: Host, network: Network, rng: RandomSource) -> None:
+        self.host = host
+        self.network = network
+        self._rng = rng
+        self._devices: Dict[str, str] = {}  # reg_id -> device host
+        self._queues: Dict[str, Deque[Dict[str, Any]]] = {}
+        self._msg_ids = itertools.count(1)
+        self._unacked: Dict[int, Dict[str, Any]] = {}  # msg_id -> state
+        self.push_count = 0
+        self.forward_count = 0
+        host.bind(RENDEZVOUS_PORT, self._on_datagram)
+
+    def registered_devices(self) -> Dict[str, str]:
+        return dict(self._devices)
+
+    def _on_datagram(self, datagram: Datagram) -> None:
+        message = _decode(datagram.payload)
+        if message is None:
+            return
+        kind = message.get("type")
+        if kind == "register":
+            self._handle_register(datagram, message)
+        elif kind == "connect":
+            self._handle_connect(message)
+        elif kind == "push":
+            self._handle_push(message)
+        elif kind == "ack":
+            self._handle_ack(message)
+
+    def _handle_register(self, datagram: Datagram, message: Dict[str, Any]) -> None:
+        device = message.get("device")
+        if not isinstance(device, str) or not device:
+            return
+        # Re-registration from the same host returns a fresh id; stale ids
+        # are unregistered implicitly when pushes to them go unacked.
+        reg_id = "gcm:" + self._rng.token_hex(24)
+        self._devices[reg_id] = device
+        self._queues[reg_id] = deque()
+        self.network.send(
+            self.host.name,
+            datagram.src,
+            DEVICE_PUSH_PORT,
+            _encode({"type": "registered", "reg_id": reg_id}),
+        )
+
+    def _handle_connect(self, message: Dict[str, Any]) -> None:
+        reg_id = message.get("reg_id")
+        if not isinstance(reg_id, str):
+            return
+        queue = self._queues.get(reg_id)
+        device = self._devices.get(reg_id)
+        if queue is None or device is None:
+            return
+        while queue:
+            self._forward(device, queue.popleft())
+
+    def _handle_push(self, message: Dict[str, Any]) -> None:
+        reg_id = message.get("reg_id")
+        data = message.get("data")
+        if not isinstance(reg_id, str) or not isinstance(data, dict):
+            return
+        self.push_count += 1
+        device = self._devices.get(reg_id)
+        if device is None:
+            _log.debug("push to unknown reg_id %s dropped", reg_id[:12])
+            return  # unknown registration id: GCM silently drops
+        host = self.network.host(device)
+        if not host.online:
+            queue = self._queues.setdefault(reg_id, deque())
+            if len(queue) < _MAX_QUEUED_PER_DEVICE:
+                queue.append(data)
+                _log.debug(
+                    "device %s offline; queued push (%d waiting)",
+                    device, len(queue),
+                )
+            else:
+                _log.info("device %s queue full; push dropped", device)
+            return
+        self._forward(device, data)
+
+    def _handle_ack(self, message: Dict[str, Any]) -> None:
+        msg_id = message.get("msg_id")
+        if isinstance(msg_id, int):
+            state = self._unacked.pop(msg_id, None)
+            if state is not None and state.get("timer") is not None:
+                state["timer"].cancel()
+
+    def _forward(self, device: str, data: Dict[str, Any]) -> None:
+        """Send a delivery and retransmit until the device acks."""
+        self.forward_count += 1
+        msg_id = next(self._msg_ids)
+        state: Dict[str, Any] = {"attempts": 0, "timer": None}
+        self._unacked[msg_id] = state
+
+        def transmit() -> None:
+            if msg_id not in self._unacked:
+                return  # acked meanwhile
+            if state["attempts"] >= _DELIVERY_MAX_ATTEMPTS:
+                del self._unacked[msg_id]
+                return
+            state["attempts"] += 1
+            self.network.send(
+                self.host.name,
+                device,
+                DEVICE_PUSH_PORT,
+                _encode({"type": "deliver", "msg_id": msg_id, "data": data}),
+            )
+            state["timer"] = self.network.kernel.schedule(
+                _DELIVERY_RETRY_MS, transmit, label="gcm-retransmit"
+            )
+
+        transmit()
+
+    def unregister(self, reg_id: str) -> None:
+        self._devices.pop(reg_id, None)
+        self._queues.pop(reg_id, None)
+
+
+class RendezvousListener:
+    """Device side: obtains a registration id and receives deliveries."""
+
+    def __init__(
+        self,
+        host: Host,
+        network: Network,
+        rendezvous_host: str,
+        on_push: Callable[[Dict[str, Any]], None],
+    ) -> None:
+        self.host = host
+        self.network = network
+        self.rendezvous_host = rendezvous_host
+        self.on_push = on_push
+        self.reg_id: str | None = None
+        self._on_registered: list[Callable[[str], None]] = []
+        self._register_attempts = 0
+        self._seen_msg_ids: set[int] = set()
+        host.bind(DEVICE_PUSH_PORT, self._on_datagram)
+
+    def register(self, on_registered: Callable[[str], None] | None = None) -> None:
+        """Request a registration id (async; callback fires when assigned).
+
+        Retries until the service answers, so registration survives a
+        lossy path. Calling again discards the current id and obtains a
+        fresh one (GCM token rotation / app restart)."""
+        if on_registered is not None:
+            self._on_registered.append(on_registered)
+        self.reg_id = None
+        self._register_attempts = 0
+        self._send_register()
+
+    def _send_register(self) -> None:
+        if self.reg_id is not None:
+            return
+        if self._register_attempts >= _REGISTER_MAX_ATTEMPTS:
+            return
+        self._register_attempts += 1
+        self.network.send(
+            self.host.name,
+            self.rendezvous_host,
+            RENDEZVOUS_PORT,
+            _encode({"type": "register", "device": self.host.name}),
+        )
+        self.network.kernel.schedule(
+            _REGISTER_RETRY_MS, self._send_register, label="gcm-register-retry"
+        )
+
+    def connect(self) -> None:
+        """Announce presence; flushes any queued pushes (e.g. after offline)."""
+        if self.reg_id is None:
+            raise ValidationError("cannot connect before registration completes")
+        self.network.send(
+            self.host.name,
+            self.rendezvous_host,
+            RENDEZVOUS_PORT,
+            _encode({"type": "connect", "reg_id": self.reg_id}),
+        )
+
+    def _on_datagram(self, datagram: Datagram) -> None:
+        message = _decode(datagram.payload)
+        if message is None:
+            return
+        kind = message.get("type")
+        if kind == "registered":
+            reg_id = message.get("reg_id")
+            if isinstance(reg_id, str) and self.reg_id is None:
+                self.reg_id = reg_id
+                callbacks, self._on_registered = self._on_registered, []
+                for callback in callbacks:
+                    callback(reg_id)
+        elif kind == "deliver":
+            data = message.get("data")
+            msg_id = message.get("msg_id")
+            if not isinstance(data, dict):
+                return
+            if isinstance(msg_id, int):
+                # Always ack, then deliver each message exactly once.
+                self.network.send(
+                    self.host.name,
+                    self.rendezvous_host,
+                    RENDEZVOUS_PORT,
+                    _encode({"type": "ack", "msg_id": msg_id}),
+                )
+                if msg_id in self._seen_msg_ids:
+                    return
+                self._seen_msg_ids.add(msg_id)
+            self.on_push(data)
+
+
+class RendezvousPublisher:
+    """App-server side: push a payload to a registration id."""
+
+    def __init__(self, host: Host, network: Network, rendezvous_host: str) -> None:
+        self.host = host
+        self.network = network
+        self.rendezvous_host = rendezvous_host
+
+    def push(self, reg_id: str, data: Dict[str, Any]) -> None:
+        if not reg_id:
+            raise NotFoundError("no registration id for this device")
+        self.network.send(
+            self.host.name,
+            self.rendezvous_host,
+            RENDEZVOUS_PORT,
+            _encode({"type": "push", "reg_id": reg_id, "data": data}),
+        )

@@ -1,0 +1,24 @@
+"""The Amnesia web server (§III-A2, §V-A).
+
+Owns the server-side secret ``Ks`` and functional variables ``Vf``,
+serves the web API the browser talks to, pushes password requests to
+the phone through the rendezvous service, and finishes password
+generation when the token returns. Components mirror the prototype's
+three parts: user interaction & sessions, cryptography, and the
+database handler.
+"""
+
+from repro.server.service import AmnesiaCore, AmnesiaServer, AMNESIA_SERVICE
+from repro.server.metrics import LatencySample
+from repro.server.pending import PendingRegistry, PendingExchange
+from repro.server.throttle import LoginThrottle
+
+__all__ = [
+    "AmnesiaCore",
+    "AmnesiaServer",
+    "AMNESIA_SERVICE",
+    "LatencySample",
+    "PendingRegistry",
+    "PendingExchange",
+    "LoginThrottle",
+]

@@ -1,0 +1,57 @@
+"""Server-side measurements, including Figure 3's latency samples.
+
+The paper instruments the pipeline with ``t_start`` (R handed to GCM)
+and ``t_end`` (P computed) and reports ``latency = t_end - t_start``.
+The server records exactly that pair per completed generation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class LatencySample:
+    """One completed password generation."""
+
+    account_id: int
+    tstart_ms: float
+    tend_ms: float
+
+    @property
+    def latency_ms(self) -> float:
+        return self.tend_ms - self.tstart_ms
+
+
+@dataclass
+class ServerMetrics:
+    """Counters and samples accumulated by one server instance."""
+
+    latency_samples: list[LatencySample] = field(default_factory=list)
+    generations_started: int = 0
+    generations_completed: int = 0
+    generations_timed_out: int = 0
+    generations_from_session: int = 0  # §VIII session mechanism hits
+    logins_ok: int = 0
+    logins_failed: int = 0
+
+    def record_generation(self, sample: LatencySample) -> None:
+        self.latency_samples.append(sample)
+        self.generations_completed += 1
+
+    def latency_mean_ms(self) -> float:
+        if not self.latency_samples:
+            return math.nan
+        return sum(s.latency_ms for s in self.latency_samples) / len(
+            self.latency_samples
+        )
+
+    def latency_std_ms(self) -> float:
+        n = len(self.latency_samples)
+        if n < 2:
+            return math.nan
+        mean = self.latency_mean_ms()
+        return math.sqrt(
+            sum((s.latency_ms - mean) ** 2 for s in self.latency_samples) / (n - 1)
+        )

@@ -1,0 +1,100 @@
+"""Pending exchanges: requests waiting on the phone.
+
+Two web flows block on the phone: password generation (waiting for the
+token ``T``) and master-password change (waiting for the phone to
+present ``P_id``). Each gets a pending record keyed by an unguessable
+id that travels in the rendezvous push; the phone echoes it back so the
+server can correlate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+from repro.crypto.randomness import RandomSource
+from repro.util.errors import NotFoundError
+from repro.web.app import Deferred
+
+KIND_PASSWORD = "password_request"
+KIND_MASTER_CHANGE = "master_change_request"
+
+
+@dataclass
+class PendingExchange:
+    """One outstanding phone round-trip."""
+
+    pending_id: str
+    kind: str
+    user_id: int
+    deferred: Deferred
+    created_at_ms: float
+    tstart_ms: float
+    account_id: int | None = None
+    extra: Dict[str, Any] = field(default_factory=dict)
+    timeout_event: Any = None
+
+
+class PendingRegistry:
+    """Creates, resolves and expires pending exchanges."""
+
+    def __init__(self, rng: RandomSource) -> None:
+        self._rng = rng
+        self._pending: Dict[str, PendingExchange] = {}
+        self.timeout_count = 0
+        self.completed_count = 0
+
+    def create(
+        self,
+        kind: str,
+        user_id: int,
+        now_ms: float,
+        account_id: int | None = None,
+        **extra: Any,
+    ) -> PendingExchange:
+        pending_id = self._rng.token_hex(16)
+        exchange = PendingExchange(
+            pending_id=pending_id,
+            kind=kind,
+            user_id=user_id,
+            deferred=Deferred(),
+            created_at_ms=now_ms,
+            tstart_ms=now_ms,
+            account_id=account_id,
+            extra=dict(extra),
+        )
+        self._pending[pending_id] = exchange
+        return exchange
+
+    def peek(self, pending_id: str, kind: str) -> PendingExchange:
+        """Look up an exchange without consuming it.
+
+        Callers verify the submitter's credentials against the peeked
+        exchange *before* taking it, so a forged submission (wrong
+        ``P_id``) does not destroy the legitimate pending request.
+        """
+        exchange = self._pending.get(pending_id)
+        if exchange is None or exchange.kind != kind:
+            raise NotFoundError("no such pending exchange")
+        return exchange
+
+    def take(self, pending_id: str, kind: str) -> PendingExchange:
+        """Claim the exchange for completion (removes it)."""
+        exchange = self._pending.get(pending_id)
+        if exchange is None or exchange.kind != kind:
+            raise NotFoundError("no such pending exchange")
+        del self._pending[pending_id]
+        if exchange.timeout_event is not None:
+            exchange.timeout_event.cancel()
+        self.completed_count += 1
+        return exchange
+
+    def expire(self, pending_id: str) -> PendingExchange | None:
+        """Remove an exchange on timeout (None if already completed)."""
+        exchange = self._pending.pop(pending_id, None)
+        if exchange is not None:
+            self.timeout_count += 1
+        return exchange
+
+    def outstanding(self) -> int:
+        return len(self._pending)

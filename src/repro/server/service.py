@@ -1,0 +1,787 @@
+"""The Amnesia web server: endpoints, secrets, and orchestration.
+
+The server implements the six-step flow of Figure 1 plus registration
+and both recovery protocols:
+
+- browser endpoints (session-cookie authenticated): signup/login,
+  account CRUD, password generation (a *blocking* request that resolves
+  when the phone's token arrives), recovery initiation;
+- phone endpoints: CAPTCHA pairing completion, token submission,
+  master-change confirmation — all authenticated by presenting ``P_id``
+  which the server verifies against its stored ``H(P_id + salt)``;
+- the rendezvous publisher used to push password requests to the phone.
+
+Fidelity note: the paper does not specify how the server authenticates
+the phone's token message; we verify the hashed ``P_id`` exactly as the
+paper's own master-password recovery step does (§III-C2), which
+prevents token forgery by a rendezvous eavesdropper without adding any
+new secret.
+"""
+
+from __future__ import annotations
+
+import base64
+from typing import Any
+
+from repro.core.params import DEFAULT_PARAMS, ProtocolParams
+from repro.core.protocol import (
+    generate_request,
+    generate_token,
+    intermediate_value,
+    render_password,
+)
+from repro.core.recovery import decode_backup
+from repro.core.registration import CaptchaRegistrar
+from repro.core.secrets import EntryTable, generate_oid, generate_seed
+from repro.core.templates import MAX_PASSWORD_LENGTH, PasswordPolicy
+from repro.crypto.hashing import salted_hash, verify_salted_hash
+from repro.crypto.randomness import RandomSource
+from repro.net.network import Network
+from repro.net.tls import SecureServer, SecureStack
+from repro.rendezvous.service import RendezvousPublisher
+from repro.server.metrics import LatencySample, ServerMetrics
+from repro.server.pending import (
+    KIND_MASTER_CHANGE,
+    KIND_PASSWORD,
+    PendingExchange,
+    PendingRegistry,
+)
+from repro.server.throttle import LoginThrottle
+from repro.server.vault import open_entry, seal_entry, vault_key
+from repro.util.logs import component_logger
+from repro.sim.kernel import Simulator
+from repro.sim.latency import LatencyModel
+from repro.storage.server_db import AccountRecord, ServerDatabase, UserRecord
+from repro.util.errors import (
+    AuthenticationError,
+    ConflictError,
+    NotFoundError,
+    RecoveryError,
+    ValidationError,
+)
+from repro.web.app import Application, Deferred, json_response
+from repro.web.http import HttpRequest, HttpResponse
+from repro.web.server import DEFAULT_THREAD_POOL_SIZE, SimHttpServer
+from repro.web.sessions import SESSION_COOKIE, SessionManager
+
+AMNESIA_SERVICE = "https"
+
+DEFAULT_GENERATION_TIMEOUT_MS = 30_000.0
+_MIN_MASTER_PASSWORD_LENGTH = 8
+
+_log = component_logger("server")
+
+
+class AmnesiaCore:
+    """The transport-agnostic Amnesia service: endpoints + secrets.
+
+    Binds to *any* clock (the simulator, or a wall clock for a real
+    deployment) and *any* push channel to the phone (the simulated
+    rendezvous publisher, or an in-process agent dispatcher). The two
+    concrete deployments are :class:`AmnesiaServer` (simulation) and
+    :class:`repro.deploy.real.RealAmnesiaDeployment` (real sockets).
+    """
+
+    def __init__(
+        self,
+        clock,
+        rng: RandomSource,
+        push,
+        db_path: str = ":memory:",
+        params: ProtocolParams = DEFAULT_PARAMS,
+        generation_timeout_ms: float = DEFAULT_GENERATION_TIMEOUT_MS,
+        token_session_ttl_ms: float = 0.0,
+    ) -> None:
+        # ``kernel`` is the historical attribute name; any object with
+        # ``.now`` and ``.schedule(delay_ms, action, label)`` works.
+        self.kernel = clock
+        self.params = params
+        self._rng = rng
+        self._push = push
+        self.generation_timeout_ms = generation_timeout_ms
+        # §VIII session mechanism: cache the phone's token per account for
+        # this long (0 = paper behaviour: a phone round trip per request).
+        self.token_session_ttl_ms = token_session_ttl_ms
+        self._token_sessions: dict[tuple[int, int], tuple[str, float]] = {}
+
+        self.database = ServerDatabase(db_path)
+        self.sessions = SessionManager(rng)
+        self.captcha = CaptchaRegistrar(rng)
+        self.pending = PendingRegistry(rng)
+        self.throttle = LoginThrottle()
+        self.metrics = ServerMetrics()
+        self.application = self._build_application()
+
+    # -- session helpers -------------------------------------------------------
+
+    def _session_user(self, request: HttpRequest) -> tuple[Any, UserRecord]:
+        token = request.cookies.get(SESSION_COOKIE)
+        session = self.sessions.resolve(token, self.kernel.now)
+        if session is None:
+            raise AuthenticationError("not logged in")
+        return session, self.database.user_by_id(session.data["user_id"])
+
+    def _user_account(self, user: UserRecord, account_id: str) -> AccountRecord:
+        try:
+            numeric_id = int(account_id)
+        except ValueError:
+            raise ValidationError(f"bad account id {account_id!r}") from None
+        account = self.database.account_by_id(numeric_id)
+        if account.user_id != user.user_id:
+            raise NotFoundError(f"no account id {numeric_id}")  # don't leak existence
+        return account
+
+    def _verify_pid(self, user: UserRecord, pid_hex: str) -> bytes:
+        if user.pid_hash is None or user.pid_salt is None:
+            raise AuthenticationError("no phone registered for this account")
+        try:
+            pid = bytes.fromhex(pid_hex)
+        except ValueError:
+            raise ValidationError("pid must be hex") from None
+        if not verify_salted_hash(pid, user.pid_salt, user.pid_hash):
+            raise AuthenticationError("phone id verification failed")
+        return pid
+
+    @staticmethod
+    def _policy_of(account: AccountRecord) -> PasswordPolicy:
+        return PasswordPolicy(charset=account.charset, length=account.length)
+
+    # -- §VIII session mechanism ---------------------------------------------
+
+    def _cached_token(self, user_id: int, account_id: int) -> str | None:
+        """A still-fresh phone token for this account, if any."""
+        if self.token_session_ttl_ms <= 0:
+            return None
+        entry = self._token_sessions.get((user_id, account_id))
+        if entry is None:
+            return None
+        token_hex, expires_ms = entry
+        if self.kernel.now >= expires_ms:
+            del self._token_sessions[(user_id, account_id)]
+            return None
+        return token_hex
+
+    def _remember_token(self, user_id: int, account_id: int, token_hex: str) -> None:
+        if self.token_session_ttl_ms > 0:
+            self._token_sessions[(user_id, account_id)] = (
+                token_hex,
+                self.kernel.now + self.token_session_ttl_ms,
+            )
+
+    def _invalidate_token_session(self, account_id: int) -> None:
+        doomed = [key for key in self._token_sessions if key[1] == account_id]
+        for key in doomed:
+            del self._token_sessions[key]
+
+    def _start_phone_round_trip(
+        self,
+        user: UserRecord,
+        account: AccountRecord,
+        action: str,
+        origin: str,
+        **extra,
+    ):
+        """Push a password request and return the pending exchange.
+
+        All phone round trips look identical to the phone (it computes T
+        from R); *action* decides what the server does with the token.
+        """
+        exchange = self.pending.create(
+            KIND_PASSWORD,
+            user.user_id,
+            self.kernel.now,
+            account_id=account.account_id,
+            action=action,
+            **extra,
+        )
+        request_hex = generate_request(account.username, account.domain, account.seed)
+        exchange.tstart_ms = self.kernel.now
+        _log.debug(
+            "push %s exchange=%s account=%d origin=%s",
+            action, exchange.pending_id[:8], account.account_id, origin,
+        )
+        self._push(
+            user.reg_id,
+            {
+                "kind": KIND_PASSWORD,
+                "pending_id": exchange.pending_id,
+                "request": request_hex,
+                "origin": origin,
+                "tstart_ms": exchange.tstart_ms,
+            },
+        )
+        self._arm_timeout(exchange)
+        return exchange
+
+    # -- application -----------------------------------------------------------
+
+    def _build_application(self) -> Application:
+        app = Application("amnesia")
+        router = app.router
+
+        # ---- health ----
+        @router.get("/healthz")
+        def healthz(request: HttpRequest):
+            return json_response({"ok": True, "now_ms": self.kernel.now})
+
+        # ---- signup / login ----
+        @router.post("/signup")
+        def signup(request: HttpRequest):
+            body = request.json()
+            login = str(body.get("login", ""))
+            master_password = str(body.get("master_password", ""))
+            if not login:
+                raise ValidationError("login required")
+            if len(master_password) < _MIN_MASTER_PASSWORD_LENGTH:
+                raise ValidationError(
+                    f"master password must be >= {_MIN_MASTER_PASSWORD_LENGTH} chars"
+                )
+            salt = self._rng.token_bytes(self.params.salt_bytes)
+            user = self.database.create_user(
+                login=login,
+                oid=generate_oid(self._rng, self.params),
+                mp_hash=salted_hash(master_password.encode("utf-8"), salt),
+                mp_salt=salt,
+            )
+            session = self.sessions.create(self.kernel.now, user_id=user.user_id)
+            response = json_response({"login": login}, status=201)
+            response.set_cookies[SESSION_COOKIE] = session.token
+            return response
+
+        @router.post("/login")
+        def login(request: HttpRequest):
+            body = request.json()
+            login_name = str(body.get("login", ""))
+            master_password = str(body.get("master_password", ""))
+            now = self.kernel.now
+            if not self.throttle.allowed(login_name, now):
+                raise AuthenticationError("too many failures; try again later")
+            try:
+                user = self.database.user_by_login(login_name)
+            except NotFoundError:
+                self.throttle.record_failure(login_name, now)
+                self.metrics.logins_failed += 1
+                # Same error as a wrong password: do not leak which logins exist.
+                raise AuthenticationError("bad login or master password") from None
+            if not verify_salted_hash(
+                master_password.encode("utf-8"), user.mp_salt, user.mp_hash
+            ):
+                self.throttle.record_failure(login_name, now)
+                self.metrics.logins_failed += 1
+                raise AuthenticationError("bad login or master password")
+            self.throttle.record_success(login_name)
+            self.metrics.logins_ok += 1
+            session = self.sessions.create(now, user_id=user.user_id)
+            response = json_response({"login": login_name})
+            response.set_cookies[SESSION_COOKIE] = session.token
+            return response
+
+        @router.post("/logout")
+        def logout(request: HttpRequest):
+            token = request.cookies.get(SESSION_COOKIE)
+            if token:
+                self.sessions.revoke(token)
+            return json_response({"ok": True})
+
+        @router.get("/me")
+        def me(request: HttpRequest):
+            __, user = self._session_user(request)
+            return json_response(
+                {
+                    "login": user.login,
+                    "phone_registered": user.reg_id is not None,
+                }
+            )
+
+        # ---- account management ----
+        @router.get("/accounts")
+        def list_accounts(request: HttpRequest):
+            __, user = self._session_user(request)
+            accounts = self.database.accounts_for_user(user.user_id)
+            return json_response(
+                {
+                    "accounts": [
+                        {
+                            "account_id": a.account_id,
+                            "username": a.username,
+                            "domain": a.domain,
+                            "length": a.length,
+                            "charset_size": len(a.charset),
+                        }
+                        for a in accounts
+                    ]
+                }
+            )
+
+        @router.post("/accounts")
+        def add_account(request: HttpRequest):
+            __, user = self._session_user(request)
+            body = request.json()
+            username = str(body.get("username", ""))
+            domain = str(body.get("domain", ""))
+            if not username or not domain:
+                raise ValidationError("username and domain required")
+            policy = _policy_from_body(body)
+            account = self.database.add_account(
+                user_id=user.user_id,
+                username=username,
+                domain=domain,
+                seed=generate_seed(self._rng, self.params),
+                charset=policy.charset,
+                length=policy.length,
+            )
+            return json_response({"account_id": account.account_id}, status=201)
+
+        @router.post("/accounts/{account_id}/rotate")
+        def rotate_seed(request: HttpRequest, account_id: str):
+            __, user = self._session_user(request)
+            account = self._user_account(user, account_id)
+            self.database.update_seed(
+                account.account_id, generate_seed(self._rng, self.params)
+            )
+            # σ changed: cached tokens and vault keys are stale by design.
+            self._invalidate_token_session(account.account_id)
+            had_vault = self.database.vault_entry(account.account_id) is not None
+            self.database.delete_vault_entry(account.account_id)
+            return json_response(
+                {"rotated": account.account_id, "vault_invalidated": had_vault}
+            )
+
+        @router.put("/accounts/{account_id}/policy")
+        def update_policy(request: HttpRequest, account_id: str):
+            __, user = self._session_user(request)
+            account = self._user_account(user, account_id)
+            policy = _policy_from_body(request.json())
+            self.database.update_policy(
+                account.account_id, policy.charset, policy.length
+            )
+            return json_response({"updated": account.account_id})
+
+        @router.delete("/accounts/{account_id}")
+        def delete_account(request: HttpRequest, account_id: str):
+            __, user = self._session_user(request)
+            account = self._user_account(user, account_id)
+            self.database.delete_account(account.account_id)
+            return json_response({"deleted": account.account_id})
+
+        # ---- phone pairing (§III-B1) ----
+        @router.post("/pair/start")
+        def pair_start(request: HttpRequest):
+            __, user = self._session_user(request)
+            challenge = self.captcha.issue(user.login, self.kernel.now)
+            # The code is *displayed on the webpage*; the user types it
+            # into the phone app.
+            return json_response({"code": challenge.code})
+
+        @router.post("/pair/complete")
+        def pair_complete(request: HttpRequest):
+            body = request.json()
+            login_name = str(body.get("login", ""))
+            code = str(body.get("code", ""))
+            pid_hex = str(body.get("pid", ""))
+            reg_id = str(body.get("reg_id", ""))
+            if not (login_name and code and pid_hex and reg_id):
+                raise ValidationError("login, code, pid and reg_id required")
+            user = self.database.user_by_login(login_name)
+            self.captcha.verify(login_name, code, self.kernel.now)
+            try:
+                pid = bytes.fromhex(pid_hex)
+            except ValueError:
+                raise ValidationError("pid must be hex") from None
+            if len(pid) != self.params.pid_bytes:
+                raise ValidationError(
+                    f"pid must be {self.params.pid_bytes} bytes"
+                )
+            salt = self._rng.token_bytes(self.params.salt_bytes)
+            # Registration id in plaintext; P_id only hashed+salted (Table I).
+            self.database.set_phone_registration(
+                user.user_id, reg_id, salted_hash(pid, salt), salt
+            )
+            return json_response({"paired": True}, status=201)
+
+        @router.post("/phone/reregister")
+        def phone_reregister(request: HttpRequest):
+            """Refresh the rendezvous registration id (GCM rotates tokens;
+            phones re-register after reboots). Authenticated by P_id —
+            the same possession proof as §III-C2."""
+            body = request.json()
+            login_name = str(body.get("login", ""))
+            pid_hex = str(body.get("pid", ""))
+            reg_id = str(body.get("reg_id", ""))
+            if not (login_name and pid_hex and reg_id):
+                raise ValidationError("login, pid and reg_id required")
+            user = self.database.user_by_login(login_name)
+            self._verify_pid(user, pid_hex)
+            if user.pid_salt is None or user.pid_hash is None:
+                raise AuthenticationError("no phone registered")
+            self.database.set_phone_registration(
+                user.user_id, reg_id, user.pid_hash, user.pid_salt
+            )
+            return json_response({"reregistered": True})
+
+        # ---- password generation (Figure 1, steps 2-6) ----
+        @router.post("/accounts/{account_id}/generate")
+        def generate(request: HttpRequest, account_id: str):
+            __, user = self._session_user(request)
+            account = self._user_account(user, account_id)
+            if user.reg_id is None:
+                raise ConflictError("no phone paired; register the app first")
+            # §VIII session mechanism: reuse a fresh cached token, skipping
+            # the phone round trip entirely.
+            cached = self._cached_token(user.user_id, account.account_id)
+            if cached is not None:
+                self.metrics.generations_from_session += 1
+                intermediate = intermediate_value(cached, user.oid, account.seed)
+                password = render_password(
+                    intermediate, self._policy_of(account), self.params
+                )
+                return json_response(
+                    {
+                        "password": password,
+                        "latency_ms": 0.0,
+                        "from_session": True,
+                        "username": account.username,
+                        "domain": account.domain,
+                    }
+                )
+            self.metrics.generations_started += 1
+            # t_start: the moment R leaves for the rendezvous server —
+            # the paper's instrumentation point.
+            exchange = self._start_phone_round_trip(
+                user,
+                account,
+                action="generate",
+                origin=request.headers.get("x-peer-host", "unknown"),
+            )
+            return exchange.deferred
+
+        @router.post("/token")
+        def submit_token(request: HttpRequest):
+            body = request.json()
+            pending_id = str(body.get("pending_id", ""))
+            token_hex = str(body.get("token", ""))
+            pid_hex = str(body.get("pid", ""))
+            # Verify the sender before consuming the exchange: a forged
+            # token must not destroy the legitimate pending request.
+            peeked = self.pending.peek(pending_id, KIND_PASSWORD)
+            user = self.database.user_by_id(peeked.user_id)
+            self._verify_pid(user, pid_hex)
+            exchange = self.pending.take(pending_id, KIND_PASSWORD)
+            account = self.database.account_by_id(exchange.account_id)
+            intermediate = intermediate_value(token_hex, user.oid, account.seed)
+            self._remember_token(user.user_id, account.account_id, token_hex)
+            action = exchange.extra.get("action", "generate")
+            if action == "generate":
+                password = render_password(
+                    intermediate, self._policy_of(account), self.params
+                )
+                tend = self.kernel.now
+                self.metrics.record_generation(
+                    LatencySample(
+                        account_id=account.account_id,
+                        tstart_ms=exchange.tstart_ms,
+                        tend_ms=tend,
+                    )
+                )
+                _log.debug(
+                    "generation complete exchange=%s latency=%.1fms",
+                    exchange.pending_id[:8], tend - exchange.tstart_ms,
+                )
+                exchange.deferred.resolve(
+                    json_response(
+                        {
+                            "password": password,
+                            "latency_ms": tend - exchange.tstart_ms,
+                            "username": account.username,
+                            "domain": account.domain,
+                        }
+                    )
+                )
+            elif action == "vault_store":
+                key = vault_key(intermediate)
+                ciphertext = seal_entry(
+                    key, exchange.extra["chosen_password"], self._rng
+                )
+                self.database.store_vault_entry(account.account_id, ciphertext)
+                exchange.deferred.resolve(
+                    json_response({"stored": True, "domain": account.domain})
+                )
+            elif action == "vault_retrieve":
+                ciphertext = self.database.vault_entry(account.account_id)
+                if ciphertext is None:
+                    exchange.deferred.resolve(
+                        json_response(
+                            {"error": "no vault entry for this account"},
+                            status=404,
+                        )
+                    )
+                else:
+                    try:
+                        password = open_entry(vault_key(intermediate), ciphertext)
+                    except RecoveryError as error:
+                        exchange.deferred.resolve(
+                            json_response({"error": str(error)}, status=410)
+                        )
+                    else:
+                        exchange.deferred.resolve(
+                            json_response(
+                                {"password": password, "domain": account.domain}
+                            )
+                        )
+            else:  # unknown action: fail closed
+                exchange.deferred.resolve(
+                    json_response({"error": "unknown exchange action"}, status=500)
+                )
+            return json_response({"ok": True})
+
+        # ---- vault (§VIII extension): chosen passwords, bilateral at rest ----
+        @router.put("/accounts/{account_id}/vault")
+        def vault_store(request: HttpRequest, account_id: str):
+            __, user = self._session_user(request)
+            account = self._user_account(user, account_id)
+            if user.reg_id is None:
+                raise ConflictError("no phone paired; register the app first")
+            chosen = str(request.json().get("password", ""))
+            if not chosen:
+                raise ValidationError("password required")
+            exchange = self._start_phone_round_trip(
+                user,
+                account,
+                action="vault_store",
+                origin=request.headers.get("x-peer-host", "unknown"),
+                chosen_password=chosen,
+            )
+            return exchange.deferred
+
+        @router.post("/accounts/{account_id}/vault/retrieve")
+        def vault_retrieve(request: HttpRequest, account_id: str):
+            __, user = self._session_user(request)
+            account = self._user_account(user, account_id)
+            if user.reg_id is None:
+                raise ConflictError("no phone paired; register the app first")
+            exchange = self._start_phone_round_trip(
+                user,
+                account,
+                action="vault_retrieve",
+                origin=request.headers.get("x-peer-host", "unknown"),
+            )
+            return exchange.deferred
+
+        @router.delete("/accounts/{account_id}/vault")
+        def vault_delete(request: HttpRequest, account_id: str):
+            __, user = self._session_user(request)
+            account = self._user_account(user, account_id)
+            self.database.delete_vault_entry(account.account_id)
+            return json_response({"deleted": account.account_id})
+
+        # ---- master-password change (§III-C2) ----
+        @router.post("/recover/master/start")
+        def master_start(request: HttpRequest):
+            session, user = self._session_user(request)
+            if user.reg_id is None:
+                raise ConflictError("no phone paired; cannot verify possession")
+            exchange = self.pending.create(
+                KIND_MASTER_CHANGE, user.user_id, self.kernel.now,
+                session_token=session.token,
+            )
+            self._push(
+                user.reg_id,
+                {
+                    "kind": KIND_MASTER_CHANGE,
+                    "pending_id": exchange.pending_id,
+                    "origin": request.headers.get("x-peer-host", "unknown"),
+                },
+            )
+            self._arm_timeout(exchange)
+            return exchange.deferred
+
+        @router.post("/recover/master/confirm")
+        def master_confirm(request: HttpRequest):
+            body = request.json()
+            pending_id = str(body.get("pending_id", ""))
+            pid_hex = str(body.get("pid", ""))
+            peeked = self.pending.peek(pending_id, KIND_MASTER_CHANGE)
+            user = self.database.user_by_id(peeked.user_id)
+            self._verify_pid(user, pid_hex)
+            exchange = self.pending.take(pending_id, KIND_MASTER_CHANGE)
+            token = exchange.extra.get("session_token")
+            session = self.sessions.resolve(token, self.kernel.now)
+            if session is not None:
+                session.data["master_change_authorized"] = True
+            exchange.deferred.resolve(json_response({"authorized": True}))
+            return json_response({"ok": True})
+
+        @router.post("/recover/master/complete")
+        def master_complete(request: HttpRequest):
+            session, user = self._session_user(request)
+            if not session.data.get("master_change_authorized"):
+                raise AuthenticationError(
+                    "master change not authorized by the phone"
+                )
+            body = request.json()
+            new_password = str(body.get("new_master_password", ""))
+            if len(new_password) < _MIN_MASTER_PASSWORD_LENGTH:
+                raise ValidationError(
+                    f"master password must be >= {_MIN_MASTER_PASSWORD_LENGTH} chars"
+                )
+            salt = self._rng.token_bytes(self.params.salt_bytes)
+            self.database.set_master_password(
+                user.user_id,
+                salted_hash(new_password.encode("utf-8"), salt),
+                salt,
+            )
+            session.data["master_change_authorized"] = False
+            # Changing the anchor invalidates every other session.
+            self.sessions.revoke_all(
+                lambda s: s.data.get("user_id") == user.user_id
+                and s.token != session.token
+            )
+            return json_response({"changed": True})
+
+        # ---- phone-compromise recovery (§III-C1) ----
+        @router.post("/recover/phone")
+        def phone_recover(request: HttpRequest):
+            __, user = self._session_user(request)
+            body = request.json()
+            blob_b64 = str(body.get("backup", ""))
+            if not blob_b64:
+                raise ValidationError("backup payload required")
+            try:
+                blob = base64.b64decode(blob_b64, validate=True)
+            except Exception:
+                raise ValidationError("backup must be base64") from None
+            payload = decode_backup(blob)
+            if user.pid_hash is None or user.pid_salt is None:
+                raise RecoveryError("no phone registered; nothing to recover")
+            if not verify_salted_hash(payload.pid, user.pid_salt, user.pid_hash):
+                raise RecoveryError("backup P_id does not match the registered phone")
+            table = EntryTable(payload.entries, self.params)
+            # The old phone's cached tokens are dead along with it.
+            self._token_sessions.clear()
+            regenerated = []
+            for account in self.database.accounts_for_user(user.user_id):
+                request_hex = generate_request(
+                    account.username, account.domain, account.seed
+                )
+                token_hex = generate_token(request_hex, table, self.params)
+                intermediate = intermediate_value(token_hex, user.oid, account.seed)
+                password = render_password(
+                    intermediate, self._policy_of(account), self.params
+                )
+                regenerated.append(
+                    {
+                        "username": account.username,
+                        "domain": account.domain,
+                        "password": password,
+                    }
+                )
+            # Purge everything related to the old phone.
+            self.database.clear_phone_registration(user.user_id)
+            return json_response({"passwords": regenerated, "purged": True})
+
+        return app
+
+    def _arm_timeout(self, exchange: PendingExchange) -> None:
+        def expire() -> None:
+            expired = self.pending.expire(exchange.pending_id)
+            if expired is None:
+                return  # already completed
+            self.metrics.generations_timed_out += 1
+            _log.info(
+                "exchange %s timed out after %.0fms waiting for the phone",
+                expired.pending_id[:8], self.generation_timeout_ms,
+            )
+            expired.deferred.resolve(
+                _timeout_response(expired.kind)
+            )
+
+        exchange.timeout_event = self.kernel.schedule(
+            self.generation_timeout_ms, expire, label="pending-timeout"
+        )
+
+
+class AmnesiaServer(AmnesiaCore):
+    """The simulated deployment: the core bound to the simnet transports.
+
+    Attaches a secure-channel server (the prototype's HTTPS), a
+    CherryPy-style thread-pooled HTTP server, and the rendezvous
+    publisher for pushes to the phone.
+    """
+
+    def __init__(
+        self,
+        kernel: Simulator,
+        network: Network,
+        host_name: str,
+        rng: RandomSource,
+        rendezvous_host: str,
+        db_path: str = ":memory:",
+        params: ProtocolParams = DEFAULT_PARAMS,
+        compute_latency: LatencyModel | None = None,
+        thread_pool_size: int = DEFAULT_THREAD_POOL_SIZE,
+        generation_timeout_ms: float = DEFAULT_GENERATION_TIMEOUT_MS,
+        identity: str | None = None,
+        token_session_ttl_ms: float = 0.0,
+    ) -> None:
+        self.network = network
+        self.host = network.host(host_name)
+        self.publisher = RendezvousPublisher(self.host, network, rendezvous_host)
+        super().__init__(
+            clock=kernel,
+            rng=rng,
+            push=self.publisher.push,
+            db_path=db_path,
+            params=params,
+            generation_timeout_ms=generation_timeout_ms,
+            token_session_ttl_ms=token_session_ttl_ms,
+        )
+        # Persist the TLS identity key so the self-signed certificate (and
+        # therefore every client's pin) survives server restarts.
+        static_private = self.database.get_config("identity_key")
+        if static_private is None:
+            static_private = rng.token_bytes(32)
+            self.database.set_config("identity_key", static_private)
+        self.secure_server = SecureServer(
+            identity if identity is not None else host_name,
+            rng,
+            static_private=static_private,
+        )
+        self.stack = SecureStack(self.host, network, rng)
+        self.stack.attach_server(self.secure_server)
+        self.http_server = SimHttpServer(
+            self.application,
+            self.stack,
+            self.secure_server,
+            kernel,
+            service=AMNESIA_SERVICE,
+            compute_latency=compute_latency,
+            thread_pool_size=thread_pool_size,
+        )
+
+    @property
+    def certificate(self):
+        """The server's self-signed certificate, for client pinning."""
+        return self.secure_server.certificate
+
+
+def _timeout_response(kind: str) -> HttpResponse:
+    return json_response(
+        {"error": f"{kind} timed out waiting for the phone"}, status=503
+    )
+
+
+def _policy_from_body(body: dict) -> PasswordPolicy:
+    """Build a policy from a request body's optional fields."""
+    length = int(body.get("length", MAX_PASSWORD_LENGTH))
+    if "charset" in body:
+        return PasswordPolicy(charset=str(body["charset"]), length=length)
+    classes = body.get("classes")
+    if isinstance(classes, dict):
+        return PasswordPolicy.from_classes(
+            length=length,
+            lowercase=bool(classes.get("lowercase", True)),
+            uppercase=bool(classes.get("uppercase", True)),
+            digits=bool(classes.get("digits", True)),
+            special=bool(classes.get("special", True)),
+        )
+    return PasswordPolicy(length=length)

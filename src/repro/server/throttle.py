@@ -1,0 +1,60 @@
+"""Online-guessing throttle for master-password logins.
+
+Bonneau's framework scores Amnesia "resilient to throttled guessing";
+the property only holds if the server actually throttles, so the
+reproduction ships one: a per-login failure counter with a lockout
+window. (Table III's rating is evaluated against this behaviour in the
+attack experiments.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.util.errors import ValidationError
+
+
+@dataclass
+class _LoginState:
+    failures: int = 0
+    window_start_ms: float = 0.0
+    locked_until_ms: float = 0.0
+
+
+@dataclass
+class LoginThrottle:
+    """Locks a login out after repeated failures inside a window."""
+
+    max_failures: int = 5
+    window_ms: float = 60_000.0
+    lockout_ms: float = 300_000.0
+    _states: Dict[str, _LoginState] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.max_failures < 1:
+            raise ValidationError("max_failures must be >= 1")
+        if self.window_ms <= 0 or self.lockout_ms <= 0:
+            raise ValidationError("window and lockout must be positive")
+
+    def allowed(self, login: str, now_ms: float) -> bool:
+        state = self._states.get(login)
+        return state is None or now_ms >= state.locked_until_ms
+
+    def record_failure(self, login: str, now_ms: float) -> None:
+        state = self._states.setdefault(login, _LoginState(window_start_ms=now_ms))
+        if now_ms - state.window_start_ms > self.window_ms:
+            state.failures = 0
+            state.window_start_ms = now_ms
+        state.failures += 1
+        if state.failures >= self.max_failures:
+            state.locked_until_ms = now_ms + self.lockout_ms
+            state.failures = 0
+            state.window_start_ms = now_ms
+
+    def record_success(self, login: str) -> None:
+        self._states.pop(login, None)
+
+    def locked_until(self, login: str) -> float:
+        state = self._states.get(login)
+        return state.locked_until_ms if state else 0.0

@@ -1,0 +1,55 @@
+"""Vault encryption for user-chosen passwords (§VIII future work).
+
+§VIII: "users can pick password properties ... However, they are unable
+to store specific chosen passwords. We plan to address these two issues
+in the future by including a vault and a session mechanism."
+
+The vault keeps the bilateral property: the encryption key is derived
+from the same intermediate value ``p = H(T || O_id || σ)`` that password
+generation uses, so *opening* a vault entry requires the phone's token
+exactly like generating a password does. A server breach yields only
+AEAD ciphertext whose key needs the 256-bit ``T``.
+
+Rotating an account's seed σ changes ``p`` and therefore the key;
+stored entries become undecryptable by design (the server deletes them
+on rotation and tells the user to re-store).
+"""
+
+from __future__ import annotations
+
+from repro.crypto.aead import aead_decrypt, aead_encrypt
+from repro.crypto.hkdf import hkdf
+from repro.crypto.randomness import RandomSource
+from repro.util.errors import CryptoError, RecoveryError
+
+_INFO = b"amnesia-vault-v1"
+_NONCE_SIZE = 12
+
+
+def vault_key(intermediate_hex: str) -> bytes:
+    """Derive the per-account vault key from the bilateral intermediate."""
+    return hkdf(
+        ikm=bytes.fromhex(intermediate_hex), salt=b"", info=_INFO, length=32
+    )
+
+
+def seal_entry(key: bytes, password: str, rng: RandomSource) -> bytes:
+    """Encrypt a chosen password; returns ``nonce || ciphertext || tag``."""
+    nonce = rng.token_bytes(_NONCE_SIZE)
+    return nonce + aead_encrypt(key, nonce, password.encode("utf-8"), aad=_INFO)
+
+
+def open_entry(key: bytes, blob: bytes) -> str:
+    """Decrypt a vault entry; raises :class:`RecoveryError` if the key no
+    longer matches (e.g. the seed was rotated underneath the entry)."""
+    if len(blob) < _NONCE_SIZE:
+        raise RecoveryError("vault entry corrupted (too short)")
+    nonce, sealed = blob[:_NONCE_SIZE], blob[_NONCE_SIZE:]
+    try:
+        plaintext = aead_decrypt(key, nonce, sealed, aad=_INFO)
+    except CryptoError as error:
+        raise RecoveryError(
+            "vault entry cannot be decrypted — the account seed changed "
+            "since it was stored; re-store the password"
+        ) from error
+    return plaintext.decode("utf-8")

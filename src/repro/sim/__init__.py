@@ -1,0 +1,47 @@
+"""Discrete-event simulation kernel.
+
+Everything time-dependent in the reproduction — network links, GCM
+delivery, phone compute latency, the Figure 3 experiment — runs on this
+kernel. It provides:
+
+- :class:`~repro.sim.kernel.Simulator`: an event loop with a virtual
+  clock measured in milliseconds (the paper reports latency in ms).
+- :class:`~repro.sim.random.RngRegistry`: named, independently-seeded
+  random streams so that changing one subsystem's draws does not perturb
+  another's (a standard variance-reduction discipline).
+- Latency distributions (:mod:`repro.sim.latency`) used to model Wi-Fi,
+  4G, GCM forwarding and device compute times.
+"""
+
+from repro.sim.kernel import Simulator, Event
+from repro.sim.random import RngRegistry
+from repro.sim.trace import TraceRecorder, TraceEvent, render_sequence_chart
+from repro.sim.latency import (
+    LatencyModel,
+    Constant,
+    Uniform,
+    Exponential,
+    Lognormal,
+    TruncatedNormal,
+    Shifted,
+    Mixture,
+    Sum,
+)
+
+__all__ = [
+    "Simulator",
+    "Event",
+    "RngRegistry",
+    "TraceRecorder",
+    "TraceEvent",
+    "render_sequence_chart",
+    "LatencyModel",
+    "Constant",
+    "Uniform",
+    "Exponential",
+    "Lognormal",
+    "TruncatedNormal",
+    "Shifted",
+    "Mixture",
+    "Sum",
+]

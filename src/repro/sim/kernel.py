@@ -1,0 +1,138 @@
+"""Event loop and virtual clock.
+
+The simulator is deliberately small: a priority queue of timestamped
+callbacks and a clock that jumps from event to event. All higher-level
+abstractions (links, services, devices) are built as callbacks scheduled
+on this kernel, which keeps the concurrency model trivial to reason
+about — exactly one event runs at a time, and simulated time never goes
+backwards.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.util.errors import ValidationError
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Events order by ``(time, sequence)`` so simultaneous events fire in
+    the order they were scheduled (deterministic FIFO tie-break).
+    """
+
+    time: float
+    seq: int
+    action: Callable[[], Any] = field(compare=False)
+    label: str = field(compare=False, default="")
+    cancelled: bool = field(compare=False, default=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the kernel skips it when popped."""
+        self.cancelled = True
+
+
+class Simulator:
+    """A discrete-event simulator with a millisecond virtual clock."""
+
+    def __init__(self) -> None:
+        self._queue: list[Event] = []
+        self._seq = itertools.count()
+        self._now = 0.0
+        self._running = False
+        self._processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in milliseconds."""
+        return self._now
+
+    @property
+    def processed_events(self) -> int:
+        """Number of events executed so far (for diagnostics)."""
+        return self._processed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events still queued (cancelled ones included)."""
+        return sum(1 for e in self._queue if not e.cancelled)
+
+    def schedule(
+        self, delay: float, action: Callable[[], Any], label: str = ""
+    ) -> Event:
+        """Schedule *action* to run ``delay`` ms from now and return the event."""
+        if delay < 0:
+            raise ValidationError(f"cannot schedule in the past (delay={delay})")
+        event = Event(self._now + delay, next(self._seq), action, label)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule_at(
+        self, time: float, action: Callable[[], Any], label: str = ""
+    ) -> Event:
+        """Schedule *action* at an absolute virtual time."""
+        if time < self._now:
+            raise ValidationError(
+                f"cannot schedule at {time} before now ({self._now})"
+            )
+        event = Event(time, next(self._seq), action, label)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def call_soon(self, action: Callable[[], Any], label: str = "") -> Event:
+        """Schedule *action* at the current time (after already-queued peers)."""
+        return self.schedule(0.0, action, label)
+
+    def step(self) -> bool:
+        """Run the single next event. Return False if the queue is empty."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            self._processed += 1
+            event.action()
+            return True
+        return False
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> float:
+        """Run events until the queue drains, *until* is reached, or
+        *max_events* have executed. Returns the final virtual time.
+
+        When *until* is given the clock is advanced to exactly *until*
+        even if the last event fired earlier, so back-to-back ``run``
+        calls observe a monotonic clock.
+        """
+        if self._running:
+            raise ValidationError("simulator is not reentrant")
+        self._running = True
+        executed = 0
+        try:
+            while self._queue:
+                if max_events is not None and executed >= max_events:
+                    break
+                head = self._queue[0]
+                if head.cancelled:
+                    heapq.heappop(self._queue)
+                    continue
+                if until is not None and head.time > until:
+                    break
+                heapq.heappop(self._queue)
+                self._now = head.time
+                self._processed += 1
+                executed += 1
+                head.action()
+        finally:
+            self._running = False
+        if until is not None and self._now < until:
+            self._now = until
+        return self._now
+
+    def run_until_idle(self, max_events: int = 1_000_000) -> float:
+        """Drain the queue completely (bounded by *max_events*)."""
+        return self.run(max_events=max_events)

@@ -1,0 +1,257 @@
+"""Latency distributions for network and compute delay models.
+
+Figure 3 of the paper reports password-generation latency over Wi-Fi
+(x̄ = 785.3 ms, σ = 171.5 ms) and 4G (x̄ = 978.7 ms, σ = 137.9 ms). We
+model each hop of the pipeline with one of these distributions; the
+calibrated per-hop parameters live in :mod:`repro.eval.latency`.
+
+Every model exposes ``sample(rng) -> float`` (milliseconds, always
+non-negative) plus analytic ``mean()`` and ``std()`` where they exist,
+so the calibration code can verify its fits without Monte Carlo.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.util.errors import ValidationError
+
+
+class LatencyModel:
+    """Base class: a non-negative delay distribution in milliseconds."""
+
+    def sample(self, rng: random.Random) -> float:
+        raise NotImplementedError
+
+    def mean(self) -> float:
+        raise NotImplementedError
+
+    def std(self) -> float:
+        raise NotImplementedError
+
+    # -- composition helpers -------------------------------------------------
+
+    def __add__(self, other: "LatencyModel") -> "Sum":
+        parts: list[LatencyModel] = []
+        for model in (self, other):
+            if isinstance(model, Sum):
+                parts.extend(model.parts)
+            else:
+                parts.append(model)
+        return Sum(parts)
+
+
+@dataclass(frozen=True)
+class Constant(LatencyModel):
+    """A fixed delay."""
+
+    value: float
+
+    def __post_init__(self) -> None:
+        if self.value < 0:
+            raise ValidationError(f"constant delay must be >= 0, got {self.value}")
+
+    def sample(self, rng: random.Random) -> float:
+        return self.value
+
+    def mean(self) -> float:
+        return self.value
+
+    def std(self) -> float:
+        return 0.0
+
+
+@dataclass(frozen=True)
+class Uniform(LatencyModel):
+    """Uniform delay on ``[low, high]``."""
+
+    low: float
+    high: float
+
+    def __post_init__(self) -> None:
+        if not (0 <= self.low <= self.high):
+            raise ValidationError(f"need 0 <= low <= high, got [{self.low}, {self.high}]")
+
+    def sample(self, rng: random.Random) -> float:
+        return rng.uniform(self.low, self.high)
+
+    def mean(self) -> float:
+        return (self.low + self.high) / 2
+
+    def std(self) -> float:
+        return (self.high - self.low) / math.sqrt(12)
+
+
+@dataclass(frozen=True)
+class Exponential(LatencyModel):
+    """Exponential delay with the given mean (memoryless queueing hop)."""
+
+    mean_ms: float
+
+    def __post_init__(self) -> None:
+        if self.mean_ms <= 0:
+            raise ValidationError(f"exponential mean must be > 0, got {self.mean_ms}")
+
+    def sample(self, rng: random.Random) -> float:
+        return rng.expovariate(1.0 / self.mean_ms)
+
+    def mean(self) -> float:
+        return self.mean_ms
+
+    def std(self) -> float:
+        return self.mean_ms
+
+
+@dataclass(frozen=True)
+class Lognormal(LatencyModel):
+    """Lognormal delay parameterised by its *arithmetic* mean and std.
+
+    Network RTTs are classically right-skewed and well described by a
+    lognormal; parameterising by the arithmetic moments makes calibration
+    against the paper's reported (x̄, σ) direct.
+    """
+
+    mean_ms: float
+    std_ms: float
+
+    def __post_init__(self) -> None:
+        if self.mean_ms <= 0 or self.std_ms < 0:
+            raise ValidationError(
+                f"need mean > 0 and std >= 0, got ({self.mean_ms}, {self.std_ms})"
+            )
+
+    def _params(self) -> tuple[float, float]:
+        variance = self.std_ms**2
+        sigma2 = math.log(1 + variance / self.mean_ms**2)
+        mu = math.log(self.mean_ms) - sigma2 / 2
+        return mu, math.sqrt(sigma2)
+
+    def sample(self, rng: random.Random) -> float:
+        mu, sigma = self._params()
+        if sigma == 0:
+            return self.mean_ms
+        return rng.lognormvariate(mu, sigma)
+
+    def mean(self) -> float:
+        return self.mean_ms
+
+    def std(self) -> float:
+        return self.std_ms
+
+
+@dataclass(frozen=True)
+class TruncatedNormal(LatencyModel):
+    """Normal delay truncated at zero by resampling.
+
+    ``mean()``/``std()`` report the *untruncated* parameters; callers
+    should keep ``mean_ms`` several σ above zero so the truncation bias
+    is negligible (we assert a 3σ margin at construction).
+    """
+
+    mean_ms: float
+    std_ms: float
+
+    def __post_init__(self) -> None:
+        if self.std_ms < 0:
+            raise ValidationError(f"std must be >= 0, got {self.std_ms}")
+        if self.mean_ms < 3 * self.std_ms:
+            raise ValidationError(
+                "TruncatedNormal requires mean >= 3*std so moments stay accurate"
+            )
+
+    def sample(self, rng: random.Random) -> float:
+        for _ in range(64):
+            value = rng.gauss(self.mean_ms, self.std_ms)
+            if value >= 0:
+                return value
+        return self.mean_ms
+
+    def mean(self) -> float:
+        return self.mean_ms
+
+    def std(self) -> float:
+        return self.std_ms
+
+
+@dataclass(frozen=True)
+class Shifted(LatencyModel):
+    """A base distribution plus a constant propagation offset."""
+
+    base: LatencyModel
+    offset_ms: float
+
+    def __post_init__(self) -> None:
+        if self.offset_ms < 0:
+            raise ValidationError(f"offset must be >= 0, got {self.offset_ms}")
+
+    def sample(self, rng: random.Random) -> float:
+        return self.offset_ms + self.base.sample(rng)
+
+    def mean(self) -> float:
+        return self.offset_ms + self.base.mean()
+
+    def std(self) -> float:
+        return self.base.std()
+
+
+class Mixture(LatencyModel):
+    """A weighted mixture of component distributions.
+
+    Used to model occasional slow paths (e.g. a GCM delivery that takes
+    a background-throttled slot instead of the fast path).
+    """
+
+    def __init__(
+        self, components: Sequence[LatencyModel], weights: Sequence[float]
+    ) -> None:
+        if len(components) != len(weights) or not components:
+            raise ValidationError("components and weights must be equal, non-empty")
+        if any(w < 0 for w in weights):
+            raise ValidationError("weights must be non-negative")
+        total = sum(weights)
+        if total <= 0:
+            raise ValidationError("weights must sum to a positive value")
+        self.components = list(components)
+        self.weights = [w / total for w in weights]
+
+    def sample(self, rng: random.Random) -> float:
+        pick = rng.random()
+        acc = 0.0
+        for component, weight in zip(self.components, self.weights):
+            acc += weight
+            if pick <= acc:
+                return component.sample(rng)
+        return self.components[-1].sample(rng)
+
+    def mean(self) -> float:
+        return sum(w * c.mean() for c, w in zip(self.components, self.weights))
+
+    def std(self) -> float:
+        # Var = E[Var|comp] + Var(E[X|comp])
+        mean = self.mean()
+        second = sum(
+            w * (c.std() ** 2 + c.mean() ** 2)
+            for c, w in zip(self.components, self.weights)
+        )
+        return math.sqrt(max(0.0, second - mean**2))
+
+
+class Sum(LatencyModel):
+    """The sum of independent component delays (a pipeline of hops)."""
+
+    def __init__(self, parts: Sequence[LatencyModel]) -> None:
+        if not parts:
+            raise ValidationError("Sum needs at least one part")
+        self.parts = list(parts)
+
+    def sample(self, rng: random.Random) -> float:
+        return sum(part.sample(rng) for part in self.parts)
+
+    def mean(self) -> float:
+        return sum(part.mean() for part in self.parts)
+
+    def std(self) -> float:
+        return math.sqrt(sum(part.std() ** 2 for part in self.parts))

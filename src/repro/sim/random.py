@@ -1,0 +1,46 @@
+"""Named, independently-seeded random streams.
+
+Each subsystem (wifi link, 4G link, GCM hop, phone compute, ...) pulls
+draws from its own stream derived from a root seed and the stream name.
+This makes experiments reproducible and keeps subsystems statistically
+independent: adding a draw in one stream never shifts another stream's
+sequence.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import Dict
+
+
+class RngRegistry:
+    """A factory of deterministic ``random.Random`` streams."""
+
+    def __init__(self, root_seed: int | str | bytes = 0) -> None:
+        if isinstance(root_seed, int):
+            root = root_seed.to_bytes(16, "big", signed=False) if root_seed >= 0 \
+                else hashlib.sha256(str(root_seed).encode()).digest()
+        elif isinstance(root_seed, str):
+            root = root_seed.encode("utf-8")
+        else:
+            root = bytes(root_seed)
+        self._root = root
+        self._streams: Dict[str, random.Random] = {}
+
+    def stream(self, name: str) -> random.Random:
+        """Return (creating if needed) the stream for *name*."""
+        rng = self._streams.get(name)
+        if rng is None:
+            seed = hashlib.sha256(self._root + b"|" + name.encode("utf-8")).digest()
+            rng = random.Random(int.from_bytes(seed, "big"))
+            self._streams[name] = rng
+        return rng
+
+    def fork(self, name: str) -> "RngRegistry":
+        """Derive a child registry whose streams are independent of ours."""
+        seed = hashlib.sha256(self._root + b"|fork|" + name.encode("utf-8")).digest()
+        return RngRegistry(seed)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._streams

@@ -1,0 +1,143 @@
+"""Message-sequence tracing for the simulated network.
+
+A :class:`TraceRecorder` taps the fabric and records every datagram
+(time, endpoints, port, size — never payload contents, which may be
+ciphertext but could embed sensitive plaintext on the rendezvous hop).
+:func:`render_sequence_chart` turns a trace into the ASCII message
+sequence chart of, e.g., one password generation — the executable form
+of the paper's Figure 1 arrows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
+
+from repro.util.errors import ValidationError
+
+if TYPE_CHECKING:  # imported lazily to avoid a sim <-> net import cycle
+    from repro.net.message import Datagram
+    from repro.net.network import Network
+
+_PORT_LABELS = {
+    443: "https",
+    5228: "gcm",
+    5229: "push",
+}
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One datagram on the wire."""
+
+    time_ms: float
+    src: str
+    dst: str
+    port: int
+    size: int
+
+    @property
+    def port_label(self) -> str:
+        return _PORT_LABELS.get(self.port, str(self.port))
+
+
+class TraceRecorder:
+    """Collects :class:`TraceEvent`s from a network tap."""
+
+    def __init__(self, network: "Network") -> None:
+        self._network = network
+        self.events: list[TraceEvent] = []
+        self._armed = False
+
+    def _tap(self, datagram: "Datagram") -> None:
+        self.events.append(
+            TraceEvent(
+                time_ms=self._network.kernel.now,
+                src=datagram.src,
+                dst=datagram.dst,
+                port=datagram.port,
+                size=datagram.size,
+            )
+        )
+
+    def start(self) -> "TraceRecorder":
+        if self._armed:
+            raise ValidationError("trace recorder already started")
+        self._network.add_tap(self._tap)
+        self._armed = True
+        return self
+
+    def stop(self) -> "TraceRecorder":
+        if self._armed:
+            self._network.remove_tap(self._tap)
+            self._armed = False
+        return self
+
+    def clear(self) -> None:
+        self.events.clear()
+
+    def __enter__(self) -> "TraceRecorder":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    def between(self, start_ms: float, end_ms: float) -> list[TraceEvent]:
+        return [e for e in self.events if start_ms <= e.time_ms <= end_ms]
+
+
+def render_sequence_chart(
+    events: Sequence[TraceEvent],
+    participants: Sequence[str] | None = None,
+    width: int = 14,
+) -> str:
+    """Render *events* as an ASCII message sequence chart.
+
+    Participants are laid out as columns (discovered from the events in
+    first-appearance order unless given); each event is one arrow line
+    annotated with time, port and size.
+    """
+    if not events:
+        raise ValidationError("no events to render")
+    if participants is None:
+        seen: list[str] = []
+        for event in events:
+            for name in (event.src, event.dst):
+                if name not in seen:
+                    seen.append(name)
+        participants = seen
+    column = {name: index for index, name in enumerate(participants)}
+    for event in events:
+        if event.src not in column or event.dst not in column:
+            raise ValidationError(
+                f"event endpoint missing from participants: {event}"
+            )
+
+    def position(index: int) -> int:
+        return index * width + width // 2
+
+    header = ""
+    for name in participants:
+        label = name[: width - 2]
+        start = position(column[name]) - len(label) // 2
+        header = header.ljust(start) + label + header[start + len(label):]
+    lines = [header]
+    lane_width = position(len(participants) - 1) + 2
+    for event in events:
+        row = [" "] * lane_width
+        for name in participants:
+            row[position(column[name])] = "|"
+        a, b = column[event.src], column[event.dst]
+        left, right = min(a, b), max(a, b)
+        for i in range(position(left) + 1, position(right)):
+            row[i] = "-"
+        if a < b:
+            row[position(b) - 1] = ">"
+        else:
+            row[position(b) + 1] = "<"
+        annotation = (
+            f"  t={event.time_ms:8.1f}ms {event.port_label:>5s} "
+            f"{event.size:>4d}B"
+        )
+        lines.append("".join(row) + annotation)
+    return "\n".join(lines)

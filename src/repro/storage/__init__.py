@@ -1,0 +1,25 @@
+"""SQLite persistence, mirroring the prototype's databases.
+
+The paper stores the server-side secrets and functional variables in a
+SQLite database managed by a "database handler" component (§V-A), and
+the phone app does the same for ``Kp`` (§V-B). This package provides
+the same two handlers over :mod:`sqlite3`:
+
+- :class:`~repro.storage.server_db.ServerDatabase` — Table I's layout:
+  per-user ``O_id``, hashed+salted master password, registration id,
+  hashed+salted ``P_id``, and the ``(µ, d, σ)`` account entries.
+- :class:`~repro.storage.phone_db.PhoneDatabase` — Table II's layout:
+  ``P_id`` and the N-entry table, plus the pinned server certificate.
+"""
+
+from repro.storage.database import Database
+from repro.storage.server_db import ServerDatabase, UserRecord, AccountRecord
+from repro.storage.phone_db import PhoneDatabase
+
+__all__ = [
+    "Database",
+    "ServerDatabase",
+    "UserRecord",
+    "AccountRecord",
+    "PhoneDatabase",
+]

@@ -1,0 +1,92 @@
+"""Thin SQLite wrapper shared by the server and phone databases.
+
+Adds the few things raw :mod:`sqlite3` lacks for library use: explicit
+schema versioning, a context-managed transaction helper, and uniform
+error translation into :class:`~repro.util.errors.StorageError`.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from contextlib import contextmanager
+from typing import Any, Iterable, Iterator, Sequence
+
+from repro.util.errors import StorageError
+
+
+class Database:
+    """One SQLite connection with schema management."""
+
+    def __init__(self, path: str = ":memory:") -> None:
+        try:
+            # check_same_thread=False: the real-socket deployment serves
+            # requests from a thread pool and serialises database access
+            # with its own lock; the simulator is single-threaded anyway.
+            self._conn = sqlite3.connect(path, check_same_thread=False)
+        except sqlite3.Error as error:
+            raise StorageError(f"cannot open database {path!r}: {error}") from error
+        self._conn.row_factory = sqlite3.Row
+        self._conn.execute("PRAGMA foreign_keys = ON")
+        self.path = path
+
+    # -- schema --------------------------------------------------------------
+
+    def schema_version(self) -> int:
+        row = self._conn.execute("PRAGMA user_version").fetchone()
+        return int(row[0])
+
+    def migrate(self, migrations: Sequence[str]) -> None:
+        """Apply *migrations* (one SQL script per version) idempotently.
+
+        ``migrations[i]`` moves the schema from version ``i`` to
+        ``i + 1``; already-applied scripts are skipped based on
+        ``PRAGMA user_version``.
+        """
+        current = self.schema_version()
+        for version, script in enumerate(migrations, start=1):
+            if version <= current:
+                continue
+            try:
+                with self.transaction():
+                    self._conn.executescript(script)
+                    self._conn.execute(f"PRAGMA user_version = {version}")
+            except sqlite3.Error as error:
+                raise StorageError(
+                    f"migration to version {version} failed: {error}"
+                ) from error
+
+    # -- statements ----------------------------------------------------------
+
+    def execute(self, sql: str, params: Iterable[Any] = ()) -> sqlite3.Cursor:
+        try:
+            return self._conn.execute(sql, tuple(params))
+        except sqlite3.Error as error:
+            raise StorageError(f"execute failed: {error}") from error
+
+    def query_one(self, sql: str, params: Iterable[Any] = ()) -> sqlite3.Row | None:
+        return self.execute(sql, params).fetchone()
+
+    def query_all(self, sql: str, params: Iterable[Any] = ()) -> list[sqlite3.Row]:
+        return self.execute(sql, params).fetchall()
+
+    @contextmanager
+    def transaction(self) -> Iterator[None]:
+        """Commit on success, roll back on any exception."""
+        try:
+            yield
+            self._conn.commit()
+        except BaseException:
+            self._conn.rollback()
+            raise
+
+    def commit(self) -> None:
+        self._conn.commit()
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "Database":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -1,0 +1,124 @@
+"""Phone-side database: Table II made concrete.
+
+The Amnesia application stores ``Kp = (P_id, T_E)`` — the 512-bit phone
+id and the N-entry table of 256-bit random values — in SQLite (§V-B),
+alongside the server's self-signed certificate for pinning.
+"""
+
+from __future__ import annotations
+
+from repro.storage.database import Database
+from repro.util.errors import NotFoundError, StorageError, ValidationError
+
+_MIGRATIONS = [
+    """
+    CREATE TABLE identity (
+        key     TEXT PRIMARY KEY,
+        value   BLOB NOT NULL
+    );
+    CREATE TABLE entry_table (
+        idx     INTEGER PRIMARY KEY,
+        value   BLOB NOT NULL
+    );
+    """,
+]
+
+_KEY_PID = "pid"
+_KEY_CERT_IDENTITY = "server_cert_identity"
+_KEY_CERT_PUBKEY = "server_cert_pubkey"
+_KEY_REG_ID = "registration_id"
+
+
+class PhoneDatabase:
+    """Data-access layer for the Amnesia mobile application."""
+
+    def __init__(self, path: str = ":memory:") -> None:
+        self.db = Database(path)
+        self.db.migrate(_MIGRATIONS)
+
+    def close(self) -> None:
+        self.db.close()
+
+    # -- identity values -------------------------------------------------------
+
+    def _set_value(self, key: str, value: bytes) -> None:
+        with self.db.transaction():
+            self.db.execute(
+                "INSERT INTO identity (key, value) VALUES (?, ?) "
+                "ON CONFLICT(key) DO UPDATE SET value = excluded.value",
+                (key, value),
+            )
+
+    def _get_value(self, key: str) -> bytes:
+        row = self.db.query_one("SELECT value FROM identity WHERE key = ?", (key,))
+        if row is None:
+            raise NotFoundError(f"identity value {key!r} not set")
+        return row["value"]
+
+    def set_pid(self, pid: bytes) -> None:
+        if len(pid) != 64:
+            raise ValidationError(f"P_id must be 64 bytes (512 bits), got {len(pid)}")
+        self._set_value(_KEY_PID, pid)
+
+    def pid(self) -> bytes:
+        return self._get_value(_KEY_PID)
+
+    def set_registration_id(self, reg_id: str) -> None:
+        self._set_value(_KEY_REG_ID, reg_id.encode("utf-8"))
+
+    def registration_id(self) -> str:
+        return self._get_value(_KEY_REG_ID).decode("utf-8")
+
+    def set_server_certificate(self, identity: str, public_key: bytes) -> None:
+        self._set_value(_KEY_CERT_IDENTITY, identity.encode("utf-8"))
+        self._set_value(_KEY_CERT_PUBKEY, public_key)
+
+    def server_certificate(self) -> tuple[str, bytes]:
+        return (
+            self._get_value(_KEY_CERT_IDENTITY).decode("utf-8"),
+            self._get_value(_KEY_CERT_PUBKEY),
+        )
+
+    # -- entry table -----------------------------------------------------------
+
+    def store_entry_table(self, entries: list[bytes]) -> None:
+        """Replace the whole table (install or recovery re-keying)."""
+        if not entries:
+            raise ValidationError("entry table cannot be empty")
+        if any(len(e) != 32 for e in entries):
+            raise ValidationError("every entry must be 32 bytes (256 bits)")
+        with self.db.transaction():
+            self.db.execute("DELETE FROM entry_table")
+            for index, value in enumerate(entries):
+                self.db.execute(
+                    "INSERT INTO entry_table (idx, value) VALUES (?, ?)",
+                    (index, value),
+                )
+
+    def entry_table(self) -> list[bytes]:
+        rows = self.db.query_all("SELECT idx, value FROM entry_table ORDER BY idx")
+        if not rows:
+            raise StorageError("entry table is empty — application not initialised")
+        expected = list(range(len(rows)))
+        actual = [row["idx"] for row in rows]
+        if actual != expected:
+            raise StorageError("entry table indices are not contiguous")
+        return [row["value"] for row in rows]
+
+    def entry(self, index: int) -> bytes:
+        row = self.db.query_one(
+            "SELECT value FROM entry_table WHERE idx = ?", (index,)
+        )
+        if row is None:
+            raise NotFoundError(f"no entry at index {index}")
+        return row["value"]
+
+    def entry_count(self) -> int:
+        row = self.db.query_one("SELECT COUNT(*) AS n FROM entry_table")
+        return int(row["n"])
+
+    def wipe(self) -> None:
+        """Factory-reset the application storage."""
+        with self.db.transaction():
+            self.db.execute("DELETE FROM identity")
+            self.db.execute("DELETE FROM entry_table")

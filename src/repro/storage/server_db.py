@@ -1,0 +1,294 @@
+"""Server-side database: Table I made concrete.
+
+Per user the server stores (Table I):
+
+- ``O_id`` — the static 512-bit online id (plaintext; it is a server
+  secret, part of ``Ks``);
+- ``H(MP + salt)`` and the salt — master-password verifier;
+- the rendezvous registration id (plaintext);
+- ``H(P_id + salt)`` and its salt — phone association for recovery;
+- one ``(µ, d, σ)`` row per managed account, where σ is the 256-bit
+  seed (plaintext — it is a server-side secret) plus the per-account
+  password policy (charset/length), which §III-B says the user may
+  adjust per site.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.storage.database import Database
+from repro.util.errors import ConflictError, NotFoundError
+
+_MIGRATIONS = [
+    """
+    CREATE TABLE users (
+        user_id     INTEGER PRIMARY KEY AUTOINCREMENT,
+        login       TEXT NOT NULL UNIQUE,
+        oid         BLOB NOT NULL,
+        mp_hash     BLOB NOT NULL,
+        mp_salt     BLOB NOT NULL,
+        reg_id      TEXT,
+        pid_hash    BLOB,
+        pid_salt    BLOB
+    );
+    CREATE TABLE accounts (
+        account_id  INTEGER PRIMARY KEY AUTOINCREMENT,
+        user_id     INTEGER NOT NULL REFERENCES users(user_id) ON DELETE CASCADE,
+        username    TEXT NOT NULL,
+        domain      TEXT NOT NULL,
+        seed        BLOB NOT NULL,
+        charset     TEXT NOT NULL,
+        length      INTEGER NOT NULL,
+        UNIQUE (user_id, username, domain)
+    );
+    CREATE INDEX accounts_by_user ON accounts(user_id);
+    """,
+    # v2: the §VIII "vault" extension — user-chosen passwords stored as
+    # AEAD ciphertext under a key derived from the bilateral intermediate.
+    """
+    CREATE TABLE vault (
+        account_id  INTEGER PRIMARY KEY
+                    REFERENCES accounts(account_id) ON DELETE CASCADE,
+        ciphertext  BLOB NOT NULL
+    );
+    """,
+    # v3: server configuration (e.g. the persistent TLS identity key, so
+    # the self-signed certificate survives restarts and client pins hold).
+    """
+    CREATE TABLE server_config (
+        key     TEXT PRIMARY KEY,
+        value   BLOB NOT NULL
+    );
+    """,
+]
+
+
+@dataclass(frozen=True)
+class UserRecord:
+    """A row of the users table (see Table I)."""
+
+    user_id: int
+    login: str
+    oid: bytes
+    mp_hash: bytes
+    mp_salt: bytes
+    reg_id: str | None
+    pid_hash: bytes | None
+    pid_salt: bytes | None
+
+
+@dataclass(frozen=True)
+class AccountRecord:
+    """A ``(µ, d, σ)`` entry plus its password policy."""
+
+    account_id: int
+    user_id: int
+    username: str
+    domain: str
+    seed: bytes
+    charset: str
+    length: int
+
+
+def _user_from_row(row) -> UserRecord:
+    return UserRecord(
+        user_id=row["user_id"],
+        login=row["login"],
+        oid=row["oid"],
+        mp_hash=row["mp_hash"],
+        mp_salt=row["mp_salt"],
+        reg_id=row["reg_id"],
+        pid_hash=row["pid_hash"],
+        pid_salt=row["pid_salt"],
+    )
+
+
+def _account_from_row(row) -> AccountRecord:
+    return AccountRecord(
+        account_id=row["account_id"],
+        user_id=row["user_id"],
+        username=row["username"],
+        domain=row["domain"],
+        seed=row["seed"],
+        charset=row["charset"],
+        length=row["length"],
+    )
+
+
+class ServerDatabase:
+    """Data-access layer for the Amnesia server."""
+
+    def __init__(self, path: str = ":memory:") -> None:
+        self.db = Database(path)
+        self.db.migrate(_MIGRATIONS)
+
+    def close(self) -> None:
+        self.db.close()
+
+    # -- users ----------------------------------------------------------------
+
+    def create_user(
+        self, login: str, oid: bytes, mp_hash: bytes, mp_salt: bytes
+    ) -> UserRecord:
+        if self.db.query_one("SELECT 1 FROM users WHERE login = ?", (login,)):
+            raise ConflictError(f"user {login!r} already exists")
+        with self.db.transaction():
+            cursor = self.db.execute(
+                "INSERT INTO users (login, oid, mp_hash, mp_salt) VALUES (?, ?, ?, ?)",
+                (login, oid, mp_hash, mp_salt),
+            )
+        return self.user_by_id(cursor.lastrowid)
+
+    def user_by_login(self, login: str) -> UserRecord:
+        row = self.db.query_one("SELECT * FROM users WHERE login = ?", (login,))
+        if row is None:
+            raise NotFoundError(f"no user {login!r}")
+        return _user_from_row(row)
+
+    def user_by_id(self, user_id: int) -> UserRecord:
+        row = self.db.query_one("SELECT * FROM users WHERE user_id = ?", (user_id,))
+        if row is None:
+            raise NotFoundError(f"no user id {user_id}")
+        return _user_from_row(row)
+
+    def set_master_password(self, user_id: int, mp_hash: bytes, mp_salt: bytes) -> None:
+        self.user_by_id(user_id)  # raises if missing
+        with self.db.transaction():
+            self.db.execute(
+                "UPDATE users SET mp_hash = ?, mp_salt = ? WHERE user_id = ?",
+                (mp_hash, mp_salt, user_id),
+            )
+
+    def set_phone_registration(
+        self, user_id: int, reg_id: str, pid_hash: bytes, pid_salt: bytes
+    ) -> None:
+        self.user_by_id(user_id)
+        with self.db.transaction():
+            self.db.execute(
+                "UPDATE users SET reg_id = ?, pid_hash = ?, pid_salt = ? "
+                "WHERE user_id = ?",
+                (reg_id, pid_hash, pid_salt, user_id),
+            )
+
+    def clear_phone_registration(self, user_id: int) -> None:
+        """Purge old-phone data after recovery (§III-C1)."""
+        self.user_by_id(user_id)
+        with self.db.transaction():
+            self.db.execute(
+                "UPDATE users SET reg_id = NULL, pid_hash = NULL, pid_salt = NULL "
+                "WHERE user_id = ?",
+                (user_id,),
+            )
+
+    def all_users(self) -> list[UserRecord]:
+        return [_user_from_row(r) for r in self.db.query_all("SELECT * FROM users")]
+
+    # -- accounts ---------------------------------------------------------------
+
+    def add_account(
+        self,
+        user_id: int,
+        username: str,
+        domain: str,
+        seed: bytes,
+        charset: str,
+        length: int,
+    ) -> AccountRecord:
+        self.user_by_id(user_id)
+        if self.db.query_one(
+            "SELECT 1 FROM accounts WHERE user_id = ? AND username = ? AND domain = ?",
+            (user_id, username, domain),
+        ):
+            raise ConflictError(f"account ({username!r}, {domain!r}) already exists")
+        with self.db.transaction():
+            cursor = self.db.execute(
+                "INSERT INTO accounts (user_id, username, domain, seed, charset, length)"
+                " VALUES (?, ?, ?, ?, ?, ?)",
+                (user_id, username, domain, seed, charset, length),
+            )
+        return self.account_by_id(cursor.lastrowid)
+
+    def account_by_id(self, account_id: int) -> AccountRecord:
+        row = self.db.query_one(
+            "SELECT * FROM accounts WHERE account_id = ?", (account_id,)
+        )
+        if row is None:
+            raise NotFoundError(f"no account id {account_id}")
+        return _account_from_row(row)
+
+    def account_for(self, user_id: int, username: str, domain: str) -> AccountRecord:
+        row = self.db.query_one(
+            "SELECT * FROM accounts WHERE user_id = ? AND username = ? AND domain = ?",
+            (user_id, username, domain),
+        )
+        if row is None:
+            raise NotFoundError(f"no account ({username!r}, {domain!r})")
+        return _account_from_row(row)
+
+    def accounts_for_user(self, user_id: int) -> list[AccountRecord]:
+        rows = self.db.query_all(
+            "SELECT * FROM accounts WHERE user_id = ? ORDER BY account_id", (user_id,)
+        )
+        return [_account_from_row(r) for r in rows]
+
+    def update_seed(self, account_id: int, seed: bytes) -> None:
+        """Rotate σ — this is how a user "changes" a site password (§III-A2)."""
+        self.account_by_id(account_id)
+        with self.db.transaction():
+            self.db.execute(
+                "UPDATE accounts SET seed = ? WHERE account_id = ?", (seed, account_id)
+            )
+
+    def update_policy(self, account_id: int, charset: str, length: int) -> None:
+        self.account_by_id(account_id)
+        with self.db.transaction():
+            self.db.execute(
+                "UPDATE accounts SET charset = ?, length = ? WHERE account_id = ?",
+                (charset, length, account_id),
+            )
+
+    def delete_account(self, account_id: int) -> None:
+        self.account_by_id(account_id)
+        with self.db.transaction():
+            self.db.execute("DELETE FROM accounts WHERE account_id = ?", (account_id,))
+
+    # -- vault (the §VIII chosen-password extension) ------------------------------
+
+    def store_vault_entry(self, account_id: int, ciphertext: bytes) -> None:
+        self.account_by_id(account_id)
+        with self.db.transaction():
+            self.db.execute(
+                "INSERT INTO vault (account_id, ciphertext) VALUES (?, ?) "
+                "ON CONFLICT(account_id) DO UPDATE SET ciphertext = "
+                "excluded.ciphertext",
+                (account_id, ciphertext),
+            )
+
+    def vault_entry(self, account_id: int) -> bytes | None:
+        row = self.db.query_one(
+            "SELECT ciphertext FROM vault WHERE account_id = ?", (account_id,)
+        )
+        return row["ciphertext"] if row is not None else None
+
+    def delete_vault_entry(self, account_id: int) -> None:
+        with self.db.transaction():
+            self.db.execute(
+                "DELETE FROM vault WHERE account_id = ?", (account_id,)
+            )
+
+    # -- server configuration ------------------------------------------------------
+
+    def set_config(self, key: str, value: bytes) -> None:
+        with self.db.transaction():
+            self.db.execute(
+                "INSERT INTO server_config (key, value) VALUES (?, ?) "
+                "ON CONFLICT(key) DO UPDATE SET value = excluded.value",
+                (key, value),
+            )
+
+    def get_config(self, key: str) -> bytes | None:
+        row = self.db.query_one(
+            "SELECT value FROM server_config WHERE key = ?", (key,)
+        )
+        return row["value"] if row is not None else None

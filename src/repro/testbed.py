@@ -1,0 +1,273 @@
+"""A complete simulated Amnesia deployment in one object.
+
+The testbed assembles Figure 1's architecture — user computer, Amnesia
+server, rendezvous server, smartphone, plus the third-party cloud — on
+a shared simulation kernel with a chosen network profile. Tests,
+examples and benchmarks build on it instead of re-wiring hosts and
+links by hand.
+
+Typical use::
+
+    bed = AmnesiaTestbed(seed=7)
+    browser = bed.enroll("alice", "correct horse staple")
+    account_id = browser.add_account("alice", "mail.example.com")
+    result = browser.generate_password(account_id)
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.client.browser import AmnesiaBrowser
+from repro.cloud.provider import CloudClient, CloudProvider
+from repro.core.params import DEFAULT_PARAMS, ProtocolParams
+from repro.crypto.randomness import SeededRandomSource
+from repro.net.certificates import CertificateStore
+from repro.net.link import Link
+from repro.net.network import Network
+from repro.net.profiles import FAST_PROFILE, NetworkProfile
+from repro.net.tls import SecureServer, SecureStack
+from repro.phone.app import AmnesiaApp, ApprovalPolicy
+from repro.phone.device import PhoneDevice
+from repro.rendezvous.service import RendezvousService
+from repro.server.service import AmnesiaServer
+from repro.sim.kernel import Simulator
+from repro.sim.latency import LatencyModel
+from repro.sim.random import RngRegistry
+from repro.util.errors import NetworkError, ValidationError
+from repro.web.client import SimHttpClient
+
+LAPTOP = "laptop"
+SERVER = "amnesia-server"
+RENDEZVOUS = "gcm"
+PHONE = "phone"
+CLOUD = "cloud"
+
+
+class AmnesiaTestbed:
+    """Everything needed to run end-to-end Amnesia scenarios."""
+
+    def __init__(
+        self,
+        seed: int | str = 0,
+        profile: NetworkProfile = FAST_PROFILE,
+        params: ProtocolParams = DEFAULT_PARAMS,
+        approval: ApprovalPolicy = ApprovalPolicy.AUTO,
+        thread_pool_size: int = 10,
+        generation_timeout_ms: float = 30_000.0,
+        phone_compute: LatencyModel | None = None,
+        server_compute: LatencyModel | None = None,
+        with_cloud: bool = True,
+        token_session_ttl_ms: float = 0.0,
+        db_path: str = ":memory:",
+        phone_db_path: str = ":memory:",
+    ) -> None:
+        self.kernel = Simulator()
+        self.rngs = RngRegistry(seed)
+        self.network = Network(self.kernel, self.rngs)
+        self.params = params
+        self.profile = profile
+
+        for host in (LAPTOP, SERVER, RENDEZVOUS, PHONE, CLOUD):
+            self.network.add_host(host)
+        self.network.add_link(Link(LAPTOP, SERVER, profile.browser_server))
+        self.network.add_link(Link(SERVER, RENDEZVOUS, profile.server_gcm))
+        self.network.add_link(Link(RENDEZVOUS, PHONE, profile.gcm_phone))
+        self.network.add_link(Link(PHONE, SERVER, profile.phone_server))
+        self.network.add_link(Link(PHONE, CLOUD, profile.phone_cloud))
+        self.network.add_link(Link(LAPTOP, CLOUD, profile.browser_server))
+
+        def source(name: str) -> SeededRandomSource:
+            return SeededRandomSource(f"{seed}|{name}")
+
+        self.rendezvous = RendezvousService(
+            self.network.host(RENDEZVOUS), self.network, source("rendezvous")
+        )
+        self.server = AmnesiaServer(
+            kernel=self.kernel,
+            network=self.network,
+            host_name=SERVER,
+            rng=source("server"),
+            rendezvous_host=RENDEZVOUS,
+            db_path=db_path,
+            params=params,
+            compute_latency=server_compute,
+            thread_pool_size=thread_pool_size,
+            generation_timeout_ms=generation_timeout_ms,
+            token_session_ttl_ms=token_session_ttl_ms,
+        )
+        self.device = PhoneDevice(self.network, PHONE, compute_latency=phone_compute)
+        self.phone = AmnesiaApp(
+            kernel=self.kernel,
+            device=self.device,
+            rng=source("phone"),
+            rendezvous_host=RENDEZVOUS,
+            server_host=SERVER,
+            server_certificate=self.server.certificate,
+            params=params,
+            db_path=phone_db_path,
+            approval=approval,
+        )
+
+        self.cloud: CloudProvider | None = None
+        self._cloud_token: str | None = None
+        if with_cloud:
+            cloud_secure = SecureServer(CLOUD, source("cloud-keys"))
+            cloud_stack = SecureStack(
+                self.network.host(CLOUD), self.network, source("cloud-stack")
+            )
+            cloud_stack.attach_server(cloud_secure)
+            self.cloud = CloudProvider(
+                cloud_stack, cloud_secure, self.kernel, source("cloud-accounts")
+            )
+
+        self._laptop_stack = SecureStack(
+            self.network.host(LAPTOP), self.network, source("laptop-stack")
+        )
+        self.pins = CertificateStore()
+        self.pins.pin(self.server.certificate)
+
+    # -- drivers -----------------------------------------------------------------
+
+    def run(self, ms: float) -> None:
+        """Advance simulated time by *ms* milliseconds."""
+        self.kernel.run(until=self.kernel.now + ms)
+
+    def run_until_idle(self) -> None:
+        self.kernel.run_until_idle()
+
+    def drive_until(
+        self, predicate: Callable[[], bool], max_events: int = 500_000
+    ) -> None:
+        """Step the kernel until *predicate* holds; error if it never does."""
+        executed = 0
+        while not predicate():
+            if not self.kernel.step():
+                raise NetworkError("simulation drained before condition held")
+            executed += 1
+            if executed > max_events:
+                raise NetworkError("condition not reached within event budget")
+
+    # -- conveniences ---------------------------------------------------------------
+
+    def new_browser(self) -> AmnesiaBrowser:
+        """A fresh browser profile on the user's computer."""
+        return AmnesiaBrowser(
+            self._laptop_stack,
+            self.kernel,
+            SERVER,
+            self.server.certificate,
+            pins=self.pins,
+        )
+
+    def enroll(
+        self, login: str, master_password: str, phone: AmnesiaApp | None = None
+    ) -> AmnesiaBrowser:
+        """Full onboarding: signup, app install, pairing. Returns the
+        logged-in browser. *phone* defaults to the testbed's handset."""
+        browser = self.new_browser()
+        browser.signup(login, master_password)
+        self.pair_phone(browser, login, phone=phone)
+        return browser
+
+    def add_device(
+        self,
+        host_name: str,
+        approval: ApprovalPolicy = ApprovalPolicy.AUTO,
+        phone_compute: LatencyModel | None = None,
+    ) -> AmnesiaApp:
+        """Attach another handset (e.g. a second user's phone) with the
+        same link profile as the primary device."""
+        self.network.add_host(host_name)
+        self.network.add_link(Link(RENDEZVOUS, host_name, self.profile.gcm_phone))
+        self.network.add_link(Link(host_name, SERVER, self.profile.phone_server))
+        self.network.add_link(Link(host_name, CLOUD, self.profile.phone_cloud))
+        device = PhoneDevice(self.network, host_name, compute_latency=phone_compute)
+        app = AmnesiaApp(
+            kernel=self.kernel,
+            device=device,
+            rng=SeededRandomSource(f"device|{host_name}"),
+            rendezvous_host=RENDEZVOUS,
+            server_host=SERVER,
+            server_certificate=self.server.certificate,
+            params=self.params,
+            approval=approval,
+        )
+        app.install()
+        return app
+
+    def mobile_browser(self, phone: AmnesiaApp | None = None) -> AmnesiaBrowser:
+        """A browser running ON the phone (§III: "for a user using a
+        mobile browser ... the phone would also take on the role of the
+        PC"). It shares the handset's secure stack and certificate pins."""
+        app = phone if phone is not None else self.phone
+        return AmnesiaBrowser(
+            app.stack,
+            self.kernel,
+            SERVER,
+            self.server.certificate,
+            pins=app.pins,
+        )
+
+    def cloud_client_for_phone(self, account: str = "user") -> CloudClient:
+        """Provision a cloud account and return the phone's client for it."""
+        if self.cloud is None:
+            raise ValidationError("testbed built with with_cloud=False")
+        if self._cloud_token is None:
+            self._cloud_token = self.cloud.create_account(account)
+        return self.phone.cloud_client(
+            CLOUD, self.cloud.certificate, self._cloud_token
+        )
+
+    def fetch_backup_via_browser(self, name: str = "amnesia-backup") -> bytes:
+        """The user downloads the backup blob from the cloud on the laptop
+        (phone-loss recovery: the phone is gone)."""
+        if self.cloud is None or self._cloud_token is None:
+            raise ValidationError("no cloud backup provisioned")
+        http = SimHttpClient(
+            self._laptop_stack,
+            self.kernel,
+            CLOUD,
+            self.cloud.certificate,
+            service="cloud-storage",
+        )
+        return CloudClient(http, self._cloud_token).get(name)
+
+    def replace_phone(
+        self, approval: ApprovalPolicy = ApprovalPolicy.AUTO
+    ) -> AmnesiaApp:
+        """Simulate buying a new handset: the old app instance is replaced
+        by a fresh install on the same device identity."""
+        # Free the old app's ports: the GCM push listener and secure stack.
+        self.device.host.unbind(5229)
+        self.device.host.unbind(443)
+        self.phone = AmnesiaApp(
+            kernel=self.kernel,
+            device=self.device,
+            rng=SeededRandomSource(f"replacement|{self.kernel.now}"),
+            rendezvous_host=RENDEZVOUS,
+            server_host=SERVER,
+            server_certificate=self.server.certificate,
+            params=self.params,
+            approval=approval,
+        )
+        self.phone.install()
+        return self.phone
+
+    def pair_phone(
+        self,
+        browser: AmnesiaBrowser,
+        login: str,
+        phone: AmnesiaApp | None = None,
+    ) -> None:
+        """Pair a phone app instance (default: the testbed's handset)
+        with *login*'s account."""
+        app = phone if phone is not None else self.phone
+        code = browser.start_pairing()
+        if not app.installed:
+            app.install()
+        outcome: dict[str, bool] = {}
+        app.register(login, code, lambda ok: outcome.update(done=ok))
+        self.drive_until(lambda: "done" in outcome)
+        if not outcome["done"]:
+            raise ValidationError("phone pairing failed")

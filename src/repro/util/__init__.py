@@ -1,0 +1,56 @@
+"""Shared utilities for the Amnesia reproduction.
+
+This package holds small, dependency-free helpers used across all
+subsystems: typed exceptions, hex/byte encoding helpers, and input
+validation. Nothing in here knows about the simulator or the protocol.
+"""
+
+from repro.util.encoding import (
+    b2h,
+    h2b,
+    chunk,
+    int_from_hex,
+    require_hex,
+)
+from repro.util.errors import (
+    ReproError,
+    ValidationError,
+    AuthenticationError,
+    AuthorizationError,
+    NotFoundError,
+    ConflictError,
+    ProtocolError,
+    CryptoError,
+    NetworkError,
+    StorageError,
+    RecoveryError,
+)
+from repro.util.validation import (
+    require,
+    require_type,
+    require_length,
+    require_range,
+)
+
+__all__ = [
+    "b2h",
+    "h2b",
+    "chunk",
+    "int_from_hex",
+    "require_hex",
+    "ReproError",
+    "ValidationError",
+    "AuthenticationError",
+    "AuthorizationError",
+    "NotFoundError",
+    "ConflictError",
+    "ProtocolError",
+    "CryptoError",
+    "NetworkError",
+    "StorageError",
+    "RecoveryError",
+    "require",
+    "require_type",
+    "require_length",
+    "require_range",
+]

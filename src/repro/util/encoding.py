@@ -1,0 +1,57 @@
+"""Hex and byte-string helpers.
+
+The Amnesia protocol manipulates hash digests as hex strings (the paper
+splits the 64-hex-digit SHA-256 digest into 4-digit segments), so the
+library needs small, well-tested conversion helpers rather than ad-hoc
+``bytes.hex()`` calls sprinkled through the protocol code.
+"""
+
+from __future__ import annotations
+
+from repro.util.errors import ValidationError
+
+_HEX_DIGITS = frozenset("0123456789abcdefABCDEF")
+
+
+def b2h(data: bytes) -> str:
+    """Return the lowercase hex encoding of *data*."""
+    if not isinstance(data, (bytes, bytearray, memoryview)):
+        raise ValidationError(f"b2h expects bytes, got {type(data).__name__}")
+    return bytes(data).hex()
+
+
+def h2b(text: str) -> bytes:
+    """Decode a hex string into bytes, validating the alphabet."""
+    require_hex(text)
+    if len(text) % 2 != 0:
+        raise ValidationError(f"hex string has odd length {len(text)}")
+    return bytes.fromhex(text)
+
+
+def require_hex(text: str) -> str:
+    """Validate that *text* is a (possibly empty) hex string and return it."""
+    if not isinstance(text, str):
+        raise ValidationError(f"expected hex str, got {type(text).__name__}")
+    bad = set(text) - _HEX_DIGITS
+    if bad:
+        raise ValidationError(f"non-hex characters: {sorted(bad)!r}")
+    return text
+
+
+def chunk(text: str, size: int) -> list[str]:
+    """Split *text* into consecutive pieces of exactly *size* characters.
+
+    Trailing characters that do not fill a complete piece are discarded,
+    matching Algorithm 1 in the paper (``while c + 4 <= R.length``).
+    """
+    if size <= 0:
+        raise ValidationError(f"chunk size must be positive, got {size}")
+    return [text[i : i + size] for i in range(0, len(text) - size + 1, size)]
+
+
+def int_from_hex(segment: str) -> int:
+    """Interpret a hex segment as an unsigned big-endian integer."""
+    require_hex(segment)
+    if not segment:
+        raise ValidationError("empty hex segment")
+    return int(segment, 16)

@@ -1,0 +1,52 @@
+"""Exception hierarchy shared by every subsystem.
+
+All library errors derive from :class:`ReproError` so callers can catch
+one base class at API boundaries. Subsystems raise the most specific
+subclass that applies; nothing in the library raises bare ``Exception``.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+class ValidationError(ReproError):
+    """An input failed a precondition (wrong type, length, or range)."""
+
+
+class AuthenticationError(ReproError):
+    """A credential check failed (wrong master password, bad session)."""
+
+
+class AuthorizationError(ReproError):
+    """An authenticated principal attempted a forbidden action."""
+
+
+class NotFoundError(ReproError):
+    """A referenced entity (user, account, device) does not exist."""
+
+
+class ConflictError(ReproError):
+    """An entity with the same identity already exists."""
+
+
+class ProtocolError(ReproError):
+    """A message violated the Amnesia wire protocol."""
+
+
+class CryptoError(ReproError):
+    """A cryptographic operation failed (bad tag, bad key size, ...)."""
+
+
+class NetworkError(ReproError):
+    """A simulated network operation failed (host down, link closed)."""
+
+
+class StorageError(ReproError):
+    """A persistence operation failed."""
+
+
+class RecoveryError(ReproError):
+    """A recovery protocol step failed (bad backup, mismatched P_id)."""

@@ -1,0 +1,36 @@
+"""Namespaced logging for the reproduction.
+
+Every component logs under the ``repro.`` namespace
+(``repro.server``, ``repro.phone``, ``repro.rendezvous``, …) at DEBUG
+for protocol events and INFO for lifecycle events. The library never
+configures handlers on import (library etiquette); call
+:func:`enable_console_logging` from an application or test to see the
+stream, e.g.::
+
+    from repro.util.logs import enable_console_logging
+    enable_console_logging("DEBUG")
+"""
+
+from __future__ import annotations
+
+import logging
+
+_ROOT = "repro"
+
+
+def component_logger(name: str) -> logging.Logger:
+    """The logger for a component, e.g. ``component_logger("server")``."""
+    return logging.getLogger(f"{_ROOT}.{name}")
+
+
+def enable_console_logging(level: str = "INFO") -> logging.Handler:
+    """Attach a stderr handler to the ``repro`` namespace; returns it so
+    callers can detach (``logger.removeHandler``) when done."""
+    logger = logging.getLogger(_ROOT)
+    handler = logging.StreamHandler()
+    handler.setFormatter(
+        logging.Formatter("%(name)s %(levelname)s %(message)s")
+    )
+    logger.addHandler(handler)
+    logger.setLevel(getattr(logging, level.upper()))
+    return handler

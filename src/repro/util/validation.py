@@ -1,0 +1,41 @@
+"""Tiny precondition helpers used at public API boundaries."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.util.errors import ValidationError
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise :class:`ValidationError` with *message* unless *condition*."""
+    if not condition:
+        raise ValidationError(message)
+
+
+def require_type(value: Any, expected: type | tuple[type, ...], name: str) -> Any:
+    """Check ``isinstance(value, expected)`` and return *value*."""
+    if not isinstance(value, expected):
+        wanted = (
+            expected.__name__
+            if isinstance(expected, type)
+            else " | ".join(t.__name__ for t in expected)
+        )
+        raise ValidationError(
+            f"{name} must be {wanted}, got {type(value).__name__}"
+        )
+    return value
+
+
+def require_length(value: Any, length: int, name: str) -> Any:
+    """Check ``len(value) == length`` and return *value*."""
+    if len(value) != length:
+        raise ValidationError(f"{name} must have length {length}, got {len(value)}")
+    return value
+
+
+def require_range(value: float, low: float, high: float, name: str) -> float:
+    """Check ``low <= value <= high`` and return *value*."""
+    if not (low <= value <= high):
+        raise ValidationError(f"{name} must be in [{low}, {high}], got {value}")
+    return value

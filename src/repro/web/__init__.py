@@ -1,0 +1,43 @@
+"""A minimal thread-pooled web framework (the CherryPy substitute).
+
+The paper's server is "a prototype of Amnesia server using CherryPy, a
+lightweight python-based web framework" with a 10-thread pool and
+HTTPS. This package provides the same shape:
+
+- an HTTP/1.1-style message codec (:mod:`repro.web.http`),
+- a router with path parameters (:mod:`repro.web.router`),
+- cookie-backed server sessions (:mod:`repro.web.sessions`),
+- an application container (:mod:`repro.web.app`), and
+- bindings that serve an application over the simulated TLS channel
+  with a thread-pool concurrency model (:mod:`repro.web.server`), plus
+  a browser-grade client with a cookie jar (:mod:`repro.web.client`).
+"""
+
+from repro.web.http import HttpRequest, HttpResponse, encode_request, decode_request, \
+    encode_response, decode_response
+from repro.web.router import Router, RouteMatch
+from repro.web.sessions import SessionManager, Session
+from repro.web.app import Application, Deferred, json_response, error_response
+from repro.web.server import SimHttpServer, ThreadPoolModel
+from repro.web.client import SimHttpClient, CookieJar
+
+__all__ = [
+    "HttpRequest",
+    "HttpResponse",
+    "encode_request",
+    "decode_request",
+    "encode_response",
+    "decode_response",
+    "Router",
+    "RouteMatch",
+    "SessionManager",
+    "Session",
+    "Application",
+    "Deferred",
+    "json_response",
+    "error_response",
+    "SimHttpServer",
+    "ThreadPoolModel",
+    "SimHttpClient",
+    "CookieJar",
+]

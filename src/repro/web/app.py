@@ -1,0 +1,128 @@
+"""The application container: router + error handling + helpers.
+
+An :class:`Application` turns an :class:`~repro.web.http.HttpRequest`
+into an :class:`~repro.web.http.HttpResponse`. Handlers receive the
+request plus captured path parameters as keyword arguments. Library
+errors map onto HTTP statuses in one place, so endpoint code raises
+domain exceptions instead of building error responses by hand.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Callable
+
+from repro.util.errors import (
+    AuthenticationError,
+    AuthorizationError,
+    ConflictError,
+    NotFoundError,
+    ProtocolError,
+    RecoveryError,
+    ReproError,
+    ValidationError,
+)
+from repro.web.http import HttpRequest, HttpResponse
+from repro.web.router import Router
+
+_STATUS_FOR_ERROR: list[tuple[type, int]] = [
+    (AuthenticationError, 401),
+    (AuthorizationError, 403),
+    (NotFoundError, 404),
+    (ConflictError, 409),
+    (ProtocolError, 400),
+    (ValidationError, 400),
+    (RecoveryError, 400),
+]
+
+
+class Deferred:
+    """A response that will be produced later (e.g. after a phone reply).
+
+    Handlers may return a ``Deferred`` instead of a response; the server
+    binding keeps the exchange open (occupying a pool thread, exactly as
+    a blocking CherryPy handler would) until :meth:`resolve` fires.
+    """
+
+    def __init__(self) -> None:
+        self._response: HttpResponse | None = None
+        self._callbacks: list[Callable[[HttpResponse], None]] = []
+
+    @property
+    def resolved(self) -> bool:
+        return self._response is not None
+
+    def resolve(self, response: HttpResponse) -> None:
+        """Deliver the response; later calls are ignored (first wins)."""
+        if self._response is not None:
+            return
+        self._response = response
+        callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            callback(response)
+
+    def on_resolve(self, callback: Callable[[HttpResponse], None]) -> None:
+        if self._response is not None:
+            callback(self._response)
+        else:
+            self._callbacks.append(callback)
+
+
+def json_response(payload: Any, status: int = 200) -> HttpResponse:
+    """A JSON-encoded response."""
+    return HttpResponse(
+        status=status,
+        headers={"content-type": "application/json"},
+        body=json.dumps(payload).encode("utf-8"),
+    )
+
+
+def error_response(status: int, message: str) -> HttpResponse:
+    """The uniform error body used across all endpoints."""
+    return json_response({"error": message}, status=status)
+
+
+class Application:
+    """Routes requests and translates domain errors to HTTP statuses."""
+
+    def __init__(self, name: str = "app") -> None:
+        self.name = name
+        self.router = Router()
+        self._before: list[Callable[[HttpRequest], HttpResponse | None]] = []
+        self.handled_count = 0
+        self.error_count = 0
+
+    def before_request(
+        self, hook: Callable[[HttpRequest], HttpResponse | None]
+    ) -> None:
+        """Register middleware: returning a response short-circuits."""
+        self._before.append(hook)
+
+    def handle(self, request: HttpRequest) -> "HttpResponse | Deferred":
+        """Dispatch one request; never raises. May return a
+        :class:`Deferred` when the handler needs to wait for an external
+        event before responding."""
+        self.handled_count += 1
+        try:
+            for hook in self._before:
+                early = hook(request)
+                if early is not None:
+                    return early
+            match = self.router.resolve(request)
+            if match is None:
+                allowed = self.router.allowed_methods(request)
+                if allowed:
+                    response = error_response(405, "method not allowed")
+                    response.headers["allow"] = ", ".join(allowed)
+                    return response
+                return error_response(404, f"no route for {request.path}")
+            return match.handler(request, **match.params)
+        except ReproError as error:
+            self.error_count += 1
+            for error_type, status in _STATUS_FOR_ERROR:
+                if isinstance(error, error_type):
+                    return error_response(status, str(error))
+            return error_response(500, str(error))
+        except Exception as error:  # noqa: BLE001 - the container is the last resort
+            self.error_count += 1
+            return error_response(500, f"internal error: {type(error).__name__}")

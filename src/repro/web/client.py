@@ -1,0 +1,150 @@
+"""A browser-grade HTTP client for the simulated network.
+
+Keeps a cookie jar (so Amnesia's session cookie round-trips exactly as
+in a real browser) and offers both asynchronous requests (callback) and
+a synchronous facade that drives the simulation kernel until the
+response arrives — which is what examples and tests want to write.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional
+
+from repro.net.certificates import Certificate, CertificateStore
+from repro.net.tls import SecureClientChannel, SecureStack
+from repro.sim.kernel import Simulator
+from repro.util.errors import NetworkError, ProtocolError
+from repro.web.http import (
+    HttpRequest,
+    HttpResponse,
+    decode_response,
+    encode_request,
+)
+
+
+class CookieJar:
+    """Per-origin cookie storage (origin = server host name)."""
+
+    def __init__(self) -> None:
+        self._cookies: Dict[str, Dict[str, str]] = {}
+
+    def update(self, origin: str, set_cookies: Dict[str, str]) -> None:
+        if set_cookies:
+            self._cookies.setdefault(origin, {}).update(set_cookies)
+
+    def cookies_for(self, origin: str) -> Dict[str, str]:
+        return dict(self._cookies.get(origin, {}))
+
+    def clear(self, origin: str | None = None) -> None:
+        if origin is None:
+            self._cookies.clear()
+        else:
+            self._cookies.pop(origin, None)
+
+
+class SimHttpClient:
+    """HTTP over a secure channel, with cookies and a sync facade."""
+
+    def __init__(
+        self,
+        stack: SecureStack,
+        kernel: Simulator,
+        server_host: str,
+        certificate: Certificate,
+        service: str = "https",
+        pins: CertificateStore | None = None,
+    ) -> None:
+        self.stack = stack
+        self.kernel = kernel
+        self.server_host = server_host
+        self.jar = CookieJar()
+        self._channel: SecureClientChannel = stack.connect(
+            server_host, certificate, service, pins=pins
+        )
+
+    # -- async ---------------------------------------------------------------
+
+    def send(
+        self,
+        request: HttpRequest,
+        on_response: Callable[[HttpResponse], None],
+        on_error: Callable[[Exception], None] | None = None,
+    ) -> None:
+        """Send *request*, merging jar cookies; deliver the parsed response."""
+        merged = self.jar.cookies_for(self.server_host)
+        merged.update(request.cookies)
+        request.cookies = merged
+
+        def handle(raw: bytes) -> None:
+            try:
+                response = decode_response(raw)
+            except ProtocolError as error:
+                if on_error is not None:
+                    on_error(error)
+                return
+            self.jar.update(self.server_host, response.set_cookies)
+            on_response(response)
+
+        self._channel.request(encode_request(request), handle, on_error)
+
+    # -- sync facade ----------------------------------------------------------
+
+    def request(
+        self,
+        method: str,
+        path: str,
+        json_body: Any = None,
+        query: Dict[str, str] | None = None,
+        body: bytes | None = None,
+        headers: Dict[str, str] | None = None,
+        max_events: int = 500_000,
+    ) -> HttpResponse:
+        """Send and drive the kernel until the response arrives."""
+        if json_body is not None and body is not None:
+            raise ProtocolError("pass either json_body or body, not both")
+        if json_body is not None:
+            request = HttpRequest.json_request(
+                method, path, json_body, query=query, headers=headers
+            )
+        else:
+            request = HttpRequest(
+                method=method,
+                path=path,
+                query=dict(query or {}),
+                headers=dict(headers or {}),
+                body=body if body is not None else b"",
+            )
+        outcome: Dict[str, Any] = {}
+
+        def on_response(response: HttpResponse) -> None:
+            outcome["response"] = response
+
+        def on_error(error: Exception) -> None:
+            outcome["error"] = error
+
+        self.send(request, on_response, on_error)
+        executed = 0
+        while "response" not in outcome and "error" not in outcome:
+            if not self.kernel.step():
+                raise NetworkError(
+                    "simulation queue drained with no response — "
+                    "is the server host reachable and bound?"
+                )
+            executed += 1
+            if executed > max_events:
+                raise NetworkError("no response within event budget")
+        if "error" in outcome:
+            raise outcome["error"]
+        return outcome["response"]
+
+    def get(self, path: str, **kwargs: Any) -> HttpResponse:
+        return self.request("GET", path, **kwargs)
+
+    def post(self, path: str, json_body: Any = None, **kwargs: Any) -> HttpResponse:
+        return self.request("POST", path, json_body=json_body, **kwargs)
+
+    def put(self, path: str, json_body: Any = None, **kwargs: Any) -> HttpResponse:
+        return self.request("PUT", path, json_body=json_body, **kwargs)
+
+    def delete(self, path: str, **kwargs: Any) -> HttpResponse:
+        return self.request("DELETE", path, **kwargs)

@@ -1,0 +1,252 @@
+"""HTTP/1.1-style message model and wire codec.
+
+Requests and responses are serialised to a textual head plus binary
+body (exactly the HTTP framing browsers speak) so they can travel as
+TLS record payloads on the simulated network, and so the codec itself
+is a tested component rather than an implicit in-process call.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any
+from urllib.parse import parse_qsl, quote, unquote, urlencode
+
+from repro.util.errors import ProtocolError, ValidationError
+
+_CRLF = b"\r\n"
+_MAX_HEAD_SIZE = 64 * 1024
+
+STATUS_REASONS = {
+    200: "OK",
+    201: "Created",
+    204: "No Content",
+    302: "Found",
+    400: "Bad Request",
+    401: "Unauthorized",
+    403: "Forbidden",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    410: "Gone",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+_METHODS = frozenset({"GET", "POST", "PUT", "DELETE", "PATCH", "HEAD", "OPTIONS"})
+
+
+def _parse_cookies(header: str) -> dict[str, str]:
+    cookies: dict[str, str] = {}
+    for piece in header.split(";"):
+        if "=" not in piece:
+            continue
+        name, __, value = piece.strip().partition("=")
+        cookies[unquote(name)] = unquote(value)
+    return cookies
+
+
+@dataclass
+class HttpRequest:
+    """One HTTP request."""
+
+    method: str
+    path: str
+    query: dict[str, str] = field(default_factory=dict)
+    headers: dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+    cookies: dict[str, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.method = self.method.upper()
+        if self.method not in _METHODS:
+            raise ValidationError(f"unsupported HTTP method {self.method!r}")
+        if not self.path.startswith("/"):
+            raise ValidationError(f"path must start with '/', got {self.path!r}")
+
+    def json(self) -> Any:
+        """Parse the body as JSON; raises :class:`ProtocolError` if invalid."""
+        try:
+            return json.loads(self.body.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as error:
+            raise ProtocolError(f"invalid JSON body: {error}") from error
+
+    def form(self) -> dict[str, str]:
+        """Parse the body as a urlencoded form."""
+        try:
+            return dict(parse_qsl(self.body.decode("utf-8"), keep_blank_values=True))
+        except UnicodeDecodeError as error:
+            raise ProtocolError(f"invalid form body: {error}") from error
+
+    @classmethod
+    def json_request(
+        cls,
+        method: str,
+        path: str,
+        payload: Any,
+        query: dict[str, str] | None = None,
+        headers: dict[str, str] | None = None,
+    ) -> "HttpRequest":
+        body = json.dumps(payload).encode("utf-8")
+        all_headers = {"content-type": "application/json"}
+        if headers:
+            all_headers.update({k.lower(): v for k, v in headers.items()})
+        return cls(
+            method=method,
+            path=path,
+            query=dict(query or {}),
+            headers=all_headers,
+            body=body,
+        )
+
+
+@dataclass
+class HttpResponse:
+    """One HTTP response."""
+
+    status: int = 200
+    headers: dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+    set_cookies: dict[str, str] = field(default_factory=dict)
+
+    def json(self) -> Any:
+        try:
+            return json.loads(self.body.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as error:
+            raise ProtocolError(f"invalid JSON body: {error}") from error
+
+    @property
+    def ok(self) -> bool:
+        return 200 <= self.status < 300
+
+    def reason(self) -> str:
+        return STATUS_REASONS.get(self.status, "Unknown")
+
+
+# -- wire codec -----------------------------------------------------------------
+
+
+def encode_request(request: HttpRequest) -> bytes:
+    """Serialise a request to HTTP/1.1 bytes."""
+    target = quote(request.path, safe="/%~.-_")
+    if request.query:
+        target += "?" + urlencode(request.query)
+    lines = [f"{request.method} {target} HTTP/1.1"]
+    headers = {k.lower(): v for k, v in request.headers.items()}
+    headers["content-length"] = str(len(request.body))
+    if request.cookies:
+        headers["cookie"] = "; ".join(
+            f"{quote(k)}={quote(v)}" for k, v in sorted(request.cookies.items())
+        )
+    for name, value in sorted(headers.items()):
+        _check_header(name, value)
+        lines.append(f"{name}: {value}")
+    head = "\r\n".join(lines).encode("utf-8") + _CRLF + _CRLF
+    return head + request.body
+
+
+def decode_request(raw: bytes) -> HttpRequest:
+    """Parse HTTP/1.1 request bytes."""
+    head, body = _split_head(raw)
+    lines = head.split("\r\n")
+    parts = lines[0].split(" ")
+    if len(parts) != 3 or parts[2] != "HTTP/1.1":
+        raise ProtocolError(f"malformed request line {lines[0]!r}")
+    method, target = parts[0], parts[1]
+    path, __, query_string = target.partition("?")
+    headers = _parse_headers(lines[1:])
+    _check_length(headers, body)
+    cookies = _parse_cookies(headers.pop("cookie", ""))
+    try:
+        return HttpRequest(
+            method=method,
+            path=unquote(path),
+            query=dict(parse_qsl(query_string, keep_blank_values=True)),
+            headers=headers,
+            body=body,
+            cookies=cookies,
+        )
+    except ValidationError as error:
+        raise ProtocolError(str(error)) from error
+
+
+def encode_response(response: HttpResponse) -> bytes:
+    """Serialise a response to HTTP/1.1 bytes."""
+    lines = [f"HTTP/1.1 {response.status} {response.reason()}"]
+    headers = {k.lower(): v for k, v in response.headers.items()}
+    headers["content-length"] = str(len(response.body))
+    for name, value in sorted(headers.items()):
+        _check_header(name, value)
+        lines.append(f"{name}: {value}")
+    for name, value in sorted(response.set_cookies.items()):
+        lines.append(f"set-cookie: {quote(name)}={quote(value)}; Path=/; HttpOnly")
+    head = "\r\n".join(lines).encode("utf-8") + _CRLF + _CRLF
+    return head + response.body
+
+
+def decode_response(raw: bytes) -> HttpResponse:
+    """Parse HTTP/1.1 response bytes."""
+    head, body = _split_head(raw)
+    lines = head.split("\r\n")
+    parts = lines[0].split(" ", 2)
+    if len(parts) < 2 or parts[0] != "HTTP/1.1":
+        raise ProtocolError(f"malformed status line {lines[0]!r}")
+    try:
+        status = int(parts[1])
+    except ValueError as error:
+        raise ProtocolError(f"bad status code {parts[1]!r}") from error
+    set_cookies: dict[str, str] = {}
+    header_lines = []
+    for line in lines[1:]:
+        lowered = line.lower()
+        if lowered.startswith("set-cookie:"):
+            cookie_part = line.split(":", 1)[1].strip().split(";")[0]
+            name, __, value = cookie_part.partition("=")
+            set_cookies[unquote(name)] = unquote(value)
+        else:
+            header_lines.append(line)
+    headers = _parse_headers(header_lines)
+    _check_length(headers, body)
+    return HttpResponse(
+        status=status, headers=headers, body=body, set_cookies=set_cookies
+    )
+
+
+def _split_head(raw: bytes) -> tuple[str, bytes]:
+    separator = raw.find(_CRLF + _CRLF)
+    if separator < 0:
+        raise ProtocolError("no header/body separator")
+    if separator > _MAX_HEAD_SIZE:
+        raise ProtocolError("header section too large")
+    try:
+        head = raw[:separator].decode("utf-8")
+    except UnicodeDecodeError as error:
+        raise ProtocolError(f"non-UTF-8 header section: {error}") from error
+    return head, raw[separator + 4 :]
+
+
+def _parse_headers(lines: list[str]) -> dict[str, str]:
+    headers: dict[str, str] = {}
+    for line in lines:
+        if not line:
+            continue
+        if ":" not in line:
+            raise ProtocolError(f"malformed header line {line!r}")
+        name, __, value = line.partition(":")
+        headers[name.strip().lower()] = value.strip()
+    return headers
+
+
+def _check_length(headers: dict[str, str], body: bytes) -> None:
+    declared = headers.pop("content-length", None)
+    if declared is not None and int(declared) != len(body):
+        raise ProtocolError(
+            f"content-length {declared} does not match body size {len(body)}"
+        )
+
+
+def _check_header(name: str, value: str) -> None:
+    if "\r" in name or "\n" in name or "\r" in value or "\n" in value:
+        raise ProtocolError("header injection attempt (CR/LF in header)")

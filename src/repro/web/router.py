@@ -1,0 +1,128 @@
+"""Path routing with typed path parameters.
+
+Routes look like ``/accounts/{account_id}/generate``; a segment wrapped
+in braces captures that path segment as a string parameter. Dispatch is
+exact-match on segment count plus literal segments — no regex, so route
+behaviour is easy to reason about and to test.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from repro.util.errors import ConflictError, ValidationError
+from repro.web.http import HttpRequest, HttpResponse
+
+Handler = Callable[..., HttpResponse]
+
+
+@dataclass(frozen=True)
+class RouteMatch:
+    """A successful dispatch: the handler plus captured path params."""
+
+    handler: Handler
+    params: dict[str, str]
+
+
+class _Route:
+    def __init__(self, method: str, pattern: str, handler: Handler) -> None:
+        if not pattern.startswith("/"):
+            raise ValidationError(f"route pattern must start with '/': {pattern!r}")
+        self.method = method.upper()
+        self.pattern = pattern
+        self.handler = handler
+        self.segments = pattern.strip("/").split("/") if pattern != "/" else []
+        names = [
+            s[1:-1] for s in self.segments if s.startswith("{") and s.endswith("}")
+        ]
+        if len(names) != len(set(names)):
+            raise ValidationError(f"duplicate path parameter in {pattern!r}")
+        for name in names:
+            if not name.isidentifier():
+                raise ValidationError(f"bad path parameter name {name!r}")
+
+    def match(self, path_segments: list[str]) -> Optional[dict[str, str]]:
+        if len(path_segments) != len(self.segments):
+            return None
+        params: dict[str, str] = {}
+        for expected, actual in zip(self.segments, path_segments):
+            if expected.startswith("{") and expected.endswith("}"):
+                if not actual:
+                    return None
+                params[expected[1:-1]] = actual
+            elif expected != actual:
+                return None
+        return params
+
+
+class Router:
+    """Method+pattern route table."""
+
+    def __init__(self) -> None:
+        self._routes: list[_Route] = []
+
+    @staticmethod
+    def _shape(segments: list[str]) -> tuple[str, ...]:
+        """Normalise parameters so /a/{x} and /a/{y} compare equal."""
+        return tuple("{}" if s.startswith("{") else s for s in segments)
+
+    def add(self, method: str, pattern: str, handler: Handler) -> None:
+        route = _Route(method, pattern, handler)
+        for existing in self._routes:
+            if existing.method == route.method and self._shape(
+                existing.segments
+            ) == self._shape(route.segments):
+                raise ConflictError(
+                    f"route {method} {pattern!r} conflicts with "
+                    f"{existing.pattern!r}"
+                )
+        self._routes.append(route)
+
+    def get(self, pattern: str) -> Callable[[Handler], Handler]:
+        return self._decorator("GET", pattern)
+
+    def post(self, pattern: str) -> Callable[[Handler], Handler]:
+        return self._decorator("POST", pattern)
+
+    def put(self, pattern: str) -> Callable[[Handler], Handler]:
+        return self._decorator("PUT", pattern)
+
+    def delete(self, pattern: str) -> Callable[[Handler], Handler]:
+        return self._decorator("DELETE", pattern)
+
+    def _decorator(self, method: str, pattern: str) -> Callable[[Handler], Handler]:
+        def register(handler: Handler) -> Handler:
+            self.add(method, pattern, handler)
+            return handler
+
+        return register
+
+    def resolve(self, request: HttpRequest) -> Optional[RouteMatch]:
+        """Find the route for *request*; literal matches beat parameter ones."""
+        path = request.path.strip("/")
+        segments = path.split("/") if path else []
+        best: Optional[tuple[int, RouteMatch]] = None
+        for route in self._routes:
+            if route.method != request.method:
+                continue
+            params = route.match(segments)
+            if params is None:
+                continue
+            literal_count = sum(
+                1 for s in route.segments if not s.startswith("{")
+            )
+            if best is None or literal_count > best[0]:
+                best = (literal_count, RouteMatch(route.handler, params))
+        return best[1] if best else None
+
+    def allowed_methods(self, request: HttpRequest) -> list[str]:
+        """Methods that would match this path (for 405 responses)."""
+        path = request.path.strip("/")
+        segments = path.split("/") if path else []
+        methods = {
+            route.method
+            for route in self._routes
+            if route.match(segments) is not None
+        }
+        return sorted(methods)

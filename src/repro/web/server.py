@@ -1,0 +1,121 @@
+"""Serving an application over the simulated secure channel.
+
+Reproduces the prototype's concurrency shape: CherryPy with "a maximum
+of 10 threads in our thread-pool" (§V-A). Requests that arrive while
+all threads are busy queue FIFO; each request occupies a thread for a
+sampled compute time before its response is sent. The §VIII remark that
+server-side hashing "may be a bottleneck" is measurable by shrinking
+the pool or raising the compute-time model (ablation A4).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Tuple
+
+from repro.net.tls import SecureServer, SecureSession, SecureStack
+from repro.sim.kernel import Simulator
+from repro.sim.latency import Constant, LatencyModel
+from repro.sim.random import RngRegistry
+from repro.util.errors import ProtocolError, ValidationError
+from repro.web.app import Application, Deferred, error_response
+from repro.web.http import decode_request, encode_response
+
+DEFAULT_THREAD_POOL_SIZE = 10  # the paper's CherryPy allocation
+
+
+class ThreadPoolModel:
+    """A counted-resource model of a server thread pool."""
+
+    def __init__(self, size: int = DEFAULT_THREAD_POOL_SIZE) -> None:
+        if size < 1:
+            raise ValidationError(f"thread pool needs >= 1 thread, got {size}")
+        self.size = size
+        self.busy = 0
+        self.peak_busy = 0
+        self.queued_peak = 0
+        self._waiting: Deque[Tuple] = deque()
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self._waiting)
+
+    def acquire(self, work) -> bool:
+        """Run *work* now if a thread is free, else queue it. Returns
+        True when the work started immediately."""
+        if self.busy < self.size:
+            self.busy += 1
+            self.peak_busy = max(self.peak_busy, self.busy)
+            work()
+            return True
+        self._waiting.append(work)
+        self.queued_peak = max(self.queued_peak, len(self._waiting))
+        return False
+
+    def release(self) -> None:
+        """Finish one unit of work and start the next queued one, if any."""
+        if self.busy <= 0:
+            raise ValidationError("release without matching acquire")
+        self.busy -= 1
+        if self._waiting:
+            work = self._waiting.popleft()
+            self.busy += 1
+            self.peak_busy = max(self.peak_busy, self.busy)
+            work()
+
+
+class SimHttpServer:
+    """Binds an :class:`~repro.web.app.Application` to a secure service."""
+
+    def __init__(
+        self,
+        application: Application,
+        stack: SecureStack,
+        secure_server: SecureServer,
+        kernel: Simulator,
+        service: str = "https",
+        compute_latency: LatencyModel | None = None,
+        thread_pool_size: int = DEFAULT_THREAD_POOL_SIZE,
+    ) -> None:
+        self.application = application
+        self.stack = stack
+        self.kernel = kernel
+        self.pool = ThreadPoolModel(thread_pool_size)
+        self.compute_latency = (
+            compute_latency if compute_latency is not None else Constant(1.0)
+        )
+        self._rng = RngRegistry(f"http-server:{service}").stream("compute")
+        secure_server.register_service(service, self._on_record)
+
+    def _on_record(self, session: SecureSession, seq: int, plaintext: bytes) -> None:
+        def work() -> None:
+            delay = self.compute_latency.sample(self._rng)
+            self.kernel.schedule(delay, lambda: self._finish(session, seq, plaintext))
+
+        self.pool.acquire(work)
+
+    def _finish(self, session: SecureSession, seq: int, plaintext: bytes) -> None:
+        try:
+            request = decode_request(plaintext)
+        except ProtocolError as error:
+            self.stack.respond(
+                session, seq, encode_response(error_response(400, str(error)))
+            )
+            self.pool.release()
+            return
+        # Expose the authenticated peer (by secure-channel origin) the way
+        # CherryPy exposes the remote address.
+        request.headers["x-peer-host"] = session.peer
+        result = self.application.handle(request)
+        if isinstance(result, Deferred):
+            # Blocking-handler semantics: the pool thread stays occupied
+            # until the deferred resolves, exactly like a CherryPy thread
+            # waiting on the phone's token (see ablation A4).
+            def complete(response) -> None:
+                self.stack.respond(session, seq, encode_response(response))
+                self.pool.release()
+
+            result.on_resolve(complete)
+            return
+        self.stack.respond(session, seq, encode_response(result))
+        self.pool.release()

@@ -1,0 +1,85 @@
+"""Cookie-backed server-side sessions.
+
+The Amnesia server component "manages and handles user interaction and
+sessions" (§V-A). Sessions are opaque random tokens mapped to
+server-side state with idle expiry; the token travels in an HttpOnly
+cookie.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from repro.crypto.randomness import RandomSource
+from repro.util.errors import ValidationError
+
+SESSION_COOKIE = "amnesia_session"
+DEFAULT_IDLE_TIMEOUT_MS = 15 * 60 * 1000.0
+
+
+@dataclass
+class Session:
+    """One authenticated session's server-side state."""
+
+    token: str
+    created_at_ms: float
+    last_seen_ms: float
+    data: Dict[str, Any] = field(default_factory=dict)
+
+
+class SessionManager:
+    """Issues, resolves and expires session tokens."""
+
+    def __init__(
+        self,
+        rng: RandomSource,
+        idle_timeout_ms: float = DEFAULT_IDLE_TIMEOUT_MS,
+    ) -> None:
+        if idle_timeout_ms <= 0:
+            raise ValidationError(f"idle timeout must be > 0, got {idle_timeout_ms}")
+        self._rng = rng
+        self._idle_timeout_ms = idle_timeout_ms
+        self._sessions: Dict[str, Session] = {}
+
+    def create(self, now_ms: float, **data: Any) -> Session:
+        token = self._rng.token_hex(32)
+        session = Session(
+            token=token, created_at_ms=now_ms, last_seen_ms=now_ms, data=dict(data)
+        )
+        self._sessions[token] = session
+        return session
+
+    def resolve(self, token: str | None, now_ms: float) -> Optional[Session]:
+        """Return the live session for *token*, refreshing its idle clock."""
+        if not token:
+            return None
+        session = self._sessions.get(token)
+        if session is None:
+            return None
+        if now_ms - session.last_seen_ms > self._idle_timeout_ms:
+            del self._sessions[token]
+            return None
+        session.last_seen_ms = now_ms
+        return session
+
+    def revoke(self, token: str) -> None:
+        self._sessions.pop(token, None)
+
+    def revoke_all(self, predicate=None) -> int:
+        """Revoke all sessions (or those matching *predicate*); returns count."""
+        if predicate is None:
+            count = len(self._sessions)
+            self._sessions.clear()
+            return count
+        doomed = [t for t, s in self._sessions.items() if predicate(s)]
+        for token in doomed:
+            del self._sessions[token]
+        return len(doomed)
+
+    def live_count(self, now_ms: float) -> int:
+        return sum(
+            1
+            for s in self._sessions.values()
+            if now_ms - s.last_seen_ms <= self._idle_timeout_ms
+        )

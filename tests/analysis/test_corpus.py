@@ -1,0 +1,40 @@
+"""Corpus statistics tests."""
+
+import pytest
+
+from repro.analysis.corpus import corpus_stats
+from repro.util.errors import ValidationError
+
+
+class TestCorpusStats:
+    def test_basic_aggregates(self):
+        stats = corpus_stats(["abc123", "LongerPassword!", "short"])
+        assert stats.count == 3
+        assert stats.mean_length == pytest.approx((6 + 15 + 5) / 3)
+        assert stats.distinct_fraction == 1.0
+
+    def test_length_buckets_match_survey_boundaries(self):
+        stats = corpus_stats(["a" * 5, "a" * 6, "a" * 8, "a" * 9, "a" * 11,
+                              "a" * 12, "a" * 14, "a" * 15])
+        assert stats.length_buckets == {
+            "<=5": 1, "6~8": 2, "9~11": 2, "12~14": 2, "14+": 1
+        }
+
+    def test_class_fractions(self):
+        stats = corpus_stats(["lower", "UPPER", "12345", "!@#$%"])
+        assert stats.with_lowercase == 0.25
+        assert stats.with_uppercase == 0.25
+        assert stats.with_digit == 0.25
+        assert stats.with_special == 0.25
+
+    def test_reuse_lowers_distinct_fraction(self):
+        stats = corpus_stats(["same", "same", "same", "other"])
+        assert stats.distinct_fraction == 0.5
+
+    def test_dominant_bucket(self):
+        stats = corpus_stats(["abcdef"] * 3 + ["a" * 12])
+        assert stats.dominant_length_bucket() == "6~8"
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            corpus_stats([])

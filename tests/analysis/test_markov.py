@@ -1,0 +1,88 @@
+"""Markov strength-model tests."""
+
+import pytest
+
+from repro.analysis.markov import CharMarkovModel, rank_candidates
+from repro.attacks.dictionary import candidate_dictionary
+from repro.core.protocol import generate_password
+from repro.core.secrets import PhoneSecret
+from repro.crypto.randomness import SeededRandomSource
+from repro.util.errors import ValidationError
+
+
+@pytest.fixture(scope="module")
+def model():
+    return CharMarkovModel(order=2).train(candidate_dictionary())
+
+
+class TestTraining:
+    def test_counts_accumulate(self):
+        model = CharMarkovModel()
+        model.train(["abc", "abd"])
+        assert model.trained_on == 2
+        model.train(["xyz"])
+        assert model.trained_on == 3
+
+    def test_empty_strings_skipped(self):
+        model = CharMarkovModel()
+        model.train(["", "ok"])
+        assert model.trained_on == 1
+
+    def test_order_validated(self):
+        with pytest.raises(ValidationError):
+            CharMarkovModel(order=0)
+        with pytest.raises(ValidationError):
+            CharMarkovModel(order=9)
+
+
+class TestScoring:
+    def test_probabilities_negative_log(self, model):
+        assert model.log2_probability("password123") < 0
+
+    def test_in_corpus_beats_random(self, model):
+        human = model.strength_bits("password1")
+        random_like = model.strength_bits('X9$k!mQ2@pL7#ws"')
+        assert human < random_like
+
+    def test_longer_random_is_stronger(self, model):
+        short = model.strength_bits("Kj3$")
+        long = model.strength_bits("Kj3$Kw8!Qz5%Mn1&")
+        assert long > short
+
+    def test_generated_passwords_score_near_uniform(self, model):
+        """An Amnesia password should cost roughly its uniform entropy
+        (~6.55 bits/char) under any human-trained model."""
+        rng = SeededRandomSource(b"markov-gen")
+        secret = PhoneSecret.generate(rng)
+        password = generate_password(
+            "u", "d.example", rng.token_bytes(32), rng.token_bytes(64),
+            secret.entry_table,
+        )
+        bits = model.strength_bits(password)
+        assert bits > 150  # >= ~4.7 bits/char even with smoothing slack
+
+    def test_untrained_model_uniformish(self):
+        model = CharMarkovModel()
+        bits = model.strength_bits("abcdef")
+        # Pure smoothing: log2(96) ≈ 6.58 bits per char (7 symbols w/ end).
+        assert 6.0 * 6 < bits < 7.0 * 7
+
+    def test_guess_number_monotone_in_bits(self, model):
+        weak = model.guess_number_estimate("monkey1")
+        strong = model.guess_number_estimate("zQ$7!kPm2@x")
+        assert strong > weak
+
+    def test_empty_rejected(self, model):
+        with pytest.raises(ValidationError):
+            model.log2_probability("")
+
+
+class TestRanking:
+    def test_human_candidates_rank_before_noise(self, model):
+        candidates = ['X$9"kQz!', "password1", "dragon12", "p#Lw@8^d"]
+        ranked = rank_candidates(model, candidates)
+        assert set(ranked[:2]) == {"password1", "dragon12"}
+
+    def test_ranking_is_permutation(self, model):
+        candidates = ["a1", "b2", "c3"]
+        assert sorted(rank_candidates(model, candidates)) == candidates

@@ -1,0 +1,102 @@
+"""PCFG cracker tests (Weir et al. [3])."""
+
+import math
+
+import pytest
+
+from repro.analysis.pcfg import PcfgModel, segment_structure, structure_signature
+from repro.attacks.dictionary import candidate_dictionary
+from repro.core.protocol import generate_password
+from repro.core.secrets import PhoneSecret
+from repro.crypto.randomness import SeededRandomSource
+from repro.util.errors import ValidationError
+
+
+@pytest.fixture(scope="module")
+def model():
+    return PcfgModel().train(candidate_dictionary())
+
+
+class TestSegmentation:
+    def test_basic_runs(self):
+        assert segment_structure("dragon12!") == [
+            ("L", "dragon"), ("D", "12"), ("S", "!"),
+        ]
+
+    def test_single_class(self):
+        assert segment_structure("abc") == [("L", "abc")]
+
+    def test_alternating(self):
+        assert segment_structure("a1b2") == [
+            ("L", "a"), ("D", "1"), ("L", "b"), ("D", "2"),
+        ]
+
+    def test_signature(self):
+        assert structure_signature("dragon12!") == "L6 D2 S1"
+        assert structure_signature("Password1") == "L8 D1"
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            segment_structure("")
+
+
+class TestTraining:
+    def test_counts(self, model):
+        assert model.trained_on > 500
+
+    def test_empty_corpus_rejected(self):
+        with pytest.raises(ValidationError):
+            PcfgModel().train([])
+
+    def test_in_corpus_probability_positive(self, model):
+        assert model.probability("monkey123") > 0
+
+    def test_unseen_structure_zero(self, model):
+        # 32 chars of mixed symbols never appears in the human corpus.
+        assert model.probability('X$9"kQz!mP3&wL7@vB5^nC1*sD8%fG2#') == 0.0
+
+    def test_strength_bits(self, model):
+        assert model.strength_bits("monkey123") < 25
+        assert math.isinf(model.strength_bits("zZ*!kk29@#qr^&15mn"))
+
+
+class TestGuessing:
+    def test_guesses_in_decreasing_probability(self, model):
+        guesses = list(model.guesses(200))
+        probabilities = [model.probability(g) for g in guesses]
+        assert all(
+            earlier >= later - 1e-12
+            for earlier, later in zip(probabilities, probabilities[1:])
+        )
+
+    def test_no_duplicates(self, model):
+        guesses = list(model.guesses(500))
+        assert len(guesses) == len(set(guesses))
+
+    def test_limit_zero(self, model):
+        assert list(model.guesses(0)) == []
+
+    def test_negative_limit_rejected(self, model):
+        with pytest.raises(ValidationError):
+            list(model.guesses(-1))
+
+    def test_common_password_found_early(self, model):
+        # The single most common shape in the corpus should surface fast.
+        position = model.guess_number("password", limit=2_000)
+        assert position is not None and position < 500
+
+    def test_guess_stream_recovers_large_corpus_fraction(self, model):
+        corpus = set(candidate_dictionary())
+        guesses = set(model.guesses(30_000))
+        recovered = len(corpus & guesses)
+        assert recovered / len(corpus) > 0.5
+
+    def test_amnesia_password_never_guessed(self, model):
+        rng = SeededRandomSource(b"pcfg-target")
+        secret = PhoneSecret.generate(rng)
+        target = generate_password(
+            "u", "d.example", rng.token_bytes(32), rng.token_bytes(64),
+            secret.entry_table,
+        )
+        assert model.guess_number(target, limit=30_000) is None
+        assert model.probability(target) == 0.0

@@ -1,0 +1,68 @@
+"""Composed-compromise tests: the exact boundary of the guarantee."""
+
+from repro.attacks.composed import (
+    phone_plus_master_attack,
+    phone_plus_server_attack,
+)
+from repro.baselines import AmnesiaScheme, LastPassLikeScheme
+
+
+def scheme_with_accounts():
+    scheme = AmnesiaScheme(master_password="monkey123")
+    for username, domain in (
+        ("alice", "mail.google.com"),
+        ("bob", "www.yahoo.com"),
+    ):
+        scheme.add_account(username, domain)
+    return scheme
+
+
+class TestPhonePlusServer:
+    def test_both_halves_break_everything(self):
+        scheme = scheme_with_accounts()
+        outcome = phone_plus_server_attack(scheme)
+        assert outcome.passwords_recovered == 2
+        assert outcome.compromised
+        assert "kp" in outcome.secrets_learned
+        assert "ks" in outcome.secrets_learned
+
+    def test_other_schemes_not_modelled(self):
+        scheme = LastPassLikeScheme()
+        scheme.add_account("a", "d.com")
+        outcome = phone_plus_server_attack(scheme)
+        assert not outcome.compromised
+
+
+class TestPhonePlusMaster:
+    def test_correct_mp_plus_phone_breaks_everything(self):
+        scheme = scheme_with_accounts()
+        outcome = phone_plus_master_attack(scheme, "monkey123")
+        assert outcome.passwords_recovered == 2
+        assert outcome.master_password_recovered
+
+    def test_wrong_mp_guess_fails_even_with_phone(self):
+        """Kp alone plus a bad MP guess stays within §IV-D's bound."""
+        scheme = scheme_with_accounts()
+        outcome = phone_plus_master_attack(scheme, "wrong-guess")
+        assert outcome.passwords_recovered == 0
+        assert not outcome.master_password_recovered
+        assert outcome.secrets_learned == ("kp",)
+
+
+class TestBoundaryContrast:
+    def test_single_compromises_safe_composed_broken(self):
+        """The paper's two-factor claim, as one assertion block."""
+        from repro.attacks.breach import server_breach_attack
+        from repro.attacks.theft import phone_theft_attack
+
+        scheme = scheme_with_accounts()
+        assert phone_theft_attack(scheme).passwords_recovered == 0
+        # The weak MP itself falls to the breach's dictionary run, but no
+        # site password does — the paper's exact claim.
+        breach = server_breach_attack(scheme)
+        assert breach.master_password_recovered
+        assert breach.passwords_recovered == 0
+        assert phone_plus_server_attack(scheme).passwords_recovered == 2
+        assert (
+            phone_plus_master_attack(scheme, "monkey123").passwords_recovered == 2
+        )

@@ -1,0 +1,55 @@
+"""Dictionary machinery tests."""
+
+import pytest
+
+from repro.attacks.dictionary import (
+    OfflineDictionaryAttack,
+    candidate_dictionary,
+)
+from repro.client.user import UserModel
+from repro.util.errors import ValidationError
+
+
+class TestCandidateDictionary:
+    def test_nonempty_and_bounded(self):
+        candidates = list(candidate_dictionary())
+        assert 100 < len(candidates) < 20_000
+
+    def test_limit_respected(self):
+        assert len(list(candidate_dictionary(limit=10))) == 10
+
+    def test_limit_zero(self):
+        assert list(candidate_dictionary(limit=0)) == []
+
+    def test_negative_limit_rejected(self):
+        with pytest.raises(ValidationError):
+            list(candidate_dictionary(limit=-1))
+
+    def test_covers_user_model_output(self):
+        """Every technique's password must appear in the dictionary —
+        otherwise the guessing experiments understate attack power."""
+        candidates = set(candidate_dictionary())
+        for technique in ("personal_info", "mnemonic", "other"):
+            for seed in range(20):
+                user = UserModel("u", "mp", technique=technique, seed=seed)
+                assert user.invent_password() in candidates
+
+
+class TestOfflineDictionaryAttack:
+    def test_finds_weak_password(self):
+        attack = OfflineDictionaryAttack()
+        result = attack.run(lambda candidate: candidate == "monkey123")
+        assert result.succeeded
+        assert result.found == "monkey123"
+        assert result.attempts <= attack.dictionary_size
+
+    def test_misses_strong_password(self):
+        attack = OfflineDictionaryAttack()
+        result = attack.run(lambda candidate: candidate == "X9$kk!!672@@pQ")
+        assert not result.succeeded
+        assert result.attempts == attack.dictionary_size
+
+    def test_custom_candidates(self):
+        attack = OfflineDictionaryAttack(candidates=["a", "b", "c"])
+        result = attack.run(lambda c: c == "b")
+        assert result.attempts == 2

@@ -1,0 +1,52 @@
+"""Online/offline guessing tests against the live server."""
+
+import pytest
+
+from repro.attacks.guessing import (
+    online_guessing_attack,
+    unthrottled_guessing_estimate,
+)
+from repro.core.templates import PasswordPolicy
+from repro.testbed import AmnesiaTestbed
+
+
+class TestOnlineGuessing:
+    def test_throttle_limits_attempts(self):
+        bed = AmnesiaTestbed(seed="guessing")
+        browser = bed.new_browser()
+        browser.signup("victim", "not-in-dictionary-x7!")
+        report = online_guessing_attack(bed, "victim", budget=100)
+        assert not report.master_password_found
+        # The default throttle allows 5 failures per minute window.
+        assert report.attempts_allowed < 20
+        assert report.attempts_rejected_by_throttle > 50
+
+    def test_weak_mp_in_dictionary_would_fall_without_throttle(self):
+        bed = AmnesiaTestbed(seed="guessing-weak")
+        browser = bed.new_browser()
+        browser.signup("victim", "monkey123")
+        # Disable the throttle to isolate what throttling protects against.
+        bed.server.throttle.max_failures = 10**9
+        report = online_guessing_attack(bed, "victim", budget=2000)
+        assert report.master_password_found
+
+
+class TestUnthrottledEstimates:
+    def test_generated_password_space_astronomical(self):
+        estimate = unthrottled_guessing_estimate(
+            float(PasswordPolicy().password_space()), "amnesia-default"
+        )
+        assert estimate.entropy_bits > 200
+        assert estimate.years_at_1e12_per_s > 1e40
+
+    def test_human_password_space_trivial(self):
+        estimate = unthrottled_guessing_estimate(10_000.0, "human-dictionary")
+        assert estimate.years_at_1e12_per_s < 1e-9
+
+    def test_token_space_matches_paper(self):
+        from repro.core.params import DEFAULT_PARAMS
+
+        estimate = unthrottled_guessing_estimate(
+            float(DEFAULT_PARAMS.token_space), "token-preimages"
+        )
+        assert estimate.space == pytest.approx(1.53e59, rel=0.01)

@@ -1,0 +1,68 @@
+"""Phishing scenarios: domain binding in derivation and autofill.
+
+Bonneau's *Resilient-to-Phishing* property asks whether a look-alike
+site can harvest a usable credential. Amnesia's request binds the
+domain (``R = H(u || d || σ)``), so even a user tricked into generating
+"for" the phishing domain hands over a password that is useless at the
+real site; the autofiller refuses look-alike domains outright.
+"""
+
+import pytest
+
+from repro.client.autofill import AutoFiller
+from repro.client.website import DummyWebsite
+from repro.crypto.randomness import SeededRandomSource
+from repro.util.errors import NotFoundError
+
+
+@pytest.fixture
+def victim(enrolled_bed):
+    bed, browser = enrolled_bed
+    real_site = DummyWebsite("paypal.example", rng=SeededRandomSource(b"real"))
+    browser.add_account("alice", real_site.domain)
+    filler = AutoFiller(browser=browser)
+    filler.register(real_site)
+    return bed, browser, filler, real_site
+
+
+class TestAutofillDomainBinding:
+    def test_lookalike_domain_gets_nothing(self, victim):
+        bed, browser, filler, real_site = victim
+        phish = DummyWebsite("paypa1.example")  # the classic '1' for 'l'
+        with pytest.raises(NotFoundError):
+            filler.login(phish)
+
+    def test_subdomain_spoof_gets_nothing(self, victim):
+        bed, browser, filler, real_site = victim
+        phish = DummyWebsite("paypal.example.evil.example")
+        with pytest.raises(NotFoundError):
+            filler.login(phish)
+
+
+class TestDerivationDomainBinding:
+    def test_password_generated_for_phish_domain_useless_at_real_site(
+        self, victim
+    ):
+        """Even if the user manually adds the phishing domain to Amnesia
+        and generates 'its' password, what the phisher captures does not
+        open the real account."""
+        bed, browser, filler, real_site = victim
+        real_account = next(
+            a for a in browser.accounts() if a["domain"] == real_site.domain
+        )
+        real_password = browser.generate_password(real_account["account_id"])[
+            "password"
+        ]
+        phish_account_id = browser.add_account("alice", "paypa1.example")
+        captured = browser.generate_password(phish_account_id)["password"]
+        assert captured != real_password
+        # The harvested credential fails against the real site.
+        from repro.util.errors import AuthenticationError
+
+        with pytest.raises(AuthenticationError):
+            real_site.login("alice", captured)
+
+    def test_real_login_still_works(self, victim):
+        bed, browser, filler, real_site = victim
+        filler.login(real_site)
+        assert real_site.successful_logins == 1

@@ -1,0 +1,44 @@
+"""AttackOutcome/attack_matrix structural tests."""
+
+from repro.attacks.report import AttackOutcome, attack_matrix
+from repro.baselines import PwdHashLikeScheme
+
+
+class TestAttackOutcome:
+    def test_compromised_by_passwords(self):
+        outcome = AttackOutcome("v", "s", passwords_recovered=1, total_passwords=3)
+        assert outcome.compromised
+
+    def test_compromised_by_master_password(self):
+        outcome = AttackOutcome(
+            "v", "s", passwords_recovered=0, total_passwords=3,
+            master_password_recovered=True,
+        )
+        assert outcome.compromised
+
+    def test_safe(self):
+        outcome = AttackOutcome("v", "s", passwords_recovered=0, total_passwords=3)
+        assert not outcome.compromised
+
+    def test_summary_row(self):
+        outcome = AttackOutcome("vec", "sch", 2, 3)
+        assert outcome.summary_row() == ("vec", "sch", "2/3", "BROKEN")
+        safe = AttackOutcome("vec", "sch", 0, 3)
+        assert safe.summary_row()[-1] == "safe"
+
+
+class TestAttackMatrix:
+    def test_cartesian_product(self):
+        schemes = [PwdHashLikeScheme(), PwdHashLikeScheme("other-mp")]
+        for scheme in schemes:
+            scheme.add_account("a", "d.com")
+
+        def fake_attack(scheme):
+            return AttackOutcome("fake", scheme.name, 0, 1)
+
+        outcomes = attack_matrix(schemes, [fake_attack, fake_attack])
+        assert len(outcomes) == 4
+        assert all(o.vector == "fake" for o in outcomes)
+
+    def test_empty_inputs(self):
+        assert attack_matrix([], []) == []

@@ -1,0 +1,74 @@
+"""Rogue-push (§IV-C) experiment tests: all four outcome quadrants."""
+
+import pytest
+
+from repro.attacks.rogue_push import run_rogue_push
+from repro.phone.app import ApprovalPolicy
+from repro.testbed import AmnesiaTestbed
+
+
+def enrolled_manual(seed: str):
+    bed = AmnesiaTestbed(seed=seed, approval=ApprovalPolicy.MANUAL)
+    browser = bed.enroll("victim", "victim-master-pw")
+    account_id = browser.add_account("victim", "bank.example.com")
+    # One legitimate generation establishes the phone's TLS channel (and
+    # mirrors a victim who actually uses the system).
+    from repro.web.http import HttpRequest
+
+    outcome = {}
+    browser.http.send(
+        HttpRequest.json_request("POST", f"/accounts/{account_id}/generate", {}),
+        lambda response: outcome.update(response=response),
+    )
+    bed.run(500)
+    bed.phone.approve(bed.phone.pending_approvals()[0]["pending_id"])
+    bed.drive_until(lambda: "response" in outcome)
+    real_password = outcome["response"].json()["password"]
+    return bed, browser, account_id, real_password
+
+
+class TestRoguePush:
+    def test_vigilant_user_leaks_nothing(self):
+        bed, browser, account_id, __ = enrolled_manual("rogue-vigilant")
+        outcome = run_rogue_push(
+            bed, "victim", account_id, naive_user=False, broken_phone_tls=True
+        )
+        assert not outcome.user_accepted
+        assert not outcome.token_observed
+        assert not outcome.succeeded
+
+    def test_naive_user_with_intact_tls_still_safe(self):
+        """The naive tap alone gives the attacker nothing: the token goes
+        to the pinned real server, which drops the unknown exchange."""
+        bed, browser, account_id, __ = enrolled_manual("rogue-naive-intact")
+        outcome = run_rogue_push(
+            bed, "victim", account_id, naive_user=True, broken_phone_tls=False
+        )
+        assert outcome.user_accepted
+        assert not outcome.succeeded
+        # The server never completed anything for the rogue exchange.
+        assert bed.server.pending.outstanding() == 0
+
+    def test_naive_user_plus_broken_tls_leaks_the_password(self):
+        """§IV-C's warning materialises only as a *composed* compromise:
+        Ks (breach) + naive accept + broken phone TLS."""
+        bed, browser, account_id, real_password = enrolled_manual(
+            "rogue-naive-broken"
+        )
+        outcome = run_rogue_push(
+            bed, "victim", account_id, naive_user=True, broken_phone_tls=True
+        )
+        assert outcome.user_accepted
+        assert outcome.token_observed
+        assert outcome.succeeded
+        assert outcome.password_recovered == real_password
+
+    def test_notification_shows_suspicious_origin(self):
+        """The UI defence: the prompt names the requesting host, which is
+        not one of the victim's machines."""
+        bed, browser, account_id, __ = enrolled_manual("rogue-origin")
+        outcome = run_rogue_push(
+            bed, "victim", account_id, naive_user=False, broken_phone_tls=False,
+            attacker_host="evil-server",
+        )
+        assert outcome.notification_origin == "evil-server"

@@ -1,0 +1,181 @@
+"""Attack-vector tests: §IV's claims, executed.
+
+These are the paper's security arguments as assertions: which designs
+break under which attacker, and which survive.
+"""
+
+import pytest
+
+from repro.attacks.breach import server_breach_attack
+from repro.attacks.eavesdrop import (
+    confirm_account_from_request,
+    https_break_attack,
+    rendezvous_eavesdrop_attack,
+)
+from repro.attacks.report import attack_matrix
+from repro.attacks.theft import client_compromise_attack, phone_theft_attack
+from repro.baselines import (
+    AmnesiaScheme,
+    FirefoxLikeScheme,
+    LastPassLikeScheme,
+    PwdHashLikeScheme,
+    TapasLikeScheme,
+)
+from repro.crypto.hashing import sha256_hex
+
+ACCOUNTS = [
+    ("alice", "mail.google.com"),
+    ("alice2", "www.facebook.com"),
+    ("bob", "www.yahoo.com"),
+]
+
+
+def with_accounts(scheme):
+    for username, domain in ACCOUNTS:
+        scheme.add_account(username, domain)
+    return scheme
+
+
+class TestServerBreach:
+    def test_lastpass_with_weak_mp_fully_broken(self):
+        scheme = with_accounts(LastPassLikeScheme(master_password="Dragon1!"))
+        outcome = server_breach_attack(scheme)
+        assert outcome.master_password_recovered
+        assert outcome.passwords_recovered == 3
+
+    def test_lastpass_with_strong_mp_survives(self):
+        scheme = with_accounts(
+            LastPassLikeScheme(master_password="kJ8#!qq-not-in-any-dictionary")
+        )
+        outcome = server_breach_attack(scheme)
+        assert not outcome.compromised
+        assert "vault-ciphertext" in outcome.secrets_learned
+
+    def test_amnesia_survives_even_with_weak_mp(self):
+        """§IV-C: Ks + a guessed MP still yields no site passwords."""
+        scheme = with_accounts(AmnesiaScheme(master_password="monkey123"))
+        outcome = server_breach_attack(scheme)
+        assert outcome.master_password_recovered  # MP itself falls...
+        assert outcome.passwords_recovered == 0  # ...but no passwords do
+
+    def test_amnesia_breach_leaks_metadata(self):
+        """§IV-C: 'the attacker would know the accounts and usernames'."""
+        scheme = with_accounts(AmnesiaScheme())
+        outcome = server_breach_attack(scheme)
+        assert "account-usernames" in outcome.secrets_learned
+        assert "account-domains" in outcome.secrets_learned
+
+    def test_firefox_has_no_server_surface(self):
+        scheme = with_accounts(FirefoxLikeScheme())
+        outcome = server_breach_attack(scheme)
+        assert not outcome.compromised
+
+
+class TestPhoneTheft:
+    def test_amnesia_phone_theft_yields_nothing(self):
+        """§IV-D: Kp alone gives the attacker no passwords."""
+        scheme = with_accounts(AmnesiaScheme())
+        outcome = phone_theft_attack(scheme)
+        assert not outcome.compromised
+        assert set(outcome.secrets_learned) == {"pid", "entry-table"}
+
+    def test_tapas_phone_theft_yields_ciphertext_only(self):
+        scheme = with_accounts(TapasLikeScheme())
+        outcome = phone_theft_attack(scheme)
+        assert not outcome.compromised
+
+
+class TestClientCompromise:
+    def test_firefox_vault_with_weak_mp_broken(self):
+        scheme = with_accounts(FirefoxLikeScheme(master_password="sunshine1"))
+        outcome = client_compromise_attack(scheme)
+        assert outcome.master_password_recovered
+        assert outcome.passwords_recovered == 3
+
+    def test_firefox_vault_with_strong_mp_survives(self):
+        scheme = with_accounts(
+            FirefoxLikeScheme(master_password="Zz!84n-no-dictionary-here")
+        )
+        outcome = client_compromise_attack(scheme)
+        assert not outcome.compromised
+
+    def test_tapas_key_without_wallet_useless(self):
+        scheme = with_accounts(TapasLikeScheme())
+        outcome = client_compromise_attack(scheme)
+        assert not outcome.compromised
+
+    def test_amnesia_stores_nothing_on_client(self):
+        """§III-A1: the user computer stores no generative variables."""
+        scheme = with_accounts(AmnesiaScheme())
+        outcome = client_compromise_attack(scheme)
+        assert not outcome.compromised
+        assert outcome.notes == "nothing stored client-side"
+
+
+class TestHttpsBreak:
+    @pytest.mark.parametrize(
+        "scheme_cls",
+        [AmnesiaScheme, LastPassLikeScheme, FirefoxLikeScheme, PwdHashLikeScheme],
+    )
+    def test_every_scheme_leaks_retrieved_passwords(self, scheme_cls):
+        """§IV-A: a broken computer<->server leg exposes P for everyone —
+        Amnesia included (the paper concedes this)."""
+        scheme = with_accounts(scheme_cls())
+        outcome = https_break_attack(scheme)
+        assert outcome.passwords_recovered == 3
+
+
+class TestRendezvousEavesdrop:
+    def test_sigma_blinds_requests(self):
+        """§IV-B: the confirmation attack fails with σ in the preimage."""
+        scheme = with_accounts(AmnesiaScheme())
+        outcome = rendezvous_eavesdrop_attack(scheme)
+        assert not outcome.compromised
+        assert "identified 0/3" in outcome.notes
+
+    def test_counterfactual_without_sigma_succeeds(self):
+        """The design justification: WITHOUT σ, H(u||d) confirms accounts."""
+        candidates = ACCOUNTS
+        # A hypothetical R built without the seed:
+        unblinded = sha256_hex(b"alice", b"mail.google.com")
+        hit = confirm_account_from_request(unblinded, candidates)
+        assert hit == ("alice", "mail.google.com")
+
+    def test_known_seed_also_confirms(self):
+        """If σ leaks (e.g. server breach + rendezvous tap), confirmation
+        works again — matching §IV's compose-two-compromises analysis."""
+        scheme = with_accounts(AmnesiaScheme())
+        seed = scheme.seed_for("alice", "mail.google.com")
+        observed = scheme.request_for("alice", "mail.google.com")
+        hit = confirm_account_from_request(observed, ACCOUNTS, with_seed=seed)
+        assert hit == ("alice", "mail.google.com")
+
+    def test_non_amnesia_schemes_have_no_hop(self):
+        outcome = rendezvous_eavesdrop_attack(with_accounts(LastPassLikeScheme()))
+        assert outcome.notes == "scheme has no rendezvous hop"
+
+
+class TestAttackMatrix:
+    def test_full_matrix_runs(self):
+        schemes = [
+            with_accounts(cls())
+            for cls in (
+                FirefoxLikeScheme,
+                LastPassLikeScheme,
+                TapasLikeScheme,
+                AmnesiaScheme,
+            )
+        ]
+        attacks = [
+            server_breach_attack,
+            phone_theft_attack,
+            client_compromise_attack,
+            https_break_attack,
+            rendezvous_eavesdrop_attack,
+        ]
+        outcomes = attack_matrix(schemes, attacks)
+        assert len(outcomes) == 20
+        amnesia_rows = [o for o in outcomes if o.scheme == "Amnesia"]
+        # Amnesia's only losing vector is broken HTTPS.
+        broken = [o.vector for o in amnesia_rows if o.compromised]
+        assert broken == ["https-break"]

@@ -1,0 +1,151 @@
+"""Baseline scheme tests: the common interface and each design's shape."""
+
+import pytest
+
+from repro.baselines import (
+    ALL_SCHEMES,
+    AmnesiaScheme,
+    FirefoxLikeScheme,
+    LastPassLikeScheme,
+    MasterPasswordLikeScheme,
+    PlainPasswordScheme,
+    PwdHashLikeScheme,
+    TapasLikeScheme,
+)
+from repro.util.errors import ConflictError, NotFoundError
+
+
+def make_all():
+    return [cls() for cls in ALL_SCHEMES]
+
+
+class TestCommonInterface:
+    @pytest.mark.parametrize("scheme_cls", ALL_SCHEMES)
+    def test_add_then_retrieve_consistent(self, scheme_cls):
+        scheme = scheme_cls()
+        provisioned = scheme.add_account("alice", "mail.example.com")
+        assert scheme.retrieve("alice", "mail.example.com") == provisioned
+
+    @pytest.mark.parametrize("scheme_cls", ALL_SCHEMES)
+    def test_duplicate_rejected(self, scheme_cls):
+        scheme = scheme_cls()
+        scheme.add_account("a", "d.com")
+        with pytest.raises(ConflictError):
+            scheme.add_account("a", "d.com")
+
+    @pytest.mark.parametrize("scheme_cls", ALL_SCHEMES)
+    def test_unmanaged_account_rejected(self, scheme_cls):
+        scheme = scheme_cls()
+        with pytest.raises(NotFoundError):
+            scheme.retrieve("ghost", "nowhere.com")
+
+    @pytest.mark.parametrize("scheme_cls", ALL_SCHEMES)
+    def test_artifacts_shape(self, scheme_cls):
+        scheme = scheme_cls()
+        scheme.add_account("a", "d.com")
+        artifacts = scheme.artifacts()
+        # Every scheme leaks the password on a broken computer<->site wire.
+        assert any(k.startswith("login:") for k in artifacts.wire_retrieval)
+
+
+class TestSchemeShapes:
+    def test_plain_reuses_passwords(self):
+        scheme = PlainPasswordScheme()
+        passwords = {scheme.add_account("u", f"site{i}.com") for i in range(8)}
+        assert len(passwords) < 8  # human reuse
+
+    def test_firefox_stores_client_side_only(self):
+        scheme = FirefoxLikeScheme()
+        scheme.add_account("a", "d.com")
+        artifacts = scheme.artifacts()
+        assert "vault" in artifacts.client_side
+        assert artifacts.server_side == {}
+        assert artifacts.phone_side == {}
+
+    def test_lastpass_stores_server_side_only(self):
+        scheme = LastPassLikeScheme()
+        scheme.add_account("a", "d.com")
+        artifacts = scheme.artifacts()
+        assert "vault" in artifacts.server_side
+        assert "auth_hash" in artifacts.server_side
+        assert artifacts.client_side == {}
+
+    def test_lastpass_generates_strong_passwords(self):
+        scheme = LastPassLikeScheme()
+        password = scheme.add_account("a", "d.com")
+        assert len(password) == 16
+        assert password != scheme.add_account("a", "e.com")
+
+    def test_tapas_splits_key_and_ciphertext(self):
+        scheme = TapasLikeScheme()
+        scheme.add_account("a", "d.com")
+        artifacts = scheme.artifacts()
+        assert "wallet_key" in artifacts.client_side
+        assert "wallet" in artifacts.phone_side
+        assert not scheme.has_master_password
+
+    def test_pwdhash_is_stateless(self):
+        scheme = PwdHashLikeScheme()
+        scheme.add_account("a", "d.com")
+        artifacts = scheme.artifacts()
+        assert artifacts.server_side == {}
+        assert artifacts.client_side == {}
+        assert artifacts.phone_side == {}
+
+    def test_pwdhash_derives_per_domain(self):
+        scheme = PwdHashLikeScheme()
+        a = scheme.add_account("u", "a.com")
+        b = scheme.add_account("u", "b.com")
+        assert a != b
+
+    def test_pwdhash_same_mp_same_passwords(self):
+        first = PwdHashLikeScheme(master_password="shared")
+        second = PwdHashLikeScheme(master_password="shared")
+        assert first.add_account("u", "d.com") == second.add_account("u", "d.com")
+
+    def test_masterpassword_rotation_via_counter(self):
+        scheme = MasterPasswordLikeScheme()
+        original = scheme.add_account("u", "d.com")
+        rotated = scheme.rotate("u", "d.com")
+        assert rotated != original
+        assert scheme.retrieve("u", "d.com") == rotated
+
+    def test_masterpassword_forgotten_counters_lose_rotations(self):
+        # The paper's usability critique of counter-based managers.
+        scheme = MasterPasswordLikeScheme()
+        original = scheme.add_account("u", "d.com")
+        scheme.rotate("u", "d.com")
+        scheme.forget_counters()
+        assert scheme.retrieve("u", "d.com") == original
+
+    def test_masterpassword_rotate_unknown_account(self):
+        with pytest.raises(NotFoundError):
+            MasterPasswordLikeScheme().rotate("u", "d.com")
+
+    def test_amnesia_splits_ks_and_kp(self):
+        scheme = AmnesiaScheme()
+        scheme.add_account("a", "d.com")
+        artifacts = scheme.artifacts()
+        assert "oid" in artifacts.server_side
+        assert "entries" in artifacts.server_side
+        assert "pid" in artifacts.phone_side
+        assert "entry_table" in artifacts.phone_side
+
+    def test_amnesia_password_properties(self):
+        scheme = AmnesiaScheme()
+        password = scheme.add_account("a", "d.com")
+        assert len(password) == 32
+
+    def test_amnesia_seed_rotation_matches_server_flow(self):
+        scheme = AmnesiaScheme()
+        scheme.add_account("a", "d.com")
+        seed = scheme.seed_for("a", "d.com")
+        assert len(seed) == 32
+
+    def test_amnesia_request_blinded_by_seed(self):
+        scheme = AmnesiaScheme()
+        scheme.add_account("a", "d.com")
+        import hashlib
+
+        request = scheme.request_for("a", "d.com")
+        assert request != hashlib.sha256(b"ad.com").hexdigest()

@@ -1,0 +1,57 @@
+"""Vault encryption tests."""
+
+import pytest
+
+from repro.baselines.vault import derive_vault_key, open_vault, seal_vault
+from repro.crypto.randomness import SeededRandomSource
+from repro.util.errors import CryptoError
+
+
+@pytest.fixture
+def entries():
+    return {
+        ("alice", "mail.google.com"): "pw-one",
+        ("bob", "bank.example"): "pw-two",
+    }
+
+
+class TestVault:
+    def test_roundtrip(self, entries, rng):
+        key = derive_vault_key("master", b"salt-16-bytes!!!")
+        blob = seal_vault(key, entries, rng)
+        assert open_vault(key, blob) == entries
+
+    def test_wrong_key_fails(self, entries, rng):
+        key = derive_vault_key("master", b"salt-16-bytes!!!")
+        blob = seal_vault(key, entries, rng)
+        wrong = derive_vault_key("not-master", b"salt-16-bytes!!!")
+        with pytest.raises(CryptoError):
+            open_vault(wrong, blob)
+
+    def test_salt_separates_keys(self):
+        assert derive_vault_key("mp", b"salt-one-bytes!!") != derive_vault_key(
+            "mp", b"salt-two-bytes!!"
+        )
+
+    def test_tamper_detected(self, entries, rng):
+        key = derive_vault_key("master", b"salt-16-bytes!!!")
+        blob = bytearray(seal_vault(key, entries, rng))
+        blob[20] ^= 1
+        with pytest.raises(CryptoError):
+            open_vault(key, bytes(blob))
+
+    def test_nonce_fresh_per_seal(self, entries):
+        key = derive_vault_key("master", b"salt-16-bytes!!!")
+        rng = SeededRandomSource(b"nonces")
+        first = seal_vault(key, entries, rng)
+        second = seal_vault(key, entries, rng)
+        assert first[:12] != second[:12]
+
+    def test_short_blob_rejected(self):
+        key = derive_vault_key("m", b"salt-16-bytes!!!")
+        with pytest.raises(CryptoError):
+            open_vault(key, b"tiny")
+
+    def test_empty_vault(self, rng):
+        key = derive_vault_key("m", b"salt-16-bytes!!!")
+        assert open_vault(key, seal_vault(key, {}, rng)) == {}

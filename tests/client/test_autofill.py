@@ -1,0 +1,48 @@
+"""Auto-filler tests (the §VI-A physical-observation hardening)."""
+
+import pytest
+
+from repro.client.autofill import AutoFiller
+from repro.client.website import DummyWebsite
+from repro.crypto.randomness import SeededRandomSource
+from repro.util.errors import NotFoundError
+
+
+@pytest.fixture
+def filler_setup(enrolled_bed):
+    bed, browser = enrolled_bed
+    site = DummyWebsite("autofill.example", rng=SeededRandomSource(b"af"))
+    browser.add_account("alice", site.domain)
+    return bed, AutoFiller(browser=browser), site
+
+
+class TestAutoFiller:
+    def test_register_and_login_without_display(self, filler_setup):
+        bed, filler, site = filler_setup
+        filler.register(site)
+        filler.login(site)
+        assert site.successful_logins == 1
+        assert filler.shoulder_surfing_surface() == 0
+        assert [e.action for e in filler.events] == ["register", "login"]
+
+    def test_rotate_and_change(self, filler_setup):
+        bed, filler, site = filler_setup
+        filler.register(site)
+        filler.rotate_and_change(site)
+        filler.login(site)  # regenerates the post-rotation password
+        assert site.successful_logins >= 2
+        assert filler.shoulder_surfing_surface() == 0
+
+    def test_unmanaged_domain_rejected(self, filler_setup):
+        bed, filler, __ = filler_setup
+        stranger = DummyWebsite("unmanaged.example")
+        with pytest.raises(NotFoundError):
+            filler.register(stranger)
+
+    def test_events_carry_no_password_material(self, filler_setup):
+        bed, filler, site = filler_setup
+        filler.register(site)
+        event = filler.events[0]
+        assert not hasattr(event, "password")
+        assert event.domain == site.domain
+        assert event.username == "alice"

@@ -1,0 +1,61 @@
+"""User behaviour model tests."""
+
+import pytest
+
+from repro.client.user import UserModel
+from repro.util.errors import ValidationError
+
+
+class TestUserModel:
+    def test_password_stable_per_domain(self):
+        user = UserModel("u", "mp", seed=1)
+        assert user.password_for("a.com") == user.password_for("a.com")
+
+    def test_reuse_rate_one_reuses_everywhere(self):
+        user = UserModel("u", "mp", reuse_rate=1.0, seed=1)
+        passwords = {user.password_for(f"site{i}.com") for i in range(10)}
+        assert len(passwords) == 1
+
+    def test_reuse_rate_zero_unique_everywhere(self):
+        user = UserModel("u", "mp", reuse_rate=0.0, seed=1)
+        domains = [f"site{i}.com" for i in range(10)]
+        for domain in domains:
+            user.password_for(domain)
+        # invent_password can collide by chance, but mostly distinct.
+        assert len(user.distinct_passwords()) >= 7
+
+    def test_typical_reuse_shares_passwords(self):
+        user = UserModel("u", "mp", reuse_rate=0.7, seed=2)
+        for i in range(20):
+            user.password_for(f"site{i}.com")
+        assert len(user.distinct_passwords()) < 20
+
+    def test_deterministic_by_seed(self):
+        a = UserModel("u", "mp", seed=3)
+        b = UserModel("u", "mp", seed=3)
+        assert a.password_for("x.com") == b.password_for("x.com")
+
+    def test_techniques_produce_human_shapes(self):
+        for technique in ("personal_info", "mnemonic", "other"):
+            user = UserModel("u", "mp", technique=technique, seed=4)
+            password = user.invent_password()
+            assert 4 <= len(password) <= 20
+
+    def test_personal_info_contains_name_or_year(self):
+        user = UserModel("u", "mp", technique="personal_info", seed=5)
+        password = user.invent_password()
+        assert any(c.isdigit() for c in password)
+
+    def test_invalid_technique_rejected(self):
+        with pytest.raises(ValidationError):
+            UserModel("u", "mp", technique="quantum")
+
+    def test_invalid_reuse_rate_rejected(self):
+        with pytest.raises(ValidationError):
+            UserModel("u", "mp", reuse_rate=1.5)
+
+    def test_sites_tracked(self):
+        user = UserModel("u", "mp", seed=6)
+        user.password_for("b.com")
+        user.password_for("a.com")
+        assert user.sites() == ["a.com", "b.com"]

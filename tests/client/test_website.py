@@ -1,0 +1,86 @@
+"""Dummy website tests."""
+
+import pytest
+
+from repro.client.website import DummyWebsite, SitePolicy
+from repro.crypto.randomness import SeededRandomSource
+from repro.util.errors import AuthenticationError, ConflictError, ValidationError
+
+
+@pytest.fixture
+def site():
+    return DummyWebsite("dummy.example.com", rng=SeededRandomSource(b"site"))
+
+
+class TestRegistration:
+    def test_register_and_login(self, site):
+        site.register("alice", "a-strong-password")
+        site.login("alice", "a-strong-password")
+        assert site.successful_logins == 1
+
+    def test_duplicate_username(self, site):
+        site.register("alice", "a-strong-password")
+        with pytest.raises(ConflictError):
+            site.register("alice", "other-password")
+
+    def test_has_user(self, site):
+        assert not site.has_user("alice")
+        site.register("alice", "password123")
+        assert site.has_user("alice")
+
+
+class TestLogin:
+    def test_wrong_password(self, site):
+        site.register("alice", "correct-password")
+        with pytest.raises(AuthenticationError):
+            site.login("alice", "wrong-password")
+
+    def test_unknown_user(self, site):
+        with pytest.raises(AuthenticationError):
+            site.login("ghost", "anything")
+
+    def test_attempt_counting(self, site):
+        site.register("alice", "correct-password")
+        with pytest.raises(AuthenticationError):
+            site.login("alice", "wrong")
+        site.login("alice", "correct-password")
+        assert site.login_attempts == 2
+        assert site.successful_logins == 1
+
+
+class TestPasswordChange:
+    def test_change_requires_old_password(self, site):
+        site.register("alice", "old-password1")
+        with pytest.raises(AuthenticationError):
+            site.change_password("alice", "wrong-old", "new-password1")
+
+    def test_change_rotates(self, site):
+        site.register("alice", "old-password1")
+        site.change_password("alice", "old-password1", "new-password1")
+        site.login("alice", "new-password1")
+        with pytest.raises(AuthenticationError):
+            site.login("alice", "old-password1")
+
+
+class TestPolicy:
+    def test_min_length(self):
+        site = DummyWebsite("s", policy=SitePolicy(min_length=10))
+        with pytest.raises(ValidationError):
+            site.register("a", "short")
+
+    def test_no_special_policy(self):
+        site = DummyWebsite("s", policy=SitePolicy(allow_special=False))
+        with pytest.raises(ValidationError):
+            site.register("a", "has!special")
+        site.register("a", "alphanum123")
+
+    def test_require_digit(self):
+        site = DummyWebsite("s", policy=SitePolicy(require_digit=True))
+        with pytest.raises(ValidationError):
+            site.register("a", "nodigitshere")
+        site.register("a", "hasdigit1")
+
+    def test_max_length(self):
+        site = DummyWebsite("s", policy=SitePolicy(max_length=12))
+        with pytest.raises(ValidationError):
+            site.register("a", "x" * 13)

@@ -1,0 +1,73 @@
+"""Cloud provider tests: accounts, blobs, auth."""
+
+import pytest
+
+from repro.testbed import AmnesiaTestbed
+from repro.util.errors import NotFoundError, ValidationError
+
+
+@pytest.fixture
+def cloud_setup():
+    bed = AmnesiaTestbed(seed="cloud-tests")
+    bed.phone.install()
+    client = bed.cloud_client_for_phone()
+    return bed, client
+
+
+class TestBlobStore:
+    def test_put_get_roundtrip(self, cloud_setup):
+        bed, client = cloud_setup
+        client.put("backup", b"\x00\x01\x02binary")
+        assert client.get("backup") == b"\x00\x01\x02binary"
+
+    def test_overwrite(self, cloud_setup):
+        bed, client = cloud_setup
+        client.put("x", b"one")
+        client.put("x", b"two")
+        assert client.get("x") == b"two"
+
+    def test_missing_blob(self, cloud_setup):
+        bed, client = cloud_setup
+        with pytest.raises(NotFoundError):
+            client.get("ghost")
+
+    def test_delete(self, cloud_setup):
+        bed, client = cloud_setup
+        client.put("x", b"data")
+        client.delete("x")
+        with pytest.raises(NotFoundError):
+            client.get("x")
+
+    def test_list(self, cloud_setup):
+        bed, client = cloud_setup
+        client.put("b", b"2")
+        client.put("a", b"1")
+        assert client.list() == ["a", "b"]
+
+    def test_large_blob(self, cloud_setup):
+        bed, client = cloud_setup
+        blob = bytes(range(256)) * 700  # ~180 KB, like a real Kp backup
+        client.put("big", blob)
+        assert client.get("big") == blob
+
+
+class TestAuth:
+    def test_bad_token_rejected(self, cloud_setup):
+        bed, client = cloud_setup
+        bad = bed.phone.cloud_client("cloud", bed.cloud.certificate, "bogus-token")
+        with pytest.raises(ValidationError):
+            bad.put("x", b"data")
+
+    def test_accounts_isolated(self, cloud_setup):
+        bed, client = cloud_setup
+        client.put("mine", b"secret")
+        other_token = bed.cloud.create_account("other-user")
+        other = bed.phone.cloud_client("cloud", bed.cloud.certificate, other_token)
+        with pytest.raises(NotFoundError):
+            other.get("mine")
+
+    def test_duplicate_account_rejected(self, cloud_setup):
+        bed, client = cloud_setup
+        bed.cloud.create_account("dup")
+        with pytest.raises(ValidationError):
+            bed.cloud.create_account("dup")

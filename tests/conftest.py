@@ -1,0 +1,41 @@
+"""Shared fixtures for the Amnesia reproduction test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crypto.randomness import SeededRandomSource
+from repro.phone.app import ApprovalPolicy
+from repro.sim.kernel import Simulator
+from repro.sim.random import RngRegistry
+from repro.testbed import AmnesiaTestbed
+
+
+@pytest.fixture
+def rng() -> SeededRandomSource:
+    """A deterministic random source, fresh per test."""
+    return SeededRandomSource(b"test-fixture")
+
+
+@pytest.fixture
+def kernel() -> Simulator:
+    return Simulator()
+
+
+@pytest.fixture
+def rngs() -> RngRegistry:
+    return RngRegistry("test-registry")
+
+
+@pytest.fixture
+def bed() -> AmnesiaTestbed:
+    """A fast-profile testbed with auto-approval."""
+    return AmnesiaTestbed(seed="pytest", approval=ApprovalPolicy.AUTO)
+
+
+@pytest.fixture
+def enrolled_bed() -> tuple[AmnesiaTestbed, object]:
+    """A testbed with alice fully enrolled; returns (bed, browser)."""
+    testbed = AmnesiaTestbed(seed="pytest-enrolled")
+    browser = testbed.enroll("alice", "master-password-1")
+    return testbed, browser

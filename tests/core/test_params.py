@@ -1,0 +1,58 @@
+"""Protocol parameter tests: the paper's constants and constraints."""
+
+import pytest
+
+from repro.core.params import DEFAULT_PARAMS, ProtocolParams
+from repro.util.errors import ValidationError
+
+
+class TestDefaults:
+    def test_paper_constants(self):
+        assert DEFAULT_PARAMS.entry_table_size == 5000
+        assert DEFAULT_PARAMS.entry_bytes == 32  # 256 bits
+        assert DEFAULT_PARAMS.segment_hex_length == 4
+        assert DEFAULT_PARAMS.oid_bytes == 64  # 512 bits
+        assert DEFAULT_PARAMS.pid_bytes == 64
+        assert DEFAULT_PARAMS.seed_bytes == 32
+
+    def test_sixteen_token_segments(self):
+        assert DEFAULT_PARAMS.token_segments == 16
+
+    def test_thirty_two_password_segments(self):
+        assert DEFAULT_PARAMS.password_segments == 32
+
+    def test_token_space_is_5000_pow_16(self):
+        # §III-B3: "there are 5000^16 or 1.53 x 10^59 unique T".
+        assert DEFAULT_PARAMS.token_space == 5000**16
+        assert DEFAULT_PARAMS.token_space == pytest.approx(1.53e59, rel=0.01)
+
+
+class TestConstraints:
+    def test_segment_must_cover_table(self):
+        # 16^l >= N: a 4-hex segment covers up to 65536 entries.
+        ProtocolParams(entry_table_size=65536)
+        with pytest.raises(ValidationError, match="cannot cover"):
+            ProtocolParams(entry_table_size=65537)
+
+    def test_segment_length_must_divide_64(self):
+        for good in (1, 2, 4, 8, 16):
+            ProtocolParams(segment_hex_length=good, entry_table_size=16)
+        with pytest.raises(ValidationError):
+            ProtocolParams(segment_hex_length=3)
+
+    def test_small_table_with_short_segment(self):
+        params = ProtocolParams(entry_table_size=16, segment_hex_length=1)
+        assert params.token_segments == 64
+        assert params.token_space == 16**64
+
+    def test_nonpositive_table_rejected(self):
+        with pytest.raises(ValidationError):
+            ProtocolParams(entry_table_size=0)
+
+    def test_tiny_byte_sizes_rejected(self):
+        with pytest.raises(ValidationError):
+            ProtocolParams(seed_bytes=4)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            DEFAULT_PARAMS.entry_table_size = 10

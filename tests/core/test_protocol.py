@@ -1,0 +1,195 @@
+"""Core derivation tests: R, T (Algorithm 1), p, P — §III-B verbatim."""
+
+import hashlib
+
+import pytest
+
+from repro.core.params import DEFAULT_PARAMS, ProtocolParams
+from repro.core.protocol import (
+    generate_password,
+    generate_request,
+    generate_token,
+    intermediate_value,
+    render_password,
+    token_indices,
+)
+from repro.core.secrets import EntryTable, PhoneSecret
+from repro.core.templates import PasswordPolicy
+from repro.crypto.randomness import SeededRandomSource
+from repro.util.errors import ValidationError
+
+
+@pytest.fixture
+def small_params():
+    return ProtocolParams(entry_table_size=16)
+
+
+@pytest.fixture
+def phone_secret(rng):
+    return PhoneSecret.generate(rng)
+
+
+class TestGenerateRequest:
+    def test_is_sha256_of_concatenation(self):
+        seed = b"\x01" * 32
+        expected = hashlib.sha256(b"alice" + b"mail.google.com" + seed).hexdigest()
+        assert generate_request("alice", "mail.google.com", seed) == expected
+
+    def test_64_hex_digits(self):
+        assert len(generate_request("u", "d", b"s" * 32)) == 64
+
+    def test_seed_blinds_request(self):
+        # §III-B2: without σ an eavesdropper could verify H(u||d).
+        with_seed = generate_request("u", "d", b"\x01" * 32)
+        assert with_seed != hashlib.sha256(b"ud").hexdigest()
+
+    def test_distinct_per_account(self):
+        seed = b"s" * 32
+        assert generate_request("u1", "d", seed) != generate_request("u2", "d", seed)
+        assert generate_request("u", "d1", seed) != generate_request("u", "d2", seed)
+
+    def test_distinct_per_seed(self):
+        assert generate_request("u", "d", b"\x01" * 32) != generate_request(
+            "u", "d", b"\x02" * 32
+        )
+
+    def test_rejects_empty_inputs(self):
+        with pytest.raises(ValidationError):
+            generate_request("", "d", b"s" * 32)
+        with pytest.raises(ValidationError):
+            generate_request("u", "", b"s" * 32)
+        with pytest.raises(ValidationError):
+            generate_request("u", "d", b"")
+
+
+class TestTokenIndices:
+    def test_sixteen_indices(self):
+        indices = token_indices("0" * 64)
+        assert len(indices) == 16
+
+    def test_modulo_reduction(self):
+        # Segment "ffff" = 65535; 65535 mod 5000 = 535.
+        request = "ffff" + "0000" * 15
+        indices = token_indices(request)
+        assert indices[0] == 535
+        assert indices[1:] == [0] * 15
+
+    def test_segmentation_order(self):
+        # s_i = R[4i : 4i+4] in order.
+        request = "".join(f"{i:04x}" for i in range(16))
+        assert token_indices(request) == list(range(16))
+
+    def test_bounds(self):
+        request = generate_request("u", "d", b"s" * 32)
+        assert all(0 <= i < 5000 for i in token_indices(request))
+
+    def test_custom_table_size(self, small_params):
+        request = "ffff" + "0000" * 15
+        assert token_indices(request, small_params)[0] == 65535 % 16
+
+    def test_rejects_wrong_length(self):
+        with pytest.raises(ValidationError):
+            token_indices("abcd")
+
+    def test_rejects_non_hex(self):
+        with pytest.raises(ValidationError):
+            token_indices("z" * 64)
+
+
+class TestGenerateToken:
+    def test_matches_manual_algorithm_1(self, phone_secret):
+        request = generate_request("alice", "mail.google.com", b"\x07" * 32)
+        # Manual: split, index, concatenate, hash.
+        segments = [request[i : i + 4] for i in range(0, 64, 4)]
+        concatenated = b"".join(
+            phone_secret.entry_table[int(s, 16) % 5000] for s in segments
+        )
+        expected = hashlib.sha256(concatenated).hexdigest()
+        assert generate_token(request, phone_secret.entry_table) == expected
+
+    def test_deterministic(self, phone_secret):
+        request = "ab" * 32
+        assert generate_token(request, phone_secret.entry_table) == generate_token(
+            request, phone_secret.entry_table
+        )
+
+    def test_different_tables_different_tokens(self):
+        table_a = PhoneSecret.generate(SeededRandomSource(b"a")).entry_table
+        table_b = PhoneSecret.generate(SeededRandomSource(b"b")).entry_table
+        request = "cd" * 32
+        assert generate_token(request, table_a) != generate_token(request, table_b)
+
+    def test_64_hex_output(self, phone_secret):
+        assert len(generate_token("0" * 64, phone_secret.entry_table)) == 64
+
+
+class TestIntermediateValue:
+    def test_is_sha512_of_raw_concatenation(self):
+        token_hex = "ab" * 32
+        oid = b"\x02" * 64
+        seed = b"\x03" * 32
+        expected = hashlib.sha512(bytes.fromhex(token_hex) + oid + seed).hexdigest()
+        assert intermediate_value(token_hex, oid, seed) == expected
+
+    def test_128_hex_output(self):
+        assert len(intermediate_value("0" * 64, b"o" * 64, b"s" * 32)) == 128
+
+    def test_rejects_bad_token(self):
+        with pytest.raises(ValidationError):
+            intermediate_value("short", b"o" * 64, b"s" * 32)
+        with pytest.raises(ValidationError):
+            intermediate_value("0" * 64, b"", b"s" * 32)
+
+
+class TestEndToEnd:
+    def test_full_pipeline_composition(self, phone_secret):
+        seed = b"\x09" * 32
+        oid = b"\x0a" * 64
+        request = generate_request("alice", "example.com", seed)
+        token = generate_token(request, phone_secret.entry_table)
+        intermediate = intermediate_value(token, oid, seed)
+        expected = render_password(intermediate)
+        assert (
+            generate_password("alice", "example.com", seed, oid,
+                              phone_secret.entry_table)
+            == expected
+        )
+
+    def test_default_length_32(self, phone_secret):
+        password = generate_password(
+            "u", "d", b"s" * 32, b"o" * 64, phone_secret.entry_table
+        )
+        assert len(password) == 32
+
+    def test_policy_applied(self, phone_secret):
+        policy = PasswordPolicy.from_classes(length=12, special=False)
+        password = generate_password(
+            "u", "d", b"s" * 32, b"o" * 64, phone_secret.entry_table, policy
+        )
+        assert len(password) == 12
+        assert all(c.isalnum() for c in password)
+
+    def test_seed_rotation_changes_password(self, phone_secret):
+        kwargs = dict(
+            username="u", domain="d", oid=b"o" * 64,
+            entry_table=phone_secret.entry_table,
+        )
+        first = generate_password(seed=b"\x01" * 32, **kwargs)
+        second = generate_password(seed=b"\x02" * 32, **kwargs)
+        assert first != second
+
+    def test_oid_isolates_users(self, phone_secret):
+        kwargs = dict(
+            username="u", domain="d", seed=b"s" * 32,
+            entry_table=phone_secret.entry_table,
+        )
+        assert generate_password(oid=b"\x01" * 64, **kwargs) != generate_password(
+            oid=b"\x02" * 64, **kwargs
+        )
+
+    def test_small_table_params_work(self, small_params, rng):
+        secret = PhoneSecret.generate(rng, small_params)
+        password = generate_password(
+            "u", "d", b"s" * 32, b"o" * 64, secret.entry_table
+        )
+        assert len(password) == 32

@@ -1,0 +1,82 @@
+"""Backup payload tests (§III-C)."""
+
+import pytest
+
+from repro.core.params import ProtocolParams
+from repro.core.recovery import BackupPayload, decode_backup, encode_backup
+from repro.core.secrets import PhoneSecret
+from repro.crypto.randomness import SeededRandomSource
+from repro.util.errors import RecoveryError
+
+
+@pytest.fixture
+def secret(rng):
+    return PhoneSecret.generate(rng)
+
+
+class TestPlainBackup:
+    def test_roundtrip(self, secret):
+        payload = decode_backup(encode_backup(secret))
+        assert payload.pid == secret.pid
+        assert payload.entries == secret.entry_table.entries()
+
+    def test_to_phone_secret(self, secret):
+        restored = decode_backup(encode_backup(secret)).to_phone_secret()
+        assert restored.pid == secret.pid
+        assert restored.entry_table == secret.entry_table
+
+    def test_rejects_garbage(self):
+        with pytest.raises(RecoveryError):
+            decode_backup(b"not a backup")
+
+    def test_rejects_truncated_body(self, secret):
+        blob = encode_backup(secret)
+        with pytest.raises(RecoveryError):
+            decode_backup(blob[:100])
+
+    def test_rejects_unknown_version(self, secret):
+        blob = bytearray(encode_backup(secret))
+        blob[4] = 99
+        with pytest.raises(RecoveryError, match="version"):
+            decode_backup(bytes(blob))
+
+    def test_small_params_roundtrip(self):
+        params = ProtocolParams(entry_table_size=8)
+        secret = PhoneSecret.generate(SeededRandomSource(b"small"), params)
+        payload = decode_backup(encode_backup(secret))
+        assert payload.to_phone_secret(params).entry_table == secret.entry_table
+
+
+class TestEncryptedBackup:
+    def test_roundtrip_with_passphrase(self, secret, rng):
+        blob = encode_backup(secret, passphrase="hunter2", rng=rng)
+        payload = decode_backup(blob, passphrase="hunter2")
+        assert payload.pid == secret.pid
+
+    def test_wrong_passphrase_rejected(self, secret, rng):
+        blob = encode_backup(secret, passphrase="right", rng=rng)
+        with pytest.raises(RecoveryError, match="decryption"):
+            decode_backup(blob, passphrase="wrong")
+
+    def test_missing_passphrase_rejected(self, secret, rng):
+        blob = encode_backup(secret, passphrase="right", rng=rng)
+        with pytest.raises(RecoveryError, match="passphrase"):
+            decode_backup(blob)
+
+    def test_encrypted_blob_hides_pid(self, secret, rng):
+        blob = encode_backup(secret, passphrase="right", rng=rng)
+        assert secret.pid not in blob
+
+    def test_plain_blob_contains_pid(self, secret):
+        # The paper's trust model: the cloud provider sees Kp.
+        assert secret.pid in encode_backup(secret)
+
+    def test_requires_rng(self, secret):
+        with pytest.raises(RecoveryError, match="random source"):
+            encode_backup(secret, passphrase="p")
+
+    def test_tampered_ciphertext_rejected(self, secret, rng):
+        blob = bytearray(encode_backup(secret, passphrase="p", rng=rng))
+        blob[-1] ^= 1
+        with pytest.raises(RecoveryError):
+            decode_backup(bytes(blob), passphrase="p")

@@ -1,0 +1,88 @@
+"""CAPTCHA pairing tests (§III-B1)."""
+
+import pytest
+
+from repro.core.registration import CaptchaRegistrar
+from repro.util.errors import AuthenticationError, ValidationError
+
+
+@pytest.fixture
+def registrar(rng):
+    return CaptchaRegistrar(rng)
+
+
+class TestIssue:
+    def test_code_shape(self, registrar):
+        challenge = registrar.issue("alice", now_ms=0)
+        assert len(challenge.code) == 6
+        assert challenge.login == "alice"
+        assert challenge.expires_at_ms > challenge.issued_at_ms
+
+    def test_no_lookalike_characters(self, registrar):
+        for __ in range(20):
+            code = registrar.issue("alice", now_ms=0).code
+            assert not set(code) & set("0O1I")
+
+    def test_reissue_replaces(self, registrar):
+        first = registrar.issue("alice", now_ms=0)
+        second = registrar.issue("alice", now_ms=1)
+        with pytest.raises(AuthenticationError):
+            registrar.verify("alice", first.code, now_ms=2)
+        # The *second* code was consumed by the failed attempt above
+        # (single-use on failure), so a fresh issue is needed.
+        third = registrar.issue("alice", now_ms=3)
+        registrar.verify("alice", third.code, now_ms=4)
+
+    def test_empty_login_rejected(self, registrar):
+        with pytest.raises(ValidationError):
+            registrar.issue("", now_ms=0)
+
+
+class TestVerify:
+    def test_correct_code_passes_once(self, registrar):
+        challenge = registrar.issue("alice", now_ms=0)
+        registrar.verify("alice", challenge.code, now_ms=10)
+        with pytest.raises(AuthenticationError):  # single use
+            registrar.verify("alice", challenge.code, now_ms=11)
+
+    def test_wrong_code_rejected_and_invalidates(self, registrar):
+        challenge = registrar.issue("alice", now_ms=0)
+        with pytest.raises(AuthenticationError):
+            registrar.verify("alice", "WRONG1", now_ms=1)
+        # Even the right code is now dead — no brute forcing the short code.
+        with pytest.raises(AuthenticationError):
+            registrar.verify("alice", challenge.code, now_ms=2)
+
+    def test_expired_code_rejected(self, registrar):
+        challenge = registrar.issue("alice", now_ms=0)
+        with pytest.raises(AuthenticationError, match="expired"):
+            registrar.verify("alice", challenge.code, now_ms=5 * 60 * 1000 + 1)
+
+    def test_unknown_login_rejected(self, registrar):
+        with pytest.raises(AuthenticationError):
+            registrar.verify("ghost", "ABCDEF", now_ms=0)
+
+    def test_per_login_isolation(self, registrar):
+        alice = registrar.issue("alice", now_ms=0)
+        bob = registrar.issue("bob", now_ms=0)
+        registrar.verify("alice", alice.code, now_ms=1)
+        registrar.verify("bob", bob.code, now_ms=1)
+
+
+class TestConfiguration:
+    def test_code_length_configurable(self, rng):
+        registrar = CaptchaRegistrar(rng, code_length=8)
+        assert len(registrar.issue("a", 0).code) == 8
+
+    def test_short_codes_rejected(self, rng):
+        with pytest.raises(ValidationError):
+            CaptchaRegistrar(rng, code_length=3)
+
+    def test_ttl_validated(self, rng):
+        with pytest.raises(ValidationError):
+            CaptchaRegistrar(rng, ttl_ms=0)
+
+    def test_outstanding(self, registrar):
+        assert registrar.outstanding("alice") is None
+        challenge = registrar.issue("alice", 0)
+        assert registrar.outstanding("alice") is challenge

@@ -1,0 +1,89 @@
+"""Secret material tests: entry table, ids, Kp."""
+
+import pytest
+
+from repro.core.params import DEFAULT_PARAMS, ProtocolParams
+from repro.core.secrets import (
+    EntryTable,
+    PhoneSecret,
+    generate_entry_table,
+    generate_oid,
+    generate_pid,
+    generate_seed,
+)
+from repro.crypto.randomness import SeededRandomSource
+from repro.util.errors import ValidationError
+
+
+class TestEntryTable:
+    def test_generate_has_5000_entries(self, rng):
+        table = EntryTable.generate(rng)
+        assert len(table) == 5000
+
+    def test_entries_are_32_bytes(self, rng):
+        table = EntryTable.generate(rng)
+        assert all(len(table[i]) == 32 for i in range(0, 5000, 500))
+
+    def test_entries_distinct(self, rng):
+        table = EntryTable.generate(rng)
+        assert len({table[i] for i in range(5000)}) == 5000
+
+    def test_size_enforced(self):
+        with pytest.raises(ValidationError):
+            EntryTable([b"\x00" * 32] * 10)  # default params want 5000
+
+    def test_entry_size_enforced(self):
+        params = ProtocolParams(entry_table_size=2)
+        with pytest.raises(ValidationError):
+            EntryTable([b"short", b"short"], params)
+
+    def test_entries_returns_copy(self, rng):
+        params = ProtocolParams(entry_table_size=2)
+        table = EntryTable.generate(SeededRandomSource(b"t"), params)
+        copy = table.entries()
+        copy[0] = b"\xff" * 32
+        assert table[0] != b"\xff" * 32
+
+    def test_equality(self):
+        params = ProtocolParams(entry_table_size=2)
+        entries = [b"\x01" * 32, b"\x02" * 32]
+        assert EntryTable(entries, params) == EntryTable(list(entries), params)
+        assert EntryTable(entries, params) != EntryTable(
+            [b"\x01" * 32, b"\x03" * 32], params
+        )
+
+
+class TestPhoneSecret:
+    def test_generate_shapes(self, rng):
+        secret = PhoneSecret.generate(rng)
+        assert len(secret.pid) == 64  # 512 bits
+        assert len(secret.entry_table) == 5000
+
+    def test_pid_size_enforced(self, rng):
+        table = EntryTable.generate(rng)
+        with pytest.raises(ValidationError):
+            PhoneSecret(pid=b"short", entry_table=table)
+
+    def test_fresh_install_fresh_secret(self):
+        a = PhoneSecret.generate(SeededRandomSource(b"install-1"))
+        b = PhoneSecret.generate(SeededRandomSource(b"install-2"))
+        assert a.pid != b.pid
+        assert a.entry_table != b.entry_table
+
+
+class TestGenerators:
+    def test_sizes(self, rng):
+        assert len(generate_oid(rng)) == 64
+        assert len(generate_pid(rng)) == 64
+        assert len(generate_seed(rng)) == 32
+        assert len(generate_entry_table(rng)) == 5000
+
+    def test_deterministic_under_seeded_source(self):
+        assert generate_oid(SeededRandomSource(b"x")) == generate_oid(
+            SeededRandomSource(b"x")
+        )
+
+    def test_custom_params(self, rng):
+        params = ProtocolParams(entry_table_size=100, seed_bytes=16)
+        assert len(generate_seed(rng, params)) == 16
+        assert len(generate_entry_table(rng, params)) == 100

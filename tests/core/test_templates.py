@@ -1,0 +1,122 @@
+"""Template function and policy tests (§III-B4, §IV-E)."""
+
+import pytest
+
+from repro.core.templates import (
+    DEFAULT_CHARACTER_TABLE,
+    DIGITS,
+    LOWERCASE,
+    SPECIAL,
+    UPPERCASE,
+    CharacterTable,
+    PasswordPolicy,
+)
+from repro.util.errors import ValidationError
+
+
+class TestCharacterTable:
+    def test_default_size_is_94(self):
+        # §III-B4: "The size Nc of the character table set Tc is 94".
+        assert len(DEFAULT_CHARACTER_TABLE) == 94
+
+    def test_class_sizes(self):
+        assert len(LOWERCASE) == 26
+        assert len(UPPERCASE) == 26
+        assert len(DIGITS) == 10
+        assert len(SPECIAL) == 32
+
+    def test_default_covers_all_classes(self):
+        table = set(DEFAULT_CHARACTER_TABLE)
+        assert set(LOWERCASE) <= table
+        assert set(UPPERCASE) <= table
+        assert set(DIGITS) <= table
+        assert set(SPECIAL) <= table
+
+    def test_no_space_no_control(self):
+        assert " " not in DEFAULT_CHARACTER_TABLE
+        assert all(33 <= ord(c) <= 126 for c in DEFAULT_CHARACTER_TABLE)
+
+    def test_lookup_modulo(self):
+        table = CharacterTable("abc")
+        assert table.lookup(0) == "a"
+        assert table.lookup(3) == "a"
+        assert table.lookup(5) == "c"
+
+    def test_lookup_rejects_negative(self):
+        with pytest.raises(ValidationError):
+            CharacterTable("abc").lookup(-1)
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ValidationError):
+            CharacterTable("aa")
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValidationError):
+            CharacterTable("")
+
+
+class TestPasswordPolicy:
+    def test_default_policy(self):
+        policy = PasswordPolicy()
+        assert policy.length == 32
+        assert policy.table.size == 94
+
+    def test_password_space_is_94_pow_32(self):
+        # §IV-E: "the password space is 94^32 or 1.38 x 10^63".
+        assert PasswordPolicy().password_space() == 94**32
+        assert float(PasswordPolicy().password_space()) == pytest.approx(
+            1.38e63, rel=0.01
+        )
+
+    def test_entropy_bits(self):
+        assert PasswordPolicy().entropy_bits() == pytest.approx(209.75, abs=0.01)
+
+    def test_from_classes_excluding_special(self):
+        policy = PasswordPolicy.from_classes(special=False)
+        assert set(policy.charset) == set(LOWERCASE + UPPERCASE + DIGITS)
+
+    def test_from_classes_all_disabled_rejected(self):
+        with pytest.raises(ValidationError):
+            PasswordPolicy.from_classes(
+                lowercase=False, uppercase=False, digits=False, special=False
+            )
+
+    def test_length_bounds(self):
+        PasswordPolicy(length=1)
+        PasswordPolicy(length=32)
+        with pytest.raises(ValidationError):
+            PasswordPolicy(length=0)
+        with pytest.raises(ValidationError):
+            PasswordPolicy(length=33)  # SHA-512 yields at most 32 segments
+
+
+class TestRender:
+    def test_renders_32_characters_from_sha512_hex(self):
+        policy = PasswordPolicy()
+        password = policy.render("ab" * 64)  # 128 hex digits
+        assert len(password) == 32
+
+    def test_truncation_is_prefix(self):
+        # §III-B4: "remaining characters that exceed the defined length
+        # are simply discarded".
+        intermediate = "0123456789abcdef" * 8
+        full = PasswordPolicy(length=32).render(intermediate)
+        short = PasswordPolicy(length=12).render(intermediate)
+        assert full.startswith(short)
+
+    def test_segment_mapping(self):
+        # Segment "0000" -> index 0, "005d" -> 93 (last of 94).
+        policy = PasswordPolicy()
+        intermediate = "0000" + "005d" + "0000" * 30
+        password = policy.render(intermediate)
+        assert password[0] == DEFAULT_CHARACTER_TABLE[0]
+        assert password[1] == DEFAULT_CHARACTER_TABLE[93]
+
+    def test_respects_charset(self):
+        policy = PasswordPolicy(charset=LOWERCASE, length=20)
+        password = policy.render("fedcba98" * 16)
+        assert all(c in LOWERCASE for c in password)
+
+    def test_short_intermediate_rejected(self):
+        with pytest.raises(ValidationError):
+            PasswordPolicy(length=32).render("abcd" * 10)  # only 10 segments

@@ -1,0 +1,81 @@
+"""ChaCha20-Poly1305 AEAD: RFC vector, roundtrip, forgery rejection."""
+
+import pytest
+
+from repro.crypto.aead import aead_decrypt, aead_encrypt
+from repro.util.errors import CryptoError
+
+KEY = bytes(range(0x80, 0xA0))
+NONCE = bytes.fromhex("070000004041424344454647")
+AAD = bytes.fromhex("50515253c0c1c2c3c4c5c6c7")
+PLAINTEXT = (
+    b"Ladies and Gentlemen of the class of '99: If I could offer you "
+    b"only one tip for the future, sunscreen would be it."
+)
+
+
+class TestRfcVector:
+    def test_rfc8439_2_8_2_ciphertext_prefix(self):
+        sealed = aead_encrypt(KEY, NONCE, PLAINTEXT, AAD)
+        assert sealed[:16].hex() == "d31a8d34648e60db7b86afbc53ef7ec2"
+
+    def test_rfc8439_2_8_2_tag(self):
+        sealed = aead_encrypt(KEY, NONCE, PLAINTEXT, AAD)
+        assert sealed[-16:].hex() == "1ae10b594f09e26a7e902ecbd0600691"
+
+
+class TestRoundtrip:
+    def test_decrypt_recovers_plaintext(self):
+        sealed = aead_encrypt(KEY, NONCE, PLAINTEXT, AAD)
+        assert aead_decrypt(KEY, NONCE, sealed, AAD) == PLAINTEXT
+
+    def test_empty_plaintext(self):
+        sealed = aead_encrypt(KEY, NONCE, b"", AAD)
+        assert aead_decrypt(KEY, NONCE, sealed, AAD) == b""
+
+    def test_empty_aad(self):
+        sealed = aead_encrypt(KEY, NONCE, PLAINTEXT)
+        assert aead_decrypt(KEY, NONCE, sealed) == PLAINTEXT
+
+
+class TestForgeryRejection:
+    def test_flipped_ciphertext_bit(self):
+        sealed = bytearray(aead_encrypt(KEY, NONCE, PLAINTEXT, AAD))
+        sealed[0] ^= 1
+        with pytest.raises(CryptoError, match="tag"):
+            aead_decrypt(KEY, NONCE, bytes(sealed), AAD)
+
+    def test_flipped_tag_bit(self):
+        sealed = bytearray(aead_encrypt(KEY, NONCE, PLAINTEXT, AAD))
+        sealed[-1] ^= 1
+        with pytest.raises(CryptoError):
+            aead_decrypt(KEY, NONCE, bytes(sealed), AAD)
+
+    def test_wrong_aad(self):
+        sealed = aead_encrypt(KEY, NONCE, PLAINTEXT, AAD)
+        with pytest.raises(CryptoError):
+            aead_decrypt(KEY, NONCE, sealed, b"different aad")
+
+    def test_wrong_key(self):
+        sealed = aead_encrypt(KEY, NONCE, PLAINTEXT, AAD)
+        with pytest.raises(CryptoError):
+            aead_decrypt(bytes(32), NONCE, sealed, AAD)
+
+    def test_wrong_nonce(self):
+        sealed = aead_encrypt(KEY, NONCE, PLAINTEXT, AAD)
+        with pytest.raises(CryptoError):
+            aead_decrypt(KEY, bytes(12), sealed, AAD)
+
+    def test_truncated_below_tag(self):
+        with pytest.raises(CryptoError, match="shorter"):
+            aead_decrypt(KEY, NONCE, b"short", AAD)
+
+
+class TestParameterValidation:
+    def test_bad_key_size(self):
+        with pytest.raises(CryptoError):
+            aead_encrypt(b"short", NONCE, b"p")
+
+    def test_bad_nonce_size(self):
+        with pytest.raises(CryptoError):
+            aead_encrypt(KEY, b"short", b"p")

@@ -1,0 +1,73 @@
+"""ChaCha20 against RFC 8439 test vectors and structural properties."""
+
+import pytest
+
+from repro.crypto.chacha20 import BLOCK_SIZE, chacha20_block, chacha20_xor
+from repro.util.errors import CryptoError
+
+RFC_KEY = bytes(range(32))
+RFC_PLAINTEXT = (
+    b"Ladies and Gentlemen of the class of '99: If I could offer you "
+    b"only one tip for the future, sunscreen would be it."
+)
+
+
+class TestBlockFunction:
+    def test_rfc8439_2_3_2_block(self):
+        nonce = bytes.fromhex("000000090000004a00000000")
+        block = chacha20_block(RFC_KEY, 1, nonce)
+        assert block[:16].hex() == "10f1e7e4d13b5915500fdd1fa32071c4"
+        assert len(block) == BLOCK_SIZE
+
+    def test_counter_changes_block(self):
+        nonce = bytes(12)
+        assert chacha20_block(RFC_KEY, 0, nonce) != chacha20_block(RFC_KEY, 1, nonce)
+
+    def test_nonce_changes_block(self):
+        assert chacha20_block(RFC_KEY, 0, bytes(12)) != chacha20_block(
+            RFC_KEY, 0, b"\x01" + bytes(11)
+        )
+
+    def test_bad_key_size(self):
+        with pytest.raises(CryptoError):
+            chacha20_block(b"short", 0, bytes(12))
+
+    def test_bad_nonce_size(self):
+        with pytest.raises(CryptoError):
+            chacha20_block(RFC_KEY, 0, bytes(8))
+
+    def test_counter_out_of_range(self):
+        with pytest.raises(CryptoError):
+            chacha20_block(RFC_KEY, 2**32, bytes(12))
+
+
+class TestEncryption:
+    def test_rfc8439_2_4_2_encryption(self):
+        nonce = bytes.fromhex("000000000000004a00000000")
+        ciphertext = chacha20_xor(RFC_KEY, 1, nonce, RFC_PLAINTEXT)
+        assert ciphertext[:16].hex() == "6e2e359a2568f98041ba0728dd0d6981"
+        assert len(ciphertext) == len(RFC_PLAINTEXT)
+
+    def test_xor_is_involution(self):
+        nonce = bytes(12)
+        data = b"some secret data spanning more than one sixty-four byte block " * 3
+        once = chacha20_xor(RFC_KEY, 7, nonce, data)
+        assert chacha20_xor(RFC_KEY, 7, nonce, once) == data
+
+    def test_empty_plaintext(self):
+        assert chacha20_xor(RFC_KEY, 0, bytes(12), b"") == b""
+
+    def test_multi_block_counter_progression(self):
+        nonce = bytes(12)
+        data = bytes(200)
+        whole = chacha20_xor(RFC_KEY, 5, nonce, data)
+        # Encrypting the second 64-byte block alone with counter 6 must match.
+        second = chacha20_xor(RFC_KEY, 6, nonce, bytes(64))
+        assert whole[64:128] == second
+
+    def test_different_keys_differ(self):
+        nonce = bytes(12)
+        other_key = bytes(range(1, 33))
+        assert chacha20_xor(RFC_KEY, 0, nonce, b"x" * 32) != chacha20_xor(
+            other_key, 0, nonce, b"x" * 32
+        )

@@ -1,0 +1,81 @@
+"""Hash helper tests, including the paper's H(...) conventions."""
+
+import hashlib
+
+import pytest
+
+from repro.crypto.ct import ct_equal
+from repro.crypto.hashing import (
+    salted_hash,
+    sha256,
+    sha256_hex,
+    sha512,
+    sha512_hex,
+    verify_salted_hash,
+)
+from repro.util.errors import ValidationError
+
+
+class TestSha256:
+    def test_matches_hashlib(self):
+        assert sha256(b"abc") == hashlib.sha256(b"abc").digest()
+
+    def test_concatenation_semantics(self):
+        # H(a || b) — multiple parts hash identically to their concatenation.
+        assert sha256(b"user", b"domain", b"seed") == sha256(b"userdomainseed")
+
+    def test_hex_form(self):
+        assert sha256_hex(b"abc") == hashlib.sha256(b"abc").hexdigest()
+        assert len(sha256_hex(b"")) == 64
+
+    def test_rejects_str_parts(self):
+        with pytest.raises(ValidationError):
+            sha256("not-bytes")
+
+
+class TestSha512:
+    def test_matches_hashlib(self):
+        assert sha512(b"abc") == hashlib.sha512(b"abc").digest()
+
+    def test_hex_length_is_128(self):
+        assert len(sha512_hex(b"x")) == 128
+
+    def test_rejects_str_parts(self):
+        with pytest.raises(ValidationError):
+            sha512("no")
+
+
+class TestSaltedHash:
+    def test_construction_is_hash_of_concat(self):
+        salt = b"0123456789abcdef"
+        assert salted_hash(b"secret", salt) == sha256(b"secret", salt)
+
+    def test_verify_roundtrip(self):
+        salt = b"0123456789abcdef"
+        digest = salted_hash(b"mp", salt)
+        assert verify_salted_hash(b"mp", salt, digest)
+        assert not verify_salted_hash(b"wrong", salt, digest)
+
+    def test_salt_changes_digest(self):
+        assert salted_hash(b"mp", b"salt-one-abc") != salted_hash(
+            b"mp", b"salt-two-abc"
+        )
+
+    def test_short_salt_rejected(self):
+        with pytest.raises(ValidationError):
+            salted_hash(b"mp", b"short")
+
+
+class TestConstantTime:
+    def test_equal(self):
+        assert ct_equal(b"same", b"same")
+
+    def test_unequal(self):
+        assert not ct_equal(b"same", b"diff")
+
+    def test_length_mismatch(self):
+        assert not ct_equal(b"a", b"ab")
+
+    def test_rejects_str(self):
+        with pytest.raises(ValidationError):
+            ct_equal("a", b"a")

@@ -1,0 +1,82 @@
+"""HKDF and PBKDF2 tests (cross-checked against hashlib)."""
+
+import hashlib
+
+import pytest
+
+from repro.crypto.hkdf import hkdf, hkdf_expand, hkdf_extract
+from repro.crypto.pbkdf2 import pbkdf2_hmac_sha256
+from repro.util.errors import CryptoError
+
+
+class TestHkdf:
+    def test_rfc5869_case_1(self):
+        # RFC 5869 A.1 (SHA-256 basic case).
+        ikm = bytes.fromhex("0b" * 22)
+        salt = bytes.fromhex("000102030405060708090a0b0c")
+        info = bytes.fromhex("f0f1f2f3f4f5f6f7f8f9")
+        prk = hkdf_extract(salt, ikm)
+        assert prk.hex() == (
+            "077709362c2e32df0ddc3f0dc47bba6390b6c73bb50f9c3122ec844ad7c2b3e5"
+        )
+        okm = hkdf_expand(prk, info, 42)
+        assert okm.hex() == (
+            "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf"
+            "34007208d5b887185865"
+        )
+
+    def test_empty_salt_uses_zeros(self):
+        assert hkdf_extract(b"", b"ikm") == hkdf_extract(b"\x00" * 32, b"ikm")
+
+    def test_expand_lengths(self):
+        prk = hkdf_extract(b"salt", b"ikm")
+        for length in (1, 31, 32, 33, 64, 100):
+            assert len(hkdf_expand(prk, b"info", length)) == length
+
+    def test_expand_prefix_consistency(self):
+        prk = hkdf_extract(b"salt", b"ikm")
+        long = hkdf_expand(prk, b"info", 64)
+        short = hkdf_expand(prk, b"info", 32)
+        assert long[:32] == short
+
+    def test_info_separates_outputs(self):
+        prk = hkdf_extract(b"salt", b"ikm")
+        assert hkdf_expand(prk, b"a", 32) != hkdf_expand(prk, b"b", 32)
+
+    def test_one_call_form(self):
+        assert hkdf(b"ikm", b"salt", b"info", 32) == hkdf_expand(
+            hkdf_extract(b"salt", b"ikm"), b"info", 32
+        )
+
+    def test_rejects_bad_lengths(self):
+        prk = hkdf_extract(b"salt", b"ikm")
+        with pytest.raises(CryptoError):
+            hkdf_expand(prk, b"info", 0)
+        with pytest.raises(CryptoError):
+            hkdf_expand(prk, b"info", 255 * 32 + 1)
+
+
+class TestPbkdf2:
+    @pytest.mark.parametrize("iterations", [1, 2, 100, 4096])
+    def test_matches_hashlib(self, iterations):
+        ours = pbkdf2_hmac_sha256(b"password", b"salt", iterations, 32)
+        reference = hashlib.pbkdf2_hmac("sha256", b"password", b"salt", iterations, 32)
+        assert ours == reference
+
+    def test_multi_block_output(self):
+        ours = pbkdf2_hmac_sha256(b"pw", b"na", 10, 80)
+        reference = hashlib.pbkdf2_hmac("sha256", b"pw", b"na", 10, 80)
+        assert ours == reference
+
+    def test_salt_sensitivity(self):
+        assert pbkdf2_hmac_sha256(b"p", b"s1", 10, 32) != pbkdf2_hmac_sha256(
+            b"p", b"s2", 10, 32
+        )
+
+    def test_rejects_zero_iterations(self):
+        with pytest.raises(CryptoError):
+            pbkdf2_hmac_sha256(b"p", b"s", 0, 32)
+
+    def test_rejects_zero_length(self):
+        with pytest.raises(CryptoError):
+            pbkdf2_hmac_sha256(b"p", b"s", 1, 0)

@@ -1,0 +1,39 @@
+"""Poly1305 against the RFC 8439 vector and edge cases."""
+
+import pytest
+
+from repro.crypto.poly1305 import TAG_SIZE, poly1305_mac
+from repro.util.errors import CryptoError
+
+RFC_KEY = bytes.fromhex(
+    "85d6be7857556d337f4452fe42d506a80103808afb0db2fd4abff6af4149f51b"
+)
+
+
+class TestPoly1305:
+    def test_rfc8439_2_5_2_vector(self):
+        tag = poly1305_mac(RFC_KEY, b"Cryptographic Forum Research Group")
+        assert tag.hex() == "a8061dc1305136c6c22b8baf0c0127a9"
+
+    def test_tag_size(self):
+        assert len(poly1305_mac(RFC_KEY, b"")) == TAG_SIZE
+
+    def test_empty_message(self):
+        # r-clamped accumulator stays 0; tag is s verbatim.
+        assert poly1305_mac(RFC_KEY, b"") == RFC_KEY[16:]
+
+    def test_message_sensitivity(self):
+        assert poly1305_mac(RFC_KEY, b"messageA") != poly1305_mac(RFC_KEY, b"messageB")
+
+    def test_key_sensitivity(self):
+        other = bytes(32)
+        assert poly1305_mac(RFC_KEY, b"m") != poly1305_mac(other, b"m")
+
+    def test_non_16_multiple_lengths(self):
+        for size in (1, 15, 16, 17, 31, 33):
+            tag = poly1305_mac(RFC_KEY, b"a" * size)
+            assert len(tag) == TAG_SIZE
+
+    def test_bad_key_size(self):
+        with pytest.raises(CryptoError):
+            poly1305_mac(b"short", b"m")

@@ -1,0 +1,85 @@
+"""X25519 against RFC 7748 vectors and key-exchange properties."""
+
+import pytest
+
+from repro.crypto.randomness import SeededRandomSource
+from repro.crypto.x25519 import generate_keypair, x25519, x25519_base
+from repro.util.errors import CryptoError
+
+
+class TestRfcVectors:
+    def test_rfc7748_5_2_vector_1(self):
+        scalar = bytes.fromhex(
+            "a546e36bf0527c9d3b16154b82465edd62144c0ac1fc5a18506a2244ba449ac4"
+        )
+        u = bytes.fromhex(
+            "e6db6867583030db3594c1a424b15f7c726624ec26b3353b10a903a6d0ab1c4c"
+        )
+        assert x25519(scalar, u).hex() == (
+            "c3da55379de9c6908e94ea4df28d084f32eccf03491c71f754b4075577a28552"
+        )
+
+    def test_rfc7748_6_1_alice_public(self):
+        alice_private = bytes.fromhex(
+            "77076d0a7318a57d3c16c17251b26645df4c2f87ebc0992ab177fba51db92c2a"
+        )
+        assert x25519_base(alice_private).hex() == (
+            "8520f0098930a754748b7ddcb43ef75a0dbf3a0d26381af4eba4a98eaa9b4e6a"
+        )
+
+    def test_rfc7748_6_1_bob_public(self):
+        bob_private = bytes.fromhex(
+            "5dab087e624a8a4b79e17f8b83800ee66f3bb1292618b6fd1c2f8b27ff88e0eb"
+        )
+        assert x25519_base(bob_private).hex() == (
+            "de9edb7d7b7dc1b4d35b61c2ece435373f8343c85b78674dadfc7e146f882b4f"
+        )
+
+    def test_rfc7748_6_1_shared_secret(self):
+        alice_private = bytes.fromhex(
+            "77076d0a7318a57d3c16c17251b26645df4c2f87ebc0992ab177fba51db92c2a"
+        )
+        bob_private = bytes.fromhex(
+            "5dab087e624a8a4b79e17f8b83800ee66f3bb1292618b6fd1c2f8b27ff88e0eb"
+        )
+        shared = x25519(alice_private, x25519_base(bob_private))
+        assert shared.hex() == (
+            "4a5d9d5ba4ce2de1728e3bf480350f25e07e21c947d19e3376f09b3c1e161742"
+        )
+
+
+class TestKeyExchange:
+    def test_agreement_for_generated_keys(self):
+        rng = SeededRandomSource(b"x25519-test")
+        a_priv, a_pub = generate_keypair(rng)
+        b_priv, b_pub = generate_keypair(rng)
+        assert x25519(a_priv, b_pub) == x25519(b_priv, a_pub)
+
+    def test_distinct_keypairs(self):
+        rng = SeededRandomSource(b"x25519-test-2")
+        first = generate_keypair(rng)
+        second = generate_keypair(rng)
+        assert first != second
+
+    def test_low_order_point_rejected(self):
+        rng = SeededRandomSource(b"x25519-low-order")
+        private, __ = generate_keypair(rng)
+        with pytest.raises(CryptoError, match="all-zero"):
+            x25519(private, bytes(32))  # u = 0 is low order
+
+    def test_bad_scalar_size(self):
+        with pytest.raises(CryptoError):
+            x25519(b"short", bytes(32))
+
+    def test_bad_u_size(self):
+        with pytest.raises(CryptoError):
+            x25519(bytes(32), b"short")
+
+    def test_high_bit_of_u_ignored(self):
+        # RFC 7748: implementations MUST mask the top bit.
+        rng = SeededRandomSource(b"x25519-mask")
+        private, public = generate_keypair(rng)
+        peer_priv, peer_pub = generate_keypair(rng)
+        masked = bytearray(peer_pub)
+        masked[31] |= 0x80
+        assert x25519(private, bytes(masked)) == x25519(private, peer_pub)

@@ -1,0 +1,47 @@
+"""Wall-clock adapter tests."""
+
+import threading
+import time
+
+from repro.deploy.clock import WallClock
+
+
+class TestWallClock:
+    def test_now_advances(self):
+        clock = WallClock()
+        first = clock.now
+        time.sleep(0.02)
+        assert clock.now > first + 10  # >= 10 ms elapsed
+
+    def test_schedule_fires(self):
+        clock = WallClock()
+        fired = threading.Event()
+        clock.schedule(10, fired.set)
+        assert fired.wait(timeout=2)
+
+    def test_cancel_prevents_firing(self):
+        clock = WallClock()
+        fired = threading.Event()
+        handle = clock.schedule(50, fired.set)
+        handle.cancel()
+        assert not fired.wait(timeout=0.3)
+
+    def test_guard_held_during_action(self):
+        lock = threading.RLock()
+        clock = WallClock(guard=lock)
+        observed = []
+
+        def action():
+            # RLock.acquire(blocking=False) on another thread must fail
+            # while the action runs — i.e. the guard is held.
+            observed.append(True)
+
+        fired = threading.Event()
+
+        def wrapped():
+            action()
+            fired.set()
+
+        clock.schedule(10, wrapped)
+        assert fired.wait(timeout=2)
+        assert observed == [True]

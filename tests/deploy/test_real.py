@@ -1,0 +1,135 @@
+"""Real-socket deployment tests: the same flows over actual HTTP."""
+
+import pytest
+
+from repro.crypto.randomness import SeededRandomSource
+from repro.deploy import RealAmnesiaDeployment
+from repro.util.errors import AuthenticationError, ConflictError, NotFoundError
+
+
+@pytest.fixture
+def deployment():
+    with RealAmnesiaDeployment(
+        rng=SeededRandomSource(b"real-tests"), generation_timeout_ms=8_000
+    ) as dep:
+        yield dep
+
+
+@pytest.fixture
+def paired(deployment):
+    client = deployment.client()
+    client.signup("alice", "real-master-password")
+    agent = deployment.new_phone_agent(
+        compute_delay_s=0.005, rng=SeededRandomSource(b"real-phone")
+    )
+    deployment.pair(client, agent, "alice")
+    return deployment, client, agent
+
+
+class TestLifecycle:
+    def test_ephemeral_port_assigned(self, deployment):
+        assert deployment.port > 0
+
+    def test_double_start_rejected(self, deployment):
+        from repro.util.errors import ValidationError
+
+        with pytest.raises(ValidationError):
+            deployment.start()
+
+    def test_health_over_real_socket(self, deployment):
+        import http.client
+
+        connection = http.client.HTTPConnection(deployment.address, timeout=10)
+        connection.request("GET", "/healthz")
+        response = connection.getresponse()
+        assert response.status == 200
+        assert b'"ok": true' in response.read()
+        connection.close()
+
+
+class TestFlows:
+    def test_signup_login_me(self, deployment):
+        client = deployment.client()
+        client.signup("bob", "real-master-password")
+        assert client.me()["login"] == "bob"
+        client.logout()
+        with pytest.raises(AuthenticationError):
+            client.me()
+        client.login("bob", "real-master-password")
+        assert client.me()["phone_registered"] is False
+
+    def test_generate_end_to_end(self, paired):
+        deployment, client, agent = paired
+        account_id = client.add_account("alice", "real.example.com")
+        result = client.generate_password(account_id)
+        assert len(result["password"]) == 32
+        assert agent.answered == 1
+        # Deterministic over real sockets too.
+        assert client.generate_password(account_id)["password"] == result[
+            "password"
+        ]
+
+    def test_wrong_pairing_code(self, deployment):
+        client = deployment.client()
+        client.signup("carol", "real-master-password")
+        client.start_pairing()
+        agent = deployment.new_phone_agent()
+        with pytest.raises(AuthenticationError):
+            agent.pair("carol", "WRONG1")
+
+    def test_generate_without_phone(self, deployment):
+        client = deployment.client()
+        client.signup("dave", "real-master-password")
+        account_id = client.add_account("dave", "x.com")
+        with pytest.raises(ConflictError):
+            client.generate_password(account_id)
+
+    def test_vault_over_real_sockets(self, paired):
+        deployment, client, agent = paired
+        account_id = client.add_account("alice", "legacy.example.com")
+        client.vault_store(account_id, "chosen-password-1")
+        assert client.vault_retrieve(account_id) == "chosen-password-1"
+
+    def test_rotation_changes_password(self, paired):
+        deployment, client, agent = paired
+        account_id = client.add_account("alice", "rotate.example.com")
+        before = client.generate_password(account_id)["password"]
+        client.rotate_password(account_id)
+        after = client.generate_password(account_id)["password"]
+        assert before != after
+
+    def test_concurrent_generations(self, paired):
+        """Several browser threads generating at once must all finish —
+        the ThreadingHTTPServer provides enough threads that the phone's
+        token requests always find a free one."""
+        import threading
+
+        deployment, client, agent = paired
+        ids = [
+            client.add_account("alice", f"c{i}.example.com") for i in range(4)
+        ]
+        results = {}
+
+        def generate(account_id):
+            # Each thread needs its own client (cookie jar is shared state).
+            worker = deployment.client()
+            worker.login("alice", "real-master-password")
+            results[account_id] = worker.generate_password(account_id)[
+                "password"
+            ]
+
+        threads = [
+            threading.Thread(target=generate, args=(account_id,))
+            for account_id in ids
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert len(results) == 4
+        assert len(set(results.values())) == 4
+
+    def test_unknown_account(self, paired):
+        deployment, client, agent = paired
+        with pytest.raises(NotFoundError):
+            client.generate_password(9999)

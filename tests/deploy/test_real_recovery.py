@@ -1,0 +1,76 @@
+"""Recovery protocols over real sockets (§III-C end to end, no simulator)."""
+
+import pytest
+
+from repro.crypto.randomness import SeededRandomSource
+from repro.deploy import RealAmnesiaDeployment
+from repro.util.errors import AuthenticationError, ValidationError
+
+
+@pytest.fixture
+def paired():
+    with RealAmnesiaDeployment(
+        rng=SeededRandomSource(b"real-recovery"), generation_timeout_ms=8_000
+    ) as deployment:
+        client = deployment.client()
+        client.signup("alice", "original-master-pw")
+        agent = deployment.new_phone_agent(
+            compute_delay_s=0.005, rng=SeededRandomSource(b"real-rec-phone")
+        )
+        deployment.pair(client, agent, "alice")
+        yield deployment, client, agent
+
+
+class TestMasterChangeOverSockets:
+    def test_full_flow(self, paired):
+        deployment, client, agent = paired
+        # The start request blocks a real server thread until the agent's
+        # confirmation arrives over its own HTTP connection.
+        result = client.start_master_change()
+        assert result == {"authorized": True}
+        client.complete_master_change("rotated-master-pw1")
+        client.logout()
+        with pytest.raises(AuthenticationError):
+            client.login("alice", "original-master-pw")
+        client.login("alice", "rotated-master-pw1")
+        assert client.me()["login"] == "alice"
+
+    def test_complete_without_confirmation_rejected(self, paired):
+        deployment, client, agent = paired
+        with pytest.raises(AuthenticationError):
+            client.complete_master_change("sneaky-change-pw1")
+
+
+class TestPhoneRecoveryOverSockets:
+    def test_full_flow(self, paired):
+        deployment, client, agent = paired
+        account_id = client.add_account("alice", "persist.example.com")
+        original = client.generate_password(account_id)["password"]
+        backup = agent.backup_blob()
+        # Phone "lost": recover using the backup blob.
+        passwords = client.recover_phone(backup)
+        assert passwords == [
+            {
+                "username": "alice",
+                "domain": "persist.example.com",
+                "password": original,
+            }
+        ]
+        # The old phone registration was purged.
+        assert client.me()["phone_registered"] is False
+        # A new agent pairs and future passwords re-key.
+        new_agent = deployment.new_phone_agent(
+            compute_delay_s=0.005, rng=SeededRandomSource(b"new-handset")
+        )
+        deployment.pair(client, new_agent, "alice")
+        rekeyed = client.generate_password(account_id)["password"]
+        assert rekeyed != original
+
+    def test_foreign_backup_rejected(self, paired):
+        deployment, client, agent = paired
+        from repro.core.recovery import encode_backup
+        from repro.core.secrets import PhoneSecret
+
+        foreign = PhoneSecret.generate(SeededRandomSource(b"foreign-real"))
+        with pytest.raises(ValidationError, match="does not match"):
+            client.recover_phone(encode_backup(foreign))

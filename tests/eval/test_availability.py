@@ -1,0 +1,78 @@
+"""Availability-model tests (§VIII's phone-dependency limitation)."""
+
+import pytest
+
+from repro.eval.availability import (
+    AvailabilityReport,
+    DutyCycle,
+    run_availability_experiment,
+)
+from repro.util.errors import ValidationError
+
+
+class TestDutyCycle:
+    def test_availability_fraction(self):
+        assert DutyCycle(30_000, 10_000).availability == pytest.approx(0.75)
+
+    def test_always_on(self):
+        assert DutyCycle(10_000, 0).availability == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            DutyCycle(-1, 10)
+        with pytest.raises(ValidationError):
+            DutyCycle(0, 0)
+
+
+class TestExperiment:
+    def test_always_online_all_succeed(self):
+        report = run_availability_experiment(
+            DutyCycle(online_ms=1, offline_ms=0),
+            attempts=10,
+            attempt_interval_ms=5_000,
+        )
+        assert report.success_rate == 1.0
+        assert report.timed_out == 0
+
+    def test_mostly_offline_mostly_fails(self):
+        report = run_availability_experiment(
+            DutyCycle(online_ms=5_000, offline_ms=60_000),
+            attempts=20,
+            attempt_interval_ms=10_000,
+            generation_timeout_ms=5_000,
+        )
+        assert report.success_rate < 0.5
+        assert report.succeeded + report.timed_out == 20
+
+    def test_store_and_forward_rescues_short_gaps(self):
+        """Gaps shorter than the server's patience don't lose requests:
+        GCM queues the push and flushes at reconnect."""
+        flappy = run_availability_experiment(
+            DutyCycle(online_ms=8_000, offline_ms=4_000),
+            attempts=15,
+            attempt_interval_ms=6_000,
+            generation_timeout_ms=15_000,
+            seed="short-gaps",
+        )
+        assert flappy.success_rate == 1.0
+
+    def test_longer_timeout_buys_availability(self):
+        impatient = run_availability_experiment(
+            DutyCycle(online_ms=8_000, offline_ms=12_000),
+            attempts=20,
+            attempt_interval_ms=7_000,
+            generation_timeout_ms=3_000,
+            seed="patience",
+        )
+        patient = run_availability_experiment(
+            DutyCycle(online_ms=8_000, offline_ms=12_000),
+            attempts=20,
+            attempt_interval_ms=7_000,
+            generation_timeout_ms=20_000,
+            seed="patience",
+        )
+        assert patient.success_rate > impatient.success_rate
+
+    def test_attempts_validated(self):
+        with pytest.raises(ValidationError):
+            run_availability_experiment(DutyCycle(1, 1), attempts=0)

@@ -1,0 +1,117 @@
+"""Bonneau framework / Table III tests."""
+
+import pytest
+
+from repro.eval.bonneau import (
+    ALL_PROPERTIES,
+    SCHEME_ORDER,
+    TABLE_III,
+    Category,
+    Rating,
+    mechanical_checks,
+    rating_for,
+    render_table_iii,
+)
+from repro.util.errors import ValidationError
+
+
+class TestFrameworkShape:
+    def test_25_properties(self):
+        assert len(ALL_PROPERTIES) == 25
+
+    def test_category_counts(self):
+        by_category = {}
+        for prop in ALL_PROPERTIES:
+            by_category[prop.category] = by_category.get(prop.category, 0) + 1
+        assert by_category[Category.USABILITY] == 8
+        assert by_category[Category.DEPLOYABILITY] == 6
+        assert by_category[Category.SECURITY] == 11
+
+    def test_five_schemes(self):
+        assert SCHEME_ORDER == [
+            "Password", "Firefox (MP)", "LastPass", "Tapas", "Amnesia"
+        ]
+        assert set(TABLE_III) == set(SCHEME_ORDER)
+
+    def test_every_row_has_25_cells(self):
+        for scheme, ratings in TABLE_III.items():
+            assert len(ratings) == 25, scheme
+
+
+class TestPaperPinnedCells:
+    """Cells the prose states explicitly (§VI-A)."""
+
+    def test_amnesia_deployability_all_but_mature(self):
+        for prop in ALL_PROPERTIES:
+            if prop.category is not Category.DEPLOYABILITY:
+                continue
+            rating = rating_for("Amnesia", prop.name)
+            if prop.name == "Mature":
+                assert rating is Rating.NO
+            else:
+                assert rating is Rating.FULL, prop.name
+
+    def test_amnesia_not_resilient_to_physical_observation(self):
+        # "the Amnesia prototype is not resistant to physical observations"
+        assert rating_for(
+            "Amnesia", "Resilient-to-Physical-Observation"
+        ) is Rating.NO
+
+    def test_amnesia_not_resilient_to_internal_observation(self):
+        # "we still consider this property to be unfulfilled"
+        assert rating_for(
+            "Amnesia", "Resilient-to-Internal-Observation"
+        ) is Rating.NO
+
+    def test_amnesia_requires_carrying_the_phone(self):
+        assert rating_for("Amnesia", "Nothing-to-Carry") is Rating.NO
+        assert rating_for("Amnesia", "Physically-Effortless") is Rating.NO
+
+    def test_amnesia_and_tapas_similar_usability(self):
+        """'we see similar scores between Amnesia and Tapas in the
+        usability section' — allow at most 2 differing cells."""
+        differing = 0
+        for prop in ALL_PROPERTIES:
+            if prop.category is not Category.USABILITY:
+                continue
+            if rating_for("Amnesia", prop.name) != rating_for("Tapas", prop.name):
+                differing += 1
+        assert differing <= 2
+
+    def test_passwords_weak_on_guessing(self):
+        assert rating_for("Password", "Resilient-to-Throttled-Guessing") is Rating.NO
+        assert rating_for(
+            "Password", "Resilient-to-Unthrottled-Guessing"
+        ) is Rating.NO
+
+    def test_amnesia_strong_on_guessing(self):
+        assert rating_for("Amnesia", "Resilient-to-Throttled-Guessing") is Rating.FULL
+        assert rating_for(
+            "Amnesia", "Resilient-to-Unthrottled-Guessing"
+        ) is Rating.FULL
+
+
+class TestMechanicalChecks:
+    def test_all_consistent(self):
+        checks = mechanical_checks()
+        assert len(checks) >= 5
+        inconsistent = [c for c in checks if not c.consistent]
+        assert inconsistent == []
+
+
+class TestRendering:
+    def test_render_contains_all_schemes(self):
+        table = render_table_iii()
+        for scheme in SCHEME_ORDER:
+            assert scheme in table
+
+    def test_render_contains_legend(self):
+        table = render_table_iii()
+        assert "fulfilled" in table
+        assert "Resilient-to-Internal-Observation" in table
+
+    def test_unknown_lookups_rejected(self):
+        with pytest.raises(ValidationError):
+            rating_for("KeePass", "Mature")
+        with pytest.raises(ValidationError):
+            rating_for("Amnesia", "Not-A-Property")

@@ -1,0 +1,72 @@
+"""CLI smoke tests: every subcommand runs and prints its artefact."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_all_subcommands_registered(self):
+        parser = build_parser()
+        args = parser.parse_args(["fig4"])
+        assert args.command == "fig4"
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_fig3_trials_flag(self):
+        args = build_parser().parse_args(["fig3", "--trials", "5"])
+        assert args.trials == 5
+
+
+class TestCommands:
+    def test_quickstart(self, capsys):
+        assert main(["quickstart"]) == 0
+        out = capsys.readouterr().out
+        assert "password" in out
+        assert "latency" in out
+
+    def test_fig3_small(self, capsys):
+        assert main(["fig3", "--trials", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "[wifi]" in out and "[4g]" in out
+
+    def test_fig4(self, capsys):
+        assert main(["fig4"]) == 0
+        out = capsys.readouterr().out
+        for panel in ("Reuse", "Length", "Techniques", "Frequency"):
+            assert panel in out
+
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        assert "TABLE I" in capsys.readouterr().out
+
+    def test_table2(self, capsys):
+        assert main(["table2"]) == 0
+        assert "TABLE II" in capsys.readouterr().out
+
+    def test_table3(self, capsys):
+        assert main(["table3"]) == 0
+        out = capsys.readouterr().out
+        assert "Amnesia" in out
+        assert "[ok]" in out
+        assert "FAIL" not in out
+
+    def test_strength(self, capsys):
+        assert main(["strength"]) == 0
+        out = capsys.readouterr().out
+        assert "1.381e+63" in out
+        assert "1.526e+59" in out
+
+    def test_attacks(self, capsys):
+        assert main(["attacks"]) == 0
+        out = capsys.readouterr().out
+        assert "server-breach" in out
+        assert "BROKEN" in out and "safe" in out
+
+    def test_userstudy(self, capsys):
+        assert main(["userstudy"]) == 0
+        out = capsys.readouterr().out
+        # 22/31 = 70.97 % — printed rounded to one decimal as 71.0 %.
+        assert "71.0% (22/31)" in out

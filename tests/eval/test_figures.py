@@ -1,0 +1,43 @@
+"""ASCII figure renderer tests."""
+
+import pytest
+
+from repro.eval.figures import bar_panel, histogram
+from repro.util.errors import ValidationError
+
+
+class TestHistogram:
+    def test_bins_cover_all_samples(self):
+        samples = [float(x) for x in range(100)]
+        rendered = histogram(samples, bins=10)
+        lines = rendered.splitlines()
+        assert len(lines) == 10
+        counts = [int(line.rsplit(" ", 1)[1]) for line in lines]
+        assert sum(counts) == 100
+
+    def test_single_value(self):
+        rendered = histogram([5.0, 5.0, 5.0])
+        assert "3" in rendered
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            histogram([])
+
+
+class TestBarPanel:
+    def test_labels_and_counts_present(self):
+        rendered = bar_panel("(a) Test", {"Low": 2, "High": 10})
+        assert "(a) Test" in rendered
+        assert "Low" in rendered and "  2" in rendered
+        assert "High" in rendered and " 10" in rendered
+
+    def test_bar_lengths_proportional(self):
+        rendered = bar_panel("t", {"a": 5, "b": 10}, width=10)
+        lines = rendered.splitlines()[1:]
+        bars = {line.split()[0]: line.count("#") for line in lines}
+        assert bars["b"] == 10
+        assert bars["a"] == 5
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            bar_panel("t", {})

@@ -1,0 +1,68 @@
+"""Habit-analysis tests: human vs generated password security."""
+
+import pytest
+
+from repro.eval.habits import (
+    measure_amnesia,
+    measure_human_habits,
+    survey_population_users,
+)
+from repro.util.errors import ValidationError
+
+
+class TestSurveyPopulation:
+    def test_population_size(self):
+        users = survey_population_users(population=31, seed=1)
+        assert len(users) == 31
+
+    def test_marginals_roughly_followed(self):
+        users = survey_population_users(population=2_000, seed=2)
+        personal = sum(1 for u in users if u.technique == "personal_info")
+        assert abs(personal / 2_000 - 20 / 31) < 0.05
+
+    def test_deterministic(self):
+        first = survey_population_users(population=10, seed=3)
+        second = survey_population_users(population=10, seed=3)
+        assert [u.technique for u in first] == [u.technique for u in second]
+
+    def test_invalid_population(self):
+        with pytest.raises(ValidationError):
+            survey_population_users(population=0)
+
+
+class TestHumanMeasurement:
+    def test_most_human_passwords_crack(self):
+        users = survey_population_users(population=31, seed=4)
+        report = measure_human_habits(users, sites_per_user=8)
+        # The candidate dictionary covers UserModel's generator, so the
+        # crack rate is dominated by it.
+        assert report.dictionary_crack_rate > 0.9
+        assert report.mean_length < 14
+        assert report.mean_entropy_bits < 80
+
+    def test_reuse_creates_blast_radius(self):
+        users = survey_population_users(population=31, seed=5)
+        report = measure_human_habits(users, sites_per_user=8)
+        # Cracking one password opens more than one site on average.
+        assert report.mean_blast_radius > 1.5
+
+    def test_summary_renders(self):
+        users = survey_population_users(population=5, seed=6)
+        report = measure_human_habits(users, sites_per_user=3)
+        assert "crackable" in report.summary()
+
+
+class TestAmnesiaMeasurement:
+    def test_generated_passwords_uncrackable_and_strong(self):
+        report = measure_amnesia(population=10, sites_per_user=4, seed=7)
+        assert report.dictionary_crack_rate == 0.0
+        assert report.mean_blast_radius == 0.0
+        assert report.mean_length == 32
+        assert report.mean_entropy_bits > 180
+
+    def test_uplift_over_human_habits(self):
+        users = survey_population_users(population=20, seed=8)
+        human = measure_human_habits(users, sites_per_user=5)
+        amnesia = measure_amnesia(population=20, sites_per_user=5, seed=8)
+        assert amnesia.dictionary_crack_rate < human.dictionary_crack_rate
+        assert amnesia.mean_entropy_bits > 2 * human.mean_entropy_bits

@@ -1,0 +1,79 @@
+"""Figure 3 experiment tests: the headline reproduction."""
+
+import pytest
+
+from repro.eval.latency import (
+    PAPER_FIGURE_3,
+    LatencyExperiment,
+    LatencyStats,
+)
+from repro.net.profiles import CELLULAR_4G_PROFILE, WIFI_PROFILE
+from repro.util.errors import ValidationError
+
+
+class TestLatencyStats:
+    def test_basic_stats(self):
+        stats = LatencyStats("t", (700.0, 800.0, 900.0))
+        assert stats.n == 3
+        assert stats.mean_ms == 800
+        assert stats.std_ms == 100
+        assert stats.min_ms == 700
+        assert stats.max_ms == 900
+
+    def test_percentiles(self):
+        stats = LatencyStats("t", tuple(float(x) for x in range(101)))
+        assert stats.percentile(0) == 0
+        assert stats.percentile(50) == 50
+        assert stats.percentile(100) == 100
+        with pytest.raises(ValidationError):
+            stats.percentile(101)
+
+
+class TestFigure3Wifi:
+    @pytest.fixture(scope="class")
+    def stats(self):
+        return LatencyExperiment(WIFI_PROFILE, trials=100, seed=2016).run()
+
+    def test_sample_count(self, stats):
+        assert stats.n == 100
+
+    def test_mean_within_8pct_of_paper(self, stats):
+        paper = PAPER_FIGURE_3["wifi"]["mean_ms"]
+        assert abs(stats.mean_ms - paper) / paper < 0.08
+
+    def test_std_within_35pct_of_paper(self, stats):
+        # Sample std at n=100 has ~7% relative sampling error itself.
+        paper = PAPER_FIGURE_3["wifi"]["std_ms"]
+        assert abs(stats.std_ms - paper) / paper < 0.35
+
+    def test_all_samples_positive(self, stats):
+        assert stats.min_ms > 0
+
+
+class TestFigure3Comparison:
+    def test_wifi_beats_4g_and_both_sub_1400(self):
+        wifi = LatencyExperiment(WIFI_PROFILE, trials=60, seed=7).run()
+        cellular = LatencyExperiment(CELLULAR_4G_PROFILE, trials=60, seed=7).run()
+        assert wifi.mean_ms < cellular.mean_ms
+        # The paper's conclusion: "latency is not a big issue".
+        assert wifi.mean_ms < 1000
+        assert cellular.mean_ms < 1200
+
+    def test_4g_mean_within_8pct(self):
+        stats = LatencyExperiment(CELLULAR_4G_PROFILE, trials=100, seed=11).run()
+        paper = PAPER_FIGURE_3["4g"]["mean_ms"]
+        assert abs(stats.mean_ms - paper) / paper < 0.08
+
+    def test_reproducible_with_same_seed(self):
+        a = LatencyExperiment(WIFI_PROFILE, trials=10, seed=5).run()
+        b = LatencyExperiment(WIFI_PROFILE, trials=10, seed=5).run()
+        assert a.samples_ms == b.samples_ms
+
+    def test_different_seeds_differ(self):
+        a = LatencyExperiment(WIFI_PROFILE, trials=10, seed=5).run()
+        b = LatencyExperiment(WIFI_PROFILE, trials=10, seed=6).run()
+        assert a.samples_ms != b.samples_ms
+
+    def test_trials_validated(self):
+        with pytest.raises(ValidationError):
+            LatencyExperiment(WIFI_PROFILE, trials=0)

@@ -1,0 +1,41 @@
+"""Reproduction-report generator tests."""
+
+from repro.eval.report import generate_report
+
+
+class TestReport:
+    def test_contains_every_section(self):
+        report = generate_report(trials=5, seed="report-test")
+        for heading in (
+            "# Amnesia reproduction report",
+            "## Figure 3",
+            "## §III-B / §IV-E",
+            "## Table III",
+            "## §IV — attack matrix",
+            "## §VII — user study",
+        ):
+            assert heading in report
+
+    def test_headline_numbers_present(self):
+        report = generate_report(trials=5, seed="report-test")
+        assert "1.526e+59" in report  # token space
+        assert "1.381e+63" in report  # password space
+        assert "785.3 ms" in report  # paper's wifi mean
+        assert "70.9" in report or "71.0" in report  # preference
+
+    def test_no_failed_checks(self):
+        report = generate_report(trials=5, seed="report-test")
+        assert "**FAIL**" not in report
+
+    def test_cli_writes_file(self, tmp_path, capsys):
+        from repro.cli import main
+
+        output = tmp_path / "r.md"
+        assert main(["report", "--trials", "5", "--output", str(output)]) == 0
+        assert output.read_text().startswith("# Amnesia reproduction report")
+
+    def test_cli_stdout(self, capsys):
+        from repro.cli import main
+
+        assert main(["report", "--trials", "5", "--output", "-"]) == 0
+        assert "# Amnesia reproduction report" in capsys.readouterr().out

@@ -1,0 +1,96 @@
+"""§IV-E strength analysis tests: composition and index bias."""
+
+import pytest
+
+from repro.core.params import ProtocolParams
+from repro.core.protocol import generate_password
+from repro.core.secrets import PhoneSecret
+from repro.core.templates import PasswordPolicy
+from repro.crypto.randomness import SeededRandomSource
+from repro.eval.strength import (
+    PAPER_COMPOSITION,
+    composition_expectation,
+    composition_of,
+    empirical_composition,
+    empirical_index_distribution,
+    index_bias,
+)
+from repro.util.errors import ValidationError
+
+
+class TestExpectedComposition:
+    def test_matches_paper_9_9_3_11(self):
+        assert composition_expectation().rounded() == PAPER_COMPOSITION
+
+    def test_totals_equal_length(self):
+        composition = composition_expectation()
+        assert composition.total == pytest.approx(32)
+
+    def test_alnum_only_policy(self):
+        policy = PasswordPolicy.from_classes(special=False)
+        composition = composition_expectation(policy)
+        assert composition.special == 0
+        assert composition.lowercase == pytest.approx(32 * 26 / 62)
+
+
+class TestEmpiricalComposition:
+    def test_matches_expectation_over_sample(self):
+        rng = SeededRandomSource(b"strength")
+        secret = PhoneSecret.generate(rng)
+        passwords = [
+            generate_password(
+                "user", f"site{i}.example", rng.token_bytes(32),
+                rng.token_bytes(64), secret.entry_table,
+            )
+            for i in range(300)
+        ]
+        empirical = empirical_composition(passwords)
+        expected = composition_expectation()
+        assert empirical.lowercase == pytest.approx(expected.lowercase, abs=0.6)
+        assert empirical.uppercase == pytest.approx(expected.uppercase, abs=0.6)
+        assert empirical.digits == pytest.approx(expected.digits, abs=0.4)
+        assert empirical.special == pytest.approx(expected.special, abs=0.7)
+
+    def test_single_password(self):
+        composition = composition_of("aaBB11!!")
+        assert (composition.lowercase, composition.uppercase) == (2, 2)
+        assert (composition.digits, composition.special) == (2, 2)
+
+    def test_empty_sample_rejected(self):
+        with pytest.raises(ValidationError):
+            empirical_composition([])
+
+
+class TestIndexBias:
+    def test_exact_divisor_unbiased(self):
+        bias = index_bias(256)  # 65536 % 256 == 0
+        assert bias.total_variation_distance == 0
+        assert bias.max_probability == bias.min_probability
+
+    def test_paper_table_size_slightly_biased(self):
+        bias = index_bias(5000)
+        assert 0 < bias.total_variation_distance < 0.01
+        # 65536 = 13*5000 + 536: heavy indices get 14/65536.
+        assert bias.max_probability == pytest.approx(14 / 65536)
+        assert bias.min_probability == pytest.approx(13 / 65536)
+
+    def test_entropy_close_to_uniform(self):
+        import math
+
+        bias = index_bias(5000)
+        assert bias.effective_entropy_bits == pytest.approx(
+            math.log2(5000), abs=0.01
+        )
+
+    def test_bounds_validated(self):
+        with pytest.raises(ValidationError):
+            index_bias(0)
+        with pytest.raises(ValidationError):
+            index_bias(65537)
+
+    def test_empirical_distribution_hits_all_buckets(self):
+        params = ProtocolParams(entry_table_size=50)
+        counts = empirical_index_distribution(params, samples=200)
+        assert set(counts) == set(range(50))
+        total = sum(counts.values())
+        assert total == 200 * 16  # 16 indices per request

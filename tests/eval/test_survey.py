@@ -1,0 +1,128 @@
+"""User study dataset tests: every §VII aggregate, verified."""
+
+import pytest
+
+from repro.eval.survey import PAPER_SURVEY, RespondentModel, SurveyDataset
+from repro.util.errors import ValidationError
+
+
+class TestPublishedCounts:
+    def test_validates(self):
+        PAPER_SURVEY.validate()
+
+    def test_n_31(self):
+        assert PAPER_SURVEY.n == 31
+
+    def test_demographics(self):
+        assert PAPER_SURVEY.male == 21
+        assert PAPER_SURVEY.age_mean == 33.32
+        assert PAPER_SURVEY.age_std == 9.92
+        assert (PAPER_SURVEY.age_min, PAPER_SURVEY.age_max) == (20, 61)
+
+    def test_hours_online(self):
+        # §VII-B: 4 (1-4h), 13 (4-8h), 8 (8-12h), 6 (12h+).
+        assert PAPER_SURVEY.hours_online == {
+            "1-4h": 4, "4-8h": 13, "8-12h": 8, "12h+": 6
+        }
+
+    def test_figure_4a_reuse(self):
+        assert PAPER_SURVEY.reuse == {
+            "Never": 2, "Rarely": 5, "Sometimes": 8, "Mostly": 10, "Always": 6
+        }
+        assert sum(PAPER_SURVEY.reuse.values()) == 31
+
+    def test_figure_4b_length(self):
+        assert PAPER_SURVEY.length == {"6~8": 12, "9~11": 16, "12~14": 2, "14+": 1}
+
+    def test_figure_4c_technique(self):
+        assert PAPER_SURVEY.technique == {
+            "Personal Info": 20, "Mnemonic": 6, "Other": 5
+        }
+
+    def test_figure_4d_change_reconciled(self):
+        # Printed bars 1/14/10/6 sum to 31 only with Frequently = 0.
+        assert PAPER_SURVEY.change == {
+            "Never": 1, "Rarely": 14, "Yearly": 10, "Monthly": 6, "Frequently": 0
+        }
+
+    def test_account_counts(self):
+        # §VII-C: 17 (54.8%) with <=10 accounts, 14 (45.2%) with 11-20.
+        assert PAPER_SURVEY.accounts_10_or_less == 17
+        assert PAPER_SURVEY.accounts_11_to_20 == 14
+        assert 100 * 17 / 31 == pytest.approx(54.8, abs=0.1)
+
+    def test_security_belief(self):
+        assert PAPER_SURVEY.believe_amnesia_increases_security == 27
+
+    def test_usability_percentages(self):
+        # §VII-D: 77.4% (24/31) and 83.8% (26/31).
+        assert PAPER_SURVEY.registering_convenient_pct() == pytest.approx(
+            77.4, abs=0.1
+        )
+        assert PAPER_SURVEY.adding_easy_pct() == pytest.approx(83.9, abs=0.1)
+        assert PAPER_SURVEY.generating_easy_pct() == pytest.approx(83.9, abs=0.1)
+
+    def test_preference(self):
+        # §VII-E: 70.9% (22/31); 14/24 non-PM users; 6/7 PM users.
+        assert PAPER_SURVEY.prefer_amnesia_pct() == pytest.approx(70.9, abs=0.1)
+        assert PAPER_SURVEY.non_pm_prefer_amnesia == 14
+        assert PAPER_SURVEY.pm_prefer_amnesia == 6
+        assert PAPER_SURVEY.non_pm_users + PAPER_SURVEY.pm_users == 31
+
+    def test_majority_dominated_by_weak_habits(self):
+        """'the majority of users have short, personal information based
+        passwords that they reuse' — check the marginals support it."""
+        reuse_heavy = (
+            PAPER_SURVEY.reuse["Mostly"] + PAPER_SURVEY.reuse["Always"]
+            + PAPER_SURVEY.reuse["Sometimes"]
+        )
+        assert reuse_heavy > PAPER_SURVEY.n / 2
+        assert PAPER_SURVEY.technique["Personal Info"] > PAPER_SURVEY.n / 2
+        short = PAPER_SURVEY.length["6~8"] + PAPER_SURVEY.length["9~11"]
+        assert short > PAPER_SURVEY.n * 0.8
+
+
+class TestDatasetValidation:
+    def test_inconsistent_counts_rejected(self):
+        import dataclasses
+
+        broken = dataclasses.replace(
+            PAPER_SURVEY, reuse={"Never": 31, "Rarely": 31, "Sometimes": 0,
+                                 "Mostly": 0, "Always": 0}
+        )
+        with pytest.raises(ValidationError):
+            broken.validate()
+
+
+class TestRespondentModel:
+    def test_population_size(self):
+        model = RespondentModel(seed=1)
+        assert len(model.population(100)) == 100
+
+    def test_preference_rate_converges_to_published(self):
+        model = RespondentModel(seed=2)
+        rate = model.preference_rate(size=20_000)
+        # Published: 22/31 = 0.7097 (mixture of 14/24 and 6/7 arms).
+        expected = (24 / 31) * (14 / 24) + (7 / 31) * (6 / 7)
+        assert rate == pytest.approx(expected, abs=0.02)
+
+    def test_marginals_roughly_match(self):
+        model = RespondentModel(seed=3)
+        population = model.population(10_000)
+        personal = sum(1 for r in population if r.technique == "Personal Info")
+        assert personal / 10_000 == pytest.approx(20 / 31, abs=0.03)
+
+    def test_ages_in_published_envelope(self):
+        model = RespondentModel(seed=4)
+        ages = [r.age for r in model.population(1000)]
+        assert min(ages) >= 20
+        assert max(ages) <= 61
+
+    def test_population_size_validated(self):
+        with pytest.raises(ValidationError):
+            RespondentModel(seed=5).population(0)
+
+    def test_deterministic_by_seed(self):
+        a = RespondentModel(seed=6).population(10)
+        b = RespondentModel(seed=6).population(10)
+        assert a == b

@@ -1,0 +1,50 @@
+"""Table I / Table II renderer tests against live databases."""
+
+import pytest
+
+from repro.eval.tables import render_table_i, render_table_ii
+from repro.util.errors import NotFoundError
+
+
+class TestTableI:
+    def test_renders_paper_example_shape(self, enrolled_bed):
+        bed, browser = enrolled_bed
+        browser.add_account("Alice", "mail.google.com")
+        browser.add_account("Alice2", "www.facebook.com")
+        browser.add_account("Bob", "www.yahoo.com")
+        table = render_table_i(bed.server.database, "alice")
+        assert "TABLE I" in table
+        assert "Oid" in table
+        assert "Registration ID" in table
+        assert "H(MP + salt)" in table
+        assert "H(Pid + salt)" in table
+        assert "(Alice, mail.google.com," in table
+        assert "(Alice2, www.facebook.com," in table
+        assert "(Bob, www.yahoo.com," in table
+
+    def test_hex_values_abbreviated(self, enrolled_bed):
+        bed, browser = enrolled_bed
+        table = render_table_i(bed.server.database, "alice")
+        assert "..." in table
+        # Full 128-hex O_id must not be dumped.
+        oid_hex = bed.server.database.user_by_login("alice").oid.hex()
+        assert oid_hex not in table
+
+    def test_unknown_user(self, enrolled_bed):
+        bed, __ = enrolled_bed
+        with pytest.raises(NotFoundError):
+            render_table_i(bed.server.database, "ghost")
+
+
+class TestTableII:
+    def test_renders_pid_and_entries(self, enrolled_bed):
+        bed, __ = enrolled_bed
+        table = render_table_ii(bed.phone.database)
+        assert "TABLE II" in table
+        assert "Pid" in table
+        assert "e1" in table
+        assert "e4999" in table  # last entry of the 5000-entry table
+
+    def test_uninitialised_phone(self, bed):
+        with pytest.raises(NotFoundError):
+            render_table_ii(bed.phone.database)

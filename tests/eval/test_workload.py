@@ -1,0 +1,73 @@
+"""Workload generator tests."""
+
+import pytest
+
+from repro.eval.workload import WorkloadSpec, run_workload
+from repro.util.errors import ValidationError
+
+
+class TestWorkloadSpec:
+    def test_offered_rate(self):
+        spec = WorkloadSpec(users=4, mean_interarrival_ms=2_000)
+        assert spec.offered_rate_per_s == pytest.approx(2.0)
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            WorkloadSpec(users=0)
+        with pytest.raises(ValidationError):
+            WorkloadSpec(duration_ms=0)
+
+
+class TestRunWorkload:
+    def test_light_load_completes_everything(self):
+        spec = WorkloadSpec(
+            users=2,
+            accounts_per_user=2,
+            duration_ms=30_000,
+            mean_interarrival_ms=3_000,
+            seed="light-load",
+        )
+        result = run_workload(spec)
+        assert result.issued > 5
+        assert result.failed == 0
+        assert result.completion_rate == 1.0
+        assert result.latency_mean_ms() > 0
+
+    def test_deterministic_by_seed(self):
+        spec = WorkloadSpec(
+            users=2, duration_ms=20_000, mean_interarrival_ms=4_000,
+            seed="repeat",
+        )
+        first = run_workload(spec)
+        second = run_workload(spec)
+        assert first.issued == second.issued
+        assert first.latencies_ms == second.latencies_ms
+
+    def test_pool_pressure_recorded(self):
+        # One thread and overlapping blocking generations: the pool must
+        # report queueing.
+        spec = WorkloadSpec(
+            users=3,
+            accounts_per_user=1,
+            duration_ms=10_000,
+            mean_interarrival_ms=1_000,
+            seed="pressure",
+        )
+        result = run_workload(spec, thread_pool_size=2,
+                              generation_timeout_ms=5_000)
+        assert result.pool_peak_busy == 2
+        assert result.issued > 0
+        # With only 2 threads some generations deadlock to timeout (503):
+        # completion < 100% is the expected degradation signal.
+        assert result.completed + result.failed == result.issued
+
+    def test_ten_threads_hold_up(self):
+        spec = WorkloadSpec(
+            users=3,
+            accounts_per_user=2,
+            duration_ms=20_000,
+            mean_interarrival_ms=1_500,
+            seed="paper-pool",
+        )
+        result = run_workload(spec, thread_pool_size=10)
+        assert result.completion_rate == 1.0

@@ -1,0 +1,121 @@
+"""End-to-end scenarios through the full simulated deployment."""
+
+import pytest
+
+from repro.client.website import DummyWebsite
+from repro.crypto.randomness import SeededRandomSource
+from repro.testbed import AmnesiaTestbed
+
+
+class TestFullUserJourney:
+    def test_signup_to_website_login(self, enrolled_bed):
+        """The user-study task list (§VII-A), steps 1-5."""
+        bed, browser = enrolled_bed
+        site = DummyWebsite(
+            "dummy.example.com", rng=SeededRandomSource(b"site")
+        )
+        account_id = browser.add_account("alice", site.domain)
+        password = browser.generate_password(account_id)["password"]
+        site.register("alice", password)
+        # Days later: regenerate and log in.
+        regenerated = browser.generate_password(account_id)["password"]
+        site.login("alice", regenerated)
+        assert site.successful_logins == 1
+
+    def test_multiple_accounts_independent(self, enrolled_bed):
+        bed, browser = enrolled_bed
+        ids = [
+            browser.add_account("alice", domain)
+            for domain in ("a.com", "b.com", "c.com")
+        ]
+        passwords = [browser.generate_password(i)["password"] for i in ids]
+        assert len(set(passwords)) == 3
+
+    def test_session_survives_many_operations(self, enrolled_bed):
+        bed, browser = enrolled_bed
+        for i in range(10):
+            browser.add_account("alice", f"site{i}.com")
+        assert len(browser.accounts()) == 10
+
+    def test_two_browsers_same_account(self, enrolled_bed):
+        """Multiple computers without installing software (§I)."""
+        bed, first = enrolled_bed
+        account_id = first.add_account("alice", "x.com")
+        second = bed.new_browser()
+        second.login("alice", "master-password-1")
+        from_first = first.generate_password(account_id)["password"]
+        from_second = second.generate_password(account_id)["password"]
+        assert from_first == from_second
+
+    def test_browser_session_isolated_per_profile(self, enrolled_bed):
+        bed, browser = enrolled_bed
+        fresh = bed.new_browser()
+        from repro.util.errors import AuthenticationError
+
+        with pytest.raises(AuthenticationError):
+            fresh.accounts()
+
+
+class TestPasswordChange:
+    def test_rotate_and_update_website(self, enrolled_bed):
+        bed, browser = enrolled_bed
+        site = DummyWebsite("s.example", rng=SeededRandomSource(b"s2"))
+        account_id = browser.add_account("alice", site.domain)
+        old_password = browser.generate_password(account_id)["password"]
+        site.register("alice", old_password)
+        browser.rotate_password(account_id)
+        new_password = browser.generate_password(account_id)["password"]
+        site.change_password("alice", old_password, new_password)
+        site.login("alice", new_password)
+
+    def test_policy_adapts_to_site_restrictions(self, enrolled_bed):
+        """§III-B4: adjust the character set per website policy."""
+        from repro.client.website import SitePolicy
+
+        bed, browser = enrolled_bed
+        site = DummyWebsite(
+            "strict.example",
+            policy=SitePolicy(allow_special=False, max_length=16),
+            rng=SeededRandomSource(b"s3"),
+        )
+        account_id = browser.add_account(
+            "alice", site.domain, length=16, classes={"special": False}
+        )
+        password = browser.generate_password(account_id)["password"]
+        site.register("alice", password)  # must satisfy the site policy
+        site.login("alice", password)
+
+
+class TestWireConfidentiality:
+    def test_no_plaintext_password_on_any_wire(self):
+        """The generated password never crosses the fabric unencrypted
+        (it travels only inside TLS records)."""
+        bed = AmnesiaTestbed(seed="confidentiality")
+        seen = []
+        bed.network.add_tap(lambda d: seen.append(d.payload))
+        browser = bed.enroll("alice", "master-password-1")
+        account_id = browser.add_account("alice", "x.com")
+        password = browser.generate_password(account_id)["password"]
+        assert all(password.encode() not in payload for payload in seen)
+
+    def test_master_password_never_on_wire_in_clear(self):
+        bed = AmnesiaTestbed(seed="confidentiality-mp")
+        seen = []
+        bed.network.add_tap(lambda d: seen.append(d.payload))
+        browser = bed.enroll("alice", "very-secret-master")
+        assert all(b"very-secret-master" not in payload for payload in seen)
+
+    def test_rendezvous_hop_carries_only_blinded_request(self):
+        """What §IV-B's eavesdropper actually sees: R, not (u, d)."""
+        bed = AmnesiaTestbed(seed="rendezvous-leak")
+        rendezvous_payloads = []
+        bed.network.add_tap(
+            lambda d: rendezvous_payloads.append(d.payload)
+            if d.dst == "gcm" or d.src == "gcm"
+            else None
+        )
+        browser = bed.enroll("alice", "master-password-1")
+        account_id = browser.add_account("alice", "mail.google.com")
+        browser.generate_password(account_id)
+        blob = b"".join(rendezvous_payloads)
+        assert b"mail.google.com" not in blob  # domain never crosses GCM

@@ -1,0 +1,34 @@
+"""Smoke tests: every shipped example runs to completion.
+
+Examples are documentation that executes; these tests keep them honest.
+Each runs as a subprocess exactly as a user would run it.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+ALL_EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+class TestExamples:
+    def test_expected_examples_present(self):
+        assert "quickstart.py" in ALL_EXAMPLES
+        assert len(ALL_EXAMPLES) >= 8
+
+    @pytest.mark.parametrize("script", ALL_EXAMPLES)
+    def test_example_runs_clean(self, script):
+        completed = subprocess.run(
+            [sys.executable, str(EXAMPLES_DIR / script)],
+            capture_output=True,
+            timeout=300,
+            text=True,
+        )
+        assert completed.returncode == 0, (
+            f"{script} failed:\n{completed.stdout}\n{completed.stderr}"
+        )
+        assert completed.stdout.strip(), f"{script} printed nothing"

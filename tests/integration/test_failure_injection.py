@@ -1,0 +1,111 @@
+"""Failure injection: lossy links, dead hosts, malformed traffic."""
+
+import pytest
+
+from repro.net.link import Link
+from repro.net.profiles import FAST_PROFILE
+from repro.sim.latency import Lognormal
+from repro.testbed import (
+    LAPTOP,
+    PHONE,
+    RENDEZVOUS,
+    SERVER,
+    AmnesiaTestbed,
+)
+from repro.util.errors import ValidationError
+
+
+def lossy_testbed(loss: float, seed: str) -> AmnesiaTestbed:
+    """A testbed whose phone-facing links drop packets."""
+    bed = AmnesiaTestbed(seed=seed, generation_timeout_ms=20_000)
+    # Replace phone links with lossy variants (same latency model).
+    for src, dst in ((RENDEZVOUS, PHONE), (PHONE, SERVER)):
+        bed.network.add_link(
+            Link(src, dst, Lognormal(5.0, 1.0), loss_probability=loss)
+        )
+    return bed
+
+
+class TestLossyNetwork:
+    def test_generation_succeeds_under_moderate_loss(self):
+        # Phone->server retries carry the token through 20% loss.
+        bed = lossy_testbed(0.2, "loss-20")
+        browser = bed.enroll("alice", "master-password-1")
+        account_id = browser.add_account("alice", "x.com")
+        result = browser.generate_password(account_id)
+        assert len(result["password"]) == 32
+
+    def test_pairing_succeeds_under_loss(self):
+        bed = lossy_testbed(0.15, "loss-pairing")
+        browser = bed.enroll("alice", "master-password-1")
+        assert browser.me()["phone_registered"] is True
+
+
+class TestDeadComponents:
+    def test_rendezvous_outage_times_out_generation(self):
+        bed = AmnesiaTestbed(seed="gcm-down", generation_timeout_ms=2_000)
+        browser = bed.enroll("alice", "master-password-1")
+        account_id = browser.add_account("alice", "x.com")
+        bed.network.host(RENDEZVOUS).online = False
+        with pytest.raises(ValidationError, match="timed out"):
+            browser.generate_password(account_id)
+        # Account management still works without the rendezvous server.
+        browser.add_account("alice", "y.com")
+        assert len(browser.accounts()) == 2
+
+    def test_recovery_after_rendezvous_returns(self):
+        bed = AmnesiaTestbed(seed="gcm-flap", generation_timeout_ms=2_000)
+        browser = bed.enroll("alice", "master-password-1")
+        account_id = browser.add_account("alice", "x.com")
+        bed.network.host(RENDEZVOUS).online = False
+        with pytest.raises(ValidationError):
+            browser.generate_password(account_id)
+        bed.network.host(RENDEZVOUS).online = True
+        result = browser.generate_password(account_id)
+        assert len(result["password"]) == 32
+
+    def test_phone_unavailability_is_the_paper_limitation(self):
+        """§VIII: 'If the smartphone is powered off or offline, then the
+        user would lose access to their accounts.'"""
+        bed = AmnesiaTestbed(seed="phone-off", generation_timeout_ms=1_500)
+        browser = bed.enroll("alice", "master-password-1")
+        account_id = browser.add_account("alice", "x.com")
+        bed.device.power_off()
+        with pytest.raises(ValidationError, match="timed out"):
+            browser.generate_password(account_id)
+
+
+class TestMalformedTraffic:
+    def test_server_survives_fuzz_on_all_ports(self):
+        bed = AmnesiaTestbed(seed="fuzz")
+        browser = bed.enroll("alice", "master-password-1")
+        account_id = browser.add_account("alice", "x.com")
+        fuzz = [
+            b"", b"\x00", b"\xff" * 64, b"GET / HTTP/1.1\r\n\r\n",
+            b'{"type": "push"}', b"\x04" + b"\x00" * 40,
+        ]
+        for payload in fuzz:
+            bed.network.send(LAPTOP, SERVER, 443, payload)
+            bed.network.send(SERVER, RENDEZVOUS, 5228, payload)
+            bed.network.send(RENDEZVOUS, PHONE, 5229, payload)
+        bed.run_until_idle()
+        # Everything still works afterwards.
+        result = browser.generate_password(account_id)
+        assert len(result["password"]) == 32
+
+    def test_duplicate_token_submission_harmless(self):
+        """If the phone's token POST is retransmitted, the second copy
+        must not corrupt state or produce a second password."""
+        bed = AmnesiaTestbed(seed="dup-token")
+        browser = bed.enroll("alice", "master-password-1")
+        account_id = browser.add_account("alice", "x.com")
+        browser.generate_password(account_id)
+        completed = bed.server.metrics.generations_completed
+        # Replaying the /token body now refers to a consumed exchange.
+        phone_pid = bed.phone.database.pid().hex()
+        response = bed.new_browser().http.post(
+            "/token",
+            {"pending_id": "0" * 32, "token": "ab" * 32, "pid": phone_pid},
+        )
+        assert response.status == 404
+        assert bed.server.metrics.generations_completed == completed

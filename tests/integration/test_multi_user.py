@@ -1,0 +1,100 @@
+"""Multi-user, multi-device, and mobile-browser scenarios."""
+
+import pytest
+
+from repro.testbed import AmnesiaTestbed
+from repro.util.errors import AuthenticationError, NotFoundError
+
+
+@pytest.fixture
+def two_users():
+    bed = AmnesiaTestbed(seed="two-users")
+    alice = bed.enroll("alice", "alice-master-pw")
+    bob_phone = bed.add_device("phone-bob")
+    bob = bed.enroll("bob", "bob-master-pw", phone=bob_phone)
+    return bed, alice, bob, bob_phone
+
+
+class TestMultiUser:
+    def test_same_site_different_passwords(self, two_users):
+        """O_id (and seeds) isolate users: same (u, d) on two accounts
+        still derives different passwords."""
+        bed, alice, bob, __ = two_users
+        a_id = alice.add_account("shareduser", "forum.example.com")
+        b_id = bob.add_account("shareduser", "forum.example.com")
+        assert (
+            alice.generate_password(a_id)["password"]
+            != bob.generate_password(b_id)["password"]
+        )
+
+    def test_requests_route_to_the_right_phone(self, two_users):
+        bed, alice, bob, bob_phone = two_users
+        a_id = alice.add_account("alice", "x.com")
+        b_id = bob.add_account("bob", "y.com")
+        alice.generate_password(a_id)
+        assert bed.phone.answered_requests == 1
+        assert bob_phone.answered_requests == 0
+        bob.generate_password(b_id)
+        assert bed.phone.answered_requests == 1
+        assert bob_phone.answered_requests == 1
+
+    def test_cross_account_access_denied(self, two_users):
+        bed, alice, bob, __ = two_users
+        a_id = alice.add_account("alice", "x.com")
+        with pytest.raises(NotFoundError):
+            bob.generate_password(a_id)
+
+    def test_wrong_phone_cannot_answer(self, two_users):
+        """Bob's phone presenting its P_id for Alice's exchange fails."""
+        bed, alice, bob, bob_phone = two_users
+        a_id = alice.add_account("alice", "x.com")
+        # Intercept Alice's push and have Bob's phone answer it.
+        captured = {}
+        original = bed.phone.listener.on_push
+        bed.phone.listener.on_push = lambda data: captured.update(data)
+        from repro.web.http import HttpRequest
+
+        outcome = {}
+        alice.http.send(
+            HttpRequest.json_request("POST", f"/accounts/{a_id}/generate", {}),
+            lambda response: outcome.update(response=response),
+        )
+        bed.run(2_000)
+        assert "pending_id" in captured
+        from repro.core.protocol import generate_token
+        from repro.core.secrets import EntryTable
+
+        table = EntryTable(bob_phone.database.entry_table())
+        forged_token = generate_token(str(captured["request"]), table)
+        response = bed.new_browser().http.post(
+            "/token",
+            {
+                "pending_id": captured["pending_id"],
+                "token": forged_token,
+                "pid": bob_phone.database.pid().hex(),
+            },
+        )
+        assert response.status == 401  # P_id mismatch
+        bed.phone.listener.on_push = original
+
+
+class TestMobileBrowser:
+    def test_phone_takes_the_role_of_the_pc(self):
+        """§III: 'for a user using a mobile browser ... the phone would
+        also take on the role of the PC.'"""
+        bed = AmnesiaTestbed(seed="mobile-browser")
+        laptop = bed.enroll("alice", "master-password-1")
+        account_id = laptop.add_account("alice", "x.com")
+        from_laptop = laptop.generate_password(account_id)["password"]
+
+        mobile = bed.mobile_browser()
+        mobile.login("alice", "master-password-1")
+        from_mobile = mobile.generate_password(account_id)["password"]
+        assert from_mobile == from_laptop
+
+    def test_mobile_browser_requires_login(self):
+        bed = AmnesiaTestbed(seed="mobile-auth")
+        bed.enroll("alice", "master-password-1")
+        mobile = bed.mobile_browser()
+        with pytest.raises(AuthenticationError):
+            mobile.accounts()

@@ -1,0 +1,91 @@
+"""Restart persistence: the whole deployment survives a power cycle.
+
+Both databases live on disk; a "restart" builds a fresh testbed (new
+simulator, new network, new processes) over the same files. Passwords
+must regenerate identically, the server's certificate (and therefore
+the phone's pin) must hold, and the phone recovers its rendezvous
+registration via /phone/reregister.
+"""
+
+import pytest
+
+from repro.testbed import AmnesiaTestbed
+
+
+@pytest.fixture
+def paths(tmp_path):
+    return str(tmp_path / "server.db"), str(tmp_path / "phone.db")
+
+
+def build(paths, seed):
+    server_db, phone_db = paths
+    return AmnesiaTestbed(seed=seed, db_path=server_db, phone_db_path=phone_db)
+
+
+class TestRestartPersistence:
+    def test_full_power_cycle(self, paths):
+        # --- first life ---
+        bed = build(paths, "restart-1")
+        browser = bed.enroll("alice", "master-password-1")
+        account_id = browser.add_account("alice", "persist.example.com")
+        original = browser.generate_password(account_id)["password"]
+        original_cert = bed.server.certificate
+        bed.server.database.close()
+        bed.phone.database.close()
+
+        # --- second life: same databases, fresh everything else ---
+        bed2 = build(paths, "restart-2")
+        # The TLS identity key persisted: same certificate, pins hold.
+        assert bed2.server.certificate == original_cert
+        # The phone resumes its installed state instead of reinstalling.
+        bed2.phone.resume()
+        assert bed2.phone.installed
+        outcome = {}
+        bed2.phone.refresh_registration(
+            "alice", lambda ok: outcome.update(done=ok)
+        )
+        bed2.drive_until(lambda: "done" in outcome)
+        assert outcome["done"] is True
+        # The user logs in with the same master password; the account is
+        # still there; the password regenerates identically.
+        browser2 = bed2.new_browser()
+        browser2.login("alice", "master-password-1")
+        accounts = browser2.accounts()
+        assert accounts[0]["domain"] == "persist.example.com"
+        regenerated = browser2.generate_password(accounts[0]["account_id"])
+        assert regenerated["password"] == original
+
+    def test_resume_requires_installed_state(self):
+        bed = AmnesiaTestbed(seed="resume-empty")
+        from repro.util.errors import NotFoundError
+
+        with pytest.raises(NotFoundError):
+            bed.phone.resume()
+
+    def test_reregister_requires_correct_pid(self, paths):
+        bed = build(paths, "rereg-auth")
+        bed.enroll("alice", "master-password-1")
+        # An attacker with a random pid cannot hijack the push channel.
+        response = bed.new_browser().http.post(
+            "/phone/reregister",
+            {"login": "alice", "pid": "00" * 64, "reg_id": "gcm:attacker"},
+        )
+        assert response.status == 401
+        user = bed.server.database.user_by_login("alice")
+        assert user.reg_id != "gcm:attacker"
+
+    def test_reregister_updates_reg_id(self):
+        bed = AmnesiaTestbed(seed="rereg-update")
+        browser = bed.enroll("alice", "master-password-1")
+        before = bed.server.database.user_by_login("alice").reg_id
+        outcome = {}
+        bed.phone.refresh_registration(
+            "alice", lambda ok: outcome.update(done=ok)
+        )
+        bed.drive_until(lambda: "done" in outcome)
+        after = bed.server.database.user_by_login("alice").reg_id
+        assert after != before
+        # Pushes flow to the NEW registration id.
+        account_id = browser.add_account("alice", "x.com")
+        result = browser.generate_password(account_id)
+        assert len(result["password"]) == 32

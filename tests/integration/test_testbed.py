@@ -1,0 +1,89 @@
+"""Tests of the testbed harness itself (drivers, wiring, errors)."""
+
+import pytest
+
+from repro.testbed import CLOUD, LAPTOP, PHONE, RENDEZVOUS, SERVER, AmnesiaTestbed
+from repro.util.errors import NetworkError, ValidationError
+
+
+class TestWiring:
+    def test_all_hosts_exist(self, bed):
+        for host in (LAPTOP, SERVER, RENDEZVOUS, PHONE, CLOUD):
+            assert bed.network.host(host) is not None
+
+    def test_without_cloud(self):
+        bed = AmnesiaTestbed(seed="no-cloud", with_cloud=False)
+        assert bed.cloud is None
+        with pytest.raises(ValidationError):
+            bed.cloud_client_for_phone()
+
+    def test_fetch_backup_before_provisioning_rejected(self, bed):
+        with pytest.raises(ValidationError):
+            bed.fetch_backup_via_browser()
+
+    def test_same_seed_same_behaviour(self):
+        first = AmnesiaTestbed(seed="determinism")
+        second = AmnesiaTestbed(seed="determinism")
+        b1 = first.enroll("alice", "master-password-1")
+        b2 = second.enroll("alice", "master-password-1")
+        a1 = b1.add_account("alice", "x.com")
+        a2 = b2.add_account("alice", "x.com")
+        assert (
+            b1.generate_password(a1)["password"]
+            == b2.generate_password(a2)["password"]
+        )
+
+    def test_different_seed_different_secrets(self):
+        first = AmnesiaTestbed(seed="seed-a")
+        second = AmnesiaTestbed(seed="seed-b")
+        b1 = first.enroll("alice", "master-password-1")
+        b2 = second.enroll("alice", "master-password-1")
+        a1 = b1.add_account("alice", "x.com")
+        a2 = b2.add_account("alice", "x.com")
+        assert (
+            b1.generate_password(a1)["password"]
+            != b2.generate_password(a2)["password"]
+        )
+
+
+class TestDrivers:
+    def test_run_advances_clock_exactly(self, bed):
+        start = bed.kernel.now
+        bed.run(1234.5)
+        assert bed.kernel.now == start + 1234.5
+
+    def test_drive_until_error_when_drained(self, bed):
+        with pytest.raises(NetworkError, match="drained"):
+            bed.drive_until(lambda: False)
+
+    def test_drive_until_event_budget(self, bed):
+        # An endless event chain must trip the budget, not hang.
+        def reschedule():
+            bed.kernel.schedule(1, reschedule)
+
+        bed.kernel.schedule(1, reschedule)
+        with pytest.raises(NetworkError, match="budget"):
+            bed.drive_until(lambda: False, max_events=100)
+
+    def test_run_until_idle_idempotent(self, bed):
+        bed.run_until_idle()
+        bed.run_until_idle()
+
+
+class TestEnrollment:
+    def test_enroll_is_logged_in(self, bed):
+        browser = bed.enroll("alice", "master-password-1")
+        assert browser.me()["login"] == "alice"
+
+    def test_two_enrollments_two_phones(self, bed):
+        bed.enroll("alice", "master-password-1")
+        other_phone = bed.add_device("phone-2")
+        bed.enroll("bob", "master-password-2", phone=other_phone)
+        alice = bed.server.database.user_by_login("alice")
+        bob = bed.server.database.user_by_login("bob")
+        assert alice.reg_id != bob.reg_id
+
+    def test_replace_phone_unbinds_old_ports(self, bed):
+        bed.enroll("alice", "master-password-1")
+        bed.replace_phone()  # must not raise ConflictError on ports
+        bed.replace_phone()  # twice, for good measure

@@ -1,0 +1,93 @@
+"""§VII-A's task list, executed verbatim.
+
+The user study asked each of the 31 participants to:
+
+1. Create an Amnesia account
+2. Download and register the Android application
+3. Create an account on Amnesia for the dummy website
+4. Generate a password for the dummy website
+5. Create an account on the dummy website using the generated password
+6. Post a comment on the dummy website containing the generated password
+
+This test runs the exact sequence a participant ran, against the same
+kind of dummy site the authors built.
+"""
+
+from repro.client.website import DummyWebsite
+from repro.crypto.randomness import SeededRandomSource
+from repro.phone.app import ApprovalPolicy
+from repro.testbed import AmnesiaTestbed
+
+
+class TestUserStudyTaskList:
+    def test_all_six_tasks(self):
+        bed = AmnesiaTestbed(seed="user-study", approval=ApprovalPolicy.MANUAL)
+        dummy_site = DummyWebsite(
+            "dummy.study.example", rng=SeededRandomSource(b"study-site")
+        )
+
+        # Task 1: create an Amnesia account.
+        browser = bed.new_browser()
+        browser.signup("participant", "participant-master-pw")
+        assert browser.me()["login"] == "participant"
+
+        # Task 2: download and register the Android application.
+        code = browser.start_pairing()
+        bed.phone.install()
+        outcome = {}
+        bed.phone.register(
+            "participant", code, lambda ok: outcome.update(done=ok)
+        )
+        bed.drive_until(lambda: "done" in outcome)
+        assert outcome["done"] is True
+        assert browser.me()["phone_registered"] is True
+
+        # Task 3: create an account on Amnesia for the dummy website.
+        account_id = browser.add_account("participant", dummy_site.domain)
+        assert browser.accounts()[0]["domain"] == dummy_site.domain
+
+        # Task 4: generate a password (approving the request on the phone,
+        # as the study's participants did via the notification).
+        from repro.web.http import HttpRequest
+
+        generation = {}
+        browser.http.send(
+            HttpRequest.json_request(
+                "POST", f"/accounts/{account_id}/generate", {}
+            ),
+            lambda response: generation.update(response=response),
+        )
+        bed.run(500)
+        prompt = bed.phone.pending_approvals()[0]
+        assert prompt["origin"] == "laptop"  # §V-B's origin display
+        bed.phone.approve(prompt["pending_id"])
+        bed.drive_until(lambda: "response" in generation)
+        password = generation["response"].json()["password"]
+        assert len(password) == 32
+
+        # Task 5: create the dummy-site account with the generated password.
+        dummy_site.register("participant", password)
+        assert dummy_site.has_user("participant")
+
+        # Task 6: post a comment containing the generated password (the
+        # study's proof that the participant could retrieve and use it).
+        bed.phone.approval = ApprovalPolicy.AUTO  # they'd tap accept again
+        regenerated = browser.generate_password(account_id)["password"]
+        assert regenerated == password
+        dummy_site.post_comment(
+            "participant", regenerated, f"my generated password is {regenerated}"
+        )
+        author, text = dummy_site.comments()[0]
+        assert author == "participant"
+        assert password in text
+
+    def test_comment_requires_valid_login(self):
+        site = DummyWebsite("c.example", rng=SeededRandomSource(b"c"))
+        site.register("user", "right-password")
+        import pytest
+
+        from repro.util.errors import AuthenticationError
+
+        with pytest.raises(AuthenticationError):
+            site.post_comment("user", "wrong-password", "hi")
+        assert site.comments() == []

@@ -1,0 +1,68 @@
+"""Certificate and pin-store tests."""
+
+import pytest
+
+from repro.net.certificates import Certificate, CertificateStore
+from repro.util.errors import ValidationError
+
+
+class TestCertificate:
+    def test_fingerprint_stable(self):
+        cert = Certificate("amnesia.example", bytes(32))
+        assert cert.fingerprint() == cert.fingerprint()
+
+    def test_fingerprint_binds_identity(self):
+        a = Certificate("a.example", bytes(32))
+        b = Certificate("b.example", bytes(32))
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_fingerprint_binds_key(self):
+        a = Certificate("a.example", bytes(32))
+        b = Certificate("a.example", b"\x01" + bytes(31))
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_key_size_enforced(self):
+        with pytest.raises(ValidationError):
+            Certificate("a", b"short")
+
+
+class TestCertificateStore:
+    def test_pin_then_trust(self):
+        store = CertificateStore()
+        cert = Certificate("srv", bytes(32))
+        store.pin(cert)
+        assert store.trusted(cert)
+
+    def test_untrusted_by_default(self):
+        store = CertificateStore()
+        assert not store.trusted(Certificate("srv", bytes(32)))
+
+    def test_different_key_same_identity_rejected(self):
+        store = CertificateStore()
+        store.pin(Certificate("srv", bytes(32)))
+        impostor = Certificate("srv", b"\x01" + bytes(31))
+        assert not store.trusted(impostor)
+
+    def test_pin_overwrite(self):
+        store = CertificateStore()
+        old = Certificate("srv", bytes(32))
+        new = Certificate("srv", b"\x01" + bytes(31))
+        store.pin(old)
+        store.pin(new)
+        assert store.trusted(new)
+        assert not store.trusted(old)
+
+    def test_unpin(self):
+        store = CertificateStore()
+        cert = Certificate("srv", bytes(32))
+        store.pin(cert)
+        store.unpin("srv")
+        assert not store.trusted(cert)
+        assert len(store) == 0
+
+    def test_certificate_for(self):
+        store = CertificateStore()
+        cert = Certificate("srv", bytes(32))
+        store.pin(cert)
+        assert store.certificate_for("srv") == cert
+        assert store.certificate_for("other") is None

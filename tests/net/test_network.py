@@ -1,0 +1,160 @@
+"""Network fabric tests: delivery, loss, taps, offline hosts."""
+
+import pytest
+
+from repro.net.link import Link
+from repro.net.network import Network
+from repro.sim.latency import Constant
+from repro.util.errors import ConflictError, NetworkError, ValidationError
+
+
+@pytest.fixture
+def net(kernel, rngs):
+    network = Network(kernel, rngs)
+    network.add_host("a")
+    network.add_host("b")
+    network.add_link(Link("a", "b", Constant(10)))
+    return network
+
+
+class TestTopology:
+    def test_duplicate_host_rejected(self, net):
+        with pytest.raises(ConflictError):
+            net.add_host("a")
+
+    def test_unknown_host_lookup(self, net):
+        with pytest.raises(NetworkError):
+            net.host("zz")
+
+    def test_link_requires_known_hosts(self, net):
+        with pytest.raises(NetworkError):
+            net.add_link(Link("a", "nowhere", Constant(1)))
+
+    def test_bidirectional_by_default(self, net):
+        assert net.link_between("b", "a").latency == Constant(10)
+
+    def test_unidirectional_option(self, kernel, rngs):
+        network = Network(kernel, rngs)
+        network.add_host("x")
+        network.add_host("y")
+        network.add_link(Link("x", "y", Constant(1)), bidirectional=False)
+        with pytest.raises(NetworkError):
+            network.link_between("y", "x")
+
+
+class TestDelivery:
+    def test_delivery_after_latency(self, net, kernel):
+        received = []
+        net.host("b").bind(80, lambda d: received.append((d.payload, kernel.now)))
+        net.send("a", "b", 80, b"hello")
+        kernel.run_until_idle()
+        assert received == [(b"hello", 10.0)]
+
+    def test_send_without_link_raises(self, net):
+        net.add_host("c")
+        with pytest.raises(NetworkError):
+            net.send("a", "c", 80, b"x")
+
+    def test_payload_must_be_bytes(self, net):
+        with pytest.raises(ValidationError):
+            net.send("a", "b", 80, "text")
+
+    def test_offline_host_drops(self, net, kernel):
+        received = []
+        net.host("b").bind(80, lambda d: received.append(d))
+        net.host("b").online = False
+        net.send("a", "b", 80, b"x")
+        kernel.run_until_idle()
+        assert received == []
+        assert net.dropped_count == 1
+
+    def test_unbound_port_drops(self, net, kernel):
+        net.send("a", "b", 9999, b"x")
+        kernel.run_until_idle()
+        assert net.dropped_count == 1
+
+    def test_drop_hook_reports_reason(self, net, kernel):
+        drops = []
+        net.add_drop_hook(lambda d, reason: drops.append(reason))
+        net.send("a", "b", 9999, b"x")
+        kernel.run_until_idle()
+        assert drops == ["no-handler"]
+
+    def test_host_send_convenience(self, net, kernel):
+        received = []
+        net.host("b").bind(80, lambda d: received.append(d.src))
+        net.host("a").send("b", 80, b"x")
+        kernel.run_until_idle()
+        assert received == ["a"]
+
+    def test_counters(self, net, kernel):
+        net.host("b").bind(80, lambda d: None)
+        net.send("a", "b", 80, b"x")
+        kernel.run_until_idle()
+        assert net.sent_count == 1
+        assert net.delivered_count == 1
+
+
+class TestLoss:
+    def test_lossy_link_drops_statistically(self, kernel, rngs):
+        network = Network(kernel, rngs)
+        network.add_host("a")
+        network.add_host("b")
+        network.add_link(Link("a", "b", Constant(1), loss_probability=0.5))
+        received = []
+        network.host("b").bind(80, lambda d: received.append(d))
+        for __ in range(400):
+            network.send("a", "b", 80, b"x")
+        kernel.run_until_idle()
+        assert 120 < len(received) < 280  # ~200 expected
+
+    def test_loss_probability_validated(self):
+        with pytest.raises(ValidationError):
+            Link("a", "b", Constant(1), loss_probability=1.0)
+
+
+class TestTaps:
+    def test_tap_sees_every_datagram(self, net, kernel):
+        seen = []
+        net.add_tap(lambda d: seen.append(d.payload))
+        net.host("b").bind(80, lambda d: None)
+        net.send("a", "b", 80, b"one")
+        net.send("a", "b", 80, b"two")
+        kernel.run_until_idle()
+        assert seen == [b"one", b"two"]
+
+    def test_tap_sees_lost_datagrams_too(self, kernel, rngs):
+        # A wire tap is before the loss point (it is the wire).
+        network = Network(kernel, rngs)
+        network.add_host("a")
+        network.add_host("b")
+        network.add_link(Link("a", "b", Constant(1), loss_probability=0.99))
+        seen = []
+        network.add_tap(lambda d: seen.append(d))
+        network.send("a", "b", 80, b"x")
+        assert len(seen) == 1
+
+    def test_remove_tap(self, net, kernel):
+        seen = []
+        tap = lambda d: seen.append(d)  # noqa: E731
+        net.add_tap(tap)
+        net.remove_tap(tap)
+        net.host("b").bind(80, lambda d: None)
+        net.send("a", "b", 80, b"x")
+        kernel.run_until_idle()
+        assert seen == []
+
+
+class TestBandwidth:
+    def test_serialisation_delay_scales_with_size(self, kernel, rngs):
+        network = Network(kernel, rngs)
+        network.add_host("a")
+        network.add_host("b")
+        network.add_link(
+            Link("a", "b", Constant(0), bandwidth_kbps=8.0)  # 1 byte/ms
+        )
+        times = []
+        network.host("b").bind(80, lambda d: times.append(kernel.now))
+        network.send("a", "b", 80, b"x" * 100)
+        kernel.run_until_idle()
+        assert times == [100.0]

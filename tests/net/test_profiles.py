@@ -1,0 +1,52 @@
+"""Network-profile calibration tests: do the fits match Figure 3?"""
+
+import pytest
+
+from repro.eval.latency import PAPER_FIGURE_3
+from repro.net.profiles import (
+    CELLULAR_4G_PROFILE,
+    FAST_PROFILE,
+    PROFILES,
+    WIFI_PROFILE,
+)
+
+
+class TestCalibration:
+    def test_wifi_mean_matches_paper(self):
+        expected = PAPER_FIGURE_3["wifi"]["mean_ms"]
+        assert WIFI_PROFILE.expected_generation_mean_ms() == pytest.approx(
+            expected, rel=0.01
+        )
+
+    def test_wifi_std_matches_paper(self):
+        expected = PAPER_FIGURE_3["wifi"]["std_ms"]
+        assert WIFI_PROFILE.expected_generation_std_ms() == pytest.approx(
+            expected, rel=0.02
+        )
+
+    def test_4g_mean_matches_paper(self):
+        expected = PAPER_FIGURE_3["4g"]["mean_ms"]
+        assert CELLULAR_4G_PROFILE.expected_generation_mean_ms() == pytest.approx(
+            expected, rel=0.01
+        )
+
+    def test_4g_std_matches_paper(self):
+        expected = PAPER_FIGURE_3["4g"]["std_ms"]
+        assert CELLULAR_4G_PROFILE.expected_generation_std_ms() == pytest.approx(
+            expected, rel=0.02
+        )
+
+    def test_wifi_faster_than_4g(self):
+        assert (
+            WIFI_PROFILE.expected_generation_mean_ms()
+            < CELLULAR_4G_PROFILE.expected_generation_mean_ms()
+        )
+
+    def test_both_under_a_second_ish(self):
+        # The paper's conclusion: "latency is not a big issue".
+        assert WIFI_PROFILE.expected_generation_mean_ms() < 1000
+        assert CELLULAR_4G_PROFILE.expected_generation_mean_ms() < 1100
+
+    def test_registry_contains_all(self):
+        assert set(PROFILES) == {"wifi", "4g", "fast"}
+        assert PROFILES["fast"] is FAST_PROFILE

@@ -1,0 +1,208 @@
+"""Secure channel tests: handshake, records, authentication, attacks."""
+
+import pytest
+
+from repro.crypto.aead import aead_decrypt
+from repro.crypto.randomness import SeededRandomSource
+from repro.net.certificates import Certificate, CertificateStore
+from repro.net.link import Link
+from repro.net.network import Network
+from repro.net.tls import SecureServer, SecureStack
+from repro.sim.latency import Constant
+from repro.util.errors import CryptoError, NetworkError
+
+
+@pytest.fixture
+def fabric(kernel, rngs):
+    network = Network(kernel, rngs)
+    network.add_host("client")
+    network.add_host("server")
+    network.add_link(Link("client", "server", Constant(5)))
+    server = SecureServer("srv.example", SeededRandomSource(b"server-keys"))
+    server_stack = SecureStack(
+        network.host("server"), network, SeededRandomSource(b"server-stack")
+    )
+    server_stack.attach_server(server)
+    client_stack = SecureStack(
+        network.host("client"), network, SeededRandomSource(b"client-stack")
+    )
+    return network, kernel, server, server_stack, client_stack
+
+
+def echo_service(stack):
+    def handler(session, seq, data):
+        stack.respond(session, seq, b"echo:" + data)
+
+    return handler
+
+
+class TestHandshakeAndRequests:
+    def test_request_response(self, fabric):
+        network, kernel, server, server_stack, client_stack = fabric
+        server.register_service("svc", echo_service(server_stack))
+        channel = client_stack.connect("server", server.certificate, "svc")
+        got = []
+        channel.request(b"ping", got.append)
+        kernel.run_until_idle()
+        assert got == [b"echo:ping"]
+
+    def test_multiple_requests_one_channel(self, fabric):
+        network, kernel, server, server_stack, client_stack = fabric
+        server.register_service("svc", echo_service(server_stack))
+        channel = client_stack.connect("server", server.certificate, "svc")
+        got = []
+        for i in range(5):
+            channel.request(f"m{i}".encode(), got.append)
+        kernel.run_until_idle()
+        assert sorted(got) == [f"echo:m{i}".encode() for i in range(5)]
+
+    def test_unknown_service_rejected(self, fabric):
+        network, kernel, server, server_stack, client_stack = fabric
+        channel = client_stack.connect("server", server.certificate, "ghost")
+        errors = []
+        channel.request(b"x", lambda r: None, errors.append)
+        kernel.run_until_idle()
+        assert errors and "rejected" in str(errors[0])
+
+    def test_pin_mismatch_refuses_connect(self, fabric):
+        network, kernel, server, server_stack, client_stack = fabric
+        pins = CertificateStore()
+        pins.pin(Certificate("srv.example", bytes(32)))  # wrong key pinned
+        with pytest.raises(CryptoError, match="pin"):
+            client_stack.connect("server", server.certificate, "svc", pins=pins)
+
+    def test_wire_never_carries_plaintext(self, fabric):
+        network, kernel, server, server_stack, client_stack = fabric
+        server.register_service("svc", echo_service(server_stack))
+        seen = []
+        network.add_tap(lambda d: seen.append(d.payload))
+        channel = client_stack.connect("server", server.certificate, "svc")
+        got = []
+        channel.request(b"super-secret-payload", got.append)
+        kernel.run_until_idle()
+        assert got == [b"echo:super-secret-payload"]
+        assert all(b"super-secret-payload" not in payload for payload in seen)
+        assert all(b"echo:" not in payload for payload in seen)
+
+
+class TestServerAuthentication:
+    def test_impostor_without_static_key_fails_confirmation(self, fabric):
+        network, kernel, server, server_stack, client_stack = fabric
+        # A fake server with different keys claims the same identity.
+        network.add_host("impostor")
+        network.add_link(Link("client", "impostor", Constant(5)))
+        fake = SecureServer("srv.example", SeededRandomSource(b"fake-keys"))
+        fake_stack = SecureStack(
+            network.host("impostor"), network, SeededRandomSource(b"fake-stack")
+        )
+        fake_stack.attach_server(fake)
+        fake.register_service("svc", echo_service(fake_stack))
+        # Client connects to the impostor but expects the real certificate.
+        channel = client_stack.connect("impostor", server.certificate, "svc")
+        errors, got = [], []
+        channel.request(b"x", got.append, errors.append)
+        kernel.run_until_idle()
+        assert got == []
+        assert errors and isinstance(errors[0], CryptoError)
+
+
+class TestReliability:
+    def test_handshake_survives_loss(self, kernel, rngs):
+        network = Network(kernel, rngs)
+        network.add_host("client")
+        network.add_host("server")
+        network.add_link(Link("client", "server", Constant(5), loss_probability=0.3))
+        server = SecureServer("srv", SeededRandomSource(b"sk"))
+        server_stack = SecureStack(
+            network.host("server"), network, SeededRandomSource(b"ss")
+        )
+        server_stack.attach_server(server)
+        server.register_service("svc", echo_service(server_stack))
+        client_stack = SecureStack(
+            network.host("client"), network, SeededRandomSource(b"cs"),
+            retry_timeout_ms=50, max_retries=20,
+        )
+        channel = client_stack.connect("server", server.certificate, "svc")
+        got = []
+        channel.request(b"lossy", got.append)
+        kernel.run_until_idle()
+        assert got == [b"echo:lossy"]
+
+    def test_request_timeout_when_server_unreachable(self, fabric):
+        network, kernel, server, server_stack, client_stack = fabric
+        server.register_service("svc", echo_service(server_stack))
+        channel = client_stack.connect("server", server.certificate, "svc")
+        kernel.run_until_idle()  # handshake completes
+        network.host("server").online = False
+        errors, got = [], []
+        channel.request(b"x", got.append, errors.append)
+        kernel.run_until_idle()
+        assert got == []
+        assert errors and isinstance(errors[0], NetworkError)
+
+    def test_duplicate_request_gets_cached_response_once(self, fabric):
+        network, kernel, server, server_stack, client_stack = fabric
+        calls = []
+
+        def counting(session, seq, data):
+            calls.append(seq)
+            server_stack.respond(session, seq, b"ok")
+
+        server.register_service("svc", counting)
+        channel = client_stack.connect(
+            "server", server.certificate, "svc"
+        )
+        got = []
+        channel.request(b"x", got.append)
+        kernel.run_until_idle()
+        # Replay the exact wire record: the server must not re-execute.
+        session = server.sessions[channel.channel_id]
+        record = channel.session.seal(0, 1, 0, b"x")
+        network.send("client", "server", client_stack.port, record)
+        kernel.run_until_idle()
+        assert len(calls) == 1
+        assert got == [b"ok"]
+
+
+class TestKeyExport:
+    def test_exported_keys_decrypt_wire_records(self, fabric):
+        """The §IV-A 'broken HTTPS' model: keys + tap = plaintext."""
+        network, kernel, server, server_stack, client_stack = fabric
+        server.register_service("svc", echo_service(server_stack))
+        channel = client_stack.connect("server", server.certificate, "svc")
+        kernel.run_until_idle()
+        taps = []
+        network.add_tap(lambda d: taps.append(d.payload))
+        got = []
+        channel.request(b"attack-me", got.append)
+        kernel.run_until_idle()
+        key_c2s, __ = channel.session.export_keys()
+        # First tapped record is the client DATA record: header || sealed.
+        import struct
+
+        header_size = struct.calcsize(">B16sBQQ")
+        record = taps[0]
+        header = record[:header_size]
+        __, __, direction, seq, __ = struct.unpack(">B16sBQQ", header)
+        plaintext = aead_decrypt(
+            key_c2s,
+            struct.pack(">IQ", direction, seq),
+            record[header_size:],
+            aad=header,
+        )
+        assert plaintext == b"attack-me"
+
+
+class TestRobustness:
+    def test_garbage_datagrams_ignored(self, fabric):
+        network, kernel, server, server_stack, client_stack = fabric
+        server.register_service("svc", echo_service(server_stack))
+        for junk in (b"", b"\xff", b"\x01short", b"\x04" + bytes(10)):
+            network.send("client", "server", 443, junk)
+        kernel.run_until_idle()
+        # Server still functional afterwards.
+        channel = client_stack.connect("server", server.certificate, "svc")
+        got = []
+        channel.request(b"still-alive", got.append)
+        kernel.run_until_idle()
+        assert got == [b"echo:still-alive"]

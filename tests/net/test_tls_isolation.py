@@ -1,0 +1,87 @@
+"""Cross-channel isolation and key-schedule tests for the secure channel."""
+
+import pytest
+
+from repro.crypto.randomness import SeededRandomSource
+from repro.crypto.x25519 import x25519_base
+from repro.net.link import Link
+from repro.net.network import Network
+from repro.net.tls import SecureServer, SecureStack
+from repro.sim.latency import Constant
+from repro.util.errors import CryptoError
+
+
+@pytest.fixture
+def duo(kernel, rngs):
+    """Two independent client channels to one server."""
+    network = Network(kernel, rngs)
+    for host in ("c1", "c2", "server"):
+        network.add_host(host)
+    network.add_link(Link("c1", "server", Constant(1)))
+    network.add_link(Link("c2", "server", Constant(1)))
+    server = SecureServer("srv", SeededRandomSource(b"srv-keys"))
+    server_stack = SecureStack(
+        network.host("server"), network, SeededRandomSource(b"srv-stack")
+    )
+    server_stack.attach_server(server)
+
+    def echo(session, seq, data):
+        server_stack.respond(session, seq, b"echo:" + data)
+
+    server.register_service("svc", echo)
+    one = SecureStack(network.host("c1"), network, SeededRandomSource(b"c1"))
+    two = SecureStack(network.host("c2"), network, SeededRandomSource(b"c2"))
+    channel_one = one.connect("server", server.certificate, "svc")
+    channel_two = two.connect("server", server.certificate, "svc")
+    got = []
+    channel_one.request(b"one", got.append)
+    channel_two.request(b"two", got.append)
+    kernel.run_until_idle()
+    assert sorted(got) == [b"echo:one", b"echo:two"]
+    return network, kernel, server, channel_one, channel_two
+
+
+class TestChannelIsolation:
+    def test_keys_differ_between_channels(self, duo):
+        __, __, __, one, two = duo
+        assert one.session.export_keys() != two.session.export_keys()
+
+    def test_record_from_one_channel_unreadable_on_other(self, duo):
+        __, __, __, one, two = duo
+        record = one.session.seal(0, 99, 0, b"cross-talk")
+        # Strip the header and try to open under the other channel's keys.
+        import struct
+
+        header_size = struct.calcsize(">B16sBQQ")
+        with pytest.raises(CryptoError):
+            two.session.open(0, 99, 0, record[header_size:])
+
+    def test_direction_keys_are_not_interchangeable(self, duo):
+        __, __, __, one, __ = duo
+        record = one.session.seal(0, 7, 0, b"directional")
+        import struct
+
+        header_size = struct.calcsize(">B16sBQQ")
+        # Same channel, opposite direction key: must fail.
+        with pytest.raises(CryptoError):
+            one.session.open(1, 7, 0, record[header_size:])
+
+    def test_server_sessions_registered_per_channel(self, duo):
+        __, __, server, one, two = duo
+        assert one.channel_id in server.sessions
+        assert two.channel_id in server.sessions
+        assert one.channel_id != two.channel_id
+
+
+class TestStaticKeyPersistence:
+    def test_same_static_key_same_certificate(self):
+        key = SeededRandomSource(b"static").token_bytes(32)
+        first = SecureServer("srv", static_private=key)
+        second = SecureServer("srv", static_private=key)
+        assert first.certificate == second.certificate
+        assert first.certificate.public_key == x25519_base(key)
+
+    def test_fresh_keys_differ(self):
+        a = SecureServer("srv", SeededRandomSource(b"a"))
+        b = SecureServer("srv", SeededRandomSource(b"b"))
+        assert a.certificate != b.certificate

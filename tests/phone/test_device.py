@@ -1,0 +1,48 @@
+"""Phone device tests."""
+
+from repro.phone.device import DEFAULT_COMPUTE_LATENCY, PhoneDevice
+from repro.phone.notification import NotificationCenter
+from repro.testbed import PHONE, AmnesiaTestbed
+
+
+class TestPhoneDevice:
+    def test_power_cycle(self):
+        bed = AmnesiaTestbed(seed="device")
+        device = bed.device
+        assert device.online
+        device.power_off()
+        assert not device.online
+        assert not bed.network.host(PHONE).online
+        device.power_on()
+        assert device.online
+
+    def test_default_compute_model(self):
+        bed = AmnesiaTestbed(seed="device2")
+        assert bed.device.compute_latency is DEFAULT_COMPUTE_LATENCY
+        assert DEFAULT_COMPUTE_LATENCY.mean() == 24.0
+
+    def test_name(self):
+        bed = AmnesiaTestbed(seed="device3")
+        assert bed.device.name == PHONE
+
+
+class TestNotificationCenter:
+    def test_post_and_pending(self):
+        center = NotificationCenter()
+        first = center.post("password_request", {"request": "ab"}, 1.0)
+        center.post("master_change_request", {}, 2.0)
+        assert len(center.pending()) == 2
+        center.mark_acted(first.id)
+        assert len(center.pending()) == 1
+        assert len(center.all()) == 2
+
+    def test_mark_unknown_id_noop(self):
+        center = NotificationCenter()
+        center.mark_acted(999)  # silently ignored
+
+    def test_bodies_are_copies(self):
+        center = NotificationCenter()
+        body = {"k": "v"}
+        notification = center.post("x", body, 0.0)
+        body["k"] = "mutated"
+        assert notification.body["k"] == "v"

@@ -1,0 +1,124 @@
+"""Property-based tests of wire codecs and storage roundtrips."""
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.params import ProtocolParams
+from repro.core.recovery import decode_backup, encode_backup
+from repro.core.secrets import EntryTable, PhoneSecret
+from repro.core.templates import PasswordPolicy
+from repro.util.encoding import chunk, h2b
+from repro.web.http import (
+    HttpRequest,
+    HttpResponse,
+    decode_request,
+    decode_response,
+    encode_request,
+    encode_response,
+)
+
+token_chars = string.ascii_letters + string.digits + "-._~"
+header_values = st.text(
+    alphabet=string.ascii_letters + string.digits + " ;=,/.-_", max_size=40
+)
+path_segments = st.lists(
+    st.text(alphabet=token_chars, min_size=1, max_size=12), min_size=0, max_size=4
+)
+
+
+class TestHttpCodecProperties:
+    @settings(max_examples=60)
+    @given(
+        method=st.sampled_from(["GET", "POST", "PUT", "DELETE"]),
+        segments=path_segments,
+        body=st.binary(max_size=256),
+        headers=st.dictionaries(
+            st.text(alphabet=string.ascii_lowercase + "-", min_size=1, max_size=16),
+            header_values,
+            max_size=4,
+        ),
+        cookies=st.dictionaries(
+            st.text(alphabet=token_chars, min_size=1, max_size=10),
+            st.text(alphabet=token_chars + " ", max_size=16),
+            max_size=3,
+        ),
+    )
+    def test_request_roundtrip(self, method, segments, body, headers, cookies):
+        headers = {k: v for k, v in headers.items() if k not in ("cookie",)}
+        request = HttpRequest(
+            method=method,
+            path="/" + "/".join(segments),
+            headers=headers,
+            body=body,
+            cookies=cookies,
+        )
+        decoded = decode_request(encode_request(request))
+        assert decoded.method == request.method
+        assert decoded.path == request.path
+        assert decoded.body == request.body
+        assert decoded.cookies == request.cookies
+        for name, value in headers.items():
+            assert decoded.headers[name] == value.strip()
+
+    @settings(max_examples=60)
+    @given(
+        status=st.sampled_from([200, 201, 204, 302, 400, 401, 404, 409, 500, 503]),
+        body=st.binary(max_size=256),
+        cookies=st.dictionaries(
+            st.text(alphabet=token_chars, min_size=1, max_size=10),
+            st.text(alphabet=token_chars, max_size=16),
+            max_size=3,
+        ),
+    )
+    def test_response_roundtrip(self, status, body, cookies):
+        response = HttpResponse(status=status, body=body, set_cookies=cookies)
+        decoded = decode_response(encode_response(response))
+        assert decoded.status == status
+        assert decoded.body == body
+        assert decoded.set_cookies == cookies
+
+
+class TestBackupProperties:
+    @settings(max_examples=20)
+    @given(
+        table_size=st.integers(min_value=1, max_value=64),
+        seed=st.binary(min_size=4, max_size=16),
+    )
+    def test_backup_roundtrip_any_table_size(self, table_size, seed):
+        from repro.crypto.randomness import SeededRandomSource
+
+        params = ProtocolParams(entry_table_size=table_size)
+        secret = PhoneSecret.generate(SeededRandomSource(seed), params)
+        payload = decode_backup(encode_backup(secret))
+        assert payload.pid == secret.pid
+        assert payload.entries == secret.entry_table.entries()
+
+
+class TestEncodingProperties:
+    @given(data=st.binary(max_size=128))
+    def test_hex_roundtrip(self, data):
+        assert h2b(data.hex()) == data
+
+    @given(
+        text=st.text(alphabet="0123456789abcdef", max_size=120),
+        size=st.integers(min_value=1, max_value=8),
+    )
+    def test_chunk_pieces_exact_and_ordered(self, text, size):
+        pieces = chunk(text, size)
+        assert all(len(p) == size for p in pieces)
+        assert "".join(pieces) == text[: len(pieces) * size]
+
+
+class TestPolicyProperties:
+    @settings(max_examples=40)
+    @given(
+        length=st.integers(min_value=1, max_value=32),
+        intermediate=st.text(alphabet="0123456789abcdef", min_size=128, max_size=128),
+    )
+    def test_render_total_function_over_valid_inputs(self, length, intermediate):
+        policy = PasswordPolicy(length=length)
+        password = policy.render(intermediate)
+        assert len(password) == length
+        assert all(c in policy.charset for c in password)

@@ -1,0 +1,107 @@
+"""Property-based tests of the crypto toolkit (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import pytest
+
+from repro.crypto.aead import aead_decrypt, aead_encrypt
+from repro.crypto.chacha20 import chacha20_xor
+from repro.crypto.hkdf import hkdf_expand, hkdf_extract
+from repro.crypto.pbkdf2 import pbkdf2_hmac_sha256
+from repro.crypto.poly1305 import poly1305_mac
+from repro.crypto.x25519 import x25519, x25519_base
+from repro.util.errors import CryptoError
+
+keys32 = st.binary(min_size=32, max_size=32)
+nonces12 = st.binary(min_size=12, max_size=12)
+messages = st.binary(max_size=512)
+
+
+class TestChaCha20Properties:
+    @given(key=keys32, nonce=nonces12, data=messages)
+    def test_xor_involution(self, key, nonce, data):
+        once = chacha20_xor(key, 3, nonce, data)
+        assert chacha20_xor(key, 3, nonce, once) == data
+
+    @given(key=keys32, nonce=nonces12, data=messages)
+    def test_length_preserved(self, key, nonce, data):
+        assert len(chacha20_xor(key, 0, nonce, data)) == len(data)
+
+
+class TestAeadProperties:
+    @given(key=keys32, nonce=nonces12, plaintext=messages, aad=st.binary(max_size=64))
+    def test_roundtrip(self, key, nonce, plaintext, aad):
+        sealed = aead_encrypt(key, nonce, plaintext, aad)
+        assert aead_decrypt(key, nonce, sealed, aad) == plaintext
+
+    @given(
+        key=keys32,
+        nonce=nonces12,
+        plaintext=messages,
+        position=st.integers(min_value=0, max_value=10_000),
+    )
+    def test_any_bitflip_detected(self, key, nonce, plaintext, position):
+        sealed = bytearray(aead_encrypt(key, nonce, plaintext))
+        index = position % len(sealed)
+        sealed[index] ^= 1
+        with pytest.raises(CryptoError):
+            aead_decrypt(key, nonce, bytes(sealed))
+
+    @given(key=keys32, nonce=nonces12, plaintext=messages)
+    def test_ciphertext_expansion_is_exactly_tag(self, key, nonce, plaintext):
+        sealed = aead_encrypt(key, nonce, plaintext)
+        assert len(sealed) == len(plaintext) + 16
+
+
+class TestMacKdfProperties:
+    @given(m1=messages, m2=messages)
+    def test_poly1305_collision_resistance_in_practice(self, m1, m2):
+        # Under a *random* key, collisions are 2^-100 events. Degenerate
+        # keys (e.g. all zeros, where the clamped r is 0) trivially
+        # collide, so the key is fixed to a random-looking constant
+        # rather than adversarially chosen by hypothesis.
+        import hashlib
+
+        key = hashlib.sha256(b"poly1305-prop-key").digest() * 2
+        key = key[:32]
+        if m1 != m2:
+            assert poly1305_mac(key, m1) != poly1305_mac(key, m2)
+
+    @given(
+        ikm=st.binary(min_size=1, max_size=64),
+        salt=st.binary(max_size=32),
+        info=st.binary(max_size=32),
+        length=st.integers(min_value=1, max_value=128),
+    )
+    def test_hkdf_length_and_determinism(self, ikm, salt, info, length):
+        prk = hkdf_extract(salt, ikm)
+        okm = hkdf_expand(prk, info, length)
+        assert len(okm) == length
+        assert okm == hkdf_expand(prk, info, length)
+
+    @settings(max_examples=20)
+    @given(
+        password=st.binary(min_size=1, max_size=32),
+        salt=st.binary(min_size=1, max_size=32),
+    )
+    def test_pbkdf2_matches_stdlib(self, password, salt):
+        import hashlib
+
+        assert pbkdf2_hmac_sha256(password, salt, 37, 48) == hashlib.pbkdf2_hmac(
+            "sha256", password, salt, 37, 48
+        )
+
+
+class TestX25519Properties:
+    @settings(max_examples=15)
+    @given(a=keys32, b=keys32)
+    def test_diffie_hellman_agreement(self, a, b):
+        shared_ab = x25519(a, x25519_base(b))
+        shared_ba = x25519(b, x25519_base(a))
+        assert shared_ab == shared_ba
+
+    @settings(max_examples=15)
+    @given(scalar=keys32)
+    def test_public_key_deterministic(self, scalar):
+        assert x25519_base(scalar) == x25519_base(scalar)

@@ -1,0 +1,68 @@
+"""Property-based tests of the PCFG model."""
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.pcfg import PcfgModel, segment_structure, structure_signature
+
+printable = st.text(
+    alphabet=string.ascii_letters + string.digits + "!@#$%^&*",
+    min_size=1,
+    max_size=24,
+)
+
+
+class TestSegmentationProperties:
+    @given(password=printable)
+    def test_segments_reassemble(self, password):
+        assert "".join(run for __, run in segment_structure(password)) == password
+
+    @given(password=printable)
+    def test_runs_are_class_homogeneous(self, password):
+        for cls, run in segment_structure(password):
+            if cls == "L":
+                assert run.isalpha()
+            elif cls == "D":
+                assert run.isdigit()
+            else:
+                assert all(not c.isalnum() for c in run)
+
+    @given(password=printable)
+    def test_adjacent_runs_differ_in_class(self, password):
+        classes = [cls for cls, __ in segment_structure(password)]
+        assert all(a != b for a, b in zip(classes, classes[1:]))
+
+    @given(password=printable)
+    def test_signature_lengths_sum(self, password):
+        signature = structure_signature(password)
+        total = sum(int(piece[1:]) for piece in signature.split())
+        assert total == len(password)
+
+
+class TestModelProperties:
+    @settings(max_examples=30)
+    @given(corpus=st.lists(printable, min_size=1, max_size=30))
+    def test_trained_passwords_have_positive_probability(self, corpus):
+        model = PcfgModel().train(corpus)
+        for password in corpus:
+            assert model.probability(password) > 0
+
+    @settings(max_examples=20)
+    @given(corpus=st.lists(printable, min_size=1, max_size=20))
+    def test_probabilities_bounded(self, corpus):
+        model = PcfgModel().train(corpus)
+        for password in corpus:
+            assert 0 < model.probability(password) <= 1
+
+    @settings(max_examples=15)
+    @given(corpus=st.lists(printable, min_size=2, max_size=15, unique=True))
+    def test_guess_stream_sorted_and_unique(self, corpus):
+        model = PcfgModel().train(corpus)
+        guesses = list(model.guesses(100))
+        assert len(guesses) == len(set(guesses))
+        probabilities = [model.probability(g) for g in guesses]
+        assert all(
+            a >= b - 1e-12 for a, b in zip(probabilities, probabilities[1:])
+        )

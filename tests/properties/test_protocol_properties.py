@@ -1,0 +1,113 @@
+"""Property-based tests of the core derivations (hypothesis)."""
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.params import ProtocolParams
+from repro.core.protocol import (
+    generate_password,
+    generate_request,
+    generate_token,
+    intermediate_value,
+    render_password,
+    token_indices,
+)
+from repro.core.secrets import EntryTable
+from repro.core.templates import PasswordPolicy
+from repro.crypto.randomness import SeededRandomSource
+
+# Small table so strategies stay fast; structure is identical to N=5000.
+SMALL_PARAMS = ProtocolParams(entry_table_size=64)
+SMALL_TABLE = EntryTable.generate(SeededRandomSource(b"prop-table"), SMALL_PARAMS)
+
+names = st.text(
+    alphabet=string.ascii_letters + string.digits + "._-@",
+    min_size=1,
+    max_size=40,
+)
+seeds = st.binary(min_size=32, max_size=32)
+oids = st.binary(min_size=64, max_size=64)
+hex_digits = st.text(alphabet="0123456789abcdef", min_size=64, max_size=64)
+
+
+class TestRequestProperties:
+    @given(username=names, domain=names, seed=seeds)
+    def test_request_always_64_hex(self, username, domain, seed):
+        request = generate_request(username, domain, seed)
+        assert len(request) == 64
+        int(request, 16)
+
+    @given(username=names, domain=names, seed=seeds)
+    def test_request_deterministic(self, username, domain, seed):
+        assert generate_request(username, domain, seed) == generate_request(
+            username, domain, seed
+        )
+
+    @given(username=names, domain=names, s1=seeds, s2=seeds)
+    def test_seed_sensitivity(self, username, domain, s1, s2):
+        r1 = generate_request(username, domain, s1)
+        r2 = generate_request(username, domain, s2)
+        assert (r1 == r2) == (s1 == s2)
+
+
+class TestTokenProperties:
+    @given(request=hex_digits)
+    def test_indices_in_range(self, request):
+        for index in token_indices(request, SMALL_PARAMS):
+            assert 0 <= index < SMALL_PARAMS.entry_table_size
+
+    @given(request=hex_digits)
+    def test_index_count_matches_segments(self, request):
+        assert len(token_indices(request, SMALL_PARAMS)) == SMALL_PARAMS.token_segments
+
+    @given(request=hex_digits)
+    def test_token_is_64_hex(self, request):
+        token = generate_token(request, SMALL_TABLE, SMALL_PARAMS)
+        assert len(token) == 64
+        int(token, 16)
+
+    @given(request=hex_digits)
+    def test_token_deterministic(self, request):
+        assert generate_token(request, SMALL_TABLE, SMALL_PARAMS) == generate_token(
+            request, SMALL_TABLE, SMALL_PARAMS
+        )
+
+
+class TestPasswordProperties:
+    @given(token=hex_digits, oid=oids, seed=seeds)
+    def test_intermediate_is_128_hex(self, token, oid, seed):
+        assert len(intermediate_value(token, oid, seed)) == 128
+
+    @given(
+        token=hex_digits,
+        oid=oids,
+        seed=seeds,
+        length=st.integers(min_value=1, max_value=32),
+    )
+    def test_rendered_length_and_charset(self, token, oid, seed, length):
+        policy = PasswordPolicy(length=length)
+        password = render_password(intermediate_value(token, oid, seed), policy)
+        assert len(password) == length
+        assert all(c in policy.charset for c in password)
+
+    @given(
+        token=hex_digits,
+        oid=oids,
+        seed=seeds,
+        short=st.integers(min_value=1, max_value=31),
+    )
+    def test_truncation_is_prefix_of_full(self, token, oid, seed, short):
+        intermediate = intermediate_value(token, oid, seed)
+        full = render_password(intermediate, PasswordPolicy(length=32))
+        truncated = render_password(intermediate, PasswordPolicy(length=short))
+        assert full.startswith(truncated)
+
+    @settings(max_examples=25)
+    @given(username=names, domain=names, seed=seeds, oid=oids)
+    def test_end_to_end_deterministic(self, username, domain, seed, oid):
+        first = generate_password(username, domain, seed, oid, SMALL_TABLE)
+        second = generate_password(username, domain, seed, oid, SMALL_TABLE)
+        assert first == second
+        assert len(first) == 32

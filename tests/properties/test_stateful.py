@@ -1,0 +1,198 @@
+"""Hypothesis stateful tests of the mutable registries.
+
+These machines drive the thread-pool model, the pending registry, the
+session manager, and the login throttle through arbitrary operation
+sequences, checking the invariants that the request handlers rely on.
+"""
+
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    precondition,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.crypto.randomness import SeededRandomSource
+from repro.server.pending import KIND_PASSWORD, PendingRegistry
+from repro.server.throttle import LoginThrottle
+from repro.web.server import ThreadPoolModel
+from repro.web.sessions import SessionManager
+
+
+class ThreadPoolMachine(RuleBasedStateMachine):
+    """The pool must run exactly the submitted work, FIFO for queued."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.pool = ThreadPoolModel(size=3)
+        self.submitted = 0
+        self.started: list[int] = []
+
+    @rule()
+    def submit(self) -> None:
+        ticket = self.submitted
+        self.submitted += 1
+        self.pool.acquire(lambda t=ticket: self.started.append(t))
+
+    @precondition(lambda self: self.pool.busy > 0)
+    @rule()
+    def finish(self) -> None:
+        self.pool.release()
+
+    @invariant()
+    def busy_bounded(self) -> None:
+        assert 0 <= self.pool.busy <= self.pool.size
+
+    @invariant()
+    def fifo_start_order(self) -> None:
+        assert self.started == sorted(self.started)
+
+    @invariant()
+    def conservation(self) -> None:
+        # Everything submitted is either started or still queued.
+        assert len(self.started) + self.pool.queue_depth == self.submitted
+
+
+class PendingRegistryMachine(RuleBasedStateMachine):
+    """Exchanges are take-once; expiry and take never double-count."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.registry = PendingRegistry(SeededRandomSource(b"stateful"))
+        self.live: list[str] = []
+        self.finished: set[str] = set()
+
+    @rule()
+    def create(self) -> None:
+        exchange = self.registry.create(KIND_PASSWORD, user_id=1, now_ms=0.0)
+        self.live.append(exchange.pending_id)
+
+    @precondition(lambda self: self.live)
+    @rule(data=st.data())
+    def take(self, data) -> None:
+        index = data.draw(st.integers(0, len(self.live) - 1))
+        pending_id = self.live.pop(index)
+        self.registry.take(pending_id, KIND_PASSWORD)
+        self.finished.add(pending_id)
+
+    @precondition(lambda self: self.live)
+    @rule(data=st.data())
+    def expire(self, data) -> None:
+        index = data.draw(st.integers(0, len(self.live) - 1))
+        pending_id = self.live.pop(index)
+        assert self.registry.expire(pending_id) is not None
+        self.finished.add(pending_id)
+
+    @precondition(lambda self: self.finished)
+    @rule(data=st.data())
+    def double_take_rejected(self, data) -> None:
+        import pytest
+
+        from repro.util.errors import NotFoundError
+
+        pending_id = data.draw(st.sampled_from(sorted(self.finished)))
+        with pytest.raises(NotFoundError):
+            self.registry.take(pending_id, KIND_PASSWORD)
+
+    @invariant()
+    def outstanding_matches_model(self) -> None:
+        assert self.registry.outstanding() == len(self.live)
+
+    @invariant()
+    def counters_consistent(self) -> None:
+        assert (
+            self.registry.completed_count + self.registry.timeout_count
+            == len(self.finished)
+        )
+
+
+class SessionMachine(RuleBasedStateMachine):
+    """Sessions resolve until revoked or idle-expired, never after."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.manager = SessionManager(
+            SeededRandomSource(b"sessions-stateful"), idle_timeout_ms=100.0
+        )
+        self.clock = 0.0
+        self.last_seen: dict[str, float] = {}
+        self.revoked: set[str] = set()
+
+    @rule()
+    def create(self) -> None:
+        session = self.manager.create(self.clock)
+        self.last_seen[session.token] = self.clock
+
+    @rule(advance=st.floats(min_value=0.0, max_value=80.0))
+    def tick(self, advance) -> None:
+        self.clock += advance
+
+    @precondition(lambda self: self.last_seen)
+    @rule(data=st.data())
+    def touch(self, data) -> None:
+        token = data.draw(st.sampled_from(sorted(self.last_seen)))
+        resolved = self.manager.resolve(token, self.clock)
+        expected_alive = (
+            token not in self.revoked
+            and self.clock - self.last_seen[token] <= 100.0
+        )
+        assert (resolved is not None) == expected_alive
+        if resolved is not None:
+            self.last_seen[token] = self.clock
+        else:
+            # Dead for good: remove from the model.
+            self.last_seen.pop(token, None)
+            self.revoked.discard(token)
+
+    @precondition(lambda self: self.last_seen)
+    @rule(data=st.data())
+    def revoke(self, data) -> None:
+        token = data.draw(st.sampled_from(sorted(self.last_seen)))
+        self.manager.revoke(token)
+        self.revoked.add(token)
+
+
+class ThrottleMachine(RuleBasedStateMachine):
+    """Lockout engages exactly at max_failures within the window."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.throttle = LoginThrottle(
+            max_failures=3, window_ms=1_000.0, lockout_ms=5_000.0
+        )
+        self.clock = 0.0
+
+    @rule(advance=st.floats(min_value=0.0, max_value=500.0))
+    def tick(self, advance) -> None:
+        self.clock += advance
+
+    @rule()
+    def fail(self) -> None:
+        if self.throttle.allowed("login", self.clock):
+            self.throttle.record_failure("login", self.clock)
+
+    @rule()
+    def succeed(self) -> None:
+        if self.throttle.allowed("login", self.clock):
+            self.throttle.record_success("login")
+
+    @invariant()
+    def lockout_never_in_past_when_blocking(self) -> None:
+        if not self.throttle.allowed("login", self.clock):
+            assert self.throttle.locked_until("login") > self.clock
+
+
+TestThreadPoolMachine = ThreadPoolMachine.TestCase
+TestPendingRegistryMachine = PendingRegistryMachine.TestCase
+TestSessionMachine = SessionMachine.TestCase
+TestThrottleMachine = ThrottleMachine.TestCase
+
+for machine in (
+    TestThreadPoolMachine,
+    TestPendingRegistryMachine,
+    TestSessionMachine,
+    TestThrottleMachine,
+):
+    machine.settings = settings(max_examples=30, stateful_step_count=30)

@@ -1,0 +1,183 @@
+"""Rendezvous (GCM) service tests: registration, push, store-and-forward."""
+
+import json
+
+import pytest
+
+from repro.crypto.randomness import SeededRandomSource
+from repro.net.link import Link
+from repro.net.network import Network
+from repro.rendezvous.service import (
+    DEVICE_PUSH_PORT,
+    RENDEZVOUS_PORT,
+    RendezvousListener,
+    RendezvousPublisher,
+    RendezvousService,
+)
+from repro.sim.latency import Constant
+from repro.util.errors import NotFoundError, ValidationError
+
+
+@pytest.fixture
+def fabric(kernel, rngs):
+    network = Network(kernel, rngs)
+    for host in ("server", "gcm", "phone"):
+        network.add_host(host)
+    network.add_link(Link("server", "gcm", Constant(10)))
+    network.add_link(Link("gcm", "phone", Constant(20)))
+    service = RendezvousService(
+        network.host("gcm"), network, SeededRandomSource(b"gcm")
+    )
+    return network, kernel, service
+
+
+class TestRegistration:
+    def test_device_gets_registration_id(self, fabric):
+        network, kernel, service = fabric
+        listener = RendezvousListener(
+            network.host("phone"), network, "gcm", lambda d: None
+        )
+        got = []
+        listener.register(got.append)
+        kernel.run_until_idle()
+        assert listener.reg_id is not None
+        assert got == [listener.reg_id]
+        assert listener.reg_id.startswith("gcm:")
+
+    def test_registration_ids_unique(self, fabric):
+        network, kernel, service = fabric
+        network.add_host("phone2")
+        network.add_link(Link("gcm", "phone2", Constant(20)))
+        a = RendezvousListener(network.host("phone"), network, "gcm", lambda d: None)
+        b = RendezvousListener(network.host("phone2"), network, "gcm", lambda d: None)
+        a.register()
+        b.register()
+        kernel.run_until_idle()
+        assert a.reg_id != b.reg_id
+        assert len(service.registered_devices()) == 2
+
+
+class TestPush:
+    def _registered(self, fabric):
+        network, kernel, service = fabric
+        pushes = []
+        listener = RendezvousListener(
+            network.host("phone"), network, "gcm", pushes.append
+        )
+        listener.register()
+        kernel.run_until_idle()
+        publisher = RendezvousPublisher(network.host("server"), network, "gcm")
+        return network, kernel, service, listener, publisher, pushes
+
+    def test_push_delivered(self, fabric):
+        network, kernel, service, listener, publisher, pushes = self._registered(
+            fabric
+        )
+        publisher.push(listener.reg_id, {"kind": "password_request", "request": "ab"})
+        kernel.run_until_idle()
+        assert pushes == [{"kind": "password_request", "request": "ab"}]
+
+    def test_push_latency_is_two_hops(self, fabric):
+        network, kernel, service, listener, publisher, pushes = self._registered(
+            fabric
+        )
+        start = kernel.now
+        arrival = []
+        listener.on_push = lambda d: arrival.append(kernel.now)
+        publisher.push(listener.reg_id, {"x": 1})
+        kernel.run_until_idle()
+        assert arrival[0] - start == pytest.approx(30)  # 10 + 20 ms
+
+    def test_unknown_reg_id_dropped(self, fabric):
+        network, kernel, service, listener, publisher, pushes = self._registered(
+            fabric
+        )
+        publisher.push("gcm:bogus", {"x": 1})
+        kernel.run_until_idle()
+        assert pushes == []
+
+    def test_empty_reg_id_raises(self, fabric):
+        network, kernel, service, listener, publisher, pushes = self._registered(
+            fabric
+        )
+        with pytest.raises(NotFoundError):
+            publisher.push("", {"x": 1})
+
+    def test_counters(self, fabric):
+        network, kernel, service, listener, publisher, pushes = self._registered(
+            fabric
+        )
+        publisher.push(listener.reg_id, {"x": 1})
+        kernel.run_until_idle()
+        assert service.push_count == 1
+        assert service.forward_count == 1
+
+
+class TestStoreAndForward:
+    def test_offline_device_queues_then_flushes(self, fabric):
+        network, kernel, service = fabric
+        pushes = []
+        listener = RendezvousListener(
+            network.host("phone"), network, "gcm", pushes.append
+        )
+        listener.register()
+        kernel.run_until_idle()
+        network.host("phone").online = False
+        publisher = RendezvousPublisher(network.host("server"), network, "gcm")
+        publisher.push(listener.reg_id, {"n": 1})
+        publisher.push(listener.reg_id, {"n": 2})
+        kernel.run_until_idle()
+        assert pushes == []
+        network.host("phone").online = True
+        listener.connect()
+        kernel.run_until_idle()
+        assert pushes == [{"n": 1}, {"n": 2}]  # order preserved
+
+    def test_connect_before_registration_rejected(self, fabric):
+        network, kernel, service = fabric
+        listener = RendezvousListener(
+            network.host("phone"), network, "gcm", lambda d: None
+        )
+        with pytest.raises(ValidationError):
+            listener.connect()
+
+    def test_unregister_stops_delivery(self, fabric):
+        network, kernel, service = fabric
+        pushes = []
+        listener = RendezvousListener(
+            network.host("phone"), network, "gcm", pushes.append
+        )
+        listener.register()
+        kernel.run_until_idle()
+        service.unregister(listener.reg_id)
+        RendezvousPublisher(network.host("server"), network, "gcm").push(
+            listener.reg_id, {"x": 1}
+        )
+        kernel.run_until_idle()
+        assert pushes == []
+
+
+class TestRobustness:
+    def test_garbage_ignored(self, fabric):
+        network, kernel, service = fabric
+        for junk in (b"", b"not json", b"[1,2,3]", b'{"type": "weird"}'):
+            network.send("server", "gcm", RENDEZVOUS_PORT, junk)
+        kernel.run_until_idle()  # must not raise
+
+    def test_rendezvous_payloads_visible_to_taps(self, fabric):
+        """The §IV-B premise: the rendezvous hop is observable."""
+        network, kernel, service = fabric
+        pushes = []
+        listener = RendezvousListener(
+            network.host("phone"), network, "gcm", pushes.append
+        )
+        listener.register()
+        kernel.run_until_idle()
+        seen = []
+        network.add_tap(lambda d: seen.append(d.payload))
+        RendezvousPublisher(network.host("server"), network, "gcm").push(
+            listener.reg_id, {"request": "deadbeef"}
+        )
+        kernel.run_until_idle()
+        observed = [json.loads(p) for p in seen if b"deadbeef" in p]
+        assert observed  # an eavesdropper reads R in the clear

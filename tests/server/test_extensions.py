@@ -1,0 +1,142 @@
+"""Tests for the §VIII future-work extensions: vault + session mechanism."""
+
+import pytest
+
+from repro.testbed import AmnesiaTestbed
+from repro.util.errors import NotFoundError, ValidationError
+
+
+@pytest.fixture
+def vault_bed():
+    bed = AmnesiaTestbed(seed="vault-tests")
+    browser = bed.enroll("alice", "master-password-1")
+    account_id = browser.add_account("alice", "legacy-site.example")
+    return bed, browser, account_id
+
+
+class TestVault:
+    def test_store_and_retrieve_roundtrip(self, vault_bed):
+        bed, browser, account_id = vault_bed
+        browser.vault_store(account_id, "my-legacy-password!")
+        assert browser.vault_retrieve(account_id) == "my-legacy-password!"
+
+    def test_store_overwrites(self, vault_bed):
+        bed, browser, account_id = vault_bed
+        browser.vault_store(account_id, "first")
+        browser.vault_store(account_id, "second")
+        assert browser.vault_retrieve(account_id) == "second"
+
+    def test_retrieve_without_entry_404(self, vault_bed):
+        bed, browser, account_id = vault_bed
+        with pytest.raises(NotFoundError):
+            browser.vault_retrieve(account_id)
+
+    def test_delete(self, vault_bed):
+        bed, browser, account_id = vault_bed
+        browser.vault_store(account_id, "gone-soon")
+        browser.vault_delete(account_id)
+        with pytest.raises(NotFoundError):
+            browser.vault_retrieve(account_id)
+
+    def test_ciphertext_at_rest_not_plaintext(self, vault_bed):
+        """Server breach yields only AEAD ciphertext."""
+        bed, browser, account_id = vault_bed
+        browser.vault_store(account_id, "super-secret-chosen")
+        blob = bed.server.database.vault_entry(account_id)
+        assert blob is not None
+        assert b"super-secret-chosen" not in blob
+
+    def test_retrieval_requires_phone(self, vault_bed):
+        """The vault preserves the bilateral property: no phone, no entry."""
+        bed, browser, account_id = vault_bed
+        browser.vault_store(account_id, "needs-the-phone")
+        bed.server.generation_timeout_ms = 1_000
+        bed.device.power_off()
+        with pytest.raises(ValidationError, match="timed out"):
+            browser.vault_retrieve(account_id)
+
+    def test_seed_rotation_invalidates_vault(self, vault_bed):
+        bed, browser, account_id = vault_bed
+        browser.vault_store(account_id, "bound-to-sigma")
+        browser.rotate_password(account_id)
+        # The entry is deleted on rotation (its key is unrecoverable).
+        with pytest.raises(NotFoundError):
+            browser.vault_retrieve(account_id)
+
+    def test_empty_password_rejected(self, vault_bed):
+        bed, browser, account_id = vault_bed
+        with pytest.raises(ValidationError):
+            browser.vault_store(account_id, "")
+
+    def test_vault_store_requires_phone_pairing(self):
+        bed = AmnesiaTestbed(seed="vault-nophone")
+        browser = bed.new_browser()
+        browser.signup("bob", "master-password-1")
+        account_id = browser.add_account("bob", "x.com")
+        from repro.util.errors import ConflictError
+
+        with pytest.raises(ConflictError):
+            browser.vault_store(account_id, "pw")
+
+
+class TestSessionMechanism:
+    def test_second_generation_skips_phone(self):
+        bed = AmnesiaTestbed(seed="session-on", token_session_ttl_ms=60_000)
+        browser = bed.enroll("alice", "master-password-1")
+        account_id = browser.add_account("alice", "x.com")
+        first = browser.generate_password(account_id)
+        answered_before = bed.phone.answered_requests
+        second = browser.generate_password(account_id)
+        assert second["password"] == first["password"]
+        assert second.get("from_session") is True
+        assert bed.phone.answered_requests == answered_before  # no new ask
+        assert bed.server.metrics.generations_from_session == 1
+
+    def test_session_expires(self):
+        bed = AmnesiaTestbed(seed="session-expiry", token_session_ttl_ms=1_000)
+        browser = bed.enroll("alice", "master-password-1")
+        account_id = browser.add_account("alice", "x.com")
+        browser.generate_password(account_id)
+        bed.run(2_000)  # past the TTL
+        answered_before = bed.phone.answered_requests
+        result = browser.generate_password(account_id)
+        assert "from_session" not in result
+        assert bed.phone.answered_requests == answered_before + 1
+
+    def test_disabled_by_default(self, enrolled_bed):
+        """Paper behaviour: every generation interacts with the phone."""
+        bed, browser = enrolled_bed
+        account_id = browser.add_account("alice", "x.com")
+        browser.generate_password(account_id)
+        browser.generate_password(account_id)
+        assert bed.phone.answered_requests == 2
+        assert bed.server.metrics.generations_from_session == 0
+
+    def test_rotation_invalidates_session(self):
+        bed = AmnesiaTestbed(seed="session-rotate", token_session_ttl_ms=60_000)
+        browser = bed.enroll("alice", "master-password-1")
+        account_id = browser.add_account("alice", "x.com")
+        browser.generate_password(account_id)
+        browser.rotate_password(account_id)
+        result = browser.generate_password(account_id)
+        # A fresh phone round trip was needed (the token was bound to σ).
+        assert "from_session" not in result
+
+    def test_sessions_per_account(self):
+        bed = AmnesiaTestbed(seed="session-scoped", token_session_ttl_ms=60_000)
+        browser = bed.enroll("alice", "master-password-1")
+        first = browser.add_account("alice", "a.com")
+        second = browser.add_account("alice", "b.com")
+        browser.generate_password(first)
+        result = browser.generate_password(second)
+        assert "from_session" not in result  # other account: own round trip
+
+    def test_vault_benefits_from_session_cache(self):
+        bed = AmnesiaTestbed(seed="session-vault", token_session_ttl_ms=60_000)
+        browser = bed.enroll("alice", "master-password-1")
+        account_id = browser.add_account("alice", "x.com")
+        browser.generate_password(account_id)  # primes the token cache
+        browser.vault_store(account_id, "chosen-pw")
+        # Retrieval still needs a round trip in the current design (only
+        # /generate consults the cache), so the stored entry roundtrips.
+        assert browser.vault_retrieve(account_id) == "chosen-pw"

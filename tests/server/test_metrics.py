@@ -1,0 +1,34 @@
+"""Server metrics tests."""
+
+import math
+
+from repro.server.metrics import LatencySample, ServerMetrics
+
+
+class TestLatencySample:
+    def test_latency_is_difference(self):
+        sample = LatencySample(account_id=1, tstart_ms=100.0, tend_ms=885.3)
+        assert sample.latency_ms == 785.3
+
+
+class TestServerMetrics:
+    def test_mean_and_std(self):
+        metrics = ServerMetrics()
+        for latency in (700, 800, 900):
+            metrics.record_generation(
+                LatencySample(account_id=1, tstart_ms=0, tend_ms=latency)
+            )
+        assert metrics.latency_mean_ms() == 800
+        assert metrics.latency_std_ms() == 100  # sample std of 700/800/900
+        assert metrics.generations_completed == 3
+
+    def test_empty_is_nan(self):
+        metrics = ServerMetrics()
+        assert math.isnan(metrics.latency_mean_ms())
+        assert math.isnan(metrics.latency_std_ms())
+
+    def test_single_sample_std_nan(self):
+        metrics = ServerMetrics()
+        metrics.record_generation(LatencySample(1, 0, 100))
+        assert metrics.latency_mean_ms() == 100
+        assert math.isnan(metrics.latency_std_ms())

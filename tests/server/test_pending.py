@@ -1,0 +1,68 @@
+"""Pending-exchange registry tests."""
+
+import pytest
+
+from repro.crypto.randomness import SeededRandomSource
+from repro.server.pending import KIND_MASTER_CHANGE, KIND_PASSWORD, PendingRegistry
+from repro.util.errors import NotFoundError
+
+
+@pytest.fixture
+def registry():
+    return PendingRegistry(SeededRandomSource(b"pending"))
+
+
+class TestPendingRegistry:
+    def test_create_and_take(self, registry):
+        exchange = registry.create(KIND_PASSWORD, user_id=1, now_ms=0, account_id=5)
+        taken = registry.take(exchange.pending_id, KIND_PASSWORD)
+        assert taken is exchange
+        assert taken.account_id == 5
+        assert registry.completed_count == 1
+
+    def test_take_removes(self, registry):
+        exchange = registry.create(KIND_PASSWORD, 1, 0)
+        registry.take(exchange.pending_id, KIND_PASSWORD)
+        with pytest.raises(NotFoundError):
+            registry.take(exchange.pending_id, KIND_PASSWORD)
+
+    def test_kind_must_match(self, registry):
+        exchange = registry.create(KIND_PASSWORD, 1, 0)
+        with pytest.raises(NotFoundError):
+            registry.take(exchange.pending_id, KIND_MASTER_CHANGE)
+        # Not consumed by the failed take.
+        registry.take(exchange.pending_id, KIND_PASSWORD)
+
+    def test_unknown_id(self, registry):
+        with pytest.raises(NotFoundError):
+            registry.take("nope", KIND_PASSWORD)
+
+    def test_ids_unguessable_and_unique(self, registry):
+        ids = {registry.create(KIND_PASSWORD, 1, 0).pending_id for __ in range(50)}
+        assert len(ids) == 50
+        assert all(len(i) == 32 for i in ids)
+
+    def test_expire(self, registry):
+        exchange = registry.create(KIND_PASSWORD, 1, 0)
+        assert registry.expire(exchange.pending_id) is exchange
+        assert registry.timeout_count == 1
+        assert registry.expire(exchange.pending_id) is None  # already gone
+
+    def test_expire_after_take_is_noop(self, registry):
+        exchange = registry.create(KIND_PASSWORD, 1, 0)
+        registry.take(exchange.pending_id, KIND_PASSWORD)
+        assert registry.expire(exchange.pending_id) is None
+        assert registry.timeout_count == 0
+
+    def test_outstanding_count(self, registry):
+        registry.create(KIND_PASSWORD, 1, 0)
+        exchange = registry.create(KIND_PASSWORD, 1, 0)
+        assert registry.outstanding() == 2
+        registry.take(exchange.pending_id, KIND_PASSWORD)
+        assert registry.outstanding() == 1
+
+    def test_extra_data_kept(self, registry):
+        exchange = registry.create(
+            KIND_MASTER_CHANGE, 1, 0, session_token="tok"
+        )
+        assert exchange.extra == {"session_token": "tok"}

@@ -1,0 +1,298 @@
+"""Amnesia server endpoint tests, through the full simulated stack."""
+
+import pytest
+
+from repro.phone.app import ApprovalPolicy
+from repro.testbed import AmnesiaTestbed
+from repro.util.errors import (
+    AuthenticationError,
+    ConflictError,
+    NotFoundError,
+    ValidationError,
+)
+
+
+class TestSignupLogin:
+    def test_signup_logs_in(self, bed):
+        browser = bed.new_browser()
+        browser.signup("alice", "long-master-pw")
+        assert browser.me()["login"] == "alice"
+
+    def test_duplicate_signup_rejected(self, bed):
+        browser = bed.new_browser()
+        browser.signup("alice", "long-master-pw")
+        with pytest.raises(ConflictError):
+            browser.signup("alice", "other-password")
+
+    def test_short_master_password_rejected(self, bed):
+        browser = bed.new_browser()
+        with pytest.raises(ValidationError):
+            browser.signup("alice", "short")
+
+    def test_login_with_correct_password(self, bed):
+        browser = bed.new_browser()
+        browser.signup("alice", "long-master-pw")
+        browser.logout()
+        browser.login("alice", "long-master-pw")
+        assert browser.me()["login"] == "alice"
+
+    def test_wrong_password_rejected(self, bed):
+        browser = bed.new_browser()
+        browser.signup("alice", "long-master-pw")
+        browser.logout()
+        with pytest.raises(AuthenticationError):
+            browser.login("alice", "wrong-password")
+
+    def test_unknown_login_same_error_as_wrong_password(self, bed):
+        browser = bed.new_browser()
+        browser.signup("alice", "long-master-pw")
+        browser.logout()
+        try:
+            browser.login("ghost", "whatever-pass")
+        except AuthenticationError as unknown_error:
+            message_unknown = str(unknown_error)
+        try:
+            browser.login("alice", "wrong-password")
+        except AuthenticationError as wrong_error:
+            message_wrong = str(wrong_error)
+        assert message_unknown == message_wrong  # no login-existence oracle
+
+    def test_logout_kills_session(self, bed):
+        browser = bed.new_browser()
+        browser.signup("alice", "long-master-pw")
+        browser.logout()
+        with pytest.raises(AuthenticationError):
+            browser.me()
+
+    def test_login_throttled_after_failures(self, bed):
+        browser = bed.new_browser()
+        browser.signup("alice", "long-master-pw")
+        browser.logout()
+        for __ in range(5):
+            with pytest.raises(AuthenticationError):
+                browser.login("alice", "bad-password-x")
+        with pytest.raises(AuthenticationError, match="too many"):
+            browser.login("alice", "long-master-pw")  # even the right one
+
+
+class TestAccounts:
+    @pytest.fixture
+    def browser(self, bed):
+        browser = bed.new_browser()
+        browser.signup("alice", "long-master-pw")
+        return browser
+
+    def test_add_and_list(self, browser):
+        browser.add_account("alice", "mail.google.com")
+        browser.add_account("alice2", "www.facebook.com")
+        accounts = browser.accounts()
+        assert [(a["username"], a["domain"]) for a in accounts] == [
+            ("alice", "mail.google.com"),
+            ("alice2", "www.facebook.com"),
+        ]
+
+    def test_duplicate_account_rejected(self, browser):
+        browser.add_account("alice", "mail.google.com")
+        with pytest.raises(ConflictError):
+            browser.add_account("alice", "mail.google.com")
+
+    def test_policy_stored(self, browser):
+        account_id = browser.add_account(
+            "alice", "bank.com", length=16, classes={"special": False}
+        )
+        account = next(a for a in browser.accounts() if a["account_id"] == account_id)
+        assert account["length"] == 16
+        assert account["charset_size"] == 62
+
+    def test_delete(self, browser):
+        account_id = browser.add_account("alice", "x.com")
+        browser.delete_account(account_id)
+        assert browser.accounts() == []
+
+    def test_cannot_touch_other_users_account(self, bed, browser):
+        account_id = browser.add_account("alice", "x.com")
+        other = bed.new_browser()
+        other.signup("mallory", "mallory-master")
+        with pytest.raises(NotFoundError):
+            other.delete_account(account_id)
+        with pytest.raises(NotFoundError):
+            other.rotate_password(account_id)
+
+    def test_requires_session(self, bed):
+        browser = bed.new_browser()
+        with pytest.raises(AuthenticationError):
+            browser.accounts()
+
+
+class TestGeneration:
+    def test_generate_returns_password_and_latency(self, enrolled_bed):
+        bed, browser = enrolled_bed
+        account_id = browser.add_account("alice", "mail.google.com")
+        result = browser.generate_password(account_id)
+        assert len(result["password"]) == 32
+        assert result["latency_ms"] > 0
+        assert result["domain"] == "mail.google.com"
+
+    def test_generation_deterministic(self, enrolled_bed):
+        bed, browser = enrolled_bed
+        account_id = browser.add_account("alice", "mail.google.com")
+        first = browser.generate_password(account_id)["password"]
+        second = browser.generate_password(account_id)["password"]
+        assert first == second
+
+    def test_rotation_changes_password(self, enrolled_bed):
+        bed, browser = enrolled_bed
+        account_id = browser.add_account("alice", "mail.google.com")
+        before = browser.generate_password(account_id)["password"]
+        browser.rotate_password(account_id)
+        after = browser.generate_password(account_id)["password"]
+        assert before != after
+
+    def test_policy_update_changes_rendering(self, enrolled_bed):
+        bed, browser = enrolled_bed
+        account_id = browser.add_account("alice", "mail.google.com")
+        browser.update_policy(account_id, length=12, classes={"special": False})
+        password = browser.generate_password(account_id)["password"]
+        assert len(password) == 12
+        assert all(c.isalnum() for c in password)
+
+    def test_generate_without_phone_conflicts(self, bed):
+        browser = bed.new_browser()
+        browser.signup("nophone", "master-pw-long")
+        account_id = browser.add_account("x", "y.com")
+        with pytest.raises(ConflictError, match="phone"):
+            browser.generate_password(account_id)
+
+    def test_matches_pure_pipeline(self, enrolled_bed):
+        """The distributed result equals the pure core computation."""
+        from repro.core.protocol import generate_password as pure_generate
+        from repro.core.secrets import EntryTable
+        from repro.core.templates import PasswordPolicy
+
+        bed, browser = enrolled_bed
+        account_id = browser.add_account("alice", "mail.google.com")
+        distributed = browser.generate_password(account_id)["password"]
+        user = bed.server.database.user_by_login("alice")
+        account = bed.server.database.account_by_id(account_id)
+        table = EntryTable(bed.phone.database.entry_table())
+        expected = pure_generate(
+            account.username,
+            account.domain,
+            account.seed,
+            user.oid,
+            table,
+            PasswordPolicy(charset=account.charset, length=account.length),
+        )
+        assert distributed == expected
+
+    def test_metrics_recorded(self, enrolled_bed):
+        bed, browser = enrolled_bed
+        account_id = browser.add_account("alice", "mail.google.com")
+        browser.generate_password(account_id)
+        browser.generate_password(account_id)
+        assert bed.server.metrics.generations_completed == 2
+        assert len(bed.server.metrics.latency_samples) == 2
+
+    def test_generation_times_out_when_phone_off(self):
+        bed = AmnesiaTestbed(
+            seed="timeout-test", generation_timeout_ms=1_000
+        )
+        browser = bed.enroll("alice", "master-pw-long")
+        account_id = browser.add_account("alice", "x.com")
+        bed.device.power_off()
+        with pytest.raises(ValidationError, match="timed out"):
+            browser.generate_password(account_id)
+        assert bed.server.metrics.generations_timed_out == 1
+
+    def test_manual_approval_blocks_until_user_taps(self):
+        bed = AmnesiaTestbed(
+            seed="manual-test", approval=ApprovalPolicy.MANUAL
+        )
+        browser = bed.enroll("alice", "master-pw-long")
+        account_id = browser.add_account("alice", "x.com")
+        outcome = {}
+
+        # Issue the generate request asynchronously so we can interleave
+        # the phone-side approval.
+        from repro.web.http import HttpRequest
+
+        browser.http.send(
+            HttpRequest.json_request(
+                "POST", f"/accounts/{account_id}/generate", {}
+            ),
+            lambda response: outcome.update(response=response),
+        )
+        bed.run(500)
+        assert "response" not in outcome
+        pending = bed.phone.pending_approvals()
+        assert len(pending) == 1
+        bed.phone.approve(pending[0]["pending_id"])
+        bed.drive_until(lambda: "response" in outcome)
+        assert len(outcome["response"].json()["password"]) == 32
+
+    def test_denied_request_never_resolves_until_timeout(self):
+        bed = AmnesiaTestbed(
+            seed="deny-test",
+            approval=ApprovalPolicy.MANUAL,
+            generation_timeout_ms=2_000,
+        )
+        browser = bed.enroll("alice", "master-pw-long")
+        account_id = browser.add_account("alice", "x.com")
+        from repro.web.http import HttpRequest
+
+        outcome = {}
+        browser.http.send(
+            HttpRequest.json_request(
+                "POST", f"/accounts/{account_id}/generate", {}
+            ),
+            lambda response: outcome.update(response=response),
+        )
+        bed.run(300)
+        pending = bed.phone.pending_approvals()
+        bed.phone.deny(pending[0]["pending_id"])
+        bed.drive_until(lambda: "response" in outcome)
+        assert outcome["response"].status == 503
+        assert bed.phone.denied_requests == 1
+
+
+class TestTokenEndpointSecurity:
+    def test_forged_token_without_pid_rejected(self, enrolled_bed):
+        """A rendezvous eavesdropper who learns pending_id still cannot
+        complete the exchange without the phone's P_id."""
+        bed, browser = enrolled_bed
+        account_id = browser.add_account("alice", "mail.google.com")
+        # Capture the pending_id from the rendezvous push.
+        captured = {}
+        original = bed.phone.listener.on_push
+
+        def spy(data):
+            captured.update(data)
+            # Swallow the push: the real phone never answers.
+
+        bed.phone.listener.on_push = spy
+        from repro.web.http import HttpRequest
+
+        outcome = {}
+        browser.http.send(
+            HttpRequest.json_request(
+                "POST", f"/accounts/{account_id}/generate", {}
+            ),
+            lambda response: outcome.update(response=response),
+        )
+        bed.run(2_000)
+        assert "pending_id" in captured
+        # Attacker posts a token with a bogus pid.
+        attacker = bed.new_browser()
+        response = attacker.http.post(
+            "/token",
+            {
+                "pending_id": captured["pending_id"],
+                "token": "ab" * 32,
+                "pid": "00" * 64,
+            },
+        )
+        assert response.status == 401
+        # The legitimate exchange must still be pending (not consumed by
+        # the forged attempt).
+        assert bed.server.pending.outstanding() == 1
+        bed.phone.listener.on_push = original

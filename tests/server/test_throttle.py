@@ -1,0 +1,54 @@
+"""Login throttle tests."""
+
+import pytest
+
+from repro.server.throttle import LoginThrottle
+from repro.util.errors import ValidationError
+
+
+class TestThrottle:
+    def test_allows_initially(self):
+        throttle = LoginThrottle()
+        assert throttle.allowed("alice", 0)
+
+    def test_locks_after_max_failures(self):
+        throttle = LoginThrottle(max_failures=3, window_ms=1000, lockout_ms=5000)
+        for t in range(3):
+            throttle.record_failure("alice", float(t))
+        assert not throttle.allowed("alice", 3.0)
+        assert throttle.locked_until("alice") == pytest.approx(2.0 + 5000)
+
+    def test_unlocks_after_lockout(self):
+        throttle = LoginThrottle(max_failures=2, window_ms=1000, lockout_ms=100)
+        throttle.record_failure("alice", 0)
+        throttle.record_failure("alice", 1)
+        assert not throttle.allowed("alice", 50)
+        assert throttle.allowed("alice", 102)
+
+    def test_window_resets_counter(self):
+        throttle = LoginThrottle(max_failures=3, window_ms=100, lockout_ms=1000)
+        throttle.record_failure("alice", 0)
+        throttle.record_failure("alice", 1)
+        # Third failure far outside the window: counter restarted.
+        throttle.record_failure("alice", 500)
+        assert throttle.allowed("alice", 501)
+
+    def test_success_clears_state(self):
+        throttle = LoginThrottle(max_failures=3)
+        throttle.record_failure("alice", 0)
+        throttle.record_failure("alice", 1)
+        throttle.record_success("alice")
+        throttle.record_failure("alice", 2)
+        assert throttle.allowed("alice", 3)
+
+    def test_per_login_isolation(self):
+        throttle = LoginThrottle(max_failures=1, lockout_ms=1000)
+        throttle.record_failure("alice", 0)
+        assert not throttle.allowed("alice", 1)
+        assert throttle.allowed("bob", 1)
+
+    def test_config_validated(self):
+        with pytest.raises(ValidationError):
+            LoginThrottle(max_failures=0)
+        with pytest.raises(ValidationError):
+            LoginThrottle(window_ms=0)

@@ -1,0 +1,59 @@
+"""Unit tests of the vault sealing primitives (below the endpoints)."""
+
+import pytest
+
+from repro.crypto.randomness import SeededRandomSource
+from repro.server.vault import open_entry, seal_entry, vault_key
+from repro.util.errors import RecoveryError
+
+
+class TestVaultKey:
+    def test_derives_from_intermediate(self):
+        a = vault_key("ab" * 64)
+        b = vault_key("cd" * 64)
+        assert len(a) == 32
+        assert a != b
+
+    def test_deterministic(self):
+        assert vault_key("ef" * 64) == vault_key("ef" * 64)
+
+
+class TestSealOpen:
+    def test_roundtrip(self, rng):
+        key = vault_key("12" * 64)
+        blob = seal_entry(key, "chosen-password", rng)
+        assert open_entry(key, blob) == "chosen-password"
+
+    def test_unicode_password(self, rng):
+        key = vault_key("12" * 64)
+        blob = seal_entry(key, "päßwörd-日本語", rng)
+        assert open_entry(key, blob) == "päßwörd-日本語"
+
+    def test_wrong_key_reports_rotation(self, rng):
+        blob = seal_entry(vault_key("12" * 64), "secret", rng)
+        with pytest.raises(RecoveryError, match="seed changed"):
+            open_entry(vault_key("34" * 64), blob)
+
+    def test_fresh_nonce_per_seal(self):
+        rng = SeededRandomSource(b"nonces")
+        key = vault_key("12" * 64)
+        first = seal_entry(key, "same", rng)
+        second = seal_entry(key, "same", rng)
+        assert first != second  # nonce differs, so ciphertext differs
+
+    def test_truncated_blob_rejected(self, rng):
+        key = vault_key("12" * 64)
+        with pytest.raises(RecoveryError, match="corrupted"):
+            open_entry(key, b"short")
+
+    def test_tampered_blob_rejected(self, rng):
+        key = vault_key("12" * 64)
+        blob = bytearray(seal_entry(key, "secret", rng))
+        blob[-1] ^= 1
+        with pytest.raises(RecoveryError):
+            open_entry(key, bytes(blob))
+
+    def test_ciphertext_hides_plaintext(self, rng):
+        key = vault_key("12" * 64)
+        blob = seal_entry(key, "super-visible-secret", rng)
+        assert b"super-visible-secret" not in blob

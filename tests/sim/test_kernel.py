@@ -1,0 +1,127 @@
+"""Tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.sim.kernel import Simulator
+from repro.util.errors import ValidationError
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self, kernel):
+        order = []
+        kernel.schedule(30, lambda: order.append("c"))
+        kernel.schedule(10, lambda: order.append("a"))
+        kernel.schedule(20, lambda: order.append("b"))
+        kernel.run_until_idle()
+        assert order == ["a", "b", "c"]
+
+    def test_simultaneous_events_fifo(self, kernel):
+        order = []
+        for name in "abc":
+            kernel.schedule(5, lambda n=name: order.append(n))
+        kernel.run_until_idle()
+        assert order == ["a", "b", "c"]
+
+    def test_clock_advances_to_event_time(self, kernel):
+        kernel.schedule(42.5, lambda: None)
+        kernel.run_until_idle()
+        assert kernel.now == 42.5
+
+    def test_negative_delay_rejected(self, kernel):
+        with pytest.raises(ValidationError):
+            kernel.schedule(-1, lambda: None)
+
+    def test_schedule_at_absolute(self, kernel):
+        kernel.schedule_at(100, lambda: None)
+        kernel.run_until_idle()
+        assert kernel.now == 100
+
+    def test_schedule_at_past_rejected(self, kernel):
+        kernel.schedule(10, lambda: None)
+        kernel.run_until_idle()
+        with pytest.raises(ValidationError):
+            kernel.schedule_at(5, lambda: None)
+
+    def test_call_soon_runs_at_current_time(self, kernel):
+        kernel.schedule(10, lambda: None)
+        kernel.run_until_idle()
+        times = []
+        kernel.call_soon(lambda: times.append(kernel.now))
+        kernel.run_until_idle()
+        assert times == [10]
+
+
+class TestCancellation:
+    def test_cancelled_event_skipped(self, kernel):
+        fired = []
+        event = kernel.schedule(10, lambda: fired.append(1))
+        event.cancel()
+        kernel.run_until_idle()
+        assert fired == []
+
+    def test_cancel_does_not_affect_others(self, kernel):
+        fired = []
+        event = kernel.schedule(10, lambda: fired.append("x"))
+        kernel.schedule(10, lambda: fired.append("y"))
+        event.cancel()
+        kernel.run_until_idle()
+        assert fired == ["y"]
+
+
+class TestRun:
+    def test_run_until_stops_before_later_events(self, kernel):
+        fired = []
+        kernel.schedule(10, lambda: fired.append("early"))
+        kernel.schedule(100, lambda: fired.append("late"))
+        kernel.run(until=50)
+        assert fired == ["early"]
+        assert kernel.now == 50
+
+    def test_run_until_clock_monotonic_across_calls(self, kernel):
+        kernel.run(until=100)
+        assert kernel.now == 100
+        kernel.run(until=200)
+        assert kernel.now == 200
+
+    def test_events_scheduled_during_run_execute(self, kernel):
+        fired = []
+
+        def cascade():
+            kernel.schedule(5, lambda: fired.append("second"))
+
+        kernel.schedule(1, cascade)
+        kernel.run_until_idle()
+        assert fired == ["second"]
+        assert kernel.now == 6
+
+    def test_max_events_bound(self, kernel):
+        def reschedule():
+            kernel.schedule(1, reschedule)
+
+        kernel.schedule(1, reschedule)
+        kernel.run(max_events=50)
+        assert kernel.processed_events == 50
+
+    def test_step_returns_false_when_empty(self, kernel):
+        assert kernel.step() is False
+
+    def test_step_executes_one_event(self, kernel):
+        fired = []
+        kernel.schedule(1, lambda: fired.append(1))
+        kernel.schedule(2, lambda: fired.append(2))
+        assert kernel.step() is True
+        assert fired == [1]
+
+    def test_not_reentrant(self, kernel):
+        def nested():
+            kernel.run_until_idle()
+
+        kernel.schedule(1, nested)
+        with pytest.raises(ValidationError, match="reentrant"):
+            kernel.run_until_idle()
+
+    def test_pending_events_counts_live_only(self, kernel):
+        event = kernel.schedule(1, lambda: None)
+        kernel.schedule(2, lambda: None)
+        event.cancel()
+        assert kernel.pending_events == 1

@@ -1,0 +1,148 @@
+"""Tests for latency distributions: moments and composition."""
+
+import random
+
+import pytest
+
+from repro.sim.latency import (
+    Constant,
+    Exponential,
+    Lognormal,
+    Mixture,
+    Shifted,
+    Sum,
+    TruncatedNormal,
+    Uniform,
+)
+from repro.util.errors import ValidationError
+
+
+def sample_mean_std(model, n=20_000, seed=7):
+    rng = random.Random(seed)
+    samples = [model.sample(rng) for __ in range(n)]
+    mean = sum(samples) / n
+    var = sum((s - mean) ** 2 for s in samples) / (n - 1)
+    return mean, var**0.5, samples
+
+
+class TestConstant:
+    def test_always_value(self):
+        rng = random.Random(0)
+        model = Constant(12.5)
+        assert all(model.sample(rng) == 12.5 for __ in range(10))
+        assert model.mean() == 12.5
+        assert model.std() == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValidationError):
+            Constant(-1)
+
+
+class TestUniform:
+    def test_moments(self):
+        model = Uniform(10, 30)
+        mean, std, samples = sample_mean_std(model)
+        assert abs(mean - 20) < 0.3
+        assert abs(std - model.std()) < 0.3
+        assert all(10 <= s <= 30 for s in samples)
+
+    def test_rejects_inverted(self):
+        with pytest.raises(ValidationError):
+            Uniform(5, 1)
+
+
+class TestExponential:
+    def test_moments(self):
+        model = Exponential(50)
+        mean, std, samples = sample_mean_std(model)
+        assert abs(mean - 50) < 2
+        assert abs(std - 50) < 3
+        assert all(s >= 0 for s in samples)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValidationError):
+            Exponential(0)
+
+
+class TestLognormal:
+    def test_matches_arithmetic_moments(self):
+        model = Lognormal(mean_ms=785.3, std_ms=171.5)
+        mean, std, samples = sample_mean_std(model)
+        assert abs(mean - 785.3) / 785.3 < 0.03
+        assert abs(std - 171.5) / 171.5 < 0.08
+        assert all(s > 0 for s in samples)
+
+    def test_zero_std_degenerates_to_constant(self):
+        rng = random.Random(0)
+        model = Lognormal(100, 0)
+        assert model.sample(rng) == 100
+
+    def test_right_skewed(self):
+        __, __, samples = sample_mean_std(Lognormal(100, 60))
+        ordered = sorted(samples)
+        median = ordered[len(ordered) // 2]
+        assert median < 100  # mean above median = right skew
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValidationError):
+            Lognormal(0, 10)
+        with pytest.raises(ValidationError):
+            Lognormal(10, -1)
+
+
+class TestTruncatedNormal:
+    def test_moments(self):
+        model = TruncatedNormal(24, 6)
+        mean, std, samples = sample_mean_std(model)
+        assert abs(mean - 24) < 0.3
+        assert abs(std - 6) < 0.3
+        assert all(s >= 0 for s in samples)
+
+    def test_requires_3_sigma_margin(self):
+        with pytest.raises(ValidationError):
+            TruncatedNormal(10, 5)
+
+
+class TestComposition:
+    def test_sum_moments(self):
+        model = Sum([Constant(10), Lognormal(50, 20), TruncatedNormal(30, 5)])
+        assert model.mean() == pytest.approx(90)
+        assert model.std() == pytest.approx((20**2 + 5**2) ** 0.5)
+        mean, std, __ = sample_mean_std(model)
+        assert abs(mean - 90) / 90 < 0.03
+
+    def test_add_operator_flattens(self):
+        total = Constant(1) + Constant(2) + Constant(3)
+        assert isinstance(total, Sum)
+        assert len(total.parts) == 3
+        assert total.mean() == 6
+
+    def test_shifted(self):
+        model = Shifted(Exponential(10), offset_ms=5)
+        assert model.mean() == 15
+        rng = random.Random(0)
+        assert all(model.sample(rng) >= 5 for __ in range(100))
+
+    def test_sum_rejects_empty(self):
+        with pytest.raises(ValidationError):
+            Sum([])
+
+
+class TestMixture:
+    def test_weighted_mean(self):
+        model = Mixture([Constant(10), Constant(110)], [0.9, 0.1])
+        assert model.mean() == pytest.approx(20)
+        mean, __, __ = sample_mean_std(model)
+        assert abs(mean - 20) < 1.5
+
+    def test_mixture_std_includes_between_component_variance(self):
+        model = Mixture([Constant(0), Constant(100)], [0.5, 0.5])
+        assert model.std() == pytest.approx(50)
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValidationError):
+            Mixture([Constant(1)], [0.5, 0.5])
+
+    def test_rejects_zero_weight_total(self):
+        with pytest.raises(ValidationError):
+            Mixture([Constant(1)], [0.0])

@@ -1,0 +1,84 @@
+"""Trace recorder and sequence-chart tests."""
+
+import pytest
+
+from repro.sim.trace import TraceEvent, TraceRecorder, render_sequence_chart
+from repro.testbed import AmnesiaTestbed
+from repro.util.errors import ValidationError
+
+
+class TestTraceRecorder:
+    def test_records_generation_pipeline(self):
+        bed = AmnesiaTestbed(seed="trace")
+        browser = bed.enroll("alice", "master-password-1")
+        account_id = browser.add_account("alice", "x.com")
+        with TraceRecorder(bed.network) as recorder:
+            browser.generate_password(account_id)
+        hops = {(e.src, e.dst) for e in recorder.events}
+        # Figure 1's arrows all appear:
+        assert ("laptop", "amnesia-server") in hops  # step 2
+        assert ("amnesia-server", "gcm") in hops  # step 3 (to rendezvous)
+        assert ("gcm", "phone") in hops  # step 3 (forwarded)
+        assert ("phone", "amnesia-server") in hops  # step 4 (token, direct)
+        assert ("amnesia-server", "laptop") in hops  # step 6 (password)
+
+    def test_no_payloads_retained(self):
+        bed = AmnesiaTestbed(seed="trace-2")
+        browser = bed.enroll("alice", "master-password-1")
+        with TraceRecorder(bed.network) as recorder:
+            browser.me()
+        for event in recorder.events:
+            assert not hasattr(event, "payload")
+            assert event.size > 0
+
+    def test_stop_stops(self):
+        bed = AmnesiaTestbed(seed="trace-3")
+        recorder = TraceRecorder(bed.network).start()
+        recorder.stop()
+        bed.enroll("alice", "master-password-1")
+        assert recorder.events == []
+
+    def test_double_start_rejected(self):
+        bed = AmnesiaTestbed(seed="trace-4")
+        recorder = TraceRecorder(bed.network).start()
+        with pytest.raises(ValidationError):
+            recorder.start()
+
+    def test_between_filters(self):
+        events = [
+            TraceEvent(10.0, "a", "b", 443, 5),
+            TraceEvent(20.0, "a", "b", 443, 5),
+        ]
+        recorder = TraceRecorder.__new__(TraceRecorder)
+        recorder.events = events
+        assert recorder.between(15, 25) == [events[1]]
+
+
+class TestSequenceChart:
+    def test_renders_all_events(self):
+        events = [
+            TraceEvent(1.0, "laptop", "server", 443, 100),
+            TraceEvent(2.0, "server", "gcm", 5228, 50),
+            TraceEvent(3.0, "gcm", "laptop", 5229, 40),
+        ]
+        chart = render_sequence_chart(events)
+        lines = chart.splitlines()
+        assert len(lines) == 1 + 3  # header + one line per event
+        assert "laptop" in lines[0]
+        assert "gcm" in lines[0]
+        assert "->" in chart or "-" in chart
+        assert "t=" in lines[1]
+
+    def test_leftward_arrow(self):
+        events = [TraceEvent(1.0, "b", "a", 443, 10)]
+        chart = render_sequence_chart(events, participants=["a", "b"])
+        assert "<" in chart
+
+    def test_unknown_participant_rejected(self):
+        events = [TraceEvent(1.0, "x", "y", 443, 10)]
+        with pytest.raises(ValidationError):
+            render_sequence_chart(events, participants=["x"])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            render_sequence_chart([])

@@ -1,0 +1,69 @@
+"""Database wrapper tests: migrations, transactions, errors."""
+
+import pytest
+
+from repro.storage.database import Database
+from repro.util.errors import StorageError
+
+
+class TestMigrations:
+    def test_applies_in_order(self):
+        db = Database()
+        db.migrate(["CREATE TABLE a (x INTEGER);", "CREATE TABLE b (y INTEGER);"])
+        assert db.schema_version() == 2
+        db.execute("INSERT INTO a (x) VALUES (1)")
+        db.execute("INSERT INTO b (y) VALUES (2)")
+
+    def test_idempotent(self):
+        db = Database()
+        migrations = ["CREATE TABLE a (x INTEGER);"]
+        db.migrate(migrations)
+        db.migrate(migrations)  # must not fail with "table exists"
+        assert db.schema_version() == 1
+
+    def test_incremental_upgrade(self):
+        db = Database()
+        db.migrate(["CREATE TABLE a (x INTEGER);"])
+        db.migrate(["CREATE TABLE a (x INTEGER);", "CREATE TABLE b (y INTEGER);"])
+        assert db.schema_version() == 2
+
+    def test_bad_migration_reports(self):
+        db = Database()
+        with pytest.raises(StorageError, match="migration"):
+            db.migrate(["THIS IS NOT SQL;"])
+
+
+class TestTransactions:
+    def test_rollback_on_exception(self):
+        db = Database()
+        db.migrate(["CREATE TABLE t (x INTEGER);"])
+        with pytest.raises(RuntimeError):
+            with db.transaction():
+                db.execute("INSERT INTO t (x) VALUES (1)")
+                raise RuntimeError("abort")
+        assert db.query_all("SELECT * FROM t") == []
+
+    def test_commit_on_success(self):
+        db = Database()
+        db.migrate(["CREATE TABLE t (x INTEGER);"])
+        with db.transaction():
+            db.execute("INSERT INTO t (x) VALUES (1)")
+        assert len(db.query_all("SELECT * FROM t")) == 1
+
+
+class TestQueries:
+    def test_query_one_none_when_missing(self):
+        db = Database()
+        db.migrate(["CREATE TABLE t (x INTEGER);"])
+        assert db.query_one("SELECT * FROM t WHERE x = 99") is None
+
+    def test_execute_error_translated(self):
+        db = Database()
+        with pytest.raises(StorageError):
+            db.execute("SELECT * FROM missing_table")
+
+    def test_context_manager_closes(self):
+        with Database() as db:
+            db.migrate(["CREATE TABLE t (x INTEGER);"])
+        with pytest.raises(StorageError):
+            db.execute("SELECT 1")

@@ -1,0 +1,87 @@
+"""Phone database tests: Table II's layout and operations."""
+
+import pytest
+
+from repro.storage.phone_db import PhoneDatabase
+from repro.util.errors import NotFoundError, StorageError, ValidationError
+
+
+@pytest.fixture
+def db():
+    return PhoneDatabase()
+
+
+class TestIdentity:
+    def test_pid_roundtrip(self, db):
+        db.set_pid(bytes(64))
+        assert db.pid() == bytes(64)
+
+    def test_pid_size_enforced(self, db):
+        with pytest.raises(ValidationError):
+            db.set_pid(bytes(32))
+
+    def test_missing_pid(self, db):
+        with pytest.raises(NotFoundError):
+            db.pid()
+
+    def test_registration_id(self, db):
+        db.set_registration_id("gcm:xyz")
+        assert db.registration_id() == "gcm:xyz"
+
+    def test_server_certificate(self, db):
+        db.set_server_certificate("amnesia.example", bytes(32))
+        identity, key = db.server_certificate()
+        assert identity == "amnesia.example"
+        assert key == bytes(32)
+
+    def test_values_overwrite(self, db):
+        db.set_registration_id("old")
+        db.set_registration_id("new")
+        assert db.registration_id() == "new"
+
+
+class TestEntryTable:
+    def test_store_and_read(self, db):
+        entries = [bytes([i]) * 32 for i in range(10)]
+        db.store_entry_table(entries)
+        assert db.entry_table() == entries
+        assert db.entry_count() == 10
+
+    def test_entry_by_index(self, db):
+        entries = [bytes([i]) * 32 for i in range(5)]
+        db.store_entry_table(entries)
+        assert db.entry(3) == bytes([3]) * 32
+
+    def test_entry_missing_index(self, db):
+        db.store_entry_table([bytes(32)])
+        with pytest.raises(NotFoundError):
+            db.entry(99)
+
+    def test_replace_table(self, db):
+        db.store_entry_table([bytes(32)] * 3)
+        db.store_entry_table([b"\x01" * 32] * 2)
+        assert db.entry_count() == 2
+        assert db.entry_table() == [b"\x01" * 32] * 2
+
+    def test_empty_table_rejected(self, db):
+        with pytest.raises(ValidationError):
+            db.store_entry_table([])
+
+    def test_bad_entry_size_rejected(self, db):
+        with pytest.raises(ValidationError):
+            db.store_entry_table([b"short"])
+
+    def test_read_before_init(self, db):
+        with pytest.raises(StorageError):
+            db.entry_table()
+
+
+class TestWipe:
+    def test_wipe_clears_everything(self, db):
+        db.set_pid(bytes(64))
+        db.store_entry_table([bytes(32)])
+        db.wipe()
+        with pytest.raises(NotFoundError):
+            db.pid()
+        with pytest.raises(StorageError):
+            db.entry_table()

@@ -1,0 +1,48 @@
+"""server_config table tests (identity-key persistence)."""
+
+from repro.storage.server_db import ServerDatabase
+
+
+class TestServerConfig:
+    def test_missing_key_none(self):
+        db = ServerDatabase()
+        assert db.get_config("identity_key") is None
+
+    def test_set_get_roundtrip(self):
+        db = ServerDatabase()
+        db.set_config("identity_key", b"\x01" * 32)
+        assert db.get_config("identity_key") == b"\x01" * 32
+
+    def test_overwrite(self):
+        db = ServerDatabase()
+        db.set_config("k", b"old")
+        db.set_config("k", b"new")
+        assert db.get_config("k") == b"new"
+
+    def test_persists_across_connections(self, tmp_path):
+        path = str(tmp_path / "s.db")
+        first = ServerDatabase(path)
+        first.set_config("identity_key", b"\x07" * 32)
+        first.close()
+        second = ServerDatabase(path)
+        assert second.get_config("identity_key") == b"\x07" * 32
+
+    def test_vault_entry_api(self):
+        db = ServerDatabase()
+        user = db.create_user("u", bytes(64), b"h" * 32, b"s" * 16)
+        account = db.add_account(user.user_id, "a", "d.com", b"x" * 32, "ab", 32)
+        assert db.vault_entry(account.account_id) is None
+        db.store_vault_entry(account.account_id, b"cipher")
+        assert db.vault_entry(account.account_id) == b"cipher"
+        db.store_vault_entry(account.account_id, b"cipher2")
+        assert db.vault_entry(account.account_id) == b"cipher2"
+        db.delete_vault_entry(account.account_id)
+        assert db.vault_entry(account.account_id) is None
+
+    def test_vault_cascades_on_account_delete(self):
+        db = ServerDatabase()
+        user = db.create_user("u", bytes(64), b"h" * 32, b"s" * 16)
+        account = db.add_account(user.user_id, "a", "d.com", b"x" * 32, "ab", 32)
+        db.store_vault_entry(account.account_id, b"cipher")
+        db.delete_account(account.account_id)
+        assert db.vault_entry(account.account_id) is None

@@ -1,0 +1,126 @@
+"""Server database tests: Table I's layout and operations."""
+
+import pytest
+
+from repro.storage.server_db import ServerDatabase
+from repro.util.errors import ConflictError, NotFoundError
+
+
+@pytest.fixture
+def db():
+    return ServerDatabase()
+
+
+def make_user(db, login="alice"):
+    return db.create_user(
+        login=login,
+        oid=bytes(64),
+        mp_hash=b"h" * 32,
+        mp_salt=b"s" * 16,
+    )
+
+
+class TestUsers:
+    def test_create_and_lookup(self, db):
+        user = make_user(db)
+        assert db.user_by_login("alice").user_id == user.user_id
+        assert db.user_by_id(user.user_id).login == "alice"
+
+    def test_duplicate_login_rejected(self, db):
+        make_user(db)
+        with pytest.raises(ConflictError):
+            make_user(db)
+
+    def test_missing_user(self, db):
+        with pytest.raises(NotFoundError):
+            db.user_by_login("ghost")
+        with pytest.raises(NotFoundError):
+            db.user_by_id(99)
+
+    def test_new_user_has_no_phone(self, db):
+        user = make_user(db)
+        assert user.reg_id is None
+        assert user.pid_hash is None
+
+    def test_set_master_password(self, db):
+        user = make_user(db)
+        db.set_master_password(user.user_id, b"n" * 32, b"t" * 16)
+        updated = db.user_by_id(user.user_id)
+        assert updated.mp_hash == b"n" * 32
+        assert updated.mp_salt == b"t" * 16
+
+    def test_phone_registration_roundtrip(self, db):
+        user = make_user(db)
+        db.set_phone_registration(user.user_id, "gcm:abc", b"p" * 32, b"q" * 16)
+        updated = db.user_by_id(user.user_id)
+        assert updated.reg_id == "gcm:abc"
+        assert updated.pid_hash == b"p" * 32
+
+    def test_clear_phone_registration(self, db):
+        user = make_user(db)
+        db.set_phone_registration(user.user_id, "gcm:abc", b"p" * 32, b"q" * 16)
+        db.clear_phone_registration(user.user_id)
+        updated = db.user_by_id(user.user_id)
+        assert updated.reg_id is None
+        assert updated.pid_hash is None
+        assert updated.pid_salt is None
+
+    def test_all_users(self, db):
+        make_user(db, "a")
+        make_user(db, "b")
+        assert {u.login for u in db.all_users()} == {"a", "b"}
+
+
+class TestAccounts:
+    def test_add_and_fetch(self, db):
+        user = make_user(db)
+        account = db.add_account(
+            user.user_id, "alice", "mail.google.com", b"x" * 32, "abc", 32
+        )
+        fetched = db.account_for(user.user_id, "alice", "mail.google.com")
+        assert fetched.account_id == account.account_id
+        assert fetched.seed == b"x" * 32
+
+    def test_uniqueness_per_user_username_domain(self, db):
+        user = make_user(db)
+        db.add_account(user.user_id, "alice", "d.com", b"x" * 32, "abc", 32)
+        with pytest.raises(ConflictError):
+            db.add_account(user.user_id, "alice", "d.com", b"y" * 32, "abc", 32)
+
+    def test_same_domain_different_username_ok(self, db):
+        user = make_user(db)
+        db.add_account(user.user_id, "alice", "d.com", b"x" * 32, "abc", 32)
+        db.add_account(user.user_id, "alice2", "d.com", b"y" * 32, "abc", 32)
+        assert len(db.accounts_for_user(user.user_id)) == 2
+
+    def test_update_seed_rotation(self, db):
+        user = make_user(db)
+        account = db.add_account(user.user_id, "a", "d.com", b"x" * 32, "abc", 32)
+        db.update_seed(account.account_id, b"z" * 32)
+        assert db.account_by_id(account.account_id).seed == b"z" * 32
+
+    def test_update_policy(self, db):
+        user = make_user(db)
+        account = db.add_account(user.user_id, "a", "d.com", b"x" * 32, "abc", 32)
+        db.update_policy(account.account_id, "xyz", 16)
+        updated = db.account_by_id(account.account_id)
+        assert updated.charset == "xyz"
+        assert updated.length == 16
+
+    def test_delete_account(self, db):
+        user = make_user(db)
+        account = db.add_account(user.user_id, "a", "d.com", b"x" * 32, "abc", 32)
+        db.delete_account(account.account_id)
+        with pytest.raises(NotFoundError):
+            db.account_by_id(account.account_id)
+
+    def test_account_requires_user(self, db):
+        with pytest.raises(NotFoundError):
+            db.add_account(42, "a", "d.com", b"x" * 32, "abc", 32)
+
+    def test_accounts_ordered_by_id(self, db):
+        user = make_user(db)
+        for domain in ("one.com", "two.com", "three.com"):
+            db.add_account(user.user_id, "u", domain, b"x" * 32, "abc", 32)
+        domains = [a.domain for a in db.accounts_for_user(user.user_id)]
+        assert domains == ["one.com", "two.com", "three.com"]

@@ -1,0 +1,94 @@
+"""Tests for hex/byte helpers."""
+
+import pytest
+
+from repro.util.encoding import b2h, chunk, h2b, int_from_hex, require_hex
+from repro.util.errors import ValidationError
+
+
+class TestB2H:
+    def test_roundtrip(self):
+        assert h2b(b2h(b"\x00\xff\x10")) == b"\x00\xff\x10"
+
+    def test_empty(self):
+        assert b2h(b"") == ""
+
+    def test_lowercase(self):
+        assert b2h(b"\xAB") == "ab"
+
+    def test_rejects_str(self):
+        with pytest.raises(ValidationError):
+            b2h("not bytes")
+
+
+class TestH2B:
+    def test_decodes(self):
+        assert h2b("deadbeef") == b"\xde\xad\xbe\xef"
+
+    def test_accepts_uppercase(self):
+        assert h2b("DEADBEEF") == b"\xde\xad\xbe\xef"
+
+    def test_rejects_odd_length(self):
+        with pytest.raises(ValidationError):
+            h2b("abc")
+
+    def test_rejects_non_hex(self):
+        with pytest.raises(ValidationError):
+            h2b("zz")
+
+    def test_rejects_non_str(self):
+        with pytest.raises(ValidationError):
+            h2b(b"ab")
+
+
+class TestChunk:
+    def test_exact_division(self):
+        assert chunk("abcdefgh", 4) == ["abcd", "efgh"]
+
+    def test_discards_trailing(self):
+        # Algorithm 1: "while c + 4 <= R.length" — remainder dropped.
+        assert chunk("abcdefghij", 4) == ["abcd", "efgh"]
+
+    def test_size_one(self):
+        assert chunk("abc", 1) == ["a", "b", "c"]
+
+    def test_empty_string(self):
+        assert chunk("", 4) == []
+
+    def test_rejects_nonpositive_size(self):
+        with pytest.raises(ValidationError):
+            chunk("abcd", 0)
+
+    def test_sha256_hex_yields_16_segments(self):
+        assert len(chunk("a" * 64, 4)) == 16
+
+    def test_sha512_hex_yields_32_segments(self):
+        assert len(chunk("a" * 128, 4)) == 32
+
+
+class TestIntFromHex:
+    def test_value(self):
+        assert int_from_hex("ff32") == 0xFF32
+
+    def test_max_segment(self):
+        assert int_from_hex("ffff") == 65535
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValidationError):
+            int_from_hex("")
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ValidationError):
+            int_from_hex("xyzw")
+
+
+class TestRequireHex:
+    def test_passes_through(self):
+        assert require_hex("00ff") == "00ff"
+
+    def test_empty_ok(self):
+        assert require_hex("") == ""
+
+    def test_reports_bad_characters(self):
+        with pytest.raises(ValidationError, match="non-hex"):
+            require_hex("12g4")

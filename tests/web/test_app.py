@@ -1,0 +1,138 @@
+"""Application container tests: dispatch, errors, middleware, deferred."""
+
+from repro.util.errors import (
+    AuthenticationError,
+    ConflictError,
+    NotFoundError,
+    ValidationError,
+)
+from repro.web.app import Application, Deferred, error_response, json_response
+from repro.web.http import HttpRequest, HttpResponse
+
+
+class TestDispatch:
+    def test_route_called_with_params(self):
+        app = Application()
+
+        @app.router.get("/items/{item_id}")
+        def get_item(request, item_id):
+            return json_response({"id": item_id})
+
+        response = app.handle(HttpRequest("GET", "/items/9"))
+        assert response.json() == {"id": "9"}
+
+    def test_404_for_unknown_path(self):
+        app = Application()
+        response = app.handle(HttpRequest("GET", "/nope"))
+        assert response.status == 404
+
+    def test_405_with_allow_header(self):
+        app = Application()
+
+        @app.router.post("/only-post")
+        def only_post(request):
+            return json_response({})
+
+        response = app.handle(HttpRequest("GET", "/only-post"))
+        assert response.status == 405
+        assert response.headers["allow"] == "POST"
+
+
+class TestErrorTranslation:
+    def _app_raising(self, error):
+        app = Application()
+
+        @app.router.get("/boom")
+        def boom(request):
+            raise error
+
+        return app
+
+    def test_authentication_401(self):
+        app = self._app_raising(AuthenticationError("nope"))
+        assert app.handle(HttpRequest("GET", "/boom")).status == 401
+
+    def test_not_found_404(self):
+        app = self._app_raising(NotFoundError("gone"))
+        assert app.handle(HttpRequest("GET", "/boom")).status == 404
+
+    def test_conflict_409(self):
+        app = self._app_raising(ConflictError("dup"))
+        assert app.handle(HttpRequest("GET", "/boom")).status == 409
+
+    def test_validation_400(self):
+        app = self._app_raising(ValidationError("bad"))
+        assert app.handle(HttpRequest("GET", "/boom")).status == 400
+
+    def test_unexpected_exception_500_without_leaking(self):
+        app = self._app_raising(ZeroDivisionError("secret detail"))
+        response = app.handle(HttpRequest("GET", "/boom"))
+        assert response.status == 500
+        assert b"secret detail" not in response.body
+
+    def test_error_count_incremented(self):
+        app = self._app_raising(ValidationError("bad"))
+        app.handle(HttpRequest("GET", "/boom"))
+        assert app.error_count == 1
+        assert app.handled_count == 1
+
+
+class TestMiddleware:
+    def test_before_hook_short_circuits(self):
+        app = Application()
+
+        @app.router.get("/x")
+        def never(request):
+            raise AssertionError("handler must not run")
+
+        app.before_request(lambda r: error_response(403, "blocked"))
+        response = app.handle(HttpRequest("GET", "/x"))
+        assert response.status == 403
+
+    def test_before_hook_passthrough(self):
+        app = Application()
+
+        @app.router.get("/x")
+        def ok(request):
+            return json_response({"ok": True})
+
+        app.before_request(lambda r: None)
+        assert app.handle(HttpRequest("GET", "/x")).status == 200
+
+
+class TestDeferred:
+    def test_resolve_fires_callbacks(self):
+        deferred = Deferred()
+        got = []
+        deferred.on_resolve(got.append)
+        deferred.resolve(HttpResponse(status=201))
+        assert got[0].status == 201
+        assert deferred.resolved
+
+    def test_callback_after_resolution_fires_immediately(self):
+        deferred = Deferred()
+        deferred.resolve(HttpResponse(status=200))
+        got = []
+        deferred.on_resolve(got.append)
+        assert len(got) == 1
+
+    def test_first_resolution_wins(self):
+        deferred = Deferred()
+        got = []
+        deferred.on_resolve(got.append)
+        deferred.resolve(HttpResponse(status=200))
+        deferred.resolve(HttpResponse(status=500))
+        assert len(got) == 1
+        assert got[0].status == 200
+
+    def test_handler_may_return_deferred(self):
+        app = Application()
+        box = {}
+
+        @app.router.get("/later")
+        def later(request):
+            box["deferred"] = Deferred()
+            return box["deferred"]
+
+        result = app.handle(HttpRequest("GET", "/later"))
+        assert isinstance(result, Deferred)

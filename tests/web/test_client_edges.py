@@ -1,0 +1,64 @@
+"""Edge cases of the HTTP client facade."""
+
+import pytest
+
+from repro.util.errors import NetworkError, ProtocolError
+from repro.web.client import CookieJar
+
+
+class TestCookieJarEdges:
+    def test_clear_all(self):
+        jar = CookieJar()
+        jar.update("a", {"x": "1"})
+        jar.update("b", {"y": "2"})
+        jar.clear()
+        assert jar.cookies_for("a") == {}
+        assert jar.cookies_for("b") == {}
+
+    def test_update_with_empty_is_noop(self):
+        jar = CookieJar()
+        jar.update("a", {})
+        assert jar.cookies_for("a") == {}
+
+    def test_cookies_for_returns_copy(self):
+        jar = CookieJar()
+        jar.update("a", {"x": "1"})
+        copy = jar.cookies_for("a")
+        copy["x"] = "mutated"
+        assert jar.cookies_for("a") == {"x": "1"}
+
+    def test_overwrite_cookie(self):
+        jar = CookieJar()
+        jar.update("a", {"sid": "old"})
+        jar.update("a", {"sid": "new"})
+        assert jar.cookies_for("a") == {"sid": "new"}
+
+
+class TestSyncFacadeEdges:
+    def test_event_budget_trips(self, bed):
+        browser = bed.new_browser()
+        # Endless event chain so the kernel never drains.
+        def reschedule():
+            bed.kernel.schedule(0.5, reschedule)
+
+        bed.network.host("amnesia-server").online = False
+        bed.kernel.schedule(0.5, reschedule)
+        with pytest.raises(NetworkError, match="budget|drained|timed out"):
+            browser.http.get("/healthz", max_events=200)
+
+    def test_json_and_body_mutually_exclusive(self, bed):
+        browser = bed.new_browser()
+        with pytest.raises(ProtocolError):
+            browser.http.request(
+                "POST", "/x", json_body={"a": 1}, body=b"raw"
+            )
+
+    def test_cookies_isolated_between_clients(self, bed):
+        first = bed.new_browser()
+        second = bed.new_browser()
+        first.signup("alice", "master-password-1")
+        assert first.me()["login"] == "alice"
+        from repro.util.errors import AuthenticationError
+
+        with pytest.raises(AuthenticationError):
+            second.me()

@@ -1,0 +1,127 @@
+"""HTTP codec tests: roundtrips, parsing edge cases, injection defence."""
+
+import pytest
+
+from repro.util.errors import ProtocolError, ValidationError
+from repro.web.http import (
+    HttpRequest,
+    HttpResponse,
+    decode_request,
+    decode_response,
+    encode_request,
+    encode_response,
+)
+
+
+class TestRequestRoundtrip:
+    def test_basic(self):
+        request = HttpRequest("GET", "/accounts", query={"page": "2"})
+        decoded = decode_request(encode_request(request))
+        assert decoded.method == "GET"
+        assert decoded.path == "/accounts"
+        assert decoded.query == {"page": "2"}
+
+    def test_body_and_content_type(self):
+        request = HttpRequest.json_request("POST", "/login", {"a": 1})
+        decoded = decode_request(encode_request(request))
+        assert decoded.json() == {"a": 1}
+        assert decoded.headers["content-type"] == "application/json"
+
+    def test_cookies_roundtrip(self):
+        request = HttpRequest("GET", "/", cookies={"sid": "abc123", "x": "y z"})
+        decoded = decode_request(encode_request(request))
+        assert decoded.cookies == {"sid": "abc123", "x": "y z"}
+
+    def test_path_with_spaces_quoted(self):
+        request = HttpRequest("GET", "/a path/with spaces")
+        decoded = decode_request(encode_request(request))
+        assert decoded.path == "/a path/with spaces"
+
+    def test_binary_body(self):
+        request = HttpRequest("POST", "/blob", body=bytes(range(256)))
+        decoded = decode_request(encode_request(request))
+        assert decoded.body == bytes(range(256))
+
+    def test_method_normalised(self):
+        assert HttpRequest("get", "/").method == "GET"
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValidationError):
+            HttpRequest("BREW", "/")
+
+    def test_relative_path_rejected(self):
+        with pytest.raises(ValidationError):
+            HttpRequest("GET", "no-slash")
+
+
+class TestRequestParsing:
+    def test_malformed_request_line(self):
+        with pytest.raises(ProtocolError):
+            decode_request(b"GARBAGE\r\n\r\n")
+
+    def test_wrong_http_version(self):
+        with pytest.raises(ProtocolError):
+            decode_request(b"GET / HTTP/0.9\r\n\r\n")
+
+    def test_missing_separator(self):
+        with pytest.raises(ProtocolError):
+            decode_request(b"GET / HTTP/1.1\r\nheader: x")
+
+    def test_content_length_mismatch(self):
+        raw = b"POST / HTTP/1.1\r\ncontent-length: 10\r\n\r\nabc"
+        with pytest.raises(ProtocolError, match="content-length"):
+            decode_request(raw)
+
+    def test_malformed_header_line(self):
+        with pytest.raises(ProtocolError):
+            decode_request(b"GET / HTTP/1.1\r\nnocolon\r\n\r\n")
+
+    def test_form_parsing(self):
+        request = HttpRequest(
+            "POST", "/f", body=b"a=1&b=two%20words", headers={}
+        )
+        assert request.form() == {"a": "1", "b": "two words"}
+
+    def test_invalid_json_body(self):
+        request = HttpRequest("POST", "/j", body=b"{nope")
+        with pytest.raises(ProtocolError):
+            request.json()
+
+
+class TestResponseRoundtrip:
+    def test_basic(self):
+        response = HttpResponse(status=201, body=b"made")
+        decoded = decode_response(encode_response(response))
+        assert decoded.status == 201
+        assert decoded.body == b"made"
+        assert decoded.ok
+
+    def test_set_cookie_roundtrip(self):
+        response = HttpResponse(set_cookies={"sid": "tok en"})
+        decoded = decode_response(encode_response(response))
+        assert decoded.set_cookies == {"sid": "tok en"}
+
+    def test_error_status_not_ok(self):
+        assert not HttpResponse(status=404).ok
+
+    def test_reason_phrases(self):
+        assert HttpResponse(status=200).reason() == "OK"
+        assert HttpResponse(status=599).reason() == "Unknown"
+
+    def test_malformed_status_line(self):
+        with pytest.raises(ProtocolError):
+            decode_response(b"HTTP/1.1 abc\r\n\r\n")
+
+
+class TestHeaderInjection:
+    def test_crlf_in_header_value_rejected(self):
+        request = HttpRequest(
+            "GET", "/", headers={"x-evil": "a\r\nx-injected: 1"}
+        )
+        with pytest.raises(ProtocolError, match="injection"):
+            encode_request(request)
+
+    def test_crlf_in_response_header_rejected(self):
+        response = HttpResponse(headers={"x-evil": "a\nb"})
+        with pytest.raises(ProtocolError):
+            encode_response(response)

@@ -1,0 +1,113 @@
+"""Router tests: matching, params, precedence, conflicts."""
+
+import pytest
+
+from repro.util.errors import ConflictError, ValidationError
+from repro.web.http import HttpRequest, HttpResponse
+from repro.web.router import Router
+
+
+def handler(request, **params):
+    return HttpResponse(body=repr(sorted(params.items())).encode())
+
+
+class TestMatching:
+    def test_literal_route(self):
+        router = Router()
+        router.add("GET", "/accounts", handler)
+        match = router.resolve(HttpRequest("GET", "/accounts"))
+        assert match is not None
+        assert match.params == {}
+
+    def test_root_route(self):
+        router = Router()
+        router.add("GET", "/", handler)
+        assert router.resolve(HttpRequest("GET", "/")) is not None
+
+    def test_path_parameter_captured(self):
+        router = Router()
+        router.add("GET", "/accounts/{account_id}", handler)
+        match = router.resolve(HttpRequest("GET", "/accounts/42"))
+        assert match.params == {"account_id": "42"}
+
+    def test_multiple_parameters(self):
+        router = Router()
+        router.add("GET", "/u/{user}/a/{account}", handler)
+        match = router.resolve(HttpRequest("GET", "/u/alice/a/7"))
+        assert match.params == {"user": "alice", "account": "7"}
+
+    def test_method_mismatch(self):
+        router = Router()
+        router.add("GET", "/x", handler)
+        assert router.resolve(HttpRequest("POST", "/x")) is None
+
+    def test_segment_count_mismatch(self):
+        router = Router()
+        router.add("GET", "/a/b", handler)
+        assert router.resolve(HttpRequest("GET", "/a")) is None
+        assert router.resolve(HttpRequest("GET", "/a/b/c")) is None
+
+    def test_trailing_slash_equivalent(self):
+        router = Router()
+        router.add("GET", "/a/b", handler)
+        assert router.resolve(HttpRequest("GET", "/a/b/")) is not None
+
+
+class TestPrecedence:
+    def test_literal_beats_parameter(self):
+        router = Router()
+        router.add("GET", "/accounts/{account_id}", lambda r, **p: HttpResponse(body=b"param"))
+        router.add("GET", "/accounts/new", lambda r, **p: HttpResponse(body=b"literal"))
+        match = router.resolve(HttpRequest("GET", "/accounts/new"))
+        assert match.handler(None).body == b"literal"
+
+
+class TestConflicts:
+    def test_duplicate_literal_rejected(self):
+        router = Router()
+        router.add("GET", "/a", handler)
+        with pytest.raises(ConflictError):
+            router.add("GET", "/a", handler)
+
+    def test_same_shape_params_rejected(self):
+        router = Router()
+        router.add("GET", "/a/{x}", handler)
+        with pytest.raises(ConflictError):
+            router.add("GET", "/a/{y}", handler)
+
+    def test_different_method_ok(self):
+        router = Router()
+        router.add("GET", "/a", handler)
+        router.add("POST", "/a", handler)  # no conflict
+
+    def test_duplicate_param_names_rejected(self):
+        router = Router()
+        with pytest.raises(ValidationError):
+            router.add("GET", "/{x}/{x}", handler)
+
+    def test_bad_pattern_rejected(self):
+        router = Router()
+        with pytest.raises(ValidationError):
+            router.add("GET", "no-slash", handler)
+
+
+class TestDecoratorsAndAllowed:
+    def test_decorators_register(self):
+        router = Router()
+
+        @router.get("/g")
+        def get_handler(request):
+            return HttpResponse()
+
+        @router.post("/g")
+        def post_handler(request):
+            return HttpResponse()
+
+        assert router.resolve(HttpRequest("GET", "/g")) is not None
+        assert router.resolve(HttpRequest("POST", "/g")) is not None
+
+    def test_allowed_methods(self):
+        router = Router()
+        router.add("GET", "/x", handler)
+        router.add("PUT", "/x", handler)
+        assert router.allowed_methods(HttpRequest("POST", "/x")) == ["GET", "PUT"]

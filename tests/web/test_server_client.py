@@ -1,0 +1,199 @@
+"""SimHttpServer/SimHttpClient over the secure channel: pooling, cookies."""
+
+import pytest
+
+from repro.crypto.randomness import SeededRandomSource
+from repro.net.link import Link
+from repro.net.network import Network
+from repro.net.tls import SecureServer, SecureStack
+from repro.sim.latency import Constant
+from repro.util.errors import NetworkError, ValidationError
+from repro.web.app import Application, Deferred, json_response
+from repro.web.client import CookieJar, SimHttpClient
+from repro.web.http import HttpRequest, HttpResponse
+from repro.web.server import SimHttpServer, ThreadPoolModel
+
+
+@pytest.fixture
+def web(kernel, rngs):
+    network = Network(kernel, rngs)
+    network.add_host("laptop")
+    network.add_host("server")
+    network.add_link(Link("laptop", "server", Constant(5)))
+    app = Application()
+    secure = SecureServer("srv", SeededRandomSource(b"keys"))
+    server_stack = SecureStack(
+        network.host("server"), network, SeededRandomSource(b"sstack")
+    )
+    server_stack.attach_server(secure)
+    server = SimHttpServer(
+        app, server_stack, secure, kernel, compute_latency=Constant(2)
+    )
+    client_stack = SecureStack(
+        network.host("laptop"), network, SeededRandomSource(b"cstack")
+    )
+    client = SimHttpClient(client_stack, kernel, "server", secure.certificate)
+    return app, server, client, kernel, network
+
+
+class TestRequestResponse:
+    def test_get_json(self, web):
+        app, server, client, kernel, network = web
+
+        @app.router.get("/ping")
+        def ping(request):
+            return json_response({"pong": True})
+
+        assert client.get("/ping").json() == {"pong": True}
+
+    def test_post_json_echo(self, web):
+        app, server, client, kernel, network = web
+
+        @app.router.post("/echo")
+        def echo(request):
+            return json_response(request.json())
+
+        assert client.post("/echo", {"k": [1, 2]}).json() == {"k": [1, 2]}
+
+    def test_peer_host_header_injected(self, web):
+        app, server, client, kernel, network = web
+
+        @app.router.get("/whoami")
+        def whoami(request):
+            return json_response({"peer": request.headers.get("x-peer-host")})
+
+        assert client.get("/whoami").json() == {"peer": "laptop"}
+
+    def test_mutually_exclusive_bodies(self, web):
+        app, server, client, kernel, network = web
+        with pytest.raises(Exception):
+            client.request("POST", "/x", json_body={"a": 1}, body=b"also")
+
+    def test_no_response_when_server_gone(self, web):
+        app, server, client, kernel, network = web
+
+        @app.router.get("/ping")
+        def ping(request):
+            return json_response({})
+
+        client.get("/ping")  # establish channel
+        network.host("server").online = False
+        with pytest.raises(NetworkError):
+            client.get("/ping")
+
+
+class TestCookies:
+    def test_jar_roundtrips_session_cookie(self, web):
+        app, server, client, kernel, network = web
+
+        @app.router.post("/login")
+        def login(request):
+            response = json_response({"ok": True})
+            response.set_cookies["sid"] = "token-1"
+            return response
+
+        @app.router.get("/me")
+        def me(request):
+            return json_response({"sid": request.cookies.get("sid")})
+
+        client.post("/login", {})
+        assert client.get("/me").json() == {"sid": "token-1"}
+
+    def test_jar_per_origin(self):
+        jar = CookieJar()
+        jar.update("a", {"s": "1"})
+        assert jar.cookies_for("b") == {}
+        jar.clear("a")
+        assert jar.cookies_for("a") == {}
+
+
+class TestThreadPool:
+    def test_acquire_release_counts(self):
+        pool = ThreadPoolModel(size=2)
+        ran = []
+        assert pool.acquire(lambda: ran.append(1)) is True
+        assert pool.acquire(lambda: ran.append(2)) is True
+        assert pool.acquire(lambda: ran.append(3)) is False  # queued
+        assert ran == [1, 2]
+        pool.release()
+        assert ran == [1, 2, 3]
+        assert pool.queued_peak == 1
+
+    def test_release_without_acquire_rejected(self):
+        pool = ThreadPoolModel(size=1)
+        with pytest.raises(ValidationError):
+            pool.release()
+
+    def test_pool_size_validated(self):
+        with pytest.raises(ValidationError):
+            ThreadPoolModel(size=0)
+
+    def test_requests_queue_when_pool_exhausted(self, kernel, rngs):
+        network = Network(kernel, rngs)
+        network.add_host("laptop")
+        network.add_host("server")
+        network.add_link(Link("laptop", "server", Constant(1)))
+        app = Application()
+
+        @app.router.get("/slow")
+        def slow(request):
+            return json_response({})
+
+        secure = SecureServer("srv", SeededRandomSource(b"k2"))
+        server_stack = SecureStack(
+            network.host("server"), network, SeededRandomSource(b"s2")
+        )
+        server_stack.attach_server(secure)
+        server = SimHttpServer(
+            app, server_stack, secure, kernel,
+            compute_latency=Constant(100), thread_pool_size=1,
+        )
+        client_stack = SecureStack(
+            network.host("laptop"), network, SeededRandomSource(b"c2"),
+            retry_timeout_ms=10_000,
+        )
+        client = SimHttpClient(client_stack, kernel, "server", secure.certificate)
+        done = []
+        for __ in range(3):
+            client.send(HttpRequest("GET", "/slow"), lambda r: done.append(kernel.now))
+        kernel.run_until_idle()
+        # Single thread at 100 ms each: completions serialise ~100 ms apart.
+        assert len(done) == 3
+        assert done[1] - done[0] >= 99
+        assert done[2] - done[1] >= 99
+        assert server.pool.queued_peak == 2
+
+
+class TestDeferredOverHttp:
+    def test_deferred_response_delivered_on_resolve(self, web):
+        app, server, client, kernel, network = web
+        box = {}
+
+        @app.router.get("/wait")
+        def wait(request):
+            box["deferred"] = Deferred()
+            return box["deferred"]
+
+        got = []
+        client.send(HttpRequest("GET", "/wait"), lambda r: got.append(r))
+        kernel.run(until=kernel.now + 500)  # < client retry-abort deadline
+        assert got == []  # still pending
+        box["deferred"].resolve(HttpResponse(status=200, body=b"done"))
+        kernel.run(until=kernel.now + 500)
+        assert [r.body for r in got] == [b"done"]
+
+    def test_deferred_holds_pool_thread(self, web):
+        app, server, client, kernel, network = web
+        box = {}
+
+        @app.router.get("/wait")
+        def wait(request):
+            box.setdefault("deferreds", []).append(Deferred())
+            return box["deferreds"][-1]
+
+        client.send(HttpRequest("GET", "/wait"), lambda r: None)
+        kernel.run(until=kernel.now + 500)
+        assert server.pool.busy == 1
+        box["deferreds"][0].resolve(HttpResponse())
+        kernel.run(until=kernel.now + 500)
+        assert server.pool.busy == 0

@@ -1,0 +1,81 @@
+"""Session manager tests: lifecycle, expiry, revocation."""
+
+from repro.crypto.randomness import SeededRandomSource
+from repro.web.sessions import SessionManager
+
+
+def make_manager(timeout=1000.0):
+    return SessionManager(SeededRandomSource(b"sessions"), idle_timeout_ms=timeout)
+
+
+class TestLifecycle:
+    def test_create_and_resolve(self):
+        manager = make_manager()
+        session = manager.create(0.0, user_id=7)
+        resolved = manager.resolve(session.token, 10.0)
+        assert resolved is session
+        assert resolved.data["user_id"] == 7
+
+    def test_unknown_token(self):
+        manager = make_manager()
+        assert manager.resolve("nope", 0.0) is None
+
+    def test_none_token(self):
+        manager = make_manager()
+        assert manager.resolve(None, 0.0) is None
+
+    def test_tokens_unique(self):
+        manager = make_manager()
+        tokens = {manager.create(0.0).token for __ in range(50)}
+        assert len(tokens) == 50
+
+
+class TestExpiry:
+    def test_idle_expiry(self):
+        manager = make_manager(timeout=100)
+        session = manager.create(0.0)
+        assert manager.resolve(session.token, 101.0) is None
+
+    def test_activity_refreshes_idle_clock(self):
+        manager = make_manager(timeout=100)
+        session = manager.create(0.0)
+        assert manager.resolve(session.token, 90.0) is not None
+        assert manager.resolve(session.token, 180.0) is not None  # refreshed at 90
+        assert manager.resolve(session.token, 301.0) is None
+
+    def test_expired_session_purged(self):
+        manager = make_manager(timeout=100)
+        session = manager.create(0.0)
+        manager.resolve(session.token, 200.0)
+        # Resolving again even within a new window must fail: it is gone.
+        assert manager.resolve(session.token, 201.0) is None
+
+
+class TestRevocation:
+    def test_revoke(self):
+        manager = make_manager()
+        session = manager.create(0.0)
+        manager.revoke(session.token)
+        assert manager.resolve(session.token, 1.0) is None
+
+    def test_revoke_all(self):
+        manager = make_manager()
+        for __ in range(3):
+            manager.create(0.0)
+        assert manager.revoke_all() == 3
+        assert manager.live_count(1.0) == 0
+
+    def test_revoke_all_with_predicate(self):
+        manager = make_manager()
+        keep = manager.create(0.0, user_id=1)
+        manager.create(0.0, user_id=2)
+        manager.create(0.0, user_id=2)
+        revoked = manager.revoke_all(lambda s: s.data.get("user_id") == 2)
+        assert revoked == 2
+        assert manager.resolve(keep.token, 1.0) is not None
+
+    def test_live_count(self):
+        manager = make_manager(timeout=100)
+        manager.create(0.0)
+        manager.create(50.0)
+        assert manager.live_count(120.0) == 1
