@@ -3,13 +3,18 @@
 
 PYTHON ?= python3
 
-.PHONY: install test bench report examples serve clean
+.PHONY: install test metrics-smoke bench report examples serve clean
 
 install:
 	pip install -e . --no-build-isolation
 
-test:
+test: metrics-smoke
 	$(PYTHON) -m pytest tests/
+
+# One simulated generation; asserts the exporter emits the expected
+# metric families. Cheap enough to gate every `make test` run.
+metrics-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro.cli metrics --check
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s

@@ -11,6 +11,8 @@ or analysis:
     amnesia-repro strength            # §IV-E composition & spaces
     amnesia-repro attacks             # §IV attack matrix
     amnesia-repro userstudy           # §VII aggregates
+    amnesia-repro metrics [--check]   # telemetry registry dump / smoke test
+    amnesia-repro stages              # per-stage latency attribution
 """
 
 from __future__ import annotations
@@ -212,6 +214,59 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    """Run one simulated generation and dump the metrics registry.
+
+    ``--check`` asserts the exporter emits the expected metric families
+    (the `make metrics-smoke` contract) and exits non-zero otherwise.
+    """
+    from repro.obs.export import render_json, render_prometheus
+    from repro.testbed import AmnesiaTestbed
+
+    bed = AmnesiaTestbed(seed=args.seed)
+    browser = bed.enroll("alice", "cli-master-password")
+    account_id = browser.add_account("alice", "mail.example.com")
+    browser.generate_password(account_id)
+    if args.format == "json":
+        text = render_json(bed.registry)
+    else:
+        text = render_prometheus(bed.registry)
+    if args.check:
+        expected = (
+            "amnesia_generations_total",
+            "amnesia_generation_latency_ms",
+            "amnesia_stage_ms",
+            "amnesia_http_requests_total",
+            "amnesia_http_request_ms",
+            "amnesia_net_datagrams_total",
+            "amnesia_sim_events_total",
+        )
+        missing = [name for name in expected if name not in text]
+        if missing:
+            print(
+                "metrics check FAILED; missing families: "
+                + ", ".join(missing),
+                file=sys.stderr,
+            )
+            return 1
+        print(f"metrics check ok: {len(expected)} families present")
+        return 0
+    print(text)
+    return 0
+
+
+def _cmd_stages(args: argparse.Namespace) -> int:
+    """Per-stage latency attribution of the Figure 3 pipeline."""
+    from repro.eval.stages import run_stage_breakdown
+
+    breakdowns = run_stage_breakdown(trials=args.trials, seed=args.seed)
+    for breakdown in breakdowns.values():
+        print(breakdown.render())
+        print(f"total (sum of stage means): {breakdown.total_mean_ms:.1f} ms")
+        print()
+    return 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     """Generate the full markdown reproduction report."""
     from repro.eval.report import generate_report
@@ -267,6 +322,8 @@ _COMMANDS: Dict[str, Callable[[argparse.Namespace], int]] = {
     "serve": _cmd_serve,
     "report": _cmd_report,
     "trace": _cmd_trace,
+    "metrics": _cmd_metrics,
+    "stages": _cmd_stages,
 }
 
 
@@ -299,6 +356,21 @@ def build_parser() -> argparse.ArgumentParser:
             command.add_argument(
                 "--output", default="REPORT.md",
                 help="output path ('-' for stdout)",
+            )
+        elif name == "metrics":
+            command.add_argument(
+                "--format", default="prometheus",
+                choices=["prometheus", "json"],
+                help="exporter output format",
+            )
+            command.add_argument(
+                "--check", action="store_true",
+                help="assert expected metric families exist (smoke test)",
+            )
+        elif name == "stages":
+            command.add_argument(
+                "--trials", type=int, default=20,
+                help="generations per transport",
             )
         elif name == "serve":
             command.add_argument(

@@ -273,6 +273,9 @@ class LocalPhoneAgent:
         self.reg_id = deployment.assign_registration_id(self)
         self.database.set_registration_id(self.reg_id)
         self._address = deployment.address
+        # Share the deployment's wall clock so the trace stamps the agent
+        # reports are in the server's time base (spans need one clock).
+        self._clock = deployment.clock
         self.answered = 0
 
     def pair(self, login: str, code: str) -> None:
@@ -303,9 +306,11 @@ class LocalPhoneAgent:
         request_hex = str(data.get("request", ""))
         if not pending_id or not request_hex:
             return
+        received_ms = self._clock.now
         time.sleep(self.compute_delay_s)
         table = EntryTable(self.database.entry_table(), self.params)
         token_hex = generate_token(request_hex, table, self.params)
+        computed_ms = self._clock.now
         self.answered += 1
         _http_json(
             self._address,
@@ -315,6 +320,10 @@ class LocalPhoneAgent:
                 "pending_id": pending_id,
                 "token": token_hex,
                 "pid": self.database.pid().hex(),
+                "trace": {
+                    "received_ms": received_ms,
+                    "computed_ms": computed_ms,
+                },
             },
         )
 

@@ -51,6 +51,31 @@ def _fig3_section(trials: int, seed: str) -> list[str]:
     return lines
 
 
+def _stage_section(seed: str) -> list[str]:
+    from repro.eval.stages import StageBreakdownExperiment
+
+    lines = [
+        "## Stage breakdown — where the latency goes",
+        "",
+        "Per-stage attribution of the Figure 3 total (span telemetry; "
+        "stages partition `t_end - t_start` exactly):",
+        "",
+        "| transport | stage | mean ms | share |",
+        "|---|---|---|---|",
+    ]
+    for name, profile in (("wifi", WIFI_PROFILE), ("4g", CELLULAR_4G_PROFILE)):
+        breakdown = StageBreakdownExperiment(
+            profile, trials=20, seed=seed
+        ).run()
+        for stats in breakdown.ordered_stages():
+            share = breakdown.share_of_total(stats.name)
+            lines.append(
+                f"| {name} | {stats.name} | {stats.mean_ms:.1f} "
+                f"| {100.0 * share:.1f}% |"
+            )
+    return lines
+
+
 def _strength_section() -> list[str]:
     policy = PasswordPolicy()
     composition = composition_expectation(policy)
@@ -177,6 +202,8 @@ def generate_report(trials: int = 100, seed: str = "report") -> str:
         "",
     ]
     sections += _fig3_section(trials, seed)
+    sections.append("")
+    sections += _stage_section(seed)
     sections.append("")
     sections += _strength_section()
     sections.append("")

@@ -1,0 +1,113 @@
+"""Stage-level latency attribution for the Figure 1 pipeline.
+
+Figure 3 reports only the total ``t_end - t_start`` per generation;
+this module runs the same experiment with the span recorder armed and
+breaks the total into its pipeline stages — push wait (server →
+rendezvous → phone delivery), phone compute, return hop, and server
+render — so BENCH runs can say *where* the milliseconds go before and
+after a performance change.
+
+The breakdown is trustworthy by construction: the four stages partition
+``[t_start, t_end]`` exactly (the test suite asserts the sum matches
+the Figure 3 latency to within floating-point epsilon).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.net.profiles import WIFI_PROFILE, NetworkProfile
+from repro.obs.spans import GENERATION_STAGES, StageStats, render_stage_table
+from repro.phone.app import ApprovalPolicy
+from repro.testbed import AmnesiaTestbed
+from repro.util.errors import ValidationError
+
+
+@dataclass(frozen=True)
+class StageBreakdown:
+    """One transport's per-stage attribution."""
+
+    transport: str
+    trials: int
+    stages: Dict[str, StageStats]
+    total_mean_ms: float
+
+    def ordered_stages(self) -> List[StageStats]:
+        """Stages in pipeline order, then any extras alphabetically."""
+        ordered = [
+            self.stages[name] for name in GENERATION_STAGES if name in self.stages
+        ]
+        extras = sorted(set(self.stages) - set(GENERATION_STAGES))
+        ordered.extend(self.stages[name] for name in extras)
+        return ordered
+
+    def share_of_total(self, stage: str) -> float:
+        """A stage's share of the summed mean latency (0..1)."""
+        stats = self.stages.get(stage)
+        if stats is None or self.total_mean_ms <= 0:
+            return math.nan
+        return stats.mean_ms / self.total_mean_ms
+
+    def render(self) -> str:
+        header = (
+            f"Stage breakdown — {self.transport}, {self.trials} generations"
+        )
+        return header + "\n" + render_stage_table(self.ordered_stages())
+
+
+class StageBreakdownExperiment:
+    """Run *trials* generations and attribute latency per stage."""
+
+    def __init__(
+        self,
+        profile: NetworkProfile = WIFI_PROFILE,
+        trials: int = 20,
+        seed: int | str = 2016,
+        warmup: int = 1,
+    ) -> None:
+        if trials < 1:
+            raise ValidationError(f"trials must be >= 1, got {trials}")
+        self.profile = profile
+        self.trials = trials
+        self.seed = seed
+        self.warmup = warmup
+
+    def run(self) -> StageBreakdown:
+        bed = AmnesiaTestbed(
+            seed=f"stages|{self.profile.name}|{self.seed}",
+            profile=self.profile,
+            approval=ApprovalPolicy.AUTO,
+        )
+        browser = bed.enroll("stage-tester", "master-password-2016")
+        account_id = browser.add_account("stage-tester", "stages.example.com")
+        for __ in range(self.warmup):
+            browser.generate_password(account_id)
+        bed.server.spans.clear()  # drop the warm-up traces
+        for __ in range(self.trials):
+            browser.generate_password(account_id)
+        stages = bed.server.spans.stage_breakdown()
+        total_mean = sum(
+            stats.mean_ms
+            for stats in stages.values()
+            if not math.isnan(stats.mean_ms)
+        )
+        return StageBreakdown(
+            transport=self.profile.name,
+            trials=self.trials,
+            stages=stages,
+            total_mean_ms=total_mean,
+        )
+
+
+def run_stage_breakdown(
+    trials: int = 20, seed: int | str = 2016
+) -> Dict[str, StageBreakdown]:
+    """The breakdown over both Figure 3 transports."""
+    from repro.net.profiles import CELLULAR_4G_PROFILE
+
+    return {
+        "wifi": StageBreakdownExperiment(WIFI_PROFILE, trials, seed).run(),
+        "4g": StageBreakdownExperiment(CELLULAR_4G_PROFILE, trials, seed).run(),
+    }

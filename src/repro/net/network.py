@@ -65,6 +65,11 @@ class Network:
         self.sent_count = 0
         self.delivered_count = 0
         self.dropped_count = 0
+        # Registry-backed per-link counters (bind_registry); None = off.
+        self._m_datagrams = None
+        self._m_bytes = None
+        self._m_delivered = None
+        self._m_dropped = None
 
     # -- topology ------------------------------------------------------------
 
@@ -116,6 +121,37 @@ class Network:
         """Register a callback invoked as ``hook(datagram, reason)`` on drops."""
         self._drop_hooks.append(hook)
 
+    def bind_registry(self, registry) -> None:
+        """Feed per-link datagram/byte/drop counters into *registry*.
+
+        Links are labelled ``src->dst`` — cardinality is bounded by the
+        topology, which the deployments construct explicitly.
+        """
+        self._m_datagrams = registry.counter(
+            "amnesia_net_datagrams_total",
+            "Datagrams sent onto the fabric, per directed link",
+            label_names=("link",),
+        )
+        self._m_bytes = registry.counter(
+            "amnesia_net_bytes_total",
+            "Payload bytes sent onto the fabric, per directed link",
+            label_names=("link",),
+        )
+        self._m_delivered = registry.counter(
+            "amnesia_net_delivered_total",
+            "Datagrams delivered to a bound handler, per directed link",
+            label_names=("link",),
+        )
+        self._m_dropped = registry.counter(
+            "amnesia_net_dropped_total",
+            "Datagrams dropped, per directed link and reason",
+            label_names=("link", "reason"),
+        )
+
+    @staticmethod
+    def _link_label(datagram: Datagram) -> str:
+        return f"{datagram.src}->{datagram.dst}"
+
     # -- transfer ------------------------------------------------------------
 
     def send(self, src: str, dst: str, port: int, payload: bytes) -> Datagram:
@@ -132,6 +168,10 @@ class Network:
         link = self.link_between(src, dst)
         datagram = Datagram(src=src, dst=dst, port=port, payload=bytes(payload))
         self.sent_count += 1
+        if self._m_datagrams is not None:
+            link_label = self._link_label(datagram)
+            self._m_datagrams.labels(link=link_label).inc()
+            self._m_bytes.labels(link=link_label).inc(datagram.size)
         for tap in self._taps:
             tap(datagram)
         rng = self._rngs.stream(f"link:{src}->{dst}")
@@ -156,9 +196,15 @@ class Network:
             self._drop(datagram, "no-handler")
             return
         self.delivered_count += 1
+        if self._m_delivered is not None:
+            self._m_delivered.labels(link=self._link_label(datagram)).inc()
         handler(datagram)
 
     def _drop(self, datagram: Datagram, reason: str) -> None:
         self.dropped_count += 1
+        if self._m_dropped is not None:
+            self._m_dropped.labels(
+                link=self._link_label(datagram), reason=reason
+            ).inc()
         for hook in self._drop_hooks:
             hook(datagram, reason)

@@ -1,0 +1,42 @@
+"""Observability: metrics registry, span tracing, and exporters.
+
+The paper's only instrumentation is the ``t_start``/``t_end`` pair
+behind Figure 3. This package gives the reproduction production-grade
+telemetry on top of that seed:
+
+- :mod:`repro.obs.registry` — a process-wide metrics registry with
+  counters, gauges, and fixed-bucket histograms (p50/p95/p99);
+- :mod:`repro.obs.spans` — a span recorder that threads a correlation
+  id through one password generation across browser → server →
+  rendezvous → phone → server, attributing each stage's duration;
+- :mod:`repro.obs.export` — Prometheus text exposition and JSON
+  renderers, served by the ``/metricsz`` route;
+- :mod:`repro.obs.instrument` — adapters binding the simulation
+  kernel, the network fabric, and the HTTP thread pool to a registry.
+
+All clocks are duck-typed: the simulator's virtual clock and
+:class:`repro.deploy.clock.WallClock` both work, so spans and
+histograms mean the same thing in simulation and real deployments.
+"""
+
+from repro.obs.export import render_json, render_prometheus
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    global_registry,
+)
+from repro.obs.spans import Span, SpanRecorder
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "SpanRecorder",
+    "global_registry",
+    "render_json",
+    "render_prometheus",
+]

@@ -1,0 +1,134 @@
+"""Exporters: Prometheus text exposition format and JSON.
+
+:func:`render_prometheus` follows the text exposition format (version
+0.0.4): ``# HELP``/``# TYPE`` per family, label values escaped
+(backslash, double-quote, newline), histograms as cumulative
+``_bucket{le=...}`` series plus ``_sum``/``_count``. :func:`render_json`
+produces the same data as one JSON document for dashboards and the CLI.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Any, Dict
+
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    LabelValues,
+    MetricFamily,
+    MetricsRegistry,
+)
+
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def escape_label_value(value: str) -> str:
+    """Escape a label value per the exposition format."""
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def escape_help(text: str) -> str:
+    """Escape a HELP string (backslash and newline only)."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _format_value(value: float) -> str:
+    if math.isnan(value):
+        return "NaN"
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _label_string(names: tuple[str, ...], values: LabelValues, extra: str = "") -> str:
+    parts = [
+        f'{name}="{escape_label_value(value)}"'
+        for name, value in zip(names, values)
+    ]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def _render_family(family: MetricFamily) -> list[str]:
+    lines = []
+    if family.help:
+        lines.append(f"# HELP {family.name} {escape_help(family.help)}")
+    lines.append(f"# TYPE {family.name} {family.kind}")
+    for values, metric in family.samples():
+        if isinstance(metric, Histogram):
+            cumulative = metric.cumulative_counts()
+            for bound, count in zip(metric.bounds, cumulative):
+                label_str = _label_string(
+                    family.label_names, values, f'le="{_format_value(bound)}"'
+                )
+                lines.append(f"{family.name}_bucket{label_str} {count}")
+            label_str = _label_string(family.label_names, values, 'le="+Inf"')
+            lines.append(f"{family.name}_bucket{label_str} {cumulative[-1]}")
+            plain = _label_string(family.label_names, values)
+            lines.append(f"{family.name}_sum{plain} {_format_value(metric.sum)}")
+            lines.append(f"{family.name}_count{plain} {metric.count}")
+        else:
+            label_str = _label_string(family.label_names, values)
+            lines.append(f"{family.name}{label_str} {_format_value(metric.value)}")
+    return lines
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """The registry in Prometheus text exposition format."""
+    lines: list[str] = []
+    for family in registry.collect():
+        lines.extend(_render_family(family))
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def _metric_json(metric: "Counter | Gauge | Histogram") -> Dict[str, Any]:
+    if isinstance(metric, Histogram):
+        return {
+            "count": metric.count,
+            "sum": metric.sum,
+            "buckets": {
+                _format_value(bound): count
+                for bound, count in zip(
+                    list(metric.bounds) + [math.inf], metric.bucket_counts()
+                )
+            },
+            "p50": _nan_safe(metric.p50()),
+            "p95": _nan_safe(metric.p95()),
+            "p99": _nan_safe(metric.p99()),
+        }
+    return {"value": _nan_safe(metric.value)}
+
+
+def _nan_safe(value: float) -> float | None:
+    return None if math.isnan(value) else value
+
+
+def registry_snapshot(registry: MetricsRegistry) -> Dict[str, Any]:
+    """The registry as one JSON-serialisable document."""
+    snapshot: Dict[str, Any] = {}
+    for family in registry.collect():
+        series = []
+        for values, metric in family.samples():
+            series.append(
+                {
+                    "labels": dict(zip(family.label_names, values)),
+                    **_metric_json(metric),
+                }
+            )
+        snapshot[family.name] = {
+            "type": family.kind,
+            "help": family.help,
+            "series": series,
+        }
+    return snapshot
+
+
+def render_json(registry: MetricsRegistry, indent: int | None = 2) -> str:
+    """The registry as a JSON string."""
+    return json.dumps(registry_snapshot(registry), indent=indent, sort_keys=True)

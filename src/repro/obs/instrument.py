@@ -1,0 +1,92 @@
+"""Adapters binding existing subsystems to a metrics registry.
+
+These keep the instrumented layers dependency-light: the simulation
+kernel and the network fabric expose small observer hooks, and this
+module translates those hooks into registry metrics. Deployments call
+one ``attach_*`` function per subsystem (the testbed does so for the
+whole Figure 1 topology).
+"""
+
+from __future__ import annotations
+
+from repro.obs.registry import MetricsRegistry
+
+# Wall time per simulated event is microseconds-scale; buckets in µs.
+KERNEL_WALL_US_BUCKETS = (
+    5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0,
+    1000.0, 2500.0, 5000.0, 10000.0, 50000.0,
+)
+
+
+def _label_prefix(label: str) -> str:
+    """Normalise an event label to its leading token (bounded cardinality)."""
+    if not label:
+        return "unlabeled"
+    return label.split(" ", 1)[0]
+
+
+def attach_kernel_stats(kernel, registry: MetricsRegistry) -> None:
+    """Event-loop stats: events processed, queue depth, per-label timing."""
+    events = registry.counter(
+        "amnesia_sim_events_total",
+        "Simulation events executed, by label prefix",
+        label_names=("label",),
+    )
+    wall = registry.histogram(
+        "amnesia_sim_event_wall_us",
+        "Wall-clock microseconds spent executing one simulation event",
+        label_names=("label",),
+        buckets=KERNEL_WALL_US_BUCKETS,
+    )
+    depth = registry.gauge(
+        "amnesia_sim_queue_depth",
+        "Simulation events currently queued (cancelled included)",
+    )
+    depth.set_function(lambda: float(kernel.pending_events))
+    registry.gauge(
+        "amnesia_sim_now_ms", "Current virtual time in milliseconds"
+    ).set_function(lambda: float(kernel.now))
+
+    def observe(label: str, wall_us: float, queue_depth: int) -> None:
+        prefix = _label_prefix(label)
+        events.labels(label=prefix).inc()
+        wall.labels(label=prefix).observe(wall_us)
+
+    kernel.add_observer(observe)
+
+
+def attach_network_stats(network, registry: MetricsRegistry) -> None:
+    """Per-link datagram/byte/drop counters via the fabric's own hooks."""
+    network.bind_registry(registry)
+
+
+def attach_pool_stats(
+    pool, registry: MetricsRegistry, service: str = "https"
+) -> None:
+    """Thread-pool saturation gauges for one HTTP server binding."""
+    registry.gauge(
+        "amnesia_http_pool_busy",
+        "HTTP worker threads currently busy",
+        label_names=("service",),
+    ).labels(service=service).set_function(lambda: float(pool.busy))
+    registry.gauge(
+        "amnesia_http_pool_queue_depth",
+        "Requests waiting for a free HTTP worker thread",
+        label_names=("service",),
+    ).labels(service=service).set_function(lambda: float(pool.queue_depth))
+
+
+def attach_rendezvous_stats(service, registry: MetricsRegistry) -> None:
+    """Push/forward counters for the rendezvous (GCM) service."""
+    registry.gauge(
+        "amnesia_rendezvous_registered_devices",
+        "Devices currently registered with the rendezvous service",
+    ).set_function(lambda: float(len(service.registered_devices())))
+    registry.gauge(
+        "amnesia_rendezvous_pushes",
+        "Pushes accepted by the rendezvous service",
+    ).set_function(lambda: float(service.push_count))
+    registry.gauge(
+        "amnesia_rendezvous_forwards",
+        "Deliveries forwarded (including retransmissions) to devices",
+    ).set_function(lambda: float(service.forward_count))

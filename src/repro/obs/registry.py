@@ -1,0 +1,338 @@
+"""The metrics registry: counters, gauges, fixed-bucket histograms.
+
+Modelled on the Prometheus client data model, scaled down to what this
+repository needs and implemented with zero dependencies:
+
+- metrics are *families* identified by name; a family owns labelled
+  children (one child per unique label-value tuple);
+- counters are monotonic, gauges settable (optionally backed by a
+  callback, e.g. a thread-pool depth), histograms have fixed bucket
+  upper bounds with cumulative ``le`` semantics (``value <= bound``);
+- histograms estimate p50/p95/p99 by linear interpolation inside the
+  owning bucket, clamped to the observed min/max so tight distributions
+  do not get smeared across a wide bucket.
+
+Registries are cheap; the testbed builds one per deployment so tests
+stay isolated, while :func:`global_registry` offers the conventional
+process-wide instance for real deployments.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+import threading
+from typing import Callable, Dict, Iterable, Mapping, Tuple
+
+from repro.util.errors import ConflictError, ValidationError
+
+LabelValues = Tuple[str, ...]
+
+# Wide enough for both simulated milliseconds (Figure 3 lives around
+# 700-1000 ms) and the microsecond-scale wall timings of kernel events.
+DEFAULT_BUCKETS_MS: Tuple[float, ...] = (
+    1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0,
+    500.0, 1000.0, 2500.0, 5000.0, 10000.0, 30000.0,
+)
+
+
+def _validate_name(name: str) -> None:
+    if not name or not all(c.isalnum() or c in "_:" for c in name):
+        raise ValidationError(f"bad metric name {name!r}")
+    if name[0].isdigit():
+        raise ValidationError(f"metric name cannot start with a digit: {name!r}")
+
+
+def _validate_label_name(name: str) -> None:
+    if not name or not name.isidentifier():
+        raise ValidationError(f"bad label name {name!r}")
+
+
+class Counter:
+    """A monotonically increasing value."""
+
+    def __init__(self) -> None:
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValidationError(f"counter can only increase, got {amount}")
+        self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Gauge:
+    """A value that can go up and down, or track a callback."""
+
+    def __init__(self) -> None:
+        self._value = 0.0
+        self._fn: Callable[[], float] | None = None
+
+    def set(self, value: float) -> None:
+        self._fn = None
+        self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._fn = None
+        self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.inc(-amount)
+
+    def set_function(self, fn: Callable[[], float]) -> None:
+        """Track *fn* lazily: the gauge reads it at collection time."""
+        self._fn = fn
+
+    @property
+    def value(self) -> float:
+        if self._fn is not None:
+            return float(self._fn())
+        return self._value
+
+
+class Histogram:
+    """Fixed-bucket histogram with cumulative ``le`` export semantics."""
+
+    def __init__(self, buckets: Iterable[float] = DEFAULT_BUCKETS_MS) -> None:
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds:
+            raise ValidationError("histogram needs at least one bucket bound")
+        if any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise ValidationError(f"bucket bounds must increase: {bounds}")
+        if any(math.isnan(b) or math.isinf(b) for b in bounds):
+            raise ValidationError("bucket bounds must be finite (+Inf is implicit)")
+        self.bounds = bounds
+        # One slot per bound plus the implicit +Inf overflow bucket.
+        self._counts = [0] * (len(bounds) + 1)
+        self.count = 0
+        self.sum = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        if math.isnan(value):
+            raise ValidationError("cannot observe NaN")
+        # ``le`` semantics: a value equal to a bound lands in that bucket.
+        index = bisect.bisect_left(self.bounds, value)
+        self._counts[index] += 1
+        self.count += 1
+        self.sum += value
+        self._min = min(self._min, value)
+        self._max = max(self._max, value)
+
+    @property
+    def min(self) -> float:
+        return self._min if self.count else math.nan
+
+    @property
+    def max(self) -> float:
+        return self._max if self.count else math.nan
+
+    def bucket_counts(self) -> list[int]:
+        """Per-bucket (non-cumulative) counts, overflow last."""
+        return list(self._counts)
+
+    def cumulative_counts(self) -> list[int]:
+        """Cumulative counts per bound plus +Inf, as Prometheus exports."""
+        cumulative = []
+        running = 0
+        for count in self._counts:
+            running += count
+            cumulative.append(running)
+        return cumulative
+
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else math.nan
+
+    def percentile(self, q: float) -> float:
+        """Estimate the *q*-th percentile (q in [0, 100]).
+
+        Linear interpolation inside the bucket holding the target rank,
+        clamped to the observed min/max. ``nan`` when empty.
+        """
+        if not (0.0 <= q <= 100.0):
+            raise ValidationError(f"percentile q must be in [0, 100], got {q}")
+        if self.count == 0:
+            return math.nan
+        rank = (q / 100.0) * self.count
+        cumulative = 0
+        for index, count in enumerate(self._counts):
+            if count == 0:
+                cumulative += count
+                continue
+            previous = cumulative
+            cumulative += count
+            if cumulative >= rank:
+                lower = self.bounds[index - 1] if index > 0 else min(0.0, self._min)
+                upper = (
+                    self.bounds[index]
+                    if index < len(self.bounds)
+                    else self._max
+                )
+                fraction = (rank - previous) / count
+                estimate = lower + fraction * (upper - lower)
+                return min(max(estimate, self._min), self._max)
+        return self._max  # pragma: no cover - rank <= count always hits above
+
+    def p50(self) -> float:
+        return self.percentile(50.0)
+
+    def p95(self) -> float:
+        return self.percentile(95.0)
+
+    def p99(self) -> float:
+        return self.percentile(99.0)
+
+
+class MetricFamily:
+    """A named metric with labelled children of one concrete type."""
+
+    def __init__(
+        self,
+        name: str,
+        kind: str,
+        help: str,
+        label_names: Tuple[str, ...],
+        factory: Callable[[], "Counter | Gauge | Histogram"],
+    ) -> None:
+        _validate_name(name)
+        for label in label_names:
+            _validate_label_name(label)
+        self.name = name
+        self.kind = kind
+        self.help = help
+        self.label_names = label_names
+        self._factory = factory
+        self._children: Dict[LabelValues, Counter | Gauge | Histogram] = {}
+
+    def labels(self, **label_values: str):
+        """The child for these label values (created on first use)."""
+        if set(label_values) != set(self.label_names):
+            raise ValidationError(
+                f"{self.name}: expected labels {self.label_names}, "
+                f"got {tuple(sorted(label_values))}"
+            )
+        key = tuple(str(label_values[name]) for name in self.label_names)
+        child = self._children.get(key)
+        if child is None:
+            child = self._factory()
+            self._children[key] = child
+        return child
+
+    def _default_child(self):
+        if self.label_names:
+            raise ValidationError(
+                f"{self.name} is labelled {self.label_names}; use .labels()"
+            )
+        return self.labels()
+
+    # -- unlabelled conveniences ---------------------------------------------
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._default_child().inc(amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        self._default_child().dec(amount)
+
+    def set(self, value: float) -> None:
+        self._default_child().set(value)
+
+    def set_function(self, fn: Callable[[], float]) -> None:
+        self._default_child().set_function(fn)
+
+    def observe(self, value: float) -> None:
+        self._default_child().observe(value)
+
+    @property
+    def value(self) -> float:
+        return self._default_child().value
+
+    def percentile(self, q: float) -> float:
+        return self._default_child().percentile(q)
+
+    # -- collection -----------------------------------------------------------
+
+    def samples(self) -> Iterable[tuple[LabelValues, "Counter | Gauge | Histogram"]]:
+        """Children in deterministic (sorted label) order."""
+        return sorted(self._children.items(), key=lambda item: item[0])
+
+
+class MetricsRegistry:
+    """Get-or-create registry of metric families."""
+
+    def __init__(self) -> None:
+        self._families: Dict[str, MetricFamily] = {}
+        self._lock = threading.Lock()
+
+    def _get_or_create(
+        self,
+        name: str,
+        kind: str,
+        help: str,
+        label_names: Tuple[str, ...],
+        factory: Callable[[], "Counter | Gauge | Histogram"],
+    ) -> MetricFamily:
+        with self._lock:
+            family = self._families.get(name)
+            if family is not None:
+                if family.kind != kind:
+                    raise ConflictError(
+                        f"metric {name!r} already registered as {family.kind}"
+                    )
+                if family.label_names != label_names:
+                    raise ConflictError(
+                        f"metric {name!r} already registered with labels "
+                        f"{family.label_names}"
+                    )
+                return family
+            family = MetricFamily(name, kind, help, label_names, factory)
+            self._families[name] = family
+            return family
+
+    def counter(
+        self, name: str, help: str = "", label_names: Tuple[str, ...] = ()
+    ) -> MetricFamily:
+        return self._get_or_create(name, "counter", help, tuple(label_names), Counter)
+
+    def gauge(
+        self, name: str, help: str = "", label_names: Tuple[str, ...] = ()
+    ) -> MetricFamily:
+        return self._get_or_create(name, "gauge", help, tuple(label_names), Gauge)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        label_names: Tuple[str, ...] = (),
+        buckets: Iterable[float] = DEFAULT_BUCKETS_MS,
+    ) -> MetricFamily:
+        bounds = tuple(float(b) for b in buckets)
+        return self._get_or_create(
+            name, "histogram", help, tuple(label_names),
+            lambda: Histogram(bounds),
+        )
+
+    def get(self, name: str) -> MetricFamily | None:
+        return self._families.get(name)
+
+    def collect(self) -> list[MetricFamily]:
+        """All families in registration-name order."""
+        return [self._families[name] for name in sorted(self._families)]
+
+    def family_names(self) -> list[str]:
+        return sorted(self._families)
+
+    def as_dict(self) -> Mapping[str, MetricFamily]:
+        return dict(self._families)
+
+
+_GLOBAL = MetricsRegistry()
+
+
+def global_registry() -> MetricsRegistry:
+    """The conventional process-wide registry (real deployments)."""
+    return _GLOBAL

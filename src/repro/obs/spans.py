@@ -1,0 +1,187 @@
+"""Correlated spans: per-stage timing for one password generation.
+
+A *trace* is the set of spans sharing one correlation id (the server
+uses the pending-exchange id, which already travels server → rendezvous
+→ phone → server, so every hop can join the same trace). Each span
+names one stage of the Figure 1 pipeline and carries start/end stamps
+from whatever clock the deployment runs on (simulated or wall).
+
+The canonical stages of a generation trace:
+
+========================  ====================================================
+``push_wait``             R leaves the server until the phone's app sees it
+                          (server → rendezvous → push delivery).
+``phone_compute``         the device's Algorithm 1 computation window.
+``return_hop``            token leaves the phone until the server's ``/token``
+                          handler runs (network + server queue/compute).
+``server_render``         intermediate value + template rendering on the
+                          server, ending at the paper's ``t_end``.
+========================  ====================================================
+
+Their durations sum to exactly ``t_end - t_start`` — Figure 3's latency
+— which the test suite asserts, making the breakdown trustworthy for
+attribution.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List
+
+from repro.util.errors import ValidationError
+
+GENERATION_STAGES = (
+    "push_wait",
+    "phone_compute",
+    "return_hop",
+    "server_render",
+)
+
+STAGE_HISTOGRAM = "amnesia_stage_ms"
+
+
+@dataclass(frozen=True)
+class Span:
+    """One named stage within a trace."""
+
+    corr_id: str
+    name: str
+    start_ms: float
+    end_ms: float
+
+    @property
+    def duration_ms(self) -> float:
+        return self.end_ms - self.start_ms
+
+
+@dataclass
+class StageStats:
+    """Aggregate duration statistics for one stage name."""
+
+    name: str
+    durations_ms: List[float] = field(default_factory=list)
+
+    @property
+    def count(self) -> int:
+        return len(self.durations_ms)
+
+    @property
+    def total_ms(self) -> float:
+        return sum(self.durations_ms)
+
+    @property
+    def mean_ms(self) -> float:
+        return self.total_ms / self.count if self.count else math.nan
+
+    @property
+    def max_ms(self) -> float:
+        return max(self.durations_ms) if self.count else math.nan
+
+
+class SpanRecorder:
+    """Collects spans per correlation id; optionally feeds a registry.
+
+    When built with a :class:`~repro.obs.registry.MetricsRegistry`, each
+    recorded span also lands in the ``amnesia_stage_ms{stage=...}``
+    histogram, so exporters see the same data as the trace store.
+
+    *max_traces* bounds memory: the oldest completed traces are evicted
+    first, which matters for a server meant to run indefinitely.
+    """
+
+    def __init__(self, registry=None, max_traces: int = 1024) -> None:
+        if max_traces < 1:
+            raise ValidationError(f"max_traces must be >= 1, got {max_traces}")
+        self._registry = registry
+        self._max_traces = max_traces
+        # insertion-ordered: dict preserves trace arrival order for eviction
+        self._traces: Dict[str, List[Span]] = {}
+        self.recorded_spans = 0
+
+    def record(self, corr_id: str, name: str, start_ms: float, end_ms: float) -> Span:
+        """Record one completed stage; returns the span."""
+        if not corr_id:
+            raise ValidationError("corr_id must be non-empty")
+        if not name:
+            raise ValidationError("span name must be non-empty")
+        if end_ms < start_ms:
+            raise ValidationError(
+                f"span {name!r} ends before it starts ({end_ms} < {start_ms})"
+            )
+        span = Span(corr_id=corr_id, name=name, start_ms=start_ms, end_ms=end_ms)
+        spans = self._traces.get(corr_id)
+        if spans is None:
+            while len(self._traces) >= self._max_traces:
+                oldest = next(iter(self._traces))
+                del self._traces[oldest]
+            spans = []
+            self._traces[corr_id] = spans
+        spans.append(span)
+        self.recorded_spans += 1
+        if self._registry is not None:
+            self._registry.histogram(
+                STAGE_HISTOGRAM,
+                "Per-stage duration of the Figure 1 pipeline",
+                label_names=("stage",),
+            ).labels(stage=name).observe(span.duration_ms)
+        return span
+
+    def trace(self, corr_id: str) -> List[Span]:
+        """All spans recorded under *corr_id* (possibly empty)."""
+        return list(self._traces.get(corr_id, []))
+
+    def trace_ids(self) -> List[str]:
+        return list(self._traces)
+
+    def trace_total_ms(self, corr_id: str) -> float:
+        """Sum of stage durations — should equal ``t_end - t_start``."""
+        spans = self._traces.get(corr_id)
+        if not spans:
+            return math.nan
+        return sum(span.duration_ms for span in spans)
+
+    def stage_breakdown(self) -> Dict[str, StageStats]:
+        """Durations aggregated by stage name, across all traces."""
+        stats: Dict[str, StageStats] = {}
+        for spans in self._traces.values():
+            for span in spans:
+                entry = stats.get(span.name)
+                if entry is None:
+                    entry = StageStats(span.name)
+                    stats[span.name] = entry
+                entry.durations_ms.append(span.duration_ms)
+        return stats
+
+    def clear(self) -> None:
+        self._traces.clear()
+
+
+def render_stage_table(
+    stats: Iterable[StageStats], total_label: str = "total"
+) -> str:
+    """Render stage statistics as the latency-attribution table.
+
+    One row per stage (given order preserved) with count, mean, max and
+    the share of the summed mean — the table BENCH runs use to say
+    *where* Figure 3's milliseconds go.
+    """
+    rows = list(stats)
+    if not rows:
+        raise ValidationError("no stages to render")
+    total_mean = sum(r.mean_ms for r in rows if not math.isnan(r.mean_ms))
+    header = f"{'stage':<16s} {'n':>5s} {'mean ms':>10s} {'max ms':>10s} {'share':>7s}"
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        share = (
+            f"{100.0 * row.mean_ms / total_mean:6.1f}%"
+            if total_mean > 0 and not math.isnan(row.mean_ms)
+            else "    n/a"
+        )
+        lines.append(
+            f"{row.name:<16s} {row.count:>5d} {row.mean_ms:>10.2f} "
+            f"{row.max_ms:>10.2f} {share:>7s}"
+        )
+    lines.append("-" * len(header))
+    lines.append(f"{total_label:<16s} {'':>5s} {total_mean:>10.2f}")
+    return "\n".join(lines)

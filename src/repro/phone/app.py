@@ -32,7 +32,7 @@ from repro.sim.kernel import Simulator
 from repro.sim.random import RngRegistry
 from repro.storage.phone_db import PhoneDatabase
 from repro.util.errors import NotFoundError, ValidationError
-from repro.util.logs import component_logger
+from repro.util.logs import bind_corr_id, component_logger
 from repro.web.client import SimHttpClient
 from repro.web.http import HttpRequest, HttpResponse
 
@@ -217,15 +217,20 @@ class AmnesiaApp:
         request_hex = str(data.get("request", ""))
         if not pending_id or not request_hex:
             return
+        # Trace stamp: when the push reached the app (the end of the
+        # server's ``push_wait`` stage). Stored on the push payload so a
+        # manual approval still reports when the notification appeared.
+        data.setdefault("received_ms", self.kernel.now)
         self.notifications.post(KIND_PASSWORD, data, self.kernel.now)
-        _log.debug(
-            "password request %s from origin=%s (%s)",
-            pending_id[:8], data.get("origin", "?"), self.approval.value,
-        )
-        if self.approval is ApprovalPolicy.AUTO:
-            self._answer_request(pending_id, request_hex, data)
-        else:
-            self._pending_approvals[pending_id] = data
+        with bind_corr_id(str(data.get("corr_id", pending_id))):
+            _log.debug(
+                "password request %s from origin=%s (%s)",
+                pending_id[:8], data.get("origin", "?"), self.approval.value,
+            )
+            if self.approval is ApprovalPolicy.AUTO:
+                self._answer_request(pending_id, request_hex, data)
+            else:
+                self._pending_approvals[pending_id] = data
 
     def pending_approvals(self) -> list[Dict[str, Any]]:
         """Requests awaiting the user's tap (manual approval mode)."""
@@ -263,12 +268,22 @@ class AmnesiaApp:
             }
             if "tstart_ms" in data:
                 payload["tstart_ms"] = data["tstart_ms"]
+            # Trace stamps: push receipt and compute completion, on the
+            # shared clock — the server splits its round-trip span into
+            # push_wait / phone_compute / return_hop with these.
+            if "received_ms" in data:
+                payload["trace"] = {
+                    "received_ms": data["received_ms"],
+                    "computed_ms": self.kernel.now,
+                }
             self.answered_requests += 1
-            self._http_client().send(
-                HttpRequest.json_request("POST", "/token", payload),
-                lambda response: None,
-                lambda error: None,
-            )
+            with bind_corr_id(str(data.get("corr_id", pending_id))):
+                _log.debug("token computed for request %s", pending_id[:8])
+                self._http_client().send(
+                    HttpRequest.json_request("POST", "/token", payload),
+                    lambda response: None,
+                    lambda error: None,
+                )
 
         self.kernel.schedule(delay, compute_and_send, label="phone-compute")
 

@@ -28,7 +28,7 @@ from repro.crypto.randomness import RandomSource
 from repro.net.message import Datagram
 from repro.net.network import Host, Network
 from repro.util.errors import NotFoundError, ValidationError
-from repro.util.logs import component_logger
+from repro.util.logs import bind_corr_id, component_logger
 
 RENDEZVOUS_PORT = 5228  # GCM's actual port number
 DEVICE_PUSH_PORT = 5229
@@ -119,23 +119,26 @@ class RendezvousService:
         if not isinstance(reg_id, str) or not isinstance(data, dict):
             return
         self.push_count += 1
-        device = self._devices.get(reg_id)
-        if device is None:
-            _log.debug("push to unknown reg_id %s dropped", reg_id[:12])
-            return  # unknown registration id: GCM silently drops
-        host = self.network.host(device)
-        if not host.online:
-            queue = self._queues.setdefault(reg_id, deque())
-            if len(queue) < _MAX_QUEUED_PER_DEVICE:
-                queue.append(data)
-                _log.debug(
-                    "device %s offline; queued push (%d waiting)",
-                    device, len(queue),
-                )
-            else:
-                _log.info("device %s queue full; push dropped", device)
-            return
-        self._forward(device, data)
+        # Pushes carrying a correlation id tag this hop's log lines with
+        # it, so a generation's trace covers the rendezvous leg too.
+        with bind_corr_id(str(data.get("corr_id", ""))):
+            device = self._devices.get(reg_id)
+            if device is None:
+                _log.debug("push to unknown reg_id %s dropped", reg_id[:12])
+                return  # unknown registration id: GCM silently drops
+            host = self.network.host(device)
+            if not host.online:
+                queue = self._queues.setdefault(reg_id, deque())
+                if len(queue) < _MAX_QUEUED_PER_DEVICE:
+                    queue.append(data)
+                    _log.debug(
+                        "device %s offline; queued push (%d waiting)",
+                        device, len(queue),
+                    )
+                else:
+                    _log.info("device %s queue full; push dropped", device)
+                return
+            self._forward(device, data)
 
     def _handle_ack(self, message: Dict[str, Any]) -> None:
         msg_id = message.get("msg_id")

@@ -3,12 +3,33 @@
 The paper instruments the pipeline with ``t_start`` (R handed to GCM)
 and ``t_end`` (P computed) and reports ``latency = t_end - t_start``.
 The server records exactly that pair per completed generation.
+
+Since the observability PR, :class:`ServerMetrics` is a *view* over the
+process metrics registry (:mod:`repro.obs.registry`): every counter
+bump and latency sample also lands in registry metrics
+(``amnesia_generations_total{result=...}``,
+``amnesia_logins_total{result=...}``,
+``amnesia_generation_latency_ms``), so Figure 3's statistics and the
+``/metricsz`` exporter read the same underlying data. The raw sample
+list is retained because the paper's mean/std (and the new exact
+percentiles) need sample-exact math, not bucketed estimates.
+
+Edge-case contract (documented, uniformly): with **no** samples,
+``latency_mean_ms``, ``latency_std_ms`` and ``latency_percentile_ms``
+all return ``nan``; with **one** sample, mean and percentiles return
+that sample and ``latency_std_ms`` returns ``nan`` (a sample standard
+deviation needs n ≥ 2).
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+
+from repro.obs.registry import MetricsRegistry
+from repro.util.errors import ValidationError
+
+GENERATION_LATENCY_HISTOGRAM = "amnesia_generation_latency_ms"
 
 
 @dataclass(frozen=True)
@@ -24,23 +45,86 @@ class LatencySample:
         return self.tend_ms - self.tstart_ms
 
 
-@dataclass
 class ServerMetrics:
-    """Counters and samples accumulated by one server instance."""
+    """Counters and samples accumulated by one server instance.
 
-    latency_samples: list[LatencySample] = field(default_factory=list)
-    generations_started: int = 0
-    generations_completed: int = 0
-    generations_timed_out: int = 0
-    generations_from_session: int = 0  # §VIII session mechanism hits
-    logins_ok: int = 0
-    logins_failed: int = 0
+    Counter state lives in the metrics registry; the public integer
+    attributes are read-only views so existing call sites (tests,
+    reports) keep working unchanged.
+    """
+
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.latency_samples: list[LatencySample] = []
+        self._generations = self.registry.counter(
+            "amnesia_generations_total",
+            "Password generations, by outcome "
+            "(started/completed/timeout/session)",
+            label_names=("result",),
+        )
+        self._logins = self.registry.counter(
+            "amnesia_logins_total",
+            "Login attempts, by result",
+            label_names=("result",),
+        )
+        self._latency = self.registry.histogram(
+            GENERATION_LATENCY_HISTOGRAM,
+            "End-to-end generation latency (t_end - t_start), Figure 3",
+        )
+
+    # -- recording -------------------------------------------------------------
 
     def record_generation(self, sample: LatencySample) -> None:
         self.latency_samples.append(sample)
-        self.generations_completed += 1
+        self._generations.labels(result="completed").inc()
+        self._latency.observe(sample.latency_ms)
+
+    def record_generation_started(self) -> None:
+        self._generations.labels(result="started").inc()
+
+    def record_generation_timeout(self) -> None:
+        self._generations.labels(result="timeout").inc()
+
+    def record_generation_from_session(self) -> None:
+        """§VIII session mechanism hit: no phone round trip."""
+        self._generations.labels(result="session").inc()
+
+    def record_login(self, ok: bool) -> None:
+        self._logins.labels(result="ok" if ok else "failed").inc()
+
+    # -- counter views ---------------------------------------------------------
+
+    def _count(self, family, **labels) -> int:
+        return int(family.labels(**labels).value)
+
+    @property
+    def generations_started(self) -> int:
+        return self._count(self._generations, result="started")
+
+    @property
+    def generations_completed(self) -> int:
+        return self._count(self._generations, result="completed")
+
+    @property
+    def generations_timed_out(self) -> int:
+        return self._count(self._generations, result="timeout")
+
+    @property
+    def generations_from_session(self) -> int:
+        return self._count(self._generations, result="session")
+
+    @property
+    def logins_ok(self) -> int:
+        return self._count(self._logins, result="ok")
+
+    @property
+    def logins_failed(self) -> int:
+        return self._count(self._logins, result="failed")
+
+    # -- latency statistics (sample-exact) ------------------------------------
 
     def latency_mean_ms(self) -> float:
+        """Mean latency; ``nan`` when no samples exist."""
         if not self.latency_samples:
             return math.nan
         return sum(s.latency_ms for s in self.latency_samples) / len(
@@ -48,6 +132,7 @@ class ServerMetrics:
         )
 
     def latency_std_ms(self) -> float:
+        """Sample standard deviation; ``nan`` when n < 2."""
         n = len(self.latency_samples)
         if n < 2:
             return math.nan
@@ -55,3 +140,22 @@ class ServerMetrics:
         return math.sqrt(
             sum((s.latency_ms - mean) ** 2 for s in self.latency_samples) / (n - 1)
         )
+
+    def latency_percentile_ms(self, q: float) -> float:
+        """Exact linear-interpolated percentile of the recorded samples.
+
+        *q* in [0, 100]. ``nan`` when no samples exist; with a single
+        sample every percentile is that sample.
+        """
+        if not (0.0 <= q <= 100.0):
+            raise ValidationError(f"percentile q must be in [0, 100], got {q}")
+        if not self.latency_samples:
+            return math.nan
+        ordered = sorted(s.latency_ms for s in self.latency_samples)
+        if len(ordered) == 1:
+            return ordered[0]
+        position = (q / 100.0) * (len(ordered) - 1)
+        low = int(position)
+        high = min(low + 1, len(ordered) - 1)
+        fraction = position - low
+        return ordered[low] * (1 - fraction) + ordered[high] * fraction

@@ -38,6 +38,8 @@ from repro.crypto.hashing import salted_hash, verify_salted_hash
 from repro.crypto.randomness import RandomSource
 from repro.net.network import Network
 from repro.net.tls import SecureServer, SecureStack
+from repro.obs.registry import MetricsRegistry
+from repro.obs.spans import SpanRecorder
 from repro.rendezvous.service import RendezvousPublisher
 from repro.server.metrics import LatencySample, ServerMetrics
 from repro.server.pending import (
@@ -48,7 +50,12 @@ from repro.server.pending import (
 )
 from repro.server.throttle import LoginThrottle
 from repro.server.vault import open_entry, seal_entry, vault_key
-from repro.util.logs import component_logger
+from repro.util.logs import (
+    bind_corr_id,
+    component_logger,
+    reset_corr_id,
+    set_corr_id,
+)
 from repro.sim.kernel import Simulator
 from repro.sim.latency import LatencyModel
 from repro.storage.server_db import AccountRecord, ServerDatabase, UserRecord
@@ -91,11 +98,17 @@ class AmnesiaCore:
         params: ProtocolParams = DEFAULT_PARAMS,
         generation_timeout_ms: float = DEFAULT_GENERATION_TIMEOUT_MS,
         token_session_ttl_ms: float = 0.0,
+        registry: MetricsRegistry | None = None,
     ) -> None:
         # ``kernel`` is the historical attribute name; any object with
         # ``.now`` and ``.schedule(delay_ms, action, label)`` works.
         self.kernel = clock
         self.params = params
+        # One metrics registry per deployment: ServerMetrics, the span
+        # recorder, and the HTTP layer all write into it, and the
+        # /metricsz route serves it.
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.spans = SpanRecorder(self.registry)
         self._rng = rng
         self._push = push
         self.generation_timeout_ms = generation_timeout_ms
@@ -109,8 +122,9 @@ class AmnesiaCore:
         self.captcha = CaptchaRegistrar(rng)
         self.pending = PendingRegistry(rng)
         self.throttle = LoginThrottle()
-        self.metrics = ServerMetrics()
+        self.metrics = ServerMetrics(self.registry)
         self.application = self._build_application()
+        self.application.bind_observability(self.registry, self.kernel)
 
     # -- session helpers -------------------------------------------------------
 
@@ -196,22 +210,61 @@ class AmnesiaCore:
         )
         request_hex = generate_request(account.username, account.domain, account.seed)
         exchange.tstart_ms = self.kernel.now
-        _log.debug(
-            "push %s exchange=%s account=%d origin=%s",
-            action, exchange.pending_id[:8], account.account_id, origin,
-        )
-        self._push(
-            user.reg_id,
-            {
-                "kind": KIND_PASSWORD,
-                "pending_id": exchange.pending_id,
-                "request": request_hex,
-                "origin": origin,
-                "tstart_ms": exchange.tstart_ms,
-            },
-        )
+        # The exchange id doubles as the correlation id: it already
+        # travels server → rendezvous → phone → server, so spans and log
+        # lines from every hop join the same trace.
+        with bind_corr_id(exchange.pending_id):
+            _log.debug(
+                "push %s exchange=%s account=%d origin=%s",
+                action, exchange.pending_id[:8], account.account_id, origin,
+            )
+            self._push(
+                user.reg_id,
+                {
+                    "kind": KIND_PASSWORD,
+                    "pending_id": exchange.pending_id,
+                    "corr_id": exchange.pending_id,
+                    "request": request_hex,
+                    "origin": origin,
+                    "tstart_ms": exchange.tstart_ms,
+                },
+            )
         self._arm_timeout(exchange)
         return exchange
+
+    def _record_generation_spans(
+        self,
+        exchange: PendingExchange,
+        trace: Any,
+        arrival_ms: float,
+        tend_ms: float,
+    ) -> None:
+        """Attribute one generation's latency to its pipeline stages.
+
+        The phone reports when it *received* the push and when its
+        Algorithm 1 computation *finished* (same clock domain in the
+        simulation; real agents stamp the deployment's wall clock). The
+        four spans partition exactly ``[t_start, t_end]``, so their
+        durations sum to Figure 3's latency. When the phone's stamps are
+        missing or inconsistent, the whole round trip is recorded as one
+        span instead — attribution degrades, totals never lie.
+        """
+        corr_id = exchange.pending_id
+        tstart = exchange.tstart_ms
+        received = trace.get("received_ms") if isinstance(trace, dict) else None
+        computed = trace.get("computed_ms") if isinstance(trace, dict) else None
+        consistent = (
+            isinstance(received, (int, float))
+            and isinstance(computed, (int, float))
+            and tstart <= received <= computed <= arrival_ms
+        )
+        if consistent:
+            self.spans.record(corr_id, "push_wait", tstart, received)
+            self.spans.record(corr_id, "phone_compute", received, computed)
+            self.spans.record(corr_id, "return_hop", computed, arrival_ms)
+        else:
+            self.spans.record(corr_id, "phone_round_trip", tstart, arrival_ms)
+        self.spans.record(corr_id, "server_render", arrival_ms, tend_ms)
 
     # -- application -----------------------------------------------------------
 
@@ -260,17 +313,17 @@ class AmnesiaCore:
                 user = self.database.user_by_login(login_name)
             except NotFoundError:
                 self.throttle.record_failure(login_name, now)
-                self.metrics.logins_failed += 1
+                self.metrics.record_login(ok=False)
                 # Same error as a wrong password: do not leak which logins exist.
                 raise AuthenticationError("bad login or master password") from None
             if not verify_salted_hash(
                 master_password.encode("utf-8"), user.mp_salt, user.mp_hash
             ):
                 self.throttle.record_failure(login_name, now)
-                self.metrics.logins_failed += 1
+                self.metrics.record_login(ok=False)
                 raise AuthenticationError("bad login or master password")
             self.throttle.record_success(login_name)
-            self.metrics.logins_ok += 1
+            self.metrics.record_login(ok=True)
             session = self.sessions.create(now, user_id=user.user_id)
             response = json_response({"login": login_name})
             response.set_cookies[SESSION_COOKIE] = session.token
@@ -430,7 +483,7 @@ class AmnesiaCore:
             # the phone round trip entirely.
             cached = self._cached_token(user.user_id, account.account_id)
             if cached is not None:
-                self.metrics.generations_from_session += 1
+                self.metrics.record_generation_from_session()
                 intermediate = intermediate_value(cached, user.oid, account.seed)
                 password = render_password(
                     intermediate, self._policy_of(account), self.params
@@ -444,7 +497,7 @@ class AmnesiaCore:
                         "domain": account.domain,
                     }
                 )
-            self.metrics.generations_started += 1
+            self.metrics.record_generation_started()
             # t_start: the moment R leaves for the rendezvous server —
             # the paper's instrumentation point.
             exchange = self._start_phone_round_trip(
@@ -457,6 +510,7 @@ class AmnesiaCore:
 
         @router.post("/token")
         def submit_token(request: HttpRequest):
+            arrival_ms = self.kernel.now  # the token reaches the server
             body = request.json()
             pending_id = str(body.get("pending_id", ""))
             token_hex = str(body.get("token", ""))
@@ -468,6 +522,15 @@ class AmnesiaCore:
             self._verify_pid(user, pid_hex)
             exchange = self.pending.take(pending_id, KIND_PASSWORD)
             account = self.database.account_by_id(exchange.account_id)
+            corr_token = set_corr_id(exchange.pending_id)
+            try:
+                return _consume_token(
+                    exchange, user, account, token_hex, body, arrival_ms
+                )
+            finally:
+                reset_corr_id(corr_token)
+
+        def _consume_token(exchange, user, account, token_hex, body, arrival_ms):
             intermediate = intermediate_value(token_hex, user.oid, account.seed)
             self._remember_token(user.user_id, account.account_id, token_hex)
             action = exchange.extra.get("action", "generate")
@@ -482,6 +545,9 @@ class AmnesiaCore:
                         tstart_ms=exchange.tstart_ms,
                         tend_ms=tend,
                     )
+                )
+                self._record_generation_spans(
+                    exchange, body.get("trace"), arrival_ms, tend
                 )
                 _log.debug(
                     "generation complete exchange=%s latency=%.1fms",
@@ -686,11 +752,12 @@ class AmnesiaCore:
             expired = self.pending.expire(exchange.pending_id)
             if expired is None:
                 return  # already completed
-            self.metrics.generations_timed_out += 1
-            _log.info(
-                "exchange %s timed out after %.0fms waiting for the phone",
-                expired.pending_id[:8], self.generation_timeout_ms,
-            )
+            self.metrics.record_generation_timeout()
+            with bind_corr_id(expired.pending_id):
+                _log.info(
+                    "exchange %s timed out after %.0fms waiting for the phone",
+                    expired.pending_id[:8], self.generation_timeout_ms,
+                )
             expired.deferred.resolve(
                 _timeout_response(expired.kind)
             )
@@ -722,6 +789,7 @@ class AmnesiaServer(AmnesiaCore):
         generation_timeout_ms: float = DEFAULT_GENERATION_TIMEOUT_MS,
         identity: str | None = None,
         token_session_ttl_ms: float = 0.0,
+        registry: MetricsRegistry | None = None,
     ) -> None:
         self.network = network
         self.host = network.host(host_name)
@@ -734,6 +802,7 @@ class AmnesiaServer(AmnesiaCore):
             params=params,
             generation_timeout_ms=generation_timeout_ms,
             token_session_ttl_ms=token_session_ttl_ms,
+            registry=registry,
         )
         # Persist the TLS identity key so the self-signed certificate (and
         # therefore every client's pin) survives server restarts.
@@ -756,6 +825,7 @@ class AmnesiaServer(AmnesiaCore):
             service=AMNESIA_SERVICE,
             compute_latency=compute_latency,
             thread_pool_size=thread_pool_size,
+            registry=self.registry,
         )
 
     @property

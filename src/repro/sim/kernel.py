@@ -12,10 +12,14 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import time
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
 from repro.util.errors import ValidationError
+
+# An observer receives (label, wall_us, queue_depth) after each event runs.
+EventObserver = Callable[[str, float, int], Any]
 
 
 @dataclass(order=True)
@@ -46,11 +50,39 @@ class Simulator:
         self._now = 0.0
         self._running = False
         self._processed = 0
+        self._observers: list[EventObserver] = []
 
     @property
     def now(self) -> float:
         """Current virtual time in milliseconds."""
         return self._now
+
+    # -- event-loop observability ---------------------------------------------
+
+    def add_observer(self, observer: EventObserver) -> None:
+        """Register a hook called after every executed event as
+        ``observer(label, wall_us, queue_depth)`` — the substrate for
+        the metrics registry's event-loop stats. Observers are only
+        timed when present, so the uninstrumented kernel pays nothing.
+        """
+        self._observers.append(observer)
+
+    def remove_observer(self, observer: EventObserver) -> None:
+        self._observers.remove(observer)
+
+    def _execute(self, event: Event) -> None:
+        """Run one event's action, notifying observers with wall timing."""
+        if not self._observers:
+            event.action()
+            return
+        started = time.perf_counter()
+        try:
+            event.action()
+        finally:
+            wall_us = (time.perf_counter() - started) * 1e6
+            depth = len(self._queue)
+            for observer in self._observers:
+                observer(event.label, wall_us, depth)
 
     @property
     def processed_events(self) -> int:
@@ -96,7 +128,7 @@ class Simulator:
                 continue
             self._now = event.time
             self._processed += 1
-            event.action()
+            self._execute(event)
             return True
         return False
 
@@ -126,7 +158,7 @@ class Simulator:
                 self._now = head.time
                 self._processed += 1
                 executed += 1
-                head.action()
+                self._execute(head)
         finally:
             self._running = False
         if until is not None and self._now < until:

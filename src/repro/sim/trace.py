@@ -42,12 +42,30 @@ class TraceEvent:
 
 
 class TraceRecorder:
-    """Collects :class:`TraceEvent`s from a network tap."""
+    """Collects :class:`TraceEvent`s from a network tap.
+
+    Arm/disarm lifecycle: :meth:`start` and :meth:`stop` are both
+    idempotent — double-arm must not register the tap twice (which would
+    record every datagram twice) and double-disarm must not raise (which
+    an earlier version did via ``Network.remove_tap``'s ``list.remove``).
+    The recorder is also a reusable context manager::
+
+        with TraceRecorder(network) as recorder:
+            ...          # armed
+        ...              # disarmed, events retained
+        with recorder:   # re-armed, same event list
+            ...
+    """
 
     def __init__(self, network: "Network") -> None:
         self._network = network
         self.events: list[TraceEvent] = []
         self._armed = False
+
+    @property
+    def armed(self) -> bool:
+        """Whether the recorder's tap is currently installed."""
+        return self._armed
 
     def _tap(self, datagram: "Datagram") -> None:
         self.events.append(
@@ -61,13 +79,14 @@ class TraceRecorder:
         )
 
     def start(self) -> "TraceRecorder":
-        if self._armed:
-            raise ValidationError("trace recorder already started")
-        self._network.add_tap(self._tap)
-        self._armed = True
+        """Arm the recorder; a no-op when already armed."""
+        if not self._armed:
+            self._network.add_tap(self._tap)
+            self._armed = True
         return self
 
     def stop(self) -> "TraceRecorder":
+        """Disarm the recorder; a no-op when already disarmed."""
         if self._armed:
             self._network.remove_tap(self._tap)
             self._armed = False

@@ -27,6 +27,12 @@ from repro.net.link import Link
 from repro.net.network import Network
 from repro.net.profiles import FAST_PROFILE, NetworkProfile
 from repro.net.tls import SecureServer, SecureStack
+from repro.obs.instrument import (
+    attach_kernel_stats,
+    attach_network_stats,
+    attach_rendezvous_stats,
+)
+from repro.obs.registry import MetricsRegistry
 from repro.phone.app import AmnesiaApp, ApprovalPolicy
 from repro.phone.device import PhoneDevice
 from repro.rendezvous.service import RendezvousService
@@ -67,6 +73,12 @@ class AmnesiaTestbed:
         self.network = Network(self.kernel, self.rngs)
         self.params = params
         self.profile = profile
+        # One registry for the whole deployment: kernel, network,
+        # rendezvous, server and HTTP layers all feed it, and the
+        # server's /metricsz route exports it.
+        self.registry = MetricsRegistry()
+        attach_kernel_stats(self.kernel, self.registry)
+        attach_network_stats(self.network, self.registry)
 
         for host in (LAPTOP, SERVER, RENDEZVOUS, PHONE, CLOUD):
             self.network.add_host(host)
@@ -83,6 +95,7 @@ class AmnesiaTestbed:
         self.rendezvous = RendezvousService(
             self.network.host(RENDEZVOUS), self.network, source("rendezvous")
         )
+        attach_rendezvous_stats(self.rendezvous, self.registry)
         self.server = AmnesiaServer(
             kernel=self.kernel,
             network=self.network,
@@ -95,6 +108,7 @@ class AmnesiaTestbed:
             thread_pool_size=thread_pool_size,
             generation_timeout_ms=generation_timeout_ms,
             token_session_ttl_ms=token_session_ttl_ms,
+            registry=self.registry,
         )
         self.device = PhoneDevice(self.network, PHONE, compute_latency=phone_compute)
         self.phone = AmnesiaApp(

@@ -1,4 +1,4 @@
-"""Namespaced logging for the reproduction.
+"""Namespaced logging for the reproduction, with correlation ids.
 
 Every component logs under the ``repro.`` namespace
 (``repro.server``, ``repro.phone``, ``repro.rendezvous``, …) at DEBUG
@@ -9,13 +9,68 @@ stream, e.g.::
 
     from repro.util.logs import enable_console_logging
     enable_console_logging("DEBUG")
+
+Correlation ids
+---------------
+
+One password generation crosses browser → server → rendezvous → phone →
+server; log lines from all hops join up through a
+:mod:`contextvars`-based correlation id. Components wrap work in
+:func:`bind_corr_id` (or call :func:`set_corr_id`), and any formatter
+using ``%(corr_id)s`` — :class:`CorrIdFilter` injects the field — tags
+each record with the active id (``-`` when none is bound). The same id
+names the span trace in :mod:`repro.obs.spans`, so logs and spans
+correlate 1:1.
 """
 
 from __future__ import annotations
 
+import contextlib
+import contextvars
 import logging
+from typing import Iterator
 
 _ROOT = "repro"
+
+NO_CORR_ID = "-"
+
+_corr_id: contextvars.ContextVar[str] = contextvars.ContextVar(
+    "repro_corr_id", default=NO_CORR_ID
+)
+
+
+def current_corr_id() -> str:
+    """The correlation id bound to the current context (``-`` if none)."""
+    return _corr_id.get()
+
+
+def set_corr_id(corr_id: str) -> contextvars.Token:
+    """Bind *corr_id*; returns the token for :func:`reset_corr_id`."""
+    return _corr_id.set(corr_id if corr_id else NO_CORR_ID)
+
+
+def reset_corr_id(token: contextvars.Token) -> None:
+    """Restore the previously bound correlation id."""
+    _corr_id.reset(token)
+
+
+@contextlib.contextmanager
+def bind_corr_id(corr_id: str) -> Iterator[str]:
+    """Context manager: bind *corr_id* for the enclosed block."""
+    token = set_corr_id(corr_id)
+    try:
+        yield current_corr_id()
+    finally:
+        reset_corr_id(token)
+
+
+class CorrIdFilter(logging.Filter):
+    """Injects ``record.corr_id`` so formats may use ``%(corr_id)s``."""
+
+    def filter(self, record: logging.LogRecord) -> bool:
+        if not hasattr(record, "corr_id"):
+            record.corr_id = current_corr_id()
+        return True
 
 
 def component_logger(name: str) -> logging.Logger:
@@ -28,8 +83,9 @@ def enable_console_logging(level: str = "INFO") -> logging.Handler:
     callers can detach (``logger.removeHandler``) when done."""
     logger = logging.getLogger(_ROOT)
     handler = logging.StreamHandler()
+    handler.addFilter(CorrIdFilter())
     handler.setFormatter(
-        logging.Formatter("%(name)s %(levelname)s %(message)s")
+        logging.Formatter("%(name)s %(levelname)s [%(corr_id)s] %(message)s")
     )
     logger.addHandler(handler)
     logger.setLevel(getattr(logging, level.upper()))

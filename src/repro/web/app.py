@@ -83,7 +83,18 @@ def error_response(status: int, message: str) -> HttpResponse:
 
 
 class Application:
-    """Routes requests and translates domain errors to HTTP statuses."""
+    """Routes requests and translates domain errors to HTTP statuses.
+
+    :meth:`bind_observability` attaches a metrics registry and a clock;
+    from then on every dispatch is counted per endpoint
+    (``amnesia_http_requests_total{route,method,status}``), timed into a
+    per-route latency histogram (``amnesia_http_request_ms`` — deferred
+    responses are timed to their resolution, i.e. the full blocking
+    wait), and a ``GET /metricsz`` route serves the registry in
+    Prometheus text exposition format (``?format=json`` for JSON).
+    """
+
+    UNMATCHED_ROUTE = "unmatched"
 
     def __init__(self, name: str = "app") -> None:
         self.name = name
@@ -91,6 +102,10 @@ class Application:
         self._before: list[Callable[[HttpRequest], HttpResponse | None]] = []
         self.handled_count = 0
         self.error_count = 0
+        self.obs_registry = None
+        self._obs_clock = None
+        self._m_requests = None
+        self._m_latency = None
 
     def before_request(
         self, hook: Callable[[HttpRequest], HttpResponse | None]
@@ -98,31 +113,129 @@ class Application:
         """Register middleware: returning a response short-circuits."""
         self._before.append(hook)
 
+    # -- observability ---------------------------------------------------------
+
+    def bind_observability(self, registry, clock) -> None:
+        """Attach per-endpoint metrics and the ``/metricsz`` exporter."""
+        from repro.obs.export import (
+            PROMETHEUS_CONTENT_TYPE,
+            render_json,
+            render_prometheus,
+        )
+
+        first_bind = self.obs_registry is None
+        self.obs_registry = registry
+        self._obs_clock = clock
+        self._m_requests = registry.counter(
+            "amnesia_http_requests_total",
+            "HTTP requests handled, by route pattern, method and status",
+            label_names=("route", "method", "status"),
+        )
+        self._m_latency = registry.histogram(
+            "amnesia_http_request_ms",
+            "HTTP request latency in ms (deferreds timed to resolution)",
+            label_names=("route",),
+        )
+        if first_bind:
+
+            def metricsz(request: HttpRequest) -> HttpResponse:
+                if request.query.get("format") == "json":
+                    return HttpResponse(
+                        status=200,
+                        headers={"content-type": "application/json"},
+                        body=render_json(self.obs_registry).encode("utf-8"),
+                    )
+                return HttpResponse(
+                    status=200,
+                    headers={"content-type": PROMETHEUS_CONTENT_TYPE},
+                    body=render_prometheus(self.obs_registry).encode("utf-8"),
+                )
+
+            self.router.add("GET", "/metricsz", metricsz)
+
+    def _observe(
+        self,
+        route: str,
+        method: str,
+        result: "HttpResponse | Deferred",
+        started_ms: float,
+    ) -> "HttpResponse | Deferred":
+        if self._m_requests is None:
+            return result
+        if isinstance(result, Deferred):
+            def finished(response: HttpResponse) -> None:
+                self._record(route, method, response.status, started_ms)
+
+            result.on_resolve(finished)
+            return result
+        self._record(route, method, result.status, started_ms)
+        return result
+
+    def _record(
+        self, route: str, method: str, status: int, started_ms: float
+    ) -> None:
+        self._m_requests.labels(
+            route=route, method=method, status=str(status)
+        ).inc()
+        self._m_latency.labels(route=route).observe(
+            max(0.0, self._obs_clock.now - started_ms)
+        )
+
+    # -- dispatch --------------------------------------------------------------
+
     def handle(self, request: HttpRequest) -> "HttpResponse | Deferred":
         """Dispatch one request; never raises. May return a
         :class:`Deferred` when the handler needs to wait for an external
         event before responding."""
         self.handled_count += 1
+        started_ms = self._obs_clock.now if self._obs_clock is not None else 0.0
+        route_label = self.UNMATCHED_ROUTE
         try:
             for hook in self._before:
                 early = hook(request)
                 if early is not None:
-                    return early
+                    return self._observe(
+                        route_label, request.method, early, started_ms
+                    )
             match = self.router.resolve(request)
             if match is None:
                 allowed = self.router.allowed_methods(request)
                 if allowed:
                     response = error_response(405, "method not allowed")
                     response.headers["allow"] = ", ".join(allowed)
-                    return response
-                return error_response(404, f"no route for {request.path}")
-            return match.handler(request, **match.params)
+                    return self._observe(
+                        route_label, request.method, response, started_ms
+                    )
+                return self._observe(
+                    route_label,
+                    request.method,
+                    error_response(404, f"no route for {request.path}"),
+                    started_ms,
+                )
+            route_label = match.pattern or request.path
+            result = match.handler(request, **match.params)
+            return self._observe(route_label, request.method, result, started_ms)
         except ReproError as error:
             self.error_count += 1
             for error_type, status in _STATUS_FOR_ERROR:
                 if isinstance(error, error_type):
-                    return error_response(status, str(error))
-            return error_response(500, str(error))
+                    return self._observe(
+                        route_label,
+                        request.method,
+                        error_response(status, str(error)),
+                        started_ms,
+                    )
+            return self._observe(
+                route_label,
+                request.method,
+                error_response(500, str(error)),
+                started_ms,
+            )
         except Exception as error:  # noqa: BLE001 - the container is the last resort
             self.error_count += 1
-            return error_response(500, f"internal error: {type(error).__name__}")
+            return self._observe(
+                route_label,
+                request.method,
+                error_response(500, f"internal error: {type(error).__name__}"),
+                started_ms,
+            )

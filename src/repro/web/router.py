@@ -19,10 +19,17 @@ Handler = Callable[..., HttpResponse]
 
 @dataclass(frozen=True)
 class RouteMatch:
-    """A successful dispatch: the handler plus captured path params."""
+    """A successful dispatch: the handler plus captured path params.
+
+    ``pattern`` is the registered route pattern (parameters unbound,
+    e.g. ``/accounts/{account_id}/generate``) — the right label for
+    per-endpoint metrics, since its cardinality is the route table's,
+    not the request space's.
+    """
 
     handler: Handler
     params: dict[str, str]
+    pattern: str = ""
 
 
 class _Route:
@@ -113,8 +120,15 @@ class Router:
                 1 for s in route.segments if not s.startswith("{")
             )
             if best is None or literal_count > best[0]:
-                best = (literal_count, RouteMatch(route.handler, params))
+                best = (
+                    literal_count,
+                    RouteMatch(route.handler, params, route.pattern),
+                )
         return best[1] if best else None
+
+    def patterns(self) -> list[tuple[str, str]]:
+        """All registered ``(method, pattern)`` pairs (for diagnostics)."""
+        return [(route.method, route.pattern) for route in self._routes]
 
     def allowed_methods(self, request: HttpRequest) -> list[str]:
         """Methods that would match this path (for 405 responses)."""

@@ -76,6 +76,7 @@ class SimHttpServer:
         service: str = "https",
         compute_latency: LatencyModel | None = None,
         thread_pool_size: int = DEFAULT_THREAD_POOL_SIZE,
+        registry=None,
     ) -> None:
         self.application = application
         self.stack = stack
@@ -85,6 +86,10 @@ class SimHttpServer:
             compute_latency if compute_latency is not None else Constant(1.0)
         )
         self._rng = RngRegistry(f"http-server:{service}").stream("compute")
+        if registry is not None:
+            from repro.obs.instrument import attach_pool_stats
+
+            attach_pool_stats(self.pool, registry, service=service)
         secure_server.register_service(service, self._on_record)
 
     def _on_record(self, session: SecureSession, seq: int, plaintext: bytes) -> None:

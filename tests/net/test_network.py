@@ -158,3 +158,60 @@ class TestBandwidth:
         network.send("a", "b", 80, b"x" * 100)
         kernel.run_until_idle()
         assert times == [100.0]
+
+
+class TestRegistryCounters:
+    def _registry_net(self, kernel, rngs, loss=0.0):
+        from repro.obs.registry import MetricsRegistry
+
+        network = Network(kernel, rngs)
+        network.add_host("a")
+        network.add_host("b")
+        network.add_link(Link("a", "b", Constant(1), loss_probability=loss))
+        registry = MetricsRegistry()
+        network.bind_registry(registry)
+        return network, registry
+
+    def test_send_and_delivery_counted_per_link(self, kernel, rngs):
+        network, registry = self._registry_net(kernel, rngs)
+        network.host("b").bind(80, lambda d: None)
+        network.send("a", "b", 80, b"xyz")
+        network.send("a", "b", 80, b"pq")
+        kernel.run_until_idle()
+        datagrams = registry.get("amnesia_net_datagrams_total")
+        assert datagrams.labels(link="a->b").value == 2
+        assert registry.get("amnesia_net_bytes_total").labels(
+            link="a->b"
+        ).value == 5
+        assert registry.get("amnesia_net_delivered_total").labels(
+            link="a->b"
+        ).value == 2
+
+    def test_losses_counted_with_reason(self, kernel, rngs):
+        network, registry = self._registry_net(kernel, rngs, loss=0.99)
+        network.host("b").bind(80, lambda d: None)
+        for _ in range(20):
+            network.send("a", "b", 80, b"x")
+        kernel.run_until_idle()
+        dropped = registry.get("amnesia_net_dropped_total")
+        delivered = registry.get("amnesia_net_delivered_total")
+        losses = dropped.labels(link="a->b", reason="loss").value
+        arrived = delivered.labels(link="a->b").value
+        assert losses >= 1
+        assert losses + arrived == 20
+
+    def test_offline_host_drop_counted(self, kernel, rngs):
+        network, registry = self._registry_net(kernel, rngs)
+        network.host("b").bind(80, lambda d: None)
+        network.host("b").online = False
+        network.send("a", "b", 80, b"x")
+        kernel.run_until_idle()
+        dropped = registry.get("amnesia_net_dropped_total")
+        assert dropped.labels(link="a->b", reason="offline").value == 1
+
+    def test_unbound_registry_is_free_of_metrics(self, net, kernel):
+        # The default fabric carries no registry state at all.
+        net.host("b").bind(80, lambda d: None)
+        net.send("a", "b", 80, b"x")
+        kernel.run_until_idle()
+        assert net._m_datagrams is None

@@ -1,0 +1,120 @@
+"""Exporter tests: Prometheus text exposition format and JSON."""
+
+import json
+import math
+
+from repro.obs.export import (
+    PROMETHEUS_CONTENT_TYPE,
+    escape_help,
+    escape_label_value,
+    render_json,
+    render_prometheus,
+)
+from repro.obs.registry import MetricsRegistry
+
+
+class TestEscaping:
+    def test_backslash(self):
+        assert escape_label_value("a\\b") == "a\\\\b"
+
+    def test_double_quote(self):
+        assert escape_label_value('say "hi"') == 'say \\"hi\\"'
+
+    def test_newline(self):
+        assert escape_label_value("one\ntwo") == "one\\ntwo"
+
+    def test_all_three_combined(self):
+        assert escape_label_value('\\"\n') == '\\\\\\"\\n'
+
+    def test_help_escapes_backslash_and_newline_only(self):
+        assert escape_help('x\\y\nz "q"') == 'x\\\\y\\nz "q"'
+
+
+class TestPrometheusRendering:
+    def test_counter_with_help_and_type(self):
+        registry = MetricsRegistry()
+        registry.counter("jobs_total", "Jobs processed").inc(3)
+        text = render_prometheus(registry)
+        assert "# HELP jobs_total Jobs processed\n" in text
+        assert "# TYPE jobs_total counter\n" in text
+        assert "jobs_total 3\n" in text
+
+    def test_labelled_series(self):
+        registry = MetricsRegistry()
+        family = registry.counter("reqs_total", label_names=("route", "method"))
+        family.labels(route="/a/{id}", method="GET").inc()
+        text = render_prometheus(registry)
+        assert 'reqs_total{route="/a/{id}",method="GET"} 1' in text
+
+    def test_label_value_escaped_in_output(self):
+        registry = MetricsRegistry()
+        family = registry.gauge("g", label_names=("name",))
+        family.labels(name='we"ird\\path\nx').set(1)
+        text = render_prometheus(registry)
+        assert 'name="we\\"ird\\\\path\\nx"' in text
+        assert "\n\n" not in text  # the raw newline never leaks
+
+    def test_histogram_exposition_is_cumulative(self):
+        registry = MetricsRegistry()
+        h = registry.histogram("lat_ms", buckets=(10.0, 20.0))
+        for value in (5, 15, 99):
+            h.observe(value)
+        text = render_prometheus(registry)
+        assert "# TYPE lat_ms histogram" in text
+        assert 'lat_ms_bucket{le="10"} 1' in text
+        assert 'lat_ms_bucket{le="20"} 2' in text
+        assert 'lat_ms_bucket{le="+Inf"} 3' in text
+        assert "lat_ms_sum 119" in text
+        assert "lat_ms_count 3" in text
+
+    def test_histogram_inf_bucket_matches_count(self):
+        registry = MetricsRegistry()
+        h = registry.histogram(
+            "lat_ms", label_names=("stage",), buckets=(1.0,)
+        )
+        h.labels(stage="render").observe(0.5)
+        h.labels(stage="render").observe(5.0)
+        text = render_prometheus(registry)
+        assert 'lat_ms_bucket{stage="render",le="+Inf"} 2' in text
+        assert 'lat_ms_count{stage="render"} 2' in text
+
+    def test_content_type_constant(self):
+        assert "version=0.0.4" in PROMETHEUS_CONTENT_TYPE
+
+    def test_empty_registry_renders_empty(self):
+        assert render_prometheus(MetricsRegistry()) == ""
+
+    def test_every_line_is_well_formed(self):
+        registry = MetricsRegistry()
+        registry.counter("a_total", "help").inc()
+        registry.gauge("b_depth").set(2.5)
+        registry.histogram("c_ms", buckets=(1.0,)).observe(0.5)
+        for line in render_prometheus(registry).strip().splitlines():
+            if line.startswith("#"):
+                assert line.startswith(("# HELP ", "# TYPE "))
+            else:
+                name_part, value = line.rsplit(" ", 1)
+                assert name_part
+                float(value)  # parses as a number
+
+
+class TestJsonRendering:
+    def test_round_trips_and_has_percentiles(self):
+        registry = MetricsRegistry()
+        registry.counter("jobs_total").inc(2)
+        h = registry.histogram("lat_ms", buckets=(10.0, 20.0))
+        h.observe(5.0)
+        doc = json.loads(render_json(registry))
+        assert doc["jobs_total"]["type"] == "counter"
+        assert doc["jobs_total"]["series"][0]["value"] == 2
+        series = doc["lat_ms"]["series"][0]
+        assert series["count"] == 1
+        assert series["p50"] == 5.0
+
+    def test_nan_becomes_null(self):
+        registry = MetricsRegistry()
+        registry.gauge("g").set(math.nan)
+        registry.histogram("h_ms")  # empty histogram: nan percentiles
+        registry.get("h_ms").observe(1.0)
+        doc = json.loads(render_json(registry))
+        assert doc["g"]["series"][0]["value"] is None

@@ -1,0 +1,221 @@
+"""Metrics registry unit tests: counters, gauges, histograms."""
+
+import math
+import random
+
+import pytest
+
+from repro.obs.registry import (
+    DEFAULT_BUCKETS_MS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    global_registry,
+)
+from repro.util.errors import ConflictError, ValidationError
+
+
+class TestCounter:
+    def test_monotonic(self):
+        counter = Counter()
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValidationError):
+            Counter().inc(-1)
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = Gauge()
+        gauge.set(10)
+        gauge.inc(5)
+        gauge.dec(2)
+        assert gauge.value == 13
+
+    def test_callback_read_at_collection(self):
+        state = {"depth": 3}
+        gauge = Gauge()
+        gauge.set_function(lambda: state["depth"])
+        assert gauge.value == 3
+        state["depth"] = 7
+        assert gauge.value == 7
+
+    def test_set_clears_callback(self):
+        gauge = Gauge()
+        gauge.set_function(lambda: 99)
+        gauge.set(1)
+        assert gauge.value == 1
+
+
+class TestHistogramBuckets:
+    def test_value_equal_to_bound_lands_in_that_bucket(self):
+        # ``le`` semantics: observe(10.0) counts in the le="10" bucket.
+        h = Histogram(buckets=(10.0, 20.0))
+        h.observe(10.0)
+        assert h.bucket_counts() == [1, 0, 0]
+
+    def test_value_just_above_bound_lands_in_next_bucket(self):
+        h = Histogram(buckets=(10.0, 20.0))
+        h.observe(10.000001)
+        assert h.bucket_counts() == [0, 1, 0]
+
+    def test_overflow_bucket(self):
+        h = Histogram(buckets=(10.0, 20.0))
+        h.observe(1000.0)
+        assert h.bucket_counts() == [0, 0, 1]
+
+    def test_cumulative_counts(self):
+        h = Histogram(buckets=(10.0, 20.0, 30.0))
+        for value in (5, 15, 15, 25, 99):
+            h.observe(value)
+        assert h.cumulative_counts() == [1, 3, 4, 5]
+        assert h.count == 5
+        assert h.sum == 159
+
+    def test_zero_lands_in_first_bucket(self):
+        h = Histogram(buckets=(1.0, 2.0))
+        h.observe(0.0)
+        assert h.bucket_counts() == [1, 0, 0]
+
+    def test_bounds_must_increase(self):
+        with pytest.raises(ValidationError):
+            Histogram(buckets=(10.0, 10.0))
+        with pytest.raises(ValidationError):
+            Histogram(buckets=(20.0, 10.0))
+
+    def test_bounds_must_be_finite(self):
+        with pytest.raises(ValidationError):
+            Histogram(buckets=(1.0, math.inf))
+
+    def test_nan_observation_rejected(self):
+        with pytest.raises(ValidationError):
+            Histogram().observe(math.nan)
+
+
+def _reference_percentile(samples, q):
+    """Exact linear-interpolated quantile over the raw samples (the
+    same rule as ``eval.latency.LatencyStats.percentile``)."""
+    ordered = sorted(samples)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (q / 100.0) * (len(ordered) - 1)
+    low = int(math.floor(rank))
+    high = min(low + 1, len(ordered) - 1)
+    fraction = rank - low
+    return ordered[low] + fraction * (ordered[high] - ordered[low])
+
+
+class TestHistogramPercentiles:
+    def test_empty_is_nan(self):
+        h = Histogram()
+        assert math.isnan(h.p50())
+        assert math.isnan(h.p99())
+
+    def test_q_out_of_range_rejected(self):
+        h = Histogram()
+        with pytest.raises(ValidationError):
+            h.percentile(-1)
+        with pytest.raises(ValidationError):
+            h.percentile(101)
+
+    def test_single_sample_clamps_to_it(self):
+        h = Histogram()
+        h.observe(42.0)
+        assert h.p50() == 42.0
+        assert h.p99() == 42.0
+
+    def test_tracks_reference_quantile_within_a_bucket(self):
+        # The estimate interpolates inside the owning bucket, so it can
+        # be off by at most that bucket's width from the exact quantile.
+        rng = random.Random(2016)
+        samples = [rng.uniform(0.0, 900.0) for _ in range(500)]
+        h = Histogram()
+        for sample in samples:
+            h.observe(sample)
+        for q in (50.0, 95.0, 99.0):
+            estimate = h.percentile(q)
+            exact = _reference_percentile(samples, q)
+            index = 0
+            while index < len(DEFAULT_BUCKETS_MS) and exact > DEFAULT_BUCKETS_MS[index]:
+                index += 1
+            lower = DEFAULT_BUCKETS_MS[index - 1] if index > 0 else 0.0
+            upper = (
+                DEFAULT_BUCKETS_MS[index]
+                if index < len(DEFAULT_BUCKETS_MS)
+                else max(samples)
+            )
+            assert abs(estimate - exact) <= (upper - lower), (q, estimate, exact)
+
+    def test_clamped_to_observed_range(self):
+        # Two tight values inside a wide bucket: no smearing past max.
+        h = Histogram(buckets=(1000.0,))
+        h.observe(701.0)
+        h.observe(702.0)
+        assert 701.0 <= h.p50() <= 702.0
+        assert h.p99() <= 702.0
+        assert h.min == 701.0
+        assert h.max == 702.0
+
+
+class TestMetricFamily:
+    def test_labelled_children_are_distinct(self):
+        registry = MetricsRegistry()
+        family = registry.counter("reqs_total", label_names=("route",))
+        family.labels(route="/a").inc()
+        family.labels(route="/a").inc()
+        family.labels(route="/b").inc()
+        assert family.labels(route="/a").value == 2
+        assert family.labels(route="/b").value == 1
+
+    def test_wrong_labels_rejected(self):
+        registry = MetricsRegistry()
+        family = registry.counter("reqs_total", label_names=("route",))
+        with pytest.raises(ValidationError):
+            family.labels(method="GET")
+        with pytest.raises(ValidationError):
+            family.inc()  # labelled family has no default child
+
+    def test_unlabelled_convenience(self):
+        registry = MetricsRegistry()
+        registry.counter("plain_total").inc(3)
+        assert registry.get("plain_total").value == 3
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_returns_same_family(self):
+        registry = MetricsRegistry()
+        first = registry.counter("x_total", "help text")
+        second = registry.counter("x_total")
+        assert first is second
+
+    def test_kind_conflict_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("x_total")
+        with pytest.raises(ConflictError):
+            registry.gauge("x_total")
+
+    def test_label_conflict_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("x_total", label_names=("a",))
+        with pytest.raises(ConflictError):
+            registry.counter("x_total", label_names=("b",))
+
+    def test_bad_metric_name_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValidationError):
+            registry.counter("bad name")
+        with pytest.raises(ValidationError):
+            registry.counter("1starts_with_digit")
+
+    def test_collect_is_sorted(self):
+        registry = MetricsRegistry()
+        registry.counter("zz_total")
+        registry.gauge("aa_depth")
+        assert [f.name for f in registry.collect()] == ["aa_depth", "zz_total"]
+
+    def test_global_registry_is_a_singleton(self):
+        assert global_registry() is global_registry()

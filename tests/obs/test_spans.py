@@ -1,0 +1,140 @@
+"""Span recorder tests, including the end-to-end partition invariant."""
+
+import math
+
+import pytest
+
+from repro.obs.registry import MetricsRegistry
+from repro.obs.spans import (
+    GENERATION_STAGES,
+    STAGE_HISTOGRAM,
+    SpanRecorder,
+    render_stage_table,
+)
+from repro.testbed import AmnesiaTestbed
+from repro.util.errors import ValidationError
+
+
+class TestSpanRecorder:
+    def test_record_and_read_back(self):
+        recorder = SpanRecorder()
+        span = recorder.record("corr-1", "push_wait", 10.0, 14.0)
+        assert span.duration_ms == 4.0
+        assert recorder.trace("corr-1") == [span]
+        assert recorder.trace_total_ms("corr-1") == 4.0
+
+    def test_validation(self):
+        recorder = SpanRecorder()
+        with pytest.raises(ValidationError):
+            recorder.record("", "x", 0, 1)
+        with pytest.raises(ValidationError):
+            recorder.record("c", "", 0, 1)
+        with pytest.raises(ValidationError):
+            recorder.record("c", "x", 2, 1)  # ends before it starts
+
+    def test_eviction_keeps_newest_traces(self):
+        recorder = SpanRecorder(max_traces=2)
+        recorder.record("a", "s", 0, 1)
+        recorder.record("b", "s", 0, 1)
+        recorder.record("c", "s", 0, 1)
+        assert recorder.trace_ids() == ["b", "c"]
+        assert recorder.trace("a") == []
+
+    def test_unknown_trace_total_is_nan(self):
+        assert math.isnan(SpanRecorder().trace_total_ms("nope"))
+
+    def test_registry_fed_per_stage(self):
+        registry = MetricsRegistry()
+        recorder = SpanRecorder(registry)
+        recorder.record("c", "push_wait", 0.0, 3.0)
+        recorder.record("c", "server_render", 3.0, 3.5)
+        family = registry.get(STAGE_HISTOGRAM)
+        assert family.labels(stage="push_wait").count == 1
+        assert family.labels(stage="push_wait").sum == 3.0
+        assert family.labels(stage="server_render").count == 1
+
+    def test_stage_breakdown_aggregates_across_traces(self):
+        recorder = SpanRecorder()
+        recorder.record("a", "push_wait", 0, 2)
+        recorder.record("b", "push_wait", 0, 4)
+        stats = recorder.stage_breakdown()["push_wait"]
+        assert stats.count == 2
+        assert stats.mean_ms == 3.0
+        assert stats.max_ms == 4.0
+
+    def test_render_stage_table(self):
+        recorder = SpanRecorder()
+        recorder.record("a", "push_wait", 0, 6)
+        recorder.record("a", "server_render", 6, 8)
+        table = render_stage_table(recorder.stage_breakdown().values())
+        assert "push_wait" in table
+        assert "75.0%" in table  # 6 of 8 ms
+        with pytest.raises(ValidationError):
+            render_stage_table([])
+
+
+class TestGenerationTrace:
+    """The acceptance criterion: one simulated generation produces a
+    trace with the four named stages whose durations sum to exactly the
+    Figure 3 ``t_end - t_start`` latency."""
+
+    def test_stages_partition_the_figure3_latency(self):
+        bed = AmnesiaTestbed(seed="spans-e2e")
+        browser = bed.enroll("alice", "master-password-1")
+        account_id = browser.add_account("alice", "x.com")
+        result = browser.generate_password(account_id)
+
+        trace_ids = bed.server.spans.trace_ids()
+        assert len(trace_ids) == 1
+        spans = bed.server.spans.trace(trace_ids[0])
+        assert [s.name for s in spans] == list(GENERATION_STAGES)
+        assert len(spans) >= 4
+        total = sum(span.duration_ms for span in spans)
+        assert total == pytest.approx(result["latency_ms"], abs=1e-9)
+        # Spans are contiguous: each starts where the previous ended.
+        for previous, current in zip(spans, spans[1:]):
+            assert current.start_ms == pytest.approx(previous.end_ms)
+
+    def test_every_generation_gets_its_own_trace(self):
+        bed = AmnesiaTestbed(seed="spans-multi")
+        browser = bed.enroll("alice", "master-password-1")
+        account_id = browser.add_account("alice", "x.com")
+        for _ in range(3):
+            browser.generate_password(account_id)
+        assert len(bed.server.spans.trace_ids()) == 3
+        for corr_id in bed.server.spans.trace_ids():
+            names = {s.name for s in bed.server.spans.trace(corr_id)}
+            assert names == set(GENERATION_STAGES)
+
+    def test_stage_histogram_lands_in_testbed_registry(self):
+        bed = AmnesiaTestbed(seed="spans-registry")
+        browser = bed.enroll("alice", "master-password-1")
+        account_id = browser.add_account("alice", "x.com")
+        browser.generate_password(account_id)
+        family = bed.registry.get(STAGE_HISTOGRAM)
+        assert family is not None
+        for stage in GENERATION_STAGES:
+            assert family.labels(stage=stage).count == 1
+
+    def test_forged_trace_stamps_fall_back_to_round_trip(self):
+        # A phone reporting inconsistent stamps (computed before
+        # received, or stamps outside [t_start, arrival]) must not poison
+        # the attribution: the server falls back to one coarse span.
+        recorder = SpanRecorder()
+        bed = AmnesiaTestbed(seed="spans-forged")
+        core = bed.server
+        core.spans = recorder
+
+        class _FakeExchange:
+            pending_id = "forged"
+            tstart_ms = 100.0
+
+        core._record_generation_spans(
+            _FakeExchange(),
+            {"received_ms": 500.0, "computed_ms": 400.0},  # inconsistent
+            arrival_ms=120.0,
+            tend_ms=121.0,
+        )
+        names = [s.name for s in recorder.trace("forged")]
+        assert names == ["phone_round_trip", "server_render"]
+        assert recorder.trace_total_ms("forged") == pytest.approx(21.0)

@@ -2,7 +2,15 @@
 
 import math
 
-from repro.server.metrics import LatencySample, ServerMetrics
+import pytest
+
+from repro.obs.registry import MetricsRegistry
+from repro.server.metrics import (
+    GENERATION_LATENCY_HISTOGRAM,
+    LatencySample,
+    ServerMetrics,
+)
+from repro.util.errors import ValidationError
 
 
 class TestLatencySample:
@@ -32,3 +40,67 @@ class TestServerMetrics:
         metrics.record_generation(LatencySample(1, 0, 100))
         assert metrics.latency_mean_ms() == 100
         assert math.isnan(metrics.latency_std_ms())
+
+
+class TestLatencyPercentile:
+    def test_empty_is_nan(self):
+        # The uniform edge contract: no samples -> nan everywhere.
+        metrics = ServerMetrics()
+        assert math.isnan(metrics.latency_percentile_ms(50))
+        assert math.isnan(metrics.latency_percentile_ms(99))
+
+    def test_single_sample_is_every_percentile(self):
+        metrics = ServerMetrics()
+        metrics.record_generation(LatencySample(1, 0, 100))
+        assert metrics.latency_percentile_ms(0) == 100
+        assert metrics.latency_percentile_ms(50) == 100
+        assert metrics.latency_percentile_ms(100) == 100
+
+    def test_interpolates_between_samples(self):
+        metrics = ServerMetrics()
+        for latency in (100, 200, 300, 400):
+            metrics.record_generation(LatencySample(1, 0, latency))
+        assert metrics.latency_percentile_ms(0) == 100
+        assert metrics.latency_percentile_ms(50) == 250
+        assert metrics.latency_percentile_ms(100) == 400
+        assert metrics.latency_percentile_ms(25) == 175
+
+    def test_q_out_of_range_rejected(self):
+        metrics = ServerMetrics()
+        with pytest.raises(ValidationError):
+            metrics.latency_percentile_ms(-0.1)
+        with pytest.raises(ValidationError):
+            metrics.latency_percentile_ms(100.1)
+
+
+class TestRegistryBacking:
+    def test_counters_live_in_the_registry(self):
+        registry = MetricsRegistry()
+        metrics = ServerMetrics(registry)
+        metrics.record_generation_started()
+        metrics.record_generation(LatencySample(1, 0, 150))
+        metrics.record_generation_timeout()
+        metrics.record_generation_from_session()
+        metrics.record_login(ok=True)
+        metrics.record_login(ok=False)
+        gens = registry.get("amnesia_generations_total")
+        assert gens.labels(result="started").value == 1
+        assert gens.labels(result="completed").value == 1
+        assert gens.labels(result="timeout").value == 1
+        assert gens.labels(result="session").value == 1
+        logins = registry.get("amnesia_logins_total")
+        assert logins.labels(result="ok").value == 1
+        assert logins.labels(result="failed").value == 1
+        # The read-only views agree with the registry state.
+        assert metrics.generations_completed == 1
+        assert metrics.generations_timed_out == 1
+        assert metrics.logins_ok == 1
+        assert metrics.logins_failed == 1
+
+    def test_latency_feeds_histogram(self):
+        registry = MetricsRegistry()
+        metrics = ServerMetrics(registry)
+        metrics.record_generation(LatencySample(1, 0, 150))
+        histogram = registry.get(GENERATION_LATENCY_HISTOGRAM).labels()
+        assert histogram.count == 1
+        assert histogram.sum == 150

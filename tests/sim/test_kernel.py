@@ -125,3 +125,64 @@ class TestRun:
         kernel.schedule(2, lambda: None)
         event.cancel()
         assert kernel.pending_events == 1
+
+
+class TestObservers:
+    def test_observer_sees_each_executed_event(self, kernel):
+        seen = []
+        kernel.add_observer(lambda label, wall, depth: seen.append(label))
+        kernel.schedule(1, lambda: None, label="net a->b")
+        kernel.schedule(2, lambda: None, label="timer")
+        kernel.run_until_idle()
+        assert seen == ["net a->b", "timer"]
+
+    def test_observer_gets_wall_time_and_queue_depth(self, kernel):
+        observations = []
+        kernel.add_observer(
+            lambda label, wall, depth: observations.append((wall, depth))
+        )
+        kernel.schedule(1, lambda: None)
+        kernel.schedule(2, lambda: None)
+        kernel.run_until_idle()
+        assert len(observations) == 2
+        for wall_us, depth in observations:
+            assert wall_us >= 0.0
+            assert depth >= 0
+        assert observations[0][1] == 1  # one event still queued
+
+    def test_observer_notified_even_when_action_raises(self, kernel):
+        seen = []
+        kernel.add_observer(lambda label, wall, depth: seen.append(label))
+
+        def boom():
+            raise RuntimeError("x")
+
+        kernel.schedule(1, boom, label="bad")
+        with pytest.raises(RuntimeError):
+            kernel.run_until_idle()
+        assert seen == ["bad"]
+
+    def test_remove_observer(self, kernel):
+        seen = []
+        observer = lambda label, wall, depth: seen.append(label)  # noqa: E731
+        kernel.add_observer(observer)
+        kernel.remove_observer(observer)
+        kernel.schedule(1, lambda: None)
+        kernel.run_until_idle()
+        assert seen == []
+
+    def test_attach_kernel_stats_counts_by_label_prefix(self, kernel):
+        from repro.obs.instrument import attach_kernel_stats
+        from repro.obs.registry import MetricsRegistry
+
+        registry = MetricsRegistry()
+        attach_kernel_stats(kernel, registry)
+        kernel.schedule(1, lambda: None, label="net a->b")
+        kernel.schedule(2, lambda: None, label="net c->d")
+        kernel.schedule(3, lambda: None)
+        kernel.run_until_idle()
+        events = registry.get("amnesia_sim_events_total")
+        assert events.labels(label="net").value == 2
+        assert events.labels(label="unlabeled").value == 1
+        assert registry.get("amnesia_sim_now_ms").value == 3.0
+        assert registry.get("amnesia_sim_queue_depth").value == 0.0

@@ -38,11 +38,39 @@ class TestTraceRecorder:
         bed.enroll("alice", "master-password-1")
         assert recorder.events == []
 
-    def test_double_start_rejected(self):
+    def test_double_start_is_safe_and_records_once(self):
+        # Double-arm must not install the tap twice: every datagram
+        # would be recorded twice, silently corrupting the chart.
         bed = AmnesiaTestbed(seed="trace-4")
         recorder = TraceRecorder(bed.network).start()
-        with pytest.raises(ValidationError):
-            recorder.start()
+        recorder.start()  # no-op, not an error
+        assert recorder.armed
+        browser = bed.enroll("alice", "master-password-1")
+        account_id = browser.add_account("alice", "x.com")
+        recorder.clear()
+        browser.generate_password(account_id)
+        seen = [(e.time_ms, e.src, e.dst, e.port) for e in recorder.events]
+        assert len(seen) == len(set(seen))  # no duplicated datagrams
+
+    def test_double_stop_is_safe(self):
+        bed = AmnesiaTestbed(seed="trace-5")
+        recorder = TraceRecorder(bed.network).start()
+        recorder.stop()
+        recorder.stop()  # no-op; used to raise via list.remove
+        assert not recorder.armed
+
+    def test_context_manager_is_reusable(self):
+        bed = AmnesiaTestbed(seed="trace-6")
+        recorder = TraceRecorder(bed.network)
+        with recorder:
+            bed.enroll("alice", "master-password-1")
+        first = len(recorder.events)
+        assert first > 0 and not recorder.armed
+        with recorder:  # re-arm with events retained
+            browser = bed.new_browser()
+            browser.login("alice", "master-password-1")
+        assert len(recorder.events) > first
+        assert not recorder.armed
 
     def test_between_filters(self):
         events = [

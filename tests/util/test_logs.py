@@ -3,7 +3,101 @@
 import logging
 
 from repro.testbed import AmnesiaTestbed
-from repro.util.logs import component_logger, enable_console_logging
+from repro.util.logs import (
+    NO_CORR_ID,
+    CorrIdFilter,
+    bind_corr_id,
+    component_logger,
+    current_corr_id,
+    enable_console_logging,
+    reset_corr_id,
+    set_corr_id,
+)
+
+
+class TestCorrId:
+    def test_default_is_placeholder(self):
+        assert current_corr_id() == NO_CORR_ID
+
+    def test_bind_and_restore(self):
+        with bind_corr_id("abc123") as bound:
+            assert bound == "abc123"
+            assert current_corr_id() == "abc123"
+        assert current_corr_id() == NO_CORR_ID
+
+    def test_nested_binding_restores_outer(self):
+        with bind_corr_id("outer"):
+            with bind_corr_id("inner"):
+                assert current_corr_id() == "inner"
+            assert current_corr_id() == "outer"
+
+    def test_empty_id_becomes_placeholder(self):
+        with bind_corr_id(""):
+            assert current_corr_id() == NO_CORR_ID
+
+    def test_set_reset_token(self):
+        token = set_corr_id("tok-1")
+        assert current_corr_id() == "tok-1"
+        reset_corr_id(token)
+        assert current_corr_id() == NO_CORR_ID
+
+    def test_filter_injects_corr_id_field(self):
+        record = logging.LogRecord(
+            "repro.test", logging.INFO, __file__, 1, "hello", (), None
+        )
+        with bind_corr_id("xyz"):
+            assert CorrIdFilter().filter(record)
+        assert record.corr_id == "xyz"
+
+    def test_console_format_renders_corr_id(self):
+        handler = enable_console_logging("DEBUG")
+        try:
+            record = logging.LogRecord(
+                "repro.test", logging.INFO, __file__, 1, "hello", (), None
+            )
+            with bind_corr_id("deadbeef"):
+                for log_filter in handler.filters:
+                    log_filter.filter(record)
+            assert "[deadbeef]" in handler.format(record)
+        finally:
+            logging.getLogger("repro").removeHandler(handler)
+
+
+class TestCorrIdJoinsPipeline:
+    _COMPONENTS = ("repro.server", "repro.phone", "repro.rendezvous")
+
+    def test_generation_log_lines_share_the_exchange_id(self, caplog):
+        """Server, rendezvous and phone lines for one generation all
+        carry the same correlation id — the pending-exchange id, which
+        also names the generation's span trace."""
+        # Stamp records at emission time, while the contextvar is bound.
+        stamp = CorrIdFilter()
+        for name in self._COMPONENTS:
+            logging.getLogger(name).addFilter(stamp)
+        try:
+            bed = AmnesiaTestbed(seed="corr-test")
+            browser = bed.enroll("alice", "master-password-1")
+            account_id = browser.add_account("alice", "x.com")
+            with caplog.at_level(logging.DEBUG, logger="repro"):
+                browser.generate_password(account_id)
+        finally:
+            for name in self._COMPONENTS:
+                logging.getLogger(name).removeFilter(stamp)
+        corr_ids = {
+            record.corr_id
+            for record in caplog.records
+            if getattr(record, "corr_id", NO_CORR_ID) != NO_CORR_ID
+        }
+        assert len(corr_ids) == 1
+        corr_id = corr_ids.pop()
+        tagged_components = {
+            record.name
+            for record in caplog.records
+            if getattr(record, "corr_id", None) == corr_id
+        }
+        assert "repro.server" in tagged_components
+        assert "repro.phone" in tagged_components
+        assert corr_id in bed.server.spans.trace_ids()
 
 
 class TestComponentLogger:

@@ -1,0 +1,93 @@
+"""End-to-end /metricsz: the exporter served over the simulated wire."""
+
+import json
+
+from repro.obs.export import PROMETHEUS_CONTENT_TYPE
+from repro.testbed import AmnesiaTestbed
+
+
+def _bed_with_traffic(seed="metricsz"):
+    bed = AmnesiaTestbed(seed=seed)
+    browser = bed.enroll("alice", "master-password-1")
+    account_id = browser.add_account("alice", "x.com")
+    browser.generate_password(account_id)
+    return bed, browser
+
+
+class TestMetricsEndpoint:
+    def test_serves_prometheus_text(self):
+        bed, browser = _bed_with_traffic()
+        response = browser.http.get("/metricsz")
+        assert response.status == 200
+        assert response.headers.get("content-type") == PROMETHEUS_CONTENT_TYPE
+        text = response.body.decode("utf-8")
+        for family in (
+            "amnesia_generations_total",
+            "amnesia_generation_latency_ms",
+            "amnesia_stage_ms",
+            "amnesia_http_requests_total",
+            "amnesia_http_request_ms",
+            "amnesia_net_datagrams_total",
+            "amnesia_sim_events_total",
+        ):
+            assert f"# TYPE {family}" in text
+
+    def test_exposition_is_parseable(self):
+        bed, browser = _bed_with_traffic("metricsz-parse")
+        text = browser.http.get("/metricsz").body.decode("utf-8")
+        for line in text.strip().splitlines():
+            if line.startswith("#"):
+                assert line.startswith(("# HELP ", "# TYPE "))
+                continue
+            _, value = line.rsplit(" ", 1)
+            float(value)  # every sample line ends in a number
+
+    def test_per_endpoint_histograms_present(self):
+        bed, browser = _bed_with_traffic("metricsz-routes")
+        text = browser.http.get("/metricsz").body.decode("utf-8")
+        # Routes are labelled by registered pattern, not raw path, so
+        # cardinality stays bounded.
+        assert (
+            'amnesia_http_request_ms_bucket{route="/accounts/{account_id}'
+            '/generate"' in text
+        )
+        assert 'amnesia_http_requests_total{route="/signup"' in text
+        assert 'amnesia_http_requests_total{route="/token"' in text
+        assert 'status="200"' in text
+
+    def test_generation_counters_move(self):
+        bed, browser = _bed_with_traffic("metricsz-counters")
+        text = browser.http.get("/metricsz").body.decode("utf-8")
+        assert 'amnesia_generations_total{result="completed"} 1' in text
+        assert 'amnesia_generations_total{result="started"} 1' in text
+        assert "amnesia_generation_latency_ms_count 1" in text
+
+    def test_json_format(self):
+        bed, browser = _bed_with_traffic("metricsz-json")
+        response = browser.http.request(
+            "GET", "/metricsz", query={"format": "json"}
+        )
+        assert response.status == 200
+        assert response.headers.get("content-type") == "application/json"
+        doc = json.loads(response.body.decode("utf-8"))
+        assert doc["amnesia_generations_total"]["type"] == "counter"
+        stage_series = doc["amnesia_stage_ms"]["series"]
+        stages = {s["labels"]["stage"] for s in stage_series}
+        assert {"push_wait", "phone_compute", "return_hop",
+                "server_render"} <= stages
+
+    def test_scrape_itself_is_counted(self):
+        bed, browser = _bed_with_traffic("metricsz-self")
+        browser.http.get("/metricsz")
+        text = browser.http.get("/metricsz").body.decode("utf-8")
+        assert 'amnesia_http_requests_total{route="/metricsz"' in text
+
+    def test_unmatched_routes_share_one_label(self):
+        bed, browser = _bed_with_traffic("metricsz-unmatched")
+        assert browser.http.get("/no/such/path").status == 404
+        assert browser.http.get("/also/missing").status == 404
+        text = browser.http.get("/metricsz").body.decode("utf-8")
+        assert (
+            'amnesia_http_requests_total{route="unmatched",method="GET",'
+            'status="404"} 2' in text
+        )
