@@ -3,18 +3,23 @@
 
 PYTHON ?= python3
 
-.PHONY: install test metrics-smoke bench report examples serve clean
+.PHONY: install test metrics-smoke chaos-smoke bench report examples serve clean
 
 install:
 	pip install -e . --no-build-isolation
 
-test: metrics-smoke
+test: metrics-smoke chaos-smoke
 	$(PYTHON) -m pytest tests/
 
 # One simulated generation; asserts the exporter emits the expected
 # metric families. Cheap enough to gate every `make test` run.
 metrics-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro.cli metrics --check
+
+# The chaos suite, small: asserts deterministic replay under the seed
+# and that retries-on beats retries-off on pooled success rate.
+chaos-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro.cli chaos --check --trials 2
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s

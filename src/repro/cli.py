@@ -13,6 +13,7 @@ or analysis:
     amnesia-repro userstudy           # §VII aggregates
     amnesia-repro metrics [--check]   # telemetry registry dump / smoke test
     amnesia-repro stages              # per-stage latency attribution
+    amnesia-repro chaos [--check]     # fault-injection resilience suite
 """
 
 from __future__ import annotations
@@ -255,6 +256,50 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    """Run the chaos suite: canonical fault schedules, retries on vs off.
+
+    ``--check`` is the `make chaos-smoke` contract: the suite must be
+    deterministic under the seed (two runs, identical fingerprints) and
+    the retries-on arm must beat the retries-off arm on pooled success
+    rate; exits non-zero otherwise.
+    """
+    from repro.eval.chaos import (
+        CANONICAL_SCENARIOS,
+        aggregate_rates,
+        run_chaos,
+        suite_fingerprint,
+    )
+
+    scenarios = CANONICAL_SCENARIOS
+    if args.scenario:
+        scenarios = tuple(s for s in CANONICAL_SCENARIOS if s.name == args.scenario)
+    results = run_chaos(seed=args.seed, trials=args.trials, scenarios=scenarios)
+    for result in results:
+        print(result.render())
+        print()
+    on_rate, off_rate = aggregate_rates(results)
+    print(f"pooled success rate: retries-on {on_rate:.0%} "
+          f"vs retries-off {off_rate:.0%}")
+    if not args.check:
+        return 0
+    failures = []
+    if on_rate <= off_rate:
+        failures.append(
+            f"retries-on rate ({on_rate:.0%}) does not beat "
+            f"retries-off ({off_rate:.0%})"
+        )
+    replay = run_chaos(seed=args.seed, trials=args.trials, scenarios=scenarios)
+    if suite_fingerprint(replay) != suite_fingerprint(results):
+        failures.append("suite is not deterministic under the seed")
+    if failures:
+        for failure in failures:
+            print(f"chaos check FAILED: {failure}", file=sys.stderr)
+        return 1
+    print("chaos check ok: deterministic replay, retries-on beats retries-off")
+    return 0
+
+
 def _cmd_stages(args: argparse.Namespace) -> int:
     """Per-stage latency attribution of the Figure 3 pipeline."""
     from repro.eval.stages import run_stage_breakdown
@@ -324,6 +369,7 @@ _COMMANDS: Dict[str, Callable[[argparse.Namespace], int]] = {
     "trace": _cmd_trace,
     "metrics": _cmd_metrics,
     "stages": _cmd_stages,
+    "chaos": _cmd_chaos,
 }
 
 
@@ -371,6 +417,21 @@ def build_parser() -> argparse.ArgumentParser:
             command.add_argument(
                 "--trials", type=int, default=20,
                 help="generations per transport",
+            )
+        elif name == "chaos":
+            command.add_argument(
+                "--trials", type=int, default=5,
+                help="generations per scenario arm",
+            )
+            command.add_argument(
+                "--scenario", default=None,
+                choices=["lossy-uplink", "rendezvous-crash", "return-partition"],
+                help="run a single scenario instead of the full suite",
+            )
+            command.add_argument(
+                "--check", action="store_true",
+                help="assert determinism + retries-on beats retries-off "
+                "(smoke test)",
             )
         elif name == "serve":
             command.add_argument(

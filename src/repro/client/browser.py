@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import Any, Dict
 
+from repro.faults.retry import RetryPolicy
 from repro.net.certificates import Certificate, CertificateStore
 from repro.net.tls import SecureStack
 from repro.server.service import AMNESIA_SERVICE
@@ -20,7 +21,9 @@ from repro.util.errors import (
     AuthenticationError,
     ConflictError,
     NotFoundError,
+    RateLimitedError,
     ReproError,
+    UnavailableError,
     ValidationError,
 )
 from repro.web.client import SimHttpClient
@@ -31,15 +34,25 @@ def _raise_for(response: HttpResponse) -> None:
     if response.ok:
         return
     try:
-        message = response.json().get("error", "")
+        body = response.json()
+        message = body.get("error", "")
+        retry_after = body.get("retry_after_ms")
     except ReproError:
         message = response.body.decode("utf-8", errors="replace")
+        retry_after = None
     if response.status == 401:
         raise AuthenticationError(message)
     if response.status == 404:
         raise NotFoundError(message)
     if response.status == 409:
         raise ConflictError(message)
+    if response.status == 429:
+        raise RateLimitedError(message, retry_after_ms=retry_after)
+    if response.status == 503 and retry_after is not None:
+        # A *structured* degradation (fail-fast push, overload) carries a
+        # retry-after hint. Legacy 503s (the generation timeout) keep the
+        # historical ValidationError below.
+        raise UnavailableError(message, retry_after_ms=retry_after)
     raise ValidationError(f"HTTP {response.status}: {message}")
 
 
@@ -137,9 +150,27 @@ class AmnesiaBrowser:
         _raise_for(response)
         return response.json()["code"]
 
-    def generate_password(self, account_id: int) -> Dict[str, Any]:
-        """Request a password; blocks (in simulated time) for the phone."""
-        response = self.http.post(f"/accounts/{account_id}/generate", {})
+    def generate_password(
+        self,
+        account_id: int,
+        retry: RetryPolicy | None = None,
+        rng=None,
+    ) -> Dict[str, Any]:
+        """Request a password; blocks (in simulated time) for the phone.
+
+        With *retry*, transient failures — generation timeouts, fail-fast
+        degradations (structured 503 + retry-after), transport errors —
+        are retried under the policy with jittered backoff; a retried
+        request issues a *fresh* exchange, so a phone answer lost to a
+        partition is simply asked for again once the network heals.
+        """
+        path = f"/accounts/{account_id}/generate"
+        if retry is None:
+            response = self.http.post(path, {})
+        else:
+            response = self.http.request_with_retry(
+                "POST", path, policy=retry, rng=rng, json_body={}
+            )
         _raise_for(response)
         return response.json()
 

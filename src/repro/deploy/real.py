@@ -215,10 +215,20 @@ class RealAmnesiaDeployment:
 
     # -- the GCM stand-in ----------------------------------------------------------
 
-    def _push(self, reg_id: str, data: Dict[str, Any]) -> None:
+    def _push(
+        self,
+        reg_id: str,
+        data: Dict[str, Any],
+        on_failure: "Callable[[str], None] | None" = None,
+    ) -> None:
         agent = self._agents.get(reg_id)
         if agent is None:
-            return  # unknown registration id: dropped, like GCM
+            # Unknown registration id. With feedback requested, fail fast
+            # (the core degrades to a structured 503 with retry-after);
+            # otherwise dropped silently, like classic GCM.
+            if on_failure is not None:
+                on_failure("unknown-registration")
+            return
         # Deliver on a fresh thread: the pushing request may hold the lock.
         threading.Thread(
             target=agent.on_push, args=(dict(data),), daemon=True,

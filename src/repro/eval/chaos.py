@@ -1,0 +1,291 @@
+"""Chaos scenarios: the resilience story, quantified.
+
+Each scenario arms a canonical :class:`FaultSchedule` against a fresh
+testbed and drives a batch of password generations through it twice —
+once with the resilience machinery on (browser retry policy with
+jittered backoff, phone heartbeat + re-registration) and once with it
+off — then compares success rates and user-visible latency.
+
+The three canonical schedules target the three legs of Figure 1's
+pipeline:
+
+- ``lossy-uplink``    : a heavy loss burst on the server ↔ GCM link.
+  The publisher's capped ack/retransmit loop fails fast, the server
+  degrades to a structured 503 + retry-after, and a retrying browser
+  succeeds once the burst passes.
+- ``rendezvous-crash``: GCM crashes mid-exchange and restarts amnesic.
+  Registrations are volatile, so pushes to the stale id are NACKed;
+  only a phone that detects the dead registration (heartbeat) and
+  re-registers — refreshing the server via ``/phone/reregister`` —
+  ever receives a push again.
+- ``return-partition``: the phone ↔ server link partitions across the
+  token return hop, outlasting the secure stack's own retransmissions.
+  The first exchange times out server-side; a retried request issues a
+  fresh exchange that completes once the partition heals.
+
+Everything is deterministic under the seed: both arms run identical
+testbeds, all fault randomness comes from the ``"faults"`` RNG stream,
+and retry jitter from dedicated ``"chaos-*"`` streams. The counters the
+run leaves behind in each testbed's registry
+(``amnesia_faults_injected_total``, ``amnesia_retries_total``,
+``amnesia_degraded_responses_total``) are the same families the
+``/metricsz`` exporter serves.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict
+
+from repro.faults.plane import FaultSchedule
+from repro.faults.retry import RetryPolicy
+from repro.testbed import PHONE, RENDEZVOUS, SERVER, AmnesiaTestbed
+from repro.util.errors import ReproError, ValidationError
+
+# The browser-side policy chaos runs use when retries are ON. Tuned to
+# the schedules below: the first re-attempt lands after the push
+# fail-fast window, the last after a 13 s partition heals.
+CHAOS_RETRY = RetryPolicy(
+    max_attempts=4,
+    base_delay_ms=800.0,
+    multiplier=2.0,
+    max_delay_ms=6_000.0,
+    jitter=0.5,
+)
+
+_HEARTBEAT_INTERVAL_MS = 1_000.0
+_HEARTBEAT_MISS_THRESHOLD = 2
+_GENERATION_TIMEOUT_MS = 8_000.0
+_SETTLE_MS = 2_000.0
+
+
+def _percentile(samples: tuple[float, ...], q: float) -> float:
+    """Linear-interpolated percentile; NaN for an empty sample set."""
+    if not (0 <= q <= 100):
+        raise ValidationError(f"percentile q must be in [0, 100], got {q}")
+    if not samples:
+        return math.nan
+    ordered = sorted(samples)
+    if len(ordered) == 1:
+        return ordered[0]
+    position = (q / 100) * (len(ordered) - 1)
+    low = int(position)
+    high = min(low + 1, len(ordered) - 1)
+    fraction = position - low
+    return ordered[low] * (1 - fraction) + ordered[high] * fraction
+
+
+@dataclass(frozen=True)
+class ChaosScenario:
+    """One named fault schedule, rebuilt fresh for every trial."""
+
+    name: str
+    description: str
+    schedule: Callable[[], FaultSchedule]
+
+
+def _lossy_uplink() -> FaultSchedule:
+    # 85% loss both ways on server<->gcm for 4 s: pushes and their acks
+    # mostly vanish, so the publisher's 3-attempt ack loop fails fast.
+    return FaultSchedule().loss_burst(0.0, 4_000.0, SERVER, RENDEZVOUS, 0.85)
+
+
+def _rendezvous_crash() -> FaultSchedule:
+    # Crash immediately (before the push can land), back 2 s later with
+    # all registrations gone: the retransmitted push finds an amnesic
+    # service that NACKs the stale registration.
+    return FaultSchedule().crash(0.0, RENDEZVOUS, down_ms=2_000.0)
+
+
+def _return_partition() -> FaultSchedule:
+    # Sever phone<->server for 13 s: longer than the secure stack's own
+    # retransmit budget, so only a re-issued exchange can complete.
+    return FaultSchedule().partition(0.0, 13_000.0, (PHONE,), (SERVER,))
+
+
+CANONICAL_SCENARIOS: tuple[ChaosScenario, ...] = (
+    ChaosScenario(
+        "lossy-uplink",
+        "85% loss burst on server<->gcm (4 s) during the push",
+        _lossy_uplink,
+    ),
+    ChaosScenario(
+        "rendezvous-crash",
+        "gcm crashes mid-exchange, restarts amnesic 2 s later",
+        _rendezvous_crash,
+    ),
+    ChaosScenario(
+        "return-partition",
+        "phone<->server partition (13 s) across the token return hop",
+        _return_partition,
+    ),
+)
+
+
+@dataclass
+class ArmStats:
+    """One arm (retries on or off) of one scenario."""
+
+    retries_enabled: bool
+    trials: int = 0
+    successes: int = 0
+    samples_ms: tuple[float, ...] = ()
+    client_retries: int = 0
+    phone_token_retries: int = 0
+    phone_reregistrations: int = 0
+    degraded_responses: int = 0
+    faults_injected: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def failures(self) -> int:
+        return self.trials - self.successes
+
+    @property
+    def success_rate(self) -> float:
+        return self.successes / self.trials if self.trials else 0.0
+
+    def percentile(self, q: float) -> float:
+        return _percentile(self.samples_ms, q)
+
+
+@dataclass
+class ScenarioResult:
+    """Both arms of one scenario, ready to render side by side."""
+
+    scenario: ChaosScenario
+    with_retries: ArmStats
+    without_retries: ArmStats
+
+    def render(self) -> str:
+        lines = [
+            f"[{self.scenario.name}] {self.scenario.description}",
+            f"  {'arm':<12s} {'ok':>5s} {'rate':>6s} {'p50 ms':>9s} "
+            f"{'p95 ms':>9s} {'retries':>8s} {'rereg':>6s} {'degraded':>9s}",
+        ]
+        for arm, label in (
+            (self.with_retries, "retries-on"),
+            (self.without_retries, "retries-off"),
+        ):
+            p50, p95 = arm.percentile(50), arm.percentile(95)
+            retries = arm.client_retries + arm.phone_token_retries
+            lines.append(
+                f"  {label:<12s} {arm.successes:>2d}/{arm.trials:<2d} "
+                f"{arm.success_rate:>5.0%} "
+                f"{'-' if math.isnan(p50) else format(p50, '9.1f'):>9s} "
+                f"{'-' if math.isnan(p95) else format(p95, '9.1f'):>9s} "
+                f"{retries:>8d} {arm.phone_reregistrations:>6d} "
+                f"{arm.degraded_responses:>9d}"
+            )
+        faults = ", ".join(
+            f"{kind}={count}"
+            for kind, count in sorted(self.with_retries.faults_injected.items())
+        )
+        lines.append(f"  faults injected (retries-on arm): {faults or 'none'}")
+        return "\n".join(lines)
+
+    def fingerprint(self) -> str:
+        """A compact determinism witness: identical seeds must reproduce
+        this string bit-for-bit."""
+        parts = [self.scenario.name]
+        for arm in (self.with_retries, self.without_retries):
+            parts.append(
+                f"{arm.successes}/{arm.trials}"
+                f":{','.join(f'{s:.3f}' for s in arm.samples_ms)}"
+                f":r{arm.client_retries + arm.phone_token_retries}"
+                f":d{arm.degraded_responses}"
+                f":f{sorted(arm.faults_injected.items())}"
+            )
+        return "|".join(parts)
+
+
+def run_scenario_arm(
+    scenario: ChaosScenario,
+    seed: int | str,
+    trials: int,
+    retries: bool,
+) -> ArmStats:
+    """One arm: a fresh testbed, *trials* generations under the schedule."""
+    if trials < 1:
+        raise ValidationError(f"trials must be >= 1, got {trials}")
+    bed = AmnesiaTestbed(
+        seed=f"chaos|{scenario.name}|{seed}",
+        generation_timeout_ms=_GENERATION_TIMEOUT_MS,
+    )
+    browser = bed.enroll("chaos", "chaos-master-password")
+    account_id = browser.add_account("chaos", "chaos.example.com")
+    browser.generate_password(account_id)  # warm-up: no faults, no retries
+    plane = bed.install_fault_plane()
+    retry_rng = bed.network.rng_stream("chaos-browser-retry")
+    if retries:
+        bed.phone.enable_resilience(
+            "chaos",
+            heartbeat_interval_ms=_HEARTBEAT_INTERVAL_MS,
+            miss_threshold=_HEARTBEAT_MISS_THRESHOLD,
+        )
+    stats = ArmStats(retries_enabled=retries)
+    samples: list[float] = []
+    for __ in range(trials):
+        schedule = scenario.schedule()
+        plane.apply(schedule)
+        started = bed.kernel.now
+        stats.trials += 1
+        try:
+            browser.generate_password(
+                account_id,
+                retry=CHAOS_RETRY if retries else None,
+                rng=retry_rng,
+            )
+        except ReproError:
+            pass
+        else:
+            stats.successes += 1
+            # End-to-end latency as the *user* sees it: includes every
+            # retry and backoff wait, not just the winning exchange.
+            samples.append(bed.kernel.now - started)
+        # Let the schedule play out fully and the fabric settle before
+        # the next trial arms a fresh copy.
+        horizon = started + schedule.horizon_ms() + _SETTLE_MS
+        if bed.kernel.now < horizon:
+            bed.kernel.run(until=horizon)
+    if retries:
+        bed.phone.disable_resilience()
+    stats.samples_ms = tuple(samples)
+    stats.client_retries = browser.http.retry_count
+    stats.phone_token_retries = bed.phone.token_submit_retries
+    stats.phone_reregistrations = bed.phone.reregistrations
+    stats.degraded_responses = bed.server.metrics.degraded_responses
+    stats.faults_injected = dict(plane.injected)
+    return stats
+
+
+def run_scenario(
+    scenario: ChaosScenario, seed: int | str = "chaos", trials: int = 5
+) -> ScenarioResult:
+    return ScenarioResult(
+        scenario=scenario,
+        with_retries=run_scenario_arm(scenario, seed, trials, retries=True),
+        without_retries=run_scenario_arm(scenario, seed, trials, retries=False),
+    )
+
+
+def run_chaos(
+    seed: int | str = "chaos",
+    trials: int = 5,
+    scenarios: tuple[ChaosScenario, ...] = CANONICAL_SCENARIOS,
+) -> list[ScenarioResult]:
+    """The full suite: every scenario, both arms."""
+    return [run_scenario(scenario, seed, trials) for scenario in scenarios]
+
+
+def aggregate_rates(results: list[ScenarioResult]) -> tuple[float, float]:
+    """(retries-on, retries-off) success rates pooled across scenarios."""
+    on_ok = sum(r.with_retries.successes for r in results)
+    on_n = sum(r.with_retries.trials for r in results)
+    off_ok = sum(r.without_retries.successes for r in results)
+    off_n = sum(r.without_retries.trials for r in results)
+    return (on_ok / on_n if on_n else 0.0, off_ok / off_n if off_n else 0.0)
+
+
+def suite_fingerprint(results: list[ScenarioResult]) -> str:
+    return "\n".join(result.fingerprint() for result in results)

@@ -1,0 +1,42 @@
+"""Fault injection and resilience primitives.
+
+Two halves, deliberately decoupled:
+
+- :mod:`repro.faults.plane` *injects* failure: a :class:`FaultSchedule`
+  of partitions, loss bursts, latency spikes, duplication/reorder
+  windows and host crash/restart events, executed deterministically by
+  a :class:`FaultPlane` installed on the network fabric;
+- :mod:`repro.faults.retry` *absorbs* failure: a reusable
+  :class:`RetryPolicy` (capped, jittered exponential backoff with an
+  optional deadline) plus an asynchronous retry driver for the
+  simulation kernel's callback style.
+
+Everything draws from the deployment's seeded RNG registry, so a chaos
+scenario replays bit-identically given its seed.
+"""
+
+from repro.faults.plane import (
+    CrashRestart,
+    Duplication,
+    FaultPlane,
+    FaultSchedule,
+    LatencySpike,
+    LossBurst,
+    Partition,
+    Reorder,
+)
+from repro.faults.retry import GiveUp, RetryPolicy, retry_async
+
+__all__ = [
+    "CrashRestart",
+    "Duplication",
+    "FaultPlane",
+    "FaultSchedule",
+    "GiveUp",
+    "LatencySpike",
+    "LossBurst",
+    "Partition",
+    "Reorder",
+    "RetryPolicy",
+    "retry_async",
+]

@@ -1,0 +1,424 @@
+"""The fault-injection plane: scheduled failure, deterministically.
+
+A :class:`FaultSchedule` is a declarative list of faults over simulated
+time; a :class:`FaultPlane` installs itself on the network fabric and
+executes the schedule:
+
+- **windowed link faults** are consulted on every ``Network.send``:
+  bidirectional :class:`Partition` between host sets, :class:`LossBurst`
+  (extra drop probability on a link), :class:`LatencySpike` (additive
+  delay, optionally jittered), :class:`Duplication` (the fabric delivers
+  extra copies) and :class:`Reorder` (a random extra delay that permutes
+  delivery order);
+- **host events**: :class:`CrashRestart` crashes a host at a point in
+  time (offline + all volatile port bindings lost) and restarts it
+  after ``down_ms``. Services that must survive restarts register a
+  *process* (``crash()``/``restart()``) with the plane — e.g. the
+  rendezvous service re-binds its port but loses its in-memory queues.
+
+All randomness is drawn from the deployment's seeded RNG registry
+(stream ``"faults"``), so a chaos scenario replays bit-identically.
+Every injected effect increments
+``amnesia_faults_injected_total{kind=...}`` when a metrics registry is
+bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Protocol
+
+from repro.util.errors import ConflictError, ValidationError
+
+
+class RestartableProcess(Protocol):
+    """A service that knows how to crash and come back."""
+
+    def crash(self) -> None: ...
+
+    def restart(self) -> None: ...
+
+
+def _check_window(start_ms: float, duration_ms: float) -> None:
+    if start_ms < 0:
+        raise ValidationError(f"start_ms must be >= 0, got {start_ms}")
+    if duration_ms <= 0:
+        raise ValidationError(f"duration_ms must be > 0, got {duration_ms}")
+
+
+def _check_probability(p: float, name: str) -> None:
+    if not (0.0 <= p <= 1.0):
+        raise ValidationError(f"{name} must be in [0, 1], got {p}")
+
+
+@dataclass(frozen=True)
+class _Window:
+    """Base for faults active during ``[start_ms, start_ms + duration_ms)``."""
+
+    start_ms: float
+    duration_ms: float
+
+    def active(self, now_ms: float) -> bool:
+        return self.start_ms <= now_ms < self.start_ms + self.duration_ms
+
+
+@dataclass(frozen=True)
+class Partition(_Window):
+    """No datagram crosses between *group_a* and *group_b* (both ways)."""
+
+    group_a: tuple[str, ...] = ()
+    group_b: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        _check_window(self.start_ms, self.duration_ms)
+        if not self.group_a or not self.group_b:
+            raise ValidationError("partition needs two non-empty host groups")
+        if set(self.group_a) & set(self.group_b):
+            raise ValidationError("partition groups must be disjoint")
+
+    def severs(self, src: str, dst: str) -> bool:
+        return (src in self.group_a and dst in self.group_b) or (
+            src in self.group_b and dst in self.group_a
+        )
+
+
+@dataclass(frozen=True)
+class LossBurst(_Window):
+    """Extra drop probability on a directed link (mirrored by default)."""
+
+    src: str = ""
+    dst: str = ""
+    loss_probability: float = 0.0
+    bidirectional: bool = True
+
+    def __post_init__(self) -> None:
+        _check_window(self.start_ms, self.duration_ms)
+        _check_probability(self.loss_probability, "loss_probability")
+
+    def covers(self, src: str, dst: str) -> bool:
+        if (self.src, self.dst) == (src, dst):
+            return True
+        return self.bidirectional and (self.dst, self.src) == (src, dst)
+
+
+@dataclass(frozen=True)
+class LatencySpike(_Window):
+    """Additive delay on a directed link (mirrored by default)."""
+
+    src: str = ""
+    dst: str = ""
+    extra_ms: float = 0.0
+    jitter_ms: float = 0.0
+    bidirectional: bool = True
+
+    def __post_init__(self) -> None:
+        _check_window(self.start_ms, self.duration_ms)
+        if self.extra_ms < 0 or self.jitter_ms < 0:
+            raise ValidationError("extra_ms and jitter_ms must be >= 0")
+
+    def covers(self, src: str, dst: str) -> bool:
+        if (self.src, self.dst) == (src, dst):
+            return True
+        return self.bidirectional and (self.dst, self.src) == (src, dst)
+
+
+@dataclass(frozen=True)
+class Duplication(_Window):
+    """Each datagram is delivered twice with probability *probability*."""
+
+    src: str = ""
+    dst: str = ""
+    probability: float = 0.0
+    bidirectional: bool = True
+
+    def __post_init__(self) -> None:
+        _check_window(self.start_ms, self.duration_ms)
+        _check_probability(self.probability, "probability")
+
+    def covers(self, src: str, dst: str) -> bool:
+        if (self.src, self.dst) == (src, dst):
+            return True
+        return self.bidirectional and (self.dst, self.src) == (src, dst)
+
+
+@dataclass(frozen=True)
+class Reorder(_Window):
+    """Randomly delay datagrams so later sends can overtake them."""
+
+    src: str = ""
+    dst: str = ""
+    probability: float = 0.0
+    max_extra_delay_ms: float = 50.0
+    bidirectional: bool = True
+
+    def __post_init__(self) -> None:
+        _check_window(self.start_ms, self.duration_ms)
+        _check_probability(self.probability, "probability")
+        if self.max_extra_delay_ms <= 0:
+            raise ValidationError("max_extra_delay_ms must be > 0")
+
+    def covers(self, src: str, dst: str) -> bool:
+        if (self.src, self.dst) == (src, dst):
+            return True
+        return self.bidirectional and (self.dst, self.src) == (src, dst)
+
+
+@dataclass(frozen=True)
+class CrashRestart:
+    """Crash *host* at *at_ms*; restart it ``down_ms`` later (0 = stay down)."""
+
+    at_ms: float
+    host: str
+    down_ms: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.at_ms < 0:
+            raise ValidationError(f"at_ms must be >= 0, got {self.at_ms}")
+        if self.down_ms < 0:
+            raise ValidationError(f"down_ms must be >= 0, got {self.down_ms}")
+
+
+@dataclass
+class SendVerdict:
+    """What the plane decided for one datagram."""
+
+    drop_reason: str | None = None
+    extra_delay_ms: float = 0.0
+    duplicates: int = 0
+
+
+class FaultSchedule:
+    """A declarative, chainable list of faults over simulated time."""
+
+    def __init__(self) -> None:
+        self.faults: list = []
+
+    # -- builders (all return self for chaining) -----------------------------
+
+    def partition(
+        self,
+        start_ms: float,
+        duration_ms: float,
+        group_a: Iterable[str],
+        group_b: Iterable[str],
+    ) -> "FaultSchedule":
+        self.faults.append(
+            Partition(start_ms, duration_ms, tuple(group_a), tuple(group_b))
+        )
+        return self
+
+    def loss_burst(
+        self,
+        start_ms: float,
+        duration_ms: float,
+        src: str,
+        dst: str,
+        loss_probability: float,
+        bidirectional: bool = True,
+    ) -> "FaultSchedule":
+        self.faults.append(
+            LossBurst(start_ms, duration_ms, src, dst, loss_probability, bidirectional)
+        )
+        return self
+
+    def latency_spike(
+        self,
+        start_ms: float,
+        duration_ms: float,
+        src: str,
+        dst: str,
+        extra_ms: float,
+        jitter_ms: float = 0.0,
+        bidirectional: bool = True,
+    ) -> "FaultSchedule":
+        self.faults.append(
+            LatencySpike(
+                start_ms, duration_ms, src, dst, extra_ms, jitter_ms, bidirectional
+            )
+        )
+        return self
+
+    def duplicate(
+        self,
+        start_ms: float,
+        duration_ms: float,
+        src: str,
+        dst: str,
+        probability: float,
+        bidirectional: bool = True,
+    ) -> "FaultSchedule":
+        self.faults.append(
+            Duplication(start_ms, duration_ms, src, dst, probability, bidirectional)
+        )
+        return self
+
+    def reorder(
+        self,
+        start_ms: float,
+        duration_ms: float,
+        src: str,
+        dst: str,
+        probability: float,
+        max_extra_delay_ms: float = 50.0,
+        bidirectional: bool = True,
+    ) -> "FaultSchedule":
+        self.faults.append(
+            Reorder(
+                start_ms, duration_ms, src, dst,
+                probability, max_extra_delay_ms, bidirectional,
+            )
+        )
+        return self
+
+    def crash(self, at_ms: float, host: str, down_ms: float = 0.0) -> "FaultSchedule":
+        self.faults.append(CrashRestart(at_ms, host, down_ms))
+        return self
+
+    # -- views ----------------------------------------------------------------
+
+    @property
+    def windows(self) -> list:
+        return [f for f in self.faults if isinstance(f, _Window)]
+
+    @property
+    def crashes(self) -> list[CrashRestart]:
+        return [f for f in self.faults if isinstance(f, CrashRestart)]
+
+    def horizon_ms(self) -> float:
+        """Virtual time by which every scheduled fault has fired/expired."""
+        edge = 0.0
+        for fault in self.faults:
+            if isinstance(fault, _Window):
+                edge = max(edge, fault.start_ms + fault.duration_ms)
+            else:
+                edge = max(edge, fault.at_ms + fault.down_ms)
+        return edge
+
+
+class FaultPlane:
+    """Executes a :class:`FaultSchedule` against one network fabric.
+
+    Construct with the deployment's network, register any restartable
+    processes, then :meth:`apply` a schedule. The plane installs itself
+    as the fabric's fault hook on construction.
+    """
+
+    def __init__(self, network, registry=None) -> None:
+        self.network = network
+        self.kernel = network.kernel
+        self._rng = network.rng_stream("faults")
+        self._windows: list = []
+        self._processes: dict[str, RestartableProcess] = {}
+        self.injected: dict[str, int] = {}
+        self._m_injected = None
+        if registry is not None:
+            self.bind_registry(registry)
+        network.install_faults(self)
+
+    # -- wiring ----------------------------------------------------------------
+
+    def bind_registry(self, registry) -> None:
+        self._m_injected = registry.counter(
+            "amnesia_faults_injected_total",
+            "Fault effects injected by the fault plane, by kind",
+            label_names=("kind",),
+        )
+
+    def register_process(self, host_name: str, process: RestartableProcess) -> None:
+        """Crash/restart events for *host_name* go through *process*
+        instead of the bare host (so the service can split volatile from
+        durable state and re-bind its ports on restart)."""
+        if host_name in self._processes:
+            raise ConflictError(f"process already registered for {host_name!r}")
+        self._processes[host_name] = process
+
+    def apply(self, schedule: FaultSchedule) -> None:
+        """Arm *schedule*: windows become live, crashes get scheduled.
+
+        Times are relative to the current virtual time, so a schedule
+        applied mid-run plays out from "now".
+        """
+        base = self.kernel.now
+        for window in schedule.windows:
+            self._windows.append((base, window))
+        for crash in schedule.crashes:
+            self.kernel.schedule_at(
+                base + crash.at_ms,
+                lambda c=crash: self._crash(c.host),
+                label=f"fault-crash {crash.host}",
+            )
+            if crash.down_ms > 0:
+                self.kernel.schedule_at(
+                    base + crash.at_ms + crash.down_ms,
+                    lambda c=crash: self._restart(c.host),
+                    label=f"fault-restart {crash.host}",
+                )
+
+    # -- bookkeeping ------------------------------------------------------------
+
+    def _count(self, kind: str) -> None:
+        self.injected[kind] = self.injected.get(kind, 0) + 1
+        if self._m_injected is not None:
+            self._m_injected.labels(kind=kind).inc()
+
+    # -- host events -------------------------------------------------------------
+
+    def _crash(self, host_name: str) -> None:
+        self._count("crash")
+        process = self._processes.get(host_name)
+        if process is not None:
+            process.crash()
+        else:
+            self.network.host(host_name).crash()
+
+    def _restart(self, host_name: str) -> None:
+        self._count("restart")
+        process = self._processes.get(host_name)
+        if process is not None:
+            process.restart()
+        else:
+            self.network.host(host_name).boot()
+
+    # -- the fabric hook ----------------------------------------------------------
+
+    def intercept(self, datagram, now_ms: float) -> SendVerdict:
+        """Consulted by ``Network.send`` for every datagram."""
+        verdict = SendVerdict()
+        src, dst = datagram.src, datagram.dst
+        for base, window in self._windows:
+            if not window.active(now_ms - base):
+                continue
+            if isinstance(window, Partition):
+                if window.severs(src, dst):
+                    self._count("partition_drop")
+                    verdict.drop_reason = "partition"
+                    return verdict
+            elif isinstance(window, LossBurst):
+                if window.covers(src, dst) and (
+                    self._rng.random() < window.loss_probability
+                ):
+                    self._count("loss_burst_drop")
+                    verdict.drop_reason = "loss-burst"
+                    return verdict
+            elif isinstance(window, LatencySpike):
+                if window.covers(src, dst):
+                    self._count("latency_spike")
+                    extra = window.extra_ms
+                    if window.jitter_ms > 0:
+                        extra += self._rng.random() * window.jitter_ms
+                    verdict.extra_delay_ms += extra
+            elif isinstance(window, Duplication):
+                if window.covers(src, dst) and (
+                    self._rng.random() < window.probability
+                ):
+                    self._count("duplicate")
+                    verdict.duplicates += 1
+            elif isinstance(window, Reorder):
+                if window.covers(src, dst) and (
+                    self._rng.random() < window.probability
+                ):
+                    self._count("reorder")
+                    verdict.extra_delay_ms += (
+                        self._rng.random() * window.max_extra_delay_ms
+                    )
+        return verdict

@@ -1,0 +1,153 @@
+"""A reusable retry policy: cap, jittered exponential backoff, deadline.
+
+The policy is pure data plus arithmetic — it never sleeps. Two drivers
+apply it:
+
+- :func:`retry_async` re-invokes a callback-style operation on the
+  simulation kernel (used by the phone's ``/token`` return hop, the
+  pairing flow, and re-registration);
+- :meth:`repro.web.client.SimHttpClient.request_with_retry` drives the
+  synchronous facade (used by the browser's generation request).
+
+Backoff uses *decorrelated partial jitter*: attempt ``n`` waits
+``base * multiplier**(n-1)`` capped at ``max_delay_ms``, with the top
+``jitter`` fraction of that value randomised. All randomness comes from
+a caller-supplied stream, so retries replay deterministically under the
+simulation's seeded RNG registry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.util.errors import ReproError, ValidationError
+
+
+class GiveUp(ReproError):
+    """Wrap an error to mark it non-retryable.
+
+    An operation that fails with ``GiveUp(cause)`` stops the retry loop
+    immediately; the *cause* (``.__cause__``-style, stored as ``args[0]``
+    when it is an exception) is reported to the failure callback.
+    """
+
+    @property
+    def cause(self) -> Any:
+        return self.args[0] if self.args else None
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How many times to try, and how long to wait in between."""
+
+    max_attempts: int = 4
+    base_delay_ms: float = 250.0
+    multiplier: float = 2.0
+    max_delay_ms: float = 8_000.0
+    jitter: float = 0.5
+    deadline_ms: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValidationError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.base_delay_ms < 0 or self.max_delay_ms < 0:
+            raise ValidationError("delays must be >= 0")
+        if self.multiplier < 1.0:
+            raise ValidationError(
+                f"multiplier must be >= 1, got {self.multiplier}"
+            )
+        if not (0.0 <= self.jitter <= 1.0):
+            raise ValidationError(f"jitter must be in [0, 1], got {self.jitter}")
+        if self.deadline_ms is not None and self.deadline_ms <= 0:
+            raise ValidationError("deadline must be positive (or None)")
+
+    def backoff_ms(self, attempt: int, rng=None) -> float:
+        """Delay before attempt ``attempt + 1`` (``attempt`` starts at 1).
+
+        Deterministic floor plus a randomised top slice: with
+        ``jitter=0.5`` the wait lands uniformly in ``[raw/2, raw]``.
+        """
+        if attempt < 1:
+            raise ValidationError(f"attempt must be >= 1, got {attempt}")
+        raw = min(
+            self.max_delay_ms,
+            self.base_delay_ms * (self.multiplier ** (attempt - 1)),
+        )
+        if self.jitter <= 0.0 or rng is None:
+            return raw
+        floor = raw * (1.0 - self.jitter)
+        return floor + rng.random() * (raw - floor)
+
+    def exhausted(self, attempt: int, started_ms: float, now_ms: float) -> bool:
+        """True when no further attempt is allowed."""
+        if attempt >= self.max_attempts:
+            return True
+        if self.deadline_ms is not None and now_ms - started_ms >= self.deadline_ms:
+            return True
+        return False
+
+
+# An operation takes (on_success, on_failure) and calls exactly one of
+# them (possibly asynchronously). Failing with GiveUp stops retrying.
+Operation = Callable[[Callable[[Any], None], Callable[[Exception], None]], None]
+
+
+def retry_async(
+    kernel,
+    policy: RetryPolicy,
+    rng,
+    operation: Operation,
+    on_success: Callable[[Any], None],
+    on_failure: Callable[[Exception], None],
+    on_retry: Callable[[int, Exception], None] | None = None,
+    label: str = "retry",
+) -> None:
+    """Drive *operation* under *policy* on the simulation kernel.
+
+    ``operation(succeed, fail)`` runs immediately; transient failures
+    (anything except :class:`GiveUp`) are retried after a jittered
+    backoff until the attempt cap or deadline is hit. *on_retry* fires
+    before each rescheduled attempt with ``(attempt_number, error)`` —
+    the hook the metrics layer uses for ``amnesia_retries_total``.
+    """
+    state = {"attempt": 0, "started": kernel.now, "done": False}
+
+    def succeed(result: Any) -> None:
+        if state["done"]:
+            return
+        state["done"] = True
+        on_success(result)
+
+    def fail(error: Exception) -> None:
+        if state["done"]:
+            return
+        if isinstance(error, GiveUp):
+            state["done"] = True
+            cause = error.cause
+            on_failure(cause if isinstance(cause, Exception) else error)
+            return
+        if policy.exhausted(state["attempt"], state["started"], kernel.now):
+            state["done"] = True
+            on_failure(error)
+            return
+        delay = policy.backoff_ms(state["attempt"], rng)
+        if policy.deadline_ms is not None:
+            remaining = policy.deadline_ms - (kernel.now - state["started"])
+            delay = min(delay, max(0.0, remaining))
+        if on_retry is not None:
+            on_retry(state["attempt"] + 1, error)
+        kernel.schedule(delay, attempt, label=label)
+
+    def attempt() -> None:
+        if state["done"]:
+            return
+        state["attempt"] += 1
+        try:
+            operation(succeed, fail)
+        except ReproError as error:  # synchronous failure path
+            fail(error)
+
+    attempt()

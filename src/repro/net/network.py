@@ -33,6 +33,7 @@ class Host:
         self.name = name
         self.network = network
         self.online = True
+        self.crash_count = 0
         self._ports: Dict[int, PortHandler] = {}
 
     def bind(self, port: int, handler: PortHandler) -> None:
@@ -43,6 +44,19 @@ class Host:
 
     def unbind(self, port: int) -> None:
         self._ports.pop(port, None)
+
+    def crash(self) -> None:
+        """Power-fail the host: offline, and every volatile port binding
+        is lost. Whatever process owned the ports must re-bind on
+        restart — exactly what distinguishes a crash from a partition."""
+        self.online = False
+        self.crash_count += 1
+        self._ports.clear()
+
+    def boot(self) -> None:
+        """Bring the host back online. Port bindings do NOT come back by
+        themselves; restartable services re-bind in their ``restart()``."""
+        self.online = True
 
     def handler_for(self, port: int) -> Optional[PortHandler]:
         return self._ports.get(port)
@@ -65,6 +79,8 @@ class Network:
         self.sent_count = 0
         self.delivered_count = 0
         self.dropped_count = 0
+        # Fault-injection hook (see repro.faults.plane); None = no faults.
+        self._faults = None
         # Registry-backed per-link counters (bind_registry); None = off.
         self._m_datagrams = None
         self._m_bytes = None
@@ -121,6 +137,17 @@ class Network:
         """Register a callback invoked as ``hook(datagram, reason)`` on drops."""
         self._drop_hooks.append(hook)
 
+    def rng_stream(self, name: str):
+        """A named deterministic RNG stream from the fabric's registry
+        (for components that need reproducible randomness, e.g. retry
+        jitter and the fault plane)."""
+        return self._rngs.stream(name)
+
+    def install_faults(self, plane) -> None:
+        """Attach a fault plane; consulted on every send. Installing
+        ``None`` removes it."""
+        self._faults = plane
+
     def bind_registry(self, registry) -> None:
         """Feed per-link datagram/byte/drop counters into *registry*.
 
@@ -174,16 +201,26 @@ class Network:
             self._m_bytes.labels(link=link_label).inc(datagram.size)
         for tap in self._taps:
             tap(datagram)
+        extra_delay_ms = 0.0
+        copies = 1
+        if self._faults is not None:
+            verdict = self._faults.intercept(datagram, self.kernel.now)
+            if verdict.drop_reason is not None:
+                self._drop(datagram, verdict.drop_reason)
+                return datagram
+            extra_delay_ms = verdict.extra_delay_ms
+            copies = 1 + verdict.duplicates
         rng = self._rngs.stream(f"link:{src}->{dst}")
         if link.loss_probability > 0 and rng.random() < link.loss_probability:
             self._drop(datagram, "loss")
             return datagram
-        delay = link.transfer_delay_ms(datagram.size, rng)
-        self.kernel.schedule(
-            delay,
-            lambda: self._deliver(datagram),
-            label=f"deliver {src}->{dst}:{port}",
-        )
+        for __ in range(copies):
+            delay = link.transfer_delay_ms(datagram.size, rng) + extra_delay_ms
+            self.kernel.schedule(
+                delay,
+                lambda: self._deliver(datagram),
+                label=f"deliver {src}->{dst}:{port}",
+            )
         return datagram
 
     def _deliver(self, datagram: Datagram) -> None:

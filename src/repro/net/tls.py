@@ -248,6 +248,13 @@ class SecureClientChannel:
     def handle_reject(self, reason: str) -> None:
         self._fail(ProtocolError(f"server rejected channel: {reason}"))
 
+    @property
+    def failed(self) -> bool:
+        """True once the channel gave up (handshake timeout, bad key
+        confirmation, REJECT). Failed channels never recover; owners
+        open a fresh channel instead."""
+        return self._failed
+
     def _fail(self, error: Exception) -> None:
         if self._failed:
             return

@@ -13,6 +13,7 @@ in the paper's architecture.
 from __future__ import annotations
 
 import enum
+import inspect
 from typing import Any, Callable, Dict, Optional
 
 from repro.cloud.provider import CLOUD_SERVICE, CloudClient
@@ -21,6 +22,7 @@ from repro.core.recovery import encode_backup
 from repro.core.params import DEFAULT_PARAMS, ProtocolParams
 from repro.core.secrets import EntryTable, PhoneSecret
 from repro.crypto.randomness import RandomSource
+from repro.faults.retry import GiveUp, RetryPolicy, retry_async
 from repro.net.certificates import Certificate, CertificateStore
 from repro.net.tls import SecureStack
 from repro.phone.device import PhoneDevice
@@ -31,13 +33,50 @@ from repro.server.service import AMNESIA_SERVICE
 from repro.sim.kernel import Simulator
 from repro.sim.random import RngRegistry
 from repro.storage.phone_db import PhoneDatabase
-from repro.util.errors import NotFoundError, ValidationError
+from repro.util.errors import NotFoundError, UnavailableError, ValidationError
 from repro.util.logs import bind_corr_id, component_logger
 from repro.web.client import SimHttpClient
 from repro.web.http import HttpRequest, HttpResponse
 
 
 _log = component_logger("phone")
+
+# The /token return hop and the pairing/re-registration POSTs share one
+# policy: a handful of quick, jittered attempts. The return hop is the
+# paper's critical path — a lost datagram here used to strand the whole
+# generation until the server's timeout.
+DEFAULT_PHONE_RETRY = RetryPolicy(
+    max_attempts=4,
+    base_delay_ms=250.0,
+    multiplier=2.0,
+    max_delay_ms=4_000.0,
+    jitter=0.5,
+)
+
+
+def _notify(
+    callback: Callable[..., None] | None, ok: bool, reason: str | None
+) -> None:
+    """Invoke a completion callback, passing the failure *reason* when the
+    callable accepts a second parameter (legacy 1-arg callbacks still get
+    the plain bool, preserving ``is True`` / ``is False`` identity)."""
+    if callback is None:
+        return
+    try:
+        parameters = list(inspect.signature(callback).parameters.values())
+    except (TypeError, ValueError):  # builtins / C callables
+        callback(ok)
+        return
+    positional = [
+        p
+        for p in parameters
+        if p.kind in (p.POSITIONAL_ONLY, p.POSITIONAL_OR_KEYWORD)
+    ]
+    variadic = any(p.kind == p.VAR_POSITIONAL for p in parameters)
+    if len(positional) >= 2 or variadic:
+        callback(ok, reason)
+    else:
+        callback(ok)
 
 
 class ApprovalPolicy(enum.Enum):
@@ -61,6 +100,7 @@ class AmnesiaApp:
         params: ProtocolParams = DEFAULT_PARAMS,
         db_path: str = ":memory:",
         approval: ApprovalPolicy = ApprovalPolicy.AUTO,
+        retry_policy: RetryPolicy = DEFAULT_PHONE_RETRY,
     ) -> None:
         self.kernel = kernel
         self.device = device
@@ -75,6 +115,18 @@ class AmnesiaApp:
         self._pending_approvals: Dict[str, Dict[str, Any]] = {}
         self.answered_requests = 0
         self.denied_requests = 0
+        # -- resilience state -------------------------------------------------
+        self.retry_policy = retry_policy
+        self._retry_rng = device.network.rng_stream(
+            f"phone-retry:{device.name}"
+        )
+        self.token_submit_failures = 0
+        self.token_submit_retries = 0
+        self.last_failure_reason: str | None = None
+        self.reregistrations = 0
+        self._resilience_login: str | None = None
+        self._m_retries = None
+        self._m_token_failures = None
 
         self.stack = SecureStack(device.host, device.network, rng)
         self.listener = RendezvousListener(
@@ -117,10 +169,15 @@ class AmnesiaApp:
         self._installed = True
 
     def refresh_registration(
-        self, login: str, on_done: Callable[[bool], None] | None = None
+        self, login: str, on_done: Callable[..., None] | None = None
     ) -> None:
         """Obtain a fresh rendezvous registration id and update the server
-        (GCM token rotation / restart recovery). Requires installed state."""
+        (GCM token rotation / restart recovery). Requires installed state.
+
+        *on_done* fires with ``True``/``False``; callbacks accepting a
+        second parameter also receive the failure reason (HTTP status or
+        error message) instead of a silent ``False``.
+        """
         if not self._installed:
             raise ValidationError("install() or resume() first")
 
@@ -131,18 +188,20 @@ class AmnesiaApp:
                 "pid": self.database.pid().hex(),
                 "reg_id": reg_id,
             }
-
-            def on_response(response: HttpResponse) -> None:
-                if on_done is not None:
-                    on_done(response.ok)
-
-            self._http_client().send(
-                HttpRequest.json_request("POST", "/phone/reregister", payload),
-                on_response,
-                lambda error: on_done(False) if on_done is not None else None,
+            self._post_with_retry(
+                "/phone/reregister",
+                payload,
+                ok_statuses=(200,),
+                on_done=on_done,
+                what="re-registration",
             )
 
-        self.listener.register(registered)
+        def registration_failed() -> None:
+            self._report_failure(
+                on_done, "rendezvous-unreachable", "re-registration"
+            )
+
+        self.listener.register(registered, registration_failed)
 
     def phone_secret(self) -> PhoneSecret:
         """``Kp`` as currently stored (what a phone-compromise attacker gets)."""
@@ -155,11 +214,13 @@ class AmnesiaApp:
         self,
         login: str,
         pairing_code: str,
-        on_done: Callable[[bool], None] | None = None,
+        on_done: Callable[..., None] | None = None,
     ) -> None:
         """Obtain a registration id, then complete the CAPTCHA pairing.
 
-        Asynchronous: *on_done* fires with True on success.
+        Asynchronous: *on_done* fires with ``True`` on success. Failure
+        paths surface *why*: 2-arg callbacks receive ``(False, reason)``
+        and the reason is logged and kept in ``last_failure_reason``.
         """
         if not self._installed:
             raise ValidationError("install() the application first")
@@ -172,22 +233,85 @@ class AmnesiaApp:
                 "pid": self.database.pid().hex(),
                 "reg_id": reg_id,
             }
-
-            def on_response(response: HttpResponse) -> None:
-                if on_done is not None:
-                    on_done(response.status == 201)
-
-            def on_error(error: Exception) -> None:
-                if on_done is not None:
-                    on_done(False)
-
-            self._http_client().send(
-                HttpRequest.json_request("POST", "/pair/complete", payload),
-                on_response,
-                on_error,
+            self._post_with_retry(
+                "/pair/complete",
+                payload,
+                ok_statuses=(201,),
+                on_done=on_done,
+                what="pairing",
             )
 
-        self.listener.register(registered)
+        def registration_failed() -> None:
+            self._report_failure(on_done, "rendezvous-unreachable", "pairing")
+
+        self.listener.register(registered, registration_failed)
+
+    # -- resilient POST plumbing -------------------------------------------------
+
+    def _report_failure(
+        self,
+        on_done: Callable[..., None] | None,
+        reason: str,
+        what: str,
+    ) -> None:
+        self.last_failure_reason = reason
+        _log.warning("%s failed: %s", what, reason)
+        _notify(on_done, False, reason)
+
+    def _post_with_retry(
+        self,
+        path: str,
+        payload: Dict[str, Any],
+        ok_statuses: tuple[int, ...],
+        on_done: Callable[..., None] | None,
+        what: str,
+    ) -> None:
+        """POST *payload* under the app's retry policy.
+
+        Transport errors and 5xx responses retry with jittered backoff;
+        definitive rejections (4xx) stop immediately and report their
+        status as the failure reason.
+        """
+
+        def operation(succeed, fail) -> None:
+            request = HttpRequest.json_request("POST", path, dict(payload))
+
+            def on_response(response: HttpResponse) -> None:
+                if response.status in ok_statuses:
+                    succeed(response)
+                elif response.status >= 500:
+                    fail(UnavailableError(f"{path} -> {response.status}"))
+                else:
+                    fail(GiveUp(f"http-{response.status}"))
+
+            self._http_client().send(request, on_response, fail)
+
+        def on_success(response: HttpResponse) -> None:
+            _notify(on_done, True, None)
+
+        def on_failure(error: Exception) -> None:
+            reason = (
+                error.cause
+                if isinstance(error, GiveUp) and isinstance(error.cause, str)
+                else str(error) or type(error).__name__
+            )
+            self._report_failure(on_done, reason, what)
+
+        def on_retry(attempt: int, error: Exception) -> None:
+            _log.debug("%s attempt %d retrying: %s", what, attempt, error)
+            if self._m_retries is not None:
+                self._m_retries.labels(component=f"phone:{path}").inc()
+
+        retry_async(
+            self.kernel,
+            self.retry_policy,
+            self._retry_rng,
+            operation,
+            on_success,
+            on_failure,
+            on_retry=on_retry,
+            label=f"phone-retry {path}",
+        )
 
     def _http_client(self) -> SimHttpClient:
         if self._http is None:
@@ -277,15 +401,145 @@ class AmnesiaApp:
                     "computed_ms": self.kernel.now,
                 }
             self.answered_requests += 1
-            with bind_corr_id(str(data.get("corr_id", pending_id))):
+            corr_id = str(data.get("corr_id", pending_id))
+            with bind_corr_id(corr_id):
                 _log.debug("token computed for request %s", pending_id[:8])
-                self._http_client().send(
-                    HttpRequest.json_request("POST", "/token", payload),
-                    lambda response: None,
-                    lambda error: None,
-                )
+            self._submit_token(corr_id, pending_id, payload)
 
         self.kernel.schedule(delay, compute_and_send, label="phone-compute")
+
+    def _submit_token(
+        self, corr_id: str, pending_id: str, payload: Dict[str, Any]
+    ) -> None:
+        """POST the token over the return hop, retrying transient failures.
+
+        This used to swallow every error (``lambda error: None``) — a
+        lost return hop silently burned the server's whole generation
+        timeout. Now transport errors and 5xx retry under the policy;
+        a terminal failure is logged with the correlation id and counted
+        (``token_submit_failures`` + the registry counter).
+        """
+
+        def operation(succeed, fail) -> None:
+            request = HttpRequest.json_request("POST", "/token", dict(payload))
+
+            def on_response(response: HttpResponse) -> None:
+                if response.ok:
+                    succeed(response)
+                elif response.status >= 500:
+                    fail(UnavailableError(f"/token -> {response.status}"))
+                else:
+                    # 4xx is definitive: the exchange expired or was
+                    # answered already — retrying cannot help.
+                    fail(GiveUp(f"http-{response.status}"))
+
+            self._http_client().send(request, on_response, fail)
+
+        def on_success(response: HttpResponse) -> None:
+            with bind_corr_id(corr_id):
+                _log.debug("token for %s accepted", pending_id[:8])
+
+        def on_failure(error: Exception) -> None:
+            reason = (
+                error.cause
+                if isinstance(error, GiveUp) and isinstance(error.cause, str)
+                else str(error) or type(error).__name__
+            )
+            self.token_submit_failures += 1
+            self.last_failure_reason = reason
+            if self._m_token_failures is not None:
+                self._m_token_failures.inc()
+            with bind_corr_id(corr_id):
+                _log.warning(
+                    "token submission for %s failed: %s", pending_id[:8], reason
+                )
+
+        def on_retry(attempt: int, error: Exception) -> None:
+            self.token_submit_retries += 1
+            if self._m_retries is not None:
+                self._m_retries.labels(component="phone:/token").inc()
+            with bind_corr_id(corr_id):
+                _log.debug(
+                    "token submission attempt %d retrying: %s", attempt, error
+                )
+
+        retry_async(
+            self.kernel,
+            self.retry_policy,
+            self._retry_rng,
+            operation,
+            on_success,
+            on_failure,
+            on_retry=on_retry,
+            label="phone-token-retry",
+        )
+
+    # -- resilience (opt-in) ------------------------------------------------------
+
+    def bind_registry(self, registry) -> None:
+        """Feed the app's retry/failure counters into *registry*."""
+        self._m_retries = registry.counter(
+            "amnesia_retries_total",
+            "Retry attempts, per retrying component",
+            label_names=("component",),
+        )
+        self._m_token_failures = registry.counter(
+            "amnesia_token_submit_failures_total",
+            "Token submissions that exhausted their retry budget",
+        )
+
+    def enable_resilience(
+        self,
+        login: str,
+        heartbeat_interval_ms: float | None = None,
+        miss_threshold: int | None = None,
+    ) -> None:
+        """Detect a dead rendezvous registration and recover automatically.
+
+        Starts the listener heartbeat; a missed-pong threshold or an
+        explicit NACK declares the registration lost, after which the app
+        re-registers (the listener applies jittered exponential backoff)
+        and refreshes the server via ``/phone/reregister``.
+
+        Note: the heartbeat re-schedules itself forever, so drivers that
+        drain the event queue should ``disable_resilience()`` first or
+        run with an explicit horizon.
+        """
+        self._resilience_login = login
+        self.listener.on_lost = self._on_registration_lost
+        kwargs: Dict[str, Any] = {}
+        if heartbeat_interval_ms is not None:
+            kwargs["interval_ms"] = heartbeat_interval_ms
+        if miss_threshold is not None:
+            kwargs["miss_threshold"] = miss_threshold
+        self.listener.start_heartbeat(**kwargs)
+
+    def disable_resilience(self) -> None:
+        self.listener.stop_heartbeat()
+        self.listener.on_lost = None
+        self._resilience_login = None
+
+    def _on_registration_lost(self, reason: str) -> None:
+        login = self._resilience_login
+        if login is None:
+            return
+        _log.info("registration lost (%s); re-registering as %s", reason, login)
+        self.reregistrations += 1
+        if self._m_retries is not None:
+            self._m_retries.labels(component="phone:reregister").inc()
+
+        def done(ok: bool, why: str | None = None) -> None:
+            if ok:
+                _log.info("re-registration complete")
+                # Flush anything the service queued while we were dark.
+                try:
+                    self.listener.connect()
+                except ValidationError:  # pragma: no cover - defensive
+                    pass
+            else:
+                _log.warning("re-registration failed: %s", why)
+
+        self.refresh_registration(login, done)
 
     # -- master-password change confirmation ------------------------------------
 

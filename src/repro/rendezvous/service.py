@@ -5,7 +5,11 @@ Wire protocol (JSON datagrams):
 - device -> service  : ``{"type": "register", "device": <host>}``
 - service -> device  : ``{"type": "registered", "reg_id": <id>}``
 - device -> service  : ``{"type": "connect", "reg_id": <id>}`` (flush)
-- server -> service  : ``{"type": "push", "reg_id": <id>, "data": {...}}``
+- device -> service  : ``{"type": "ping", "reg_id": <id>}`` (heartbeat)
+- service -> device  : ``{"type": "pong"}`` / ``{"type": "nack"}``
+- server -> service  : ``{"type": "push", "reg_id": <id>, "data": {...},
+                           "push_id": <n>?}``
+- service -> server  : ``{"type": "push_ack"|"push_nack", "push_id": <n>}``
 - service -> device  : ``{"type": "deliver", "msg_id": <n>, "data": {...}}``
 - device -> service  : ``{"type": "ack", "msg_id": <n>}``
 
@@ -15,6 +19,19 @@ the ack/retransmit loop models that). The listener deduplicates by
 message id, so the application sees each push exactly once. Pushes to
 offline devices queue and flush on the next ``connect`` — GCM's
 store-and-forward behaviour, which the phone-loss scenarios rely on.
+
+**Crash model.** The service splits its state explicitly:
+
+- *volatile* (lost on crash): device registrations, per-device queues,
+  unacked deliveries in flight, seen push ids;
+- *durable* (survives restart): the message-id counter (so post-restart
+  deliveries never collide with ids the listener already deduplicated),
+  and the lifetime push/forward statistics.
+
+A crash takes the host down and clears its port bindings;
+``restart()`` re-binds. Devices discover the amnesia (pun intended)
+through heartbeat NACKs and re-register; servers discover it through
+``push_nack`` and fail fast instead of timing out silently.
 """
 
 from __future__ import annotations
@@ -25,9 +42,10 @@ from collections import deque
 from typing import Any, Callable, Deque, Dict
 
 from repro.crypto.randomness import RandomSource
+from repro.faults.retry import RetryPolicy
 from repro.net.message import Datagram
 from repro.net.network import Host, Network
-from repro.util.errors import NotFoundError, ValidationError
+from repro.util.errors import ConflictError, NotFoundError, ValidationError
 from repro.util.logs import bind_corr_id, component_logger
 
 RENDEZVOUS_PORT = 5228  # GCM's actual port number
@@ -38,8 +56,26 @@ _log = component_logger("rendezvous")
 _MAX_QUEUED_PER_DEVICE = 100
 _DELIVERY_RETRY_MS = 1_000.0
 _DELIVERY_MAX_ATTEMPTS = 8
-_REGISTER_RETRY_MS = 1_000.0
-_REGISTER_MAX_ATTEMPTS = 8
+_MAX_SEEN_PUSH_IDS = 1_024
+
+# Device registration: jittered exponential backoff replaces the old
+# fixed 1 s cadence, so a re-registration storm after a service restart
+# spreads out instead of synchronising.
+DEFAULT_REGISTER_POLICY = RetryPolicy(
+    max_attempts=10,
+    base_delay_ms=500.0,
+    multiplier=2.0,
+    max_delay_ms=8_000.0,
+    jitter=0.5,
+)
+
+# Publisher-side push acknowledgement (only armed when the pusher asks
+# for failure feedback): retransmit a couple of times, then fail fast.
+_PUSH_ACK_TIMEOUT_MS = 1_500.0
+_PUSH_MAX_ATTEMPTS = 3
+
+DEFAULT_HEARTBEAT_INTERVAL_MS = 2_000.0
+DEFAULT_HEARTBEAT_MISS_THRESHOLD = 2
 
 
 def _encode(message: Dict[str, Any]) -> bytes:
@@ -61,16 +97,50 @@ class RendezvousService:
         self.host = host
         self.network = network
         self._rng = rng
+        # -- volatile state: gone after a crash --
         self._devices: Dict[str, str] = {}  # reg_id -> device host
         self._queues: Dict[str, Deque[Dict[str, Any]]] = {}
-        self._msg_ids = itertools.count(1)
         self._unacked: Dict[int, Dict[str, Any]] = {}  # msg_id -> state
+        self._seen_push_ids: Deque[int] = deque(maxlen=_MAX_SEEN_PUSH_IDS)
+        # -- durable state: survives restarts --
+        self._msg_ids = itertools.count(1)
         self.push_count = 0
         self.forward_count = 0
+        self.crash_count = 0
+        self.restart_count = 0
+        self.queue_overflow_count = 0
         host.bind(RENDEZVOUS_PORT, self._on_datagram)
 
     def registered_devices(self) -> Dict[str, str]:
         return dict(self._devices)
+
+    # -- crash/restart (the fault plane's RestartableProcess contract) --------
+
+    def crash(self) -> None:
+        """Power-fail: volatile state (registrations, queues, in-flight
+        deliveries) is lost; the host goes offline with its ports."""
+        self.crash_count += 1
+        for state in self._unacked.values():
+            timer = state.get("timer")
+            if timer is not None:
+                timer.cancel()
+        self._unacked.clear()
+        self._devices.clear()
+        self._queues.clear()
+        self._seen_push_ids.clear()
+        _log.info("rendezvous service crashed (volatile state dropped)")
+        self.host.crash()
+
+    def restart(self) -> None:
+        """Boot and re-bind. The message-id counter is durable, so new
+        deliveries never reuse ids that listeners already saw."""
+        self.restart_count += 1
+        self.host.boot()
+        if self.host.handler_for(RENDEZVOUS_PORT) is None:
+            self.host.bind(RENDEZVOUS_PORT, self._on_datagram)
+        _log.info("rendezvous service restarted (registrations empty)")
+
+    # -- wire handling ---------------------------------------------------------
 
     def _on_datagram(self, datagram: Datagram) -> None:
         message = _decode(datagram.payload)
@@ -80,11 +150,18 @@ class RendezvousService:
         if kind == "register":
             self._handle_register(datagram, message)
         elif kind == "connect":
-            self._handle_connect(message)
+            self._handle_connect(datagram, message)
         elif kind == "push":
-            self._handle_push(message)
+            self._handle_push(datagram, message)
         elif kind == "ack":
             self._handle_ack(message)
+        elif kind == "ping":
+            self._handle_ping(datagram, message)
+
+    def _reply(self, datagram: Datagram, message: Dict[str, Any]) -> None:
+        self.network.send(
+            self.host.name, datagram.src, DEVICE_PUSH_PORT, _encode(message)
+        )
 
     def _handle_register(self, datagram: Datagram, message: Dict[str, Any]) -> None:
         device = message.get("device")
@@ -95,28 +172,41 @@ class RendezvousService:
         reg_id = "gcm:" + self._rng.token_hex(24)
         self._devices[reg_id] = device
         self._queues[reg_id] = deque()
-        self.network.send(
-            self.host.name,
-            datagram.src,
-            DEVICE_PUSH_PORT,
-            _encode({"type": "registered", "reg_id": reg_id}),
-        )
+        self._reply(datagram, {"type": "registered", "reg_id": reg_id})
 
-    def _handle_connect(self, message: Dict[str, Any]) -> None:
+    def _handle_connect(self, datagram: Datagram, message: Dict[str, Any]) -> None:
         reg_id = message.get("reg_id")
         if not isinstance(reg_id, str):
             return
         queue = self._queues.get(reg_id)
         device = self._devices.get(reg_id)
         if queue is None or device is None:
+            # The registration is gone (service crashed, or it was never
+            # ours): tell the device so it can re-register instead of
+            # waiting for pushes that will never come.
+            self._reply(datagram, {"type": "nack", "reg_id": reg_id})
             return
         while queue:
             self._forward(device, queue.popleft())
 
-    def _handle_push(self, message: Dict[str, Any]) -> None:
+    def _handle_ping(self, datagram: Datagram, message: Dict[str, Any]) -> None:
+        reg_id = message.get("reg_id")
+        if not isinstance(reg_id, str):
+            return
+        if reg_id in self._devices:
+            self._reply(datagram, {"type": "pong", "reg_id": reg_id})
+        else:
+            self._reply(datagram, {"type": "nack", "reg_id": reg_id})
+
+    def _handle_push(self, datagram: Datagram, message: Dict[str, Any]) -> None:
         reg_id = message.get("reg_id")
         data = message.get("data")
+        push_id = message.get("push_id")
         if not isinstance(reg_id, str) or not isinstance(data, dict):
+            return
+        if isinstance(push_id, int) and push_id in self._seen_push_ids:
+            # Retransmitted push whose ack was lost: re-ack, don't re-forward.
+            self._reply(datagram, {"type": "push_ack", "push_id": push_id})
             return
         self.push_count += 1
         # Pushes carrying a correlation id tag this hop's log lines with
@@ -124,19 +214,36 @@ class RendezvousService:
         with bind_corr_id(str(data.get("corr_id", ""))):
             device = self._devices.get(reg_id)
             if device is None:
-                _log.debug("push to unknown reg_id %s dropped", reg_id[:12])
-                return  # unknown registration id: GCM silently drops
+                _log.debug("push to unknown reg_id %s rejected", reg_id[:12])
+                if isinstance(push_id, int):
+                    self._reply(
+                        datagram,
+                        {
+                            "type": "push_nack",
+                            "push_id": push_id,
+                            "reason": "unknown-registration",
+                        },
+                    )
+                return  # legacy pushes without push_id: GCM silently drops
+            if isinstance(push_id, int):
+                self._seen_push_ids.append(push_id)
+                self._reply(datagram, {"type": "push_ack", "push_id": push_id})
             host = self.network.host(device)
             if not host.online:
                 queue = self._queues.setdefault(reg_id, deque())
-                if len(queue) < _MAX_QUEUED_PER_DEVICE:
-                    queue.append(data)
-                    _log.debug(
-                        "device %s offline; queued push (%d waiting)",
-                        device, len(queue),
+                if len(queue) >= _MAX_QUEUED_PER_DEVICE:
+                    # Bounded store-and-forward: evict the *oldest* push —
+                    # the newest is the one the user is waiting on.
+                    queue.popleft()
+                    self.queue_overflow_count += 1
+                    _log.info(
+                        "device %s queue full; oldest push dropped", device
                     )
-                else:
-                    _log.info("device %s queue full; push dropped", device)
+                queue.append(data)
+                _log.debug(
+                    "device %s offline; queued push (%d waiting)",
+                    device, len(queue),
+                )
                 return
             self._forward(device, data)
 
@@ -179,7 +286,14 @@ class RendezvousService:
 
 
 class RendezvousListener:
-    """Device side: obtains a registration id and receives deliveries."""
+    """Device side: obtains a registration id and receives deliveries.
+
+    Resilience hooks (all opt-in, so a plain listener behaves exactly as
+    before): registration retries use jittered exponential backoff; an
+    optional heartbeat pings the service and treats missed pongs or an
+    explicit NACK as a lost registration, firing ``on_lost`` so the
+    owner (the phone app) can re-register and refresh the server.
+    """
 
     def __init__(
         self,
@@ -187,25 +301,47 @@ class RendezvousListener:
         network: Network,
         rendezvous_host: str,
         on_push: Callable[[Dict[str, Any]], None],
+        register_policy: RetryPolicy = DEFAULT_REGISTER_POLICY,
     ) -> None:
         self.host = host
         self.network = network
         self.rendezvous_host = rendezvous_host
         self.on_push = on_push
         self.reg_id: str | None = None
+        self.on_lost: Callable[[str], None] | None = None
+        self.lost_count = 0
+        self.register_policy = register_policy
+        self._register_rng = network.rng_stream(
+            f"rendezvous-listener:{host.name}"
+        )
         self._on_registered: list[Callable[[str], None]] = []
+        self._on_register_failed: list[Callable[[], None]] = []
         self._register_attempts = 0
         self._seen_msg_ids: set[int] = set()
+        # Heartbeat state (inactive until start_heartbeat()).
+        self._hb_event = None
+        self._hb_interval_ms = DEFAULT_HEARTBEAT_INTERVAL_MS
+        self._hb_miss_threshold = DEFAULT_HEARTBEAT_MISS_THRESHOLD
+        self._hb_misses = 0
+        self._hb_awaiting = False
         host.bind(DEVICE_PUSH_PORT, self._on_datagram)
 
-    def register(self, on_registered: Callable[[str], None] | None = None) -> None:
+    def register(
+        self,
+        on_registered: Callable[[str], None] | None = None,
+        on_failed: Callable[[], None] | None = None,
+    ) -> None:
         """Request a registration id (async; callback fires when assigned).
 
-        Retries until the service answers, so registration survives a
-        lossy path. Calling again discards the current id and obtains a
-        fresh one (GCM token rotation / app restart)."""
+        Retries with jittered exponential backoff until the service
+        answers or the policy's attempt cap is hit (then *on_failed*
+        fires, so the owner can schedule a later re-registration).
+        Calling again discards the current id and obtains a fresh one
+        (GCM token rotation / app restart)."""
         if on_registered is not None:
             self._on_registered.append(on_registered)
+        if on_failed is not None:
+            self._on_register_failed.append(on_failed)
         self.reg_id = None
         self._register_attempts = 0
         self._send_register()
@@ -213,7 +349,10 @@ class RendezvousListener:
     def _send_register(self) -> None:
         if self.reg_id is not None:
             return
-        if self._register_attempts >= _REGISTER_MAX_ATTEMPTS:
+        if self._register_attempts >= self.register_policy.max_attempts:
+            callbacks, self._on_register_failed = self._on_register_failed, []
+            for callback in callbacks:
+                callback()
             return
         self._register_attempts += 1
         self.network.send(
@@ -222,8 +361,11 @@ class RendezvousListener:
             RENDEZVOUS_PORT,
             _encode({"type": "register", "device": self.host.name}),
         )
+        delay = self.register_policy.backoff_ms(
+            self._register_attempts, self._register_rng
+        )
         self.network.kernel.schedule(
-            _REGISTER_RETRY_MS, self._send_register, label="gcm-register-retry"
+            delay, self._send_register, label="gcm-register-retry"
         )
 
     def connect(self) -> None:
@@ -237,6 +379,77 @@ class RendezvousListener:
             _encode({"type": "connect", "reg_id": self.reg_id}),
         )
 
+    # -- heartbeat / liveness ---------------------------------------------------
+
+    def start_heartbeat(
+        self,
+        interval_ms: float = DEFAULT_HEARTBEAT_INTERVAL_MS,
+        miss_threshold: int = DEFAULT_HEARTBEAT_MISS_THRESHOLD,
+    ) -> None:
+        """Ping the service every *interval_ms*; *miss_threshold* unanswered
+        pings (or one explicit NACK) declare the registration lost.
+
+        Note: the heartbeat perpetually re-schedules itself, so drivers
+        that drain the event queue (``run_until_idle``) should either
+        stop it first or run with an explicit ``until``."""
+        if interval_ms <= 0:
+            raise ValidationError("heartbeat interval must be > 0")
+        if miss_threshold < 1:
+            raise ValidationError("miss threshold must be >= 1")
+        self._hb_interval_ms = interval_ms
+        self._hb_miss_threshold = miss_threshold
+        self._hb_misses = 0
+        self._hb_awaiting = False
+        if self._hb_event is None:
+            self._hb_event = self.network.kernel.schedule(
+                interval_ms, self._hb_tick, label="gcm-heartbeat"
+            )
+
+    def stop_heartbeat(self) -> None:
+        if self._hb_event is not None:
+            self._hb_event.cancel()
+            self._hb_event = None
+
+    @property
+    def heartbeat_active(self) -> bool:
+        return self._hb_event is not None
+
+    def _hb_tick(self) -> None:
+        self._hb_event = None
+        if self.reg_id is not None:
+            if self._hb_awaiting:
+                self._hb_misses += 1
+            else:
+                self._hb_misses = 0
+            if self._hb_misses >= self._hb_miss_threshold:
+                self._hb_misses = 0
+                self._hb_awaiting = False
+                self._registration_lost("heartbeat-missed")
+            else:
+                self._hb_awaiting = True
+                self.network.send(
+                    self.host.name,
+                    self.rendezvous_host,
+                    RENDEZVOUS_PORT,
+                    _encode({"type": "ping", "reg_id": self.reg_id}),
+                )
+        self._hb_event = self.network.kernel.schedule(
+            self._hb_interval_ms, self._hb_tick, label="gcm-heartbeat"
+        )
+
+    def _registration_lost(self, reason: str) -> None:
+        if self.reg_id is None:
+            return  # already handling a loss / mid-registration
+        _log.info(
+            "registration %s lost (%s)", self.reg_id[:12], reason
+        )
+        self.reg_id = None
+        self.lost_count += 1
+        if self.on_lost is not None:
+            self.on_lost(reason)
+
+    # -- wire handling ----------------------------------------------------------
+
     def _on_datagram(self, datagram: Datagram) -> None:
         message = _decode(datagram.payload)
         if message is None:
@@ -246,9 +459,19 @@ class RendezvousListener:
             reg_id = message.get("reg_id")
             if isinstance(reg_id, str) and self.reg_id is None:
                 self.reg_id = reg_id
+                self._hb_misses = 0
+                self._hb_awaiting = False
+                self._on_register_failed.clear()
                 callbacks, self._on_registered = self._on_registered, []
                 for callback in callbacks:
                     callback(reg_id)
+        elif kind == "pong":
+            if message.get("reg_id") == self.reg_id:
+                self._hb_awaiting = False
+                self._hb_misses = 0
+        elif kind == "nack":
+            if message.get("reg_id") == self.reg_id:
+                self._registration_lost("nack")
         elif kind == "deliver":
             data = message.get("data")
             msg_id = message.get("msg_id")
@@ -269,19 +492,113 @@ class RendezvousListener:
 
 
 class RendezvousPublisher:
-    """App-server side: push a payload to a registration id."""
+    """App-server side: push a payload to a registration id.
 
-    def __init__(self, host: Host, network: Network, rendezvous_host: str) -> None:
+    Plain ``push(reg_id, data)`` is fire-and-forget, as before. When the
+    caller passes *on_failure*, the publisher requests acknowledgement
+    from the service, retransmits a capped number of times, and reports
+    failure fast — either the service NACKed (unknown registration,
+    e.g. after a rendezvous crash) or it never answered (service down).
+    The Amnesia server uses this to return a structured retry-after
+    error instead of burning the full generation timeout.
+    """
+
+    def __init__(
+        self,
+        host: Host,
+        network: Network,
+        rendezvous_host: str,
+        ack_timeout_ms: float = _PUSH_ACK_TIMEOUT_MS,
+        max_attempts: int = _PUSH_MAX_ATTEMPTS,
+    ) -> None:
         self.host = host
         self.network = network
         self.rendezvous_host = rendezvous_host
+        self.ack_timeout_ms = ack_timeout_ms
+        self.max_attempts = max_attempts
+        self.delivery_failures = 0
+        self._push_ids = itertools.count(1)
+        self._outstanding: Dict[int, Dict[str, Any]] = {}
+        # The feedback channel shares the device push port. If something
+        # else already owns it on this host, acks are disabled and every
+        # push degrades to fire-and-forget (the legacy behaviour).
+        try:
+            host.bind(DEVICE_PUSH_PORT, self._on_datagram)
+            self._feedback = True
+        except ConflictError:
+            self._feedback = False
 
-    def push(self, reg_id: str, data: Dict[str, Any]) -> None:
+    def push(
+        self,
+        reg_id: str,
+        data: Dict[str, Any],
+        on_failure: Callable[[str], None] | None = None,
+    ) -> None:
         if not reg_id:
             raise NotFoundError("no registration id for this device")
-        self.network.send(
-            self.host.name,
-            self.rendezvous_host,
-            RENDEZVOUS_PORT,
-            _encode({"type": "push", "reg_id": reg_id, "data": data}),
-        )
+        if on_failure is None or not self._feedback:
+            self.network.send(
+                self.host.name,
+                self.rendezvous_host,
+                RENDEZVOUS_PORT,
+                _encode({"type": "push", "reg_id": reg_id, "data": data}),
+            )
+            return
+        push_id = next(self._push_ids)
+        state: Dict[str, Any] = {
+            "attempts": 0,
+            "timer": None,
+            "on_failure": on_failure,
+        }
+        self._outstanding[push_id] = state
+
+        def transmit() -> None:
+            if push_id not in self._outstanding:
+                return  # acked meanwhile
+            if state["attempts"] >= self.max_attempts:
+                self._fail(push_id, "rendezvous-unreachable")
+                return
+            state["attempts"] += 1
+            self.network.send(
+                self.host.name,
+                self.rendezvous_host,
+                RENDEZVOUS_PORT,
+                _encode(
+                    {
+                        "type": "push",
+                        "reg_id": reg_id,
+                        "data": data,
+                        "push_id": push_id,
+                    }
+                ),
+            )
+            state["timer"] = self.network.kernel.schedule(
+                self.ack_timeout_ms, transmit, label="push-ack-timeout"
+            )
+
+        transmit()
+
+    def _fail(self, push_id: int, reason: str) -> None:
+        state = self._outstanding.pop(push_id, None)
+        if state is None:
+            return
+        if state.get("timer") is not None:
+            state["timer"].cancel()
+        self.delivery_failures += 1
+        _log.info("push %d failed: %s", push_id, reason)
+        state["on_failure"](reason)
+
+    def _on_datagram(self, datagram: Datagram) -> None:
+        message = _decode(datagram.payload)
+        if message is None:
+            return
+        kind = message.get("type")
+        push_id = message.get("push_id")
+        if not isinstance(push_id, int):
+            return
+        if kind == "push_ack":
+            state = self._outstanding.pop(push_id, None)
+            if state is not None and state.get("timer") is not None:
+                state["timer"].cancel()
+        elif kind == "push_nack":
+            self._fail(push_id, str(message.get("reason", "rejected")))

@@ -71,6 +71,12 @@ class ServerMetrics:
             GENERATION_LATENCY_HISTOGRAM,
             "End-to-end generation latency (t_end - t_start), Figure 3",
         )
+        self._degraded = self.registry.counter(
+            "amnesia_degraded_responses_total",
+            "Requests answered with a structured retry-after error "
+            "instead of the full result (fail-fast degradation)",
+            label_names=("reason",),
+        )
 
     # -- recording -------------------------------------------------------------
 
@@ -91,6 +97,10 @@ class ServerMetrics:
 
     def record_login(self, ok: bool) -> None:
         self._logins.labels(result="ok" if ok else "failed").inc()
+
+    def record_degraded(self, reason: str) -> None:
+        """A fail-fast 503 with a retry-after hint (push failed, etc.)."""
+        self._degraded.labels(reason=reason).inc()
 
     # -- counter views ---------------------------------------------------------
 
@@ -120,6 +130,12 @@ class ServerMetrics:
     @property
     def logins_failed(self) -> int:
         return self._count(self._logins, result="failed")
+
+    @property
+    def degraded_responses(self) -> int:
+        return int(
+            sum(child.value for __, child in self._degraded.samples())
+        )
 
     # -- latency statistics (sample-exact) ------------------------------------
 

@@ -9,15 +9,27 @@ server can correlate.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Dict
+from typing import Any, Deque, Dict
 
 from repro.crypto.randomness import RandomSource
-from repro.util.errors import NotFoundError
+from repro.util.errors import NotFoundError, RateLimitedError
 from repro.web.app import Deferred
 
 KIND_PASSWORD = "password_request"
 KIND_MASTER_CHANGE = "master_change_request"
+
+# Admission control: one user may only have this many phone round trips
+# in flight at once. A browser retrying into a dead rendezvous service
+# would otherwise pile up exchanges (each pinning a pool thread until
+# the generation timeout).
+DEFAULT_MAX_PER_USER = 4
+
+# How many *completed* exchange ids to remember, for idempotent /token:
+# a phone retransmitting a token whose 200 was lost must get another
+# 200, not a 404 that makes it think the exchange vanished.
+_COMPLETED_MEMORY = 256
 
 
 @dataclass
@@ -38,11 +50,18 @@ class PendingExchange:
 class PendingRegistry:
     """Creates, resolves and expires pending exchanges."""
 
-    def __init__(self, rng: RandomSource) -> None:
+    def __init__(
+        self, rng: RandomSource, max_per_user: int = DEFAULT_MAX_PER_USER
+    ) -> None:
         self._rng = rng
+        self.max_per_user = max_per_user
         self._pending: Dict[str, PendingExchange] = {}
+        self._completed_ids: Deque[str] = deque(maxlen=_COMPLETED_MEMORY)
+        self._completed_set: set[str] = set()
         self.timeout_count = 0
         self.completed_count = 0
+        self.cancelled_count = 0
+        self.rejected_count = 0
 
     def create(
         self,
@@ -52,6 +71,15 @@ class PendingRegistry:
         account_id: int | None = None,
         **extra: Any,
     ) -> PendingExchange:
+        if self.max_per_user > 0:
+            in_flight = self.outstanding_for(user_id)
+            if in_flight >= self.max_per_user:
+                self.rejected_count += 1
+                raise RateLimitedError(
+                    f"{in_flight} phone exchanges already in flight for "
+                    f"this user (cap {self.max_per_user})",
+                    retry_after_ms=1_000.0,
+                )
         pending_id = self._rng.token_hex(16)
         exchange = PendingExchange(
             pending_id=pending_id,
@@ -87,6 +115,7 @@ class PendingRegistry:
         if exchange.timeout_event is not None:
             exchange.timeout_event.cancel()
         self.completed_count += 1
+        self._remember_completed(pending_id)
         return exchange
 
     def expire(self, pending_id: str) -> PendingExchange | None:
@@ -96,5 +125,36 @@ class PendingRegistry:
             self.timeout_count += 1
         return exchange
 
+    def cancel(self, pending_id: str) -> PendingExchange | None:
+        """Abandon an exchange early (push failed fast), cancelling its
+        timeout. None if it already completed or expired."""
+        exchange = self._pending.pop(pending_id, None)
+        if exchange is None:
+            return None
+        if exchange.timeout_event is not None:
+            exchange.timeout_event.cancel()
+        self.cancelled_count += 1
+        return exchange
+
+    def was_completed(self, pending_id: str) -> bool:
+        """Whether this exchange completed recently (bounded memory).
+
+        The idempotent ``/token`` path: a retransmitted token for a
+        completed exchange is acknowledged again instead of 404ing.
+        """
+        return pending_id in self._completed_set
+
+    def _remember_completed(self, pending_id: str) -> None:
+        if len(self._completed_ids) == self._completed_ids.maxlen:
+            evicted = self._completed_ids[0]
+            self._completed_set.discard(evicted)
+        self._completed_ids.append(pending_id)
+        self._completed_set.add(pending_id)
+
     def outstanding(self) -> int:
         return len(self._pending)
+
+    def outstanding_for(self, user_id: int) -> int:
+        return sum(
+            1 for e in self._pending.values() if e.user_id == user_id
+        )

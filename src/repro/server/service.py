@@ -21,6 +21,7 @@ new secret.
 from __future__ import annotations
 
 import base64
+import inspect
 from typing import Any
 
 from repro.core.params import DEFAULT_PARAMS, ProtocolParams
@@ -43,6 +44,7 @@ from repro.obs.spans import SpanRecorder
 from repro.rendezvous.service import RendezvousPublisher
 from repro.server.metrics import LatencySample, ServerMetrics
 from repro.server.pending import (
+    DEFAULT_MAX_PER_USER,
     KIND_MASTER_CHANGE,
     KIND_PASSWORD,
     PendingExchange,
@@ -76,7 +78,25 @@ AMNESIA_SERVICE = "https"
 DEFAULT_GENERATION_TIMEOUT_MS = 30_000.0
 _MIN_MASTER_PASSWORD_LENGTH = 8
 
+# The retry-after hint attached to fail-fast 503s when the rendezvous
+# push is NACKed or unacknowledged (the phone may be re-registering).
+DEFAULT_PUSH_RETRY_AFTER_MS = 1_000.0
+
 _log = component_logger("server")
+
+
+def _push_accepts_feedback(push) -> bool:
+    """Whether *push* takes an ``on_failure`` keyword (the simulated
+    publisher does; minimal dispatchers may not)."""
+    try:
+        parameters = inspect.signature(push).parameters
+    except (TypeError, ValueError):
+        return False
+    if "on_failure" in parameters:
+        return True
+    return any(
+        p.kind == p.VAR_KEYWORD for p in parameters.values()
+    )
 
 
 class AmnesiaCore:
@@ -99,6 +119,7 @@ class AmnesiaCore:
         generation_timeout_ms: float = DEFAULT_GENERATION_TIMEOUT_MS,
         token_session_ttl_ms: float = 0.0,
         registry: MetricsRegistry | None = None,
+        pending_cap_per_user: int = DEFAULT_MAX_PER_USER,
     ) -> None:
         # ``kernel`` is the historical attribute name; any object with
         # ``.now`` and ``.schedule(delay_ms, action, label)`` works.
@@ -111,6 +132,7 @@ class AmnesiaCore:
         self.spans = SpanRecorder(self.registry)
         self._rng = rng
         self._push = push
+        self._push_feedback = _push_accepts_feedback(push)
         self.generation_timeout_ms = generation_timeout_ms
         # §VIII session mechanism: cache the phone's token per account for
         # this long (0 = paper behaviour: a phone round trip per request).
@@ -120,7 +142,7 @@ class AmnesiaCore:
         self.database = ServerDatabase(db_path)
         self.sessions = SessionManager(rng)
         self.captcha = CaptchaRegistrar(rng)
-        self.pending = PendingRegistry(rng)
+        self.pending = PendingRegistry(rng, max_per_user=pending_cap_per_user)
         self.throttle = LoginThrottle()
         self.metrics = ServerMetrics(self.registry)
         self.application = self._build_application()
@@ -218,7 +240,8 @@ class AmnesiaCore:
                 "push %s exchange=%s account=%d origin=%s",
                 action, exchange.pending_id[:8], account.account_id, origin,
             )
-            self._push(
+            self._dispatch_push(
+                exchange,
                 user.reg_id,
                 {
                     "kind": KIND_PASSWORD,
@@ -231,6 +254,39 @@ class AmnesiaCore:
             )
         self._arm_timeout(exchange)
         return exchange
+
+    def _dispatch_push(
+        self, exchange: PendingExchange, reg_id: str, data: dict
+    ) -> None:
+        """Send the rendezvous push; when the channel supports delivery
+        feedback, a NACK/no-ack degrades the exchange *immediately* to a
+        structured 503 with a retry-after hint instead of silently
+        burning the full generation timeout."""
+        if not self._push_feedback:
+            self._push(reg_id, data)
+            return
+
+        def push_failed(reason: str) -> None:
+            cancelled = self.pending.cancel(exchange.pending_id)
+            if cancelled is None:
+                return  # completed or timed out meanwhile
+            self.metrics.record_degraded(reason)
+            with bind_corr_id(exchange.pending_id):
+                _log.info(
+                    "push for exchange %s failed fast (%s); degrading",
+                    exchange.pending_id[:8], reason,
+                )
+            cancelled.deferred.resolve(
+                json_response(
+                    {
+                        "error": f"phone unreachable: {reason}",
+                        "retry_after_ms": DEFAULT_PUSH_RETRY_AFTER_MS,
+                    },
+                    status=503,
+                )
+            )
+
+        self._push(reg_id, data, on_failure=push_failed)
 
     def _record_generation_spans(
         self,
@@ -515,6 +571,12 @@ class AmnesiaCore:
             pending_id = str(body.get("pending_id", ""))
             token_hex = str(body.get("token", ""))
             pid_hex = str(body.get("pid", ""))
+            # Idempotency: the phone retries /token when an ack is lost
+            # on the return hop. A duplicate for an exchange that already
+            # completed must succeed (200), not 404 — the 404 would make
+            # the phone believe the exchange vanished.
+            if self.pending.was_completed(pending_id):
+                return json_response({"ok": True, "duplicate": True})
             # Verify the sender before consuming the exchange: a forged
             # token must not destroy the legitimate pending request.
             peeked = self.pending.peek(pending_id, KIND_PASSWORD)
@@ -650,7 +712,8 @@ class AmnesiaCore:
                 KIND_MASTER_CHANGE, user.user_id, self.kernel.now,
                 session_token=session.token,
             )
-            self._push(
+            self._dispatch_push(
+                exchange,
                 user.reg_id,
                 {
                     "kind": KIND_MASTER_CHANGE,
@@ -790,6 +853,7 @@ class AmnesiaServer(AmnesiaCore):
         identity: str | None = None,
         token_session_ttl_ms: float = 0.0,
         registry: MetricsRegistry | None = None,
+        pending_cap_per_user: int = DEFAULT_MAX_PER_USER,
     ) -> None:
         self.network = network
         self.host = network.host(host_name)
@@ -803,6 +867,7 @@ class AmnesiaServer(AmnesiaCore):
             generation_timeout_ms=generation_timeout_ms,
             token_session_ttl_ms=token_session_ttl_ms,
             registry=registry,
+            pending_cap_per_user=pending_cap_per_user,
         )
         # Persist the TLS identity key so the self-signed certificate (and
         # therefore every client's pin) survives server restarts.

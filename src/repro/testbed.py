@@ -22,6 +22,7 @@ from repro.client.browser import AmnesiaBrowser
 from repro.cloud.provider import CloudClient, CloudProvider
 from repro.core.params import DEFAULT_PARAMS, ProtocolParams
 from repro.crypto.randomness import SeededRandomSource
+from repro.faults.plane import FaultPlane, FaultSchedule
 from repro.net.certificates import CertificateStore
 from repro.net.link import Link
 from repro.net.network import Network
@@ -122,6 +123,10 @@ class AmnesiaTestbed:
             db_path=phone_db_path,
             approval=approval,
         )
+        self.phone.bind_registry(self.registry)
+        # Lazily created by install_fault_plane(); None = no fault hook,
+        # and the fabric behaves exactly as before this subsystem existed.
+        self.faults: FaultPlane | None = None
 
         self.cloud: CloudProvider | None = None
         self._cloud_token: str | None = None
@@ -140,6 +145,22 @@ class AmnesiaTestbed:
         )
         self.pins = CertificateStore()
         self.pins.pin(self.server.certificate)
+
+    # -- fault injection ----------------------------------------------------------
+
+    def install_fault_plane(
+        self, schedule: FaultSchedule | None = None
+    ) -> FaultPlane:
+        """Attach a :class:`FaultPlane` to the fabric (idempotent), with
+        the rendezvous service registered as a restartable process —
+        crashing ``gcm`` drops its volatile registrations and queues, and
+        the restart re-binds its port. Optionally applies *schedule*."""
+        if self.faults is None:
+            self.faults = FaultPlane(self.network, registry=self.registry)
+            self.faults.register_process(RENDEZVOUS, self.rendezvous)
+        if schedule is not None:
+            self.faults.apply(schedule)
+        return self.faults
 
     # -- drivers -----------------------------------------------------------------
 

@@ -44,6 +44,27 @@ class NetworkError(ReproError):
     """A simulated network operation failed (host down, link closed)."""
 
 
+class UnavailableError(ReproError):
+    """A dependency is (temporarily) unreachable; retrying may succeed.
+
+    Carries an optional ``retry_after_ms`` hint that HTTP layers export
+    as a structured 503 body so well-behaved clients back off instead of
+    hammering a struggling service.
+    """
+
+    def __init__(self, message: str, retry_after_ms: float | None = None) -> None:
+        super().__init__(message)
+        self.retry_after_ms = retry_after_ms
+
+
+class RateLimitedError(ReproError):
+    """The caller exceeded an admission-control cap (HTTP 429)."""
+
+    def __init__(self, message: str, retry_after_ms: float | None = None) -> None:
+        super().__init__(message)
+        self.retry_after_ms = retry_after_ms
+
+
 class StorageError(ReproError):
     """A persistence operation failed."""
 

@@ -18,8 +18,10 @@ from repro.util.errors import (
     ConflictError,
     NotFoundError,
     ProtocolError,
+    RateLimitedError,
     RecoveryError,
     ReproError,
+    UnavailableError,
     ValidationError,
 )
 from repro.web.http import HttpRequest, HttpResponse
@@ -30,6 +32,8 @@ _STATUS_FOR_ERROR: list[tuple[type, int]] = [
     (AuthorizationError, 403),
     (NotFoundError, 404),
     (ConflictError, 409),
+    (RateLimitedError, 429),
+    (UnavailableError, 503),
     (ProtocolError, 400),
     (ValidationError, 400),
     (RecoveryError, 400),
@@ -77,9 +81,18 @@ def json_response(payload: Any, status: int = 200) -> HttpResponse:
     )
 
 
-def error_response(status: int, message: str) -> HttpResponse:
-    """The uniform error body used across all endpoints."""
-    return json_response({"error": message}, status=status)
+def error_response(
+    status: int, message: str, retry_after_ms: float | None = None
+) -> HttpResponse:
+    """The uniform error body used across all endpoints.
+
+    *retry_after_ms* (when given) is included in the body so clients can
+    honour structured backoff hints on 429/503 responses.
+    """
+    body: dict[str, Any] = {"error": message}
+    if retry_after_ms is not None:
+        body["retry_after_ms"] = retry_after_ms
+    return json_response(body, status=status)
 
 
 class Application:
@@ -217,12 +230,13 @@ class Application:
             return self._observe(route_label, request.method, result, started_ms)
         except ReproError as error:
             self.error_count += 1
+            retry_after = getattr(error, "retry_after_ms", None)
             for error_type, status in _STATUS_FOR_ERROR:
                 if isinstance(error, error_type):
                     return self._observe(
                         route_label,
                         request.method,
-                        error_response(status, str(error)),
+                        error_response(status, str(error), retry_after),
                         started_ms,
                     )
             return self._observe(

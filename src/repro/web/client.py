@@ -4,12 +4,20 @@ Keeps a cookie jar (so Amnesia's session cookie round-trips exactly as
 in a real browser) and offers both asynchronous requests (callback) and
 a synchronous facade that drives the simulation kernel until the
 response arrives — which is what examples and tests want to write.
+
+Resilience: a secure channel that fails (handshake timeout during a
+partition, stack-level retry exhaustion) is *permanently* dead, exactly
+like a torn-down TLS connection. The client transparently dials a fresh
+channel on the next request — what every browser does — and
+:meth:`SimHttpClient.request_with_retry` layers a jittered-backoff retry
+policy on top for the generation flow.
 """
 
 from __future__ import annotations
 
 from typing import Any, Callable, Dict, Optional
 
+from repro.faults.retry import RetryPolicy
 from repro.net.certificates import Certificate, CertificateStore
 from repro.net.tls import SecureClientChannel, SecureStack
 from repro.sim.kernel import Simulator
@@ -19,6 +27,18 @@ from repro.web.http import (
     HttpResponse,
     decode_response,
     encode_request,
+)
+
+# Statuses worth retrying from the client side: the server (or a proxy)
+# said "try again later", not "you are wrong".
+RETRYABLE_STATUSES = frozenset({502, 503, 504})
+
+DEFAULT_CLIENT_RETRY = RetryPolicy(
+    max_attempts=3,
+    base_delay_ms=500.0,
+    multiplier=2.0,
+    max_delay_ms=8_000.0,
+    jitter=0.5,
 )
 
 
@@ -58,8 +78,22 @@ class SimHttpClient:
         self.kernel = kernel
         self.server_host = server_host
         self.jar = CookieJar()
+        self._certificate = certificate
+        self._service = service
+        self._pins = pins
+        self.reconnect_count = 0
+        self.retry_count = 0
         self._channel: SecureClientChannel = stack.connect(
             server_host, certificate, service, pins=pins
+        )
+
+    def reconnect(self) -> None:
+        """Tear down the current channel and dial a fresh one (new
+        handshake, new keys). Cookies survive — they live in the jar,
+        not the channel."""
+        self.reconnect_count += 1
+        self._channel = self.stack.connect(
+            self.server_host, self._certificate, self._service, pins=self._pins
         )
 
     # -- async ---------------------------------------------------------------
@@ -85,6 +119,10 @@ class SimHttpClient:
             self.jar.update(self.server_host, response.set_cookies)
             on_response(response)
 
+        if self._channel.failed:
+            # The old channel is gone for good (TLS teardown); dial a
+            # fresh one rather than failing every future request.
+            self.reconnect()
         self._channel.request(encode_request(request), handle, on_error)
 
     # -- sync facade ----------------------------------------------------------
@@ -137,6 +175,52 @@ class SimHttpClient:
             raise outcome["error"]
         return outcome["response"]
 
+    def request_with_retry(
+        self,
+        method: str,
+        path: str,
+        policy: RetryPolicy = DEFAULT_CLIENT_RETRY,
+        rng=None,
+        on_retry: Callable[[int, Exception | HttpResponse], None] | None = None,
+        **kwargs: Any,
+    ) -> HttpResponse:
+        """Like :meth:`request`, but retry transport errors and
+        retryable statuses (502/503/504) under *policy*.
+
+        Backoff waits are spent driving the kernel forward
+        (``kernel.run(until=...)``) — only safe from top-level driver
+        code, the same contract as the sync facade itself. Responses
+        carrying a ``retry_after_ms`` hint stretch the wait to honour
+        it. The last response (or error) is returned/raised when the
+        policy is exhausted.
+        """
+        started = self.kernel.now
+        attempt = 0
+        while True:
+            attempt += 1
+            outcome: Exception | HttpResponse
+            try:
+                response = self.request(method, path, **kwargs)
+            except NetworkError as error:
+                outcome = error
+            else:
+                if response.status not in RETRYABLE_STATUSES:
+                    return response
+                outcome = response
+            if policy.exhausted(attempt, started, self.kernel.now):
+                if isinstance(outcome, HttpResponse):
+                    return outcome
+                raise outcome
+            delay = policy.backoff_ms(attempt, rng)
+            if isinstance(outcome, HttpResponse):
+                hint = _retry_after_hint(outcome)
+                if hint is not None:
+                    delay = max(delay, hint)
+            self.retry_count += 1
+            if on_retry is not None:
+                on_retry(attempt, outcome)
+            self.kernel.run(until=self.kernel.now + delay)
+
     def get(self, path: str, **kwargs: Any) -> HttpResponse:
         return self.request("GET", path, **kwargs)
 
@@ -148,3 +232,13 @@ class SimHttpClient:
 
     def delete(self, path: str, **kwargs: Any) -> HttpResponse:
         return self.request("DELETE", path, **kwargs)
+
+
+def _retry_after_hint(response: HttpResponse) -> float | None:
+    """The ``retry_after_ms`` field of a structured error body, if any."""
+    try:
+        body = response.json()
+    except Exception:  # noqa: BLE001 - malformed bodies carry no hint
+        return None
+    hint = body.get("retry_after_ms") if isinstance(body, dict) else None
+    return float(hint) if isinstance(hint, (int, float)) else None

@@ -1,0 +1,197 @@
+"""Fault plane unit tests: schedules, windows, crash/restart, counters."""
+
+import pytest
+
+from repro.faults.plane import FaultPlane, FaultSchedule
+from repro.net.link import Link
+from repro.net.network import Network
+from repro.obs.export import render_prometheus
+from repro.obs.registry import MetricsRegistry
+from repro.sim.latency import Constant
+from repro.util.errors import ConflictError, ValidationError
+
+
+@pytest.fixture
+def fabric(kernel, rngs):
+    network = Network(kernel, rngs)
+    for host in ("a", "b", "c"):
+        network.add_host(host)
+    network.add_link(Link("a", "b", Constant(10)))
+    network.add_link(Link("b", "c", Constant(10)))
+    return network
+
+
+def _recorder(network, host, port=9):
+    """Bind a port handler recording (payload, arrival_ms)."""
+    received = []
+    network.host(host).bind(
+        port, lambda d: received.append((d.payload, network.kernel.now))
+    )
+    return received
+
+
+class TestWindowedFaults:
+    def test_partition_severs_both_directions(self, fabric, kernel):
+        plane = FaultPlane(fabric)
+        plane.apply(
+            FaultSchedule().partition(0.0, 100.0, ("a",), ("b",))
+        )
+        on_a = _recorder(fabric, "a")
+        on_b = _recorder(fabric, "b")
+        fabric.send("a", "b", 9, b"x")
+        fabric.send("b", "a", 9, b"y")
+        kernel.run_until_idle()
+        assert on_a == [] and on_b == []
+        assert plane.injected["partition_drop"] == 2
+        # After the window, the same sends go through.
+        kernel.run(until=200.0)
+        fabric.send("a", "b", 9, b"x2")
+        kernel.run_until_idle()
+        assert [p for p, __ in on_b] == [b"x2"]
+
+    def test_partition_spares_unrelated_links(self, fabric, kernel):
+        plane = FaultPlane(fabric)
+        plane.apply(FaultSchedule().partition(0.0, 100.0, ("a",), ("b",)))
+        on_c = _recorder(fabric, "c")
+        fabric.send("b", "c", 9, b"ok")
+        kernel.run_until_idle()
+        assert [p for p, __ in on_c] == [b"ok"]
+
+    def test_loss_burst_certain_drop(self, fabric, kernel):
+        plane = FaultPlane(fabric)
+        plane.apply(
+            FaultSchedule().loss_burst(0.0, 50.0, "a", "b", 1.0)
+        )
+        on_b = _recorder(fabric, "b")
+        fabric.send("a", "b", 9, b"gone")
+        kernel.run_until_idle()
+        assert on_b == []
+        assert plane.injected["loss_burst_drop"] == 1
+        kernel.run(until=60.0)
+        fabric.send("a", "b", 9, b"kept")
+        kernel.run_until_idle()
+        assert [p for p, __ in on_b] == [b"kept"]
+
+    def test_latency_spike_delays_delivery(self, fabric, kernel):
+        plane = FaultPlane(fabric)
+        plane.apply(
+            FaultSchedule().latency_spike(0.0, 1_000.0, "a", "b", 500.0)
+        )
+        on_b = _recorder(fabric, "b")
+        fabric.send("a", "b", 9, b"slow")
+        kernel.run_until_idle()
+        assert on_b[0][1] == pytest.approx(510.0)  # 10 ms link + 500 spike
+        assert plane.injected["latency_spike"] == 1
+
+    def test_duplication_delivers_extra_copy(self, fabric, kernel):
+        plane = FaultPlane(fabric)
+        plane.apply(
+            FaultSchedule().duplicate(0.0, 100.0, "a", "b", 1.0)
+        )
+        on_b = _recorder(fabric, "b")
+        fabric.send("a", "b", 9, b"twice")
+        kernel.run_until_idle()
+        assert [p for p, __ in on_b] == [b"twice", b"twice"]
+        assert plane.injected["duplicate"] == 1
+
+    def test_reorder_adds_random_delay(self, fabric, kernel):
+        plane = FaultPlane(fabric)
+        plane.apply(
+            FaultSchedule().reorder(0.0, 100.0, "a", "b", 1.0, 50.0)
+        )
+        on_b = _recorder(fabric, "b")
+        fabric.send("a", "b", 9, b"z")
+        kernel.run_until_idle()
+        assert len(on_b) == 1
+        assert 10.0 <= on_b[0][1] <= 60.0
+        assert plane.injected["reorder"] == 1
+
+    def test_schedule_applies_relative_to_now(self, fabric, kernel):
+        plane = FaultPlane(fabric)
+        kernel.run(until=1_000.0)
+        plane.apply(FaultSchedule().partition(0.0, 100.0, ("a",), ("b",)))
+        on_b = _recorder(fabric, "b")
+        fabric.send("a", "b", 9, b"x")
+        kernel.run_until_idle()
+        assert on_b == []  # active at virtual time 1000, not 0
+
+
+class TestCrashRestart:
+    def test_bare_host_crash_clears_ports(self, fabric, kernel):
+        plane = FaultPlane(fabric)
+        on_b = _recorder(fabric, "b")
+        plane.apply(FaultSchedule().crash(50.0, "b", down_ms=100.0))
+        kernel.run(until=60.0)
+        host = fabric.host("b")
+        assert not host.online and host.crash_count == 1
+        fabric.send("a", "b", 9, b"lost")
+        kernel.run(until=160.0)
+        assert host.online  # restarted...
+        fabric.send("a", "b", 9, b"also-lost")
+        kernel.run_until_idle()
+        # ...but the port binding died with the crash: nothing arrives
+        # until some process re-binds.
+        assert on_b == []
+        assert plane.injected == {"crash": 1, "restart": 1}
+
+    def test_registered_process_handles_crash(self, fabric, kernel):
+        calls = []
+
+        class Process:
+            def crash(self):
+                calls.append("crash")
+
+            def restart(self):
+                calls.append("restart")
+
+        plane = FaultPlane(fabric)
+        plane.register_process("b", Process())
+        plane.apply(FaultSchedule().crash(10.0, "b", down_ms=20.0))
+        kernel.run(until=50.0)
+        assert calls == ["crash", "restart"]
+
+    def test_duplicate_process_registration_rejected(self, fabric):
+        plane = FaultPlane(fabric)
+        plane.register_process("b", object())
+        with pytest.raises(ConflictError):
+            plane.register_process("b", object())
+
+
+class TestScheduleValidation:
+    def test_bad_probability(self):
+        with pytest.raises(ValidationError):
+            FaultSchedule().loss_burst(0.0, 10.0, "a", "b", 1.5)
+
+    def test_partition_groups_must_be_disjoint(self):
+        with pytest.raises(ValidationError):
+            FaultSchedule().partition(0.0, 10.0, ("a",), ("a", "b"))
+
+    def test_empty_partition_group(self):
+        with pytest.raises(ValidationError):
+            FaultSchedule().partition(0.0, 10.0, (), ("b",))
+
+    def test_zero_duration_window(self):
+        with pytest.raises(ValidationError):
+            FaultSchedule().latency_spike(0.0, 0.0, "a", "b", 5.0)
+
+    def test_horizon_covers_every_fault(self):
+        schedule = (
+            FaultSchedule()
+            .partition(0.0, 100.0, ("a",), ("b",))
+            .crash(500.0, "b", down_ms=250.0)
+        )
+        assert schedule.horizon_ms() == 750.0
+        assert len(schedule.windows) == 1
+        assert len(schedule.crashes) == 1
+
+
+class TestMetrics:
+    def test_injections_exported(self, fabric, kernel):
+        registry = MetricsRegistry()
+        plane = FaultPlane(fabric, registry=registry)
+        plane.apply(FaultSchedule().partition(0.0, 100.0, ("a",), ("b",)))
+        fabric.send("a", "b", 9, b"x")
+        kernel.run_until_idle()
+        text = render_prometheus(registry)
+        assert "amnesia_faults_injected_total" in text
+        assert 'kind="partition_drop"' in text

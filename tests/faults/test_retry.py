@@ -1,0 +1,179 @@
+"""RetryPolicy arithmetic and the async retry driver."""
+
+import pytest
+
+from repro.faults.retry import GiveUp, RetryPolicy, retry_async
+from repro.util.errors import NetworkError, ValidationError
+
+
+class FixedRng:
+    """A stub RNG returning a constant, for jitter bound checks."""
+
+    def __init__(self, value: float) -> None:
+        self.value = value
+
+    def random(self) -> float:
+        return self.value
+
+
+class TestBackoff:
+    def test_growth_and_cap_without_jitter(self):
+        policy = RetryPolicy(
+            max_attempts=10, base_delay_ms=250.0, multiplier=2.0,
+            max_delay_ms=1_000.0, jitter=0.0,
+        )
+        assert policy.backoff_ms(1) == 250.0
+        assert policy.backoff_ms(2) == 500.0
+        assert policy.backoff_ms(3) == 1_000.0
+        assert policy.backoff_ms(4) == 1_000.0  # capped
+
+    def test_no_rng_means_raw_delay(self):
+        policy = RetryPolicy(base_delay_ms=400.0, jitter=0.5)
+        assert policy.backoff_ms(1, rng=None) == 400.0
+
+    def test_jitter_bounds(self):
+        policy = RetryPolicy(base_delay_ms=1_000.0, jitter=0.5)
+        # rng=0 -> the deterministic floor; rng->1 approaches the raw value.
+        assert policy.backoff_ms(1, FixedRng(0.0)) == 500.0
+        assert policy.backoff_ms(1, FixedRng(0.999)) == pytest.approx(
+            999.5, abs=1.0
+        )
+        low = policy.backoff_ms(1, FixedRng(0.25))
+        assert 500.0 <= low <= 1_000.0
+
+    def test_attempt_must_be_positive(self):
+        with pytest.raises(ValidationError):
+            RetryPolicy().backoff_ms(0)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_attempts": 0},
+            {"multiplier": 0.5},
+            {"jitter": 1.5},
+            {"deadline_ms": 0.0},
+            {"base_delay_ms": -1.0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValidationError):
+            RetryPolicy(**kwargs)
+
+    def test_exhausted_by_attempts(self):
+        policy = RetryPolicy(max_attempts=3)
+        assert not policy.exhausted(2, 0.0, 0.0)
+        assert policy.exhausted(3, 0.0, 0.0)
+
+    def test_exhausted_by_deadline(self):
+        policy = RetryPolicy(max_attempts=100, deadline_ms=1_000.0)
+        assert not policy.exhausted(1, 0.0, 999.0)
+        assert policy.exhausted(1, 0.0, 1_000.0)
+
+
+class TestRetryAsync:
+    def _flaky(self, failures_before_success):
+        """An operation failing N times, then succeeding with 'ok'."""
+        state = {"calls": 0}
+
+        def operation(succeed, fail):
+            state["calls"] += 1
+            if state["calls"] <= failures_before_success:
+                fail(NetworkError(f"boom {state['calls']}"))
+            else:
+                succeed("ok")
+
+        return operation, state
+
+    def test_eventual_success(self, kernel):
+        operation, state = self._flaky(2)
+        outcome, retries = {}, []
+        retry_async(
+            kernel,
+            RetryPolicy(max_attempts=5, base_delay_ms=100.0, jitter=0.0),
+            None,
+            operation,
+            on_success=lambda r: outcome.update(result=r),
+            on_failure=lambda e: outcome.update(error=e),
+            on_retry=lambda attempt, error: retries.append(attempt),
+        )
+        kernel.run_until_idle()
+        assert outcome == {"result": "ok"}
+        assert state["calls"] == 3
+        assert retries == [2, 3]
+        # Backoffs of 100 then 200 ms elapsed on the kernel clock.
+        assert kernel.now == pytest.approx(300.0)
+
+    def test_exhaustion_reports_last_error(self, kernel):
+        operation, state = self._flaky(99)
+        outcome = {}
+        retry_async(
+            kernel,
+            RetryPolicy(max_attempts=3, base_delay_ms=50.0, jitter=0.0),
+            None,
+            operation,
+            on_success=lambda r: outcome.update(result=r),
+            on_failure=lambda e: outcome.update(error=e),
+        )
+        kernel.run_until_idle()
+        assert state["calls"] == 3
+        assert "boom 3" in str(outcome["error"])
+
+    def test_giveup_short_circuits_and_unwraps(self, kernel):
+        cause = NetworkError("permanent")
+        calls = []
+        outcome = {}
+
+        def operation(succeed, fail):
+            calls.append(1)
+            fail(GiveUp(cause))
+
+        retry_async(
+            kernel, RetryPolicy(max_attempts=5), None, operation,
+            on_success=lambda r: outcome.update(result=r),
+            on_failure=lambda e: outcome.update(error=e),
+        )
+        kernel.run_until_idle()
+        assert len(calls) == 1  # never retried
+        assert outcome["error"] is cause
+
+    def test_synchronous_raise_is_retried(self, kernel):
+        state = {"calls": 0}
+
+        def operation(succeed, fail):
+            state["calls"] += 1
+            if state["calls"] == 1:
+                raise NetworkError("sync failure")
+            succeed("done")
+
+        outcome = {}
+        retry_async(
+            kernel,
+            RetryPolicy(max_attempts=3, base_delay_ms=10.0, jitter=0.0),
+            None,
+            operation,
+            on_success=lambda r: outcome.update(result=r),
+            on_failure=lambda e: outcome.update(error=e),
+        )
+        kernel.run_until_idle()
+        assert outcome == {"result": "done"}
+        assert state["calls"] == 2
+
+    def test_deadline_stops_retrying(self, kernel):
+        operation, state = self._flaky(99)
+        outcome = {}
+        retry_async(
+            kernel,
+            RetryPolicy(
+                max_attempts=10, base_delay_ms=100.0, multiplier=1.0,
+                jitter=0.0, deadline_ms=150.0,
+            ),
+            None,
+            operation,
+            on_success=lambda r: outcome.update(result=r),
+            on_failure=lambda e: outcome.update(error=e),
+        )
+        kernel.run_until_idle()
+        # t=0 fail, t=100 fail (deadline not yet hit), t=150 (capped
+        # wait) fail and now >= deadline: exactly three attempts.
+        assert state["calls"] == 3
+        assert "error" in outcome

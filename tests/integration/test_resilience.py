@@ -1,0 +1,167 @@
+"""End-to-end resilience: the Figure 1 pipeline under injected faults.
+
+These are the acceptance scenarios for the fault plane: a rendezvous
+crash mid-exchange no longer strands the phone, the browser's retry
+policy turns transient failures into slow successes, degradations are
+structured (503 + retry-after, 429 + retry-after), and duplicate
+``/token`` submissions are idempotent.
+"""
+
+import pytest
+
+from repro.eval.chaos import CANONICAL_SCENARIOS, run_scenario
+from repro.faults.plane import FaultSchedule
+from repro.faults.retry import RetryPolicy
+from repro.obs.export import render_prometheus
+from repro.testbed import PHONE, RENDEZVOUS, SERVER, AmnesiaTestbed
+from repro.util.errors import UnavailableError, ValidationError
+from repro.web.http import HttpRequest
+
+RETRY = RetryPolicy(
+    max_attempts=4, base_delay_ms=800.0, multiplier=2.0,
+    max_delay_ms=6_000.0, jitter=0.5,
+)
+
+
+def _enrolled(seed: str):
+    bed = AmnesiaTestbed(seed=seed, generation_timeout_ms=8_000.0)
+    browser = bed.enroll("alice", "master-password-1")
+    account_id = browser.add_account("alice", "mail.example.com")
+    browser.generate_password(account_id)  # warm-up under a clean fabric
+    return bed, browser, account_id
+
+
+class TestRendezvousCrash:
+    def test_crash_mid_exchange_recovers_with_resilience(self):
+        """GCM crashes before the push lands and restarts amnesic; the
+        phone heartbeat detects the dead registration, re-registers,
+        refreshes the server, and a retried generation succeeds."""
+        bed, browser, account_id = _enrolled("resil-crash-on")
+        plane = bed.install_fault_plane()
+        bed.phone.enable_resilience(
+            "alice", heartbeat_interval_ms=1_000.0, miss_threshold=2
+        )
+        plane.apply(FaultSchedule().crash(0.0, RENDEZVOUS, down_ms=2_000.0))
+        result = browser.generate_password(
+            account_id, retry=RETRY, rng=bed.network.rng_stream("test-retry")
+        )
+        assert len(result["password"]) > 0
+        assert bed.phone.reregistrations >= 1
+        assert bed.server.metrics.degraded_responses >= 1
+        assert plane.injected["crash"] == 1
+        assert plane.injected["restart"] == 1
+        # The whole story is visible in the shared registry.
+        text = render_prometheus(bed.registry)
+        assert "amnesia_faults_injected_total" in text
+        assert "amnesia_retries_total" in text
+        assert "amnesia_degraded_responses_total" in text
+        bed.phone.disable_resilience()
+
+    def test_crash_without_retry_fails_fast_with_hint(self):
+        """No resilience: the push NACK degrades the exchange to a
+        structured 503 + retry-after long before the generation timeout."""
+        bed, browser, account_id = _enrolled("resil-crash-off")
+        plane = bed.install_fault_plane()
+        plane.apply(FaultSchedule().crash(0.0, RENDEZVOUS, down_ms=2_000.0))
+        started = bed.kernel.now
+        with pytest.raises(UnavailableError) as excinfo:
+            browser.generate_password(account_id)
+        assert excinfo.value.retry_after_ms == pytest.approx(1_000.0)
+        # Fail-fast: well under the 8 s generation timeout.
+        assert bed.kernel.now - started < 6_000.0
+
+
+class TestReturnHopPartition:
+    def test_partition_recovers_with_retry(self):
+        """The token return hop partitions for longer than the secure
+        stack's retransmit budget; the first exchange times out, a
+        retried request issues a fresh exchange that completes once the
+        partition heals."""
+        bed, browser, account_id = _enrolled("resil-partition")
+        plane = bed.install_fault_plane()
+        plane.apply(
+            FaultSchedule().partition(0.0, 13_000.0, (PHONE,), (SERVER,))
+        )
+        result = browser.generate_password(
+            account_id, retry=RETRY, rng=bed.network.rng_stream("test-retry")
+        )
+        assert len(result["password"]) > 0
+        assert browser.http.retry_count >= 1
+        assert plane.injected["partition_drop"] > 0
+
+    def test_partition_without_retry_times_out(self):
+        bed, browser, account_id = _enrolled("resil-partition-off")
+        plane = bed.install_fault_plane()
+        plane.apply(
+            FaultSchedule().partition(0.0, 13_000.0, (PHONE,), (SERVER,))
+        )
+        with pytest.raises(ValidationError, match="timed out"):
+            browser.generate_password(account_id)
+
+
+class TestTokenIdempotency:
+    def test_duplicate_token_returns_200(self):
+        """A /token retransmission for a completed exchange must get a
+        duplicate-ACK, not 404 (the phone would otherwise believe the
+        exchange vanished and alarm the user)."""
+        bed, browser, account_id = _enrolled("resil-idem")
+        captured = {}
+        original = bed.phone.listener.on_push
+
+        def spy(data):
+            captured.update(data)
+            original(data)  # the phone still answers normally
+
+        bed.phone.listener.on_push = spy
+        browser.generate_password(account_id)
+        bed.phone.listener.on_push = original
+        assert "pending_id" in captured
+        response = browser.http.post(
+            "/token",
+            {"pending_id": captured["pending_id"], "token": "ab", "pid": "00"},
+        )
+        assert response.status == 200
+        assert response.json() == {"ok": True, "duplicate": True}
+        # Exchanges that never existed still 404.
+        missing = browser.http.post(
+            "/token", {"pending_id": "f" * 32, "token": "ab", "pid": "00"}
+        )
+        assert missing.status == 404
+
+
+class TestAdmissionControl:
+    def test_outstanding_cap_returns_429_with_hint(self):
+        """With the server->gcm uplink partitioned, exchanges pile up;
+        the per-user cap (4) rejects the fifth with a structured 429."""
+        bed, browser, account_id = _enrolled("resil-cap")
+        plane = bed.install_fault_plane()
+        plane.apply(
+            FaultSchedule().partition(0.0, 20_000.0, (SERVER,), (RENDEZVOUS,))
+        )
+        responses = []
+        for __ in range(5):
+            browser.http.send(
+                HttpRequest.json_request(
+                    "POST", f"/accounts/{account_id}/generate", {}
+                ),
+                responses.append,
+            )
+        bed.drive_until(lambda: len(responses) == 5)
+        statuses = sorted(r.status for r in responses)
+        assert statuses == [429, 503, 503, 503, 503]
+        limited = next(r for r in responses if r.status == 429)
+        assert limited.json()["retry_after_ms"] > 0
+
+
+class TestChaosSuite:
+    def test_scenario_deterministic_and_retries_win(self):
+        """The chaos driver itself: bit-identical under the seed, and the
+        retries-on arm strictly beats retries-off."""
+        scenario = next(
+            s for s in CANONICAL_SCENARIOS if s.name == "rendezvous-crash"
+        )
+        first = run_scenario(scenario, seed="pytest-chaos", trials=2)
+        again = run_scenario(scenario, seed="pytest-chaos", trials=2)
+        assert first.fingerprint() == again.fingerprint()
+        assert first.with_retries.successes > first.without_retries.successes
+        assert first.with_retries.success_rate == 1.0

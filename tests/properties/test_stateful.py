@@ -60,7 +60,12 @@ class PendingRegistryMachine(RuleBasedStateMachine):
 
     def __init__(self) -> None:
         super().__init__()
-        self.registry = PendingRegistry(SeededRandomSource(b"stateful"))
+        # max_per_user=0 disables admission control: this machine checks
+        # the take-once/expire-once bookkeeping, not the cap (which has
+        # its own tests in tests/server/test_pending.py).
+        self.registry = PendingRegistry(
+            SeededRandomSource(b"stateful"), max_per_user=0
+        )
         self.live: list[str] = []
         self.finished: set[str] = set()
 

@@ -4,12 +4,14 @@ import pytest
 
 from repro.crypto.randomness import SeededRandomSource
 from repro.server.pending import KIND_MASTER_CHANGE, KIND_PASSWORD, PendingRegistry
-from repro.util.errors import NotFoundError
+from repro.util.errors import NotFoundError, RateLimitedError
 
 
 @pytest.fixture
 def registry():
-    return PendingRegistry(SeededRandomSource(b"pending"))
+    # Cap disabled: these tests exercise bookkeeping, not admission
+    # control (which TestAdmissionAndIdempotency covers).
+    return PendingRegistry(SeededRandomSource(b"pending"), max_per_user=0)
 
 
 class TestPendingRegistry:
@@ -66,3 +68,56 @@ class TestPendingRegistry:
             KIND_MASTER_CHANGE, 1, 0, session_token="tok"
         )
         assert exchange.extra == {"session_token": "tok"}
+
+
+class TestAdmissionAndIdempotency:
+    """The per-user cap, completed-exchange memory, and cancel()."""
+
+    def test_per_user_cap_rejects_with_retry_after(self):
+        registry = PendingRegistry(SeededRandomSource(b"cap"), max_per_user=2)
+        registry.create(KIND_PASSWORD, 1, 0)
+        registry.create(KIND_PASSWORD, 1, 0)
+        with pytest.raises(RateLimitedError) as excinfo:
+            registry.create(KIND_PASSWORD, 1, 0)
+        assert excinfo.value.retry_after_ms is not None
+        assert registry.rejected_count == 1
+        # A different user is unaffected.
+        registry.create(KIND_PASSWORD, 2, 0)
+
+    def test_cap_frees_on_take(self):
+        registry = PendingRegistry(SeededRandomSource(b"cap2"), max_per_user=1)
+        exchange = registry.create(KIND_PASSWORD, 1, 0)
+        registry.take(exchange.pending_id, KIND_PASSWORD)
+        registry.create(KIND_PASSWORD, 1, 0)  # slot freed
+
+    def test_completed_memory(self):
+        registry = PendingRegistry(SeededRandomSource(b"dup"), max_per_user=0)
+        exchange = registry.create(KIND_PASSWORD, 1, 0)
+        assert not registry.was_completed(exchange.pending_id)
+        registry.take(exchange.pending_id, KIND_PASSWORD)
+        assert registry.was_completed(exchange.pending_id)
+        # Expired exchanges are NOT remembered as completed.
+        other = registry.create(KIND_PASSWORD, 1, 0)
+        registry.expire(other.pending_id)
+        assert not registry.was_completed(other.pending_id)
+
+    def test_completed_memory_is_bounded(self):
+        registry = PendingRegistry(SeededRandomSource(b"mem"), max_per_user=0)
+        ids = []
+        for __ in range(300):
+            exchange = registry.create(KIND_PASSWORD, 1, 0)
+            registry.take(exchange.pending_id, KIND_PASSWORD)
+            ids.append(exchange.pending_id)
+        assert not registry.was_completed(ids[0])  # evicted
+        assert registry.was_completed(ids[-1])
+
+    def test_cancel(self):
+        registry = PendingRegistry(SeededRandomSource(b"cxl"), max_per_user=0)
+        exchange = registry.create(KIND_PASSWORD, 1, 0)
+        assert registry.cancel(exchange.pending_id) is exchange
+        assert registry.cancelled_count == 1
+        assert registry.cancel(exchange.pending_id) is None
+        # Cancelled is neither completed nor timed out.
+        assert registry.completed_count == 0
+        assert registry.timeout_count == 0
+        assert not registry.was_completed(exchange.pending_id)
