@@ -3,12 +3,12 @@
 
 PYTHON ?= python3
 
-.PHONY: install test metrics-smoke chaos-smoke bench report examples serve clean
+.PHONY: install test metrics-smoke chaos-smoke bench-smoke bench bench-check report examples serve clean
 
 install:
 	pip install -e . --no-build-isolation
 
-test: metrics-smoke chaos-smoke
+test: metrics-smoke chaos-smoke bench-smoke
 	$(PYTHON) -m pytest tests/
 
 # One simulated generation; asserts the exporter emits the expected
@@ -21,8 +21,20 @@ metrics-smoke:
 chaos-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro.cli chaos --check --trials 2
 
+# The benchmark harness, tiny: asserts the gated macro metrics replay
+# deterministically and gates against a comparable baseline if one
+# exists (none is committed in smoke mode, hence --allow-missing-baseline).
+bench-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro.cli bench --smoke --check \
+		--allow-missing-baseline --no-write
+
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+# The continuous harness: micro + macro suites -> BENCH_<UTC-date>.json,
+# gated >25% p95 regressions against the newest prior BENCH file.
+bench-check:
+	PYTHONPATH=src $(PYTHON) -m repro.cli --seed bench bench --check
 
 report:
 	$(PYTHON) -m repro.cli --seed 2016 report --trials 100 --output REPORT.md

@@ -14,6 +14,7 @@ or analysis:
     amnesia-repro metrics [--check]   # telemetry registry dump / smoke test
     amnesia-repro stages              # per-stage latency attribution
     amnesia-repro chaos [--check]     # fault-injection resilience suite
+    amnesia-repro bench [--check]     # benchmark harness + regression gate
 """
 
 from __future__ import annotations
@@ -192,8 +193,15 @@ def _cmd_userstudy(args: argparse.Namespace) -> int:
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
-    """Render one generation's wire traffic as a sequence chart."""
+    """Render one generation's wire traffic as a sequence chart.
+
+    ``--chrome PATH`` additionally exports the exchange's stage spans
+    (and the in-process profiler scopes captured during the traced
+    generation) as a Chrome ``trace_event`` JSON file, loadable in
+    ``chrome://tracing`` or Perfetto.
+    """
     from repro.net.profiles import WIFI_PROFILE
+    from repro.obs.profiler import Profiler, profiling
     from repro.sim.trace import TraceRecorder, render_sequence_chart
     from repro.testbed import AmnesiaTestbed
 
@@ -201,7 +209,8 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     browser = bed.enroll("alice", "cli-master-password")
     account_id = browser.add_account("alice", "mail.example.com")
     browser.generate_password(account_id)  # warm-up: no handshake noise
-    with TraceRecorder(bed.network) as recorder:
+    profiler = Profiler()
+    with TraceRecorder(bed.network) as recorder, profiling(profiler):
         result = browser.generate_password(account_id)
     print("One password generation (Figure 1, steps 2-6):\n")
     print(
@@ -212,6 +221,13 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         )
     )
     print(f"\nlatency (t_start -> t_end): {result['latency_ms']:.1f} ms")
+    if args.chrome:
+        from repro.obs.tracefile import write_chrome_trace
+
+        path = write_chrome_trace(
+            args.chrome, spans=bed.server.spans, profiler=profiler
+        )
+        print(f"chrome trace written to {path}")
     return 0
 
 
@@ -300,6 +316,69 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    """Run the benchmark harness; optionally gate against the baseline.
+
+    Without flags: run micro + macro suites and write
+    ``BENCH_<UTC-date>.json`` into ``--dir``. With ``--check``: replay
+    the gated macro metrics to prove determinism, then compare against
+    the newest prior ``BENCH_*.json`` of the same mode and fail on
+    regressions past ``--threshold`` (the `make bench-smoke` contract).
+    """
+    from repro.eval.bench import (
+        compare_documents,
+        find_baseline,
+        macro_gates,
+        render_bench,
+        run_bench,
+        run_macro,
+        write_bench,
+    )
+
+    document = run_bench(seed=args.seed, smoke=args.smoke)
+    print(render_bench(document))
+    failures: list[str] = []
+    if args.check:
+        replay = macro_gates(run_macro(seed=args.seed, smoke=args.smoke))
+        if replay != document["gates"]:
+            failures.append("gated metrics are not deterministic under the seed")
+        else:
+            print("\ndeterminism: gated metrics replay bit-for-bit")
+        # The newest committed artefact is a valid baseline even when it
+        # is today's: the gated metrics are deterministic, so comparing
+        # a fresh run against it is exactly the regression question.
+        baseline = find_baseline(args.dir, smoke=args.smoke)
+        if baseline is None:
+            message = "no comparable BENCH_*.json baseline found"
+            if args.allow_missing_baseline:
+                print(f"baseline: {message} (allowed)")
+            else:
+                failures.append(message)
+        else:
+            path, base_doc = baseline
+            comparisons = compare_documents(
+                base_doc, document, threshold=args.threshold
+            )
+            print(f"\nbaseline: {path.name} (threshold {args.threshold:.0%})")
+            for comparison in comparisons:
+                print(comparison.render())
+                if comparison.regressed:
+                    failures.append(
+                        f"{comparison.key} regressed "
+                        f"{comparison.change_pct:+.1f}% vs {path.name}"
+                    )
+    if not args.no_write:
+        path = write_bench(document, args.dir)
+        print(f"\nwrote {path}")
+    if failures:
+        for failure in failures:
+            print(f"bench check FAILED: {failure}", file=sys.stderr)
+        return 1
+    if args.check:
+        print("bench check ok")
+    return 0
+
+
 def _cmd_stages(args: argparse.Namespace) -> int:
     """Per-stage latency attribution of the Figure 3 pipeline."""
     from repro.eval.stages import run_stage_breakdown
@@ -370,6 +449,7 @@ _COMMANDS: Dict[str, Callable[[argparse.Namespace], int]] = {
     "metrics": _cmd_metrics,
     "stages": _cmd_stages,
     "chaos": _cmd_chaos,
+    "bench": _cmd_bench,
 }
 
 
@@ -432,6 +512,37 @@ def build_parser() -> argparse.ArgumentParser:
                 "--check", action="store_true",
                 help="assert determinism + retries-on beats retries-off "
                 "(smoke test)",
+            )
+        elif name == "trace":
+            command.add_argument(
+                "--chrome", default=None, metavar="PATH",
+                help="also export the exchange as Chrome trace_event JSON",
+            )
+        elif name == "bench":
+            command.add_argument(
+                "--check", action="store_true",
+                help="verify determinism and gate against the newest "
+                "prior BENCH_*.json",
+            )
+            command.add_argument(
+                "--smoke", action="store_true",
+                help="tiny iteration counts (fast CI smoke run)",
+            )
+            command.add_argument(
+                "--dir", default=".",
+                help="directory for BENCH_*.json artefacts (default: .)",
+            )
+            command.add_argument(
+                "--threshold", type=float, default=0.25,
+                help="regression gate as a fraction (default: 0.25)",
+            )
+            command.add_argument(
+                "--allow-missing-baseline", action="store_true",
+                help="with --check: pass when no prior BENCH file exists",
+            )
+            command.add_argument(
+                "--no-write", action="store_true",
+                help="do not write the BENCH_*.json artefact",
             )
         elif name == "serve":
             command.add_argument(

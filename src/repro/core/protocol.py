@@ -19,10 +19,12 @@ from repro.core.params import DEFAULT_PARAMS, ProtocolParams, SHA256_HEX_LENGTH
 from repro.core.secrets import EntryTable
 from repro.core.templates import PasswordPolicy
 from repro.crypto.hashing import sha256, sha256_hex, sha512_hex
+from repro.obs.profiler import profiled
 from repro.util.encoding import chunk, int_from_hex, require_hex
 from repro.util.errors import ValidationError
 
 
+@profiled("core.request")
 def generate_request(username: str, domain: str, seed: bytes) -> str:
     """Compute the password request ``R = H(µ || d || σ)`` (hex).
 
@@ -55,6 +57,7 @@ def token_indices(request_hex: str, params: ProtocolParams = DEFAULT_PARAMS) -> 
     return [int_from_hex(segment) % params.entry_table_size for segment in segments]
 
 
+@profiled("core.token")
 def generate_token(
     request_hex: str,
     entry_table: EntryTable,
@@ -71,6 +74,7 @@ def generate_token(
     return sha256_hex(concatenated)
 
 
+@profiled("core.intermediate")
 def intermediate_value(token_hex: str, oid: bytes, seed: bytes) -> str:
     """Server-side ``p = H(T || O_id || σ)`` (SHA-512, 128 hex digits).
 
@@ -89,6 +93,7 @@ def intermediate_value(token_hex: str, oid: bytes, seed: bytes) -> str:
     return sha512_hex(bytes.fromhex(token_hex), bytes(oid), bytes(seed))
 
 
+@profiled("core.template")
 def render_password(
     intermediate_hex: str,
     policy: PasswordPolicy | None = None,

@@ -13,6 +13,7 @@ import struct
 from repro.crypto.chacha20 import chacha20_block, chacha20_xor, KEY_SIZE, NONCE_SIZE
 from repro.crypto.ct import ct_equal
 from repro.crypto.poly1305 import poly1305_mac, TAG_SIZE
+from repro.obs.profiler import profiled
 from repro.util.errors import CryptoError
 
 
@@ -38,6 +39,7 @@ def _one_time_key(key: bytes, nonce: bytes) -> bytes:
     return chacha20_block(key, 0, nonce)[:32]
 
 
+@profiled("crypto.aead_seal")
 def aead_encrypt(key: bytes, nonce: bytes, plaintext: bytes, aad: bytes = b"") -> bytes:
     """Encrypt and authenticate; returns ``ciphertext || 16-byte tag``."""
     if len(key) != KEY_SIZE:
@@ -49,6 +51,7 @@ def aead_encrypt(key: bytes, nonce: bytes, plaintext: bytes, aad: bytes = b"") -
     return ciphertext + tag
 
 
+@profiled("crypto.aead_open")
 def aead_decrypt(key: bytes, nonce: bytes, sealed: bytes, aad: bytes = b"") -> bytes:
     """Verify the tag and decrypt; raises :class:`CryptoError` on forgery."""
     if len(key) != KEY_SIZE:

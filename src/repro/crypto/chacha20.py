@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import struct
 
+from repro.obs.profiler import profiled
 from repro.util.errors import CryptoError
 
 KEY_SIZE = 32
@@ -67,6 +68,7 @@ def chacha20_block(key: bytes, counter: int, nonce: bytes) -> bytes:
     return struct.pack("<16I", *words)
 
 
+@profiled("crypto.chacha20")
 def chacha20_xor(key: bytes, counter: int, nonce: bytes, data: bytes) -> bytes:
     """Encrypt or decrypt *data* (XOR with the keystream, RFC 8439 §2.4)."""
     out = bytearray(len(data))

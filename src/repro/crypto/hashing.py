@@ -12,11 +12,13 @@ from __future__ import annotations
 import hashlib
 
 from repro.crypto.ct import ct_equal
+from repro.obs.profiler import profiled
 from repro.util.errors import ValidationError
 
 SALT_SIZE = 16
 
 
+@profiled("crypto.sha256")
 def sha256(*parts: bytes) -> bytes:
     """SHA-256 of the concatenation of *parts* (the paper's ``H`` for R/T)."""
     digest = hashlib.sha256()
@@ -29,6 +31,7 @@ def sha256(*parts: bytes) -> bytes:
     return digest.digest()
 
 
+@profiled("crypto.sha512")
 def sha512(*parts: bytes) -> bytes:
     """SHA-512 of the concatenation of *parts* (the paper's ``H`` for p)."""
     digest = hashlib.sha512()

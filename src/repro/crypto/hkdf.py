@@ -10,6 +10,7 @@ from __future__ import annotations
 import hashlib
 import hmac
 
+from repro.obs.profiler import profiled
 from repro.util.errors import CryptoError
 
 _HASH_LEN = 32
@@ -42,6 +43,7 @@ def hkdf_expand(prk: bytes, info: bytes, length: int) -> bytes:
     return b"".join(blocks)[:length]
 
 
+@profiled("crypto.hkdf")
 def hkdf(ikm: bytes, salt: bytes, info: bytes, length: int) -> bytes:
     """Extract-then-expand in one call."""
     return hkdf_expand(hkdf_extract(salt, ikm), info, length)

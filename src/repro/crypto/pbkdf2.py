@@ -12,11 +12,13 @@ import hashlib
 import hmac
 import struct
 
+from repro.obs.profiler import profiled
 from repro.util.errors import CryptoError
 
 _HASH_LEN = 32
 
 
+@profiled("crypto.pbkdf2")
 def pbkdf2_hmac_sha256(
     password: bytes, salt: bytes, iterations: int, length: int
 ) -> bytes:

@@ -7,6 +7,7 @@ against its test vector.
 
 from __future__ import annotations
 
+from repro.obs.profiler import profiled
 from repro.util.errors import CryptoError
 
 TAG_SIZE = 16
@@ -16,6 +17,7 @@ _P = (1 << 130) - 5
 _R_CLAMP = 0x0FFFFFFC0FFFFFFC0FFFFFFC0FFFFFFF
 
 
+@profiled("crypto.poly1305")
 def poly1305_mac(key: bytes, message: bytes) -> bytes:
     """Compute the 16-byte Poly1305 tag of *message* under *key*.
 

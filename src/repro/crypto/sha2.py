@@ -12,6 +12,7 @@ environment without a crypto library.
 
 from __future__ import annotations
 
+from repro.obs.profiler import profiled
 from repro.util.errors import ValidationError
 
 # -- SHA-256 ---------------------------------------------------------------------
@@ -42,6 +43,7 @@ def _rotr32(value: int, count: int) -> int:
     return ((value >> count) | (value << (32 - count))) & _MASK32
 
 
+@profiled("crypto.sha256_pure")
 def sha256_pure(message: bytes) -> bytes:
     """SHA-256 digest of *message*, pure Python."""
     if not isinstance(message, (bytes, bytearray, memoryview)):
@@ -123,6 +125,7 @@ def _rotr64(value: int, count: int) -> int:
     return ((value >> count) | (value << (64 - count))) & _MASK64
 
 
+@profiled("crypto.sha512_pure")
 def sha512_pure(message: bytes) -> bytes:
     """SHA-512 digest of *message*, pure Python."""
     if not isinstance(message, (bytes, bytearray, memoryview)):

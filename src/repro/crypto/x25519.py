@@ -8,6 +8,7 @@ validated against RFC 7748 §5.2 and §6.1 test vectors.
 from __future__ import annotations
 
 from repro.crypto.randomness import RandomSource, SystemRandomSource
+from repro.obs.profiler import profiled
 from repro.util.errors import CryptoError
 
 X25519_KEY_SIZE = 32
@@ -72,6 +73,7 @@ def _ladder(k: int, u: int) -> int:
     return (x2 * pow(z2, _P - 2, _P)) % _P
 
 
+@profiled("crypto.x25519")
 def x25519(scalar: bytes, u: bytes) -> bytes:
     """Scalar multiplication on Curve25519; returns the shared u-coordinate."""
     result = _ladder(_decode_scalar(scalar), _decode_u(u))
@@ -82,6 +84,7 @@ def x25519(scalar: bytes, u: bytes) -> bytes:
     return _encode_u(result)
 
 
+@profiled("crypto.x25519")
 def x25519_base(scalar: bytes) -> bytes:
     """Public key for *scalar* (scalar multiplication by the base point 9)."""
     return _encode_u(_ladder(_decode_scalar(scalar), 9))

@@ -1,0 +1,398 @@
+"""Continuous benchmark harness with regression gating.
+
+Two suites, one schema-versioned JSON artefact:
+
+- **micro** — wall-clock throughput of the primitives on the hot path
+  (SHA-256/512, the pure-Python SHA cores, PBKDF2, HKDF) and the pure
+  protocol pipeline (Algorithm 1 token computation, template render).
+  Wall-clock numbers vary with the machine, so they are recorded as
+  trajectory data but never gated.
+- **macro** — deterministic *simulated* metrics: end-to-end generation
+  p50/p95 under the Wi-Fi and 4G profiles (the Figure 3 pipeline),
+  sustained-load throughput through the server's worker pool, and
+  chaos-on overhead (the ``lossy-uplink`` scenario with retries). These
+  replay bit-for-bit under the seed, so a >25 % shift is a code change,
+  not noise — they are the gated regression surface.
+
+``run_bench`` produces a document; the ``bench`` CLI subcommand writes
+it as ``BENCH_<UTC-date>.json`` at the repo root and ``bench --check``
+compares the gated metrics against the newest prior ``BENCH_*.json``,
+failing on regressions past the threshold.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.util.errors import ValidationError
+
+BENCH_SCHEMA = "amnesia-bench/1"
+DEFAULT_THRESHOLD = 0.25
+
+# Gate directions: what counts as a regression for each metric kind.
+LOWER_IS_BETTER = "lower_is_better"  # latencies
+HIGHER_IS_BETTER = "higher_is_better"  # rates, throughput
+
+# Pinned iteration counts for the micro suite (full / smoke). Pinning
+# them in one place keeps successive BENCH files comparable.
+_MICRO_ITERATIONS = {
+    "sha256": (4_000, 200),
+    "sha512": (4_000, 200),
+    "sha256_pure": (200, 10),
+    "pbkdf2": (10, 2),
+    "hkdf": (1_000, 50),
+    "token": (2_000, 100),
+    "template": (2_000, 100),
+}
+_PBKDF2_ROUNDS = 400  # inner HMAC rounds per pbkdf2 op
+_PAYLOAD = bytes(range(256)) * 4  # 1 KiB hashing payload
+
+
+def bench_filename(date_utc: str | None = None) -> str:
+    """``BENCH_<UTC-date>.json`` — one artefact per day of trajectory."""
+    if date_utc is None:
+        date_utc = time.strftime("%Y-%m-%d", time.gmtime())
+    return f"BENCH_{date_utc}.json"
+
+
+# -- micro suite -----------------------------------------------------------------
+
+
+def _time_op(fn: Callable[[], Any], iterations: int) -> Dict[str, Any]:
+    """Wall-clock *fn* over *iterations* calls (monotonic ns clock)."""
+    if iterations < 1:
+        raise ValidationError(f"iterations must be >= 1, got {iterations}")
+    started = time.perf_counter_ns()
+    for __ in range(iterations):
+        fn()
+    elapsed_ns = time.perf_counter_ns() - started
+    per_op_us = elapsed_ns / iterations / 1_000.0
+    ops_per_sec = (iterations * 1e9 / elapsed_ns) if elapsed_ns > 0 else 0.0
+    return {
+        "iterations": iterations,
+        "wall_us_per_op": round(per_op_us, 3),
+        "ops_per_sec": round(ops_per_sec, 1),
+    }
+
+
+def run_micro(smoke: bool = False) -> Dict[str, Any]:
+    """Hash/KDF throughput and token+template latency, wall clock.
+
+    The token/template loop runs under an active :class:`Profiler`, so
+    the artefact also records the profiler's view of the same work —
+    scope call counts and cumulative time — tying the bench to the
+    profiling plane.
+    """
+    from repro.core.protocol import (
+        generate_request,
+        generate_token,
+        render_password,
+        intermediate_value,
+    )
+    from repro.core.secrets import EntryTable
+    from repro.crypto.hashing import sha256, sha512
+    from repro.crypto.hkdf import hkdf
+    from repro.crypto.pbkdf2 import pbkdf2_hmac_sha256
+    from repro.crypto.randomness import SeededRandomSource
+    from repro.crypto.sha2 import sha256_pure
+    from repro.obs.profiler import Profiler, profiling
+
+    column = 1 if smoke else 0
+    iters = {name: pair[column] for name, pair in _MICRO_ITERATIONS.items()}
+
+    micro: Dict[str, Any] = {}
+    micro["sha256"] = {
+        "payload_bytes": len(_PAYLOAD),
+        **_time_op(lambda: sha256(_PAYLOAD), iters["sha256"]),
+    }
+    micro["sha512"] = {
+        "payload_bytes": len(_PAYLOAD),
+        **_time_op(lambda: sha512(_PAYLOAD), iters["sha512"]),
+    }
+    micro["sha256_pure"] = {
+        "payload_bytes": 64,
+        **_time_op(lambda: sha256_pure(_PAYLOAD[:64]), iters["sha256_pure"]),
+    }
+    micro["pbkdf2"] = {
+        "rounds": _PBKDF2_ROUNDS,
+        **_time_op(
+            lambda: pbkdf2_hmac_sha256(b"bench-mp", b"salt", _PBKDF2_ROUNDS, 32),
+            iters["pbkdf2"],
+        ),
+    }
+    micro["hkdf"] = {
+        "length": 64,
+        **_time_op(lambda: hkdf(b"ikm", b"salt", b"bench", 64), iters["hkdf"]),
+    }
+
+    # Algorithm 1 + template on a fixed entry table, profiled.
+    table = EntryTable.generate(SeededRandomSource("bench-table"))
+    seed, oid = b"\x11" * 16, b"\x22" * 16
+    request = generate_request("bench-user", "bench.example.com", seed)
+    profiler = Profiler()
+    with profiling(profiler):
+        micro["token"] = _time_op(
+            lambda: generate_token(request, table), iters["token"]
+        )
+        token = generate_token(request, table)
+        intermediate = intermediate_value(token, oid, seed)
+        micro["template"] = _time_op(
+            lambda: render_password(intermediate), iters["template"]
+        )
+    micro["profiler_scopes"] = {
+        name: {"calls": stats.calls, "cumulative_us": round(stats.cumulative_us, 1)}
+        for name, stats in sorted(profiler.by_name().items())
+    }
+    return micro
+
+
+# -- macro suite -----------------------------------------------------------------
+
+
+def run_macro(seed: int | str = "bench", smoke: bool = False) -> Dict[str, Any]:
+    """Deterministic simulated metrics: the gated regression surface."""
+    from repro.eval.chaos import CANONICAL_SCENARIOS, run_scenario_arm
+    from repro.eval.latency import LatencyExperiment
+    from repro.eval.workload import WorkloadSpec, run_workload
+    from repro.net.profiles import CELLULAR_4G_PROFILE, WIFI_PROFILE
+
+    e2e_trials = 5 if smoke else 40
+    macro: Dict[str, Any] = {}
+    for name, profile in (("wifi", WIFI_PROFILE), ("4g", CELLULAR_4G_PROFILE)):
+        stats = LatencyExperiment(profile, trials=e2e_trials, seed=seed).run()
+        macro[f"e2e_{name}"] = {
+            "trials": stats.n,
+            "p50_ms": round(stats.percentile(50), 3),
+            "p95_ms": round(stats.percentile(95), 3),
+            "mean_ms": round(stats.mean_ms, 3),
+            "std_ms": round(stats.std_ms, 3),
+        }
+
+    spec = WorkloadSpec(
+        users=3,
+        accounts_per_user=2,
+        duration_ms=15_000.0 if smoke else 60_000.0,
+        mean_interarrival_ms=3_000.0,
+        seed=f"{seed}|load",
+    )
+    result = run_workload(spec)
+    minutes = spec.duration_ms / 60_000.0
+    macro["workload"] = {
+        "users": spec.users,
+        "duration_ms": spec.duration_ms,
+        "issued": result.issued,
+        "completed": result.completed,
+        "completion_rate": round(result.completion_rate, 4),
+        "throughput_per_min": round(result.completed / minutes, 3),
+        "latency_p95_ms": round(result.latency_p95_ms(), 3),
+        "pool_peak_busy": result.pool_peak_busy,
+        "pool_peak_queue": result.pool_peak_queue,
+    }
+
+    scenario = CANONICAL_SCENARIOS[0]  # lossy-uplink
+    arm = run_scenario_arm(
+        scenario, seed=seed, trials=2 if smoke else 4, retries=True
+    )
+    macro["chaos"] = {
+        "scenario": scenario.name,
+        "trials": arm.trials,
+        "success_rate": round(arm.success_rate, 4),
+        "p95_ms": round(arm.percentile(95), 3),
+        "client_retries": arm.client_retries,
+        "degraded_responses": arm.degraded_responses,
+    }
+    return macro
+
+
+def macro_gates(macro: Dict[str, Any]) -> Dict[str, Dict[str, Any]]:
+    """The gated metrics, keyed by dotted path, with their direction."""
+    return {
+        "macro.e2e_wifi.p95_ms": {
+            "value": macro["e2e_wifi"]["p95_ms"],
+            "direction": LOWER_IS_BETTER,
+        },
+        "macro.e2e_4g.p95_ms": {
+            "value": macro["e2e_4g"]["p95_ms"],
+            "direction": LOWER_IS_BETTER,
+        },
+        "macro.workload.latency_p95_ms": {
+            "value": macro["workload"]["latency_p95_ms"],
+            "direction": LOWER_IS_BETTER,
+        },
+        "macro.workload.completion_rate": {
+            "value": macro["workload"]["completion_rate"],
+            "direction": HIGHER_IS_BETTER,
+        },
+        "macro.workload.throughput_per_min": {
+            "value": macro["workload"]["throughput_per_min"],
+            "direction": HIGHER_IS_BETTER,
+        },
+        "macro.chaos.p95_ms": {
+            "value": macro["chaos"]["p95_ms"],
+            "direction": LOWER_IS_BETTER,
+        },
+        "macro.chaos.success_rate": {
+            "value": macro["chaos"]["success_rate"],
+            "direction": HIGHER_IS_BETTER,
+        },
+    }
+
+
+def run_bench(
+    seed: int | str = "bench",
+    smoke: bool = False,
+    skip_micro: bool = False,
+) -> Dict[str, Any]:
+    """The full harness: micro + macro + gates, schema-versioned."""
+    macro = run_macro(seed=seed, smoke=smoke)
+    document: Dict[str, Any] = {
+        "schema": BENCH_SCHEMA,
+        "generated_utc": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "seed": str(seed),
+        "smoke": smoke,
+        "micro": {} if skip_micro else run_micro(smoke=smoke),
+        "macro": macro,
+        "gates": macro_gates(macro),
+        "threshold": DEFAULT_THRESHOLD,
+    }
+    return document
+
+
+# -- regression gating -----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class GateComparison:
+    """One gated metric, current run vs baseline."""
+
+    key: str
+    baseline: float
+    current: float
+    direction: str
+    regressed: bool
+
+    @property
+    def change_pct(self) -> float:
+        if self.baseline == 0:
+            return 0.0 if self.current == 0 else float("inf")
+        return (self.current - self.baseline) / abs(self.baseline) * 100.0
+
+    def render(self) -> str:
+        status = "REGRESSED" if self.regressed else "ok"
+        return (
+            f"  [{status:>9s}] {self.key:<36s} "
+            f"{self.baseline:>12.3f} -> {self.current:>12.3f} "
+            f"({self.change_pct:+.1f}%)"
+        )
+
+
+def compare_documents(
+    baseline: Dict[str, Any],
+    current: Dict[str, Any],
+    threshold: float = DEFAULT_THRESHOLD,
+) -> List[GateComparison]:
+    """Compare every gated metric present in both documents.
+
+    A latency metric regresses when it grows past ``(1 + threshold)``
+    times the baseline; a rate/throughput metric regresses when it
+    falls below ``(1 - threshold)`` times the baseline.
+    """
+    if not (0.0 < threshold < 1.0):
+        raise ValidationError(f"threshold must be in (0, 1), got {threshold}")
+    comparisons: List[GateComparison] = []
+    base_gates = baseline.get("gates", {})
+    for key, gate in sorted(current.get("gates", {}).items()):
+        base = base_gates.get(key)
+        if base is None:
+            continue  # new gate: no baseline yet, nothing to compare
+        base_value = float(base["value"])
+        cur_value = float(gate["value"])
+        direction = gate["direction"]
+        if direction == LOWER_IS_BETTER:
+            regressed = cur_value > base_value * (1.0 + threshold)
+        elif direction == HIGHER_IS_BETTER:
+            regressed = cur_value < base_value * (1.0 - threshold)
+        else:
+            raise ValidationError(f"unknown gate direction: {direction!r}")
+        comparisons.append(
+            GateComparison(
+                key=key,
+                baseline=base_value,
+                current=cur_value,
+                direction=direction,
+                regressed=regressed,
+            )
+        )
+    return comparisons
+
+
+def find_baseline(
+    directory: str | Path,
+    smoke: bool = False,
+    exclude: str | None = None,
+) -> Optional[Tuple[Path, Dict[str, Any]]]:
+    """The newest prior ``BENCH_*.json`` compatible with this run.
+
+    Filenames embed the UTC date, so lexicographic order is
+    chronological order. Documents from a different schema or a
+    different smoke/full mode are not comparable and are skipped;
+    *exclude* keeps today's own output file out of the search.
+    """
+    root = Path(directory)
+    for path in sorted(root.glob("BENCH_*.json"), reverse=True):
+        if exclude is not None and path.name == exclude:
+            continue
+        try:
+            document = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            continue
+        if not isinstance(document, dict):
+            continue
+        if document.get("schema") != BENCH_SCHEMA:
+            continue
+        if bool(document.get("smoke", False)) != smoke:
+            continue
+        return path, document
+    return None
+
+
+def write_bench(document: Dict[str, Any], directory: str | Path = ".") -> Path:
+    """Write the artefact as ``BENCH_<UTC-date>.json`` under *directory*."""
+    path = Path(directory) / bench_filename(document["generated_utc"][:10])
+    path.write_text(
+        json.dumps(document, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return path
+
+
+# -- rendering -------------------------------------------------------------------
+
+
+def render_bench(document: Dict[str, Any]) -> str:
+    """Human-readable summary of one bench document."""
+    lines = [
+        f"amnesia bench ({document['schema']}, seed={document['seed']}, "
+        f"{'smoke' if document['smoke'] else 'full'})",
+        "",
+        "micro (wall clock, informational):",
+    ]
+    micro = document.get("micro", {})
+    for name, entry in sorted(micro.items()):
+        if name == "profiler_scopes" or "wall_us_per_op" not in entry:
+            continue
+        lines.append(
+            f"  {name:<14s} {entry['wall_us_per_op']:>12.3f} us/op "
+            f"({entry['ops_per_sec']:>12.1f} ops/s, n={entry['iterations']})"
+        )
+    if not micro:
+        lines.append("  (skipped)")
+    lines.append("")
+    lines.append("macro (simulated, gated):")
+    for key, gate in sorted(document["gates"].items()):
+        arrow = "v" if gate["direction"] == LOWER_IS_BETTER else "^"
+        lines.append(f"  {key:<36s} {float(gate['value']):>12.3f}  ({arrow} better)")
+    return "\n".join(lines)

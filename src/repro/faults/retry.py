@@ -94,6 +94,31 @@ class RetryPolicy:
 # them (possibly asynchronously). Failing with GiveUp stops retrying.
 Operation = Callable[[Callable[[Any], None], Callable[[Exception], None]], None]
 
+# Registry families the retry driver feeds (labelled by the driver's
+# *label*, so ``/metricsz`` can say which operation is retrying).
+RETRY_ATTEMPTS_COUNTER = "amnesia_retry_attempts_total"
+RETRY_GIVEUPS_COUNTER = "amnesia_retry_giveups_total"
+
+
+def count_retry_attempt(registry, label: str) -> None:
+    if registry is None:
+        return
+    registry.counter(
+        RETRY_ATTEMPTS_COUNTER,
+        "Operation attempts made under a retry policy (first tries included)",
+        label_names=("op",),
+    ).labels(op=label).inc()
+
+
+def count_retry_giveup(registry, label: str, reason: str) -> None:
+    if registry is None:
+        return
+    registry.counter(
+        RETRY_GIVEUPS_COUNTER,
+        "Retried operations that ultimately failed, by op and reason",
+        label_names=("op", "reason"),
+    ).labels(op=label, reason=reason).inc()
+
 
 def retry_async(
     kernel,
@@ -104,6 +129,7 @@ def retry_async(
     on_failure: Callable[[Exception], None],
     on_retry: Callable[[int, Exception], None] | None = None,
     label: str = "retry",
+    registry=None,
 ) -> None:
     """Drive *operation* under *policy* on the simulation kernel.
 
@@ -112,6 +138,13 @@ def retry_async(
     backoff until the attempt cap or deadline is hit. *on_retry* fires
     before each rescheduled attempt with ``(attempt_number, error)`` —
     the hook the metrics layer uses for ``amnesia_retries_total``.
+
+    With a *registry*, every attempt counts into
+    ``amnesia_retry_attempts_total{op=label}`` and every terminal
+    failure into ``amnesia_retry_giveups_total{op=label,reason=...}``
+    (reason ``giveup`` for non-retryable errors, ``exhausted`` when the
+    cap or deadline ran out) — previously retries were invisible in
+    ``/metricsz``.
     """
     state = {"attempt": 0, "started": kernel.now, "done": False}
 
@@ -126,11 +159,13 @@ def retry_async(
             return
         if isinstance(error, GiveUp):
             state["done"] = True
+            count_retry_giveup(registry, label, "giveup")
             cause = error.cause
             on_failure(cause if isinstance(cause, Exception) else error)
             return
         if policy.exhausted(state["attempt"], state["started"], kernel.now):
             state["done"] = True
+            count_retry_giveup(registry, label, "exhausted")
             on_failure(error)
             return
         delay = policy.backoff_ms(state["attempt"], rng)
@@ -145,6 +180,7 @@ def retry_async(
         if state["done"]:
             return
         state["attempt"] += 1
+        count_retry_attempt(registry, label)
         try:
             operation(succeed, fail)
         except ReproError as error:  # synchronous failure path

@@ -16,6 +16,7 @@ from typing import Callable, Dict, Optional
 
 from repro.net.link import Link
 from repro.net.message import Datagram
+from repro.obs.profiler import profiled
 from repro.sim.kernel import Simulator
 from repro.sim.random import RngRegistry
 from repro.util.errors import ConflictError, NetworkError, ValidationError
@@ -181,6 +182,7 @@ class Network:
 
     # -- transfer ------------------------------------------------------------
 
+    @profiled("net.send")
     def send(self, src: str, dst: str, port: int, payload: bytes) -> Datagram:
         """Send a datagram; returns it (delivery is asynchronous).
 
@@ -223,6 +225,7 @@ class Network:
             )
         return datagram
 
+    @profiled("net.deliver")
     def _deliver(self, datagram: Datagram) -> None:
         host = self._hosts.get(datagram.dst)
         if host is None or not host.online:

@@ -12,7 +12,15 @@ telemetry on top of that seed:
 - :mod:`repro.obs.export` — Prometheus text exposition and JSON
   renderers, served by the ``/metricsz`` route;
 - :mod:`repro.obs.instrument` — adapters binding the simulation
-  kernel, the network fabric, and the HTTP thread pool to a registry.
+  kernel, the network fabric, and the HTTP thread pool to a registry;
+- :mod:`repro.obs.profiler` — a deterministic scoped profiler
+  (``with profile("crypto.sha512"): ...``) with self/cumulative time
+  and flame-stack aggregation;
+- :mod:`repro.obs.tracefile` — Chrome ``trace_event`` export of span
+  traces and profiler scopes for ``chrome://tracing`` / Perfetto;
+- :mod:`repro.obs.health` — the fleet health surface: ``/healthz`` and
+  ``/statusz`` payload builders shared by server, phone, and
+  rendezvous.
 
 All clocks are duck-typed: the simulator's virtual clock and
 :class:`repro.deploy.clock.WallClock` both work, so spans and
@@ -27,6 +35,13 @@ from repro.obs.registry import (
     MetricsRegistry,
     global_registry,
 )
+from repro.obs.profiler import (
+    Profiler,
+    active_profiler,
+    profile,
+    profiled,
+    profiling,
+)
 from repro.obs.spans import Span, SpanRecorder
 
 __all__ = [
@@ -34,9 +49,14 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "Profiler",
     "Span",
     "SpanRecorder",
+    "active_profiler",
     "global_registry",
+    "profile",
+    "profiled",
+    "profiling",
     "render_json",
     "render_prometheus",
 ]

@@ -132,3 +132,132 @@ def registry_snapshot(registry: MetricsRegistry) -> Dict[str, Any]:
 def render_json(registry: MetricsRegistry, indent: int | None = 2) -> str:
     """The registry as a JSON string."""
     return json.dumps(registry_snapshot(registry), indent=indent, sort_keys=True)
+
+
+# -- parsing (round-trip verification) -------------------------------------------
+
+
+def _unescape(value: str) -> str:
+    """Reverse :func:`escape_label_value` / :func:`escape_help`."""
+    out: list[str] = []
+    index = 0
+    while index < len(value):
+        char = value[index]
+        if char == "\\" and index + 1 < len(value):
+            nxt = value[index + 1]
+            if nxt == "\\":
+                out.append("\\")
+                index += 2
+                continue
+            if nxt == '"':
+                out.append('"')
+                index += 2
+                continue
+            if nxt == "n":
+                out.append("\n")
+                index += 2
+                continue
+        out.append(char)
+        index += 1
+    return "".join(out)
+
+
+def _parse_labels(segment: str) -> Dict[str, str]:
+    """Parse the inside of a ``{...}`` label block (quote-aware)."""
+    labels: Dict[str, str] = {}
+    index = 0
+    length = len(segment)
+    while index < length:
+        equals = segment.index("=", index)
+        name = segment[index:equals]
+        if equals + 1 >= length or segment[equals + 1] != '"':
+            raise ValueError(f"malformed label block: {segment!r}")
+        cursor = equals + 2
+        raw: list[str] = []
+        while cursor < length:
+            char = segment[cursor]
+            if char == "\\" and cursor + 1 < length:
+                raw.append(segment[cursor : cursor + 2])
+                cursor += 2
+                continue
+            if char == '"':
+                break
+            raw.append(char)
+            cursor += 1
+        labels[name] = _unescape("".join(raw))
+        index = cursor + 1
+        if index < length and segment[index] == ",":
+            index += 1
+    return labels
+
+
+def _split_sample(line: str) -> tuple[str, Dict[str, str], float]:
+    """One exposition sample line -> (name, labels, value)."""
+    brace = line.find("{")
+    space = line.find(" ")
+    if brace != -1 and (space == -1 or brace < space):
+        # Find the closing brace outside any quoted label value.
+        cursor = brace + 1
+        in_quotes = False
+        while cursor < len(line):
+            char = line[cursor]
+            if char == "\\" and in_quotes:
+                cursor += 2
+                continue
+            if char == '"':
+                in_quotes = not in_quotes
+            elif char == "}" and not in_quotes:
+                break
+            cursor += 1
+        if cursor >= len(line):
+            raise ValueError(f"unterminated label block: {line!r}")
+        name = line[:brace]
+        labels = _parse_labels(line[brace + 1 : cursor])
+        value_text = line[cursor + 1 :].strip()
+    else:
+        name, value_text = line.split(None, 1)
+        labels = {}
+    return name, labels, float(value_text)
+
+
+def parse_prometheus(text: str) -> Dict[str, Dict[str, Any]]:
+    """Parse :func:`render_prometheus` output back into structured data.
+
+    Returns ``{family_name: {"kind", "help", "samples"}}`` where
+    ``samples`` is a list of ``(sample_name, labels, value)`` tuples in
+    file order — ``sample_name`` keeps the ``_bucket``/``_sum``/
+    ``_count`` suffixes of histogram series. This is the round-trip
+    half of the exporter contract: what `/metricsz` serves can be
+    reconstructed, bit-for-bit, into the registry's snapshot.
+    """
+    families: Dict[str, Dict[str, Any]] = {}
+    current: str | None = None
+    for line in text.splitlines():
+        if not line.strip():
+            continue
+        if line.startswith("# HELP "):
+            __, __, name, help_text = line.split(" ", 3)
+            families.setdefault(
+                name, {"kind": "untyped", "help": "", "samples": []}
+            )["help"] = _unescape(help_text)
+            current = name
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(" ")
+            name, kind = parts[2], parts[3]
+            families.setdefault(
+                name, {"kind": "untyped", "help": "", "samples": []}
+            )["kind"] = kind
+            current = name
+            continue
+        if line.startswith("#"):
+            continue
+        name, labels, value = _split_sample(line)
+        family_name = current
+        if family_name is None or not name.startswith(family_name):
+            family_name = name
+            families.setdefault(
+                family_name, {"kind": "untyped", "help": "", "samples": []}
+            )
+        families[family_name]["samples"].append((name, labels, value))
+    return families

@@ -1,0 +1,156 @@
+"""The fleet health surface: ``/healthz`` and ``/statusz`` for every tier.
+
+The scaling PRs the ROADMAP plans ("millions of users, as fast as the
+hardware allows") need one uniform way to ask *any* component — server,
+phone app, rendezvous service — whether it is alive (``/healthz``) and
+what state it is in (``/statusz``: uptime, pending-exchange depth,
+retry/fault counters, degraded-mode flags). This module owns the
+payload shapes so the three tiers cannot drift apart:
+
+- :func:`healthz_payload` — the tiny liveness document: ``ok``,
+  component name, current clock reading, uptime.
+- :func:`statusz_payload` — the liveness document plus a
+  component-supplied ``detail`` mapping and a ``degraded`` flag.
+- :func:`install_health_routes` — registers both routes on an existing
+  :class:`~repro.web.app.Application` (the Amnesia server's app).
+- :func:`make_status_application` — builds a minimal Application for
+  components that are not otherwise HTTP servers (the phone app, the
+  rendezvous service); with a registry it also serves ``/metricsz``,
+  making the trio of endpoints uniform across the fleet.
+
+``detail`` values must be JSON-serialisable; the builders never invent
+fields, so what a component reports is exactly what its ``status_fn``
+returns. :func:`counter_total` is the helper status functions use to
+fold a labelled counter family (e.g. retry attempts across ops) into
+one number.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional
+
+from repro.util.errors import ValidationError
+from repro.web.app import Application, json_response
+from repro.web.http import HttpRequest, HttpResponse
+
+HEALTH_SCHEMA = "amnesia-health/1"
+
+StatusFn = Callable[[], Dict[str, Any]]
+
+
+def counter_total(registry, name: str) -> float:
+    """Sum a counter/gauge family across all of its label sets (0 if absent)."""
+    if registry is None:
+        return 0.0
+    family = registry.get(name)
+    if family is None:
+        return 0.0
+    return float(sum(child.value for __, child in family.samples()))
+
+
+def healthz_payload(
+    component: str, now_ms: float, started_ms: float, ok: bool = True
+) -> Dict[str, Any]:
+    """The liveness document served at ``/healthz``."""
+    if not component:
+        raise ValidationError("component name must be non-empty")
+    return {
+        "schema": HEALTH_SCHEMA,
+        "component": component,
+        "ok": bool(ok),
+        "now_ms": now_ms,
+        "uptime_ms": max(0.0, now_ms - started_ms),
+    }
+
+
+def statusz_payload(
+    component: str,
+    now_ms: float,
+    started_ms: float,
+    detail: Dict[str, Any],
+    degraded: bool = False,
+    ok: bool = True,
+) -> Dict[str, Any]:
+    """The full status document served at ``/statusz``."""
+    payload = healthz_payload(component, now_ms, started_ms, ok=ok)
+    payload["degraded"] = bool(degraded)
+    payload["detail"] = dict(detail)
+    return payload
+
+
+class HealthEndpoints:
+    """Shared handler pair bound to one component's clock and status."""
+
+    def __init__(
+        self,
+        component: str,
+        clock,
+        status_fn: StatusFn,
+        started_ms: Optional[float] = None,
+    ) -> None:
+        if not component:
+            raise ValidationError("component name must be non-empty")
+        self.component = component
+        self._clock = clock
+        self._status_fn = status_fn
+        self.started_ms = clock.now if started_ms is None else started_ms
+
+    def _status(self) -> Dict[str, Any]:
+        detail = dict(self._status_fn())
+        degraded = bool(detail.pop("degraded", False))
+        ok = bool(detail.pop("ok", True))
+        return statusz_payload(
+            self.component,
+            self._clock.now,
+            self.started_ms,
+            detail,
+            degraded=degraded,
+            ok=ok,
+        )
+
+    def healthz(self, request: HttpRequest) -> HttpResponse:
+        status = self._status()
+        payload = healthz_payload(
+            self.component, self._clock.now, self.started_ms, ok=status["ok"]
+        )
+        return json_response(payload, status=200 if status["ok"] else 503)
+
+    def statusz(self, request: HttpRequest) -> HttpResponse:
+        status = self._status()
+        return json_response(status, status=200 if status["ok"] else 503)
+
+
+def install_health_routes(
+    app: Application,
+    component: str,
+    clock,
+    status_fn: StatusFn,
+    started_ms: Optional[float] = None,
+) -> HealthEndpoints:
+    """Register ``GET /healthz`` and ``GET /statusz`` on *app*."""
+    endpoints = HealthEndpoints(component, clock, status_fn, started_ms)
+    app.router.add("GET", "/healthz", endpoints.healthz)
+    app.router.add("GET", "/statusz", endpoints.statusz)
+    return endpoints
+
+
+def make_status_application(
+    component: str,
+    clock,
+    status_fn: StatusFn,
+    registry=None,
+    started_ms: Optional[float] = None,
+) -> Application:
+    """A minimal Application exposing the health trio for non-HTTP tiers.
+
+    The phone app and the rendezvous service are datagram services, not
+    web servers; this gives each one an in-process HTTP surface whose
+    ``handle()`` answers ``/healthz`` + ``/statusz`` (and ``/metricsz``
+    when a registry is supplied), so fleet tooling can scrape every tier
+    through one code path.
+    """
+    app = Application(f"{component}-status")
+    install_health_routes(app, component, clock, status_fn, started_ms)
+    if registry is not None:
+        app.bind_observability(registry, clock)
+    return app

@@ -1,0 +1,384 @@
+"""A deterministic scoped profiler for the hot paths.
+
+The registry answers *what happened* (counters, latency histograms);
+the profiler answers *where the time went inside one process*. Code
+marks its hot sections with::
+
+    with profile("crypto.sha256"):
+        ...
+
+Scopes nest: entering ``core.token`` and then ``crypto.sha256`` records
+the inner scope under the stack path ``core.token;crypto.sha256`` —
+the folded-stack convention flame-graph tooling consumes. For every
+distinct stack path the profiler keeps:
+
+- **calls** — how many times the scope ran at that path;
+- **cumulative** — total time between enter and exit (children
+  included);
+- **self** — cumulative minus the children's cumulative, i.e. the time
+  actually spent in this scope's own code.
+
+Two invariants hold by construction and are asserted by the tests:
+``self <= cumulative`` for every node, and the sum of a node's
+children's cumulative time never exceeds the parent's cumulative time.
+
+Profiling is *opt-in and zero-cost when off*: :func:`profile` reads one
+module global; when no profiler is active it returns a shared null
+context manager, so instrumented crypto inner loops pay a dict lookup
+and nothing else. The clock is injectable (defaults to
+``time.perf_counter_ns``), which is how the unit tests pin timings and
+how simulated-time profiles stay deterministic.
+
+A profiler optionally feeds a :class:`~repro.obs.registry.MetricsRegistry`
+(``amnesia_profile_scope_us{scope=...}`` histogram plus
+``amnesia_profile_calls_total{scope=...}``), so ``/metricsz`` exports
+the same data the flame stacks aggregate. Completed scopes are also
+retained as a bounded event list for Chrome ``trace_event`` export
+(:mod:`repro.obs.tracefile`).
+"""
+
+from __future__ import annotations
+
+import functools
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
+
+from repro.util.errors import ValidationError
+
+# Buckets for per-call scope durations (microseconds): pure-Python
+# crypto calls live between ~10 µs (hashlib-backed) and tens of ms
+# (pure SHA-512 over large inputs, the x25519 ladder).
+PROFILE_SCOPE_US_BUCKETS = (
+    1.0, 5.0, 10.0, 50.0, 100.0, 500.0,
+    1000.0, 5000.0, 10000.0, 50000.0, 100000.0, 1000000.0,
+)
+
+PROFILE_SCOPE_HISTOGRAM = "amnesia_profile_scope_us"
+PROFILE_CALLS_COUNTER = "amnesia_profile_calls_total"
+
+StackPath = Tuple[str, ...]
+
+
+@dataclass
+class ScopeStats:
+    """Aggregate timing for one stack path."""
+
+    path: StackPath
+    calls: int = 0
+    cumulative_us: float = 0.0
+    children_us: float = 0.0
+
+    @property
+    def name(self) -> str:
+        return self.path[-1] if self.path else ""
+
+    @property
+    def self_us(self) -> float:
+        """Time spent in this scope's own code (children excluded)."""
+        return max(0.0, self.cumulative_us - self.children_us)
+
+    @property
+    def folded(self) -> str:
+        """The folded-stack key, ``root;child;grandchild``."""
+        return ";".join(self.path)
+
+
+@dataclass
+class ProfileEvent:
+    """One completed scope occurrence (for trace export)."""
+
+    path: StackPath
+    start_us: float
+    end_us: float
+    depth: int = 0
+
+    @property
+    def name(self) -> str:
+        return self.path[-1]
+
+    @property
+    def duration_us(self) -> float:
+        return self.end_us - self.start_us
+
+
+class _Frame:
+    __slots__ = ("name", "start_us", "children_us", "depth")
+
+    def __init__(self, name: str, start_us: float, depth: int) -> None:
+        self.name = name
+        self.start_us = start_us
+        self.children_us = 0.0
+        self.depth = depth
+
+
+class _Scope:
+    """The context manager returned by :meth:`Profiler.scope`."""
+
+    __slots__ = ("_profiler", "_name")
+
+    def __init__(self, profiler: "Profiler", name: str) -> None:
+        self._profiler = profiler
+        self._name = name
+
+    def __enter__(self) -> None:
+        self._profiler._enter(self._name)
+
+    def __exit__(self, *exc_info) -> bool:
+        self._profiler._exit()
+        return False
+
+
+class _NullScope:
+    """Shared no-op context manager: the cost of profiling when off."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc_info) -> bool:
+        return False
+
+
+_NULL_SCOPE = _NullScope()
+
+
+class Profiler:
+    """Collects nested scope timings keyed by stack path.
+
+    *clock_us* is any zero-argument callable returning microseconds as a
+    float; the default wraps ``time.perf_counter_ns``. *max_events*
+    bounds the retained event list (aggregated stats are unbounded but
+    keyed by stack path, whose cardinality is the instrumentation's).
+    """
+
+    def __init__(
+        self,
+        clock_us: Callable[[], float] | None = None,
+        registry=None,
+        max_events: int = 100_000,
+    ) -> None:
+        if max_events < 0:
+            raise ValidationError(f"max_events must be >= 0, got {max_events}")
+        self._clock_us = clock_us or (lambda: time.perf_counter_ns() / 1_000.0)
+        self._registry = registry
+        self._max_events = max_events
+        self._stack: List[_Frame] = []
+        self._stats: Dict[StackPath, ScopeStats] = {}
+        self.events: List[ProfileEvent] = []
+        self.dropped_events = 0
+
+    # -- recording -----------------------------------------------------------
+
+    def scope(self, name: str) -> _Scope:
+        """A context manager timing *name* at the current stack depth."""
+        if not name:
+            raise ValidationError("scope name must be non-empty")
+        return _Scope(self, name)
+
+    def _enter(self, name: str) -> None:
+        self._stack.append(_Frame(name, self._clock_us(), len(self._stack)))
+
+    def _exit(self) -> None:
+        end_us = self._clock_us()
+        frame = self._stack.pop()
+        if end_us < frame.start_us:  # a clock must not run backwards
+            end_us = frame.start_us
+        elapsed = end_us - frame.start_us
+        path = tuple(f.name for f in self._stack) + (frame.name,)
+        stats = self._stats.get(path)
+        if stats is None:
+            stats = ScopeStats(path)
+            self._stats[path] = stats
+        stats.calls += 1
+        stats.cumulative_us += elapsed
+        stats.children_us += frame.children_us
+        if self._stack:
+            self._stack[-1].children_us += elapsed
+        if len(self.events) < self._max_events:
+            self.events.append(
+                ProfileEvent(path, frame.start_us, end_us, frame.depth)
+            )
+        else:
+            self.dropped_events += 1
+        if self._registry is not None:
+            scope_label = ";".join(path)
+            self._registry.histogram(
+                PROFILE_SCOPE_HISTOGRAM,
+                "Per-call duration of one profiled scope (microseconds)",
+                label_names=("scope",),
+                buckets=PROFILE_SCOPE_US_BUCKETS,
+            ).labels(scope=scope_label).observe(elapsed)
+            self._registry.counter(
+                PROFILE_CALLS_COUNTER,
+                "Completed profiled scope calls, by folded stack path",
+                label_names=("scope",),
+            ).labels(scope=scope_label).inc()
+
+    @property
+    def depth(self) -> int:
+        """Current nesting depth (0 outside any scope)."""
+        return len(self._stack)
+
+    # -- aggregation ---------------------------------------------------------
+
+    def stats(self) -> Dict[StackPath, ScopeStats]:
+        """Per-stack-path statistics, keyed by the full path tuple."""
+        return dict(self._stats)
+
+    def by_name(self) -> Dict[str, ScopeStats]:
+        """Statistics merged across stack positions, keyed by scope name.
+
+        ``cumulative_us`` across positions can double-count recursive
+        scopes; the merge is for ranking, not for invariant checking.
+        """
+        merged: Dict[str, ScopeStats] = {}
+        for path, stats in sorted(self._stats.items()):
+            entry = merged.get(stats.name)
+            if entry is None:
+                entry = ScopeStats((stats.name,))
+                merged[stats.name] = entry
+            entry.calls += stats.calls
+            entry.cumulative_us += stats.cumulative_us
+            entry.children_us += stats.children_us
+        return merged
+
+    def flame_stacks(self) -> List[str]:
+        """Folded-stack lines (``a;b;c <self-µs>``), deterministically
+        sorted by path — the input format of flame-graph renderers.
+
+        Self time is emitted as an integer microsecond count (the
+        convention of ``flamegraph.pl``-style collapsers); zero-self
+        nodes still appear so the hierarchy is complete.
+        """
+        return [
+            f"{stats.folded} {int(round(stats.self_us))}"
+            for __, stats in sorted(self._stats.items())
+        ]
+
+    def total_us(self) -> float:
+        """Total profiled time: the cumulative time of all root scopes."""
+        return sum(
+            s.cumulative_us for path, s in self._stats.items() if len(path) == 1
+        )
+
+    def render_table(self, limit: int = 20) -> str:
+        """A cumulative/self/calls table sorted by cumulative time."""
+        rows = sorted(
+            self._stats.values(),
+            key=lambda s: (-s.cumulative_us, s.path),
+        )[:limit]
+        if not rows:
+            return "(no profiled scopes)"
+        header = (
+            f"{'scope':<44s} {'calls':>7s} {'cum µs':>12s} {'self µs':>12s}"
+        )
+        lines = [header, "-" * len(header)]
+        for stats in rows:
+            indent = "  " * (len(stats.path) - 1)
+            label = indent + stats.name
+            lines.append(
+                f"{label:<44s} {stats.calls:>7d} "
+                f"{stats.cumulative_us:>12.1f} {stats.self_us:>12.1f}"
+            )
+        return "\n".join(lines)
+
+    def clear(self) -> None:
+        if self._stack:
+            raise ValidationError("cannot clear while scopes are open")
+        self._stats.clear()
+        self.events.clear()
+        self.dropped_events = 0
+
+
+# -- the module-level activation switch -----------------------------------------
+
+_ACTIVE: Optional[Profiler] = None
+
+
+def active_profiler() -> Optional[Profiler]:
+    """The currently active profiler, or ``None`` when profiling is off."""
+    return _ACTIVE
+
+
+def activate(profiler: Profiler) -> None:
+    """Route :func:`profile` scopes into *profiler* until deactivated."""
+    global _ACTIVE
+    if _ACTIVE is not None and _ACTIVE is not profiler:
+        raise ValidationError("another profiler is already active")
+    _ACTIVE = profiler
+
+
+def deactivate() -> None:
+    global _ACTIVE
+    _ACTIVE = None
+
+
+class profiling:
+    """``with profiling(profiler):`` — activate for one block.
+
+    Re-entrant for the *same* profiler instance (nested blocks share
+    it); activating a second instance while one is live is an error, so
+    stray global state cannot silently corrupt measurements.
+    """
+
+    def __init__(self, profiler: Profiler | None = None, **kwargs) -> None:
+        self.profiler = profiler if profiler is not None else Profiler(**kwargs)
+        self._was_active = False
+
+    def __enter__(self) -> Profiler:
+        self._was_active = _ACTIVE is self.profiler
+        if not self._was_active:
+            activate(self.profiler)
+        return self.profiler
+
+    def __exit__(self, *exc_info) -> bool:
+        if not self._was_active:
+            deactivate()
+        return False
+
+
+def profile(name: str):
+    """Time the enclosed block under *name* on the active profiler.
+
+    When no profiler is active this returns a shared null context
+    manager — one global read, no allocation — which is why the
+    pure-Python crypto inner loops can afford to stay instrumented.
+    """
+    active = _ACTIVE
+    if active is None:
+        return _NULL_SCOPE
+    return active.scope(name)
+
+
+def profiled(name: str):
+    """Decorator form of :func:`profile` for whole-function scopes.
+
+    The inactive fast path is a plain call behind one global read, so
+    permanently decorating the crypto primitives costs ~one function
+    wrapper when profiling is off and full attribution when it is on.
+    """
+    if not name:
+        raise ValidationError("scope name must be non-empty")
+
+    def decorate(fn):
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            active = _ACTIVE
+            if active is None:
+                return fn(*args, **kwargs)
+            with active.scope(name):
+                return fn(*args, **kwargs)
+
+        wrapper.__profiled_scope__ = name
+        return wrapper
+
+    return decorate
+
+
+def iter_roots(events: List[ProfileEvent]) -> Iterator[ProfileEvent]:
+    """The depth-0 events, in completion order (for summaries)."""
+    for event in events:
+        if event.depth == 0:
+            yield event

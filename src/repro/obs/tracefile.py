@@ -1,0 +1,180 @@
+"""Chrome ``trace_event`` export for spans and profiler scopes.
+
+The other half of the observability story: the registry aggregates, the
+:class:`~repro.obs.spans.SpanRecorder` attributes one exchange's
+milliseconds to pipeline stages, and the profiler attributes one
+process's microseconds to code scopes — this module serializes any of
+them into the JSON format ``chrome://tracing`` and Perfetto consume, so
+a generated exchange becomes a picture.
+
+The output follows the Trace Event Format's *JSON object* flavour::
+
+    {"traceEvents": [...], "displayTimeUnit": "ms", "otherData": {...}}
+
+Every span/scope becomes one complete ("X") event with ``ts``/``dur``
+in microseconds. Trace-viewer rows are organised the way the Figure 1
+pipeline reads:
+
+- each **correlation id** (one password-generation exchange) maps to
+  one *process* (``pid``), named via an ``M``-phase ``process_name``
+  metadata event, so exchanges stack as separate tracks;
+- pipeline stages sit on ``tid`` 1 within their exchange;
+- profiler scopes (when a :class:`~repro.obs.profiler.Profiler` is
+  given) map to a dedicated ``profiler`` process, one thread, with the
+  scope's stack depth preserved by the viewer's own flame nesting —
+  Chrome infers nesting from containment of ``[ts, ts+dur)`` ranges.
+
+Determinism: events are emitted sorted by ``(pid, tid, ts, dur, name)``
+and the JSON is rendered with sorted keys, so identical recorders
+produce byte-identical files — which is what the golden-file test pins.
+
+Span clocks are simulated milliseconds and profiler clocks are
+microseconds; both are converted to integer-ish microsecond ``ts``
+values but *not* rebased against each other (they are different clocks;
+the viewer's per-process timelines keep them readable).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Optional
+
+from repro.obs.profiler import ProfileEvent, Profiler
+from repro.obs.spans import Span, SpanRecorder
+from repro.util.errors import ValidationError
+
+TRACE_SCHEMA = "amnesia-chrome-trace/1"
+
+# pid assignments: exchanges get 1..N in first-seen order; the profiler
+# track sits far away so new exchanges never collide with it.
+PROFILER_PID = 1_000_000
+
+
+def _span_event(span: Span, pid: int) -> Dict[str, object]:
+    """One pipeline stage as a complete event (ms clock -> µs)."""
+    return {
+        "name": span.name,
+        "cat": "stage",
+        "ph": "X",
+        "ts": round(span.start_ms * 1000.0, 3),
+        "dur": round(span.duration_ms * 1000.0, 3),
+        "pid": pid,
+        "tid": 1,
+        "args": {"corr_id": span.corr_id, "duration_ms": span.duration_ms},
+    }
+
+
+def _scope_event(event: ProfileEvent) -> Dict[str, object]:
+    """One profiler scope as a complete event (µs clock)."""
+    return {
+        "name": event.name,
+        "cat": "scope",
+        "ph": "X",
+        "ts": round(event.start_us, 3),
+        "dur": round(event.duration_us, 3),
+        "pid": PROFILER_PID,
+        "tid": 1,
+        "args": {"stack": ";".join(event.path), "depth": event.depth},
+    }
+
+
+def _process_name_event(pid: int, name: str) -> Dict[str, object]:
+    return {
+        "name": "process_name",
+        "ph": "M",
+        "pid": pid,
+        "tid": 0,
+        "args": {"name": name},
+    }
+
+
+def chrome_trace(
+    spans: Optional[SpanRecorder] = None,
+    profiler: Optional[Profiler] = None,
+    corr_ids: Optional[Iterable[str]] = None,
+) -> Dict[str, object]:
+    """Build the trace document from a span recorder and/or profiler.
+
+    *corr_ids* restricts the export to specific exchanges (default: all
+    traces the recorder holds, in arrival order). Unknown ids raise, so
+    an empty export cannot masquerade as a successful one.
+    """
+    if spans is None and profiler is None:
+        raise ValidationError("need a SpanRecorder and/or a Profiler to export")
+    metadata: List[Dict[str, object]] = []
+    events: List[Dict[str, object]] = []
+    trace_totals: Dict[str, float] = {}
+    if spans is not None:
+        ids = list(corr_ids) if corr_ids is not None else spans.trace_ids()
+        for pid, corr_id in enumerate(ids, start=1):
+            trace = spans.trace(corr_id)
+            if not trace:
+                raise ValidationError(f"no spans recorded for corr_id {corr_id!r}")
+            metadata.append(_process_name_event(pid, f"exchange {corr_id}"))
+            for span in trace:
+                events.append(_span_event(span, pid))
+            trace_totals[corr_id] = spans.trace_total_ms(corr_id)
+    elif corr_ids is not None:
+        raise ValidationError("corr_ids given without a SpanRecorder")
+    if profiler is not None and profiler.events:
+        metadata.append(_process_name_event(PROFILER_PID, "profiler"))
+        for event in profiler.events:
+            events.append(_scope_event(event))
+    events.sort(
+        key=lambda e: (e["pid"], e["tid"], e["ts"], e["dur"], e["name"])
+    )
+    return {
+        "traceEvents": metadata + events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "schema": TRACE_SCHEMA,
+            "trace_total_ms": {
+                corr_id: trace_totals[corr_id] for corr_id in sorted(trace_totals)
+            },
+        },
+    }
+
+
+def render_chrome_trace(
+    spans: Optional[SpanRecorder] = None,
+    profiler: Optional[Profiler] = None,
+    corr_ids: Optional[Iterable[str]] = None,
+) -> str:
+    """The trace document as deterministic JSON text."""
+    document = chrome_trace(spans=spans, profiler=profiler, corr_ids=corr_ids)
+    return json.dumps(document, sort_keys=True, indent=2) + "\n"
+
+
+def write_chrome_trace(
+    path: str,
+    spans: Optional[SpanRecorder] = None,
+    profiler: Optional[Profiler] = None,
+    corr_ids: Optional[Iterable[str]] = None,
+) -> str:
+    """Render and write the trace file; returns *path* for chaining."""
+    text = render_chrome_trace(spans=spans, profiler=profiler, corr_ids=corr_ids)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text)
+    return path
+
+
+def exported_span_sum_ms(document: Dict[str, object], corr_id: str) -> float:
+    """Sum of exported stage durations for one exchange, in ms.
+
+    Reads the *document* (not the recorder), so tests can assert the
+    exported artifact — not merely the in-memory spans — still accounts
+    for the full Figure 3 end-to-end latency.
+    """
+    total = 0.0
+    found = False
+    for event in document["traceEvents"]:  # type: ignore[index]
+        if (
+            event.get("ph") == "X"
+            and event.get("cat") == "stage"
+            and event.get("args", {}).get("corr_id") == corr_id
+        ):
+            total += float(event["dur"]) / 1000.0
+            found = True
+    if not found:
+        raise ValidationError(f"no stage events for corr_id {corr_id!r}")
+    return total

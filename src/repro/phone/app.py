@@ -127,6 +127,10 @@ class AmnesiaApp:
         self._resilience_login: str | None = None
         self._m_retries = None
         self._m_token_failures = None
+        # -- fleet health -----------------------------------------------------
+        self.started_ms: float = kernel.now
+        self._registry = None
+        self._status_app = None
 
         self.stack = SecureStack(device.host, device.network, rng)
         self.listener = RendezvousListener(
@@ -311,6 +315,7 @@ class AmnesiaApp:
             on_failure,
             on_retry=on_retry,
             label=f"phone-retry {path}",
+            registry=self._registry,
         )
 
     def _http_client(self) -> SimHttpClient:
@@ -472,12 +477,55 @@ class AmnesiaApp:
             on_failure,
             on_retry=on_retry,
             label="phone-token-retry",
+            registry=self._registry,
         )
+
+    # -- fleet health -----------------------------------------------------------
+
+    def status_application(self):
+        """The phone's health surface: ``/healthz`` + ``/statusz`` (and
+        ``/metricsz`` once :meth:`bind_registry` has run).
+
+        The phone is a push client, not a web server, so this is an
+        in-process :class:`~repro.web.app.Application` whose ``handle()``
+        answers the fleet-uniform endpoints — what a real device would
+        expose on a local debug port.
+        """
+        if self._status_app is None:
+            from repro.obs.health import make_status_application
+
+            self._status_app = make_status_application(
+                "phone",
+                self.kernel,
+                self._status_detail,
+                registry=self._registry,
+                started_ms=self.started_ms,
+            )
+        return self._status_app
+
+    def _status_detail(self) -> Dict[str, Any]:
+        registered = self.listener.reg_id is not None
+        return {
+            # Degraded: installed but currently without a live rendezvous
+            # registration — pushes cannot reach this device.
+            "degraded": self._installed and not registered,
+            "installed": self._installed,
+            "registered": registered,
+            "heartbeat_active": self.listener.heartbeat_active,
+            "pending_approvals": len(self._pending_approvals),
+            "answered_requests": self.answered_requests,
+            "denied_requests": self.denied_requests,
+            "token_submit_failures": self.token_submit_failures,
+            "token_submit_retries": self.token_submit_retries,
+            "reregistrations": self.reregistrations,
+            "last_failure_reason": self.last_failure_reason,
+        }
 
     # -- resilience (opt-in) ------------------------------------------------------
 
     def bind_registry(self, registry) -> None:
         """Feed the app's retry/failure counters into *registry*."""
+        self._registry = registry
         self._m_retries = registry.counter(
             "amnesia_retries_total",
             "Retry attempts, per retrying component",

@@ -109,10 +109,51 @@ class RendezvousService:
         self.crash_count = 0
         self.restart_count = 0
         self.queue_overflow_count = 0
+        # -- fleet health --
+        self.started_ms: float = network.kernel.now
+        self._status_app = None
         host.bind(RENDEZVOUS_PORT, self._on_datagram)
 
     def registered_devices(self) -> Dict[str, str]:
         return dict(self._devices)
+
+    # -- fleet health ----------------------------------------------------------
+
+    def status_application(self, registry=None):
+        """The rendezvous tier's ``/healthz``/``/statusz`` surface.
+
+        The service itself speaks datagrams; this in-process
+        :class:`~repro.web.app.Application` is the debug/ops port a real
+        GCM-like deployment would expose. Pass a registry to also serve
+        ``/metricsz`` (first call wins; later registries are ignored).
+        """
+        if self._status_app is None:
+            from repro.obs.health import make_status_application
+
+            self._status_app = make_status_application(
+                "rendezvous",
+                self.network.kernel,
+                self._status_detail,
+                registry=registry,
+                started_ms=self.started_ms,
+            )
+        return self._status_app
+
+    def _status_detail(self) -> Dict[str, Any]:
+        queued = sum(len(queue) for queue in self._queues.values())
+        return {
+            # Degraded: the host is down (crashed and not yet restarted).
+            "degraded": not self.host.online,
+            "online": self.host.online,
+            "registered_devices": len(self._devices),
+            "queued_pushes": queued,
+            "unacked_deliveries": len(self._unacked),
+            "push_count": self.push_count,
+            "forward_count": self.forward_count,
+            "crash_count": self.crash_count,
+            "restart_count": self.restart_count,
+            "queue_overflow_count": self.queue_overflow_count,
+        }
 
     # -- crash/restart (the fault plane's RestartableProcess contract) --------
 

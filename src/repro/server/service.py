@@ -39,6 +39,7 @@ from repro.crypto.hashing import salted_hash, verify_salted_hash
 from repro.crypto.randomness import RandomSource
 from repro.net.network import Network
 from repro.net.tls import SecureServer, SecureStack
+from repro.obs.health import counter_total, install_health_routes
 from repro.obs.registry import MetricsRegistry
 from repro.obs.spans import SpanRecorder
 from repro.rendezvous.service import RendezvousPublisher
@@ -81,6 +82,10 @@ _MIN_MASTER_PASSWORD_LENGTH = 8
 # The retry-after hint attached to fail-fast 503s when the rendezvous
 # push is NACKed or unacknowledged (the phone may be re-registering).
 DEFAULT_PUSH_RETRY_AFTER_MS = 1_000.0
+
+# /statusz reports ``degraded: true`` while the last fail-fast 503
+# happened within this window; afterwards the flag clears on its own.
+DEFAULT_DEGRADED_WINDOW_MS = 30_000.0
 
 _log = component_logger("server")
 
@@ -145,6 +150,12 @@ class AmnesiaCore:
         self.pending = PendingRegistry(rng, max_per_user=pending_cap_per_user)
         self.throttle = LoginThrottle()
         self.metrics = ServerMetrics(self.registry)
+        # Fleet health state: when did this instance start, and when did
+        # it last answer degraded (fail-fast 503)? /statusz reports
+        # degraded while a fail-fast happened within the grace window.
+        self.started_ms: float = self.kernel.now
+        self.last_degraded_ms: float | None = None
+        self.degraded_window_ms: float = DEFAULT_DEGRADED_WINDOW_MS
         self.application = self._build_application()
         self.application.bind_observability(self.registry, self.kernel)
 
@@ -271,6 +282,7 @@ class AmnesiaCore:
             if cancelled is None:
                 return  # completed or timed out meanwhile
             self.metrics.record_degraded(reason)
+            self.last_degraded_ms = self.kernel.now
             with bind_corr_id(exchange.pending_id):
                 _log.info(
                     "push for exchange %s failed fast (%s); degrading",
@@ -322,6 +334,42 @@ class AmnesiaCore:
             self.spans.record(corr_id, "phone_round_trip", tstart, arrival_ms)
         self.spans.record(corr_id, "server_render", arrival_ms, tend_ms)
 
+    # -- fleet health ----------------------------------------------------------
+
+    def _status_detail(self) -> dict[str, Any]:
+        """The server's ``/statusz`` detail document.
+
+        ``degraded`` follows the fail-fast 503 path: true while the most
+        recent push failure happened inside the degraded window, false
+        once the window passes without another one.
+        """
+        degraded = (
+            self.last_degraded_ms is not None
+            and (self.kernel.now - self.last_degraded_ms)
+            <= self.degraded_window_ms
+        )
+        return {
+            "degraded": degraded,
+            "pending_exchanges": self.pending.outstanding(),
+            "generations": {
+                "started": self.metrics.generations_started,
+                "completed": self.metrics.generations_completed,
+                "timed_out": self.metrics.generations_timed_out,
+                "from_session": self.metrics.generations_from_session,
+            },
+            "degraded_responses_total": self.metrics.degraded_responses,
+            "retry_attempts_total": int(
+                counter_total(self.registry, "amnesia_retry_attempts_total")
+            ),
+            "retry_giveups_total": int(
+                counter_total(self.registry, "amnesia_retry_giveups_total")
+            ),
+            "faults_injected_total": int(
+                counter_total(self.registry, "amnesia_faults_injected_total")
+            ),
+            "spans_recorded": self.spans.recorded_spans,
+        }
+
     # -- application -----------------------------------------------------------
 
     def _build_application(self) -> Application:
@@ -329,9 +377,13 @@ class AmnesiaCore:
         router = app.router
 
         # ---- health ----
-        @router.get("/healthz")
-        def healthz(request: HttpRequest):
-            return json_response({"ok": True, "now_ms": self.kernel.now})
+        install_health_routes(
+            app,
+            "server",
+            self.kernel,
+            self._status_detail,
+            started_ms=self.started_ms,
+        )
 
         # ---- signup / login ----
         @router.post("/signup")

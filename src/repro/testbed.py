@@ -187,13 +187,17 @@ class AmnesiaTestbed:
 
     def new_browser(self) -> AmnesiaBrowser:
         """A fresh browser profile on the user's computer."""
-        return AmnesiaBrowser(
+        browser = AmnesiaBrowser(
             self._laptop_stack,
             self.kernel,
             SERVER,
             self.server.certificate,
             pins=self.pins,
         )
+        # Client-side retries count into the deployment registry
+        # (amnesia_retry_attempts_total / _giveups_total).
+        browser.http.registry = self.registry
+        return browser
 
     def enroll(
         self, login: str, master_password: str, phone: AmnesiaApp | None = None

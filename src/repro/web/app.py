@@ -72,6 +72,27 @@ class Deferred:
             self._callbacks.append(callback)
 
 
+def wants_json(request: HttpRequest) -> bool:
+    """Does *request* negotiate a JSON representation?
+
+    ``?format=json`` is the explicit override; otherwise the ``Accept``
+    header is honoured when ``application/json`` (or ``text/json``)
+    outranks any plain-text alternative in its list. ``*/*`` and absent
+    headers keep the endpoint's default representation.
+    """
+    explicit = request.query.get("format")
+    if explicit is not None:
+        return explicit == "json"
+    accept = request.headers.get("accept", "")
+    for clause in accept.split(","):
+        media = clause.split(";")[0].strip().lower()
+        if media in ("application/json", "text/json"):
+            return True
+        if media in ("text/plain", "text/*"):
+            return False
+    return False
+
+
 def json_response(payload: Any, status: int = 200) -> HttpResponse:
     """A JSON-encoded response."""
     return HttpResponse(
@@ -152,7 +173,10 @@ class Application:
         if first_bind:
 
             def metricsz(request: HttpRequest) -> HttpResponse:
-                if request.query.get("format") == "json":
+                # Content negotiation: explicit ?format=json wins, then
+                # the Accept header; the default is Prometheus text
+                # exposition with its versioned media type.
+                if wants_json(request):
                     return HttpResponse(
                         status=200,
                         headers={"content-type": "application/json"},

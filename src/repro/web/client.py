@@ -17,7 +17,11 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, Optional
 
-from repro.faults.retry import RetryPolicy
+from repro.faults.retry import (
+    RetryPolicy,
+    count_retry_attempt,
+    count_retry_giveup,
+)
 from repro.net.certificates import Certificate, CertificateStore
 from repro.net.tls import SecureClientChannel, SecureStack
 from repro.sim.kernel import Simulator
@@ -83,6 +87,9 @@ class SimHttpClient:
         self._pins = pins
         self.reconnect_count = 0
         self.retry_count = 0
+        # Optional metrics registry: when set, request_with_retry counts
+        # attempts/give-ups into the amnesia_retry_* families.
+        self.registry = None
         self._channel: SecureClientChannel = stack.connect(
             server_host, certificate, service, pins=pins
         )
@@ -194,10 +201,12 @@ class SimHttpClient:
         it. The last response (or error) is returned/raised when the
         policy is exhausted.
         """
+        op_label = f"client {method} {path}"
         started = self.kernel.now
         attempt = 0
         while True:
             attempt += 1
+            count_retry_attempt(self.registry, op_label)
             outcome: Exception | HttpResponse
             try:
                 response = self.request(method, path, **kwargs)
@@ -208,6 +217,7 @@ class SimHttpClient:
                     return response
                 outcome = response
             if policy.exhausted(attempt, started, self.kernel.now):
+                count_retry_giveup(self.registry, op_label, "exhausted")
                 if isinstance(outcome, HttpResponse):
                     return outcome
                 raise outcome

@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, Optional
 
+from repro.obs.profiler import profiled
 from repro.util.errors import ConflictError, ValidationError
 from repro.web.http import HttpRequest, HttpResponse
 
@@ -105,6 +106,7 @@ class Router:
 
         return register
 
+    @profiled("web.route")
     def resolve(self, request: HttpRequest) -> Optional[RouteMatch]:
         """Find the route for *request*; literal matches beat parameter ones."""
         path = request.path.strip("/")

@@ -1,0 +1,224 @@
+"""Benchmark harness tests: schema, determinism, gating, baselines."""
+
+import json
+
+import pytest
+
+from repro.eval.bench import (
+    BENCH_SCHEMA,
+    HIGHER_IS_BETTER,
+    LOWER_IS_BETTER,
+    bench_filename,
+    compare_documents,
+    find_baseline,
+    macro_gates,
+    render_bench,
+    run_bench,
+    run_macro,
+    write_bench,
+)
+from repro.util.errors import ValidationError
+
+
+@pytest.fixture(scope="module")
+def macro():
+    """One smoke-mode macro run shared by the module (simulation-heavy)."""
+    return run_macro(seed="bench-test", smoke=True)
+
+
+class TestMacroSuite:
+    def test_covers_both_transports_load_and_chaos(self, macro):
+        assert set(macro) == {"e2e_wifi", "e2e_4g", "workload", "chaos"}
+        assert macro["e2e_wifi"]["p50_ms"] <= macro["e2e_wifi"]["p95_ms"]
+        assert macro["workload"]["completed"] <= macro["workload"]["issued"]
+        assert macro["chaos"]["scenario"] == "lossy-uplink"
+
+    def test_macro_is_deterministic_under_the_seed(self, macro):
+        assert run_macro(seed="bench-test", smoke=True) == macro
+
+    def test_different_seed_changes_results(self, macro):
+        other = run_macro(seed="bench-test-2", smoke=True)
+        assert other["e2e_wifi"]["p95_ms"] != macro["e2e_wifi"]["p95_ms"]
+
+    def test_gates_cover_latency_and_throughput(self, macro):
+        gates = macro_gates(macro)
+        directions = {key: gate["direction"] for key, gate in gates.items()}
+        assert directions["macro.e2e_wifi.p95_ms"] == LOWER_IS_BETTER
+        assert directions["macro.e2e_4g.p95_ms"] == LOWER_IS_BETTER
+        assert directions["macro.workload.throughput_per_min"] == (
+            HIGHER_IS_BETTER
+        )
+        assert all(
+            isinstance(gate["value"], (int, float)) for gate in gates.values()
+        )
+
+
+class TestDocument:
+    def test_run_bench_is_schema_versioned(self, macro):
+        document = run_bench(seed="bench-test", smoke=True, skip_micro=True)
+        assert document["schema"] == BENCH_SCHEMA
+        assert document["smoke"] is True
+        assert document["macro"] == macro
+        assert document["gates"] == macro_gates(macro)
+        assert document["generated_utc"].endswith("Z")
+
+    def test_micro_suite_records_throughput(self):
+        from repro.eval.bench import run_micro
+
+        micro = run_micro(smoke=True)
+        for name in ("sha256", "sha512", "pbkdf2", "hkdf", "token", "template"):
+            assert micro[name]["ops_per_sec"] > 0, name
+            assert micro[name]["wall_us_per_op"] > 0, name
+        # The token/template loop ran under the profiler.
+        assert "core.token" in micro["profiler_scopes"]
+        assert micro["profiler_scopes"]["core.token"]["calls"] > 0
+
+    def test_write_and_find_baseline(self, tmp_path, macro):
+        document = run_bench(seed="bench-test", smoke=True, skip_micro=True)
+        path = write_bench(document, tmp_path)
+        assert path.name == bench_filename(document["generated_utc"][:10])
+        found = find_baseline(tmp_path, smoke=True)
+        assert found is not None
+        assert found[0] == path
+        assert found[1]["gates"] == document["gates"]
+
+    def test_find_baseline_skips_other_modes_and_garbage(self, tmp_path):
+        (tmp_path / "BENCH_2026-01-01.json").write_text("not json")
+        (tmp_path / "BENCH_2026-01-02.json").write_text(
+            json.dumps({"schema": "other/1"})
+        )
+        (tmp_path / "BENCH_2026-01-03.json").write_text(
+            json.dumps({"schema": BENCH_SCHEMA, "smoke": False, "gates": {}})
+        )
+        assert find_baseline(tmp_path, smoke=True) is None
+        full = find_baseline(tmp_path, smoke=False)
+        assert full is not None and full[0].name == "BENCH_2026-01-03.json"
+
+    def test_find_baseline_prefers_newest_and_honours_exclude(self, tmp_path):
+        for day in ("2026-01-01", "2026-01-05", "2026-01-03"):
+            (tmp_path / f"BENCH_{day}.json").write_text(
+                json.dumps({"schema": BENCH_SCHEMA, "smoke": False, "day": day})
+            )
+        newest = find_baseline(tmp_path, smoke=False)
+        assert newest[1]["day"] == "2026-01-05"
+        prior = find_baseline(
+            tmp_path, smoke=False, exclude="BENCH_2026-01-05.json"
+        )
+        assert prior[1]["day"] == "2026-01-03"
+
+    def test_render_mentions_every_gate(self, macro):
+        document = run_bench(seed="bench-test", smoke=True, skip_micro=True)
+        text = render_bench(document)
+        for key in document["gates"]:
+            assert key in text
+
+
+def document_with_gates(**values):
+    gates = {}
+    for key, (value, direction) in values.items():
+        gates[key] = {"value": value, "direction": direction}
+    return {"schema": BENCH_SCHEMA, "gates": gates}
+
+
+class TestRegressionGate:
+    def test_within_threshold_passes(self):
+        baseline = document_with_gates(p95=(100.0, LOWER_IS_BETTER))
+        current = document_with_gates(p95=(124.0, LOWER_IS_BETTER))
+        (comparison,) = compare_documents(baseline, current)
+        assert not comparison.regressed
+        assert comparison.change_pct == pytest.approx(24.0)
+
+    def test_latency_regression_past_threshold_fails(self):
+        baseline = document_with_gates(p95=(100.0, LOWER_IS_BETTER))
+        current = document_with_gates(p95=(126.0, LOWER_IS_BETTER))
+        (comparison,) = compare_documents(baseline, current)
+        assert comparison.regressed
+        assert "REGRESSED" in comparison.render()
+
+    def test_latency_improvement_never_regresses(self):
+        baseline = document_with_gates(p95=(100.0, LOWER_IS_BETTER))
+        current = document_with_gates(p95=(10.0, LOWER_IS_BETTER))
+        assert not compare_documents(baseline, current)[0].regressed
+
+    def test_throughput_drop_past_threshold_fails(self):
+        baseline = document_with_gates(tput=(60.0, HIGHER_IS_BETTER))
+        current = document_with_gates(tput=(44.0, HIGHER_IS_BETTER))
+        assert compare_documents(baseline, current)[0].regressed
+
+    def test_throughput_gain_passes(self):
+        baseline = document_with_gates(tput=(60.0, HIGHER_IS_BETTER))
+        current = document_with_gates(tput=(90.0, HIGHER_IS_BETTER))
+        assert not compare_documents(baseline, current)[0].regressed
+
+    def test_new_gate_without_baseline_is_skipped(self):
+        baseline = document_with_gates(old=(1.0, LOWER_IS_BETTER))
+        current = document_with_gates(
+            old=(1.0, LOWER_IS_BETTER), new=(5.0, LOWER_IS_BETTER)
+        )
+        comparisons = compare_documents(baseline, current)
+        assert [c.key for c in comparisons] == ["old"]
+
+    def test_custom_threshold(self):
+        baseline = document_with_gates(p95=(100.0, LOWER_IS_BETTER))
+        current = document_with_gates(p95=(112.0, LOWER_IS_BETTER))
+        assert compare_documents(baseline, current, threshold=0.10)[0].regressed
+        assert not compare_documents(baseline, current, threshold=0.25)[
+            0
+        ].regressed
+
+    def test_bad_threshold_rejected(self):
+        with pytest.raises(ValidationError):
+            compare_documents({}, {}, threshold=0.0)
+
+    def test_unknown_direction_rejected(self):
+        baseline = document_with_gates(x=(1.0, "sideways"))
+        current = document_with_gates(x=(1.0, "sideways"))
+        with pytest.raises(ValidationError):
+            compare_documents(baseline, current)
+
+
+class TestCli:
+    def test_bench_smoke_check_passes_without_baseline(self, tmp_path):
+        from repro.cli import main
+
+        code = main(
+            [
+                "--seed",
+                "bench-cli-test",
+                "bench",
+                "--smoke",
+                "--check",
+                "--allow-missing-baseline",
+                "--dir",
+                str(tmp_path),
+            ]
+        )
+        assert code == 0
+        written = list(tmp_path.glob("BENCH_*.json"))
+        assert len(written) == 1
+        document = json.loads(written[0].read_text())
+        assert document["schema"] == BENCH_SCHEMA
+
+    def test_bench_check_gates_against_written_baseline(self, tmp_path):
+        from repro.cli import main
+
+        args = ["--seed", "bench-cli-test", "bench", "--smoke", "--dir",
+                str(tmp_path)]
+        assert main(args) == 0  # writes the baseline
+        assert main(args + ["--check", "--no-write"]) == 0  # gates against it
+
+    def test_bench_check_fails_on_regressed_baseline(self, tmp_path, capsys):
+        from repro.cli import main
+
+        args = ["--seed", "bench-cli-test", "bench", "--smoke", "--dir",
+                str(tmp_path)]
+        assert main(args) == 0
+        path = next(tmp_path.glob("BENCH_*.json"))
+        document = json.loads(path.read_text())
+        # Pretend the past was 10x faster: every latency gate regresses.
+        for gate in document["gates"].values():
+            if gate["direction"] == LOWER_IS_BETTER:
+                gate["value"] = gate["value"] / 10.0
+        path.write_text(json.dumps(document))
+        assert main(args + ["--check", "--no-write"]) == 1
+        assert "regressed" in capsys.readouterr().err

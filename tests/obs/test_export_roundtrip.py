@@ -1,0 +1,143 @@
+"""Round-trip tests: render_prometheus output parses back losslessly."""
+
+import pytest
+
+from repro.obs.export import (
+    parse_prometheus,
+    registry_snapshot,
+    render_prometheus,
+)
+from repro.obs.registry import MetricsRegistry
+
+
+def populated_registry(order: str = "forward") -> MetricsRegistry:
+    """A registry with a counter, gauge and histogram; *order* shuffles
+    creation order to prove the renderer sorts regardless."""
+    registry = MetricsRegistry()
+
+    def make_counter():
+        counter = registry.counter(
+            "amnesia_demo_requests_total",
+            "Demo requests",
+            label_names=("route", "verdict"),
+        )
+        counter.labels(route="/token", verdict="ok").inc(3)
+        counter.labels(route="/token", verdict="error").inc()
+        counter.labels(route="/generate", verdict="ok").inc(7)
+
+    def make_gauge():
+        registry.gauge("amnesia_demo_depth", "Demo queue depth").set(4)
+
+    def make_histogram():
+        histogram = registry.histogram(
+            "amnesia_demo_latency_ms",
+            "Demo latency",
+            buckets=(10.0, 100.0, 1000.0),
+        )
+        for value in (5.0, 50.0, 500.0, 5000.0):
+            histogram.observe(value)
+
+    steps = [make_counter, make_gauge, make_histogram]
+    if order == "reverse":
+        steps = list(reversed(steps))
+    for step in steps:
+        step()
+    return registry
+
+
+class TestDeterminism:
+    def test_render_is_stable_across_calls(self):
+        registry = populated_registry()
+        assert render_prometheus(registry) == render_prometheus(registry)
+
+    def test_render_independent_of_creation_order(self):
+        assert render_prometheus(populated_registry("forward")) == (
+            render_prometheus(populated_registry("reverse"))
+        )
+
+
+class TestRoundTrip:
+    def test_families_and_kinds_survive(self):
+        registry = populated_registry()
+        parsed = parse_prometheus(render_prometheus(registry))
+        assert set(parsed) == {
+            "amnesia_demo_requests_total",
+            "amnesia_demo_depth",
+            "amnesia_demo_latency_ms",
+        }
+        assert parsed["amnesia_demo_requests_total"]["kind"] == "counter"
+        assert parsed["amnesia_demo_depth"]["kind"] == "gauge"
+        assert parsed["amnesia_demo_latency_ms"]["kind"] == "histogram"
+        assert parsed["amnesia_demo_depth"]["help"] == "Demo queue depth"
+
+    def test_counter_series_match_snapshot(self):
+        registry = populated_registry()
+        parsed = parse_prometheus(render_prometheus(registry))
+        snapshot = registry_snapshot(registry)
+        expected = {
+            tuple(sorted(series["labels"].items())): series["value"]
+            for series in snapshot["amnesia_demo_requests_total"]["series"]
+        }
+        got = {
+            tuple(sorted(labels.items())): value
+            for __, labels, value in parsed["amnesia_demo_requests_total"][
+                "samples"
+            ]
+        }
+        assert got == expected
+        assert got[(("route", "/token"), ("verdict", "ok"))] == 3.0
+
+    def test_histogram_buckets_sum_count_survive(self):
+        registry = populated_registry()
+        parsed = parse_prometheus(render_prometheus(registry))
+        samples = parsed["amnesia_demo_latency_ms"]["samples"]
+        by_name = {}
+        for name, labels, value in samples:
+            by_name.setdefault(name, []).append((labels, value))
+        buckets = {
+            labels["le"]: value
+            for labels, value in by_name["amnesia_demo_latency_ms_bucket"]
+        }
+        # Cumulative counts: 1 <= 10ms, 2 <= 100ms, 3 <= 1000ms, 4 total.
+        assert buckets == {"10": 1.0, "100": 2.0, "1000": 3.0, "+Inf": 4.0}
+        assert by_name["amnesia_demo_latency_ms_sum"][0][1] == pytest.approx(
+            5555.0
+        )
+        assert by_name["amnesia_demo_latency_ms_count"][0][1] == 4.0
+
+    def test_escaped_label_values_round_trip(self):
+        registry = MetricsRegistry()
+        nasty = 'path \\ with "quotes"\nand newline'
+        registry.counter(
+            "amnesia_demo_escapes_total", "Escapes", label_names=("op",)
+        ).labels(op=nasty).inc()
+        parsed = parse_prometheus(render_prometheus(registry))
+        ((__, labels, value),) = parsed["amnesia_demo_escapes_total"]["samples"]
+        assert labels == {"op": nasty}
+        assert value == 1.0
+
+    def test_testbed_metricsz_round_trips(self):
+        """What a live /metricsz serves parses back into the snapshot."""
+        from repro.testbed import AmnesiaTestbed
+
+        bed = AmnesiaTestbed(seed="roundtrip")
+        browser = bed.enroll("alice", "roundtrip-master-pw")
+        account_id = browser.add_account("alice", "mail.example.com")
+        browser.generate_password(account_id)
+        text = render_prometheus(bed.registry)
+        parsed = parse_prometheus(text)
+        snapshot = registry_snapshot(bed.registry)
+        assert set(parsed) == set(snapshot)
+        # Every non-histogram series value matches the snapshot exactly.
+        for name, family in snapshot.items():
+            if family["type"] == "histogram":
+                continue
+            expected = {
+                tuple(sorted(series["labels"].items())): series["value"]
+                for series in family["series"]
+            }
+            got = {
+                tuple(sorted(labels.items())): value
+                for __, labels, value in parsed[name]["samples"]
+            }
+            assert got == expected, name

@@ -1,0 +1,173 @@
+"""Fleet health tests: /healthz + /statusz on server, phone, rendezvous."""
+
+import json
+
+import pytest
+
+from repro.obs.health import (
+    HEALTH_SCHEMA,
+    counter_total,
+    healthz_payload,
+    make_status_application,
+    statusz_payload,
+)
+from repro.obs.registry import MetricsRegistry
+from repro.testbed import AmnesiaTestbed
+from repro.util.errors import ValidationError
+from repro.web.http import HttpRequest
+
+
+class FakeClock:
+    def __init__(self, now: float = 0.0) -> None:
+        self.now = now
+
+
+def get(app, path: str, query=None, headers=None):
+    return app.handle(
+        HttpRequest(
+            method="GET",
+            path=path,
+            query=dict(query or {}),
+            headers=dict(headers or {}),
+        )
+    )
+
+
+class TestPayloads:
+    def test_healthz_payload_shape(self):
+        payload = healthz_payload("server", now_ms=500.0, started_ms=100.0)
+        assert payload == {
+            "schema": HEALTH_SCHEMA,
+            "component": "server",
+            "ok": True,
+            "now_ms": 500.0,
+            "uptime_ms": 400.0,
+        }
+
+    def test_uptime_never_negative(self):
+        payload = healthz_payload("x", now_ms=50.0, started_ms=100.0)
+        assert payload["uptime_ms"] == 0.0
+
+    def test_statusz_payload_carries_detail_verbatim(self):
+        payload = statusz_payload(
+            "phone", 10.0, 0.0, {"pending": 3}, degraded=True
+        )
+        assert payload["degraded"] is True
+        assert payload["detail"] == {"pending": 3}
+
+    def test_empty_component_rejected(self):
+        with pytest.raises(ValidationError):
+            healthz_payload("", 0.0, 0.0)
+
+    def test_counter_total_folds_label_sets(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("amnesia_x_total", "x", label_names=("op",))
+        counter.labels(op="a").inc(2)
+        counter.labels(op="b").inc(3)
+        assert counter_total(registry, "amnesia_x_total") == 5.0
+        assert counter_total(registry, "missing_family") == 0.0
+        assert counter_total(None, "amnesia_x_total") == 0.0
+
+
+class TestStatusApplication:
+    def test_status_app_serves_the_trio(self):
+        clock = FakeClock(1_000.0)
+        registry = MetricsRegistry()
+        registry.counter("amnesia_demo_total", "demo").inc()
+        app = make_status_application(
+            "widget", clock, lambda: {"queued": 7}, registry=registry
+        )
+        health = get(app, "/healthz")
+        assert health.status == 200
+        assert json.loads(health.body)["component"] == "widget"
+        status = get(app, "/statusz")
+        assert json.loads(status.body)["detail"] == {"queued": 7}
+        metrics = get(app, "/metricsz")
+        assert b"amnesia_demo_total" in metrics.body
+
+    def test_not_ok_status_returns_503(self):
+        app = make_status_application(
+            "widget", FakeClock(), lambda: {"ok": False, "reason": "down"}
+        )
+        assert get(app, "/healthz").status == 503
+        status = get(app, "/statusz")
+        assert status.status == 503
+        assert json.loads(status.body)["detail"] == {"reason": "down"}
+
+    def test_degraded_key_is_lifted_out_of_detail(self):
+        app = make_status_application(
+            "widget", FakeClock(), lambda: {"degraded": True, "n": 1}
+        )
+        body = json.loads(get(app, "/statusz").body)
+        assert body["degraded"] is True
+        assert body["ok"] is True
+        assert body["detail"] == {"n": 1}
+
+
+class TestFleet:
+    def setup_method(self):
+        self.bed = AmnesiaTestbed(seed="health-fleet")
+        self.browser = self.bed.enroll("alice", "health-master-pw")
+        self.account_id = self.browser.add_account("alice", "mail.example.com")
+        self.browser.generate_password(self.account_id)
+
+    def test_server_healthz_and_statusz_over_http(self):
+        health = self.browser.http.get("/healthz")
+        assert health.status == 200
+        body = health.json()
+        assert body["schema"] == HEALTH_SCHEMA
+        assert body["component"] == "server"
+        status = self.browser.http.get("/statusz").json()
+        assert status["degraded"] is False
+        detail = status["detail"]
+        assert detail["pending_exchanges"] == 0
+        assert detail["generations"]["completed"] == 1
+        assert detail["spans_recorded"] >= 4
+
+    def test_phone_status_application(self):
+        app = self.bed.phone.status_application()
+        body = json.loads(get(app, "/statusz").body)
+        assert body["component"] == "phone"
+        assert body["degraded"] is False
+        assert body["detail"]["installed"] is True
+        assert body["detail"]["registered"] is True
+        # The phone shares the deployment registry, so its /metricsz
+        # serves the same families the server exports.
+        assert b"amnesia_generations_total" in get(app, "/metricsz").body
+
+    def test_rendezvous_status_application(self):
+        app = self.bed.rendezvous.status_application(self.bed.registry)
+        body = json.loads(get(app, "/statusz").body)
+        assert body["component"] == "rendezvous"
+        assert body["degraded"] is False
+        detail = body["detail"]
+        assert detail["online"] is True
+        assert detail["registered_devices"] == 1
+        assert detail["push_count"] >= 1
+
+    def test_rendezvous_crash_reports_degraded(self):
+        plane = self.bed.install_fault_plane()
+        from repro.faults.plane import FaultSchedule
+
+        plane.apply(FaultSchedule().crash(0.0, "gcm", down_ms=60_000.0))
+        self.bed.run(1_000.0)
+        app = self.bed.rendezvous.status_application()
+        body = json.loads(get(app, "/statusz").body)
+        assert body["degraded"] is True
+        assert body["detail"]["online"] is False
+        assert body["detail"]["crash_count"] == 1
+
+    def test_metricsz_content_negotiation_everywhere(self):
+        phone_app = self.bed.phone.status_application()
+        for response in (
+            self.browser.http.get("/metricsz"),
+            get(phone_app, "/metricsz"),
+        ):
+            assert response.headers["content-type"].startswith("text/plain")
+        json_response = get(
+            phone_app, "/metricsz", headers={"accept": "application/json"}
+        )
+        assert json_response.headers["content-type"].startswith(
+            "application/json"
+        )
+        assert "amnesia_sim_events_total" in json.loads(json_response.body)

@@ -1,0 +1,253 @@
+"""Profiler tests: invariants, determinism, activation, registry feed."""
+
+import pytest
+
+from repro.obs.profiler import (
+    PROFILE_CALLS_COUNTER,
+    PROFILE_SCOPE_HISTOGRAM,
+    Profiler,
+    activate,
+    active_profiler,
+    deactivate,
+    iter_roots,
+    profile,
+    profiled,
+    profiling,
+)
+from repro.obs.registry import MetricsRegistry
+from repro.util.errors import ValidationError
+
+
+class FakeClock:
+    """A settable microsecond clock for deterministic timings."""
+
+    def __init__(self) -> None:
+        self.now_us = 0.0
+
+    def __call__(self) -> float:
+        return self.now_us
+
+    def advance(self, us: float) -> None:
+        self.now_us += us
+
+
+def nested_run(profiler: Profiler, clock: FakeClock) -> None:
+    """root(100us total) -> child_a(30us), child_b(20us + leaf 5us)."""
+    with profiler.scope("root"):
+        clock.advance(10.0)  # root self
+        with profiler.scope("child_a"):
+            clock.advance(30.0)
+        clock.advance(5.0)  # root self
+        with profiler.scope("child_b"):
+            clock.advance(15.0)
+            with profiler.scope("leaf"):
+                clock.advance(5.0)
+        clock.advance(35.0)  # root self
+
+
+class TestScopeAccounting:
+    def test_paths_are_stack_keyed(self):
+        clock = FakeClock()
+        profiler = Profiler(clock_us=clock)
+        nested_run(profiler, clock)
+        assert set(profiler.stats()) == {
+            ("root",),
+            ("root", "child_a"),
+            ("root", "child_b"),
+            ("root", "child_b", "leaf"),
+        }
+
+    def test_cumulative_and_self_times_are_exact(self):
+        clock = FakeClock()
+        profiler = Profiler(clock_us=clock)
+        nested_run(profiler, clock)
+        stats = profiler.stats()
+        root = stats[("root",)]
+        assert root.cumulative_us == pytest.approx(100.0)
+        assert root.self_us == pytest.approx(50.0)  # 10 + 5 + 35
+        assert stats[("root", "child_a")].cumulative_us == pytest.approx(30.0)
+        child_b = stats[("root", "child_b")]
+        assert child_b.cumulative_us == pytest.approx(20.0)
+        assert child_b.self_us == pytest.approx(15.0)
+        assert stats[("root", "child_b", "leaf")].self_us == pytest.approx(5.0)
+
+    def test_invariant_self_never_exceeds_cumulative(self):
+        clock = FakeClock()
+        profiler = Profiler(clock_us=clock)
+        nested_run(profiler, clock)
+        nested_run(profiler, clock)
+        for stats in profiler.stats().values():
+            assert stats.self_us <= stats.cumulative_us + 1e-9
+
+    def test_invariant_children_sum_within_parent_cumulative(self):
+        clock = FakeClock()
+        profiler = Profiler(clock_us=clock)
+        nested_run(profiler, clock)
+        all_stats = profiler.stats()
+        for path, parent in all_stats.items():
+            children_sum = sum(
+                s.cumulative_us
+                for p, s in all_stats.items()
+                if len(p) == len(path) + 1 and p[: len(path)] == path
+            )
+            assert children_sum <= parent.cumulative_us + 1e-9
+
+    def test_calls_accumulate_per_path(self):
+        clock = FakeClock()
+        profiler = Profiler(clock_us=clock)
+        nested_run(profiler, clock)
+        nested_run(profiler, clock)
+        assert profiler.stats()[("root", "child_a")].calls == 2
+
+    def test_total_us_is_root_cumulative(self):
+        clock = FakeClock()
+        profiler = Profiler(clock_us=clock)
+        nested_run(profiler, clock)
+        assert profiler.total_us() == pytest.approx(100.0)
+
+    def test_identical_runs_produce_identical_aggregates(self):
+        def run_once():
+            clock = FakeClock()
+            profiler = Profiler(clock_us=clock)
+            nested_run(profiler, clock)
+            return profiler.flame_stacks(), profiler.render_table()
+
+        assert run_once() == run_once()
+
+    def test_flame_stacks_are_folded_and_sorted(self):
+        clock = FakeClock()
+        profiler = Profiler(clock_us=clock)
+        nested_run(profiler, clock)
+        lines = profiler.flame_stacks()
+        assert lines == sorted(lines)
+        assert "root 50" in lines
+        assert "root;child_b;leaf 5" in lines
+
+    def test_by_name_merges_across_positions(self):
+        clock = FakeClock()
+        profiler = Profiler(clock_us=clock)
+        with profiler.scope("a"):
+            with profiler.scope("x"):
+                clock.advance(3.0)
+        with profiler.scope("b"):
+            with profiler.scope("x"):
+                clock.advance(4.0)
+        merged = profiler.by_name()
+        assert merged["x"].calls == 2
+        assert merged["x"].cumulative_us == pytest.approx(7.0)
+
+
+class TestEventsAndLimits:
+    def test_events_record_depth_and_duration(self):
+        clock = FakeClock()
+        profiler = Profiler(clock_us=clock)
+        nested_run(profiler, clock)
+        roots = list(iter_roots(profiler.events))
+        assert len(roots) == 1
+        assert roots[0].name == "root"
+        assert roots[0].duration_us == pytest.approx(100.0)
+        depths = {event.name: event.depth for event in profiler.events}
+        assert depths == {"root": 0, "child_a": 1, "child_b": 1, "leaf": 2}
+
+    def test_event_list_is_bounded(self):
+        clock = FakeClock()
+        profiler = Profiler(clock_us=clock, max_events=2)
+        for __ in range(5):
+            with profiler.scope("s"):
+                clock.advance(1.0)
+        assert len(profiler.events) == 2
+        assert profiler.dropped_events == 3
+        assert profiler.stats()[("s",)].calls == 5  # aggregates unaffected
+
+    def test_clear_resets_everything_but_refuses_mid_scope(self):
+        clock = FakeClock()
+        profiler = Profiler(clock_us=clock)
+        with profiler.scope("open"):
+            with pytest.raises(ValidationError):
+                profiler.clear()
+            clock.advance(1.0)
+        profiler.clear()
+        assert profiler.stats() == {}
+        assert profiler.events == []
+
+    def test_empty_scope_name_rejected(self):
+        with pytest.raises(ValidationError):
+            Profiler().scope("")
+
+
+class TestRegistryFeed:
+    def test_scopes_land_in_histogram_and_counter(self):
+        clock = FakeClock()
+        registry = MetricsRegistry()
+        profiler = Profiler(clock_us=clock, registry=registry)
+        nested_run(profiler, clock)
+        histogram = registry.get(PROFILE_SCOPE_HISTOGRAM)
+        counter = registry.get(PROFILE_CALLS_COUNTER)
+        assert histogram.labels(scope="root").count == 1
+        assert histogram.labels(scope="root").sum == pytest.approx(100.0)
+        assert counter.labels(scope="root;child_b;leaf").value == 1.0
+
+
+class TestActivation:
+    def teardown_method(self):
+        deactivate()
+
+    def test_profile_is_null_when_inactive(self):
+        assert active_profiler() is None
+        first = profile("anything")
+        second = profile("anything-else")
+        assert first is second  # the shared null scope: no allocation
+
+    def test_profiling_context_routes_scopes(self):
+        clock = FakeClock()
+        profiler = Profiler(clock_us=clock)
+        with profiling(profiler):
+            with profile("seen"):
+                clock.advance(2.0)
+        assert active_profiler() is None
+        assert profiler.stats()[("seen",)].calls == 1
+
+    def test_second_instance_rejected_while_active(self):
+        profiler = Profiler()
+        activate(profiler)
+        activate(profiler)  # same instance: fine
+        with pytest.raises(ValidationError):
+            activate(Profiler())
+
+    def test_profiling_reentrant_for_same_instance(self):
+        profiler = Profiler(clock_us=FakeClock())
+        with profiling(profiler):
+            with profiling(profiler):
+                pass
+            assert active_profiler() is profiler
+        assert active_profiler() is None
+
+    def test_profiled_decorator_off_and_on(self):
+        clock = FakeClock()
+
+        @profiled("deco.scope")
+        def work() -> int:
+            clock.advance(4.0)
+            return 42
+
+        assert work() == 42  # off: plain call
+        profiler = Profiler(clock_us=clock)
+        with profiling(profiler):
+            assert work() == 42
+        assert work.__profiled_scope__ == "deco.scope"
+        assert profiler.stats()[("deco.scope",)].cumulative_us == pytest.approx(4.0)
+
+    def test_instrumented_crypto_attributes_under_core_token(self):
+        from repro.core.protocol import generate_request, generate_token
+        from repro.core.secrets import EntryTable
+        from repro.crypto.randomness import SeededRandomSource
+
+        table = EntryTable.generate(SeededRandomSource("profiler-test"))
+        request = generate_request("alice", "example.com", b"\x01" * 16)
+        profiler = Profiler()
+        with profiling(profiler):
+            generate_token(request, table)
+        stats = profiler.stats()
+        assert ("core.token",) in stats
+        # The SHA-256 call nests under Algorithm 1's scope.
+        assert ("core.token", "crypto.sha256") in stats

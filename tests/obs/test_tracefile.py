@@ -1,0 +1,197 @@
+"""Chrome trace_event export tests: shape, determinism, latency sums."""
+
+import json
+
+import pytest
+
+from repro.obs.profiler import Profiler
+from repro.obs.spans import SpanRecorder
+from repro.obs.tracefile import (
+    PROFILER_PID,
+    TRACE_SCHEMA,
+    chrome_trace,
+    exported_span_sum_ms,
+    render_chrome_trace,
+    write_chrome_trace,
+)
+from repro.util.errors import ValidationError
+
+
+def recorder_with_two_traces() -> SpanRecorder:
+    spans = SpanRecorder()
+    spans.record("corr-a", "push_wait", 100.0, 350.0)
+    spans.record("corr-a", "phone_compute", 350.0, 380.0)
+    spans.record("corr-a", "return_hop", 380.0, 520.0)
+    spans.record("corr-a", "server_render", 520.0, 522.5)
+    spans.record("corr-b", "push_wait", 900.0, 1100.0)
+    spans.record("corr-b", "server_render", 1100.0, 1101.0)
+    return spans
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now_us = 0.0
+
+    def __call__(self) -> float:
+        return self.now_us
+
+
+# The exact document a fixed recorder must produce: a golden shape for
+# the exporter, pinned down to field names, units and ordering.
+GOLDEN_SINGLE_TRACE = {
+    "displayTimeUnit": "ms",
+    "otherData": {
+        "schema": TRACE_SCHEMA,
+        "trace_total_ms": {"corr-x": 50.0},
+    },
+    "traceEvents": [
+        {
+            "args": {"name": "exchange corr-x"},
+            "name": "process_name",
+            "ph": "M",
+            "pid": 1,
+            "tid": 0,
+        },
+        {
+            "args": {"corr_id": "corr-x", "duration_ms": 50.0},
+            "cat": "stage",
+            "dur": 50000.0,
+            "name": "push_wait",
+            "ph": "X",
+            "pid": 1,
+            "tid": 1,
+            "ts": 10000.0,
+        },
+    ],
+}
+
+
+class TestChromeTrace:
+    def test_golden_document_shape(self):
+        spans = SpanRecorder()
+        spans.record("corr-x", "push_wait", 10.0, 60.0)
+        assert chrome_trace(spans=spans) == GOLDEN_SINGLE_TRACE
+
+    def test_each_exchange_gets_its_own_pid_with_metadata(self):
+        document = chrome_trace(spans=recorder_with_two_traces())
+        metadata = [e for e in document["traceEvents"] if e["ph"] == "M"]
+        assert [m["args"]["name"] for m in metadata] == [
+            "exchange corr-a",
+            "exchange corr-b",
+        ]
+        pids = {
+            e["args"]["corr_id"]: e["pid"]
+            for e in document["traceEvents"]
+            if e["ph"] == "X"
+        }
+        assert pids == {"corr-a": 1, "corr-b": 2}
+
+    def test_timestamps_are_microseconds(self):
+        document = chrome_trace(spans=recorder_with_two_traces())
+        first = [e for e in document["traceEvents"] if e["ph"] == "X"][0]
+        assert first["name"] == "push_wait"
+        assert first["ts"] == pytest.approx(100.0 * 1000)
+        assert first["dur"] == pytest.approx(250.0 * 1000)
+
+    def test_corr_id_filter(self):
+        document = chrome_trace(
+            spans=recorder_with_two_traces(), corr_ids=["corr-b"]
+        )
+        corr_ids = {
+            e["args"]["corr_id"]
+            for e in document["traceEvents"]
+            if e["ph"] == "X"
+        }
+        assert corr_ids == {"corr-b"}
+        assert list(document["otherData"]["trace_total_ms"]) == ["corr-b"]
+
+    def test_unknown_corr_id_rejected(self):
+        with pytest.raises(ValidationError):
+            chrome_trace(spans=recorder_with_two_traces(), corr_ids=["nope"])
+
+    def test_nothing_to_export_rejected(self):
+        with pytest.raises(ValidationError):
+            chrome_trace()
+
+    def test_profiler_scopes_export_on_their_own_track(self):
+        clock = FakeClock()
+        profiler = Profiler(clock_us=clock)
+        with profiler.scope("outer"):
+            clock.now_us = 40.0
+            with profiler.scope("inner"):
+                clock.now_us = 70.0
+            clock.now_us = 100.0
+        document = chrome_trace(profiler=profiler)
+        scope_events = [
+            e for e in document["traceEvents"] if e.get("cat") == "scope"
+        ]
+        assert {e["pid"] for e in scope_events} == {PROFILER_PID}
+        by_name = {e["name"]: e for e in scope_events}
+        assert by_name["inner"]["args"]["stack"] == "outer;inner"
+        assert by_name["inner"]["args"]["depth"] == 1
+        assert by_name["outer"]["dur"] == pytest.approx(100.0)
+
+    def test_render_is_deterministic_text(self):
+        spans = recorder_with_two_traces()
+        assert render_chrome_trace(spans=spans) == render_chrome_trace(
+            spans=recorder_with_two_traces()
+        )
+        # Valid JSON, sorted keys, trailing newline.
+        text = render_chrome_trace(spans=spans)
+        assert text.endswith("\n")
+        assert json.loads(text)["otherData"]["schema"] == TRACE_SCHEMA
+
+    def test_write_round_trips_through_disk(self, tmp_path):
+        path = str(tmp_path / "trace.json")
+        write_chrome_trace(path, spans=recorder_with_two_traces())
+        document = json.loads(open(path, encoding="utf-8").read())
+        assert exported_span_sum_ms(document, "corr-a") == pytest.approx(422.5)
+
+    def test_exported_sum_missing_corr_rejected(self):
+        document = chrome_trace(spans=recorder_with_two_traces())
+        with pytest.raises(ValidationError):
+            exported_span_sum_ms(document, "missing")
+
+
+class TestEndToEnd:
+    def test_exported_span_sum_equals_figure3_latency(self):
+        """The artifact on disk accounts for every e2e millisecond."""
+        from repro.testbed import AmnesiaTestbed
+
+        bed = AmnesiaTestbed(seed="tracefile-e2e")
+        browser = bed.enroll("alice", "tracefile-master-pw")
+        account_id = browser.add_account("alice", "mail.example.com")
+        result = browser.generate_password(account_id)
+        corr_id = bed.server.spans.trace_ids()[-1]
+        document = chrome_trace(spans=bed.server.spans, corr_ids=[corr_id])
+        assert exported_span_sum_ms(document, corr_id) == pytest.approx(
+            result["latency_ms"], abs=1e-6
+        )
+
+    def test_identically_seeded_runs_export_identical_traces(self):
+        from repro.testbed import AmnesiaTestbed
+
+        def run() -> str:
+            bed = AmnesiaTestbed(seed="tracefile-determinism")
+            browser = bed.enroll("bob", "tracefile-master-pw")
+            account_id = browser.add_account("bob", "mail.example.com")
+            browser.generate_password(account_id)
+            return render_chrome_trace(spans=bed.server.spans)
+
+        assert run() == run()
+
+    def test_stage_breakdown_deterministic_across_identical_runs(self):
+        from repro.testbed import AmnesiaTestbed
+
+        def breakdown() -> dict:
+            bed = AmnesiaTestbed(seed="spans-determinism")
+            browser = bed.enroll("carol", "spans-master-pw")
+            account_id = browser.add_account("carol", "mail.example.com")
+            for __ in range(3):
+                browser.generate_password(account_id)
+            return {
+                name: tuple(stats.durations_ms)
+                for name, stats in bed.server.spans.stage_breakdown().items()
+            }
+
+        assert breakdown() == breakdown()
