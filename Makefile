@@ -3,12 +3,12 @@
 
 PYTHON ?= python3
 
-.PHONY: install test metrics-smoke chaos-smoke bench-smoke bench bench-check report examples serve clean
+.PHONY: install test metrics-smoke chaos-smoke bench-smoke cluster-smoke bench bench-check report examples serve clean
 
 install:
 	pip install -e . --no-build-isolation
 
-test: metrics-smoke chaos-smoke bench-smoke
+test: metrics-smoke chaos-smoke bench-smoke cluster-smoke
 	$(PYTHON) -m pytest tests/
 
 # One simulated generation; asserts the exporter emits the expected
@@ -27,6 +27,12 @@ chaos-smoke:
 bench-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro.cli bench --smoke --check \
 		--allow-missing-baseline --no-write
+
+# The sharded fleet, small: a deterministic 2-shard failover round
+# trip (kill the primary mid-exchange, the promoted standby answers
+# with the byte-identical password, exactly one failover).
+cluster-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro.cli cluster --check
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s

@@ -15,6 +15,7 @@ or analysis:
     amnesia-repro stages              # per-stage latency attribution
     amnesia-repro chaos [--check]     # fault-injection resilience suite
     amnesia-repro bench [--check]     # benchmark harness + regression gate
+    amnesia-repro cluster [--check]   # sharded fleet: failover round trip
 """
 
 from __future__ import annotations
@@ -379,6 +380,107 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    """Drive the sharded fleet through a probe-driven failover round trip.
+
+    Enrolls one user through the consistent-hash gateway, generates a
+    password, kills the user's shard primary mid-exchange, and lets the
+    probe plane promote the standby — which must complete the exchange
+    with the byte-identical password (the op-log shipped ``σ``, ``O_id``
+    and the ids).  ``--check`` is the `make cluster-smoke` contract: the
+    acceptance triple (identical P, exactly one failover, affected phone
+    re-registered) plus a bit-for-bit deterministic replay under the
+    seed.  ``--chaos`` runs the cluster chaos suite instead.
+    """
+    from repro.cluster.chaos import (
+        CLUSTER_RETRY,
+        cluster_suite_fingerprint,
+        run_cluster_chaos,
+    )
+    from repro.cluster.testbed import ClusterTestbed
+    from repro.obs.health import counter_total
+
+    if args.chaos:
+        results = run_cluster_chaos(seed=args.seed, trials=args.trials)
+        for result in results:
+            print(result.render())
+            print()
+        print(f"fingerprint:\n{cluster_suite_fingerprint(results)}")
+        return 0
+
+    def round_trip() -> dict:
+        bed = ClusterTestbed(shards=args.shards, seed=args.seed)
+        browser = bed.enroll("alice", "cli-master-password")
+        account_id = browser.add_account("alice", "mail.example.com")
+        before = browser.generate_password(account_id)["password"]
+        bed.run_until_idle()  # replication converged: standby has σ
+        bed.gateway.start_probing()
+        shard = bed.shard_of("alice")
+        bed.kernel.schedule(
+            2.0, lambda: bed.crash_primary(shard.name), label="cli-crash"
+        )
+        result = browser.generate_password(
+            account_id,
+            retry=CLUSTER_RETRY,
+            rng=bed.network.rng_stream("cli-retry"),
+        )
+        bed.gateway.stop_probing()
+        bed.run_until_idle()
+        return {
+            "shards": sorted(bed.shards),
+            "home": shard.name,
+            "before": before,
+            "after": result["password"],
+            "latency_ms": result["latency_ms"],
+            "failovers": bed.gateway.failovers,
+            "failovers_total": counter_total(
+                bed.registry, "amnesia_cluster_failovers_total"
+            ),
+            "promoted": shard.serving is shard.standby,
+            "reregistered": list(bed.reregistrations),
+        }
+
+    result = round_trip()
+    identical = result["after"] == result["before"]
+    print(f"fleet       : {len(result['shards'])} shards "
+          f"({', '.join(result['shards'])}), alice on {result['home']}")
+    print(f"password    : {result['before']}")
+    print(f"failover    : primary killed mid-exchange; standby answered "
+          f"in {result['latency_ms']:.1f} ms")
+    print(f"regenerated : {result['after']} "
+          f"({'identical' if identical else 'DIFFERENT'})")
+    print(f"failovers   : {result['failovers']}, phones re-registered: "
+          f"{', '.join(result['reregistered']) or 'none'}")
+    if not args.check:
+        return 0
+    failures = []
+    if not identical:
+        failures.append("regenerated password differs after failover")
+    if result["failovers"] != 1 or result["failovers_total"] != 1.0:
+        failures.append(
+            f"expected exactly one failover, saw {result['failovers']} "
+            f"(counter {result['failovers_total']})"
+        )
+    if not result["promoted"]:
+        failures.append("failed shard is not serving from its standby")
+    if result["reregistered"] != ["alice"]:
+        failures.append(
+            f"affected phone not re-registered: {result['reregistered']}"
+        )
+    replay = round_trip()
+    if (replay["before"], replay["after"]) != (
+        result["before"], result["after"]
+    ):
+        failures.append("round trip is not deterministic under the seed")
+    if failures:
+        for failure in failures:
+            print(f"cluster check FAILED: {failure}", file=sys.stderr)
+        return 1
+    print("cluster check ok: identical password on the promoted standby, "
+          "one failover, deterministic replay")
+    return 0
+
+
 def _cmd_stages(args: argparse.Namespace) -> int:
     """Per-stage latency attribution of the Figure 3 pipeline."""
     from repro.eval.stages import run_stage_breakdown
@@ -450,6 +552,7 @@ _COMMANDS: Dict[str, Callable[[argparse.Namespace], int]] = {
     "stages": _cmd_stages,
     "chaos": _cmd_chaos,
     "bench": _cmd_bench,
+    "cluster": _cmd_cluster,
 }
 
 
@@ -543,6 +646,25 @@ def build_parser() -> argparse.ArgumentParser:
             command.add_argument(
                 "--no-write", action="store_true",
                 help="do not write the BENCH_*.json artefact",
+            )
+        elif name == "cluster":
+            command.add_argument(
+                "--shards", type=int, default=2,
+                help="shard count for the simulated fleet (default: 2)",
+            )
+            command.add_argument(
+                "--check", action="store_true",
+                help="assert identical password after failover, exactly "
+                "one failover, and a deterministic replay (smoke test)",
+            )
+            command.add_argument(
+                "--chaos", action="store_true",
+                help="run the cluster chaos suite (shard-crash, stale-ring) "
+                "instead of the failover round trip",
+            )
+            command.add_argument(
+                "--trials", type=int, default=1,
+                help="with --chaos: trials per scenario arm",
             )
         elif name == "serve":
             command.add_argument(

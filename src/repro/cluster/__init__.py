@@ -1,0 +1,44 @@
+"""Sharded Amnesia cluster: consistent-hash gateway, replication, failover.
+
+The paper's prototype is a single CherryPy server — both the scale
+ceiling and the "massive central point of failure" that MFDPG (Nair &
+Song) criticizes in centralized password managers.  PALPAS (Horsch et
+al.) observes that the state which actually needs synchronising is the
+small per-account salt/seed record — exactly Amnesia's ``σ_A``/``O_id``
+rows (Table I).  This package scales the server plane horizontally
+while keeping that state replicated:
+
+- :mod:`repro.cluster.ring` — consistent-hash ring with virtual nodes;
+  routes a user's login to a shard, deterministic rebalance on
+  membership change.
+- :mod:`repro.cluster.replication` — sequenced row-level op-log from
+  each shard primary to its standby, with versioned per-user snapshot
+  catch-up (``amnesia-user-snapshot/1``).
+- :mod:`repro.cluster.shard` — a primary/standby pair of
+  ``AmnesiaServer`` processes wired together by a replication link.
+- :mod:`repro.cluster.gateway` — the client-facing application:
+  consistent-hash routing, health probing, failover (standby promotion,
+  phone re-registration, in-flight drain), aggregated
+  ``/statusz``/``/metricsz``.
+- :mod:`repro.cluster.testbed` — ``ClusterTestbed``: the full
+  deployment inside the simulator.
+- :mod:`repro.cluster.chaos` — cluster chaos scenarios (shard crash
+  mid-exchange, stale ring at the gateway).
+"""
+
+from repro.cluster.gateway import ClusterDirectory, ClusterGateway
+from repro.cluster.replication import OpLog, ReplicaApplier, ReplicationLink
+from repro.cluster.ring import HashRing
+from repro.cluster.shard import ClusterShard
+from repro.cluster.testbed import ClusterTestbed
+
+__all__ = [
+    "ClusterDirectory",
+    "ClusterGateway",
+    "ClusterShard",
+    "ClusterTestbed",
+    "HashRing",
+    "OpLog",
+    "ReplicaApplier",
+    "ReplicationLink",
+]

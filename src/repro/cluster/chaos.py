@@ -1,0 +1,288 @@
+"""Cluster chaos scenarios: the fleet's resilience story, quantified.
+
+The single-server chaos suite (:mod:`repro.eval.chaos`) attacks the
+legs of Figure 1's pipeline; this module attacks the *fleet* machinery
+the cluster adds on top of it — failover and ring membership — with the
+same two-arm structure (client retries on vs off) and the same
+determinism contract (identical seeds reproduce the fingerprint
+bit-for-bit).
+
+Two canonical scenarios:
+
+- ``shard-crash-mid-exchange``: the user's shard primary is killed
+  2 ms into a password generation.  The probe plane flags it dead, the
+  gateway promotes the standby and *drains* the stuck exchange —
+  re-dispatching it to the promoted replica, which (because the op-log
+  shipped ``σ``/``O_id``/ids) regenerates the byte-identical password.
+  Both arms succeed: the drain is gateway-side resilience.  The
+  retries-on arm is belt-and-braces for the case where the drained
+  re-dispatch itself dies and degrades to the retryable 502.
+- ``gateway-stale-ring``: with a ``/generate`` dispatch in flight, the
+  target shard's primary crashes and an operator decommissions the
+  shard (migrating its users, bumping the ring epoch).  The gateway
+  detects the epoch mismatch on the transport error, re-resolves the
+  user's new home and re-dispatches — so even the *non*-retrying arm
+  succeeds with the identical password.  Gateway-side resilience,
+  no client cooperation needed.
+
+Every trial runs on a fresh :class:`ClusterTestbed` (a failover is a
+one-way door for a testbed: the primary stays dead), seeded from the
+scenario name, suite seed, and trial index.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.cluster.testbed import ClusterTestbed
+from repro.eval.chaos import _percentile
+from repro.faults.retry import RetryPolicy
+from repro.obs.health import counter_total
+from repro.util.errors import ReproError, ValidationError
+
+#: Browser-side policy for the retries-on arm.  Tuned to the probe
+#: plane: the first re-attempt lands inside the failover window
+#: (~1 s of missed probes), the later ones well past it.
+CLUSTER_RETRY = RetryPolicy(
+    max_attempts=6,
+    base_delay_ms=200.0,
+    multiplier=2.0,
+    max_delay_ms=5_000.0,
+    jitter=0.5,
+)
+
+_LOGIN = "chaos"
+_MASTER_PASSWORD = "chaos-master-password"
+_CRASH_DELAY_MS = 2.0  # kill the primary this far into the exchange
+_ARM_POLL_MS = 1.0  # stale-ring: poll cadence for the in-flight watch
+_ARM_DEADLINE_MS = 30_000.0  # stale-ring: give up arming after this
+_STALE_RETRY_TIMEOUT_MS = 100.0  # gateway->shard channel impatience
+
+
+@dataclass(frozen=True)
+class ClusterScenario:
+    """One named sabotage, armed fresh against every trial's testbed."""
+
+    name: str
+    description: str
+    arm: Callable[[ClusterTestbed], None]
+    settle: Callable[[ClusterTestbed], None]
+
+
+def _arm_shard_crash(bed: ClusterTestbed) -> None:
+    bed.gateway.start_probing()
+    shard = bed.shard_of(_LOGIN)
+    bed.kernel.schedule(
+        _CRASH_DELAY_MS,
+        lambda: bed.crash_primary(shard.name),
+        label="chaos-crash",
+    )
+
+
+def _settle_shard_crash(bed: ClusterTestbed) -> None:
+    bed.gateway.stop_probing()
+    bed.run_until_idle()
+
+
+def _arm_stale_ring(bed: ClusterTestbed) -> None:
+    # Impatient internal channel: the dead-host error (and with it the
+    # epoch check) surfaces well inside the browser's own budget.
+    bed.gateway.stack.retry_timeout_ms = _STALE_RETRY_TIMEOUT_MS
+    victim = bed.shard_of(_LOGIN).name
+    deadline = bed.kernel.now + _ARM_DEADLINE_MS
+
+    def sabotage() -> None:
+        bed.shards[victim].primary.host.crash()
+        bed.decommission(victim)
+
+    def sabotage_once_in_flight() -> None:
+        if bed.kernel.now > deadline:
+            return  # never saw the dispatch: leave the bed un-sabotaged
+        # Same-package peek at the gateway's dispatch table: sabotaging
+        # before the forward would simply route with the new ring and
+        # nothing would be stale.
+        dispatched = any(
+            entry.request.path.endswith("/generate")
+            for entry in bed.gateway._in_flight.values()
+        )
+        if dispatched:
+            sabotage()
+        else:
+            bed.kernel.schedule(
+                _ARM_POLL_MS, sabotage_once_in_flight, label="stale-ring-arm"
+            )
+
+    bed.kernel.schedule(
+        _ARM_POLL_MS, sabotage_once_in_flight, label="stale-ring-arm"
+    )
+
+
+def _settle_stale_ring(bed: ClusterTestbed) -> None:
+    bed.run_until_idle()
+
+
+CANONICAL_CLUSTER_SCENARIOS: tuple[ClusterScenario, ...] = (
+    ClusterScenario(
+        "shard-crash-mid-exchange",
+        "primary killed 2 ms into a generate; probes promote the standby",
+        _arm_shard_crash,
+        _settle_shard_crash,
+    ),
+    ClusterScenario(
+        "gateway-stale-ring",
+        "shard decommissioned with a /generate dispatch in flight",
+        _arm_stale_ring,
+        _settle_stale_ring,
+    ),
+)
+
+
+@dataclass
+class ClusterArmStats:
+    """One arm (retries on or off) of one cluster scenario."""
+
+    retries_enabled: bool
+    trials: int = 0
+    successes: int = 0
+    identical: int = 0  # successes whose password matched pre-fault
+    samples_ms: tuple[float, ...] = ()
+    failovers: int = 0
+    stale_ring_refreshes: int = 0
+    reregistrations: int = 0
+
+    @property
+    def failures(self) -> int:
+        return self.trials - self.successes
+
+    @property
+    def success_rate(self) -> float:
+        return self.successes / self.trials if self.trials else 0.0
+
+    def percentile(self, q: float) -> float:
+        return _percentile(self.samples_ms, q)
+
+
+@dataclass
+class ClusterScenarioResult:
+    """Both arms of one scenario, ready to render side by side."""
+
+    scenario: ClusterScenario
+    with_retries: ClusterArmStats
+    without_retries: ClusterArmStats
+
+    def render(self) -> str:
+        lines = [
+            f"[{self.scenario.name}] {self.scenario.description}",
+            f"  {'arm':<12s} {'ok':>5s} {'rate':>6s} {'ident':>6s} "
+            f"{'p50 ms':>9s} {'p95 ms':>9s} {'fover':>6s} {'stale':>6s} "
+            f"{'rereg':>6s}",
+        ]
+        for arm, label in (
+            (self.with_retries, "retries-on"),
+            (self.without_retries, "retries-off"),
+        ):
+            p50, p95 = arm.percentile(50), arm.percentile(95)
+            lines.append(
+                f"  {label:<12s} {arm.successes:>2d}/{arm.trials:<2d} "
+                f"{arm.success_rate:>5.0%} "
+                f"{arm.identical:>6d} "
+                f"{'-' if math.isnan(p50) else format(p50, '9.1f'):>9s} "
+                f"{'-' if math.isnan(p95) else format(p95, '9.1f'):>9s} "
+                f"{arm.failovers:>6d} {arm.stale_ring_refreshes:>6d} "
+                f"{arm.reregistrations:>6d}"
+            )
+        return "\n".join(lines)
+
+    def fingerprint(self) -> str:
+        """A compact determinism witness: identical seeds must reproduce
+        this string bit-for-bit."""
+        parts = [self.scenario.name]
+        for arm in (self.with_retries, self.without_retries):
+            parts.append(
+                f"{arm.successes}/{arm.trials}"
+                f":{','.join(f'{s:.3f}' for s in arm.samples_ms)}"
+                f":i{arm.identical}"
+                f":f{arm.failovers}"
+                f":s{arm.stale_ring_refreshes}"
+                f":r{arm.reregistrations}"
+            )
+        return "|".join(parts)
+
+
+def run_cluster_arm(
+    scenario: ClusterScenario,
+    seed: int | str,
+    trials: int,
+    retries: bool,
+    shards: int = 2,
+) -> ClusterArmStats:
+    """One arm: a *fresh* 2-shard fleet per trial, sabotaged mid-generate."""
+    if trials < 1:
+        raise ValidationError(f"trials must be >= 1, got {trials}")
+    stats = ClusterArmStats(retries_enabled=retries)
+    samples: list[float] = []
+    for trial in range(trials):
+        bed = ClusterTestbed(
+            shards=shards,
+            seed=f"cluster-chaos|{scenario.name}|{seed}|{trial}",
+        )
+        browser = bed.enroll(_LOGIN, _MASTER_PASSWORD)
+        account_id = browser.add_account(_LOGIN, "chaos.example.com")
+        # Warm-up under clear skies: the reference password P, and the
+        # replication link converged so the standby holds the same rows.
+        before = browser.generate_password(account_id)["password"]
+        bed.run_until_idle()
+        scenario.arm(bed)
+        started = bed.kernel.now
+        stats.trials += 1
+        try:
+            after = browser.generate_password(
+                account_id,
+                retry=CLUSTER_RETRY if retries else None,
+                rng=bed.network.rng_stream("cluster-chaos-retry"),
+            )["password"]
+        except ReproError:
+            pass
+        else:
+            stats.successes += 1
+            if after == before:
+                stats.identical += 1
+            # Latency as the user sees it: every retry and backoff wait.
+            samples.append(bed.kernel.now - started)
+        scenario.settle(bed)
+        stats.failovers += int(
+            counter_total(bed.registry, "amnesia_cluster_failovers_total")
+        )
+        stats.stale_ring_refreshes += int(
+            counter_total(
+                bed.registry, "amnesia_cluster_stale_ring_refreshes_total"
+            )
+        )
+        stats.reregistrations += len(bed.reregistrations)
+    stats.samples_ms = tuple(samples)
+    return stats
+
+
+def run_cluster_scenario(
+    scenario: ClusterScenario, seed: int | str = "chaos", trials: int = 2
+) -> ClusterScenarioResult:
+    return ClusterScenarioResult(
+        scenario=scenario,
+        with_retries=run_cluster_arm(scenario, seed, trials, retries=True),
+        without_retries=run_cluster_arm(scenario, seed, trials, retries=False),
+    )
+
+
+def run_cluster_chaos(
+    seed: int | str = "chaos",
+    trials: int = 2,
+    scenarios: tuple[ClusterScenario, ...] = CANONICAL_CLUSTER_SCENARIOS,
+) -> list[ClusterScenarioResult]:
+    """The full cluster suite: every scenario, both arms."""
+    return [run_cluster_scenario(s, seed, trials) for s in scenarios]
+
+
+def cluster_suite_fingerprint(results: list[ClusterScenarioResult]) -> str:
+    return "\n".join(result.fingerprint() for result in results)

@@ -1,0 +1,492 @@
+"""The cluster gateway: consistent-hash routing, probing, failover.
+
+A real :class:`~repro.web.app.Application` bound to its own secure
+host, exposing the *same* client API as a single Amnesia server — the
+browser and the phone talk to the gateway exactly as they talked to the
+prototype's CherryPy server — plus the cluster's aggregated health
+surface:
+
+- ``GET /healthz`` / ``GET /statusz`` — one ``amnesia-health/1``
+  document summarising every shard (degraded when any shard is down or
+  any replica lag exceeds the threshold);
+- ``GET /metricsz`` — the shared deployment registry with the
+  ``amnesia_cluster_*`` families.
+
+Routing: requests are keyed by user login and consistent-hash routed on
+the :class:`~repro.cluster.ring.HashRing`.  The login is extracted per
+endpoint — from the body for ``/signup``/``/login``/pairing, from the
+learned ``pid → login`` map for ``/token`` (the phone's submission
+never carries the login), and from the learned ``session → login`` map
+for everything cookie-authenticated.  The gateway learns both maps from
+traffic it forwards, so no shard state is duplicated.
+
+Failover: ``start_probing()`` polls every shard's serving endpoint with
+``GET /healthz``; ``probe_miss_threshold`` consecutive missed probes
+flag the shard dead, at which point the gateway promotes the standby,
+bumps ``amnesia_cluster_failovers_total``, fires the ``on_failover``
+hooks (the testbed uses them to re-register affected phones through
+``/phone/reregister``), and drains every in-flight exchange for the
+dead shard by re-dispatching it to the promoted standby
+(``amnesia_cluster_rerouted_requests_total``).
+"""
+
+from __future__ import annotations
+
+import logging
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.cluster.ring import HashRing
+from repro.cluster.shard import ClusterShard, make_internal_client
+from repro.net.tls import SecureServer, SecureStack
+from repro.obs.health import install_health_routes
+from repro.server.service import AMNESIA_SERVICE
+from repro.util.errors import ValidationError
+from repro.web.app import Application, Deferred, error_response
+from repro.web.http import HttpRequest, HttpResponse
+from repro.web.server import SimHttpServer
+from repro.web.sessions import SESSION_COOKIE
+
+_log = logging.getLogger("repro.cluster.gateway")
+
+DEFAULT_PROBE_INTERVAL_MS = 500.0
+DEFAULT_PROBE_TIMEOUT_MS = 400.0
+DEFAULT_PROBE_MISS_THRESHOLD = 2
+DEFAULT_LAG_DEGRADED_THRESHOLD = 128
+
+#: Endpoints whose routing login lives in the request body.
+_BODY_LOGIN_PATHS = frozenset(
+    {"/signup", "/login", "/pair/complete", "/phone/reregister"}
+)
+#: Endpoints routed via the learned ``pid → login`` map.
+_PID_ROUTED_PATHS = frozenset({"/token", "/recover/master/confirm"})
+
+
+class ClusterDirectory:
+    """The authoritative cluster membership: ring + shard records."""
+
+    def __init__(self, shards: Dict[str, ClusterShard], virtual_nodes: int = 64):
+        if not shards:
+            raise ValidationError("a cluster needs at least one shard")
+        self.shards = dict(shards)
+        self.ring = HashRing(sorted(shards), virtual_nodes=virtual_nodes)
+
+    @property
+    def epoch(self) -> int:
+        return self.ring.epoch
+
+    def shard_for(self, login: str) -> ClusterShard:
+        return self.shards[self.ring.node_for(login)]
+
+    def remove_shard(self, name: str) -> ClusterShard:
+        """Take a shard out of the ring (decommission); bumps the epoch."""
+
+        self.ring.remove_node(name)
+        return self.shards.pop(name)
+
+
+@dataclass
+class _InFlight:
+    """One forwarded exchange the gateway is still waiting on."""
+
+    request: HttpRequest
+    deferred: Deferred
+    shard: str
+    epoch: int
+    login: str
+    rerouted: int = 0
+
+
+@dataclass
+class _ProbeState:
+    misses: int = 0
+    up: bool = True
+    probes_sent: int = 0
+    awaiting: Optional[int] = None  # probe id outstanding, if any
+
+
+class ClusterGateway:
+    """Consistent-hash router + failover controller for the shard fleet."""
+
+    def __init__(
+        self,
+        kernel,
+        network,
+        host_name: str,
+        rng,
+        directory: ClusterDirectory,
+        registry=None,
+        thread_pool_size: int = 32,
+        probe_interval_ms: float = DEFAULT_PROBE_INTERVAL_MS,
+        probe_timeout_ms: float = DEFAULT_PROBE_TIMEOUT_MS,
+        probe_miss_threshold: int = DEFAULT_PROBE_MISS_THRESHOLD,
+        lag_degraded_threshold: int = DEFAULT_LAG_DEGRADED_THRESHOLD,
+    ) -> None:
+        self.kernel = kernel
+        self.network = network
+        self.host = network.host(host_name)
+        self.directory = directory
+        self.registry = registry
+        self.probe_interval_ms = probe_interval_ms
+        self.probe_timeout_ms = probe_timeout_ms
+        self.probe_miss_threshold = probe_miss_threshold
+        self.lag_degraded_threshold = lag_degraded_threshold
+        self.started_ms: float = kernel.now
+
+        # -- learned routing state ------------------------------------
+        self._session_logins: Dict[str, str] = {}
+        self._pid_logins: Dict[str, str] = {}
+
+        # -- in-flight tracking ---------------------------------------
+        self._in_flight: Dict[int, _InFlight] = {}
+        self._next_entry_id = 0
+
+        # -- probing / failover ---------------------------------------
+        self._probe_states: Dict[str, _ProbeState] = {
+            name: _ProbeState() for name in directory.shards
+        }
+        self._probing = False
+        self._probe_seq = 0
+        self.on_failover: List[Callable[[str, List[str]], None]] = []
+        self.failovers = 0
+
+        # -- the gateway's own web surface ----------------------------
+        self.application = Application("gateway")
+        install_health_routes(
+            self.application,
+            "gateway",
+            kernel,
+            self._status_detail,
+            started_ms=self.started_ms,
+        )
+        if registry is not None:
+            self.application.bind_observability(registry, kernel)
+        self.application.before_request(self._forward_hook)
+
+        self.secure_server = SecureServer(host_name, rng)
+        self.stack = SecureStack(self.host, network, rng)
+        self.stack.attach_server(self.secure_server)
+        self.http_server = SimHttpServer(
+            self.application,
+            self.stack,
+            self.secure_server,
+            kernel,
+            service=AMNESIA_SERVICE,
+            thread_pool_size=thread_pool_size,
+            registry=registry,
+        )
+
+        # -- per-backend forwarding clients ----------------------------
+        self._clients: Dict[str, Any] = {}
+
+        self._bind_metrics()
+
+    @property
+    def certificate(self):
+        return self.secure_server.certificate
+
+    # -- metrics -----------------------------------------------------------
+
+    def _bind_metrics(self) -> None:
+        if self.registry is None:
+            self._m_failovers = None
+            self._m_rerouted = None
+            self._m_requests = None
+            self._m_stale = None
+            self._m_probe_misses = None
+            return
+        self.registry.gauge(
+            "amnesia_cluster_ring_size", "Shards currently on the hash ring"
+        ).set_function(lambda: float(len(self.directory.ring)))
+        self.registry.gauge(
+            "amnesia_cluster_ring_epoch", "Ring membership epoch at the gateway"
+        ).set_function(lambda: float(self.directory.epoch))
+        self._m_failovers = self.registry.counter(
+            "amnesia_cluster_failovers_total",
+            "Shard primaries declared dead and replaced by their standby",
+        )
+        self._m_rerouted = self.registry.counter(
+            "amnesia_cluster_rerouted_requests_total",
+            "In-flight requests re-dispatched to a promoted standby",
+        )
+        self._m_requests = self.registry.counter(
+            "amnesia_cluster_requests_total",
+            "Requests forwarded by the gateway, by shard",
+            label_names=("shard",),
+        )
+        self._m_stale = self.registry.counter(
+            "amnesia_cluster_stale_ring_refreshes_total",
+            "Dispatches retried after the ring changed under them",
+        )
+        self._m_probe_misses = self.registry.counter(
+            "amnesia_cluster_probe_misses_total",
+            "Health probes that timed out or errored, by shard",
+            label_names=("shard",),
+        )
+
+    # -- routing -----------------------------------------------------------
+
+    def _login_for(self, request: HttpRequest) -> str:
+        """The routing key (login) for *request*; deterministic fallback
+        when the gateway has not learned a mapping (the shard will then
+        answer 401/404 exactly as a single server would)."""
+
+        path = request.path
+        if path in _BODY_LOGIN_PATHS:
+            body = request.json()
+            login = str(body.get("login", ""))
+            pid_hex = str(body.get("pid", ""))
+            if login and pid_hex:
+                # Pairing/re-registration: learn pid → login for /token.
+                self._pid_logins[pid_hex] = login
+            if login:
+                return login
+            return "?unrouted"
+        if path in _PID_ROUTED_PATHS:
+            pid_hex = str(request.json().get("pid", ""))
+            login = self._pid_logins.get(pid_hex)
+            return login if login is not None else f"?pid:{pid_hex[:16]}"
+        token = request.cookies.get(SESSION_COOKIE, "")
+        login = self._session_logins.get(token)
+        return login if login is not None else f"?session:{token[:16]}"
+
+    def _client_for(self, server) -> Any:
+        host_name = server.host.name
+        client = self._clients.get(host_name)
+        if client is None:
+            client = make_internal_client(
+                self.stack, self.kernel, host_name, server.certificate, self.registry
+            )
+            self._clients[host_name] = client
+        return client
+
+    def _learn_session(self, request: HttpRequest, response: HttpResponse, login: str):
+        if request.path in ("/signup", "/login") and response.ok:
+            token = response.set_cookies.get(SESSION_COOKIE)
+            if token:
+                self._session_logins[token] = login
+
+    # -- forwarding --------------------------------------------------------
+
+    def _forward_hook(self, request: HttpRequest):
+        """``before_request`` middleware: local routes fall through to
+        the gateway's own router; everything else is proxied."""
+
+        if self.application.router.resolve(request) is not None:
+            return None  # /healthz, /statusz, /metricsz stay local
+        return self._forward(request)
+
+    def _forward(self, request: HttpRequest):
+        login = self._login_for(request)
+        shard_name = self.directory.ring.node_for(login)
+        deferred = Deferred()
+        self._next_entry_id += 1
+        entry_id = self._next_entry_id
+        entry = _InFlight(
+            request=request,
+            deferred=deferred,
+            shard=shard_name,
+            epoch=self.directory.epoch,
+            login=login,
+        )
+        self._in_flight[entry_id] = entry
+        self._dispatch(entry_id, entry)
+        return deferred
+
+    def _dispatch(self, entry_id: int, entry: _InFlight) -> None:
+        shard = self.directory.shards.get(entry.shard)
+        if shard is None:
+            self._in_flight.pop(entry_id, None)
+            entry.deferred.resolve(
+                error_response(502, f"shard {entry.shard} left the cluster")
+            )
+            return
+        server = shard.serving
+        client = self._client_for(server)
+        if self._m_requests is not None:
+            self._m_requests.labels(shard=entry.shard).inc()
+
+        def on_response(response: HttpResponse) -> None:
+            if self._in_flight.pop(entry_id, None) is None:
+                return  # already answered (e.g. drained during failover)
+            self._learn_session(entry.request, response, entry.login)
+            entry.deferred.resolve(response)
+
+        def on_error(error: Exception) -> None:
+            if entry_id not in self._in_flight:
+                return
+            # A ring that moved under this dispatch (decommission,
+            # failover) is refreshed and the request re-routed once per
+            # epoch change; a plain transport error becomes a 502 that
+            # the PR-2 client retry plane knows how to handle.
+            if self.directory.epoch != entry.epoch:
+                entry.epoch = self.directory.epoch
+                new_shard = self.directory.ring.node_for(entry.login)
+                _log.info(
+                    "stale ring: re-routing %s %s from %s to %s",
+                    entry.request.method, entry.request.path,
+                    entry.shard, new_shard,
+                )
+                entry.shard = new_shard
+                if self._m_stale is not None:
+                    self._m_stale.inc()
+                self._dispatch(entry_id, entry)
+                return
+            self._in_flight.pop(entry_id, None)
+            entry.deferred.resolve(
+                error_response(
+                    502, f"shard {entry.shard} unreachable: {error}",
+                    retry_after_ms=self.probe_interval_ms,
+                )
+            )
+
+        client.send(entry.request, on_response, on_error)
+
+    # -- probing -----------------------------------------------------------
+
+    def start_probing(self) -> None:
+        """Begin the recurring ``/healthz`` probe loop (idempotent).
+
+        Probes keep the kernel busy, so drivers that rely on
+        ``run_until_idle`` must :meth:`stop_probing` first.
+        """
+
+        if self._probing:
+            return
+        self._probing = True
+        self.kernel.schedule(self.probe_interval_ms, self._probe_tick, "cluster-probe")
+
+    def stop_probing(self) -> None:
+        self._probing = False
+
+    def _probe_tick(self) -> None:
+        if not self._probing:
+            return
+        for name in list(self.directory.shards):
+            self._probe_shard(name)
+        self.kernel.schedule(self.probe_interval_ms, self._probe_tick, "cluster-probe")
+
+    def _probe_shard(self, name: str) -> None:
+        shard = self.directory.shards.get(name)
+        state = self._probe_states.setdefault(name, _ProbeState())
+        if shard is None or state.awaiting is not None:
+            return  # decommissioned, or previous probe still outstanding
+        self._probe_seq += 1
+        probe_id = self._probe_seq
+        state.awaiting = probe_id
+        state.probes_sent += 1
+        client = self._client_for(shard.serving)
+        request = HttpRequest(method="GET", path="/healthz")
+
+        def miss(reason: str) -> None:
+            if state.awaiting != probe_id:
+                return  # a newer probe took over, or this one answered
+            state.awaiting = None
+            state.misses += 1
+            if self._m_probe_misses is not None:
+                self._m_probe_misses.labels(shard=name).inc()
+            _log.debug("probe miss %d/%d for %s (%s)",
+                       state.misses, self.probe_miss_threshold, name, reason)
+            if state.misses >= self.probe_miss_threshold:
+                state.up = False
+                self._failover(name)
+
+        def on_response(response: HttpResponse) -> None:
+            if state.awaiting != probe_id:
+                return  # answered after the timeout already counted a miss
+            state.awaiting = None
+            if response.status == 200:
+                state.misses = 0
+                state.up = True
+            else:
+                miss_now()
+
+        def miss_now() -> None:
+            state.awaiting = probe_id  # restore so miss() accepts it
+            miss("unhealthy-status")
+
+        def on_error(error: Exception) -> None:
+            miss(str(error))
+
+        def on_timeout() -> None:
+            miss("probe-timeout")
+
+        client.send(request, on_response, on_error)
+        self.kernel.schedule(self.probe_timeout_ms, on_timeout, "cluster-probe-timeout")
+
+    # -- failover ----------------------------------------------------------
+
+    def _failover(self, name: str) -> None:
+        shard = self.directory.shards.get(name)
+        if shard is None or shard.failed_over:
+            return
+        affected = shard.logins()
+        _log.warning(
+            "failing over shard %s to standby %s (%d users, lag=%d ops)",
+            name, shard.standby.host.name, len(affected), shard.link.lag_ops,
+        )
+        shard.promote()
+        self.failovers += 1
+        if self._m_failovers is not None:
+            self._m_failovers.inc()
+        # Forget the dead primary's client so future dispatches (and
+        # probes) dial the promoted standby instead.
+        self._clients.pop(shard.primary.host.name, None)
+        state = self._probe_states.setdefault(name, _ProbeState())
+        state.misses = 0
+        state.up = True
+        state.awaiting = None
+        # Drain: every exchange still waiting on the dead primary is
+        # re-dispatched to the promoted standby. Responses the primary
+        # never sent are regenerated; Deferred.resolve is first-wins, so
+        # a late duplicate from the wire stays harmless.
+        for entry_id, entry in list(self._in_flight.items()):
+            if entry.shard != name:
+                continue
+            entry.rerouted += 1
+            if self._m_rerouted is not None:
+                self._m_rerouted.inc()
+            self._dispatch(entry_id, entry)
+        for hook in list(self.on_failover):
+            hook(name, affected)
+
+    # -- aggregated health -------------------------------------------------
+
+    def _status_detail(self) -> Dict[str, Any]:
+        """One ``amnesia-health/1`` detail summarising every shard."""
+
+        shards: Dict[str, Any] = {}
+        any_down = False
+        worst_lag = 0
+        for name in sorted(self.directory.shards):
+            shard = self.directory.shards[name]
+            state = self._probe_states.setdefault(name, _ProbeState())
+            lag = shard.lag_ops
+            worst_lag = max(worst_lag, lag)
+            if not state.up:
+                any_down = True
+            shards[name] = {
+                "state": "failed-over" if shard.failed_over else "primary",
+                "serving_host": shard.serving.host.name,
+                "up": state.up,
+                "lag_ops": lag,
+                "probe_misses": state.misses,
+                "users": len(shard.serving.database.all_users()),
+            }
+        degraded = any_down or worst_lag > self.lag_degraded_threshold
+        return {
+            "degraded": degraded,
+            "ring": {
+                "size": len(self.directory.ring),
+                "epoch": self.directory.epoch,
+                "nodes": self.directory.ring.nodes,
+            },
+            "shards": shards,
+            "replication": {
+                "worst_lag_ops": worst_lag,
+                "lag_degraded_threshold": self.lag_degraded_threshold,
+            },
+            "failovers_total": self.failovers,
+            "in_flight": len(self._in_flight),
+            "probing": self._probing,
+        }

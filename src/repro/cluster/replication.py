@@ -1,0 +1,684 @@
+"""Primary → standby replication: a sequenced row-level op-log.
+
+What needs replicating is exactly the PALPAS insight applied to
+Amnesia's Table I: the per-user durable records — the login row with
+``O_id`` and the master-password/phone-id verifiers, one ``(µ, d, σ)``
+row per account, vault ciphertexts, and the login-throttle counters —
+plus the session table, so a browser's cookie keeps resolving after a
+failover (the promoted standby answers with the *same* session the
+dead primary issued).  Everything else on a shard (TLS identity,
+pending exchanges, in-flight timers) is per-process or volatile and is
+deliberately NOT shipped.
+
+Three cooperating pieces:
+
+- :class:`OpLog` — the primary's bounded, monotonically sequenced
+  journal.  Ops are **row-level** (full rows with explicit primary
+  keys), not logical calls: replaying ``create_user`` on a standby
+  would let SQLite's AUTOINCREMENT assign a *different* user_id and
+  silently break every client-held account id across a failover.
+- :class:`JournalingDatabase` / :class:`JournalingThrottle` — proxies
+  installed on the primary after construction: every mutation calls
+  through and then journals the resulting row state.
+- :class:`ReplicaApplier` (standby side) + :class:`ReplicationLink`
+  (primary side) — the wire: the link batches ops over a secure
+  channel to the standby's ``POST /replicate/ops``; the applier
+  enforces contiguity (``seq == applied_seq + 1``) and answers
+  ``need_snapshot`` on a gap, at which point the link ships the full
+  versioned per-user snapshot set (``amnesia-user-snapshot/1``) to
+  ``POST /replicate/snapshot`` and resumes the tail.
+
+Replication lag — ``journal.seq - acked_seq`` — is exported as
+``amnesia_cluster_replication_lag_ops{shard=...}`` and feeds the
+gateway's degraded threshold.
+"""
+
+from __future__ import annotations
+
+import logging
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.faults.retry import RetryPolicy, count_retry_attempt, count_retry_giveup
+from repro.server.throttle import LoginThrottle
+from repro.storage.server_db import (
+    AccountRecord,
+    ServerDatabase,
+    UserRecord,
+)
+from repro.util.errors import NotFoundError, ValidationError
+from repro.web.app import Application, json_response
+from repro.web.http import HttpRequest
+from repro.web.sessions import Session, SessionManager
+
+_log = logging.getLogger("repro.cluster.replication")
+
+#: Default bound on the journal: older ops are trimmed, and a standby
+#: that fell behind the trim floor catches up from a snapshot instead.
+DEFAULT_MAX_OPS = 4_096
+
+#: How long appends coalesce before a flush is pushed to the standby.
+DEFAULT_FLUSH_DELAY_MS = 5.0
+
+#: Ops per /replicate/ops batch.
+DEFAULT_BATCH_SIZE = 256
+
+DEFAULT_REPLICATION_RETRY = RetryPolicy(
+    max_attempts=3,
+    base_delay_ms=50.0,
+    multiplier=2.0,
+    max_delay_ms=1_000.0,
+    jitter=0.5,
+)
+
+OP_PUT_USER = "put_user"
+OP_DELETE_USER = "delete_user"
+OP_PUT_ACCOUNT = "put_account"
+OP_DELETE_ACCOUNT = "delete_account"
+OP_PUT_VAULT = "put_vault"
+OP_DELETE_VAULT = "delete_vault"
+OP_USER_SNAPSHOT = "user_snapshot"
+OP_THROTTLE_SET = "throttle_set"
+OP_SESSION_PUT = "session_put"
+OP_SESSION_REVOKE = "session_revoke"
+
+
+@dataclass(frozen=True)
+class Op:
+    """One sequenced journal entry (payload is JSON-safe)."""
+
+    seq: int
+    kind: str
+    payload: Dict[str, Any]
+
+    def to_wire(self) -> Dict[str, Any]:
+        return {"seq": self.seq, "kind": self.kind, "payload": self.payload}
+
+    @classmethod
+    def from_wire(cls, doc: Dict[str, Any]) -> "Op":
+        return cls(seq=int(doc["seq"]), kind=str(doc["kind"]), payload=doc["payload"])
+
+
+class OpLog:
+    """The primary's bounded, monotonically sequenced journal."""
+
+    def __init__(self, max_ops: int = DEFAULT_MAX_OPS) -> None:
+        if max_ops < 1:
+            raise ValidationError("max_ops must be >= 1")
+        self.max_ops = max_ops
+        self.seq = 0
+        #: Sequence number of the oldest op still retained, minus one:
+        #: ``since(floor)`` is the earliest answerable query.
+        self.floor = 0
+        self._ops: List[Op] = []
+        self._listeners: List[Callable[[], None]] = []
+
+    def on_append(self, listener: Callable[[], None]) -> None:
+        self._listeners.append(listener)
+
+    def append(self, kind: str, payload: Dict[str, Any]) -> Op:
+        self.seq += 1
+        op = Op(seq=self.seq, kind=kind, payload=payload)
+        self._ops.append(op)
+        if len(self._ops) > self.max_ops:
+            trimmed = len(self._ops) - self.max_ops
+            del self._ops[:trimmed]
+            self.floor = self._ops[0].seq - 1
+        for listener in list(self._listeners):
+            listener()
+        return op
+
+    def since(self, seq: int, limit: int = DEFAULT_BATCH_SIZE) -> Optional[List[Op]]:
+        """Ops with sequence > *seq* (oldest first), or ``None`` when the
+        journal no longer retains them (trimmed → snapshot catch-up)."""
+
+        if seq < self.floor:
+            return None
+        return [op for op in self._ops if op.seq > seq][:limit]
+
+    def __len__(self) -> int:
+        return len(self._ops)
+
+
+# -- row serialisation ------------------------------------------------------
+
+
+def user_payload(user: UserRecord) -> Dict[str, Any]:
+    return {
+        "user_id": user.user_id,
+        "login": user.login,
+        "oid": user.oid.hex(),
+        "mp_hash": user.mp_hash.hex(),
+        "mp_salt": user.mp_salt.hex(),
+        "reg_id": user.reg_id,
+        "pid_hash": user.pid_hash.hex() if user.pid_hash else None,
+        "pid_salt": user.pid_salt.hex() if user.pid_salt else None,
+    }
+
+
+def user_from_payload(payload: Dict[str, Any]) -> UserRecord:
+    return UserRecord(
+        user_id=int(payload["user_id"]),
+        login=str(payload["login"]),
+        oid=bytes.fromhex(payload["oid"]),
+        mp_hash=bytes.fromhex(payload["mp_hash"]),
+        mp_salt=bytes.fromhex(payload["mp_salt"]),
+        reg_id=payload["reg_id"],
+        pid_hash=bytes.fromhex(payload["pid_hash"]) if payload["pid_hash"] else None,
+        pid_salt=bytes.fromhex(payload["pid_salt"]) if payload["pid_salt"] else None,
+    )
+
+
+def account_payload(account: AccountRecord) -> Dict[str, Any]:
+    return {
+        "account_id": account.account_id,
+        "user_id": account.user_id,
+        "username": account.username,
+        "domain": account.domain,
+        "seed": account.seed.hex(),
+        "charset": account.charset,
+        "length": account.length,
+    }
+
+
+def account_from_payload(payload: Dict[str, Any]) -> AccountRecord:
+    return AccountRecord(
+        account_id=int(payload["account_id"]),
+        user_id=int(payload["user_id"]),
+        username=str(payload["username"]),
+        domain=str(payload["domain"]),
+        seed=bytes.fromhex(payload["seed"]),
+        charset=str(payload["charset"]),
+        length=int(payload["length"]),
+    )
+
+
+# -- primary-side journaling proxies ----------------------------------------
+
+
+class JournalingDatabase:
+    """A :class:`ServerDatabase` proxy that journals every mutation.
+
+    Installed on a shard primary *after* construction (so the TLS
+    identity written via ``set_config`` during startup stays local).
+    Reads delegate untouched; each mutation calls through and then
+    appends the resulting **row state** to the journal.  ``set_config``
+    is deliberately not journaled: it is per-server state.
+    """
+
+    def __init__(self, inner: ServerDatabase, journal: OpLog) -> None:
+        self.inner = inner
+        self.journal = journal
+
+    def __getattr__(self, name: str):
+        return getattr(self.inner, name)
+
+    # -- users ---------------------------------------------------------
+
+    def create_user(self, login, oid, mp_hash, mp_salt) -> UserRecord:
+        user = self.inner.create_user(login, oid, mp_hash, mp_salt)
+        self.journal.append(OP_PUT_USER, user_payload(user))
+        return user
+
+    def _journal_user(self, user_id: int) -> None:
+        self.journal.append(
+            OP_PUT_USER, user_payload(self.inner.user_by_id(user_id))
+        )
+
+    def set_master_password(self, user_id, mp_hash, mp_salt) -> None:
+        self.inner.set_master_password(user_id, mp_hash, mp_salt)
+        self._journal_user(user_id)
+
+    def set_phone_registration(self, user_id, reg_id, pid_hash, pid_salt) -> None:
+        self.inner.set_phone_registration(user_id, reg_id, pid_hash, pid_salt)
+        self._journal_user(user_id)
+
+    def clear_phone_registration(self, user_id) -> None:
+        self.inner.clear_phone_registration(user_id)
+        self._journal_user(user_id)
+
+    def put_user(self, record: UserRecord) -> None:
+        self.inner.put_user(record)
+        self.journal.append(OP_PUT_USER, user_payload(record))
+
+    def delete_user(self, user_id: int) -> None:
+        self.inner.delete_user(user_id)
+        self.journal.append(OP_DELETE_USER, {"user_id": user_id})
+
+    # -- accounts ------------------------------------------------------
+
+    def add_account(self, user_id, username, domain, seed, charset, length):
+        account = self.inner.add_account(
+            user_id, username, domain, seed, charset, length
+        )
+        self.journal.append(OP_PUT_ACCOUNT, account_payload(account))
+        return account
+
+    def _journal_account(self, account_id: int) -> None:
+        self.journal.append(
+            OP_PUT_ACCOUNT, account_payload(self.inner.account_by_id(account_id))
+        )
+
+    def update_seed(self, account_id, seed) -> None:
+        self.inner.update_seed(account_id, seed)
+        self._journal_account(account_id)
+
+    def update_policy(self, account_id, charset, length) -> None:
+        self.inner.update_policy(account_id, charset, length)
+        self._journal_account(account_id)
+
+    def put_account(self, record: AccountRecord) -> None:
+        self.inner.put_account(record)
+        self.journal.append(OP_PUT_ACCOUNT, account_payload(record))
+
+    def delete_account(self, account_id) -> None:
+        self.inner.delete_account(account_id)
+        self.journal.append(OP_DELETE_ACCOUNT, {"account_id": account_id})
+
+    # -- vault ---------------------------------------------------------
+
+    def store_vault_entry(self, account_id, ciphertext) -> None:
+        self.inner.store_vault_entry(account_id, ciphertext)
+        self.journal.append(
+            OP_PUT_VAULT,
+            {"account_id": account_id, "ciphertext": ciphertext.hex()},
+        )
+
+    def delete_vault_entry(self, account_id) -> None:
+        self.inner.delete_vault_entry(account_id)
+        self.journal.append(OP_DELETE_VAULT, {"account_id": account_id})
+
+    # -- snapshots -----------------------------------------------------
+
+    def apply_user_snapshot(self, doc: Dict[str, Any]) -> UserRecord:
+        record = self.inner.apply_user_snapshot(doc)
+        self.journal.append(OP_USER_SNAPSHOT, {"doc": doc})
+        return record
+
+
+class JournalingThrottle:
+    """A :class:`LoginThrottle` proxy journaling per-login state changes.
+
+    The throttle is part of the ISSUE's durable set: without it, a
+    failover would reset an attacker's guessing budget — losing exactly
+    the "resilient to throttled guessing" property Bonneau's framework
+    scores.  Rather than replaying failure events (whose timing the
+    standby cannot reproduce), each mutation journals the resulting
+    per-login state, which restores deterministically.
+    """
+
+    def __init__(self, inner: LoginThrottle, journal: OpLog) -> None:
+        self.inner = inner
+        self.journal = journal
+
+    def __getattr__(self, name: str):
+        return getattr(self.inner, name)
+
+    def _journal_login(self, login: str) -> None:
+        state = self.inner.export_state(login)
+        self.journal.append(
+            OP_THROTTLE_SET,
+            {"login": login, "state": list(state) if state is not None else None},
+        )
+
+    def record_failure(self, login: str, now_ms: float) -> None:
+        self.inner.record_failure(login, now_ms)
+        self._journal_login(login)
+
+    def record_success(self, login: str) -> None:
+        self.inner.record_success(login)
+        self._journal_login(login)
+
+
+class JournalingSessions:
+    """A :class:`SessionManager` proxy journaling create/revoke.
+
+    Sessions live in memory on the paper's single server; in the
+    cluster they must follow the user's shard, or a failover would
+    bounce every logged-in browser back to the login page.  Creation
+    and revocation are journaled; the idle-clock refresh performed by
+    ``resolve`` is deliberately not (it is bookkeeping noise — the
+    standby's copy keeps the creation timestamp, well within the idle
+    window for any failover that matters).
+    """
+
+    def __init__(self, inner: SessionManager, journal: OpLog) -> None:
+        self.inner = inner
+        self.journal = journal
+
+    def __getattr__(self, name: str):
+        return getattr(self.inner, name)
+
+    def create(self, now_ms: float, **data: Any) -> Session:
+        session = self.inner.create(now_ms, **data)
+        self.journal.append(OP_SESSION_PUT, session_payload(session))
+        return session
+
+    def install(self, session: Session) -> None:
+        self.inner.install(session)
+        self.journal.append(OP_SESSION_PUT, session_payload(session))
+
+    def revoke(self, token: str) -> None:
+        self.inner.revoke(token)
+        self.journal.append(OP_SESSION_REVOKE, {"token": token})
+
+    def revoke_all(self, predicate=None) -> int:
+        doomed = [
+            session.token
+            for session in self.inner.all_sessions()
+            if predicate is None or predicate(session)
+        ]
+        for token in doomed:
+            self.revoke(token)
+        return len(doomed)
+
+
+def session_payload(session: Session) -> Dict[str, Any]:
+    return {
+        "token": session.token,
+        "created_at_ms": session.created_at_ms,
+        "last_seen_ms": session.last_seen_ms,
+        "data": dict(session.data),
+    }
+
+
+def session_from_payload(payload: Dict[str, Any]) -> Session:
+    return Session(
+        token=str(payload["token"]),
+        created_at_ms=float(payload["created_at_ms"]),
+        last_seen_ms=float(payload["last_seen_ms"]),
+        data=dict(payload["data"]),
+    )
+
+
+# -- standby side -----------------------------------------------------------
+
+
+class ReplicaApplier:
+    """Applies journal batches onto a standby's database + throttle.
+
+    Enforces contiguity: an op is applied only when its sequence number
+    is exactly ``applied_seq + 1``; already-seen ops are skipped
+    (idempotent re-delivery), and a gap answers ``need_snapshot`` so the
+    primary falls back to full per-user snapshots.
+    """
+
+    def __init__(
+        self,
+        database: ServerDatabase,
+        throttle: LoginThrottle,
+        sessions: SessionManager | None = None,
+    ) -> None:
+        self.database = database
+        self.throttle = throttle
+        self.sessions = sessions
+        self.applied_seq = 0
+        self.ops_applied = 0
+        self.snapshots_applied = 0
+
+    # -- op dispatch ---------------------------------------------------
+
+    def _apply_one(self, op: Op) -> None:
+        kind, payload = op.kind, op.payload
+        if kind == OP_PUT_USER:
+            self.database.put_user(user_from_payload(payload))
+        elif kind == OP_DELETE_USER:
+            self.database.delete_user(int(payload["user_id"]))
+        elif kind == OP_PUT_ACCOUNT:
+            self.database.put_account(account_from_payload(payload))
+        elif kind == OP_DELETE_ACCOUNT:
+            try:
+                self.database.delete_account(int(payload["account_id"]))
+            except NotFoundError:
+                pass  # already gone (e.g. snapshot superseded the op)
+        elif kind == OP_PUT_VAULT:
+            self.database.store_vault_entry(
+                int(payload["account_id"]), bytes.fromhex(payload["ciphertext"])
+            )
+        elif kind == OP_DELETE_VAULT:
+            self.database.delete_vault_entry(int(payload["account_id"]))
+        elif kind == OP_USER_SNAPSHOT:
+            self.database.apply_user_snapshot(payload["doc"])
+        elif kind == OP_THROTTLE_SET:
+            state = payload["state"]
+            self.throttle.restore_state(
+                str(payload["login"]), tuple(state) if state is not None else None
+            )
+        elif kind == OP_SESSION_PUT:
+            if self.sessions is not None:
+                self.sessions.install(session_from_payload(payload))
+        elif kind == OP_SESSION_REVOKE:
+            if self.sessions is not None:
+                self.sessions.revoke(str(payload["token"]))
+        else:
+            raise ValidationError(f"unknown replication op kind {kind!r}")
+
+    def apply_ops(self, ops: List[Op]) -> Dict[str, Any]:
+        need_snapshot = False
+        for op in ops:
+            if op.seq <= self.applied_seq:
+                continue  # duplicate delivery: idempotent skip
+            if op.seq != self.applied_seq + 1:
+                need_snapshot = True  # gap: the journal trimmed past us
+                break
+            self._apply_one(op)
+            self.applied_seq = op.seq
+            self.ops_applied += 1
+        return {"applied_seq": self.applied_seq, "need_snapshot": need_snapshot}
+
+    def apply_snapshot(self, doc: Dict[str, Any]) -> Dict[str, Any]:
+        for user_doc in doc["users"]:
+            self.database.apply_user_snapshot(user_doc)
+        for login, failures, window_start, locked_until in doc.get("throttle", []):
+            self.throttle.restore_state(
+                str(login), (float(failures), float(window_start), float(locked_until))
+            )
+        if self.sessions is not None:
+            for payload in doc.get("sessions", []):
+                self.sessions.install(session_from_payload(payload))
+        self.applied_seq = int(doc["seq"])
+        self.snapshots_applied += 1
+        return {"applied_seq": self.applied_seq, "need_snapshot": False}
+
+    # -- HTTP surface --------------------------------------------------
+
+    def install_routes(self, app: Application) -> None:
+        """Register the replication endpoints on the standby's app."""
+
+        def replicate_ops(request: HttpRequest):
+            body = request.json()
+            ops = [Op.from_wire(doc) for doc in body.get("ops", [])]
+            return json_response(self.apply_ops(ops))
+
+        def replicate_snapshot(request: HttpRequest):
+            return json_response(self.apply_snapshot(request.json()))
+
+        app.router.add("POST", "/replicate/ops", replicate_ops)
+        app.router.add("POST", "/replicate/snapshot", replicate_snapshot)
+
+
+# -- primary side: the wire -------------------------------------------------
+
+
+class ReplicationLink:
+    """Ships the journal tail from a primary to its standby.
+
+    Event-driven: an append schedules a coalescing flush; each flush
+    sends one batch and, on ack, schedules the next while a tail
+    remains.  Sends are retried under a bounded policy (so a dead
+    standby cannot wedge the kernel in an endless self-rescheduling
+    loop); after a give-up the link goes *stalled* until the next
+    append re-arms it.  A crashed primary stops flushing — its host is
+    offline and the link checks before transmitting.
+    """
+
+    def __init__(
+        self,
+        kernel,
+        journal: OpLog,
+        client,
+        host,
+        shard_name: str,
+        snapshot_fn: Callable[[], Dict[str, Any]],
+        flush_delay_ms: float = DEFAULT_FLUSH_DELAY_MS,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+        retry_policy: RetryPolicy = DEFAULT_REPLICATION_RETRY,
+        rng=None,
+        registry=None,
+    ) -> None:
+        self.kernel = kernel
+        self.journal = journal
+        self.client = client  # SimHttpClient from primary host → standby
+        self.host = host  # the primary's Host (online check)
+        self.shard_name = shard_name
+        self.snapshot_fn = snapshot_fn
+        self.flush_delay_ms = flush_delay_ms
+        self.batch_size = batch_size
+        self.retry_policy = retry_policy
+        self._rng = rng
+        self.registry = registry
+        self.acked_seq = 0
+        self.batches_sent = 0
+        self.snapshots_sent = 0
+        self.stalled = False
+        self.stopped = False
+        self._flush_scheduled = False
+        self._in_flight = False
+        journal.on_append(self._on_append)
+
+    # -- state ---------------------------------------------------------
+
+    @property
+    def lag_ops(self) -> int:
+        """How many journaled ops the standby has not acknowledged."""
+
+        return max(0, self.journal.seq - self.acked_seq)
+
+    def stop(self) -> None:
+        """Permanently stop the link (failover: the standby is promoted)."""
+
+        self.stopped = True
+
+    # -- flush machinery ------------------------------------------------
+
+    def _on_append(self) -> None:
+        self.stalled = False  # new work re-arms a stalled link
+        self._schedule_flush()
+
+    def _schedule_flush(self) -> None:
+        if (
+            self._flush_scheduled
+            or self._in_flight
+            or self.stopped
+            or self.stalled
+            or self.lag_ops == 0
+        ):
+            return
+        self._flush_scheduled = True
+        self.kernel.schedule(self.flush_delay_ms, self._flush, label="repl-flush")
+
+    def _flush(self) -> None:
+        self._flush_scheduled = False
+        if self.stopped or self.stalled or not self.host.online:
+            return
+        if self._in_flight or self.lag_ops == 0:
+            return
+        batch = self.journal.since(self.acked_seq, limit=self.batch_size)
+        if batch is None:
+            self._send_snapshot()
+        else:
+            self._send_ops(batch)
+
+    def _send_ops(self, batch: List[Op]) -> None:
+        request = HttpRequest.json_request(
+            "POST",
+            "/replicate/ops",
+            {"shard": self.shard_name, "ops": [op.to_wire() for op in batch]},
+        )
+        self._transmit(request, expect_snapshot_hint=True)
+        self.batches_sent += 1
+
+    def _send_snapshot(self) -> None:
+        doc = self.snapshot_fn()
+        request = HttpRequest.json_request("POST", "/replicate/snapshot", doc)
+        self._transmit(request, expect_snapshot_hint=False)
+        self.snapshots_sent += 1
+
+    def _transmit(self, request, expect_snapshot_hint: bool) -> None:
+        if self._in_flight or self.stopped:
+            return
+        self._in_flight = True
+        attempt = {"n": 0}
+        started = self.kernel.now
+        label = f"replication {self.shard_name}"
+
+        def attempt_send() -> None:
+            if self.stopped or not self.host.online:
+                self._in_flight = False
+                return
+            attempt["n"] += 1
+            count_retry_attempt(self.registry, label)
+            self.client.send(request, on_response, on_error)
+
+        def on_response(response) -> None:
+            self._in_flight = False
+            if self.stopped:
+                return
+            if response.status != 200:
+                _log.warning(
+                    "replication %s: standby answered %d",
+                    self.shard_name, response.status,
+                )
+                self._give_up("bad-status")
+                return
+            body = response.json()
+            self.acked_seq = int(body.get("applied_seq", self.acked_seq))
+            if expect_snapshot_hint and body.get("need_snapshot"):
+                # Gap on the standby: fall back to the full snapshot now.
+                self.kernel.schedule(0.0, self._send_snapshot, label="repl-snap")
+                return
+            self._schedule_flush()  # more tail? keep draining
+
+        def on_error(error: Exception) -> None:
+            if self.stopped or not self.host.online:
+                self._in_flight = False
+                return
+            if self.retry_policy.exhausted(attempt["n"], started, self.kernel.now):
+                self._in_flight = False
+                count_retry_giveup(self.registry, label, "exhausted")
+                self._give_up(str(error))
+                return
+            delay = self.retry_policy.backoff_ms(attempt["n"], self._rng)
+            self.kernel.schedule(delay, attempt_send, label="repl-retry")
+
+        attempt_send()
+
+    def _give_up(self, reason: str) -> None:
+        self.stalled = True
+        _log.warning(
+            "replication to standby of %s stalled (%s); lag=%d ops",
+            self.shard_name, reason, self.lag_ops,
+        )
+
+
+def build_full_snapshot(
+    database: ServerDatabase,
+    throttle: LoginThrottle,
+    seq: int,
+    sessions: SessionManager | None = None,
+) -> Dict[str, Any]:
+    """The primary's full durable state for snapshot catch-up."""
+
+    doc: Dict[str, Any] = {
+        "seq": seq,
+        "users": [
+            database.export_user_snapshot(user.login)
+            for user in database.all_users()
+        ],
+        "throttle": [list(entry) for entry in throttle.export_all()],
+    }
+    if sessions is not None:
+        doc["sessions"] = [
+            session_payload(session) for session in sessions.all_sessions()
+        ]
+    return doc

@@ -1,0 +1,151 @@
+"""Consistent-hash ring with virtual nodes.
+
+Routes a user key (the login) to a shard.  The classic construction:
+each node contributes ``virtual_nodes`` points on a 64-bit circle
+(derived from SHA-256, so placement is deterministic across processes,
+seeds, and platforms — no dependence on Python's randomized ``hash``),
+and a key is owned by the first node point clockwise from the key's
+hash.  Removing one of N nodes therefore remaps only the keys that were
+owned by that node — about K/N of K keys — instead of reshuffling
+nearly everything the way ``hash(key) % N`` does.
+
+``nodes_for(key, n)`` returns the first ``n`` *distinct* nodes
+clockwise, which the cluster uses for replica placement: the replica is
+the next distinct node, never the primary.
+
+The ring carries an ``epoch`` counter, bumped on every membership
+change.  The gateway embeds its epoch in routing decisions so a test
+(or a chaos scenario) can detect "gateway routed with a stale ring" —
+the cluster equivalent of a stale DNS entry.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.util.errors import ValidationError
+
+DEFAULT_VIRTUAL_NODES = 64
+
+_HASH_BITS = 64
+_HASH_MASK = (1 << _HASH_BITS) - 1
+
+
+def ring_hash(value: str) -> int:
+    """Deterministic 64-bit point for a string (SHA-256 prefix)."""
+
+    digest = hashlib.sha256(value.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") & _HASH_MASK
+
+
+class HashRing:
+    """Consistent-hash ring mapping string keys to named nodes."""
+
+    def __init__(
+        self,
+        nodes: Iterable[str] = (),
+        virtual_nodes: int = DEFAULT_VIRTUAL_NODES,
+    ) -> None:
+        if virtual_nodes < 1:
+            raise ValidationError("virtual_nodes must be >= 1")
+        self.virtual_nodes = virtual_nodes
+        self.epoch = 0
+        self._nodes: Dict[str, None] = {}
+        self._points: List[Tuple[int, str]] = []
+        self._keys: List[int] = []
+        for node in nodes:
+            self.add_node(node)
+
+    # -- membership ------------------------------------------------------
+
+    @property
+    def nodes(self) -> List[str]:
+        """Current members, sorted (deterministic regardless of join order)."""
+
+        return sorted(self._nodes)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, node: str) -> bool:
+        return node in self._nodes
+
+    def add_node(self, node: str) -> None:
+        if node in self._nodes:
+            raise ValidationError(f"node {node!r} already on the ring")
+        self._nodes[node] = None
+        self._rebuild()
+        self.epoch += 1
+
+    def remove_node(self, node: str) -> None:
+        if node not in self._nodes:
+            raise ValidationError(f"node {node!r} not on the ring")
+        del self._nodes[node]
+        self._rebuild()
+        self.epoch += 1
+
+    def _rebuild(self) -> None:
+        # The point set is a pure function of the membership SET: each
+        # node's points depend only on its own name, so insertion order
+        # cannot change routing and a rebuilt ring in another process
+        # routes identically.
+        points: List[Tuple[int, str]] = []
+        for node in self._nodes:
+            for index in range(self.virtual_nodes):
+                points.append((ring_hash(f"{node}#{index}"), node))
+        points.sort()
+        self._points = points
+        self._keys = [point for point, _ in points]
+
+    # -- routing ---------------------------------------------------------
+
+    def node_for(self, key: str) -> str:
+        """The shard owning ``key`` (first node point clockwise)."""
+
+        if not self._points:
+            raise ValidationError("ring is empty")
+        index = bisect.bisect_right(self._keys, ring_hash(key))
+        if index == len(self._points):
+            index = 0  # wrap around the circle
+        return self._points[index][1]
+
+    def nodes_for(self, key: str, count: int) -> List[str]:
+        """First ``count`` distinct nodes clockwise from ``key``.
+
+        Element 0 is the primary (== ``node_for``); element 1 is where
+        the replica goes — by construction never the primary.
+        """
+
+        if not self._points:
+            raise ValidationError("ring is empty")
+        if count < 1:
+            raise ValidationError("count must be >= 1")
+        found: List[str] = []
+        start = bisect.bisect_right(self._keys, ring_hash(key))
+        total = len(self._points)
+        for offset in range(total):
+            node = self._points[(start + offset) % total][1]
+            if node not in found:
+                found.append(node)
+                if len(found) == count or len(found) == len(self._nodes):
+                    break
+        return found
+
+    # -- rebalance bookkeeping -------------------------------------------
+
+    def assignment(self, keys: Sequence[str]) -> Dict[str, str]:
+        """key -> node for a batch (handy for rebalance diffs)."""
+
+        return {key: self.node_for(key) for key in keys}
+
+
+def moved_keys(
+    before: Dict[str, str], after: Dict[str, str]
+) -> List[str]:
+    """Keys whose owner changed between two assignments (sorted)."""
+
+    return sorted(
+        key for key, node in before.items() if after.get(key) != node
+    )

@@ -1,0 +1,160 @@
+"""One cluster shard: a primary/standby pair of Amnesia servers.
+
+The shard owns the replication machinery between the pair:
+
+- the primary's ``database``/``throttle`` are wrapped in the journaling
+  proxies (after construction, so the TLS identity each server writes
+  via ``set_config`` stays per-process);
+- the standby runs a full, passive :class:`AmnesiaServer` whose
+  database is fed exclusively by the :class:`ReplicaApplier` routes;
+- a :class:`ReplicationLink` ships the journal tail primary → standby
+  over a secure channel on the shard's LAN link.
+
+``promote()`` is the failover primitive: it stops replication and marks
+the standby as the serving endpoint.  The promoted standby serves from
+its replicated database — same user ids, same account ids, same seeds —
+so a password generated through it is byte-identical to one the dead
+primary would have produced.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.cluster.replication import (
+    JournalingDatabase,
+    JournalingSessions,
+    JournalingThrottle,
+    OpLog,
+    ReplicaApplier,
+    ReplicationLink,
+    build_full_snapshot,
+)
+from repro.server.service import AMNESIA_SERVICE, AmnesiaServer
+from repro.web.client import CookieJar, SimHttpClient
+
+
+class _NullJar(CookieJar):
+    """A cookie jar that never stores or attaches anything.
+
+    Cluster-internal clients (replication, gateway forwarding, probes)
+    must not accumulate cookies: a jar shared across forwarded requests
+    would leak one user's session cookie into another user's request.
+    """
+
+    def update(self, origin: str, set_cookies: Dict[str, str]) -> None:
+        return
+
+    def cookies_for(self, origin: str) -> Dict[str, str]:
+        return {}
+
+
+def make_internal_client(
+    stack, kernel, host_name: str, certificate, registry=None
+) -> SimHttpClient:
+    """A cluster-internal HTTP client with cookie handling disabled."""
+
+    client = SimHttpClient(stack, kernel, host_name, certificate, AMNESIA_SERVICE)
+    client.jar = _NullJar()
+    client.registry = registry
+    return client
+
+
+class ClusterShard:
+    """A named primary/standby pair with an op-log between them."""
+
+    def __init__(
+        self,
+        name: str,
+        primary: AmnesiaServer,
+        standby: AmnesiaServer,
+        kernel,
+        registry=None,
+        rng=None,
+        max_ops: int | None = None,
+    ) -> None:
+        self.name = name
+        self.primary = primary
+        self.standby = standby
+        self.kernel = kernel
+        self.registry = registry
+        self.failed_over = False
+
+        # -- journal + primary-side proxies (installed post-construction,
+        # so each server's TLS identity set_config stayed local) --------
+        self.journal = OpLog() if max_ops is None else OpLog(max_ops=max_ops)
+        primary.database = JournalingDatabase(primary.database, self.journal)
+        primary.throttle = JournalingThrottle(primary.throttle, self.journal)
+        primary.sessions = JournalingSessions(primary.sessions, self.journal)
+
+        # -- standby-side applier + routes -------------------------------
+        self.applier = ReplicaApplier(
+            standby.database, standby.throttle, sessions=standby.sessions
+        )
+        self.applier.install_routes(standby.application)
+
+        # -- the wire -----------------------------------------------------
+        self._repl_client = make_internal_client(
+            primary.stack, kernel, standby.host.name, standby.certificate, registry
+        )
+        self.link = ReplicationLink(
+            kernel=kernel,
+            journal=self.journal,
+            client=self._repl_client,
+            host=primary.host,
+            shard_name=name,
+            snapshot_fn=lambda: build_full_snapshot(
+                self.primary.database,
+                self.primary.throttle,
+                self.journal.seq,
+                sessions=self.primary.sessions,
+            ),
+            rng=rng,
+            registry=registry,
+        )
+
+        if registry is not None:
+            registry.gauge(
+                "amnesia_cluster_replication_lag_ops",
+                "Journaled ops not yet acknowledged by the shard standby",
+                label_names=("shard",),
+            ).labels(shard=name).set_function(lambda: float(self.lag_ops))
+
+    # -- serving state -----------------------------------------------------
+
+    @property
+    def serving(self) -> AmnesiaServer:
+        """The server currently answering this shard's traffic."""
+
+        return self.standby if self.failed_over else self.primary
+
+    @property
+    def lag_ops(self) -> int:
+        """Unacknowledged ops (0 once the shard has failed over)."""
+
+        return 0 if self.failed_over else self.link.lag_ops
+
+    def promote(self) -> AmnesiaServer:
+        """Fail over to the standby; returns the newly serving server."""
+
+        if not self.failed_over:
+            self.failed_over = True
+            self.link.stop()
+        return self.standby
+
+    # -- introspection -----------------------------------------------------
+
+    def logins(self) -> list:
+        """Logins stored on this shard (from the serving database)."""
+
+        return [user.login for user in self.serving.database.all_users()]
+
+    def status(self) -> Dict[str, Any]:
+        return {
+            "state": "failed-over" if self.failed_over else "primary",
+            "serving_host": self.serving.host.name,
+            "lag_ops": self.lag_ops,
+            "journal_seq": self.journal.seq,
+            "applied_seq": self.applier.applied_seq,
+            "users": len(self.serving.database.all_users()),
+        }

@@ -1,0 +1,360 @@
+"""The whole sharded deployment in one object.
+
+Mirrors :class:`~repro.testbed.AmnesiaTestbed` but scales the server
+plane out: N primary/standby shard pairs behind a
+:class:`~repro.cluster.gateway.ClusterGateway`, one rendezvous (GCM)
+service shared by all shards, a laptop for browsers, and one phone host
+per enrolled login.  Browsers and phones are pointed at the *gateway* —
+from the client's perspective the cluster is indistinguishable from the
+paper's single CherryPy server.
+
+Topology (all on one simulation kernel)::
+
+    laptop ──┐                       ┌── shard-0 ⇄ shard-0b
+             ├── gateway ── LAN ─────┤
+    phone-* ─┘        │              └── shard-1 ⇄ shard-1b
+                      └ probes        (primaries+standbys) ── gcm ── phone-*
+
+Failover wiring: the gateway's ``on_failover`` hook re-registers every
+affected phone through the existing ``/phone/reregister`` path — routed
+back through the gateway to the promoted standby, which verifies
+``P_id`` against its *replicated* verifier (a live proof the op-log
+shipped the right rows).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.client.browser import AmnesiaBrowser
+from repro.cluster.gateway import (
+    DEFAULT_LAG_DEGRADED_THRESHOLD,
+    DEFAULT_PROBE_INTERVAL_MS,
+    DEFAULT_PROBE_MISS_THRESHOLD,
+    DEFAULT_PROBE_TIMEOUT_MS,
+    ClusterDirectory,
+    ClusterGateway,
+)
+from repro.cluster.shard import ClusterShard
+from repro.core.params import DEFAULT_PARAMS, ProtocolParams
+from repro.crypto.randomness import SeededRandomSource
+from repro.faults.plane import FaultPlane, FaultSchedule
+from repro.net.certificates import CertificateStore
+from repro.net.link import Link
+from repro.net.network import Network
+from repro.net.profiles import FAST_PROFILE, NetworkProfile
+from repro.obs.instrument import (
+    attach_kernel_stats,
+    attach_network_stats,
+    attach_rendezvous_stats,
+)
+from repro.obs.registry import MetricsRegistry
+from repro.phone.app import AmnesiaApp, ApprovalPolicy
+from repro.phone.device import PhoneDevice
+from repro.rendezvous.service import RendezvousService
+from repro.server.service import AmnesiaServer
+from repro.storage.server_db import ID_NAMESPACE_SPAN
+from repro.sim.kernel import Simulator
+from repro.sim.latency import Constant
+from repro.sim.random import RngRegistry
+from repro.util.errors import NetworkError, ValidationError
+
+LAPTOP = "laptop"
+GATEWAY = "gateway"
+RENDEZVOUS = "gcm"
+
+#: Gateway ↔ shard and primary ↔ standby are same-datacenter hops.
+LAN_LATENCY_MS = 0.4
+
+
+def shard_host(index: int) -> str:
+    return f"shard-{index}"
+
+
+def standby_host(index: int) -> str:
+    return f"shard-{index}b"
+
+
+def phone_host(login: str) -> str:
+    return f"phone-{login}"
+
+
+class ClusterTestbed:
+    """N shards + gateway + rendezvous + per-login phones, one kernel."""
+
+    def __init__(
+        self,
+        shards: int = 2,
+        seed: int | str = 0,
+        profile: NetworkProfile = FAST_PROFILE,
+        params: ProtocolParams = DEFAULT_PARAMS,
+        approval: ApprovalPolicy = ApprovalPolicy.AUTO,
+        thread_pool_size: int = 10,
+        generation_timeout_ms: float = 30_000.0,
+        probe_interval_ms: float = DEFAULT_PROBE_INTERVAL_MS,
+        probe_timeout_ms: float = DEFAULT_PROBE_TIMEOUT_MS,
+        probe_miss_threshold: int = DEFAULT_PROBE_MISS_THRESHOLD,
+        lag_degraded_threshold: int = DEFAULT_LAG_DEGRADED_THRESHOLD,
+        auto_reregister: bool = True,
+    ) -> None:
+        if shards < 1:
+            raise ValidationError("a cluster needs at least one shard")
+        self.kernel = Simulator()
+        self.rngs = RngRegistry(seed)
+        self.network = Network(self.kernel, self.rngs)
+        self.params = params
+        self.profile = profile
+        self.seed = seed
+        self.shard_count = shards
+        self.registry = MetricsRegistry()
+        attach_kernel_stats(self.kernel, self.registry)
+        attach_network_stats(self.network, self.registry)
+
+        def source(name: str) -> SeededRandomSource:
+            return SeededRandomSource(f"{seed}|{name}")
+
+        self._source = source
+        lan = Constant(LAN_LATENCY_MS)
+
+        # -- hosts + links ----------------------------------------------
+        for host in (LAPTOP, GATEWAY, RENDEZVOUS):
+            self.network.add_host(host)
+        self.network.add_link(Link(LAPTOP, GATEWAY, profile.browser_server))
+        for index in range(shards):
+            primary, standby = shard_host(index), standby_host(index)
+            self.network.add_host(primary)
+            self.network.add_host(standby)
+            self.network.add_link(Link(GATEWAY, primary, lan))
+            self.network.add_link(Link(GATEWAY, standby, lan))
+            self.network.add_link(Link(primary, standby, lan))
+            self.network.add_link(Link(primary, RENDEZVOUS, profile.server_gcm))
+            self.network.add_link(Link(standby, RENDEZVOUS, profile.server_gcm))
+
+        # -- rendezvous --------------------------------------------------
+        self.rendezvous = RendezvousService(
+            self.network.host(RENDEZVOUS), self.network, source("rendezvous")
+        )
+        attach_rendezvous_stats(self.rendezvous, self.registry)
+
+        # -- shards ------------------------------------------------------
+        self.shards: Dict[str, ClusterShard] = {}
+        for index in range(shards):
+            name = shard_host(index)
+            primary = AmnesiaServer(
+                kernel=self.kernel,
+                network=self.network,
+                host_name=name,
+                rng=source(f"{name}-primary"),
+                rendezvous_host=RENDEZVOUS,
+                params=params,
+                thread_pool_size=thread_pool_size,
+                generation_timeout_ms=generation_timeout_ms,
+                registry=self.registry,
+            )
+            standby = AmnesiaServer(
+                kernel=self.kernel,
+                network=self.network,
+                host_name=standby_host(index),
+                rng=source(f"{name}-standby"),
+                rendezvous_host=RENDEZVOUS,
+                params=params,
+                thread_pool_size=thread_pool_size,
+                generation_timeout_ms=generation_timeout_ms,
+                registry=self.registry,
+            )
+            # Distinct id namespace per shard: user/account ids must
+            # stay unique fleet-wide, or migrating a user onto another
+            # shard would collide with rows that shard allocated itself.
+            id_base = index * ID_NAMESPACE_SPAN
+            primary.database.id_base = id_base
+            standby.database.id_base = id_base
+            self.shards[name] = ClusterShard(
+                name,
+                primary,
+                standby,
+                self.kernel,
+                registry=self.registry,
+                rng=self.network.rng_stream(f"repl-{name}"),
+            )
+
+        # -- gateway -----------------------------------------------------
+        self.directory = ClusterDirectory(self.shards)
+        self.gateway = ClusterGateway(
+            kernel=self.kernel,
+            network=self.network,
+            host_name=GATEWAY,
+            rng=source("gateway"),
+            directory=self.directory,
+            registry=self.registry,
+            probe_interval_ms=probe_interval_ms,
+            probe_timeout_ms=probe_timeout_ms,
+            probe_miss_threshold=probe_miss_threshold,
+            lag_degraded_threshold=lag_degraded_threshold,
+        )
+        if auto_reregister:
+            self.gateway.on_failover.append(self._reregister_phones)
+
+        # -- client plumbing --------------------------------------------
+        self._laptop_stack = None  # built lazily (import cycle free)
+        self.pins = CertificateStore()
+        self.pins.pin(self.gateway.certificate)
+        self.phones: Dict[str, AmnesiaApp] = {}
+        self.faults: FaultPlane | None = None
+        self.reregistrations: List[str] = []
+
+    # -- fault injection -------------------------------------------------
+
+    def install_fault_plane(
+        self, schedule: FaultSchedule | None = None
+    ) -> FaultPlane:
+        """Attach a :class:`FaultPlane` (idempotent); rendezvous registered
+        as a restartable process, shard hosts crash as plain hosts."""
+
+        if self.faults is None:
+            self.faults = FaultPlane(self.network, registry=self.registry)
+            self.faults.register_process(RENDEZVOUS, self.rendezvous)
+        if schedule is not None:
+            self.faults.apply(schedule)
+        return self.faults
+
+    # -- drivers ---------------------------------------------------------
+
+    def run(self, ms: float) -> None:
+        self.kernel.run(until=self.kernel.now + ms)
+
+    def run_until_idle(self) -> None:
+        self.kernel.run_until_idle()
+
+    def drive_until(
+        self, predicate: Callable[[], bool], max_events: int = 1_000_000
+    ) -> None:
+        executed = 0
+        while not predicate():
+            if not self.kernel.step():
+                raise NetworkError("simulation drained before condition held")
+            executed += 1
+            if executed > max_events:
+                raise NetworkError("condition not reached within event budget")
+
+    # -- clients ---------------------------------------------------------
+
+    def _stack(self):
+        if self._laptop_stack is None:
+            from repro.net.tls import SecureStack
+
+            self._laptop_stack = SecureStack(
+                self.network.host(LAPTOP), self.network, self._source("laptop-stack")
+            )
+        return self._laptop_stack
+
+    def new_browser(self) -> AmnesiaBrowser:
+        """A fresh browser profile pointed at the *gateway*."""
+
+        browser = AmnesiaBrowser(
+            self._stack(),
+            self.kernel,
+            GATEWAY,
+            self.gateway.certificate,
+            pins=self.pins,
+        )
+        browser.http.registry = self.registry
+        return browser
+
+    def add_phone(self, login: str) -> AmnesiaApp:
+        """Provision a handset for *login* wired to gcm + gateway."""
+
+        host = phone_host(login)
+        self.network.add_host(host)
+        self.network.add_link(Link(RENDEZVOUS, host, self.profile.gcm_phone))
+        self.network.add_link(Link(host, GATEWAY, self.profile.phone_server))
+        device = PhoneDevice(self.network, host)
+        app = AmnesiaApp(
+            kernel=self.kernel,
+            device=device,
+            rng=self._source(f"phone-{login}"),
+            rendezvous_host=RENDEZVOUS,
+            server_host=GATEWAY,
+            server_certificate=self.gateway.certificate,
+            params=self.params,
+            approval=ApprovalPolicy.AUTO,
+        )
+        app.bind_registry(self.registry)
+        self.phones[login] = app
+        return app
+
+    def enroll(self, login: str, master_password: str) -> AmnesiaBrowser:
+        """Signup through the gateway, then pair a dedicated phone."""
+
+        browser = self.new_browser()
+        browser.signup(login, master_password)
+        phone = self.add_phone(login)
+        code = browser.start_pairing()
+        phone.install()
+        outcome: dict[str, bool] = {}
+        phone.register(login, code, lambda ok, *__: outcome.update(done=ok))
+        self.drive_until(lambda: "done" in outcome)
+        if not outcome["done"]:
+            raise ValidationError(f"phone pairing failed for {login!r}")
+        return browser
+
+    # -- failover support -------------------------------------------------
+
+    def _reregister_phones(self, shard_name: str, logins: List[str]) -> None:
+        """``on_failover`` hook: refresh the rendezvous registration of
+        every phone whose user lives on the failed shard, via the
+        existing ``/phone/reregister`` path (through the gateway, to the
+        promoted standby)."""
+
+        for login in logins:
+            phone = self.phones.get(login)
+            if phone is None:
+                continue
+            self.reregistrations.append(login)
+            phone.refresh_registration(login)
+
+    def shard_of(self, login: str) -> ClusterShard:
+        """Where the ring currently homes *login*."""
+
+        return self.directory.shard_for(login)
+
+    def crash_primary(self, shard_name: str) -> None:
+        """Hard-crash a shard primary host (stays down)."""
+
+        self.shards[shard_name].primary.host.crash()
+
+    # -- rebalance --------------------------------------------------------
+
+    def decommission(self, shard_name: str) -> List[str]:
+        """Remove a shard: snapshot its users onto their new ring homes,
+        drop the node from the ring (epoch bump → in-flight dispatches
+        against the old ring become detectably stale), then crash both
+        of its hosts.  Returns the migrated logins."""
+
+        shard = self.directory.shards.get(shard_name)
+        if shard is None:
+            raise ValidationError(f"no shard {shard_name!r}")
+        database = shard.serving.database
+        docs = [
+            database.export_user_snapshot(user.login)
+            for user in database.all_users()
+        ]
+        sessions = shard.serving.sessions.all_sessions()
+        removed = self.directory.remove_shard(shard_name)
+        migrated: List[str] = []
+        for doc in docs:
+            login = doc["user"]["login"]
+            user_id = doc["user"]["user_id"]
+            target = self.directory.shard_for(login)
+            # Journaled when the target still has a primary: the move
+            # itself replicates to the target's standby.
+            target.serving.database.apply_user_snapshot(doc)
+            for session in sessions:
+                # Live sessions follow the user, so browsers stay
+                # logged in across a rebalance (also journaled).
+                if session.data.get("user_id") == user_id:
+                    target.serving.sessions.install(session)
+            migrated.append(login)
+        removed.link.stop()
+        removed.primary.host.crash()
+        removed.standby.host.crash()
+        return migrated

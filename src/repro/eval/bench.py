@@ -9,8 +9,11 @@ Two suites, one schema-versioned JSON artefact:
   trajectory data but never gated.
 - **macro** — deterministic *simulated* metrics: end-to-end generation
   p50/p95 under the Wi-Fi and 4G profiles (the Figure 3 pipeline),
-  sustained-load throughput through the server's worker pool, and
-  chaos-on overhead (the ``lossy-uplink`` scenario with retries). These
+  sustained-load throughput through the server's worker pool, chaos-on
+  overhead (the ``lossy-uplink`` scenario with retries), and the
+  sharded cluster's generation p50/p95 + throughput through the
+  consistent-hash gateway, side by side with a single-server run on the
+  same network profile (the gateway-hop overhead, measured). These
   replay bit-for-bit under the seed, so a >25 % shift is a code change,
   not noise — they are the gated regression surface.
 
@@ -205,7 +208,55 @@ def run_macro(seed: int | str = "bench", smoke: bool = False) -> Dict[str, Any]:
         "client_retries": arm.client_retries,
         "degraded_responses": arm.degraded_responses,
     }
+
+    macro["cluster"] = _run_cluster_macro(seed=seed, smoke=smoke)
     return macro
+
+
+def _run_cluster_macro(seed: int | str, smoke: bool) -> Dict[str, Any]:
+    """Generation latency/throughput through the 2-shard gateway, with a
+    single-server run on the same profile as the comparison point.
+
+    Both fleets run the identical client loop (warm-up, then *trials*
+    sequential generations), so the delta estimates the cluster tax —
+    the extra laptop→gateway→shard hop plus the gateway's dispatch
+    bookkeeping — though at smoke trial counts latency-draw noise can
+    swamp it (the delta is informational, not gated).  Deterministic
+    under the seed, like every macro metric.
+    """
+    from repro.cluster.testbed import ClusterTestbed
+    from repro.eval.chaos import _percentile
+    from repro.testbed import AmnesiaTestbed
+
+    trials = 3 if smoke else 15
+
+    def measure(bed: Any) -> Tuple[Tuple[float, ...], float]:
+        browser = bed.enroll("bench", "bench-master-password")
+        account_id = browser.add_account("bench", "bench.example.com")
+        browser.generate_password(account_id)  # warm-up: no handshake noise
+        started = bed.kernel.now
+        samples = tuple(
+            browser.generate_password(account_id)["latency_ms"]
+            for __ in range(trials)
+        )
+        minutes = (bed.kernel.now - started) / 60_000.0
+        return samples, (trials / minutes if minutes > 0 else 0.0)
+
+    cluster_samples, cluster_tput = measure(
+        ClusterTestbed(shards=2, seed=f"{seed}|cluster")
+    )
+    single_samples, __ = measure(AmnesiaTestbed(seed=f"{seed}|cluster-single"))
+    cluster_p50 = _percentile(cluster_samples, 50)
+    single_p50 = _percentile(single_samples, 50)
+    return {
+        "shards": 2,
+        "trials": trials,
+        "p50_ms": round(cluster_p50, 3),
+        "p95_ms": round(_percentile(cluster_samples, 95), 3),
+        "throughput_per_min": round(cluster_tput, 3),
+        "single_p50_ms": round(single_p50, 3),
+        "gateway_overhead_p50_ms": round(cluster_p50 - single_p50, 3),
+    }
 
 
 def macro_gates(macro: Dict[str, Any]) -> Dict[str, Dict[str, Any]]:
@@ -237,6 +288,14 @@ def macro_gates(macro: Dict[str, Any]) -> Dict[str, Dict[str, Any]]:
         },
         "macro.chaos.success_rate": {
             "value": macro["chaos"]["success_rate"],
+            "direction": HIGHER_IS_BETTER,
+        },
+        "macro.cluster.p95_ms": {
+            "value": macro["cluster"]["p95_ms"],
+            "direction": LOWER_IS_BETTER,
+        },
+        "macro.cluster.throughput_per_min": {
+            "value": macro["cluster"]["throughput_per_min"],
             "direction": HIGHER_IS_BETTER,
         },
     }

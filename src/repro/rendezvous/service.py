@@ -101,7 +101,11 @@ class RendezvousService:
         self._devices: Dict[str, str] = {}  # reg_id -> device host
         self._queues: Dict[str, Deque[Dict[str, Any]]] = {}
         self._unacked: Dict[int, Dict[str, Any]] = {}  # msg_id -> state
-        self._seen_push_ids: Deque[int] = deque(maxlen=_MAX_SEEN_PUSH_IDS)
+        # Dedup key is (sender host, push_id): publishers number their
+        # pushes independently, so two servers sharing this rendezvous
+        # (the sharded cluster) would otherwise collide on bare ids and
+        # have their first pushes silently swallowed as "duplicates".
+        self._seen_push_ids: Deque[tuple] = deque(maxlen=_MAX_SEEN_PUSH_IDS)
         # -- durable state: survives restarts --
         self._msg_ids = itertools.count(1)
         self.push_count = 0
@@ -245,7 +249,10 @@ class RendezvousService:
         push_id = message.get("push_id")
         if not isinstance(reg_id, str) or not isinstance(data, dict):
             return
-        if isinstance(push_id, int) and push_id in self._seen_push_ids:
+        if (
+            isinstance(push_id, int)
+            and (datagram.src, push_id) in self._seen_push_ids
+        ):
             # Retransmitted push whose ack was lost: re-ack, don't re-forward.
             self._reply(datagram, {"type": "push_ack", "push_id": push_id})
             return
@@ -267,7 +274,7 @@ class RendezvousService:
                     )
                 return  # legacy pushes without push_id: GCM silently drops
             if isinstance(push_id, int):
-                self._seen_push_ids.append(push_id)
+                self._seen_push_ids.append((datagram.src, push_id))
                 self._reply(datagram, {"type": "push_ack", "push_id": push_id})
             host = self.network.host(device)
             if not host.online:

@@ -10,9 +10,16 @@ attack experiments.)
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, List, Tuple
 
 from repro.util.errors import ValidationError
+
+# How many `record_failure` calls may elapse between opportunistic
+# eviction sweeps.  Sweeps are O(len(_states)), so amortising them over
+# a fixed stride keeps the steady-state cost per login O(1) while still
+# bounding the table: between sweeps at most `_SWEEP_STRIDE` new logins
+# can be inserted.
+_SWEEP_STRIDE = 1024
 
 
 @dataclass
@@ -30,6 +37,7 @@ class LoginThrottle:
     window_ms: float = 60_000.0
     lockout_ms: float = 300_000.0
     _states: Dict[str, _LoginState] = field(default_factory=dict)
+    _failures_since_sweep: int = 0
 
     def __post_init__(self) -> None:
         if self.max_failures < 1:
@@ -51,6 +59,9 @@ class LoginThrottle:
             state.locked_until_ms = now_ms + self.lockout_ms
             state.failures = 0
             state.window_start_ms = now_ms
+        self._failures_since_sweep += 1
+        if self._failures_since_sweep >= _SWEEP_STRIDE:
+            self.evict_expired(now_ms)
 
     def record_success(self, login: str) -> None:
         self._states.pop(login, None)
@@ -58,3 +69,60 @@ class LoginThrottle:
     def locked_until(self, login: str) -> float:
         state = self._states.get(login)
         return state.locked_until_ms if state else 0.0
+
+    # -- bounded memory -------------------------------------------------
+
+    def _expired(self, state: _LoginState, now_ms: float) -> bool:
+        window_done = now_ms - state.window_start_ms > self.window_ms
+        lockout_done = now_ms >= state.locked_until_ms
+        return window_done and lockout_done
+
+    def evict_expired(self, now_ms: float) -> int:
+        """Drop entries whose failure window AND lockout have both lapsed.
+
+        Such entries are behaviourally identical to an absent entry:
+        `allowed` returns True and the next `record_failure` resets the
+        window anyway.  Without eviction the dict grows monotonically
+        with the number of distinct logins that ever failed — unbounded
+        under millions of logins.  Returns the number of entries evicted.
+        """
+
+        dead = [login for login, state in self._states.items() if self._expired(state, now_ms)]
+        for login in dead:
+            del self._states[login]
+        self._failures_since_sweep = 0
+        return len(dead)
+
+    def tracked_logins(self) -> int:
+        """Number of logins currently holding throttle state."""
+
+        return len(self._states)
+
+    # -- replication support --------------------------------------------
+
+    def export_state(self, login: str) -> Tuple[float, float, float] | None:
+        """Snapshot one login's state as (failures, window_start, locked_until)."""
+
+        state = self._states.get(login)
+        if state is None:
+            return None
+        return (float(state.failures), state.window_start_ms, state.locked_until_ms)
+
+    def restore_state(self, login: str, state: Tuple[float, float, float] | None) -> None:
+        if state is None:
+            self._states.pop(login, None)
+            return
+        failures, window_start_ms, locked_until_ms = state
+        self._states[login] = _LoginState(
+            failures=int(failures),
+            window_start_ms=float(window_start_ms),
+            locked_until_ms=float(locked_until_ms),
+        )
+
+    def export_all(self) -> List[Tuple[str, float, float, float]]:
+        """Deterministic full export, sorted by login (for snapshots)."""
+
+        return [
+            (login, float(state.failures), state.window_start_ms, state.locked_until_ms)
+            for login, state in sorted(self._states.items())
+        ]

@@ -15,10 +15,17 @@ Per user the server stores (Table I):
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass
 
 from repro.storage.database import Database
-from repro.util.errors import ConflictError, NotFoundError
+from repro.util.errors import ConflictError, NotFoundError, ValidationError
+
+#: Schema tag of the versioned per-user snapshot documents produced by
+#: :meth:`ServerDatabase.export_user_snapshot`.  The cluster replication
+#: plane ships these across shards; version the format so a future
+#: migration can translate old snapshots instead of mis-applying them.
+USER_SNAPSHOT_SCHEMA = "amnesia-user-snapshot/1"
 
 _MIGRATIONS = [
     """
@@ -91,6 +98,19 @@ class AccountRecord:
     length: int
 
 
+def canonical_snapshot_bytes(doc: dict) -> bytes:
+    """Canonical byte encoding of a snapshot document.
+
+    Sorted keys, no whitespace, UTF-8: two equal databases export
+    byte-identical snapshots, so replication can compare/fingerprint
+    them without a structural diff.
+    """
+
+    return json.dumps(
+        doc, sort_keys=True, separators=(",", ":"), ensure_ascii=True
+    ).encode("utf-8")
+
+
 def _user_from_row(row) -> UserRecord:
     return UserRecord(
         user_id=row["user_id"],
@@ -116,12 +136,40 @@ def _account_from_row(row) -> AccountRecord:
     )
 
 
-class ServerDatabase:
-    """Data-access layer for the Amnesia server."""
+#: Width of one id namespace (see :attr:`ServerDatabase.id_base`).
+ID_NAMESPACE_SPAN = 2**32
 
-    def __init__(self, path: str = ":memory:") -> None:
+
+class ServerDatabase:
+    """Data-access layer for the Amnesia server.
+
+    ``id_base`` partitions the ``user_id``/``account_id`` spaces: a
+    database allocates fresh ids from ``(id_base, id_base + 2**32]``.
+    A single server keeps the default ``0`` (ids start at 1, exactly
+    the old AUTOINCREMENT behaviour); cluster shards each get a
+    distinct base so that migrating a user between shards can preserve
+    the client-held ids without ever colliding with rows the target
+    shard allocated itself.  Allocation is MAX+1 within the namespace,
+    so explicitly inserted rows (replication, snapshots) are respected.
+    """
+
+    def __init__(self, path: str = ":memory:", id_base: int = 0) -> None:
+        if id_base < 0 or id_base % ID_NAMESPACE_SPAN:
+            raise ValidationError(
+                f"id_base must be a multiple of {ID_NAMESPACE_SPAN}, got {id_base}"
+            )
+        self.id_base = id_base
         self.db = Database(path)
         self.db.migrate(_MIGRATIONS)
+
+    def _next_id(self, table: str, column: str) -> int:
+        row = self.db.query_one(
+            f"SELECT MAX({column}) AS top FROM {table} "
+            f"WHERE {column} > ? AND {column} <= ?",
+            (self.id_base, self.id_base + ID_NAMESPACE_SPAN),
+        )
+        top = row["top"] if row is not None else None
+        return self.id_base + 1 if top is None else top + 1
 
     def close(self) -> None:
         self.db.close()
@@ -134,11 +182,13 @@ class ServerDatabase:
         if self.db.query_one("SELECT 1 FROM users WHERE login = ?", (login,)):
             raise ConflictError(f"user {login!r} already exists")
         with self.db.transaction():
-            cursor = self.db.execute(
-                "INSERT INTO users (login, oid, mp_hash, mp_salt) VALUES (?, ?, ?, ?)",
-                (login, oid, mp_hash, mp_salt),
+            user_id = self._next_id("users", "user_id")
+            self.db.execute(
+                "INSERT INTO users (user_id, login, oid, mp_hash, mp_salt) "
+                "VALUES (?, ?, ?, ?, ?)",
+                (user_id, login, oid, mp_hash, mp_salt),
             )
-        return self.user_by_id(cursor.lastrowid)
+        return self.user_by_id(user_id)
 
     def user_by_login(self, login: str) -> UserRecord:
         row = self.db.query_one("SELECT * FROM users WHERE login = ?", (login,))
@@ -182,7 +232,45 @@ class ServerDatabase:
             )
 
     def all_users(self) -> list[UserRecord]:
-        return [_user_from_row(r) for r in self.db.query_all("SELECT * FROM users")]
+        # ORDER BY the primary key: snapshot exports iterate this and a
+        # bare SELECT makes no ordering promise, which would make the
+        # "byte-stable snapshot" guarantee depend on SQLite internals.
+        return [
+            _user_from_row(r)
+            for r in self.db.query_all("SELECT * FROM users ORDER BY user_id")
+        ]
+
+    def put_user(self, record: UserRecord) -> None:
+        """Idempotent row-level upsert preserving the explicit user_id.
+
+        Replication replays rows, not logical operations: replaying
+        ``create_user`` on a replica would let AUTOINCREMENT assign a
+        different user_id, silently breaking every client-held account
+        id across a failover.
+        """
+
+        with self.db.transaction():
+            self.db.execute(
+                "INSERT OR REPLACE INTO users "
+                "(user_id, login, oid, mp_hash, mp_salt, reg_id, pid_hash, pid_salt) "
+                "VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+                (
+                    record.user_id,
+                    record.login,
+                    record.oid,
+                    record.mp_hash,
+                    record.mp_salt,
+                    record.reg_id,
+                    record.pid_hash,
+                    record.pid_salt,
+                ),
+            )
+
+    def delete_user(self, user_id: int) -> None:
+        """Remove a user and (via cascade) accounts + vault rows."""
+
+        with self.db.transaction():
+            self.db.execute("DELETE FROM users WHERE user_id = ?", (user_id,))
 
     # -- accounts ---------------------------------------------------------------
 
@@ -202,12 +290,14 @@ class ServerDatabase:
         ):
             raise ConflictError(f"account ({username!r}, {domain!r}) already exists")
         with self.db.transaction():
-            cursor = self.db.execute(
-                "INSERT INTO accounts (user_id, username, domain, seed, charset, length)"
-                " VALUES (?, ?, ?, ?, ?, ?)",
-                (user_id, username, domain, seed, charset, length),
+            account_id = self._next_id("accounts", "account_id")
+            self.db.execute(
+                "INSERT INTO accounts "
+                "(account_id, user_id, username, domain, seed, charset, length)"
+                " VALUES (?, ?, ?, ?, ?, ?, ?)",
+                (account_id, user_id, username, domain, seed, charset, length),
             )
-        return self.account_by_id(cursor.lastrowid)
+        return self.account_by_id(account_id)
 
     def account_by_id(self, account_id: int) -> AccountRecord:
         row = self.db.query_one(
@@ -248,6 +338,28 @@ class ServerDatabase:
                 (charset, length, account_id),
             )
 
+    def put_account(self, record: AccountRecord) -> None:
+        """Idempotent row-level upsert preserving the explicit account_id.
+
+        See :meth:`put_user` for why replication must preserve ids.
+        """
+
+        with self.db.transaction():
+            self.db.execute(
+                "INSERT OR REPLACE INTO accounts "
+                "(account_id, user_id, username, domain, seed, charset, length) "
+                "VALUES (?, ?, ?, ?, ?, ?, ?)",
+                (
+                    record.account_id,
+                    record.user_id,
+                    record.username,
+                    record.domain,
+                    record.seed,
+                    record.charset,
+                    record.length,
+                ),
+            )
+
     def delete_account(self, account_id: int) -> None:
         self.account_by_id(account_id)
         with self.db.transaction():
@@ -276,6 +388,109 @@ class ServerDatabase:
             self.db.execute(
                 "DELETE FROM vault WHERE account_id = ?", (account_id,)
             )
+
+    # -- versioned per-user snapshots (replication catch-up) -----------------------
+
+    def export_user_snapshot(self, login: str) -> dict:
+        """Export one user's durable state as a versioned, deterministic doc.
+
+        PALPAS's observation (and Table I's content) is that the state
+        worth synchronising is small: the per-user salts/ids plus one
+        ``(µ, d, σ)`` row per account.  The export is deterministic —
+        accounts and vault rows are ordered by primary key, and binary
+        columns are hex-encoded — so :func:`canonical_snapshot_bytes`
+        yields byte-identical output for byte-identical databases.
+
+        ``server_config`` (e.g. the TLS identity key) is deliberately
+        NOT part of the snapshot: it is per-server state, not per-user.
+        """
+
+        user = self.user_by_login(login)
+        accounts = self.accounts_for_user(user.user_id)  # ORDER BY account_id
+        vault_rows = self.db.query_all(
+            "SELECT v.account_id, v.ciphertext FROM vault v "
+            "JOIN accounts a ON a.account_id = v.account_id "
+            "WHERE a.user_id = ? ORDER BY v.account_id",
+            (user.user_id,),
+        )
+        return {
+            "schema": USER_SNAPSHOT_SCHEMA,
+            "user": {
+                "user_id": user.user_id,
+                "login": user.login,
+                "oid": user.oid.hex(),
+                "mp_hash": user.mp_hash.hex(),
+                "mp_salt": user.mp_salt.hex(),
+                "reg_id": user.reg_id,
+                "pid_hash": user.pid_hash.hex() if user.pid_hash else None,
+                "pid_salt": user.pid_salt.hex() if user.pid_salt else None,
+            },
+            "accounts": [
+                {
+                    "account_id": a.account_id,
+                    "user_id": a.user_id,
+                    "username": a.username,
+                    "domain": a.domain,
+                    "seed": a.seed.hex(),
+                    "charset": a.charset,
+                    "length": a.length,
+                }
+                for a in accounts
+            ],
+            "vault": [
+                {"account_id": row["account_id"], "ciphertext": row["ciphertext"].hex()}
+                for row in vault_rows
+            ],
+        }
+
+    def apply_user_snapshot(self, doc: dict) -> UserRecord:
+        """Install a snapshot produced by :meth:`export_user_snapshot`.
+
+        Replaces the user's entire durable state (idempotent): stale
+        accounts/vault rows not present in the snapshot are removed via
+        the user-delete cascade before the rows are re-inserted with
+        their original primary keys.
+        """
+
+        if doc.get("schema") != USER_SNAPSHOT_SCHEMA:
+            raise ValidationError(
+                f"unsupported snapshot schema {doc.get('schema')!r}"
+            )
+        u = doc["user"]
+        record = UserRecord(
+            user_id=int(u["user_id"]),
+            login=u["login"],
+            oid=bytes.fromhex(u["oid"]),
+            mp_hash=bytes.fromhex(u["mp_hash"]),
+            mp_salt=bytes.fromhex(u["mp_salt"]),
+            reg_id=u["reg_id"],
+            pid_hash=bytes.fromhex(u["pid_hash"]) if u["pid_hash"] else None,
+            pid_salt=bytes.fromhex(u["pid_salt"]) if u["pid_salt"] else None,
+        )
+        # Drop any previous incarnation (cascades to accounts + vault),
+        # then rebuild from the snapshot rows.  Delete by login as well
+        # as by id so a target that assigned a different id to this
+        # login (e.g. a rebalance destination) cannot hit the UNIQUE
+        # login constraint.
+        with self.db.transaction():
+            self.db.execute("DELETE FROM users WHERE login = ?", (record.login,))
+        self.delete_user(record.user_id)
+        self.put_user(record)
+        for a in doc["accounts"]:
+            self.put_account(
+                AccountRecord(
+                    account_id=int(a["account_id"]),
+                    user_id=int(a["user_id"]),
+                    username=a["username"],
+                    domain=a["domain"],
+                    seed=bytes.fromhex(a["seed"]),
+                    charset=a["charset"],
+                    length=int(a["length"]),
+                )
+            )
+        for v in doc["vault"]:
+            self.store_vault_entry(int(v["account_id"]), bytes.fromhex(v["ciphertext"]))
+        return record
 
     # -- server configuration ------------------------------------------------------
 

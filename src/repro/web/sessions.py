@@ -50,6 +50,16 @@ class SessionManager:
         self._sessions[token] = session
         return session
 
+    def install(self, session: Session) -> None:
+        """Adopt an externally created session (replication, migration)."""
+
+        self._sessions[session.token] = session
+
+    def all_sessions(self) -> list:
+        """Every stored session, ordered by token (deterministic)."""
+
+        return [self._sessions[token] for token in sorted(self._sessions)]
+
     def resolve(self, token: str | None, now_ms: float) -> Optional[Session]:
         """Return the live session for *token*, refreshing its idle clock."""
         if not token:

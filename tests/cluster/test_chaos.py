@@ -1,0 +1,45 @@
+"""Cluster chaos suite: both scenarios, both arms, deterministic."""
+
+from repro.cluster.chaos import (
+    CANONICAL_CLUSTER_SCENARIOS,
+    cluster_suite_fingerprint,
+    run_cluster_chaos,
+    run_cluster_scenario,
+)
+
+SHARD_CRASH, STALE_RING = CANONICAL_CLUSTER_SCENARIOS
+
+
+class TestShardCrashScenario:
+    def test_drained_exchange_regenerates_identical_password(self):
+        result = run_cluster_scenario(SHARD_CRASH, seed=1, trials=1)
+        for arm in (result.with_retries, result.without_retries):
+            assert arm.successes == 1
+            assert arm.identical == 1  # byte-identical P on the standby
+            assert arm.failovers == 1
+            assert arm.reregistrations == 1
+
+
+class TestStaleRingScenario:
+    def test_epoch_mismatch_reroutes_without_client_cooperation(self):
+        result = run_cluster_scenario(STALE_RING, seed=1, trials=1)
+        off = result.without_retries
+        assert off.successes == 1
+        assert off.identical == 1
+        assert off.stale_ring_refreshes >= 1
+        assert off.failovers == 0  # no probes involved: a pure reroute
+
+
+class TestDeterminism:
+    def test_suite_fingerprint_replays_bit_for_bit(self):
+        first = run_cluster_chaos(seed=7, trials=1)
+        again = run_cluster_chaos(seed=7, trials=1)
+        assert cluster_suite_fingerprint(again) == cluster_suite_fingerprint(
+            first
+        )
+
+    def test_render_summarises_both_arms(self):
+        result = run_cluster_scenario(SHARD_CRASH, seed=2, trials=1)
+        text = result.render()
+        assert "retries-on" in text and "retries-off" in text
+        assert SHARD_CRASH.name in text

@@ -1,0 +1,138 @@
+"""Probe-driven failover: the PR's acceptance scenario.
+
+Kill a shard primary mid-exchange; the probe plane flags it dead, the
+gateway promotes the standby, re-registers the affected phones through
+``/phone/reregister``, drains the stuck exchange onto the promoted
+replica — and the regenerated password is byte-identical, because the
+standby's replicated database holds the same ``σ``/``O_id``/ids.
+"""
+
+from repro.cluster.testbed import ClusterTestbed
+from repro.faults.retry import RetryPolicy
+from repro.obs.health import counter_total
+
+RETRY = RetryPolicy(
+    max_attempts=6,
+    base_delay_ms=200.0,
+    multiplier=2.0,
+    max_delay_ms=5_000.0,
+    jitter=0.5,
+)
+
+
+def _enrolled_bed(seed=0):
+    bed = ClusterTestbed(shards=2, seed=seed)
+    browser = bed.enroll("alice", "correct horse battery")
+    account = browser.add_account("example.com", "alice@example.com")
+    return bed, browser, account
+
+
+class TestFailoverMidExchange:
+    def test_exchange_completes_on_promoted_replica_with_identical_password(self):
+        bed, browser, account = _enrolled_bed()
+        before = browser.generate_password(account)["password"]
+        bed.run_until_idle()
+
+        bed.gateway.start_probing()
+        shard = bed.shard_of("alice")
+        bed.kernel.schedule(
+            2.0, lambda: bed.crash_primary(shard.name), label="chaos-crash"
+        )
+        after = browser.generate_password(
+            account, retry=RETRY, rng=bed.network.rng_stream("client-retry")
+        )["password"]
+        bed.gateway.stop_probing()
+
+        # The acceptance triple: identical P, exactly one failover,
+        # served by the standby.
+        assert after == before
+        assert bed.gateway.failovers == 1
+        assert (
+            counter_total(bed.registry, "amnesia_cluster_failovers_total") == 1.0
+        )
+        assert shard.failed_over is True
+        assert shard.serving is shard.standby
+
+    def test_affected_phone_reregisters_through_gateway(self):
+        bed, browser, account = _enrolled_bed(seed=1)
+        browser.generate_password(account)
+        bed.run_until_idle()
+        bed.gateway.start_probing()
+        shard = bed.shard_of("alice")
+        bed.crash_primary(shard.name)
+        bed.run(5_000.0)
+        bed.gateway.stop_probing()
+        bed.run_until_idle()
+        # The testbed's on_failover hook pushed alice back through
+        # /phone/reregister — against the *replicated* P_id verifier.
+        assert bed.reregistrations == ["alice"]
+        assert shard.standby.database.user_by_login("alice").reg_id is not None
+
+    def test_failover_is_idempotent(self):
+        bed, browser, account = _enrolled_bed(seed=2)
+        bed.run_until_idle()
+        shard = bed.shard_of("alice")
+        bed.gateway._failover(shard.name)
+        bed.gateway._failover(shard.name)  # second call must be a no-op
+        assert bed.gateway.failovers == 1
+
+    def test_promoted_standby_accepts_new_writes(self):
+        bed, browser, account = _enrolled_bed(seed=3)
+        before = browser.generate_password(account)["password"]
+        bed.run_until_idle()
+        bed.gateway.start_probing()
+        shard = bed.shard_of("alice")
+        bed.crash_primary(shard.name)
+        bed.run(5_000.0)
+        bed.gateway.stop_probing()
+        bed.run_until_idle()
+        assert shard.failed_over
+
+        # Existing σ still generates identically...
+        again = browser.generate_password(account)["password"]
+        assert again == before
+        # ...and new accounts allocate ids in the shard's namespace
+        # without colliding with replicated rows.
+        account2 = browser.add_account("other.org", "alice@other.org")
+        assert account2 != account
+        fresh = browser.generate_password(account2)["password"]
+        assert fresh != before
+        assert len(fresh) > 0
+
+    def test_session_survives_failover(self):
+        bed, browser, account = _enrolled_bed(seed=4)
+        bed.run_until_idle()
+        bed.gateway.start_probing()
+        shard = bed.shard_of("alice")
+        bed.crash_primary(shard.name)
+        bed.run(5_000.0)
+        bed.gateway.stop_probing()
+        bed.run_until_idle()
+        assert shard.failed_over
+        # No fresh login: the replicated session keeps the cookie valid.
+        accounts = browser.accounts()
+        assert [a["account_id"] for a in accounts] == [account]
+
+    def test_unaffected_shard_untouched(self):
+        # "alice" and "dave" hash to different shards of a 2-ring —
+        # ring placement is a pure function of the names, so this is
+        # stable across seeds and processes.
+        bed = ClusterTestbed(shards=2, seed=5)
+        b_alice = bed.enroll("alice", "correct horse battery")
+        b_dave = bed.enroll("dave", "correct horse battery")
+        b_alice.add_account("example.com", "alice@example.com")
+        a_dave = b_dave.add_account("example.com", "dave@example.com")
+        p_dave = b_dave.generate_password(a_dave)["password"]
+        bed.run_until_idle()
+        alice_shard = bed.shard_of("alice")
+        dave_shard = bed.shard_of("dave")
+        assert alice_shard.name != dave_shard.name
+        bed.gateway.start_probing()
+        bed.crash_primary(alice_shard.name)
+        bed.run(5_000.0)
+        bed.gateway.stop_probing()
+        bed.run_until_idle()
+        assert alice_shard.failed_over is True
+        assert dave_shard.failed_over is False
+        assert b_dave.generate_password(a_dave)["password"] == p_dave
+        assert bed.reregistrations == ["alice"]

@@ -1,0 +1,153 @@
+"""Hash-ring property tests (ISSUE satellite).
+
+Three properties the cluster depends on:
+
+- **bounded remap** — removing one of N shards remaps roughly K/N of
+  K keys, not nearly all of them (the whole point of consistent
+  hashing over ``hash(key) % N``);
+- **determinism** — routing is a pure function of the membership set
+  (independent of join order, process, and seed: the point set is
+  SHA-256 based, not ``hash``-based);
+- **replica placement** — ``nodes_for(key, 2)[1]`` never equals the
+  primary, so a shard is never "its own standby".
+"""
+
+import random
+import subprocess
+import sys
+
+import pytest
+
+from repro.cluster.ring import HashRing, moved_keys, ring_hash
+from repro.util.errors import ValidationError
+
+KEYS = [f"user-{i}" for i in range(2000)]
+
+
+class TestMembership:
+    def test_nodes_sorted_regardless_of_join_order(self):
+        a = HashRing(["s2", "s0", "s1"])
+        b = HashRing(["s0", "s1", "s2"])
+        assert a.nodes == b.nodes == ["s0", "s1", "s2"]
+
+    def test_duplicate_add_rejected(self):
+        ring = HashRing(["s0"])
+        with pytest.raises(ValidationError):
+            ring.add_node("s0")
+
+    def test_remove_unknown_rejected(self):
+        ring = HashRing(["s0"])
+        with pytest.raises(ValidationError):
+            ring.remove_node("s1")
+
+    def test_empty_ring_routes_nothing(self):
+        ring = HashRing()
+        with pytest.raises(ValidationError):
+            ring.node_for("alice")
+
+    def test_epoch_bumps_on_every_membership_change(self):
+        ring = HashRing(["s0", "s1"])
+        epoch = ring.epoch
+        ring.add_node("s2")
+        assert ring.epoch == epoch + 1
+        ring.remove_node("s2")
+        assert ring.epoch == epoch + 2
+
+
+class TestBoundedRemap:
+    @pytest.mark.parametrize("shards", [2, 4, 8])
+    def test_removing_one_of_n_remaps_about_k_over_n(self, shards):
+        nodes = [f"shard-{i}" for i in range(shards)]
+        ring = HashRing(nodes)
+        before = ring.assignment(KEYS)
+        ring.remove_node(nodes[0])
+        after = ring.assignment(KEYS)
+        moved = moved_keys(before, after)
+        # Exactly the keys owned by the removed node move...
+        assert set(moved) == {k for k, n in before.items() if n == nodes[0]}
+        # ...and that is about K/N, with generous slack for hash variance.
+        expected = len(KEYS) / shards
+        assert len(moved) <= expected * 2.0
+        # Survivors keep their keys.
+        for key in set(KEYS) - set(moved):
+            assert after[key] == before[key]
+
+    def test_modulo_hashing_would_remap_nearly_everything(self):
+        # The counterexample the docstring cites: key % N reshuffles
+        # almost all keys when N changes — the ring must beat it hugely.
+        before = {k: f"shard-{ring_hash(k) % 4}" for k in KEYS}
+        after = {k: f"shard-{ring_hash(k) % 3}" for k in KEYS}
+        modulo_moved = len(moved_keys(before, after))
+        ring = HashRing([f"shard-{i}" for i in range(4)])
+        ring_before = ring.assignment(KEYS)
+        ring.remove_node("shard-3")
+        ring_moved = len(moved_keys(ring_before, ring.assignment(KEYS)))
+        assert ring_moved < modulo_moved / 2
+
+
+class TestDeterminism:
+    def test_same_membership_same_routing(self):
+        shuffled = ["s3", "s1", "s0", "s2"]
+        rng = random.Random(42)
+        for _ in range(5):
+            rng.shuffle(shuffled)
+            ring = HashRing(shuffled)
+            baseline = HashRing(["s0", "s1", "s2", "s3"])
+            assert ring.assignment(KEYS[:200]) == baseline.assignment(KEYS[:200])
+
+    def test_routing_stable_across_processes(self):
+        # PYTHONHASHSEED randomisation must not leak into routing: a
+        # fresh interpreter routes a probe set identically.
+        probe = ["alice", "bob", "carol", "dave", "erin", "frank"]
+        ring = HashRing(["shard-0", "shard-1", "shard-2"])
+        local = [ring.node_for(k) for k in probe]
+        script = (
+            "import sys; sys.path.insert(0, 'src')\n"
+            "from repro.cluster.ring import HashRing\n"
+            "ring = HashRing(['shard-0', 'shard-1', 'shard-2'])\n"
+            f"print(','.join(ring.node_for(k) for k in {probe!r}))\n"
+        )
+        output = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True,
+            text=True,
+            check=True,
+            cwd="/root/repo",
+            env={"PYTHONHASHSEED": "random", "PATH": "/usr/bin:/bin"},
+        ).stdout.strip()
+        assert output.split(",") == local
+
+    def test_hash_is_64_bit(self):
+        for key in KEYS[:100]:
+            assert 0 <= ring_hash(key) < 2**64
+
+
+class TestReplicaPlacement:
+    @pytest.mark.parametrize("shards", [2, 3, 5])
+    def test_replica_never_lands_on_primary(self, shards):
+        ring = HashRing([f"shard-{i}" for i in range(shards)])
+        for key in KEYS[:500]:
+            primary, replica = ring.nodes_for(key, 2)
+            assert primary == ring.node_for(key)
+            assert replica != primary
+
+    def test_nodes_for_caps_at_membership(self):
+        ring = HashRing(["s0", "s1"])
+        assert len(ring.nodes_for("alice", 5)) == 2
+
+    def test_nodes_for_rejects_zero(self):
+        ring = HashRing(["s0"])
+        with pytest.raises(ValidationError):
+            ring.nodes_for("alice", 0)
+
+
+class TestBalance:
+    def test_no_shard_owns_a_gross_majority(self):
+        ring = HashRing([f"shard-{i}" for i in range(4)], virtual_nodes=64)
+        counts: dict = {}
+        for key in KEYS:
+            counts[ring.node_for(key)] = counts.get(ring.node_for(key), 0) + 1
+        # 4-way split of 2000 keys: each shard should be within a
+        # factor ~2.4 of fair share given 64 vnodes.
+        for node, count in counts.items():
+            assert 100 < count < 1200, (node, count)

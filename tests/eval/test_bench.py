@@ -28,10 +28,23 @@ def macro():
 
 class TestMacroSuite:
     def test_covers_both_transports_load_and_chaos(self, macro):
-        assert set(macro) == {"e2e_wifi", "e2e_4g", "workload", "chaos"}
+        assert set(macro) == {
+            "e2e_wifi", "e2e_4g", "workload", "chaos", "cluster",
+        }
         assert macro["e2e_wifi"]["p50_ms"] <= macro["e2e_wifi"]["p95_ms"]
         assert macro["workload"]["completed"] <= macro["workload"]["issued"]
         assert macro["chaos"]["scenario"] == "lossy-uplink"
+
+    def test_cluster_arm_measures_the_gateway_tax(self, macro):
+        cluster = macro["cluster"]
+        assert cluster["shards"] == 2
+        assert cluster["p50_ms"] <= cluster["p95_ms"]
+        assert cluster["throughput_per_min"] > 0
+        # The fleets are comparable: the gateway hop must not cost an
+        # order of magnitude (the delta itself is noisy at smoke trial
+        # counts, so its sign is not asserted).
+        assert cluster["p50_ms"] < cluster["single_p50_ms"] * 3
+        assert cluster["single_p50_ms"] < cluster["p50_ms"] * 3
 
     def test_macro_is_deterministic_under_the_seed(self, macro):
         assert run_macro(seed="bench-test", smoke=True) == macro

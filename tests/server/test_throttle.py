@@ -52,3 +52,88 @@ class TestThrottle:
             LoginThrottle(max_failures=0)
         with pytest.raises(ValidationError):
             LoginThrottle(window_ms=0)
+
+
+class TestEviction:
+    def test_evicts_expired_entries(self):
+        throttle = LoginThrottle(max_failures=5, window_ms=100, lockout_ms=200)
+        throttle.record_failure("alice", 0)
+        throttle.record_failure("bob", 0)
+        assert throttle.tracked_logins() == 2
+        # Window lapsed, never locked out -> both evictable.
+        evicted = throttle.evict_expired(500)
+        assert evicted == 2
+        assert throttle.tracked_logins() == 0
+
+    def test_keeps_active_window(self):
+        throttle = LoginThrottle(max_failures=5, window_ms=100, lockout_ms=200)
+        throttle.record_failure("alice", 0)
+        assert throttle.evict_expired(50) == 0
+        assert throttle.tracked_logins() == 1
+
+    def test_keeps_active_lockout(self):
+        throttle = LoginThrottle(max_failures=1, window_ms=10, lockout_ms=10_000)
+        throttle.record_failure("alice", 0)
+        # Window is long gone but the lockout still applies.
+        assert throttle.evict_expired(5_000) == 0
+        assert not throttle.allowed("alice", 5_000)
+        # Once the lockout lapses too the entry goes.
+        assert throttle.evict_expired(10_001) == 1
+        assert throttle.allowed("alice", 10_001)
+
+    def test_bounded_under_many_distinct_logins(self):
+        """The original bug: one entry per distinct failing login, forever."""
+
+        throttle = LoginThrottle(max_failures=5, window_ms=10, lockout_ms=10)
+        for i in range(5000):
+            # Each login fails once; by the time the sweep runs, earlier
+            # windows/lockouts have lapsed (1 ms per login).
+            throttle.record_failure(f"user-{i}", float(i))
+        # The amortised sweep keeps the table well below the total number
+        # of distinct logins ever seen.
+        assert throttle.tracked_logins() < 2048
+
+    def test_eviction_preserves_semantics(self):
+        """Evicting an expired entry never changes observable behaviour."""
+
+        a = LoginThrottle(max_failures=2, window_ms=100, lockout_ms=100)
+        b = LoginThrottle(max_failures=2, window_ms=100, lockout_ms=100)
+        for throttle in (a, b):
+            throttle.record_failure("alice", 0)
+            throttle.record_failure("alice", 1)  # locks until 101
+        a.evict_expired(300)
+        for now in (300, 301, 400):
+            assert a.allowed("alice", now) == b.allowed("alice", now)
+        a.record_failure("alice", 300)
+        b.record_failure("alice", 300)
+        assert a.allowed("alice", 301) == b.allowed("alice", 301)
+
+
+class TestStateExport:
+    def test_roundtrip(self):
+        src = LoginThrottle(max_failures=3, window_ms=100, lockout_ms=1000)
+        src.record_failure("alice", 0)
+        src.record_failure("alice", 1)
+        dst = LoginThrottle(max_failures=3, window_ms=100, lockout_ms=1000)
+        dst.restore_state("alice", src.export_state("alice"))
+        src.record_failure("alice", 2)
+        dst.record_failure("alice", 2)
+        assert src.allowed("alice", 3) == dst.allowed("alice", 3)
+        assert src.locked_until("alice") == dst.locked_until("alice")
+
+    def test_export_missing_is_none(self):
+        throttle = LoginThrottle()
+        assert throttle.export_state("ghost") is None
+
+    def test_restore_none_clears(self):
+        throttle = LoginThrottle(max_failures=1, lockout_ms=1000)
+        throttle.record_failure("alice", 0)
+        throttle.restore_state("alice", None)
+        assert throttle.allowed("alice", 1)
+
+    def test_export_all_sorted(self):
+        throttle = LoginThrottle()
+        throttle.record_failure("zoe", 0)
+        throttle.record_failure("amy", 0)
+        logins = [entry[0] for entry in throttle.export_all()]
+        assert logins == ["amy", "zoe"]

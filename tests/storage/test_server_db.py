@@ -2,8 +2,13 @@
 
 import pytest
 
-from repro.storage.server_db import ServerDatabase
-from repro.util.errors import ConflictError, NotFoundError
+from repro.storage.server_db import (
+    USER_SNAPSHOT_SCHEMA,
+    ServerDatabase,
+    UserRecord,
+    canonical_snapshot_bytes,
+)
+from repro.util.errors import ConflictError, NotFoundError, ValidationError
 
 
 @pytest.fixture
@@ -124,3 +129,88 @@ class TestAccounts:
             db.add_account(user.user_id, "u", domain, b"x" * 32, "abc", 32)
         domains = [a.domain for a in db.accounts_for_user(user.user_id)]
         assert domains == ["one.com", "two.com", "three.com"]
+
+
+class TestSnapshots:
+    def populate(self, db):
+        user = make_user(db)
+        a1 = db.add_account(user.user_id, "u", "one.com", b"\x01" * 32, "abc", 32)
+        a2 = db.add_account(user.user_id, "u", "two.com", b"\x02" * 32, "xyz", 16)
+        db.store_vault_entry(a2.account_id, b"\xaa" * 24)
+        return user, a1, a2
+
+    def test_roundtrip_preserves_ids_and_rows(self, db):
+        user, a1, a2 = self.populate(db)
+        doc = db.export_user_snapshot("alice")
+        assert doc["schema"] == USER_SNAPSHOT_SCHEMA
+
+        target = ServerDatabase()
+        restored = target.apply_user_snapshot(doc)
+        assert restored.user_id == user.user_id
+        assert target.user_by_login("alice").oid == user.oid
+        accounts = target.accounts_for_user(user.user_id)
+        assert [a.account_id for a in accounts] == [a1.account_id, a2.account_id]
+        assert accounts[0].seed == b"\x01" * 32
+        assert target.vault_entry(a2.account_id) == b"\xaa" * 24
+        assert target.vault_entry(a1.account_id) is None
+
+    def test_snapshot_bytes_stable(self, db):
+        self.populate(db)
+        doc = db.export_user_snapshot("alice")
+        blob = canonical_snapshot_bytes(doc)
+
+        target = ServerDatabase()
+        target.apply_user_snapshot(doc)
+        # Re-exporting from the restored database is byte-identical.
+        assert canonical_snapshot_bytes(target.export_user_snapshot("alice")) == blob
+        # And exporting twice from the source is too.
+        assert canonical_snapshot_bytes(db.export_user_snapshot("alice")) == blob
+
+    def test_apply_is_idempotent_and_replaces_stale_rows(self, db):
+        user, a1, a2 = self.populate(db)
+        doc = db.export_user_snapshot("alice")
+        target = ServerDatabase()
+        target.apply_user_snapshot(doc)
+        # Target drifts: an extra account that is NOT in the snapshot.
+        target.add_account(user.user_id, "u", "stale.com", b"\x03" * 32, "abc", 32)
+        target.apply_user_snapshot(doc)
+        domains = [a.domain for a in target.accounts_for_user(user.user_id)]
+        assert domains == ["one.com", "two.com"]
+
+    def test_apply_rejects_unknown_schema(self, db):
+        self.populate(db)
+        doc = db.export_user_snapshot("alice")
+        doc["schema"] = "amnesia-user-snapshot/99"
+        with pytest.raises(ValidationError):
+            ServerDatabase().apply_user_snapshot(doc)
+
+    def test_server_config_not_exported(self, db):
+        self.populate(db)
+        db.set_config("identity_key", b"\x55" * 32)
+        doc = db.export_user_snapshot("alice")
+        target = ServerDatabase()
+        target.apply_user_snapshot(doc)
+        assert target.get_config("identity_key") is None
+
+    def test_all_users_sorted_by_primary_key(self, db):
+        for login in ("zoe", "amy", "bob"):
+            make_user(db, login=login)
+        ids = [u.user_id for u in db.all_users()]
+        assert ids == sorted(ids)
+
+    def test_put_user_upsert(self, db):
+        user = make_user(db)
+        updated = UserRecord(
+            user_id=user.user_id,
+            login=user.login,
+            oid=user.oid,
+            mp_hash=b"n" * 32,
+            mp_salt=b"t" * 16,
+            reg_id="gcm:replayed",
+            pid_hash=None,
+            pid_salt=None,
+        )
+        db.put_user(updated)
+        row = db.user_by_id(user.user_id)
+        assert row.mp_hash == b"n" * 32
+        assert row.reg_id == "gcm:replayed"
