@@ -115,7 +115,9 @@ def _cmd_strength(args: argparse.Namespace) -> int:
           f"{composition.digits:.2f} / {composition.special:.2f}")
     print(f"password space : {float(policy.password_space()):.3e} "
           f"(paper: 1.38e63)")
-    print(f"entropy        : {policy.entropy_bits():.1f} bits")
+    print(f"entropy        : {policy.entropy_bits():.4f} bits exact "
+          f"(upper bound {policy.max_entropy_bits():.4f}; the gap is the "
+          f"65536 mod {policy.table.size} template bias)")
     print(f"token space    : {float(DEFAULT_PARAMS.token_space):.3e} "
           f"(paper: 1.53e59)")
     bias = index_bias(DEFAULT_PARAMS.entry_table_size)
@@ -340,11 +342,18 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     print(render_bench(document))
     failures: list[str] = []
     if args.check:
+        # Only the macro gates are deterministic under the seed; the
+        # micro.* gates are wall clock and never replay bit-for-bit.
         replay = macro_gates(run_macro(seed=args.seed, smoke=args.smoke))
-        if replay != document["gates"]:
+        committed = {
+            key: gate
+            for key, gate in document["gates"].items()
+            if key.startswith("macro.")
+        }
+        if replay != committed:
             failures.append("gated metrics are not deterministic under the seed")
         else:
-            print("\ndeterminism: gated metrics replay bit-for-bit")
+            print("\ndeterminism: macro gates replay bit-for-bit")
         # The newest committed artefact is a valid baseline even when it
         # is today's: the gated metrics are deterministic, so comparing
         # a fresh run against it is exactly the regression question.

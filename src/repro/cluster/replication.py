@@ -39,7 +39,12 @@ import logging
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional
 
-from repro.faults.retry import RetryPolicy, count_retry_attempt, count_retry_giveup
+from repro.faults.retry import (
+    RetryPolicy,
+    count_retry_attempt,
+    count_retry_giveup,
+    jittered_delay_ms,
+)
 from repro.server.throttle import LoginThrottle
 from repro.storage.server_db import (
     AccountRecord,
@@ -408,29 +413,47 @@ class ReplicaApplier:
         database: ServerDatabase,
         throttle: LoginThrottle,
         sessions: SessionManager | None = None,
+        on_mutate: "Callable[[int | None], Any] | None" = None,
     ) -> None:
         self.database = database
         self.throttle = throttle
         self.sessions = sessions
+        # Invalidation feed for the standby core's derivation cache:
+        # called with an account id when one account's secrets changed,
+        # or ``None`` for a whole-database mutation (user snapshot,
+        # full snapshot catch-up). A standby's database mutates here —
+        # *underneath* its AmnesiaCore — so without this hook a cached
+        # R/P could outlive a replicated seed rotation.
+        self.on_mutate = on_mutate
         self.applied_seq = 0
         self.ops_applied = 0
         self.snapshots_applied = 0
+
+    def _mutated(self, account_id: int | None) -> None:
+        if self.on_mutate is not None:
+            self.on_mutate(account_id)
 
     # -- op dispatch ---------------------------------------------------
 
     def _apply_one(self, op: Op) -> None:
         kind, payload = op.kind, op.payload
         if kind == OP_PUT_USER:
+            # A user mutation can change O_id-adjacent state; the cheap
+            # safe answer is a full derivation-cache clear (rare op).
             self.database.put_user(user_from_payload(payload))
+            self._mutated(None)
         elif kind == OP_DELETE_USER:
             self.database.delete_user(int(payload["user_id"]))
+            self._mutated(None)
         elif kind == OP_PUT_ACCOUNT:
             self.database.put_account(account_from_payload(payload))
+            self._mutated(int(payload["account_id"]))
         elif kind == OP_DELETE_ACCOUNT:
             try:
                 self.database.delete_account(int(payload["account_id"]))
             except NotFoundError:
                 pass  # already gone (e.g. snapshot superseded the op)
+            self._mutated(int(payload["account_id"]))
         elif kind == OP_PUT_VAULT:
             self.database.store_vault_entry(
                 int(payload["account_id"]), bytes.fromhex(payload["ciphertext"])
@@ -439,6 +462,7 @@ class ReplicaApplier:
             self.database.delete_vault_entry(int(payload["account_id"]))
         elif kind == OP_USER_SNAPSHOT:
             self.database.apply_user_snapshot(payload["doc"])
+            self._mutated(None)
         elif kind == OP_THROTTLE_SET:
             state = payload["state"]
             self.throttle.restore_state(
@@ -478,6 +502,9 @@ class ReplicaApplier:
                 self.sessions.install(session_from_payload(payload))
         self.applied_seq = int(doc["seq"])
         self.snapshots_applied += 1
+        # Snapshot catch-up rewrites whole users: every cached
+        # derivation on this standby is suspect. Clear them all.
+        self._mutated(None)
         return {"applied_seq": self.applied_seq, "need_snapshot": False}
 
     # -- HTTP surface --------------------------------------------------
@@ -648,7 +675,14 @@ class ReplicationLink:
                 count_retry_giveup(self.registry, label, "exhausted")
                 self._give_up(str(error))
                 return
-            delay = self.retry_policy.backoff_ms(attempt["n"], self._rng)
+            # The link was the one caller that silently omitted its rng:
+            # constructed without one, a jittered policy degraded to
+            # deterministic lockstep retries across every shard. Now the
+            # degradation is counted (amnesia_retry_unjittered_total).
+            delay = jittered_delay_ms(
+                self.retry_policy, attempt["n"], self._rng,
+                registry=self.registry, label=label,
+            )
             self.kernel.schedule(delay, attempt_send, label="repl-retry")
 
         attempt_send()

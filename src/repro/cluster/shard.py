@@ -89,7 +89,13 @@ class ClusterShard:
 
         # -- standby-side applier + routes -------------------------------
         self.applier = ReplicaApplier(
-            standby.database, standby.throttle, sessions=standby.sessions
+            standby.database,
+            standby.throttle,
+            sessions=standby.sessions,
+            # Replication mutates the standby's database underneath its
+            # core; stale cached derivations (R, rendered P) must die
+            # with the rows they were computed from.
+            on_mutate=standby.invalidate_derivations,
         )
         self.applier.install_routes(standby.application)
 

@@ -101,9 +101,58 @@ class PasswordPolicy:
         """Number of renderable passwords: ``N_c ^ length`` (§IV-E)."""
         return self.table.size**self.length
 
-    def entropy_bits(self) -> float:
-        """log2 of the password space."""
+    def max_entropy_bits(self) -> float:
+        """log2 of the password space — the paper's §IV-E number.
+
+        This is an *upper bound*: it assumes every character is drawn
+        uniformly from ``T_c``, which the template function does not
+        quite achieve (see :meth:`entropy_bits`).
+        """
         return self.length * math.log2(self.table.size)
+
+    def character_entropy_bits(self) -> float:
+        """Exact Shannon entropy of one rendered character.
+
+        The template reduces a 16-bit segment modulo ``N_c``; whenever
+        ``65536 mod N_c != 0`` the first ``65536 mod N_c`` characters
+        receive one extra preimage each, so the distribution is
+        slightly non-uniform and the true per-character entropy is
+        strictly below ``log2(N_c)``. (For the default table:
+        ``65536 mod 94 = 18``, so 18 characters appear with probability
+        698/65536 and 76 with 697/65536.)
+        """
+        space = 16 ** self._segment_hex_length()
+        size = self.table.size
+        base = space // size
+        heavy = space % size  # characters with base+1 preimages
+        p_heavy = (base + 1) / space
+        p_light = base / space
+        entropy = 0.0
+        if heavy:
+            entropy -= heavy * p_heavy * math.log2(p_heavy)
+        if size - heavy and p_light > 0:
+            entropy -= (size - heavy) * p_light * math.log2(p_light)
+        return entropy
+
+    def entropy_bits(self) -> float:
+        """Exact entropy of a rendered password, modulo bias included.
+
+        ``length * H(character)`` — characters are independent because
+        each consumes a disjoint 16-bit segment of the (uniform) SHA-512
+        intermediate value. Always ``<= max_entropy_bits()``; the old
+        name used to return the biased-upward bound, which overstated
+        strength (the §IV-E numbers now quote both).
+        """
+        return self.length * self.character_entropy_bits()
+
+    @staticmethod
+    def _segment_hex_length() -> int:
+        """Hex digits per rendered character (4 → 16-bit segments).
+
+        Kept in one place so the entropy computation and
+        :meth:`render`'s default agree; the protocol params pin it at 4.
+        """
+        return 4
 
     def render(self, intermediate_hex: str, segment_hex_length: int = 4) -> str:
         """Apply the template function to the intermediate value *p*.

@@ -4,6 +4,22 @@ The Amnesia server stores ``H(MP + salt)`` exactly as Table I shows (see
 :func:`repro.crypto.hashing.salted_hash`), but session cookies and the
 backup encryption key need *stretched* keys, which is what PBKDF2
 provides. The inner loop XOR-accumulates HMAC iterations per the RFC.
+
+Fast path (PR 5): the original implementation called
+``hmac.new(password, ...)`` once *per iteration*, re-running the RFC
+2104 key schedule — two extra SHA-256 compressions plus object setup —
+every round. :class:`HmacSha256Midstate` precomputes the inner
+(``key ⊕ ipad``) and outer (``key ⊕ opad``) pad-block digest states
+once per password and clones them (``hashlib`` ``copy()`` is a cheap C
+memcpy) for every message, so each PBKDF2 round costs exactly the two
+compression calls the algorithm requires. A small bounded cache reuses
+midstates across calls with the same password — the vault baselines
+derive from one master password hundreds of times per scenario.
+
+The original per-iteration construction is kept as
+:func:`pbkdf2_hmac_sha256_reference`; the property tests assert the
+fast path is value-identical to it (and to
+``hashlib.pbkdf2_hmac``) for randomized inputs.
 """
 
 from __future__ import annotations
@@ -11,28 +27,132 @@ from __future__ import annotations
 import hashlib
 import hmac
 import struct
+from collections import OrderedDict
 
 from repro.obs.profiler import profiled
 from repro.util.errors import CryptoError
 
 _HASH_LEN = 32
+_BLOCK_LEN = 64
+_IPAD = bytes(b ^ 0x36 for b in range(256))
+_OPAD = bytes(b ^ 0x5C for b in range(256))
+
+
+class HmacSha256Midstate:
+    """HMAC-SHA-256 with the RFC 2104 pad blocks hashed exactly once.
+
+    Construction hashes ``key ⊕ ipad`` and ``key ⊕ opad`` into two
+    resumable SHA-256 states; :meth:`digest` clones them per message.
+    Cloning a ``hashlib`` object copies the 8-word compression state in
+    C, so the per-message cost collapses to the two block compressions
+    HMAC fundamentally needs (the naive ``hmac.new`` per message pays
+    the key schedule — two extra compressions — every time).
+    """
+
+    __slots__ = ("_inner", "_outer")
+
+    def __init__(self, key: bytes) -> None:
+        if not isinstance(key, (bytes, bytearray, memoryview)):
+            raise CryptoError("HMAC key must be bytes")
+        key = bytes(key)
+        if len(key) > _BLOCK_LEN:
+            key = hashlib.sha256(key).digest()
+        key = key.ljust(_BLOCK_LEN, b"\x00")
+        self._inner = hashlib.sha256(key.translate(_IPAD))
+        self._outer = hashlib.sha256(key.translate(_OPAD))
+
+    def digest(self, message: bytes) -> bytes:
+        inner = self._inner.copy()
+        inner.update(message)
+        outer = self._outer.copy()
+        outer.update(inner.digest())
+        return outer.digest()
+
+
+# Midstates for recently seen passwords. Keyed by the password bytes —
+# the same trust domain that already holds the password in cleartext
+# while deriving, so the cache widens no exposure window beyond its
+# bounded lifetime; it exists because the vault baselines and the
+# recovery path derive from one master password many times in a row.
+_MIDSTATE_CACHE: "OrderedDict[bytes, HmacSha256Midstate]" = OrderedDict()
+_MIDSTATE_CACHE_MAX = 64
+
+
+def hmac_sha256_midstate(key: bytes) -> HmacSha256Midstate:
+    """A (cached) pad-precomputed HMAC-SHA-256 state for *key*."""
+    key = bytes(key)
+    cached = _MIDSTATE_CACHE.get(key)
+    if cached is not None:
+        _MIDSTATE_CACHE.move_to_end(key)
+        return cached
+    state = HmacSha256Midstate(key)
+    _MIDSTATE_CACHE[key] = state
+    if len(_MIDSTATE_CACHE) > _MIDSTATE_CACHE_MAX:
+        _MIDSTATE_CACHE.popitem(last=False)
+    return state
+
+
+def clear_midstate_cache() -> None:
+    """Drop all cached midstates (tests; key-hygiene sensitive callers)."""
+    _MIDSTATE_CACHE.clear()
+
+
+def _check_args(iterations: int, length: int) -> None:
+    if iterations < 1:
+        raise CryptoError(f"iterations must be >= 1, got {iterations}")
+    if length <= 0:
+        raise CryptoError(f"length must be positive, got {length}")
 
 
 @profiled("crypto.pbkdf2")
 def pbkdf2_hmac_sha256(
     password: bytes, salt: bytes, iterations: int, length: int
 ) -> bytes:
-    """Derive *length* bytes from *password* with *iterations* rounds."""
-    if iterations < 1:
-        raise CryptoError(f"iterations must be >= 1, got {iterations}")
-    if length <= 0:
-        raise CryptoError(f"length must be positive, got {length}")
+    """Derive *length* bytes from *password* with *iterations* rounds.
+
+    Midstate fast path: the password's pad blocks are hashed once, then
+    every iteration of every block clones the two states instead of
+    re-keying — value-identical to the reference construction below
+    (property-tested), roughly halving the compressions per round.
+    """
+    _check_args(iterations, length)
+    prf = hmac_sha256_midstate(password)
+    # Bind the hot attributes once: the loop below runs `iterations`
+    # times per block and every LOAD_ATTR it avoids is measurable at
+    # the default round counts.
+    inner_copy = prf._inner.copy
+    outer_copy = prf._outer.copy
+    from_bytes = int.from_bytes
+    blocks = []
+    block_count = (length + _HASH_LEN - 1) // _HASH_LEN
+    for index in range(1, block_count + 1):
+        u = prf.digest(salt + struct.pack(">I", index))
+        accum = from_bytes(u, "big")
+        for __ in range(iterations - 1):
+            ih = inner_copy()
+            ih.update(u)
+            oh = outer_copy()
+            oh.update(ih.digest())
+            u = oh.digest()
+            accum ^= from_bytes(u, "big")
+        blocks.append(accum.to_bytes(_HASH_LEN, "big"))
+    return b"".join(blocks)[:length]
+
+
+def pbkdf2_hmac_sha256_reference(
+    password: bytes, salt: bytes, iterations: int, length: int
+) -> bytes:
+    """The pre-PR-5 construction: one ``hmac.new`` per iteration.
+
+    Kept as the equality oracle for the fast path — do not optimise.
+    """
+    _check_args(iterations, length)
     blocks = []
     block_count = (length + _HASH_LEN - 1) // _HASH_LEN
     for index in range(1, block_count + 1):
         u = hmac.new(password, salt + struct.pack(">I", index), hashlib.sha256).digest()
         accum = int.from_bytes(u, "big")
-        for _ in range(iterations - 1):
+        for __ in range(iterations - 1):
             u = hmac.new(password, u, hashlib.sha256).digest()
             accum ^= int.from_bytes(u, "big")
         blocks.append(accum.to_bytes(_HASH_LEN, "big"))

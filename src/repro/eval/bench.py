@@ -4,9 +4,16 @@ Two suites, one schema-versioned JSON artefact:
 
 - **micro** — wall-clock throughput of the primitives on the hot path
   (SHA-256/512, the pure-Python SHA cores, PBKDF2, HKDF) and the pure
-  protocol pipeline (Algorithm 1 token computation, template render).
-  Wall-clock numbers vary with the machine, so they are recorded as
-  trajectory data but never gated.
+  protocol pipeline (Algorithm 1 token computation, template render,
+  cache-hit render through :class:`~repro.server.cache.DerivationCache`).
+  Wall-clock numbers vary with the machine, so most are recorded as
+  trajectory data only; a small set (PBKDF2 iterations/s, SHA-256
+  MB/s, cache-hit render latency) *is* gated in full-mode runs,
+  because those are the metrics the fast path exists to move and — at
+  the full-mode iteration counts — a 25 % swing on the same machine is
+  a code change, not scheduler noise. Smoke runs keep the
+  measurements but drop the wall-clock gates (their iteration counts
+  are too small to be stable).
 - **macro** — deterministic *simulated* metrics: end-to-end generation
   p50/p95 under the Wi-Fi and 4G profiles (the Figure 3 pipeline),
   sustained-load throughput through the server's worker pool, chaos-on
@@ -46,10 +53,11 @@ _MICRO_ITERATIONS = {
     "sha256": (4_000, 200),
     "sha512": (4_000, 200),
     "sha256_pure": (200, 10),
-    "pbkdf2": (10, 2),
+    "pbkdf2": (50, 2),
     "hkdf": (1_000, 50),
     "token": (2_000, 100),
     "template": (2_000, 100),
+    "render_cached": (10_000, 200),
 }
 _PBKDF2_ROUNDS = 400  # inner HMAC rounds per pbkdf2 op
 _PAYLOAD = bytes(range(256)) * 4  # 1 KiB hashing payload
@@ -66,13 +74,30 @@ def bench_filename(date_utc: str | None = None) -> str:
 
 
 def _time_op(fn: Callable[[], Any], iterations: int) -> Dict[str, Any]:
-    """Wall-clock *fn* over *iterations* calls (monotonic ns clock)."""
+    """Wall-clock *fn* over *iterations* calls (monotonic ns clock).
+
+    One untimed warm-up call precedes the loop so first-call effects
+    (lazy imports, midstate caches, allocator warm-up) charge nobody,
+    and the collector is paused across the timed region so a GC cycle
+    triggered by unrelated garbage does not land inside a small-n
+    entry — without both, the gated micro metrics swing enough to trip
+    on unchanged code.
+    """
+    import gc
+
     if iterations < 1:
         raise ValidationError(f"iterations must be >= 1, got {iterations}")
-    started = time.perf_counter_ns()
-    for __ in range(iterations):
-        fn()
-    elapsed_ns = time.perf_counter_ns() - started
+    fn()
+    was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        started = time.perf_counter_ns()
+        for __ in range(iterations):
+            fn()
+        elapsed_ns = time.perf_counter_ns() - started
+    finally:
+        if was_enabled:
+            gc.enable()
     per_op_us = elapsed_ns / iterations / 1_000.0
     ops_per_sec = (iterations * 1e9 / elapsed_ns) if elapsed_ns > 0 else 0.0
     return {
@@ -108,10 +133,13 @@ def run_micro(smoke: bool = False) -> Dict[str, Any]:
     iters = {name: pair[column] for name, pair in _MICRO_ITERATIONS.items()}
 
     micro: Dict[str, Any] = {}
-    micro["sha256"] = {
+    entry = {
         "payload_bytes": len(_PAYLOAD),
         **_time_op(lambda: sha256(_PAYLOAD), iters["sha256"]),
     }
+    # MB/s through the hasher: the gated view of SHA-256 throughput.
+    entry["mb_per_s"] = round(entry["ops_per_sec"] * len(_PAYLOAD) / 1e6, 3)
+    micro["sha256"] = entry
     micro["sha512"] = {
         "payload_bytes": len(_PAYLOAD),
         **_time_op(lambda: sha512(_PAYLOAD), iters["sha512"]),
@@ -120,13 +148,17 @@ def run_micro(smoke: bool = False) -> Dict[str, Any]:
         "payload_bytes": 64,
         **_time_op(lambda: sha256_pure(_PAYLOAD[:64]), iters["sha256_pure"]),
     }
-    micro["pbkdf2"] = {
+    entry = {
         "rounds": _PBKDF2_ROUNDS,
         **_time_op(
             lambda: pbkdf2_hmac_sha256(b"bench-mp", b"salt", _PBKDF2_ROUNDS, 32),
             iters["pbkdf2"],
         ),
     }
+    # Inner HMAC iterations per second: the gated view of the midstate
+    # fast path (rounds x ops/s), comparable across round counts.
+    entry["iters_per_s"] = round(entry["ops_per_sec"] * _PBKDF2_ROUNDS, 1)
+    micro["pbkdf2"] = entry
     micro["hkdf"] = {
         "length": 64,
         **_time_op(lambda: hkdf(b"ikm", b"salt", b"bench", 64), iters["hkdf"]),
@@ -146,6 +178,22 @@ def run_micro(smoke: bool = False) -> Dict[str, Any]:
         micro["template"] = _time_op(
             lambda: render_password(intermediate), iters["template"]
         )
+    # The same render through a warm DerivationCache: what the server
+    # pays per hit once the (T, O_id, sigma, policy) fingerprint is
+    # resident. Gated — the cache exists to make this cheap.
+    from repro.server.cache import FAMILY_RENDER, DerivationCache
+
+    cache = DerivationCache()
+    fingerprint = (token, oid, seed, "default-policy")
+
+    def cached_render() -> str:
+        return cache.get_or_compute(
+            FAMILY_RENDER, 1, fingerprint,
+            lambda: render_password(intermediate),
+        )
+
+    cached_render()  # warm the entry; everything after is a hit
+    micro["render_cached"] = _time_op(cached_render, iters["render_cached"])
     micro["profiler_scopes"] = {
         name: {"calls": stats.calls, "cumulative_us": round(stats.cumulative_us, 1)}
         for name, stats in sorted(profiler.by_name().items())
@@ -301,21 +349,57 @@ def macro_gates(macro: Dict[str, Any]) -> Dict[str, Dict[str, Any]]:
     }
 
 
+def micro_gates(micro: Dict[str, Any]) -> Dict[str, Dict[str, Any]]:
+    """The gated wall-clock metrics: the ones the crypto fast path
+    exists to move. Keys are absent when the micro suite was skipped."""
+    gates: Dict[str, Dict[str, Any]] = {}
+    if "pbkdf2" in micro:
+        gates["micro.pbkdf2.iters_per_s"] = {
+            "value": micro["pbkdf2"]["iters_per_s"],
+            "direction": HIGHER_IS_BETTER,
+        }
+    if "sha256" in micro:
+        gates["micro.sha256.mb_per_s"] = {
+            "value": micro["sha256"]["mb_per_s"],
+            "direction": HIGHER_IS_BETTER,
+        }
+    if "render_cached" in micro:
+        gates["micro.render_cached.wall_us_per_op"] = {
+            "value": micro["render_cached"]["wall_us_per_op"],
+            "direction": LOWER_IS_BETTER,
+        }
+    return gates
+
+
 def run_bench(
     seed: int | str = "bench",
     smoke: bool = False,
     skip_micro: bool = False,
 ) -> Dict[str, Any]:
     """The full harness: micro + macro + gates, schema-versioned."""
+    # Micro first: the wall-clock suite runs against a small, quiet
+    # heap. After the macro simulations the process carries megabytes
+    # of surviving objects, and the gated small-n micro entries read
+    # systematically slower for reasons that have nothing to do with
+    # the code under test.
+    micro = {} if skip_micro else run_micro(smoke=smoke)
     macro = run_macro(seed=seed, smoke=smoke)
+    gates = macro_gates(macro)
+    if not smoke:
+        # Smoke iteration counts are too small for wall-clock stability
+        # (two back-to-back runs can differ by 40 %), so the micro gates
+        # only ride the full-mode artefact — the `make bench-check`
+        # surface — where the pinned iteration counts average the noise
+        # down below the 25 % threshold.
+        gates.update(micro_gates(micro))
     document: Dict[str, Any] = {
         "schema": BENCH_SCHEMA,
         "generated_utc": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
         "seed": str(seed),
         "smoke": smoke,
-        "micro": {} if skip_micro else run_micro(smoke=smoke),
+        "micro": micro,
         "macro": macro,
-        "gates": macro_gates(macro),
+        "gates": gates,
         "threshold": DEFAULT_THRESHOLD,
     }
     return document
@@ -437,7 +521,7 @@ def render_bench(document: Dict[str, Any]) -> str:
         f"amnesia bench ({document['schema']}, seed={document['seed']}, "
         f"{'smoke' if document['smoke'] else 'full'})",
         "",
-        "micro (wall clock, informational):",
+        "micro (wall clock):",
     ]
     micro = document.get("micro", {})
     for name, entry in sorted(micro.items()):
@@ -450,7 +534,7 @@ def render_bench(document: Dict[str, Any]) -> str:
     if not micro:
         lines.append("  (skipped)")
     lines.append("")
-    lines.append("macro (simulated, gated):")
+    lines.append("gates (macro: simulated; micro: wall clock):")
     for key, gate in sorted(document["gates"].items()):
         arrow = "v" if gate["direction"] == LOWER_IS_BETTER else "^"
         lines.append(f"  {key:<36s} {float(gate['value']):>12.3f}  ({arrow} better)")

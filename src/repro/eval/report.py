@@ -90,7 +90,10 @@ def _strength_section() -> list[str]:
         "| composition (low/up/dig/spec) | 9 / 9 / 3 / 11 | "
         f"{composition.lowercase:.2f} / {composition.uppercase:.2f} / "
         f"{composition.digits:.2f} / {composition.special:.2f} |",
-        f"| default entropy | — | {policy.entropy_bits():.1f} bits |",
+        "| default entropy (upper bound) | — | "
+        f"{policy.max_entropy_bits():.4f} bits |",
+        "| default entropy (exact, mod-bias) | not analysed | "
+        f"{policy.entropy_bits():.4f} bits |",
         f"| index mod-bias (TVD) | not analysed | "
         f"{bias.total_variation_distance:.6f} |",
     ]

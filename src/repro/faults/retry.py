@@ -22,6 +22,9 @@ from dataclasses import dataclass
 from typing import Any, Callable
 
 from repro.util.errors import ReproError, ValidationError
+from repro.util.logs import component_logger
+
+_retry_log = component_logger("retry")
 
 
 class GiveUp(ReproError):
@@ -64,20 +67,39 @@ class RetryPolicy:
         if self.deadline_ms is not None and self.deadline_ms <= 0:
             raise ValidationError("deadline must be positive (or None)")
 
+    def raw_delay_ms(self, attempt: int) -> float:
+        """The deterministic (jitter-free) delay before attempt
+        ``attempt + 1``: exponential growth capped at ``max_delay_ms``."""
+        if attempt < 1:
+            raise ValidationError(f"attempt must be >= 1, got {attempt}")
+        return min(
+            self.max_delay_ms,
+            self.base_delay_ms * (self.multiplier ** (attempt - 1)),
+        )
+
     def backoff_ms(self, attempt: int, rng=None) -> float:
         """Delay before attempt ``attempt + 1`` (``attempt`` starts at 1).
 
         Deterministic floor plus a randomised top slice: with
         ``jitter=0.5`` the wait lands uniformly in ``[raw/2, raw]``.
+
+        A jittered policy **requires** an rng: the old behaviour of
+        silently returning the raw delay when ``rng is None`` meant a
+        fleet of clients configured for jitter would in fact retry in
+        lockstep — the exact thundering herd the jitter exists to
+        break. Callers that genuinely cannot thread an rng should go
+        through :func:`jittered_delay_ms`, which logs and counts the
+        degradation instead of hiding it.
         """
-        if attempt < 1:
-            raise ValidationError(f"attempt must be >= 1, got {attempt}")
-        raw = min(
-            self.max_delay_ms,
-            self.base_delay_ms * (self.multiplier ** (attempt - 1)),
-        )
-        if self.jitter <= 0.0 or rng is None:
+        raw = self.raw_delay_ms(attempt)
+        if self.jitter <= 0.0:
             return raw
+        if rng is None:
+            raise ValidationError(
+                f"policy has jitter={self.jitter} but no rng was supplied; "
+                "pass an rng (or use jittered_delay_ms for the counted "
+                "deterministic fallback)"
+            )
         floor = raw * (1.0 - self.jitter)
         return floor + rng.random() * (raw - floor)
 
@@ -98,6 +120,7 @@ Operation = Callable[[Callable[[Any], None], Callable[[Exception], None]], None]
 # *label*, so ``/metricsz`` can say which operation is retrying).
 RETRY_ATTEMPTS_COUNTER = "amnesia_retry_attempts_total"
 RETRY_GIVEUPS_COUNTER = "amnesia_retry_giveups_total"
+RETRY_UNJITTERED_COUNTER = "amnesia_retry_unjittered_total"
 
 
 def count_retry_attempt(registry, label: str) -> None:
@@ -118,6 +141,39 @@ def count_retry_giveup(registry, label: str, reason: str) -> None:
         "Retried operations that ultimately failed, by op and reason",
         label_names=("op", "reason"),
     ).labels(op=label, reason=reason).inc()
+
+
+def count_retry_unjittered(registry, label: str) -> None:
+    if registry is None:
+        return
+    registry.counter(
+        RETRY_UNJITTERED_COUNTER,
+        "Backoff waits computed without jitter despite a jittered policy "
+        "(no rng available) — a thundering-herd hazard",
+        label_names=("op",),
+    ).labels(op=label).inc()
+
+
+def jittered_delay_ms(
+    policy: RetryPolicy, attempt: int, rng, registry=None, label: str = "retry"
+) -> float:
+    """The backoff delay, degrading *loudly* when jitter is impossible.
+
+    With an rng this is exactly :meth:`RetryPolicy.backoff_ms`. Without
+    one, a jittered policy falls back to the deterministic raw delay —
+    but the degradation is logged and counted into
+    ``amnesia_retry_unjittered_total{op=label}`` instead of silently
+    pretending the jitter happened (the pre-PR-5 behaviour).
+    """
+    if rng is None and policy.jitter > 0.0:
+        count_retry_unjittered(registry, label)
+        _retry_log.warning(
+            "op %s: jitter=%.2f configured but no rng available; "
+            "using deterministic backoff (thundering-herd hazard)",
+            label, policy.jitter,
+        )
+        return policy.raw_delay_ms(attempt)
+    return policy.backoff_ms(attempt, rng)
 
 
 def retry_async(
@@ -168,7 +224,9 @@ def retry_async(
             count_retry_giveup(registry, label, "exhausted")
             on_failure(error)
             return
-        delay = policy.backoff_ms(state["attempt"], rng)
+        delay = jittered_delay_ms(
+            policy, state["attempt"], rng, registry=registry, label=label
+        )
         if policy.deadline_ms is not None:
             remaining = policy.deadline_ms - (kernel.now - state["started"])
             delay = min(delay, max(0.0, remaining))

@@ -1,0 +1,213 @@
+"""Bounded, invalidation-correct caching of the §III-B derivations.
+
+The server recomputes two pure values on every hot request:
+
+- ``R = H(µ_A || d_A || σ_A)`` — recomputed for every push to the
+  phone, although it only changes when the account's username, domain
+  or seed changes;
+- ``P = template(H(T || O_id || σ_A))`` — recomputed for every token
+  arrival and for every §VIII session-mechanism hit, although for a
+  fixed ``(T, O_id, σ_A, policy)`` it is a constant.
+
+Both derivations are deterministic functions of durable secrets, so
+caching them is safe *iff* invalidation tracks every way those secrets
+can change:
+
+- **seed rotation** (``POST /accounts/{id}/rotate``) — per-account
+  invalidation;
+- **policy change / account delete** — per-account invalidation;
+- **phone-compromise recovery** (``POST /recover/phone``) — full clear
+  (the whole entry table, and with it every token, is being retired);
+- **replication** — a standby's database mutates underneath its core
+  via the op-log/snapshot applier, so
+  :class:`repro.cluster.replication.ReplicaApplier` forwards every
+  database mutation to the standby core's cache
+  (:meth:`repro.server.service.AmnesiaCore.invalidate_derivations`).
+
+Belt and braces: every key embeds a fingerprint of the inputs
+(seed/oid bytes, charset, length), so even a missed invalidation can
+only cost a stale *entry* (a miss), never a stale *value*. The
+explicit invalidation exists to bound memory and drop dead entries
+promptly, not to guarantee correctness.
+
+Observability: hits and misses per family flow into the registry as
+``amnesia_derivation_cache_hits_total{family=...}`` /
+``amnesia_derivation_cache_misses_total{family=...}``, evictions into
+``amnesia_derivation_cache_evictions_total{family=...}``, and
+``/statusz`` carries the per-family entry counts + hit rates.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Callable, Dict, Hashable, Tuple
+
+from repro.util.errors import ValidationError
+
+CACHE_HITS_COUNTER = "amnesia_derivation_cache_hits_total"
+CACHE_MISSES_COUNTER = "amnesia_derivation_cache_misses_total"
+CACHE_EVICTIONS_COUNTER = "amnesia_derivation_cache_evictions_total"
+
+#: Cache families: ``request`` holds R values, ``render`` holds final
+#: passwords P keyed by the full derivation fingerprint.
+FAMILY_REQUEST = "request"
+FAMILY_RENDER = "render"
+
+DEFAULT_MAX_ENTRIES = 4_096
+
+
+class LruCache:
+    """A bounded least-recently-used map with hit/miss/eviction counts.
+
+    Keys are ``(owner_id, *fingerprint)`` tuples; ``invalidate_owner``
+    drops every entry belonging to one owner (an account), ``clear``
+    drops everything. The scan in ``invalidate_owner`` is O(size), which
+    is fine at the default bound; the bound itself is what keeps a
+    million-user fleet from turning the cache into a second database.
+    """
+
+    def __init__(self, max_entries: int = DEFAULT_MAX_ENTRIES) -> None:
+        if max_entries < 1:
+            raise ValidationError(
+                f"max_entries must be >= 1, got {max_entries}"
+            )
+        self.max_entries = max_entries
+        self._entries: "OrderedDict[Tuple[Hashable, ...], Any]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: Tuple[Hashable, ...]) -> Any | None:
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def put(self, key: Tuple[Hashable, ...], value: Any) -> None:
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        if len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def invalidate_owner(self, owner_id: Hashable) -> int:
+        doomed = [key for key in self._entries if key[0] == owner_id]
+        for key in doomed:
+            del self._entries[key]
+        self.invalidations += len(doomed)
+        return len(doomed)
+
+    def clear(self) -> int:
+        count = len(self._entries)
+        self._entries.clear()
+        self.invalidations += count
+        return count
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class DerivationCache:
+    """The server's two derivation families behind one facade."""
+
+    def __init__(
+        self,
+        registry=None,
+        max_entries: int = DEFAULT_MAX_ENTRIES,
+    ) -> None:
+        self.registry = registry
+        self._families: Dict[str, LruCache] = {
+            FAMILY_REQUEST: LruCache(max_entries),
+            FAMILY_RENDER: LruCache(max_entries),
+        }
+        if registry is not None:
+            self._hits = registry.counter(
+                CACHE_HITS_COUNTER,
+                "Derivation cache hits, by family",
+                label_names=("family",),
+            )
+            self._misses = registry.counter(
+                CACHE_MISSES_COUNTER,
+                "Derivation cache misses, by family",
+                label_names=("family",),
+            )
+            self._evictions = registry.counter(
+                CACHE_EVICTIONS_COUNTER,
+                "Derivation cache LRU evictions, by family",
+                label_names=("family",),
+            )
+        else:
+            self._hits = self._misses = self._evictions = None
+
+    # -- core operation ------------------------------------------------------
+
+    def get_or_compute(
+        self,
+        family: str,
+        owner_id: Hashable,
+        fingerprint: Tuple[Hashable, ...],
+        compute: Callable[[], Any],
+    ) -> Any:
+        """The cached value for ``(owner_id, *fingerprint)``, computing
+        and storing it on a miss. The fingerprint must embed every input
+        of *compute* so a stale entry can never alias a fresh value."""
+        cache = self._family(family)
+        key = (owner_id, *fingerprint)
+        value = cache.get(key)
+        if value is not None:
+            if self._hits is not None:
+                self._hits.labels(family=family).inc()
+            return value
+        if self._misses is not None:
+            self._misses.labels(family=family).inc()
+        value = compute()
+        before = cache.evictions
+        cache.put(key, value)
+        if self._evictions is not None and cache.evictions > before:
+            self._evictions.labels(family=family).inc(cache.evictions - before)
+        return value
+
+    # -- invalidation --------------------------------------------------------
+
+    def invalidate_account(self, account_id: Hashable) -> int:
+        """Drop every cached derivation for one account (seed rotation,
+        policy change, deletion, replicated account mutation)."""
+        return sum(
+            cache.invalidate_owner(account_id)
+            for cache in self._families.values()
+        )
+
+    def clear(self) -> int:
+        """Drop everything (recovery, snapshot apply, promotions)."""
+        return sum(cache.clear() for cache in self._families.values())
+
+    # -- introspection -------------------------------------------------------
+
+    def _family(self, family: str) -> LruCache:
+        try:
+            return self._families[family]
+        except KeyError:
+            raise ValidationError(f"unknown cache family {family!r}") from None
+
+    def stats(self) -> Dict[str, Dict[str, Any]]:
+        """Per-family counters for ``/statusz``."""
+        return {
+            name: {
+                "entries": len(cache),
+                "hits": cache.hits,
+                "misses": cache.misses,
+                "evictions": cache.evictions,
+                "invalidations": cache.invalidations,
+                "hit_rate": round(cache.hit_rate, 4),
+            }
+            for name, cache in self._families.items()
+        }

@@ -43,6 +43,7 @@ from repro.obs.health import counter_total, install_health_routes
 from repro.obs.registry import MetricsRegistry
 from repro.obs.spans import SpanRecorder
 from repro.rendezvous.service import RendezvousPublisher
+from repro.server.cache import FAMILY_RENDER, FAMILY_REQUEST, DerivationCache
 from repro.server.metrics import LatencySample, ServerMetrics
 from repro.server.pending import (
     DEFAULT_MAX_PER_USER,
@@ -144,6 +145,12 @@ class AmnesiaCore:
         self.token_session_ttl_ms = token_session_ttl_ms
         self._token_sessions: dict[tuple[int, int], tuple[str, float]] = {}
 
+        # PR 5 fast path: bounded LRU over the pure §III-B derivations
+        # (R per account, rendered P per token/policy). Invalidated on
+        # seed rotation, policy change, account deletion, recovery, and
+        # replicated mutations on a standby; every key additionally
+        # fingerprints its inputs so staleness can only cost a miss.
+        self.derivations = DerivationCache(self.registry)
         self.database = ServerDatabase(db_path)
         self.sessions = SessionManager(rng)
         self.captcha = CaptchaRegistrar(rng)
@@ -193,6 +200,57 @@ class AmnesiaCore:
     def _policy_of(account: AccountRecord) -> PasswordPolicy:
         return PasswordPolicy(charset=account.charset, length=account.length)
 
+    # -- derivation fast path (PR 5) ------------------------------------------
+
+    def _request_hex(self, account: AccountRecord) -> str:
+        """``R`` for *account*, cached per ``(account, µ, d, σ)``."""
+        return self.derivations.get_or_compute(
+            FAMILY_REQUEST,
+            account.account_id,
+            (account.username, account.domain, bytes(account.seed)),
+            lambda: generate_request(
+                account.username, account.domain, account.seed
+            ),
+        )
+
+    def _render_cached(
+        self, user: UserRecord, account: AccountRecord, token_hex: str
+    ) -> str:
+        """``P`` for ``(T, O_id, σ, policy)``, cached per account.
+
+        The fingerprint embeds every input of the derivation — token,
+        O_id, seed, charset, length — so a rotated seed or changed
+        policy can never alias a cached value.
+        """
+        policy = self._policy_of(account)
+        return self.derivations.get_or_compute(
+            FAMILY_RENDER,
+            account.account_id,
+            (
+                token_hex,
+                bytes(user.oid),
+                bytes(account.seed),
+                policy.charset,
+                policy.length,
+            ),
+            lambda: render_password(
+                intermediate_value(token_hex, user.oid, account.seed),
+                policy,
+                self.params,
+            ),
+        )
+
+    def invalidate_derivations(self, account_id: int | None = None) -> int:
+        """Drop cached derivations — one account's, or all of them.
+
+        The cluster's :class:`~repro.cluster.replication.ReplicaApplier`
+        calls this on a standby whenever a replicated op or snapshot
+        mutates the database underneath this core.
+        """
+        if account_id is None:
+            return self.derivations.clear()
+        return self.derivations.invalidate_account(account_id)
+
     # -- §VIII session mechanism ---------------------------------------------
 
     def _cached_token(self, user_id: int, account_id: int) -> str | None:
@@ -241,7 +299,7 @@ class AmnesiaCore:
             action=action,
             **extra,
         )
-        request_hex = generate_request(account.username, account.domain, account.seed)
+        request_hex = self._request_hex(account)
         exchange.tstart_ms = self.kernel.now
         # The exchange id doubles as the correlation id: it already
         # travels server → rendezvous → phone → server, so spans and log
@@ -368,6 +426,7 @@ class AmnesiaCore:
                 counter_total(self.registry, "amnesia_faults_injected_total")
             ),
             "spans_recorded": self.spans.recorded_spans,
+            "derivation_cache": self.derivations.stats(),
         }
 
     # -- application -----------------------------------------------------------
@@ -500,8 +559,10 @@ class AmnesiaCore:
             self.database.update_seed(
                 account.account_id, generate_seed(self._rng, self.params)
             )
-            # σ changed: cached tokens and vault keys are stale by design.
+            # σ changed: cached tokens, derivations and vault keys are
+            # stale by design.
             self._invalidate_token_session(account.account_id)
+            self.derivations.invalidate_account(account.account_id)
             had_vault = self.database.vault_entry(account.account_id) is not None
             self.database.delete_vault_entry(account.account_id)
             return json_response(
@@ -516,6 +577,7 @@ class AmnesiaCore:
             self.database.update_policy(
                 account.account_id, policy.charset, policy.length
             )
+            self.derivations.invalidate_account(account.account_id)
             return json_response({"updated": account.account_id})
 
         @router.delete("/accounts/{account_id}")
@@ -523,6 +585,7 @@ class AmnesiaCore:
             __, user = self._session_user(request)
             account = self._user_account(user, account_id)
             self.database.delete_account(account.account_id)
+            self.derivations.invalidate_account(account.account_id)
             return json_response({"deleted": account.account_id})
 
         # ---- phone pairing (§III-B1) ----
@@ -592,10 +655,7 @@ class AmnesiaCore:
             cached = self._cached_token(user.user_id, account.account_id)
             if cached is not None:
                 self.metrics.record_generation_from_session()
-                intermediate = intermediate_value(cached, user.oid, account.seed)
-                password = render_password(
-                    intermediate, self._policy_of(account), self.params
-                )
+                password = self._render_cached(user, account, cached)
                 return json_response(
                     {
                         "password": password,
@@ -645,13 +705,10 @@ class AmnesiaCore:
                 reset_corr_id(corr_token)
 
         def _consume_token(exchange, user, account, token_hex, body, arrival_ms):
-            intermediate = intermediate_value(token_hex, user.oid, account.seed)
             self._remember_token(user.user_id, account.account_id, token_hex)
             action = exchange.extra.get("action", "generate")
             if action == "generate":
-                password = render_password(
-                    intermediate, self._policy_of(account), self.params
-                )
+                password = self._render_cached(user, account, token_hex)
                 tend = self.kernel.now
                 self.metrics.record_generation(
                     LatencySample(
@@ -678,6 +735,8 @@ class AmnesiaCore:
                     )
                 )
             elif action == "vault_store":
+                # Vault keys are key material, deliberately never cached.
+                intermediate = intermediate_value(token_hex, user.oid, account.seed)
                 key = vault_key(intermediate)
                 ciphertext = seal_entry(
                     key, exchange.extra["chosen_password"], self._rng
@@ -687,6 +746,7 @@ class AmnesiaCore:
                     json_response({"stored": True, "domain": account.domain})
                 )
             elif action == "vault_retrieve":
+                intermediate = intermediate_value(token_hex, user.oid, account.seed)
                 ciphertext = self.database.vault_entry(account.account_id)
                 if ciphertext is None:
                     exchange.deferred.resolve(
@@ -837,18 +897,14 @@ class AmnesiaCore:
             if not verify_salted_hash(payload.pid, user.pid_salt, user.pid_hash):
                 raise RecoveryError("backup P_id does not match the registered phone")
             table = EntryTable(payload.entries, self.params)
-            # The old phone's cached tokens are dead along with it.
+            # The old phone's cached tokens and derivations die with it.
             self._token_sessions.clear()
+            self.derivations.clear()
             regenerated = []
             for account in self.database.accounts_for_user(user.user_id):
-                request_hex = generate_request(
-                    account.username, account.domain, account.seed
-                )
+                request_hex = self._request_hex(account)
                 token_hex = generate_token(request_hex, table, self.params)
-                intermediate = intermediate_value(token_hex, user.oid, account.seed)
-                password = render_password(
-                    intermediate, self._policy_of(account), self.params
-                )
+                password = self._render_cached(user, account, token_hex)
                 regenerated.append(
                     {
                         "username": account.username,

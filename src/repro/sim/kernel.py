@@ -91,8 +91,23 @@ class Simulator:
 
     @property
     def pending_events(self) -> int:
-        """Number of events still queued (cancelled ones included)."""
+        """Number of *live* events still queued — cancelled ones are
+        excluded. (The docstring used to claim the opposite of what the
+        implementation did; the excluding behaviour is the useful one —
+        a cancelled timeout should not look like pending work — so the
+        behaviour stays and the documentation now matches it. Use
+        :attr:`cancelled_events` to count the tombstones.)"""
         return sum(1 for e in self._queue if not e.cancelled)
+
+    @property
+    def cancelled_events(self) -> int:
+        """Number of cancelled events still sitting in the queue.
+
+        Cancellation only marks the event; the tombstone stays in the
+        heap until its time comes and the kernel skips it. This counter
+        makes that population observable (``pending_events +
+        cancelled_events == len(queue)``)."""
+        return sum(1 for e in self._queue if e.cancelled)
 
     def schedule(
         self, delay: float, action: Callable[[], Any], label: str = ""

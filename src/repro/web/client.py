@@ -21,6 +21,7 @@ from repro.faults.retry import (
     RetryPolicy,
     count_retry_attempt,
     count_retry_giveup,
+    jittered_delay_ms,
 )
 from repro.net.certificates import Certificate, CertificateStore
 from repro.net.tls import SecureClientChannel, SecureStack
@@ -221,7 +222,9 @@ class SimHttpClient:
                 if isinstance(outcome, HttpResponse):
                     return outcome
                 raise outcome
-            delay = policy.backoff_ms(attempt, rng)
+            delay = jittered_delay_ms(
+                policy, attempt, rng, registry=self.registry, label=op_label
+            )
             if isinstance(outcome, HttpResponse):
                 hint = _retry_after_hint(outcome)
                 if hint is not None:

@@ -68,8 +68,41 @@ class TestPasswordPolicy:
             1.38e63, rel=0.01
         )
 
-    def test_entropy_bits(self):
-        assert PasswordPolicy().entropy_bits() == pytest.approx(209.75, abs=0.01)
+    def test_max_entropy_bits(self):
+        # The paper's §IV-E upper bound: 32 * log2(94).
+        assert PasswordPolicy().max_entropy_bits() == pytest.approx(
+            209.75, abs=0.01
+        )
+
+    def test_entropy_bits_accounts_for_modulo_bias(self):
+        policy = PasswordPolicy()
+        exact = policy.entropy_bits()
+        bound = policy.max_entropy_bits()
+        # 65536 mod 94 = 18, so the distribution is non-uniform and the
+        # exact entropy sits strictly (if barely) below the bound.
+        assert exact < bound
+        assert exact == pytest.approx(bound, abs=0.01)  # the bias is tiny
+        # Exact per-character entropy from first principles.
+        import math
+
+        space, size = 65536, 94
+        base, heavy = space // size, space % size
+        p_heavy, p_light = (base + 1) / space, base / space
+        expected = -(
+            heavy * p_heavy * math.log2(p_heavy)
+            + (size - heavy) * p_light * math.log2(p_light)
+        )
+        assert policy.character_entropy_bits() == pytest.approx(
+            expected, abs=1e-12
+        )
+        assert exact == pytest.approx(32 * expected, abs=1e-9)
+
+    def test_entropy_equals_bound_when_table_divides_segment_space(self):
+        # 65536 mod 64 == 0: no bias, exact == bound.
+        policy = PasswordPolicy(charset=DEFAULT_CHARACTER_TABLE[:64], length=16)
+        assert policy.entropy_bits() == pytest.approx(
+            policy.max_entropy_bits(), abs=1e-9
+        )
 
     def test_from_classes_excluding_special(self):
         policy = PasswordPolicy.from_classes(special=False)

@@ -1,0 +1,221 @@
+"""Property tests pinning the crypto fast path to the slow truth.
+
+The PR-5 optimisations (HMAC midstate caching in PBKDF2, hoisted
+message schedules in the pure SHA cores, the server's derivation
+cache) are only admissible if they change *nothing* about derived
+values. These tests enforce that three ways:
+
+- published PBKDF2-HMAC-SHA256 test vectors through the midstate path;
+- randomized equality of the fast path against both the preserved
+  reference implementation and :func:`hashlib.pbkdf2_hmac`;
+- the full §III-B pipeline (``generate_password``) against an
+  independent from-first-principles reimplementation built on the
+  incremental pure-Python SHA classes, across randomized inputs and
+  every character-class policy combination.
+"""
+
+import hashlib
+import hmac as hmac_mod
+import random
+
+import pytest
+
+from repro.core.protocol import generate_password, generate_request
+from repro.core.secrets import EntryTable
+from repro.core.templates import PasswordPolicy
+from repro.crypto.pbkdf2 import (
+    HmacSha256Midstate,
+    clear_midstate_cache,
+    hmac_sha256_midstate,
+    pbkdf2_hmac_sha256,
+    pbkdf2_hmac_sha256_reference,
+)
+from repro.crypto.randomness import SeededRandomSource
+from repro.crypto.sha2 import Sha256, Sha512
+
+# Published PBKDF2-HMAC-SHA256 vectors (the RFC 6070 inputs with the
+# SHA-256 PRF, as circulated in RFC 7914's errata discussions and
+# reproduced by every mainstream implementation).
+PBKDF2_VECTORS = [
+    (
+        b"password", b"salt", 1, 32,
+        "120fb6cffcf8b32c43e7225256c4f837a86548c92ccc35480805987cb70be17b",
+    ),
+    (
+        b"password", b"salt", 2, 32,
+        "ae4d0c95af6b46d32d0adff928f06dd02a303f8ef3c251dfd6e2d85a95474c43",
+    ),
+    (
+        b"password", b"salt", 4096, 32,
+        "c5e478d59288c841aa530db6845c4c8d962893a001ce4e11a4963873aa98134a",
+    ),
+    (
+        # dkLen > 32 exercises the multi-block (INT(2)) path.
+        b"passwordPASSWORDpassword",
+        b"saltSALTsaltSALTsaltSALTsaltSALTsalt", 4096, 40,
+        "348c89dbcbd32b2f32d814b8116e84cf2b17347ebc1800181c4e2a1fb8dd53e1"
+        "c635518c7dac47e9",
+    ),
+]
+
+
+class TestPbkdf2Vectors:
+    @pytest.mark.parametrize(
+        "password, salt, iterations, length, expected", PBKDF2_VECTORS
+    )
+    def test_midstate_path_matches_published_vectors(
+        self, password, salt, iterations, length, expected
+    ):
+        derived = pbkdf2_hmac_sha256(password, salt, iterations, length)
+        assert derived.hex() == expected
+
+    @pytest.mark.parametrize(
+        "password, salt, iterations, length, expected", PBKDF2_VECTORS
+    )
+    def test_reference_path_matches_published_vectors(
+        self, password, salt, iterations, length, expected
+    ):
+        derived = pbkdf2_hmac_sha256_reference(password, salt, iterations, length)
+        assert derived.hex() == expected
+
+    def test_vectors_survive_a_cold_midstate_cache(self):
+        clear_midstate_cache()
+        password, salt, iterations, length, expected = PBKDF2_VECTORS[0]
+        assert pbkdf2_hmac_sha256(password, salt, iterations, length).hex() == expected
+
+
+class TestPbkdf2RandomizedEquality:
+    def test_fast_equals_reference_equals_hashlib(self):
+        rng = random.Random("pbkdf2-equality")
+        for __ in range(25):
+            password = rng.randbytes(rng.randint(0, 100))
+            salt = rng.randbytes(rng.randint(1, 48))
+            iterations = rng.randint(1, 50)
+            length = rng.randint(1, 80)
+            fast = pbkdf2_hmac_sha256(password, salt, iterations, length)
+            reference = pbkdf2_hmac_sha256_reference(
+                password, salt, iterations, length
+            )
+            stdlib = hashlib.pbkdf2_hmac(
+                "sha256", password, salt, iterations, length
+            )
+            assert fast == reference == stdlib
+
+    def test_oversize_keys_are_prehashed_identically(self):
+        # Keys longer than the 64-byte block trigger HMAC's key-hash
+        # rule; the midstate must apply it exactly like the stdlib.
+        for size in (64, 65, 100, 200):
+            key = bytes(range(256))[:size] * (size // min(size, 256) or 1)
+            key = key[:size]
+            fast = pbkdf2_hmac_sha256(key, b"salt", 3, 32)
+            stdlib = hashlib.pbkdf2_hmac("sha256", key, b"salt", 3, 32)
+            assert fast == stdlib, size
+
+
+class TestHmacMidstate:
+    def test_matches_stdlib_hmac_across_key_and_message_sizes(self):
+        rng = random.Random("hmac-midstate")
+        for __ in range(40):
+            key = rng.randbytes(rng.randint(0, 150))
+            message = rng.randbytes(rng.randint(0, 300))
+            ours = HmacSha256Midstate(key).digest(message)
+            theirs = hmac_mod.new(key, message, hashlib.sha256).digest()
+            assert ours == theirs
+
+    def test_midstate_is_reusable_not_consumed(self):
+        mac = HmacSha256Midstate(b"reusable-key")
+        first = mac.digest(b"message-1")
+        again = mac.digest(b"message-1")
+        other = mac.digest(b"message-2")
+        assert first == again
+        assert first != other
+
+    def test_cached_factory_returns_consistent_digests(self):
+        clear_midstate_cache()
+        key = b"cache-me"
+        first = hmac_sha256_midstate(key).digest(b"m")
+        second = hmac_sha256_midstate(key).digest(b"m")
+        expected = hmac_mod.new(key, b"m", hashlib.sha256).digest()
+        assert first == second == expected
+
+
+def _reference_pipeline(username, domain, seed, oid, table, policy):
+    """§III-B re-derived from scratch on the incremental SHA classes.
+
+    Deliberately shares *no* code with ``repro.core.protocol`` beyond
+    the entry table object: segmentation, modulo indexing, and the
+    template mapping are all re-implemented here so a bug in the
+    production pipeline cannot hide in its own oracle.
+    """
+    size = table.params.entry_table_size
+    seg = table.params.segment_hex_length
+    # R = SHA-256(mu || d || sigma)
+    r = Sha256(username.encode("utf-8") + domain.encode("utf-8") + seed)
+    request_hex = r.digest().hex()
+    # T = SHA-256(e_i0 || ... || e_i15), indices = segments mod N
+    concatenated = b"".join(
+        table[int(request_hex[i : i + seg], 16) % size]
+        for i in range(0, len(request_hex), seg)
+    )
+    token_hex = Sha256(concatenated).digest().hex()
+    # p = SHA-512(T_raw || O_id || sigma)
+    p_hex = Sha512(bytes.fromhex(token_hex) + oid + seed).digest().hex()
+    # P = template(p): 4-hex segments mod |charset|, truncated
+    charset = policy.charset
+    return "".join(
+        charset[int(p_hex[i : i + seg], 16) % len(charset)]
+        for i in range(0, policy.length * seg, seg)
+    )
+
+
+class TestPipelineEquality:
+    def test_randomized_inputs_match_reference(self):
+        rng = random.Random("pipeline-equality")
+        table = EntryTable.generate(SeededRandomSource("pipeline-table"))
+        for trial in range(20):
+            username = f"user-{rng.randrange(10**6)}"
+            domain = f"site-{rng.randrange(10**6)}.example.com"
+            seed = rng.randbytes(16)
+            oid = rng.randbytes(16)
+            fast = generate_password(username, domain, seed, oid, table)
+            slow = _reference_pipeline(
+                username, domain, seed, oid, table, PasswordPolicy()
+            )
+            assert fast == slow, trial
+
+    @pytest.mark.parametrize("lowercase", [True, False])
+    @pytest.mark.parametrize("uppercase", [True, False])
+    @pytest.mark.parametrize("digits", [True, False])
+    @pytest.mark.parametrize("special", [True, False])
+    def test_every_charset_policy_matches_reference(
+        self, lowercase, uppercase, digits, special
+    ):
+        if not any((lowercase, uppercase, digits, special)):
+            pytest.skip("an empty charset is rejected by construction")
+        policy = PasswordPolicy.from_classes(
+            lowercase=lowercase, uppercase=uppercase,
+            digits=digits, special=special, length=24,
+        )
+        table = EntryTable.generate(SeededRandomSource("policy-table"))
+        seed, oid = b"\x13" * 16, b"\x37" * 16
+        fast = generate_password(
+            "policy-user", "policy.example.com", seed, oid, table, policy
+        )
+        slow = _reference_pipeline(
+            "policy-user", "policy.example.com", seed, oid, table, policy
+        )
+        assert fast == slow
+
+    def test_request_hex_matches_incremental_hashing(self):
+        # The same R through three update() calls and a forked copy.
+        seed = b"\x42" * 16
+        direct = generate_request("alice", "example.com", seed)
+        hasher = Sha256()
+        hasher.update(b"alice")
+        fork = hasher.copy()
+        hasher.update(b"example.com")
+        hasher.update(seed)
+        assert hasher.digest().hex() == direct
+        # The fork is untouched by the parent's later updates.
+        fork.update(b"example.com" + seed)
+        assert fork.digest().hex() == direct

@@ -7,7 +7,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.crypto.sha2 import sha256_pure, sha512_pure
+from repro.crypto.sha2 import Sha256, Sha512, sha256_pure, sha512_pure
 from repro.util.errors import ValidationError
 
 
@@ -75,6 +75,50 @@ class TestAgainstHashlib:
         message = bytes(range(256))[:size] * 1
         assert sha256_pure(message) == hashlib.sha256(message).digest()
         assert sha512_pure(message) == hashlib.sha512(message).digest()
+
+
+class TestIncrementalState:
+    """The copy()-able streaming classes behind the HMAC midstate."""
+
+    @settings(max_examples=40)
+    @given(
+        message=st.binary(max_size=400),
+        cuts=st.lists(st.integers(min_value=0, max_value=400), max_size=5),
+    )
+    def test_arbitrary_chunking_equals_one_shot(self, message, cuts):
+        bounds = sorted({min(cut, len(message)) for cut in cuts})
+        for cls, ref in ((Sha256, hashlib.sha256), (Sha512, hashlib.sha512)):
+            hasher = cls()
+            last = 0
+            for bound in bounds:
+                hasher.update(message[last:bound])
+                last = bound
+            hasher.update(message[last:])
+            assert hasher.digest() == ref(message).digest()
+
+    @settings(max_examples=30)
+    @given(prefix=st.binary(max_size=200), suffix=st.binary(max_size=200))
+    def test_copy_forks_are_independent(self, prefix, suffix):
+        for cls, ref in ((Sha256, hashlib.sha256), (Sha512, hashlib.sha512)):
+            parent = cls(prefix)
+            fork = parent.copy()
+            parent.update(b"parent-only")
+            fork.update(suffix)
+            assert fork.digest() == ref(prefix + suffix).digest()
+            assert parent.digest() == ref(prefix + b"parent-only").digest()
+
+    def test_digest_is_idempotent_and_nondestructive(self):
+        hasher = Sha256(b"abc")
+        first = hasher.digest()
+        assert hasher.digest() == first
+        hasher.update(b"def")
+        assert hasher.digest() == hashlib.sha256(b"abcdef").digest()
+
+    def test_update_rejects_str(self):
+        with pytest.raises(ValidationError):
+            Sha256().update("text")
+        with pytest.raises(ValidationError):
+            Sha512().update("text")
 
 
 class TestProtocolEquivalence:

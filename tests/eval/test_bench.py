@@ -79,12 +79,51 @@ class TestDocument:
         from repro.eval.bench import run_micro
 
         micro = run_micro(smoke=True)
-        for name in ("sha256", "sha512", "pbkdf2", "hkdf", "token", "template"):
+        for name in (
+            "sha256", "sha512", "pbkdf2", "hkdf", "token", "template",
+            "render_cached",
+        ):
             assert micro[name]["ops_per_sec"] > 0, name
             assert micro[name]["wall_us_per_op"] > 0, name
+        # The gated derived metrics are consistent with their parents.
+        assert micro["pbkdf2"]["iters_per_s"] == pytest.approx(
+            micro["pbkdf2"]["ops_per_sec"] * micro["pbkdf2"]["rounds"], rel=0.01
+        )
+        assert micro["sha256"]["mb_per_s"] == pytest.approx(
+            micro["sha256"]["ops_per_sec"]
+            * micro["sha256"]["payload_bytes"] / 1e6,
+            rel=0.01,
+        )
+        # A warm cache hit must be far cheaper than the render itself.
+        assert (
+            micro["render_cached"]["wall_us_per_op"]
+            < micro["template"]["wall_us_per_op"]
+        )
         # The token/template loop ran under the profiler.
         assert "core.token" in micro["profiler_scopes"]
         assert micro["profiler_scopes"]["core.token"]["calls"] > 0
+
+    def test_micro_gates_cover_fast_path(self):
+        from repro.eval.bench import micro_gates, run_micro
+
+        gates = micro_gates(run_micro(smoke=True))
+        assert gates["micro.pbkdf2.iters_per_s"]["direction"] == HIGHER_IS_BETTER
+        assert gates["micro.sha256.mb_per_s"]["direction"] == HIGHER_IS_BETTER
+        assert (
+            gates["micro.render_cached.wall_us_per_op"]["direction"]
+            == LOWER_IS_BETTER
+        )
+        assert micro_gates({}) == {}
+
+    def test_smoke_bench_excludes_wall_clock_gates(self):
+        # Smoke iteration counts are too small for stable wall-clock
+        # numbers, so micro gates only ride the full-mode artefact.
+        document = run_bench(seed="bench-test", smoke=True)
+        keys = set(document["gates"])
+        assert not any(key.startswith("micro.") for key in keys)
+        assert "macro.e2e_wifi.p95_ms" in keys
+        # The measurements themselves are still recorded as trajectory.
+        assert "iters_per_s" in document["micro"]["pbkdf2"]
 
     def test_write_and_find_baseline(self, tmp_path, macro):
         document = run_bench(seed="bench-test", smoke=True, skip_micro=True)

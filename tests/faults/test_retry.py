@@ -2,7 +2,14 @@
 
 import pytest
 
-from repro.faults.retry import GiveUp, RetryPolicy, retry_async
+from repro.faults.retry import (
+    RETRY_UNJITTERED_COUNTER,
+    GiveUp,
+    RetryPolicy,
+    jittered_delay_ms,
+    retry_async,
+)
+from repro.obs.registry import MetricsRegistry
 from repro.util.errors import NetworkError, ValidationError
 
 
@@ -27,9 +34,51 @@ class TestBackoff:
         assert policy.backoff_ms(3) == 1_000.0
         assert policy.backoff_ms(4) == 1_000.0  # capped
 
-    def test_no_rng_means_raw_delay(self):
+    def test_raw_delay_is_deterministic(self):
+        policy = RetryPolicy(
+            base_delay_ms=400.0, multiplier=2.0, max_delay_ms=1_000.0,
+            jitter=0.5,
+        )
+        assert policy.raw_delay_ms(1) == 400.0
+        assert policy.raw_delay_ms(2) == 800.0
+        assert policy.raw_delay_ms(3) == 1_000.0  # capped
+
+    def test_jittered_policy_requires_rng(self):
+        # The old silent fallback meant a fleet configured for jitter
+        # actually retried in lockstep. Now it is an error.
         policy = RetryPolicy(base_delay_ms=400.0, jitter=0.5)
+        with pytest.raises(ValidationError):
+            policy.backoff_ms(1, rng=None)
+
+    def test_unjittered_policy_accepts_missing_rng(self):
+        policy = RetryPolicy(base_delay_ms=400.0, jitter=0.0)
         assert policy.backoff_ms(1, rng=None) == 400.0
+
+    def test_jittered_delay_counts_degradation(self):
+        # jittered_delay_ms is the loud fallback: deterministic raw
+        # delay, plus a tick on amnesia_retry_unjittered_total{op}.
+        policy = RetryPolicy(base_delay_ms=400.0, jitter=0.5)
+        registry = MetricsRegistry()
+        delay = jittered_delay_ms(
+            policy, 1, rng=None, registry=registry, label="test-op"
+        )
+        assert delay == 400.0
+        family = registry.counter(
+            RETRY_UNJITTERED_COUNTER, "", label_names=("op",)
+        )
+        assert family.labels(op="test-op").value == 1.0
+
+    def test_jittered_delay_with_rng_matches_backoff(self):
+        policy = RetryPolicy(base_delay_ms=1_000.0, jitter=0.5)
+        registry = MetricsRegistry()
+        delay = jittered_delay_ms(
+            policy, 1, rng=FixedRng(0.0), registry=registry, label="test-op"
+        )
+        assert delay == policy.backoff_ms(1, FixedRng(0.0)) == 500.0
+        family = registry.counter(
+            RETRY_UNJITTERED_COUNTER, "", label_names=("op",)
+        )
+        assert family.labels(op="test-op").value == 0.0
 
     def test_jitter_bounds(self):
         policy = RetryPolicy(base_delay_ms=1_000.0, jitter=0.5)

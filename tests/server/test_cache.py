@@ -1,0 +1,181 @@
+"""Derivation cache: LRU mechanics, metrics, and server integration.
+
+The unit half exercises :mod:`repro.server.cache` in isolation; the
+integration half proves the server's generation flow actually hits the
+cache, that every derived value is byte-identical to the uncached
+path, and that rotation/recovery invalidate what they must.
+"""
+
+import pytest
+
+from repro.server.cache import (
+    CACHE_HITS_COUNTER,
+    CACHE_MISSES_COUNTER,
+    FAMILY_RENDER,
+    FAMILY_REQUEST,
+    DerivationCache,
+    LruCache,
+)
+from repro.obs.registry import MetricsRegistry
+from repro.util.errors import ValidationError
+
+
+class TestLruCache:
+    def test_miss_then_hit(self):
+        cache = LruCache(max_entries=4)
+        assert cache.get(("a", 1)) is None
+        cache.put(("a", 1), "value")
+        assert cache.get(("a", 1)) == "value"
+        assert (cache.hits, cache.misses) == (1, 1)
+        assert cache.hit_rate == 0.5
+
+    def test_eviction_is_least_recently_used(self):
+        cache = LruCache(max_entries=2)
+        cache.put(("a",), 1)
+        cache.put(("b",), 2)
+        cache.get(("a",))  # refresh a; b becomes the LRU entry
+        cache.put(("c",), 3)
+        assert cache.get(("b",)) is None
+        assert cache.get(("a",)) == 1
+        assert cache.get(("c",)) == 3
+        assert cache.evictions == 1
+
+    def test_invalidate_owner_is_scoped(self):
+        cache = LruCache()
+        cache.put(("acct-1", "x"), 1)
+        cache.put(("acct-1", "y"), 2)
+        cache.put(("acct-2", "x"), 3)
+        assert cache.invalidate_owner("acct-1") == 2
+        assert cache.get(("acct-2", "x")) == 3
+        assert cache.get(("acct-1", "x")) is None
+        assert cache.invalidations == 2
+
+    def test_clear(self):
+        cache = LruCache()
+        cache.put(("a",), 1)
+        cache.put(("b",), 2)
+        assert cache.clear() == 2
+        assert len(cache) == 0
+
+    def test_rejects_nonpositive_bound(self):
+        with pytest.raises(ValidationError):
+            LruCache(max_entries=0)
+
+
+class TestDerivationCache:
+    def test_computes_once_then_hits(self):
+        cache = DerivationCache()
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return "password"
+
+        for __ in range(3):
+            value = cache.get_or_compute(
+                FAMILY_RENDER, 7, ("token", b"oid"), compute
+            )
+            assert value == "password"
+        assert len(calls) == 1
+
+    def test_families_are_isolated(self):
+        cache = DerivationCache()
+        cache.get_or_compute(FAMILY_REQUEST, 1, ("f",), lambda: "R")
+        value = cache.get_or_compute(FAMILY_RENDER, 1, ("f",), lambda: "P")
+        assert value == "P"  # same key, different family, no aliasing
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(ValidationError):
+            DerivationCache().get_or_compute("bogus", 1, (), lambda: None)
+
+    def test_registry_counts_hits_and_misses_per_family(self):
+        registry = MetricsRegistry()
+        cache = DerivationCache(registry)
+        cache.get_or_compute(FAMILY_RENDER, 1, ("a",), lambda: "x")
+        cache.get_or_compute(FAMILY_RENDER, 1, ("a",), lambda: "x")
+        cache.get_or_compute(FAMILY_REQUEST, 1, ("a",), lambda: "y")
+        hits = registry.get(CACHE_HITS_COUNTER)
+        misses = registry.get(CACHE_MISSES_COUNTER)
+        assert hits.labels(family=FAMILY_RENDER).value == 1.0
+        assert misses.labels(family=FAMILY_RENDER).value == 1.0
+        assert misses.labels(family=FAMILY_REQUEST).value == 1.0
+
+    def test_invalidate_account_drops_both_families(self):
+        cache = DerivationCache()
+        cache.get_or_compute(FAMILY_REQUEST, 5, ("f",), lambda: "R")
+        cache.get_or_compute(FAMILY_RENDER, 5, ("f",), lambda: "P")
+        cache.get_or_compute(FAMILY_RENDER, 6, ("f",), lambda: "Q")
+        assert cache.invalidate_account(5) == 2
+        stats = cache.stats()
+        assert stats[FAMILY_REQUEST]["entries"] == 0
+        assert stats[FAMILY_RENDER]["entries"] == 1
+
+    def test_stats_shape(self):
+        stats = DerivationCache().stats()
+        for family in (FAMILY_REQUEST, FAMILY_RENDER):
+            assert set(stats[family]) == {
+                "entries", "hits", "misses", "evictions",
+                "invalidations", "hit_rate",
+            }
+
+
+class TestServerIntegration:
+    def test_repeat_generation_hits_the_cache_with_identical_output(
+        self, enrolled_bed
+    ):
+        bed, browser = enrolled_bed
+        account_id = browser.add_account("alice", "mail.google.com")
+        first = browser.generate_password(account_id)["password"]
+        before = bed.server.derivations.stats()
+        second = browser.generate_password(account_id)["password"]
+        after = bed.server.derivations.stats()
+        assert first == second
+        # The repeat generation rode the cache on both derivations.
+        assert after[FAMILY_REQUEST]["hits"] > before[FAMILY_REQUEST]["hits"]
+        assert after[FAMILY_RENDER]["hits"] > before[FAMILY_RENDER]["hits"]
+
+    def test_cached_render_equals_pure_pipeline(self, enrolled_bed):
+        from repro.core.protocol import generate_password as pure_generate
+        from repro.core.secrets import EntryTable
+        from repro.core.templates import PasswordPolicy
+
+        bed, browser = enrolled_bed
+        account_id = browser.add_account("alice", "mail.google.com")
+        # Twice, so the second response is served from the cache.
+        browser.generate_password(account_id)
+        distributed = browser.generate_password(account_id)["password"]
+        user = bed.server.database.user_by_login("alice")
+        account = bed.server.database.account_by_id(account_id)
+        table = EntryTable(bed.phone.database.entry_table())
+        expected = pure_generate(
+            account.username,
+            account.domain,
+            account.seed,
+            user.oid,
+            table,
+            PasswordPolicy(charset=account.charset, length=account.length),
+        )
+        assert distributed == expected
+
+    def test_rotation_invalidates_and_changes_password(self, enrolled_bed):
+        bed, browser = enrolled_bed
+        account_id = browser.add_account("alice", "mail.google.com")
+        before = browser.generate_password(account_id)["password"]
+        browser.rotate_password(account_id)
+        stats = bed.server.derivations.stats()
+        assert (
+            stats[FAMILY_REQUEST]["invalidations"]
+            + stats[FAMILY_RENDER]["invalidations"]
+            > 0
+        )
+        after = browser.generate_password(account_id)["password"]
+        assert before != after
+
+    def test_metrics_registry_sees_cache_families(self, enrolled_bed):
+        bed, browser = enrolled_bed
+        account_id = browser.add_account("alice", "mail.google.com")
+        browser.generate_password(account_id)
+        browser.generate_password(account_id)
+        hits = bed.registry.get(CACHE_HITS_COUNTER)
+        assert hits is not None
+        assert hits.labels(family=FAMILY_RENDER).value >= 1.0

@@ -126,6 +126,26 @@ class TestRun:
         event.cancel()
         assert kernel.pending_events == 1
 
+    def test_cancel_then_count_regression(self, kernel):
+        """Regression for the pending_events doc/behaviour contradiction:
+        the docstring claimed cancelled events were *included*; the
+        implementation (correctly) excludes them. Pin the excluding
+        behaviour and account for the tombstones via cancelled_events."""
+        events = [kernel.schedule(i + 1, lambda: None) for i in range(4)]
+        assert kernel.pending_events == 4
+        assert kernel.cancelled_events == 0
+        events[0].cancel()
+        events[2].cancel()
+        # Cancelled tombstones stay queued but are not pending work.
+        assert kernel.pending_events == 2
+        assert kernel.cancelled_events == 2
+        assert kernel.pending_events + kernel.cancelled_events == 4
+        kernel.run_until_idle()
+        # The kernel skipped the tombstones without executing them.
+        assert kernel.processed_events == 2
+        assert kernel.pending_events == 0
+        assert kernel.cancelled_events == 0
+
 
 class TestObservers:
     def test_observer_sees_each_executed_event(self, kernel):
