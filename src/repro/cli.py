@@ -16,6 +16,8 @@ or analysis:
     amnesia-repro chaos [--check]     # fault-injection resilience suite
     amnesia-repro bench [--check]     # benchmark harness + regression gate
     amnesia-repro cluster [--check]   # sharded fleet: failover round trip
+    amnesia-repro slo [--check]       # SLO burn-rate alerting under an outage
+    amnesia-repro dash [--check]      # live fleet dashboard over the outage
 """
 
 from __future__ import annotations
@@ -329,6 +331,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     regressions past ``--threshold`` (the `make bench-smoke` contract).
     """
     from repro.eval.bench import (
+        check_limits,
         compare_documents,
         find_baseline,
         macro_gates,
@@ -342,6 +345,16 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     print(render_bench(document))
     failures: list[str] = []
     if args.check:
+        # Absolute-bound gates (e.g. macro.telemetry.overhead_pct) are
+        # checked against the run itself — no baseline involved.
+        violations = check_limits(document)
+        if violations:
+            print("\nbound gates:")
+            for violation in violations:
+                print(violation)
+            failures.extend(v.strip() for v in violations)
+        else:
+            print("\nbound gates: all within limits")
         # Only the macro gates are deterministic under the seed; the
         # micro.* gates are wall clock and never replay bit-for-bit.
         replay = macro_gates(run_macro(seed=args.seed, smoke=args.smoke))
@@ -386,6 +399,113 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         return 1
     if args.check:
         print("bench check ok")
+    return 0
+
+
+def _cmd_slo(args: argparse.Namespace) -> int:
+    """Run the telemetry chaos scenario: SLO burn-rate alerting under a
+    rendezvous outage on the sharded cluster.
+
+    ``--check`` is the `make slo-smoke` contract: the availability SLO
+    must walk pending → firing → resolved on the sim clock, the gcm
+    series must go stale during the outage and recover after restart,
+    and a second run must replay the transition timestamps
+    bit-for-bit; exits non-zero otherwise.
+    """
+    from repro.eval.telemetry import run_telemetry_chaos, verify_telemetry_chaos
+    from repro.util.errors import ValidationError
+
+    if args.check:
+        try:
+            result = verify_telemetry_chaos(seed=args.seed)
+        except ValidationError as error:
+            print(f"slo check FAILED: {error}", file=sys.stderr)
+            return 1
+        print(result.render())
+        print("slo check ok: pending->firing->resolved, stale gcm during "
+              "outage, deterministic replay")
+        return 0
+    result = run_telemetry_chaos(seed=args.seed)
+    print(result.render())
+    print(f"\nfingerprint: {result.fingerprint()}")
+    return 0
+
+
+def _dash_frames(seed: int | str) -> "tuple[str, str]":
+    """Two dashboard frames of a scripted outage: mid-crash and after
+    recovery. Pure function of the seed — the `dash --check` smoke
+    renders the scene twice and compares byte-for-byte."""
+    from repro.cluster.testbed import RENDEZVOUS, ClusterTestbed
+    from repro.faults.plane import FaultSchedule
+    from repro.obs.dashboard import render_dashboard
+    from repro.web.http import HttpRequest
+
+    bed = ClusterTestbed(shards=2, seed=f"dash|{seed}")
+    browser = bed.enroll("tina", "master-tina-password")
+    account_id = browser.add_account("tina", "tina.example.com")
+    bed.phones["tina"].enable_resilience(
+        "tina", heartbeat_interval_ms=1_000.0, miss_threshold=2
+    )
+    plane = bed.install_telemetry()
+    bed.install_fault_plane(
+        FaultSchedule().crash(6_000.0, RENDEZVOUS, down_ms=8_000.0)
+    )
+    start = bed.kernel.now
+
+    def tick() -> None:
+        if bed.kernel.now - start >= 20_000.0:
+            return
+        browser.http.send(
+            HttpRequest.json_request(
+                "POST", f"/accounts/{account_id}/generate", {}
+            ),
+            lambda response: None,
+            lambda error: None,
+        )
+        bed.kernel.schedule(450.0, tick, label="dash-load")
+
+    bed.kernel.schedule(100.0, tick, label="dash-load")
+    bed.run(13_000.0)
+    mid_outage = render_dashboard(plane)
+    bed.run(14_000.0)
+    recovered = render_dashboard(plane)
+    plane.stop()
+    return mid_outage, recovered
+
+
+def _cmd_dash(args: argparse.Namespace) -> int:
+    """Render the live cluster dashboard over a scripted gcm outage.
+
+    Two frames: mid-outage (gcm stale, alert firing, 5xx spike in the
+    sparklines) and after recovery. ``--check`` is the `make dash-smoke`
+    contract: both frames must contain the expected sections and
+    markers, and a second run of the identical scene must render
+    byte-for-byte the same text.
+    """
+    mid_outage, recovered = _dash_frames(args.seed)
+    print(mid_outage)
+    print(recovered)
+    if not args.check:
+        return 0
+    failures = []
+    for needle in ("TOPOLOGY", "SERIES", "ALERTS"):
+        if needle not in mid_outage:
+            failures.append(f"missing dashboard section {needle!r}")
+    if "STALE" not in mid_outage:
+        failures.append("mid-outage frame does not mark gcm STALE")
+    if "FIRING" not in mid_outage:
+        failures.append("mid-outage frame shows no firing alert")
+    if "FIRING" in recovered:
+        failures.append("recovered frame still shows a firing alert")
+    replay_mid, replay_recovered = _dash_frames(args.seed)
+    if (replay_mid, replay_recovered) != (mid_outage, recovered):
+        failures.append("dashboard render is not deterministic under the seed")
+    if failures:
+        for failure in failures:
+            print(f"dash check FAILED: {failure}", file=sys.stderr)
+        return 1
+    print("dash check ok: sections present, outage visible, "
+          "deterministic render")
     return 0
 
 
@@ -562,6 +682,8 @@ _COMMANDS: Dict[str, Callable[[argparse.Namespace], int]] = {
     "chaos": _cmd_chaos,
     "bench": _cmd_bench,
     "cluster": _cmd_cluster,
+    "slo": _cmd_slo,
+    "dash": _cmd_dash,
 }
 
 
@@ -674,6 +796,18 @@ def build_parser() -> argparse.ArgumentParser:
             command.add_argument(
                 "--trials", type=int, default=1,
                 help="with --chaos: trials per scenario arm",
+            )
+        elif name == "slo":
+            command.add_argument(
+                "--check", action="store_true",
+                help="assert pending->firing->resolved + deterministic "
+                "replay (smoke test)",
+            )
+        elif name == "dash":
+            command.add_argument(
+                "--check", action="store_true",
+                help="assert sections/markers + deterministic render "
+                "(smoke test)",
             )
         elif name == "serve":
             command.add_argument(

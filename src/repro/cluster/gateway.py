@@ -39,7 +39,7 @@ from typing import Any, Callable, Dict, List, Optional
 from repro.cluster.ring import HashRing
 from repro.cluster.shard import ClusterShard, make_internal_client
 from repro.net.tls import SecureServer, SecureStack
-from repro.obs.health import install_health_routes
+from repro.obs.health import install_health_routes, install_node_info
 from repro.server.service import AMNESIA_SERVICE
 from repro.util.errors import ValidationError
 from repro.web.app import Application, Deferred, error_response
@@ -145,8 +145,11 @@ class ClusterGateway:
         self._probe_states: Dict[str, _ProbeState] = {
             name: _ProbeState() for name in directory.shards
         }
-        self._probing = False
+        self._probe_task = None
         self._probe_seq = 0
+        # Telemetry plane (attach_telemetry): folds SLO/alert state into
+        # the gateway's /statusz aggregate when installed.
+        self._telemetry = None
         self.on_failover: List[Callable[[str, List[str]], None]] = []
         self.failovers = 0
 
@@ -180,6 +183,9 @@ class ClusterGateway:
         self._clients: Dict[str, Any] = {}
 
         self._bind_metrics()
+        install_node_info(
+            registry, host_name, "gateway", kernel, lambda: self.started_ms
+        )
 
     @property
     def certificate(self):
@@ -344,6 +350,10 @@ class ClusterGateway:
 
     # -- probing -----------------------------------------------------------
 
+    @property
+    def probing(self) -> bool:
+        return self._probe_task is not None and not self._probe_task.cancelled
+
     def start_probing(self) -> None:
         """Begin the recurring ``/healthz`` probe loop (idempotent).
 
@@ -351,20 +361,20 @@ class ClusterGateway:
         ``run_until_idle`` must :meth:`stop_probing` first.
         """
 
-        if self._probing:
+        if self.probing:
             return
-        self._probing = True
-        self.kernel.schedule(self.probe_interval_ms, self._probe_tick, "cluster-probe")
+        self._probe_task = self.kernel.schedule_every(
+            self.probe_interval_ms, self._probe_tick, "cluster-probe"
+        )
 
     def stop_probing(self) -> None:
-        self._probing = False
+        if self._probe_task is not None:
+            self._probe_task.cancel()
+            self._probe_task = None
 
     def _probe_tick(self) -> None:
-        if not self._probing:
-            return
         for name in list(self.directory.shards):
             self._probe_shard(name)
-        self.kernel.schedule(self.probe_interval_ms, self._probe_tick, "cluster-probe")
 
     def _probe_shard(self, name: str) -> None:
         shard = self.directory.shards.get(name)
@@ -474,7 +484,7 @@ class ClusterGateway:
                 "users": len(shard.serving.database.all_users()),
             }
         degraded = any_down or worst_lag > self.lag_degraded_threshold
-        return {
+        detail = {
             "degraded": degraded,
             "ring": {
                 "size": len(self.directory.ring),
@@ -488,5 +498,17 @@ class ClusterGateway:
             },
             "failovers_total": self.failovers,
             "in_flight": len(self._in_flight),
-            "probing": self._probing,
+            "probing": self.probing,
         }
+        if self._telemetry is not None:
+            # The cluster's SLO/alert aggregate rides the same document,
+            # so one /statusz answers "is the fleet burning its budget?"
+            detail["slo"] = self._telemetry.slo_summary()
+        return detail
+
+    # -- telemetry ---------------------------------------------------------
+
+    def attach_telemetry(self, telemetry) -> None:
+        """Fold a :class:`~repro.obs.scrape.FleetTelemetry`'s SLO state
+        into this gateway's ``/statusz`` aggregate."""
+        self._telemetry = telemetry

@@ -62,6 +62,7 @@ from repro.util.errors import NetworkError, ValidationError
 LAPTOP = "laptop"
 GATEWAY = "gateway"
 RENDEZVOUS = "gcm"
+MONITOR = "monitor"
 
 #: Gateway ↔ shard and primary ↔ standby are same-datacenter hops.
 LAN_LATENCY_MS = 0.4
@@ -202,6 +203,14 @@ class ClusterTestbed:
         self.faults: FaultPlane | None = None
         self.reregistrations: List[str] = []
 
+        # -- telemetry plane (install_telemetry) ------------------------
+        self.telemetry = None
+        self._monitor_stack = None
+        # Crash/restart companions (e.g. the gcm ops endpoint) that must
+        # ride the fault plane whether it is installed before or after
+        # the telemetry plane.
+        self._fault_companions: List = []
+
     # -- fault injection -------------------------------------------------
 
     def install_fault_plane(
@@ -213,9 +222,133 @@ class ClusterTestbed:
         if self.faults is None:
             self.faults = FaultPlane(self.network, registry=self.registry)
             self.faults.register_process(RENDEZVOUS, self.rendezvous)
+            for host_name, companion in self._fault_companions:
+                self.faults.register_companion(host_name, companion)
         if schedule is not None:
             self.faults.apply(schedule)
         return self.faults
+
+    def _register_companion(self, host_name: str, companion) -> None:
+        self._fault_companions.append((host_name, companion))
+        if self.faults is not None:
+            self.faults.register_companion(host_name, companion)
+
+    # -- telemetry plane --------------------------------------------------
+
+    def install_telemetry(
+        self,
+        scrape_interval_ms: float | None = None,
+        slos: List | None = None,
+        start: bool = True,
+    ):
+        """Attach the fleet telemetry plane (idempotent): a dedicated
+        ``monitor`` host scraping every node's ``/metricsz`` through the
+        in-sim network, feeding the TSDB + SLO burn-rate evaluator.
+
+        Gateway and shards are scraped on their serving (https) port;
+        the rendezvous and phones — datagram tiers — get an
+        :class:`~repro.obs.scrape.OpsEndpoint` on the ``ops`` service.
+        With *slos* None the stock fleet SLOs
+        (:func:`~repro.obs.slo.default_fleet_slos`) are declared. The
+        scrape loop keeps the kernel busy: ``run_until_idle`` drivers
+        must ``telemetry.stop()`` first (or pass ``start=False``)."""
+        from repro.net.tls import SecureStack
+        from repro.obs.scrape import (
+            DEFAULT_SCRAPE_INTERVAL_MS,
+            OPS_SERVICE,
+            FleetTelemetry,
+            OpsEndpoint,
+        )
+        from repro.obs.slo import default_fleet_slos
+        from repro.server.service import AMNESIA_SERVICE
+
+        if self.telemetry is not None:
+            return self.telemetry
+        interval = (
+            scrape_interval_ms
+            if scrape_interval_ms is not None
+            else DEFAULT_SCRAPE_INTERVAL_MS
+        )
+        lan = Constant(LAN_LATENCY_MS)
+        self.network.add_host(MONITOR)
+        self.network.add_link(Link(MONITOR, GATEWAY, lan))
+        self.network.add_link(Link(MONITOR, RENDEZVOUS, lan))
+        for index in range(self.shard_count):
+            self.network.add_link(Link(MONITOR, shard_host(index), lan))
+            self.network.add_link(Link(MONITOR, standby_host(index), lan))
+        # Short retry budget: a scrape that cannot reach its node should
+        # fail (and mark staleness) quickly, not hang for seconds.
+        self._monitor_stack = SecureStack(
+            self.network.host(MONITOR),
+            self.network,
+            self._source("monitor-stack"),
+            retry_timeout_ms=1_000.0,
+            max_retries=2,
+        )
+        self.telemetry = FleetTelemetry(
+            self.kernel,
+            self._monitor_stack,
+            registry=self.registry,
+            interval_ms=interval,
+        )
+        self.telemetry.add_target(
+            GATEWAY, GATEWAY, self.gateway.certificate, AMNESIA_SERVICE,
+            role="gateway",
+        )
+        for name in sorted(self.shards):
+            shard = self.shards[name]
+            self.telemetry.add_target(
+                shard.primary.host.name,
+                shard.primary.host.name,
+                shard.primary.certificate,
+                AMNESIA_SERVICE,
+                role="shard-primary",
+            )
+            self.telemetry.add_target(
+                shard.standby.host.name,
+                shard.standby.host.name,
+                shard.standby.certificate,
+                AMNESIA_SERVICE,
+                role="shard-standby",
+            )
+        gcm_ops = OpsEndpoint(
+            self.rendezvous.status_application(self.registry),
+            self.network.host(RENDEZVOUS),
+            self.network,
+            self.kernel,
+            self._source("gcm-ops"),
+        )
+        self._register_companion(RENDEZVOUS, gcm_ops)
+        self.telemetry.add_target(
+            RENDEZVOUS, RENDEZVOUS, gcm_ops.certificate, OPS_SERVICE,
+            role="rendezvous",
+        )
+        for login in sorted(self.phones):
+            self._add_phone_target(login, self.phones[login])
+        for slo in default_fleet_slos() if slos is None else slos:
+            self.telemetry.add_slo(slo)
+        self.gateway.attach_telemetry(self.telemetry)
+        if start:
+            self.telemetry.start()
+        return self.telemetry
+
+    def _add_phone_target(self, login: str, app: AmnesiaApp) -> None:
+        """Expose one phone to the scraper (ops service on its stack)."""
+        from repro.obs.scrape import OPS_SERVICE, OpsEndpoint
+
+        host = phone_host(login)
+        self.network.add_link(Link(MONITOR, host, Constant(LAN_LATENCY_MS)))
+        ops = OpsEndpoint(
+            app.status_application(),
+            self.network.host(host),
+            self.network,
+            self.kernel,
+            self._source(f"phone-ops-{login}"),
+            stack=app.stack,
+        )
+        self.telemetry.add_target(
+            host, host, ops.certificate, OPS_SERVICE, role="phone"
+        )
 
     # -- drivers ---------------------------------------------------------
 
@@ -280,6 +413,8 @@ class ClusterTestbed:
         )
         app.bind_registry(self.registry)
         self.phones[login] = app
+        if self.telemetry is not None:
+            self._add_phone_target(login, app)
         return app
 
     def enroll(self, login: str, master_password: str) -> AmnesiaBrowser:

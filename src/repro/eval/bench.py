@@ -47,6 +47,13 @@ DEFAULT_THRESHOLD = 0.25
 LOWER_IS_BETTER = "lower_is_better"  # latencies
 HIGHER_IS_BETTER = "higher_is_better"  # rates, throughput
 
+#: Absolute cap on the telemetry plane's workload-p95 overhead. Gates
+#: carrying a ``limit`` are *bounds*, not trends: ``check_limits``
+#: enforces them against the run itself, and ``compare_documents``
+#: leaves them out of baseline-relative comparison (a near-zero
+#: baseline would turn any nonzero value into a spurious regression).
+TELEMETRY_OVERHEAD_LIMIT_PCT = 5.0
+
 # Pinned iteration counts for the micro suite (full / smoke). Pinning
 # them in one place keeps successive BENCH files comparable.
 _MICRO_ITERATIONS = {
@@ -244,6 +251,25 @@ def run_macro(seed: int | str = "bench", smoke: bool = False) -> Dict[str, Any]:
         "pool_peak_queue": result.pool_peak_queue,
     }
 
+    # The observability tax: the identical workload with the fleet
+    # scrape/SLO plane running. Scrapes share the server's thread pool
+    # and compute stream, so the p95 delta *is* the cost of being
+    # watched. Both runs are deterministic, so the delta is too.
+    telemetry_result = run_workload(spec, telemetry=True)
+    base_p95 = result.latency_p95_ms()
+    telemetry_p95 = telemetry_result.latency_p95_ms()
+    overhead_pct = (
+        (telemetry_p95 - base_p95) / base_p95 * 100.0 if base_p95 > 0 else 0.0
+    )
+    macro["telemetry"] = {
+        "baseline_p95_ms": round(base_p95, 3),
+        "telemetry_p95_ms": round(telemetry_p95, 3),
+        "overhead_pct": round(overhead_pct, 3),
+        "limit_pct": TELEMETRY_OVERHEAD_LIMIT_PCT,
+        "issued": telemetry_result.issued,
+        "completed": telemetry_result.completed,
+    }
+
     scenario = CANONICAL_SCENARIOS[0]  # lossy-uplink
     arm = run_scenario_arm(
         scenario, seed=seed, trials=2 if smoke else 4, retries=True
@@ -345,6 +371,11 @@ def macro_gates(macro: Dict[str, Any]) -> Dict[str, Dict[str, Any]]:
         "macro.cluster.throughput_per_min": {
             "value": macro["cluster"]["throughput_per_min"],
             "direction": HIGHER_IS_BETTER,
+        },
+        "macro.telemetry.overhead_pct": {
+            "value": macro["telemetry"]["overhead_pct"],
+            "direction": LOWER_IS_BETTER,
+            "limit": macro["telemetry"]["limit_pct"],
         },
     }
 
@@ -449,6 +480,8 @@ def compare_documents(
     comparisons: List[GateComparison] = []
     base_gates = baseline.get("gates", {})
     for key, gate in sorted(current.get("gates", {}).items()):
+        if "limit" in gate:
+            continue  # bound gate: enforced absolutely by check_limits
         base = base_gates.get(key)
         if base is None:
             continue  # new gate: no baseline yet, nothing to compare
@@ -471,6 +504,29 @@ def compare_documents(
             )
         )
     return comparisons
+
+
+def check_limits(document: Dict[str, Any]) -> List[str]:
+    """Violations of absolute-bound gates (``limit`` key) in *document*.
+
+    Unlike the baseline-relative gates, a bound needs no prior artefact:
+    the run itself must stay under the cap. Returns human-readable
+    violation lines, empty when every bound holds."""
+    violations: List[str] = []
+    for key, gate in sorted(document.get("gates", {}).items()):
+        limit = gate.get("limit")
+        if limit is None:
+            continue
+        value = float(gate["value"])
+        if gate["direction"] == LOWER_IS_BETTER and value > float(limit):
+            violations.append(
+                f"  [OVER LIMIT] {key:<36s} {value:>12.3f} > limit {float(limit):.3f}"
+            )
+        elif gate["direction"] == HIGHER_IS_BETTER and value < float(limit):
+            violations.append(
+                f"  [UNDER LIMIT] {key:<36s} {value:>12.3f} < limit {float(limit):.3f}"
+            )
+    return violations
 
 
 def find_baseline(

@@ -1,0 +1,229 @@
+"""The telemetry chaos arm: do the alerts actually fire?
+
+A monitoring stack that has never seen an outage is untested code. This
+scenario runs the full sharded cluster with the telemetry plane
+installed, drives a steady generation load through the gateway, then
+crashes the rendezvous service mid-run. While gcm is down every
+generation stalls on the push leg and surfaces as a degraded 503 at the
+gateway — exactly the traffic the availability SLO watches. The
+expected arc:
+
+1. scrapes of ``gcm`` start failing → its series go stale,
+2. 5xx responses accumulate → fast+slow burn rates cross the
+   threshold → ``gateway-availability`` goes ``pending`` then
+   ``firing``,
+3. gcm restarts, phones re-register via heartbeat, generations
+   succeed again → burn decays → the alert ``resolved``.
+
+Everything runs on the sim clock, so the *transition timestamps
+themselves* are deterministic: two runs with the same seed must
+produce bit-identical fingerprints. That property is asserted by
+``verify_telemetry_chaos`` (the ``slo --check`` smoke) and the test
+suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.cluster.testbed import RENDEZVOUS, ClusterTestbed
+from repro.faults.plane import FaultSchedule
+from repro.obs.slo import FIRING, OK, PENDING, RESOLVED
+from repro.util.errors import ValidationError
+from repro.web.http import HttpRequest
+
+#: Load shape: two users, one generation every ~450 ms each.
+_USERS = ("tina", "tom")
+_ISSUE_GAP_MS = 450.0
+_LOAD_STOP_MS = 30_000.0
+
+#: Fault shape: crash gcm shortly after the load warms up, long enough
+#: that the fast *and* slow burn windows both cross their threshold.
+_CRASH_AT_MS = 6_000.0
+_CRASH_DOWN_MS = 8_000.0
+_RUN_MS = 45_000.0
+
+_HEARTBEAT_INTERVAL_MS = 1_000.0
+_HEARTBEAT_MISS_THRESHOLD = 2
+
+
+@dataclass
+class TelemetryChaosResult:
+    """One run of the scenario, reduced to its observable story."""
+
+    seed: str
+    issued: int = 0
+    completed: int = 0
+    failed: int = 0
+    #: (t_ms, from, to) per SLO, straight off the evaluator.
+    transitions: Dict[str, List[tuple]] = field(default_factory=dict)
+    #: Scrape failures per node over the whole run.
+    scrape_failures: Dict[str, int] = field(default_factory=dict)
+    gcm_went_stale: bool = False
+    gcm_recovered: bool = False
+
+    def states(self, slo: str) -> List[str]:
+        """The destination-state sequence one SLO walked through."""
+        return [to for (_, __, to) in self.transitions.get(slo, [])]
+
+    def fingerprint(self) -> str:
+        """Bit-identical across runs with the same seed, or the plane
+        is not deterministic."""
+        parts = [
+            f"seed={self.seed}",
+            f"io={self.issued}/{self.completed}/{self.failed}",
+            f"stale={int(self.gcm_went_stale)}{int(self.gcm_recovered)}",
+        ]
+        for slo in sorted(self.transitions):
+            steps = ",".join(
+                f"{t:.3f}:{frm}>{to}" for (t, frm, to) in self.transitions[slo]
+            )
+            parts.append(f"{slo}=[{steps}]")
+        parts.append(
+            "scrapes="
+            + ",".join(
+                f"{node}:{count}"
+                for node, count in sorted(self.scrape_failures.items())
+            )
+        )
+        return "|".join(parts)
+
+    def render(self) -> str:
+        lines = [
+            f"[telemetry-chaos] seed={self.seed} "
+            f"issued={self.issued} ok={self.completed} failed={self.failed}",
+            f"  gcm stale during outage: {self.gcm_went_stale}, "
+            f"recovered after restart: {self.gcm_recovered}",
+        ]
+        for slo in sorted(self.transitions):
+            for t_ms, frm, to in self.transitions[slo]:
+                lines.append(f"  {t_ms:>10.1f} ms  {slo}: {frm} -> {to}")
+        return "\n".join(lines)
+
+
+def run_telemetry_chaos(seed: int | str = "telemetry") -> TelemetryChaosResult:
+    """Run the scenario once on a fresh cluster; fully deterministic."""
+    bed = ClusterTestbed(shards=2, seed=f"telemetry|{seed}")
+    result = TelemetryChaosResult(seed=str(seed))
+
+    population = []
+    for login in _USERS:
+        browser = bed.enroll(login, f"master-{login}-password")
+        account_id = browser.add_account(login, f"{login}.example.com")
+        bed.phones[login].enable_resilience(
+            login,
+            heartbeat_interval_ms=_HEARTBEAT_INTERVAL_MS,
+            miss_threshold=_HEARTBEAT_MISS_THRESHOLD,
+        )
+        population.append((browser, account_id))
+
+    plane = bed.install_telemetry()
+    # at_ms is relative to apply time: the outage plays out from here.
+    bed.install_fault_plane(
+        FaultSchedule().crash(_CRASH_AT_MS, RENDEZVOUS, down_ms=_CRASH_DOWN_MS)
+    )
+
+    start = bed.kernel.now
+
+    def issue(browser, account_id) -> None:
+        result.issued += 1
+
+        def on_response(response) -> None:
+            if response.ok:
+                result.completed += 1
+            else:
+                result.failed += 1
+
+        browser.http.send(
+            HttpRequest.json_request(
+                "POST", f"/accounts/{account_id}/generate", {}
+            ),
+            on_response,
+            lambda error: setattr(result, "failed", result.failed + 1),
+        )
+
+    def schedule_load(browser, account_id, offset_ms: float) -> None:
+        def tick() -> None:
+            if bed.kernel.now - start >= _LOAD_STOP_MS:
+                return
+            issue(browser, account_id)
+            bed.kernel.schedule(_ISSUE_GAP_MS, tick, label="telemetry-load")
+
+        bed.kernel.schedule(offset_ms, tick, label="telemetry-load")
+
+    for index, (browser, account_id) in enumerate(population):
+        # Offset the two users so requests interleave, not collide.
+        schedule_load(browser, account_id, 100.0 + index * (_ISSUE_GAP_MS / 2))
+
+    # Observe staleness at two checkpoints: mid-outage and end-of-run.
+    def mid_outage_check() -> None:
+        result.gcm_went_stale = plane.store.stale(
+            RENDEZVOUS, bed.kernel.now, plane.scraper.stale_after_ms
+        )
+
+    bed.kernel.schedule(
+        _CRASH_AT_MS + _CRASH_DOWN_MS - 500.0,
+        mid_outage_check,
+        label="telemetry-check",
+    )
+
+    bed.run(_RUN_MS)
+    # Judge recovery while the scraper is still live — once it stops,
+    # every series goes stale by construction as the clock advances.
+    result.gcm_recovered = not plane.store.stale(
+        RENDEZVOUS, bed.kernel.now, plane.scraper.stale_after_ms
+    ) and plane.scraper.up(RENDEZVOUS)
+    plane.stop()
+    bed.run_until_idle()
+    for name in sorted(plane.scraper.targets):
+        result.scrape_failures[name] = plane.scraper.state(name).failures
+    for slo_name in sorted(plane.evaluator.slos):
+        result.transitions[slo_name] = [
+            (t.t_ms, t.from_state, t.to_state)
+            for t in plane.evaluator.transitions_for(slo_name)
+        ]
+    return result
+
+
+def verify_telemetry_chaos(seed: int | str = "telemetry") -> TelemetryChaosResult:
+    """The ``slo --check`` smoke: run the scenario twice and assert the
+    full alerting arc *and* replay determinism."""
+    first = run_telemetry_chaos(seed)
+    states = first.states("gateway-availability")
+    expected = [PENDING, FIRING, RESOLVED]
+    if states[: len(expected)] != expected:
+        raise ValidationError(
+            "availability alert did not walk pending->firing->resolved: "
+            f"got {states!r}"
+        )
+    if not first.gcm_went_stale:
+        raise ValidationError("gcm series never went stale during the outage")
+    if not first.gcm_recovered:
+        raise ValidationError("gcm scrapes never recovered after restart")
+    if first.failed == 0:
+        raise ValidationError(
+            "no failed generations — the outage never bit the workload"
+        )
+    if first.completed == 0:
+        raise ValidationError("no successful generations at all")
+    second = run_telemetry_chaos(seed)
+    if first.fingerprint() != second.fingerprint():
+        raise ValidationError(
+            "telemetry chaos replay diverged:\n"
+            f"  first : {first.fingerprint()}\n"
+            f"  second: {second.fingerprint()}"
+        )
+    return first
+
+
+# Re-exported so callers can assert on states without importing obs.slo.
+__all__ = [
+    "TelemetryChaosResult",
+    "run_telemetry_chaos",
+    "verify_telemetry_chaos",
+    "OK",
+    "PENDING",
+    "FIRING",
+    "RESOLVED",
+]

@@ -76,8 +76,16 @@ def run_workload(
     thread_pool_size: int = 10,
     generation_timeout_ms: float = 30_000.0,
     client_patience_ms: float = 60_000.0,
+    telemetry: bool = False,
 ) -> WorkloadResult:
-    """Execute *spec* on a fresh testbed and collect the outcome."""
+    """Execute *spec* on a fresh testbed and collect the outcome.
+
+    With *telemetry* the fleet scrape/SLO plane runs alongside the
+    load; its ``/metricsz`` requests share the server's thread pool and
+    compute-latency stream, so the measured latencies include the real
+    cost of being observed (the ``macro.telemetry.overhead_pct`` bench
+    gate bounds that cost). The telemetry-off path is untouched — it
+    must stay byte-identical with historical baselines."""
     bed = AmnesiaTestbed(
         seed=spec.seed,
         profile=profile,
@@ -140,6 +148,13 @@ def run_workload(
 
     for browser, accounts in population:
         schedule_user(browser, accounts)
+    if telemetry:
+        # The scrape loop never drains, so run for the workload's span
+        # (plus a grace period for stragglers), stop the plane, then
+        # drain whatever is still in flight.
+        plane = bed.install_telemetry()
+        bed.run(spec.duration_ms + generation_timeout_ms)
+        plane.stop()
     bed.run_until_idle()
 
     pool = bed.server.http_server.pool

@@ -309,6 +309,7 @@ class FaultPlane:
         self._rng = network.rng_stream("faults")
         self._windows: list = []
         self._processes: dict[str, RestartableProcess] = {}
+        self._companions: dict[str, list[RestartableProcess]] = {}
         self.injected: dict[str, int] = {}
         self._m_injected = None
         if registry is not None:
@@ -331,6 +332,17 @@ class FaultPlane:
         if host_name in self._processes:
             raise ConflictError(f"process already registered for {host_name!r}")
         self._processes[host_name] = process
+
+    def register_companion(
+        self, host_name: str, process: RestartableProcess
+    ) -> None:
+        """Additional crash/restart participants that share *host_name*
+        with the primary process (or with the bare host). A host crash
+        wipes *all* port bindings, so e.g. the telemetry ops endpoint
+        co-located with the rendezvous must re-bind its own port on
+        restart; companions run after the primary, in registration
+        order. Unlike :meth:`register_process`, many may coexist."""
+        self._companions.setdefault(host_name, []).append(process)
 
     def apply(self, schedule: FaultSchedule) -> None:
         """Arm *schedule*: windows become live, crashes get scheduled.
@@ -370,6 +382,8 @@ class FaultPlane:
             process.crash()
         else:
             self.network.host(host_name).crash()
+        for companion in self._companions.get(host_name, ()):
+            companion.crash()
 
     def _restart(self, host_name: str) -> None:
         self._count("restart")
@@ -378,6 +392,8 @@ class FaultPlane:
             process.restart()
         else:
             self.network.host(host_name).boot()
+        for companion in self._companions.get(host_name, ()):
+            companion.restart()
 
     # -- the fabric hook ----------------------------------------------------------
 

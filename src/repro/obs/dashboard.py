@@ -1,0 +1,172 @@
+"""A deterministic terminal dashboard over the fleet telemetry plane.
+
+Pure functions of :class:`~repro.obs.scrape.FleetTelemetry` state — no
+wall clock, no colour codes, no terminal queries — so the same sim
+state always renders the same text (the ``dash --check`` smoke renders
+twice and compares). Three sections: fleet topology (per-node up/stale
+from scrape staleness), top-series sparklines (counter rates and
+windowed p95s from the TSDB), and alert state per SLO.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.obs.scrape import FleetTelemetry
+
+_BLOCKS = "▁▂▃▄▅▆▇█"
+
+#: Topology ordering: infrastructure first, then serving tiers, edges last.
+_ROLE_ORDER = {
+    "gateway": 0,
+    "shard-primary": 1,
+    "shard-standby": 2,
+    "rendezvous": 3,
+    "phone": 4,
+    "node": 5,
+}
+
+
+def sparkline(values: Sequence[float], width: int = 24) -> str:
+    """*values* as unicode block characters, right-aligned to *width*.
+
+    Scaling is per-sparkline (min→▁, max→█); a flat series renders as
+    all-▁ so "nothing happening" and "steady high load" stay visually
+    distinct from a varying series.
+    """
+    if not values:
+        return " " * width
+    tail = list(values)[-width:]
+    lo = min(tail)
+    hi = max(tail)
+    span = hi - lo
+    if span <= 0:
+        line = _BLOCKS[0] * len(tail)
+    else:
+        line = "".join(
+            _BLOCKS[
+                min(len(_BLOCKS) - 1, int((value - lo) / span * len(_BLOCKS)))
+            ]
+            for value in tail
+        )
+    return line.rjust(width, " ")
+
+
+@dataclass
+class Panel:
+    """One sparkline row: a TSDB query rendered over trailing history."""
+
+    title: str
+    node: str
+    metric: str
+    mode: str = "rate"  # "rate" | "p95"
+    match_labels: Dict[str, str] = field(default_factory=dict)
+    unit: str = "/s"
+
+    def matches(self, labels: Dict[str, str]) -> bool:
+        return all(labels.get(k) == v for k, v in self.match_labels.items())
+
+
+def default_panels(gateway_node: str = "gateway") -> List[Panel]:
+    """The stock cluster panels: forwarded request rate, forwarded
+    error rate, and the fleet-wide p95 of the forwarded-request
+    latency histogram (all from the gateway's scrape)."""
+    forwarded = {"route": "unmatched"}
+    return [
+        Panel(
+            "req rate", gateway_node, "amnesia_http_requests_total",
+            mode="rate", match_labels=forwarded, unit="/s",
+        ),
+        Panel(
+            "5xx rate", gateway_node, "amnesia_http_requests_total",
+            mode="rate",
+            match_labels=forwarded, unit="/s",
+        ),
+        Panel(
+            "p95 ms", gateway_node, "amnesia_http_request_ms",
+            mode="p95", match_labels=forwarded, unit="ms",
+        ),
+    ]
+
+
+def _panel_where(panel: Panel):
+    if panel.title == "5xx rate":
+        return lambda labels: panel.matches(labels) and labels.get(
+            "status", ""
+        ).startswith("5")
+    return panel.matches
+
+
+def render_dashboard(
+    plane: FleetTelemetry,
+    panels: Optional[List[Panel]] = None,
+    width: int = 76,
+    spark_points: int = 24,
+    spark_step_ms: float = 500.0,
+    spark_window_ms: float = 2_000.0,
+) -> str:
+    """The whole dashboard as one deterministic text block."""
+    now = plane.kernel.now
+    rows = plane.node_rows()
+    up = sum(1 for row in rows if row["up"])
+    summary = plane.slo_summary()
+    firing = summary["alerts_firing"]
+    header = (
+        f" AMNESIA FLEET  t=+{now / 1000.0:.1f}s"
+        f"  nodes {up}/{len(rows)} up  alerts firing: {firing} "
+    )
+    lines = ["=" * width, header.center(width, " "), "=" * width]
+
+    # -- topology ---------------------------------------------------------
+    lines.append("TOPOLOGY")
+    for row in sorted(
+        rows, key=lambda r: (_ROLE_ORDER.get(str(r["role"]), 9), r["node"])
+    ):
+        marker = "UP  " if row["up"] else ("STALE" if row["stale"] else "DOWN")
+        last = row["last_scrape_ms"]
+        age = f"age={((now - last) / 1000.0):.1f}s" if last is not None else "never scraped"
+        lines.append(
+            f"  {str(row['node']):<16} {str(row['role']):<14} "
+            f"{marker:<6} {age}  fails={row['scrape_failures']}"
+        )
+
+    # -- series -----------------------------------------------------------
+    lines.append("SERIES")
+    for panel in panels if panels is not None else default_panels():
+        trail = plane.store.sample_trail(
+            panel.node,
+            panel.metric,
+            now,
+            spark_points,
+            spark_step_ms,
+            spark_window_ms,
+            mode=panel.mode,
+            where=_panel_where(panel),
+        )
+        last = trail[-1] if trail else 0.0
+        lines.append(
+            f"  {panel.title:<10} {sparkline(trail, spark_points)} "
+            f"{last:8.1f}{panel.unit}"
+        )
+
+    # -- alerts -----------------------------------------------------------
+    lines.append("ALERTS")
+    slos: Dict[str, Dict] = summary["slos"]  # type: ignore[assignment]
+    if not slos:
+        lines.append("  (no SLOs declared)")
+    for name in sorted(slos):
+        entry = slos[name]
+        burn = entry.get("burn", {})
+        line = (
+            f"  {name:<20} {str(entry['state']).upper():<9}"
+            f" since=+{float(entry['since_ms']) / 1000.0:.1f}s"
+            f" burn fast={burn.get('fast', 0.0):.2f}"
+            f" slow={burn.get('slow', 0.0):.2f}"
+        )
+        exemplar = entry.get("exemplar")
+        if exemplar:
+            line += f"  corr={exemplar['corr_id']}"
+        lines.append(line)
+    lines.append("=" * width)
+    return "\n".join(lines) + "\n"

@@ -24,6 +24,35 @@ from repro.obs.registry import (
 
 PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 
+#: Counts children skipped because reading their value raised (a broken
+#: gauge ``set_function`` callback must not take down ``/metricsz``).
+COLLECT_ERRORS_METRIC = "amnesia_collect_errors_total"
+
+
+def _count_collect_error(registry: MetricsRegistry | None, family_name: str) -> None:
+    if registry is None:
+        return
+    registry.counter(
+        COLLECT_ERRORS_METRIC,
+        "Metric children skipped at collection because reading them raised",
+        label_names=("family",),
+    ).labels(family=family_name).inc()
+
+
+def _safe_value(
+    metric: "Counter | Gauge | Histogram",
+    family: MetricFamily,
+    registry: MetricsRegistry | None,
+) -> float | None:
+    """Read ``metric.value``; on any exception (lazy gauge callbacks run
+    here) count the skip and return None so the exporter drops the child
+    instead of propagating."""
+    try:
+        return metric.value
+    except Exception:  # noqa: BLE001 - exporter is a last-resort surface
+        _count_collect_error(registry, family.name)
+        return None
+
 
 def escape_label_value(value: str) -> str:
     """Escape a label value per the exposition format."""
@@ -55,7 +84,9 @@ def _label_string(names: tuple[str, ...], values: LabelValues, extra: str = "") 
     return "{" + ",".join(parts) + "}" if parts else ""
 
 
-def _render_family(family: MetricFamily) -> list[str]:
+def _render_family(
+    family: MetricFamily, registry: MetricsRegistry | None = None
+) -> list[str]:
     lines = []
     if family.help:
         lines.append(f"# HELP {family.name} {escape_help(family.help)}")
@@ -74,8 +105,11 @@ def _render_family(family: MetricFamily) -> list[str]:
             lines.append(f"{family.name}_sum{plain} {_format_value(metric.sum)}")
             lines.append(f"{family.name}_count{plain} {metric.count}")
         else:
+            value = _safe_value(metric, family, registry)
+            if value is None:
+                continue
             label_str = _label_string(family.label_names, values)
-            lines.append(f"{family.name}{label_str} {_format_value(metric.value)}")
+            lines.append(f"{family.name}{label_str} {_format_value(value)}")
     return lines
 
 
@@ -83,25 +117,33 @@ def render_prometheus(registry: MetricsRegistry) -> str:
     """The registry in Prometheus text exposition format."""
     lines: list[str] = []
     for family in registry.collect():
-        lines.extend(_render_family(family))
+        lines.extend(_render_family(family, registry))
     return "\n".join(lines) + "\n" if lines else ""
 
 
 def _metric_json(metric: "Counter | Gauge | Histogram") -> Dict[str, Any]:
     if isinstance(metric, Histogram):
-        return {
+        bounds = list(metric.bounds) + [math.inf]
+        doc: Dict[str, Any] = {
             "count": metric.count,
             "sum": metric.sum,
             "buckets": {
                 _format_value(bound): count
-                for bound, count in zip(
-                    list(metric.bounds) + [math.inf], metric.bucket_counts()
-                )
+                for bound, count in zip(bounds, metric.bucket_counts())
             },
             "p50": _nan_safe(metric.p50()),
             "p95": _nan_safe(metric.p95()),
             "p99": _nan_safe(metric.p99()),
         }
+        exemplars = metric.exemplars()
+        if exemplars:
+            # JSON-only: the 0.0.4 text format has no exemplar syntax
+            # here, and the parse_prometheus round-trip must stay exact.
+            doc["exemplars"] = {
+                _format_value(bounds[index]): {"ref": ref, "value": value}
+                for index, (ref, value) in sorted(exemplars.items())
+            }
+        return doc
     return {"value": _nan_safe(metric.value)}
 
 
@@ -115,11 +157,15 @@ def registry_snapshot(registry: MetricsRegistry) -> Dict[str, Any]:
     for family in registry.collect():
         series = []
         for values, metric in family.samples():
+            if isinstance(metric, Histogram):
+                body = _metric_json(metric)
+            else:
+                value = _safe_value(metric, family, registry)
+                if value is None:
+                    continue  # broken lazy gauge: skip, already counted
+                body = {"value": _nan_safe(value)}
             series.append(
-                {
-                    "labels": dict(zip(family.label_names, values)),
-                    **_metric_json(metric),
-                }
+                {"labels": dict(zip(family.label_names, values)), **body}
             )
         snapshot[family.name] = {
             "type": family.kind,

@@ -34,8 +34,50 @@ from repro.web.app import Application, json_response
 from repro.web.http import HttpRequest, HttpResponse
 
 HEALTH_SCHEMA = "amnesia-health/1"
+BUILD_SCHEMA = "amnesia-build/1"
 
 StatusFn = Callable[[], Dict[str, Any]]
+
+
+def install_node_info(
+    registry,
+    node: str,
+    component: str,
+    clock,
+    started_fn: Callable[[], float],
+    version: str | None = None,
+) -> None:
+    """Register this node's ``amnesia_build_info`` (constant 1, identity
+    in the labels) and a lazily-read ``amnesia_node_uptime_seconds``
+    gauge on *registry*.
+
+    The uptime gauge reads ``started_fn()`` at collection time, so a
+    service that resets its start mark on restart (the rendezvous does)
+    shows an uptime drop — the signal the telemetry scraper uses to
+    detect restarts and treat counter resets correctly. *node* is the
+    host name; the registries are shared per deployment, so the labels
+    are what keep the fleet's nodes apart.
+    """
+    if registry is None:
+        return
+    if version is None:
+        import repro
+
+        version = getattr(repro, "__version__", "0")
+    registry.gauge(
+        "amnesia_build_info",
+        "Constant 1; build identity in the labels",
+        label_names=("node", "component", "schema", "version"),
+    ).labels(
+        node=node, component=component, schema=BUILD_SCHEMA, version=version
+    ).set(1.0)
+    registry.gauge(
+        "amnesia_node_uptime_seconds",
+        "Seconds of virtual time since this node (re)started",
+        label_names=("node",),
+    ).labels(node=node).set_function(
+        lambda: max(0.0, clock.now - started_fn()) / 1000.0
+    )
 
 
 def counter_total(registry, name: str) -> float:

@@ -78,6 +78,15 @@ def attach_pool_stats(
 
 def attach_rendezvous_stats(service, registry: MetricsRegistry) -> None:
     """Push/forward counters for the rendezvous (GCM) service."""
+    from repro.obs.health import install_node_info
+
+    install_node_info(
+        registry,
+        service.host.name,
+        "rendezvous",
+        service.network.kernel,
+        lambda: service.started_ms,
+    )
     registry.gauge(
         "amnesia_rendezvous_registered_devices",
         "Devices currently registered with the rendezvous service",

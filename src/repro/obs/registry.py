@@ -111,8 +111,14 @@ class Histogram:
         self.sum = 0.0
         self._min = math.inf
         self._max = -math.inf
+        # Last exemplar per bucket: bucket index -> (reference, value).
+        # The reference is a trace/correlation id, so an alert on the
+        # slow tail of this histogram links straight to one concrete
+        # exchange in the Chrome trace. Exposed via the JSON snapshot
+        # only — the 0.0.4 text format stays untouched (round-trip).
+        self._exemplars: Dict[int, Tuple[str, float]] = {}
 
-    def observe(self, value: float) -> None:
+    def observe(self, value: float, exemplar: str | None = None) -> None:
         value = float(value)
         if math.isnan(value):
             raise ValidationError("cannot observe NaN")
@@ -123,6 +129,19 @@ class Histogram:
         self.sum += value
         self._min = min(self._min, value)
         self._max = max(self._max, value)
+        if exemplar:
+            self._exemplars[index] = (str(exemplar), value)
+
+    def exemplars(self) -> Dict[int, Tuple[str, float]]:
+        """Last ``(reference, value)`` seen per bucket index (+Inf last)."""
+        return dict(self._exemplars)
+
+    def last_exemplar(self) -> Tuple[str, float] | None:
+        """The exemplar in the highest populated bucket, if any — the
+        most interesting one for a latency alert (slowest tail)."""
+        if not self._exemplars:
+            return None
+        return self._exemplars[max(self._exemplars)]
 
     @property
     def min(self) -> float:
@@ -244,8 +263,11 @@ class MetricFamily:
     def set_function(self, fn: Callable[[], float]) -> None:
         self._default_child().set_function(fn)
 
-    def observe(self, value: float) -> None:
-        self._default_child().observe(value)
+    def observe(self, value: float, exemplar: str | None = None) -> None:
+        if exemplar is None:
+            self._default_child().observe(value)
+        else:
+            self._default_child().observe(value, exemplar=exemplar)
 
     @property
     def value(self) -> float:

@@ -1,0 +1,369 @@
+"""The fleet scraper: polls every node's ``/metricsz`` on the sim clock.
+
+Scrapes are real in-sim HTTP requests from a dedicated monitor host, so
+they traverse the same links, TLS channels and fault plane as user
+traffic. A crashed or partitioned node therefore does not raise — its
+scrape times out, ``amnesia_scrape_up{node}`` drops to 0, and the
+node's series in the :class:`~repro.obs.timeseries.TimeSeriesStore` go
+*stale* — exactly how a production Prometheus sees an outage.
+
+Tiers without a web server of their own (the rendezvous service, phone
+apps) get an :class:`OpsEndpoint`: their status
+:class:`~repro.web.app.Application` served over the host's secure stack
+under the dedicated ``"ops"`` service. The endpoint doubles as a fault-
+plane *companion* process — a host crash wipes all port bindings, so
+the ops port must re-bind on restart for scrapes to recover.
+
+:class:`FleetTelemetry` composes store + scraper + SLO evaluator into
+the one object testbeds install and dashboards/CLIs read.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.net.certificates import Certificate
+from repro.obs.export import parse_prometheus
+from repro.obs.timeseries import TimeSeriesStore
+from repro.util.errors import ConflictError, ValidationError
+from repro.web.http import HttpRequest
+
+#: Service name for out-of-band status/metrics exposure on hosts whose
+#: port-443 service (or no service at all) is something else.
+OPS_SERVICE = "ops"
+
+DEFAULT_SCRAPE_INTERVAL_MS = 500.0
+
+#: A node is stale once this many scrape intervals pass without success.
+STALE_INTERVALS = 2.5
+
+
+class OpsEndpoint:
+    """Serve a status application on a host's secure stack (service
+    ``"ops"``), surviving fault-plane crash/restart cycles."""
+
+    def __init__(
+        self,
+        application,
+        host,
+        network,
+        kernel,
+        rng,
+        stack=None,
+        identity: Optional[str] = None,
+        thread_pool_size: int = 2,
+    ) -> None:
+        from repro.net.tls import SecureServer, SecureStack
+        from repro.sim.latency import Constant
+        from repro.web.server import SimHttpServer
+
+        self.host = host
+        if stack is None:
+            stack = SecureStack(host, network, rng)
+        self.stack = stack
+        if stack.server is None:
+            stack.attach_server(SecureServer(identity or f"{host.name}-ops", rng))
+        self.secure_server = stack.server
+        self.http = SimHttpServer(
+            application,
+            stack,
+            self.secure_server,
+            kernel,
+            service=OPS_SERVICE,
+            compute_latency=Constant(0.2),
+            thread_pool_size=thread_pool_size,
+        )
+        self.certificate = self.secure_server.certificate
+
+    # -- fault-plane companion contract -----------------------------------
+
+    def crash(self) -> None:
+        """Nothing beyond what ``Host.crash()`` already did (bindings
+        are gone; in-memory sessions survive like any process state the
+        schedule chose not to wipe)."""
+
+    def restart(self) -> None:
+        """Re-bind the ops port after a crash cleared the host's ports."""
+        if self.host.handler_for(self.stack.port) is None:
+            self.host.bind(self.stack.port, self.stack._on_datagram)
+
+
+@dataclass
+class ScrapeTarget:
+    """One node the scraper polls."""
+
+    name: str  # display/series key — the host name
+    host: str  # network host to dial
+    certificate: Certificate
+    service: str
+    role: str = "node"  # gateway | shard-primary | shard-standby | rendezvous | phone
+
+
+@dataclass
+class _TargetState:
+    client: object = None
+    token: int = 0  # id of the scrape in flight (0 = none)
+    up: bool = False
+    attempts: int = 0
+    failures: int = 0
+    last_error: str = ""
+
+
+class FleetScraper:
+    """Kernel-scheduled ``/metricsz`` poller over the in-sim network."""
+
+    def __init__(
+        self,
+        kernel,
+        stack,
+        store: TimeSeriesStore,
+        interval_ms: float = DEFAULT_SCRAPE_INTERVAL_MS,
+        timeout_ms: Optional[float] = None,
+        registry=None,
+    ) -> None:
+        if interval_ms <= 0:
+            raise ValidationError("scrape interval must be > 0 ms")
+        self.kernel = kernel
+        self.stack = stack
+        self.store = store
+        self.interval_ms = interval_ms
+        self.timeout_ms = (
+            timeout_ms if timeout_ms is not None else 0.9 * interval_ms
+        )
+        self.targets: Dict[str, ScrapeTarget] = {}
+        self._states: Dict[str, _TargetState] = {}
+        self._task = None
+        self._seq = 0
+        self._m_attempts = None
+        self._m_failures = None
+        self._m_samples = None
+        if registry is not None:
+            self._m_attempts = registry.counter(
+                "amnesia_scrape_attempts_total",
+                "Scrapes attempted, by node",
+                label_names=("node",),
+            )
+            self._m_failures = registry.counter(
+                "amnesia_scrape_failures_total",
+                "Scrapes that failed, by node and reason",
+                label_names=("node", "reason"),
+            )
+            self._m_samples = registry.counter(
+                "amnesia_scrape_samples_total",
+                "Samples ingested into the time-series store, by node",
+                label_names=("node",),
+            )
+            self._m_up = registry.gauge(
+                "amnesia_scrape_up",
+                "1 when the node's latest scrape succeeded, else 0",
+                label_names=("node",),
+            )
+        else:
+            self._m_up = None
+
+    @property
+    def stale_after_ms(self) -> float:
+        return STALE_INTERVALS * self.interval_ms
+
+    # -- targets ----------------------------------------------------------
+
+    def add_target(
+        self,
+        name: str,
+        host: str,
+        certificate: Certificate,
+        service: str,
+        role: str = "node",
+    ) -> ScrapeTarget:
+        if name in self.targets:
+            raise ConflictError(f"scrape target {name!r} already registered")
+        target = ScrapeTarget(name, host, certificate, service, role)
+        self.targets[name] = target
+        state = _TargetState()
+        self._states[name] = state
+        if self._m_up is not None:
+            self._m_up.labels(node=name).set_function(
+                lambda s=state: 1.0 if s.up else 0.0
+            )
+        return target
+
+    def up(self, name: str) -> bool:
+        state = self._states.get(name)
+        return bool(state is not None and state.up)
+
+    def state(self, name: str) -> _TargetState:
+        return self._states[name]
+
+    # -- the loop ---------------------------------------------------------
+
+    def start(self) -> None:
+        """Begin scraping every ``interval_ms`` (idempotent). The loop
+        keeps the kernel busy; drivers relying on ``run_until_idle``
+        must :meth:`stop` first."""
+        if self._task is None or self._task.cancelled:
+            self._task = self.kernel.schedule_every(
+                self.interval_ms, self.scrape_once, "telemetry-scrape"
+            )
+
+    def stop(self) -> None:
+        if self._task is not None:
+            self._task.cancel()
+            self._task = None
+
+    @property
+    def running(self) -> bool:
+        return self._task is not None and not self._task.cancelled
+
+    def scrape_once(self) -> None:
+        """Fire one scrape round across all targets (sorted order)."""
+        for name in sorted(self.targets):
+            self._scrape(self.targets[name], self._states[name])
+
+    def _scrape(self, target: ScrapeTarget, state: _TargetState) -> None:
+        if state.token:
+            # The previous scrape has not concluded; its timeout will
+            # mark the miss. Never stack concurrent scrapes per target.
+            self._fail(target, state, "overlap", token=None)
+            return
+        from repro.web.client import SimHttpClient
+
+        if state.client is None:
+            state.client = SimHttpClient(
+                self.stack,
+                self.kernel,
+                target.host,
+                target.certificate,
+                service=target.service,
+            )
+        self._seq += 1
+        token = self._seq
+        state.token = token
+        state.attempts += 1
+        if self._m_attempts is not None:
+            self._m_attempts.labels(node=target.name).inc()
+
+        def on_response(response) -> None:
+            if state.token != token:
+                return  # timed out already; a miss was recorded
+            state.token = 0
+            if response.status != 200:
+                self._fail(target, state, f"status-{response.status}", token)
+                return
+            try:
+                families = parse_prometheus(response.body.decode("utf-8"))
+            except Exception:  # noqa: BLE001 - malformed exposition
+                self._fail(target, state, "parse", token)
+                return
+            stored = self.store.ingest(target.name, families, self.kernel.now)
+            state.up = True
+            state.last_error = ""
+            if self._m_samples is not None:
+                self._m_samples.labels(node=target.name).inc(stored)
+
+        def on_error(error: Exception) -> None:
+            if state.token != token:
+                return
+            state.token = 0
+            self._fail(target, state, "transport", token, detail=str(error))
+
+        def on_timeout() -> None:
+            if state.token != token:
+                return
+            state.token = 0
+            self._fail(target, state, "timeout", token)
+
+        state.client.send(
+            HttpRequest(method="GET", path="/metricsz"), on_response, on_error
+        )
+        self.kernel.schedule(self.timeout_ms, on_timeout, "telemetry-scrape-timeout")
+
+    def _fail(
+        self,
+        target: ScrapeTarget,
+        state: _TargetState,
+        reason: str,
+        token: Optional[int],
+        detail: str = "",
+    ) -> None:
+        state.failures += 1
+        state.up = False
+        state.last_error = detail or reason
+        if self._m_failures is not None:
+            self._m_failures.labels(node=target.name, reason=reason).inc()
+
+
+class FleetTelemetry:
+    """Store + scraper + SLO evaluator, one object per deployment.
+
+    Built by ``install_telemetry()`` on the testbeds; read by the
+    dashboard, the gateway's ``/statusz`` aggregation and the eval
+    harnesses.
+    """
+
+    def __init__(
+        self,
+        kernel,
+        stack,
+        registry=None,
+        interval_ms: float = DEFAULT_SCRAPE_INTERVAL_MS,
+        store: Optional[TimeSeriesStore] = None,
+    ) -> None:
+        from repro.obs.slo import SLOEvaluator
+
+        self.kernel = kernel
+        self.registry = registry
+        self.store = store if store is not None else TimeSeriesStore()
+        self.scraper = FleetScraper(
+            kernel, stack, self.store, interval_ms=interval_ms, registry=registry
+        )
+        self.evaluator = SLOEvaluator(
+            self.store, registry=registry, clock=kernel
+        )
+
+    # -- delegation conveniences ------------------------------------------
+
+    def add_target(self, *args, **kwargs) -> ScrapeTarget:
+        return self.scraper.add_target(*args, **kwargs)
+
+    def add_slo(self, slo) -> None:
+        self.evaluator.add(slo)
+
+    def start(self) -> None:
+        """Start scraping and (when SLOs are declared) evaluating."""
+        self.scraper.start()
+        self.evaluator.start(self.kernel)
+
+    def stop(self) -> None:
+        self.scraper.stop()
+        self.evaluator.stop()
+
+    @property
+    def running(self) -> bool:
+        return self.scraper.running
+
+    # -- read side --------------------------------------------------------
+
+    def node_rows(self) -> List[Dict[str, object]]:
+        """Per-node status rows for dashboards and ``/statusz``."""
+        now = self.kernel.now
+        rows: List[Dict[str, object]] = []
+        for name in sorted(self.scraper.targets):
+            target = self.scraper.targets[name]
+            state = self.scraper.state(name)
+            rows.append(
+                {
+                    "node": name,
+                    "role": target.role,
+                    "up": state.up,
+                    "stale": self.store.stale(
+                        name, now, self.scraper.stale_after_ms
+                    ),
+                    "last_scrape_ms": self.store.last_scrape_ms(name),
+                    "scrape_failures": state.failures,
+                }
+            )
+        return rows
+
+    def slo_summary(self) -> Dict[str, object]:
+        return self.evaluator.summary()

@@ -1,0 +1,360 @@
+"""Declarative SLOs evaluated as multi-window burn-rate alert rules.
+
+An :class:`SLOSpec` names a node-scoped objective over scraped series:
+
+- ``availability`` — the non-5xx ratio of a requests counter (labels
+  filtered by ``match_labels``, bad = ``status`` starting with ``5``).
+  Burn rate = bad-ratio / error-budget, where the error budget is
+  ``1 - objective`` (objective 0.9 → budget 0.1; a burn of 1.0 spends
+  the budget exactly as fast as allowed).
+- ``latency`` — the windowed p95 of a latency histogram versus
+  ``threshold_ms``; burn rate = p95 / threshold.
+
+Each SLO is evaluated over a **fast** and a **slow** window (the
+classic multi-window rule: the fast window catches the onset quickly,
+the slow window stops a brief blip from paging). The alert condition
+requires *both* burns above ``burn_threshold``; sustained breach moves
+the alert through a ``pending → firing → resolved`` state machine whose
+transitions are timestamped on the sim clock — and therefore replay
+bit-identically.
+
+Exported families: ``amnesia_slo_burn_rate{slo,window}``,
+``amnesia_slo_alert_state{slo}`` (0 ok / 1 pending / 2 firing /
+3 resolved), ``amnesia_alerts_firing`` and
+``amnesia_slo_transitions_total{slo,to}``. The gateway folds
+:meth:`SLOEvaluator.summary` into its ``/statusz`` detail.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.obs.timeseries import TimeSeriesStore
+from repro.util.errors import ConflictError, ValidationError
+
+# Alert states (exported as the value of amnesia_slo_alert_state).
+OK = "ok"
+PENDING = "pending"
+FIRING = "firing"
+RESOLVED = "resolved"
+
+_STATE_VALUE = {OK: 0.0, PENDING: 1.0, FIRING: 2.0, RESOLVED: 3.0}
+
+DEFAULT_EVAL_INTERVAL_MS = 250.0
+
+
+@dataclass(frozen=True)
+class SLOSpec:
+    """One service-level objective over a node's scraped series."""
+
+    name: str
+    kind: str  # "availability" | "latency"
+    node: str  # scrape-target name whose series feed the rule
+    metric: str  # counter family (availability) / histogram family (latency)
+    objective: float = 0.999  # availability target (ignored for latency)
+    threshold_ms: float = 1000.0  # latency target (ignored for availability)
+    fast_window_ms: float = 4_000.0
+    slow_window_ms: float = 16_000.0
+    burn_threshold: float = 1.0
+    for_ms: float = 500.0  # continuous breach before pending → firing
+    #: Labels a sample must carry to count (e.g. route="unmatched" keeps
+    #: the availability rule on gateway-forwarded client traffic only).
+    match_labels: Tuple[Tuple[str, str], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("availability", "latency"):
+            raise ValidationError(f"unknown SLO kind {self.kind!r}")
+        if self.kind == "availability" and not (0.0 < self.objective < 1.0):
+            raise ValidationError("objective must be in (0, 1)")
+        if self.kind == "latency" and self.threshold_ms <= 0:
+            raise ValidationError("threshold_ms must be > 0")
+        if self.fast_window_ms <= 0 or self.slow_window_ms <= 0:
+            raise ValidationError("windows must be > 0")
+        if self.slow_window_ms < self.fast_window_ms:
+            raise ValidationError("slow window must be >= fast window")
+        if self.burn_threshold <= 0:
+            raise ValidationError("burn_threshold must be > 0")
+        if self.for_ms < 0:
+            raise ValidationError("for_ms must be >= 0")
+
+    def matches(self, labels: Dict[str, str]) -> bool:
+        return all(labels.get(k) == v for k, v in self.match_labels)
+
+
+@dataclass(frozen=True)
+class Transition:
+    """One alert-state change, timestamped on the sim clock."""
+
+    t_ms: float
+    slo: str
+    from_state: str
+    to_state: str
+
+
+@dataclass
+class _AlertState:
+    state: str = OK
+    pending_since_ms: Optional[float] = None
+    since_ms: float = 0.0
+    burn: Dict[str, float] = field(default_factory=dict)
+
+
+class SLOEvaluator:
+    """Evaluates SLO specs against the store on a recurring sim tick."""
+
+    def __init__(
+        self,
+        store: TimeSeriesStore,
+        slos: Optional[List[SLOSpec]] = None,
+        registry=None,
+        clock=None,
+    ) -> None:
+        self.store = store
+        self.registry = registry
+        self._clock = clock
+        self.slos: Dict[str, SLOSpec] = {}
+        self._alerts: Dict[str, _AlertState] = {}
+        self.transitions: List[Transition] = []
+        self.evaluations = 0
+        self._task = None
+        self._m_burn = None
+        self._m_state = None
+        self._m_transitions = None
+        if registry is not None:
+            self._m_burn = registry.gauge(
+                "amnesia_slo_burn_rate",
+                "Error-budget burn rate per SLO and window",
+                label_names=("slo", "window"),
+            )
+            self._m_state = registry.gauge(
+                "amnesia_slo_alert_state",
+                "Alert state per SLO: 0 ok, 1 pending, 2 firing, 3 resolved",
+                label_names=("slo",),
+            )
+            self._m_transitions = registry.counter(
+                "amnesia_slo_transitions_total",
+                "Alert-state transitions, by SLO and destination state",
+                label_names=("slo", "to"),
+            )
+            registry.gauge(
+                "amnesia_alerts_firing", "SLO alerts currently firing"
+            ).set_function(lambda: float(len(self.firing())))
+        for slo in slos or []:
+            self.add(slo)
+
+    # -- configuration ----------------------------------------------------
+
+    def add(self, slo: SLOSpec) -> None:
+        if slo.name in self.slos:
+            raise ConflictError(f"SLO {slo.name!r} already declared")
+        self.slos[slo.name] = slo
+        self._alerts[slo.name] = _AlertState()
+        if self._m_state is not None:
+            self._m_state.labels(slo=slo.name).set(_STATE_VALUE[OK])
+
+    # -- burn computation -------------------------------------------------
+
+    def burn_rate(self, slo: SLOSpec, window_ms: float, now_ms: float) -> float:
+        if slo.kind == "availability":
+            total = self.store.sum_increase(
+                slo.node, slo.metric, window_ms, now_ms, where=slo.matches
+            )
+            if total <= 0:
+                return 0.0
+            bad = self.store.sum_increase(
+                slo.node,
+                slo.metric,
+                window_ms,
+                now_ms,
+                where=lambda labels: slo.matches(labels)
+                and labels.get("status", "").startswith("5"),
+            )
+            return (bad / total) / (1.0 - slo.objective)
+        p95 = self.store.histogram_percentile(
+            slo.node, slo.metric, 95.0, window_ms, now_ms, where=slo.matches
+        )
+        if p95 is None:
+            return 0.0
+        return p95 / slo.threshold_ms
+
+    # -- evaluation tick --------------------------------------------------
+
+    def evaluate(self, now_ms: Optional[float] = None) -> None:
+        """One evaluation pass over every SLO (normally kernel-driven)."""
+        if now_ms is None:
+            if self._clock is None:
+                raise ValidationError("evaluate() needs now_ms or a clock")
+            now_ms = self._clock.now
+        self.evaluations += 1
+        for name in sorted(self.slos):
+            self._evaluate_one(self.slos[name], self._alerts[name], now_ms)
+
+    def _evaluate_one(
+        self, slo: SLOSpec, alert: _AlertState, now_ms: float
+    ) -> None:
+        fast = self.burn_rate(slo, slo.fast_window_ms, now_ms)
+        slow = self.burn_rate(slo, slo.slow_window_ms, now_ms)
+        alert.burn = {"fast": fast, "slow": slow}
+        if self._m_burn is not None:
+            self._m_burn.labels(slo=slo.name, window="fast").set(fast)
+            self._m_burn.labels(slo=slo.name, window="slow").set(slow)
+        breaching = (
+            fast > slo.burn_threshold and slow > slo.burn_threshold
+        )
+        state = alert.state
+        if state in (OK, RESOLVED):
+            if breaching:
+                self._transition(slo, alert, PENDING, now_ms)
+                alert.pending_since_ms = now_ms
+                if slo.for_ms == 0:
+                    self._transition(slo, alert, FIRING, now_ms)
+        elif state == PENDING:
+            if not breaching:
+                self._transition(slo, alert, OK, now_ms)
+                alert.pending_since_ms = None
+            elif (
+                alert.pending_since_ms is not None
+                and now_ms - alert.pending_since_ms >= slo.for_ms
+            ):
+                self._transition(slo, alert, FIRING, now_ms)
+        elif state == FIRING:
+            if not breaching:
+                self._transition(slo, alert, RESOLVED, now_ms)
+                alert.pending_since_ms = None
+
+    def _transition(
+        self, slo: SLOSpec, alert: _AlertState, to_state: str, now_ms: float
+    ) -> None:
+        self.transitions.append(
+            Transition(now_ms, slo.name, alert.state, to_state)
+        )
+        alert.state = to_state
+        alert.since_ms = now_ms
+        if self._m_state is not None:
+            self._m_state.labels(slo=slo.name).set(_STATE_VALUE[to_state])
+        if self._m_transitions is not None:
+            self._m_transitions.labels(slo=slo.name, to=to_state).inc()
+
+    # -- the loop ---------------------------------------------------------
+
+    def start(
+        self, kernel, interval_ms: float = DEFAULT_EVAL_INTERVAL_MS
+    ) -> None:
+        """Evaluate every *interval_ms* on the kernel (idempotent; no-op
+        without declared SLOs so pure-scrape deployments stay idle-able)."""
+        if not self.slos:
+            return
+        if self._task is None or self._task.cancelled:
+            self._task = kernel.schedule_every(
+                interval_ms, self.evaluate, "slo-evaluate"
+            )
+
+    def stop(self) -> None:
+        if self._task is not None:
+            self._task.cancel()
+            self._task = None
+
+    # -- read side --------------------------------------------------------
+
+    def state_of(self, name: str) -> str:
+        return self._alerts[name].state
+
+    def firing(self) -> List[str]:
+        return sorted(
+            name for name, alert in self._alerts.items() if alert.state == FIRING
+        )
+
+    def transitions_for(self, name: str) -> List[Transition]:
+        return [t for t in self.transitions if t.slo == name]
+
+    def exemplar_for(self, name: str) -> Optional[Dict[str, object]]:
+        """For a latency SLO: the slowest-bucket exemplar of the backing
+        histogram in the (shared) live registry — the corr-id that links
+        a firing alert to one Chrome-traceable exchange."""
+        slo = self.slos.get(name)
+        if slo is None or slo.kind != "latency" or self.registry is None:
+            return None
+        family = self.registry.get(slo.metric)
+        if family is None:
+            return None
+
+        def best_exemplar(restrict: bool) -> Optional[Tuple[str, float]]:
+            best: Optional[Tuple[str, float]] = None
+            for values, metric in family.samples():
+                labels = dict(zip(family.label_names, values))
+                if restrict and not slo.matches(labels):
+                    continue
+                exemplar = metric.last_exemplar()
+                if exemplar is not None and (
+                    best is None or exemplar[1] > best[1]
+                ):
+                    best = exemplar
+            return best
+
+        # Prefer the SLO's own series; a child recorded outside any
+        # corr binding (the gateway's forward hop) carries no exemplar,
+        # so fall back to the family's slowest traced exchange — same
+        # requests, observed one hop deeper.
+        best = best_exemplar(restrict=True) or best_exemplar(restrict=False)
+        if best is None:
+            return None
+        return {"corr_id": best[0], "latency_ms": best[1]}
+
+    def summary(self) -> Dict[str, object]:
+        """The aggregate the gateway serves under ``/statusz``."""
+        slos: Dict[str, object] = {}
+        for name in sorted(self.slos):
+            alert = self._alerts[name]
+            entry: Dict[str, object] = {
+                "state": alert.state,
+                "since_ms": alert.since_ms,
+                "burn": dict(alert.burn),
+            }
+            exemplar = self.exemplar_for(name)
+            if exemplar is not None and alert.state == FIRING:
+                entry["exemplar"] = exemplar
+            slos[name] = entry
+        return {
+            "slos": slos,
+            "alerts_firing": len(self.firing()),
+            "transitions": len(self.transitions),
+        }
+
+
+def default_fleet_slos(node: str = "gateway") -> List[SLOSpec]:
+    """The stock SLO pair every testbed declares against its entry node.
+
+    Both rules watch gateway-forwarded client traffic (``route`` label
+    ``unmatched`` — per-route families keep matched routes separate).
+    The availability objective is deliberately loose (0.9): a sim
+    workload issues tens of requests per window, not thousands, so one
+    degraded response must move the burn decisively rather than drown
+    in the denominator.
+    """
+    return [
+        SLOSpec(
+            name="gateway-availability",
+            kind="availability",
+            node=node,
+            metric="amnesia_http_requests_total",
+            objective=0.9,
+            fast_window_ms=4_000.0,
+            slow_window_ms=16_000.0,
+            burn_threshold=1.0,
+            for_ms=500.0,
+            match_labels=(("route", "unmatched"),),
+        ),
+        SLOSpec(
+            name="gateway-latency-p95",
+            kind="latency",
+            node=node,
+            metric="amnesia_http_request_ms",
+            threshold_ms=3_000.0,
+            fast_window_ms=4_000.0,
+            slow_window_ms=16_000.0,
+            burn_threshold=1.0,
+            for_ms=500.0,
+            match_labels=(("route", "unmatched"),),
+        ),
+    ]

@@ -1,0 +1,350 @@
+"""A bounded in-memory time-series store for fleet telemetry.
+
+The scraper (:mod:`repro.obs.scrape`) feeds parsed ``/metricsz``
+exposition into this store; the SLO evaluator and dashboard query it.
+One :class:`Series` is a ring buffer of ``(t_ms, value)`` points keyed
+by ``(node, sample_name, sorted-labels)`` — *node* is the scrape
+target, because every deployment shares one registry and the labels
+alone cannot tell the fleet's nodes apart.
+
+Query semantics follow the Prometheus trio:
+
+- **gauge-last**: :meth:`TimeSeriesStore.latest` — the newest point;
+- **counter-rate**: :meth:`~TimeSeriesStore.increase` /
+  :meth:`~TimeSeriesStore.rate_per_s` — sum of positive deltas over a
+  window, *reset-aware*: a sample smaller than its predecessor means
+  the process restarted and the new value is counted as the increase
+  since the reset (the scraper corroborates via the node's uptime);
+- **histogram-delta**: :meth:`~TimeSeriesStore.histogram_percentile` —
+  per-``le`` bucket increases over the window, aggregated and inverted
+  into a percentile by linear interpolation.
+
+Everything is deterministic: no wall clock, no randomness — timestamps
+come from the simulation kernel via the scraper.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.util.errors import ValidationError
+
+#: Ring depth per series. At the default 500 ms scrape cadence this
+#: retains two minutes of simulated history — plenty for burn-rate
+#: windows and dashboard sparklines while keeping memory bounded.
+DEFAULT_MAX_POINTS = 240
+
+#: Hard cap on distinct series; beyond it new series are dropped (and
+#: counted) instead of growing without bound.
+DEFAULT_MAX_SERIES = 8192
+
+LabelItems = Tuple[Tuple[str, str], ...]
+SeriesKey = Tuple[str, str, LabelItems]
+
+LabelPredicate = Callable[[Dict[str, str]], bool]
+
+
+def _label_key(labels: Optional[Dict[str, str]]) -> LabelItems:
+    return tuple(sorted((labels or {}).items()))
+
+
+class Series:
+    """One ring buffer of timestamped samples."""
+
+    __slots__ = ("kind", "_points")
+
+    def __init__(self, kind: str, max_points: int) -> None:
+        self.kind = kind
+        self._points: deque[Tuple[float, float]] = deque(maxlen=max_points)
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    def add(self, t_ms: float, value: float) -> None:
+        if self._points and t_ms < self._points[-1][0]:
+            raise ValidationError(
+                f"series time went backwards: {t_ms} < {self._points[-1][0]}"
+            )
+        self._points.append((t_ms, value))
+
+    def points(self) -> List[Tuple[float, float]]:
+        return list(self._points)
+
+    def latest(self) -> Optional[Tuple[float, float]]:
+        return self._points[-1] if self._points else None
+
+    def latest_at(self, now_ms: float) -> Optional[Tuple[float, float]]:
+        """The newest point at or before *now_ms* (dashboard time-travel)."""
+        found = None
+        for point in self._points:
+            if point[0] > now_ms:
+                break
+            found = point
+        return found
+
+    def increase(self, window_ms: float, now_ms: float) -> float:
+        """Counter increase over ``(now - window, now]``, reset-aware.
+
+        Prometheus semantics: a drop between consecutive samples is a
+        counter reset (process restart) and the post-reset sample
+        contributes its full value as the increase since the reset.
+        The sample just *before* the window anchors the first delta, so
+        a counter that only moved once inside the window still counts.
+        """
+        if window_ms <= 0:
+            raise ValidationError(f"window_ms must be > 0, got {window_ms}")
+        start = now_ms - window_ms
+        previous: Optional[float] = None
+        total = 0.0
+        for t_ms, value in self._points:
+            if t_ms > now_ms:
+                break
+            if t_ms <= start:
+                previous = value  # anchor: newest sample at/before start
+                continue
+            if previous is not None:
+                delta = value - previous
+                total += delta if delta >= 0 else value
+            previous = value
+        return total
+
+    def rate_per_s(self, window_ms: float, now_ms: float) -> float:
+        return self.increase(window_ms, now_ms) / (window_ms / 1000.0)
+
+
+class TimeSeriesStore:
+    """Bounded store of scraped series, keyed by node + sample + labels."""
+
+    def __init__(
+        self,
+        max_points: int = DEFAULT_MAX_POINTS,
+        max_series: int = DEFAULT_MAX_SERIES,
+    ) -> None:
+        if max_points < 2:
+            raise ValidationError("a series needs at least 2 points for rates")
+        if max_series < 1:
+            raise ValidationError("max_series must be >= 1")
+        self.max_points = max_points
+        self.max_series = max_series
+        self._series: Dict[SeriesKey, Series] = {}
+        self._last_scrape_ms: Dict[str, float] = {}
+        self.dropped_series = 0
+        self.ingested_samples = 0
+
+    # -- ingest -----------------------------------------------------------
+
+    def observe(
+        self,
+        node: str,
+        name: str,
+        labels: Optional[Dict[str, str]],
+        kind: str,
+        t_ms: float,
+        value: float,
+    ) -> None:
+        """Append one sample (creating the series on first sight)."""
+        key = (node, name, _label_key(labels))
+        series = self._series.get(key)
+        if series is None:
+            if len(self._series) >= self.max_series:
+                self.dropped_series += 1
+                return
+            series = Series(kind, self.max_points)
+            self._series[key] = series
+        series.add(t_ms, value)
+        self.ingested_samples += 1
+
+    def ingest(
+        self, node: str, families: Dict[str, Dict], t_ms: float
+    ) -> int:
+        """Feed one parsed ``/metricsz`` document (the output of
+        :func:`repro.obs.export.parse_prometheus`) scraped from *node*
+        at *t_ms*. Returns the number of samples stored and marks the
+        scrape as successful for staleness accounting."""
+        stored = 0
+        for family in families.values():
+            kind = family.get("kind", "untyped")
+            for sample_name, labels, value in family.get("samples", []):
+                self.observe(node, sample_name, labels, kind, t_ms, value)
+                stored += 1
+        self.mark_scrape(node, t_ms)
+        return stored
+
+    def mark_scrape(self, node: str, t_ms: float) -> None:
+        self._last_scrape_ms[node] = t_ms
+
+    # -- staleness --------------------------------------------------------
+
+    def last_scrape_ms(self, node: str) -> Optional[float]:
+        return self._last_scrape_ms.get(node)
+
+    def stale(self, node: str, now_ms: float, stale_after_ms: float) -> bool:
+        """True when *node* has not been scraped successfully within
+        *stale_after_ms* — the telemetry-plane view of a crashed or
+        partitioned node (scrapes fail silently; series go stale)."""
+        last = self._last_scrape_ms.get(node)
+        return last is None or (now_ms - last) > stale_after_ms
+
+    def nodes(self) -> List[str]:
+        return sorted(self._last_scrape_ms)
+
+    # -- queries ----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._series)
+
+    def series(
+        self, node: str, name: str
+    ) -> List[Tuple[Dict[str, str], Series]]:
+        """All series of *name* scraped from *node*, label-sorted."""
+        out = []
+        for (knode, kname, klabels), series in sorted(self._series.items()):
+            if knode == node and kname == name:
+                out.append((dict(klabels), series))
+        return out
+
+    def get(
+        self, node: str, name: str, labels: Optional[Dict[str, str]] = None
+    ) -> Optional[Series]:
+        return self._series.get((node, name, _label_key(labels)))
+
+    def latest(
+        self, node: str, name: str, labels: Optional[Dict[str, str]] = None
+    ) -> Optional[float]:
+        series = self.get(node, name, labels)
+        point = series.latest() if series is not None else None
+        return point[1] if point is not None else None
+
+    def increase(
+        self,
+        node: str,
+        name: str,
+        window_ms: float,
+        now_ms: float,
+        labels: Optional[Dict[str, str]] = None,
+    ) -> float:
+        series = self.get(node, name, labels)
+        return series.increase(window_ms, now_ms) if series is not None else 0.0
+
+    def sum_increase(
+        self,
+        node: str,
+        name: str,
+        window_ms: float,
+        now_ms: float,
+        where: Optional[LabelPredicate] = None,
+    ) -> float:
+        """Counter increase summed across every matching label set."""
+        total = 0.0
+        for labels, series in self.series(node, name):
+            if where is None or where(labels):
+                total += series.increase(window_ms, now_ms)
+        return total
+
+    def rate_per_s(
+        self,
+        node: str,
+        name: str,
+        window_ms: float,
+        now_ms: float,
+        where: Optional[LabelPredicate] = None,
+    ) -> float:
+        return self.sum_increase(node, name, window_ms, now_ms, where) / (
+            window_ms / 1000.0
+        )
+
+    def histogram_percentile(
+        self,
+        node: str,
+        family: str,
+        q: float,
+        window_ms: float,
+        now_ms: float,
+        where: Optional[LabelPredicate] = None,
+    ) -> Optional[float]:
+        """The *q*-th percentile of observations that landed in
+        ``family`` during the window, from per-``le`` bucket increases.
+
+        Aggregates across label sets (filtered by *where*, which sees
+        the labels *without* ``le``). Returns None when the window saw
+        no observations. The +Inf bucket cannot be interpolated; its
+        answer clamps to the highest finite bound.
+        """
+        if not (0.0 <= q <= 100.0):
+            raise ValidationError(f"percentile q must be in [0, 100], got {q}")
+        deltas: Dict[float, float] = {}
+        for labels, series in self.series(node, f"{family}_bucket"):
+            le_text = labels.get("le")
+            if le_text is None:
+                continue
+            rest = {k: v for k, v in labels.items() if k != "le"}
+            if where is not None and not where(rest):
+                continue
+            bound = float("inf") if le_text == "+Inf" else float(le_text)
+            deltas[bound] = deltas.get(bound, 0.0) + series.increase(
+                window_ms, now_ms
+            )
+        if not deltas:
+            return None
+        bounds = sorted(deltas)
+        # Cumulative-per-le series: each delta is already cumulative in
+        # le, so the +Inf (or widest) entry is the window's total count.
+        total = deltas[bounds[-1]]
+        if total <= 0:
+            return None
+        rank = (q / 100.0) * total
+        previous_bound = 0.0
+        previous_cum = 0.0
+        highest_finite = max(
+            (b for b in bounds if b != float("inf")), default=0.0
+        )
+        for bound in bounds:
+            cum = deltas[bound]
+            if cum >= rank and cum > previous_cum:
+                if bound == float("inf"):
+                    return highest_finite
+                fraction = (rank - previous_cum) / (cum - previous_cum)
+                return previous_bound + fraction * (bound - previous_bound)
+            if cum > previous_cum:
+                previous_cum = cum
+            if bound != float("inf"):
+                previous_bound = bound
+        return highest_finite
+
+    # -- dashboard support ------------------------------------------------
+
+    def sample_trail(
+        self,
+        node: str,
+        name: str,
+        now_ms: float,
+        points: int,
+        step_ms: float,
+        window_ms: float,
+        mode: str = "rate",
+        where: Optional[LabelPredicate] = None,
+    ) -> List[float]:
+        """*points* evenly-spaced historical readings ending at *now_ms*
+        (sparkline backing data). ``mode`` is ``"rate"`` (counter rate
+        per second over *window_ms*) or ``"p95"`` (histogram p95)."""
+        if points < 1 or step_ms <= 0:
+            raise ValidationError("need points >= 1 and step_ms > 0")
+        trail: List[float] = []
+        for index in range(points):
+            t = now_ms - (points - 1 - index) * step_ms
+            if t < 0:
+                trail.append(0.0)
+                continue
+            if mode == "rate":
+                trail.append(
+                    self.rate_per_s(node, name, window_ms, t, where=where)
+                )
+            elif mode == "p95":
+                value = self.histogram_percentile(
+                    node, name, 95.0, window_ms, t, where=where
+                )
+                trail.append(value if value is not None else 0.0)
+            else:
+                raise ValidationError(f"unknown trail mode {mode!r}")
+        return trail

@@ -525,7 +525,16 @@ class AmnesiaApp:
 
     def bind_registry(self, registry) -> None:
         """Feed the app's retry/failure counters into *registry*."""
+        from repro.obs.health import install_node_info
+
         self._registry = registry
+        install_node_info(
+            registry,
+            self.device.name,
+            "phone",
+            self.kernel,
+            lambda: self.started_ms,
+        )
         self._m_retries = registry.counter(
             "amnesia_retries_total",
             "Retry attempts, per retrying component",

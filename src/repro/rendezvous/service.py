@@ -183,6 +183,9 @@ class RendezvousService:
         self.host.boot()
         if self.host.handler_for(RENDEZVOUS_PORT) is None:
             self.host.bind(RENDEZVOUS_PORT, self._on_datagram)
+        # A fresh process: the uptime gauge drops to zero, which is how
+        # the telemetry scraper corroborates counter resets post-restart.
+        self.started_ms = self.network.kernel.now
         _log.info("rendezvous service restarted (registrations empty)")
 
     # -- wire handling ---------------------------------------------------------

@@ -81,9 +81,16 @@ class ServerMetrics:
     # -- recording -------------------------------------------------------------
 
     def record_generation(self, sample: LatencySample) -> None:
+        from repro.util.logs import current_corr_id
+
         self.latency_samples.append(sample)
         self._generations.labels(result="completed").inc()
-        self._latency.observe(sample.latency_ms)
+        # Exemplar: the generation's correlation id, so a latency alert
+        # links to the exact exchange in the Chrome trace.
+        corr = current_corr_id()
+        self._latency.observe(
+            sample.latency_ms, exemplar=corr if corr != "-" else None
+        )
 
     def record_generation_started(self) -> None:
         self._generations.labels(result="started").inc()

@@ -39,7 +39,11 @@ from repro.crypto.hashing import salted_hash, verify_salted_hash
 from repro.crypto.randomness import RandomSource
 from repro.net.network import Network
 from repro.net.tls import SecureServer, SecureStack
-from repro.obs.health import counter_total, install_health_routes
+from repro.obs.health import (
+    counter_total,
+    install_health_routes,
+    install_node_info,
+)
 from repro.obs.registry import MetricsRegistry
 from repro.obs.spans import SpanRecorder
 from repro.rendezvous.service import RendezvousPublisher
@@ -341,20 +345,22 @@ class AmnesiaCore:
                 return  # completed or timed out meanwhile
             self.metrics.record_degraded(reason)
             self.last_degraded_ms = self.kernel.now
+            # Resolve inside the binding: the degraded 503 then records
+            # its route latency with this exchange's corr-id exemplar.
             with bind_corr_id(exchange.pending_id):
                 _log.info(
                     "push for exchange %s failed fast (%s); degrading",
                     exchange.pending_id[:8], reason,
                 )
-            cancelled.deferred.resolve(
-                json_response(
-                    {
-                        "error": f"phone unreachable: {reason}",
-                        "retry_after_ms": DEFAULT_PUSH_RETRY_AFTER_MS,
-                    },
-                    status=503,
+                cancelled.deferred.resolve(
+                    json_response(
+                        {
+                            "error": f"phone unreachable: {reason}",
+                            "retry_after_ms": DEFAULT_PUSH_RETRY_AFTER_MS,
+                        },
+                        status=503,
+                    )
                 )
-            )
 
         self._push(reg_id, data, on_failure=push_failed)
 
@@ -929,9 +935,9 @@ class AmnesiaCore:
                     "exchange %s timed out after %.0fms waiting for the phone",
                     expired.pending_id[:8], self.generation_timeout_ms,
                 )
-            expired.deferred.resolve(
-                _timeout_response(expired.kind)
-            )
+                expired.deferred.resolve(
+                    _timeout_response(expired.kind)
+                )
 
         exchange.timeout_event = self.kernel.schedule(
             self.generation_timeout_ms, expire, label="pending-timeout"
@@ -999,6 +1005,9 @@ class AmnesiaServer(AmnesiaCore):
             compute_latency=compute_latency,
             thread_pool_size=thread_pool_size,
             registry=self.registry,
+        )
+        install_node_info(
+            self.registry, host_name, "server", kernel, lambda: self.started_ms
         )
 
     @property

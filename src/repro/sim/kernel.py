@@ -41,6 +41,58 @@ class Event:
         self.cancelled = True
 
 
+class RecurringEvent:
+    """Handle for a repeating schedule created by
+    :meth:`Simulator.schedule_every`.
+
+    Each firing runs the action *first* and only then re-arms the next
+    occurrence, so work scheduled by the action at the same timestamp
+    keeps FIFO priority over the next tick. :meth:`cancel` stops the
+    loop: the pending occurrence becomes a tombstone and nothing further
+    is armed, even if cancel() is called from inside the action.
+    """
+
+    def __init__(
+        self,
+        kernel: "Simulator",
+        interval: float,
+        action: Callable[[], Any],
+        label: str,
+    ) -> None:
+        if interval <= 0:
+            raise ValidationError(
+                f"recurring interval must be > 0 ms, got {interval}"
+            )
+        self._kernel = kernel
+        self.interval = interval
+        self._action = action
+        self.label = label
+        self._cancelled = False
+        self.fired = 0
+        self._pending: Event = kernel.schedule(interval, self._fire, label)
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+    def _fire(self) -> None:
+        if self._cancelled:
+            return
+        self.fired += 1
+        try:
+            self._action()
+        finally:
+            if not self._cancelled:
+                self._pending = self._kernel.schedule(
+                    self.interval, self._fire, self.label
+                )
+
+    def cancel(self) -> None:
+        """Stop the recurrence; the already-queued occurrence is skipped."""
+        self._cancelled = True
+        self._pending.cancel()
+
+
 class Simulator:
     """A discrete-event simulator with a millisecond virtual clock."""
 
@@ -130,6 +182,14 @@ class Simulator:
         event = Event(time, next(self._seq), action, label)
         heapq.heappush(self._queue, event)
         return event
+
+    def schedule_every(
+        self, interval: float, action: Callable[[], Any], label: str = ""
+    ) -> RecurringEvent:
+        """Run *action* every ``interval`` ms (first firing one interval
+        from now) until the returned handle is cancelled. The telemetry
+        scraper, SLO evaluator and gateway prober all tick on this."""
+        return RecurringEvent(self, interval, action, label)
 
     def call_soon(self, action: Callable[[], Any], label: str = "") -> Event:
         """Schedule *action* at the current time (after already-queued peers)."""

@@ -49,6 +49,10 @@ SERVER = "amnesia-server"
 RENDEZVOUS = "gcm"
 PHONE = "phone"
 CLOUD = "cloud"
+MONITOR = "monitor"
+
+#: Monitor ↔ node hops are same-datacenter (matches the cluster bed).
+MONITOR_LATENCY_MS = 0.4
 
 
 class AmnesiaTestbed:
@@ -145,6 +149,13 @@ class AmnesiaTestbed:
         )
         self.pins = CertificateStore()
         self.pins.pin(self.server.certificate)
+        self._source = source
+
+        # Telemetry plane (install_telemetry); companions follow the
+        # fault plane regardless of installation order.
+        self.telemetry = None
+        self._monitor_stack = None
+        self._fault_companions: list = []
 
     # -- fault injection ----------------------------------------------------------
 
@@ -158,9 +169,99 @@ class AmnesiaTestbed:
         if self.faults is None:
             self.faults = FaultPlane(self.network, registry=self.registry)
             self.faults.register_process(RENDEZVOUS, self.rendezvous)
+            for host_name, companion in self._fault_companions:
+                self.faults.register_companion(host_name, companion)
         if schedule is not None:
             self.faults.apply(schedule)
         return self.faults
+
+    def _register_companion(self, host_name: str, companion) -> None:
+        self._fault_companions.append((host_name, companion))
+        if self.faults is not None:
+            self.faults.register_companion(host_name, companion)
+
+    # -- telemetry plane ----------------------------------------------------------
+
+    def install_telemetry(
+        self,
+        scrape_interval_ms: float | None = None,
+        slos: list | None = None,
+        start: bool = True,
+    ):
+        """Attach a fleet telemetry plane (idempotent): a ``monitor``
+        host scrapes the server, rendezvous and phone through the in-sim
+        network into a :class:`~repro.obs.timeseries.TimeSeriesStore`.
+
+        Unlike the cluster bed, no SLOs are declared by default — the
+        single server answers matched routes directly, so the gateway-
+        oriented defaults would never see a sample; pass *slos* to
+        declare rules. The scrape loop keeps the kernel busy:
+        ``run_until_idle`` drivers must ``telemetry.stop()`` first."""
+        from repro.obs.scrape import (
+            DEFAULT_SCRAPE_INTERVAL_MS,
+            OPS_SERVICE,
+            FleetTelemetry,
+            OpsEndpoint,
+        )
+        from repro.server.service import AMNESIA_SERVICE
+        from repro.sim.latency import Constant
+
+        if self.telemetry is not None:
+            return self.telemetry
+        interval = (
+            scrape_interval_ms
+            if scrape_interval_ms is not None
+            else DEFAULT_SCRAPE_INTERVAL_MS
+        )
+        lan = Constant(MONITOR_LATENCY_MS)
+        self.network.add_host(MONITOR)
+        for node in (SERVER, RENDEZVOUS, PHONE):
+            self.network.add_link(Link(MONITOR, node, lan))
+        self._monitor_stack = SecureStack(
+            self.network.host(MONITOR),
+            self.network,
+            self._source("monitor-stack"),
+            retry_timeout_ms=1_000.0,
+            max_retries=2,
+        )
+        self.telemetry = FleetTelemetry(
+            self.kernel,
+            self._monitor_stack,
+            registry=self.registry,
+            interval_ms=interval,
+        )
+        self.telemetry.add_target(
+            SERVER, SERVER, self.server.certificate, AMNESIA_SERVICE,
+            role="server",
+        )
+        gcm_ops = OpsEndpoint(
+            self.rendezvous.status_application(self.registry),
+            self.network.host(RENDEZVOUS),
+            self.network,
+            self.kernel,
+            self._source("gcm-ops"),
+        )
+        self._register_companion(RENDEZVOUS, gcm_ops)
+        self.telemetry.add_target(
+            RENDEZVOUS, RENDEZVOUS, gcm_ops.certificate, OPS_SERVICE,
+            role="rendezvous",
+        )
+        phone_ops = OpsEndpoint(
+            self.phone.status_application(),
+            self.network.host(PHONE),
+            self.network,
+            self.kernel,
+            self._source("phone-ops"),
+            stack=self.phone.stack,
+        )
+        self.telemetry.add_target(
+            PHONE, PHONE, phone_ops.certificate, OPS_SERVICE, role="phone"
+        )
+        for slo in slos or []:
+            self.telemetry.add_slo(slo)
+        if start:
+            self.telemetry.start()
+        return self.telemetry
 
     # -- drivers -----------------------------------------------------------------
 

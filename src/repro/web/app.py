@@ -211,11 +211,17 @@ class Application:
     def _record(
         self, route: str, method: str, status: int, started_ms: float
     ) -> None:
+        from repro.util.logs import current_corr_id
+
         self._m_requests.labels(
             route=route, method=method, status=str(status)
         ).inc()
+        # The bound correlation id rides along as the bucket's exemplar,
+        # so a latency alert on this histogram names a traceable exchange.
+        corr = current_corr_id()
         self._m_latency.labels(route=route).observe(
-            max(0.0, self._obs_clock.now - started_ms)
+            max(0.0, self._obs_clock.now - started_ms),
+            exemplar=corr if corr != "-" else None,
         )
 
     # -- dispatch --------------------------------------------------------------

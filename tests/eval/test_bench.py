@@ -30,10 +30,20 @@ class TestMacroSuite:
     def test_covers_both_transports_load_and_chaos(self, macro):
         assert set(macro) == {
             "e2e_wifi", "e2e_4g", "workload", "chaos", "cluster",
+            "telemetry",
         }
         assert macro["e2e_wifi"]["p50_ms"] <= macro["e2e_wifi"]["p95_ms"]
         assert macro["workload"]["completed"] <= macro["workload"]["issued"]
         assert macro["chaos"]["scenario"] == "lossy-uplink"
+
+    def test_telemetry_arm_bounds_the_observer_tax(self, macro):
+        from repro.eval.bench import TELEMETRY_OVERHEAD_LIMIT_PCT
+
+        telemetry = macro["telemetry"]
+        assert telemetry["limit_pct"] == TELEMETRY_OVERHEAD_LIMIT_PCT
+        assert telemetry["overhead_pct"] < telemetry["limit_pct"]
+        assert telemetry["completed"] > 0
+        assert telemetry["baseline_p95_ms"] > 0
 
     def test_cluster_arm_measures_the_gateway_tax(self, macro):
         cluster = macro["cluster"]
@@ -64,6 +74,11 @@ class TestMacroSuite:
         assert all(
             isinstance(gate["value"], (int, float)) for gate in gates.values()
         )
+
+    def test_telemetry_gate_is_an_absolute_bound(self, macro):
+        gate = macro_gates(macro)["macro.telemetry.overhead_pct"]
+        assert gate["direction"] == LOWER_IS_BETTER
+        assert gate["limit"] == macro["telemetry"]["limit_pct"]
 
 
 class TestDocument:
@@ -274,3 +289,45 @@ class TestCli:
         path.write_text(json.dumps(document))
         assert main(args + ["--check", "--no-write"]) == 1
         assert "regressed" in capsys.readouterr().err
+
+
+class TestBoundGates:
+    """Gates with a ``limit`` are absolute ceilings, not trends."""
+
+    def _limit_doc(self, value, limit, direction=LOWER_IS_BETTER):
+        return {
+            "schema": BENCH_SCHEMA,
+            "gates": {
+                "macro.telemetry.overhead_pct": {
+                    "value": value, "direction": direction, "limit": limit,
+                }
+            },
+        }
+
+    def test_within_limit_passes(self):
+        from repro.eval.bench import check_limits
+
+        assert check_limits(self._limit_doc(2.0, 5.0)) == []
+
+    def test_over_limit_reported(self):
+        from repro.eval.bench import check_limits
+
+        violations = check_limits(self._limit_doc(7.5, 5.0))
+        assert len(violations) == 1
+        assert "OVER LIMIT" in violations[0]
+
+    def test_under_limit_for_higher_is_better(self):
+        from repro.eval.bench import check_limits
+
+        violations = check_limits(
+            self._limit_doc(1.0, 5.0, direction=HIGHER_IS_BETTER)
+        )
+        assert len(violations) == 1
+        assert "UNDER LIMIT" in violations[0]
+
+    def test_compare_documents_skips_limit_gates(self):
+        # A near-zero baseline would make any relative comparison
+        # spurious; bound gates ride check_limits instead.
+        baseline = self._limit_doc(0.0, 5.0)
+        current = self._limit_doc(4.0, 5.0)
+        assert compare_documents(baseline, current) == []

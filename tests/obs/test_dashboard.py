@@ -1,0 +1,74 @@
+"""Tests for the deterministic terminal dashboard."""
+
+from repro.obs.dashboard import Panel, default_panels, render_dashboard, sparkline
+from repro.testbed import AmnesiaTestbed, PHONE, RENDEZVOUS, SERVER
+
+
+class TestSparkline:
+    def test_empty_is_blank_at_width(self):
+        assert sparkline([], width=8) == " " * 8
+
+    def test_flat_series_renders_low_blocks(self):
+        assert sparkline([5.0, 5.0, 5.0], width=3) == "▁▁▁"
+
+    def test_min_maps_low_and_max_maps_high(self):
+        line = sparkline([0.0, 10.0], width=2)
+        assert line[0] == "▁"
+        assert line[-1] == "█"
+
+    def test_right_aligned_and_truncated_to_width(self):
+        line = sparkline([1.0, 2.0], width=6)
+        assert len(line) == 6
+        assert line.startswith("    ")
+        assert sparkline(list(range(100)), width=4) == sparkline(
+            [96, 97, 98, 99], width=4
+        )
+
+
+class TestDefaultPanels:
+    def test_stock_cluster_panels(self):
+        panels = default_panels()
+        assert [p.title for p in panels] == ["req rate", "5xx rate", "p95 ms"]
+        assert all(p.node == "gateway" for p in panels)
+        assert all(p.match_labels == {"route": "unmatched"} for p in panels)
+
+
+class TestRenderDashboard:
+    def _bed(self, seed: str) -> AmnesiaTestbed:
+        bed = AmnesiaTestbed(seed=seed)
+        bed.install_telemetry()
+        bed.run(3_000.0)
+        return bed
+
+    def test_sections_and_healthy_markers(self):
+        bed = self._bed("dash-healthy")
+        text = render_dashboard(
+            bed.telemetry,
+            panels=[Panel("req rate", SERVER, "amnesia_http_requests_total")],
+        )
+        for section in ("TOPOLOGY", "SERIES", "ALERTS"):
+            assert section in text
+        for node in (SERVER, RENDEZVOUS, PHONE):
+            assert node in text
+        assert "UP" in text
+        assert "STALE" not in text
+        assert "(no SLOs declared)" in text  # single bed declares none
+        bed.telemetry.stop()
+        bed.run_until_idle()
+
+    def test_render_is_deterministic(self):
+        bed = self._bed("dash-repeat")
+        panels = [Panel("req rate", SERVER, "amnesia_http_requests_total")]
+        first = render_dashboard(bed.telemetry, panels=panels)
+        second = render_dashboard(bed.telemetry, panels=panels)
+        assert first == second
+        bed.telemetry.stop()
+        bed.run_until_idle()
+
+    def test_never_scraped_fleet_shows_stale(self):
+        bed = AmnesiaTestbed(seed="dash-stale")
+        bed.install_telemetry(start=False)
+        text = render_dashboard(bed.telemetry, panels=[])
+        assert "STALE" in text
+        assert "never scraped" in text
+        assert "nodes 0/3 up" in text

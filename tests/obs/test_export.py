@@ -118,3 +118,63 @@ class TestJsonRendering:
         registry.get("h_ms").observe(1.0)
         doc = json.loads(render_json(registry))
         assert doc["g"]["series"][0]["value"] is None
+
+
+class TestCollectHardening:
+    def _broken_registry(self):
+        registry = MetricsRegistry()
+        registry.counter("steady_total").inc(3)
+
+        def explode() -> float:
+            raise RuntimeError("callback backend is gone")
+
+        registry.gauge("flaky_depth").set_function(explode)
+        return registry
+
+    def test_raising_gauge_is_skipped_not_fatal(self):
+        registry = self._broken_registry()
+        text = render_prometheus(registry)
+        assert "steady_total 3" in text
+        assert "flaky_depth" not in text.replace(
+            "# HELP flaky_depth", ""
+        ).replace("# TYPE flaky_depth", "")
+
+    def test_collect_errors_counted_by_family(self):
+        registry = self._broken_registry()
+        render_prometheus(registry)
+        render_prometheus(registry)
+        errors = registry.get("amnesia_collect_errors_total")
+        assert errors is not None
+        assert errors.labels(family="flaky_depth").value == 2.0
+
+    def test_exposition_still_parses_with_a_broken_family(self):
+        from repro.obs.export import parse_prometheus
+
+        registry = self._broken_registry()
+        families = parse_prometheus(render_prometheus(registry))
+        assert families["steady_total"]["samples"] == [
+            ("steady_total", {}, 3.0)
+        ]
+        # The broken family contributes no samples — and no garbage.
+        assert families.get("flaky_depth", {"samples": []})["samples"] == []
+
+    def test_json_export_also_survives(self):
+        registry = self._broken_registry()
+        doc = json.loads(render_json(registry))
+        assert doc["steady_total"]["series"][0]["value"] == 3
+        assert all(
+            series.get("value") is not None
+            for series in doc.get("flaky_depth", {}).get("series", [])
+        )
+
+    def test_exemplars_appear_in_json_only(self):
+        registry = MetricsRegistry()
+        h = registry.histogram("lat_ms", buckets=(10.0,))
+        h.observe(5.0, exemplar="deadbeef")
+        doc = json.loads(render_json(registry))
+        # Keyed by the bucket's upper bound, not its index.
+        assert doc["lat_ms"]["series"][0]["exemplars"]["10"] == {
+            "ref": "deadbeef",
+            "value": 5.0,
+        }
+        assert "deadbeef" not in render_prometheus(registry)

@@ -219,3 +219,34 @@ class TestMetricsRegistry:
 
     def test_global_registry_is_a_singleton(self):
         assert global_registry() is global_registry()
+
+
+class TestHistogramExemplars:
+    def test_observe_records_exemplar_per_bucket(self):
+        registry = MetricsRegistry()
+        h = registry.histogram("lat_ms", buckets=(10.0, 100.0))
+        h.observe(5.0, exemplar="fast")
+        h.observe(50.0, exemplar="slow")
+        exemplars = registry.get("lat_ms").labels().exemplars()
+        assert exemplars[0] == ("fast", 5.0)
+        assert exemplars[1] == ("slow", 50.0)
+
+    def test_last_exemplar_is_highest_populated_bucket(self):
+        registry = MetricsRegistry()
+        h = registry.histogram("lat_ms", buckets=(10.0, 100.0))
+        h.observe(50.0, exemplar="slow")
+        h.observe(5.0, exemplar="fast")  # lower bucket, later in time
+        assert registry.get("lat_ms").labels().last_exemplar() == ("slow", 50.0)
+
+    def test_observe_without_exemplar_keeps_the_previous_one(self):
+        registry = MetricsRegistry()
+        h = registry.histogram("lat_ms", buckets=(10.0,))
+        h.observe(5.0, exemplar="traced")
+        h.observe(6.0)
+        assert registry.get("lat_ms").labels().last_exemplar() == ("traced", 5.0)
+
+    def test_no_exemplars_yields_none(self):
+        registry = MetricsRegistry()
+        h = registry.histogram("lat_ms", buckets=(10.0,))
+        h.observe(5.0)
+        assert registry.get("lat_ms").labels().last_exemplar() is None

@@ -1,0 +1,141 @@
+"""Tests for the fleet scraper: in-sim scrapes, staleness, recovery.
+
+Crashed or partitioned nodes must surface as *stale series and failed
+scrapes* in the telemetry plane — never as exceptions in the driver.
+"""
+
+import pytest
+
+from repro.cluster.testbed import (
+    ClusterTestbed,
+    GATEWAY,
+    MONITOR as CLUSTER_MONITOR,
+    shard_host,
+)
+from repro.faults.plane import FaultSchedule
+from repro.obs.scrape import FleetScraper
+from repro.obs.timeseries import TimeSeriesStore
+from repro.sim.kernel import Simulator
+from repro.testbed import AmnesiaTestbed, PHONE, RENDEZVOUS, SERVER
+from repro.util.errors import ConflictError, ValidationError
+
+
+class TestScraperBasics:
+    def test_interval_must_be_positive(self):
+        with pytest.raises(ValidationError):
+            FleetScraper(Simulator(), None, TimeSeriesStore(), interval_ms=0)
+
+    def test_duplicate_target_conflicts(self):
+        bed = AmnesiaTestbed(seed="scrape-dup")
+        plane = bed.install_telemetry(start=False)
+        with pytest.raises(ConflictError):
+            plane.add_target(
+                SERVER, SERVER, bed.server.certificate, "https"
+            )
+
+    def test_not_started_means_never_scraped(self):
+        bed = AmnesiaTestbed(seed="scrape-idle")
+        plane = bed.install_telemetry(start=False)
+        bed.run_until_idle()  # no scrape loop: the kernel drains
+        rows = {row["node"]: row for row in plane.node_rows()}
+        assert rows[SERVER]["last_scrape_ms"] is None
+        assert rows[SERVER]["stale"]
+        assert not plane.running
+
+
+class TestHealthyFleet:
+    def test_every_node_scraped_fresh(self):
+        bed = AmnesiaTestbed(seed="scrape-fresh")
+        plane = bed.install_telemetry()
+        bed.run(3_000.0)
+        rows = {row["node"]: row for row in plane.node_rows()}
+        assert set(rows) == {SERVER, RENDEZVOUS, PHONE}
+        for row in rows.values():
+            assert row["up"], row
+            assert not row["stale"], row
+            assert row["scrape_failures"] == 0, row
+        plane.stop()
+        bed.run_until_idle()
+
+    def test_build_info_and_uptime_land_in_the_store(self):
+        bed = AmnesiaTestbed(seed="scrape-info")
+        plane = bed.install_telemetry()
+        bed.run(2_000.0)
+        # The registry is deployment-shared, so any target's exposition
+        # carries every node's identity; labels keep them apart.
+        info = plane.store.series(SERVER, "amnesia_build_info")
+        nodes = {labels["node"] for labels, _ in info}
+        assert {SERVER, RENDEZVOUS, PHONE} <= nodes
+        uptimes = plane.store.series(SERVER, "amnesia_node_uptime_seconds")
+        assert any(labels["node"] == SERVER for labels, _ in uptimes)
+        plane.stop()
+        bed.run_until_idle()
+
+
+class TestCrashedNode:
+    def test_crashed_rendezvous_is_stale_not_an_error(self):
+        bed = AmnesiaTestbed(seed="scrape-crash")
+        plane = bed.install_telemetry()
+        bed.install_fault_plane(
+            FaultSchedule().crash(2_000.0, RENDEZVOUS, down_ms=4_000.0)
+        )
+        bed.run(5_000.0)  # mid-outage (crash at 2 s, restart at 6 s)
+        rows = {row["node"]: row for row in plane.node_rows()}
+        assert not rows[RENDEZVOUS]["up"]
+        assert rows[RENDEZVOUS]["stale"]
+        assert rows[RENDEZVOUS]["scrape_failures"] > 0
+        # The rest of the fleet is unaffected.
+        assert rows[SERVER]["up"] and not rows[SERVER]["stale"]
+        assert rows[PHONE]["up"] and not rows[PHONE]["stale"]
+
+        bed.run(3_000.0)  # restart + companion port re-bind + scrapes
+        rows = {row["node"]: row for row in plane.node_rows()}
+        assert rows[RENDEZVOUS]["up"]
+        assert not rows[RENDEZVOUS]["stale"]
+        plane.stop()
+        bed.run_until_idle()
+
+    def test_restart_shows_as_an_uptime_drop(self):
+        bed = AmnesiaTestbed(seed="scrape-uptime")
+        plane = bed.install_telemetry()
+        bed.install_fault_plane(
+            FaultSchedule().crash(2_000.0, RENDEZVOUS, down_ms=4_000.0)
+        )
+        bed.run(8_000.0)
+        uptime = None
+        for labels, series in plane.store.series(
+            SERVER, "amnesia_node_uptime_seconds"
+        ):
+            if labels["node"] == RENDEZVOUS:
+                uptime = series.latest()[1]
+        # 8 s of sim time, but the service restarted at t=6 s: the
+        # scraped uptime reflects the restart, not the process age.
+        assert uptime is not None
+        assert uptime < 4.0
+        plane.stop()
+        bed.run_until_idle()
+
+
+class TestPartitionedNode:
+    def test_partitioned_shard_goes_stale_then_recovers(self):
+        bed = ClusterTestbed(shards=2, seed="scrape-partition")
+        plane = bed.install_telemetry()
+        bed.install_fault_plane(
+            FaultSchedule().partition(
+                2_000.0, 4_000.0, (CLUSTER_MONITOR,), (shard_host(0),)
+            )
+        )
+        bed.run(5_000.0)  # partition active (2 s .. 6 s)
+        rows = {row["node"]: row for row in plane.node_rows()}
+        assert not rows[shard_host(0)]["up"]
+        assert rows[shard_host(0)]["stale"]
+        assert rows[shard_host(0)]["scrape_failures"] > 0
+        assert rows[shard_host(1)]["up"]
+        assert rows[GATEWAY]["up"]
+
+        bed.run(3_000.0)  # partition healed; scrapes resume
+        rows = {row["node"]: row for row in plane.node_rows()}
+        assert rows[shard_host(0)]["up"]
+        assert not rows[shard_host(0)]["stale"]
+        plane.stop()
+        bed.run_until_idle()

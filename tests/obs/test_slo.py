@@ -1,0 +1,209 @@
+"""Tests for burn-rate SLO evaluation and its alert state machine."""
+
+import pytest
+
+from repro.obs.registry import MetricsRegistry
+from repro.obs.slo import (
+    FIRING,
+    OK,
+    PENDING,
+    RESOLVED,
+    SLOEvaluator,
+    SLOSpec,
+    default_fleet_slos,
+)
+from repro.obs.timeseries import TimeSeriesStore
+from repro.util.errors import ConflictError, ValidationError
+
+
+def _availability_slo(**overrides) -> SLOSpec:
+    spec = dict(
+        name="avail",
+        kind="availability",
+        node="n",
+        metric="req_total",
+        objective=0.9,
+        fast_window_ms=1_000.0,
+        slow_window_ms=2_000.0,
+        burn_threshold=1.0,
+        for_ms=500.0,
+    )
+    spec.update(overrides)
+    return SLOSpec(**spec)
+
+
+def _outage_store() -> TimeSeriesStore:
+    """All-bad traffic until t=3000, then all-good until t=6000."""
+    store = TimeSeriesStore()
+    for t in range(0, 6_500, 500):
+        bad = min(t, 3_000) / 100.0
+        good = max(0.0, t - 3_000) / 100.0
+        store.observe("n", "req_total", {"status": "200"}, "counter", float(t), good)
+        store.observe("n", "req_total", {"status": "503"}, "counter", float(t), bad)
+    return store
+
+
+class TestSpecValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValidationError):
+            SLOSpec(name="x", kind="throughput", node="n", metric="m")
+
+    def test_availability_objective_bounds(self):
+        with pytest.raises(ValidationError):
+            _availability_slo(objective=1.0)
+
+    def test_slow_window_must_cover_fast(self):
+        with pytest.raises(ValidationError):
+            _availability_slo(fast_window_ms=2_000.0, slow_window_ms=1_000.0)
+
+    def test_duplicate_slo_conflicts(self):
+        evaluator = SLOEvaluator(TimeSeriesStore(), [_availability_slo()])
+        with pytest.raises(ConflictError):
+            evaluator.add(_availability_slo())
+
+
+class TestBurnRate:
+    def test_availability_burn_is_bad_ratio_over_budget(self):
+        store = TimeSeriesStore()
+        for t, good, bad in [(0.0, 0.0, 0.0), (1000.0, 8.0, 2.0)]:
+            store.observe("n", "req_total", {"status": "200"}, "counter", t, good)
+            store.observe("n", "req_total", {"status": "503"}, "counter", t, bad)
+        evaluator = SLOEvaluator(store)
+        slo = _availability_slo()  # budget = 1 - 0.9 = 0.1
+        # bad ratio 2/10 = 0.2; burn = 0.2 / 0.1 = 2.0
+        assert evaluator.burn_rate(slo, 1_000.0, 1_000.0) == pytest.approx(2.0)
+
+    def test_availability_burn_zero_without_traffic(self):
+        evaluator = SLOEvaluator(TimeSeriesStore())
+        assert evaluator.burn_rate(_availability_slo(), 1_000.0, 1_000.0) == 0.0
+
+    def test_latency_burn_is_p95_over_threshold(self):
+        store = TimeSeriesStore()
+        for t, counts in [(0.0, (0.0, 0.0, 0.0)), (1000.0, (0.0, 10.0, 10.0))]:
+            for le, value in zip(("100", "1000", "+Inf"), counts):
+                store.observe(
+                    "n", "lat_ms_bucket", {"le": le}, "histogram", t, value
+                )
+        evaluator = SLOEvaluator(store)
+        slo = SLOSpec(
+            name="lat", kind="latency", node="n", metric="lat_ms",
+            threshold_ms=500.0,
+        )
+        # windowed p95 = 955 ms (interpolated); burn = 955 / 500
+        assert evaluator.burn_rate(slo, 1_000.0, 1_000.0) == pytest.approx(1.91)
+
+
+class TestStateMachine:
+    def test_full_arc_pending_firing_resolved(self):
+        evaluator = SLOEvaluator(_outage_store(), [_availability_slo()])
+        evaluator.evaluate(now_ms=1_000.0)  # breaching -> pending
+        assert evaluator.state_of("avail") == PENDING
+        evaluator.evaluate(now_ms=1_250.0)  # breach younger than for_ms
+        assert evaluator.state_of("avail") == PENDING
+        evaluator.evaluate(now_ms=1_500.0)  # sustained >= 500 ms -> firing
+        assert evaluator.state_of("avail") == FIRING
+        assert evaluator.firing() == ["avail"]
+        evaluator.evaluate(now_ms=6_000.0)  # clean windows -> resolved
+        assert evaluator.state_of("avail") == RESOLVED
+        assert [
+            (t.from_state, t.to_state, t.t_ms)
+            for t in evaluator.transitions_for("avail")
+        ] == [
+            (OK, PENDING, 1_000.0),
+            (PENDING, FIRING, 1_500.0),
+            (FIRING, RESOLVED, 6_000.0),
+        ]
+
+    def test_blip_shorter_than_for_returns_to_ok(self):
+        evaluator = SLOEvaluator(_outage_store(), [_availability_slo()])
+        evaluator.evaluate(now_ms=1_000.0)
+        assert evaluator.state_of("avail") == PENDING
+        evaluator.evaluate(now_ms=6_000.0)  # recovered before firing
+        assert evaluator.state_of("avail") == OK
+
+    def test_for_ms_zero_fires_immediately(self):
+        evaluator = SLOEvaluator(
+            _outage_store(), [_availability_slo(for_ms=0.0)]
+        )
+        evaluator.evaluate(now_ms=1_000.0)
+        assert evaluator.state_of("avail") == FIRING
+
+    def test_evaluate_without_clock_or_now_rejected(self):
+        evaluator = SLOEvaluator(TimeSeriesStore(), [_availability_slo()])
+        with pytest.raises(ValidationError):
+            evaluator.evaluate()
+
+    def test_state_and_transitions_exported_as_metrics(self):
+        registry = MetricsRegistry()
+        evaluator = SLOEvaluator(
+            _outage_store(), [_availability_slo()], registry=registry
+        )
+        evaluator.evaluate(now_ms=1_000.0)
+        evaluator.evaluate(now_ms=1_500.0)
+        state = registry.get("amnesia_slo_alert_state")
+        assert state.labels(slo="avail").value == 2.0  # firing
+        firing = registry.get("amnesia_alerts_firing")
+        assert firing.value == 1.0
+        transitions = registry.get("amnesia_slo_transitions_total")
+        assert transitions.labels(slo="avail", to="firing").value == 1.0
+
+
+class TestExemplars:
+    def test_firing_latency_slo_carries_an_exemplar(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram(
+            "lat_ms", label_names=("route",), buckets=(100.0, 1_000.0)
+        )
+        hist.labels(route="unmatched").observe(800.0, exemplar="c0ffee")
+        slo = SLOSpec(
+            name="lat", kind="latency", node="n", metric="lat_ms",
+            threshold_ms=500.0, match_labels=(("route", "unmatched"),),
+        )
+        evaluator = SLOEvaluator(TimeSeriesStore(), [slo], registry=registry)
+        assert evaluator.exemplar_for("lat") == {
+            "corr_id": "c0ffee",
+            "latency_ms": 800.0,
+        }
+
+    def test_exemplar_falls_back_to_family_wide_scan(self):
+        # The SLO-matched child recorded no exemplar (the gateway's
+        # forward hop runs outside corr bindings); the family-wide
+        # slowest traced exchange stands in.
+        registry = MetricsRegistry()
+        hist = registry.histogram(
+            "lat_ms", label_names=("route",), buckets=(100.0, 1_000.0)
+        )
+        hist.labels(route="unmatched").observe(800.0)
+        hist.labels(route="/token").observe(650.0, exemplar="deeper")
+        slo = SLOSpec(
+            name="lat", kind="latency", node="n", metric="lat_ms",
+            threshold_ms=500.0, match_labels=(("route", "unmatched"),),
+        )
+        evaluator = SLOEvaluator(TimeSeriesStore(), [slo], registry=registry)
+        assert evaluator.exemplar_for("lat")["corr_id"] == "deeper"
+
+    def test_availability_slo_has_no_exemplar(self):
+        evaluator = SLOEvaluator(
+            TimeSeriesStore(), [_availability_slo()], registry=MetricsRegistry()
+        )
+        assert evaluator.exemplar_for("avail") is None
+
+
+class TestSummaryAndDefaults:
+    def test_summary_shape(self):
+        evaluator = SLOEvaluator(_outage_store(), [_availability_slo()])
+        evaluator.evaluate(now_ms=1_000.0)
+        summary = evaluator.summary()
+        assert summary["alerts_firing"] == 0
+        assert summary["transitions"] == 1
+        entry = summary["slos"]["avail"]
+        assert entry["state"] == PENDING
+        assert entry["burn"]["fast"] > 1.0
+
+    def test_default_fleet_slos_watch_forwarded_traffic(self):
+        slos = default_fleet_slos(node="gateway")
+        assert [s.kind for s in slos] == ["availability", "latency"]
+        for slo in slos:
+            assert slo.node == "gateway"
+            assert slo.match_labels == (("route", "unmatched"),)
+            assert slo.slow_window_ms >= slo.fast_window_ms

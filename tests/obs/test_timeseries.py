@@ -1,0 +1,181 @@
+"""Tests for the bounded in-memory time-series store."""
+
+import pytest
+
+from repro.obs.timeseries import Series, TimeSeriesStore
+from repro.util.errors import ValidationError
+
+
+class TestSeries:
+    def test_ring_buffer_evicts_oldest(self):
+        series = Series("counter", max_points=3)
+        for t in range(5):
+            series.add(float(t), float(t * 10))
+        assert len(series) == 3
+        assert series.points() == [(2.0, 20.0), (3.0, 30.0), (4.0, 40.0)]
+
+    def test_time_must_not_go_backwards(self):
+        series = Series("gauge", max_points=8)
+        series.add(100.0, 1.0)
+        with pytest.raises(ValidationError):
+            series.add(99.0, 2.0)
+
+    def test_equal_timestamps_allowed(self):
+        series = Series("gauge", max_points=8)
+        series.add(100.0, 1.0)
+        series.add(100.0, 2.0)
+        assert series.latest() == (100.0, 2.0)
+
+    def test_latest_at_travels_back_in_time(self):
+        series = Series("gauge", max_points=8)
+        series.add(100.0, 1.0)
+        series.add(200.0, 2.0)
+        assert series.latest_at(150.0) == (100.0, 1.0)
+        assert series.latest_at(50.0) is None
+
+    def test_increase_sums_deltas_in_window(self):
+        series = Series("counter", max_points=16)
+        for t, v in [(0.0, 0.0), (500.0, 5.0), (1000.0, 12.0)]:
+            series.add(t, v)
+        assert series.increase(1000.0, 1000.0) == 12.0
+
+    def test_increase_anchors_on_sample_before_window(self):
+        # The counter moved exactly once inside the window; the sample
+        # at the window edge anchors the delta so that move counts.
+        series = Series("counter", max_points=16)
+        series.add(0.0, 10.0)
+        series.add(1000.0, 13.0)
+        assert series.increase(1000.0, 1000.0) == 3.0
+
+    def test_increase_handles_counter_reset(self):
+        # A drop between samples is a process restart: the post-reset
+        # value counts in full as the increase since the reset.
+        series = Series("counter", max_points=16)
+        for t, v in [(0.0, 0.0), (500.0, 40.0), (1000.0, 3.0)]:
+            series.add(t, v)
+        assert series.increase(1000.0, 1000.0) == 43.0
+
+    def test_increase_rejects_bad_window(self):
+        series = Series("counter", max_points=16)
+        with pytest.raises(ValidationError):
+            series.increase(0.0, 100.0)
+
+    def test_rate_per_s(self):
+        series = Series("counter", max_points=16)
+        series.add(0.0, 0.0)
+        series.add(2000.0, 10.0)
+        assert series.rate_per_s(2000.0, 2000.0) == pytest.approx(5.0)
+
+
+class TestStoreIngest:
+    def test_observe_creates_and_appends(self):
+        store = TimeSeriesStore()
+        store.observe("n1", "x_total", {"a": "1"}, "counter", 100.0, 7.0)
+        store.observe("n1", "x_total", {"a": "1"}, "counter", 200.0, 9.0)
+        assert len(store) == 1
+        assert store.latest("n1", "x_total", {"a": "1"}) == 9.0
+
+    def test_same_name_different_node_is_a_different_series(self):
+        # Deployments share one registry; the node key is what tells
+        # the fleet's scrape targets apart.
+        store = TimeSeriesStore()
+        store.observe("n1", "x_total", None, "counter", 100.0, 1.0)
+        store.observe("n2", "x_total", None, "counter", 100.0, 2.0)
+        assert len(store) == 2
+        assert store.latest("n1", "x_total") == 1.0
+        assert store.latest("n2", "x_total") == 2.0
+
+    def test_max_series_drops_and_counts(self):
+        store = TimeSeriesStore(max_series=2)
+        store.observe("n", "a", None, "gauge", 0.0, 1.0)
+        store.observe("n", "b", None, "gauge", 0.0, 1.0)
+        store.observe("n", "c", None, "gauge", 0.0, 1.0)
+        assert len(store) == 2
+        assert store.dropped_series == 1
+        assert store.get("n", "c") is None
+
+    def test_ingest_parsed_document_marks_scrape(self):
+        store = TimeSeriesStore()
+        families = {
+            "x_total": {
+                "kind": "counter",
+                "samples": [("x_total", {"s": "ok"}, 4.0)],
+            }
+        }
+        stored = store.ingest("n1", families, 1000.0)
+        assert stored == 1
+        assert store.last_scrape_ms("n1") == 1000.0
+
+    def test_validation_of_bounds(self):
+        with pytest.raises(ValidationError):
+            TimeSeriesStore(max_points=1)
+        with pytest.raises(ValidationError):
+            TimeSeriesStore(max_series=0)
+
+
+class TestStaleness:
+    def test_never_scraped_is_stale(self):
+        store = TimeSeriesStore()
+        assert store.stale("ghost", 0.0, 1000.0)
+
+    def test_fresh_then_stale_as_clock_advances(self):
+        store = TimeSeriesStore()
+        store.mark_scrape("n1", 1000.0)
+        assert not store.stale("n1", 1500.0, 1000.0)
+        assert store.stale("n1", 2500.0, 1000.0)
+
+
+class TestQueries:
+    def test_sum_increase_filters_by_predicate(self):
+        store = TimeSeriesStore()
+        for t, ok, bad in [(0.0, 0.0, 0.0), (1000.0, 8.0, 2.0)]:
+            store.observe("n", "req_total", {"status": "200"}, "counter", t, ok)
+            store.observe("n", "req_total", {"status": "503"}, "counter", t, bad)
+        total = store.sum_increase("n", "req_total", 1000.0, 1000.0)
+        bad = store.sum_increase(
+            "n",
+            "req_total",
+            1000.0,
+            1000.0,
+            where=lambda labels: labels["status"].startswith("5"),
+        )
+        assert total == 10.0
+        assert bad == 2.0
+
+    def test_histogram_percentile_interpolates(self):
+        store = TimeSeriesStore()
+        # Cumulative-per-le buckets; all 10 observations in (100, 1000].
+        for t, counts in [(0.0, (0.0, 0.0, 0.0)), (1000.0, (0.0, 10.0, 10.0))]:
+            for le, value in zip(("100", "1000", "+Inf"), counts):
+                store.observe(
+                    "n", "lat_ms_bucket", {"le": le}, "histogram", t, value
+                )
+        p95 = store.histogram_percentile("n", "lat_ms", 95.0, 1000.0, 1000.0)
+        assert p95 == pytest.approx(955.0)
+
+    def test_histogram_percentile_empty_window_is_none(self):
+        store = TimeSeriesStore()
+        assert store.histogram_percentile("n", "lat_ms", 95.0, 1000.0, 0.0) is None
+
+    def test_histogram_percentile_validates_q(self):
+        store = TimeSeriesStore()
+        with pytest.raises(ValidationError):
+            store.histogram_percentile("n", "lat_ms", 101.0, 1000.0, 0.0)
+
+    def test_sample_trail_is_left_padded_with_zero_before_t0(self):
+        store = TimeSeriesStore()
+        store.observe("n", "x_total", None, "counter", 0.0, 0.0)
+        store.observe("n", "x_total", None, "counter", 500.0, 5.0)
+        trail = store.sample_trail(
+            "n", "x_total", 500.0, points=4, step_ms=500.0, window_ms=500.0
+        )
+        assert len(trail) == 4
+        assert trail[0] == 0.0  # t = -1000: before the sim started
+        assert trail[-1] == pytest.approx(10.0)  # 5 in 0.5 s
+
+    def test_sample_trail_rejects_unknown_mode(self):
+        store = TimeSeriesStore()
+        with pytest.raises(ValidationError):
+            store.sample_trail(
+                "n", "x", 0.0, points=1, step_ms=1.0, window_ms=1.0, mode="max"
+            )

@@ -206,3 +206,53 @@ class TestObservers:
         assert events.labels(label="unlabeled").value == 1
         assert registry.get("amnesia_sim_now_ms").value == 3.0
         assert registry.get("amnesia_sim_queue_depth").value == 0.0
+
+
+class TestScheduleEvery:
+    def test_fires_repeatedly_on_the_interval(self, kernel):
+        times = []
+        task = kernel.schedule_every(10, lambda: times.append(kernel.now))
+        kernel.run(until=35)
+        assert times == [10, 20, 30]
+        assert task.fired == 3
+        task.cancel()
+
+    def test_cancel_stops_the_loop(self, kernel):
+        count = [0]
+        task = kernel.schedule_every(10, lambda: count.__setitem__(0, count[0] + 1))
+        kernel.run(until=25)
+        task.cancel()
+        assert task.cancelled
+        kernel.run_until_idle()
+        assert count[0] == 2
+
+    def test_cancel_from_inside_the_action_stops_rearming(self, kernel):
+        count = [0]
+        holder = []
+
+        def tick():
+            count[0] += 1
+            if count[0] == 2:
+                holder[0].cancel()
+
+        holder.append(kernel.schedule_every(10, tick))
+        kernel.run_until_idle()  # would never drain without the cancel
+        assert count[0] == 2
+
+    def test_action_runs_before_rearm(self, kernel):
+        # Work the action schedules at the same timestamp keeps FIFO
+        # priority over the next tick of the loop itself.
+        order = []
+
+        def tick():
+            order.append(("tick", kernel.now))
+            kernel.schedule(10, lambda: order.append(("work", kernel.now)))
+
+        task = kernel.schedule_every(10, tick)
+        kernel.run(until=25)
+        task.cancel()
+        assert order == [("tick", 10), ("work", 20), ("tick", 20)]
+
+    def test_interval_must_be_positive(self, kernel):
+        with pytest.raises(ValidationError):
+            kernel.schedule_every(0, lambda: None)
