@@ -18,6 +18,7 @@ or analysis:
     amnesia-repro cluster [--check]   # sharded fleet: failover round trip
     amnesia-repro slo [--check]       # SLO burn-rate alerting under an outage
     amnesia-repro dash [--check]      # live fleet dashboard over the outage
+    amnesia-repro drill [--check]     # disaster-recovery drill: backup/restore
 """
 
 from __future__ import annotations
@@ -431,6 +432,36 @@ def _cmd_slo(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_drill(args: argparse.Namespace) -> int:
+    """Run the disaster-recovery drill: periodic encrypted bundles, a
+    primary+standby double crash mid-exchange, k-of-n key recovery and
+    a cold-node restore from the newest bundle + op-log tail.
+
+    ``--check`` is the `make drill-smoke` contract: every affected
+    user's post-restore ``P`` must be bit-identical to pre-disaster,
+    k-1 trustee shares must fail recovery, the archived tail must have
+    been replayed, sessions must survive, and a second run must replay
+    the transition fingerprint bit-for-bit; exits non-zero otherwise.
+    """
+    from repro.eval.drill import run_drill, verify_drill
+    from repro.util.errors import ValidationError
+
+    if args.check:
+        try:
+            result = verify_drill(seed=args.seed)
+        except ValidationError as error:
+            print(f"drill check FAILED: {error}", file=sys.stderr)
+            return 1
+        print(result.render())
+        print("drill check ok: bit-identical P after cold restore, k-1 "
+              "shares rejected, deterministic replay")
+        return 0
+    result = run_drill(seed=args.seed)
+    print(result.render())
+    print(f"\nfingerprint: {result.fingerprint()}")
+    return 0
+
+
 def _dash_frames(seed: int | str) -> "tuple[str, str]":
     """Two dashboard frames of a scripted outage: mid-crash and after
     recovery. Pure function of the seed — the `dash --check` smoke
@@ -684,6 +715,7 @@ _COMMANDS: Dict[str, Callable[[argparse.Namespace], int]] = {
     "cluster": _cmd_cluster,
     "slo": _cmd_slo,
     "dash": _cmd_dash,
+    "drill": _cmd_drill,
 }
 
 
@@ -808,6 +840,12 @@ def build_parser() -> argparse.ArgumentParser:
                 "--check", action="store_true",
                 help="assert sections/markers + deterministic render "
                 "(smoke test)",
+            )
+        elif name == "drill":
+            command.add_argument(
+                "--check", action="store_true",
+                help="assert bit-identical P after cold restore, k-1 "
+                "share rejection + deterministic replay (smoke test)",
             )
         elif name == "serve":
             command.add_argument(

@@ -84,6 +84,22 @@ class ClusterDirectory:
         self.ring.remove_node(name)
         return self.shards.pop(name)
 
+    def install_shard(self, name: str, shard: ClusterShard) -> None:
+        """Install (or replace) a shard record under *name* and bump the
+        ring epoch — the cold-restore re-join.
+
+        The virtual-node positions depend only on the name, so a
+        replaced shard homes exactly the logins the dead one did; the
+        epoch bump is what lets every in-flight dispatch against the
+        dead node detect staleness and re-route to the restored one.
+        """
+
+        self.shards[name] = shard
+        if name in self.ring:
+            # Same positions, new epoch: remove+add is the bump.
+            self.ring.remove_node(name)
+        self.ring.add_node(name)
+
 
 @dataclass
 class _InFlight:
@@ -150,8 +166,12 @@ class ClusterGateway:
         # Telemetry plane (attach_telemetry): folds SLO/alert state into
         # the gateway's /statusz aggregate when installed.
         self._telemetry = None
+        # Durability plane (attach_durability): backup/escrow state on
+        # the same aggregate.
+        self._durability = None
         self.on_failover: List[Callable[[str, List[str]], None]] = []
         self.failovers = 0
+        self.restores = 0
 
         # -- the gateway's own web surface ----------------------------
         self.application = Application("gateway")
@@ -460,6 +480,22 @@ class ClusterGateway:
         for hook in list(self.on_failover):
             hook(name, affected)
 
+    # -- cold restore ------------------------------------------------------
+
+    def note_restored(self, name: str) -> None:
+        """A cold-restored shard just re-joined under *name*: reset its
+        probe verdict and drop forwarding clients that dial dead hosts,
+        so the next dispatch and the next probe both reach the new pair."""
+
+        state = self._probe_states.setdefault(name, _ProbeState())
+        state.misses = 0
+        state.up = True
+        state.awaiting = None
+        for host_name in list(self._clients):
+            if not self.network.host(host_name).online:
+                self._clients.pop(host_name)
+        self.restores += 1
+
     # -- aggregated health -------------------------------------------------
 
     def _status_detail(self) -> Dict[str, Any]:
@@ -497,6 +533,7 @@ class ClusterGateway:
                 "lag_degraded_threshold": self.lag_degraded_threshold,
             },
             "failovers_total": self.failovers,
+            "restores_total": self.restores,
             "in_flight": len(self._in_flight),
             "probing": self.probing,
         }
@@ -504,6 +541,10 @@ class ClusterGateway:
             # The cluster's SLO/alert aggregate rides the same document,
             # so one /statusz answers "is the fleet burning its budget?"
             detail["slo"] = self._telemetry.slo_summary()
+        if self._durability is not None:
+            # Backup age / escrow shape on the same aggregate: one
+            # /statusz also answers "could we restore this fleet?"
+            detail["durability"] = self._durability.status()
         return detail
 
     # -- telemetry ---------------------------------------------------------
@@ -512,3 +553,8 @@ class ClusterGateway:
         """Fold a :class:`~repro.obs.scrape.FleetTelemetry`'s SLO state
         into this gateway's ``/statusz`` aggregate."""
         self._telemetry = telemetry
+
+    def attach_durability(self, plane) -> None:
+        """Fold a :class:`~repro.durability.bundle.DurabilityPlane`'s
+        backup/escrow state into this gateway's ``/statusz`` aggregate."""
+        self._durability = plane

@@ -115,20 +115,51 @@ class OpLog:
         #: Sequence number of the oldest op still retained, minus one:
         #: ``since(floor)`` is the earliest answerable query.
         self.floor = 0
+        #: Durability gate on trimming (PR 7): when set, ops with
+        #: sequence above the barrier may NOT be trimmed, however far
+        #: the journal overflows ``max_ops``.  The backup plane raises
+        #: the barrier only after a bundle covering that sequence is
+        #: durably written, so a crash between trim and backup can
+        #: never lose acknowledged ops.  ``None`` (no backup plane)
+        #: keeps the legacy size-only trimming.
+        self.trim_barrier: Optional[int] = None
         self._ops: List[Op] = []
         self._listeners: List[Callable[[], None]] = []
 
     def on_append(self, listener: Callable[[], None]) -> None:
         self._listeners.append(listener)
 
+    def set_trim_barrier(self, seq: int) -> None:
+        """Mark everything up to *seq* as durably backed up; trimming
+        may now advance the floor that far (and no further)."""
+
+        if seq < self.floor:
+            raise ValidationError(
+                f"trim barrier {seq} is below the floor {self.floor}: "
+                "those ops are already gone"
+            )
+        if self.trim_barrier is not None and seq < self.trim_barrier:
+            raise ValidationError("trim barrier cannot move backwards")
+        self.trim_barrier = seq
+        self._trim()  # backlog held for the barrier drains now
+
+    def _trim(self) -> None:
+        excess = len(self._ops) - self.max_ops
+        if excess <= 0:
+            return
+        if self.trim_barrier is not None:
+            # Retained ops are contiguous from floor+1, so exactly
+            # ``barrier - floor`` of the oldest ones are bundle-covered.
+            excess = min(excess, max(0, self.trim_barrier - self.floor))
+        if excess > 0:
+            del self._ops[:excess]
+            self.floor = self._ops[0].seq - 1 if self._ops else self.seq
+
     def append(self, kind: str, payload: Dict[str, Any]) -> Op:
         self.seq += 1
         op = Op(seq=self.seq, kind=kind, payload=payload)
         self._ops.append(op)
-        if len(self._ops) > self.max_ops:
-            trimmed = len(self._ops) - self.max_ops
-            del self._ops[:trimmed]
-            self.floor = self._ops[0].seq - 1
+        self._trim()
         for listener in list(self._listeners):
             listener()
         return op

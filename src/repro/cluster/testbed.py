@@ -206,6 +206,9 @@ class ClusterTestbed:
         # -- telemetry plane (install_telemetry) ------------------------
         self.telemetry = None
         self._monitor_stack = None
+        # -- durability plane (install_durability) ----------------------
+        self.durability = None
+        self._restore_generation = 0
         # Crash/restart companions (e.g. the gcm ops endpoint) that must
         # ride the fault plane whether it is installed before or after
         # the telemetry plane.
@@ -331,6 +334,110 @@ class ClusterTestbed:
         if start:
             self.telemetry.start()
         return self.telemetry
+
+    # -- durability plane -------------------------------------------------
+
+    def install_durability(
+        self,
+        trustees: int | None = None,
+        threshold: int | None = None,
+        interval_ms: float | None = None,
+        start: bool = False,
+    ):
+        """Attach the durability plane (idempotent): one
+        :class:`~repro.durability.bundle.DurabilityPlane` bundling every
+        shard onto the simulated off-site archive, with the bundle key
+        escrowed k-of-n at construction.  With ``start=True`` periodic
+        backups tick on the kernel (``run_until_idle`` drivers must
+        ``durability.stop()`` first)."""
+        from repro.durability.bundle import (
+            DEFAULT_BACKUP_INTERVAL_MS,
+            DEFAULT_THRESHOLD,
+            DEFAULT_TRUSTEES,
+            DurabilityPlane,
+        )
+
+        if self.durability is not None:
+            return self.durability
+        self.durability = DurabilityPlane(
+            self.kernel,
+            self._source("durability"),
+            registry=self.registry,
+            trustees=DEFAULT_TRUSTEES if trustees is None else trustees,
+            threshold=DEFAULT_THRESHOLD if threshold is None else threshold,
+            interval_ms=(
+                DEFAULT_BACKUP_INTERVAL_MS if interval_ms is None else interval_ms
+            ),
+        )
+        for name in sorted(self.shards):
+            self.durability.add_shard(self.shards[name])
+        self.gateway.attach_durability(self.durability)
+        if start:
+            self.durability.start()
+        return self.durability
+
+    def crash_shard(self, shard_name: str) -> None:
+        """The disaster failover cannot answer: primary AND standby die."""
+
+        shard = self.shards[shard_name]
+        shard.link.stop()
+        shard.primary.host.crash()
+        shard.standby.host.crash()
+
+    def restore_shard(self, shard_name: str, key: bytes | None = None):
+        """Cold-restore *shard_name* onto a fresh primary/standby pair
+        from the newest archived bundle + op tail, re-join the ring, and
+        re-register every affected phone.  *key* is the recovered bundle
+        key (defaults to the plane's online copy — drills pass the one
+        reconstructed from trustee shares).  Returns the
+        :class:`~repro.durability.restore.RestoreReport`."""
+        from repro.durability.restore import restore_cold_shard
+
+        if self.durability is None:
+            raise ValidationError("install_durability() first")
+        bundle = self.durability.archive.newest_bundle(shard_name)
+        if bundle is None:
+            raise ValidationError(f"no archived bundle for {shard_name!r}")
+        self._restore_generation += 1
+        generation = self._restore_generation
+        lan = Constant(LAN_LATENCY_MS)
+        new_primary = f"{shard_name}-r{generation}"
+        new_standby = f"{shard_name}-r{generation}b"
+        for host in (new_primary, new_standby):
+            self.network.add_host(host)
+            self.network.add_link(Link(GATEWAY, host, lan))
+            self.network.add_link(Link(host, RENDEZVOUS, self.profile.server_gcm))
+        self.network.add_link(Link(new_primary, new_standby, lan))
+        servers = []
+        for role, host in (("primary", new_primary), ("standby", new_standby)):
+            servers.append(
+                AmnesiaServer(
+                    kernel=self.kernel,
+                    network=self.network,
+                    host_name=host,
+                    rng=self._source(f"{shard_name}-restore{generation}-{role}"),
+                    rendezvous_host=RENDEZVOUS,
+                    params=self.params,
+                    registry=self.registry,
+                )
+            )
+        report = restore_cold_shard(
+            shard_name,
+            bundle,
+            self.durability.bundle_key if key is None else key,
+            self.durability.archive,
+            servers[0],
+            servers[1],
+            self.kernel,
+            self.directory,
+            gateway=self.gateway,
+            registry=self.registry,
+            rng=self.network.rng_stream(f"repl-{shard_name}-r{generation}"),
+        )
+        self.shards[shard_name] = report.shard
+        self.durability.adopt_restored_shard(report.shard)
+        self._reregister_phones(shard_name, report.shard.logins())
+        return report
 
     def _add_phone_target(self, login: str, app: AmnesiaApp) -> None:
         """Expose one phone to the scraper (ops service on its stack)."""

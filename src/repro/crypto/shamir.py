@@ -1,0 +1,215 @@
+"""Shamir secret sharing over GF(256): the escrow primitive.
+
+The durability plane (PR 7) must survive the loss of *every* online
+copy of a shard's state — which means the bundle key and the vault/
+``Ks`` material cannot live on any single machine either.  MFDPG's
+observation applies directly: a recovery secret stored whole is a
+recovery single point of failure.  Splitting it k-of-n across trustees
+means any ``k`` shares reconstruct the secret exactly, while ``k-1``
+shares are information-theoretically independent of it: every candidate
+secret remains equally consistent with the observed shares, so there is
+nothing to brute-force.
+
+The scheme is the textbook one, byte-parallel over GF(2^8) with the
+AES polynomial (x^8 + x^4 + x^3 + x + 1, 0x11b):
+
+- ``split_secret``: for each secret byte, draw a random polynomial of
+  degree ``k-1`` whose constant term is the byte; trustee ``i`` holds
+  the evaluations at ``x = i``.
+- ``recover_secret``: Lagrange interpolation at ``x = 0`` from any
+  ``k`` distinct shares.
+
+Shares carry an integrity tag (truncated SHA-256 over a per-split
+group id, the share coordinates and the payload) so a corrupted or
+cross-split share is rejected *before* it can silently interpolate to
+garbage — escrow ceremonies fail loud, never wrong.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Sequence
+
+from repro.crypto.hashing import sha256
+from repro.crypto.randomness import RandomSource
+from repro.util.errors import CryptoError, ValidationError
+
+#: Domain separator baked into every share tag.
+_TAG_DOMAIN = b"amnesia-shamir/1"
+#: Bytes of SHA-256 kept as the share integrity tag.
+TAG_SIZE = 16
+#: Bytes identifying one split ceremony (shares from different splits
+#: of even the same secret must not interpolate together).
+GROUP_ID_SIZE = 8
+
+# -- GF(256) arithmetic -----------------------------------------------------
+
+_EXP = [0] * 512
+_LOG = [0] * 256
+
+
+def _build_tables() -> None:
+    # Generate by 0x03 (= x + 1): x itself has order 51 under the AES
+    # polynomial and would leave most of the field without a logarithm.
+    value = 1
+    for power in range(255):
+        _EXP[power] = value
+        _LOG[value] = power
+        value ^= (value << 1)
+        if value & 0x100:
+            value ^= 0x11B
+    # Double the exp table so products of logs never need a modulo.
+    for power in range(255, 512):
+        _EXP[power] = _EXP[power - 255]
+
+
+_build_tables()
+
+
+def gf_mul(a: int, b: int) -> int:
+    if a == 0 or b == 0:
+        return 0
+    return _EXP[_LOG[a] + _LOG[b]]
+
+
+def gf_div(a: int, b: int) -> int:
+    if b == 0:
+        raise ValidationError("division by zero in GF(256)")
+    if a == 0:
+        return 0
+    return _EXP[(_LOG[a] - _LOG[b]) % 255]
+
+
+def _eval_poly(coefficients: Sequence[int], x: int) -> int:
+    """Horner evaluation; ``coefficients[0]`` is the constant term."""
+
+    result = 0
+    for coefficient in reversed(coefficients):
+        result = gf_mul(result, x) ^ coefficient
+    return result
+
+
+# -- shares -----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Share:
+    """One trustee's share of a split secret."""
+
+    index: int  #: x-coordinate, 1..n (0 would *be* the secret).
+    threshold: int  #: k — how many shares reconstruct.
+    group_id: bytes  #: random id binding shares of one split together.
+    data: bytes  #: y-coordinates, one byte per secret byte.
+    tag: bytes  #: truncated SHA-256 integrity tag.
+
+    def to_wire(self) -> Dict[str, Any]:
+        return {
+            "index": self.index,
+            "threshold": self.threshold,
+            "group_id": self.group_id.hex(),
+            "data": self.data.hex(),
+            "tag": self.tag.hex(),
+        }
+
+    @classmethod
+    def from_wire(cls, doc: Dict[str, Any]) -> "Share":
+        return cls(
+            index=int(doc["index"]),
+            threshold=int(doc["threshold"]),
+            group_id=bytes.fromhex(doc["group_id"]),
+            data=bytes.fromhex(doc["data"]),
+            tag=bytes.fromhex(doc["tag"]),
+        )
+
+
+def _share_tag(group_id: bytes, index: int, threshold: int, data: bytes) -> bytes:
+    return sha256(
+        _TAG_DOMAIN, group_id, bytes([index, threshold]), data
+    )[:TAG_SIZE]
+
+
+def split_secret(
+    secret: bytes, threshold: int, shares: int, rng: RandomSource
+) -> List[Share]:
+    """Split *secret* into *shares* pieces, any *threshold* of which
+    reconstruct it; fewer reveal nothing."""
+
+    if not secret:
+        raise ValidationError("cannot split an empty secret")
+    if threshold < 1:
+        raise ValidationError("threshold must be >= 1")
+    if shares < threshold:
+        raise ValidationError(
+            f"need at least threshold shares: {shares} < {threshold}"
+        )
+    if shares > 255:
+        raise ValidationError("at most 255 shares (GF(256) x-coordinates)")
+    group_id = rng.token_bytes(GROUP_ID_SIZE)
+    # One random degree-(k-1) polynomial per secret byte, drawn up
+    # front so the rng stream is consumed deterministically.
+    polynomials = [
+        bytes([byte]) + rng.token_bytes(threshold - 1) for byte in secret
+    ]
+    result: List[Share] = []
+    for index in range(1, shares + 1):
+        data = bytes(_eval_poly(poly, index) for poly in polynomials)
+        result.append(
+            Share(
+                index=index,
+                threshold=threshold,
+                group_id=group_id,
+                data=data,
+                tag=_share_tag(group_id, index, threshold, data),
+            )
+        )
+    return result
+
+
+def recover_secret(shares: Sequence[Share]) -> bytes:
+    """Reconstruct the secret from any ``threshold`` verified shares.
+
+    Raises :class:`CryptoError` when a share's tag fails, shares mix
+    splits, indices repeat, or fewer than ``threshold`` shares are
+    presented — fewer than ``threshold`` shares carry *no* information
+    about the secret, so refusing is the only honest answer.
+    """
+
+    if not shares:
+        raise CryptoError("no shares presented")
+    for share in shares:
+        if share.tag != _share_tag(
+            share.group_id, share.index, share.threshold, share.data
+        ):
+            raise CryptoError(f"share {share.index} failed its integrity tag")
+    first = shares[0]
+    for share in shares[1:]:
+        if share.group_id != first.group_id:
+            raise CryptoError("shares come from different splits")
+        if share.threshold != first.threshold:
+            raise CryptoError("shares disagree on the threshold")
+        if len(share.data) != len(first.data):
+            raise CryptoError("shares disagree on the secret length")
+    indices = [share.index for share in shares]
+    if len(set(indices)) != len(indices):
+        raise CryptoError("duplicate share indices")
+    if len(shares) < first.threshold:
+        raise CryptoError(
+            f"need {first.threshold} shares to recover, got {len(shares)}"
+        )
+    # Any k shares suffice; use the first k for a deterministic answer.
+    chosen = list(shares)[: first.threshold]
+    secret = bytearray(len(first.data))
+    for position in range(len(first.data)):
+        value = 0
+        for share in chosen:
+            # Lagrange basis at x = 0.
+            numerator, denominator = 1, 1
+            for other in chosen:
+                if other.index == share.index:
+                    continue
+                numerator = gf_mul(numerator, other.index)
+                denominator = gf_mul(denominator, other.index ^ share.index)
+            weight = gf_div(numerator, denominator)
+            value ^= gf_mul(share.data[position], weight)
+        secret[position] = value
+    return bytes(secret)

@@ -1,0 +1,38 @@
+"""The durability plane: shard backup bundles, escrow, cold restore.
+
+PR 4 made a shard survive the loss of *one* machine (primary →
+standby failover).  This package makes the fleet survive the loss of
+*both*: encrypted, checksummed bundles of a shard's full durable state
+stream to an off-site archive, the bundle key is escrowed k-of-n
+across trustees (:mod:`repro.crypto.shamir`), and
+:mod:`repro.durability.restore` stands a cold node back up from the
+newest bundle plus the archived op-log tail.  The rehearsal lives in
+:mod:`repro.eval.drill`.
+"""
+
+from repro.durability.bundle import (
+    BUNDLE_SCHEMA,
+    BUNDLE_VERSION,
+    BackupArchive,
+    DurabilityPlane,
+    ShardBackupper,
+    build_bundle_doc,
+    bundle_info,
+    decode_bundle,
+    encode_bundle,
+)
+from repro.durability.restore import RestoreReport, restore_cold_shard
+
+__all__ = [
+    "BUNDLE_SCHEMA",
+    "BUNDLE_VERSION",
+    "BackupArchive",
+    "DurabilityPlane",
+    "ShardBackupper",
+    "build_bundle_doc",
+    "bundle_info",
+    "decode_bundle",
+    "encode_bundle",
+    "RestoreReport",
+    "restore_cold_shard",
+]

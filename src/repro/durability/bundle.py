@@ -1,0 +1,471 @@
+"""Encrypted shard backup bundles and the off-site archive.
+
+A bundle is one shard's full durable state — the per-user snapshot set
+(``amnesia-user-snapshot/1`` via :func:`build_full_snapshot`), the
+session table, throttle counters, the journal sequence/floor and the
+shard's id namespace — serialised canonically
+(:func:`canonical_snapshot_bytes`: sorted keys, no whitespace, UTF-8,
+so identical state yields identical bytes) and sealed on the wire as::
+
+    AMNB | version | len(header) | header JSON | AEAD(payload) | SHA-256
+
+- the **header** (schema, shard, seq, created_ms, nonce) is cleartext
+  so an operator can pick the newest bundle without the key, but it is
+  bound into the AEAD as associated data — a spliced header fails
+  authentication;
+- the **payload** is ChaCha20-Poly1305 under the fleet's bundle key
+  (escrowed k-of-n, see :class:`DurabilityPlane`);
+- the **trailer** is a plain SHA-256 over everything before it: a
+  keyless integrity check so bit-rot is diagnosed as corruption, not
+  misreported as a wrong key.
+
+Decoding is all-or-nothing: any failure raises
+:class:`~repro.util.errors.DurabilityError` and nothing is applied.
+
+The other half of this module is the write path: a
+:class:`ShardBackupper` per shard cuts bundles on the sim clock and
+archives the journal tail between bundles into the
+:class:`BackupArchive` (the simulated off-site store), advancing the
+journal's trim barrier only once the covering bundle is durably
+written — the PR 7 satellite rule that op-log trimming follows backup
+completion, never precedes it.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.cluster.replication import Op, build_full_snapshot
+from repro.crypto.aead import aead_decrypt, aead_encrypt
+from repro.crypto.chacha20 import KEY_SIZE, NONCE_SIZE
+from repro.crypto.hashing import sha256
+from repro.crypto.shamir import Share, recover_secret, split_secret
+from repro.storage.server_db import canonical_snapshot_bytes
+from repro.util.errors import CryptoError, DurabilityError, ValidationError
+
+BUNDLE_MAGIC = b"AMNB"
+BUNDLE_VERSION = 1
+BUNDLE_SCHEMA = "amnesia-shard-bundle/1"
+
+#: MAGIC + version byte + 4-byte header length.
+_PREFIX_FIXED = len(BUNDLE_MAGIC) + 1 + 4
+_CHECKSUM_SIZE = 32
+
+#: How often a shard is bundled unless the operator says otherwise.
+DEFAULT_BACKUP_INTERVAL_MS = 5_000.0
+#: Bundles retained per shard (older ones age out of the archive).
+DEFAULT_RETAIN_BUNDLES = 4
+
+DEFAULT_TRUSTEES = 5
+DEFAULT_THRESHOLD = 3
+
+
+# -- bundle wire format -----------------------------------------------------
+
+
+def build_bundle_doc(shard, now_ms: float) -> Dict[str, Any]:
+    """Capture one shard's full durable state as a JSON-safe document."""
+
+    server = shard.serving
+    snapshot = build_full_snapshot(
+        server.database,
+        server.throttle,
+        shard.journal.seq,
+        sessions=server.sessions,
+    )
+    return {
+        "schema": BUNDLE_SCHEMA,
+        "shard": shard.name,
+        "seq": shard.journal.seq,
+        "floor": shard.journal.floor,
+        "id_base": server.database.id_base,
+        "created_ms": now_ms,
+        "snapshot": snapshot,
+    }
+
+
+def encode_bundle(doc: Dict[str, Any], key: bytes, nonce: bytes) -> bytes:
+    """Seal *doc* into the versioned, checksummed bundle wire format."""
+
+    if len(key) != KEY_SIZE:
+        raise ValidationError(f"bundle key must be {KEY_SIZE} bytes")
+    if len(nonce) != NONCE_SIZE:
+        raise ValidationError(f"bundle nonce must be {NONCE_SIZE} bytes")
+    header = {
+        "schema": str(doc["schema"]),
+        "shard": str(doc["shard"]),
+        "seq": int(doc["seq"]),
+        "created_ms": float(doc["created_ms"]),
+        "nonce": nonce.hex(),
+    }
+    header_bytes = canonical_snapshot_bytes(header)
+    prefix = (
+        BUNDLE_MAGIC
+        + bytes([BUNDLE_VERSION])
+        + struct.pack(">I", len(header_bytes))
+        + header_bytes
+    )
+    sealed = aead_encrypt(key, nonce, canonical_snapshot_bytes(doc), aad=prefix)
+    return prefix + sealed + sha256(prefix, sealed)
+
+
+def _split_bundle(data: bytes) -> Tuple[Dict[str, Any], bytes, bytes]:
+    """Validate framing + checksum; return (header, prefix, sealed)."""
+
+    if len(data) < _PREFIX_FIXED + _CHECKSUM_SIZE:
+        raise DurabilityError(
+            f"bundle truncated: {len(data)} bytes is below the minimum frame"
+        )
+    if data[: len(BUNDLE_MAGIC)] != BUNDLE_MAGIC:
+        raise DurabilityError("not an amnesia bundle (bad magic)")
+    version = data[len(BUNDLE_MAGIC)]
+    if version != BUNDLE_VERSION:
+        raise DurabilityError(
+            f"unsupported bundle version {version} (expected {BUNDLE_VERSION})"
+        )
+    (header_len,) = struct.unpack(
+        ">I", data[len(BUNDLE_MAGIC) + 1 : _PREFIX_FIXED]
+    )
+    body_end = len(data) - _CHECKSUM_SIZE
+    if _PREFIX_FIXED + header_len > body_end:
+        raise DurabilityError("bundle truncated: header extends past the frame")
+    if sha256(data[:body_end]) != data[body_end:]:
+        raise DurabilityError(
+            "bundle checksum mismatch: the archive copy is corrupted"
+        )
+    prefix = data[: _PREFIX_FIXED + header_len]
+    try:
+        header = json.loads(prefix[_PREFIX_FIXED:].decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise DurabilityError(f"bundle header unparsable: {error}") from error
+    if header.get("schema") != BUNDLE_SCHEMA:
+        raise DurabilityError(
+            f"unknown bundle schema {header.get('schema')!r}"
+        )
+    return header, prefix, data[_PREFIX_FIXED + header_len : body_end]
+
+
+def bundle_info(data: bytes) -> Dict[str, Any]:
+    """The cleartext header (shard, seq, created_ms) — no key needed."""
+
+    header, _, __ = _split_bundle(data)
+    return header
+
+
+def decode_bundle(data: bytes, key: bytes) -> Dict[str, Any]:
+    """Verify, decrypt and parse a bundle. All-or-nothing: any failure
+    raises :class:`DurabilityError` and no partial state escapes."""
+
+    header, prefix, sealed = _split_bundle(data)
+    try:
+        nonce = bytes.fromhex(str(header["nonce"]))
+    except (KeyError, ValueError) as error:
+        raise DurabilityError(f"bundle header nonce invalid: {error}") from error
+    try:
+        payload = aead_decrypt(key, nonce, sealed, aad=prefix)
+    except CryptoError as error:
+        raise DurabilityError(
+            f"bundle key rejected: {error} (wrong key or tampered ciphertext)"
+        ) from error
+    doc = json.loads(payload.decode("utf-8"))
+    for field in ("schema", "shard", "seq", "snapshot"):
+        if field not in doc:
+            raise DurabilityError(f"bundle payload missing {field!r}")
+    if doc["schema"] != BUNDLE_SCHEMA or doc["shard"] != header["shard"]:
+        raise DurabilityError("bundle payload disagrees with its header")
+    return doc
+
+
+# -- the off-site archive ---------------------------------------------------
+
+
+class BackupArchive:
+    """The simulated off-site store: bundles + the op tail after each.
+
+    Holds, per shard, the retained encrypted bundles and the journal
+    ops appended since the newest bundle (the *tail*), so a restore is
+    ``newest bundle + replay(tail)`` — no acknowledged op is lost even
+    when the disaster lands between two backup ticks.
+    """
+
+    def __init__(self, clock=None, registry=None, retain: int = DEFAULT_RETAIN_BUNDLES):
+        if retain < 1:
+            raise ValidationError("must retain at least one bundle")
+        self._clock = clock
+        self.retain = retain
+        self._bundles: Dict[str, List[Tuple[int, float, bytes]]] = {}
+        self._tails: Dict[str, List[Op]] = {}
+        self.registry = registry
+        if registry is not None:
+            self._m_bundles = registry.counter(
+                "amnesia_backup_bundles_total",
+                "Backup bundles durably written to the archive, by shard",
+                label_names=("shard",),
+            )
+            self._m_bytes = registry.counter(
+                "amnesia_backup_bytes_total",
+                "Encrypted bundle bytes written to the archive, by shard",
+                label_names=("shard",),
+            )
+        else:
+            self._m_bundles = None
+            self._m_bytes = None
+
+    def _bind_gauges(self, shard_name: str) -> None:
+        if self.registry is None or self._clock is None:
+            return
+        self.registry.gauge(
+            "amnesia_backup_age_ms",
+            "Milliseconds since the newest durable bundle, by shard",
+            label_names=("shard",),
+        ).labels(shard=shard_name).set_function(
+            lambda: self.backup_age_ms(shard_name, self._clock.now)
+        )
+        self.registry.gauge(
+            "amnesia_backup_last_seq",
+            "Journal sequence covered by the newest bundle, by shard",
+            label_names=("shard",),
+        ).labels(shard=shard_name).set_function(
+            lambda: float(self.newest_seq(shard_name))
+        )
+        self.registry.gauge(
+            "amnesia_backup_tail_ops",
+            "Archived journal ops not yet covered by a bundle, by shard",
+            label_names=("shard",),
+        ).labels(shard=shard_name).set_function(
+            lambda: float(len(self._tails.get(shard_name, ())))
+        )
+
+    # -- writes --------------------------------------------------------
+
+    def put_bundle(
+        self, shard_name: str, seq: int, created_ms: float, data: bytes
+    ) -> None:
+        bundles = self._bundles.setdefault(shard_name, [])
+        if not bundles:
+            self._bind_gauges(shard_name)
+        bundles.append((seq, created_ms, data))
+        del bundles[: max(0, len(bundles) - self.retain)]
+        # Tail ops now covered by a bundle need no separate copy.
+        tail = self._tails.get(shard_name)
+        if tail is not None:
+            self._tails[shard_name] = [op for op in tail if op.seq > seq]
+        if self._m_bundles is not None:
+            self._m_bundles.labels(shard=shard_name).inc()
+            self._m_bytes.labels(shard=shard_name).inc(len(data))
+
+    def archive_op(self, shard_name: str, op: Op) -> None:
+        self._tails.setdefault(shard_name, []).append(op)
+
+    # -- reads ---------------------------------------------------------
+
+    def bundle_count(self, shard_name: str) -> int:
+        return len(self._bundles.get(shard_name, ()))
+
+    def newest_bundle(self, shard_name: str) -> Optional[bytes]:
+        bundles = self._bundles.get(shard_name)
+        return bundles[-1][2] if bundles else None
+
+    def newest_seq(self, shard_name: str) -> int:
+        bundles = self._bundles.get(shard_name)
+        return bundles[-1][0] if bundles else 0
+
+    def newest_created_ms(self, shard_name: str) -> Optional[float]:
+        bundles = self._bundles.get(shard_name)
+        return bundles[-1][1] if bundles else None
+
+    def backup_age_ms(self, shard_name: str, now_ms: float) -> float:
+        created = self.newest_created_ms(shard_name)
+        return float("inf") if created is None else now_ms - created
+
+    def tail_after(self, shard_name: str, seq: int) -> List[Op]:
+        """Archived ops with sequence > *seq*, oldest first."""
+
+        return [op for op in self._tails.get(shard_name, ()) if op.seq > seq]
+
+    def status(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {}
+        for name in sorted(set(self._bundles) | set(self._tails)):
+            out[name] = {
+                "bundles": self.bundle_count(name),
+                "last_seq": self.newest_seq(name),
+                "tail_ops": len(self._tails.get(name, ())),
+            }
+            if self._clock is not None:
+                age = self.backup_age_ms(name, self._clock.now)
+                out[name]["age_ms"] = age if age != float("inf") else None
+        return out
+
+
+# -- the per-shard write path -----------------------------------------------
+
+
+class ShardBackupper:
+    """Cuts encrypted bundles of one shard onto the archive.
+
+    Also subscribes to the shard's journal and mirrors every op into
+    the archive tail the moment it is appended, so the archive always
+    holds ``newest bundle + every op after it``.  The journal's trim
+    barrier is advanced to a bundle's sequence only *after* the bundle
+    is in the archive — trimming follows durability.
+    """
+
+    def __init__(
+        self,
+        shard,
+        archive: BackupArchive,
+        key: bytes,
+        kernel,
+        rng,
+        interval_ms: float = DEFAULT_BACKUP_INTERVAL_MS,
+    ) -> None:
+        self.shard = shard
+        self.archive = archive
+        self.key = key
+        self.kernel = kernel
+        self.rng = rng
+        self.interval_ms = interval_ms
+        self.backups = 0
+        self._task = None
+        # Everything up to here lands in the first bundle; ops after it
+        # stream into the archive tail as they are journaled.
+        self._archived_seq = shard.journal.seq
+        # Until a bundle is durably written nothing may be trimmed past
+        # today's floor (satellite: trimming gated on backup).
+        shard.journal.set_trim_barrier(shard.journal.floor)
+        shard.journal.on_append(self._archive_tail)
+
+    def _archive_tail(self) -> None:
+        while True:
+            batch = self.shard.journal.since(self._archived_seq)
+            if not batch:
+                return
+            for op in batch:
+                self.archive.archive_op(self.shard.name, op)
+            self._archived_seq = batch[-1].seq
+
+    def backup_now(self) -> Optional[bytes]:
+        """Cut one bundle now; no-op while the shard is down (a dead
+        host cannot quiesce its state)."""
+
+        if not self.shard.serving.host.online:
+            return None
+        now = self.kernel.now
+        doc = build_bundle_doc(self.shard, now)
+        data = encode_bundle(doc, self.key, self.rng.token_bytes(NONCE_SIZE))
+        self.archive.put_bundle(self.shard.name, doc["seq"], now, data)
+        # Only now — with the bundle durable — may the journal trim up
+        # to the covered sequence.
+        self.shard.journal.set_trim_barrier(doc["seq"])
+        self.backups += 1
+        return data
+
+    def start(self) -> None:
+        if self._task is None:
+            self._task = self.kernel.schedule_every(
+                self.interval_ms, self.backup_now, "durability-backup"
+            )
+
+    def stop(self) -> None:
+        if self._task is not None:
+            self._task.cancel()
+            self._task = None
+
+
+# -- the fleet-level plane --------------------------------------------------
+
+
+class DurabilityPlane:
+    """Backups for every shard + k-of-n escrow of the bundle key.
+
+    The escrow ceremony happens at construction: a fresh bundle key is
+    drawn, split k-of-n (:func:`split_secret`) and the shares handed to
+    the trustees (``plane.trustee_shares``).  The online half of the
+    plane keeps the key only to *write* bundles; disaster recovery is
+    expected to reconstruct it from shares (:meth:`recover_key`) — the
+    drill proves k-1 shares cannot.
+    """
+
+    def __init__(
+        self,
+        kernel,
+        rng,
+        registry=None,
+        trustees: int = DEFAULT_TRUSTEES,
+        threshold: int = DEFAULT_THRESHOLD,
+        interval_ms: float = DEFAULT_BACKUP_INTERVAL_MS,
+        retain: int = DEFAULT_RETAIN_BUNDLES,
+    ) -> None:
+        self.kernel = kernel
+        self.rng = rng
+        self.registry = registry
+        self.interval_ms = interval_ms
+        self.threshold = threshold
+        self.trustees = trustees
+        self.archive = BackupArchive(clock=kernel, registry=registry, retain=retain)
+        self.bundle_key = rng.token_bytes(KEY_SIZE)
+        self.trustee_shares: List[Share] = split_secret(
+            self.bundle_key, threshold, trustees, rng
+        )
+        self.backuppers: Dict[str, ShardBackupper] = {}
+
+    def add_shard(self, shard) -> ShardBackupper:
+        if shard.name in self.backuppers:
+            return self.backuppers[shard.name]
+        backupper = ShardBackupper(
+            shard,
+            self.archive,
+            self.bundle_key,
+            self.kernel,
+            self.rng,
+            interval_ms=self.interval_ms,
+        )
+        self.backuppers[shard.name] = backupper
+        return backupper
+
+    def adopt_restored_shard(self, shard) -> ShardBackupper:
+        """Re-attach the write path to a shard that was just rebuilt
+        from a bundle (its old backupper watched a dead journal)."""
+
+        old = self.backuppers.pop(shard.name, None)
+        was_running = old is not None and old._task is not None
+        if old is not None:
+            old.stop()
+        backupper = self.add_shard(shard)
+        if was_running:
+            backupper.start()
+        return backupper
+
+    def recover_key(self, shares: List[Share]) -> bytes:
+        """Reconstruct the bundle key from >= k trustee shares."""
+
+        return recover_secret(shares)
+
+    def backup_all(self) -> int:
+        return sum(
+            1
+            for backupper in self.backuppers.values()
+            if backupper.backup_now() is not None
+        )
+
+    def start(self) -> None:
+        for backupper in self.backuppers.values():
+            backupper.start()
+
+    def stop(self) -> None:
+        for backupper in self.backuppers.values():
+            backupper.stop()
+
+    def status(self) -> Dict[str, Any]:
+        """The /statusz section: archive state + escrow shape."""
+
+        return {
+            "escrow": {
+                "threshold": self.threshold,
+                "trustees": self.trustees,
+            },
+            "interval_ms": self.interval_ms,
+            "shards": self.archive.status(),
+        }

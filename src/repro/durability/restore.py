@@ -1,0 +1,164 @@
+"""Cold-node restore: a fresh shard from a bundle + the archived tail.
+
+The disaster this path answers is the one failover cannot: a shard's
+primary AND standby are gone.  The inputs are exactly what the
+durability plane guarantees still exists off-site — the newest
+encrypted bundle, the archived op-log tail after it, and the bundle
+key reconstructed k-of-n from trustee shares.  The procedure:
+
+1. decode the bundle (all-or-nothing: checksum, version, AEAD);
+2. adopt the dead shard's id namespace on the fresh primary/standby
+   pair, then wire them into a new :class:`ClusterShard` (journal,
+   proxies, replication link);
+3. apply the snapshot *through the journaling proxies*, so the very
+   act of restoring replicates the rows to the new standby;
+4. replay the archived op tail with a :class:`ReplicaApplier` seeded
+   at the bundle's sequence — contiguity enforced, a gap refuses the
+   restore rather than silently skipping acknowledged ops;
+5. reset volatile server state (derivation caches, token sessions) on
+   both nodes *before* serving — a restored database must never answer
+   from a pre-disaster cache;
+6. re-join the ring: the directory swaps the shard record in and bumps
+   the epoch, so in-flight dispatches against the dead node re-route
+   instead of erroring out.
+
+Phone re-registration and drill verification live one layer up
+(:mod:`repro.cluster.testbed`, :mod:`repro.eval.drill`).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.cluster.replication import ReplicaApplier, session_from_payload
+from repro.cluster.shard import ClusterShard
+from repro.durability.bundle import decode_bundle
+from repro.util.errors import DurabilityError
+
+
+class _FanoutThrottle:
+    """Applies replayed throttle state to every node of the new pair.
+
+    The applier writes throttle state via ``restore_state`` only; the
+    journaling proxy does not re-journal that call, so without the
+    fan-out the new standby would come up with a reset guessing budget.
+    """
+
+    def __init__(self, *throttles) -> None:
+        self._throttles = throttles
+
+    def restore_state(self, login, state) -> None:
+        for throttle in self._throttles:
+            throttle.restore_state(login, state)
+
+
+@dataclass
+class RestoreReport:
+    """What one cold restore did, for the drill and the operator."""
+
+    shard: ClusterShard
+    bundle_seq: int
+    replayed_ops: int
+    users: int
+    sessions: int
+    ring_epoch: int
+    wall_ms: float
+
+
+def restore_cold_shard(
+    name: str,
+    bundle_data: bytes,
+    key: bytes,
+    archive,
+    primary,
+    standby,
+    kernel,
+    directory,
+    gateway=None,
+    registry=None,
+    rng=None,
+) -> RestoreReport:
+    """Stand up *primary*/*standby* as shard *name* from the archive."""
+
+    wall_start = time.perf_counter()
+    doc = decode_bundle(bundle_data, key)
+    if doc["shard"] != name:
+        raise DurabilityError(
+            f"bundle belongs to shard {doc['shard']!r}, not {name!r}"
+        )
+    tail = archive.tail_after(name, int(doc["seq"]))
+
+    # The dead shard's id namespace must survive: every client-held
+    # account id was allocated from it.
+    primary.database.id_base = int(doc["id_base"])
+    standby.database.id_base = int(doc["id_base"])
+
+    shard = ClusterShard(
+        name, primary, standby, kernel, registry=registry, rng=rng
+    )
+
+    # Snapshot via the journaling proxies: restoring the primary IS the
+    # initial replication to the new standby.
+    snapshot = doc["snapshot"]
+    for user_doc in snapshot["users"]:
+        primary.database.apply_user_snapshot(user_doc)
+    for login, failures, window_start, locked_until in snapshot.get("throttle", []):
+        state = (float(failures), float(window_start), float(locked_until))
+        primary.throttle.restore_state(str(login), state)
+        standby.throttle.restore_state(str(login), state)
+    sessions = snapshot.get("sessions", [])
+    for payload in sessions:
+        primary.sessions.install(session_from_payload(payload))
+
+    # Replay the archived tail, contiguity enforced from the bundle's
+    # sequence. A gap means the archive lost acknowledged ops — refuse.
+    applier = ReplicaApplier(
+        primary.database,
+        _FanoutThrottle(primary.throttle, standby.throttle),
+        sessions=primary.sessions,
+        on_mutate=primary.invalidate_derivations,
+    )
+    applier.applied_seq = int(doc["seq"])
+    outcome = applier.apply_ops(tail)
+    if outcome["need_snapshot"]:
+        raise DurabilityError(
+            f"archived tail for {name} has a gap after seq "
+            f"{outcome['applied_seq']}: acknowledged ops are missing"
+        )
+
+    # Satellite rule: no pre-disaster derivation (R or rendered P) nor
+    # cached token session may survive into the restored fleet.
+    primary.reset_volatile_state()
+    standby.reset_volatile_state()
+
+    directory.install_shard(name, shard)
+    if gateway is not None:
+        gateway.note_restored(name)
+
+    wall_ms = (time.perf_counter() - wall_start) * 1_000.0
+    if registry is not None:
+        registry.counter(
+            "amnesia_restore_total",
+            "Cold-node restores completed from a backup bundle, by shard",
+            label_names=("shard",),
+        ).labels(shard=name).inc()
+        registry.counter(
+            "amnesia_restore_replayed_ops_total",
+            "Archived op-log tail entries replayed during restores, by shard",
+            label_names=("shard",),
+        ).labels(shard=name).inc(len(tail))
+        registry.histogram(
+            "amnesia_restore_duration_ms",
+            "Wall-clock duration of cold-node restores",
+        ).observe(wall_ms)
+
+    return RestoreReport(
+        shard=shard,
+        bundle_seq=int(doc["seq"]),
+        replayed_ops=len(tail),
+        users=len(snapshot["users"]),
+        sessions=len(sessions),
+        ring_epoch=directory.epoch,
+        wall_ms=wall_ms,
+    )

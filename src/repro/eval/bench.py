@@ -54,6 +54,12 @@ HIGHER_IS_BETTER = "higher_is_better"  # rates, throughput
 #: baseline would turn any nonzero value into a spurious regression).
 TELEMETRY_OVERHEAD_LIMIT_PCT = 5.0
 
+#: Absolute cap on the DR drill's restore-to-verified time (simulated
+#: ms from starting the cold restore to the last user re-verified).
+#: A bound rather than a trend: the drill measures a recovery SLO, and
+#: "restores complete within 5 simulated seconds" is the contract.
+DRILL_RESTORE_LIMIT_MS = 5_000.0
+
 # Pinned iteration counts for the micro suite (full / smoke). Pinning
 # them in one place keeps successive BENCH files comparable.
 _MICRO_ITERATIONS = {
@@ -284,7 +290,27 @@ def run_macro(seed: int | str = "bench", smoke: bool = False) -> Dict[str, Any]:
     }
 
     macro["cluster"] = _run_cluster_macro(seed=seed, smoke=smoke)
+    macro["drill"] = _run_drill_macro(seed=seed)
     return macro
+
+
+def _run_drill_macro(seed: int | str) -> Dict[str, Any]:
+    """The DR drill as a bench arm: how long from starting the cold
+    restore to the last user re-verified (simulated clock), plus the
+    backup-age the disaster caught the archive at.  Gated as an
+    absolute bound (``limit``), not against the baseline — the number
+    measures a recovery SLO, not a trend."""
+    from repro.eval.drill import run_drill
+
+    result = run_drill(seed=f"{seed}|bench")
+    return {
+        "restore_ms": round(result.restore_ms, 3),
+        "limit_ms": DRILL_RESTORE_LIMIT_MS,
+        "backup_age_at_disaster_ms": round(result.backup_age_at_disaster_ms, 3),
+        "replayed_ops": result.replayed_ops,
+        "affected_users": len(result.affected),
+        "identical": all(result.identical.values()),
+    }
 
 
 def _run_cluster_macro(seed: int | str, smoke: bool) -> Dict[str, Any]:
@@ -376,6 +402,11 @@ def macro_gates(macro: Dict[str, Any]) -> Dict[str, Dict[str, Any]]:
             "value": macro["telemetry"]["overhead_pct"],
             "direction": LOWER_IS_BETTER,
             "limit": macro["telemetry"]["limit_pct"],
+        },
+        "macro.drill.restore_ms": {
+            "value": macro["drill"]["restore_ms"],
+            "direction": LOWER_IS_BETTER,
+            "limit": macro["drill"]["limit_ms"],
         },
     }
 

@@ -1,0 +1,291 @@
+"""The disaster-recovery drill: rehearse total shard loss, verify bytes.
+
+Failover (PR 4) answers the loss of one machine; this drill rehearses
+the disaster failover cannot answer — a shard's primary AND standby
+dying mid-exchange — and proves the durability plane's whole chain
+end-to-end on one deterministic sim timeline:
+
+1. a 2-shard cluster enrolls users and warms generations; the
+   durability plane cuts periodic encrypted bundles to the off-site
+   archive, with the bundle key escrowed k-of-n at install;
+2. after a bundle lands, one affected account's seed is *rotated* —
+   so the newest bundle alone is stale and a correct restore must
+   replay the archived op-log tail;
+3. a generation is issued and, 2 ms in, both of the victim shard's
+   hosts are hard-crashed.  The probe plane detects it, attempts the
+   (futile) failover, and the stuck exchange surfaces as a degraded
+   502 — exactly what the client retry plane is for;
+4. disaster recovery: the drill first proves ``k-1`` trustee shares
+   CANNOT reconstruct the bundle key, then recovers it from ``k``
+   shares, cold-restores the shard from the newest bundle + tail onto
+   fresh hosts, re-joins the ring, and re-registers affected phones;
+5. verification: every user's generated ``P`` — affected or not — must
+   be bit-identical to its pre-disaster value (including the
+   post-backup rotation), and browser sessions must still resolve
+   without a re-login.
+
+Everything runs on the sim clock, so two runs with the same seed must
+produce bit-identical transition fingerprints — asserted by
+``verify_drill`` (the ``drill --check`` smoke) and the test suite.
+The headline DR number, ``restore_ms`` (sim time from starting the
+restore to the last affected user re-verified), feeds the bench
+harness as an absolute bound (``macro.drill.restore_ms``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.cluster.chaos import CLUSTER_RETRY
+from repro.cluster.testbed import ClusterTestbed
+from repro.crypto.shamir import recover_secret
+from repro.util.errors import CryptoError, ValidationError
+from repro.web.http import HttpRequest
+
+_USERS = ("dana", "drew", "dave")
+_BACKUP_INTERVAL_MS = 5_000.0
+_TRUSTEES = 5
+_THRESHOLD = 3
+
+#: Timeline (ms after the load phase starts).
+_FIRST_BACKUP_SETTLE_MS = 5_500.0  # one periodic backup has landed
+_ROTATE_SETTLE_MS = 500.0  # post-rotation op reaches the archive tail
+_CRASH_DELAY_MS = 2.0  # hosts die this far into the doomed exchange
+_DETECTION_MS = 2_500.0  # probes flag the shard down in this window
+_RESTORE_SETTLE_MS = 1_000.0  # ring re-join + re-registrations land
+
+
+@dataclass
+class DrillResult:
+    """One rehearsal, reduced to its verifiable story."""
+
+    seed: str
+    victim: str = ""
+    affected: List[str] = field(default_factory=list)
+    #: (t_ms, event) on the sim clock — the determinism contract.
+    transitions: List[tuple] = field(default_factory=list)
+    #: login -> post-restore P equals pre-disaster P.
+    identical: Dict[str, bool] = field(default_factory=dict)
+    sessions_survived: bool = False
+    k_minus_one_rejected: bool = False
+    mid_exchange_failures: int = 0
+    failovers: int = 0
+    reregistrations: List[str] = field(default_factory=list)
+    bundle_seq: int = 0
+    replayed_ops: int = 0
+    backup_age_at_disaster_ms: float = 0.0
+    restore_ms: float = 0.0
+
+    def note(self, t_ms: float, event: str) -> None:
+        self.transitions.append((t_ms, event))
+
+    def fingerprint(self) -> str:
+        """Bit-identical across runs with the same seed, or the drill
+        is not deterministic."""
+        parts = [
+            f"seed={self.seed}",
+            f"victim={self.victim}",
+            "affected=" + ",".join(self.affected),
+            "events=["
+            + ";".join(f"{t:.3f}:{event}" for t, event in self.transitions)
+            + "]",
+            "identical="
+            + ",".join(
+                f"{login}:{int(ok)}" for login, ok in sorted(self.identical.items())
+            ),
+            f"sessions={int(self.sessions_survived)}",
+            f"km1={int(self.k_minus_one_rejected)}",
+            f"midfail={self.mid_exchange_failures}",
+            f"failovers={self.failovers}",
+            "rereg=" + ",".join(self.reregistrations),
+            f"bundle={self.bundle_seq}+{self.replayed_ops}",
+            f"age={self.backup_age_at_disaster_ms:.3f}",
+            f"restore={self.restore_ms:.3f}",
+        ]
+        return "|".join(parts)
+
+    def render(self) -> str:
+        lines = [
+            f"[drill] seed={self.seed} victim={self.victim} "
+            f"affected={','.join(self.affected)}",
+        ]
+        for t_ms, event in self.transitions:
+            lines.append(f"  {t_ms:>10.1f} ms  {event}")
+        lines.append(
+            f"  P bit-identical: "
+            + ", ".join(
+                f"{login}={'yes' if ok else 'NO'}"
+                for login, ok in sorted(self.identical.items())
+            )
+        )
+        lines.append(
+            f"  sessions survived: {self.sessions_survived}; "
+            f"k-1 shares rejected: {self.k_minus_one_rejected}; "
+            f"mid-exchange failures: {self.mid_exchange_failures}"
+        )
+        lines.append(
+            f"  bundle seq {self.bundle_seq} + {self.replayed_ops} replayed "
+            f"tail ops; backup age at disaster "
+            f"{self.backup_age_at_disaster_ms:.1f} ms; "
+            f"restore-to-verified {self.restore_ms:.1f} ms"
+        )
+        return "\n".join(lines)
+
+
+def run_drill(seed: int | str = "drill") -> DrillResult:
+    """Run the rehearsal once on a fresh cluster; fully deterministic."""
+
+    bed = ClusterTestbed(shards=2, seed=f"drill|{seed}")
+    plane = bed.install_durability(
+        trustees=_TRUSTEES,
+        threshold=_THRESHOLD,
+        interval_ms=_BACKUP_INTERVAL_MS,
+    )
+    result = DrillResult(seed=str(seed))
+
+    browsers: Dict[str, object] = {}
+    accounts: Dict[str, int] = {}
+    for login in _USERS:
+        browsers[login] = bed.enroll(login, f"master-{login}-password")
+        accounts[login] = browsers[login].add_account(login, f"{login}.example.com")
+    bed.run_until_idle()
+
+    victim = bed.shard_of(_USERS[0]).name
+    result.victim = victim
+    result.affected = [
+        login for login in _USERS if bed.shard_of(login).name == victim
+    ]
+
+    # Warm P for everyone (also establishes the token-session fast path
+    # whose cache the restore must NOT serve from).
+    before: Dict[str, str] = {}
+    for login in _USERS:
+        before[login] = browsers[login].generate_password(accounts[login])[
+            "password"
+        ]
+    result.note(bed.kernel.now, "warm")
+
+    plane.start()
+    bed.gateway.start_probing()
+    bed.run(_FIRST_BACKUP_SETTLE_MS)  # first periodic bundles land
+    for name in sorted(bed.shards):
+        result.note(
+            bed.kernel.now, f"backup {name}@{plane.archive.newest_seq(name)}"
+        )
+
+    # Post-backup rotation: the newest bundle is now stale for this
+    # account; only a tail replay restores the rotated seed.
+    rotated = result.affected[0]
+    browsers[rotated].rotate_password(accounts[rotated])
+    before[rotated] = browsers[rotated].generate_password(accounts[rotated])[
+        "password"
+    ]
+    bed.run(_ROTATE_SETTLE_MS)
+    result.note(bed.kernel.now, f"rotate {rotated}")
+
+    # The doomed exchange: issue a generation, then kill BOTH of the
+    # victim's hosts 2 ms in.
+    def on_response(response) -> None:
+        if not response.ok:
+            result.mid_exchange_failures += 1
+
+    browsers[rotated].http.send(
+        HttpRequest.json_request(
+            "POST", f"/accounts/{accounts[rotated]}/generate", {}
+        ),
+        on_response,
+        lambda error: setattr(
+            result, "mid_exchange_failures", result.mid_exchange_failures + 1
+        ),
+    )
+    bed.kernel.schedule(
+        _CRASH_DELAY_MS, lambda: bed.crash_shard(victim), label="drill-disaster"
+    )
+    bed.run(_DETECTION_MS)
+    disaster_at = bed.kernel.now
+    result.note(disaster_at, f"disaster {victim}")
+    result.backup_age_at_disaster_ms = plane.archive.backup_age_ms(
+        victim, disaster_at
+    )
+
+    # -- disaster recovery ------------------------------------------------
+    # First prove the escrow threshold: k-1 shares reconstruct nothing.
+    try:
+        recover_secret(plane.trustee_shares[: _THRESHOLD - 1])
+    except CryptoError:
+        result.k_minus_one_rejected = True
+    key = recover_secret(plane.trustee_shares[1 : 1 + _THRESHOLD])
+
+    restore_started = bed.kernel.now
+    report = bed.restore_shard(victim, key=key)
+    result.bundle_seq = report.bundle_seq
+    result.replayed_ops = report.replayed_ops
+    result.note(
+        bed.kernel.now,
+        f"restore {victim}@{report.bundle_seq}+{report.replayed_ops} "
+        f"epoch={report.ring_epoch}",
+    )
+    bed.run(_RESTORE_SETTLE_MS)
+
+    # -- verification -----------------------------------------------------
+    # Every user — on the restored shard or not — must regenerate the
+    # byte-identical P, through the existing cookie (no re-login).
+    for login in _USERS:
+        outcome = browsers[login].generate_password(
+            accounts[login],
+            retry=CLUSTER_RETRY,
+            rng=bed.network.rng_stream(f"drill-verify-{login}"),
+        )
+        result.identical[login] = outcome["password"] == before[login]
+    result.restore_ms = bed.kernel.now - restore_started
+    result.note(bed.kernel.now, "verified")
+    result.sessions_survived = all(
+        browsers[login].http.get("/me").ok for login in _USERS
+    )
+    result.failovers = bed.gateway.failovers
+    result.reregistrations = list(bed.reregistrations)
+
+    plane.stop()
+    bed.gateway.stop_probing()
+    bed.run_until_idle()
+    return result
+
+
+def verify_drill(seed: int | str = "drill") -> DrillResult:
+    """The ``drill --check`` smoke: one full rehearsal asserted, then a
+    replay that must reproduce the fingerprint bit-for-bit."""
+
+    first = run_drill(seed)
+    failures: List[str] = []
+    if not all(first.identical.values()):
+        broken = [login for login, ok in first.identical.items() if not ok]
+        failures.append(f"post-restore P diverged for {broken}")
+    if not first.k_minus_one_rejected:
+        failures.append("k-1 trustee shares were not rejected")
+    if first.replayed_ops < 1:
+        failures.append(
+            "no tail ops replayed — the post-backup rotation never "
+            "exercised the archive tail"
+        )
+    if not first.sessions_survived:
+        failures.append("a browser session did not survive the restore")
+    if first.mid_exchange_failures < 1:
+        failures.append("the mid-exchange disaster never bit the workload")
+    if not first.reregistrations:
+        failures.append("no phone re-registrations were driven")
+    if failures:
+        raise ValidationError(
+            "drill check FAILED:\n" + "\n".join(f"  - {line}" for line in failures)
+        )
+    second = run_drill(seed)
+    if first.fingerprint() != second.fingerprint():
+        raise ValidationError(
+            "drill replay diverged:\n"
+            f"  first : {first.fingerprint()}\n"
+            f"  second: {second.fingerprint()}"
+        )
+    return first
+
+
+__all__ = ["DrillResult", "run_drill", "verify_drill"]

@@ -255,6 +255,17 @@ class AmnesiaCore:
             return self.derivations.clear()
         return self.derivations.invalidate_account(account_id)
 
+    def reset_volatile_state(self) -> None:
+        """Cold-restore hygiene (the durability plane's satellite rule):
+        a server whose database was just rebuilt from a backup bundle
+        must forget every cached derivation — both the R and rendered-P
+        families — and every cached token session *before* it serves
+        its first request.  The rows under those caches are now the
+        bundle's rows; anything computed pre-disaster is suspect.
+        """
+        self._token_sessions.clear()
+        self.derivations.clear()
+
     # -- §VIII session mechanism ---------------------------------------------
 
     def _cached_token(self, user_id: int, account_id: int) -> str | None:

@@ -71,3 +71,9 @@ class StorageError(ReproError):
 
 class RecoveryError(ReproError):
     """A recovery protocol step failed (bad backup, mismatched P_id)."""
+
+
+class DurabilityError(ReproError):
+    """A backup bundle failed validation (checksum, version, AEAD) or a
+    restore precondition does not hold. Restores are all-or-nothing:
+    this error means *nothing* was applied."""

@@ -59,6 +59,62 @@ class TestOpLog:
         with pytest.raises(ValidationError):
             OpLog(max_ops=0)
 
+
+class TestTrimBarrier:
+    """PR 7 satellite: trimming may never outrun the newest backup."""
+
+    def test_barrier_holds_floor_over_overflow(self):
+        log = OpLog(max_ops=3)
+        log.set_trim_barrier(0)  # nothing backed up yet
+        for _ in range(10):
+            log.append("put_user", {})
+        # Legacy trimming would have floored at 7; the barrier holds
+        # every op, however far past max_ops the journal grows.
+        assert log.floor == 0
+        assert len(log) == 10
+
+    def test_raising_barrier_drains_held_backlog(self):
+        log = OpLog(max_ops=3)
+        log.set_trim_barrier(0)
+        for _ in range(10):
+            log.append("put_user", {})
+        log.set_trim_barrier(6)  # a bundle covering seq 6 landed
+        assert log.floor == 6
+        assert [op.seq for op in log.since(6)] == [7, 8, 9, 10]
+
+    def test_barrier_partial_trim_stops_at_barrier(self):
+        log = OpLog(max_ops=2)
+        log.set_trim_barrier(0)
+        for _ in range(6):
+            log.append("put_user", {})
+        log.set_trim_barrier(3)
+        # Only the covered prefix goes, even though 4 ops still exceed
+        # max_ops=2.
+        assert log.floor == 3
+        assert len(log) == 3
+
+    def test_none_means_legacy_size_only_trim(self):
+        log = OpLog(max_ops=3)
+        for _ in range(10):
+            log.append("put_user", {})
+        assert log.floor == 7  # unchanged pre-PR-7 behavior
+
+    def test_barrier_below_floor_rejected(self):
+        log = OpLog(max_ops=3)
+        for _ in range(10):
+            log.append("put_user", {})
+        assert log.floor == 7
+        with pytest.raises(ValidationError, match="below the floor"):
+            log.set_trim_barrier(5)
+
+    def test_barrier_cannot_move_backwards(self):
+        log = OpLog()
+        for _ in range(5):
+            log.append("put_user", {})
+        log.set_trim_barrier(4)
+        with pytest.raises(ValidationError, match="backwards"):
+            log.set_trim_barrier(2)
+
     def test_wire_roundtrip(self):
         op = Op(seq=7, kind="put_user", payload={"login": "alice"})
         assert Op.from_wire(op.to_wire()) == op

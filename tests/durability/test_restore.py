@@ -1,0 +1,129 @@
+"""Cold-restore regressions: round trips, the rotation rule, refusals."""
+
+import pytest
+
+from repro.cluster.chaos import CLUSTER_RETRY
+from repro.cluster.testbed import ClusterTestbed
+from repro.crypto.randomness import SeededRandomSource
+from repro.util.errors import DurabilityError, ValidationError
+
+
+def make_bed(seed, logins=("dana",)):
+    bed = ClusterTestbed(shards=2, seed=seed)
+    bed.install_durability()
+    browsers = {}
+    accounts = {}
+    for login in logins:
+        browsers[login] = bed.enroll(login, f"master-{login}-password")
+        accounts[login] = browsers[login].add_account(login, f"{login}.example.com")
+    bed.run_until_idle()
+    return bed, browsers, accounts
+
+
+def regenerate(bed, browser, account_id, label):
+    return browser.generate_password(
+        account_id,
+        retry=CLUSTER_RETRY,
+        rng=bed.network.rng_stream(label),
+    )["password"]
+
+
+class TestColdRestore:
+    def test_round_trip_p_bit_identical(self):
+        bed, browsers, accounts = make_bed("restore-rt", ("dana", "drew"))
+        before = {
+            login: browsers[login].generate_password(accounts[login])["password"]
+            for login in browsers
+        }
+        assert bed.durability.backup_all() == 2
+        victim = bed.shard_of("dana").name
+        bed.crash_shard(victim)
+
+        report = bed.restore_shard(victim)
+        assert report.shard.name == victim
+        assert report.replayed_ops == 0  # nothing journaled since the bundle
+        assert report.users >= 1
+
+        for login in browsers:
+            after = regenerate(bed, browsers[login], accounts[login], f"v-{login}")
+            assert after == before[login]
+        # Existing cookies still resolve — no re-login after the restore.
+        assert all(browser.http.get("/me").ok for browser in browsers.values())
+
+    def test_rotated_then_restored_never_serves_pre_rotation_p(self):
+        # The regression this PR guards: a bundle cut BEFORE a rotation
+        # plus a correct tail replay must serve the post-rotation P —
+        # never the stale pre-rotation one (from the bundle alone, or
+        # from a derivation cache that survived the restore).
+        bed, browsers, accounts = make_bed("restore-rot")
+        browser, account = browsers["dana"], accounts["dana"]
+        p_old = browser.generate_password(account)["password"]
+        assert bed.durability.backup_all() == 2
+
+        browser.rotate_password(account)
+        p_new = browser.generate_password(account)["password"]
+        assert p_new != p_old
+
+        victim = bed.shard_of("dana").name
+        bed.crash_shard(victim)
+        report = bed.restore_shard(victim)
+        assert report.replayed_ops >= 1  # the rotation lives in the tail
+
+        p_restored = regenerate(bed, browser, account, "v-rot")
+        assert p_restored == p_new
+        assert p_restored != p_old
+
+    def test_restored_shard_starts_with_cold_caches(self):
+        bed, browsers, accounts = make_bed("restore-cache")
+        browsers["dana"].generate_password(accounts["dana"])  # warm caches
+        bed.durability.backup_all()
+        victim = bed.shard_of("dana").name
+        bed.crash_shard(victim)
+        bed.restore_shard(victim)
+        # Before serving anything, both derivation-cache families on
+        # both restored nodes must be empty.
+        shard = bed.shards[victim]
+        for server in (shard.primary, shard.standby):
+            stats = server.derivations.stats()
+            assert all(family["entries"] == 0 for family in stats.values())
+
+
+class TestRestoreRefusals:
+    def test_restore_without_plane_refused(self):
+        bed = ClusterTestbed(shards=2, seed="restore-noplane")
+        with pytest.raises(ValidationError, match="install_durability"):
+            bed.restore_shard(sorted(bed.shards)[0])
+
+    def test_wrong_key_no_partial_restore(self):
+        bed, browsers, accounts = make_bed("restore-badkey")
+        bed.durability.backup_all()
+        victim = bed.shard_of("dana").name
+        old_shard = bed.shards[victim]
+        epoch_before = bed.directory.epoch
+        bed.crash_shard(victim)
+
+        wrong = SeededRandomSource("not-the-bundle-key").token_bytes(32)
+        with pytest.raises(DurabilityError, match="bundle key rejected"):
+            bed.restore_shard(victim, key=wrong)
+
+        # Nothing was installed: same (dead) shard, same ring epoch.
+        assert bed.shards[victim] is old_shard
+        assert bed.directory.epoch == epoch_before
+        assert bed.gateway.restores == 0
+
+    def test_tail_gap_refused(self):
+        # An archive that lost an acknowledged op between the bundle and
+        # the newest tail op must refuse to restore — never silently
+        # skip it.
+        bed, browsers, accounts = make_bed("restore-gap")
+        bed.durability.backup_all()
+        browser, account = browsers["dana"], accounts["dana"]
+        browser.rotate_password(account)
+        browser.generate_password(account)
+        victim = bed.shard_of("dana").name
+        tail = bed.durability.archive._tails[victim]
+        assert len(tail) >= 2
+        del tail[0]  # lose the first post-bundle op
+        bed.crash_shard(victim)
+        with pytest.raises(DurabilityError):
+            bed.restore_shard(victim)

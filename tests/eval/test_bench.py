@@ -30,7 +30,7 @@ class TestMacroSuite:
     def test_covers_both_transports_load_and_chaos(self, macro):
         assert set(macro) == {
             "e2e_wifi", "e2e_4g", "workload", "chaos", "cluster",
-            "telemetry",
+            "telemetry", "drill",
         }
         assert macro["e2e_wifi"]["p50_ms"] <= macro["e2e_wifi"]["p95_ms"]
         assert macro["workload"]["completed"] <= macro["workload"]["issued"]
@@ -79,6 +79,15 @@ class TestMacroSuite:
         gate = macro_gates(macro)["macro.telemetry.overhead_pct"]
         assert gate["direction"] == LOWER_IS_BETTER
         assert gate["limit"] == macro["telemetry"]["limit_pct"]
+
+    def test_drill_arm_recovers_within_its_bound(self, macro):
+        drill = macro["drill"]
+        assert drill["identical"] is True
+        assert drill["replayed_ops"] >= 1
+        assert drill["restore_ms"] < drill["limit_ms"]
+        gate = macro_gates(macro)["macro.drill.restore_ms"]
+        assert gate["direction"] == LOWER_IS_BETTER
+        assert gate["limit"] == drill["limit_ms"]
 
 
 class TestDocument:

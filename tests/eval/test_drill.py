@@ -1,0 +1,22 @@
+"""The disaster-recovery drill: end-to-end assertions + determinism."""
+
+from repro.eval.drill import run_drill, verify_drill
+
+
+class TestDrill:
+    def test_verify_drill_passes_and_is_deterministic(self):
+        # verify_drill itself asserts the whole contract — bit-identical
+        # P for every user, k-1 share rejection, >= 1 replayed tail op,
+        # surviving sessions, a mid-exchange failure, re-registrations —
+        # then replays the drill and compares fingerprints bit-for-bit.
+        result = verify_drill(seed="pytest")
+        assert result.victim
+        assert result.bundle_seq >= 1
+        assert result.restore_ms > 0.0
+
+    def test_distinct_seeds_distinct_timelines(self):
+        a = run_drill(seed="pytest-a")
+        b = run_drill(seed="pytest-b")
+        assert a.fingerprint() != b.fingerprint()
+        # ...but each still ends in full recovery.
+        assert all(a.identical.values()) and all(b.identical.values())
