@@ -205,7 +205,42 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     (and the in-process profiler scopes captured during the traced
     generation) as a Chrome ``trace_event`` JSON file, loadable in
     ``chrome://tracing`` or Perfetto.
+
+    ``--top N`` / ``--critical`` instead run the distributed-tracing
+    chaos scenario on the sharded cluster and render the stored trace
+    trees / fleet-wide critical-path edge attribution. ``--check`` is
+    the `make tracing-smoke` contract: the acceptance trace must match
+    the Figure 3 latency and PR 1 stage breakdown exactly, the chaos
+    run must exercise every tail-sampling keep arm (error, slow,
+    incomplete, probabilistic), and both must replay bit-identically.
     """
+    if args.check:
+        from repro.eval.tracing import verify_tracing
+
+        acceptance, chaos = verify_tracing(args.seed)
+        print(acceptance.render())
+        print(chaos.render())
+        print(
+            "trace check ok: acceptance trace exact, all keep arms "
+            "exercised, deterministic replay"
+        )
+        return 0
+    if args.top is not None or args.critical:
+        from repro.eval.tracing import run_tracing_chaos
+        from repro.obs.tracestore import critical_edges, render_trace
+
+        chaos = run_tracing_chaos(args.seed)
+        print(chaos.render())
+        store = chaos.store
+        if args.top is not None:
+            for tree in store.top(args.top):
+                print()
+                print(render_trace(tree))
+        if args.critical:
+            print("\ncritical-path edges (fleet-wide, kept traces):")
+            for parent, name, count, total in critical_edges(store.traces()):
+                print(f"  {parent} > {name:<30} n={count:<5d} {total:10.1f}ms")
+        return 0
     from repro.net.profiles import WIFI_PROFILE
     from repro.obs.profiler import Profiler, profiling
     from repro.sim.trace import TraceRecorder, render_sequence_chart
@@ -504,18 +539,70 @@ def _dash_frames(seed: int | str) -> "tuple[str, str]":
     return mid_outage, recovered
 
 
-def _cmd_dash(args: argparse.Namespace) -> int:
-    """Render the live cluster dashboard over a scripted gcm outage.
+def _dash_traces_frame(seed: int | str) -> str:
+    """One dashboard frame of a second scripted scene: a shard primary
+    partitioned away mid-load with the tracing plane installed, so the
+    TRACES section shows kept trees (including an ``INCOMPLETE`` one —
+    the partitioned primary's open server span never exports) and
+    critical-path edges. Pure function of the seed."""
+    from repro.cluster.testbed import GATEWAY, MONITOR, ClusterTestbed
+    from repro.faults.plane import FaultSchedule
+    from repro.obs.dashboard import render_dashboard
+    from repro.web.http import HttpRequest
 
-    Two frames: mid-outage (gcm stale, alert firing, 5xx spike in the
-    sparklines) and after recovery. ``--check`` is the `make dash-smoke`
-    contract: both frames must contain the expected sections and
-    markers, and a second run of the identical scene must render
-    byte-for-byte the same text.
+    bed = ClusterTestbed(shards=2, seed=f"dash-traces|{seed}")
+    bed.install_tracing(quiesce_ms=2_000.0)
+    browser = bed.enroll("tina", "master-tina-password")
+    account_id = browser.add_account("tina", "tina.example.com")
+    plane = bed.install_telemetry()
+    shard = bed.shard_of("tina")
+    # The partition opens mid-exchange (ticks land at 100 + k*450) and
+    # is still up when the frame renders: the cut primary's open server
+    # span never exports, so its traces show as INCOMPLETE.
+    bed.install_fault_plane(
+        FaultSchedule().partition(
+            2_812.0, 9_000.0,
+            [shard.primary.host.name],
+            [GATEWAY, MONITOR],
+        )
+    )
+    start = bed.kernel.now
+
+    def tick() -> None:
+        if bed.kernel.now - start >= 8_000.0:
+            return
+        browser.http.send(
+            HttpRequest.json_request(
+                "POST", f"/accounts/{account_id}/generate", {}
+            ),
+            lambda response: None,
+            lambda error: None,
+        )
+        bed.kernel.schedule(450.0, tick, label="dash-traces-load")
+
+    bed.kernel.schedule(100.0, tick, label="dash-traces-load")
+    bed.run(10_800.0)
+    frame = render_dashboard(plane)
+    plane.stop()
+    return frame
+
+
+def _cmd_dash(args: argparse.Namespace) -> int:
+    """Render the live cluster dashboard over two scripted scenes.
+
+    Scene one is a gcm outage, two frames: mid-outage (gcm stale, alert
+    firing, 5xx spike in the sparklines) and after recovery. Scene two
+    partitions a shard primary with the tracing plane installed, one
+    frame: the TRACES section with kept and incomplete trace trees.
+    ``--check`` is the `make dash-smoke` contract: all frames must
+    contain the expected sections and markers, and a second run of the
+    identical scenes must render byte-for-byte the same text.
     """
     mid_outage, recovered = _dash_frames(args.seed)
     print(mid_outage)
     print(recovered)
+    traces_frame = _dash_traces_frame(args.seed)
+    print(traces_frame)
     if not args.check:
         return 0
     failures = []
@@ -528,14 +615,27 @@ def _cmd_dash(args: argparse.Namespace) -> int:
         failures.append("mid-outage frame shows no firing alert")
     if "FIRING" in recovered:
         failures.append("recovered frame still shows a firing alert")
+    if "TRACES" in mid_outage:
+        failures.append(
+            "gcm scene shows a TRACES section without the tracing plane"
+        )
+    if "TRACES" not in traces_frame:
+        failures.append("partition scene is missing the TRACES section")
+    if " incomplete=" not in traces_frame or " incomplete=0 " in traces_frame:
+        failures.append("partition scene shows no incomplete trace")
+    if " path " not in traces_frame:
+        failures.append("partition scene shows no critical-path edges")
     replay_mid, replay_recovered = _dash_frames(args.seed)
-    if (replay_mid, replay_recovered) != (mid_outage, recovered):
+    replay_traces = _dash_traces_frame(args.seed)
+    if (replay_mid, replay_recovered, replay_traces) != (
+        mid_outage, recovered, traces_frame
+    ):
         failures.append("dashboard render is not deterministic under the seed")
     if failures:
         for failure in failures:
             print(f"dash check FAILED: {failure}", file=sys.stderr)
         return 1
-    print("dash check ok: sections present, outage visible, "
+    print("dash check ok: sections present, outage and traces visible, "
           "deterministic render")
     return 0
 
@@ -783,6 +883,21 @@ def build_parser() -> argparse.ArgumentParser:
             command.add_argument(
                 "--chrome", default=None, metavar="PATH",
                 help="also export the exchange as Chrome trace_event JSON",
+            )
+            command.add_argument(
+                "--top", type=int, default=None, metavar="N",
+                help="show the N largest stored traces from a cluster "
+                "chaos run (distributed tracing plane)",
+            )
+            command.add_argument(
+                "--critical", action="store_true",
+                help="show fleet-wide critical-path edge attribution "
+                "from a cluster chaos run",
+            )
+            command.add_argument(
+                "--check", action="store_true",
+                help="assert the tracing acceptance contract, the chaos "
+                "keep arms, and a bit-identical replay (smoke test)",
             )
         elif name == "bench":
             command.add_argument(

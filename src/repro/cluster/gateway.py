@@ -39,6 +39,7 @@ from typing import Any, Callable, Dict, List, Optional
 from repro.cluster.ring import HashRing
 from repro.cluster.shard import ClusterShard, make_internal_client
 from repro.net.tls import SecureServer, SecureStack
+from repro.obs import tracing
 from repro.obs.health import install_health_routes, install_node_info
 from repro.server.service import AMNESIA_SERVICE
 from repro.util.errors import ValidationError
@@ -111,6 +112,10 @@ class _InFlight:
     epoch: int
     login: str
     rerouted: int = 0
+    # The gateway server span's context, captured at forward time so
+    # re-dispatches (failover drain runs from probe callbacks, outside
+    # any bound call stack) still stamp the shard-bound request.
+    trace_ctx: Optional[Any] = None
 
 
 @dataclass
@@ -169,6 +174,9 @@ class ClusterGateway:
         # Durability plane (attach_durability): backup/escrow state on
         # the same aggregate.
         self._durability = None
+        # Distributed tracing (bind_tracing): gateway spans root every
+        # client-facing trace; failover drains stamp the affected trees.
+        self.tracer = None
         self.on_failover: List[Callable[[str, List[str]], None]] = []
         self.failovers = 0
         self.restores = 0
@@ -308,12 +316,14 @@ class ClusterGateway:
         deferred = Deferred()
         self._next_entry_id += 1
         entry_id = self._next_entry_id
+        span = tracing.current_span()
         entry = _InFlight(
             request=request,
             deferred=deferred,
             shard=shard_name,
             epoch=self.directory.epoch,
             login=login,
+            trace_ctx=span.context if span is not None else None,
         )
         self._in_flight[entry_id] = entry
         self._dispatch(entry_id, entry)
@@ -329,6 +339,10 @@ class ClusterGateway:
             return
         server = shard.serving
         client = self._client_for(server)
+        if entry.trace_ctx is not None:
+            entry.request.headers[tracing.TRACE_HEADER] = (
+                entry.trace_ctx.to_header()
+            )
         if self._m_requests is not None:
             self._m_requests.labels(shard=entry.shard).inc()
 
@@ -476,6 +490,20 @@ class ClusterGateway:
             entry.rerouted += 1
             if self._m_rerouted is not None:
                 self._m_rerouted.inc()
+            if self.tracer is not None and entry.trace_ctx is not None:
+                # A point event in the trace: this exchange was drained
+                # off the dead primary onto the promoted standby.
+                self.tracer.record_span(
+                    "gateway.failover_drain",
+                    parent=entry.trace_ctx,
+                    start_ms=self.kernel.now,
+                    end_ms=self.kernel.now,
+                    kind="internal",
+                    attributes={
+                        "shard": name,
+                        "promoted": shard.serving.host.name,
+                    },
+                )
             self._dispatch(entry_id, entry)
         for hook in list(self.on_failover):
             hook(name, affected)
@@ -548,6 +576,14 @@ class ClusterGateway:
         return detail
 
     # -- telemetry ---------------------------------------------------------
+
+    def bind_tracing(self, tracer) -> None:
+        """Attach a :class:`~repro.obs.tracing.Tracer`: the gateway's
+        application roots a trace per forwarded exchange, downstream
+        shard spans join via the ``amnesia-trace`` header, and failover
+        drains are stamped onto the affected traces."""
+        self.tracer = tracer
+        self.application.bind_tracing(tracer)
 
     def attach_telemetry(self, telemetry) -> None:
         """Fold a :class:`~repro.obs.scrape.FleetTelemetry`'s SLO state

@@ -45,6 +45,7 @@ from repro.faults.retry import (
     count_retry_giveup,
     jittered_delay_ms,
 )
+from repro.obs import tracing
 from repro.server.throttle import LoginThrottle
 from repro.storage.server_db import (
     AccountRecord,
@@ -90,18 +91,35 @@ OP_SESSION_REVOKE = "session_revoke"
 
 @dataclass(frozen=True)
 class Op:
-    """One sequenced journal entry (payload is JSON-safe)."""
+    """One sequenced journal entry (payload is JSON-safe).
+
+    *trace_ctx* is the ``amnesia-trace`` header of the request whose
+    handler journaled the op (``None`` in untraced deployments — the
+    wire encoding is then byte-identical to the pre-tracing format), so
+    replication-apply on the standby shows up inside the originating
+    trace.
+    """
 
     seq: int
     kind: str
     payload: Dict[str, Any]
+    trace_ctx: Optional[str] = None
 
     def to_wire(self) -> Dict[str, Any]:
-        return {"seq": self.seq, "kind": self.kind, "payload": self.payload}
+        doc = {"seq": self.seq, "kind": self.kind, "payload": self.payload}
+        if self.trace_ctx is not None:
+            doc["trace_ctx"] = self.trace_ctx
+        return doc
 
     @classmethod
     def from_wire(cls, doc: Dict[str, Any]) -> "Op":
-        return cls(seq=int(doc["seq"]), kind=str(doc["kind"]), payload=doc["payload"])
+        trace_ctx = doc.get("trace_ctx")
+        return cls(
+            seq=int(doc["seq"]),
+            kind=str(doc["kind"]),
+            payload=doc["payload"],
+            trace_ctx=str(trace_ctx) if trace_ctx is not None else None,
+        )
 
 
 class OpLog:
@@ -157,7 +175,15 @@ class OpLog:
 
     def append(self, kind: str, payload: Dict[str, Any]) -> Op:
         self.seq += 1
-        op = Op(seq=self.seq, kind=kind, payload=payload)
+        # Journaling happens synchronously inside the mutating handler,
+        # so the handler's trace context (if any) is still bound here.
+        ctx = tracing.current_context()
+        op = Op(
+            seq=self.seq,
+            kind=kind,
+            payload=payload,
+            trace_ctx=ctx.to_header() if ctx is not None else None,
+        )
         self._ops.append(op)
         self._trim()
         for listener in list(self._listeners):
@@ -648,10 +674,20 @@ class ReplicationLink:
             self._send_ops(batch)
 
     def _send_ops(self, batch: List[Op]) -> None:
+        # Explicit header from the first traced op in the batch: the
+        # flush runs from a kernel timer, outside any bound call stack,
+        # so ambient propagation cannot reach it. The standby's traced
+        # app then records the apply as a span inside that trace.
+        headers = None
+        for op in batch:
+            if op.trace_ctx is not None:
+                headers = {tracing.TRACE_HEADER: op.trace_ctx}
+                break
         request = HttpRequest.json_request(
             "POST",
             "/replicate/ops",
             {"shard": self.shard_name, "ops": [op.to_wire() for op in batch]},
+            headers=headers,
         )
         self._transmit(request, expect_snapshot_hint=True)
         self.batches_sent += 1

@@ -206,6 +206,9 @@ class ClusterTestbed:
         # -- telemetry plane (install_telemetry) ------------------------
         self.telemetry = None
         self._monitor_stack = None
+        # -- tracing plane (install_tracing) ----------------------------
+        self.trace_store = None
+        self.tracers: Dict[str, object] = {}
         # -- durability plane (install_durability) ----------------------
         self.durability = None
         self._restore_generation = 0
@@ -331,9 +334,68 @@ class ClusterTestbed:
         for slo in default_fleet_slos() if slos is None else slos:
             self.telemetry.add_slo(slo)
         self.gateway.attach_telemetry(self.telemetry)
+        if self.trace_store is not None:
+            self.telemetry.attach_traces(self.trace_store)
         if start:
             self.telemetry.start()
         return self.telemetry
+
+    # -- tracing plane ----------------------------------------------------
+
+    def install_tracing(
+        self,
+        keep_pct: int | None = None,
+        slow_ms: float | None = None,
+        quiesce_ms: float | None = None,
+    ):
+        """Attach the distributed tracing plane (idempotent): one
+        :class:`~repro.obs.tracing.Tracer` per node — gateway, every
+        primary and standby, the rendezvous, and each phone — plus a
+        monitor-side :class:`~repro.obs.tracestore.TraceStore` that the
+        telemetry scraper feeds from the nodes' ``/spansz`` endpoints.
+        Works in either order with :meth:`install_telemetry`; returns
+        the trace store."""
+        from repro.obs.tracestore import (
+            DEFAULT_KEEP_PCT,
+            DEFAULT_QUIESCE_MS,
+            DEFAULT_SLOW_MS,
+            TraceStore,
+        )
+
+        if self.trace_store is not None:
+            return self.trace_store
+        self.trace_store = TraceStore(
+            self.kernel,
+            quiesce_ms=(
+                DEFAULT_QUIESCE_MS if quiesce_ms is None else quiesce_ms
+            ),
+            keep_pct=DEFAULT_KEEP_PCT if keep_pct is None else keep_pct,
+            slow_ms=DEFAULT_SLOW_MS if slow_ms is None else slow_ms,
+        )
+        self.gateway.bind_tracing(self._tracer_for(GATEWAY))
+        for name in sorted(self.shards):
+            shard = self.shards[name]
+            for server in (shard.primary, shard.standby):
+                server.application.bind_tracing(
+                    self._tracer_for(server.host.name)
+                )
+        self.rendezvous.bind_tracing(self._tracer_for(RENDEZVOUS))
+        for login in sorted(self.phones):
+            self.phones[login].bind_tracing(
+                self._tracer_for(phone_host(login))
+            )
+        if self.telemetry is not None:
+            self.telemetry.attach_traces(self.trace_store)
+        return self.trace_store
+
+    def _tracer_for(self, node: str):
+        from repro.obs.tracing import Tracer
+
+        tracer = self.tracers.get(node)
+        if tracer is None:
+            tracer = Tracer(node, self.kernel)
+            self.tracers[node] = tracer
+        return tracer
 
     # -- durability plane -------------------------------------------------
 
@@ -421,6 +483,11 @@ class ClusterTestbed:
                     registry=self.registry,
                 )
             )
+        if self.trace_store is not None:
+            for server in servers:
+                server.application.bind_tracing(
+                    self._tracer_for(server.host.name)
+                )
         report = restore_cold_shard(
             shard_name,
             bundle,
@@ -519,6 +586,8 @@ class ClusterTestbed:
             approval=ApprovalPolicy.AUTO,
         )
         app.bind_registry(self.registry)
+        if self.trace_store is not None:
+            app.bind_tracing(self._tracer_for(host))
         self.phones[login] = app
         if self.telemetry is not None:
             self._add_phone_target(login, app)

@@ -1,0 +1,374 @@
+"""The tracing-plane acceptance and chaos scenarios (``trace --check``).
+
+Two deterministic arcs over the sharded cluster testbed:
+
+**Acceptance** — one bilateral generation with sampling wide open. The
+assembled trace must be a single complete tree rooted at the gateway,
+the shard's generate server span must equal the Figure 3 latency the
+browser measured, the four stage spans must match the PR 1
+:class:`~repro.obs.spans.SpanRecorder` breakdown span-for-span, and the
+critical path's per-stage exclusive time must sum back to that latency.
+
+**Chaos** — steady generation load with default tail sampling, a
+latency spike on the push leg (one exchange crosses the slow-keep
+threshold), and a mid-exchange shard-primary crash (the primary's open
+server span dies with the host, so the survivors' spans assemble into
+an ``incomplete``-flagged tree; the gateway drains its in-flight entry
+as a ``gateway.failover_drain`` span). The run must produce at least
+one sampled-out, one kept-slow, one kept-error and one incomplete
+trace — and replay bit-identically under the same seed, which is what
+makes traces usable as regression artifacts at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.cluster.testbed import ClusterTestbed, RENDEZVOUS, phone_host
+from repro.faults.plane import FaultSchedule
+from repro.obs.spans import GENERATION_STAGES
+from repro.util.errors import ValidationError
+from repro.web.http import HttpRequest
+
+#: Chaos load shape: two users, one generation every ~450 ms each.
+_USERS = ("tina", "tom")
+_ISSUE_GAP_MS = 450.0
+_LOAD_STOP_MS = 12_000.0
+_RUN_MS = 22_000.0
+
+#: Push-leg latency spike: tina's exchange issued at t=2350 rides
+#: gcm->phone hops inflated enough to cross the slow-keep threshold.
+_SPIKE_AT_MS = 2_150.0
+_SPIKE_MS = 400.0
+_SPIKE_EXTRA_MS = 80.0
+_SLOW_KEEP_MS = 120.0
+
+#: Crash the serving primary 12 ms into an exchange (ticks land at
+#: 100 + k*450): the push is already at the rendezvous, the server
+#: span is still open — and dies unexported with the host.
+_CRASH_AT_MS = 3_712.0
+
+#: A rendezvous outage mid-run: pushes fail fast (degraded 503), so
+#: complete-but-errored traces accumulate — the error-keep arm of the
+#: tail sampler. Heartbeats re-register the phones after restart.
+_GCM_CRASH_AT_MS = 6_000.0
+_GCM_DOWN_MS = 3_000.0
+_HEARTBEAT_INTERVAL_MS = 1_000.0
+_HEARTBEAT_MISS_THRESHOLD = 2
+
+_QUIESCE_MS = 2_000.0
+
+#: Stage-sum and duration comparisons: everything derives from the one
+#: sim clock, so only float accumulation noise is tolerated.
+_EPS_MS = 1e-6
+
+
+@dataclass
+class TracingAcceptanceResult:
+    """One clean bilateral generation, reduced to its trace facts."""
+
+    seed: str
+    latency_ms: float = 0.0
+    generate_span_ms: float = 0.0
+    root_node: str = ""
+    span_count: int = 0
+    incomplete: bool = True
+    #: Stage name -> (recorder duration, trace-span duration).
+    stages: Dict[str, tuple] = field(default_factory=dict)
+    #: Stage name -> exclusive ms on the critical path.
+    critical: Dict[str, float] = field(default_factory=dict)
+    critical_total_ms: float = 0.0
+    root_duration_ms: float = 0.0
+    trace_fingerprint: str = ""
+
+    def render(self) -> str:
+        lines = [
+            f"[tracing-accept] seed={self.seed} latency={self.latency_ms:.3f}ms"
+            f" spans={self.span_count} root={self.root_node}"
+            f" incomplete={self.incomplete}",
+            f"  generate span {self.generate_span_ms:.3f}ms"
+            f"  critical path {self.critical_total_ms:.3f}ms"
+            f" of root {self.root_duration_ms:.3f}ms",
+        ]
+        for name in GENERATION_STAGES:
+            recorded, traced = self.stages.get(name, (0.0, 0.0))
+            lines.append(
+                f"  stage {name:<14} recorder={recorded:8.3f}ms"
+                f" trace={traced:8.3f}ms"
+                f" critical={self.critical.get(name, 0.0):8.3f}ms"
+            )
+        return "\n".join(lines)
+
+
+def run_tracing_acceptance(
+    seed: int | str = "tracing",
+) -> TracingAcceptanceResult:
+    """One generation through the 2-shard cluster, sampling wide open."""
+    bed = ClusterTestbed(shards=2, seed=f"tracing-accept|{seed}")
+    store = bed.install_tracing(keep_pct=100, quiesce_ms=_QUIESCE_MS)
+    plane = bed.install_telemetry()
+    result = TracingAcceptanceResult(seed=str(seed))
+
+    browser = bed.enroll("tina", "tina-master-password")
+    account_id = browser.add_account("tina", "tina.example.com")
+    generated = browser.generate_password(account_id)
+    result.latency_ms = float(generated["latency_ms"])
+    shard = bed.shard_of("tina")
+    corr_id = shard.serving.spans.trace_ids()[-1]
+    recorder_stages = {
+        span.name: span.duration_ms
+        for span in shard.serving.spans.trace(corr_id)
+    }
+
+    bed.run(_QUIESCE_MS + 4_000.0)  # quiesce, then scrape + decide
+    plane.stop()
+    bed.run_until_idle()
+    store.finalize()
+
+    tree = store.trace_for_corr(corr_id)
+    if tree is None:
+        raise ValidationError(
+            f"no stored trace for generation corr id {corr_id!r}"
+        )
+    result.incomplete = tree.incomplete
+    result.span_count = tree.span_count
+    result.root_duration_ms = tree.root_duration_ms
+    result.trace_fingerprint = tree.fingerprint()
+    if tree.root is not None:
+        result.root_node = tree.root.node
+    generate_spans = [
+        span
+        for span in tree.spans
+        if span.name.endswith("/generate") and span.kind == "server"
+        and span.node == shard.serving.host.name
+    ]
+    if generate_spans:
+        result.generate_span_ms = generate_spans[0].duration_ms
+    for name in GENERATION_STAGES:
+        traced = tree.spans_named(name)
+        result.stages[name] = (
+            recorder_stages.get(name, 0.0),
+            traced[0].duration_ms if traced else -1.0,
+        )
+    for span, exclusive in tree.critical_path():
+        result.critical_total_ms += exclusive
+        if span.name in GENERATION_STAGES:
+            result.critical[span.name] = (
+                result.critical.get(span.name, 0.0) + exclusive
+            )
+    return result
+
+
+def check_acceptance(result: TracingAcceptanceResult) -> List[str]:
+    """The acceptance contract, as a list of failures (empty = pass)."""
+    failures: List[str] = []
+    if result.incomplete:
+        failures.append("clean generation assembled as an incomplete trace")
+    if result.root_node != "gateway":
+        failures.append(
+            f"trace is not rooted at the gateway (root on {result.root_node!r})"
+        )
+    if abs(result.generate_span_ms - result.latency_ms) > _EPS_MS:
+        failures.append(
+            "generate server span does not equal the Figure 3 latency: "
+            f"span={result.generate_span_ms!r} latency={result.latency_ms!r}"
+        )
+    for name in GENERATION_STAGES:
+        recorded, traced = result.stages.get(name, (0.0, -1.0))
+        if abs(recorded - traced) > _EPS_MS:
+            failures.append(
+                f"stage {name!r} differs between SpanRecorder ({recorded!r})"
+                f" and the stored trace ({traced!r})"
+            )
+    stage_critical = sum(result.critical.values())
+    if abs(stage_critical - result.latency_ms) > 1e-3:
+        failures.append(
+            "critical-path stage exclusives do not sum to the latency: "
+            f"{stage_critical!r} vs {result.latency_ms!r}"
+        )
+    if result.critical_total_ms > result.root_duration_ms + _EPS_MS:
+        failures.append(
+            "critical path exceeds the root span duration: "
+            f"{result.critical_total_ms!r} > {result.root_duration_ms!r}"
+        )
+    return failures
+
+
+@dataclass
+class TracingChaosResult:
+    """One chaos run, reduced to its observable story."""
+
+    seed: str
+    issued: int = 0
+    completed: int = 0
+    failed: int = 0
+    stats: Dict[str, object] = field(default_factory=dict)
+    kept_by_reason: Dict[str, int] = field(default_factory=dict)
+    incomplete_traces: int = 0
+    drain_spans: int = 0
+    store_fingerprint: str = ""
+    #: The run's TraceStore, for rendering (not part of the fingerprint).
+    store: object = None
+
+    def fingerprint(self) -> str:
+        """Bit-identical across runs with the same seed, or traces are
+        not usable as regression artifacts."""
+        reasons = ",".join(
+            f"{reason}:{count}"
+            for reason, count in sorted(self.kept_by_reason.items())
+        )
+        return "|".join(
+            [
+                f"seed={self.seed}",
+                f"io={self.issued}/{self.completed}/{self.failed}",
+                f"kept={self.stats.get('traces_kept', 0)}",
+                f"out={self.stats.get('traces_sampled_out', 0)}",
+                f"reasons=[{reasons}]",
+                f"incomplete={self.incomplete_traces}",
+                f"drain={self.drain_spans}",
+                f"store={self.store_fingerprint}",
+            ]
+        )
+
+    def render(self) -> str:
+        return (
+            f"[tracing-chaos] seed={self.seed} issued={self.issued}"
+            f" ok={self.completed} failed={self.failed}\n"
+            f"  kept={self.stats.get('traces_kept', 0)}"
+            f" sampled_out={self.stats.get('traces_sampled_out', 0)}"
+            f" by_reason={dict(sorted(self.kept_by_reason.items()))}"
+            f" incomplete={self.incomplete_traces}"
+            f" failover_drains={self.drain_spans}"
+        )
+
+
+def run_tracing_chaos(seed: int | str = "tracing") -> TracingChaosResult:
+    """Steady load + latency spike + mid-exchange primary crash."""
+    bed = ClusterTestbed(shards=2, seed=f"tracing|{seed}")
+    store = bed.install_tracing(slow_ms=_SLOW_KEEP_MS, quiesce_ms=_QUIESCE_MS)
+    bed.install_telemetry()
+    result = TracingChaosResult(seed=str(seed))
+
+    population = []
+    for login in _USERS:
+        browser = bed.enroll(login, f"master-{login}-password")
+        account_id = browser.add_account(login, f"{login}.example.com")
+        bed.phones[login].enable_resilience(
+            login,
+            heartbeat_interval_ms=_HEARTBEAT_INTERVAL_MS,
+            miss_threshold=_HEARTBEAT_MISS_THRESHOLD,
+        )
+        population.append((browser, account_id))
+
+    bed.install_fault_plane(
+        FaultSchedule()
+        .latency_spike(
+            _SPIKE_AT_MS,
+            _SPIKE_MS,
+            RENDEZVOUS,
+            phone_host(_USERS[0]),
+            extra_ms=_SPIKE_EXTRA_MS,
+        )
+        .crash(_GCM_CRASH_AT_MS, RENDEZVOUS, down_ms=_GCM_DOWN_MS)
+    )
+    bed.gateway.start_probing()
+    crash_shard = bed.shard_of(_USERS[0]).name
+    bed.kernel.schedule(
+        _CRASH_AT_MS,
+        lambda: bed.crash_primary(crash_shard),
+        label="tracing-crash",
+    )
+
+    start = bed.kernel.now
+
+    def issue(browser, account_id) -> None:
+        result.issued += 1
+
+        def on_response(response) -> None:
+            if response.ok:
+                result.completed += 1
+            else:
+                result.failed += 1
+
+        browser.http.send(
+            HttpRequest.json_request(
+                "POST", f"/accounts/{account_id}/generate", {}
+            ),
+            on_response,
+            lambda error: setattr(result, "failed", result.failed + 1),
+        )
+
+    def schedule_load(browser, account_id, offset_ms: float) -> None:
+        def tick() -> None:
+            if bed.kernel.now - start >= _LOAD_STOP_MS:
+                return
+            issue(browser, account_id)
+            bed.kernel.schedule(_ISSUE_GAP_MS, tick, label="tracing-load")
+
+        bed.kernel.schedule(offset_ms, tick, label="tracing-load")
+
+    for index, (browser, account_id) in enumerate(population):
+        schedule_load(browser, account_id, 100.0 + index * (_ISSUE_GAP_MS / 2))
+
+    bed.run(_RUN_MS)
+    bed.telemetry.stop()
+    bed.gateway.stop_probing()
+    bed.run_until_idle()
+    store.finalize()
+
+    result.stats = store.stats()
+    result.kept_by_reason = dict(result.stats.get("kept_by_reason", {}))
+    result.incomplete_traces = sum(
+        1 for tree in store.traces() if tree.incomplete
+    )
+    result.drain_spans = sum(
+        len(tree.spans_named("gateway.failover_drain"))
+        for tree in store.traces()
+    )
+    result.store_fingerprint = store.fingerprint()
+    result.store = store
+    return result
+
+
+def verify_tracing(seed: int | str = "tracing") -> tuple:
+    """The ``trace --check`` smoke: acceptance contract + chaos arc +
+    bit-identical replay. Returns ``(acceptance, chaos)`` results."""
+    acceptance = run_tracing_acceptance(seed)
+    failures = check_acceptance(acceptance)
+    replay = run_tracing_acceptance(seed)
+    if acceptance.trace_fingerprint != replay.trace_fingerprint:
+        failures.append("acceptance trace replay diverged")
+    chaos = run_tracing_chaos(seed)
+    if int(chaos.stats.get("traces_sampled_out", 0)) < 1:
+        failures.append("tail sampling never dropped a trace")
+    if chaos.kept_by_reason.get("slow", 0) < 1:
+        failures.append("latency spike never produced a kept-slow trace")
+    if chaos.kept_by_reason.get("error", 0) < 1:
+        failures.append("primary crash never produced a kept-error trace")
+    if chaos.incomplete_traces < 1:
+        failures.append("mid-exchange crash never yielded an incomplete trace")
+    if chaos.drain_spans < 1:
+        failures.append("failover drained no traced in-flight entries")
+    second = run_tracing_chaos(seed)
+    if chaos.fingerprint() != second.fingerprint():
+        failures.append(
+            "tracing chaos replay diverged:\n"
+            f"  first : {chaos.fingerprint()[:400]}\n"
+            f"  second: {second.fingerprint()[:400]}"
+        )
+    if failures:
+        raise ValidationError(
+            "tracing check failed:\n  - " + "\n  - ".join(failures)
+        )
+    return acceptance, chaos
+
+
+__all__ = [
+    "TracingAcceptanceResult",
+    "TracingChaosResult",
+    "run_tracing_acceptance",
+    "run_tracing_chaos",
+    "check_acceptance",
+    "verify_tracing",
+]

@@ -81,11 +81,13 @@ def run_workload(
     """Execute *spec* on a fresh testbed and collect the outcome.
 
     With *telemetry* the fleet scrape/SLO plane runs alongside the
-    load; its ``/metricsz`` requests share the server's thread pool and
+    load — and the distributed tracing plane with it, so every exchange
+    also carries trace context and exports spans over ``/spansz``; its
+    ``/metricsz`` requests share the server's thread pool and
     compute-latency stream, so the measured latencies include the real
     cost of being observed (the ``macro.telemetry.overhead_pct`` bench
-    gate bounds that cost). The telemetry-off path is untouched — it
-    must stay byte-identical with historical baselines."""
+    gate bounds that cost, tracing included). The telemetry-off path is
+    untouched — it must stay byte-identical with historical baselines."""
     bed = AmnesiaTestbed(
         seed=spec.seed,
         profile=profile,
@@ -151,7 +153,9 @@ def run_workload(
     if telemetry:
         # The scrape loop never drains, so run for the workload's span
         # (plus a grace period for stragglers), stop the plane, then
-        # drain whatever is still in flight.
+        # drain whatever is still in flight. Tracing rides the same
+        # arm: the overhead gate covers context propagation + export.
+        bed.install_tracing()
         plane = bed.install_telemetry()
         bed.run(spec.duration_ms + generation_timeout_ms)
         plane.stop()

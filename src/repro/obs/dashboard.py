@@ -150,6 +150,34 @@ def render_dashboard(
             f"{last:8.1f}{panel.unit}"
         )
 
+    # -- traces -----------------------------------------------------------
+    if plane.traces is not None:
+        from repro.obs.tracestore import critical_edges
+
+        store = plane.traces
+        stats = store.stats()
+        incomplete = sum(1 for tree in store.traces() if tree.incomplete)
+        lines.append("TRACES")
+        lines.append(
+            f"  kept={stats['traces_kept']}"
+            f" sampled_out={stats['traces_sampled_out']}"
+            f" incomplete={incomplete}"
+            f" pending={stats['pending']}"
+            f" spans={stats['spans_ingested']}"
+        )
+        for tree in store.top(3):
+            flags = " INCOMPLETE" if tree.incomplete else ""
+            lines.append(
+                f"  {tree.trace_id}  {tree.root_duration_ms:8.1f}ms"
+                f"  spans={tree.span_count:<3d}"
+                f" keep={tree.keep_reason}{flags}"
+            )
+        for parent, name, count, total in critical_edges(store.traces())[:4]:
+            lines.append(
+                f"  path {parent} > {name:<24} n={count:<4d}"
+                f" {total:8.1f}ms"
+            )
+
     # -- alerts -----------------------------------------------------------
     lines.append("ALERTS")
     slos: Dict[str, Dict] = summary["slos"]  # type: ignore[assignment]
@@ -167,6 +195,8 @@ def render_dashboard(
         exemplar = entry.get("exemplar")
         if exemplar:
             line += f"  corr={exemplar['corr_id']}"
+            if "trace_id" in exemplar:
+                line += f" trace={exemplar['trace_id']}"
         lines.append(line)
     lines.append("=" * width)
     return "\n".join(lines) + "\n"

@@ -3,8 +3,13 @@
 :func:`render_prometheus` follows the text exposition format (version
 0.0.4): ``# HELP``/``# TYPE`` per family, label values escaped
 (backslash, double-quote, newline), histograms as cumulative
-``_bucket{le=...}`` series plus ``_sum``/``_count``. :func:`render_json`
-produces the same data as one JSON document for dashboards and the CLI.
+``_bucket{le=...}`` series plus ``_sum``/``_count``. Buckets holding an
+exemplar additionally carry the OpenMetrics exemplar clause —
+`` # {corr_id="<ref>"} <value>`` appended to the bucket line — which
+:func:`parse_prometheus` round-trips into a parallel ``exemplars``
+list, so scraped latency buckets link back to traceable exchanges.
+:func:`render_json` produces the same data as one JSON document for
+dashboards and the CLI.
 """
 
 from __future__ import annotations
@@ -84,6 +89,16 @@ def _label_string(names: tuple[str, ...], values: LabelValues, extra: str = "") 
     return "{" + ",".join(parts) + "}" if parts else ""
 
 
+def _exemplar_suffix(exemplar: "tuple[str, float] | None") -> str:
+    """The OpenMetrics exemplar clause for one bucket line (or '')."""
+    if exemplar is None:
+        return ""
+    ref, value = exemplar
+    return (
+        f' # {{corr_id="{escape_label_value(ref)}"}} {_format_value(value)}'
+    )
+
+
 def _render_family(
     family: MetricFamily, registry: MetricsRegistry | None = None
 ) -> list[str]:
@@ -94,13 +109,22 @@ def _render_family(
     for values, metric in family.samples():
         if isinstance(metric, Histogram):
             cumulative = metric.cumulative_counts()
-            for bound, count in zip(metric.bounds, cumulative):
+            exemplars = metric.exemplars()
+            for index, (bound, count) in enumerate(
+                zip(metric.bounds, cumulative)
+            ):
                 label_str = _label_string(
                     family.label_names, values, f'le="{_format_value(bound)}"'
                 )
-                lines.append(f"{family.name}_bucket{label_str} {count}")
+                lines.append(
+                    f"{family.name}_bucket{label_str} {count}"
+                    + _exemplar_suffix(exemplars.get(index))
+                )
             label_str = _label_string(family.label_names, values, 'le="+Inf"')
-            lines.append(f"{family.name}_bucket{label_str} {cumulative[-1]}")
+            lines.append(
+                f"{family.name}_bucket{label_str} {cumulative[-1]}"
+                + _exemplar_suffix(exemplars.get(len(metric.bounds)))
+            )
             plain = _label_string(family.label_names, values)
             lines.append(f"{family.name}_sum{plain} {_format_value(metric.sum)}")
             lines.append(f"{family.name}_count{plain} {metric.count}")
@@ -137,8 +161,8 @@ def _metric_json(metric: "Counter | Gauge | Histogram") -> Dict[str, Any]:
         }
         exemplars = metric.exemplars()
         if exemplars:
-            # JSON-only: the 0.0.4 text format has no exemplar syntax
-            # here, and the parse_prometheus round-trip must stay exact.
+            # Same data the text exposition now carries as OpenMetrics
+            # exemplar clauses on the bucket lines.
             doc["exemplars"] = {
                 _format_value(bounds[index]): {"ref": ref, "value": value}
                 for index, (ref, value) in sorted(exemplars.items())
@@ -237,42 +261,67 @@ def _parse_labels(segment: str) -> Dict[str, str]:
     return labels
 
 
-def _split_sample(line: str) -> tuple[str, Dict[str, str], float]:
-    """One exposition sample line -> (name, labels, value)."""
+def _find_closing_brace(text: str, brace: int) -> int:
+    """Index of the ``}`` matching ``text[brace]``, quote-aware."""
+    cursor = brace + 1
+    in_quotes = False
+    while cursor < len(text):
+        char = text[cursor]
+        if char == "\\" and in_quotes:
+            cursor += 2
+            continue
+        if char == '"':
+            in_quotes = not in_quotes
+        elif char == "}" and not in_quotes:
+            break
+        cursor += 1
+    if cursor >= len(text):
+        raise ValueError(f"unterminated label block: {text!r}")
+    return cursor
+
+
+def _split_sample(
+    line: str,
+) -> "tuple[str, Dict[str, str], float, tuple[Dict[str, str], float] | None]":
+    """One exposition sample line -> (name, labels, value, exemplar).
+
+    *exemplar* is ``(exemplar_labels, exemplar_value)`` when the line
+    carries an OpenMetrics `` # {...} v`` clause, else ``None``.
+    """
     brace = line.find("{")
     space = line.find(" ")
     if brace != -1 and (space == -1 or brace < space):
-        # Find the closing brace outside any quoted label value.
-        cursor = brace + 1
-        in_quotes = False
-        while cursor < len(line):
-            char = line[cursor]
-            if char == "\\" and in_quotes:
-                cursor += 2
-                continue
-            if char == '"':
-                in_quotes = not in_quotes
-            elif char == "}" and not in_quotes:
-                break
-            cursor += 1
-        if cursor >= len(line):
-            raise ValueError(f"unterminated label block: {line!r}")
+        cursor = _find_closing_brace(line, brace)
         name = line[:brace]
         labels = _parse_labels(line[brace + 1 : cursor])
         value_text = line[cursor + 1 :].strip()
     else:
         name, value_text = line.split(None, 1)
         labels = {}
-    return name, labels, float(value_text)
+    exemplar = None
+    if " # " in value_text:
+        value_text, exemplar_text = value_text.split(" # ", 1)
+        exemplar_text = exemplar_text.strip()
+        if not exemplar_text.startswith("{"):
+            raise ValueError(f"malformed exemplar clause: {line!r}")
+        ecursor = _find_closing_brace(exemplar_text, 0)
+        exemplar = (
+            _parse_labels(exemplar_text[1:ecursor]),
+            float(exemplar_text[ecursor + 1 :].strip()),
+        )
+    return name, labels, float(value_text.strip()), exemplar
 
 
 def parse_prometheus(text: str) -> Dict[str, Dict[str, Any]]:
     """Parse :func:`render_prometheus` output back into structured data.
 
-    Returns ``{family_name: {"kind", "help", "samples"}}`` where
-    ``samples`` is a list of ``(sample_name, labels, value)`` tuples in
-    file order — ``sample_name`` keeps the ``_bucket``/``_sum``/
-    ``_count`` suffixes of histogram series. This is the round-trip
+    Returns ``{family_name: {"kind", "help", "samples", "exemplars"}}``
+    where ``samples`` is a list of ``(sample_name, labels, value)``
+    tuples in file order — ``sample_name`` keeps the ``_bucket``/
+    ``_sum``/``_count`` suffixes of histogram series — and
+    ``exemplars`` is a parallel list of ``(sample_name, labels,
+    exemplar_labels, exemplar_value)`` rows for bucket lines that
+    carried an OpenMetrics exemplar clause. This is the round-trip
     half of the exporter contract: what `/metricsz` serves can be
     reconstructed, bit-for-bit, into the registry's snapshot.
     """
@@ -284,7 +333,8 @@ def parse_prometheus(text: str) -> Dict[str, Dict[str, Any]]:
         if line.startswith("# HELP "):
             __, __, name, help_text = line.split(" ", 3)
             families.setdefault(
-                name, {"kind": "untyped", "help": "", "samples": []}
+                name,
+                {"kind": "untyped", "help": "", "samples": [], "exemplars": []},
             )["help"] = _unescape(help_text)
             current = name
             continue
@@ -292,18 +342,24 @@ def parse_prometheus(text: str) -> Dict[str, Dict[str, Any]]:
             parts = line.split(" ")
             name, kind = parts[2], parts[3]
             families.setdefault(
-                name, {"kind": "untyped", "help": "", "samples": []}
+                name,
+                {"kind": "untyped", "help": "", "samples": [], "exemplars": []},
             )["kind"] = kind
             current = name
             continue
         if line.startswith("#"):
             continue
-        name, labels, value = _split_sample(line)
+        name, labels, value, exemplar = _split_sample(line)
         family_name = current
         if family_name is None or not name.startswith(family_name):
             family_name = name
             families.setdefault(
-                family_name, {"kind": "untyped", "help": "", "samples": []}
+                family_name,
+                {"kind": "untyped", "help": "", "samples": [], "exemplars": []},
             )
         families[family_name]["samples"].append((name, labels, value))
+        if exemplar is not None:
+            families[family_name]["exemplars"].append(
+                (name, labels, exemplar[0], exemplar[1])
+            )
     return families

@@ -114,8 +114,8 @@ class Histogram:
         # Last exemplar per bucket: bucket index -> (reference, value).
         # The reference is a trace/correlation id, so an alert on the
         # slow tail of this histogram links straight to one concrete
-        # exchange in the Chrome trace. Exposed via the JSON snapshot
-        # only — the 0.0.4 text format stays untouched (round-trip).
+        # exchange. Exposed via the JSON snapshot and as OpenMetrics
+        # exemplar clauses on the text-exposition bucket lines.
         self._exemplars: Dict[int, Tuple[str, float]] = {}
 
     def observe(self, value: float, exemplar: str | None = None) -> None:

@@ -108,6 +108,11 @@ class _TargetState:
     attempts: int = 0
     failures: int = 0
     last_error: str = ""
+    # Span collection (/spansz) cursor: spans with export seq above
+    # span_since were already ingested. A separate in-flight token so a
+    # slow span pull never blocks the metrics scrape (and vice versa).
+    span_token: int = 0
+    span_since: int = 0
 
 
 class FleetScraper:
@@ -135,6 +140,10 @@ class FleetScraper:
         self._states: Dict[str, _TargetState] = {}
         self._task = None
         self._seq = 0
+        # Trace collection (set via attach_trace_store): each round also
+        # pulls /spansz incrementally and lets the store decide quiesced
+        # traces. None keeps the scraper metrics-only.
+        self.trace_store = None
         self._m_attempts = None
         self._m_failures = None
         self._m_samples = None
@@ -215,10 +224,75 @@ class FleetScraper:
     def running(self) -> bool:
         return self._task is not None and not self._task.cancelled
 
+    def attach_trace_store(self, trace_store) -> None:
+        """Also collect ``/spansz`` from every target into *trace_store*."""
+        self.trace_store = trace_store
+
     def scrape_once(self) -> None:
         """Fire one scrape round across all targets (sorted order)."""
         for name in sorted(self.targets):
             self._scrape(self.targets[name], self._states[name])
+        if self.trace_store is not None:
+            for name in sorted(self.targets):
+                self._scrape_spans(self.targets[name], self._states[name])
+            # Quiesced traces decide on the monitor's clock; traces cut
+            # off by a crash/partition settle as *incomplete* trees.
+            self.trace_store.gc()
+
+    def _scrape_spans(self, target: ScrapeTarget, state: _TargetState) -> None:
+        """Pull the target's ended-span buffer incrementally.
+
+        Failures are silent by design: span collection is best-effort
+        on top of the metrics scrape (which already alarms on a down
+        node); a crashed or partitioned node simply contributes nothing
+        this round, and its traces assemble as partial/incomplete."""
+        if state.span_token or state.client is None:
+            # No client yet (first metrics scrape still dialling) or a
+            # pull outstanding: skip this round rather than stack. The
+            # shared channel correlates by sequence id, so running next
+            # to the in-flight metrics scrape is fine.
+            return
+        self._seq += 1
+        token = self._seq
+        state.span_token = token
+
+        def on_response(response) -> None:
+            if state.span_token != token:
+                return
+            state.span_token = 0
+            if response.status != 200:
+                return
+            try:
+                body = response.json()
+                docs = body.get("spans", [])
+            except Exception:  # noqa: BLE001 - malformed body: skip round
+                return
+            if docs:
+                self.trace_store.ingest(docs)
+                state.span_since = max(
+                    state.span_since,
+                    max(int(doc.get("seq", 0)) for doc in docs),
+                )
+
+        def on_error(error: Exception) -> None:
+            if state.span_token != token:
+                return
+            state.span_token = 0
+
+        def on_timeout() -> None:
+            if state.span_token == token:
+                state.span_token = 0
+
+        state.client.send(
+            HttpRequest(
+                method="GET",
+                path="/spansz",
+                query={"since": str(state.span_since)},
+            ),
+            on_response,
+            on_error,
+        )
+        self.kernel.schedule(self.timeout_ms, on_timeout, "telemetry-span-timeout")
 
     def _scrape(self, target: ScrapeTarget, state: _TargetState) -> None:
         if state.token:
@@ -320,8 +394,19 @@ class FleetTelemetry:
         self.evaluator = SLOEvaluator(
             self.store, registry=registry, clock=kernel
         )
+        # Trace plane (attach_traces): the fleet TraceStore, or None.
+        self.traces = None
 
     # -- delegation conveniences ------------------------------------------
+
+    def attach_traces(self, trace_store) -> None:
+        """Wire a :class:`~repro.obs.tracestore.TraceStore` into the
+        plane: the scraper pulls every target's ``/spansz`` and SLO
+        alert exemplars upgrade from bare corr-ids to stored-trace
+        links."""
+        self.traces = trace_store
+        self.scraper.attach_trace_store(trace_store)
+        self.evaluator.set_trace_lookup(trace_store.trace_for_corr)
 
     def add_target(self, *args, **kwargs) -> ScrapeTarget:
         return self.scraper.add_target(*args, **kwargs)

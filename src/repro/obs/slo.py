@@ -118,6 +118,9 @@ class SLOEvaluator:
         self.transitions: List[Transition] = []
         self.evaluations = 0
         self._task = None
+        # Optional corr-id → TraceTree lookup (set_trace_lookup): firing
+        # latency alerts then link the stored trace, not just a corr-id.
+        self._trace_lookup = None
         self._m_burn = None
         self._m_state = None
         self._m_transitions = None
@@ -144,6 +147,11 @@ class SLOEvaluator:
             self.add(slo)
 
     # -- configuration ----------------------------------------------------
+
+    def set_trace_lookup(self, lookup) -> None:
+        """Install a ``corr_id -> TraceTree | None`` resolver (the fleet
+        trace store); exemplars on firing alerts gain a ``trace_id``."""
+        self._trace_lookup = lookup
 
     def add(self, slo: SLOSpec) -> None:
         if slo.name in self.slos:
@@ -299,7 +307,14 @@ class SLOEvaluator:
         best = best_exemplar(restrict=True) or best_exemplar(restrict=False)
         if best is None:
             return None
-        return {"corr_id": best[0], "latency_ms": best[1]}
+        exemplar: Dict[str, object] = {"corr_id": best[0], "latency_ms": best[1]}
+        if self._trace_lookup is not None:
+            # Upgrade the bare corr-id to a stored-trace link when the
+            # fleet trace store kept (or is still assembling) the trace.
+            tree = self._trace_lookup(best[0])
+            if tree is not None:
+                exemplar["trace_id"] = tree.trace_id
+        return exemplar
 
     def summary(self) -> Dict[str, object]:
         """The aggregate the gateway serves under ``/statusz``."""

@@ -43,12 +43,25 @@ STAGE_HISTOGRAM = "amnesia_stage_ms"
 
 @dataclass(frozen=True)
 class Span:
-    """One named stage within a trace."""
+    """One named stage within a trace.
+
+    Stamps are validated at construction: a span that ends before it
+    starts is a programming error everywhere (a clock can stall, but
+    the sim clock never runs backwards), so no recorder path may build
+    one.
+    """
 
     corr_id: str
     name: str
     start_ms: float
     end_ms: float
+
+    def __post_init__(self) -> None:
+        if self.end_ms < self.start_ms:
+            raise ValidationError(
+                f"span {self.name!r} ends before it starts "
+                f"({self.end_ms} < {self.start_ms})"
+            )
 
     @property
     def duration_ms(self) -> float:
@@ -105,10 +118,7 @@ class SpanRecorder:
             raise ValidationError("corr_id must be non-empty")
         if not name:
             raise ValidationError("span name must be non-empty")
-        if end_ms < start_ms:
-            raise ValidationError(
-                f"span {name!r} ends before it starts ({end_ms} < {start_ms})"
-            )
+        # Stamp ordering is enforced by Span.__post_init__ itself.
         span = Span(corr_id=corr_id, name=name, start_ms=start_ms, end_ms=end_ms)
         spans = self._traces.get(corr_id)
         if spans is None:

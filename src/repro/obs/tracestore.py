@@ -1,0 +1,390 @@
+"""The monitor-host trace store: assembly, tail sampling, critical path.
+
+Spans scraped from every node's ``/spansz`` land here, keyed by trace
+id. A trace is *decided* once it has been quiet for ``quiesce_ms`` of
+sim time (no new spans arrived — the fleet analogue of "the exchange
+is over"): the store assembles the span tree, flags it ``incomplete``
+when structure is missing (no root, or an unresolved parent id — the
+signature of a node that crashed mid-exchange and never exported its
+open spans), and then applies **tail-based sampling**:
+
+- error traces (any span with ``status == "error"``) are always kept;
+- slow traces (root duration ≥ ``slow_ms``) are always kept;
+- incomplete traces are always kept (they are the interesting ones);
+- everything else survives with probability ``keep_pct``/100, decided
+  deterministically from the trace id — the same seed keeps the same
+  traces.
+
+Critical-path extraction walks the tree backward from the root's end,
+repeatedly descending into the child whose (clamped) interval ends
+latest — ties prefer the longer-covering child, then the smaller span
+id, so the path is deterministic. Each step yields *exclusive* time
+(the span's window minus its chosen children), which means the path's
+total can never exceed the root span's duration. Per-edge aggregation
+over many traces answers "which hop dominates the fleet's tail?".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.obs.tracing import TraceSpan, trace_id_for
+from repro.util.errors import ValidationError
+
+DEFAULT_QUIESCE_MS = 5_000.0
+DEFAULT_KEEP_PCT = 25
+DEFAULT_SLOW_MS = 1_000.0
+DEFAULT_MAX_TRACES = 256
+
+KEEP_ERROR = "error"
+KEEP_SLOW = "slow"
+KEEP_INCOMPLETE = "incomplete"
+KEEP_SAMPLED = "sampled"
+
+
+@dataclass
+class TraceTree:
+    """One assembled trace: spans, parent/child links, quality flags."""
+
+    trace_id: str
+    spans: List[TraceSpan]
+    incomplete: bool = False
+    keep_reason: str = ""
+    children: Dict[str, List[TraceSpan]] = field(default_factory=dict)
+    root: Optional[TraceSpan] = None
+
+    @classmethod
+    def assemble(cls, trace_id: str, spans: List[TraceSpan]) -> "TraceTree":
+        """Build the tree; structural gaps flag ``incomplete``."""
+        ordered = sorted(spans, key=lambda s: (s.start_ms, s.end_ms, s.span_id))
+        by_id = {span.span_id: span for span in ordered}
+        children: Dict[str, List[TraceSpan]] = {}
+        roots: List[TraceSpan] = []
+        unresolved = False
+        for span in ordered:
+            if span.parent_id is None:
+                roots.append(span)
+            elif span.parent_id in by_id:
+                children.setdefault(span.parent_id, []).append(span)
+            else:
+                unresolved = True  # parent crashed before exporting
+        incomplete = unresolved or len(roots) != 1
+        return cls(
+            trace_id=trace_id,
+            spans=ordered,
+            incomplete=incomplete,
+            children=children,
+            root=roots[0] if len(roots) == 1 else None,
+        )
+
+    # -- basic shape -------------------------------------------------------
+
+    @property
+    def span_count(self) -> int:
+        return len(self.spans)
+
+    @property
+    def root_duration_ms(self) -> float:
+        return self.root.duration_ms if self.root is not None else 0.0
+
+    @property
+    def has_error(self) -> bool:
+        return any(span.status == "error" for span in self.spans)
+
+    def nodes(self) -> List[str]:
+        return sorted({span.node for span in self.spans})
+
+    def corr_ids(self) -> List[str]:
+        return sorted({span.corr_id for span in self.spans if span.corr_id != "-"})
+
+    def spans_named(self, name: str) -> List[TraceSpan]:
+        return [span for span in self.spans if span.name == name]
+
+    # -- critical path -----------------------------------------------------
+
+    def critical_path(self) -> List[Tuple[TraceSpan, float]]:
+        """``(span, exclusive_ms)`` pairs, parent before children.
+
+        Each span's exclusive time is its clamped window minus the
+        windows of the children chosen under it, so the sum over the
+        whole path is at most the root span's duration (exactly equal
+        when children never overhang their parents).
+        """
+        if self.root is None:
+            return []
+        segments: List[Tuple[TraceSpan, float]] = []
+
+        def walk(span: TraceSpan, lo: float, hi: float) -> None:
+            lo = max(lo, span.start_ms)
+            hi = min(hi, span.end_ms)
+            if hi < lo:
+                return
+            kids = self.children.get(span.span_id, [])
+            chosen: List[Tuple[TraceSpan, float, float]] = []
+            pos = hi
+            while pos > lo:
+                best: Optional[Tuple[TraceSpan, float, float]] = None
+                best_key: Optional[Tuple[float, float, str]] = None
+                for kid in kids:
+                    if any(kid is c for c, __, __ in chosen):
+                        continue
+                    end = min(pos, kid.end_ms)
+                    start = max(lo, kid.start_ms)
+                    if end <= start:
+                        continue
+                    # Latest clamped end wins; then the longer-covering
+                    # (earlier-starting) child; span id breaks dead heats.
+                    key = (end, -start, kid.span_id)
+                    if best_key is None or key > best_key:
+                        best, best_key = (kid, start, end), key
+                if best is None:
+                    break
+                chosen.append(best)
+                pos = best[1]
+            exclusive = (hi - lo) - sum(end - start for __, start, end in chosen)
+            segments.append((span, exclusive))
+            for kid, start, end in reversed(chosen):  # chronological
+                walk(kid, start, end)
+
+        walk(self.root, self.root.start_ms, self.root.end_ms)
+        return segments
+
+    def critical_path_ms(self) -> float:
+        return sum(exclusive for __, exclusive in self.critical_path())
+
+    def fingerprint(self) -> str:
+        """A compact deterministic digest for replay comparison."""
+        parts = [self.trace_id, "1" if self.incomplete else "0"]
+        for span in self.spans:
+            parts.append(
+                f"{span.node}:{span.name}:{span.parent_id or '-'}"
+                f":{span.start_ms:.3f}:{span.end_ms:.3f}:{span.status}"
+            )
+        return "|".join(parts)
+
+
+@dataclass
+class _PendingTrace:
+    spans: Dict[str, TraceSpan] = field(default_factory=dict)
+    last_update_ms: float = 0.0
+
+
+class TraceStore:
+    """Bounded monitor-host store: ingest → quiesce → decide → keep."""
+
+    def __init__(
+        self,
+        clock,
+        quiesce_ms: float = DEFAULT_QUIESCE_MS,
+        keep_pct: int = DEFAULT_KEEP_PCT,
+        slow_ms: float = DEFAULT_SLOW_MS,
+        max_traces: int = DEFAULT_MAX_TRACES,
+    ) -> None:
+        if not (0 <= keep_pct <= 100):
+            raise ValidationError("keep_pct must be in [0, 100]")
+        if quiesce_ms <= 0 or slow_ms <= 0 or max_traces < 1:
+            raise ValidationError("quiesce_ms, slow_ms, max_traces must be > 0")
+        self.clock = clock
+        self.quiesce_ms = quiesce_ms
+        self.keep_pct = keep_pct
+        self.slow_ms = slow_ms
+        self.max_traces = max_traces
+        self._pending: Dict[str, _PendingTrace] = {}
+        self._kept: Dict[str, TraceTree] = {}  # insertion-ordered
+        self.spans_ingested = 0
+        self.traces_decided = 0
+        self.traces_sampled_out = 0
+        self.kept_by_reason: Dict[str, int] = {}
+
+    # -- ingest ------------------------------------------------------------
+
+    def ingest(self, docs: List[Dict[str, Any]]) -> int:
+        """Add scraped ``/spansz`` wire documents; dedups by span id.
+        Returns how many spans were new."""
+        added = 0
+        now = self.clock.now
+        for doc in docs:
+            span = TraceSpan.from_wire(doc)
+            pending = self._pending.get(span.trace_id)
+            if pending is None:
+                # A trace the store already decided keeps its verdict;
+                # stragglers (a node scraped late) re-open it only if it
+                # was dropped — kept trees are final.
+                if span.trace_id in self._kept:
+                    continue
+                pending = _PendingTrace()
+                self._pending[span.trace_id] = pending
+            if span.span_id in pending.spans:
+                continue
+            pending.spans[span.span_id] = span
+            pending.last_update_ms = now
+            added += 1
+        self.spans_ingested += added
+        return added
+
+    # -- deciding ----------------------------------------------------------
+
+    def _keep_reason(self, tree: TraceTree) -> Optional[str]:
+        if tree.incomplete:
+            return KEEP_INCOMPLETE
+        if tree.has_error:
+            return KEEP_ERROR
+        if tree.root_duration_ms >= self.slow_ms:
+            return KEEP_SLOW
+        if int(tree.trace_id[:8], 16) % 100 < self.keep_pct:
+            return KEEP_SAMPLED
+        return None
+
+    def _decide(self, trace_id: str, pending: _PendingTrace) -> None:
+        tree = TraceTree.assemble(trace_id, list(pending.spans.values()))
+        self.traces_decided += 1
+        reason = self._keep_reason(tree)
+        if reason is None:
+            self.traces_sampled_out += 1
+            return
+        tree.keep_reason = reason
+        self.kept_by_reason[reason] = self.kept_by_reason.get(reason, 0) + 1
+        while len(self._kept) >= self.max_traces:
+            oldest = next(iter(self._kept))
+            del self._kept[oldest]
+        self._kept[trace_id] = tree
+
+    def gc(self, now_ms: Optional[float] = None) -> int:
+        """Decide every trace quiet for ``quiesce_ms``; returns count."""
+        now = self.clock.now if now_ms is None else now_ms
+        quiet = [
+            trace_id
+            for trace_id, pending in self._pending.items()
+            if now - pending.last_update_ms >= self.quiesce_ms
+        ]
+        for trace_id in quiet:
+            self._decide(trace_id, self._pending.pop(trace_id))
+        return len(quiet)
+
+    def finalize(self) -> int:
+        """Decide everything still pending (end-of-run drivers)."""
+        pending, self._pending = self._pending, {}
+        for trace_id in list(pending):
+            self._decide(trace_id, pending[trace_id])
+        return len(pending)
+
+    # -- read side ---------------------------------------------------------
+
+    @property
+    def pending_count(self) -> int:
+        return len(self._pending)
+
+    def traces(self) -> List[TraceTree]:
+        return list(self._kept.values())
+
+    def trace(self, trace_id: str) -> Optional[TraceTree]:
+        return self._kept.get(trace_id)
+
+    def top(self, n: int = 5) -> List[TraceTree]:
+        """The *n* kept traces with the longest root spans (incomplete
+        trees sort by their spans' overall extent instead)."""
+
+        def extent(tree: TraceTree) -> float:
+            if tree.root is not None:
+                return tree.root_duration_ms
+            if not tree.spans:
+                return 0.0
+            return max(s.end_ms for s in tree.spans) - min(
+                s.start_ms for s in tree.spans
+            )
+
+        ranked = sorted(
+            self._kept.values(), key=lambda t: (-extent(t), t.trace_id)
+        )
+        return ranked[:n]
+
+    def trace_for_corr(self, corr_id: str) -> Optional[TraceTree]:
+        """The kept trace an exchange's correlation id belongs to — how
+        an SLO alert exemplar upgrades into a stored-trace link."""
+        if not corr_id or corr_id == "-":
+            return None
+        direct = self._kept.get(trace_id_for(corr_id))
+        if direct is not None:
+            return direct
+        for tree in self._kept.values():
+            if any(span.corr_id == corr_id for span in tree.spans):
+                return tree
+        return None
+
+    def fingerprint(self) -> str:
+        """Digest of every kept trace, in trace-id order — the replay
+        identity ``trace --check`` asserts across two seeded runs."""
+        return "\n".join(
+            self._kept[trace_id].fingerprint() for trace_id in sorted(self._kept)
+        )
+
+    def stats(self) -> Dict[str, Any]:
+        return {
+            "spans_ingested": self.spans_ingested,
+            "traces_decided": self.traces_decided,
+            "traces_kept": len(self._kept),
+            "traces_sampled_out": self.traces_sampled_out,
+            "pending": len(self._pending),
+            "kept_by_reason": dict(sorted(self.kept_by_reason.items())),
+        }
+
+
+# -- fleet-level attribution -------------------------------------------------
+
+
+def critical_edges(
+    trees: List[TraceTree],
+) -> List[Tuple[str, str, int, float]]:
+    """Aggregate critical-path exclusive time per ``parent → child`` edge.
+
+    Returns ``(parent_name, span_name, count, total_exclusive_ms)`` rows
+    sorted by total time descending (the root appears with parent
+    ``"·"``). This is the per-edge attribution the dashboard's TRACES
+    section and ``trace --critical`` render.
+    """
+    totals: Dict[Tuple[str, str], Tuple[int, float]] = {}
+    for tree in trees:
+        by_id = {span.span_id: span for span in tree.spans}
+        for span, exclusive in tree.critical_path():
+            parent = by_id.get(span.parent_id) if span.parent_id else None
+            key = (parent.name if parent is not None else "·", span.name)
+            count, total = totals.get(key, (0, 0.0))
+            totals[key] = (count + 1, total + exclusive)
+    rows = [
+        (parent, name, count, total)
+        for (parent, name), (count, total) in totals.items()
+    ]
+    rows.sort(key=lambda row: (-row[3], row[0], row[1]))
+    return rows
+
+
+def render_trace(tree: TraceTree, width: int = 72) -> str:
+    """One trace as an indented deterministic text block."""
+    lines = [
+        f"trace {tree.trace_id}  spans={tree.span_count}"
+        f"  nodes={','.join(tree.nodes())}"
+        + ("  INCOMPLETE" if tree.incomplete else "")
+        + (f"  keep={tree.keep_reason}" if tree.keep_reason else "")
+    ]
+    origin = min((s.start_ms for s in tree.spans), default=0.0)
+
+    def emit(span: TraceSpan, depth: int) -> None:
+        pad = "  " * depth
+        mark = " !" if span.status == "error" else ""
+        lines.append(
+            f"{pad}{span.name} [{span.node}]"
+            f" +{span.start_ms - origin:.1f}ms {span.duration_ms:.1f}ms{mark}"
+        )
+        for child in tree.children.get(span.span_id, []):
+            emit(child, depth + 1)
+
+    if tree.root is not None:
+        emit(tree.root, 0)
+    else:
+        for span in tree.spans:
+            if span.parent_id is None or span.parent_id not in {
+                s.span_id for s in tree.spans
+            }:
+                emit(span, 0)
+    return "\n".join(lines)

@@ -1,0 +1,401 @@
+"""Dapper-style distributed tracing over the simulation kernel.
+
+PR 1's :mod:`repro.obs.spans` answered *what* a generation's latency is
+made of on one server; this module answers *where in the fleet* each
+piece happened. A :class:`TraceContext` travels hop to hop — as the
+``amnesia-trace`` HTTP header between web tiers, and as a ``trace_ctx``
+field inside rendezvous push payloads and replication batches — so one
+bilateral exchange (browser → gateway → shard → rendezvous push →
+phone compute → ``/token`` return → render) assembles into a single
+span tree on the monitor host.
+
+Determinism contract: every id is a hash of sim-deterministic inputs
+(the trace id derives from the correlation id, span ids from the trace
+id + node + name + a per-tracer counter), and all stamps come from the
+kernel clock — the same seed always yields byte-identical traces.
+Trace context appears on the wire **only when a deployment installs
+tracing**; un-traced runs stay bit-for-bit what they were.
+
+Collection contract: a :class:`Tracer` buffers *ended* spans only. A
+span opened on a node that crashes before ending is simply never
+exported — the assembled trace is flagged ``incomplete`` by the store
+(:mod:`repro.obs.tracestore`) instead of erroring, exactly the tail a
+failover investigation wants to see.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import contextvars
+import hashlib
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.util.errors import ValidationError
+from repro.util.logs import NO_CORR_ID, current_corr_id
+
+#: The propagation header: ``<trace_id>-<span_id>-<flags>`` (hex ids,
+#: flags ``01`` sampled / ``00`` not). Also the value of the
+#: ``trace_ctx`` field on rendezvous pushes and replication batches.
+TRACE_HEADER = "amnesia-trace"
+
+_ID_HEX = 16  # 64-bit ids, rendered as 16 hex chars
+
+
+def _hash16(text: str) -> str:
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()[:_ID_HEX]
+
+
+def trace_id_for(corr_id: str) -> str:
+    """The deterministic trace id for a correlation id."""
+    if not corr_id:
+        raise ValidationError("corr_id must be non-empty")
+    return _hash16(f"trace|{corr_id}")
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """What actually propagates: trace id, parent span id, sampled flag."""
+
+    trace_id: str
+    span_id: str
+    sampled: bool = True
+
+    def to_header(self) -> str:
+        return f"{self.trace_id}-{self.span_id}-{'01' if self.sampled else '00'}"
+
+    @classmethod
+    def from_header(cls, value: str) -> "TraceContext | None":
+        """Parse a header value; malformed input yields ``None`` (a
+        broken peer must degrade to an un-joined trace, never a 500)."""
+        parts = value.strip().split("-")
+        if len(parts) != 3:
+            return None
+        trace_id, span_id, flags = parts
+        if len(trace_id) != _ID_HEX or len(span_id) != _ID_HEX:
+            return None
+        try:
+            int(trace_id, 16)
+            int(span_id, 16)
+        except ValueError:
+            return None
+        return cls(trace_id=trace_id, span_id=span_id, sampled=flags != "00")
+
+
+@dataclass(frozen=True)
+class TraceSpan:
+    """One finished span as exported over ``/spansz``.
+
+    ``seq`` is the per-node export sequence (monotonic buffer position)
+    used by the scraper's incremental ``?since=`` protocol; it is not
+    part of the span's identity.
+    """
+
+    trace_id: str
+    span_id: str
+    parent_id: Optional[str]
+    name: str
+    node: str
+    kind: str  # "server" | "client" | "internal"
+    start_ms: float
+    end_ms: float
+    status: str = "ok"
+    corr_id: str = NO_CORR_ID
+    attributes: Dict[str, Any] = field(default_factory=dict)
+    events: Tuple[Tuple[float, str], ...] = ()
+    seq: int = 0
+
+    def __post_init__(self) -> None:
+        if self.end_ms < self.start_ms:
+            raise ValidationError(
+                f"span {self.name!r} ends before it starts "
+                f"({self.end_ms} < {self.start_ms})"
+            )
+
+    @property
+    def duration_ms(self) -> float:
+        return self.end_ms - self.start_ms
+
+    def to_wire(self) -> Dict[str, Any]:
+        return {
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "node": self.node,
+            "kind": self.kind,
+            "start_ms": self.start_ms,
+            "end_ms": self.end_ms,
+            "status": self.status,
+            "corr_id": self.corr_id,
+            "attributes": self.attributes,
+            "events": [[t, text] for t, text in self.events],
+            "seq": self.seq,
+        }
+
+    @classmethod
+    def from_wire(cls, doc: Dict[str, Any]) -> "TraceSpan":
+        return cls(
+            trace_id=str(doc["trace_id"]),
+            span_id=str(doc["span_id"]),
+            parent_id=doc.get("parent_id"),
+            name=str(doc["name"]),
+            node=str(doc["node"]),
+            kind=str(doc.get("kind", "internal")),
+            start_ms=float(doc["start_ms"]),
+            end_ms=float(doc["end_ms"]),
+            status=str(doc.get("status", "ok")),
+            corr_id=str(doc.get("corr_id", NO_CORR_ID)),
+            attributes=dict(doc.get("attributes", {})),
+            events=tuple(
+                (float(t), str(text)) for t, text in doc.get("events", [])
+            ),
+            seq=int(doc.get("seq", 0)),
+        )
+
+
+class ActiveSpan:
+    """A span being recorded: mutable until :meth:`end` freezes it."""
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        name: str,
+        trace_id: str,
+        span_id: str,
+        parent_id: Optional[str],
+        sampled: bool,
+        kind: str,
+        corr_id: str,
+        start_ms: float,
+    ) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.sampled = sampled
+        self.kind = kind
+        self.corr_id = corr_id
+        self.start_ms = start_ms
+        self.attributes: Dict[str, Any] = {}
+        self.events: List[Tuple[float, str]] = []
+        self.ended = False
+
+    @property
+    def context(self) -> TraceContext:
+        """The context children of this span propagate."""
+        return TraceContext(self.trace_id, self.span_id, self.sampled)
+
+    def set_name(self, name: str) -> None:
+        if not self.ended:
+            self.name = name
+
+    def set_corr_id(self, corr_id: str) -> None:
+        if not self.ended and corr_id:
+            self.corr_id = corr_id
+
+    def set_attribute(self, key: str, value: Any) -> None:
+        if not self.ended:
+            self.attributes[key] = value
+
+    def add_event(self, text: str, at_ms: Optional[float] = None) -> None:
+        if not self.ended:
+            at = self._tracer.clock.now if at_ms is None else at_ms
+            self.events.append((at, text))
+
+    def end(self, status: str = "ok", end_ms: Optional[float] = None) -> None:
+        """Freeze and export; later calls are ignored (first wins)."""
+        if self.ended:
+            return
+        self.ended = True
+        end = self._tracer.clock.now if end_ms is None else end_ms
+        self._tracer._export(
+            TraceSpan(
+                trace_id=self.trace_id,
+                span_id=self.span_id,
+                parent_id=self.parent_id,
+                name=self.name,
+                node=self._tracer.node,
+                kind=self.kind,
+                start_ms=self.start_ms,
+                end_ms=end,
+                status=status,
+                corr_id=self.corr_id,
+                attributes=dict(self.attributes),
+                events=tuple(self.events),
+                seq=self._tracer._next_seq(),
+            )
+        )
+
+
+class Tracer:
+    """Opens kernel-clock spans on one node; buffers the ended ones.
+
+    The buffer is bounded (*max_spans*; oldest dropped first) and
+    served incrementally: :meth:`export_since` answers the scraper's
+    ``GET /spansz?since=N`` with every span whose export sequence is
+    greater than *N*, so a slow scrape cadence never re-ships history.
+    """
+
+    def __init__(self, node: str, clock, max_spans: int = 4096) -> None:
+        if max_spans < 1:
+            raise ValidationError("max_spans must be >= 1")
+        self.node = node
+        self.clock = clock
+        self.max_spans = max_spans
+        self._spans: List[TraceSpan] = []
+        self._seq = 0  # export sequence (buffer position)
+        self._id_seq = 0  # span-id derivation counter
+        self._root_seq = 0  # synthetic corr-ids for roots
+        self.spans_started = 0
+        self.spans_ended = 0
+        self.spans_dropped = 0
+
+    # -- span creation -----------------------------------------------------
+
+    def start_span(
+        self,
+        name: str,
+        parent: Optional[TraceContext] = None,
+        corr_id: Optional[str] = None,
+        kind: str = "internal",
+        start_ms: Optional[float] = None,
+    ) -> ActiveSpan:
+        """Open a span. With *parent* the span joins that trace; without
+        one it roots a new trace whose id derives from *corr_id* (a
+        synthetic ``{node}-{n}`` id is minted when none is given — the
+        entry hop of an exchange runs before the exchange id exists)."""
+        if parent is None:
+            if corr_id is None:
+                self._root_seq += 1
+                corr_id = f"{self.node}-{self._root_seq}"
+            trace_id = trace_id_for(corr_id)
+            parent_id = None
+            sampled = True
+        else:
+            trace_id = parent.trace_id
+            parent_id = parent.span_id
+            sampled = parent.sampled
+        if corr_id is None:
+            corr_id = current_corr_id()
+        self._id_seq += 1
+        span_id = _hash16(f"{trace_id}|{self.node}|{name}|{self._id_seq}")
+        self.spans_started += 1
+        return ActiveSpan(
+            self, name, trace_id, span_id, parent_id, sampled,
+            kind, corr_id, self.clock.now if start_ms is None else start_ms,
+        )
+
+    def record_span(
+        self,
+        name: str,
+        parent: Optional[TraceContext],
+        start_ms: float,
+        end_ms: float,
+        corr_id: Optional[str] = None,
+        kind: str = "internal",
+        attributes: Optional[Dict[str, Any]] = None,
+        status: str = "ok",
+    ) -> None:
+        """Open-and-end in one call, for spans whose stamps are already
+        known (the stage breakdown recorded at ``/token`` time)."""
+        span = self.start_span(
+            name, parent=parent, corr_id=corr_id, kind=kind, start_ms=start_ms
+        )
+        for key, value in (attributes or {}).items():
+            span.set_attribute(key, value)
+        span.end(status=status, end_ms=end_ms)
+
+    # -- buffer ------------------------------------------------------------
+
+    def _next_seq(self) -> int:
+        self._seq += 1
+        return self._seq
+
+    def _export(self, span: TraceSpan) -> None:
+        self.spans_ended += 1
+        self._spans.append(span)
+        excess = len(self._spans) - self.max_spans
+        if excess > 0:
+            del self._spans[:excess]
+            self.spans_dropped += excess
+
+    def spans(self) -> List[TraceSpan]:
+        return list(self._spans)
+
+    def export_since(self, since: int = 0) -> List[Dict[str, Any]]:
+        """Wire documents for every buffered span with ``seq > since``."""
+        return [span.to_wire() for span in self._spans if span.seq > since]
+
+    def clear(self) -> None:
+        self._spans.clear()
+
+
+# -- ambient context --------------------------------------------------------
+#
+# Mirrors the corr-id contextvars in repro.util.logs: bindings wrap
+# *synchronous* sections only (the kernel runs callbacks in the driver's
+# context), which is exactly the window in which a handler issues its
+# outbound calls.
+
+_ctx: contextvars.ContextVar[Optional[TraceContext]] = contextvars.ContextVar(
+    "repro_trace_ctx", default=None
+)
+_span: contextvars.ContextVar[Optional[ActiveSpan]] = contextvars.ContextVar(
+    "repro_trace_span", default=None
+)
+
+
+def current_context() -> Optional[TraceContext]:
+    """The trace context bound to the current call stack, if any."""
+    return _ctx.get()
+
+
+def current_span() -> Optional[ActiveSpan]:
+    """The active span bound to the current call stack, if any (lets
+    handler code annotate the span its container opened)."""
+    return _span.get()
+
+
+@contextlib.contextmanager
+def bind_context(ctx: Optional[TraceContext]) -> Iterator[None]:
+    """Bind a bare context (no active span) for the enclosed block."""
+    ctx_token = _ctx.set(ctx)
+    span_token = _span.set(None)
+    try:
+        yield
+    finally:
+        _span.reset(span_token)
+        _ctx.reset(ctx_token)
+
+
+@contextlib.contextmanager
+def bind_span(span: ActiveSpan) -> Iterator[ActiveSpan]:
+    """Bind *span* (and its context) for the enclosed block."""
+    ctx_token = _ctx.set(span.context)
+    span_token = _span.set(span)
+    try:
+        yield span
+    finally:
+        _span.reset(span_token)
+        _ctx.reset(ctx_token)
+
+
+# -- header codec ------------------------------------------------------------
+
+
+def inject(headers: Dict[str, str], ctx: Optional[TraceContext] = None) -> None:
+    """Add the ``amnesia-trace`` header from *ctx* (default: the bound
+    context); a header already present is left alone."""
+    context = ctx if ctx is not None else current_context()
+    if context is not None and TRACE_HEADER not in headers:
+        headers[TRACE_HEADER] = context.to_header()
+
+
+def extract(headers: Dict[str, str]) -> Optional[TraceContext]:
+    """The trace context carried by *headers*, if any."""
+    value = headers.get(TRACE_HEADER)
+    if value is None:
+        return None
+    return TraceContext.from_header(value)

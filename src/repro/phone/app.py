@@ -131,6 +131,8 @@ class AmnesiaApp:
         self.started_ms: float = kernel.now
         self._registry = None
         self._status_app = None
+        # -- distributed tracing (opt-in via bind_tracing) --------------------
+        self.tracer = None
 
         self.stack = SecureStack(device.host, device.network, rng)
         self.listener = RendezvousListener(
@@ -407,14 +409,41 @@ class AmnesiaApp:
                 }
             self.answered_requests += 1
             corr_id = str(data.get("corr_id", pending_id))
+            # Distributed tracing: record the compute window as a span
+            # under the delivery hop, and hand its context to the /token
+            # POST so the server's return-hop span joins the same tree.
+            # Explicit header (not ambient context): the POST runs from a
+            # kernel callback, outside any bound call stack.
+            trace_header = None
+            ctx_header = data.get("trace_ctx")
+            if self.tracer is not None and isinstance(ctx_header, str):
+                from repro.obs.tracing import TraceContext
+
+                parent = TraceContext.from_header(ctx_header)
+                if parent is not None:
+                    span = self.tracer.start_span(
+                        "phone.compute",
+                        parent=parent,
+                        corr_id=corr_id,
+                        kind="internal",
+                        start_ms=float(
+                            data.get("received_ms", self.kernel.now)
+                        ),
+                    )
+                    span.end()
+                    trace_header = span.context.to_header()
             with bind_corr_id(corr_id):
                 _log.debug("token computed for request %s", pending_id[:8])
-            self._submit_token(corr_id, pending_id, payload)
+            self._submit_token(corr_id, pending_id, payload, trace_header)
 
         self.kernel.schedule(delay, compute_and_send, label="phone-compute")
 
     def _submit_token(
-        self, corr_id: str, pending_id: str, payload: Dict[str, Any]
+        self,
+        corr_id: str,
+        pending_id: str,
+        payload: Dict[str, Any],
+        trace_header: str | None = None,
     ) -> None:
         """POST the token over the return hop, retrying transient failures.
 
@@ -427,6 +456,10 @@ class AmnesiaApp:
 
         def operation(succeed, fail) -> None:
             request = HttpRequest.json_request("POST", "/token", dict(payload))
+            if trace_header is not None:
+                from repro.obs.tracing import TRACE_HEADER
+
+                request.headers[TRACE_HEADER] = trace_header
 
             def on_response(response: HttpResponse) -> None:
                 if response.ok:
@@ -522,6 +555,13 @@ class AmnesiaApp:
         }
 
     # -- resilience (opt-in) ------------------------------------------------------
+
+    def bind_tracing(self, tracer) -> None:
+        """Attach a :class:`~repro.obs.tracing.Tracer`: token computes
+        become ``phone.compute`` spans joined to the push's context, and
+        the status application serves this tracer's ``/spansz``."""
+        self.tracer = tracer
+        self.status_application().bind_tracing(tracer)
 
     def bind_registry(self, registry) -> None:
         """Feed the app's retry/failure counters into *registry*."""

@@ -116,7 +116,22 @@ class RendezvousService:
         # -- fleet health --
         self.started_ms: float = network.kernel.now
         self._status_app = None
+        # -- distributed tracing (volatile, like everything in-flight) --
+        # A push carrying a trace_ctx opens a "rendezvous.deliver" span
+        # that stays open across store-and-forward until the device acks;
+        # a crash simply forgets the open spans, so the trace assembles
+        # as an *incomplete* tree — the honest record of what happened.
+        self.tracer = None
+        self._deliver_spans_by_ctx: Dict[str, Any] = {}
+        self._deliver_spans: Dict[int, Any] = {}
         host.bind(RENDEZVOUS_PORT, self._on_datagram)
+
+    def bind_tracing(self, tracer) -> None:
+        """Attach a :class:`~repro.obs.tracing.Tracer` for delivery spans
+        (and serve its ``/spansz`` from the status application)."""
+        self.tracer = tracer
+        if self._status_app is not None:
+            self._status_app.bind_tracing(tracer)
 
     def registered_devices(self) -> Dict[str, str]:
         return dict(self._devices)
@@ -141,6 +156,8 @@ class RendezvousService:
                 registry=registry,
                 started_ms=self.started_ms,
             )
+            if self.tracer is not None:
+                self._status_app.bind_tracing(self.tracer)
         return self._status_app
 
     def _status_detail(self) -> Dict[str, Any]:
@@ -173,6 +190,10 @@ class RendezvousService:
         self._devices.clear()
         self._queues.clear()
         self._seen_push_ids.clear()
+        # Open delivery spans die with the process — never ended, never
+        # exported, so their traces surface as incomplete downstream.
+        self._deliver_spans_by_ctx.clear()
+        self._deliver_spans.clear()
         _log.info("rendezvous service crashed (volatile state dropped)")
         self.host.crash()
 
@@ -279,13 +300,15 @@ class RendezvousService:
             if isinstance(push_id, int):
                 self._seen_push_ids.append((datagram.src, push_id))
                 self._reply(datagram, {"type": "push_ack", "push_id": push_id})
+            data = self._open_deliver_span(data)
             host = self.network.host(device)
             if not host.online:
                 queue = self._queues.setdefault(reg_id, deque())
                 if len(queue) >= _MAX_QUEUED_PER_DEVICE:
                     # Bounded store-and-forward: evict the *oldest* push —
                     # the newest is the one the user is waiting on.
-                    queue.popleft()
+                    dropped = queue.popleft()
+                    self._abandon_deliver_span(dropped)
                     self.queue_overflow_count += 1
                     _log.info(
                         "device %s queue full; oldest push dropped", device
@@ -304,6 +327,44 @@ class RendezvousService:
             state = self._unacked.pop(msg_id, None)
             if state is not None and state.get("timer") is not None:
                 state["timer"].cancel()
+            span = self._deliver_spans.pop(msg_id, None)
+            if span is not None:
+                span.end()
+
+    # -- delivery spans --------------------------------------------------------
+
+    def _open_deliver_span(self, data: Dict[str, Any]) -> Dict[str, Any]:
+        """When the push carries trace context (and a tracer is bound),
+        open the delivery span and rewrite the context so downstream
+        phone spans parent on *this* hop. Returns the (copied) payload;
+        pushes without context pass through untouched byte-for-byte."""
+        if self.tracer is None:
+            return data
+        header = data.get("trace_ctx")
+        if not isinstance(header, str):
+            return data
+        from repro.obs.tracing import TraceContext
+
+        parent = TraceContext.from_header(header)
+        if parent is None:
+            return data
+        span = self.tracer.start_span(
+            "rendezvous.deliver",
+            parent=parent,
+            corr_id=str(data.get("corr_id", "")) or None,
+            kind="consumer",
+        )
+        data = dict(data)
+        data["trace_ctx"] = span.context.to_header()
+        self._deliver_spans_by_ctx[data["trace_ctx"]] = span
+        return data
+
+    def _abandon_deliver_span(self, data: Dict[str, Any]) -> None:
+        span = self._deliver_spans_by_ctx.pop(
+            str(data.get("trace_ctx", "")), None
+        )
+        if span is not None:
+            span.end(status="error")
 
     def _forward(self, device: str, data: Dict[str, Any]) -> None:
         """Send a delivery and retransmit until the device acks."""
@@ -311,12 +372,18 @@ class RendezvousService:
         msg_id = next(self._msg_ids)
         state: Dict[str, Any] = {"attempts": 0, "timer": None}
         self._unacked[msg_id] = state
+        span = self._deliver_spans_by_ctx.pop(str(data.get("trace_ctx", "")), None)
+        if span is not None:
+            self._deliver_spans[msg_id] = span
 
         def transmit() -> None:
             if msg_id not in self._unacked:
                 return  # acked meanwhile
             if state["attempts"] >= _DELIVERY_MAX_ATTEMPTS:
                 del self._unacked[msg_id]
+                doomed = self._deliver_spans.pop(msg_id, None)
+                if doomed is not None:
+                    doomed.end(status="error")
                 return
             state["attempts"] += 1
             self.network.send(

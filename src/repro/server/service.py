@@ -44,6 +44,7 @@ from repro.obs.health import (
     install_health_routes,
     install_node_info,
 )
+from repro.obs import tracing
 from repro.obs.registry import MetricsRegistry
 from repro.obs.spans import SpanRecorder
 from repro.rendezvous.service import RendezvousPublisher
@@ -324,18 +325,24 @@ class AmnesiaCore:
                 "push %s exchange=%s account=%d origin=%s",
                 action, exchange.pending_id[:8], account.account_id, origin,
             )
-            self._dispatch_push(
-                exchange,
-                user.reg_id,
-                {
-                    "kind": KIND_PASSWORD,
-                    "pending_id": exchange.pending_id,
-                    "corr_id": exchange.pending_id,
-                    "request": request_hex,
-                    "origin": origin,
-                    "tstart_ms": exchange.tstart_ms,
-                },
-            )
+            push_data = {
+                "kind": KIND_PASSWORD,
+                "pending_id": exchange.pending_id,
+                "corr_id": exchange.pending_id,
+                "request": request_hex,
+                "origin": origin,
+                "tstart_ms": exchange.tstart_ms,
+            }
+            # Distributed tracing: the handler's server span (when the
+            # application is bound to a tracer) becomes the parent of
+            # everything downstream — its context rides in the push
+            # payload so rendezvous/phone spans join the same tree.
+            span = tracing.current_span()
+            if span is not None:
+                span.set_corr_id(exchange.pending_id)
+                exchange.extra["trace_ctx"] = span.context
+                push_data["trace_ctx"] = span.context.to_header()
+            self._dispatch_push(exchange, user.reg_id, push_data)
         self._arm_timeout(exchange)
         return exchange
 
@@ -402,12 +409,31 @@ class AmnesiaCore:
             and tstart <= received <= computed <= arrival_ms
         )
         if consistent:
-            self.spans.record(corr_id, "push_wait", tstart, received)
-            self.spans.record(corr_id, "phone_compute", received, computed)
-            self.spans.record(corr_id, "return_hop", computed, arrival_ms)
+            stages = [
+                ("push_wait", tstart, received),
+                ("phone_compute", received, computed),
+                ("return_hop", computed, arrival_ms),
+            ]
         else:
-            self.spans.record(corr_id, "phone_round_trip", tstart, arrival_ms)
-        self.spans.record(corr_id, "server_render", arrival_ms, tend_ms)
+            stages = [("phone_round_trip", tstart, arrival_ms)]
+        stages.append(("server_render", arrival_ms, tend_ms))
+        for name, start, end in stages:
+            self.spans.record(corr_id, name, start, end)
+        # Mirror the stage breakdown into the distributed trace: the
+        # stages partition the generate server span exactly, so the
+        # trace's critical path reproduces the PR 1 attribution table.
+        tracer = self.application.tracer
+        parent = exchange.extra.get("trace_ctx")
+        if tracer is not None and parent is not None:
+            for name, start, end in stages:
+                tracer.record_span(
+                    name,
+                    parent=parent,
+                    start_ms=start,
+                    end_ms=end,
+                    corr_id=corr_id,
+                    kind="internal",
+                )
 
     # -- fleet health ----------------------------------------------------------
 
@@ -713,6 +739,11 @@ class AmnesiaCore:
             self._verify_pid(user, pid_hex)
             exchange = self.pending.take(pending_id, KIND_PASSWORD)
             account = self.database.account_by_id(exchange.account_id)
+            # The /token server span roots from the phone's header; name
+            # the exchange it completes so trace → corr-id lookups work.
+            token_span = tracing.current_span()
+            if token_span is not None:
+                token_span.set_corr_id(exchange.pending_id)
             corr_token = set_corr_id(exchange.pending_id)
             try:
                 return _consume_token(

@@ -156,6 +156,9 @@ class AmnesiaTestbed:
         self.telemetry = None
         self._monitor_stack = None
         self._fault_companions: list = []
+        # Tracing plane (install_tracing).
+        self.trace_store = None
+        self.tracers: dict = {}
 
     # -- fault injection ----------------------------------------------------------
 
@@ -259,9 +262,58 @@ class AmnesiaTestbed:
         )
         for slo in slos or []:
             self.telemetry.add_slo(slo)
+        if self.trace_store is not None:
+            self.telemetry.attach_traces(self.trace_store)
         if start:
             self.telemetry.start()
         return self.telemetry
+
+    # -- tracing plane ------------------------------------------------------------
+
+    def install_tracing(
+        self,
+        keep_pct: int | None = None,
+        slow_ms: float | None = None,
+        quiesce_ms: float | None = None,
+    ):
+        """Attach the distributed tracing plane (idempotent): one
+        :class:`~repro.obs.tracing.Tracer` each for the server, the
+        rendezvous and the phone, plus a monitor-side
+        :class:`~repro.obs.tracestore.TraceStore` the telemetry
+        scraper feeds from ``/spansz``. Works in either order with
+        :meth:`install_telemetry`; returns the trace store."""
+        from repro.obs.tracestore import (
+            DEFAULT_KEEP_PCT,
+            DEFAULT_QUIESCE_MS,
+            DEFAULT_SLOW_MS,
+            TraceStore,
+        )
+
+        if self.trace_store is not None:
+            return self.trace_store
+        self.trace_store = TraceStore(
+            self.kernel,
+            quiesce_ms=(
+                DEFAULT_QUIESCE_MS if quiesce_ms is None else quiesce_ms
+            ),
+            keep_pct=DEFAULT_KEEP_PCT if keep_pct is None else keep_pct,
+            slow_ms=DEFAULT_SLOW_MS if slow_ms is None else slow_ms,
+        )
+        self.server.application.bind_tracing(self._tracer_for(SERVER))
+        self.rendezvous.bind_tracing(self._tracer_for(RENDEZVOUS))
+        self.phone.bind_tracing(self._tracer_for(PHONE))
+        if self.telemetry is not None:
+            self.telemetry.attach_traces(self.trace_store)
+        return self.trace_store
+
+    def _tracer_for(self, node: str):
+        from repro.obs.tracing import Tracer
+
+        tracer = self.tracers.get(node)
+        if tracer is None:
+            tracer = Tracer(node, self.kernel)
+            self.tracers[node] = tracer
+        return tracer
 
     # -- drivers -----------------------------------------------------------------
 

@@ -27,6 +27,26 @@ from repro.util.errors import (
 from repro.web.http import HttpRequest, HttpResponse
 from repro.web.router import Router
 
+#: Routes never traced: the observability surfaces themselves (scrapes
+#: and probes would otherwise dominate every trace buffer).
+TRACE_EXCLUDED_PATHS = frozenset(
+    {"/metricsz", "/spansz", "/healthz", "/statusz"}
+)
+
+#: Route prefixes that *join* an incoming trace but never root one —
+#: background machinery (replication flushes) whose un-parented calls
+#: would mint a new trace per batch.
+TRACE_JOIN_ONLY_PREFIXES = ("/replicate",)
+
+
+def trace_route(path: str) -> str:
+    """A bounded-cardinality span name for *path*: numeric segments
+    (account ids) collapse to ``{id}`` so per-edge aggregation groups
+    by endpoint, not by row."""
+    return "/".join(
+        "{id}" if segment.isdigit() else segment for segment in path.split("/")
+    )
+
 _STATUS_FOR_ERROR: list[tuple[type, int]] = [
     (AuthenticationError, 401),
     (AuthorizationError, 403),
@@ -140,6 +160,9 @@ class Application:
         self._obs_clock = None
         self._m_requests = None
         self._m_latency = None
+        # Distributed tracing (bind_tracing): None = untraced, and the
+        # wire format stays byte-identical to a pre-tracing deployment.
+        self.tracer = None
 
     def before_request(
         self, hook: Callable[[HttpRequest], HttpResponse | None]
@@ -190,6 +213,61 @@ class Application:
 
             self.router.add("GET", "/metricsz", metricsz)
 
+    # -- tracing ---------------------------------------------------------------
+
+    def bind_tracing(self, tracer) -> None:
+        """Attach a :class:`~repro.obs.tracing.Tracer`: every non-ops
+        dispatch runs inside a server span (joined to the request's
+        ``amnesia-trace`` header, or rooting a new trace), and a
+        ``GET /spansz`` route serves the node's ended-span buffer with
+        incremental ``?since=N`` support for the fleet scraper."""
+        first_bind = self.tracer is None
+        self.tracer = tracer
+        if not first_bind:
+            return
+
+        def spansz(request: HttpRequest) -> HttpResponse:
+            try:
+                since = int(request.query.get("since", "0") or "0")
+            except ValueError:
+                since = 0
+            return json_response(
+                {
+                    "node": self.tracer.node,
+                    "spans": self.tracer.export_since(since),
+                }
+            )
+
+        self.router.add("GET", "/spansz", spansz)
+
+    def _traced(self, request: HttpRequest) -> "HttpResponse | Deferred":
+        """Dispatch inside a server span: extract-or-root, bind, end at
+        the response (deferreds end at resolution — a node that dies
+        first simply never exports the span, which the trace store
+        surfaces as an ``incomplete`` tree)."""
+        from repro.obs import tracing
+
+        parent = tracing.extract(request.headers)
+        if parent is None and request.path.startswith(TRACE_JOIN_ONLY_PREFIXES):
+            return self._dispatch(request)
+        span = self.tracer.start_span(
+            f"{self.name} {request.method} {trace_route(request.path)}",
+            parent=parent,
+            kind="server",
+        )
+        with tracing.bind_span(span):
+            result = self._dispatch(request)
+
+        def finish(response: HttpResponse) -> None:
+            span.set_attribute("http.status", response.status)
+            span.end(status="error" if response.status >= 500 else "ok")
+
+        if isinstance(result, Deferred):
+            result.on_resolve(finish)
+        else:
+            finish(result)
+        return result
+
     def _observe(
         self,
         route: str,
@@ -230,6 +308,11 @@ class Application:
         """Dispatch one request; never raises. May return a
         :class:`Deferred` when the handler needs to wait for an external
         event before responding."""
+        if self.tracer is not None and request.path not in TRACE_EXCLUDED_PATHS:
+            return self._traced(request)
+        return self._dispatch(request)
+
+    def _dispatch(self, request: HttpRequest) -> "HttpResponse | Deferred":
         self.handled_count += 1
         started_ms = self._obs_clock.now if self._obs_clock is not None else 0.0
         route_label = self.UNMATCHED_ROUTE
@@ -256,6 +339,12 @@ class Application:
                     started_ms,
                 )
             route_label = match.pattern or request.path
+            if self.tracer is not None:
+                from repro.obs.tracing import current_span
+
+                span = current_span()
+                if span is not None:
+                    span.set_name(f"{self.name} {request.method} {route_label}")
             result = match.handler(request, **match.params)
             return self._observe(route_label, request.method, result, started_ms)
         except ReproError as error:

@@ -116,6 +116,13 @@ class SimHttpClient:
         merged = self.jar.cookies_for(self.server_host)
         merged.update(request.cookies)
         request.cookies = merged
+        # Trace propagation: a context bound to this (synchronous) call
+        # stack rides along as the amnesia-trace header. Nothing is
+        # added when tracing is not installed, so un-traced deployments
+        # keep byte-identical wire traffic.
+        from repro.obs.tracing import inject
+
+        inject(request.headers)
 
         def handle(raw: bytes) -> None:
             try:

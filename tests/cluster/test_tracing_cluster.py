@@ -1,0 +1,91 @@
+"""End-to-end tracing over the sharded cluster.
+
+A clean generation must assemble into one complete gateway-rooted
+trace whose generate server span equals the measured latency; a
+mid-exchange primary crash must leave the survivors' spans assembled
+into an ``incomplete``-flagged tree (the crashed host's open server
+span dies unexported)."""
+
+import pytest
+
+from repro.cluster.testbed import ClusterTestbed
+from repro.obs.spans import GENERATION_STAGES
+from repro.web.http import HttpRequest
+
+
+def test_clean_generation_is_one_complete_trace():
+    bed = ClusterTestbed(shards=2, seed="tracing-clean-test")
+    store = bed.install_tracing(keep_pct=100, quiesce_ms=1_000.0)
+    plane = bed.install_telemetry()
+
+    browser = bed.enroll("tina", "tina-master-password")
+    account_id = browser.add_account("tina", "tina.example.com")
+    generated = browser.generate_password(account_id)
+    shard = bed.shard_of("tina")
+    corr_id = shard.serving.spans.trace_ids()[-1]
+
+    bed.run(4_000.0)
+    plane.stop()
+    bed.run_until_idle()
+    store.finalize()
+
+    tree = store.trace_for_corr(corr_id)
+    assert tree is not None
+    assert not tree.incomplete
+    assert tree.root is not None and tree.root.node == "gateway"
+    generate = [
+        span
+        for span in tree.spans
+        if span.name.endswith("/generate") and span.kind == "server"
+        and span.node == shard.serving.host.name
+    ]
+    assert generate[0].duration_ms == pytest.approx(
+        float(generated["latency_ms"]), abs=1e-6
+    )
+    # Stage spans nest inside the generate server span's window.
+    for name in GENERATION_STAGES:
+        (stage,) = tree.spans_named(name)
+        assert stage.start_ms >= generate[0].start_ms
+        assert stage.end_ms <= generate[0].end_ms
+    assert tree.critical_path_ms() <= tree.root_duration_ms + 1e-9
+
+
+def test_mid_exchange_crash_yields_incomplete_trace():
+    bed = ClusterTestbed(shards=2, seed="tracing-crash-test")
+    store = bed.install_tracing(keep_pct=100, quiesce_ms=1_000.0)
+    plane = bed.install_telemetry()
+
+    browser = bed.enroll("tina", "tina-master-password")
+    account_id = browser.add_account("tina", "tina.example.com")
+    bed.gateway.start_probing()
+
+    outcome = {}
+    crash_shard = bed.shard_of("tina").name
+
+    def issue() -> None:
+        browser.http.send(
+            HttpRequest.json_request(
+                "POST", f"/accounts/{account_id}/generate", {}
+            ),
+            lambda response: outcome.setdefault("ok", response.ok),
+            lambda error: outcome.setdefault("ok", False),
+        )
+
+    bed.kernel.schedule(100.0, issue, label="crash-test-issue")
+    # ~12 ms in: push already at the rendezvous, server span still open.
+    bed.kernel.schedule(
+        112.0,
+        lambda: bed.crash_primary(crash_shard),
+        label="crash-test-crash",
+    )
+
+    bed.run(6_000.0)
+    plane.stop()
+    bed.gateway.stop_probing()
+    bed.run_until_idle()
+    store.finalize()
+
+    assert "ok" in outcome  # the exchange resolved one way or the other
+    incomplete = [tree for tree in store.traces() if tree.incomplete]
+    assert incomplete, "mid-exchange crash produced no incomplete trace"
+    assert all(tree.keep_reason == "incomplete" for tree in incomplete)

@@ -167,7 +167,7 @@ class TestCollectHardening:
             for series in doc.get("flaky_depth", {}).get("series", [])
         )
 
-    def test_exemplars_appear_in_json_only(self):
+    def test_exemplars_appear_in_json_and_text(self):
         registry = MetricsRegistry()
         h = registry.histogram("lat_ms", buckets=(10.0,))
         h.observe(5.0, exemplar="deadbeef")
@@ -177,4 +177,7 @@ class TestCollectHardening:
             "ref": "deadbeef",
             "value": 5.0,
         }
-        assert "deadbeef" not in render_prometheus(registry)
+        # The text exposition carries the same data as an OpenMetrics
+        # exemplar clause on the bucket line.
+        text = render_prometheus(registry)
+        assert 'lat_ms_bucket{le="10"} 1 # {corr_id="deadbeef"} 5' in text

@@ -105,6 +105,43 @@ class TestRoundTrip:
         )
         assert by_name["amnesia_demo_latency_ms_count"][0][1] == 4.0
 
+    def test_exemplars_round_trip(self):
+        """OpenMetrics exemplar clauses on bucket lines parse back into
+        the family's ``exemplars`` list, samples stay 3-tuples."""
+        registry = MetricsRegistry()
+        histogram = registry.histogram(
+            "amnesia_demo_exemplar_ms", "Exemplars", buckets=(10.0, 100.0)
+        )
+        histogram.observe(5.0, exemplar="corr-fast")
+        histogram.observe(50.0, exemplar="corr-mid")
+        histogram.observe(5_000.0, exemplar="corr-tail")
+        parsed = parse_prometheus(render_prometheus(registry))
+        family = parsed["amnesia_demo_exemplar_ms"]
+        assert all(len(sample) == 3 for sample in family["samples"])
+        exemplars = {
+            labels["le"]: (ex_labels["corr_id"], value)
+            for name, labels, ex_labels, value in family["exemplars"]
+            if name == "amnesia_demo_exemplar_ms_bucket"
+        }
+        assert exemplars == {
+            "10": ("corr-fast", 5.0),
+            "100": ("corr-mid", 50.0),
+            "+Inf": ("corr-tail", 5000.0),
+        }
+
+    def test_exemplar_with_escaped_reference_round_trips(self):
+        registry = MetricsRegistry()
+        nasty = 'ref \\ with "quotes"'
+        registry.histogram(
+            "amnesia_demo_nasty_ms", "Nasty", buckets=(10.0,)
+        ).observe(1.0, exemplar=nasty)
+        parsed = parse_prometheus(render_prometheus(registry))
+        ((__, ___, ex_labels, value),) = parsed["amnesia_demo_nasty_ms"][
+            "exemplars"
+        ]
+        assert ex_labels == {"corr_id": nasty}
+        assert value == 1.0
+
     def test_escaped_label_values_round_trip(self):
         registry = MetricsRegistry()
         nasty = 'path \\ with "quotes"\nand newline'

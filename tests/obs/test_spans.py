@@ -129,6 +129,9 @@ class TestGenerationTrace:
             pending_id = "forged"
             tstart_ms = 100.0
 
+            def __init__(self):
+                self.extra = {}
+
         core._record_generation_spans(
             _FakeExchange(),
             {"received_ms": 500.0, "computed_ms": 400.0},  # inconsistent

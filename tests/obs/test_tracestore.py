@@ -1,0 +1,344 @@
+"""Trace-store tests: tree well-formedness properties over seeded
+synthetic span sets, tail-sampling keep arms, and the store lifecycle
+(quiesce, dedup, eviction, corr lookup)."""
+
+import random
+
+import pytest
+
+from repro.obs.tracestore import (
+    KEEP_ERROR,
+    KEEP_INCOMPLETE,
+    KEEP_SAMPLED,
+    KEEP_SLOW,
+    TraceStore,
+    TraceTree,
+    critical_edges,
+    render_trace,
+)
+from repro.obs.tracing import TraceSpan, trace_id_for
+from repro.util.errors import ValidationError
+
+_EPS = 1e-9
+
+
+class FakeClock:
+    def __init__(self, now: float = 0.0) -> None:
+        self.now = now
+
+
+def _span(trace_id, span_id, parent_id, start, end, **kw):
+    defaults = dict(name=f"op-{span_id}", node="n", kind="internal")
+    defaults.update(kw)
+    return TraceSpan(
+        trace_id=trace_id,
+        span_id=span_id,
+        parent_id=parent_id,
+        start_ms=start,
+        end_ms=end,
+        **defaults,
+    )
+
+
+def _random_tree(rng: random.Random, trace_id: str):
+    """A random well-formed span tree: every child's window nests
+    strictly inside its parent's, one root, all parents present."""
+    root_start = rng.uniform(0.0, 100.0)
+    root_end = root_start + rng.uniform(10.0, 200.0)
+    spans = [_span(trace_id, "s0", None, root_start, root_end, name="root")]
+    counter = [0]
+
+    def grow(parent, depth):
+        if depth >= 3:
+            return
+        for _ in range(rng.randint(0, 3)):
+            counter[0] += 1
+            sid = f"s{counter[0]}"
+            window = parent.end_ms - parent.start_ms
+            lo = parent.start_ms + rng.uniform(0.0, window * 0.5)
+            hi = lo + rng.uniform(0.0, parent.end_ms - lo)
+            child = _span(trace_id, sid, parent.span_id, lo, hi)
+            spans.append(child)
+            grow(child, depth + 1)
+
+    grow(spans[0], 0)
+    return spans
+
+
+class TestTreeProperties:
+    """Well-formedness over 50 seeded random trees."""
+
+    @pytest.mark.parametrize("seed", range(50))
+    def test_random_nested_tree_is_complete(self, seed):
+        rng = random.Random(f"tree|{seed}")
+        trace_id = trace_id_for(f"corr-{seed}")
+        spans = _random_tree(rng, trace_id)
+        tree = TraceTree.assemble(trace_id, spans)
+        assert not tree.incomplete
+        assert tree.root is not None and tree.root.name == "root"
+        ids = {span.span_id for span in tree.spans}
+        for span in tree.spans:
+            assert span.parent_id is None or span.parent_id in ids
+
+    @pytest.mark.parametrize("seed", range(50))
+    def test_critical_path_bounded_by_root(self, seed):
+        rng = random.Random(f"tree|{seed}")
+        trace_id = trace_id_for(f"corr-{seed}")
+        tree = TraceTree.assemble(trace_id, _random_tree(rng, trace_id))
+        path = tree.critical_path()
+        assert path and path[0][0] is tree.root
+        for _, exclusive in path:
+            assert exclusive >= -_EPS
+        assert tree.critical_path_ms() <= tree.root_duration_ms + _EPS
+
+    @pytest.mark.parametrize("seed", range(50))
+    def test_children_nest_within_parents(self, seed):
+        rng = random.Random(f"tree|{seed}")
+        trace_id = trace_id_for(f"corr-{seed}")
+        tree = TraceTree.assemble(trace_id, _random_tree(rng, trace_id))
+        by_id = {span.span_id: span for span in tree.spans}
+        for span in tree.spans:
+            if span.parent_id is None:
+                continue
+            parent = by_id[span.parent_id]
+            assert span.start_ms >= parent.start_ms - _EPS
+            assert span.end_ms <= parent.end_ms + _EPS
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_dropping_a_middle_span_flags_incomplete(self, seed):
+        rng = random.Random(f"tree|{seed}")
+        trace_id = trace_id_for(f"corr-{seed}")
+        spans = _random_tree(rng, trace_id)
+        parents = {s.parent_id for s in spans if s.parent_id}
+        middles = [s for s in spans if s.span_id in parents and s.parent_id]
+        if not middles:
+            pytest.skip("this seed grew no grandchildren")
+        victim = rng.choice(middles)
+        survivors = [s for s in spans if s.span_id != victim.span_id]
+        tree = TraceTree.assemble(trace_id, survivors)
+        assert tree.incomplete
+
+    def test_two_roots_flag_incomplete(self):
+        trace_id = trace_id_for("corr-two-roots")
+        spans = [
+            _span(trace_id, "a", None, 0.0, 5.0),
+            _span(trace_id, "b", None, 1.0, 4.0),
+        ]
+        tree = TraceTree.assemble(trace_id, spans)
+        assert tree.incomplete
+        assert tree.root is None
+        assert tree.critical_path() == []
+
+    def test_generation_shape_stage_spans_partition_the_exchange(self):
+        """The acceptance tree in miniature: root -> generate server
+        span -> four stage leaves partitioning the generate window.
+        Stage exclusives on the critical path sum to the full latency."""
+        trace_id = trace_id_for("corr-gen")
+        stages = [
+            ("push_wait", 10.0, 14.0),
+            ("phone_compute", 14.0, 36.0),
+            ("return_hop", 36.0, 40.0),
+            ("server_render", 40.0, 40.0),
+        ]
+        spans = [
+            _span(trace_id, "root", None, 8.0, 42.0, name="gateway", node="gw"),
+            _span(
+                trace_id, "gen", "root", 10.0, 40.0,
+                name="generate", kind="server",
+            ),
+        ] + [
+            _span(trace_id, name, "gen", lo, hi, name=name)
+            for name, lo, hi in stages
+        ]
+        tree = TraceTree.assemble(trace_id, spans)
+        assert not tree.incomplete
+        generate = tree.spans_named("generate")[0]
+        for name, lo, hi in stages:
+            stage = tree.spans_named(name)[0]
+            assert stage.start_ms >= generate.start_ms
+            assert stage.end_ms <= generate.end_ms
+        exclusives = dict(
+            (span.name, exclusive) for span, exclusive in tree.critical_path()
+        )
+        stage_sum = sum(exclusives.get(name, 0.0) for name, _, __ in stages)
+        assert stage_sum == pytest.approx(generate.duration_ms)
+        assert exclusives["generate"] == pytest.approx(0.0)
+
+    def test_critical_edges_aggregates_by_parent_child(self):
+        trees = []
+        for corr in ("a", "b"):
+            trace_id = trace_id_for(corr)
+            spans = [
+                _span(trace_id, "r", None, 0.0, 10.0, name="root"),
+                _span(trace_id, "c", "r", 2.0, 9.0, name="hop"),
+            ]
+            trees.append(TraceTree.assemble(trace_id, spans))
+        rows = critical_edges(trees)
+        assert ("root", "hop", 2, pytest.approx(14.0)) in [
+            (p, n, c, t) for p, n, c, t in rows
+        ]
+
+    def test_render_trace_is_deterministic(self):
+        trace_id = trace_id_for("corr-render")
+        spans = [
+            _span(trace_id, "r", None, 0.0, 10.0, name="root"),
+            _span(trace_id, "c", "r", 2.0, 9.0, name="hop", status="error"),
+        ]
+        tree = TraceTree.assemble(trace_id, spans)
+        first = render_trace(tree)
+        assert first == render_trace(tree)
+        assert "root" in first and "hop" in first and "!" in first
+
+
+class TestTailSampling:
+    def _store(self, **kw):
+        clock = FakeClock()
+        defaults = dict(quiesce_ms=100.0, keep_pct=0, slow_ms=1_000.0)
+        defaults.update(kw)
+        return clock, TraceStore(clock, **defaults)
+
+    def _feed(self, store, spans):
+        store.ingest([span.to_wire() for span in spans])
+
+    def test_error_always_kept(self):
+        clock, store = self._store()
+        trace_id = trace_id_for("corr-err")
+        self._feed(store, [
+            _span(trace_id, "r", None, 0.0, 5.0, status="error"),
+        ])
+        clock.now = 200.0
+        store.gc()
+        tree = store.trace(trace_id)
+        assert tree is not None and tree.keep_reason == KEEP_ERROR
+
+    def test_slow_always_kept(self):
+        clock, store = self._store(slow_ms=50.0)
+        trace_id = trace_id_for("corr-slow")
+        self._feed(store, [_span(trace_id, "r", None, 0.0, 60.0)])
+        store.finalize()
+        tree = store.trace(trace_id)
+        assert tree is not None and tree.keep_reason == KEEP_SLOW
+
+    def test_incomplete_always_kept_and_wins_over_error(self):
+        clock, store = self._store()
+        trace_id = trace_id_for("corr-orphan")
+        self._feed(store, [
+            _span(trace_id, "c", "missing-parent", 0.0, 5.0, status="error"),
+        ])
+        store.finalize()
+        tree = store.trace(trace_id)
+        assert tree is not None and tree.keep_reason == KEEP_INCOMPLETE
+
+    @pytest.mark.parametrize("keep_pct", [0, 30, 100])
+    def test_probabilistic_arm_is_deterministic_in_the_trace_id(
+        self, keep_pct
+    ):
+        clock, store = self._store(keep_pct=keep_pct)
+        expected_kept = 0
+        for index in range(40):
+            trace_id = trace_id_for(f"corr-{index}")
+            if int(trace_id[:8], 16) % 100 < keep_pct:
+                expected_kept += 1
+            self._feed(store, [_span(trace_id, "r", None, 0.0, 5.0)])
+        store.finalize()
+        stats = store.stats()
+        assert stats["traces_kept"] == expected_kept
+        assert stats["traces_sampled_out"] == 40 - expected_kept
+        assert all(
+            tree.keep_reason == KEEP_SAMPLED for tree in store.traces()
+        )
+
+    def test_quiesce_gates_the_decision(self):
+        clock, store = self._store(keep_pct=100, quiesce_ms=100.0)
+        trace_id = trace_id_for("corr-quiet")
+        self._feed(store, [_span(trace_id, "r", None, 0.0, 5.0)])
+        clock.now = 50.0
+        assert store.gc() == 0  # still within the quiesce window
+        assert store.pending_count == 1
+        clock.now = 150.0
+        assert store.gc() == 1
+        assert store.pending_count == 0
+        assert store.trace(trace_id) is not None
+
+    def test_straggler_resets_the_quiesce_clock(self):
+        clock, store = self._store(keep_pct=100, quiesce_ms=100.0)
+        trace_id = trace_id_for("corr-straggle")
+        self._feed(store, [_span(trace_id, "r", None, 0.0, 5.0)])
+        clock.now = 90.0
+        self._feed(store, [_span(trace_id, "c", "r", 1.0, 4.0)])
+        clock.now = 120.0  # 120 past first span, only 30 past second
+        assert store.gc() == 0
+        clock.now = 190.0
+        assert store.gc() == 1
+        assert store.trace(trace_id).span_count == 2
+
+    def test_ingest_dedups_by_span_id(self):
+        clock, store = self._store(keep_pct=100)
+        trace_id = trace_id_for("corr-dup")
+        span = _span(trace_id, "r", None, 0.0, 5.0)
+        assert store.ingest([span.to_wire(), span.to_wire()]) == 1
+        assert store.ingest([span.to_wire()]) == 0
+        assert store.spans_ingested == 1
+
+    def test_kept_traces_are_final(self):
+        clock, store = self._store(keep_pct=100)
+        trace_id = trace_id_for("corr-final")
+        self._feed(store, [_span(trace_id, "r", None, 0.0, 5.0)])
+        store.finalize()
+        assert store.ingest(
+            [_span(trace_id, "late", "r", 1.0, 2.0).to_wire()]
+        ) == 0
+        assert store.trace(trace_id).span_count == 1
+
+    def test_eviction_drops_oldest_kept(self):
+        clock, store = self._store(keep_pct=100, max_traces=2)
+        ids = []
+        for index in range(3):
+            trace_id = trace_id_for(f"corr-evict-{index}")
+            ids.append(trace_id)
+            self._feed(store, [_span(trace_id, "r", None, 0.0, 5.0)])
+            store.finalize()
+        assert store.trace(ids[0]) is None
+        assert store.trace(ids[1]) is not None
+        assert store.trace(ids[2]) is not None
+
+    def test_trace_for_corr_finds_by_span_corr_id(self):
+        clock, store = self._store(keep_pct=100)
+        trace_id = trace_id_for("corr-lookup")
+        self._feed(store, [
+            _span(trace_id, "r", None, 0.0, 5.0, corr_id="corr-lookup"),
+        ])
+        store.finalize()
+        assert store.trace_for_corr("corr-lookup") is not None
+        assert store.trace_for_corr("nope") is None
+        assert store.trace_for_corr("-") is None
+
+    def test_top_ranks_by_root_duration(self):
+        clock, store = self._store(keep_pct=100)
+        durations = {"corr-t0": 10.0, "corr-t1": 30.0, "corr-t2": 20.0}
+        for corr, duration in durations.items():
+            trace_id = trace_id_for(corr)
+            self._feed(store, [_span(trace_id, "r", None, 0.0, duration)])
+        store.finalize()
+        ranked = [tree.root_duration_ms for tree in store.top(2)]
+        assert ranked == [30.0, 20.0]
+
+    def test_constructor_validates(self):
+        with pytest.raises(ValidationError):
+            TraceStore(FakeClock(), keep_pct=101)
+        with pytest.raises(ValidationError):
+            TraceStore(FakeClock(), quiesce_ms=0.0)
+
+    def test_fingerprint_replays_bit_identically(self):
+        prints = []
+        for _ in range(2):
+            clock, store = self._store(keep_pct=100)
+            for index in range(5):
+                trace_id = trace_id_for(f"corr-fp-{index}")
+                self._feed(store, [
+                    _span(trace_id, "r", None, 0.0, 5.0 + index),
+                    _span(trace_id, "c", "r", 1.0, 3.0),
+                ])
+            store.finalize()
+            prints.append(store.fingerprint())
+        assert prints[0] == prints[1]

@@ -1,0 +1,196 @@
+"""Unit tests for the tracing primitives: context codec, tracer
+determinism, buffer bounds, and span stamp validation."""
+
+import pytest
+
+from repro.obs.tracing import (
+    TRACE_HEADER,
+    TraceContext,
+    TraceSpan,
+    Tracer,
+    bind_context,
+    bind_span,
+    current_context,
+    current_span,
+    extract,
+    inject,
+    trace_id_for,
+)
+from repro.util.errors import ValidationError
+
+
+class FakeClock:
+    def __init__(self, now: float = 0.0) -> None:
+        self.now = now
+
+
+class TestContextCodec:
+    def test_round_trip(self):
+        ctx = TraceContext(trace_id="a" * 16, span_id="b" * 16, sampled=True)
+        assert TraceContext.from_header(ctx.to_header()) == ctx
+
+    def test_unsampled_flag_survives(self):
+        ctx = TraceContext(trace_id="a" * 16, span_id="b" * 16, sampled=False)
+        parsed = TraceContext.from_header(ctx.to_header())
+        assert parsed is not None and not parsed.sampled
+
+    @pytest.mark.parametrize(
+        "raw",
+        [
+            "",
+            "nonsense",
+            "abc-def-01",  # ids too short
+            "g" * 16 + "-" + "b" * 16 + "-01",  # not hex
+            "a" * 16 + "-" + "b" * 16,  # missing flags
+        ],
+    )
+    def test_malformed_header_yields_none(self, raw):
+        assert TraceContext.from_header(raw) is None
+
+    def test_inject_and_extract(self):
+        ctx = TraceContext(trace_id="a" * 16, span_id="b" * 16)
+        headers = {}
+        inject(headers, ctx)
+        assert headers[TRACE_HEADER] == ctx.to_header()
+        assert extract(headers) == ctx
+
+    def test_inject_never_overwrites(self):
+        headers = {TRACE_HEADER: "existing"}
+        inject(headers, TraceContext(trace_id="a" * 16, span_id="b" * 16))
+        assert headers[TRACE_HEADER] == "existing"
+
+    def test_inject_without_context_is_a_no_op(self):
+        headers = {}
+        inject(headers)
+        assert headers == {}
+
+    def test_trace_id_deterministic(self):
+        assert trace_id_for("corr-1") == trace_id_for("corr-1")
+        assert trace_id_for("corr-1") != trace_id_for("corr-2")
+        with pytest.raises(ValidationError):
+            trace_id_for("")
+
+
+class TestTracer:
+    def test_span_ids_deterministic_across_tracers(self):
+        spans = []
+        for _ in range(2):
+            tracer = Tracer("node-a", FakeClock())
+            root = tracer.start_span("op", corr_id="corr-1")
+            root.end()
+            spans.append(tracer.spans()[0])
+        assert spans[0].span_id == spans[1].span_id
+        assert spans[0].trace_id == trace_id_for("corr-1")
+
+    def test_child_joins_parent_trace(self):
+        tracer = Tracer("node-a", FakeClock())
+        root = tracer.start_span("op", corr_id="corr-1")
+        child = tracer.start_span("inner", parent=root.context)
+        assert child.trace_id == root.trace_id
+        assert child.parent_id == root.span_id
+
+    def test_synthetic_root_corr_ids(self):
+        tracer = Tracer("gw", FakeClock())
+        first = tracer.start_span("op")
+        second = tracer.start_span("op")
+        assert first.corr_id == "gw-1"
+        assert second.corr_id == "gw-2"
+        assert first.trace_id != second.trace_id
+
+    def test_only_ended_spans_are_buffered(self):
+        clock = FakeClock()
+        tracer = Tracer("node-a", clock)
+        open_span = tracer.start_span("never-ends")
+        done = tracer.start_span("ends")
+        clock.now = 5.0
+        done.end()
+        names = [span.name for span in tracer.spans()]
+        assert names == ["ends"]
+        assert not open_span.ended
+
+    def test_end_is_first_wins(self):
+        clock = FakeClock()
+        tracer = Tracer("node-a", clock)
+        span = tracer.start_span("op")
+        clock.now = 2.0
+        span.end(status="error")
+        clock.now = 9.0
+        span.end(status="ok")
+        (exported,) = tracer.spans()
+        assert exported.status == "error"
+        assert exported.end_ms == 2.0
+
+    def test_buffer_is_bounded_oldest_dropped(self):
+        tracer = Tracer("node-a", FakeClock(), max_spans=3)
+        for index in range(5):
+            tracer.start_span(f"op-{index}").end()
+        assert [s.name for s in tracer.spans()] == ["op-2", "op-3", "op-4"]
+        assert tracer.spans_dropped == 2
+
+    def test_export_since_is_incremental(self):
+        tracer = Tracer("node-a", FakeClock())
+        for index in range(4):
+            tracer.start_span(f"op-{index}").end()
+        first = tracer.export_since(0)
+        assert [doc["name"] for doc in first] == [
+            "op-0", "op-1", "op-2", "op-3",
+        ]
+        high_water = max(doc["seq"] for doc in first)
+        assert tracer.export_since(high_water) == []
+        tracer.start_span("op-4").end()
+        assert [doc["name"] for doc in tracer.export_since(high_water)] == [
+            "op-4"
+        ]
+
+    def test_wire_round_trip(self):
+        clock = FakeClock(3.0)
+        tracer = Tracer("node-a", clock)
+        span = tracer.start_span("op", corr_id="corr-9", kind="server")
+        span.set_attribute("http.status", 200)
+        span.add_event("queued")
+        clock.now = 7.5
+        span.end()
+        (exported,) = tracer.spans()
+        assert TraceSpan.from_wire(exported.to_wire()) == exported
+
+
+class TestSpanValidation:
+    def test_trace_span_rejects_backwards_stamps(self):
+        with pytest.raises(ValidationError):
+            TraceSpan(
+                trace_id="a" * 16,
+                span_id="b" * 16,
+                parent_id=None,
+                name="bad",
+                node="n",
+                kind="internal",
+                start_ms=10.0,
+                end_ms=9.0,
+            )
+
+    def test_recorder_span_rejects_backwards_stamps(self):
+        from repro.obs.spans import Span
+
+        with pytest.raises(ValidationError):
+            Span(corr_id="c", name="bad", start_ms=10.0, end_ms=9.0)
+
+
+class TestAmbientBindings:
+    def test_bind_span_exposes_context_and_span(self):
+        tracer = Tracer("node-a", FakeClock())
+        span = tracer.start_span("op")
+        assert current_span() is None
+        with bind_span(span):
+            assert current_span() is span
+            assert current_context() == span.context
+        assert current_span() is None
+        assert current_context() is None
+
+    def test_bind_context_clears_span(self):
+        tracer = Tracer("node-a", FakeClock())
+        span = tracer.start_span("op")
+        with bind_span(span):
+            with bind_context(None):
+                assert current_span() is None
+                assert current_context() is None
+            assert current_span() is span
