@@ -19,6 +19,8 @@ or analysis:
     amnesia-repro slo [--check]       # SLO burn-rate alerting under an outage
     amnesia-repro dash [--check]      # live fleet dashboard over the outage
     amnesia-repro drill [--check]     # disaster-recovery drill: backup/restore
+    amnesia-repro workload [--users N --minutes M --rate R]  # open-loop load
+    amnesia-repro population [--check]  # 10⁴⁺-user population engine
 """
 
 from __future__ import annotations
@@ -795,6 +797,145 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_workload(args: argparse.Namespace) -> int:
+    """Run the open-loop workload at a chosen scale.
+
+    The committed bench gate keeps the paper's 3-user figure; these
+    flags open the same harness to other operating points (e.g.
+    ``--users 50 --minutes 2 --rate 30``). ``--rate`` is per-user
+    generations per minute; the defaults reproduce the legacy spec
+    exactly (3 users, 1 minute, 12/user/min).
+    """
+    from repro.eval.workload import WorkloadSpec, run_workload
+
+    spec = WorkloadSpec(
+        users=args.users,
+        accounts_per_user=args.accounts,
+        duration_ms=args.minutes * 60_000.0,
+        mean_interarrival_ms=60_000.0 / args.rate,
+        seed=f"{args.seed}|workload",
+    )
+    result = run_workload(spec, telemetry=args.telemetry)
+    print(f"spec        : {spec.users} users x {spec.accounts_per_user} "
+          f"accounts, {spec.duration_ms / 60_000.0:.1f} min at "
+          f"{args.rate:.1f}/user/min (offered {spec.offered_rate_per_s:.2f}/s)")
+    print(f"issued      : {result.issued} "
+          f"(completed {result.completed}, failed {result.failed})")
+    print(f"completion  : {result.completion_rate:.1%}")
+    print(f"latency     : mean {result.latency_mean_ms():.1f} ms, "
+          f"p95 {result.latency_p95_ms():.1f} ms")
+    print(f"pool        : peak busy {result.pool_peak_busy}, "
+          f"peak queue {result.pool_peak_queue}")
+    return 0
+
+
+def _population_check_spec(seed: str):
+    """The `population --check` operating point: 10k users, shortened
+    horizon so two full runs stay inside the smoke-time budget."""
+    from repro.population import PopulationSpec
+
+    return PopulationSpec(
+        users=10_000,
+        reserve_users=300,
+        duration_ms=6_000.0,
+        ops_per_user_per_hour=18.0,
+        flash_start_ms=2_500.0,
+        flash_duration_ms=2_000.0,
+        flash_multiplier=6.0,
+        churn_interval_ms=2_000.0,
+        churn_fraction=0.005,
+        seed=f"{seed}|population-check",
+    )
+
+
+def _cmd_population(args: argparse.Namespace) -> int:
+    """Run the population engine: synthesized users over the cluster.
+
+    ``--check`` is the `make population-smoke` contract: two runs at
+    10k users must produce bit-identical fingerprints, every issued
+    request must be accounted (completed + failed + shed), the live
+    population must stay conserved through churn waves, and no push
+    may go unmatched in the fleet demux; exits non-zero otherwise.
+    """
+    from repro.population import PopulationEngine, PopulationSpec
+
+    if args.check:
+        failures = []
+        engines = []
+        for _ in range(2):
+            engine = PopulationEngine(_population_check_spec(args.seed))
+            engine.run()
+            engines.append(engine)
+        first, second = engines
+        result = first.result
+        if result.fingerprint() != second.result.fingerprint():
+            failures.append("population run is not deterministic under the seed")
+        if result.completed == 0:
+            failures.append("no generation completed")
+        accounted = result.completed + result.failed + result.rejected_429
+        if accounted != result.issued:
+            failures.append(
+                f"issued {result.issued} but only {accounted} accounted"
+            )
+        if len(first._active) != first.spec.users:
+            failures.append(
+                f"churn did not conserve the population: "
+                f"{len(first._active)} active != {first.spec.users}"
+            )
+        if result.churn_waves == 0:
+            failures.append("no churn wave applied")
+        if result.fleet_unmatched:
+            failures.append(
+                f"{result.fleet_unmatched} pushes failed fleet demux"
+            )
+        if failures:
+            for failure in failures:
+                print(f"population check FAILED: {failure}", file=sys.stderr)
+            return 1
+        print(
+            f"population check ok: {result.provisioned_users} users "
+            f"provisioned, {result.completed}/{result.issued} completed "
+            f"({result.rejected_429} shed), {result.churn_waves} churn "
+            f"waves, fingerprint {result.fingerprint()[:16]} replayed "
+            f"bit-identically"
+        )
+        return 0
+
+    spec = PopulationSpec(
+        users=args.users,
+        duration_ms=args.seconds * 1000.0,
+        ops_per_user_per_hour=args.rate,
+        channels=args.channels,
+        shards=args.shards,
+        seed=f"{args.seed}|population",
+    )
+    engine = PopulationEngine(spec)
+    result = engine.run()
+    print(f"population  : {result.provisioned_users} users provisioned "
+          f"({spec.users} active + {spec.reserve_users} reserve) across "
+          f"{spec.shards} shards, {spec.channels} fleet channels "
+          f"(provisioned in {result.provision_wall_s:.1f}s wall)")
+    print(f"offered     : {spec.offered_rate_per_s:.1f}/s mean, flash x"
+          f"{spec.flash_multiplier:.0f} at +{spec.flash_start_ms / 1000.0:.1f}s "
+          f"for {spec.flash_duration_ms / 1000.0:.1f}s")
+    print(f"issued      : {result.issued} (completed {result.completed}, "
+          f"failed {result.failed}, shed {result.rejected_429})")
+    print(f"sustained   : {result.sustained_ops_per_s:.1f} ops/s "
+          f"({result.completion_rate:.1%} completion)")
+    print(f"latency     : p99 {result.p99_ms():.1f} ms overall, "
+          f"p99 {result.p99_ms_flash():.1f} ms in-flash")
+    print(f"dispatch    : peak depth {result.dispatch_peak_depth}, "
+          f"shed {result.dispatch_shed_total}, "
+          f"gateway peak busy {result.pool_peak_busy}")
+    print(f"churn       : {result.churn_waves} waves, "
+          f"{result.churn_swaps} swaps (population conserved at "
+          f"{len(engine._active)})")
+    print(f"fleet       : {result.fleet_pushes} pushes answered, "
+          f"{result.fleet_unmatched} unmatched")
+    print(f"fingerprint : {result.fingerprint()}")
+    return 0
+
+
 _COMMANDS: Dict[str, Callable[[argparse.Namespace], int]] = {
     "quickstart": _cmd_quickstart,
     "fig3": _cmd_fig3,
@@ -816,6 +957,8 @@ _COMMANDS: Dict[str, Callable[[argparse.Namespace], int]] = {
     "slo": _cmd_slo,
     "dash": _cmd_dash,
     "drill": _cmd_drill,
+    "workload": _cmd_workload,
+    "population": _cmd_population,
 }
 
 
@@ -961,6 +1104,53 @@ def build_parser() -> argparse.ArgumentParser:
                 "--check", action="store_true",
                 help="assert bit-identical P after cold restore, k-1 "
                 "share rejection + deterministic replay (smoke test)",
+            )
+        elif name == "workload":
+            command.add_argument(
+                "--users", type=int, default=3,
+                help="concurrent simulated users (paper figure: 3)",
+            )
+            command.add_argument(
+                "--minutes", type=float, default=1.0,
+                help="workload duration in minutes (default: 1)",
+            )
+            command.add_argument(
+                "--rate", type=float, default=12.0,
+                help="per-user generations per minute (default: 12)",
+            )
+            command.add_argument(
+                "--accounts", type=int, default=3,
+                help="accounts per user (default: 3)",
+            )
+            command.add_argument(
+                "--telemetry", action="store_true",
+                help="install the fleet telemetry plane during the run",
+            )
+        elif name == "population":
+            command.add_argument(
+                "--users", type=int, default=10_000,
+                help="active simulated users (default: 10000)",
+            )
+            command.add_argument(
+                "--seconds", type=float, default=20.0,
+                help="drive duration in simulated seconds (default: 20)",
+            )
+            command.add_argument(
+                "--rate", type=float, default=6.0,
+                help="per-user generations per hour (default: 6)",
+            )
+            command.add_argument(
+                "--channels", type=int, default=4,
+                help="shared phone-fleet rendezvous channels (default: 4)",
+            )
+            command.add_argument(
+                "--shards", type=int, default=2,
+                help="cluster shard count (default: 2)",
+            )
+            command.add_argument(
+                "--check", action="store_true",
+                help="two-run bit-identical fingerprint at 10k users "
+                "(smoke test)",
             )
         elif name == "serve":
             command.add_argument(

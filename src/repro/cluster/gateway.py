@@ -300,6 +300,21 @@ class ClusterGateway:
             if token:
                 self._session_logins[token] = login
 
+    def register_session(self, token: str, login: str) -> None:
+        """Pre-seed the session-token → login routing map.
+
+        The gateway normally learns this mapping by watching /signup
+        and /login responses; bulk provisioning (the population engine
+        writes users straight into the shard databases) registers the
+        sessions it minted here so cookie-routed requests reach the
+        right shard without a wire login per user."""
+        self._session_logins[token] = login
+
+    def register_pid(self, pid_hex: str, login: str) -> None:
+        """Pre-seed the pid → login routing map (same bulk-provisioning
+        contract as :meth:`register_session`, for /token routing)."""
+        self._pid_logins[pid_hex] = login
+
     # -- forwarding --------------------------------------------------------
 
     def _forward_hook(self, request: HttpRequest):

@@ -71,6 +71,7 @@ _MICRO_ITERATIONS = {
     "token": (2_000, 100),
     "template": (2_000, 100),
     "render_cached": (10_000, 200),
+    "kernel_events": (200_000, 5_000),
 }
 _PBKDF2_ROUNDS = 400  # inner HMAC rounds per pbkdf2 op
 _PAYLOAD = bytes(range(256)) * 4  # 1 KiB hashing payload
@@ -117,6 +118,64 @@ def _time_op(fn: Callable[[], Any], iterations: int) -> Dict[str, Any]:
         "iterations": iterations,
         "wall_us_per_op": round(per_op_us, 3),
         "ops_per_sec": round(ops_per_sec, 1),
+    }
+
+
+def _measure_kernel_events(total: int) -> Dict[str, Any]:
+    """Schedule/drain throughput of the simulation kernel's event heap.
+
+    A fresh :class:`Simulator` takes *total* one-shot events at
+    pseudo-scattered virtual times (pushes arrive out of timestamp
+    order, the expensive case for heap sifts), a tenth of them are
+    cancelled immediately (the tombstone + live-counter path), one
+    recurring ticker runs across the horizon (the re-arm path), and the
+    whole schedule+drain is wall-clocked as a unit. Heap depth peaks at
+    *total* pending events — the 10⁴–10⁶ regime the population engine
+    holds the kernel at, where an accidental O(n) in schedule or cancel
+    would be invisible to unit tests but dominate a population run.
+    """
+    import gc
+
+    from repro.sim.kernel import Simulator
+
+    def noop() -> None:
+        return None
+
+    horizon_ms = 4_096.0
+    # Untimed warm-up on a throwaway kernel so first-touch costs (lazy
+    # allocations, bytecode specialization) charge nobody.
+    warm = Simulator()
+    for i in range(256):
+        warm.schedule(float(i % 16), noop, "warm")
+    warm.run_until_idle()
+
+    sim = Simulator()
+    was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        started = time.perf_counter_ns()
+        cancelled = 0
+        for i in range(total):
+            event = sim.schedule(float((i * 7919) % 4096), noop, "bench")
+            if i % 10 == 9:
+                event.cancel()
+                cancelled += 1
+        ticker = sim.schedule_every(16.0, noop, "bench tick")
+        sim.run(until=horizon_ms)
+        ticker.cancel()
+        sim.run_until_idle(max_events=total + 1_024)
+        elapsed_ns = time.perf_counter_ns() - started
+    finally:
+        if was_enabled:
+            gc.enable()
+    processed = sim.processed_events
+    events_per_s = (processed * 1e9 / elapsed_ns) if elapsed_ns > 0 else 0.0
+    return {
+        "scheduled": total,
+        "cancelled": cancelled,
+        "processed": processed,
+        "wall_us_per_event": round(elapsed_ns / max(processed, 1) / 1_000.0, 4),
+        "events_per_s": round(events_per_s, 1),
     }
 
 
@@ -207,6 +266,8 @@ def run_micro(smoke: bool = False) -> Dict[str, Any]:
 
     cached_render()  # warm the entry; everything after is a hit
     micro["render_cached"] = _time_op(cached_render, iters["render_cached"])
+    # Event-heap scheduling throughput at population-engine depth.
+    micro["kernel"] = _measure_kernel_events(iters["kernel_events"])
     micro["profiler_scopes"] = {
         name: {"calls": stats.calls, "cumulative_us": round(stats.cumulative_us, 1)}
         for name, stats in sorted(profiler.by_name().items())
@@ -291,7 +352,47 @@ def run_macro(seed: int | str = "bench", smoke: bool = False) -> Dict[str, Any]:
 
     macro["cluster"] = _run_cluster_macro(seed=seed, smoke=smoke)
     macro["drill"] = _run_drill_macro(seed=seed)
+    macro["population"] = _run_population_macro(seed=seed, smoke=smoke)
     return macro
+
+
+def _run_population_macro(seed: int | str, smoke: bool) -> Dict[str, Any]:
+    """The population engine as a bench arm: sustained completed-ops
+    throughput over a 10⁴-user fleet (10³ in smoke) and the p99 latency
+    of requests issued inside the flash-crowd window, through the
+    batched-dispatch gateway. Fully deterministic under the seed —
+    ``bench --check`` replays the arm and expects identical numbers.
+    """
+    from repro.population import PopulationSpec, run_population
+
+    spec = PopulationSpec(
+        users=1_000 if smoke else 10_000,
+        reserve_users=100 if smoke else 300,
+        duration_ms=5_000.0 if smoke else 12_000.0,
+        ops_per_user_per_hour=60.0 if smoke else 18.0,
+        flash_start_ms=2_000.0 if smoke else 6_000.0,
+        flash_duration_ms=1_500.0 if smoke else 3_000.0,
+        flash_multiplier=6.0,
+        churn_interval_ms=1_500.0 if smoke else 4_000.0,
+        churn_fraction=0.005,
+        seed=f"{seed}|population",
+    )
+    result = run_population(spec)
+    return {
+        "users": spec.users,
+        "duration_ms": spec.duration_ms,
+        "issued": result.issued,
+        "completed": result.completed,
+        "rejected_429": result.rejected_429,
+        "completion_rate": round(result.completion_rate, 4),
+        "sustained_ops_per_s": round(result.sustained_ops_per_s, 3),
+        "p99_ms_flash": round(result.p99_ms_flash(), 3),
+        "p99_ms": round(result.p99_ms(), 3),
+        "dispatch_peak_depth": result.dispatch_peak_depth,
+        "dispatch_shed_total": result.dispatch_shed_total,
+        "churn_waves": result.churn_waves,
+        "churn_swaps": result.churn_swaps,
+    }
 
 
 def _run_drill_macro(seed: int | str) -> Dict[str, Any]:
@@ -408,6 +509,14 @@ def macro_gates(macro: Dict[str, Any]) -> Dict[str, Dict[str, Any]]:
             "direction": LOWER_IS_BETTER,
             "limit": macro["drill"]["limit_ms"],
         },
+        "macro.population.sustained_ops_per_s": {
+            "value": macro["population"]["sustained_ops_per_s"],
+            "direction": HIGHER_IS_BETTER,
+        },
+        "macro.population.p99_ms_flash": {
+            "value": macro["population"]["p99_ms_flash"],
+            "direction": LOWER_IS_BETTER,
+        },
     }
 
 
@@ -429,6 +538,11 @@ def micro_gates(micro: Dict[str, Any]) -> Dict[str, Dict[str, Any]]:
         gates["micro.render_cached.wall_us_per_op"] = {
             "value": micro["render_cached"]["wall_us_per_op"],
             "direction": LOWER_IS_BETTER,
+        }
+    if "kernel" in micro:
+        gates["micro.kernel.events_per_s"] = {
+            "value": micro["kernel"]["events_per_s"],
+            "direction": HIGHER_IS_BETTER,
         }
     return gates
 

@@ -60,7 +60,7 @@ class Panel:
     title: str
     node: str
     metric: str
-    mode: str = "rate"  # "rate" | "p95"
+    mode: str = "rate"  # "rate" | "p95" | "last"
     match_labels: Dict[str, str] = field(default_factory=dict)
     unit: str = "/s"
 
@@ -70,8 +70,10 @@ class Panel:
 
 def default_panels(gateway_node: str = "gateway") -> List[Panel]:
     """The stock cluster panels: forwarded request rate, forwarded
-    error rate, and the fleet-wide p95 of the forwarded-request
-    latency histogram (all from the gateway's scrape)."""
+    error rate, the fleet-wide p95 of the forwarded-request latency
+    histogram, and the dispatch core's admission-queue depth and shed
+    rate (flat zero unless batched dispatch is enabled — the population
+    engine enables it; the legacy path never emits these families)."""
     forwarded = {"route": "unmatched"}
     return [
         Panel(
@@ -86,6 +88,14 @@ def default_panels(gateway_node: str = "gateway") -> List[Panel]:
         Panel(
             "p95 ms", gateway_node, "amnesia_http_request_ms",
             mode="p95", match_labels=forwarded, unit="ms",
+        ),
+        Panel(
+            "disp queue", gateway_node, "amnesia_dispatch_queue_depth",
+            mode="last", unit="",
+        ),
+        Panel(
+            "shed rate", gateway_node, "amnesia_dispatch_shed_total",
+            mode="rate", unit="/s",
         ),
     ]
 

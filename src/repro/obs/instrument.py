@@ -76,6 +76,34 @@ def attach_pool_stats(
     ).labels(service=service).set_function(lambda: float(pool.queue_depth))
 
 
+def attach_dispatch_stats(
+    dispatch, registry: MetricsRegistry, service: str = "https"
+) -> None:
+    """Batched-dispatch saturation metrics for one HTTP server binding.
+
+    Makes the admission layer visible to the fleet scraper: live queue
+    depth and busy workers as gauges, plus a monotonic shed counter fed
+    by the core's shed-observer hook (depth refusals and age drops both
+    count). Before this, peak-busy/peak-queue existed only as fields on
+    the workload result — invisible to the dashboard and SLOs."""
+    registry.gauge(
+        "amnesia_dispatch_queue_depth",
+        "Requests waiting in the batched-dispatch admission queue",
+        label_names=("service",),
+    ).labels(service=service).set_function(lambda: float(dispatch.queue_depth))
+    registry.gauge(
+        "amnesia_dispatch_busy",
+        "Worker threads currently busy behind the dispatch core",
+        label_names=("service",),
+    ).labels(service=service).set_function(lambda: float(dispatch.busy))
+    shed = registry.counter(
+        "amnesia_dispatch_shed_total",
+        "Requests shed (429) by the dispatch core, by depth or age",
+        label_names=("service",),
+    ).labels(service=service)
+    dispatch.add_shed_observer(shed.inc)
+
+
 def attach_rendezvous_stats(service, registry: MetricsRegistry) -> None:
     """Push/forward counters for the rendezvous (GCM) service."""
     from repro.obs.health import install_node_info

@@ -327,7 +327,9 @@ class TimeSeriesStore:
     ) -> List[float]:
         """*points* evenly-spaced historical readings ending at *now_ms*
         (sparkline backing data). ``mode`` is ``"rate"`` (counter rate
-        per second over *window_ms*) or ``"p95"`` (histogram p95)."""
+        per second over *window_ms*), ``"p95"`` (histogram p95), or
+        ``"last"`` (newest gauge reading at or before each point,
+        summed across matching label sets — queue depths, busy counts)."""
         if points < 1 or step_ms <= 0:
             raise ValidationError("need points >= 1 and step_ms > 0")
         trail: List[float] = []
@@ -345,6 +347,15 @@ class TimeSeriesStore:
                     node, name, 95.0, window_ms, t, where=where
                 )
                 trail.append(value if value is not None else 0.0)
+            elif mode == "last":
+                total = 0.0
+                for labels, series in self.series(node, name):
+                    if where is not None and not where(labels):
+                        continue
+                    point = series.latest_at(t)
+                    if point is not None:
+                        total += point[1]
+                trail.append(total)
             else:
                 raise ValidationError(f"unknown trail mode {mode!r}")
         return trail

@@ -1,0 +1,39 @@
+"""Deterministic population synthesis at 10⁴–10⁶ simulated users.
+
+The engine synthesizes a user population (Zipf-distributed account
+popularity, per-user diurnal activity phases, flash-crowd bursts,
+churn/registration waves), provisions it directly into the cluster
+shards, and drives generation traffic through the gateway on the sim
+kernel. A multiplexed phone fleet — a handful of shared rendezvous
+channels demultiplexing pushes to compact per-user records — answers
+the server's half-computation without one full ``Phone`` object per
+user, so memory scales to 10⁶.
+"""
+
+from repro.population.engine import (
+    PopulationEngine,
+    PopulationResult,
+    PopulationSpec,
+    run_population,
+)
+from repro.population.fleet import LazyEntryTable, MultiplexedPhoneFleet, UserHandle
+from repro.population.samplers import (
+    ChurnSchedule,
+    DiurnalCurve,
+    FlashCrowd,
+    ZipfSampler,
+)
+
+__all__ = [
+    "ChurnSchedule",
+    "DiurnalCurve",
+    "FlashCrowd",
+    "LazyEntryTable",
+    "MultiplexedPhoneFleet",
+    "PopulationEngine",
+    "PopulationResult",
+    "PopulationSpec",
+    "UserHandle",
+    "ZipfSampler",
+    "run_population",
+]

@@ -1,0 +1,519 @@
+"""The population engine: synthesize users, provision, drive load.
+
+Provisioning deliberately bypasses the wire protocol: enrolling one
+user through /signup + pairing costs a full simulated handshake each
+(fine for 3 users, absurd for 10⁶). Instead the engine writes the
+*post-enrollment* state directly — ``put_user``/``put_account`` rows
+into each home shard's primary database (the un-journaled inner
+store: provisioning is out-of-band state sync, not replicated
+traffic), a minted session per user, and the gateway's routing maps
+via :meth:`~repro.cluster.gateway.ClusterGateway.register_session` /
+``register_pid``. The cryptographic material is exactly what a real
+enrollment would persist, so every generated password round-trips the
+real protocol: browser-side POST through the gateway, shard push via
+rendezvous, fleet token computation, ``/token`` upcall, HMAC-free
+render — byte-for-byte what a full ``Phone`` would produce.
+
+Everything is a pure function of ``spec.seed``; two engines built
+from the same spec replay bit-identically (``population --check``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.cluster.testbed import (
+    GATEWAY,
+    RENDEZVOUS,
+    ClusterTestbed,
+)
+from repro.core.params import DEFAULT_PARAMS
+from repro.core.protocol import generate_request
+from repro.core.templates import PasswordPolicy
+from repro.crypto.hashing import salted_hash
+from repro.crypto.randomness import SeededRandomSource
+from repro.net.profiles import FAST_PROFILE, NetworkProfile
+from repro.population.fleet import MultiplexedPhoneFleet, UserHandle
+from repro.population.samplers import (
+    ChurnSchedule,
+    DiurnalCurve,
+    FlashCrowd,
+    ZipfSampler,
+    phase_for_bucket,
+)
+from repro.sim.random import RngRegistry
+from repro.storage.server_db import AccountRecord, UserRecord
+from repro.util.errors import ValidationError
+from repro.web.client import SimHttpClient
+from repro.web.http import HttpRequest
+from repro.web.sessions import SESSION_COOKIE
+
+MS_PER_HOUR = 3_600_000.0
+
+# An arrival gap is only trusted this far ahead: the rate is sampled at
+# the current instant, so long gaps are re-checked instead of slept
+# through — otherwise a flash crowd starting mid-gap would be missed.
+RATE_RECHECK_MS = 200.0
+
+
+@dataclass(frozen=True)
+class PopulationSpec:
+    """Knobs for one synthetic population (see docs/population.md)."""
+
+    users: int = 10_000
+    reserve_users: int = 500
+    accounts_per_user: int = 2
+    domains: int = 200
+    zipf_exponent: float = 1.0
+    channels: int = 4
+    shards: int = 2
+    load_clients: int = 4
+    duration_ms: float = 20_000.0
+    ops_per_user_per_hour: float = 6.0
+    diurnal_floor: float = 0.25
+    diurnal_peak_hour: float = 20.0
+    phase_buckets: int = 8
+    flash_start_ms: float = 8_000.0
+    flash_duration_ms: float = 4_000.0
+    flash_multiplier: float = 8.0
+    churn_interval_ms: float = 6_000.0
+    churn_fraction: float = 0.01
+    dispatch_batch: int = 32
+    dispatch_max_depth: int = 512
+    dispatch_max_age_ms: float = 2_000.0
+    seed: str = "population"
+
+    def __post_init__(self) -> None:
+        if self.users < 1:
+            raise ValidationError(f"population needs >= 1 user, got {self.users}")
+        if self.reserve_users < 0:
+            raise ValidationError("reserve_users must be >= 0")
+        if self.accounts_per_user < 1:
+            raise ValidationError("need >= 1 account per user")
+        if self.domains < self.accounts_per_user:
+            raise ValidationError(
+                "domain catalog must be at least accounts_per_user deep"
+            )
+        if self.duration_ms <= 0:
+            raise ValidationError("duration must be > 0 ms")
+        if self.ops_per_user_per_hour <= 0:
+            raise ValidationError("ops_per_user_per_hour must be > 0")
+        if self.phase_buckets < 1:
+            raise ValidationError("need >= 1 phase bucket")
+        if self.load_clients < 1:
+            raise ValidationError("need >= 1 load client")
+        # Delegate the shape parameters to the samplers' own validation
+        # so a bad spec fails at construction, not mid-provisioning.
+        FlashCrowd(self.flash_start_ms, self.flash_duration_ms, self.flash_multiplier)
+        ChurnSchedule(self.churn_interval_ms, self.churn_fraction)
+        DiurnalCurve(self.diurnal_floor, self.diurnal_peak_hour)
+
+    @property
+    def total_users(self) -> int:
+        return self.users + self.reserve_users
+
+    @property
+    def offered_rate_per_s(self) -> float:
+        """Mean offered rate outside the flash window (diurnal mean 1)."""
+        return self.users * self.ops_per_user_per_hour / 3600.0
+
+
+@dataclass
+class PopulationResult:
+    """Outcome of one engine run, plus its determinism fingerprint."""
+
+    spec: PopulationSpec
+    issued: int = 0
+    completed: int = 0
+    failed: int = 0
+    rejected_429: int = 0
+    latencies_ms: List[float] = field(default_factory=list)
+    flash_latencies_ms: List[float] = field(default_factory=list)
+    churn_swaps: int = 0
+    churn_waves: int = 0
+    dispatch_shed_total: int = 0
+    dispatch_peak_depth: int = 0
+    pool_peak_busy: int = 0
+    fleet_pushes: int = 0
+    fleet_unmatched: int = 0
+    provisioned_users: int = 0
+    provision_wall_s: float = 0.0
+
+    @property
+    def sustained_ops_per_s(self) -> float:
+        return self.completed * 1000.0 / self.spec.duration_ms
+
+    @property
+    def completion_rate(self) -> float:
+        return self.completed / self.issued if self.issued else 0.0
+
+    def p99_ms_flash(self) -> float:
+        return _percentile(self.flash_latencies_ms, 99.0)
+
+    def p99_ms(self) -> float:
+        return _percentile(self.latencies_ms, 99.0)
+
+    def fingerprint(self) -> str:
+        """SHA-256 over every deterministic field — two runs of the
+        same spec must agree bit-for-bit. Wall-clock fields excluded."""
+        h = hashlib.sha256()
+        h.update(repr(self.spec).encode("utf-8"))
+        for value in (
+            self.issued,
+            self.completed,
+            self.failed,
+            self.rejected_429,
+            self.churn_swaps,
+            self.churn_waves,
+            self.dispatch_shed_total,
+            self.dispatch_peak_depth,
+            self.pool_peak_busy,
+            self.fleet_pushes,
+            self.fleet_unmatched,
+            self.provisioned_users,
+        ):
+            h.update(repr(value).encode("utf-8"))
+        for lat in self.latencies_ms:
+            h.update(repr(lat).encode("utf-8"))
+        for lat in self.flash_latencies_ms:
+            h.update(repr(lat).encode("utf-8"))
+        return h.hexdigest()
+
+
+def _percentile(values: List[float], pct: float) -> float:
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    index = max(0, math.ceil(pct / 100.0 * len(ordered)) - 1)
+    return ordered[index]
+
+
+class PopulationEngine:
+    """Builds the cluster, provisions the population, drives the load."""
+
+    def __init__(
+        self,
+        spec: PopulationSpec,
+        profile: NetworkProfile = FAST_PROFILE,
+        thread_pool_size: int = 10,
+        gateway_pool_size: int = 32,
+    ) -> None:
+        self.spec = spec
+        self.profile = profile
+        self.bed = ClusterTestbed(
+            shards=spec.shards,
+            seed=f"{spec.seed}|cluster",
+            profile=profile,
+            thread_pool_size=thread_pool_size,
+        )
+        self.kernel = self.bed.kernel
+        # The batched-dispatch core replaces acquire-on-arrival on the
+        # gateway (the saturation point — every op holds a gateway
+        # worker for the full phone round trip) and on each shard
+        # primary, so overload sheds 429 instead of queueing unbounded.
+        self.gateway_dispatch = self.bed.gateway.http_server.enable_batched_dispatch(
+            batch_size=spec.dispatch_batch,
+            max_depth=spec.dispatch_max_depth,
+            max_age_ms=spec.dispatch_max_age_ms,
+            service="gateway",  # the testbed shares one registry
+        )
+        for shard_id, shard in self.bed.directory.shards.items():
+            shard.primary.http_server.enable_batched_dispatch(
+                batch_size=spec.dispatch_batch,
+                max_depth=spec.dispatch_max_depth,
+                max_age_ms=spec.dispatch_max_age_ms,
+                service=str(shard_id),
+            )
+        self.fleet = MultiplexedPhoneFleet(
+            self.kernel,
+            self.bed.network,
+            RENDEZVOUS,
+            GATEWAY,
+            self.bed.gateway.certificate,
+            source=lambda name: SeededRandomSource(f"{spec.seed}|{name}"),
+            params=self.bed.params,
+            channels=spec.channels,
+            gcm_phone_latency=profile.gcm_phone,
+            phone_server_latency=profile.phone_server,
+            pins=self.bed.pins,
+        )
+        self._rngs = RngRegistry(f"population:{spec.seed}")
+        self._zipf = ZipfSampler(spec.domains, spec.zipf_exponent)
+        self._diurnal = DiurnalCurve(spec.diurnal_floor, spec.diurnal_peak_hour)
+        self._flash = FlashCrowd(
+            spec.flash_start_ms, spec.flash_duration_ms, spec.flash_multiplier
+        )
+        self._churn = ChurnSchedule(spec.churn_interval_ms, spec.churn_fraction)
+        self._phases = [
+            phase_for_bucket(b, spec.phase_buckets) for b in range(spec.phase_buckets)
+        ]
+        self._clients: List[SimHttpClient] = [
+            SimHttpClient(
+                self.bed._stack(),
+                self.kernel,
+                GATEWAY,
+                self.bed.gateway.certificate,
+                pins=self.bed.pins,
+            )
+            for _ in range(spec.load_clients)
+        ]
+        self._next_client = 0
+        self._active: List[UserHandle] = []
+        self._dormant: List[UserHandle] = []
+        self._by_bucket: List[List[UserHandle]] = []
+        self._provisioned = False
+        self._t_start = 0.0
+        self._t_end = 0.0
+        self.result = PopulationResult(spec=spec)
+
+    # -- provisioning ------------------------------------------------------
+
+    def provision(self) -> None:
+        """Register the fleet channels, then synthesize every user."""
+        import time as _time
+
+        if self._provisioned:
+            raise ValidationError("population already provisioned")
+        wall_start = _time.perf_counter()
+        spec = self.spec
+        self.fleet.register_all()
+        self.bed.drive_until(lambda: self.fleet.all_registered)
+
+        policy = PasswordPolicy()
+        zipf_rng = self._rngs.stream("zipf")
+        # Per-shard row-id allocators anchored at each database's
+        # namespace base (the cluster invariant: ids never collide
+        # across shards).
+        counters: Dict[str, List[int]] = {}
+        stores: Dict[str, Tuple] = {}
+        for name, shard in self.bed.directory.shards.items():
+            database = getattr(shard.primary.database, "inner", shard.primary.database)
+            sessions = getattr(shard.primary.sessions, "inner", shard.primary.sessions)
+            stores[name] = (database, sessions)
+            counters[name] = [0, 0]  # users, accounts provisioned here
+
+        for index in range(spec.total_users):
+            login = f"u{index:07d}"
+            shard = self.bed.directory.shard_for(login)
+            database, sessions = stores[shard.name]
+            used = counters[shard.name]
+            user_rng = SeededRandomSource(f"{spec.seed}|user|{index}")
+            oid = user_rng.token_bytes(self.bed.params.oid_bytes)
+            pid = user_rng.token_bytes(self.bed.params.pid_bytes)
+            table_secret = user_rng.token_bytes(32)
+            mp_salt = user_rng.token_bytes(self.bed.params.salt_bytes)
+            pid_salt = user_rng.token_bytes(self.bed.params.salt_bytes)
+            used[0] += 1
+            user_id = database.id_base + used[0]
+            channel = index % spec.channels
+            database.put_user(
+                UserRecord(
+                    user_id=user_id,
+                    login=login,
+                    oid=oid,
+                    mp_hash=salted_hash(b"population-master", mp_salt),
+                    mp_salt=mp_salt,
+                    reg_id=self.fleet.reg_id(channel),
+                    pid_hash=salted_hash(pid, pid_salt),
+                    pid_salt=pid_salt,
+                )
+            )
+            accounts: List[Tuple[int, str]] = []
+            chosen_ranks: set = set()
+            for _ in range(spec.accounts_per_user):
+                rank = self._zipf.sample(zipf_rng)
+                while rank in chosen_ranks:  # accounts are UNIQUE per (user, domain)
+                    rank = self._zipf.sample(zipf_rng)
+                chosen_ranks.add(rank)
+                domain = f"site-{rank:05d}.example"
+                seed = user_rng.token_bytes(self.bed.params.seed_bytes)
+                used[1] += 1
+                account_id = database.id_base + used[1]
+                database.put_account(
+                    AccountRecord(
+                        account_id=account_id,
+                        user_id=user_id,
+                        username=login,
+                        domain=domain,
+                        seed=seed,
+                        charset=policy.charset,
+                        length=policy.length,
+                    )
+                )
+                accounts.append((account_id, generate_request(login, domain, seed)))
+            session = sessions.create(self.kernel.now, user_id=user_id)
+            self.bed.gateway.register_session(session.token, login)
+            self.bed.gateway.register_pid(pid.hex(), login)
+            handle = UserHandle(
+                login=login,
+                user_id=user_id,
+                session_token=session.token,
+                pid=pid,
+                table_secret=table_secret,
+                accounts=tuple(accounts),
+                channel=channel,
+                phase_bucket=index % spec.phase_buckets,
+            )
+            self.fleet.add_user(handle)
+            if index < spec.users:
+                self._active.append(handle)
+            else:
+                self._dormant.append(handle)
+        self._rebuild_buckets()
+        self._provisioned = True
+        self.result.provisioned_users = spec.total_users
+        self.result.provision_wall_s = _time.perf_counter() - wall_start
+
+    def _rebuild_buckets(self) -> None:
+        self._by_bucket = [[] for _ in range(self.spec.phase_buckets)]
+        for handle in self._active:
+            self._by_bucket[handle.phase_bucket].append(handle)
+
+    # -- load --------------------------------------------------------------
+
+    def _rate_per_ms(self, t_ms: float) -> float:
+        """Aggregate arrival rate: Σ_buckets |bucket| · diurnal(t, φ_b),
+        scaled by the base per-user rate and the flash multiplier."""
+        elapsed = t_ms - self._t_start
+        per_user_per_ms = self.spec.ops_per_user_per_hour / MS_PER_HOUR
+        total = 0.0
+        for bucket, handles in enumerate(self._by_bucket):
+            if handles:
+                total += len(handles) * self._diurnal.multiplier(
+                    t_ms, self._phases[bucket]
+                )
+        return total * per_user_per_ms * self._flash.multiplier_at(elapsed)
+
+    def _schedule_next_arrival(self, rng) -> None:
+        now = self.kernel.now
+        if now >= self._t_end:
+            return
+        rate = self._rate_per_ms(now)
+        if rate <= 0.0:
+            self.kernel.schedule(
+                RATE_RECHECK_MS, lambda: self._schedule_next_arrival(rng), "pop arrival"
+            )
+            return
+        gap = rng.expovariate(rate)
+        if gap > RATE_RECHECK_MS:
+            # Rate may change before the sampled gap elapses (flash
+            # start/end, churn wave) — re-sample from the new rate then.
+            self.kernel.schedule(
+                RATE_RECHECK_MS, lambda: self._schedule_next_arrival(rng), "pop arrival"
+            )
+            return
+
+        def fire() -> None:
+            if self.kernel.now < self._t_end:
+                self._issue_one(rng)
+            self._schedule_next_arrival(rng)
+
+        self.kernel.schedule(gap, fire, "pop arrival")
+
+    def _pick_user(self, rng) -> Optional[UserHandle]:
+        """Bucket weighted by its current diurnal rate, user uniform."""
+        now = self.kernel.now
+        weights = [
+            len(handles) * self._diurnal.multiplier(now, self._phases[bucket])
+            if handles
+            else 0.0
+            for bucket, handles in enumerate(self._by_bucket)
+        ]
+        total = sum(weights)
+        if total <= 0.0:
+            return None
+        u = rng.random() * total
+        running = 0.0
+        for bucket, weight in enumerate(weights):
+            running += weight
+            if u < running or bucket == len(weights) - 1:
+                handles = self._by_bucket[bucket]
+                if not handles:
+                    continue
+                return handles[rng.randrange(len(handles))]
+        return None
+
+    def _issue_one(self, rng) -> None:
+        handle = self._pick_user(rng)
+        if handle is None:
+            return
+        account_id, _ = handle.accounts[rng.randrange(len(handle.accounts))]
+        request = HttpRequest.json_request(
+            "POST", f"/accounts/{account_id}/generate", {}
+        )
+        request.cookies[SESSION_COOKIE] = handle.session_token
+        client = self._clients[self._next_client]
+        self._next_client = (self._next_client + 1) % len(self._clients)
+        issued_at = self.kernel.now
+        in_flash = self._flash.active(issued_at - self._t_start)
+        self.result.issued += 1
+
+        def on_response(response) -> None:
+            latency = self.kernel.now - issued_at
+            if response.status == 200:
+                self.result.completed += 1
+                self.result.latencies_ms.append(latency)
+                if in_flash:
+                    self.result.flash_latencies_ms.append(latency)
+            elif response.status == 429:
+                self.result.rejected_429 += 1
+            else:
+                self.result.failed += 1
+
+        def on_error(error) -> None:
+            self.result.failed += 1
+
+        client.send(request, on_response, on_error)
+
+    def _apply_churn_wave(self, rng) -> None:
+        swaps = self._churn.apply_wave(self._active, self._dormant, rng)
+        self.result.churn_swaps += swaps
+        self.result.churn_waves += 1
+        self._rebuild_buckets()
+
+    # -- orchestration -----------------------------------------------------
+
+    def run(self) -> PopulationResult:
+        """Provision (if needed), drive for ``duration_ms``, settle."""
+        if not self._provisioned:
+            self.provision()
+        spec = self.spec
+        self._t_start = self.kernel.now
+        self._t_end = self._t_start + spec.duration_ms
+        churn_rng = self._rngs.stream("churn")
+        arrival_rng = self._rngs.stream("arrivals")
+        if spec.churn_fraction > 0.0 and self._dormant:
+            for wave_t in self._churn.wave_times(spec.duration_ms):
+                self.kernel.schedule_at(
+                    self._t_start + wave_t,
+                    lambda: self._apply_churn_wave(churn_rng),
+                    "pop churn",
+                )
+        self._schedule_next_arrival(arrival_rng)
+        self.bed.run(spec.duration_ms)
+        self.bed.run_until_idle()
+        self.result.dispatch_shed_total = self.gateway_dispatch.shed_total + sum(
+            shard.primary.http_server.dispatch.shed_total
+            for shard in self.bed.directory.shards.values()
+        )
+        self.result.dispatch_peak_depth = max(
+            [self.gateway_dispatch.peak_depth]
+            + [
+                shard.primary.http_server.dispatch.peak_depth
+                for shard in self.bed.directory.shards.values()
+            ]
+        )
+        self.result.pool_peak_busy = self.bed.gateway.http_server.pool.peak_busy
+        self.result.fleet_pushes = self.fleet.pushes_handled
+        self.result.fleet_unmatched = self.fleet.unmatched_pushes
+        return self.result
+
+
+def run_population(
+    spec: PopulationSpec, profile: NetworkProfile = FAST_PROFILE
+) -> PopulationResult:
+    """Build one engine from *spec* and run it to completion."""
+    return PopulationEngine(spec, profile=profile).run()

@@ -1,0 +1,240 @@
+"""A multiplexed phone fleet: 10⁶ users, a handful of listeners.
+
+One full :class:`~repro.phone.app.AmnesiaApp` per simulated user does
+not scale — each carries a SQLite database, a 160 KB entry table
+(5000 × 32 B, §III-B1), its own rendezvous registration with a
+dedicated delivery queue, and a dedicated network host. The fleet
+replaces all of that with:
+
+- a few shared **channel hosts**, each with one rendezvous
+  registration and one secure channel to the gateway; every user's
+  ``reg_id`` column points at their assigned channel, so the server's
+  push plane needs no changes;
+- one compact :class:`UserHandle` record per user (``__slots__``,
+  a 32-byte table secret instead of a materialized entry table);
+- demultiplexing by the push payload's ``request`` hex — the one
+  field that uniquely identifies (user, account) end to end, since
+  rendezvous deliveries do not carry the registration id.
+
+The phone-side cryptography is exact, not approximated: tokens come
+from :func:`~repro.core.protocol.generate_token` over a
+:class:`LazyEntryTable` that derives each indexed entry on demand, so
+the server renders the same passwords it would with real phones.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.core.params import DEFAULT_PARAMS, ProtocolParams
+from repro.core.protocol import generate_token
+from repro.crypto.hashing import sha256
+from repro.net.link import Link
+from repro.net.tls import SecureStack
+from repro.rendezvous.service import RendezvousListener
+from repro.server.pending import KIND_PASSWORD
+from repro.util.errors import ValidationError
+from repro.web.client import SimHttpClient
+from repro.web.http import HttpRequest
+
+DEFAULT_FLEET_COMPUTE_MS = 4.0  # stand-in for the per-device compute model
+
+
+class LazyEntryTable:
+    """Duck-typed stand-in for :class:`~repro.core.tables.EntryTable`.
+
+    :func:`~repro.core.protocol.generate_token` only needs integer
+    indexing and a ``params`` attribute, so instead of materializing
+    ``entry_table_size × entry_bytes`` (160 KB per user at the paper's
+    parameters) this derives entry *i* on demand as
+    ``SHA-256(secret ‖ i)[:entry_bytes]`` from a 32-byte per-user
+    secret. A token touches 16 entries, so one generation costs 16
+    hashes — and a user who never generates costs nothing.
+    """
+
+    __slots__ = ("_secret", "params")
+
+    def __init__(self, secret: bytes, params: ProtocolParams = DEFAULT_PARAMS) -> None:
+        if len(secret) < 16:
+            raise ValidationError("table secret needs >= 16 bytes")
+        self._secret = secret
+        self.params = params
+
+    def __getitem__(self, index: int) -> bytes:
+        if not 0 <= index < self.params.entry_table_size:
+            raise IndexError(index)
+        return sha256(self._secret, index.to_bytes(4, "big"))[
+            : self.params.entry_bytes
+        ]
+
+    def __len__(self) -> int:
+        return self.params.entry_table_size
+
+
+class UserHandle:
+    """The complete per-user state of one fleet member (~hundreds of
+    bytes, versus ~200 KB for a full phone + browser pair)."""
+
+    __slots__ = (
+        "login",
+        "user_id",
+        "session_token",
+        "pid",
+        "table_secret",
+        "accounts",
+        "channel",
+        "phase_bucket",
+    )
+
+    def __init__(
+        self,
+        login: str,
+        user_id: int,
+        session_token: str,
+        pid: bytes,
+        table_secret: bytes,
+        accounts: Tuple[Tuple[int, str], ...],
+        channel: int,
+        phase_bucket: int,
+    ) -> None:
+        self.login = login
+        self.user_id = user_id
+        self.session_token = session_token
+        self.pid = pid
+        self.table_secret = table_secret
+        self.accounts = accounts  # ((account_id, request_hex), ...)
+        self.channel = channel
+        self.phase_bucket = phase_bucket
+
+
+class MultiplexedPhoneFleet:
+    """Shared rendezvous channels answering pushes for the population."""
+
+    def __init__(
+        self,
+        kernel,
+        network,
+        rendezvous_host: str,
+        gateway_host: str,
+        gateway_certificate,
+        source: Callable[[str], Any],
+        params: ProtocolParams = DEFAULT_PARAMS,
+        channels: int = 4,
+        gcm_phone_latency=None,
+        phone_server_latency=None,
+        compute_ms: float = DEFAULT_FLEET_COMPUTE_MS,
+        pins=None,
+    ) -> None:
+        if channels < 1:
+            raise ValidationError(f"fleet needs >= 1 channel, got {channels}")
+        self.kernel = kernel
+        self.network = network
+        self.params = params
+        self.channels = channels
+        self.compute_ms = compute_ms
+        self.pushes_handled = 0
+        self.unmatched_pushes = 0
+        self.tokens_posted = 0
+        self.token_failures = 0
+        self._by_request: Dict[str, Tuple[UserHandle, int]] = {}
+        self._listeners: List[RendezvousListener] = []
+        self._clients: List[SimHttpClient] = []
+        self._reg_ids: List[Optional[str]] = [None] * channels
+        for index in range(channels):
+            host_name = f"fleet-{index}"
+            host = network.add_host(host_name)
+            if gcm_phone_latency is not None:
+                network.add_link(Link(rendezvous_host, host_name, gcm_phone_latency))
+            if phone_server_latency is not None:
+                network.add_link(Link(host_name, gateway_host, phone_server_latency))
+            listener = RendezvousListener(
+                host, network, rendezvous_host, self._on_push
+            )
+            self._listeners.append(listener)
+            stack = SecureStack(host, network, source(f"fleet-stack-{index}"))
+            self._clients.append(
+                SimHttpClient(
+                    stack,
+                    kernel,
+                    gateway_host,
+                    gateway_certificate,
+                    pins=pins,
+                )
+            )
+
+    # -- registration ------------------------------------------------------
+
+    def register_all(self) -> None:
+        """Kick off registration on every channel (async; drive the
+        kernel until :attr:`all_registered`)."""
+        for index, listener in enumerate(self._listeners):
+            listener.register(self._registered_callback(index))
+
+    def _registered_callback(self, index: int) -> Callable[[str], None]:
+        def registered(reg_id: str) -> None:
+            self._reg_ids[index] = reg_id
+
+        return registered
+
+    @property
+    def all_registered(self) -> bool:
+        return all(reg_id is not None for reg_id in self._reg_ids)
+
+    def reg_id(self, channel: int) -> str:
+        reg_id = self._reg_ids[channel]
+        if reg_id is None:
+            raise ValidationError(f"channel {channel} is not registered yet")
+        return reg_id
+
+    # -- membership --------------------------------------------------------
+
+    def add_user(self, handle: UserHandle) -> None:
+        """Index *handle* by every account's request hex for demux."""
+        for account_id, request_hex in handle.accounts:
+            self._by_request[request_hex] = (handle, account_id)
+
+    @property
+    def user_records(self) -> int:
+        return len({id(h) for h, _ in self._by_request.values()})
+
+    # -- push handling -----------------------------------------------------
+
+    def _on_push(self, data: Dict[str, Any]) -> None:
+        if data.get("kind") != KIND_PASSWORD:
+            return
+        request_hex = str(data.get("request", ""))
+        match = self._by_request.get(request_hex)
+        if match is None:
+            self.unmatched_pushes += 1
+            return
+        handle, _account_id = match
+        self.pushes_handled += 1
+        pending_id = str(data.get("pending_id", ""))
+
+        def compute_and_send() -> None:
+            table = LazyEntryTable(handle.table_secret, self.params)
+            token_hex = generate_token(request_hex, table, self.params)
+            payload: Dict[str, Any] = {
+                "pending_id": pending_id,
+                "token": token_hex,
+                "pid": handle.pid.hex(),
+            }
+            if "tstart_ms" in data:
+                payload["tstart_ms"] = data["tstart_ms"]
+            request = HttpRequest.json_request("POST", "/token", payload)
+            client = self._clients[handle.channel]
+            self.tokens_posted += 1
+            client.send(
+                request,
+                self._on_token_response,
+                on_error=self._on_token_error,
+            )
+
+        self.kernel.schedule(self.compute_ms, compute_and_send, "fleet compute")
+
+    def _on_token_response(self, response) -> None:
+        if response.status != 200:
+            self.token_failures += 1
+
+    def _on_token_error(self, error) -> None:
+        self.token_failures += 1

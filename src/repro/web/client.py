@@ -35,8 +35,10 @@ from repro.web.http import (
 )
 
 # Statuses worth retrying from the client side: the server (or a proxy)
-# said "try again later", not "you are wrong".
-RETRYABLE_STATUSES = frozenset({502, 503, 504})
+# said "try again later", not "you are wrong". 429 is the dispatch
+# core's backpressure signal; its retry_after_ms hint stretches the
+# backoff the same way 503's does.
+RETRYABLE_STATUSES = frozenset({429, 502, 503, 504})
 
 DEFAULT_CLIENT_RETRY = RetryPolicy(
     max_attempts=3,

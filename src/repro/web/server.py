@@ -6,15 +6,25 @@ all threads are busy queue FIFO; each request occupies a thread for a
 sampled compute time before its response is sent. The §VIII remark that
 server-side hashing "may be a bottleneck" is measurable by shrinking
 the pool or raising the compute-time model (ablation A4).
+
+For population-scale load (10⁴–10⁶ simulated users) the thread-per-
+request shape alone is not enough: an unbounded FIFO in front of a
+saturated pool just grows forever and every queued request eventually
+times out. :class:`DispatchCore` adds a batched-dispatch admission
+layer — a bounded queue with depth and age accounting, drained in
+batches on a kernel tick, shedding overflow as HTTP 429 so the retry
+plane (which treats 429 as retryable) back-pressures the offered load
+instead of letting it pile up. It is strictly opt-in: servers built
+without it keep the legacy acquire-on-arrival path bit-for-bit.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Tuple
+from typing import Callable, Deque, Optional, Tuple
 
 from repro.net.tls import SecureServer, SecureSession, SecureStack
-from repro.sim.kernel import Simulator
+from repro.sim.kernel import RecurringEvent, Simulator
 from repro.sim.latency import Constant, LatencyModel
 from repro.sim.random import RngRegistry
 from repro.util.errors import ProtocolError, ValidationError
@@ -22,6 +32,12 @@ from repro.web.app import Application, Deferred, error_response
 from repro.web.http import decode_request, encode_response
 
 DEFAULT_THREAD_POOL_SIZE = 10  # the paper's CherryPy allocation
+
+DEFAULT_DISPATCH_BATCH = 32
+DEFAULT_DISPATCH_TICK_MS = 1.0
+DEFAULT_DISPATCH_MAX_DEPTH = 2048
+DEFAULT_DISPATCH_MAX_AGE_MS = 2_000.0
+DEFAULT_DISPATCH_RETRY_AFTER_MS = 250.0
 
 
 class ThreadPoolModel:
@@ -64,6 +80,123 @@ class ThreadPoolModel:
             work()
 
 
+class DispatchCore:
+    """Batched-dispatch admission control in front of a thread pool.
+
+    Arriving work is appended to a bounded admission queue instead of
+    being handed straight to the pool. A recurring kernel tick drains
+    the queue in batches, starting at most ``batch_size`` requests per
+    tick and only while the pool has free threads, so the pool's FIFO
+    never grows and all waiting happens where it is observable. Two
+    shed conditions back-pressure the client through ``on_shed`` (which
+    the server maps to HTTP 429):
+
+    - depth: an arrival that would exceed ``max_depth`` is refused
+      immediately, and
+    - age: at each tick, requests older than ``max_age_ms`` are dropped
+      from the head — their client would time out anyway, so serving
+      them only steals capacity from fresher work.
+
+    The drain tick is armed lazily on first enqueue and disarmed when
+    the queue empties, so an idle server contributes zero events to the
+    kernel heap — essential when one simulation hosts many servers.
+    """
+
+    def __init__(
+        self,
+        kernel: Simulator,
+        pool: ThreadPoolModel,
+        batch_size: int = DEFAULT_DISPATCH_BATCH,
+        tick_ms: float = DEFAULT_DISPATCH_TICK_MS,
+        max_depth: int = DEFAULT_DISPATCH_MAX_DEPTH,
+        max_age_ms: float = DEFAULT_DISPATCH_MAX_AGE_MS,
+        retry_after_ms: float = DEFAULT_DISPATCH_RETRY_AFTER_MS,
+    ) -> None:
+        if batch_size < 1:
+            raise ValidationError(f"dispatch batch needs >= 1, got {batch_size}")
+        if tick_ms <= 0:
+            raise ValidationError(f"dispatch tick must be > 0 ms, got {tick_ms}")
+        if max_depth < 1:
+            raise ValidationError(f"dispatch depth needs >= 1, got {max_depth}")
+        if max_age_ms <= 0:
+            raise ValidationError(f"dispatch max age must be > 0 ms, got {max_age_ms}")
+        self.kernel = kernel
+        self.pool = pool
+        self.batch_size = batch_size
+        self.tick_ms = tick_ms
+        self.max_depth = max_depth
+        self.max_age_ms = max_age_ms
+        self.retry_after_ms = retry_after_ms
+        self.admitted_total = 0
+        self.started_total = 0
+        self.shed_total = 0
+        self.peak_depth = 0
+        self._queue: Deque[Tuple[float, Callable[[], None], Callable[[], None]]] = deque()
+        self._ticker: Optional[RecurringEvent] = None
+        self._shed_observers: list = []
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self._queue)
+
+    @property
+    def busy(self) -> int:
+        return self.pool.busy
+
+    def oldest_age_ms(self) -> float:
+        """Age of the head request, 0.0 when the queue is empty."""
+        if not self._queue:
+            return 0.0
+        return self.kernel.now - self._queue[0][0]
+
+    def add_shed_observer(self, observer: Callable[[], None]) -> None:
+        """Call *observer* on every shed (depth or age) — the hook the
+        metrics counter rides on."""
+        self._shed_observers.append(observer)
+
+    def submit(
+        self, start: Callable[[], None], shed: Callable[[], None]
+    ) -> bool:
+        """Admit *start* for a later drain tick, or invoke *shed* now if
+        the queue is at depth. Returns True when admitted."""
+        if len(self._queue) >= self.max_depth:
+            self._shed(shed)
+            return False
+        self._queue.append((self.kernel.now, start, shed))
+        self.admitted_total += 1
+        self.peak_depth = max(self.peak_depth, len(self._queue))
+        if self._ticker is None:
+            self._ticker = self.kernel.schedule_every(
+                self.tick_ms, self._drain, "dispatch drain"
+            )
+        return True
+
+    def _shed(self, shed: Callable[[], None]) -> None:
+        self.shed_total += 1
+        for observer in self._shed_observers:
+            observer()
+        shed()
+
+    def _drain(self) -> None:
+        now = self.kernel.now
+        while self._queue and now - self._queue[0][0] > self.max_age_ms:
+            _, _, shed = self._queue.popleft()
+            self._shed(shed)
+        started = 0
+        while (
+            self._queue
+            and started < self.batch_size
+            and self.pool.busy < self.pool.size
+        ):
+            _, start, _ = self._queue.popleft()
+            started += 1
+            self.started_total += 1
+            self.pool.acquire(start)
+        if not self._queue and self._ticker is not None:
+            self._ticker.cancel()
+            self._ticker = None
+
+
 class SimHttpServer:
     """Binds an :class:`~repro.web.app.Application` to a secure service."""
 
@@ -81,23 +214,77 @@ class SimHttpServer:
         self.application = application
         self.stack = stack
         self.kernel = kernel
+        self.service = service
         self.pool = ThreadPoolModel(thread_pool_size)
+        self.dispatch: Optional[DispatchCore] = None
         self.compute_latency = (
             compute_latency if compute_latency is not None else Constant(1.0)
         )
         self._rng = RngRegistry(f"http-server:{service}").stream("compute")
+        self._registry = registry
         if registry is not None:
             from repro.obs.instrument import attach_pool_stats
 
             attach_pool_stats(self.pool, registry, service=service)
         secure_server.register_service(service, self._on_record)
 
+    def enable_batched_dispatch(
+        self,
+        batch_size: int = DEFAULT_DISPATCH_BATCH,
+        tick_ms: float = DEFAULT_DISPATCH_TICK_MS,
+        max_depth: int = DEFAULT_DISPATCH_MAX_DEPTH,
+        max_age_ms: float = DEFAULT_DISPATCH_MAX_AGE_MS,
+        retry_after_ms: float = DEFAULT_DISPATCH_RETRY_AFTER_MS,
+        service: Optional[str] = None,
+    ) -> DispatchCore:
+        """Switch this server from acquire-on-arrival to the batched-
+        dispatch admission path. Safe to call once, before traffic; the
+        returned :class:`DispatchCore` exposes the saturation counters
+        and (when the server was built with a registry) is published as
+        the ``amnesia_dispatch_*`` metric families. *service* overrides
+        the metric label — pass distinct names when several servers
+        share one registry (the cluster testbed), else last-attach wins
+        on the gauges."""
+        if self.dispatch is not None:
+            raise ValidationError("batched dispatch already enabled")
+        self.dispatch = DispatchCore(
+            self.kernel,
+            self.pool,
+            batch_size=batch_size,
+            tick_ms=tick_ms,
+            max_depth=max_depth,
+            max_age_ms=max_age_ms,
+            retry_after_ms=retry_after_ms,
+        )
+        if self._registry is not None:
+            from repro.obs.instrument import attach_dispatch_stats
+
+            attach_dispatch_stats(
+                self.dispatch,
+                self._registry,
+                service=self.service if service is None else service,
+            )
+        return self.dispatch
+
     def _on_record(self, session: SecureSession, seq: int, plaintext: bytes) -> None:
         def work() -> None:
             delay = self.compute_latency.sample(self._rng)
             self.kernel.schedule(delay, lambda: self._finish(session, seq, plaintext))
 
-        self.pool.acquire(work)
+        if self.dispatch is None:
+            self.pool.acquire(work)
+            return
+        self.dispatch.submit(work, lambda: self._shed(session, seq))
+
+    def _shed(self, session: SecureSession, seq: int) -> None:
+        """Refuse an over-admission request with 429 + a retry hint, the
+        shape the client retry plane understands."""
+        response = error_response(
+            429,
+            "server overloaded; retry later",
+            retry_after_ms=self.dispatch.retry_after_ms if self.dispatch else None,
+        )
+        self.stack.respond(session, seq, encode_response(response))
 
     def _finish(self, session: SecureSession, seq: int, plaintext: bytes) -> None:
         try:

@@ -30,7 +30,7 @@ class TestMacroSuite:
     def test_covers_both_transports_load_and_chaos(self, macro):
         assert set(macro) == {
             "e2e_wifi", "e2e_4g", "workload", "chaos", "cluster",
-            "telemetry", "drill",
+            "telemetry", "drill", "population",
         }
         assert macro["e2e_wifi"]["p50_ms"] <= macro["e2e_wifi"]["p95_ms"]
         assert macro["workload"]["completed"] <= macro["workload"]["issued"]
@@ -79,6 +79,20 @@ class TestMacroSuite:
         gate = macro_gates(macro)["macro.telemetry.overhead_pct"]
         assert gate["direction"] == LOWER_IS_BETTER
         assert gate["limit"] == macro["telemetry"]["limit_pct"]
+
+    def test_population_arm_sustains_load(self, macro):
+        population = macro["population"]
+        assert population["users"] == 1_000  # smoke-scale fleet
+        assert population["completed"] > 0
+        assert population["sustained_ops_per_s"] > 0
+        assert population["p99_ms_flash"] > 0
+        gates = macro_gates(macro)
+        assert gates["macro.population.sustained_ops_per_s"]["direction"] == (
+            HIGHER_IS_BETTER
+        )
+        assert gates["macro.population.p99_ms_flash"]["direction"] == (
+            LOWER_IS_BETTER
+        )
 
     def test_drill_arm_recovers_within_its_bound(self, macro):
         drill = macro["drill"]
@@ -130,13 +144,20 @@ class TestDocument:
     def test_micro_gates_cover_fast_path(self):
         from repro.eval.bench import micro_gates, run_micro
 
-        gates = micro_gates(run_micro(smoke=True))
+        micro = run_micro(smoke=True)
+        gates = micro_gates(micro)
         assert gates["micro.pbkdf2.iters_per_s"]["direction"] == HIGHER_IS_BETTER
         assert gates["micro.sha256.mb_per_s"]["direction"] == HIGHER_IS_BETTER
         assert (
             gates["micro.render_cached.wall_us_per_op"]["direction"]
             == LOWER_IS_BETTER
         )
+        # The kernel scheduling bench gates event-heap regressions.
+        assert gates["micro.kernel.events_per_s"]["direction"] == HIGHER_IS_BETTER
+        kernel = micro["kernel"]
+        assert kernel["processed"] > 0
+        assert kernel["cancelled"] == kernel["scheduled"] // 10
+        assert kernel["events_per_s"] > 0
         assert micro_gates({}) == {}
 
     def test_smoke_bench_excludes_wall_clock_gates(self):

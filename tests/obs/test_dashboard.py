@@ -28,9 +28,16 @@ class TestSparkline:
 class TestDefaultPanels:
     def test_stock_cluster_panels(self):
         panels = default_panels()
-        assert [p.title for p in panels] == ["req rate", "5xx rate", "p95 ms"]
+        assert [p.title for p in panels] == [
+            "req rate", "5xx rate", "p95 ms", "disp queue", "shed rate",
+        ]
         assert all(p.node == "gateway" for p in panels)
-        assert all(p.match_labels == {"route": "unmatched"} for p in panels)
+        # The HTTP panels filter to the forwarded route; the dispatch
+        # panels are unlabelled (flat zero until batched dispatch runs).
+        for panel in panels[:3]:
+            assert panel.match_labels == {"route": "unmatched"}
+        for panel in panels[3:]:
+            assert panel.match_labels == {}
 
 
 class TestRenderDashboard:

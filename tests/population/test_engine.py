@@ -1,0 +1,102 @@
+"""End-to-end population engine tests at pytest scale: a small
+population driven through the real 2-shard cluster, checking
+completion, conservation accounting, deterministic replay, and
+backpressure under deliberate overload.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.population import PopulationEngine, PopulationSpec
+from repro.util.errors import ValidationError
+
+
+def _small_spec(**overrides) -> PopulationSpec:
+    base = dict(
+        users=80,
+        reserve_users=20,
+        accounts_per_user=2,
+        domains=30,
+        duration_ms=5_000.0,
+        ops_per_user_per_hour=400.0,
+        phase_buckets=4,
+        flash_start_ms=2_000.0,
+        flash_duration_ms=1_500.0,
+        flash_multiplier=5.0,
+        churn_interval_ms=1_500.0,
+        churn_fraction=0.05,
+        seed="pytest-population",
+    )
+    base.update(overrides)
+    return PopulationSpec(**base)
+
+
+def test_small_population_end_to_end() -> None:
+    engine = PopulationEngine(_small_spec())
+    result = engine.run()
+    assert result.provisioned_users == 100
+    assert result.issued > 0
+    assert result.completed > 0
+    # Conservation: every issued request is accounted for exactly once.
+    assert result.completed + result.failed + result.rejected_429 == result.issued
+    assert result.failed == 0
+    # The multiplexed fleet answered every push it was sent.
+    assert result.fleet_unmatched == 0
+    assert result.fleet_pushes >= result.completed
+    # Flash window requests exist and have a measurable p99.
+    assert result.p99_ms_flash() > 0.0
+    assert result.p99_ms() > 0.0
+
+
+def test_churn_conserves_live_population() -> None:
+    engine = PopulationEngine(_small_spec())
+    result = engine.run()
+    assert result.churn_waves == 3  # 1500, 3000, 4500 ms
+    assert result.churn_swaps == 3 * 4  # ceil(0.05 * 80) per wave
+    assert len(engine._active) == engine.spec.users
+    assert len(engine._dormant) == engine.spec.reserve_users
+
+
+def test_run_fingerprint_replays_bit_identically() -> None:
+    first = PopulationEngine(_small_spec()).run()
+    second = PopulationEngine(_small_spec()).run()
+    assert first.fingerprint() == second.fingerprint()
+    assert first.issued == second.issued
+    assert first.latencies_ms == second.latencies_ms
+
+
+def test_different_seed_changes_the_run() -> None:
+    base = PopulationEngine(_small_spec()).run()
+    other = PopulationEngine(_small_spec(seed="pytest-population-2")).run()
+    assert base.fingerprint() != other.fingerprint()
+
+
+def test_overload_sheds_with_429() -> None:
+    spec = _small_spec(
+        users=60,
+        ops_per_user_per_hour=18_000.0,  # ~5 ops/s/user: far past capacity
+        duration_ms=3_000.0,
+        flash_start_ms=500.0,
+        flash_duration_ms=2_000.0,
+        flash_multiplier=8.0,
+        dispatch_max_depth=8,
+        dispatch_max_age_ms=150.0,
+        churn_interval_ms=1_000.0,
+        churn_fraction=0.01,
+    )
+    engine = PopulationEngine(spec, gateway_pool_size=2, thread_pool_size=2)
+    result = engine.run()
+    assert result.rejected_429 > 0  # backpressure reached the clients
+    assert result.dispatch_shed_total > 0
+    assert result.dispatch_peak_depth > 0
+    assert result.completed + result.failed + result.rejected_429 == result.issued
+
+
+def test_spec_validation() -> None:
+    with pytest.raises(ValidationError):
+        PopulationSpec(users=0)
+    with pytest.raises(ValidationError):
+        PopulationSpec(flash_multiplier=0.5)
+    with pytest.raises(ValidationError):
+        PopulationSpec(churn_fraction=1.5)

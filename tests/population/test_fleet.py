@@ -1,0 +1,64 @@
+"""The multiplexed fleet's lazy entry table must be token-exact: a
+materialized copy of the same entries must produce byte-identical
+tokens through the real protocol path.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.params import DEFAULT_PARAMS
+from repro.core.protocol import generate_request, generate_token
+from repro.population import LazyEntryTable
+from repro.util.errors import ValidationError
+
+
+class _MaterializedTable:
+    """The same entries as a LazyEntryTable, held as a plain list."""
+
+    def __init__(self, lazy: LazyEntryTable) -> None:
+        self.params = lazy.params
+        self._entries = [lazy[i] for i in range(len(lazy))]
+
+    def __getitem__(self, index: int) -> bytes:
+        return self._entries[index]
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+def test_lazy_entries_are_deterministic_and_sized() -> None:
+    table = LazyEntryTable(b"\xaa" * 32)
+    assert table[0] == table[0]
+    assert table[0] != table[1]
+    assert len(table[0]) == DEFAULT_PARAMS.entry_bytes
+    assert len(table) == DEFAULT_PARAMS.entry_table_size
+
+
+def test_distinct_secrets_give_distinct_tables() -> None:
+    a = LazyEntryTable(b"\xaa" * 32)
+    b = LazyEntryTable(b"\xbb" * 32)
+    assert a[0] != b[0]
+
+
+def test_lazy_table_bounds() -> None:
+    table = LazyEntryTable(b"\xcc" * 32)
+    with pytest.raises(IndexError):
+        table[DEFAULT_PARAMS.entry_table_size]
+    with pytest.raises(IndexError):
+        table[-1]
+
+
+def test_short_secret_rejected() -> None:
+    with pytest.raises(ValidationError):
+        LazyEntryTable(b"short")
+
+
+def test_tokens_match_materialized_table() -> None:
+    lazy = LazyEntryTable(b"\x5a" * 32)
+    materialized = _MaterializedTable(lazy)
+    for domain in ("alpha.example", "beta.example", "gamma.example"):
+        request = generate_request("fleet-user", domain, b"\x17" * 16)
+        assert generate_token(request, lazy) == generate_token(
+            request, materialized
+        )

@@ -1,0 +1,180 @@
+"""Statistical properties and bit-identical replay of the population
+samplers (ISSUE 9): seeded Zipf/diurnal/flash-crowd draws must replay
+exactly, Zipf tail mass must match the closed form within tolerance,
+and churn waves must conserve the live-user count.
+"""
+
+from __future__ import annotations
+
+import math
+from random import Random
+
+import pytest
+
+from repro.population import ChurnSchedule, DiurnalCurve, FlashCrowd, ZipfSampler
+from repro.population.samplers import (
+    HOURS_PER_DAY,
+    MS_PER_HOUR,
+    draw_fingerprint,
+    empirical_tail_mass,
+    phase_for_bucket,
+)
+from repro.util.errors import ValidationError
+
+
+# -- Zipf ------------------------------------------------------------------
+
+
+def test_zipf_probabilities_sum_to_one() -> None:
+    zipf = ZipfSampler(200, exponent=1.0)
+    total = math.fsum(zipf.probability(r) for r in range(1, 201))
+    assert total == pytest.approx(1.0, abs=1e-12)
+
+
+def test_zipf_rank_one_dominates() -> None:
+    zipf = ZipfSampler(1000, exponent=1.0)
+    assert zipf.probability(1) > zipf.probability(2) > zipf.probability(1000)
+    # P(1)/P(k) = k under s=1.
+    assert zipf.probability(1) / zipf.probability(10) == pytest.approx(10.0)
+
+
+def test_zipf_draws_replay_bit_identically() -> None:
+    zipf = ZipfSampler(500, exponent=1.0)
+    rng_a, rng_b = Random("zipf-seed"), Random("zipf-seed")
+    seq_a = [zipf.sample(rng_a) for __ in range(2_000)]
+    seq_b = [zipf.sample(rng_b) for __ in range(2_000)]
+    assert seq_a == seq_b
+    assert draw_fingerprint(seq_a) == draw_fingerprint(seq_b)
+    assert all(1 <= rank <= 500 for rank in seq_a)
+
+
+def test_zipf_tail_mass_matches_closed_form() -> None:
+    zipf = ZipfSampler(200, exponent=1.0)
+    rng = Random("tail-mass")
+    draws = [zipf.sample(rng) for __ in range(50_000)]
+    for k in (1, 10, 50):
+        expected = zipf.tail_mass(k)
+        observed = empirical_tail_mass(draws, k)
+        # 50k draws: binomial std is < 0.0023, allow ~4 sigma.
+        assert observed == pytest.approx(expected, abs=0.01)
+
+
+def test_zipf_tail_mass_edges() -> None:
+    zipf = ZipfSampler(10)
+    assert zipf.tail_mass(0) == 1.0
+    assert zipf.tail_mass(10) == pytest.approx(0.0, abs=1e-12)
+
+
+def test_zipf_validates() -> None:
+    with pytest.raises(ValidationError):
+        ZipfSampler(0)
+    with pytest.raises(ValidationError):
+        ZipfSampler(10, exponent=-0.5)
+    with pytest.raises(ValidationError):
+        ZipfSampler(10).probability(11)
+
+
+# -- diurnal curve ---------------------------------------------------------
+
+
+def test_diurnal_peak_and_trough() -> None:
+    curve = DiurnalCurve(floor=0.25, peak_hour=20.0)
+    peak_t = 20.0 * MS_PER_HOUR
+    trough_t = 8.0 * MS_PER_HOUR  # 12h opposite the peak
+    assert curve.multiplier(peak_t) == pytest.approx(2.0 - 0.25)
+    assert curve.multiplier(trough_t) == pytest.approx(0.25)
+
+
+def test_diurnal_daily_mean_is_one() -> None:
+    curve = DiurnalCurve(floor=0.4, peak_hour=13.0)
+    steps = 24 * 60
+    mean = math.fsum(
+        curve.multiplier(i * MS_PER_HOUR / 60.0) for i in range(steps)
+    ) / steps
+    assert mean == pytest.approx(curve.mean_multiplier(), abs=1e-9)
+
+
+def test_diurnal_phase_shifts_the_peak() -> None:
+    curve = DiurnalCurve(floor=0.25, peak_hour=20.0)
+    # A +6h phase user peaks 6 hours of wall clock earlier.
+    assert curve.multiplier(14.0 * MS_PER_HOUR, phase_hours=6.0) == pytest.approx(
+        curve.multiplier(20.0 * MS_PER_HOUR)
+    )
+
+
+def test_phase_for_bucket_spacing() -> None:
+    phases = [phase_for_bucket(b, 8) for b in range(8)]
+    assert phases[0] == 0.0
+    assert phases[1] == pytest.approx(HOURS_PER_DAY / 8)
+    assert len(set(phases)) == 8
+    assert phase_for_bucket(8, 8) == phases[0]  # wraps
+
+
+# -- flash crowd -----------------------------------------------------------
+
+
+def test_flash_crowd_window() -> None:
+    flash = FlashCrowd(start_ms=1_000.0, duration_ms=500.0, multiplier=8.0)
+    assert flash.multiplier_at(999.9) == 1.0
+    assert flash.multiplier_at(1_000.0) == 8.0
+    assert flash.multiplier_at(1_499.9) == 8.0
+    assert flash.multiplier_at(1_500.0) == 1.0
+    assert flash.end_ms == 1_500.0
+
+
+def test_flash_crowd_validates() -> None:
+    with pytest.raises(ValidationError):
+        FlashCrowd(start_ms=-1.0, duration_ms=100.0, multiplier=2.0)
+    with pytest.raises(ValidationError):
+        FlashCrowd(start_ms=0.0, duration_ms=0.0, multiplier=2.0)
+    with pytest.raises(ValidationError):
+        FlashCrowd(start_ms=0.0, duration_ms=100.0, multiplier=0.5)
+
+
+# -- churn -----------------------------------------------------------------
+
+
+def test_churn_waves_conserve_user_count() -> None:
+    churn = ChurnSchedule(interval_ms=1_000.0, fraction=0.1)
+    active = list(range(100))
+    dormant = list(range(100, 130))
+    rng = Random("churn")
+    total_before = set(active) | set(dormant)
+    for __ in range(5):
+        swaps = churn.apply_wave(active, dormant, rng)
+        assert swaps == 10  # ceil(0.1 * 100)
+        assert len(active) == 100
+        assert len(dormant) == 30
+        assert set(active) | set(dormant) == total_before
+        assert set(active).isdisjoint(dormant)
+    assert churn.waves_applied == 5
+    assert churn.total_swaps == 50
+
+
+def test_churn_wave_shrinks_to_reserve() -> None:
+    churn = ChurnSchedule(interval_ms=1_000.0, fraction=0.5)
+    active = list(range(10))
+    dormant = [100, 101]
+    swaps = churn.apply_wave(active, dormant, Random(1))
+    assert swaps == 2  # reserve-limited, still 1:1
+    assert len(active) == 10
+
+
+def test_churn_replays_bit_identically() -> None:
+    def run() -> tuple:
+        churn = ChurnSchedule(interval_ms=500.0, fraction=0.07)
+        active = list(range(60))
+        dormant = list(range(60, 80))
+        rng = Random("churn-replay")
+        for __ in range(4):
+            churn.apply_wave(active, dormant, rng)
+        return tuple(active), tuple(dormant)
+
+    assert run() == run()
+
+
+def test_churn_wave_times_strictly_inside_run() -> None:
+    churn = ChurnSchedule(interval_ms=2_000.0, fraction=0.01)
+    times = churn.wave_times(6_000.0)
+    assert times == [2_000.0, 4_000.0]
+    assert all(0.0 < t < 6_000.0 for t in times)

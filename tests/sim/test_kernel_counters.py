@@ -1,0 +1,100 @@
+"""The O(1) pending/cancelled event counters (ISSUE 9): the kernel now
+tracks live events with a counter instead of scanning the heap, so the
+population engine can poll queue depth every tick at 10⁴–10⁶ pending
+events. These tests pin the counter to the brute-force truth.
+"""
+
+from __future__ import annotations
+
+from repro.sim.kernel import Simulator
+
+
+def _brute_force_live(sim: Simulator) -> int:
+    return sum(1 for event in sim._queue if not event.cancelled)
+
+
+def test_pending_counts_scheduled_events() -> None:
+    sim = Simulator()
+    events = [sim.schedule(float(i), lambda: None) for i in range(50)]
+    assert sim.pending_events == 50
+    assert sim.cancelled_events == 0
+    assert sim.pending_events == _brute_force_live(sim)
+    assert events[0].time == 0.0
+
+
+def test_cancel_moves_pending_to_cancelled() -> None:
+    sim = Simulator()
+    events = [sim.schedule(float(i), lambda: None) for i in range(10)]
+    for event in events[:4]:
+        event.cancel()
+    assert sim.pending_events == 6
+    assert sim.cancelled_events == 4
+    assert sim.pending_events == _brute_force_live(sim)
+
+
+def test_cancel_is_idempotent() -> None:
+    sim = Simulator()
+    event = sim.schedule(1.0, lambda: None)
+    other = sim.schedule(2.0, lambda: None)
+    event.cancel()
+    event.cancel()
+    event.cancel()
+    assert other is not event
+    assert sim.pending_events == 1
+    assert sim.cancelled_events == 1
+
+
+def test_draining_restores_zero() -> None:
+    sim = Simulator()
+    fired: list[float] = []
+    for i in range(20):
+        sim.schedule(float(i), lambda: fired.append(sim.now))
+    for i in range(5, 25, 5):
+        # cancellations interleaved with live events
+        sim.schedule(float(i) + 0.5, lambda: None).cancel()
+    assert sim.pending_events == 20
+    assert sim.cancelled_events == 4
+    sim.run_until_idle()
+    assert len(fired) == 20
+    assert sim.pending_events == 0
+    assert sim.cancelled_events == 0
+    assert len(sim._queue) == 0
+
+
+def test_counter_tracks_through_partial_runs() -> None:
+    sim = Simulator()
+    for i in range(100):
+        sim.schedule(float(i), lambda: None)
+    sim.run(until=49.0)
+    assert sim.pending_events == 50
+    assert sim.pending_events == _brute_force_live(sim)
+    sim.run_until_idle()
+    assert sim.pending_events == 0
+
+
+def test_recurring_event_keeps_counter_consistent() -> None:
+    sim = Simulator()
+    ticks: list[float] = []
+    recurring = sim.schedule_every(10.0, lambda: ticks.append(sim.now))
+    sim.run(until=55.0)
+    assert len(ticks) == 5
+    # exactly one armed occurrence pending at any time
+    assert sim.pending_events == 1
+    recurring.cancel()
+    assert sim.pending_events == 0
+    sim.run_until_idle()
+    assert sim.pending_events == 0
+    assert sim.cancelled_events == 0
+
+
+def test_actions_scheduling_actions_stay_consistent() -> None:
+    sim = Simulator()
+
+    def spawn() -> None:
+        if sim.now < 50.0:
+            sim.schedule(10.0, spawn)
+
+    sim.schedule(0.0, spawn)
+    sim.run_until_idle()
+    assert sim.pending_events == 0
+    assert sim.pending_events == _brute_force_live(sim)
