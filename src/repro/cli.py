@@ -120,7 +120,8 @@ def _cmd_strength(args: argparse.Namespace) -> int:
           f"{composition.digits:.2f} / {composition.special:.2f}")
     print(f"password space : {float(policy.password_space()):.3e} "
           f"(paper: 1.38e63)")
-    print(f"entropy        : {policy.entropy_bits():.4f} bits exact "
+    print(f"entropy        : "
+          f"{policy.entropy_bits(DEFAULT_PARAMS.segment_hex_length):.4f} bits exact "
           f"(upper bound {policy.max_entropy_bits():.4f}; the gap is the "
           f"65536 mod {policy.table.size} template bias)")
     print(f"token space    : {float(DEFAULT_PARAMS.token_space):.3e} "

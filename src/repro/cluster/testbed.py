@@ -97,9 +97,17 @@ class ClusterTestbed:
         probe_miss_threshold: int = DEFAULT_PROBE_MISS_THRESHOLD,
         lag_degraded_threshold: int = DEFAULT_LAG_DEGRADED_THRESHOLD,
         auto_reregister: bool = True,
+        token_session_ttl_ms: float = 0.0,
+        batched_dispatch: bool = False,
+        batched_render: bool = False,
+        worker_processes: int = 0,
     ) -> None:
         if shards < 1:
             raise ValidationError("a cluster needs at least one shard")
+        if worker_processes < 0:
+            raise ValidationError(
+                f"worker_processes must be >= 0, got {worker_processes}"
+            )
         self.kernel = Simulator()
         self.rngs = RngRegistry(seed)
         self.network = Network(self.kernel, self.rngs)
@@ -107,6 +115,15 @@ class ClusterTestbed:
         self.profile = profile
         self.seed = seed
         self.shard_count = shards
+        # PR 10 hot-path knobs, remembered so restored shards inherit them.
+        self.token_session_ttl_ms = token_session_ttl_ms
+        self.batched_dispatch = batched_dispatch
+        self.batched_render = batched_render
+        self.workers = (
+            None
+            if worker_processes == 0
+            else self._build_worker_pool(worker_processes)
+        )
         self.registry = MetricsRegistry()
         attach_kernel_stats(self.kernel, self.registry)
         attach_network_stats(self.network, self.registry)
@@ -150,6 +167,7 @@ class ClusterTestbed:
                 params=params,
                 thread_pool_size=thread_pool_size,
                 generation_timeout_ms=generation_timeout_ms,
+                token_session_ttl_ms=token_session_ttl_ms,
                 registry=self.registry,
             )
             standby = AmnesiaServer(
@@ -161,7 +179,12 @@ class ClusterTestbed:
                 params=params,
                 thread_pool_size=thread_pool_size,
                 generation_timeout_ms=generation_timeout_ms,
+                token_session_ttl_ms=token_session_ttl_ms,
                 registry=self.registry,
+            )
+            self._apply_hot_path_mode(primary, name, is_primary=True)
+            self._apply_hot_path_mode(
+                standby, standby_host(index), is_primary=False
             )
             # Distinct id namespace per shard: user/account ids must
             # stay unique fleet-wide, or migrating a user onto another
@@ -194,6 +217,12 @@ class ClusterTestbed:
         )
         if auto_reregister:
             self.gateway.on_failover.append(self._reregister_phones)
+        if batched_dispatch:
+            # The gateway is the saturation point (every op holds a
+            # worker for the whole phone round trip); shard primaries
+            # got theirs in _apply_hot_path_mode. Distinct service
+            # labels: the testbed shares one registry.
+            self.gateway.http_server.enable_batched_dispatch(service="gateway")
 
         # -- client plumbing --------------------------------------------
         self._laptop_stack = None  # built lazily (import cycle free)
@@ -216,6 +245,38 @@ class ClusterTestbed:
         # ride the fault plane whether it is installed before or after
         # the telemetry plane.
         self._fault_companions: List = []
+
+    # -- hot-path modes (PR 10) ------------------------------------------
+
+    @staticmethod
+    def _build_worker_pool(worker_processes: int):
+        from repro.cluster.workers import ShardWorkerPool
+
+        return ShardWorkerPool(processes=worker_processes)
+
+    def _apply_hot_path_mode(
+        self, server: AmnesiaServer, service: str, is_primary: bool
+    ) -> None:
+        """Apply the testbed's batched-render / batched-dispatch /
+        worker-pool configuration to one server (also used for the
+        replacements built by :meth:`restore_shard`, so a restored
+        shard serves in the same mode as the one it replaces)."""
+        if self.batched_render:
+            server.enable_batched_render()
+        if self.workers is not None:
+            # Workers are stateless; one pool backs every primary. The
+            # standby renders only after promotion, and then through
+            # the same engine, so it shares the pool too.
+            server.batch.attach_workers(self.workers)
+        if self.batched_dispatch and is_primary:
+            server.http_server.enable_batched_dispatch(service=service)
+
+    def shutdown_workers(self) -> None:
+        """Tear down the shared shard worker processes (idempotent);
+        call when a worker-mode testbed is done."""
+        if self.workers is not None:
+            self.workers.close()
+            self.workers = None
 
     # -- fault injection -------------------------------------------------
 
@@ -472,17 +533,20 @@ class ClusterTestbed:
         self.network.add_link(Link(new_primary, new_standby, lan))
         servers = []
         for role, host in (("primary", new_primary), ("standby", new_standby)):
-            servers.append(
-                AmnesiaServer(
-                    kernel=self.kernel,
-                    network=self.network,
-                    host_name=host,
-                    rng=self._source(f"{shard_name}-restore{generation}-{role}"),
-                    rendezvous_host=RENDEZVOUS,
-                    params=self.params,
-                    registry=self.registry,
-                )
+            server = AmnesiaServer(
+                kernel=self.kernel,
+                network=self.network,
+                host_name=host,
+                rng=self._source(f"{shard_name}-restore{generation}-{role}"),
+                rendezvous_host=RENDEZVOUS,
+                params=self.params,
+                token_session_ttl_ms=self.token_session_ttl_ms,
+                registry=self.registry,
             )
+            self._apply_hot_path_mode(
+                server, host, is_primary=role == "primary"
+            )
+            servers.append(server)
         if self.trace_store is not None:
             for server in servers:
                 server.application.bind_tracing(

@@ -1,0 +1,126 @@
+"""Opt-in multiprocess shard workers for the vectorized render path.
+
+A Python shard primary is single-threaded at the interpreter level: the
+thread-pool *model* shapes queueing, but every SHA-512 + template
+render runs on one core. For cluster deployments on real hardware, a
+:class:`ShardWorkerPool` fans a large render batch out across forked
+worker processes so the machine's other cores do the arithmetic, while
+small batches stay inline (a fork round trip costs more than a handful
+of renders — ``min_batch`` is the crossover).
+
+Jobs cross the process boundary as plain tuples of the
+:class:`~repro.core.batch.RenderJob` fields; results come back in
+submission order, so attaching a pool never changes a single derived
+value — only where the cycles are spent. The pool degrades gracefully:
+if worker processes cannot be created (restricted sandboxes, platforms
+without fork), every batch runs inline through the identical code path
+and the ``fallback_batches`` counter says so.
+
+The simulation benches never attach workers — wall-clock fork costs
+would pollute the deterministic sim-time numbers; this is for the
+real-socket deployment and the worker-mode tests.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+
+from repro.util.errors import ValidationError
+
+DEFAULT_MIN_BATCH = 8
+
+
+def _render_chunk(payload) -> list:
+    """Render one chunk of job tuples (runs inside a worker process).
+
+    Top-level by necessity — :mod:`multiprocessing` resolves it by
+    qualified name in the child. Engine construction is cheap; the
+    65536-entry segment tables live in the module-level cache, so each
+    worker builds each charset's table once and reuses it for the rest
+    of its life.
+    """
+    segment_hex_length, job_tuples = payload
+    from repro.core.batch import BatchDerivationEngine
+    from repro.core.params import DEFAULT_PARAMS, ProtocolParams
+
+    if segment_hex_length == DEFAULT_PARAMS.segment_hex_length:
+        params = DEFAULT_PARAMS
+    else:
+        params = ProtocolParams(segment_hex_length=segment_hex_length)
+    engine = BatchDerivationEngine(params)
+    return [
+        engine.derive(token_hex, oid, seed, charset, length)
+        for token_hex, oid, seed, charset, length in job_tuples
+    ]
+
+
+class ShardWorkerPool:
+    """A fork-based process pool rendering §III-B batches in parallel.
+
+    One pool can back several engines (the cluster testbed shares one
+    across its shard primaries — workers are stateless, so mixing
+    shards' jobs is safe). ``close()`` must be called when the owner is
+    done; the testbed's ``shutdown_workers`` does this.
+    """
+
+    def __init__(
+        self,
+        processes: int = 2,
+        min_batch: int = DEFAULT_MIN_BATCH,
+    ) -> None:
+        if processes < 1:
+            raise ValidationError(f"worker pool needs >= 1 process, got {processes}")
+        if min_batch < 1:
+            raise ValidationError(f"min_batch must be >= 1, got {min_batch}")
+        self.processes = processes
+        self.min_batch = min_batch
+        self.batches = 0
+        self.jobs = 0
+        self.fallback_batches = 0
+        try:
+            context = multiprocessing.get_context("fork")
+            self._pool = context.Pool(processes=processes)
+        except (OSError, ValueError):
+            # No fork available (restricted sandbox / exotic platform):
+            # stay correct, run everything inline.
+            self._pool = None
+
+    @property
+    def using_processes(self) -> bool:
+        return self._pool is not None
+
+    def render_batch(self, jobs, segment_hex_length: int = 4) -> list:
+        """Render *jobs* across the workers, results in submission order."""
+        job_tuples = [
+            (job.token_hex, job.oid, job.seed, job.charset, job.length)
+            for job in jobs
+        ]
+        self.batches += 1
+        self.jobs += len(job_tuples)
+        if self._pool is None:
+            self.fallback_batches += 1
+            return _render_chunk((segment_hex_length, job_tuples))
+        chunks = max(1, min(self.processes, len(job_tuples)))
+        size = -(-len(job_tuples) // chunks)  # ceil division
+        payloads = [
+            (segment_hex_length, job_tuples[start : start + size])
+            for start in range(0, len(job_tuples), size)
+        ]
+        rendered = self._pool.map(_render_chunk, payloads)
+        return [password for chunk in rendered for password in chunk]
+
+    def stats(self) -> dict:
+        return {
+            "processes": self.processes if self._pool is not None else 0,
+            "min_batch": self.min_batch,
+            "batches": self.batches,
+            "jobs": self.jobs,
+            "fallback_batches": self.fallback_batches,
+        }
+
+    def close(self) -> None:
+        """Tear the worker processes down (idempotent)."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool.join()
+            self._pool = None

@@ -1,0 +1,375 @@
+"""Batched/vectorized §III-B derivation: the render hot path at scale.
+
+The profiler (PR 3/PR 5) shows the per-request render cost is dominated
+by Python-level loops: 32 ``chunk`` + ``int_from_hex`` + modulo lookups
+per password in :meth:`~repro.core.templates.PasswordPolicy.render`,
+plus one SHA-512 per token. Three precomputations remove almost all of
+that interpreter work:
+
+- :class:`SegmentTable` — a 65 536-entry segment→character string per
+  charset, built once, so a render is ``bytes.fromhex`` → one
+  :class:`array.array` reinterpret of the digest as 16-bit big-endian
+  segments → a single ``str.join`` over table lookups. No per-segment
+  int parsing, no modulo.
+- :class:`AccountDerivation` — the per-account constants of the chain
+  (R, Algorithm 1's segment indices, the ``O_id‖σ`` hash suffix),
+  computed once and reused across every token derived for the account
+  in a batch (the recovery path touches every account of a user with
+  one entry table).
+- :class:`BatchDerivationEngine` — N independent ``(T, O_id, σ,
+  policy) → P`` jobs rendered in one call, with loop-invariant lookups
+  hoisted; the server's flush hook (``enable_batched_render``) feeds it
+  one drained :class:`~repro.web.server.DispatchCore` batch at a time,
+  and an optional :class:`~repro.cluster.workers.ShardWorkerPool`
+  fans large batches out across processes.
+
+Every path is bit-identical to the scalar pipeline in
+:mod:`repro.core.protocol`: the property suite asserts batch == scalar
+== the from-first-principles reference built on the pure SHA cores
+(:func:`repro.crypto.sha2.sha512_many`), for every charset policy and
+for all 65 536 segment values.
+"""
+
+from __future__ import annotations
+
+import sys
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.core.params import DEFAULT_PARAMS, ProtocolParams, SHA256_HEX_LENGTH
+from repro.core.protocol import generate_request, token_indices
+from repro.crypto.hashing import sha256_hex, sha512
+from repro.util.encoding import chunk, int_from_hex, require_hex
+from repro.util.errors import ValidationError
+
+_LITTLE_ENDIAN = sys.byteorder == "little"
+
+#: Distinct (charset, segment length) tables kept warm; a table is 64 KB
+#: of string, so the bound is ~16 MB worst case, far above the 15
+#: class-combination policies any real fleet uses.
+_TABLE_CACHE_MAX = 256
+_TABLE_CACHE: "OrderedDict[tuple[str, int], SegmentTable]" = OrderedDict()
+
+
+class SegmentTable:
+    """Precomputed segment-value → character mapping for one charset.
+
+    ``lookup[v] == charset[v % len(charset)]`` for every segment value
+    ``v`` in ``[0, 16^segment_hex_length)``: the charset is tiled across
+    the whole segment space once, so the hot loop replaces a div/mod +
+    two indexing operations per character with one string index. The
+    modulo *bias* of the paper's template function is preserved exactly
+    — the table is the modulo, materialized.
+    """
+
+    __slots__ = ("charset", "segment_hex_length", "space", "_lookup")
+
+    def __init__(self, charset: str, segment_hex_length: int = 4) -> None:
+        if not charset:
+            raise ValidationError("character table cannot be empty")
+        if segment_hex_length < 1:
+            raise ValidationError(
+                f"segment hex length must be >= 1, got {segment_hex_length}"
+            )
+        self.charset = charset
+        self.segment_hex_length = segment_hex_length
+        self.space = 16**segment_hex_length
+        size = len(charset)
+        self._lookup = (charset * (self.space // size + 1))[: self.space]
+
+    def lookup(self, segment_value: int) -> str:
+        """``T_c[v mod N_c]`` by table lookup (the paper's index rule)."""
+        if segment_value < 0:
+            raise ValidationError(
+                f"segment value must be >= 0, got {segment_value}"
+            )
+        return self._lookup[segment_value]
+
+    def render_hex(self, intermediate_hex: str, length: int) -> str:
+        """Render *length* characters from a hex intermediate value.
+
+        Bit-identical to :meth:`PasswordPolicy.render` on the same
+        charset: trailing hex digits beyond the consumed segments are
+        ignored (Algorithm 1's ``while c + l <= |p|``), and a short
+        intermediate raises the same :class:`ValidationError`.
+        """
+        if self.segment_hex_length != 4:
+            return self._render_hex_generic(intermediate_hex, length)
+        segments = len(intermediate_hex) // 4
+        if segments < length:
+            raise ValidationError(
+                f"intermediate value yields {segments} segments; "
+                f"policy needs {length}"
+            )
+        try:
+            raw = bytes.fromhex(intermediate_hex[: length * 4])
+        except ValueError:
+            # Non-hex input: the per-segment parser raises the
+            # canonical alphabet error the scalar path raises.
+            return self._render_hex_generic(intermediate_hex, length)
+        return self.render_digest(raw, length)
+
+    def render_digest(self, digest: bytes, length: int) -> str:
+        """Render straight from the raw digest, skipping hex entirely.
+
+        A 4-hex-digit segment of ``digest.hex()`` *is* two consecutive
+        digest bytes read big-endian, so reinterpreting the digest as a
+        16-bit array yields the identical segment values with zero
+        string work.
+        """
+        if self.segment_hex_length != 4:
+            return self._render_hex_generic(bytes(digest).hex(), length)
+        if len(digest) // 2 < length:
+            raise ValidationError(
+                f"intermediate value yields {len(digest) // 2} segments; "
+                f"policy needs {length}"
+            )
+        from array import array
+
+        segments = array("H", bytes(digest[: length * 2]))
+        if _LITTLE_ENDIAN:
+            segments.byteswap()
+        return "".join(map(self._lookup.__getitem__, segments))
+
+    def _render_hex_generic(self, intermediate_hex: str, length: int) -> str:
+        """The scalar shape (arbitrary segment length / error fidelity)."""
+        segments = chunk(intermediate_hex, self.segment_hex_length)
+        if len(segments) < length:
+            raise ValidationError(
+                f"intermediate value yields {len(segments)} segments; "
+                f"policy needs {length}"
+            )
+        lookup = self._lookup
+        return "".join(
+            lookup[int_from_hex(segment)] for segment in segments[:length]
+        )
+
+
+def segment_table(charset: str, segment_hex_length: int = 4) -> SegmentTable:
+    """The process-wide :class:`SegmentTable` for *charset* (LRU-bounded).
+
+    Tables are immutable and pure functions of their key, so sharing
+    them across servers/engines is safe; the bound only exists so a
+    hostile stream of distinct charsets cannot grow memory unboundedly.
+    """
+    key = (charset, segment_hex_length)
+    table = _TABLE_CACHE.get(key)
+    if table is None:
+        table = SegmentTable(charset, segment_hex_length)
+        _TABLE_CACHE[key] = table
+        if len(_TABLE_CACHE) > _TABLE_CACHE_MAX:
+            _TABLE_CACHE.popitem(last=False)
+    else:
+        _TABLE_CACHE.move_to_end(key)
+    return table
+
+
+@dataclass(frozen=True)
+class RenderJob:
+    """One independent ``(T, O_id, σ, policy) → P`` derivation.
+
+    Plain, picklable data: jobs cross the process boundary when a
+    :class:`~repro.cluster.workers.ShardWorkerPool` is attached.
+    """
+
+    token_hex: str
+    oid: bytes
+    seed: bytes
+    charset: str
+    length: int
+
+
+@dataclass(frozen=True)
+class AccountDerivation:
+    """The per-account constants of the §III-B chain, precomputed.
+
+    ``R`` and Algorithm 1's segment indices depend only on
+    ``(µ, d, σ)``; the SHA-512 suffix ``O_id‖σ`` only on the user and
+    account secrets. Computing them once lets a batch over many tokens
+    (or recovery over many accounts sharing one entry table) skip the
+    per-call ``chunk`` + ``int_from_hex`` index loop entirely.
+    """
+
+    request_hex: str
+    indices: tuple[int, ...]
+    entry_table_size: int
+    suffix: bytes  # O_id || σ, the constant tail of the SHA-512 input
+
+    @classmethod
+    def for_account(
+        cls,
+        username: str,
+        domain: str,
+        seed: bytes,
+        oid: bytes,
+        params: ProtocolParams = DEFAULT_PARAMS,
+    ) -> "AccountDerivation":
+        return cls.from_request(
+            generate_request(username, domain, seed), seed, oid, params
+        )
+
+    @classmethod
+    def from_request(
+        cls,
+        request_hex: str,
+        seed: bytes,
+        oid: bytes,
+        params: ProtocolParams = DEFAULT_PARAMS,
+    ) -> "AccountDerivation":
+        """Reuse an already-derived (possibly cached) ``R``."""
+        return cls(
+            request_hex=request_hex,
+            indices=tuple(token_indices(request_hex, params)),
+            entry_table_size=params.entry_table_size,
+            suffix=bytes(oid) + bytes(seed),
+        )
+
+    def token_hex(self, entry_table) -> str:
+        """Algorithm 1 over the precomputed indices (hex out).
+
+        Validates the table length the same way
+        :func:`~repro.core.protocol.generate_token` does: indices were
+        reduced modulo ``entry_table_size``, so a shorter table would
+        turn a lookup into an uncaught ``IndexError`` mid-batch.
+        """
+        if self.entry_table_size > len(entry_table):
+            raise ValidationError(
+                f"params expect an entry table of {self.entry_table_size} "
+                f"entries; table has {len(entry_table)}"
+            )
+        return sha256_hex(b"".join(entry_table[i] for i in self.indices))
+
+
+class BatchDerivationEngine:
+    """Render many independent §III-B jobs in one vectorized call.
+
+    The scalar path (:meth:`derive`) replicates
+    :func:`~repro.core.protocol.intermediate_value`'s validation
+    exactly, then goes digest → password without materializing the
+    128-hex intermediate string. :meth:`render_batch` amortizes the
+    loop setup across a whole drained dispatch batch and, when a worker
+    pool is attached and the batch is large enough, fans the jobs out
+    across processes. Counters (`batches_total`, `jobs_total`,
+    `peak_batch`) feed the ``amnesia_render_batch_*`` metric families.
+    """
+
+    def __init__(
+        self,
+        params: ProtocolParams = DEFAULT_PARAMS,
+        registry=None,
+    ) -> None:
+        self.params = params
+        self.workers = None
+        self.batches_total = 0
+        self.jobs_total = 0
+        self.peak_batch = 0
+        self.worker_batches = 0
+        if registry is not None:
+            self._batch_counter = registry.counter(
+                "amnesia_render_batches_total",
+                "Vectorized render batches executed by the derivation engine",
+            )
+            self._job_counter = registry.counter(
+                "amnesia_render_batch_jobs_total",
+                "Render jobs executed inside vectorized batches",
+            )
+        else:
+            self._batch_counter = self._job_counter = None
+
+    def attach_workers(self, pool) -> None:
+        """Route sufficiently large batches through *pool* (a
+        :class:`~repro.cluster.workers.ShardWorkerPool`)."""
+        self.workers = pool
+
+    @staticmethod
+    def validate(token_hex: str, oid: bytes, seed: bytes) -> None:
+        """The input validation of
+        :func:`~repro.core.protocol.intermediate_value`, verbatim.
+
+        Exposed separately so the server can reject a bad token *in the
+        handler* (where the scalar path raised) even when the expensive
+        part of the derivation is deferred to a batch flush.
+        """
+        require_hex(token_hex)
+        if len(token_hex) != SHA256_HEX_LENGTH:
+            raise ValidationError(
+                f"token must be {SHA256_HEX_LENGTH} hex digits, "
+                f"got {len(token_hex)}"
+            )
+        if len(oid) == 0:
+            raise ValidationError("O_id must be non-empty")
+        if len(seed) == 0:
+            raise ValidationError("seed must be non-empty")
+
+    def derive(
+        self, token_hex: str, oid: bytes, seed: bytes, charset: str, length: int
+    ) -> str:
+        """``P = template(H(T ‖ O_id ‖ σ))`` — one job, full validation.
+
+        Raises the identical :class:`ValidationError`\\ s as
+        :func:`~repro.core.protocol.intermediate_value` so callers can
+        swap this in for the scalar pipeline without changing their
+        error surface.
+        """
+        self.validate(token_hex, oid, seed)
+        digest = sha512(bytes.fromhex(token_hex), bytes(oid), bytes(seed))
+        return segment_table(charset, self.params.segment_hex_length).render_digest(
+            digest, length
+        )
+
+    def derive_job(self, job: RenderJob) -> str:
+        return self.derive(job.token_hex, job.oid, job.seed, job.charset, job.length)
+
+    def render_batch(self, jobs) -> list:
+        """Render every job, one pass, hoisted lookups.
+
+        Jobs are independent, so order in == order out; an invalid job
+        raises (the batch is all-or-nothing, like N scalar calls where
+        the first bad input stops the request).
+        """
+        count = len(jobs)
+        if count == 0:
+            return []
+        self.batches_total += 1
+        self.jobs_total += count
+        if count > self.peak_batch:
+            self.peak_batch = count
+        if self._batch_counter is not None:
+            self._batch_counter.inc()
+            self._job_counter.inc(count)
+        if self.workers is not None and count >= self.workers.min_batch:
+            self.worker_batches += 1
+            return self.workers.render_batch(jobs, self.params.segment_hex_length)
+        derive = self.derive
+        return [
+            derive(job.token_hex, job.oid, job.seed, job.charset, job.length)
+            for job in jobs
+        ]
+
+    def stats(self) -> dict:
+        return {
+            "batches": self.batches_total,
+            "jobs": self.jobs_total,
+            "peak_batch": self.peak_batch,
+            "worker_batches": self.worker_batches,
+        }
+
+
+def reference_render_batch(jobs, params: ProtocolParams = DEFAULT_PARAMS) -> list:
+    """From-first-principles oracle: the same jobs through the *pure*
+    SHA-512 core (single-pass multi-message) and the original
+    per-segment :meth:`CharacterTable.lookup` loop. Exists for the
+    property suite — never on a hot path."""
+    from repro.core.templates import PasswordPolicy
+    from repro.crypto.sha2 import sha512_many
+
+    digests = sha512_many(
+        [bytes.fromhex(job.token_hex) + bytes(job.oid) + bytes(job.seed) for job in jobs]
+    )
+    passwords = []
+    for job, digest in zip(jobs, digests):
+        policy = PasswordPolicy(charset=job.charset, length=job.length)
+        passwords.append(
+            policy.render(digest.hex(), params.segment_hex_length)
+        )
+    return passwords

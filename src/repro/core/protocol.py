@@ -69,6 +69,11 @@ def generate_token(
     ``T = SHA-256(e_0 || e_1 || … || e_15)``.
     """
     effective = params if params is not None else entry_table.params
+    if effective.entry_table_size > len(entry_table):
+        raise ValidationError(
+            f"params expect an entry table of {effective.entry_table_size} "
+            f"entries; table has {len(entry_table)}"
+        )
     indices = token_indices(request_hex, effective)
     concatenated = b"".join(entry_table[index] for index in indices)
     return sha256_hex(concatenated)

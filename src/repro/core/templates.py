@@ -110,18 +110,28 @@ class PasswordPolicy:
         """
         return self.length * math.log2(self.table.size)
 
-    def character_entropy_bits(self) -> float:
+    def character_entropy_bits(self, segment_hex_length: int = 4) -> float:
         """Exact Shannon entropy of one rendered character.
 
-        The template reduces a 16-bit segment modulo ``N_c``; whenever
-        ``65536 mod N_c != 0`` the first ``65536 mod N_c`` characters
-        receive one extra preimage each, so the distribution is
-        slightly non-uniform and the true per-character entropy is
-        strictly below ``log2(N_c)``. (For the default table:
+        The template reduces a ``16^segment_hex_length``-valued segment
+        modulo ``N_c``; whenever the segment space is not a multiple of
+        ``N_c`` the first ``space mod N_c`` characters receive one
+        extra preimage each, so the distribution is slightly
+        non-uniform and the true per-character entropy is strictly
+        below ``log2(N_c)``. (For the default 4-hex segments and table:
         ``65536 mod 94 = 18``, so 18 characters appear with probability
         698/65536 and 76 with 697/65536.)
+
+        *segment_hex_length* must match the value :meth:`render` is
+        called with (``ProtocolParams.segment_hex_length``) — the old
+        signature hardcoded 4, silently overstating entropy for
+        non-default protocol params.
         """
-        space = 16 ** self._segment_hex_length()
+        if segment_hex_length < 1:
+            raise ValidationError(
+                f"segment hex length must be >= 1, got {segment_hex_length}"
+            )
+        space = 16**segment_hex_length
         size = self.table.size
         base = space // size
         heavy = space % size  # characters with base+1 preimages
@@ -134,25 +144,17 @@ class PasswordPolicy:
             entropy -= (size - heavy) * p_light * math.log2(p_light)
         return entropy
 
-    def entropy_bits(self) -> float:
+    def entropy_bits(self, segment_hex_length: int = 4) -> float:
         """Exact entropy of a rendered password, modulo bias included.
 
         ``length * H(character)`` — characters are independent because
-        each consumes a disjoint 16-bit segment of the (uniform) SHA-512
+        each consumes a disjoint segment of the (uniform) SHA-512
         intermediate value. Always ``<= max_entropy_bits()``; the old
         name used to return the biased-upward bound, which overstated
-        strength (the §IV-E numbers now quote both).
+        strength (the §IV-E numbers now quote both). Pass the same
+        *segment_hex_length* as :meth:`render`.
         """
-        return self.length * self.character_entropy_bits()
-
-    @staticmethod
-    def _segment_hex_length() -> int:
-        """Hex digits per rendered character (4 → 16-bit segments).
-
-        Kept in one place so the entropy computation and
-        :meth:`render`'s default agree; the protocol params pin it at 4.
-        """
-        return 4
+        return self.length * self.character_entropy_bits(segment_hex_length)
 
     def render(self, intermediate_hex: str, segment_hex_length: int = 4) -> str:
         """Apply the template function to the intermediate value *p*.

@@ -183,6 +183,38 @@ def sha256_pure(message: bytes) -> bytes:
     return Sha256(bytes(message)).digest()
 
 
+def sha256_many(messages) -> list[bytes]:
+    """Digest many independent messages in one pass (pure Python).
+
+    One message-schedule scratch buffer is allocated for the whole
+    batch instead of one per message: each message is padded FIPS-style
+    and compressed in sequence over the shared scratch. Per-digest
+    output is identical to :func:`sha256_pure`; the batch derivation
+    engine and its reference oracle use this as the single-pass
+    multi-message surface.
+    """
+    w = [0] * 64
+    join = b"".join
+    digests: list[bytes] = []
+    for message in messages:
+        if not isinstance(message, (bytes, bytearray, memoryview)):
+            raise ValidationError("sha256_many expects bytes messages")
+        message = bytes(message)
+        length = len(message)
+        padded = (
+            message
+            + b"\x80"
+            + b"\x00" * ((55 - length) % 64)
+            + (length * 8).to_bytes(8, "big")
+        )
+        view = memoryview(padded)
+        state = _H256
+        for start in range(0, len(padded), 64):
+            state = _compress256(state, view[start : start + 64], w)
+        digests.append(join(x.to_bytes(4, "big") for x in state))
+    return digests
+
+
 # -- SHA-512 ---------------------------------------------------------------------
 
 _K512 = (
@@ -337,3 +369,32 @@ def sha512_pure(message: bytes) -> bytes:
     if not isinstance(message, (bytes, bytearray, memoryview)):
         raise ValidationError("sha512_pure expects bytes")
     return Sha512(bytes(message)).digest()
+
+
+def sha512_many(messages) -> list[bytes]:
+    """Digest many independent messages in one pass (pure Python).
+
+    The SHA-512 counterpart of :func:`sha256_many`: one shared 80-slot
+    scratch across the batch, bit-identical per-digest output to
+    :func:`sha512_pure`.
+    """
+    w = [0] * 80
+    join = b"".join
+    digests: list[bytes] = []
+    for message in messages:
+        if not isinstance(message, (bytes, bytearray, memoryview)):
+            raise ValidationError("sha512_many expects bytes messages")
+        message = bytes(message)
+        length = len(message)
+        padded = (
+            message
+            + b"\x80"
+            + b"\x00" * ((111 - length) % 128)
+            + (length * 8).to_bytes(16, "big")
+        )
+        view = memoryview(padded)
+        state = _H512
+        for start in range(0, len(padded), 128):
+            state = _compress512(state, view[start : start + 128], w)
+        digests.append(join(x.to_bytes(8, "big") for x in state))
+    return digests

@@ -60,6 +60,13 @@ TELEMETRY_OVERHEAD_LIMIT_PCT = 5.0
 #: "restores complete within 5 simulated seconds" is the contract.
 DRILL_RESTORE_LIMIT_MS = 5_000.0
 
+#: Absolute floor on the batched cluster arm's sustained throughput:
+#: 10x the sequential cluster arm's 1477.41/min (BENCH_2026-08-06).
+#: A bound, not a trend — the batch engine's reason to exist is this
+#: order-of-magnitude, and the gate is forced to 0.0 (a loud failure)
+#: if a single derived password disagrees with the reference oracle.
+CLUSTER_BATCH_FLOOR_PER_MIN = 14_774.1
+
 # Pinned iteration counts for the micro suite (full / smoke). Pinning
 # them in one place keeps successive BENCH files comparable.
 _MICRO_ITERATIONS = {
@@ -71,8 +78,10 @@ _MICRO_ITERATIONS = {
     "token": (2_000, 100),
     "template": (2_000, 100),
     "render_cached": (10_000, 200),
+    "render_batch": (400, 20),
     "kernel_events": (200_000, 5_000),
 }
+_RENDER_BATCH_JOBS = 64  # jobs per timed render_batch call
 _PBKDF2_ROUNDS = 400  # inner HMAC rounds per pbkdf2 op
 _PAYLOAD = bytes(range(256)) * 4  # 1 KiB hashing payload
 
@@ -266,6 +275,31 @@ def run_micro(smoke: bool = False) -> Dict[str, Any]:
 
     cached_render()  # warm the entry; everything after is a hit
     micro["render_cached"] = _time_op(cached_render, iters["render_cached"])
+    # The vectorized SS-III-B tail through the batch engine: one
+    # render_batch call over distinct (token, O_id, sigma, policy)
+    # jobs, the unit of work a drained dispatch batch hands the shard.
+    # Gated as ops/s (jobs x batches/s) — the tentpole metric.
+    from repro.core.batch import BatchDerivationEngine, RenderJob
+    from repro.core.templates import PasswordPolicy
+
+    engine = BatchDerivationEngine()
+    charset = PasswordPolicy().charset
+    jobs = [
+        RenderJob(
+            token_hex=sha256(b"render-batch-%d" % i).hex(),
+            oid=bytes([i % 251]) * 16,
+            seed=bytes([(7 * i) % 251]) * 16,
+            charset=charset,
+            length=(12, 16, 24, 32)[i % 4],
+        )
+        for i in range(_RENDER_BATCH_JOBS)
+    ]
+    entry = {
+        "jobs": _RENDER_BATCH_JOBS,
+        **_time_op(lambda: engine.render_batch(jobs), iters["render_batch"]),
+    }
+    entry["ops_per_s"] = round(entry["ops_per_sec"] * _RENDER_BATCH_JOBS, 1)
+    micro["render_batch"] = entry
     # Event-heap scheduling throughput at population-engine depth.
     micro["kernel"] = _measure_kernel_events(iters["kernel_events"])
     micro["profiler_scopes"] = {
@@ -351,6 +385,7 @@ def run_macro(seed: int | str = "bench", smoke: bool = False) -> Dict[str, Any]:
     }
 
     macro["cluster"] = _run_cluster_macro(seed=seed, smoke=smoke)
+    macro["cluster_batch"] = _run_cluster_batch_macro(seed=seed, smoke=smoke)
     macro["drill"] = _run_drill_macro(seed=seed)
     macro["population"] = _run_population_macro(seed=seed, smoke=smoke)
     return macro
@@ -460,6 +495,135 @@ def _run_cluster_macro(seed: int | str, smoke: bool) -> Dict[str, Any]:
     }
 
 
+def _run_cluster_batch_macro(seed: int | str, smoke: bool) -> Dict[str, Any]:
+    """Burst-load throughput through the fully batched hot path: the
+    2-shard gateway with batched dispatch on every HTTP server, batched
+    SS-III-B rendering on the shard primaries, and token sessions so the
+    sustained phase rides the session path instead of a phone round
+    trip per request.
+
+    One cold burst (one request per account, inside the per-user
+    pending cap) fills every token session and lands the per-shard
+    ``/token`` renders in coalesced ``render_batch`` calls; warm bursts
+    of 16 every 25 ms then measure sustained throughput. After the
+    load, every account's password is re-derived from first principles
+    (Algorithm 1 + SS-III-B over the phone's own entry table) and
+    compared — ``identical`` must hold or the throughput gate is forced
+    to zero. Deterministic under the seed, like every macro metric.
+    """
+    from repro.cluster.testbed import ClusterTestbed
+    from repro.core.protocol import generate_password
+    from repro.core.secrets import EntryTable
+    from repro.core.templates import PasswordPolicy
+    from repro.eval.chaos import _percentile
+    from repro.web.client import HttpRequest
+
+    warm_bursts = 11 if smoke else 95
+    per_burst = 16
+    bed = ClusterTestbed(
+        shards=2,
+        seed=f"{seed}|cluster-batch",
+        token_session_ttl_ms=600_000.0,
+        batched_dispatch=True,
+        batched_render=True,
+    )
+    browsers: Dict[str, Any] = {}
+    targets: List[Tuple[str, int]] = []
+    for u in range(4):
+        login = f"batch{u}"
+        browser = bed.enroll(login, "correct horse battery")
+        browsers[login] = browser
+        for a in range(2):
+            account_id = browser.add_account(f"user{u}", f"site{a}.example")
+            targets.append((login, account_id))
+
+    latencies: List[float] = []
+    errors: List[Any] = []
+    completed = [0]
+    t_last = [0.0]
+
+    def issue(login: str, account_id: int) -> None:
+        t_start = bed.kernel.now
+
+        def on_response(response: Any) -> None:
+            if response.status == 200:
+                completed[0] += 1
+                latencies.append(bed.kernel.now - t_start)
+                t_last[0] = bed.kernel.now
+            else:
+                errors.append(response.status)
+
+        browsers[login].http.send(
+            HttpRequest.json_request(
+                "POST", f"/accounts/{account_id}/generate", {}
+            ),
+            on_response,
+            lambda exc: errors.append(repr(exc)),
+        )
+
+    t0 = bed.kernel.now
+
+    def cold_burst() -> None:
+        for login, account_id in targets:
+            issue(login, account_id)
+
+    bed.kernel.schedule(0.0, cold_burst, label="bench cold burst")
+    for k in range(warm_bursts):
+
+        def warm_burst(k: int = k) -> None:
+            for j in range(per_burst):
+                login, account_id = targets[(k * per_burst + j) % len(targets)]
+                issue(login, account_id)
+
+        bed.kernel.schedule(
+            75.0 + 25.0 * k, warm_burst, label="bench warm burst"
+        )
+    bed.run_until_idle()
+
+    elapsed = t_last[0] - t0
+    issued = len(targets) + warm_bursts * per_burst
+    throughput = completed[0] * 60_000.0 / elapsed if elapsed > 0 else 0.0
+
+    identical = True
+    for login, account_id in targets:
+        database = bed.shard_of(login).primary.database
+        user = database.user_by_login(login)
+        account = database.account_by_id(account_id)
+        expected = generate_password(
+            account.username,
+            account.domain,
+            account.seed,
+            user.oid,
+            EntryTable(bed.phones[login].database.entry_table(), bed.params),
+            PasswordPolicy(charset=account.charset, length=account.length),
+        )
+        if browsers[login].generate_password(account_id)["password"] != expected:
+            identical = False
+
+    shard_stats = [s.primary.batch.stats() for s in bed.shards.values()]
+    return {
+        "shards": 2,
+        "users": 4,
+        "accounts": len(targets),
+        "issued": issued,
+        "completed": completed[0],
+        "errors": len(errors),
+        "elapsed_ms": round(elapsed, 3),
+        "throughput_per_min": round(throughput, 3),
+        "floor_per_min": CLUSTER_BATCH_FLOOR_PER_MIN,
+        "p50_ms": round(_percentile(tuple(latencies), 50), 3),
+        "p95_ms": round(_percentile(tuple(latencies), 95), 3),
+        "identical": identical,
+        "render_batches": sum(s["batches"] for s in shard_stats),
+        "render_jobs": sum(s["jobs"] for s in shard_stats),
+        "peak_render_batch": max(s["peak_batch"] for s in shard_stats),
+        "dispatch_batches": sum(
+            s.primary.http_server.dispatch.drained_batches_total
+            for s in bed.shards.values()
+        ),
+    }
+
+
 def macro_gates(macro: Dict[str, Any]) -> Dict[str, Dict[str, Any]]:
     """The gated metrics, keyed by dotted path, with their direction."""
     return {
@@ -498,6 +662,23 @@ def macro_gates(macro: Dict[str, Any]) -> Dict[str, Dict[str, Any]]:
         "macro.cluster.throughput_per_min": {
             "value": macro["cluster"]["throughput_per_min"],
             "direction": HIGHER_IS_BETTER,
+        },
+        "macro.cluster_batch.throughput_per_min": {
+            # Reference-oracle disagreement or any failed request forces
+            # the gate to 0.0 so the absolute floor fails loudly —
+            # speed with a wrong password is not speed.
+            "value": (
+                macro["cluster_batch"]["throughput_per_min"]
+                if macro["cluster_batch"]["identical"]
+                and macro["cluster_batch"]["errors"] == 0
+                else 0.0
+            ),
+            "direction": HIGHER_IS_BETTER,
+            "limit": macro["cluster_batch"]["floor_per_min"],
+        },
+        "macro.cluster_batch.p95_ms": {
+            "value": macro["cluster_batch"]["p95_ms"],
+            "direction": LOWER_IS_BETTER,
         },
         "macro.telemetry.overhead_pct": {
             "value": macro["telemetry"]["overhead_pct"],
@@ -538,6 +719,11 @@ def micro_gates(micro: Dict[str, Any]) -> Dict[str, Dict[str, Any]]:
         gates["micro.render_cached.wall_us_per_op"] = {
             "value": micro["render_cached"]["wall_us_per_op"],
             "direction": LOWER_IS_BETTER,
+        }
+    if "render_batch" in micro:
+        gates["micro.render_batch.ops_per_s"] = {
+            "value": micro["render_batch"]["ops_per_s"],
+            "direction": HIGHER_IS_BETTER,
         }
     if "kernel" in micro:
         gates["micro.kernel.events_per_s"] = {

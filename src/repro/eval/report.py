@@ -93,7 +93,7 @@ def _strength_section() -> list[str]:
         "| default entropy (upper bound) | — | "
         f"{policy.max_entropy_bits():.4f} bits |",
         "| default entropy (exact, mod-bias) | not analysed | "
-        f"{policy.entropy_bits():.4f} bits |",
+        f"{policy.entropy_bits(DEFAULT_PARAMS.segment_hex_length):.4f} bits |",
         f"| index mod-bias (TVD) | not analysed | "
         f"{bias.total_variation_distance:.6f} |",
     ]

@@ -102,6 +102,29 @@ def attach_dispatch_stats(
         label_names=("service",),
     ).labels(service=service)
     dispatch.add_shed_observer(shed.inc)
+    batches = registry.counter(
+        "amnesia_dispatch_batches_total",
+        "Drain ticks that started at least one queued request",
+        label_names=("service",),
+    ).labels(service=service)
+    batch_jobs = registry.counter(
+        "amnesia_dispatch_batch_jobs_total",
+        "Requests started by dispatch drain ticks",
+        label_names=("service",),
+    ).labels(service=service)
+
+    def on_drain(started: int) -> None:
+        batches.inc()
+        batch_jobs.inc(started)
+
+    dispatch.add_drain_observer(on_drain)
+    registry.gauge(
+        "amnesia_dispatch_last_batch_size",
+        "Requests started by the most recent drain tick",
+        label_names=("service",),
+    ).labels(service=service).set_function(
+        lambda: float(dispatch.last_batch_size)
+    )
 
 
 def attach_rendezvous_stats(service, registry: MetricsRegistry) -> None:

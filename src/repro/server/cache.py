@@ -90,6 +90,17 @@ class LruCache:
         self.hits += 1
         return entry
 
+    def peek(self, key: Tuple[Hashable, ...]) -> Any | None:
+        """Look up *key* without touching hit/miss counters or LRU order.
+
+        The batch flush path uses this to partition a drained batch
+        into hits and misses *before* deciding what to render; the
+        authoritative (counted) lookup still happens per entry via
+        :meth:`get`, so cache statistics stay identical to the scalar
+        path.
+        """
+        return self._entries.get(key)
+
     def put(self, key: Tuple[Hashable, ...], value: Any) -> None:
         self._entries[key] = value
         self._entries.move_to_end(key)
@@ -175,6 +186,15 @@ class DerivationCache:
         if self._evictions is not None and cache.evictions > before:
             self._evictions.labels(family=family).inc(cache.evictions - before)
         return value
+
+    def peek(
+        self,
+        family: str,
+        owner_id: Hashable,
+        fingerprint: Tuple[Hashable, ...],
+    ) -> Any | None:
+        """Uncounted, order-preserving lookup (see :meth:`LruCache.peek`)."""
+        return self._family(family).peek((owner_id, *fingerprint))
 
     # -- invalidation --------------------------------------------------------
 

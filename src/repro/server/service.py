@@ -24,12 +24,11 @@ import base64
 import inspect
 from typing import Any
 
+from repro.core.batch import AccountDerivation, BatchDerivationEngine, RenderJob
 from repro.core.params import DEFAULT_PARAMS, ProtocolParams
 from repro.core.protocol import (
     generate_request,
-    generate_token,
     intermediate_value,
-    render_password,
 )
 from repro.core.recovery import decode_backup
 from repro.core.registration import CaptchaRegistrar
@@ -156,6 +155,14 @@ class AmnesiaCore:
         # replicated mutations on a standby; every key additionally
         # fingerprints its inputs so staleness can only cost a miss.
         self.derivations = DerivationCache(self.registry)
+        # PR 10 hot path: the vectorized derivation engine. Every render
+        # miss goes through it (scalar or batched); enable_batched_render
+        # additionally coalesces same-timestamp generate requests into
+        # one render_batch call via a zero-delay flush event.
+        self.batch = BatchDerivationEngine(self.params, registry=self.registry)
+        self._batched_render = False
+        self._render_queue: list = []
+        self._render_flush_armed = False
         self.database = ServerDatabase(db_path)
         self.sessions = SessionManager(rng)
         self.captcha = CaptchaRegistrar(rng)
@@ -238,12 +245,93 @@ class AmnesiaCore:
                 policy.charset,
                 policy.length,
             ),
-            lambda: render_password(
-                intermediate_value(token_hex, user.oid, account.seed),
-                policy,
-                self.params,
+            lambda: self.batch.derive(
+                token_hex,
+                user.oid,
+                account.seed,
+                policy.charset,
+                policy.length,
             ),
         )
+
+    # -- batched render (PR 10) ------------------------------------------------
+
+    def enable_batched_render(self) -> None:
+        """Coalesce same-timestamp generate renders into one vectorized
+        :meth:`~repro.core.batch.BatchDerivationEngine.render_batch`.
+
+        Opt-in: the flush event fires at a zero sim-time delay, *after*
+        every request that arrived at the current timestamp has been
+        decoded (kernel events at one timestamp run in insertion
+        order), so a whole drained dispatch batch renders as one call —
+        values, latencies, and cache counters stay bit-identical to the
+        scalar path.
+        """
+        self._batched_render = True
+
+    def _queue_render(self, user, account, token_hex: str, finish) -> None:
+        """Enqueue one render for the next flush; *finish(password)*
+        runs at the same sim timestamp. Input validation happens here,
+        in the calling handler, exactly where the scalar path raised."""
+        self.batch.validate(token_hex, user.oid, account.seed)
+        policy = self._policy_of(account)
+        fingerprint = (
+            token_hex,
+            bytes(user.oid),
+            bytes(account.seed),
+            policy.charset,
+            policy.length,
+        )
+        job = RenderJob(
+            token_hex, bytes(user.oid), bytes(account.seed),
+            policy.charset, policy.length,
+        )
+        self._render_queue.append(
+            (account.account_id, fingerprint, job, finish)
+        )
+        if not self._render_flush_armed:
+            self._render_flush_armed = True
+            self.kernel.schedule(0.0, self._flush_renders, label="render-flush")
+
+    def _flush_renders(self) -> None:
+        """Render every queued job in one vectorized call, then finish
+        each request.
+
+        Cache-counter fidelity: the partition into hits and misses uses
+        the *uncounted* peek, and the authoritative per-request lookup
+        still goes through ``get_or_compute`` — whose compute lambda is
+        now a dict lookup into the batch results — so hit/miss/eviction
+        counts match the scalar path exactly, duplicates included.
+        """
+        self._render_flush_armed = False
+        queue, self._render_queue = self._render_queue, []
+        if not queue:
+            return
+        missing: dict = {}
+        for owner, fingerprint, job, __ in queue:
+            key = (owner, *fingerprint)
+            if key in missing:
+                continue
+            if self.derivations.peek(FAMILY_RENDER, owner, fingerprint) is None:
+                missing[key] = job
+        computed = (
+            dict(zip(missing, self.batch.render_batch(list(missing.values()))))
+            if missing
+            else {}
+        )
+        for owner, fingerprint, job, finish in queue:
+            key = (owner, *fingerprint)
+            password = self.derivations.get_or_compute(
+                FAMILY_RENDER,
+                owner,
+                fingerprint,
+                lambda key=key, job=job: (
+                    computed[key]
+                    if key in computed
+                    else self.batch.derive_job(job)
+                ),
+            )
+            finish(password)
 
     def invalidate_derivations(self, account_id: int | None = None) -> int:
         """Drop cached derivations — one account's, or all of them.
@@ -698,16 +786,30 @@ class AmnesiaCore:
             cached = self._cached_token(user.user_id, account.account_id)
             if cached is not None:
                 self.metrics.record_generation_from_session()
-                password = self._render_cached(user, account, cached)
-                return json_response(
-                    {
-                        "password": password,
-                        "latency_ms": 0.0,
-                        "from_session": True,
-                        "username": account.username,
-                        "domain": account.domain,
-                    }
-                )
+
+                def session_response(password: str) -> HttpResponse:
+                    return json_response(
+                        {
+                            "password": password,
+                            "latency_ms": 0.0,
+                            "from_session": True,
+                            "username": account.username,
+                            "domain": account.domain,
+                        }
+                    )
+
+                if self._batched_render:
+                    deferred = Deferred()
+                    self._queue_render(
+                        user,
+                        account,
+                        cached,
+                        lambda password: deferred.resolve(
+                            session_response(password)
+                        ),
+                    )
+                    return deferred
+                return session_response(self._render_cached(user, account, cached))
             self.metrics.record_generation_started()
             # t_start: the moment R leaves for the rendezvous server —
             # the paper's instrumentation point.
@@ -756,32 +858,44 @@ class AmnesiaCore:
             self._remember_token(user.user_id, account.account_id, token_hex)
             action = exchange.extra.get("action", "generate")
             if action == "generate":
-                password = self._render_cached(user, account, token_hex)
-                tend = self.kernel.now
-                self.metrics.record_generation(
-                    LatencySample(
-                        account_id=account.account_id,
-                        tstart_ms=exchange.tstart_ms,
-                        tend_ms=tend,
+
+                def finish_generate(password: str) -> None:
+                    # Runs either inline (scalar) or from the batch
+                    # flush at the *same* sim timestamp, so tend — and
+                    # with it every latency sample — is bit-identical.
+                    tend = self.kernel.now
+                    self.metrics.record_generation(
+                        LatencySample(
+                            account_id=account.account_id,
+                            tstart_ms=exchange.tstart_ms,
+                            tend_ms=tend,
+                        )
                     )
-                )
-                self._record_generation_spans(
-                    exchange, body.get("trace"), arrival_ms, tend
-                )
-                _log.debug(
-                    "generation complete exchange=%s latency=%.1fms",
-                    exchange.pending_id[:8], tend - exchange.tstart_ms,
-                )
-                exchange.deferred.resolve(
-                    json_response(
-                        {
-                            "password": password,
-                            "latency_ms": tend - exchange.tstart_ms,
-                            "username": account.username,
-                            "domain": account.domain,
-                        }
+                    self._record_generation_spans(
+                        exchange, body.get("trace"), arrival_ms, tend
                     )
-                )
+                    with bind_corr_id(exchange.pending_id):
+                        _log.debug(
+                            "generation complete exchange=%s latency=%.1fms",
+                            exchange.pending_id[:8], tend - exchange.tstart_ms,
+                        )
+                    exchange.deferred.resolve(
+                        json_response(
+                            {
+                                "password": password,
+                                "latency_ms": tend - exchange.tstart_ms,
+                                "username": account.username,
+                                "domain": account.domain,
+                            }
+                        )
+                    )
+
+                if self._batched_render:
+                    self._queue_render(user, account, token_hex, finish_generate)
+                else:
+                    finish_generate(
+                        self._render_cached(user, account, token_hex)
+                    )
             elif action == "vault_store":
                 # Vault keys are key material, deliberately never cached.
                 intermediate = intermediate_value(token_hex, user.oid, account.seed)
@@ -948,11 +1062,48 @@ class AmnesiaCore:
             # The old phone's cached tokens and derivations die with it.
             self._token_sessions.clear()
             self.derivations.clear()
-            regenerated = []
+            # Recovery touches every account of the user against one
+            # entry table: precompute each account's segment indices
+            # once, derive all tokens, then render the whole set as a
+            # single vectorized batch.
+            pending_renders = []
             for account in self.database.accounts_for_user(user.user_id):
                 request_hex = self._request_hex(account)
-                token_hex = generate_token(request_hex, table, self.params)
-                password = self._render_cached(user, account, token_hex)
+                token_hex = AccountDerivation.from_request(
+                    request_hex, account.seed, user.oid, self.params
+                ).token_hex(table)
+                policy = self._policy_of(account)
+                pending_renders.append((account, token_hex, policy))
+            passwords = self.batch.render_batch(
+                [
+                    RenderJob(
+                        token_hex,
+                        bytes(user.oid),
+                        bytes(account.seed),
+                        policy.charset,
+                        policy.length,
+                    )
+                    for account, token_hex, policy in pending_renders
+                ]
+            )
+            regenerated = []
+            for (account, token_hex, policy), password in zip(
+                pending_renders, passwords
+            ):
+                # Install in the (just-cleared) render cache with the
+                # same key and counter effects as the scalar path.
+                self.derivations.get_or_compute(
+                    FAMILY_RENDER,
+                    account.account_id,
+                    (
+                        token_hex,
+                        bytes(user.oid),
+                        bytes(account.seed),
+                        policy.charset,
+                        policy.length,
+                    ),
+                    lambda password=password: password,
+                )
                 regenerated.append(
                     {
                         "username": account.username,

@@ -131,9 +131,12 @@ class DispatchCore:
         self.started_total = 0
         self.shed_total = 0
         self.peak_depth = 0
+        self.drained_batches_total = 0
+        self.last_batch_size = 0
         self._queue: Deque[Tuple[float, Callable[[], None], Callable[[], None]]] = deque()
         self._ticker: Optional[RecurringEvent] = None
         self._shed_observers: list = []
+        self._drain_observers: list = []
 
     @property
     def queue_depth(self) -> int:
@@ -153,6 +156,12 @@ class DispatchCore:
         """Call *observer* on every shed (depth or age) — the hook the
         metrics counter rides on."""
         self._shed_observers.append(observer)
+
+    def add_drain_observer(self, observer: Callable[[int], None]) -> None:
+        """Call ``observer(batch_size)`` after each tick that started at
+        least one request — the hook batch-size metrics (and the
+        server's vectorized-render flush accounting) ride on."""
+        self._drain_observers.append(observer)
 
     def submit(
         self, start: Callable[[], None], shed: Callable[[], None]
@@ -192,6 +201,11 @@ class DispatchCore:
             started += 1
             self.started_total += 1
             self.pool.acquire(start)
+        if started:
+            self.drained_batches_total += 1
+            self.last_batch_size = started
+            for observer in self._drain_observers:
+                observer(started)
         if not self._queue and self._ticker is not None:
             self._ticker.cancel()
             self._ticker = None

@@ -1,0 +1,201 @@
+"""Shard worker pool + batched hot-path cluster integration tests."""
+
+import pytest
+
+from repro.cluster.testbed import ClusterTestbed
+from repro.cluster.workers import ShardWorkerPool, _render_chunk
+from repro.core.batch import BatchDerivationEngine, RenderJob
+from repro.core.protocol import generate_password
+from repro.core.secrets import EntryTable
+from repro.core.templates import PasswordPolicy
+from repro.util.errors import ValidationError
+from repro.web.client import HttpRequest
+
+
+def jobs_for(count, length=16):
+    return [
+        RenderJob(
+            token_hex=("%02x" % (i % 256)) * 32,
+            oid=bytes([i % 251]) * 64,
+            seed=bytes([(i * 3) % 251]) * 32,
+            charset="abcdefgh0123XYZ!@#",
+            length=length,
+        )
+        for i in range(count)
+    ]
+
+
+class TestShardWorkerPool:
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValidationError):
+            ShardWorkerPool(processes=0)
+        with pytest.raises(ValidationError):
+            ShardWorkerPool(min_batch=0)
+
+    def test_results_match_inline_engine_in_order(self):
+        pool = ShardWorkerPool(processes=2)
+        try:
+            jobs = jobs_for(11)  # odd count: uneven chunks
+            engine = BatchDerivationEngine()
+            assert pool.render_batch(jobs) == [
+                engine.derive_job(job) for job in jobs
+            ]
+            stats = pool.stats()
+            assert stats["batches"] == 1
+            assert stats["jobs"] == 11
+        finally:
+            pool.close()
+
+    def test_close_is_idempotent_and_degrades_inline(self):
+        pool = ShardWorkerPool(processes=1)
+        pool.close()
+        pool.close()
+        assert not pool.using_processes
+        jobs = jobs_for(3)
+        engine = BatchDerivationEngine()
+        # A closed pool still renders — inline, counted as fallback.
+        assert pool.render_batch(jobs) == [
+            engine.derive_job(job) for job in jobs
+        ]
+        assert pool.stats()["fallback_batches"] == 1
+
+    def test_fallback_when_fork_unavailable(self, monkeypatch):
+        import repro.cluster.workers as workers_module
+
+        def no_fork(method):
+            raise OSError("fork unavailable")
+
+        monkeypatch.setattr(
+            workers_module.multiprocessing, "get_context", no_fork
+        )
+        pool = ShardWorkerPool(processes=4)
+        assert not pool.using_processes
+        assert pool.stats()["processes"] == 0
+        jobs = jobs_for(5)
+        engine = BatchDerivationEngine()
+        assert pool.render_batch(jobs) == [
+            engine.derive_job(job) for job in jobs
+        ]
+        assert pool.stats()["fallback_batches"] == 1
+        pool.close()
+
+    def test_render_chunk_is_the_worker_entrypoint(self):
+        jobs = jobs_for(2)
+        tuples = [
+            (job.token_hex, job.oid, job.seed, job.charset, job.length)
+            for job in jobs
+        ]
+        engine = BatchDerivationEngine()
+        assert _render_chunk((4, tuples)) == [
+            engine.derive_job(job) for job in jobs
+        ]
+
+
+class TestTestbedWorkerWiring:
+    def test_worker_processes_attach_one_shared_pool(self):
+        bed = ClusterTestbed(
+            shards=2, seed="workers-wire", worker_processes=1,
+            batched_render=True,
+        )
+        try:
+            assert bed.workers is not None
+            engines = [s.primary.batch for s in bed.shards.values()]
+            assert all(engine.workers is bed.workers for engine in engines)
+            # A full round trip still derives the correct password.
+            browser = bed.enroll("wired", "correct horse battery")
+            account_id = browser.add_account("wired", "example.com")
+            result = browser.generate_password(account_id)
+            database = bed.shard_of("wired").primary.database
+            account = database.account_by_id(account_id)
+            expected = generate_password(
+                account.username,
+                account.domain,
+                account.seed,
+                database.user_by_login("wired").oid,
+                EntryTable(
+                    bed.phones["wired"].database.entry_table(), bed.params
+                ),
+                PasswordPolicy(charset=account.charset, length=account.length),
+            )
+            assert result["password"] == expected
+        finally:
+            bed.shutdown_workers()
+        assert bed.workers is None
+        # Engines holding the closed pool degrade inline, correctly.
+        engine = next(iter(bed.shards.values())).primary.batch
+        jobs = jobs_for(engine.workers.min_batch)
+        reference = BatchDerivationEngine()
+        assert engine.render_batch(jobs) == [
+            reference.derive_job(job) for job in jobs
+        ]
+        assert engine.workers.stats()["fallback_batches"] >= 1
+
+    def test_zero_worker_processes_means_no_pool(self):
+        bed = ClusterTestbed(shards=2, seed="workers-none")
+        assert bed.workers is None
+        bed.shutdown_workers()  # no-op, never raises
+
+
+class TestBatchedRenderIntegration:
+    """A drained dispatch batch renders as ONE vectorized call."""
+
+    def test_one_drain_tick_one_render_batch(self):
+        bed = ClusterTestbed(
+            shards=2,
+            seed="batch-integration",
+            token_session_ttl_ms=600_000.0,
+            batched_render=True,
+        )
+        browser = bed.enroll("carol", "correct horse battery")
+        accounts = [
+            browser.add_account("carol", f"site{i}.example") for i in range(4)
+        ]
+        # Prime every token session (each a batch of one), then drop the
+        # render cache so the coalesced flush has real misses to batch.
+        primed = {
+            account_id: browser.generate_password(account_id)["password"]
+            for account_id in accounts
+        }
+        server = bed.shard_of("carol").primary
+        assert server.invalidate_derivations() > 0
+        # A generous tick guarantees all four arrivals land in one drain.
+        dispatch = server.http_server.enable_batched_dispatch(
+            tick_ms=25.0, service="batch-test"
+        )
+        drained = []
+        dispatch.add_drain_observer(drained.append)
+        batches_before = server.batch.batches_total
+        jobs_before = server.batch.jobs_total
+
+        results = {}
+
+        def issue(account_id):
+            browser.http.send(
+                HttpRequest.json_request(
+                    "POST", f"/accounts/{account_id}/generate", {}
+                ),
+                lambda response: results.__setitem__(account_id, response),
+                lambda exc: results.__setitem__(account_id, exc),
+            )
+
+        def burst():
+            for account_id in accounts:
+                issue(account_id)
+
+        bed.kernel.schedule(0.0, burst, label="test burst")
+        bed.run_until_idle()
+
+        assert len(results) == 4
+        for account_id in accounts:
+            response = results[account_id]
+            assert response.status == 200, response
+            assert response.json()["password"] == primed[account_id]
+            assert response.json()["from_session"] is True
+        # The contract: one drain tick started all four requests, and
+        # the flush rendered them in ONE vectorized call of four jobs.
+        assert drained == [4]
+        assert dispatch.drained_batches_total == 1
+        assert dispatch.last_batch_size == 4
+        assert server.batch.batches_total == batches_before + 1
+        assert server.batch.jobs_total == jobs_before + 4
+        assert server.batch.peak_batch == 4

@@ -1,0 +1,214 @@
+"""Batch derivation engine tests: tables, precomputation, error fidelity."""
+
+import pytest
+
+from repro.core.batch import (
+    AccountDerivation,
+    BatchDerivationEngine,
+    RenderJob,
+    SegmentTable,
+    segment_table,
+)
+from repro.core.params import DEFAULT_PARAMS, ProtocolParams
+from repro.core.protocol import (
+    generate_request,
+    generate_token,
+    intermediate_value,
+)
+from repro.core.secrets import EntryTable, PhoneSecret
+from repro.core.templates import DEFAULT_CHARACTER_TABLE, PasswordPolicy
+from repro.crypto.hashing import sha512_hex
+from repro.util.errors import ValidationError
+
+
+@pytest.fixture
+def phone_secret(rng):
+    return PhoneSecret.generate(rng)
+
+
+INTERMEDIATE = sha512_hex(b"batch-test-intermediate")
+
+
+class TestSegmentTable:
+    def test_rejects_empty_charset(self):
+        with pytest.raises(ValidationError):
+            SegmentTable("")
+
+    def test_rejects_bad_segment_length(self):
+        with pytest.raises(ValidationError):
+            SegmentTable("abc", segment_hex_length=0)
+
+    def test_lookup_rejects_negative(self):
+        with pytest.raises(ValidationError):
+            SegmentTable("abc").lookup(-1)
+
+    def test_lookup_is_the_modulo_materialized(self):
+        table = SegmentTable(DEFAULT_CHARACTER_TABLE)
+        for value in (0, 1, 93, 94, 95, 65535):
+            assert table.lookup(value) == DEFAULT_CHARACTER_TABLE[value % 94]
+
+    def test_render_hex_matches_policy_render(self):
+        for length in (1, 16, 32):
+            policy = PasswordPolicy(length=length)
+            table = SegmentTable(policy.charset)
+            assert table.render_hex(INTERMEDIATE, length) == policy.render(
+                INTERMEDIATE
+            )
+
+    def test_render_digest_matches_policy_render(self):
+        digest = bytes.fromhex(INTERMEDIATE)
+        policy = PasswordPolicy(length=24)
+        table = SegmentTable(policy.charset)
+        assert table.render_digest(digest, 24) == policy.render(INTERMEDIATE)
+
+    def test_short_intermediate_same_error_as_scalar(self):
+        policy = PasswordPolicy(length=32)
+        table = SegmentTable(policy.charset)
+        with pytest.raises(ValidationError) as batch_error:
+            table.render_hex("ab" * 8, 32)
+        with pytest.raises(ValidationError) as scalar_error:
+            policy.render("ab" * 8)
+        assert str(batch_error.value) == str(scalar_error.value)
+
+    def test_non_hex_same_error_as_scalar(self):
+        bad = "zz" * 64  # right length, wrong alphabet
+        policy = PasswordPolicy(length=4)
+        table = SegmentTable(policy.charset)
+        with pytest.raises(ValidationError) as batch_error:
+            table.render_hex(bad, 4)
+        with pytest.raises(ValidationError) as scalar_error:
+            policy.render(bad)
+        assert str(batch_error.value) == str(scalar_error.value)
+
+    def test_non_default_segment_length_matches_policy(self):
+        policy = PasswordPolicy(length=10)
+        table = SegmentTable(policy.charset, segment_hex_length=2)
+        assert table.render_hex(INTERMEDIATE, 10) == policy.render(
+            INTERMEDIATE, 2
+        )
+
+    def test_module_cache_shares_tables(self):
+        a = segment_table(DEFAULT_CHARACTER_TABLE)
+        b = segment_table(DEFAULT_CHARACTER_TABLE)
+        assert a is b
+        assert segment_table(DEFAULT_CHARACTER_TABLE, 2) is not a
+
+
+class TestAccountDerivation:
+    def test_token_matches_generate_token(self, phone_secret):
+        seed, oid = b"\x07" * 32, b"\x08" * 64
+        derivation = AccountDerivation.for_account(
+            "alice", "mail.google.com", seed, oid
+        )
+        request = generate_request("alice", "mail.google.com", seed)
+        assert derivation.request_hex == request
+        assert derivation.token_hex(phone_secret.entry_table) == generate_token(
+            request, phone_secret.entry_table
+        )
+        assert derivation.suffix == oid + seed
+
+    def test_oversized_params_rejected(self, rng):
+        # The same table-length validation generate_token gained: a
+        # mismatched table must raise, not IndexError mid-batch.
+        table = EntryTable.generate(rng, ProtocolParams(entry_table_size=16))
+        derivation = AccountDerivation.for_account(
+            "alice", "example.com", b"\x01" * 32, b"\x02" * 64
+        )
+        with pytest.raises(ValidationError) as excinfo:
+            derivation.token_hex(table)
+        assert "entry table of 5000 entries; table has 16" in str(excinfo.value)
+
+    def test_indices_precomputed_once(self):
+        derivation = AccountDerivation.for_account(
+            "bob", "example.com", b"\x03" * 32, b"\x04" * 64
+        )
+        assert len(derivation.indices) == DEFAULT_PARAMS.token_segments
+        assert all(
+            0 <= index < DEFAULT_PARAMS.entry_table_size
+            for index in derivation.indices
+        )
+
+
+def job_for(token_hex, length=32, charset=DEFAULT_CHARACTER_TABLE):
+    return RenderJob(
+        token_hex=token_hex,
+        oid=b"\x0a" * 64,
+        seed=b"\x0b" * 32,
+        charset=charset,
+        length=length,
+    )
+
+
+class TestBatchDerivationEngine:
+    def test_derive_matches_scalar_pipeline(self):
+        engine = BatchDerivationEngine()
+        token, oid, seed = "ab" * 32, b"\x01" * 64, b"\x02" * 32
+        policy = PasswordPolicy(length=20)
+        assert engine.derive(token, oid, seed, policy.charset, 20) == (
+            policy.render(intermediate_value(token, oid, seed))
+        )
+
+    @pytest.mark.parametrize(
+        "token, oid, seed",
+        [
+            ("short", b"o", b"s"),
+            ("zz" * 32, b"o", b"s"),
+            ("ab" * 32, b"", b"s"),
+            ("ab" * 32, b"o", b""),
+        ],
+    )
+    def test_error_fidelity_with_intermediate_value(self, token, oid, seed):
+        engine = BatchDerivationEngine()
+        with pytest.raises(ValidationError) as batch_error:
+            engine.derive(token, oid, seed, DEFAULT_CHARACTER_TABLE, 32)
+        with pytest.raises(ValidationError) as scalar_error:
+            intermediate_value(token, oid, seed)
+        assert str(batch_error.value) == str(scalar_error.value)
+
+    def test_render_batch_preserves_order_and_counts(self):
+        engine = BatchDerivationEngine()
+        jobs = [job_for(("%02x" % i) * 32, length=8 + i) for i in range(6)]
+        passwords = engine.render_batch(jobs)
+        assert passwords == [engine.derive_job(job) for job in jobs]
+        assert engine.batches_total == 1
+        assert engine.jobs_total == 6
+        assert engine.peak_batch == 6
+        assert engine.stats()["worker_batches"] == 0
+
+    def test_empty_batch_is_free(self):
+        engine = BatchDerivationEngine()
+        assert engine.render_batch([]) == []
+        assert engine.batches_total == 0
+
+    def test_registry_counters(self):
+        from repro.obs.registry import MetricsRegistry
+
+        registry = MetricsRegistry()
+        engine = BatchDerivationEngine(registry=registry)
+        engine.render_batch([job_for("cd" * 32), job_for("ef" * 32)])
+        assert registry.get("amnesia_render_batches_total").value == 1
+        assert registry.get("amnesia_render_batch_jobs_total").value == 2
+
+    def test_worker_routing_honours_min_batch(self):
+        class FakePool:
+            min_batch = 3
+
+            def __init__(self):
+                self.batches = []
+
+            def render_batch(self, jobs, segment_hex_length):
+                self.batches.append(len(jobs))
+                engine = BatchDerivationEngine()
+                return [engine.derive_job(job) for job in jobs]
+
+        pool = FakePool()
+        engine = BatchDerivationEngine()
+        engine.attach_workers(pool)
+        small = [job_for("11" * 32)]
+        assert engine.render_batch(small) == [engine.derive_job(small[0])]
+        assert pool.batches == []  # below min_batch: stayed inline
+        large = [job_for(("%02x" % (16 + i)) * 32) for i in range(4)]
+        expected = [engine.derive_job(job) for job in large]
+        assert engine.render_batch(large) == expected
+        assert pool.batches == [4]
+        assert engine.worker_batches == 1

@@ -122,6 +122,26 @@ class TestGenerateToken:
     def test_64_hex_output(self, phone_secret):
         assert len(generate_token("0" * 64, phone_secret.entry_table)) == 64
 
+    def test_params_override_larger_than_table_rejected(self, rng, small_params):
+        # Regression: a params override whose entry_table_size exceeds
+        # the actual table used to sail through token_indices (indices
+        # reduced modulo the *override* size) and explode with an
+        # uncaught IndexError on the first out-of-range lookup.
+        table = EntryTable.generate(rng, small_params)
+        with pytest.raises(ValidationError) as excinfo:
+            generate_token("ab" * 32, table, params=DEFAULT_PARAMS)
+        assert "entry table of 5000 entries; table has 16" in str(excinfo.value)
+
+    def test_params_override_smaller_than_table_allowed(self, phone_secret):
+        # Shrinking the index space is safe: every reduced index stays
+        # in range, so the override renders normally.
+        token = generate_token(
+            "ab" * 32,
+            phone_secret.entry_table,
+            params=ProtocolParams(entry_table_size=16),
+        )
+        assert len(token) == 64
+
 
 class TestIntermediateValue:
     def test_is_sha512_of_raw_concatenation(self):

@@ -97,6 +97,34 @@ class TestPasswordPolicy:
         )
         assert exact == pytest.approx(32 * expected, abs=1e-9)
 
+    def test_entropy_follows_segment_hex_length(self):
+        # Regression: character_entropy_bits hardcoded 4-hex segments
+        # while render() accepts any segment_hex_length, silently
+        # overstating entropy for non-default protocol params. The
+        # bias depends on the segment space (16^l mod N_c), so the
+        # exact entropy must differ between 2- and 4-hex segments.
+        import math
+
+        policy = PasswordPolicy()
+        default = policy.character_entropy_bits()
+        assert policy.character_entropy_bits(4) == default
+        short = policy.character_entropy_bits(2)
+        assert short != default
+        # From first principles at l=2: 256 mod 94 = 68.
+        space, size = 256, 94
+        base, heavy = space // size, space % size
+        p_heavy, p_light = (base + 1) / space, base / space
+        expected = -(
+            heavy * p_heavy * math.log2(p_heavy)
+            + (size - heavy) * p_light * math.log2(p_light)
+        )
+        assert short == pytest.approx(expected, abs=1e-12)
+        assert policy.entropy_bits(2) == pytest.approx(
+            policy.length * expected, abs=1e-9
+        )
+        with pytest.raises(ValidationError):
+            policy.character_entropy_bits(0)
+
     def test_entropy_equals_bound_when_table_divides_segment_space(self):
         # 65536 mod 64 == 0: no bias, exact == bound.
         policy = PasswordPolicy(charset=DEFAULT_CHARACTER_TABLE[:64], length=16)

@@ -77,6 +77,57 @@ class TestAgainstHashlib:
         assert sha512_pure(message) == hashlib.sha512(message).digest()
 
 
+class TestMultiMessage:
+    """Single-pass multi-message hashing (the batch engine's core)."""
+
+    @settings(max_examples=30)
+    @given(messages=st.lists(st.binary(max_size=200), max_size=8))
+    def test_sha256_many_matches_hashlib(self, messages):
+        from repro.crypto.sha2 import sha256_many
+
+        assert sha256_many(messages) == [
+            hashlib.sha256(message).digest() for message in messages
+        ]
+
+    @settings(max_examples=30)
+    @given(messages=st.lists(st.binary(max_size=300), max_size=8))
+    def test_sha512_many_matches_hashlib(self, messages):
+        from repro.crypto.sha2 import sha512_many
+
+        assert sha512_many(messages) == [
+            hashlib.sha512(message).digest() for message in messages
+        ]
+
+    def test_padding_boundaries_inside_one_batch(self):
+        from repro.crypto.sha2 import sha256_many, sha512_many
+
+        messages = [
+            bytes(range(256))[:size]
+            for size in (0, 1, 55, 56, 57, 63, 64, 65, 111, 112, 113, 127,
+                         128, 129, 200)
+        ]
+        assert sha256_many(messages) == [
+            hashlib.sha256(m).digest() for m in messages
+        ]
+        assert sha512_many(messages) == [
+            hashlib.sha512(m).digest() for m in messages
+        ]
+
+    def test_empty_batch(self):
+        from repro.crypto.sha2 import sha256_many, sha512_many
+
+        assert sha256_many([]) == []
+        assert sha512_many([]) == []
+
+    def test_rejects_non_bytes(self):
+        from repro.crypto.sha2 import sha256_many, sha512_many
+
+        with pytest.raises(ValidationError):
+            sha256_many([b"ok", "text"])
+        with pytest.raises(ValidationError):
+            sha512_many([b"ok", 7])
+
+
 class TestIncrementalState:
     """The copy()-able streaming classes behind the HMAC midstate."""
 

@@ -30,7 +30,7 @@ class TestMacroSuite:
     def test_covers_both_transports_load_and_chaos(self, macro):
         assert set(macro) == {
             "e2e_wifi", "e2e_4g", "workload", "chaos", "cluster",
-            "telemetry", "drill", "population",
+            "cluster_batch", "telemetry", "drill", "population",
         }
         assert macro["e2e_wifi"]["p50_ms"] <= macro["e2e_wifi"]["p95_ms"]
         assert macro["workload"]["completed"] <= macro["workload"]["issued"]
@@ -55,6 +55,42 @@ class TestMacroSuite:
         # counts, so its sign is not asserted).
         assert cluster["p50_ms"] < cluster["single_p50_ms"] * 3
         assert cluster["single_p50_ms"] < cluster["p50_ms"] * 3
+
+    def test_cluster_batch_arm_exceeds_its_floor(self, macro):
+        from repro.eval.bench import CLUSTER_BATCH_FLOOR_PER_MIN
+
+        arm = macro["cluster_batch"]
+        assert arm["completed"] == arm["issued"]
+        assert arm["errors"] == 0
+        assert arm["identical"] is True
+        # The tentpole contract: >= 10x the sequential cluster arm's
+        # committed 1477.41/min, even at smoke burst counts.
+        assert arm["throughput_per_min"] > CLUSTER_BATCH_FLOOR_PER_MIN
+        # The cold burst's /token renders coalesced: at least one
+        # drained batch rendered more than one job in one call.
+        assert arm["peak_render_batch"] >= 2
+        assert arm["render_jobs"] >= arm["accounts"]
+        gates = macro_gates(macro)
+        gate = gates["macro.cluster_batch.throughput_per_min"]
+        assert gate["direction"] == HIGHER_IS_BETTER
+        assert gate["limit"] == CLUSTER_BATCH_FLOOR_PER_MIN
+        assert gate["value"] == arm["throughput_per_min"]
+        assert gates["macro.cluster_batch.p95_ms"]["direction"] == (
+            LOWER_IS_BETTER
+        )
+
+    def test_cluster_batch_gate_zeroes_on_oracle_mismatch(self, macro):
+        import copy
+
+        # Speed with a wrong password must fail the absolute floor.
+        broken = copy.deepcopy(macro)
+        broken["cluster_batch"]["identical"] = False
+        gate = macro_gates(broken)["macro.cluster_batch.throughput_per_min"]
+        assert gate["value"] == 0.0
+        failed = copy.deepcopy(macro)
+        failed["cluster_batch"]["errors"] = 3
+        gate = macro_gates(failed)["macro.cluster_batch.throughput_per_min"]
+        assert gate["value"] == 0.0
 
     def test_macro_is_deterministic_under_the_seed(self, macro):
         assert run_macro(seed="bench-test", smoke=True) == macro
@@ -119,10 +155,16 @@ class TestDocument:
         micro = run_micro(smoke=True)
         for name in (
             "sha256", "sha512", "pbkdf2", "hkdf", "token", "template",
-            "render_cached",
+            "render_cached", "render_batch",
         ):
             assert micro[name]["ops_per_sec"] > 0, name
             assert micro[name]["wall_us_per_op"] > 0, name
+        # Batch ops/s is per-render: batches/s x jobs per batch.
+        assert micro["render_batch"]["ops_per_s"] == pytest.approx(
+            micro["render_batch"]["ops_per_sec"]
+            * micro["render_batch"]["jobs"],
+            rel=0.01,
+        )
         # The gated derived metrics are consistent with their parents.
         assert micro["pbkdf2"]["iters_per_s"] == pytest.approx(
             micro["pbkdf2"]["ops_per_sec"] * micro["pbkdf2"]["rounds"], rel=0.01
@@ -151,6 +193,10 @@ class TestDocument:
         assert (
             gates["micro.render_cached.wall_us_per_op"]["direction"]
             == LOWER_IS_BETTER
+        )
+        # The vectorized batch render gates the tentpole fast path.
+        assert gates["micro.render_batch.ops_per_s"]["direction"] == (
+            HIGHER_IS_BETTER
         )
         # The kernel scheduling bench gates event-heap regressions.
         assert gates["micro.kernel.events_per_s"]["direction"] == HIGHER_IS_BETTER
